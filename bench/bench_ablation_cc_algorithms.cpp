@@ -1,0 +1,54 @@
+// CC algorithm choice ablation: color propagation (the paper's pick, §4 —
+// "its simplicity and typical 'graph algorithmic' pattern enables us to
+// generalize results") vs the hooking + pointer-jumping alternative it is
+// contrasted with. Quantifies the tradeoff: propagation needs O(diameter)
+// cheap rounds, hook-and-jump needs O(log N) expensive ones — so the
+// crossover sits between the shallow and deep input regimes.
+#include "algos/cc.hpp"
+#include "algos/pointer_jump.hpp"
+#include "harness.hpp"
+
+namespace hb = hpcg::bench;
+namespace ha = hpcg::algos;
+namespace hc = hpcg::core;
+
+int main(int argc, char** argv) {
+  hpcg::util::Options options(argc, argv);
+  const int shift = static_cast<int>(options.get_int("scale-shift", 0));
+  const int p = static_cast<int>(options.get_int("ranks", 64));
+  const double alpha = hb::alpha_scale(options);
+  const std::string csv = options.get_string("csv", "");
+  options.check_unknown();
+
+  hb::banner("CC algorithm ablation",
+             "color propagation vs hooking+pointer-jumping (extension)");
+
+  hpcg::util::Table table({"graph", "algorithm", "total_s", "comm_s",
+                           "rounds", "x_vs_colorprop"});
+  for (const std::string name : {"tw-mini", "cw-mini", "cw-deep", "wdc-deep"}) {
+    const auto el = hb::load(name, shift);
+    const auto grid = hc::Grid::squarest(p);
+    const auto parts = hc::Partitioned2D::build(el, grid);
+    const auto topo = hb::bench_topology(grid.ranks(), alpha);
+
+    int cp_rounds = 0;
+    const auto cp = hb::run_parts(parts, topo, hb::bench_cost(alpha),
+                                  [&](hc::Dist2DGraph& g) {
+                                    auto r = ha::connected_components(
+                                        g, ha::CcOptions::all_push());
+                                    if (g.world().rank() == 0) cp_rounds = r.iterations;
+                                  });
+    int sv_rounds = 0;
+    const auto sv = hb::run_parts(parts, topo, hb::bench_cost(alpha),
+                                  [&](hc::Dist2DGraph& g) {
+                                    auto r = ha::connected_components_sv(g);
+                                    if (g.world().rank() == 0) sv_rounds = r.rounds;
+                                  });
+    table.row() << name << "color-prop" << cp.total << cp.comm << cp_rounds << 1.0;
+    table.row() << name << "hook+jump" << sv.total << sv.comm << sv_rounds
+                << (sv.total > 0 ? cp.total / sv.total : 0.0);
+  }
+  table.print();
+  if (!csv.empty()) table.write_csv(csv);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Distribution-model comparison: 1D vs 1.5D vs 2D on a skewed input as
+// rank count grows — the lineage the paper's introduction walks through
+// (1D's owner imbalance and O(p^2) messages; 1.5D's heavy-vertex sharing
+// fixing balance but not message scaling; 2D fixing both). Not a paper
+// figure; the supporting experiment for DESIGN.md's background claims.
+#include "algos/cc.hpp"
+#include "baselines/dist15d.hpp"
+#include "baselines/dist1d.hpp"
+#include "harness.hpp"
+
+namespace hb = hpcg::bench;
+namespace ha = hpcg::algos;
+namespace hbl = hpcg::baselines;
+namespace hc = hpcg::core;
+
+int main(int argc, char** argv) {
+  hpcg::util::Options options(argc, argv);
+  const int shift = static_cast<int>(options.get_int("scale-shift", 0));
+  const auto ranks = options.get_int_list("ranks", {4, 16, 64});
+  const double alpha = hb::alpha_scale(options);
+  const std::string csv = options.get_string("csv", "");
+  options.check_unknown();
+
+  hb::banner("Distribution models",
+             "CC under 1D vs 1.5D vs 2D distributions (extension experiment)");
+
+  // Random vertex permutation first: RMAT's bit-self-similar skew defeats
+  // striping (see bench_ablation_distribution), and the model comparison
+  // should not be confounded by that input quirk.
+  auto el = hb::load("tw-mini", shift);
+  hpcg::graph::randomize_ids(el, 99);
+  hpcg::util::Table table(
+      {"model", "ranks", "total_s", "comm_s", "messages", "max_edges/rank"});
+
+  for (const auto p : ranks) {
+    const auto topo = hb::bench_topology(static_cast<int>(p), alpha);
+    const auto cost = hb::bench_cost(alpha);
+
+    {
+      const auto parts = hbl::Partitioned1D::build(el, static_cast<int>(p));
+      std::int64_t max_edges = 0;
+      for (int r = 0; r < p; ++r) {
+        max_edges = std::max(max_edges,
+                             static_cast<std::int64_t>(parts.edges_of(r).size()));
+      }
+      auto stats = hpcg::comm::Runtime::run(
+          static_cast<int>(p), topo, cost, [&](hpcg::comm::Comm& comm) {
+            hbl::Dist1DGraph g(comm, parts);
+            comm.reset_clocks();
+            hbl::connected_components_1d(g);
+          });
+      const auto t = hb::to_times(stats);
+      table.row() << "1D" << p << t.total << t.comm
+                  << static_cast<std::int64_t>(t.messages) << max_edges;
+    }
+    {
+      const auto parts = hbl::Partitioned15D::build(el, static_cast<int>(p));
+      std::int64_t max_edges = 0;
+      for (int r = 0; r < p; ++r) {
+        max_edges = std::max(max_edges,
+                             static_cast<std::int64_t>(parts.edges_of(r).size()));
+      }
+      auto stats = hpcg::comm::Runtime::run(
+          static_cast<int>(p), topo, cost, [&](hpcg::comm::Comm& comm) {
+            hbl::Dist15DGraph g(comm, parts);
+            comm.reset_clocks();
+            hbl::connected_components_15d(g);
+          });
+      const auto t = hb::to_times(stats);
+      table.row() << "1.5D" << p << t.total << t.comm
+                  << static_cast<std::int64_t>(t.messages) << max_edges;
+    }
+    {
+      const auto grid = hc::Grid::squarest(static_cast<int>(p));
+      const auto parts = hc::Partitioned2D::build(el, grid);
+      std::int64_t max_edges = 0;
+      for (int r = 0; r < p; ++r) {
+        max_edges = std::max(max_edges,
+                             static_cast<std::int64_t>(parts.edges_of(r).size()));
+      }
+      const auto t = hb::run_parts(parts, topo, cost, [](hc::Dist2DGraph& g) {
+        ha::connected_components(g, ha::CcOptions::all_push());
+      });
+      table.row() << "2D" << p << t.total << t.comm
+                  << static_cast<std::int64_t>(t.messages) << max_edges;
+    }
+  }
+  table.print();
+  if (!csv.empty()) table.write_csv(csv);
+  return 0;
+}

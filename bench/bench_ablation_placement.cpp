@@ -1,0 +1,54 @@
+// Rank-placement ablation (the paper's future-work pointer:
+// "communication-optimizing methods based on hardware network topology").
+// World-rank neighbors share NVLink triplets and nodes, so mapping grid
+// coordinates row-major packs row groups onto fast links while
+// column-major packs column groups. A push algorithm reduces along the
+// column group (its heavy exchange) and a pull algorithm along the row
+// group — each should prefer the placement that puts its reduction on the
+// fast links.
+#include "algos/cc.hpp"
+#include "algos/pagerank.hpp"
+#include "harness.hpp"
+
+namespace hb = hpcg::bench;
+namespace ha = hpcg::algos;
+namespace hc = hpcg::core;
+
+int main(int argc, char** argv) {
+  hpcg::util::Options options(argc, argv);
+  const int shift = static_cast<int>(options.get_int("scale-shift", 0));
+  const int p = static_cast<int>(options.get_int("ranks", 36));
+  const double alpha = hb::alpha_scale(options);
+  const std::string csv = options.get_string("csv", "");
+  options.check_unknown();
+
+  hb::banner("Placement ablation",
+             "row-major vs column-major rank placement (future-work knob)");
+
+  const auto el = hb::load("wdc-mini", shift);
+  const auto square = hc::Grid::squarest(p);
+  hpcg::util::Table table(
+      {"algo", "reduction dir", "placement", "total_s", "comm_s"});
+
+  for (const auto placement : {hc::Placement::kRowMajor, hc::Placement::kColMajor}) {
+    const hc::Grid grid(square.row_groups(), square.col_groups(), placement);
+    const auto parts = hc::Partitioned2D::build(el, grid);
+    const auto topo = hb::bench_topology(grid.ranks(), alpha);
+    const char* name =
+        placement == hc::Placement::kRowMajor ? "row-major" : "col-major";
+
+    const auto cc = hb::run_parts(parts, topo, hb::bench_cost(alpha),
+                                  [](hc::Dist2DGraph& g) {
+                                    ha::connected_components(
+                                        g, ha::CcOptions::all_push());
+                                  });
+    table.row() << "CC (push)" << "column group" << name << cc.total << cc.comm;
+
+    const auto pr = hb::run_parts(parts, topo, hb::bench_cost(alpha),
+                                  [](hc::Dist2DGraph& g) { ha::pagerank(g, 20); });
+    table.row() << "PR (pull)" << "row group" << name << pr.total << pr.comm;
+  }
+  table.print();
+  if (!csv.empty()) table.write_csv(csv);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 10 reproduction: comparison against the cuGraph-like baseline on
+// the 4-GPU single-node "zepy" topology with RMAT input (the paper used
+// RMAT26 on 4xA100; larger inputs did not fit cuGraph there). The paper
+// measures our PR ~1.47x *slower* (cuGraph's optimized SpMV wins where
+// computation dominates) but our CC 3.25x and BFS 2.64x *faster* (general
+// graph-model baselines without the 2D sparse/queue machinery lose).
+// cuGraph's PR stand-in is the tuned SpMV kernel on the same 2D
+// distribution; its CC/BFS stand-ins are the 1D-distribution baselines.
+#include "algos/bfs.hpp"
+#include "algos/cc.hpp"
+#include "algos/pagerank.hpp"
+#include "baselines/dist1d.hpp"
+#include "baselines/spmv_pagerank.hpp"
+#include "harness.hpp"
+
+namespace hb = hpcg::bench;
+namespace ha = hpcg::algos;
+namespace hbl = hpcg::baselines;
+namespace hc = hpcg::core;
+
+int main(int argc, char** argv) {
+  hpcg::util::Options options(argc, argv);
+  const int shift = static_cast<int>(options.get_int("scale-shift", 0));
+  const int p = static_cast<int>(options.get_int("ranks", 4));
+  const double alpha = hb::alpha_scale(options);
+  const std::string csv = options.get_string("csv", "");
+  options.check_unknown();
+
+  hb::banner("Figure 10", "vs cuGraph-like on 4-rank zepy (PR loses, CC/BFS win)");
+
+  // RMAT26 on 4 A100s is firmly compute-dominated; the analog keeps that
+  // regime by using the largest RMAT the simulator turns around quickly.
+  const auto el = hb::load("rmat17", shift);
+  // Measured compute: the PR verdict hinges on real kernel implementation
+  // differences (tight SpMV vs general graph model), which work-counting
+  // would erase. At 4 ranks the host-simulation cache artifacts that
+  // motivate work-counting elsewhere are minimal.
+  const auto topo = hpcg::comm::Topology::zepy(p).with_alpha_scale(alpha);
+  const auto cost = hb::bench_cost_measured(alpha);
+  const auto grid = hc::Grid::squarest(p);
+
+  // Ours.
+  const auto ours_pr =
+      hb::run_2d(el, grid, topo, cost, [](hc::Dist2DGraph& g) { ha::pagerank(g, 20); });
+  const auto ours_cc = hb::run_2d(el, grid, topo, cost, [](hc::Dist2DGraph& g) {
+    ha::connected_components(g, ha::CcOptions::all_push());
+  });
+  const auto ours_bfs =
+      hb::run_2d(el, grid, topo, cost, [](hc::Dist2DGraph& g) { ha::bfs(g, 0); });
+
+  // cuGraph-like: SpMV PageRank on the same 2D distribution.
+  const auto cug_pr = hb::run_2d(el, grid, topo, cost, [](hc::Dist2DGraph& g) {
+    hbl::spmv_pagerank(g, 20);
+  });
+
+  // cuGraph-like CC/BFS: general 1D-distribution implementations.
+  const auto parts1d = hbl::Partitioned1D::build(el, p);
+  auto run_1d = [&](const std::function<void(hbl::Dist1DGraph&)>& body) {
+    auto stats = hpcg::comm::Runtime::run(p, topo, cost, [&](hpcg::comm::Comm& comm) {
+      hbl::Dist1DGraph g(comm, parts1d);
+      comm.reset_clocks();
+      body(g);
+    });
+    return hb::to_times(stats);
+  };
+  const auto cug_cc =
+      run_1d([](hbl::Dist1DGraph& g) { hbl::connected_components_1d_dense(g); });
+  const auto cug_bfs =
+      run_1d([](hbl::Dist1DGraph& g) { hbl::bfs_1d_dense(g, 0); });
+
+  hpcg::util::Table table(
+      {"algo", "ours_s", "cugraph_like_s", "ours/cugraph", "paper_observed"});
+  table.row() << "PR" << ours_pr.total << cug_pr.total
+              << ours_pr.total / cug_pr.total << "1.47x slower (ours)";
+  table.row() << "CC" << ours_cc.total << cug_cc.total
+              << ours_cc.total / cug_cc.total << "3.25x faster (ours)";
+  table.row() << "BFS" << ours_bfs.total << cug_bfs.total
+              << ours_bfs.total / cug_bfs.total << "2.64x faster (ours)";
+  table.print();
+  if (!csv.empty()) table.write_csv(csv);
+  return 0;
+}

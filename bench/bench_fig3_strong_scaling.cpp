@@ -1,0 +1,66 @@
+// Figure 3 reproduction: strong scaling of BFS, PageRank and CC from 1 to
+// 256 ranks on the benchmark inputs. Reports, as the paper's three panels
+// do: total modeled time, communication time, and the speedup from 16
+// ranks against the sqrt(p) theoretical bound of 2D distributions.
+#include <cmath>
+#include <map>
+
+#include "algos/bfs.hpp"
+#include "algos/cc.hpp"
+#include "algos/pagerank.hpp"
+#include "harness.hpp"
+
+namespace hb = hpcg::bench;
+namespace ha = hpcg::algos;
+namespace hc = hpcg::core;
+
+int main(int argc, char** argv) {
+  hpcg::util::Options options(argc, argv);
+  const int shift = static_cast<int>(options.get_int("scale-shift", 0));
+  const auto ranks = options.get_int_list("ranks", {1, 4, 16, 64, 256});
+  const double alpha = hb::alpha_scale(options);
+  const std::string csv = options.get_string("csv", "");
+  options.check_unknown();
+
+  hb::banner("Figure 3",
+             "strong scaling (total, comm, speedup vs sqrt(p)) for BFS/PR/CC");
+
+  const std::vector<std::string> graphs = {"tw-mini", "fr-mini", "cw-mini",
+                                           "gsh-mini"};
+  hpcg::util::Table table({"graph", "algo", "ranks", "total_s", "comp_s",
+                           "comm_s", "speedup_vs_16", "sqrt_bound"});
+  std::map<std::pair<std::string, std::string>, double> t16;
+
+  for (const auto& name : graphs) {
+    const auto el = hb::load(name, shift);
+    for (const auto p : ranks) {
+      const auto grid = hc::Grid::squarest(static_cast<int>(p));
+      const auto parts = hc::Partitioned2D::build(el, grid);
+      const auto topo = hb::bench_topology(grid.ranks(), alpha);
+      const struct {
+        const char* algo;
+        std::function<void(hc::Dist2DGraph&)> body;
+      } runs[] = {
+          {"BFS", [](hc::Dist2DGraph& g) { ha::bfs(g, 0); }},
+          {"PR", [](hc::Dist2DGraph& g) { ha::pagerank(g, 20); }},
+          {"CC",
+           [](hc::Dist2DGraph& g) {
+             ha::connected_components(g, ha::CcOptions::all_push());
+           }},
+      };
+      for (const auto& run : runs) {
+        const auto times = hb::run_parts(parts, topo, hb::bench_cost(alpha), run.body);
+        if (p == 16) t16[{name, run.algo}] = times.total;
+        const double base = t16.count({name, run.algo}) ? t16[{name, run.algo}] : 0;
+        const double speedup = (p >= 16 && base > 0) ? base / times.total : 0.0;
+        const double bound =
+            p >= 16 ? std::sqrt(static_cast<double>(p) / 16.0) : 0.0;
+        table.row() << name << run.algo << p << times.total << times.comp
+                    << times.comm << speedup << bound;
+      }
+    }
+  }
+  table.print();
+  if (!csv.empty()) table.write_csv(csv);
+  return 0;
+}

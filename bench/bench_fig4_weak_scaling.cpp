@@ -1,0 +1,96 @@
+// Figure 4 reproduction: weak scaling on RMAT and Erdős–Rényi random
+// graphs. The paper fixes 2^24 vertices and 2^28 edges per rank and
+// compares measured times against the single-rank time scaled by sqrt(p)
+// (the theoretical 2D weak-scaling factor); timings "just under doubling
+// for every 4x increase in rank count" indicate near-optimal efficiency.
+// Here the per-rank size is reduced (default 2^12 vertices, 2^16 edges per
+// rank) but the sweep and the sqrt(p) reference line are the same.
+#include <cmath>
+#include <map>
+
+#include "algos/bfs.hpp"
+#include "algos/cc.hpp"
+#include "algos/pagerank.hpp"
+#include "graph/generators.hpp"
+#include "harness.hpp"
+
+namespace hb = hpcg::bench;
+namespace ha = hpcg::algos;
+namespace hc = hpcg::core;
+namespace hg = hpcg::graph;
+
+namespace {
+
+hg::EdgeList weak_graph(const std::string& family, int per_rank_scale, int p,
+                        int edge_factor) {
+  // p is a power of 4 in this sweep, so scale grows by log2(p).
+  int scale = per_rank_scale;
+  for (int q = p; q > 1; q /= 4) scale += 2;
+  hg::EdgeList el;
+  if (family == "RMAT") {
+    hg::RmatParams params;
+    params.scale = scale;
+    params.edge_factor = edge_factor;
+    params.seed = 1000 + static_cast<std::uint64_t>(scale);
+    el = hg::generate_rmat(params);
+  } else {
+    const hg::Gid n = hg::Gid{1} << scale;
+    el = hg::generate_erdos_renyi(n, edge_factor * n,
+                                  2000 + static_cast<std::uint64_t>(scale));
+  }
+  hg::remove_self_loops(el);
+  hg::symmetrize(el);
+  return el;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hpcg::util::Options options(argc, argv);
+  const int per_rank_scale = static_cast<int>(options.get_int("per-rank-scale", 12));
+  const auto ranks = options.get_int_list("ranks", {1, 4, 16, 64, 256});
+  const double alpha = hb::alpha_scale(options);
+  const std::string csv = options.get_string("csv", "");
+  options.check_unknown();
+
+  hb::banner("Figure 4",
+             "weak scaling on RMAT/RAND vs the sqrt(p)-scaled 1-rank time");
+
+  hpcg::util::Table table({"family", "algo", "ranks", "scale", "total_s",
+                           "comm_s", "sqrt_p_x_T1", "ratio_to_bound"});
+  std::map<std::pair<std::string, std::string>, double> t1;
+
+  for (const std::string family : {"RMAT", "RAND"}) {
+    for (const auto p : ranks) {
+      const auto el =
+          weak_graph(family, per_rank_scale, static_cast<int>(p), 16);
+      const auto grid = hc::Grid::squarest(static_cast<int>(p));
+      const auto parts = hc::Partitioned2D::build(el, grid);
+      const auto topo = hb::bench_topology(grid.ranks(), alpha);
+      const struct {
+        const char* algo;
+        std::function<void(hc::Dist2DGraph&)> body;
+      } runs[] = {
+          {"BFS", [](hc::Dist2DGraph& g) { ha::bfs(g, 0); }},
+          {"PR", [](hc::Dist2DGraph& g) { ha::pagerank(g, 20); }},
+          {"CC",
+           [](hc::Dist2DGraph& g) {
+             ha::connected_components(g, ha::CcOptions::all_push());
+           }},
+      };
+      for (const auto& run : runs) {
+        const auto times = hb::run_parts(parts, topo, hb::bench_cost(alpha), run.body);
+        if (p == 1) t1[{family, run.algo}] = times.total;
+        const double bound =
+            t1[{family, run.algo}] * std::sqrt(static_cast<double>(p));
+        table.row() << family << run.algo << p
+                    << (per_rank_scale + static_cast<int>(std::log2(p)))
+                    << times.total << times.comm << bound
+                    << (bound > 0 ? times.total / bound : 0.0);
+      }
+    }
+  }
+  table.print();
+  if (!csv.empty()) table.write_csv(csv);
+  return 0;
+}

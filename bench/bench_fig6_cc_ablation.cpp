@@ -1,0 +1,64 @@
+// Figure 6 reproduction: the effect of the communication/workload
+// strategies on color-propagation CC — Base (pull, dense, no queue),
+// +SP (always-sparse), +SP+SW (dense->sparse switching), +SP+SW+VQ
+// (vertex queues), +All+Push. The paper observes differences of an order
+// of magnitude, consistent across inputs and shared by the other
+// queue/sparse-using algorithms (§5.4).
+#include "algos/cc.hpp"
+#include "harness.hpp"
+
+namespace hb = hpcg::bench;
+namespace ha = hpcg::algos;
+namespace hc = hpcg::core;
+
+int main(int argc, char** argv) {
+  hpcg::util::Options options(argc, argv);
+  const int shift = static_cast<int>(options.get_int("scale-shift", 0));
+  const int p = static_cast<int>(options.get_int("ranks", 64));
+  const double alpha = hb::alpha_scale(options);
+  const std::string csv = options.get_string("csv", "");
+  options.check_unknown();
+
+  hb::banner("Figure 6", "CC optimization ablation (Base .. +All+Push)");
+
+  const struct {
+    const char* name;
+    ha::CcOptions options;
+  } variants[] = {
+      {"Base", ha::CcOptions::base()},
+      {"+SP", ha::CcOptions::sp()},
+      {"+SP+SW", ha::CcOptions::sp_sw()},
+      {"+SP+SW+VQ", ha::CcOptions::sp_sw_vq()},
+      {"+All+Push", ha::CcOptions::all_push()},
+  };
+
+  hpcg::util::Table table({"graph", "variant", "ranks", "total_s", "comm_s",
+                           "bytes", "iters(dense/sparse)", "x_vs_base"});
+  for (const std::string name : {"cw-deep", "wdc-deep"}) {
+    const auto el = hb::load(name, shift);
+    const auto grid = hc::Grid::squarest(p);
+    const auto parts = hc::Partitioned2D::build(el, grid);
+    const auto topo = hb::bench_topology(grid.ranks(), alpha);
+    double base_time = 0.0;
+    for (const auto& variant : variants) {
+      int dense_iters = 0;
+      int sparse_iters = 0;
+      const auto times = hb::run_parts(parts, topo, hb::bench_cost(alpha),
+                                       [&](hc::Dist2DGraph& g) {
+        const auto result = ha::connected_components(g, variant.options);
+        if (g.world().rank() == 0) {
+          dense_iters = result.dense_iterations;
+          sparse_iters = result.sparse_iterations;
+        }
+      });
+      if (base_time == 0.0) base_time = times.total;
+      table.row() << name << variant.name << p << times.total << times.comm
+                  << static_cast<std::int64_t>(times.bytes)
+                  << (std::to_string(dense_iters) + "/" + std::to_string(sparse_iters))
+                  << base_time / times.total;
+    }
+  }
+  table.print();
+  if (!csv.empty()) table.write_csv(csv);
+  return 0;
+}

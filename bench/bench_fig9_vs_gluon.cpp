@@ -1,0 +1,75 @@
+// Figure 9 reproduction: HPCGraph-GPU vs the Gluon-like comparator from 1
+// to 256 ranks, PR/CC/BFS. The paper's finding: the two roughly match on
+// single-rank and single-node runs, but Gluon degrades sharply once
+// communication crosses the network and "does not scale at all past 64
+// ranks on the majority of tests" — the generic substrate's per-message
+// overhead and payload duplication dominate. The Gluon-like runs use the
+// same 2D CVC block partition but generic update-list exchanges, under a
+// cost model with substrate overhead (gluon_cost_params).
+#include "algos/bfs.hpp"
+#include "algos/cc.hpp"
+#include "algos/pagerank.hpp"
+#include "baselines/gluon_like.hpp"
+#include "harness.hpp"
+
+namespace hb = hpcg::bench;
+namespace ha = hpcg::algos;
+namespace hbl = hpcg::baselines;
+namespace hc = hpcg::core;
+
+int main(int argc, char** argv) {
+  hpcg::util::Options options(argc, argv);
+  const int shift = static_cast<int>(options.get_int("scale-shift", 0));
+  const auto ranks = options.get_int_list("ranks", {1, 4, 16, 64, 256});
+  const double alpha = hb::alpha_scale(options);
+  const std::string csv = options.get_string("csv", "");
+  options.check_unknown();
+
+  hb::banner("Figure 9", "HPCGraph-2D vs Gluon-like CVC on generic substrate");
+
+  hpcg::util::Table table({"graph", "algo", "ranks", "ours_s", "gluon_s",
+                           "gluon/ours", "ours_msgs", "gluon_msgs"});
+  for (const std::string name : {"tw-mini", "fr-mini", "rmat14"}) {
+    const auto el = hb::load(name, shift);
+    for (const auto p : ranks) {
+      const auto grid = hc::Grid::squarest(static_cast<int>(p));
+      const auto parts = hc::Partitioned2D::build(el, grid);
+      const auto topo = hb::bench_topology(static_cast<int>(p), alpha);
+      const auto ours_cost = hb::bench_cost(alpha);
+      // The generic substrate: same device compute model, but per-message
+      // software overhead and a serialization bandwidth derate (scaled by
+      // the same calibration factor).
+      auto gluon_params = ours_cost.params();
+      gluon_params.software_alpha_s = hbl::gluon_cost_params().software_alpha_s * alpha;
+      gluon_params.bw_derate = hbl::gluon_cost_params().bw_derate;
+      const hpcg::comm::CostModel gluon_cost{gluon_params};
+
+      const struct {
+        const char* algo;
+        std::function<void(hc::Dist2DGraph&)> ours;
+        std::function<void(hc::Dist2DGraph&)> gluon;
+      } runs[] = {
+          {"PR", [](hc::Dist2DGraph& g) { ha::pagerank(g, 20); },
+           [](hc::Dist2DGraph& g) { hbl::gluon_pagerank(g, 20); }},
+          {"CC",
+           [](hc::Dist2DGraph& g) {
+             ha::connected_components(g, ha::CcOptions::all_push());
+           },
+           [](hc::Dist2DGraph& g) { hbl::gluon_connected_components(g); }},
+          {"BFS", [](hc::Dist2DGraph& g) { ha::bfs(g, 0); },
+           [](hc::Dist2DGraph& g) { hbl::gluon_bfs(g, 0); }},
+      };
+      for (const auto& run : runs) {
+        const auto ours = hb::run_parts(parts, topo, ours_cost, run.ours);
+        const auto gluon = hb::run_parts(parts, topo, gluon_cost, run.gluon);
+        table.row() << name << run.algo << p << ours.total << gluon.total
+                    << (ours.total > 0 ? gluon.total / ours.total : 0.0)
+                    << static_cast<std::int64_t>(ours.messages)
+                    << static_cast<std::int64_t>(gluon.messages);
+      }
+    }
+  }
+  table.print();
+  if (!csv.empty()) table.write_csv(csv);
+  return 0;
+}

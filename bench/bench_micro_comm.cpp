@@ -1,0 +1,90 @@
+// Micro-benchmarks of the communication substrate (google-benchmark):
+// wall-clock cost of the shared-memory collectives and the cost-model
+// evaluation itself, across group sizes and payloads. These measure the
+// *simulator*, complementing the figure benches that report modeled time.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "comm/runtime.hpp"
+
+namespace hc = hpcg::comm;
+
+namespace {
+
+void BM_AllReduce(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const auto count = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    hc::Runtime::run(p, [&](hc::Comm& comm) {
+      std::vector<double> data(count, comm.rank());
+      for (int i = 0; i < 8; ++i) {
+        comm.allreduce(std::span(data), hc::ReduceOp::kSum);
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * count * p);
+}
+BENCHMARK(BM_AllReduce)->Args({4, 1024})->Args({16, 1024})->Args({16, 65536});
+
+void BM_AllGatherv(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const auto count = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    hc::Runtime::run(p, [&](hc::Comm& comm) {
+      std::vector<std::int64_t> data(count, comm.rank());
+      for (int i = 0; i < 8; ++i) {
+        auto out = comm.allgatherv(std::span<const std::int64_t>(data));
+        benchmark::DoNotOptimize(out.data());
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * count * p);
+}
+BENCHMARK(BM_AllGatherv)->Args({4, 1024})->Args({16, 4096});
+
+void BM_Alltoallv(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const auto per_dest = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    hc::Runtime::run(p, [&](hc::Comm& comm) {
+      std::vector<std::size_t> counts(static_cast<std::size_t>(p), per_dest);
+      std::vector<std::int64_t> data(per_dest * static_cast<std::size_t>(p), 7);
+      for (int i = 0; i < 8; ++i) {
+        auto out = comm.alltoallv(std::span<const std::int64_t>(data),
+                                  std::span<const std::size_t>(counts));
+        benchmark::DoNotOptimize(out.data());
+      }
+    });
+  }
+}
+BENCHMARK(BM_Alltoallv)->Args({4, 512})->Args({16, 512});
+
+void BM_RankLaunchOverhead(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    hc::Runtime::run(p, [](hc::Comm& comm) { comm.barrier(); });
+  }
+}
+BENCHMARK(BM_RankLaunchOverhead)->Arg(4)->Arg(64)->Arg(256);
+
+void BM_CostModelEvaluation(benchmark::State& state) {
+  const auto topo = hc::Topology::aimos(256);
+  const hc::CostModel cost;
+  std::vector<int> members(256);
+  for (int i = 0; i < 256; ++i) members[static_cast<std::size_t>(i)] = i;
+  const auto link = hc::make_group_link(topo, members.data(), 256);
+  double acc = 0.0;
+  for (auto _ : state) {
+    acc += cost.allreduce(link, 1 << 20);
+    acc += cost.broadcast(link, 1 << 20);
+    acc += cost.allgather(link, 1 << 20);
+    acc += cost.alltoallv(link, 1 << 20);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_CostModelEvaluation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// Micro-benchmarks of the per-rank kernel machinery (google-benchmark):
+// the Manhattan-collapse schedule vs the naive nested loop (the paper's
+// §3.4.2 overhead discussion), queue operations, and the GPU-style
+// counting hash table used by Label Propagation.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "core/manhattan.hpp"
+#include "core/queue.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/generators.hpp"
+#include "util/hash_table.hpp"
+
+namespace hc = hpcg::core;
+namespace hg = hpcg::graph;
+
+namespace {
+
+hg::Csr make_csr(int scale, int edge_factor) {
+  hg::RmatParams params;
+  params.scale = scale;
+  params.edge_factor = edge_factor;
+  params.seed = 5;
+  auto el = hg::generate_rmat(params);
+  hg::remove_self_loops(el);
+  hg::symmetrize(el);
+  return hg::Csr(el.n, el.edges);
+}
+
+void BM_ManhattanCollapse(benchmark::State& state) {
+  const auto csr = make_csr(static_cast<int>(state.range(0)), 16);
+  std::vector<hc::Lid> queue(static_cast<std::size_t>(csr.n()));
+  std::iota(queue.begin(), queue.end(), 0);
+  std::int64_t sink = 0;
+  for (auto _ : state) {
+    hc::manhattan_for_each_edge(csr, std::span<const hc::Lid>(queue),
+                                [&](hc::Lid, hc::Lid u, std::int64_t) { sink += u; });
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * csr.m());
+}
+BENCHMARK(BM_ManhattanCollapse)->Arg(12)->Arg(14);
+
+void BM_NestedLoop(benchmark::State& state) {
+  const auto csr = make_csr(static_cast<int>(state.range(0)), 16);
+  std::vector<hc::Lid> queue(static_cast<std::size_t>(csr.n()));
+  std::iota(queue.begin(), queue.end(), 0);
+  std::int64_t sink = 0;
+  for (auto _ : state) {
+    hc::nested_for_each_edge(csr, std::span<const hc::Lid>(queue),
+                             [&](hc::Lid, hc::Lid u, std::int64_t) { sink += u; });
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * csr.m());
+}
+BENCHMARK(BM_NestedLoop)->Arg(12)->Arg(14);
+
+void BM_ManhattanSpanStatistic(benchmark::State& state) {
+  const auto csr = make_csr(12, 16);
+  std::vector<hc::Lid> queue(static_cast<std::size_t>(csr.n()));
+  std::iota(queue.begin(), queue.end(), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hc::manhattan_span(csr, std::span<const hc::Lid>(queue)));
+  }
+}
+BENCHMARK(BM_ManhattanSpanStatistic);
+
+void BM_VertexQueuePushClear(benchmark::State& state) {
+  const auto n = static_cast<hc::Lid>(state.range(0));
+  hc::VertexQueue queue(n);
+  for (auto _ : state) {
+    for (hc::Lid v = 0; v < n; v += 3) queue.try_push(v);
+    for (hc::Lid v = 0; v < n; v += 3) queue.try_push(v);  // duplicate hits
+    queue.clear();
+  }
+  state.SetItemsProcessed(state.iterations() * (n / 3) * 2);
+}
+BENCHMARK(BM_VertexQueuePushClear)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_CountingHashTableMode(benchmark::State& state) {
+  const auto keys = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    hpcg::util::CountingHashTable table(keys);
+    for (std::size_t i = 0; i < keys * 4; ++i) {
+      table.add(i % keys, 1);
+    }
+    benchmark::DoNotOptimize(table.mode());
+  }
+  state.SetItemsProcessed(state.iterations() * keys * 4);
+}
+BENCHMARK(BM_CountingHashTableMode)->Arg(64)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,138 @@
+// Shared infrastructure for the figure-reproduction benchmarks.
+//
+// Every benchmark binary reproduces one table/figure of the paper: it
+// generates the (miniature analog) workload, sweeps the paper's parameter
+// axis, and prints the same rows/series the paper reports — total modeled
+// time, and the computation/communication split where the figure shows it.
+// Timing excludes graph construction (the paper times algorithm execution
+// on an already-loaded graph): clocks are reset after the distributed
+// structure is built.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "comm/runtime.hpp"
+#include "core/dist2d.hpp"
+#include "graph/datasets.hpp"
+#include "graph/edge_list.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+namespace hpcg::bench {
+
+/// Modeled durations of one distributed run (seconds, max over ranks —
+/// "the maximum time over all ranks is reported").
+struct Times {
+  double total = 0.0;
+  double comp = 0.0;
+  double comm = 0.0;
+  std::uint64_t bytes = 0;
+  std::uint64_t messages = 0;
+};
+
+inline Times to_times(const comm::RunStats& stats) {
+  Times t;
+  t.total = stats.makespan();
+  t.comp = stats.max_comp();
+  t.comm = stats.max_comm();
+  t.bytes = stats.bytes;
+  t.messages = stats.messages;
+  return t;
+}
+
+/// Latency calibration shared by the figure benchmarks: the analog inputs
+/// are ~10^3-4x smaller than the paper's, so per-message latencies are
+/// scaled by the same order to keep collectives in the bandwidth-dominated
+/// regime the real runs operate in (override with --alpha-scale).
+inline double alpha_scale(util::Options& options) {
+  return options.get_double("alpha-scale", 1e-3);
+}
+
+inline comm::Topology bench_topology(int nranks, double alpha) {
+  return comm::Topology::aimos(nranks).with_alpha_scale(alpha);
+}
+
+/// Cost model for the figure benchmarks: software (launch/runtime)
+/// overheads scaled by the same calibration factor as the hardware
+/// latencies, and compute charged per work item (vertices/edges touched)
+/// at V100-class memory-bound rates rather than from measured thread-CPU
+/// time — per-rank device throughput does not degrade with the number of
+/// ranks simulated on this one host, but the host's caches do.
+inline comm::CostModel bench_cost(double alpha) {
+  comm::CostParams params;
+  params.software_alpha_s *= alpha;
+  params.kernel_launch_s *= alpha;
+  params.compute_scale = 0.0;
+  params.per_edge_s = 2e-10;    // ~5 Gedge/s
+  params.per_vertex_s = 5e-10;  // ~2 Gvertex/s (state update + queue ops)
+  return comm::CostModel(params);
+}
+
+/// Measured-compute variant (used where the result *is* a kernel-level
+/// implementation difference, e.g. the Figure 10 SpMV-vs-graph-model PR
+/// comparison): real thread-CPU time scaled to device speed.
+inline comm::CostModel bench_cost_measured(double alpha) {
+  comm::CostParams params;
+  params.software_alpha_s *= alpha;
+  params.kernel_launch_s *= alpha;
+  return comm::CostModel(params);
+}
+
+/// Runs `body` over a prebuilt partition (reuse across sweep points to
+/// avoid repartitioning the same graph).
+inline Times run_parts(const core::Partitioned2D& parts, const comm::Topology& topo,
+                       const comm::CostModel& cost,
+                       const std::function<void(core::Dist2DGraph&)>& body) {
+  auto stats =
+      comm::Runtime::run(parts.grid().ranks(), topo, cost, [&](comm::Comm& comm) {
+        core::Dist2DGraph g(comm, parts);
+        comm.reset_clocks();  // exclude construction, as the paper's timings do
+        body(g);
+      });
+  return to_times(stats);
+}
+
+/// Builds the 2D partition, spawns the ranks, constructs the distributed
+/// graph, resets the clocks, and times `body`.
+inline Times run_2d(const graph::EdgeList& el, core::Grid grid,
+                    const comm::Topology& topo, const comm::CostModel& cost,
+                    const std::function<void(core::Dist2DGraph&)>& body) {
+  const auto parts = core::Partitioned2D::build(el, grid);
+  return run_parts(parts, topo, cost, body);
+}
+
+/// Calibrated-topology + calibrated-cost convenience.
+inline Times run_2d(const graph::EdgeList& el, core::Grid grid, double alpha,
+                    const std::function<void(core::Dist2DGraph&)>& body) {
+  return run_2d(el, grid, bench_topology(grid.ranks(), alpha), bench_cost(alpha),
+                body);
+}
+
+/// Loads a dataset analog once per (name, shift) — benches sweep rank
+/// counts over the same input.
+inline graph::EdgeList load(const std::string& name, int shift) {
+  std::cerr << "[bench] generating " << name << " (shift " << shift << ") ... ";
+  auto el = graph::load_dataset(name, shift);
+  std::cerr << el.n << " vertices, " << el.m() << " directed edges\n";
+  return el;
+}
+
+/// Billions of traversed edges per second at the modeled time scale.
+inline double gteps(std::int64_t edges, double seconds) {
+  return seconds > 0 ? static_cast<double>(edges) / seconds / 1e9 : 0.0;
+}
+
+/// Standard header printed by every figure benchmark.
+inline void banner(const std::string& figure, const std::string& description) {
+  std::cout << "==========================================================\n"
+            << figure << ": " << description << "\n"
+            << "(modeled seconds on the simulated AiMOS topology; shapes —\n"
+            << " who wins, scaling factors, crossovers — reproduce the\n"
+            << " paper; absolute values are simulator-scale)\n"
+            << "==========================================================\n";
+}
+
+}  // namespace hpcg::bench

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Runs every figure/table benchmark with default settings, teeing console
+# output and CSVs into results/. Usage: scripts/run_all_benches.sh [BUILD_DIR]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="results"
+mkdir -p "${OUT_DIR}"
+
+BENCHES=(
+  bench_datasets
+  bench_fig3_strong_scaling
+  bench_fig4_weak_scaling
+  bench_fig5_wdc
+  bench_fig6_cc_ablation
+  bench_fig7_nonsquare
+  bench_fig8_complex
+  bench_fig9_vs_gluon
+  bench_fig10_vs_cugraph
+  bench_ablation_distribution
+  bench_ablation_dist_models
+  bench_ablation_cc_algorithms
+  bench_ablation_extensions
+  bench_ablation_placement
+)
+
+for bench in "${BENCHES[@]}"; do
+  echo "=== ${bench} ==="
+  "${BUILD_DIR}/bench/${bench}" --csv="${OUT_DIR}/${bench}.csv" \
+    | tee "${OUT_DIR}/${bench}.txt"
+done
+
+# Micro-benchmarks (google-benchmark; no CSV option of ours).
+for micro in bench_micro_comm bench_micro_kernels; do
+  echo "=== ${micro} ==="
+  "${BUILD_DIR}/bench/${micro}" --benchmark_min_time=0.05 \
+    | tee "${OUT_DIR}/${micro}.txt"
+done
+
+echo "All outputs in ${OUT_DIR}/"

@@ -1,0 +1,230 @@
+#include "algos/bfs.hpp"
+
+#include "core/manhattan.hpp"
+#include "core/sparse_comm.hpp"
+#include "core/work.hpp"
+
+namespace hpcg::algos {
+
+using core::Lid;
+using core::SparseDirection;
+using core::VertexQueue;
+
+BfsResult bfs(core::Dist2DGraph& g, Gid root_original, const BfsOptions& options) {
+  const auto& lids = g.lids();
+  const Gid root = g.partition().relabel().to_new(root_original);
+
+  BfsResult result;
+  result.level.assign(static_cast<std::size_t>(lids.n_total()), BfsResult::kUnvisited);
+  auto& level = result.level;
+
+  const auto& gdeg = g.global_row_degrees();
+  const auto offsets = g.csr().offsets();
+  const auto adj = g.csr().adjacencies();
+
+  VertexQueue frontier(lids.n_total());
+  if (lids.owns_row_gid(root)) {
+    level[static_cast<std::size_t>(lids.row_lid(root))] = 0;
+    frontier.try_push(lids.row_lid(root));
+  }
+  if (lids.has_col_gid(root)) {
+    level[static_cast<std::size_t>(lids.col_lid(root))] = 0;
+  }
+
+  double m_unvisited = static_cast<double>(g.m_global());
+  bool bottom_up = false;
+  core::MinReduce<std::int64_t> min_reduce;
+
+  for (std::int64_t cur = 0;; ++cur) {
+    // Global frontier statistics (each row group contributes once).
+    std::int64_t stats[2] = {0, 0};  // n_frontier, m_frontier
+    if (g.rank_r() == 0) {
+      for (const Lid v : frontier.items()) {
+        ++stats[0];
+        stats[1] += gdeg[static_cast<std::size_t>(v - lids.c_offset_r())];
+      }
+    }
+    g.world().allreduce(std::span<std::int64_t>(stats, 2), comm::ReduceOp::kSum);
+    const auto n_frontier = stats[0];
+    const auto m_frontier = stats[1];
+    if (n_frontier == 0) break;
+    result.depth = cur + 1;
+
+    if (options.direction_optimizing) {
+      if (!bottom_up && static_cast<double>(m_frontier) > m_unvisited / options.alpha) {
+        bottom_up = true;
+      } else if (bottom_up &&
+                 static_cast<double>(n_frontier) <
+                     static_cast<double>(g.n()) / options.beta) {
+        bottom_up = false;
+      }
+    }
+
+    VertexQueue updated(lids.n_total());
+    VertexQueue next_frontier(lids.n_total());
+    if (!bottom_up) {
+      ++result.top_down_steps;
+      // Top-down push: expand frontier edges, claiming unvisited column
+      // vertices at level cur+1.
+      std::int64_t edges_expanded = 0;
+      core::manhattan_for_each_edge(
+          g.csr(), std::span<const Lid>(frontier.items()),
+          [&](Lid, Lid u, std::int64_t) {
+            ++edges_expanded;
+            if (level[static_cast<std::size_t>(u)] > cur + 1) {
+              level[static_cast<std::size_t>(u)] = cur + 1;
+              updated.try_push(u);
+            }
+          });
+      core::charge_kernel(g.world(), static_cast<std::int64_t>(frontier.size()),
+                          edges_expanded);
+      core::sparse_exchange(g, std::span(level), updated, min_reduce,
+                            SparseDirection::kPush, &next_frontier);
+    } else {
+      ++result.bottom_up_steps;
+      // Bottom-up pull: every unvisited row vertex looks for a parent in
+      // the current frontier among its local neighbors.
+      std::int64_t edges_scanned = 0;
+      for (Lid v = g.row_lid_begin(); v < g.row_lid_end(); ++v) {
+        if (level[static_cast<std::size_t>(v)] != BfsResult::kUnvisited) continue;
+        for (std::int64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+          ++edges_scanned;
+          if (level[static_cast<std::size_t>(adj[e])] == cur) {
+            level[static_cast<std::size_t>(v)] = cur + 1;
+            updated.try_push(v);
+            break;
+          }
+        }
+      }
+      core::charge_kernel(g.world(), lids.n_row(), edges_scanned);
+      core::sparse_exchange(g, std::span(level), updated, min_reduce,
+                            SparseDirection::kPull, &next_frontier);
+    }
+    m_unvisited -= static_cast<double>(m_frontier);
+    frontier.swap(next_frontier);
+  }
+  return result;
+}
+
+namespace {
+
+/// Combined BFS state: claims are ordered by (level, parent) so the
+/// lexicographic minimum is a deterministic valid parent assignment.
+struct LevelParent {
+  std::int64_t level;
+  Gid parent;
+};
+
+struct LevelParentReduce {
+  bool operator()(LevelParent& current, const LevelParent& incoming) const {
+    if (incoming.level < current.level ||
+        (incoming.level == current.level && incoming.parent < current.parent)) {
+      current = incoming;
+      return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+BfsParentResult bfs_parents(core::Dist2DGraph& g, Gid root_original,
+                            const BfsOptions& options) {
+  const auto& lids = g.lids();
+  const Gid root = g.partition().relabel().to_new(root_original);
+
+  std::vector<LevelParent> state(static_cast<std::size_t>(lids.n_total()),
+                                 LevelParent{BfsResult::kUnvisited, -1});
+  const auto& gdeg = g.global_row_degrees();
+  const auto offsets = g.csr().offsets();
+  const auto adj = g.csr().adjacencies();
+
+  VertexQueue frontier(lids.n_total());
+  if (lids.owns_row_gid(root)) {
+    state[static_cast<std::size_t>(lids.row_lid(root))] = {0, root};
+    frontier.try_push(lids.row_lid(root));
+  }
+  if (lids.has_col_gid(root)) {
+    state[static_cast<std::size_t>(lids.col_lid(root))] = {0, root};
+  }
+
+  double m_unvisited = static_cast<double>(g.m_global());
+  bool bottom_up = false;
+  LevelParentReduce reduce;
+  BfsParentResult result;
+
+  for (std::int64_t cur = 0;; ++cur) {
+    std::int64_t stats[2] = {0, 0};
+    if (g.rank_r() == 0) {
+      for (const Lid v : frontier.items()) {
+        ++stats[0];
+        stats[1] += gdeg[static_cast<std::size_t>(v - lids.c_offset_r())];
+      }
+    }
+    g.world().allreduce(std::span<std::int64_t>(stats, 2), comm::ReduceOp::kSum);
+    if (stats[0] == 0) break;
+    result.depth = cur + 1;
+
+    if (options.direction_optimizing) {
+      if (!bottom_up && static_cast<double>(stats[1]) > m_unvisited / options.alpha) {
+        bottom_up = true;
+      } else if (bottom_up && static_cast<double>(stats[0]) <
+                                  static_cast<double>(g.n()) / options.beta) {
+        bottom_up = false;
+      }
+    }
+
+    VertexQueue updated(lids.n_total());
+    VertexQueue next_frontier(lids.n_total());
+    std::int64_t edges = 0;
+    if (!bottom_up) {
+      core::manhattan_for_each_edge(
+          g.csr(), std::span<const Lid>(frontier.items()),
+          [&](Lid v, Lid u, std::int64_t) {
+            ++edges;
+            const LevelParent claim{cur + 1, lids.to_gid(v)};
+            if (reduce(state[static_cast<std::size_t>(u)], claim)) {
+              updated.try_push(u);
+            }
+          });
+      core::charge_kernel(g.world(), static_cast<std::int64_t>(frontier.size()),
+                          edges);
+      core::sparse_exchange(g, std::span(state), updated, reduce,
+                            SparseDirection::kPush, &next_frontier);
+    } else {
+      for (Lid v = g.row_lid_begin(); v < g.row_lid_end(); ++v) {
+        if (state[static_cast<std::size_t>(v)].level != BfsResult::kUnvisited) {
+          continue;
+        }
+        // Scan the whole local neighborhood for the smallest-GID parent at
+        // the current level, keeping the result deterministic.
+        LevelParent best{BfsResult::kUnvisited, -1};
+        for (std::int64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+          ++edges;
+          const auto& neighbor = state[static_cast<std::size_t>(adj[e])];
+          if (neighbor.level == cur) {
+            reduce(best, LevelParent{cur + 1, lids.to_gid(adj[e])});
+          }
+        }
+        if (best.parent >= 0 && reduce(state[static_cast<std::size_t>(v)], best)) {
+          updated.try_push(v);
+        }
+      }
+      core::charge_kernel(g.world(), lids.n_row(), edges);
+      core::sparse_exchange(g, std::span(state), updated, reduce,
+                            SparseDirection::kPull, &next_frontier);
+    }
+    m_unvisited -= static_cast<double>(stats[1]);
+    frontier.swap(next_frontier);
+  }
+
+  result.level.resize(state.size());
+  result.parent.resize(state.size());
+  for (std::size_t l = 0; l < state.size(); ++l) {
+    result.level[l] = state[l].level;
+    result.parent[l] = state[l].parent;
+  }
+  return result;
+}
+
+}  // namespace hpcg::algos

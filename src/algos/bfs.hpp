@@ -1,0 +1,50 @@
+// Distributed breadth-first search (paper §4): the standard hybrid
+// direction-optimizing method of Beamer et al. with the original static
+// parameters. Top-down steps are sparse pushes over the frontier queue
+// (Manhattan-collapsed edge expansion); bottom-up steps scan unvisited row
+// vertices against the current level and exchange with a sparse pull.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dist2d.hpp"
+
+namespace hpcg::algos {
+
+using core::Gid;
+
+struct BfsOptions {
+  bool direction_optimizing = true;
+  double alpha = 15.0;  // top-down -> bottom-up when m_frontier > m_unvisited / alpha
+  double beta = 24.0;   // bottom-up -> top-down when n_frontier < N / beta
+};
+
+struct BfsResult {
+  std::vector<std::int64_t> level;  // LID-indexed; kUnvisited if unreached
+  std::int64_t depth = 0;           // number of BFS levels expanded
+  int top_down_steps = 0;
+  int bottom_up_steps = 0;
+
+  static constexpr std::int64_t kUnvisited = std::int64_t{1} << 62;
+};
+
+/// Runs BFS from `root` (an *original* vertex id; the striped relabeling is
+/// applied internally). Collective over the graph's grid.
+BfsResult bfs(core::Dist2DGraph& g, Gid root, const BfsOptions& options = {});
+
+/// BFS tracking parents instead of bare levels — the paper's alternative
+/// state choice ("BFS will update parent or level state information", as
+/// the Graph500 requires). The combined (level, parent) state travels
+/// through the same sparse exchanges with a lexicographic-minimum custom
+/// reduction, so all owners agree on one deterministic parent per vertex.
+struct BfsParentResult {
+  std::vector<std::int64_t> level;  // LID-indexed
+  std::vector<Gid> parent;          // LID-indexed striped GID; -1 unreached
+  std::int64_t depth = 0;
+};
+
+BfsParentResult bfs_parents(core::Dist2DGraph& g, Gid root,
+                            const BfsOptions& options = {});
+
+}  // namespace hpcg::algos

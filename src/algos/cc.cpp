@@ -1,0 +1,142 @@
+#include "algos/cc.hpp"
+
+#include <numeric>
+
+#include "core/activation.hpp"
+#include "core/dense_comm.hpp"
+#include "core/manhattan.hpp"
+#include "core/sparse_comm.hpp"
+#include "core/work.hpp"
+
+namespace hpcg::algos {
+
+using core::Direction;
+using core::Lid;
+using core::SparseDirection;
+using core::VertexQueue;
+
+CcResult connected_components(core::Dist2DGraph& g, const CcOptions& options) {
+  const auto& lids = g.lids();
+  CcResult result;
+  result.label.assign(static_cast<std::size_t>(lids.n_total()), 0);
+  auto& label = result.label;
+  for (Lid l = 0; l < lids.n_total(); ++l) {
+    label[static_cast<std::size_t>(l)] = lids.to_gid(l);
+  }
+
+  const auto offsets = g.csr().offsets();
+  const auto adj = g.csr().adjacencies();
+  core::MinReduce<Gid> min_reduce;
+
+  // The dense->sparse cutoff: switch once fewer than N / max(R, C) vertices
+  // updated in an iteration (paper §3.3.1).
+  const double cutoff =
+      static_cast<double>(g.n()) /
+      static_cast<double>(std::max(g.grid().ranks_per_row_group(),
+                                   g.grid().ranks_per_col_group()));
+
+  bool sparse_mode = options.sparse;
+  VertexQueue active(lids.n_total());
+  bool queue_live = false;  // becomes true once sparse && vertex_queue
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    VertexQueue updated(lids.n_total());
+    std::int64_t local_writes = 0;
+    std::int64_t kernel_vertices = 0;
+    std::int64_t kernel_edges = 0;
+
+    if (!options.push) {
+      // Pull kernel: row vertices gather the minimum neighbor color.
+      auto visit = [&](Lid v) {
+        ++kernel_vertices;
+        kernel_edges += offsets[v + 1] - offsets[v];
+        Gid best = label[static_cast<std::size_t>(v)];
+        for (std::int64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+          best = std::min(best, label[static_cast<std::size_t>(adj[e])]);
+        }
+        if (best < label[static_cast<std::size_t>(v)]) {
+          label[static_cast<std::size_t>(v)] = best;
+          updated.try_push(v);
+          ++local_writes;
+        }
+      };
+      if (queue_live) {
+        for (const Lid v : active.items()) visit(v);
+      } else {
+        for (Lid v = g.row_lid_begin(); v < g.row_lid_end(); ++v) visit(v);
+      }
+    } else {
+      // Push kernel: row vertices scatter their color to larger neighbors.
+      auto edge_fn = [&](Lid v, Lid u, std::int64_t) {
+        ++kernel_edges;
+        if (label[static_cast<std::size_t>(v)] < label[static_cast<std::size_t>(u)]) {
+          label[static_cast<std::size_t>(u)] = label[static_cast<std::size_t>(v)];
+          updated.try_push(u);
+          ++local_writes;
+        }
+      };
+      if (queue_live) {
+        core::manhattan_for_each_edge(g.csr(), std::span<const Lid>(active.items()),
+                                      edge_fn);
+        kernel_vertices = static_cast<std::int64_t>(active.size());
+      } else {
+        for (Lid v = g.row_lid_begin(); v < g.row_lid_end(); ++v) {
+          for (std::int64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+            edge_fn(v, adj[e], e);
+          }
+        }
+        kernel_vertices = lids.n_row();
+      }
+    }
+    core::charge_kernel(g.world(), kernel_vertices, kernel_edges);
+
+    // Exchange phase. The change count drives both convergence and the
+    // dense->sparse switch; counting queue entries once per row group
+    // (rank_r == 0) approximates the global number of updated vertices.
+    VertexQueue changed_rows(lids.n_total());
+    std::int64_t counts[2] = {local_writes, 0};
+    if (sparse_mode) {
+      ++result.sparse_iterations;
+      core::sparse_exchange(g, std::span(label), updated, min_reduce,
+                            options.push ? SparseDirection::kPush
+                                         : SparseDirection::kPull,
+                            &changed_rows);
+      if (g.rank_r() == 0) {
+        counts[1] = static_cast<std::int64_t>(changed_rows.size());
+      }
+    } else {
+      ++result.dense_iterations;
+      // Estimate of globally updated vertices for the switch cutoff:
+      // distinct per-rank updates, de-duplicated by the group that shares
+      // the written index space (column group for push targets, row group
+      // for pull targets).
+      counts[1] = static_cast<std::int64_t>(updated.size()) /
+                  (options.push ? g.grid().ranks_per_col_group()
+                                : g.grid().ranks_per_row_group());
+      updated.clear();
+      core::dense_exchange(g, std::span(result.label), comm::ReduceOp::kMin,
+                           options.push ? Direction::kPush : Direction::kPull);
+    }
+    g.world().allreduce(std::span<std::int64_t>(counts, 2), comm::ReduceOp::kSum);
+    result.iterations = iter + 1;
+    if (counts[0] == 0) break;  // no kernel wrote anywhere: fixpoint
+
+    // Queues can only be armed from a sparse iteration's change set: a
+    // dense exchange does not report which vertices changed.
+    if (sparse_mode && options.vertex_queue) {
+      if (options.push) {
+        active.swap(changed_rows);  // push frontier = vertices that changed
+      } else {
+        active = core::pull_activation(g, changed_rows);
+      }
+      queue_live = true;
+    }
+    if (!sparse_mode && options.auto_switch &&
+        static_cast<double>(counts[1]) < cutoff) {
+      sparse_mode = true;
+    }
+  }
+  return result;
+}
+
+}  // namespace hpcg::algos

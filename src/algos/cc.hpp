@@ -1,0 +1,54 @@
+// Distributed connected components via color propagation (paper §4):
+// every vertex starts with its own id as color and iteratively adopts the
+// minimum color of its neighborhood until no color changes anywhere. The
+// paper uses CC as the vehicle for its optimization study (Figure 6), so
+// every combination of the §3.3/§3.4 strategies is exposed:
+//
+//   * direction: push (scatter updates to ghosts) or pull (gather from
+//     ghosts);
+//   * dense vs. sparse communications, plus the dense->sparse switch at
+//     the N / max(R, C) update-count cutoff;
+//   * active-vertex queues (push frontiers, or pull activation through
+//     neighbor expansion).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dist2d.hpp"
+
+namespace hpcg::algos {
+
+using core::Gid;
+
+struct CcOptions {
+  bool push = false;          // default pull, as the paper's Base variant
+  bool sparse = false;        // always-sparse communications
+  bool auto_switch = false;   // dense until the update count drops below cutoff
+  bool vertex_queue = false;  // active-vertex queues (requires sparse phase)
+  int max_iterations = 100000;
+
+  /// The named variants of Figure 6.
+  static CcOptions base() { return {}; }
+  static CcOptions sp() { return {.sparse = true}; }
+  static CcOptions sp_sw() { return {.sparse = false, .auto_switch = true}; }
+  static CcOptions sp_sw_vq() {
+    return {.sparse = false, .auto_switch = true, .vertex_queue = true};
+  }
+  static CcOptions all_push() {
+    return {.push = true, .sparse = false, .auto_switch = true, .vertex_queue = true};
+  }
+};
+
+struct CcResult {
+  std::vector<Gid> label;  // LID-indexed color (striped GID space)
+  int iterations = 0;
+  int dense_iterations = 0;
+  int sparse_iterations = 0;
+};
+
+/// Collective over the graph's grid.
+CcResult connected_components(core::Dist2DGraph& g, const CcOptions& options = {});
+
+}  // namespace hpcg::algos

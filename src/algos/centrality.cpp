@@ -1,0 +1,60 @@
+#include "algos/centrality.hpp"
+
+#include "algos/bfs.hpp"
+#include "algos/reference.hpp"
+#include "util/prng.hpp"
+
+namespace hpcg::algos {
+
+using core::Lid;
+using graph::Gid;
+
+namespace {
+
+std::vector<Gid> sample_sources(Gid n, int samples, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<Gid> sources;
+  sources.reserve(static_cast<std::size_t>(samples));
+  for (int s = 0; s < samples; ++s) {
+    sources.push_back(static_cast<Gid>(rng.next_below(static_cast<std::uint64_t>(n))));
+  }
+  return sources;
+}
+
+}  // namespace
+
+HarmonicResult harmonic_centrality(core::Dist2DGraph& g, int samples,
+                                   std::uint64_t seed) {
+  HarmonicResult result;
+  result.sources = sample_sources(g.n(), samples, seed);
+  result.centrality.assign(static_cast<std::size_t>(g.lids().n_total()), 0.0);
+  for (const Gid source : result.sources) {
+    const auto bfs_result = bfs(g, source);
+    for (Lid v = g.row_lid_begin(); v < g.row_lid_end(); ++v) {
+      const auto level = bfs_result.level[static_cast<std::size_t>(v)];
+      if (level > 0 && level != BfsResult::kUnvisited) {
+        result.centrality[static_cast<std::size_t>(v)] +=
+            1.0 / static_cast<double>(level);
+      }
+    }
+  }
+  return result;
+}
+
+namespace ref {
+
+std::vector<double> harmonic_centrality(const graph::Csr& csr,
+                                        const std::vector<Gid>& sources) {
+  std::vector<double> centrality(static_cast<std::size_t>(csr.n()), 0.0);
+  for (const Gid source : sources) {
+    const auto levels = bfs_levels(csr, source);
+    for (std::size_t v = 0; v < levels.size(); ++v) {
+      if (levels[v] > 0) centrality[v] += 1.0 / static_cast<double>(levels[v]);
+    }
+  }
+  return centrality;
+}
+
+}  // namespace ref
+
+}  // namespace hpcg::algos

@@ -1,0 +1,34 @@
+// Sampled harmonic centrality on the 2D structure — a multi-BFS analytic
+// from the CPU HPCGraph study this framework extends. Centrality of v is
+// sum over sources s of 1/d(s, v) (0 for unreachable pairs), estimated
+// from `samples` pseudo-random sources; each source runs one
+// direction-optimizing BFS and accumulates into the row state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dist2d.hpp"
+#include "graph/csr.hpp"
+
+namespace hpcg::algos {
+
+struct HarmonicResult {
+  std::vector<double> centrality;  // LID-indexed (row slots meaningful)
+  std::vector<graph::Gid> sources; // the original-id sources sampled
+};
+
+/// Collective over the graph's grid. Sources are sampled deterministically
+/// from `seed` over original vertex ids.
+HarmonicResult harmonic_centrality(core::Dist2DGraph& g, int samples,
+                                   std::uint64_t seed = 1);
+
+namespace ref {
+/// Sequential oracle over the same deterministic source sample (`csr` and
+/// the returned values are in whatever id space the caller built them in;
+/// pass the matching sources).
+std::vector<double> harmonic_centrality(const graph::Csr& csr,
+                                        const std::vector<graph::Gid>& sources);
+}  // namespace ref
+
+}  // namespace hpcg::algos

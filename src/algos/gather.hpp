@@ -1,0 +1,39 @@
+// Collects a distributed LID-indexed row state into one striped-GID-indexed
+// global vector on every rank. Used by tests, examples and benchmark
+// verification — not part of any timed path. Positions are striped GIDs;
+// convert with Partitioned2D::relabel() when original identifiers are
+// needed.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/dist2d.hpp"
+
+namespace hpcg::algos {
+
+using core::Gid;
+using core::Lid;
+
+template <class T>
+std::vector<T> gather_row_state(core::Dist2DGraph& g, std::span<const T> state) {
+  struct Pair {
+    Gid gid;
+    T value;
+  };
+  std::vector<Pair> mine;
+  // Every member of a row group holds identical row state after an
+  // exchange; contribute it once per group.
+  if (g.rank_r() == 0) {
+    mine.reserve(static_cast<std::size_t>(g.lids().n_row()));
+    for (Lid l = g.row_lid_begin(); l < g.row_lid_end(); ++l) {
+      mine.push_back({g.lids().to_gid(l), state[static_cast<std::size_t>(l)]});
+    }
+  }
+  auto all = g.world().allgatherv(std::span<const Pair>(mine));
+  std::vector<T> out(static_cast<std::size_t>(g.n()));
+  for (const auto& p : all) out[static_cast<std::size_t>(p.gid)] = p.value;
+  return out;
+}
+
+}  // namespace hpcg::algos

@@ -1,0 +1,180 @@
+#include "algos/kcore.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "algos/pagerank.hpp"  // global_degrees_state
+#include "core/activation.hpp"
+#include "core/reduce25d.hpp"
+#include "core/work.hpp"
+#include "graph/edge_list.hpp"
+#include "util/hash_table.hpp"
+
+namespace hpcg::algos {
+
+using core::Gid;
+using core::Lid;
+using core::VertexQueue;
+
+namespace {
+
+struct CoreUpdate {
+  Gid gid;
+  std::int64_t value;
+};
+
+/// H-index of a (value -> count) multiset given as descending-sorted pairs:
+/// the largest h with at least h entries of value >= h.
+std::int64_t h_index(const std::vector<std::pair<std::int64_t, std::int64_t>>& desc) {
+  std::int64_t seen = 0;
+  for (const auto& [value, count] : desc) {
+    if (value <= seen) break;
+    seen += count;
+    if (value <= seen) return value;
+  }
+  return seen;
+}
+
+}  // namespace
+
+KcoreResult kcore(core::Dist2DGraph& g) {
+  const auto& lids = g.lids();
+  const auto offsets = g.csr().offsets();
+  const auto adj = g.csr().adjacencies();
+
+  KcoreResult result;
+  // Initialize with true degrees (row and ghost slots).
+  const auto degree = global_degrees_state(g);
+  result.core.assign(static_cast<std::size_t>(lids.n_total()), 0);
+  auto& core_value = result.core;
+  for (Lid l = 0; l < lids.n_total(); ++l) {
+    core_value[static_cast<std::size_t>(l)] =
+        static_cast<std::int64_t>(degree[static_cast<std::size_t>(l)]);
+  }
+
+  VertexQueue active(lids.n_total());
+  for (Lid v = g.row_lid_begin(); v < g.row_lid_end(); ++v) active.try_push(v);
+
+  for (;;) {
+    ++result.iterations;
+    // Stage 1: per-rank partial counts of neighbor core values.
+    std::vector<core::PartialAggregate> partials;
+    std::int64_t active_edges = 0;
+    for (const Lid v : active.items()) {
+      const std::int64_t deg = offsets[v + 1] - offsets[v];
+      if (deg == 0) continue;
+      active_edges += deg;
+      util::CountingHashTable table(static_cast<std::size_t>(deg));
+      for (std::int64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+        table.add(static_cast<std::uint64_t>(
+            core_value[static_cast<std::size_t>(adj[e])]));
+      }
+      std::vector<std::uint64_t> flat;
+      table.serialize(flat);
+      const Gid v_gid = lids.to_gid(v);
+      for (std::size_t i = 0; i < flat.size(); i += 2) {
+        partials.push_back({v_gid, flat[i], flat[i + 1]});
+      }
+    }
+    core::charge_kernel(g.world(), static_cast<std::int64_t>(active.size()),
+                        active_edges);
+
+    // Stage 2/3: owner merge + H-index.
+    auto received =
+        core::exchange_to_owners(g, std::span<const core::PartialAggregate>(partials));
+    core::charge_kernel(g.world(), 0, static_cast<std::int64_t>(received.size()));
+    std::sort(received.begin(), received.end(),
+              [](const core::PartialAggregate& a, const core::PartialAggregate& b) {
+                if (a.vertex != b.vertex) return a.vertex < b.vertex;
+                return a.key > b.key;  // descending values within a vertex
+              });
+    std::vector<CoreUpdate> updates;
+    std::size_t i = 0;
+    while (i < received.size()) {
+      std::size_t j = i;
+      std::vector<std::pair<std::int64_t, std::int64_t>> desc;
+      while (j < received.size() && received[j].vertex == received[i].vertex) {
+        if (!desc.empty() &&
+            desc.back().first == static_cast<std::int64_t>(received[j].key)) {
+          desc.back().second += static_cast<std::int64_t>(received[j].weight);
+        } else {
+          desc.emplace_back(static_cast<std::int64_t>(received[j].key),
+                            static_cast<std::int64_t>(received[j].weight));
+        }
+        ++j;
+      }
+      const Gid v_gid = received[i].vertex;
+      const Lid v = lids.row_lid(v_gid);
+      const std::int64_t next =
+          std::min(core_value[static_cast<std::size_t>(v)], h_index(desc));
+      if (next != core_value[static_cast<std::size_t>(v)]) {
+        updates.push_back({v_gid, next});
+      }
+      i = j;
+    }
+
+    // Stage 4: finalized values back across the row group...
+    VertexQueue changed_rows(lids.n_total());
+    const auto row_updates =
+        g.row_comm().allgatherv(std::span<const CoreUpdate>(updates));
+    for (const auto& u : row_updates) {
+      core_value[static_cast<std::size_t>(lids.row_lid(u.gid))] = u.value;
+      changed_rows.try_push(lids.row_lid(u.gid));
+    }
+    // ... and to the column ghosts via the overlap owners.
+    std::vector<CoreUpdate> col_out;
+    for (const auto& u : row_updates) {
+      if (lids.has_col_gid(u.gid)) col_out.push_back(u);
+    }
+    const auto col_updates =
+        g.col_comm().allgatherv(std::span<const CoreUpdate>(col_out));
+    for (const auto& u : col_updates) {
+      core_value[static_cast<std::size_t>(lids.col_lid(u.gid))] = u.value;
+    }
+
+    const auto changed = g.world().allreduce_one(
+        g.rank_r() == 0 ? static_cast<std::int64_t>(row_updates.size()) : 0,
+        comm::ReduceOp::kSum);
+    if (changed == 0) break;
+    active = core::pull_activation(g, changed_rows);
+  }
+  return result;
+}
+
+namespace ref {
+
+std::vector<std::int64_t> kcore(const graph::EdgeList& el) {
+  // Bucket peeling over the multigraph.
+  graph::Csr csr(el.n, el.edges);
+  std::vector<std::int64_t> core(static_cast<std::size_t>(el.n));
+  std::vector<std::int64_t> degree(static_cast<std::size_t>(el.n));
+  std::multimap<std::int64_t, Gid> buckets;
+  std::vector<std::multimap<std::int64_t, Gid>::iterator> where(
+      static_cast<std::size_t>(el.n));
+  for (Gid v = 0; v < el.n; ++v) {
+    degree[static_cast<std::size_t>(v)] = csr.degree(v);
+    where[static_cast<std::size_t>(v)] = buckets.emplace(csr.degree(v), v);
+  }
+  std::vector<bool> removed(static_cast<std::size_t>(el.n), false);
+  std::int64_t current = 0;
+  while (!buckets.empty()) {
+    const auto it = buckets.begin();
+    const Gid v = it->second;
+    current = std::max(current, it->first);
+    buckets.erase(it);
+    removed[static_cast<std::size_t>(v)] = true;
+    core[static_cast<std::size_t>(v)] = current;
+    for (const Gid u : csr.neighbors(v)) {
+      if (removed[static_cast<std::size_t>(u)]) continue;
+      auto& slot = where[static_cast<std::size_t>(u)];
+      const auto next = --degree[static_cast<std::size_t>(u)];
+      buckets.erase(slot);
+      slot = buckets.emplace(next, u);
+    }
+  }
+  return core;
+}
+
+}  // namespace ref
+
+}  // namespace hpcg::algos

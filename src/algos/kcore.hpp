@@ -1,0 +1,36 @@
+// Distributed k-core decomposition on the 2D structure.
+//
+// Another complex-reduction workload in the HPCGraph lineage (the CPU
+// HPCGraph study the paper extends includes k-core). Core numbers are
+// computed with the convergent H-operator (Lü et al.): starting from
+// h(v) = degree(v), repeatedly set h(v) to the H-index of its neighbors'
+// h values (the largest h such that at least h neighbors have value >= h);
+// the fixpoint is the coreness. Like Label Propagation's mode, the
+// H-index is a non-decomposable neighborhood reduction, so it runs through
+// the 2.5D pattern: per-rank partial value counts -> hierarchical owner ->
+// finalized values re-broadcast, with pull activation driving the
+// iteration tail.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dist2d.hpp"
+
+namespace hpcg::algos {
+
+struct KcoreResult {
+  std::vector<std::int64_t> core;  // LID-indexed coreness
+  int iterations = 0;
+};
+
+/// Collective over the graph's grid. Multigraph semantics: parallel edges
+/// each contribute to degree and to the H-index multiset.
+KcoreResult kcore(core::Dist2DGraph& g);
+
+namespace ref {
+/// Sequential oracle: bucket peeling (multigraph-aware).
+std::vector<std::int64_t> kcore(const graph::EdgeList& el);
+}  // namespace ref
+
+}  // namespace hpcg::algos

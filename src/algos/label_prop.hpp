@@ -1,0 +1,26 @@
+// Distributed label propagation community detection (paper §4): the
+// "2.5D" variant. The mode-of-neighborhood reduction is too expensive to
+// replicate, so each rank reduces its locally-owned edges into per-vertex
+// label-count hash tables, ships the partial tables to hierarchical owners
+// inside the row group (one Alltoallv), lets the owner finish the mode, and
+// broadcasts finalized labels back across the row group and then the
+// column group. Runs a fixed number of synchronous iterations (paper: 20)
+// with pull-style vertex activation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dist2d.hpp"
+
+namespace hpcg::algos {
+
+struct LpResult {
+  std::vector<std::uint64_t> label;  // LID-indexed (striped GID space)
+  std::int64_t total_updates = 0;
+};
+
+/// Collective over the graph's grid.
+LpResult label_propagation(core::Dist2DGraph& g, int iterations = 20);
+
+}  // namespace hpcg::algos

@@ -1,0 +1,275 @@
+#include "algos/lca.hpp"
+
+#include <algorithm>
+
+#include "algos/reference.hpp"
+#include "core/dense_comm.hpp"
+#include "core/packet.hpp"
+#include "core/work.hpp"
+
+namespace hpcg::algos {
+
+using core::Direction;
+using core::Lid;
+
+namespace {
+
+/// Request for (parent, depth) of `dest`, tagged with the query slot and
+/// carrying the reply's routing keys (any vertex in the asking rank's row
+/// and column ranges addresses that rank).
+struct InfoRequest {
+  Gid dest;
+  Gid reply_row;
+  Gid reply_col;
+  std::int64_t tag;
+};
+
+struct InfoReply {
+  Gid row_key;
+  Gid col_key;
+  std::int64_t tag;
+  Gid parent;
+  std::int64_t depth;
+};
+
+struct PtrUpdate {
+  Gid gid;
+  Gid ptr;
+  std::int64_t dist;
+};
+
+}  // namespace
+
+LcaResult lca_queries(core::Dist2DGraph& g, const std::vector<LcaQuery>& queries) {
+  const auto& lids = g.lids();
+  const auto offsets = g.csr().offsets();
+  const auto adj = g.csr().adjacencies();
+  const auto& relabel = g.partition().relabel();
+
+  // --- Forest (as pointer_jump builds it) and one-step parents. ----------
+  std::vector<Gid> parent_state(static_cast<std::size_t>(lids.n_total()));
+  for (Lid l = 0; l < lids.n_total(); ++l) {
+    parent_state[static_cast<std::size_t>(l)] = lids.to_gid(l);
+  }
+  for (Lid v = g.row_lid_begin(); v < g.row_lid_end(); ++v) {
+    for (std::int64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+      parent_state[static_cast<std::size_t>(v)] = std::min(
+          parent_state[static_cast<std::size_t>(v)], lids.to_gid(adj[e]));
+    }
+  }
+  core::charge_kernel(g.world(), lids.n_total(), g.m_local());
+  core::dense_exchange(g, std::span(parent_state), comm::ReduceOp::kMin,
+                       Direction::kPull);
+
+  // Row-indexed views: one-step parent (immutable) and the doubling state.
+  const auto row_of = [&](Gid gid) {
+    return static_cast<std::size_t>(gid - lids.row_offset());
+  };
+  std::vector<Gid> parent(static_cast<std::size_t>(lids.n_row()));
+  std::vector<Gid> ptr(static_cast<std::size_t>(lids.n_row()));
+  std::vector<std::int64_t> dist(static_cast<std::size_t>(lids.n_row()));
+  for (Lid v = g.row_lid_begin(); v < g.row_lid_end(); ++v) {
+    const Gid gid = lids.to_gid(v);
+    const Gid p = parent_state[static_cast<std::size_t>(v)];
+    parent[row_of(gid)] = p;
+    ptr[row_of(gid)] = p;
+    dist[row_of(gid)] = p == gid ? 0 : 1;
+  }
+
+  // --- Depths by distance-accumulating pointer doubling. -----------------
+  LcaResult result;
+  const int row_members = g.row_comm().size();
+  for (;;) {
+    ++result.rounds;
+    std::vector<InfoRequest> requests;
+    for (Lid v = g.row_lid_begin(); v < g.row_lid_end(); ++v) {
+      const Gid gid = lids.to_gid(v);
+      if (ptr[row_of(gid)] != gid && gid % row_members == g.rank_r()) {
+        // Reply returns to this vertex's canonical owner (diagonal path).
+        requests.push_back({ptr[row_of(gid)], gid, gid, gid});
+      }
+    }
+    auto arrived = core::packet_swap_blocks(
+        g, std::span<const InfoRequest>(requests), [](const InfoRequest& r) {
+          return std::pair<Gid, Gid>(r.dest, r.dest);
+        });
+    std::vector<InfoReply> replies;
+    replies.reserve(arrived.size());
+    for (const auto& r : arrived) {
+      replies.push_back({r.reply_row, r.reply_col, r.tag, ptr[row_of(r.dest)],
+                         dist[row_of(r.dest)]});
+    }
+    auto answered = core::packet_swap_blocks(
+        g, std::span<const InfoReply>(replies), [](const InfoReply& r) {
+          return std::pair<Gid, Gid>(r.row_key, r.col_key);
+        });
+    std::vector<PtrUpdate> updates;
+    for (const auto& r : answered) {
+      const Gid v = r.tag;
+      if (r.parent != ptr[row_of(v)]) {
+        updates.push_back({v, r.parent, dist[row_of(v)] + r.depth});
+      }
+    }
+    core::charge_kernel(g.world(),
+                        static_cast<std::int64_t>(requests.size() + arrived.size() +
+                                                  answered.size()),
+                        0);
+    const auto shared = g.row_comm().allgatherv(std::span<const PtrUpdate>(updates));
+    for (const auto& u : shared) {
+      ptr[row_of(u.gid)] = u.ptr;
+      dist[row_of(u.gid)] = u.dist;
+    }
+    const auto moved = g.world().allreduce_one(
+        g.rank_r() == 0 ? static_cast<std::int64_t>(shared.size()) : 0,
+        comm::ReduceOp::kSum);
+    if (moved == 0) break;
+  }
+  const auto& depth = dist;  // fixpoint reached: dist == depth in the forest
+
+  // --- Query processing: each query is driven by one rank. ---------------
+  struct QueryState {
+    Gid a = -1, b = -1;             // current (striped) endpoints
+    Gid parent_a = -1, parent_b = -1;
+    std::int64_t depth_a = 0, depth_b = 0;
+    bool resolved = false;
+    Gid answer = -1;
+  };
+  const int world_size = g.world().size();
+  const int my_rank = g.world().rank();
+  std::vector<std::int64_t> mine;  // indices of queries this rank drives
+  std::vector<QueryState> state(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    if (static_cast<int>(q % static_cast<std::size_t>(world_size)) != my_rank) continue;
+    mine.push_back(static_cast<std::int64_t>(q));
+    state[q].a = relabel.to_new(queries[q].a);
+    state[q].b = relabel.to_new(queries[q].b);
+  }
+
+  // Reply keys addressing this rank's block.
+  const Gid my_row_key = g.partition().row_partition().start(g.id_r());
+  const Gid my_col_key = g.partition().col_partition().start(g.id_c());
+
+  // Round 0 fetches (parent, depth) of both endpoints; later rounds fetch
+  // only lifted endpoints. Tags encode query*2 + endpoint.
+  std::vector<InfoRequest> requests;
+  for (const auto q : mine) {
+    requests.push_back({state[q].a, my_row_key, my_col_key, q * 2});
+    requests.push_back({state[q].b, my_row_key, my_col_key, q * 2 + 1});
+  }
+  for (;;) {
+    ++result.rounds;
+    auto arrived = core::packet_swap_blocks(
+        g, std::span<const InfoRequest>(requests), [](const InfoRequest& r) {
+          return std::pair<Gid, Gid>(r.dest, r.dest);
+        });
+    std::vector<InfoReply> replies;
+    replies.reserve(arrived.size());
+    for (const auto& r : arrived) {
+      replies.push_back({r.reply_row, r.reply_col, r.tag, parent[row_of(r.dest)],
+                         depth[row_of(r.dest)]});
+    }
+    auto answered = core::packet_swap_blocks(
+        g, std::span<const InfoReply>(replies), [](const InfoReply& r) {
+          return std::pair<Gid, Gid>(r.row_key, r.col_key);
+        });
+    for (const auto& r : answered) {
+      auto& s = state[static_cast<std::size_t>(r.tag / 2)];
+      if (r.tag % 2 == 0) {
+        s.parent_a = r.parent;
+        s.depth_a = r.depth;
+      } else {
+        s.parent_b = r.parent;
+        s.depth_b = r.depth;
+      }
+    }
+    // Advance every unresolved query one step and emit its next requests.
+    requests.clear();
+    std::int64_t unresolved = 0;
+    for (const auto q : mine) {
+      auto& s = state[q];
+      if (s.resolved) continue;
+      if (s.a == s.b) {
+        s.answer = s.a;
+        s.resolved = true;
+        continue;
+      }
+      if (s.depth_a == 0 && s.depth_b == 0) {
+        s.resolved = true;  // different roots: different trees
+        continue;
+      }
+      if (s.depth_a >= s.depth_b) {
+        s.a = s.parent_a;
+        requests.push_back({s.a, my_row_key, my_col_key, q * 2});
+      }
+      if (s.depth_b >= s.depth_a && s.b != s.a) {
+        s.b = s.parent_b;
+        requests.push_back({s.b, my_row_key, my_col_key, q * 2 + 1});
+      }
+      ++unresolved;
+    }
+    core::charge_kernel(g.world(), static_cast<std::int64_t>(mine.size()), 0);
+    if (g.world().allreduce_one(unresolved, comm::ReduceOp::kSum) == 0) break;
+  }
+
+  // Collect all drivers' answers everywhere (original id space).
+  struct Answer {
+    std::int64_t query;
+    Gid lca;
+  };
+  std::vector<Answer> out;
+  out.reserve(mine.size());
+  for (const auto q : mine) {
+    out.push_back({q, state[q].answer < 0 ? -1 : relabel.to_original(state[q].answer)});
+  }
+  auto all = g.world().allgatherv(std::span<const Answer>(out));
+  result.lca.assign(queries.size(), -1);
+  for (const auto& a : all) {
+    result.lca[static_cast<std::size_t>(a.query)] = a.lca;
+  }
+  return result;
+}
+
+namespace ref {
+
+std::vector<Gid> lca_queries(const graph::Csr& csr,
+                             const std::vector<LcaQuery>& queries) {
+  const auto parent = min_neighbor_forest(csr);
+  std::vector<std::int64_t> depth(parent.size(), -1);
+  const auto depth_of = [&](Gid v) {
+    std::vector<Gid> chain;
+    while (depth[static_cast<std::size_t>(v)] < 0) {
+      if (parent[static_cast<std::size_t>(v)] == v) {
+        depth[static_cast<std::size_t>(v)] = 0;
+        break;
+      }
+      chain.push_back(v);
+      v = parent[static_cast<std::size_t>(v)];
+    }
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      depth[static_cast<std::size_t>(*it)] =
+          depth[static_cast<std::size_t>(parent[static_cast<std::size_t>(*it)])] + 1;
+    }
+    return depth[static_cast<std::size_t>(chain.empty() ? v : chain.front())];
+  };
+  std::vector<Gid> out;
+  out.reserve(queries.size());
+  for (const auto& query : queries) {
+    Gid a = query.a;
+    Gid b = query.b;
+    depth_of(a);
+    depth_of(b);
+    while (a != b) {
+      const auto da = depth[static_cast<std::size_t>(a)];
+      const auto db = depth[static_cast<std::size_t>(b)];
+      if (da == 0 && db == 0) break;  // different trees
+      if (da >= db) a = parent[static_cast<std::size_t>(a)];
+      if (db >= da && b != a) b = parent[static_cast<std::size_t>(b)];
+    }
+    out.push_back(a == b ? a : -1);
+  }
+  return out;
+}
+
+}  // namespace ref
+
+}  // namespace hpcg::algos

@@ -1,0 +1,43 @@
+// Distributed least common ancestor queries — the second packet-swapping
+// application the paper names ("pointer jumping and least common ancestor
+// traversal [4, 5]"). Operates on the same min-neighbor forest as
+// pointer_jump: depths are computed with distance-accumulating pointer
+// doubling, then each query's deeper endpoint is lifted level by level
+// (all queries progress together, one packet round per level) until the
+// endpoints meet.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dist2d.hpp"
+
+namespace hpcg::algos {
+
+using core::Gid;
+
+/// An LCA query over the min-neighbor forest; vertices are original ids.
+struct LcaQuery {
+  Gid a;
+  Gid b;
+};
+
+struct LcaResult {
+  /// Per query: the LCA's original id, or -1 when the endpoints are in
+  /// different trees.
+  std::vector<Gid> lca;
+  int rounds = 0;
+};
+
+/// Collective over the graph's grid. Every rank passes the same query list
+/// and receives the full answer vector.
+LcaResult lca_queries(core::Dist2DGraph& g, const std::vector<LcaQuery>& queries);
+
+namespace ref {
+/// Sequential oracle over the same forest definition (min-neighbor parent
+/// in the id space of `csr`).
+std::vector<Gid> lca_queries(const graph::Csr& csr,
+                             const std::vector<LcaQuery>& queries);
+}  // namespace ref
+
+}  // namespace hpcg::algos

@@ -1,0 +1,121 @@
+#include "algos/mwm.hpp"
+
+#include <stdexcept>
+
+#include "core/sparse_comm.hpp"
+#include "core/work.hpp"
+
+namespace hpcg::algos {
+
+using core::Lid;
+using core::SparseDirection;
+using core::VertexQueue;
+
+namespace {
+
+/// Pointer candidate: heaviest unmatched edge seen so far.
+struct Cand {
+  double weight;
+  Gid target;
+};
+
+constexpr Cand kNoCand{-1.0, -1};
+
+struct CandReduce {
+  bool operator()(Cand& current, const Cand& incoming) const {
+    if (incoming.weight > current.weight ||
+        (incoming.weight == current.weight && incoming.target >= 0 &&
+         (current.target < 0 || incoming.target < current.target))) {
+      current = incoming;
+      return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+MwmResult max_weight_matching(core::Dist2DGraph& g) {
+  if (!g.partition().weighted()) {
+    throw std::invalid_argument("max_weight_matching requires edge weights");
+  }
+  const auto& lids = g.lids();
+  const auto n_total = static_cast<std::size_t>(lids.n_total());
+  const auto offsets = g.csr().offsets();
+  const auto adj = g.csr().adjacencies();
+  const auto weights = g.csr().weights();
+
+  MwmResult result;
+  result.mate.assign(n_total, -1);
+  auto& mate = result.mate;
+  std::vector<Cand> cand(n_total);
+  CandReduce cand_reduce;
+  core::MaxReduce<Gid> max_reduce;
+
+  for (;;) {
+    ++result.rounds;
+    std::fill(cand.begin(), cand.end(), kNoCand);
+
+    // Pointer kernel: every unmatched row vertex points along its heaviest
+    // local unmatched edge (ties toward the smaller neighbor GID).
+    VertexQueue updated(lids.n_total());
+    std::int64_t found_local = 0;
+    std::int64_t edges_scanned = 0;
+    for (Lid v = g.row_lid_begin(); v < g.row_lid_end(); ++v) {
+      if (mate[static_cast<std::size_t>(v)] >= 0) continue;
+      const Gid v_gid = lids.to_gid(v);
+      Cand best = kNoCand;
+      edges_scanned += offsets[v + 1] - offsets[v];
+      for (std::int64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+        const Lid u = adj[e];
+        const Gid u_gid = lids.to_gid(u);
+        if (u_gid == v_gid || mate[static_cast<std::size_t>(u)] >= 0) continue;
+        cand_reduce(best, Cand{weights[e], u_gid});
+      }
+      if (best.target >= 0) {
+        cand[static_cast<std::size_t>(v)] = best;
+        updated.try_push(v);
+        ++found_local;
+      }
+    }
+
+    core::charge_kernel(g.world(), lids.n_row(), edges_scanned);  // pointer kernel
+
+    // Any pointer set anywhere? (Counts partial candidates; zero globally
+    // means no unmatched vertex has an unmatched neighbor.)
+    if (g.world().allreduce_one(found_local, comm::ReduceOp::kSum) == 0) break;
+
+    // Complex reduction across the row group finalizes each vertex's
+    // pointer; the column phase makes ghost pointers visible.
+    core::sparse_exchange(g, std::span(cand), updated, cand_reduce,
+                          SparseDirection::kPull);
+
+    // Mutual check where the edge lives: the owning block sees both
+    // endpoint pointers. Only the column endpoint is marked locally; the
+    // transposed edge's block marks the other endpoint symmetrically.
+    VertexQueue matched(lids.n_total());
+    edges_scanned = 0;
+    for (Lid v = g.row_lid_begin(); v < g.row_lid_end(); ++v) {
+      const Gid v_gid = lids.to_gid(v);
+      if (cand[static_cast<std::size_t>(v)].target < 0) continue;
+      edges_scanned += offsets[v + 1] - offsets[v];
+      for (std::int64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+        const Lid u = adj[e];
+        const Gid u_gid = lids.to_gid(u);
+        if (cand[static_cast<std::size_t>(v)].target == u_gid &&
+            cand[static_cast<std::size_t>(u)].target == v_gid) {
+          if (mate[static_cast<std::size_t>(u)] < 0) {
+            mate[static_cast<std::size_t>(u)] = v_gid;
+            matched.try_push(u);
+          }
+        }
+      }
+    }
+    core::charge_kernel(g.world(), lids.n_row(), edges_scanned);  // mutual kernel
+    core::sparse_exchange(g, std::span(mate), matched, max_reduce,
+                          SparseDirection::kPush);
+  }
+  return result;
+}
+
+}  // namespace hpcg::algos

@@ -1,0 +1,27 @@
+// Distributed approximate maximum weight matching (paper §4): the
+// locally-dominant 1/2-approximation of Preis. Each round, every unmatched
+// vertex points along its heaviest unmatched edge; pointer candidates are
+// reduced across row groups with a *complex reduction* (max weight, ties
+// toward the smaller neighbor — Algorithm 5 with a custom AtomicOp), then
+// mutually-pointing pairs are committed and the matched state propagated
+// with a sparse push. This exercises the paper's "complex reductions"
+// communication class.
+#pragma once
+
+#include <vector>
+
+#include "core/dist2d.hpp"
+
+namespace hpcg::algos {
+
+using core::Gid;
+
+struct MwmResult {
+  std::vector<Gid> mate;  // LID-indexed; striped GID of the mate or -1
+  int rounds = 0;
+};
+
+/// Requires the graph to be weighted. Collective over the graph's grid.
+MwmResult max_weight_matching(core::Dist2DGraph& g);
+
+}  // namespace hpcg::algos

@@ -1,0 +1,101 @@
+#include "algos/pagerank.hpp"
+
+#include <algorithm>
+
+#include "core/dense_comm.hpp"
+#include "core/work.hpp"
+
+namespace hpcg::algos {
+
+using core::Direction;
+using core::Lid;
+
+std::vector<double> global_degrees_state(core::Dist2DGraph& g) {
+  const auto& lids = g.lids();
+  std::vector<double> deg(static_cast<std::size_t>(lids.n_total()), 0.0);
+  for (Lid v = g.row_lid_begin(); v < g.row_lid_end(); ++v) {
+    deg[static_cast<std::size_t>(v)] = static_cast<double>(g.csr().degree(v));
+  }
+  // Row AllReduce sums the per-block local degrees into true degrees; the
+  // column broadcast fills the ghost slots.
+  core::charge_kernel(g.world(), lids.n_row(), 0);
+  core::dense_exchange(g, std::span(deg), comm::ReduceOp::kSum, Direction::kPull);
+  return deg;
+}
+
+namespace {
+
+/// Shared driver: runs up to `max_iterations` pull steps; when `tolerance`
+/// is positive, also reduces the global L1 delta each iteration and stops
+/// once it falls below. Returns (iterations run, final delta).
+std::pair<int, double> pagerank_loop(core::Dist2DGraph& g, std::vector<double>& pr,
+                                     int max_iterations, double damping,
+                                     double tolerance) {
+  const auto& lids = g.lids();
+  const auto n_total = static_cast<std::size_t>(lids.n_total());
+  const double n_global = static_cast<double>(g.n());
+  const std::vector<double> degree = global_degrees_state(g);
+  std::vector<double> acc(n_total);
+  const auto offsets = g.csr().offsets();
+  const auto adj = g.csr().adjacencies();
+
+  double delta = 0.0;
+  int it = 0;
+  for (; it < max_iterations; ++it) {
+    std::fill(acc.begin(), acc.end(), 0.0);
+    for (Lid v = g.row_lid_begin(); v < g.row_lid_end(); ++v) {
+      double sum = 0.0;
+      for (std::int64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+        const Lid u = adj[e];
+        sum += pr[static_cast<std::size_t>(u)] /
+               std::max(degree[static_cast<std::size_t>(u)], 1.0);
+      }
+      acc[static_cast<std::size_t>(v)] = sum;
+    }
+    core::charge_kernel(g.world(), lids.n_total(), g.m_local());
+    core::dense_exchange(g, std::span(acc), comm::ReduceOp::kSum,
+                         Direction::kPull);
+    double local_delta = 0.0;
+    for (std::size_t l = 0; l < n_total; ++l) {
+      const double next = (1.0 - damping) / n_global + damping * acc[l];
+      const Lid lid = static_cast<Lid>(l);
+      if (tolerance > 0.0 && lids.lid_is_row(lid) && g.rank_r() == 0) {
+        local_delta += std::abs(next - pr[l]);
+      }
+      pr[l] = next;
+    }
+    core::charge_kernel(g.world(), lids.n_total(), 0);
+    if (tolerance > 0.0) {
+      delta = g.world().allreduce_one(local_delta, comm::ReduceOp::kSum);
+      if (delta < tolerance) {
+        ++it;
+        break;
+      }
+    }
+  }
+  return {it, delta};
+}
+
+}  // namespace
+
+std::vector<double> pagerank(core::Dist2DGraph& g, int iterations, double damping) {
+  std::vector<double> pr(static_cast<std::size_t>(g.lids().n_total()),
+                         1.0 / static_cast<double>(g.n()));
+  pagerank_loop(g, pr, iterations, damping, /*tolerance=*/0.0);
+  return pr;
+}
+
+PrToleranceResult pagerank_tolerance(core::Dist2DGraph& g, double tolerance,
+                                     int max_iterations, double damping) {
+  PrToleranceResult result;
+  result.rank.assign(static_cast<std::size_t>(g.lids().n_total()),
+                     1.0 / static_cast<double>(g.n()));
+  const auto [iterations, delta] =
+      pagerank_loop(g, result.rank, max_iterations, damping, tolerance);
+  result.iterations = iterations;
+  result.final_delta = delta;
+  return result;
+}
+
+
+}  // namespace hpcg::algos

@@ -1,0 +1,36 @@
+// Distributed PageRank (paper §4): "the standard PageRank algorithm as a
+// pull-based vertex state program with dense communications" — every
+// iteration accumulates neighbor shares locally, reduces partial sums
+// across the row group and broadcasts the result to the column ghosts
+// (Algorithm 2's PULL branch). Run for a fixed iteration count (the paper
+// uses 20).
+#pragma once
+
+#include <vector>
+
+#include "core/dist2d.hpp"
+
+namespace hpcg::algos {
+
+/// Returns the LID-indexed PageRank state (row and column slots are
+/// globally consistent on return). Collective over the graph's grid.
+std::vector<double> pagerank(core::Dist2DGraph& g, int iterations,
+                             double damping = 0.85);
+
+/// Library-convenience variant: iterate until the global L1 delta drops
+/// below `tolerance` (or `max_iterations`). The paper benchmarks fixed
+/// iteration counts; real deployments usually want a tolerance.
+struct PrToleranceResult {
+  std::vector<double> rank;
+  int iterations = 0;
+  double final_delta = 0.0;
+};
+PrToleranceResult pagerank_tolerance(core::Dist2DGraph& g, double tolerance,
+                                     int max_iterations = 1000,
+                                     double damping = 0.85);
+
+/// LID-indexed true vertex degrees (row + ghost slots), computed with one
+/// dense pull exchange. Exposed for reuse by BFS's Beamer heuristics.
+std::vector<double> global_degrees_state(core::Dist2DGraph& g);
+
+}  // namespace hpcg::algos

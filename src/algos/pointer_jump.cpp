@@ -1,0 +1,204 @@
+#include "algos/pointer_jump.hpp"
+
+#include <unordered_map>
+
+#include "core/dense_comm.hpp"
+#include "core/packet.hpp"
+#include "core/work.hpp"
+
+namespace hpcg::algos {
+
+using core::Direction;
+using core::Lid;
+
+namespace {
+
+/// The information packet: destination vertex, originating vertex, and the
+/// carried pointer value (paper: "packets contain owner, state, and send
+/// direction ... as well as other application-specific data").
+struct Packet {
+  Gid dest;
+  Gid src;
+  Gid value;
+};
+
+struct Update {
+  Gid gid;
+  Gid parent;
+};
+
+}  // namespace
+
+PjResult pointer_jump(core::Dist2DGraph& g) {
+  const auto& lids = g.lids();
+  const auto offsets = g.csr().offsets();
+  const auto adj = g.csr().adjacencies();
+
+  // Build the forest: parent[v] = min(v, min neighbor), reduced across the
+  // row group with one dense pull (MIN) exchange.
+  PjResult result;
+  result.root.assign(static_cast<std::size_t>(lids.n_total()), 0);
+  auto& parent = result.root;
+  for (Lid l = 0; l < lids.n_total(); ++l) {
+    parent[static_cast<std::size_t>(l)] = lids.to_gid(l);
+  }
+  for (Lid v = g.row_lid_begin(); v < g.row_lid_end(); ++v) {
+    for (std::int64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+      parent[static_cast<std::size_t>(v)] =
+          std::min(parent[static_cast<std::size_t>(v)], lids.to_gid(adj[e]));
+    }
+  }
+  core::charge_kernel(g.world(), lids.n_total(), g.m_local());  // forest build
+  core::dense_exchange(g, std::span(parent), comm::ReduceOp::kMin, Direction::kPull);
+
+  result.rounds = jump_to_roots(g, std::span(parent));
+  return result;
+}
+
+int jump_to_roots(core::Dist2DGraph& g, std::span<Gid> parent) {
+  const auto& lids = g.lids();
+  // Each vertex's jump queries are issued by one designated member of its
+  // row group (round-robin by GID) to avoid duplicate packets.
+  const int row_members = g.row_comm().size();
+  std::vector<Gid> active;
+  for (Lid v = g.row_lid_begin(); v < g.row_lid_end(); ++v) {
+    const Gid v_gid = lids.to_gid(v);
+    if (parent[static_cast<std::size_t>(v)] != v_gid &&
+        v_gid % row_members == g.rank_r()) {
+      active.push_back(v_gid);
+    }
+  }
+
+  int rounds = 0;
+  for (;;) {
+    ++rounds;
+    // Queries: "what is your parent?" to each active vertex's parent.
+    std::vector<Packet> queries;
+    queries.reserve(active.size());
+    for (const Gid v : active) {
+      queries.push_back({parent[static_cast<std::size_t>(lids.row_lid(v))], v, 0});
+    }
+    auto arrived = core::packet_swap(g, std::span<const Packet>(queries),
+                                     [](const Packet& p) { return p.dest; });
+
+    // Replies carry parent(dest) back to the querying vertex's owners.
+    std::vector<Packet> replies;
+    replies.reserve(arrived.size());
+    for (const auto& q : arrived) {
+      replies.push_back(
+          {q.src, q.dest, parent[static_cast<std::size_t>(lids.row_lid(q.dest))]});
+    }
+    auto answered = core::packet_swap(g, std::span<const Packet>(replies),
+                                      [](const Packet& p) { return p.dest; });
+
+    // Commit the jumps that moved; share them across the row group so all
+    // owners stay consistent.
+    std::vector<Update> updates;
+    for (const auto& r : answered) {
+      const Lid v = lids.row_lid(r.dest);
+      if (parent[static_cast<std::size_t>(v)] != r.value) {
+        updates.push_back({r.dest, r.value});
+      }
+    }
+    core::charge_kernel(g.world(),
+                        static_cast<std::int64_t>(queries.size() + arrived.size() +
+                                                  answered.size()),
+                        0);
+    const auto shared = g.row_comm().allgatherv(std::span<const Update>(updates));
+    std::vector<std::uint8_t> moved_flag(static_cast<std::size_t>(lids.n_row()), 0);
+    for (const auto& u : shared) {
+      parent[static_cast<std::size_t>(lids.row_lid(u.gid))] = u.parent;
+      moved_flag[static_cast<std::size_t>(u.gid - lids.row_offset())] = 1;
+    }
+
+    // A vertex stays active only while its pointer moves (an unchanged
+    // reply proves parent(v) is a root).
+    const auto moved = g.world().allreduce_one(
+        g.rank_r() == 0 ? static_cast<std::int64_t>(shared.size()) : 0,
+        comm::ReduceOp::kSum);
+    if (moved == 0) break;
+
+    std::vector<Gid> next_active;
+    for (const Gid v : active) {
+      if (moved_flag[static_cast<std::size_t>(v - lids.row_offset())]) {
+        next_active.push_back(v);
+      }
+    }
+    active.swap(next_active);
+  }
+  return rounds;
+}
+
+CcSvResult connected_components_sv(core::Dist2DGraph& g) {
+  const auto& lids = g.lids();
+  const auto offsets = g.csr().offsets();
+  const auto adj = g.csr().adjacencies();
+
+  CcSvResult result;
+  result.label.assign(static_cast<std::size_t>(lids.n_total()), 0);
+  auto& parent = result.label;
+  for (Lid l = 0; l < lids.n_total(); ++l) {
+    parent[static_cast<std::size_t>(l)] = lids.to_gid(l);
+  }
+  // Invariant throughout: parent[x] <= x (hooks go to the smaller root,
+  // jumps only move pointers toward roots), so MIN dense exchanges are
+  // idempotent refreshes of ghost copies.
+  for (;;) {
+    ++result.rounds;
+    // Hooking: for every local edge whose endpoints have different
+    // parents, ask the larger parent to adopt the smaller one. The target
+    // is an arbitrary vertex (a root somewhere in the grid), so requests
+    // travel as packets; deduplicate per destination first.
+    std::unordered_map<Gid, Gid> hooks;  // dest root -> smallest proposal
+    std::int64_t edges_scanned = 0;
+    for (Lid v = g.row_lid_begin(); v < g.row_lid_end(); ++v) {
+      const Gid pv = parent[static_cast<std::size_t>(v)];
+      for (std::int64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+        ++edges_scanned;
+        const Gid pu = parent[static_cast<std::size_t>(adj[e])];
+        if (pu == pv) continue;
+        const Gid lo = std::min(pu, pv);
+        const Gid hi = std::max(pu, pv);
+        auto [it, inserted] = hooks.try_emplace(hi, lo);
+        if (!inserted) it->second = std::min(it->second, lo);
+      }
+    }
+    core::charge_kernel(g.world(), lids.n_row(), edges_scanned);
+
+    struct Packet {
+      Gid dest;
+      Gid src;
+      Gid value;
+    };
+    std::vector<Packet> requests;
+    requests.reserve(hooks.size());
+    for (const auto& [dest, value] : hooks) requests.push_back({dest, value, value});
+    auto arrived = core::packet_swap(g, std::span<const Packet>(requests),
+                                     [](const Packet& p) { return p.dest; });
+    std::int64_t hooked = 0;
+    for (const auto& p : arrived) {
+      auto& slot = parent[static_cast<std::size_t>(lids.row_lid(p.dest))];
+      if (p.value < slot) {
+        slot = p.value;
+        ++hooked;
+      }
+    }
+    core::charge_kernel(g.world(), static_cast<std::int64_t>(arrived.size()), 0);
+    // Re-establish row consistency (the packet landed on one member per
+    // row group) and refresh ghosts.
+    core::dense_exchange(g, std::span(parent), comm::ReduceOp::kMin,
+                         core::Direction::kPull);
+
+    // Count hooks on every receiving rank: a vertex's hook packets can
+    // land on any member of its row group, so filtering to one member
+    // could miss real hooks and terminate early.
+    if (g.world().allreduce_one(hooked, comm::ReduceOp::kSum) == 0) break;
+    // Full path compression, then refresh ghosts for the next hook scan.
+    result.jump_rounds += jump_to_roots(g, std::span(parent));
+    core::dense_exchange(g, std::span(parent), comm::ReduceOp::kMin,
+                         core::Direction::kPull);
+  }
+  return result;
+}
+
+}  // namespace hpcg::algos

@@ -1,0 +1,49 @@
+// Distributed pointer jumping (paper §4): root finding over the forest
+// induced by pointing every vertex at its minimum neighbor (vertices with
+// no smaller neighbor are roots). Pointers are halved each round by asking
+// the owner of parent(v) for its parent; the requests and replies are
+// information *packets* delivered with the paper's packet-swapping pattern
+// (§3.3.3) — one row-group and one column-group personalized exchange per
+// hop, since these updates do not travel along graph edges.
+#pragma once
+
+#include <vector>
+
+#include "core/dist2d.hpp"
+
+namespace hpcg::algos {
+
+using core::Gid;
+
+struct PjResult {
+  std::vector<Gid> root;  // LID-indexed; valid at row LIDs (striped GIDs)
+  int rounds = 0;
+};
+
+/// Collective over the graph's grid.
+PjResult pointer_jump(core::Dist2DGraph& g);
+
+/// The jump loop itself, reusable over any row-consistent parent state
+/// (LID-indexed; row slots authoritative): repeatedly replaces parent[v]
+/// with parent[parent[v]] via packet-swapped queries until every pointer
+/// is a root. Returns the number of rounds. Used by pointer_jump and by
+/// the hooking-based connectivity (connected_components_sv).
+int jump_to_roots(core::Dist2DGraph& g, std::span<Gid> parent);
+
+/// Connected components via hooking + pointer jumping — the
+/// Shiloach-Vishkin-flavored alternative the paper mentions alongside
+/// color propagation ("in place of a pointer-jumping based routine").
+/// Each round hooks every component root under the smallest root seen
+/// across any incident edge (hook requests travel as packets, since the
+/// target is an arbitrary vertex, not a neighbor), then fully compresses
+/// with pointer jumping; converges in O(log N) rounds instead of
+/// O(diameter), at the cost of heavier per-round communication.
+struct CcSvResult {
+  std::vector<Gid> label;  // LID-indexed; component = min member (striped)
+  int rounds = 0;
+  int jump_rounds = 0;
+};
+
+CcSvResult connected_components_sv(core::Dist2DGraph& g);
+
+}  // namespace hpcg::algos

@@ -1,0 +1,185 @@
+#include "algos/reference.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+
+namespace hpcg::algos::ref {
+
+std::vector<std::int64_t> bfs_levels(const Csr& csr, Gid root) {
+  if (root < 0 || root >= csr.n()) throw std::out_of_range("bfs root out of range");
+  std::vector<std::int64_t> level(static_cast<std::size_t>(csr.n()), -1);
+  std::deque<Gid> frontier{root};
+  level[static_cast<std::size_t>(root)] = 0;
+  while (!frontier.empty()) {
+    const Gid v = frontier.front();
+    frontier.pop_front();
+    for (const Gid u : csr.neighbors(v)) {
+      if (level[static_cast<std::size_t>(u)] < 0) {
+        level[static_cast<std::size_t>(u)] = level[static_cast<std::size_t>(v)] + 1;
+        frontier.push_back(u);
+      }
+    }
+  }
+  return level;
+}
+
+std::vector<double> pagerank(const Csr& csr, int iterations, double damping) {
+  const auto n = static_cast<std::size_t>(csr.n());
+  std::vector<double> pr(n, 1.0 / static_cast<double>(csr.n()));
+  std::vector<double> next(n);
+  for (int it = 0; it < iterations; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (Gid v = 0; v < csr.n(); ++v) {
+      const double share = pr[static_cast<std::size_t>(v)] /
+                           static_cast<double>(std::max<std::int64_t>(csr.degree(v), 1));
+      for (const Gid u : csr.neighbors(v)) {
+        next[static_cast<std::size_t>(u)] += share;
+      }
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      next[v] = (1.0 - damping) / static_cast<double>(csr.n()) + damping * next[v];
+    }
+    pr.swap(next);
+  }
+  return pr;
+}
+
+std::vector<Gid> connected_components(const EdgeList& el) {
+  std::vector<Gid> parent(static_cast<std::size_t>(el.n));
+  std::iota(parent.begin(), parent.end(), 0);
+  const auto find = [&](Gid v) {
+    Gid root = v;
+    while (parent[static_cast<std::size_t>(root)] != root) {
+      root = parent[static_cast<std::size_t>(root)];
+    }
+    while (parent[static_cast<std::size_t>(v)] != root) {
+      const Gid next = parent[static_cast<std::size_t>(v)];
+      parent[static_cast<std::size_t>(v)] = root;
+      v = next;
+    }
+    return root;
+  };
+  for (const auto& e : el.edges) {
+    const Gid a = find(e.u);
+    const Gid b = find(e.v);
+    if (a != b) parent[static_cast<std::size_t>(std::max(a, b))] = std::min(a, b);
+  }
+  std::vector<Gid> label(static_cast<std::size_t>(el.n));
+  for (Gid v = 0; v < el.n; ++v) label[static_cast<std::size_t>(v)] = find(v);
+  return label;
+}
+
+std::vector<Gid> max_weight_matching(const Csr& csr) {
+  if (!csr.weighted()) throw std::invalid_argument("matching needs edge weights");
+  const auto n = static_cast<std::size_t>(csr.n());
+  std::vector<Gid> mate(n, -1);
+  // Iterate the locally-dominant process: each unmatched vertex points at
+  // its heaviest unmatched neighbor (ties toward the smaller id); mutual
+  // pairs are committed. Terminates because each round either matches a
+  // pair along the globally heaviest remaining edge or halts.
+  for (;;) {
+    std::vector<Gid> pointer(n, -1);
+    bool any_pointer = false;
+    for (Gid v = 0; v < csr.n(); ++v) {
+      if (mate[static_cast<std::size_t>(v)] >= 0) continue;
+      double best_w = -1.0;
+      Gid best_u = -1;
+      const auto neigh = csr.neighbors(v);
+      const auto weights = csr.neighbor_weights(v);
+      for (std::size_t i = 0; i < neigh.size(); ++i) {
+        const Gid u = neigh[i];
+        if (u == v || mate[static_cast<std::size_t>(u)] >= 0) continue;
+        if (weights[i] > best_w || (weights[i] == best_w && u < best_u)) {
+          best_w = weights[i];
+          best_u = u;
+        }
+      }
+      if (best_u >= 0) {
+        pointer[static_cast<std::size_t>(v)] = best_u;
+        any_pointer = true;
+      }
+    }
+    if (!any_pointer) break;
+    for (Gid v = 0; v < csr.n(); ++v) {
+      const Gid u = pointer[static_cast<std::size_t>(v)];
+      if (u >= 0 && u > v && pointer[static_cast<std::size_t>(u)] == v) {
+        mate[static_cast<std::size_t>(v)] = u;
+        mate[static_cast<std::size_t>(u)] = v;
+      }
+    }
+  }
+  return mate;
+}
+
+std::vector<std::uint64_t> label_propagation(const Csr& csr, int iterations) {
+  const auto n = static_cast<std::size_t>(csr.n());
+  std::vector<std::uint64_t> label(n);
+  std::iota(label.begin(), label.end(), 0);
+  std::vector<std::uint64_t> next(n);
+  for (int it = 0; it < iterations; ++it) {
+    for (Gid v = 0; v < csr.n(); ++v) {
+      std::map<std::uint64_t, std::uint64_t> counts;
+      for (const Gid u : csr.neighbors(v)) ++counts[label[static_cast<std::size_t>(u)]];
+      std::uint64_t best = label[static_cast<std::size_t>(v)];
+      std::uint64_t best_count = 0;
+      for (const auto& [l, c] : counts) {
+        if (c > best_count || (c == best_count && l < best)) {
+          best = l;
+          best_count = c;
+        }
+      }
+      next[static_cast<std::size_t>(v)] = best_count == 0 ? label[static_cast<std::size_t>(v)] : best;
+    }
+    label.swap(next);
+  }
+  return label;
+}
+
+std::vector<Gid> min_neighbor_forest(const Csr& csr) {
+  std::vector<Gid> parent(static_cast<std::size_t>(csr.n()));
+  for (Gid v = 0; v < csr.n(); ++v) {
+    Gid best = v;
+    for (const Gid u : csr.neighbors(v)) best = std::min(best, u);
+    parent[static_cast<std::size_t>(v)] = best;
+  }
+  return parent;
+}
+
+std::vector<Gid> pointer_jump_roots(const Csr& csr) {
+  auto parent = min_neighbor_forest(csr);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t v = 0; v < parent.size(); ++v) {
+      const Gid next = parent[static_cast<std::size_t>(parent[v])];
+      if (next != parent[v]) {
+        parent[v] = next;
+        changed = true;
+      }
+    }
+  }
+  return parent;
+}
+
+double matching_weight(const Csr& csr, const std::vector<Gid>& mate) {
+  double total = 0.0;
+  for (Gid v = 0; v < csr.n(); ++v) {
+    const Gid u = mate[static_cast<std::size_t>(v)];
+    if (u < 0 || u < v) continue;  // count each pair once
+    const auto neigh = csr.neighbors(v);
+    const auto weights = csr.neighbor_weights(v);
+    double w = -1.0;
+    for (std::size_t i = 0; i < neigh.size(); ++i) {
+      if (neigh[i] == u) w = std::max(w, weights[i]);
+    }
+    if (w < 0) throw std::logic_error("mate edge not present in graph");
+    total += w;
+  }
+  return total;
+}
+
+}  // namespace hpcg::algos::ref

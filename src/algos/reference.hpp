@@ -1,0 +1,55 @@
+// Sequential reference implementations used as test oracles and by the
+// comparison benchmarks' correctness checks. Each matches the update
+// semantics of its distributed counterpart exactly (same tie-breaking, same
+// iteration policy), so distributed results can be compared bit-for-bit
+// (or within float tolerance for PageRank).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace hpcg::algos::ref {
+
+using graph::Csr;
+using graph::EdgeList;
+using graph::Gid;
+
+/// BFS levels from `root`; unreachable vertices get -1.
+std::vector<std::int64_t> bfs_levels(const Csr& csr, Gid root);
+
+/// PageRank: `iterations` synchronous power steps of
+/// pr'(v) = (1-d)/N + d * sum_{(u,v) in E} pr(u)/deg(u), dangling mass
+/// dropped (matching the distributed pull implementation).
+std::vector<double> pagerank(const Csr& csr, int iterations, double damping = 0.85);
+
+/// Connected components via union-find; label of a component is its
+/// smallest member vertex (the distributed color propagation converges to
+/// the same labeling).
+std::vector<Gid> connected_components(const EdgeList& el);
+
+/// Preis locally-dominant 1/2-approximate maximum weight matching. Returns
+/// mate[v] (or -1). Ties broken toward the smaller neighbor id; with
+/// distinct weights the locally-dominant matching is unique, so the
+/// distributed algorithm must produce exactly this.
+std::vector<Gid> max_weight_matching(const Csr& csr);
+
+/// Synchronous label propagation for `iterations` rounds. Labels start as
+/// vertex ids; each round every vertex adopts the statistical mode of its
+/// neighbors' previous-round labels (multi-edges count once per entry),
+/// ties toward the smaller label; isolated vertices keep their label.
+std::vector<std::uint64_t> label_propagation(const Csr& csr, int iterations);
+
+/// The forest used by pointer jumping: parent[v] = min neighbor if smaller
+/// than v, else v (v is then a root).
+std::vector<Gid> min_neighbor_forest(const Csr& csr);
+
+/// Root of every vertex's tree in the min-neighbor forest.
+std::vector<Gid> pointer_jump_roots(const Csr& csr);
+
+/// Total weight of a matching given as a mate array.
+double matching_weight(const Csr& csr, const std::vector<Gid>& mate);
+
+}  // namespace hpcg::algos::ref

@@ -1,0 +1,261 @@
+#include "baselines/dist15d.hpp"
+
+#include <algorithm>
+
+#include "core/work.hpp"
+
+namespace hpcg::baselines {
+
+Partitioned15D Partitioned15D::build(const graph::EdgeList& global, int nranks,
+                                     double heavy_multiple) {
+  graph::StripedRelabel relabel(global.n, nranks);
+  Partitioned15D parts(nranks, global.n, relabel);
+  parts.m_global_ = global.m();
+  parts.edges_.resize(static_cast<std::size_t>(nranks));
+
+  // Degrees in striped space; heavy = degree above the multiple of average.
+  std::vector<std::int64_t> degree(static_cast<std::size_t>(global.n), 0);
+  for (const auto& e : global.edges) {
+    ++degree[static_cast<std::size_t>(relabel.to_new(e.u))];
+  }
+  const double average =
+      static_cast<double>(global.m()) / static_cast<double>(std::max<Gid>(global.n, 1));
+  const auto cutoff = static_cast<std::int64_t>(heavy_multiple * average);
+  for (Gid v = 0; v < global.n; ++v) {
+    if (degree[static_cast<std::size_t>(v)] > cutoff) {
+      parts.heavy_lookup_.emplace(v, static_cast<std::int64_t>(parts.heavy_.size()));
+      parts.heavy_.push_back(v);
+    }
+  }
+
+  // Light edges go to the source's 1D owner; heavy-source adjacency is
+  // dealt round-robin over all ranks (the 1.5D sharing).
+  std::size_t deal = 0;
+  for (const auto& e : global.edges) {
+    const Gid u = relabel.to_new(e.u);
+    const Gid v = relabel.to_new(e.v);
+    const int owner = parts.heavy_lookup_.contains(u)
+                          ? static_cast<int>(deal++ % static_cast<std::size_t>(nranks))
+                          : parts.part_.part_of(u);
+    parts.edges_[static_cast<std::size_t>(owner)].push_back({u, v});
+  }
+  return parts;
+}
+
+Gid Dist15DGraph::to_gid(Lid l) const {
+  if (l < n_owned_light_) return owned_light_[static_cast<std::size_t>(l)];
+  if (l < n_owned_light_ + heavy_count()) {
+    return parts_->heavy()[static_cast<std::size_t>(l - n_owned_light_)];
+  }
+  return ghosts_[static_cast<std::size_t>(l - n_owned_light_ - heavy_count())];
+}
+
+Lid Dist15DGraph::to_lid(Gid striped) const {
+  if (parts_->is_heavy(striped)) {
+    return heavy_begin() + static_cast<Lid>(parts_->heavy_index(striped));
+  }
+  if (const auto it = light_lid_.find(striped); it != light_lid_.end()) {
+    return it->second;
+  }
+  return ghost_lookup_.at(striped);
+}
+
+Dist15DGraph::Dist15DGraph(comm::Comm& world, const Partitioned15D& parts)
+    : parts_(&parts),
+      world_(&world),
+      owned_offset_(parts.partition().start(world.rank())),
+      owned_count_(parts.partition().count(world.rank())) {
+  // Owned light vertices, in ascending striped order.
+  for (Gid g = owned_offset_; g < owned_offset_ + owned_count_; ++g) {
+    if (parts.is_heavy(g)) continue;
+    light_lid_.emplace(g, static_cast<Lid>(owned_light_.size()));
+    owned_light_.push_back(g);
+  }
+  n_owned_light_ = static_cast<Lid>(owned_light_.size());
+
+  // Local CSR; discover light ghosts on the fly.
+  const auto ghost_lid = [&](Gid g) {
+    auto [it, inserted] = ghost_lookup_.try_emplace(
+        g, n_owned_light_ + heavy_count() + static_cast<Lid>(ghosts_.size()));
+    if (inserted) ghosts_.push_back(g);
+    return it->second;
+  };
+  std::vector<graph::Edge> local;
+  const auto& edges = parts.edges_of(world.rank());
+  local.reserve(edges.size());
+  for (const auto& e : edges) {
+    const Lid u = parts.is_heavy(e.u)
+                      ? heavy_begin() + static_cast<Lid>(parts.heavy_index(e.u))
+                      : light_lid_.at(e.u);
+    Lid v;
+    if (parts.is_heavy(e.v)) {
+      v = heavy_begin() + static_cast<Lid>(parts.heavy_index(e.v));
+    } else if (const auto it = light_lid_.find(e.v); it != light_lid_.end()) {
+      v = it->second;
+    } else {
+      v = ghost_lid(e.v);
+    }
+    local.push_back({u, v});
+  }
+  csr_ = graph::Csr(n_total(), local);
+
+  // Subscription registration for light ghosts (as in the 1D engine).
+  std::vector<std::vector<Gid>> requests(static_cast<std::size_t>(world.size()));
+  ghost_by_owner_.resize(static_cast<std::size_t>(world.size()));
+  for (std::size_t i = 0; i < ghosts_.size(); ++i) {
+    const int owner = parts.partition().part_of(ghosts_[i]);
+    requests[static_cast<std::size_t>(owner)].push_back(ghosts_[i]);
+    ghost_by_owner_[static_cast<std::size_t>(owner)].push_back(
+        n_owned_light_ + heavy_count() + static_cast<Lid>(i));
+  }
+  std::vector<std::size_t> send_counts(static_cast<std::size_t>(world.size()));
+  std::vector<Gid> send;
+  for (int r = 0; r < world.size(); ++r) {
+    send_counts[static_cast<std::size_t>(r)] = requests[static_cast<std::size_t>(r)].size();
+    send.insert(send.end(), requests[static_cast<std::size_t>(r)].begin(),
+                requests[static_cast<std::size_t>(r)].end());
+  }
+  std::vector<std::size_t> recv_counts;
+  auto received = world.alltoallv(std::span<const Gid>(send),
+                                  std::span<const std::size_t>(send_counts),
+                                  &recv_counts);
+  subscriptions_.resize(static_cast<std::size_t>(world.size()));
+  subscription_flags_.resize(static_cast<std::size_t>(world.size()));
+  std::size_t offset = 0;
+  for (int r = 0; r < world.size(); ++r) {
+    auto& flags = subscription_flags_[static_cast<std::size_t>(r)];
+    flags.assign(static_cast<std::size_t>(n_owned_light_), 0);
+    for (std::size_t i = 0; i < recv_counts[static_cast<std::size_t>(r)]; ++i) {
+      const Lid l = light_lid_.at(received[offset + i]);
+      subscriptions_[static_cast<std::size_t>(r)].push_back(l);
+      flags[static_cast<std::size_t>(l)] = 1;
+    }
+    offset += recv_counts[static_cast<std::size_t>(r)];
+  }
+}
+
+std::vector<Gid> connected_components_15d(Dist15DGraph& g) {
+  const auto n_total = static_cast<std::size_t>(g.n_total());
+  std::vector<Gid> label(n_total);
+  for (Lid l = 0; l < g.n_total(); ++l) label[static_cast<std::size_t>(l)] = g.to_gid(l);
+
+  const auto offsets = g.csr().offsets();
+  const auto adj = g.csr().adjacencies();
+  const Lid scan_end = g.heavy_begin() + g.heavy_count();  // light + heavy
+  for (;;) {
+    core::charge_kernel(g.world(), scan_end, g.csr().m());
+    std::vector<Lid> changed_light;
+    std::int64_t writes = 0;
+    for (Lid v = 0; v < scan_end; ++v) {
+      Gid best = label[static_cast<std::size_t>(v)];
+      for (std::int64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+        best = std::min(best, label[static_cast<std::size_t>(adj[e])]);
+      }
+      if (best < label[static_cast<std::size_t>(v)]) {
+        label[static_cast<std::size_t>(v)] = best;
+        ++writes;
+        if (v < g.n_owned_light()) changed_light.push_back(v);
+      }
+    }
+    const auto global_writes =
+        g.world().allreduce_one(writes, comm::ReduceOp::kSum);
+    g.exchange(std::span(label), std::span<const Lid>(changed_light),
+               comm::ReduceOp::kMin);
+    if (global_writes == 0) break;
+  }
+  return label;
+}
+
+std::vector<std::int64_t> bfs_15d(Dist15DGraph& g, Gid root_original) {
+  constexpr std::int64_t kUnvisited = std::int64_t{1} << 62;
+  const Gid root = g.partition().relabel().to_new(root_original);
+  std::vector<std::int64_t> level(static_cast<std::size_t>(g.n_total()), kUnvisited);
+
+  std::vector<Lid> frontier;
+  if (g.partition().is_heavy(root)) {
+    // Replicated: every rank sets it and expands its adjacency slice.
+    const Lid l = g.to_lid(root);
+    level[static_cast<std::size_t>(l)] = 0;
+    frontier.push_back(l);
+  } else if (g.owns_light(root)) {
+    const Lid l = g.to_lid(root);
+    level[static_cast<std::size_t>(l)] = 0;
+    frontier.push_back(l);
+  }
+
+  const auto offsets = g.csr().offsets();
+  const auto adj = g.csr().adjacencies();
+  struct Claim {
+    Gid gid;
+    std::int64_t level;
+  };
+  for (std::int64_t cur = 0;; ++cur) {
+    const auto global_frontier = g.world().allreduce_one(
+        static_cast<std::int64_t>(frontier.size()), comm::ReduceOp::kSum);
+    if (global_frontier == 0) break;
+
+    std::vector<Lid> next;
+    std::vector<std::vector<Claim>> outgoing(static_cast<std::size_t>(g.world().size()));
+    std::int64_t edges_expanded = 0;
+    for (const Lid v : frontier) {
+      edges_expanded += offsets[v + 1] - offsets[v];
+      for (std::int64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+        const Lid u = adj[e];
+        if (level[static_cast<std::size_t>(u)] != kUnvisited) continue;
+        level[static_cast<std::size_t>(u)] = cur + 1;
+        if (u < g.n_owned_light()) {
+          next.push_back(u);
+        } else if (u < g.heavy_begin() + g.heavy_count()) {
+          // Heavy claim: resolved by the AllReduce below; queued there.
+        } else {
+          const Gid gid = g.to_gid(u);
+          outgoing[static_cast<std::size_t>(g.partition().partition().part_of(gid))]
+              .push_back({gid, cur + 1});
+        }
+      }
+    }
+    core::charge_kernel(g.world(), static_cast<std::int64_t>(frontier.size()),
+                        edges_expanded);
+    // Heavy phase: replicated levels converge with one MIN AllReduce; a
+    // heavy vertex visited anywhere this round joins every rank's frontier
+    // (each rank expands only its slice of the heavy adjacency).
+    if (g.heavy_count() > 0) {
+      std::vector<std::int64_t> before(
+          level.begin() + g.heavy_begin(),
+          level.begin() + g.heavy_begin() + g.heavy_count());
+      g.world().allreduce(
+          std::span<std::int64_t>(level.data() + g.heavy_begin(),
+                                  static_cast<std::size_t>(g.heavy_count())),
+          comm::ReduceOp::kMin);
+      for (Lid h = 0; h < g.heavy_count(); ++h) {
+        const auto now = level[static_cast<std::size_t>(g.heavy_begin() + h)];
+        if (now == cur + 1 &&
+            (before[static_cast<std::size_t>(h)] == kUnvisited ||
+             before[static_cast<std::size_t>(h)] == cur + 1)) {
+          next.push_back(g.heavy_begin() + h);
+        }
+      }
+    }
+    // Light claims to owners.
+    std::vector<std::size_t> send_counts(static_cast<std::size_t>(g.world().size()));
+    std::vector<Claim> send;
+    for (int r = 0; r < g.world().size(); ++r) {
+      send_counts[static_cast<std::size_t>(r)] = outgoing[static_cast<std::size_t>(r)].size();
+      send.insert(send.end(), outgoing[static_cast<std::size_t>(r)].begin(),
+                  outgoing[static_cast<std::size_t>(r)].end());
+    }
+    auto received = g.world().alltoallv(std::span<const Claim>(send),
+                                        std::span<const std::size_t>(send_counts));
+    for (const auto& c : received) {
+      const Lid l = g.to_lid(c.gid);
+      if (level[static_cast<std::size_t>(l)] > c.level) {
+        level[static_cast<std::size_t>(l)] = c.level;
+        next.push_back(l);
+      }
+    }
+    frontier.swap(next);
+  }
+  return level;
+}
+
+}  // namespace hpcg::baselines

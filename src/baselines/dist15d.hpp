@@ -1,0 +1,195 @@
+// 1.5D (hybrid) distribution baseline.
+//
+// The intermediate point in the paper's lineage (§1): a 1D base
+// distribution in which "selected large degree vertices are shared among
+// multiple ranks, vastly improving load balance for irregular graphs"
+// (PowerGraph-style vertex cuts are the general form). Here:
+//
+//   * vertices with degree above `threshold x average` are *heavy*; their
+//     adjacency lists are dealt round-robin across all ranks and their
+//     state is replicated everywhere, reduced with one world AllReduce
+//     per exchange (the heavy set is small, so the volume is bounded);
+//   * all other vertices follow the 1D row distribution with a
+//     subscription-based ghost layer.
+//
+// Completes the 1D / 1.5D / 2D comparison of the distribution-model
+// extension benchmark: 1.5D fixes 1D's load imbalance but keeps its
+// O(p^2) light-ghost message scaling, which the 2D method removes.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "core/grid.hpp"
+#include "graph/csr.hpp"
+#include "graph/relabel.hpp"
+#include "graph/types.hpp"
+
+namespace hpcg::baselines {
+
+using graph::Gid;
+using graph::Lid;
+
+class Partitioned15D {
+ public:
+  /// Vertices with (symmetrized) degree > `heavy_multiple` x average are
+  /// shared. `global` must be in final (symmetrized) form.
+  static Partitioned15D build(const graph::EdgeList& global, int nranks,
+                              double heavy_multiple = 8.0);
+
+  int nranks() const { return nranks_; }
+  Gid n() const { return n_; }
+  std::int64_t m_global() const { return m_global_; }
+  const graph::StripedRelabel& relabel() const { return relabel_; }
+  const core::BlockPartition& partition() const { return part_; }
+  /// Heavy vertices by striped GID, sorted; identical on every rank.
+  const std::vector<Gid>& heavy() const { return heavy_; }
+  bool is_heavy(Gid striped) const {
+    return heavy_lookup_.contains(striped);
+  }
+  /// Dense index of a heavy vertex within heavy() (for state addressing).
+  std::int64_t heavy_index(Gid striped) const { return heavy_lookup_.at(striped); }
+
+  const std::vector<graph::Edge>& edges_of(int rank) const { return edges_[rank]; }
+
+ private:
+  Partitioned15D(int nranks, Gid n, const graph::StripedRelabel& relabel)
+      : nranks_(nranks), n_(n), relabel_(relabel), part_(n, nranks) {}
+
+  int nranks_;
+  Gid n_;
+  std::int64_t m_global_ = 0;
+  graph::StripedRelabel relabel_;
+  core::BlockPartition part_;
+  std::vector<Gid> heavy_;
+  std::unordered_map<Gid, std::int64_t> heavy_lookup_;
+  std::vector<std::vector<graph::Edge>> edges_{};
+};
+
+/// Rank-local 1.5D view. LID layout: owned light vertices first
+/// ([0, n_owned_light)), then the replicated heavy set, then light ghosts.
+class Dist15DGraph {
+ public:
+  Dist15DGraph(comm::Comm& world, const Partitioned15D& parts);
+
+  Gid n() const { return parts_->n(); }
+  std::int64_t m_global() const { return parts_->m_global(); }
+  Lid n_owned_light() const { return n_owned_light_; }
+  Lid heavy_begin() const { return n_owned_light_; }
+  Lid heavy_count() const { return static_cast<Lid>(parts_->heavy().size()); }
+  Lid n_total() const {
+    return n_owned_light_ + heavy_count() + static_cast<Lid>(ghosts_.size());
+  }
+  const graph::Csr& csr() const { return csr_; }
+  comm::Comm& world() { return *world_; }
+  const Partitioned15D& partition() const { return *parts_; }
+
+  Gid to_gid(Lid l) const;
+  Lid to_lid(Gid striped) const;  // owned light, heavy, or known ghost
+  bool owns_light(Gid striped) const {
+    return !parts_->is_heavy(striped) && striped >= owned_offset_ &&
+           striped < owned_offset_ + owned_count_;
+  }
+
+  /// Whether this rank is the *designated owner* of a vertex for result
+  /// reporting (light: the 1D owner; heavy: rank 0).
+  bool reports(Gid striped) const {
+    if (parts_->is_heavy(striped)) return world_->rank() == 0;
+    return striped >= owned_offset_ && striped < owned_offset_ + owned_count_;
+  }
+
+  /// Exchange: heavy slots are reduced over the world with `op`; changed
+  /// light owned values are pushed to subscribed ghosts. `changed_light`
+  /// lists owned light LIDs modified since the last exchange.
+  template <class T>
+  void exchange(std::span<T> state, std::span<const Lid> changed_light,
+                comm::ReduceOp op);
+
+  /// Gathers reported state into a striped-GID-indexed global vector.
+  template <class T>
+  std::vector<T> gather(std::span<const T> state);
+
+ private:
+  const Partitioned15D* parts_;
+  comm::Comm* world_;
+  Gid owned_offset_ = 0;
+  Gid owned_count_ = 0;   // 1D range size (including heavies in range)
+  Lid n_owned_light_ = 0;
+  graph::Csr csr_;
+  std::vector<Gid> owned_light_;  // LID -> striped GID
+  std::unordered_map<Gid, Lid> light_lid_;  // striped GID -> owned light LID
+  std::vector<Gid> ghosts_;
+  std::unordered_map<Gid, Lid> ghost_lookup_;
+  std::vector<std::vector<Lid>> subscriptions_;   // per rank: owned light LIDs
+  std::vector<std::vector<std::uint8_t>> subscription_flags_;
+  std::vector<std::vector<Lid>> ghost_by_owner_;
+};
+
+/// Baseline algorithms (same semantics as the 1D/2D versions).
+std::vector<Gid> connected_components_15d(Dist15DGraph& g);
+std::vector<std::int64_t> bfs_15d(Dist15DGraph& g, Gid root_original);
+
+// ---------------------------------------------------------------------------
+
+template <class T>
+void Dist15DGraph::exchange(std::span<T> state, std::span<const Lid> changed_light,
+                            comm::ReduceOp op) {
+  // Heavy phase: one world AllReduce over the replicated heavy slice.
+  if (heavy_count() > 0) {
+    world_->allreduce(state.subspan(static_cast<std::size_t>(heavy_begin()),
+                                    static_cast<std::size_t>(heavy_count())),
+                      op);
+  }
+  // Light phase: subscription pushes, as in the 1D engine.
+  struct Pair {
+    Gid gid;
+    T value;
+  };
+  std::vector<std::size_t> send_counts(static_cast<std::size_t>(world_->size()), 0);
+  std::vector<std::vector<Pair>> outgoing(static_cast<std::size_t>(world_->size()));
+  for (const Lid l : changed_light) {
+    for (int r = 0; r < world_->size(); ++r) {
+      if (subscription_flags_[static_cast<std::size_t>(r)][static_cast<std::size_t>(l)]) {
+        outgoing[static_cast<std::size_t>(r)].push_back(
+            {to_gid(l), state[static_cast<std::size_t>(l)]});
+      }
+    }
+  }
+  std::vector<Pair> send;
+  for (int r = 0; r < world_->size(); ++r) {
+    send_counts[static_cast<std::size_t>(r)] = outgoing[static_cast<std::size_t>(r)].size();
+    send.insert(send.end(), outgoing[static_cast<std::size_t>(r)].begin(),
+                outgoing[static_cast<std::size_t>(r)].end());
+  }
+  auto recv = world_->alltoallv(std::span<const Pair>(send),
+                                std::span<const std::size_t>(send_counts));
+  for (const auto& p : recv) {
+    state[static_cast<std::size_t>(ghost_lookup_.at(p.gid))] = p.value;
+  }
+}
+
+template <class T>
+std::vector<T> Dist15DGraph::gather(std::span<const T> state) {
+  struct Pair {
+    Gid gid;
+    T value;
+  };
+  std::vector<Pair> mine;
+  for (Lid l = 0; l < n_owned_light_; ++l) {
+    mine.push_back({to_gid(l), state[static_cast<std::size_t>(l)]});
+  }
+  if (world_->rank() == 0) {
+    for (Lid h = 0; h < heavy_count(); ++h) {
+      mine.push_back({parts_->heavy()[static_cast<std::size_t>(h)],
+                      state[static_cast<std::size_t>(heavy_begin() + h)]});
+    }
+  }
+  auto all = world_->allgatherv(std::span<const Pair>(mine));
+  std::vector<T> out(static_cast<std::size_t>(n()));
+  for (const auto& p : all) out[static_cast<std::size_t>(p.gid)] = p.value;
+  return out;
+}
+
+}  // namespace hpcg::baselines

@@ -1,0 +1,200 @@
+// 1D (row) distribution baseline.
+//
+// The classical distribution the paper contrasts against (§1, §2.1): each
+// rank owns a contiguous block of vertices *and all of their adjacency
+// information*; non-owned endpoints are ghosts. Ghost updates are
+// exchanged with a personalized all-to-all, which needs O(p^2) messages —
+// the scaling wall the 2D method removes. Used by the Figure 9/10
+// comparison benchmarks and by tests as an independent implementation.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "core/grid.hpp"
+#include "graph/csr.hpp"
+#include "graph/relabel.hpp"
+#include "graph/types.hpp"
+
+namespace hpcg::baselines {
+
+using graph::Gid;
+using graph::Lid;
+
+/// Host-side 1D partition: edges bucketed by the (striped) owner of their
+/// source endpoint.
+class Partitioned1D {
+ public:
+  static Partitioned1D build(const graph::EdgeList& global, int nranks);
+
+  int nranks() const { return nranks_; }
+  Gid n() const { return n_; }
+  std::int64_t m_global() const { return m_global_; }
+  bool weighted() const { return weighted_; }
+  const graph::StripedRelabel& relabel() const { return relabel_; }
+  const core::BlockPartition& partition() const { return part_; }
+  const std::vector<graph::Edge>& edges_of(int rank) const { return edges_[rank]; }
+  const std::vector<double>& weights_of(int rank) const { return weights_[rank]; }
+
+ private:
+  Partitioned1D(int nranks, Gid n, const graph::StripedRelabel& relabel)
+      : nranks_(nranks), n_(n), relabel_(relabel), part_(n, nranks) {}
+
+  int nranks_;
+  Gid n_;
+  std::int64_t m_global_ = 0;
+  bool weighted_ = false;
+  graph::StripedRelabel relabel_;
+  core::BlockPartition part_;
+  std::vector<std::vector<graph::Edge>> edges_{};
+  std::vector<std::vector<double>> weights_{};
+};
+
+/// Rank-local 1D graph: owned vertices are LIDs [0, n_owned), ghosts are
+/// appended after. Unlike the 2D structure's arithmetic mapping, a 1D
+/// ghost map needs an explicit hash lookup at build time (exactly the
+/// overhead the paper's Type mapping avoids).
+class Dist1DGraph {
+ public:
+  Dist1DGraph(comm::Comm& world, const Partitioned1D& parts);
+
+  Gid n() const { return parts_->n(); }
+  std::int64_t m_global() const { return parts_->m_global(); }
+  Lid n_owned() const { return n_owned_; }
+  Lid n_total() const { return n_owned_ + static_cast<Lid>(ghosts_.size()); }
+  Gid owned_offset() const { return owned_offset_; }
+  const graph::Csr& csr() const { return csr_; }
+  comm::Comm& world() { return *world_; }
+  const Partitioned1D& partition() const { return *parts_; }
+
+  Gid to_gid(Lid l) const {
+    return l < n_owned_ ? owned_offset_ + l
+                        : ghosts_[static_cast<std::size_t>(l - n_owned_)];
+  }
+  bool owns(Gid g) const { return g >= owned_offset_ && g < owned_offset_ + n_owned_; }
+  Lid owned_lid(Gid g) const { return g - owned_offset_; }
+
+  /// Exchanges the values of every owned vertex that some rank ghosts
+  /// (dense policy), or only the listed changed owned LIDs (sparse
+  /// policy). `state` is LID-indexed over n_total(). One all-to-all.
+  template <class T>
+  void ghost_exchange_dense(std::span<T> state);
+  template <class T>
+  void ghost_exchange_sparse(std::span<T> state, std::span<const Lid> changed_owned);
+
+  /// True degrees of owned + ghost slots (sum of CSR degrees is already
+  /// exact in 1D — a rank owns all of a vertex's edges).
+  std::vector<double> degree_state() const;
+
+ private:
+  const Partitioned1D* parts_;
+  comm::Comm* world_;
+  Gid owned_offset_ = 0;
+  Lid n_owned_ = 0;
+  graph::Csr csr_;
+  std::vector<Gid> ghosts_;  // ghost LID -> GID
+  std::unordered_map<Gid, Lid> ghost_lookup_;
+  // subscriptions_[r] = owned LIDs whose values rank r ghosts.
+  std::vector<std::vector<Lid>> subscriptions_;
+  // incoming ghost order per source rank (parallel to what they send
+  // dense); ghost LIDs grouped by owner.
+  std::vector<std::vector<Lid>> ghost_by_owner_;
+  // subscription_flags_[r][owned LID] != 0 iff rank r ghosts that vertex.
+  std::vector<std::vector<std::uint8_t>> subscription_flags_;
+};
+
+/// Baseline algorithms on the 1D distribution (matching the 2D versions'
+/// semantics so results are comparable).
+std::vector<double> pagerank_1d(Dist1DGraph& g, int iterations, double damping = 0.85);
+std::vector<Gid> connected_components_1d(Dist1DGraph& g);
+std::vector<std::int64_t> bfs_1d(Dist1DGraph& g, Gid root_original);
+
+/// "Generic framework" variants: full vertex scans and dense ghost layers
+/// every round, no frontier/queue/sparse machinery — how general-purpose
+/// engines (the paper's cuGraph CC/BFS comparison points) execute these
+/// computations. Results are identical; only the execution strategy (and
+/// therefore cost) differs.
+std::vector<Gid> connected_components_1d_dense(Dist1DGraph& g);
+std::vector<std::int64_t> bfs_1d_dense(Dist1DGraph& g, Gid root_original);
+
+/// Gathers owned state into a full striped-GID-indexed vector (test use).
+template <class T>
+std::vector<T> gather_state_1d(Dist1DGraph& g, std::span<const T> state) {
+  struct Pair {
+    Gid gid;
+    T value;
+  };
+  std::vector<Pair> mine;
+  mine.reserve(static_cast<std::size_t>(g.n_owned()));
+  for (Lid l = 0; l < g.n_owned(); ++l) {
+    mine.push_back({g.to_gid(l), state[static_cast<std::size_t>(l)]});
+  }
+  auto all = g.world().allgatherv(std::span<const Pair>(mine));
+  std::vector<T> out(static_cast<std::size_t>(g.n()));
+  for (const auto& p : all) out[static_cast<std::size_t>(p.gid)] = p.value;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+template <class T>
+void Dist1DGraph::ghost_exchange_dense(std::span<T> state) {
+  // Serialize per-subscriber values in subscription order; the receiver
+  // knows the matching ghost order (ghost_by_owner_).
+  std::vector<std::size_t> send_counts(static_cast<std::size_t>(world_->size()));
+  std::vector<T> send;
+  for (int r = 0; r < world_->size(); ++r) {
+    const auto& subs = subscriptions_[static_cast<std::size_t>(r)];
+    send_counts[static_cast<std::size_t>(r)] = subs.size();
+    for (const Lid l : subs) send.push_back(state[static_cast<std::size_t>(l)]);
+  }
+  std::vector<std::size_t> recv_counts;
+  auto recv = world_->alltoallv(std::span<const T>(send),
+                                std::span<const std::size_t>(send_counts),
+                                &recv_counts);
+  std::size_t offset = 0;
+  for (int r = 0; r < world_->size(); ++r) {
+    const auto& ghosts = ghost_by_owner_[static_cast<std::size_t>(r)];
+    for (std::size_t i = 0; i < ghosts.size(); ++i) {
+      state[static_cast<std::size_t>(ghosts[i])] = recv[offset + i];
+    }
+    offset += ghosts.size();
+  }
+}
+
+template <class T>
+void Dist1DGraph::ghost_exchange_sparse(std::span<T> state,
+                                        std::span<const Lid> changed_owned) {
+  struct Pair {
+    Gid gid;
+    T value;
+  };
+  // A rank does not track *which* subscribers need which update cheaply in
+  // the generic 1D scheme; it sends each changed owned vertex to every
+  // rank that subscribes to it.
+  std::vector<std::vector<Pair>> outgoing(static_cast<std::size_t>(world_->size()));
+  for (const Lid l : changed_owned) {
+    for (int r = 0; r < world_->size(); ++r) {
+      if (subscription_flags_[static_cast<std::size_t>(r)][static_cast<std::size_t>(l)]) {
+        outgoing[static_cast<std::size_t>(r)].push_back(
+            {to_gid(l), state[static_cast<std::size_t>(l)]});
+      }
+    }
+  }
+  std::vector<std::size_t> send_counts(static_cast<std::size_t>(world_->size()));
+  std::vector<Pair> send;
+  for (int r = 0; r < world_->size(); ++r) {
+    send_counts[static_cast<std::size_t>(r)] = outgoing[static_cast<std::size_t>(r)].size();
+    send.insert(send.end(), outgoing[static_cast<std::size_t>(r)].begin(),
+                outgoing[static_cast<std::size_t>(r)].end());
+  }
+  auto recv = world_->alltoallv(std::span<const Pair>(send),
+                                std::span<const std::size_t>(send_counts));
+  for (const auto& p : recv) {
+    state[static_cast<std::size_t>(ghost_lookup_.at(p.gid))] = p.value;
+  }
+}
+
+}  // namespace hpcg::baselines

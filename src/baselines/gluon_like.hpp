@@ -1,0 +1,44 @@
+// Gluon-like comparator (paper §5.7, Figure 9).
+//
+// Gluon-GPU runs a 2D Cartesian vertex cut (CVC) *on top of a
+// general-purpose communication substrate*: updates travel as per-host
+// {vertex, value} update lists assembled and sent point-to-point, rather
+// than through communication patterns specialized for the 2D structure.
+// The paper attributes Gluon's scaling collapse past ~64 ranks to exactly
+// this substrate overhead ("'Gluon', the communication layer, was built
+// for general-purpose communications ... this adds overhead relative to
+// our optimized 2D communication methods").
+//
+// This baseline reproduces that mechanism: the same Dist2DGraph block
+// partition and kernels, but every group exchange is a personalized
+// all-to-all in which each rank ships its full update list to every other
+// group member — (g-1)x payload duplication and O(g^2) messages per
+// exchange instead of ring collectives. Benchmarks additionally run it
+// under a CostModel with non-zero per-message software overhead and a
+// serialization bandwidth derate (see CostParams), mirroring the generic
+// payload format.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dist2d.hpp"
+
+namespace hpcg::baselines {
+
+using core::Gid;
+
+/// Cost-model parameters the Figure 9 benchmark applies to Gluon-like runs.
+comm::CostParams gluon_cost_params();
+
+/// Pull PageRank over the CVC partition with generic update-list exchange.
+std::vector<double> gluon_pagerank(core::Dist2DGraph& g, int iterations,
+                                   double damping = 0.85);
+
+/// Push color-propagation CC with generic update-list exchange.
+std::vector<Gid> gluon_connected_components(core::Dist2DGraph& g);
+
+/// Push (top-down) BFS with generic update-list exchange.
+std::vector<std::int64_t> gluon_bfs(core::Dist2DGraph& g, Gid root_original);
+
+}  // namespace hpcg::baselines

@@ -1,0 +1,51 @@
+// Abort-aware generation barrier used by every collective.
+//
+// If any rank's body throws, the runtime raises the world abort flag;
+// ranks blocked in a barrier that can no longer complete observe the flag
+// on their polling wakeups and unwind with `Aborted`, so a failing test
+// never deadlocks the whole process.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace hpcg::comm {
+
+/// Thrown out of communication calls when the world has been aborted by a
+/// failure on another rank. Caught by the runtime, never by user code.
+struct Aborted {};
+
+class Barrier {
+ public:
+  Barrier(int participants, const std::atomic<bool>* abort_flag)
+      : participants_(participants), abort_(abort_flag) {}
+
+  void arrive_and_wait() {
+    std::unique_lock lock(mutex_);
+    if (abort_->load(std::memory_order_relaxed)) throw Aborted{};
+    const std::uint64_t my_generation = generation_;
+    if (++arrived_ == participants_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    while (generation_ == my_generation) {
+      cv_.wait_for(lock, std::chrono::milliseconds(50));
+      if (abort_->load(std::memory_order_relaxed)) throw Aborted{};
+    }
+  }
+
+ private:
+  const int participants_;
+  const std::atomic<bool>* abort_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace hpcg::comm

@@ -1,0 +1,162 @@
+#include "comm/comm.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+namespace hpcg::comm {
+
+Group::Group(World& world, std::vector<int> members)
+    : world_(world),
+      members_(std::move(members)),
+      link_(make_group_link(world.topology(), members_.data(),
+                            static_cast<int>(members_.size()))),
+      barrier_(static_cast<int>(members_.size()), &world.abort_),
+      slots_(members_.size()) {}
+
+World::World(Topology topo, CostModel cost)
+    : topo_(std::move(topo)),
+      cost_(cost),
+      vclock_(static_cast<std::size_t>(topo_.nranks()), 0.0),
+      comp_s_(static_cast<std::size_t>(topo_.nranks()), 0.0),
+      comm_s_(static_cast<std::size_t>(topo_.nranks()), 0.0),
+      cpu_mark_(static_cast<std::size_t>(topo_.nranks()), 0.0) {
+  mailboxes_.reserve(static_cast<std::size_t>(topo_.nranks()));
+  for (int r = 0; r < topo_.nranks(); ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+RunStats World::snapshot_stats() const {
+  RunStats stats;
+  stats.vclock = vclock_;
+  stats.comp_s = comp_s_;
+  stats.comm_s = comm_s_;
+  stats.bytes = bytes_.load();
+  stats.messages = messages_.load();
+  stats.collectives = collectives_.load();
+  stats.trace = trace_;
+  return stats;
+}
+
+Comm::Comm(World* world, std::shared_ptr<Group> group, int world_rank)
+    : world_(world), group_(std::move(group)), world_rank_(world_rank) {
+  const auto& members = group_->members();
+  const auto it = std::find(members.begin(), members.end(), world_rank);
+  if (it == members.end()) {
+    throw std::logic_error("rank constructing Comm for a group it is not in");
+  }
+  group_rank_ = static_cast<int>(it - members.begin());
+}
+
+void Comm::enter_collective() {
+  const double now = util::thread_cpu_seconds();
+  const double dt =
+      (now - world_->cpu_mark_[world_rank_]) * world_->cost_model().compute_scale();
+  if (dt > 0) {
+    world_->vclock_[world_rank_] += dt;
+    world_->comp_s_[world_rank_] += dt;
+  }
+}
+
+void Comm::exit_collective() {
+  world_->cpu_mark_[world_rank_] = util::thread_cpu_seconds();
+}
+
+void Comm::advance_clocks(double cost, std::uint64_t bytes, std::uint64_t msgs,
+                          const char* op) {
+  double t = 0.0;
+  for (const int m : group_->members()) t = std::max(t, world_->vclock_[m]);
+  t += cost;
+  for (const int m : group_->members()) {
+    world_->comm_s_[m] += t - world_->vclock_[m];
+    world_->vclock_[m] = t;
+  }
+  world_->bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  world_->messages_.fetch_add(msgs, std::memory_order_relaxed);
+  world_->collectives_.fetch_add(1, std::memory_order_relaxed);
+  if (world_->cost_model().params().trace) {
+    std::lock_guard lock(world_->trace_mutex_);
+    world_->trace_.push_back({t, cost, op, size(), bytes});
+  }
+}
+
+void Comm::barrier() {
+  if (size() == 1) return;
+  enter_collective();
+  group_->barrier_.arrive_and_wait();
+  if (leader()) {
+    // A barrier is an allreduce of nothing: latency-only.
+    advance_clocks(world_->cost_model().allreduce(group_->link(), 0), 0,
+                   static_cast<std::uint64_t>(2 * (size() - 1)), "barrier");
+  }
+  group_->barrier_.arrive_and_wait();
+  exit_collective();
+}
+
+Comm Comm::split(int color, int key) {
+  if (size() == 1) {
+    // Trivial: the only member keeps a fresh single-rank group.
+    return Comm(world_, std::make_shared<Group>(*world_, std::vector<int>{world_rank_}),
+                world_rank_);
+  }
+  enter_collective();
+  my_slot() = {nullptr, nullptr, 0, color, key};
+  group_->barrier_.arrive_and_wait();
+  if (leader()) {
+    // (color) -> list of (key, world_rank), then sort for group order.
+    std::map<int, std::vector<std::pair<int, int>>> buckets;
+    for (int m = 0; m < size(); ++m) {
+      const auto& slot = group_->slots_[m];
+      buckets[slot.color].emplace_back(slot.key, group_->members()[m]);
+    }
+    group_->children_.clear();
+    for (auto& [c, entries] : buckets) {
+      std::sort(entries.begin(), entries.end());
+      std::vector<int> members;
+      members.reserve(entries.size());
+      for (const auto& [k, wr] : entries) members.push_back(wr);
+      group_->children_.emplace_back(c, std::make_shared<Group>(*world_, std::move(members)));
+    }
+    // Communicator creation costs one small allgather.
+    advance_clocks(
+        world_->cost_model().allgather(group_->link(),
+                                       static_cast<std::size_t>(size()) * 8),
+        static_cast<std::uint64_t>(size()) * 8,
+        static_cast<std::uint64_t>(size() - 1), "split");
+  }
+  group_->barrier_.arrive_and_wait();
+  std::shared_ptr<Group> child;
+  for (const auto& [c, g] : group_->children_) {
+    if (c == color) {
+      child = g;
+      break;
+    }
+  }
+  exit_collective();
+  if (!child) throw std::logic_error("split: leader did not publish my color");
+  return Comm(world_, std::move(child), world_rank_);
+}
+
+void Comm::charge_compute(double modeled_seconds) {
+  world_->vclock_[world_rank_] += modeled_seconds;
+  world_->comp_s_[world_rank_] += modeled_seconds;
+}
+
+void Comm::reset_clocks() {
+  if (size() > 1) group_->barrier_.arrive_and_wait();
+  world_->vclock_[world_rank_] = 0.0;
+  world_->comp_s_[world_rank_] = 0.0;
+  world_->comm_s_[world_rank_] = 0.0;
+  if (leader()) {
+    world_->bytes_.store(0);
+    world_->messages_.store(0);
+    world_->collectives_.store(0);
+    std::lock_guard lock(world_->trace_mutex_);
+    world_->trace_.clear();
+  }
+  if (size() > 1) group_->barrier_.arrive_and_wait();
+  world_->cpu_mark_[world_rank_] = util::thread_cpu_seconds();
+}
+
+}  // namespace hpcg::comm

@@ -1,0 +1,686 @@
+// The communicator: an NCCL/MPI-shaped collective library executed over
+// shared memory between rank threads, with modeled timing.
+//
+// Semantics mirror what HPCGraph-GPU uses on real hardware:
+//   * `Comm` is a handle to a communicator (world, or a row/column group
+//     produced by `split`, exactly like ncclCommSplit / MPI_Comm_split);
+//   * collectives are bulk-synchronous over the group and must be called
+//     by every member with compatible arguments;
+//   * data movement happens for real (so algorithm correctness is fully
+//     exercised), while durations come from the CostModel and advance the
+//     participants' virtual clocks.
+//
+// Synchronization protocol (every collective):
+//   phase A (per rank)    publish buffer descriptors into the group slot
+//                         array; attribute thread-CPU time since the last
+//                         collective to this rank's compute clock.
+//   barrier 1
+//   phase B (leader)      reduce/copy via the published descriptors into
+//                         group scratch where needed; advance the group
+//                         members' virtual clocks by the modeled cost.
+//   phase B (others)      op-specific direct copies (reads only).
+//   barrier 2
+//   phase C (per rank)    copy-out from scratch into local buffers. Only
+//                         rank-local writes, so no third barrier is needed:
+//                         the next collective's shared writes happen after
+//                         its own barrier 1, which transitively orders them
+//                         after every rank's phase C.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "comm/barrier.hpp"
+#include "comm/cost_model.hpp"
+#include "comm/stats.hpp"
+#include "comm/topology.hpp"
+#include "util/timer.hpp"
+
+namespace hpcg::comm {
+
+enum class ReduceOp { kSum, kMin, kMax };
+
+class World;
+
+/// One broadcast of a grouped (NCCL group call) multi-broadcast. `root` is
+/// a rank index within the communicator; every member passes the same
+/// (root, count) list, with `data` pointing at its local buffer.
+template <class T>
+struct BcastSeg {
+  int root;
+  T* data;
+  std::size_t count;
+};
+
+namespace detail {
+
+/// Per-member descriptor slots for the collective in flight.
+struct Slot {
+  const void* ptr_a = nullptr;
+  const void* ptr_b = nullptr;
+  std::size_t count = 0;
+  int color = 0;
+  int key = 0;
+};
+
+}  // namespace detail
+
+/// Shared state of one communicator group. Members hold it via shared_ptr;
+/// all synchronization between them runs through this object.
+class Group {
+ public:
+  Group(World& world, std::vector<int> members);
+
+  int size() const { return static_cast<int>(members_.size()); }
+  const std::vector<int>& members() const { return members_; }
+  const GroupLink& link() const { return link_; }
+
+ private:
+  friend class Comm;
+
+  World& world_;
+  std::vector<int> members_;  // world ranks, group order
+  GroupLink link_;
+  Barrier barrier_;
+  std::vector<detail::Slot> slots_;
+  std::vector<std::byte> scratch_;
+  // Children published by the leader during split(); indexed by dense color
+  // index, read by members in phase C.
+  std::vector<std::pair<int, std::shared_ptr<Group>>> children_;
+};
+
+/// Global run state shared by all ranks: clocks, traffic counters, topology
+/// and cost model, mailboxes for point-to-point messages.
+class World {
+ public:
+  World(Topology topo, CostModel cost);
+
+  const Topology& topology() const { return topo_; }
+  const CostModel& cost_model() const { return cost_; }
+  int nranks() const { return topo_.nranks(); }
+
+  RunStats snapshot_stats() const;
+
+ private:
+  friend class Group;
+  friend class Comm;
+  friend class Runtime;
+
+  struct Message {
+    int tag;
+    std::vector<std::byte> payload;
+    double ready_vtime;
+  };
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::vector<Message> queue;
+  };
+
+  Topology topo_;
+  CostModel cost_;
+  std::atomic<bool> abort_{false};
+  // Indexed by world rank. Each entry is written either by its owner rank
+  // (compute attribution, p2p) or by the leader of a collective the owner
+  // currently participates in; barriers order the two.
+  std::vector<double> vclock_;
+  std::vector<double> comp_s_;
+  std::vector<double> comm_s_;
+  std::vector<double> cpu_mark_;
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> collectives_{0};
+  std::mutex trace_mutex_;
+  std::vector<TraceEvent> trace_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::shared_ptr<Group> world_group_;
+};
+
+/// Rank-local communicator handle. Cheap to copy.
+class Comm {
+ public:
+  Comm(World* world, std::shared_ptr<Group> group, int world_rank);
+
+  /// Rank index within this communicator.
+  int rank() const { return group_rank_; }
+  /// Number of ranks in this communicator.
+  int size() const { return group_->size(); }
+  /// Rank index within the world.
+  int world_rank() const { return world_rank_; }
+  const Topology& topology() const { return world_->topology(); }
+  const CostModel& cost_model() const { return world_->cost_model(); }
+
+  /// Splits into subcommunicators by `color`; members of the new group are
+  /// ordered by (key, world rank). Collective over this communicator.
+  Comm split(int color, int key);
+
+  void barrier();
+
+  template <class T>
+  void broadcast(std::span<T> data, int root);
+
+  /// A batch of broadcasts with (potentially) different roots, issued as a
+  /// single NCCL-style group call; costs overlap (CostModel::grouped).
+  template <class T>
+  void multi_broadcast(std::span<const BcastSeg<T>> segments);
+
+  template <class T>
+  void allreduce(std::span<T> data, ReduceOp op);
+
+  /// AllReduce with a user combiner `combine(T& into, const T& from)`;
+  /// every member must pass the same combiner semantics (used for e.g.
+  /// MAXLOC-style matching reductions).
+  template <class T, class F>
+  void allreduce(std::span<T> data, F&& combine);
+
+  template <class T>
+  T allreduce_one(T value, ReduceOp op);
+
+  /// Rooted reduce: like allreduce, but only `root`'s buffer receives the
+  /// combined result (other buffers are left unchanged).
+  template <class T>
+  void reduce(std::span<T> data, int root, ReduceOp op);
+
+  /// Element-wise reduction of every member's `send` (count * size
+  /// elements) followed by a scatter of block `rank()` into `recv`
+  /// (count elements) — the building block ring AllReduce decomposes
+  /// into; exposed for algorithms that only need their own slice.
+  template <class T>
+  void reduce_scatter(std::span<const T> send, std::span<T> recv, ReduceOp op);
+
+  /// Rooted gather: `root` receives every member's fixed-size `send` in
+  /// group order; `recv` is only read on the root (count * size elements).
+  template <class T>
+  void gather(std::span<const T> send, std::span<T> recv, int root);
+
+  /// Rooted scatter: member i receives block i of `root`'s `send`
+  /// (count * size elements) into `recv` (count elements).
+  template <class T>
+  void scatter(std::span<const T> send, std::span<T> recv, int root);
+
+  /// Gathers `send` (same count on every rank) from all members into
+  /// `recv` (count * size elements, group order).
+  template <class T>
+  void allgather(std::span<const T> send, std::span<T> recv);
+
+  /// Variable-size gather; returns the concatenation in group order and
+  /// (optionally) the per-member element counts.
+  template <class T>
+  std::vector<T> allgatherv(std::span<const T> send,
+                            std::vector<std::size_t>* counts_out = nullptr);
+
+  /// Personalized exchange: `send` holds the concatenated per-destination
+  /// segments sized by `send_counts` (one entry per member, group order).
+  /// Returns the concatenated received segments; fills `recv_counts`.
+  template <class T>
+  std::vector<T> alltoallv(std::span<const T> send,
+                           std::span<const std::size_t> send_counts,
+                           std::vector<std::size_t>* recv_counts = nullptr);
+
+  /// Point-to-point (world-rank addressed). Blocking, tag-matched.
+  template <class T>
+  void send(std::span<const T> data, int dest_world_rank, int tag);
+  template <class T>
+  std::vector<T> recv(int src_world_rank, int tag);
+
+  /// Charges an explicit modeled compute duration (already in modeled
+  /// seconds) to this rank — used for modeled kernel-launch overheads.
+  void charge_compute(double modeled_seconds);
+
+  /// Zeroes all clocks and traffic counters. Collective over this
+  /// communicator (normally the world); used to exclude setup phases.
+  void reset_clocks();
+
+  /// Attributes any thread-CPU time since the last communication call to
+  /// this rank's compute clock. The runtime calls it when a rank body
+  /// returns so trailing (or, on one rank, *all*) computation is counted;
+  /// harmless to call manually around timed phases.
+  void flush_compute() {
+    enter_collective();
+    exit_collective();
+  }
+
+  /// This rank's clocks. Valid between collectives.
+  double vclock() const { return world_->vclock_[world_rank_]; }
+  double comp_time() const { return world_->comp_s_[world_rank_]; }
+  double comm_time() const { return world_->comm_s_[world_rank_]; }
+
+ private:
+  bool leader() const { return group_rank_ == 0; }
+  detail::Slot& my_slot() { return group_->slots_[group_rank_]; }
+
+  /// Phase A bookkeeping: attribute compute time, then rendezvous.
+  void enter_collective();
+  /// Re-marks CPU time so collective internals are not billed as compute.
+  void exit_collective();
+  /// Leader only: advance all members to max(clock)+cost, count traffic,
+  /// and record a trace event when tracing is on.
+  void advance_clocks(double cost, std::uint64_t bytes, std::uint64_t msgs,
+                      const char* op);
+
+  World* world_;
+  std::shared_ptr<Group> group_;
+  int world_rank_;
+  int group_rank_;
+};
+
+// ---------------------------------------------------------------------------
+// Template implementations.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+template <class T>
+void apply_reduce(ReduceOp op, T* into, const T* from, std::size_t count) {
+  static_assert(std::is_arithmetic_v<T>,
+                "builtin ReduceOp requires arithmetic T; use the combiner "
+                "overload for struct payloads");
+  switch (op) {
+    case ReduceOp::kSum:
+      for (std::size_t i = 0; i < count; ++i) into[i] += from[i];
+      break;
+    case ReduceOp::kMin:
+      for (std::size_t i = 0; i < count; ++i)
+        into[i] = from[i] < into[i] ? from[i] : into[i];
+      break;
+    case ReduceOp::kMax:
+      for (std::size_t i = 0; i < count; ++i)
+        into[i] = from[i] > into[i] ? from[i] : into[i];
+      break;
+  }
+}
+
+}  // namespace detail
+
+template <class T>
+void Comm::broadcast(std::span<T> data, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (size() == 1) return;
+  enter_collective();
+  my_slot() = {data.data(), nullptr, data.size(), 0, 0};
+  group_->barrier_.arrive_and_wait();
+  const auto& root_slot = group_->slots_[root];
+  if (leader()) {
+    const std::size_t bytes = root_slot.count * sizeof(T);
+    advance_clocks(world_->cost_model().broadcast(group_->link(), bytes),
+                   bytes * (size() - 1), static_cast<std::uint64_t>(size() - 1),
+                   "broadcast");
+  }
+  if (group_rank_ != root) {
+    std::memcpy(data.data(), root_slot.ptr_a, root_slot.count * sizeof(T));
+  }
+  group_->barrier_.arrive_and_wait();
+  exit_collective();
+}
+
+template <class T>
+void Comm::multi_broadcast(std::span<const BcastSeg<T>> segments) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (size() == 1) return;
+  enter_collective();
+  // Publish a pointer to this rank's segment-descriptor array; peers read
+  // the root's local buffer address for each segment out of it.
+  my_slot() = {segments.data(), nullptr, segments.size(), 0, 0};
+  group_->barrier_.arrive_and_wait();
+  for (const auto& seg : segments) {
+    if (seg.root == group_rank_) continue;
+    const auto* root_segments =
+        static_cast<const BcastSeg<T>*>(group_->slots_[seg.root].ptr_a);
+    const auto& src = root_segments[&seg - segments.data()];
+    std::memcpy(seg.data, src.data, src.count * sizeof(T));
+  }
+  if (leader()) {
+    double max_cost = 0.0;
+    std::uint64_t bytes = 0;
+    for (const auto& seg : segments) {
+      const std::size_t b = seg.count * sizeof(T);
+      max_cost = std::max(max_cost,
+                          world_->cost_model().broadcast(group_->link(), b));
+      bytes += b * (size() - 1);
+    }
+    advance_clocks(world_->cost_model().grouped(max_cost, segments.size()),
+                   bytes,
+                   static_cast<std::uint64_t>(segments.size()) * (size() - 1),
+                   "multi_broadcast");
+  }
+  group_->barrier_.arrive_and_wait();
+  exit_collective();
+}
+
+template <class T, class F>
+void Comm::allreduce(std::span<T> data, F&& combine) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (size() == 1) return;
+  enter_collective();
+  my_slot() = {data.data(), nullptr, data.size(), 0, 0};
+  group_->barrier_.arrive_and_wait();
+  if (leader()) {
+    const std::size_t bytes = data.size() * sizeof(T);
+    group_->scratch_.resize(bytes);
+    auto* acc = reinterpret_cast<T*>(group_->scratch_.data());
+    std::memcpy(acc, group_->slots_[0].ptr_a, bytes);
+    for (int m = 1; m < size(); ++m) {
+      const T* from = static_cast<const T*>(group_->slots_[m].ptr_a);
+      for (std::size_t i = 0; i < data.size(); ++i) combine(acc[i], from[i]);
+    }
+    advance_clocks(world_->cost_model().allreduce(group_->link(), bytes),
+                   static_cast<std::uint64_t>(bytes) * 2 * (size() - 1) / size(),
+                   static_cast<std::uint64_t>(2 * (size() - 1)), "allreduce");
+  }
+  group_->barrier_.arrive_and_wait();
+  std::memcpy(data.data(), group_->scratch_.data(), data.size() * sizeof(T));
+  exit_collective();
+}
+
+template <class T>
+void Comm::allreduce(std::span<T> data, ReduceOp op) {
+  allreduce(data, [op](T& into, const T& from) {
+    T tmp = into;
+    detail::apply_reduce(op, &tmp, &from, 1);
+    into = tmp;
+  });
+}
+
+template <class T>
+T Comm::allreduce_one(T value, ReduceOp op) {
+  allreduce(std::span<T>(&value, 1), op);
+  return value;
+}
+
+template <class T>
+void Comm::reduce(std::span<T> data, int root, ReduceOp op) {
+  if (size() == 1) return;
+  enter_collective();
+  my_slot() = {data.data(), nullptr, data.size(), 0, 0};
+  group_->barrier_.arrive_and_wait();
+  if (leader()) {
+    const std::size_t bytes = data.size() * sizeof(T);
+    group_->scratch_.resize(bytes);
+    auto* acc = reinterpret_cast<T*>(group_->scratch_.data());
+    std::memcpy(acc, group_->slots_[0].ptr_a, bytes);
+    for (int m = 1; m < size(); ++m) {
+      detail::apply_reduce(op, acc, static_cast<const T*>(group_->slots_[m].ptr_a),
+                           data.size());
+    }
+    // Tree reduce to one root: half the AllReduce's traffic.
+    advance_clocks(
+        0.5 * world_->cost_model().allreduce(group_->link(), bytes),
+        static_cast<std::uint64_t>(bytes) * (size() - 1) / size(),
+        static_cast<std::uint64_t>(size() - 1), "reduce");
+  }
+  group_->barrier_.arrive_and_wait();
+  if (group_rank_ == root) {
+    std::memcpy(data.data(), group_->scratch_.data(), data.size() * sizeof(T));
+  }
+  exit_collective();
+}
+
+template <class T>
+void Comm::reduce_scatter(std::span<const T> send, std::span<T> recv, ReduceOp op) {
+  if (size() == 1) {
+    std::memcpy(recv.data(), send.data(), recv.size() * sizeof(T));
+    return;
+  }
+  enter_collective();
+  my_slot() = {send.data(), nullptr, send.size(), 0, 0};
+  group_->barrier_.arrive_and_wait();
+  // Each member reduces its own block directly from the published buffers.
+  const std::size_t block = recv.size();
+  const std::size_t offset = static_cast<std::size_t>(group_rank_) * block;
+  std::memcpy(recv.data(), static_cast<const T*>(group_->slots_[0].ptr_a) + offset,
+              block * sizeof(T));
+  for (int m = 1; m < size(); ++m) {
+    detail::apply_reduce(op, recv.data(),
+                         static_cast<const T*>(group_->slots_[m].ptr_a) + offset,
+                         block);
+  }
+  if (leader()) {
+    const std::size_t bytes = send.size() * sizeof(T);
+    // Ring reduce-scatter: half an AllReduce.
+    advance_clocks(0.5 * world_->cost_model().allreduce(group_->link(), bytes),
+                   static_cast<std::uint64_t>(bytes) * (size() - 1) / size(),
+                   static_cast<std::uint64_t>(size() - 1), "reduce_scatter");
+  }
+  group_->barrier_.arrive_and_wait();
+  exit_collective();
+}
+
+template <class T>
+void Comm::gather(std::span<const T> send, std::span<T> recv, int root) {
+  if (size() == 1) {
+    std::memcpy(recv.data(), send.data(), send.size() * sizeof(T));
+    return;
+  }
+  enter_collective();
+  my_slot() = {send.data(), nullptr, send.size(), 0, 0};
+  group_->barrier_.arrive_and_wait();
+  if (group_rank_ == root) {
+    for (int m = 0; m < size(); ++m) {
+      std::memcpy(recv.data() + static_cast<std::size_t>(m) * send.size(),
+                  group_->slots_[m].ptr_a, send.size() * sizeof(T));
+    }
+  }
+  if (leader()) {
+    const std::size_t total = send.size() * sizeof(T) * size();
+    // Gather-to-root costs a broadcast's traversal in reverse.
+    advance_clocks(world_->cost_model().broadcast(group_->link(), total),
+                   total * (size() - 1) / size(),
+                   static_cast<std::uint64_t>(size() - 1), "gather");
+  }
+  group_->barrier_.arrive_and_wait();
+  exit_collective();
+}
+
+template <class T>
+void Comm::scatter(std::span<const T> send, std::span<T> recv, int root) {
+  if (size() == 1) {
+    std::memcpy(recv.data(), send.data(), recv.size() * sizeof(T));
+    return;
+  }
+  enter_collective();
+  my_slot() = {send.data(), nullptr, send.size(), 0, 0};
+  group_->barrier_.arrive_and_wait();
+  std::memcpy(recv.data(),
+              static_cast<const T*>(group_->slots_[root].ptr_a) +
+                  static_cast<std::size_t>(group_rank_) * recv.size(),
+              recv.size() * sizeof(T));
+  if (leader()) {
+    const std::size_t total = recv.size() * sizeof(T) * size();
+    advance_clocks(world_->cost_model().broadcast(group_->link(), total),
+                   total * (size() - 1) / size(),
+                   static_cast<std::uint64_t>(size() - 1), "scatter");
+  }
+  group_->barrier_.arrive_and_wait();
+  exit_collective();
+}
+
+template <class T>
+void Comm::allgather(std::span<const T> send, std::span<T> recv) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (size() == 1) {
+    std::memcpy(recv.data(), send.data(), send.size() * sizeof(T));
+    return;
+  }
+  enter_collective();
+  my_slot() = {send.data(), nullptr, send.size(), 0, 0};
+  group_->barrier_.arrive_and_wait();
+  for (int m = 0; m < size(); ++m) {
+    std::memcpy(recv.data() + static_cast<std::size_t>(m) * send.size(),
+                group_->slots_[m].ptr_a, send.size() * sizeof(T));
+  }
+  if (leader()) {
+    const std::size_t total = send.size() * sizeof(T) * size();
+    advance_clocks(world_->cost_model().allgather(group_->link(), total),
+                   total * (size() - 1) / size(),
+                   static_cast<std::uint64_t>(size() - 1), "allgather");
+  }
+  group_->barrier_.arrive_and_wait();
+  exit_collective();
+}
+
+template <class T>
+std::vector<T> Comm::allgatherv(std::span<const T> send,
+                                std::vector<std::size_t>* counts_out) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (size() == 1) {
+    if (counts_out) *counts_out = {send.size()};
+    return std::vector<T>(send.begin(), send.end());
+  }
+  enter_collective();
+  my_slot() = {send.data(), nullptr, send.size(), 0, 0};
+  group_->barrier_.arrive_and_wait();
+  std::size_t total = 0;
+  for (int m = 0; m < size(); ++m) total += group_->slots_[m].count;
+  std::vector<T> recv(total);
+  if (counts_out) counts_out->resize(size());
+  std::size_t offset = 0;
+  for (int m = 0; m < size(); ++m) {
+    const std::size_t count = group_->slots_[m].count;
+    if (count > 0) {
+      std::memcpy(recv.data() + offset, group_->slots_[m].ptr_a,
+                  count * sizeof(T));
+    }
+    if (counts_out) (*counts_out)[m] = count;
+    offset += count;
+  }
+  if (leader()) {
+    advance_clocks(
+        world_->cost_model().allgather(group_->link(), total * sizeof(T)),
+        total * sizeof(T), static_cast<std::uint64_t>(size() - 1), "allgatherv");
+  }
+  group_->barrier_.arrive_and_wait();
+  exit_collective();
+  return recv;
+}
+
+template <class T>
+std::vector<T> Comm::alltoallv(std::span<const T> send,
+                               std::span<const std::size_t> send_counts,
+                               std::vector<std::size_t>* recv_counts) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (static_cast<int>(send_counts.size()) != size()) {
+    throw std::invalid_argument("alltoallv: send_counts size != comm size");
+  }
+  if (size() == 1) {
+    if (recv_counts) *recv_counts = {send.size()};
+    return std::vector<T>(send.begin(), send.end());
+  }
+  enter_collective();
+  my_slot() = {send.data(), send_counts.data(), send.size(), 0, 0};
+  group_->barrier_.arrive_and_wait();
+  // Pull my segment out of every peer's send buffer.
+  std::vector<std::size_t> incoming(size());
+  for (int m = 0; m < size(); ++m) {
+    const auto* counts = static_cast<const std::size_t*>(group_->slots_[m].ptr_b);
+    incoming[m] = counts[group_rank_];
+  }
+  std::size_t total = 0;
+  for (const auto c : incoming) total += c;
+  std::vector<T> recv(total);
+  std::size_t out_offset = 0;
+  for (int m = 0; m < size(); ++m) {
+    const auto* counts = static_cast<const std::size_t*>(group_->slots_[m].ptr_b);
+    std::size_t in_offset = 0;
+    for (int d = 0; d < group_rank_; ++d) in_offset += counts[d];
+    if (incoming[m] > 0) {
+      std::memcpy(recv.data() + out_offset,
+                  static_cast<const T*>(group_->slots_[m].ptr_a) + in_offset,
+                  incoming[m] * sizeof(T));
+    }
+    out_offset += incoming[m];
+  }
+  if (recv_counts) *recv_counts = incoming;
+  if (leader()) {
+    // Max per-rank traffic (send + receive) bounds the exchange.
+    std::size_t max_rank_bytes = 0;
+    std::uint64_t total_bytes = 0;
+    std::uint64_t msgs = 0;
+    std::vector<std::size_t> rank_recv(size(), 0);
+    for (int m = 0; m < size(); ++m) {
+      const auto* counts = static_cast<const std::size_t*>(group_->slots_[m].ptr_b);
+      std::size_t sent = 0;
+      for (int d = 0; d < size(); ++d) {
+        sent += counts[d];
+        rank_recv[d] += counts[d];
+        if (d != m && counts[d] > 0) ++msgs;
+      }
+      total_bytes += (sent - counts[m]) * sizeof(T);
+      max_rank_bytes = std::max(max_rank_bytes, sent * sizeof(T));
+    }
+    for (int m = 0; m < size(); ++m) {
+      max_rank_bytes = std::max(max_rank_bytes, rank_recv[m] * sizeof(T));
+    }
+    advance_clocks(world_->cost_model().alltoallv(group_->link(), max_rank_bytes),
+                   total_bytes, msgs, "alltoallv");
+  }
+  group_->barrier_.arrive_and_wait();
+  exit_collective();
+  return recv;
+}
+
+template <class T>
+void Comm::send(std::span<const T> data, int dest_world_rank, int tag) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  enter_collective();  // attribute compute before the modeled send
+  const std::size_t bytes = data.size() * sizeof(T);
+  const auto& link = world_->topology().params(world_rank_, dest_world_rank);
+  const double cost = world_->cost_model().p2p(link, bytes);
+  World::Message msg;
+  msg.tag = tag;
+  msg.payload.resize(bytes);
+  std::memcpy(msg.payload.data(), data.data(), bytes);
+  msg.ready_vtime = world_->vclock_[world_rank_] + cost;
+  // Sender pays the latency portion (eager send).
+  world_->vclock_[world_rank_] += link.alpha_s;
+  world_->comm_s_[world_rank_] += link.alpha_s;
+  world_->bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  world_->messages_.fetch_add(1, std::memory_order_relaxed);
+  auto& box = *world_->mailboxes_[dest_world_rank];
+  {
+    std::lock_guard lock(box.mutex);
+    box.queue.push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+  exit_collective();
+}
+
+template <class T>
+std::vector<T> Comm::recv(int src_world_rank, int tag) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  (void)src_world_rank;  // mailbox is per destination; tag disambiguates
+  enter_collective();
+  auto& box = *world_->mailboxes_[world_rank_];
+  World::Message msg;
+  {
+    std::unique_lock lock(box.mutex);
+    for (;;) {
+      if (world_->abort_.load(std::memory_order_relaxed)) throw Aborted{};
+      auto it = box.queue.begin();
+      for (; it != box.queue.end(); ++it) {
+        if (it->tag == tag) break;
+      }
+      if (it != box.queue.end()) {
+        msg = std::move(*it);
+        box.queue.erase(it);
+        break;
+      }
+      box.cv.wait_for(lock, std::chrono::milliseconds(50));
+    }
+  }
+  const double arrival = std::max(world_->vclock_[world_rank_], msg.ready_vtime);
+  world_->comm_s_[world_rank_] += arrival - world_->vclock_[world_rank_];
+  world_->vclock_[world_rank_] = arrival;
+  std::vector<T> out(msg.payload.size() / sizeof(T));
+  std::memcpy(out.data(), msg.payload.data(), msg.payload.size());
+  exit_collective();
+  return out;
+}
+
+}  // namespace hpcg::comm

@@ -1,0 +1,26 @@
+#include "comm/cost_model.hpp"
+
+namespace hpcg::comm {
+
+GroupLink make_group_link(const Topology& topo, const int* members, int size) {
+  GroupLink g;
+  g.size = size;
+  if (size <= 1) {
+    g.link = topo.params(LinkClass::kSelf);
+    return g;
+  }
+  // Worst link on the ring of consecutive members (collective algorithms
+  // here are ring/tree over group order, so that is what they traverse).
+  LinkParams worst = topo.params(members[0], members[1]);
+  for (int i = 0; i < size; ++i) {
+    const LinkParams& p = topo.params(members[i], members[(i + 1) % size]);
+    if (p.beta_bytes_s < worst.beta_bytes_s ||
+        (p.beta_bytes_s == worst.beta_bytes_s && p.alpha_s > worst.alpha_s)) {
+      worst = p;
+    }
+  }
+  g.link = worst;
+  return g;
+}
+
+}  // namespace hpcg::comm

@@ -1,0 +1,58 @@
+#include "comm/runtime.hpp"
+
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace hpcg::comm {
+
+RunStats Runtime::run(int nranks, const Topology& topo, const CostModel& cost,
+                      const std::function<void(Comm&)>& body) {
+  if (topo.nranks() != nranks) {
+    throw std::invalid_argument("topology rank count != requested rank count");
+  }
+  World world(topo, cost);
+  std::vector<int> members(static_cast<std::size_t>(nranks));
+  std::iota(members.begin(), members.end(), 0);
+  auto world_group = std::make_shared<Group>(world, std::move(members));
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        Comm comm(&world, world_group, r);
+        comm.reset_clocks();
+        body(comm);
+        comm.flush_compute();
+      } catch (const Aborted&) {
+        // Another rank failed first; unwind quietly.
+      } catch (...) {
+        {
+          std::lock_guard lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        // Release every rank blocked in a barrier or recv; the flag is
+        // reachable here because lambdas in a member function share
+        // Runtime's friendship with World.
+        world.abort_.store(true);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return world.snapshot_stats();
+}
+
+RunStats Runtime::run(int nranks, const std::function<void(Comm&)>& body) {
+  return run(nranks, Topology::aimos(nranks), CostModel{}, body);
+}
+
+}  // namespace hpcg::comm

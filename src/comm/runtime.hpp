@@ -1,0 +1,25 @@
+// SPMD launcher: runs `body` once per rank on its own thread, exactly like
+// `mpirun -np p` launches the paper's host processes. Rank-private state is
+// whatever the body allocates; the Comm handle is the only shared channel.
+#pragma once
+
+#include <functional>
+
+#include "comm/comm.hpp"
+#include "comm/stats.hpp"
+
+namespace hpcg::comm {
+
+class Runtime {
+ public:
+  /// Runs `body(comm)` on `nranks` rank threads and returns the modeled
+  /// timing/traffic statistics. Rethrows the first rank failure (all other
+  /// ranks are aborted, never deadlocked).
+  static RunStats run(int nranks, const Topology& topo, const CostModel& cost,
+                      const std::function<void(Comm&)>& body);
+
+  /// Convenience overload: AiMOS-like topology, default cost parameters.
+  static RunStats run(int nranks, const std::function<void(Comm&)>& body);
+};
+
+}  // namespace hpcg::comm

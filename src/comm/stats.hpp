@@ -1,0 +1,46 @@
+// Timing and traffic statistics produced by a simulated run.
+//
+// Every rank carries a virtual clock. Compute segments (measured thread-CPU
+// time, scaled to modeled device speed) and collective costs (from the
+// CostModel) advance it; the resulting per-rank computation/communication
+// split is exactly what the paper's Figures 3 and 5 report ("the maximum
+// time over all ranks for each is reported").
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace hpcg::comm {
+
+/// One collective as the trace records it (leader-side view).
+struct TraceEvent {
+  double end_time = 0.0;   // virtual-clock time the group reached
+  double cost = 0.0;       // modeled duration of the operation
+  const char* op = "";     // "allreduce", "allgatherv", ...
+  int group_size = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct RunStats {
+  std::vector<double> vclock;  // modeled end time per rank, seconds
+  std::vector<double> comp_s;  // modeled computation seconds per rank
+  std::vector<double> comm_s;  // modeled communication seconds per rank
+  std::uint64_t bytes = 0;       // payload bytes moved between ranks
+  std::uint64_t messages = 0;    // modeled point-to-point message count
+  std::uint64_t collectives = 0; // collective operations issued
+  std::vector<TraceEvent> trace; // per-collective events (CostParams::trace)
+
+  /// Total modeled execution time (max over ranks), as the paper reports.
+  double makespan() const {
+    return vclock.empty() ? 0.0 : *std::max_element(vclock.begin(), vclock.end());
+  }
+  double max_comp() const {
+    return comp_s.empty() ? 0.0 : *std::max_element(comp_s.begin(), comp_s.end());
+  }
+  double max_comm() const {
+    return comm_s.empty() ? 0.0 : *std::max_element(comm_s.begin(), comm_s.end());
+  }
+};
+
+}  // namespace hpcg::comm

@@ -1,0 +1,54 @@
+#include "comm/topology.hpp"
+
+#include <sstream>
+
+namespace hpcg::comm {
+
+namespace {
+// Default link parameters, chosen to match the relative hierarchy of the
+// paper's systems (V100 NVLink ~ tens of GB/s effective; staged host copies
+// far slower; EDR IB ~ 9-10 GB/s effective per endpoint with higher
+// latency). Only the relative ordering and rough ratios matter for the
+// reproduced scaling shapes.
+constexpr LinkParams kNvlinkV100{5e-6, 60e9};
+constexpr LinkParams kHostStaged{12e-6, 24e9};
+constexpr LinkParams kEdrIb{25e-6, 9e9};
+constexpr LinkParams kNvlinkA100{4e-6, 150e9};
+}  // namespace
+
+Topology::Topology(int nranks, int gpus_per_node, int clique_size,
+                   LinkParams nvlink, LinkParams intra_node, LinkParams network)
+    : nranks_(nranks),
+      gpus_per_node_(gpus_per_node),
+      clique_size_(clique_size),
+      nvlink_(nvlink),
+      intra_node_(intra_node),
+      network_(network) {
+  if (nranks < 1) throw std::invalid_argument("topology needs >= 1 rank");
+  if (gpus_per_node < 1 || clique_size < 1 || gpus_per_node % clique_size != 0) {
+    throw std::invalid_argument("clique size must divide gpus per node");
+  }
+}
+
+Topology Topology::aimos(int nranks) {
+  return Topology(nranks, /*gpus_per_node=*/6, /*clique_size=*/3, kNvlinkV100,
+                  kHostStaged, kEdrIb);
+}
+
+Topology Topology::zepy(int nranks) {
+  // One node, one NVLink domain: clique == node == all ranks.
+  return Topology(nranks, nranks, nranks, kNvlinkA100, kNvlinkA100, kNvlinkA100);
+}
+
+Topology Topology::flat(int nranks, LinkParams params) {
+  return Topology(nranks, 1, 1, params, params, params);
+}
+
+std::string Topology::describe() const {
+  std::ostringstream os;
+  os << nranks_ << " ranks, " << gpus_per_node_ << " per node, NVLink cliques of "
+     << clique_size_;
+  return os.str();
+}
+
+}  // namespace hpcg::comm

@@ -1,0 +1,105 @@
+// Machine topology for the communication cost model.
+//
+// The paper's primary system (AiMOS at RPI) has 6 V100 GPUs per node; each
+// CPU socket hosts a triplet of NVLink-connected GPUs, cross-triplet and
+// cross-node traffic staged through the CPUs over EDR InfiniBand. The
+// secondary system (zepy) is a single node with 4 A100s. The topology
+// classifies every rank pair into a link class with alpha (latency) and
+// beta (bandwidth) parameters; collectives are costed against the slowest
+// link their group spans, which reproduces the paper's observation that
+// "communications across GPU groups and across the network required
+// movement through the CPU, which was likely our largest bottleneck".
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace hpcg::comm {
+
+enum class LinkClass {
+  kSelf = 0,       // same rank (no transfer)
+  kNvlink = 1,     // same NVLink clique
+  kIntraNode = 2,  // same node, staged through the host CPU
+  kNetwork = 3,    // across the interconnect
+};
+
+/// Latency/bandwidth pair of one link class (alpha-beta model).
+struct LinkParams {
+  double alpha_s = 0.0;        // per-message latency, seconds
+  double beta_bytes_s = 1e12;  // bandwidth, bytes/second
+};
+
+/// Placement of ranks onto nodes and NVLink cliques plus per-class link
+/// parameters. Immutable after construction.
+class Topology {
+ public:
+  /// AiMOS-like: `gpus_per_node` ranks per node (default 6), NVLink cliques
+  /// of `clique` ranks (default 3).
+  static Topology aimos(int nranks);
+
+  /// zepy-like: one node, one NVLink clique covering all ranks.
+  static Topology zepy(int nranks);
+
+  /// Uniform network between all ranks (used by unit tests).
+  static Topology flat(int nranks, LinkParams params = {20e-6, 10e9});
+
+  /// Fully custom placement.
+  Topology(int nranks, int gpus_per_node, int clique_size, LinkParams nvlink,
+           LinkParams intra_node, LinkParams network);
+
+  int nranks() const { return nranks_; }
+  int node_of(int rank) const { return rank / gpus_per_node_; }
+  int clique_of(int rank) const { return rank / clique_size_; }
+
+  LinkClass link_class(int a, int b) const {
+    if (a == b) return LinkClass::kSelf;
+    if (clique_of(a) == clique_of(b)) return LinkClass::kNvlink;
+    if (node_of(a) == node_of(b)) return LinkClass::kIntraNode;
+    return LinkClass::kNetwork;
+  }
+
+  const LinkParams& params(LinkClass c) const {
+    switch (c) {
+      case LinkClass::kSelf:
+        return self_;
+      case LinkClass::kNvlink:
+        return nvlink_;
+      case LinkClass::kIntraNode:
+        return intra_node_;
+      case LinkClass::kNetwork:
+        return network_;
+    }
+    throw std::logic_error("invalid link class");
+  }
+
+  const LinkParams& params(int a, int b) const { return params(link_class(a, b)); }
+
+  /// A copy of this topology with all per-message latencies multiplied by
+  /// `factor` (bandwidths unchanged). Benchmarks use this to keep the
+  /// latency-to-volume operating point of the paper's full-scale runs when
+  /// driving miniature analog inputs: the real runs move hundreds of MB per
+  /// collective, far above the latency floor, so a graph shrunk by ~10^3-4
+  /// needs latencies shrunk similarly for bandwidth effects to remain the
+  /// first-order term (see DESIGN.md).
+  Topology with_alpha_scale(double factor) const {
+    Topology t = *this;
+    t.nvlink_.alpha_s *= factor;
+    t.intra_node_.alpha_s *= factor;
+    t.network_.alpha_s *= factor;
+    return t;
+  }
+
+  std::string describe() const;
+
+ private:
+  int nranks_ = 1;
+  int gpus_per_node_ = 6;
+  int clique_size_ = 3;
+  LinkParams self_{0.0, 1e15};
+  LinkParams nvlink_;
+  LinkParams intra_node_;
+  LinkParams network_;
+};
+
+}  // namespace hpcg::comm

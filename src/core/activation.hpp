@@ -1,0 +1,66 @@
+// Pull-side vertex activation (paper §3.4.1).
+//
+// For pull updates the next iteration's active vertices are not the ones
+// that changed but their *neighbors*. Each rank expands the local
+// adjacencies of the changed row vertices, marking candidate column
+// vertices; the marks are then "shared in a push-style sparse communication
+// across the column groups and then the row groups" so that every rank
+// finishes with a consistent row-group active queue.
+#pragma once
+
+#include <vector>
+
+#include "core/dist2d.hpp"
+#include "core/manhattan.hpp"
+#include "core/queue.hpp"
+#include "core/work.hpp"
+
+namespace hpcg::core {
+
+/// Builds the next pull-iteration active queue (row LIDs) from the row
+/// vertices whose state changed this iteration. Collective over both group
+/// communicators.
+inline VertexQueue pull_activation(Dist2DGraph& g, const VertexQueue& changed_rows) {
+  const LidMap& lids = g.lids();
+
+  // Expand local adjacencies of the changed vertices; marks land on column
+  // LIDs.
+  VertexQueue col_marks(lids.n_total());
+  std::int64_t edges_expanded = 0;
+  manhattan_for_each_edge(g.csr(), std::span<const Lid>(changed_rows.items()),
+                          [&](Lid, Lid u, std::int64_t) {
+                            col_marks.try_push(u);
+                            ++edges_expanded;
+                          });
+  charge_kernel(g.world(), static_cast<std::int64_t>(changed_rows.size()),
+                edges_expanded);
+
+  // Column phase: union the marks over the column group; marks whose
+  // vertex this rank also owns as a row vertex cross over to the row phase.
+  std::vector<Gid> sbuf;
+  sbuf.reserve(col_marks.size());
+  for (const Lid v : col_marks.items()) sbuf.push_back(lids.to_gid(v));
+  col_marks.clear();
+
+  VertexQueue crossover(lids.n_total());
+  const auto col_gathered = g.col_comm().allgatherv(std::span<const Gid>(sbuf));
+  charge_kernel(g.world(), static_cast<std::int64_t>(col_gathered.size()), 0);
+  for (const Gid gid : col_gathered) {
+    const Lid l = lids.col_lid(gid);
+    if (lids.lid_is_row(l)) crossover.try_push(l);
+  }
+
+  // Row phase: spread the activation to every member of the row group.
+  sbuf.clear();
+  sbuf.reserve(crossover.size());
+  for (const Lid v : crossover.items()) sbuf.push_back(lids.to_gid(v));
+  crossover.clear();
+
+  VertexQueue active(lids.n_total());
+  const auto row_gathered = g.row_comm().allgatherv(std::span<const Gid>(sbuf));
+  charge_kernel(g.world(), static_cast<std::int64_t>(row_gathered.size()), 0);
+  for (const Gid gid : row_gathered) active.try_push(lids.row_lid(gid));
+  return active;
+}
+
+}  // namespace hpcg::core

@@ -1,0 +1,46 @@
+// Load-balance statistics for a 2D partition (paper §3.4.2): per-rank edge
+// and vertex counts and the imbalance factor max/mean. The paper's striped
+// vertex distribution exists to keep these near 1 on skewed inputs; the
+// distribution ablation benchmark quantifies that claim.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/dist2d.hpp"
+
+namespace hpcg::core {
+
+struct BalanceStats {
+  std::int64_t max_edges = 0;
+  double mean_edges = 0.0;
+  std::int64_t max_row_vertices = 0;
+  double mean_row_vertices = 0.0;
+
+  /// max/mean edge imbalance: 1.0 is perfect.
+  double edge_imbalance() const {
+    return mean_edges > 0 ? static_cast<double>(max_edges) / mean_edges : 1.0;
+  }
+};
+
+/// Host-side: computed directly from the partition (no ranks needed).
+inline BalanceStats partition_balance(const Partitioned2D& parts) {
+  BalanceStats stats;
+  std::int64_t total_edges = 0;
+  for (int r = 0; r < parts.grid().ranks(); ++r) {
+    const auto edges = static_cast<std::int64_t>(parts.edges_of(r).size());
+    stats.max_edges = std::max(stats.max_edges, edges);
+    total_edges += edges;
+  }
+  stats.mean_edges =
+      static_cast<double>(total_edges) / static_cast<double>(parts.grid().ranks());
+  for (int g = 0; g < parts.grid().row_groups(); ++g) {
+    stats.max_row_vertices =
+        std::max(stats.max_row_vertices, parts.row_partition().count(g));
+  }
+  stats.mean_row_vertices = static_cast<double>(parts.n()) /
+                            static_cast<double>(parts.grid().row_groups());
+  return stats;
+}
+
+}  // namespace hpcg::core

@@ -1,0 +1,103 @@
+// Dense communications (paper §3.3.1, Algorithm 2, Figure 2).
+//
+// All vertex state values along the group are exchanged regardless of
+// whether they changed: a push is an AllReduce of the column-group state
+// slice followed by a row-group broadcast of the row slice; a pull is the
+// mirror image. When the grid is square the broadcast has a single root
+// (the diagonal rank, whose row and column ranges coincide); otherwise the
+// row range spans several column ranges and the values are re-distributed
+// with a batch of grouped broadcasts, one rooted at each rank whose column
+// range covers a piece — the paper's "multiple grouped broadcasts via
+// aggregated Group Calls in NCCL".
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/dist2d.hpp"
+
+namespace hpcg::core {
+
+enum class Direction { kPush, kPull };
+
+namespace detail {
+
+/// After the reduction phase, re-distributes the fully reduced values for
+/// `dest_gid_range` (this rank's row range for push, column range for pull)
+/// across `bcast_comm`. `src_parts` partitions the GID space on the other
+/// grid axis; the member of `bcast_comm` at index p owns the reduced values
+/// for partition p's overlap with the destination range.
+template <class T>
+void redistribute(comm::Comm& bcast_comm, const BlockPartition& src_parts,
+                  const LidMap& lids, Gid dest_start, Gid dest_count,
+                  bool dest_is_row, std::span<T> state) {
+  std::vector<comm::BcastSeg<T>> segments;
+  for (int p = 0; p < src_parts.parts(); ++p) {
+    const Gid lo = std::max(dest_start, src_parts.start(p));
+    const Gid hi = std::min(dest_start + dest_count, src_parts.end(p));
+    if (lo >= hi) continue;
+    const Lid lid = dest_is_row ? lids.row_lid(lo) : lids.col_lid(lo);
+    segments.push_back({p, state.data() + lid, static_cast<std::size_t>(hi - lo)});
+  }
+  if (segments.size() == 1) {
+    bcast_comm.broadcast(std::span<T>(segments[0].data, segments[0].count),
+                         segments[0].root);
+  } else if (!segments.empty()) {
+    bcast_comm.multi_broadcast(std::span<const comm::BcastSeg<T>>(segments));
+  }
+}
+
+}  // namespace detail
+
+/// Algorithm 2: dense exchange of `state` (LID-indexed, n_total entries)
+/// with a builtin reduction. After the call, every rank holds globally
+/// consistent values for all of its row and column vertices.
+template <class T>
+void dense_exchange(Dist2DGraph& g, std::span<T> state, comm::ReduceOp op,
+                    Direction dir) {
+  const LidMap& lids = g.lids();
+  if (dir == Direction::kPush) {
+    // AllReduce(S[C_offset_C], N_C, COL_GROUP_COMM)
+    g.col_comm().allreduce(
+        state.subspan(static_cast<std::size_t>(lids.c_offset_c()),
+                      static_cast<std::size_t>(lids.n_col())),
+        op);
+    // Broadcast(S[C_offset_R], N_R, ROW_GROUP_COMM) — grouped when R != C.
+    detail::redistribute(g.row_comm(), g.partition().col_partition(), lids,
+                         lids.row_offset(), lids.n_row(), /*dest_is_row=*/true,
+                         state);
+  } else {
+    g.row_comm().allreduce(
+        state.subspan(static_cast<std::size_t>(lids.c_offset_r()),
+                      static_cast<std::size_t>(lids.n_row())),
+        op);
+    detail::redistribute(g.col_comm(), g.partition().row_partition(), lids,
+                         lids.col_offset(), lids.n_col(), /*dest_is_row=*/false,
+                         state);
+  }
+}
+
+/// Dense exchange with a user combiner (for reductions NCCL does not have
+/// natively; the paper notes such cases fall back to more complex schemes —
+/// this overload supports the simple ones that remain element-wise).
+template <class T, class F>
+void dense_exchange(Dist2DGraph& g, std::span<T> state, F&& combine, Direction dir) {
+  const LidMap& lids = g.lids();
+  if (dir == Direction::kPush) {
+    g.col_comm().allreduce(
+        state.subspan(static_cast<std::size_t>(lids.c_offset_c()),
+                      static_cast<std::size_t>(lids.n_col())),
+        combine);
+    detail::redistribute(g.row_comm(), g.partition().col_partition(), lids,
+                         lids.row_offset(), lids.n_row(), true, state);
+  } else {
+    g.row_comm().allreduce(
+        state.subspan(static_cast<std::size_t>(lids.c_offset_r()),
+                      static_cast<std::size_t>(lids.n_row())),
+        combine);
+    detail::redistribute(g.col_comm(), g.partition().row_partition(), lids,
+                         lids.col_offset(), lids.n_col(), false, state);
+  }
+}
+
+}  // namespace hpcg::core

@@ -1,0 +1,98 @@
+#include "core/dist2d.hpp"
+
+namespace hpcg::core {
+
+Partitioned2D::Partitioned2D(Grid grid, Gid n, const graph::StripedRelabel& relabel)
+    : grid_(grid),
+      n_(n),
+      relabel_(relabel),
+      row_part_(n, grid.row_groups()),
+      col_part_(n, grid.col_groups()),
+      edges_(static_cast<std::size_t>(grid.ranks())),
+      weights_(static_cast<std::size_t>(grid.ranks())) {}
+
+Partitioned2D Partitioned2D::build(const graph::EdgeList& global, Grid grid,
+                                   bool striped) {
+  // A one-group striping is the identity permutation (contiguous blocks).
+  graph::StripedRelabel relabel(global.n, striped ? grid.row_groups() : 1);
+  Partitioned2D parts(grid, global.n, relabel);
+  parts.m_global_ = global.m();
+  parts.weighted_ = global.weighted();
+
+  // First pass: count per block for exact allocation.
+  std::vector<std::size_t> counts(static_cast<std::size_t>(grid.ranks()), 0);
+  std::vector<int> owner(global.edges.size());
+  for (std::size_t i = 0; i < global.edges.size(); ++i) {
+    const Gid u = relabel.to_new(global.edges[i].u);
+    const Gid v = relabel.to_new(global.edges[i].v);
+    const int rank = grid.rank_at(parts.row_part_.part_of(u), parts.col_part_.part_of(v));
+    owner[i] = rank;
+    ++counts[static_cast<std::size_t>(rank)];
+  }
+  for (int r = 0; r < grid.ranks(); ++r) {
+    parts.edges_[r].reserve(counts[static_cast<std::size_t>(r)]);
+    if (global.weighted()) parts.weights_[r].reserve(counts[static_cast<std::size_t>(r)]);
+  }
+  for (std::size_t i = 0; i < global.edges.size(); ++i) {
+    const Gid u = relabel.to_new(global.edges[i].u);
+    const Gid v = relabel.to_new(global.edges[i].v);
+    parts.edges_[owner[i]].push_back({u, v});
+    if (global.weighted()) parts.weights_[owner[i]].push_back(global.weights[i]);
+  }
+  return parts;
+}
+
+namespace {
+
+/// Validates the communicator/grid match before any member uses the rank
+/// to index partition data (must run first in the initializer list).
+int checked_row_group(const comm::Comm& world, const Partitioned2D& parts) {
+  if (world.size() != parts.grid().ranks()) {
+    throw std::invalid_argument("communicator size != grid size");
+  }
+  return parts.grid().row_group_of(world.rank());
+}
+
+LidMap make_lid_map(const Partitioned2D& parts, int id_r, int id_c) {
+  return LidMap(parts.row_partition().start(id_r), parts.row_partition().count(id_r),
+                parts.col_partition().start(id_c), parts.col_partition().count(id_c));
+}
+
+graph::Csr make_local_csr(const Partitioned2D& parts, const LidMap& lids, int rank) {
+  const auto& edges = parts.edges_of(rank);
+  const auto& weights = parts.weights_of(rank);
+  std::vector<graph::Edge> local;
+  local.reserve(edges.size());
+  for (const auto& e : edges) {
+    local.push_back({lids.row_lid(e.u), lids.col_lid(e.v)});
+  }
+  return graph::Csr(lids.n_total(), local,
+                    std::span<const double>(weights.data(), weights.size()));
+}
+
+}  // namespace
+
+Dist2DGraph::Dist2DGraph(comm::Comm& world, const Partitioned2D& parts)
+    : parts_(&parts),
+      world_(&world),
+      id_r_(checked_row_group(world, parts)),
+      id_c_(parts.grid().col_group_of(world.rank())),
+      rank_r_(id_c_),  // position within the row group == column index
+      rank_c_(id_r_),  // position within the column group == row index
+      lid_map_(make_lid_map(parts, id_r_, id_c_)),
+      csr_(make_local_csr(parts, lid_map_, world.rank())),
+      row_comm_(world.split(/*color=*/id_r_, /*key=*/id_c_)),
+      col_comm_(world.split(/*color=*/id_c_, /*key=*/id_r_)) {}
+
+const std::vector<std::int64_t>& Dist2DGraph::global_row_degrees() {
+  if (!global_degrees_.empty() || lid_map_.n_row() == 0) return global_degrees_;
+  global_degrees_.resize(static_cast<std::size_t>(lid_map_.n_row()));
+  for (Lid v = 0; v < lid_map_.n_row(); ++v) {
+    global_degrees_[static_cast<std::size_t>(v)] =
+        csr_.degree(lid_map_.c_offset_r() + v);
+  }
+  row_comm_.allreduce(std::span(global_degrees_), comm::ReduceOp::kSum);
+  return global_degrees_;
+}
+
+}  // namespace hpcg::core

@@ -1,0 +1,116 @@
+// The 2D-distributed graph structure (paper §3.2) and its host-side
+// construction.
+//
+// Construction happens in two stages, mirroring the paper's CPU-side
+// build + transfer:
+//   1. `Partitioned2D::build` (call once, before spawning ranks): applies
+//      the striped relabeling and buckets every edge into its owning block
+//      (row group of the source x column group of the destination).
+//   2. `Dist2DGraph` (per rank, inside the rank body): converts the rank's
+//      bucket to a local CSR in LID space, sets up the LID map and the
+//      row/column communicators.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "core/grid.hpp"
+#include "core/lid_map.hpp"
+#include "graph/csr.hpp"
+#include "graph/relabel.hpp"
+#include "graph/types.hpp"
+
+namespace hpcg::core {
+
+/// Host-side 2D partition of a global edge list. Immutable once built;
+/// shared read-only by all rank threads.
+class Partitioned2D {
+ public:
+  /// `global` must already be symmetrized (if undirected semantics are
+  /// wanted). Endpoints are relabeled by the striped permutation over
+  /// `grid.row_groups()` groups before blocking; pass `striped = false` to
+  /// keep original ids (contiguous blocks — the naive distribution the
+  /// paper's §3.4 striping improves on; used by the distribution ablation).
+  static Partitioned2D build(const graph::EdgeList& global, Grid grid,
+                             bool striped = true);
+
+  const Grid& grid() const { return grid_; }
+  Gid n() const { return n_; }
+  std::int64_t m_global() const { return m_global_; }
+  /// Whether the global input carried edge weights (a rank whose block is
+  /// empty cannot tell from its local CSR alone).
+  bool weighted() const { return weighted_; }
+  const graph::StripedRelabel& relabel() const { return relabel_; }
+  const BlockPartition& row_partition() const { return row_part_; }
+  const BlockPartition& col_partition() const { return col_part_; }
+
+  const std::vector<graph::Edge>& edges_of(int rank) const { return edges_[rank]; }
+  const std::vector<double>& weights_of(int rank) const { return weights_[rank]; }
+
+ private:
+  Partitioned2D(Grid grid, Gid n, const graph::StripedRelabel& relabel);
+
+  Grid grid_;
+  Gid n_;
+  std::int64_t m_global_ = 0;
+  bool weighted_ = false;
+  graph::StripedRelabel relabel_;
+  BlockPartition row_part_;
+  BlockPartition col_part_;
+  std::vector<std::vector<graph::Edge>> edges_;
+  std::vector<std::vector<double>> weights_;
+};
+
+/// Rank-local view of the 2D distribution: Table 1's variables plus the
+/// local CSR (sources are row LIDs, adjacency entries are column LIDs) and
+/// the row/column group communicators.
+class Dist2DGraph {
+ public:
+  Dist2DGraph(comm::Comm& world, const Partitioned2D& parts);
+
+  // --- Table 1 accessors -------------------------------------------------
+  Gid n() const { return parts_->n(); }                       // N
+  std::int64_t m_global() const { return parts_->m_global(); } // M
+  std::int64_t m_local() const { return csr_.m(); }
+  int id_r() const { return id_r_; }        // row group ID
+  int id_c() const { return id_c_; }        // column group ID
+  int rank_r() const { return rank_r_; }    // rank within row group
+  int rank_c() const { return rank_c_; }    // rank within column group
+  const LidMap& lids() const { return lid_map_; }
+  const graph::Csr& csr() const { return csr_; }
+  const Grid& grid() const { return parts_->grid(); }
+  const Partitioned2D& partition() const { return *parts_; }
+
+  comm::Comm& world() { return *world_; }
+  comm::Comm& row_comm() { return row_comm_; }
+  comm::Comm& col_comm() { return col_comm_; }
+
+  /// Local degree of a row vertex (not the true degree; paper §3.2 notes
+  /// true degree is the sum of local degrees across the row group).
+  std::int64_t local_degree(Lid v) const { return csr_.degree(v); }
+
+  /// True (global) degrees of this rank's row vertices, summed across the
+  /// row group with one dense AllReduce. Cached after the first call; all
+  /// row-group members must make the first call together.
+  const std::vector<std::int64_t>& global_row_degrees();
+
+  /// Iterates this rank's row vertices as LIDs: [row_lid_begin, row_lid_end).
+  Lid row_lid_begin() const { return lid_map_.c_offset_r(); }
+  Lid row_lid_end() const { return lid_map_.c_offset_r() + lid_map_.n_row(); }
+
+ private:
+  const Partitioned2D* parts_;
+  comm::Comm* world_;
+  int id_r_;
+  int id_c_;
+  int rank_r_;
+  int rank_c_;
+  LidMap lid_map_;
+  graph::Csr csr_;
+  comm::Comm row_comm_;
+  comm::Comm col_comm_;
+  std::vector<std::int64_t> global_degrees_;  // lazily filled
+};
+
+}  // namespace hpcg::core

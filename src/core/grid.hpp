@@ -1,0 +1,114 @@
+// 2D process grid (Figure 1 of the paper). The adjacency matrix is split
+// into row_groups x col_groups blocks; a rank owns exactly one block.
+//
+// Terminology bridge to the paper's Table 1:
+//   * a "row group" is the set of ranks sharing a block-row (they own the
+//     same vertices); there are `row_groups()` of them, each containing
+//     `ranks_per_row_group()` ranks — the paper's R;
+//   * a "column group" is the set of ranks sharing a block-column (same
+//     ghosts); each contains `ranks_per_col_group()` ranks — the paper's C.
+#pragma once
+
+#include <stdexcept>
+
+#include "graph/types.hpp"
+
+namespace hpcg::core {
+
+using graph::Gid;
+
+/// How grid coordinates map onto physical (world) ranks. World-rank
+/// neighbors are physically close (NVLink triplet, then node), so the
+/// placement decides which group's communication runs on fast links:
+/// row-major packs row groups onto nodes (cheap row communication),
+/// column-major packs column groups (cheap column communication — the
+/// reduction direction of push algorithms). This is the knob the paper's
+/// future work points at ("communication-optimizing methods based on
+/// hardware network topology"); bench_ablation_placement quantifies it.
+enum class Placement { kRowMajor, kColMajor };
+
+class Grid {
+ public:
+  Grid(int row_groups, int col_groups, Placement placement = Placement::kRowMajor)
+      : row_groups_(row_groups), col_groups_(col_groups), placement_(placement) {
+    if (row_groups < 1 || col_groups < 1) {
+      throw std::invalid_argument("grid dimensions must be positive");
+    }
+  }
+
+  /// The most-square factorization of p (rows <= cols), the configuration
+  /// the paper uses for all primary experiments.
+  static Grid squarest(int p) {
+    int rows = 1;
+    for (int r = 1; static_cast<long long>(r) * r <= p; ++r) {
+      if (p % r == 0) rows = r;
+    }
+    return Grid(rows, p / rows);
+  }
+
+  int row_groups() const { return row_groups_; }
+  int col_groups() const { return col_groups_; }
+  int ranks() const { return row_groups_ * col_groups_; }
+
+  /// Paper's R: ranks in each row group.
+  int ranks_per_row_group() const { return col_groups_; }
+  /// Paper's C: ranks in each column group.
+  int ranks_per_col_group() const { return row_groups_; }
+
+  Placement placement() const { return placement_; }
+
+  int row_group_of(int rank) const {
+    return placement_ == Placement::kRowMajor ? rank / col_groups_
+                                              : rank % row_groups_;
+  }
+  int col_group_of(int rank) const {
+    return placement_ == Placement::kRowMajor ? rank % col_groups_
+                                              : rank / row_groups_;
+  }
+  int rank_at(int row_group, int col_group) const {
+    return placement_ == Placement::kRowMajor
+               ? row_group * col_groups_ + col_group
+               : col_group * row_groups_ + row_group;
+  }
+
+ private:
+  int row_groups_;
+  int col_groups_;
+  Placement placement_;
+};
+
+/// Contiguous partition of [0, n) into `parts` nearly equal ranges (the
+/// remainder spread over the leading parts, matching StripedRelabel's
+/// block layout so striped row groups line up with partition ranges).
+class BlockPartition {
+ public:
+  BlockPartition(Gid n, int parts)
+      : n_(n), parts_(parts), base_(n / parts), remainder_(n % parts) {
+    if (n < 0 || parts < 1) throw std::invalid_argument("bad partition");
+  }
+
+  Gid n() const { return n_; }
+  int parts() const { return parts_; }
+
+  Gid start(int part) const {
+    return static_cast<Gid>(part) * base_ + std::min<Gid>(part, remainder_);
+  }
+  Gid count(int part) const { return base_ + (part < remainder_ ? 1 : 0); }
+  Gid end(int part) const { return start(part) + count(part); }
+
+  int part_of(Gid v) const {
+    if (v < 0 || v >= n_) throw std::out_of_range("vertex outside partition");
+    const Gid big_block = base_ + 1;
+    const Gid big_total = remainder_ * big_block;
+    if (v < big_total) return static_cast<int>(v / big_block);
+    return static_cast<int>(remainder_ + (v - big_total) / base_);
+  }
+
+ private:
+  Gid n_;
+  int parts_;
+  Gid base_;
+  Gid remainder_;
+};
+
+}  // namespace hpcg::core

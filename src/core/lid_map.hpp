@@ -1,0 +1,103 @@
+// Global->local vertex ID mapping (paper §3.2, Tables 1 and 2).
+//
+// A rank's row vertices occupy the contiguous global range
+// [N_Offset_R, N_Offset_R + N_R) and its column (ghost) vertices
+// [N_Offset_C, N_Offset_C + N_C). Depending on how the two ranges relate,
+// local IDs are laid out per one of three Types so that (a) global<->local
+// conversion is plain arithmetic (no hash table), and (b) row and column
+// vertices each form a dense LID interval, letting dense communications
+// address a group's whole state with just an offset and a count.
+#pragma once
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/types.hpp"
+
+namespace hpcg::core {
+
+using graph::Gid;
+using graph::Lid;
+
+class LidMap {
+ public:
+  LidMap() = default;
+
+  LidMap(Gid row_offset, Gid n_row, Gid col_offset, Gid n_col)
+      : row_offset_(row_offset), n_row_(n_row), col_offset_(col_offset), n_col_(n_col) {
+    const bool overlap =
+        row_offset < col_offset + n_col && col_offset < row_offset + n_row &&
+        n_row > 0 && n_col > 0;
+    if (!overlap) {
+      type_ = 0;
+      c_offset_r_ = 0;
+      c_offset_c_ = n_row_;
+      n_total_ = n_row_ + n_col_;
+    } else if (row_offset <= col_offset) {
+      type_ = 1;
+      const Gid diff = col_offset - row_offset;
+      c_offset_r_ = 0;
+      c_offset_c_ = diff;
+      n_total_ = std::max(n_row_, diff + n_col_);
+    } else {
+      type_ = 2;
+      const Gid diff = row_offset - col_offset;
+      c_offset_r_ = diff;
+      c_offset_c_ = 0;
+      n_total_ = std::max(diff + n_row_, n_col_);
+    }
+  }
+
+  int type() const { return type_; }
+  Gid row_offset() const { return row_offset_; }   // N_Offset_R
+  Gid col_offset() const { return col_offset_; }   // N_Offset_C
+  Gid n_row() const { return n_row_; }             // N_R
+  Gid n_col() const { return n_col_; }             // N_C
+  Lid n_total() const { return n_total_; }         // N_T
+  Lid c_offset_r() const { return c_offset_r_; }   // first row LID
+  Lid c_offset_c() const { return c_offset_c_; }   // first col LID
+
+  bool owns_row_gid(Gid g) const {
+    return g >= row_offset_ && g < row_offset_ + n_row_;
+  }
+  bool has_col_gid(Gid g) const {
+    return g >= col_offset_ && g < col_offset_ + n_col_;
+  }
+
+  Lid row_lid(Gid g) const { return c_offset_r_ + (g - row_offset_); }
+  Lid col_lid(Gid g) const { return c_offset_c_ + (g - col_offset_); }
+
+  /// GID -> LID for any vertex in the row or column range. For overlapping
+  /// ranges both mappings agree, so either is taken.
+  Lid to_lid(Gid g) const {
+    if (owns_row_gid(g)) return row_lid(g);
+    if (has_col_gid(g)) return col_lid(g);
+    throw std::out_of_range("gid not local to this rank");
+  }
+
+  /// LID -> GID (inverse of to_lid over [0, n_total)).
+  Gid to_gid(Lid l) const {
+    if (l >= c_offset_r_ && l < c_offset_r_ + n_row_) return row_offset_ + (l - c_offset_r_);
+    if (l >= c_offset_c_ && l < c_offset_c_ + n_col_) return col_offset_ + (l - c_offset_c_);
+    throw std::out_of_range("lid out of range");
+  }
+
+  bool lid_is_row(Lid l) const {
+    return l >= c_offset_r_ && l < c_offset_r_ + n_row_;
+  }
+  bool lid_is_col(Lid l) const {
+    return l >= c_offset_c_ && l < c_offset_c_ + n_col_;
+  }
+
+ private:
+  Gid row_offset_ = 0;
+  Gid n_row_ = 0;
+  Gid col_offset_ = 0;
+  Gid n_col_ = 0;
+  int type_ = 0;
+  Lid c_offset_r_ = 0;
+  Lid c_offset_c_ = 0;
+  Lid n_total_ = 0;
+};
+
+}  // namespace hpcg::core

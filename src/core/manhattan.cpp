@@ -1,0 +1,23 @@
+#include "core/manhattan.hpp"
+
+namespace hpcg::core {
+
+std::int64_t manhattan_span(const Csr& csr, std::span<const Lid> queue,
+                            int block_size) {
+  const auto offsets = csr.offsets();
+  std::int64_t span = 0;
+  for (std::size_t block_start = 0; block_start < queue.size();
+       block_start += static_cast<std::size_t>(block_size)) {
+    const std::size_t block_n =
+        std::min(queue.size() - block_start, static_cast<std::size_t>(block_size));
+    std::int64_t total = 0;
+    for (std::size_t t = 0; t < block_n; ++t) {
+      const Lid v = queue[block_start + t];
+      total += offsets[v + 1] - offsets[v];
+    }
+    span += (total + block_size - 1) / block_size;
+  }
+  return span;
+}
+
+}  // namespace hpcg::core

@@ -1,0 +1,79 @@
+// Local Manhattan Collapse (paper §3.4.2, Algorithm 6).
+//
+// Queue-based iteration breaks degree-sorted load-balancing tricks, so the
+// paper collapses the nested vertex/edge loops: each thread block takes
+// BlockSize queued vertices, prefix-sums their degrees in shared memory,
+// then strides over the flat work range assigning each edge to a thread via
+// binary search on the degree offsets. We execute the identical schedule —
+// per-block prefix sums, flat edge index, binary search back to the owning
+// vertex — sequentially, which preserves the work decomposition and lets
+// the micro-benchmarks measure its (small) overhead against the naive
+// nested loop exactly as §3.4.2 discusses.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/scan.hpp"
+
+namespace hpcg::core {
+
+using graph::Csr;
+using graph::Gid;
+using graph::Lid;
+
+/// Iterates every incident edge of every vertex in `queue`, invoking
+/// `fn(v, u, edge_index)` where v is the queued vertex (LID), u the
+/// adjacency entry (column LID) and edge_index its CSR position (for
+/// weight lookup). `block_size` mirrors the GPU thread-block size.
+template <class Fn>
+void manhattan_for_each_edge(const Csr& csr, std::span<const Lid> queue, Fn&& fn,
+                             int block_size = 256) {
+  const auto offsets = csr.offsets();
+  const auto adj = csr.adjacencies();
+  std::vector<std::int64_t> work(static_cast<std::size_t>(block_size) + 1);
+  for (std::size_t block_start = 0; block_start < queue.size();
+       block_start += static_cast<std::size_t>(block_size)) {
+    const std::size_t block_n =
+        std::min(queue.size() - block_start, static_cast<std::size_t>(block_size));
+    // work[t + 1] = degree of the t-th vertex in the block; block_scan.
+    work[0] = 0;
+    for (std::size_t t = 0; t < block_n; ++t) {
+      const Lid v = queue[block_start + t];
+      work[t + 1] = offsets[v + 1] - offsets[v];
+    }
+    util::inclusive_scan_inplace(std::span(work.data() + 1, block_n));
+    const std::int64_t total = work[block_n];
+    const std::span<const std::int64_t> work_view(work.data(), block_n + 1);
+    // Flat edge loop: on the GPU, threads stride by BlockSize; sequentially
+    // the same indices are visited in ascending order.
+    for (std::int64_t i = 0; i < total; ++i) {
+      const std::size_t j = util::owner_of(work_view.subspan(0, block_n), i);
+      const Lid v = queue[block_start + j];
+      const std::int64_t edge = offsets[v] + (i - work_view[j]);
+      fn(v, adj[edge], edge);
+    }
+  }
+}
+
+/// The naive nested loop over the same queue, used as the ablation baseline
+/// for the Manhattan collapse micro-benchmark.
+template <class Fn>
+void nested_for_each_edge(const Csr& csr, std::span<const Lid> queue, Fn&& fn) {
+  const auto offsets = csr.offsets();
+  const auto adj = csr.adjacencies();
+  for (const Lid v : queue) {
+    for (std::int64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+      fn(v, adj[e], e);
+    }
+  }
+}
+
+/// Modeled SIMT span of one Manhattan-collapsed pass: the number of
+/// block-synchronous edge strides, max over blocks of ceil(work/BlockSize).
+/// Used by load-balance statistics in the benches.
+std::int64_t manhattan_span(const Csr& csr, std::span<const Lid> queue,
+                            int block_size = 256);
+
+}  // namespace hpcg::core

@@ -1,0 +1,89 @@
+// Packet swapping (paper §3.3.3).
+//
+// Some applications (pointer jumping, least-common-ancestor traversals)
+// propagate information that does not follow graph edges: an update must
+// reach the owners of an arbitrary vertex. A packet carries its destination
+// vertex plus application data and is delivered with one row-group and one
+// column-group personalized exchange — "communicated across row and column
+// groups ... via a single set of row and column group communications":
+//
+//   hop 1 (row group):    to the member whose column range contains the
+//                         destination vertex;
+//   hop 2 (column group): to the member whose row range contains it.
+//
+// After the swap, each packet resides on exactly one rank that owns the
+// destination as a row vertex (the rank of the destination's row group
+// sitting in this rank's original column path).
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/dist2d.hpp"
+
+namespace hpcg::core {
+
+/// General form: routes each packet to the rank owning block
+/// (row_group(row_key), col_group(col_key)) — hop 1 along the row group to
+/// the member at the destination column, hop 2 along the column group to
+/// the destination row group. `keys(p)` returns {row_key, col_key} as
+/// GIDs. Vertex-addressed delivery is the special case row_key == col_key
+/// (landing on the diagonal-path owner of the vertex); block-addressed
+/// delivery (e.g. triangle counting's edge-existence queries, which must
+/// reach the unique block owning edge (a, b)) uses distinct keys.
+template <class P, class F>
+std::vector<P> packet_swap_blocks(Dist2DGraph& g, std::span<const P> packets,
+                                  F&& keys) {
+  const BlockPartition& cols = g.partition().col_partition();
+  const BlockPartition& rows = g.partition().row_partition();
+
+  // Hop 1: bucket by the destination's column group, exchange along the
+  // row group (member index within a row group == column group index).
+  const int row_members = g.row_comm().size();
+  std::vector<std::size_t> send_counts(static_cast<std::size_t>(row_members), 0);
+  for (const P& p : packets) {
+    ++send_counts[static_cast<std::size_t>(cols.part_of(keys(p).second))];
+  }
+  std::vector<std::size_t> cursor(send_counts.size(), 0);
+  for (std::size_t d = 1; d < cursor.size(); ++d) {
+    cursor[d] = cursor[d - 1] + send_counts[d - 1];
+  }
+  std::vector<P> send(packets.size());
+  for (const P& p : packets) {
+    send[cursor[static_cast<std::size_t>(cols.part_of(keys(p).second))]++] = p;
+  }
+  auto mid = g.row_comm().alltoallv(std::span<const P>(send),
+                                    std::span<const std::size_t>(send_counts));
+
+  // Hop 2: bucket by the destination's row group, exchange along the
+  // column group (member index within a column group == row group index).
+  const int col_members = g.col_comm().size();
+  send_counts.assign(static_cast<std::size_t>(col_members), 0);
+  for (const P& p : mid) {
+    ++send_counts[static_cast<std::size_t>(rows.part_of(keys(p).first))];
+  }
+  cursor.assign(send_counts.size(), 0);
+  for (std::size_t d = 1; d < cursor.size(); ++d) {
+    cursor[d] = cursor[d - 1] + send_counts[d - 1];
+  }
+  send.resize(mid.size());
+  for (const P& p : mid) {
+    send[cursor[static_cast<std::size_t>(rows.part_of(keys(p).first))]++] = p;
+  }
+  return g.col_comm().alltoallv(std::span<const P>(send),
+                                std::span<const std::size_t>(send_counts));
+}
+
+/// Routes packets to the owners of their destination vertices. `dest_of`
+/// maps a packet to its destination GID. Collective over both of the
+/// graph's group communicators.
+template <class P, class F>
+std::vector<P> packet_swap(Dist2DGraph& g, std::span<const P> packets, F&& dest_of) {
+  return packet_swap_blocks(g, packets, [&](const P& p) {
+    const Gid dest = dest_of(p);
+    return std::pair<Gid, Gid>(dest, dest);
+  });
+}
+
+}  // namespace hpcg::core

@@ -1,0 +1,63 @@
+// Work/communication queues (paper §3.3.2, Algorithm 4's q_in flags).
+//
+// On the GPU, queue membership is guarded with atomicExch on a boolean
+// array indexed by LID, so a vertex whose state is updated many times in an
+// iteration enters the communication queue exactly once. The sequential
+// emulation keeps the flag-array + compact-list structure (and the same
+// "test-and-set then append" protocol) so queue sizes, communication
+// volumes and iteration order match the paper's kernels.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace hpcg::core {
+
+using graph::Lid;
+
+class VertexQueue {
+ public:
+  VertexQueue() = default;
+  explicit VertexQueue(Lid n_total) : in_queue_(static_cast<std::size_t>(n_total), 0) {}
+
+  void resize(Lid n_total) {
+    in_queue_.assign(static_cast<std::size_t>(n_total), 0);
+    items_.clear();
+  }
+
+  /// atomicExch(q_in[v], true): enqueues v unless already present.
+  /// Returns true if the vertex was newly enqueued.
+  bool try_push(Lid v) {
+    auto& flag = in_queue_[static_cast<std::size_t>(v)];
+    if (flag) return false;
+    flag = 1;
+    items_.push_back(v);
+    return true;
+  }
+
+  bool contains(Lid v) const { return in_queue_[static_cast<std::size_t>(v)] != 0; }
+  const std::vector<Lid>& items() const { return items_; }
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  /// Resets flags for exactly the queued vertices (Algorithm 4 clears
+  /// q_in[v] while draining the queue; clearing the whole array would be
+  /// O(N_T) per iteration).
+  void clear() {
+    for (const Lid v : items_) in_queue_[static_cast<std::size_t>(v)] = 0;
+    items_.clear();
+  }
+
+  void swap(VertexQueue& other) {
+    in_queue_.swap(other.in_queue_);
+    items_.swap(other.items_);
+  }
+
+ private:
+  std::vector<std::uint8_t> in_queue_;  // q_in of Algorithm 4
+  std::vector<Lid> items_;              // Q of Algorithm 4
+};
+
+}  // namespace hpcg::core

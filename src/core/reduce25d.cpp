@@ -1,0 +1,27 @@
+#include "core/reduce25d.hpp"
+
+namespace hpcg::core {
+
+std::vector<PartialAggregate> exchange_to_owners(
+    Dist2DGraph& g, std::span<const PartialAggregate> partials) {
+  const BlockPartition owners = hierarchical_ownership(g);
+  const Gid row_offset = g.lids().row_offset();
+  const int members = g.row_comm().size();
+
+  std::vector<std::size_t> send_counts(static_cast<std::size_t>(members), 0);
+  for (const auto& p : partials) {
+    ++send_counts[static_cast<std::size_t>(owners.part_of(p.vertex - row_offset))];
+  }
+  std::vector<std::size_t> cursor(send_counts.size(), 0);
+  for (std::size_t d = 1; d < cursor.size(); ++d) {
+    cursor[d] = cursor[d - 1] + send_counts[d - 1];
+  }
+  std::vector<PartialAggregate> send(partials.size());
+  for (const auto& p : partials) {
+    send[cursor[static_cast<std::size_t>(owners.part_of(p.vertex - row_offset))]++] = p;
+  }
+  return g.row_comm().alltoallv(std::span<const PartialAggregate>(send),
+                                std::span<const std::size_t>(send_counts));
+}
+
+}  // namespace hpcg::core

@@ -1,0 +1,47 @@
+// 2.5D processing (paper §3.3.3).
+//
+// For reductions too expensive to replicate on every rank (Label
+// Propagation's neighborhood mode), each row-group member is made the
+// *hierarchical owner* of an equal block of the row group's vertices.
+// Partial per-vertex aggregates are exchanged to the owner with one
+// row-group Alltoallv; the owner finishes the reduction over the full
+// neighborhood and the finalized values are broadcast back out to the row
+// group (the subsequent column broadcast is the standard dense/sparse
+// pattern). The buffer communicated is the set of group-wise *local*
+// aggregates rather than a possibly larger all-gather buffer — the paper's
+// stated tradeoff.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/dist2d.hpp"
+
+namespace hpcg::core {
+
+/// One partial-aggregate record: a (key, count) contribution toward the
+/// reduction of row vertex `vertex` (a GID). Label Propagation uses
+/// key=label, weight=multiplicity; other complex reductions can reuse it.
+struct PartialAggregate {
+  Gid vertex;
+  std::uint64_t key;
+  std::uint64_t weight;
+};
+
+/// Partition of a row group's vertices among its members for hierarchical
+/// ownership: member k owns the k-th block of the group's N_R vertices.
+inline BlockPartition hierarchical_ownership(const Dist2DGraph& g) {
+  // Note: const_cast-free — built from immutable metadata only.
+  return BlockPartition(g.lids().n_row(), g.grid().ranks_per_row_group());
+}
+
+/// Exchanges partial aggregates to their hierarchical owners along the row
+/// group. `partials` may be in any order; entries whose vertex this rank
+/// owns are included in the returned buffer as well (self-segment is kept,
+/// unlike sparse_exchange, because partials are *contributions*, not
+/// already-applied state). The returned records are grouped by sender.
+std::vector<PartialAggregate> exchange_to_owners(
+    Dist2DGraph& g, std::span<const PartialAggregate> partials);
+
+}  // namespace hpcg::core

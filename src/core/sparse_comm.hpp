@@ -1,0 +1,179 @@
+// Sparse communications (paper §3.3.2, Algorithms 3-5).
+//
+// Only updated {vertex GID, state value} pairs travel. For a push:
+//   1. the local update kernel has already applied updates to column-vertex
+//      state slots and recorded the touched LIDs in `updated` (Algorithm 6
+//      lines 12-14);
+//   2. BuildQueue serializes {GID, value} pairs (Algorithm 4);
+//   3. an AllGatherv along the column group distributes them;
+//   4. ReduceQueue (Algorithm 5) folds received values into local state
+//      with the algorithm's reduction, collecting row-owned vertices whose
+//      value changed into the row-phase queue;
+//   5. the row phase repeats build/exchange/reduce along the row group so
+//      every owner of a vertex agrees on its final value.
+// A pull mirrors this with the row exchange first.
+//
+// The reduction functor has signature `bool(T& current, const T& incoming)`
+// returning whether `current` changed — MIN/MAX/assign-if-better style ops
+// (Algorithm 5's AtomicOp) or arbitrarily complex routines, as the paper's
+// "complex reductions" (e.g. matching) require.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/dist2d.hpp"
+#include "core/queue.hpp"
+#include "core/work.hpp"
+
+namespace hpcg::core {
+
+/// Wire format of sparse exchanges: (global ID, state value).
+template <class T>
+struct GidValue {
+  Gid gid;
+  T value;
+};
+
+enum class SparseDirection { kPush, kPull };
+
+struct SparseTraffic {
+  std::size_t first_phase_sent = 0;   // pairs this rank contributed
+  std::size_t second_phase_sent = 0;
+};
+
+/// Sparse state exchange. `updated` holds the LIDs the local update kernel
+/// modified: column LIDs for a push, row LIDs for a pull. It is drained
+/// (flags cleared) by the call. If `changed_rows` is non-null, every row
+/// vertex of this rank whose state changed this iteration — locally or via
+/// a received update — is pushed into it (the paper's active-vertex
+/// tracking for push frontiers and the seed set for pull activation).
+template <class T, class Reduce>
+SparseTraffic sparse_exchange(Dist2DGraph& g, std::span<T> state,
+                              VertexQueue& updated, Reduce&& reduce,
+                              SparseDirection dir,
+                              VertexQueue* changed_rows = nullptr) {
+  const LidMap& lids = g.lids();
+  SparseTraffic traffic;
+
+  comm::Comm& first_comm = dir == SparseDirection::kPush ? g.col_comm() : g.row_comm();
+  comm::Comm& second_comm = dir == SparseDirection::kPush ? g.row_comm() : g.col_comm();
+
+  // Seed the second-phase queue with locally updated vertices that also
+  // belong to the second phase's index space (the row/column overlap);
+  // their own updates do not come back from the first exchange because a
+  // rank skips its own segment when reducing.
+  VertexQueue second_queue(lids.n_total());
+  for (const Lid v : updated.items()) {
+    if (dir == SparseDirection::kPush) {
+      if (lids.lid_is_row(v)) {
+        second_queue.try_push(v);
+        if (changed_rows) changed_rows->try_push(v);
+      }
+    } else {
+      if (changed_rows) changed_rows->try_push(v);
+      if (lids.lid_is_col(v)) second_queue.try_push(v);
+    }
+  }
+
+  // BuildQueue (Algorithm 4): serialize {GID, finalized state value}.
+  std::vector<GidValue<T>> sbuf;
+  sbuf.reserve(updated.size());
+  for (const Lid v : updated.items()) {
+    sbuf.push_back({lids.to_gid(v), state[static_cast<std::size_t>(v)]});
+  }
+  updated.clear();  // q_in[v] = false
+  traffic.first_phase_sent = sbuf.size();
+  charge_kernel(g.world(), static_cast<std::int64_t>(sbuf.size()), 0);  // BuildQueue
+
+  // First exchange + ReduceQueue (Algorithm 5).
+  std::vector<std::size_t> counts;
+  auto rbuf = first_comm.allgatherv(std::span<const GidValue<T>>(sbuf), &counts);
+  charge_kernel(g.world(), static_cast<std::int64_t>(rbuf.size()), 0);  // ReduceQueue
+  {
+    std::size_t offset = 0;
+    for (int member = 0; member < first_comm.size(); ++member) {
+      const std::size_t count = counts[static_cast<std::size_t>(member)];
+      if (member == first_comm.rank()) {
+        offset += count;
+        continue;  // own updates already applied locally
+      }
+      for (std::size_t i = 0; i < count; ++i) {
+        const auto& item = rbuf[offset + i];
+        const Lid l = dir == SparseDirection::kPush ? lids.col_lid(item.gid)
+                                                    : lids.row_lid(item.gid);
+        if (!reduce(state[static_cast<std::size_t>(l)], item.value)) continue;
+        if (dir == SparseDirection::kPush) {
+          if (lids.lid_is_row(l)) {
+            second_queue.try_push(l);
+            if (changed_rows) changed_rows->try_push(l);
+          }
+        } else {
+          if (changed_rows) changed_rows->try_push(l);
+          if (lids.lid_is_col(l)) second_queue.try_push(l);
+        }
+      }
+      offset += count;
+    }
+  }
+
+  // Second phase: redistribute the now-final values of the overlap
+  // vertices across the other group.
+  sbuf.clear();
+  sbuf.reserve(second_queue.size());
+  for (const Lid v : second_queue.items()) {
+    sbuf.push_back({lids.to_gid(v), state[static_cast<std::size_t>(v)]});
+  }
+  second_queue.clear();
+  traffic.second_phase_sent = sbuf.size();
+  charge_kernel(g.world(), static_cast<std::int64_t>(sbuf.size()), 0);
+
+  auto rbuf2 = second_comm.allgatherv(std::span<const GidValue<T>>(sbuf), &counts);
+  charge_kernel(g.world(), static_cast<std::int64_t>(rbuf2.size()), 0);
+  {
+    std::size_t offset = 0;
+    for (int member = 0; member < second_comm.size(); ++member) {
+      const std::size_t count = counts[static_cast<std::size_t>(member)];
+      if (member == second_comm.rank()) {
+        offset += count;
+        continue;
+      }
+      for (std::size_t i = 0; i < count; ++i) {
+        const auto& item = rbuf2[offset + i];
+        const Lid l = dir == SparseDirection::kPush ? lids.row_lid(item.gid)
+                                                    : lids.col_lid(item.gid);
+        if (!reduce(state[static_cast<std::size_t>(l)], item.value)) continue;
+        if (dir == SparseDirection::kPush && changed_rows) {
+          changed_rows->try_push(l);  // Algorithm 5's re-included tail
+        }
+      }
+      offset += count;
+    }
+  }
+  return traffic;
+}
+
+/// Standard reducers for Algorithm 5's AtomicOp.
+template <class T>
+struct MinReduce {
+  bool operator()(T& current, const T& incoming) const {
+    if (incoming < current) {
+      current = incoming;
+      return true;
+    }
+    return false;
+  }
+};
+
+template <class T>
+struct MaxReduce {
+  bool operator()(T& current, const T& incoming) const {
+    if (incoming > current) {
+      current = incoming;
+      return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace hpcg::core

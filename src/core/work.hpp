@@ -1,0 +1,23 @@
+// Device-kernel work accounting. Each kernel invocation charges its launch
+// plus per-vertex/per-edge costs to the rank's virtual clock (active only
+// when the cost model's work-proportional rates are set; see
+// CostParams::per_edge_s). Kernels pass the work they actually performed —
+// queue length and edges expanded — so queue-based execution is charged
+// for exactly what it touched (the Figure 6 vertex-queue effect).
+#pragma once
+
+#include <cstdint>
+
+#include "comm/comm.hpp"
+
+namespace hpcg::core {
+
+inline void charge_kernel(comm::Comm& comm, std::int64_t vertices,
+                          std::int64_t edges) {
+  const auto& params = comm.cost_model().params();
+  comm.charge_compute(params.kernel_launch_s +
+                      static_cast<double>(vertices) * params.per_vertex_s +
+                      static_cast<double>(edges) * params.per_edge_s);
+}
+
+}  // namespace hpcg::core

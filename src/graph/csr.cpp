@@ -1,0 +1,29 @@
+#include "graph/csr.hpp"
+
+#include <stdexcept>
+
+namespace hpcg::graph {
+
+Csr::Csr(Lid n_vertices, std::span<const Edge> edges, std::span<const double> weights)
+    : n_(n_vertices), offsets_(static_cast<std::size_t>(n_vertices) + 1, 0) {
+  if (!weights.empty() && weights.size() != edges.size()) {
+    throw std::invalid_argument("csr: weights must parallel edges");
+  }
+  for (const auto& e : edges) {
+    if (e.u < 0 || e.u >= n_vertices) {
+      throw std::out_of_range("csr: source vertex outside [0, n)");
+    }
+    ++offsets_[static_cast<std::size_t>(e.u) + 1];
+  }
+  for (std::size_t v = 1; v < offsets_.size(); ++v) offsets_[v] += offsets_[v - 1];
+  adj_.resize(edges.size());
+  if (!weights.empty()) weights_.resize(edges.size());
+  std::vector<std::int64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const auto slot = static_cast<std::size_t>(cursor[static_cast<std::size_t>(edges[i].u)]++);
+    adj_[slot] = edges[i].v;
+    if (!weights.empty()) weights_[slot] = weights[i];
+  }
+}
+
+}  // namespace hpcg::graph

@@ -1,0 +1,49 @@
+// Compressed sparse row adjacency structure — the local graph format on
+// every rank (paper §3.2): adjacencies of v live in
+// Adj[Off[v] .. Off[v+1]) and the local degree is Off[v+1] - Off[v].
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace hpcg::graph {
+
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Builds a CSR over `n_vertices` from directed edge entries; adjacency
+  /// order within a vertex follows the input edge order (counting sort).
+  /// If `weights` is non-empty it must parallel `edges` and is carried into
+  /// an adjacency-aligned weight array.
+  Csr(Lid n_vertices, std::span<const Edge> edges, std::span<const double> weights = {});
+
+  Lid n() const { return n_; }
+  std::int64_t m() const { return static_cast<std::int64_t>(adj_.size()); }
+  bool weighted() const { return !weights_.empty(); }
+
+  std::int64_t degree(Lid v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  std::span<const Gid> neighbors(Lid v) const {
+    return {adj_.data() + offsets_[v], static_cast<std::size_t>(degree(v))};
+  }
+  std::span<const double> neighbor_weights(Lid v) const {
+    return {weights_.data() + offsets_[v], static_cast<std::size_t>(degree(v))};
+  }
+
+  /// Raw arrays (Off and Adj of the paper).
+  std::span<const std::int64_t> offsets() const { return offsets_; }
+  std::span<const Gid> adjacencies() const { return adj_; }
+  std::span<const double> weights() const { return weights_; }
+
+ private:
+  Lid n_ = 0;
+  std::vector<std::int64_t> offsets_;  // n + 1 entries
+  std::vector<Gid> adj_;
+  std::vector<double> weights_;
+};
+
+}  // namespace hpcg::graph

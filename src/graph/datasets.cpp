@@ -1,0 +1,199 @@
+#include "graph/datasets.hpp"
+
+#include <stdexcept>
+
+#include "graph/edge_list.hpp"
+#include "graph/generators.hpp"
+#include "util/prng.hpp"
+
+namespace hpcg::graph {
+
+namespace {
+
+EdgeList finish(EdgeList el) {
+  remove_self_loops(el);
+  symmetrize(el);
+  return el;
+}
+
+int clamp_scale(int scale) {
+  if (scale < 4) return 4;
+  if (scale > 24) return 24;
+  return scale;
+}
+
+/// Shallow web-crawl analog: preferential-attachment core (hubs) blended
+/// with localized RMAT noise — low diameter, fat frontiers. Used by the
+/// scaling figures, where the paper's results are bandwidth/volume shapes.
+EdgeList web_shallow(int scale, int edge_factor, std::uint64_t seed) {
+  const Gid n = Gid{1} << scale;
+  auto core = generate_pref_attach(n, std::max(1, edge_factor / 2),
+                                   /*pref_prob=*/0.7, seed);
+  RmatParams noise;
+  noise.scale = scale;
+  noise.edge_factor = edge_factor - std::max(1, edge_factor / 2);
+  noise.a = 0.50;
+  noise.b = 0.22;
+  noise.c = 0.22;
+  noise.seed = seed + 1;
+  return blend(core, generate_rmat(noise));
+}
+
+/// Deep web-crawl analog. Real crawls combine heavy-hub host-local structure
+/// (preferential attachment inside a host/community) with crawl-frontier
+/// links that mostly connect "nearby" hosts, giving web graphs their
+/// characteristic moderate-to-large effective diameter — the long
+/// convergence tail that the paper's sparse/queue optimizations (Fig. 6)
+/// exploit. The analog realizes this as a chain of communities: each block
+/// is a preferential-attachment subgraph; a fraction of vertices also link
+/// into the next block along the chain.
+EdgeList web_deep(int scale, int edge_factor, std::uint64_t seed) {
+  const Gid n = Gid{1} << scale;
+  constexpr int kBlocks = 32;  // 2^5 communities along the crawl chain
+  constexpr int kBlockBits = 5;
+  // Bow-tie tendrils: a small population of long path appendages. They are
+  // what gives real web graphs their long, *low-update-count* convergence
+  // tail (most mass converges in a few rounds; the tendrils trail on with
+  // a handful of updates per round — the regime the sparse/queue
+  // optimizations of Fig. 6 are built for).
+  constexpr Gid kTendrils = 48;
+  constexpr Gid kTendrilLen = 96;
+  const Gid tendril_total = kTendrils * kTendrilLen;
+  const Gid core_n = n - tendril_total;
+  const Gid block_size = core_n / kBlocks;
+  EdgeList el;
+  el.n = n;
+  const int intra_k = std::max(1, edge_factor * 3 / 4);
+  const int inter_k = std::max(1, edge_factor - intra_k);
+  util::Xoshiro256 rng(seed);
+  // Chain position -> id-space block via bit reversal, so the crawl chain
+  // does not align with vertex-id order (in a real crawl, discovery order
+  // and host-id order are uncorrelated; without this, a single ascending
+  // kernel sweep would cascade colors down the whole chain and erase the
+  // propagation tail that real web graphs exhibit).
+  const auto chain_block = [](int position) {
+    int reversed = 0;
+    for (int bit = 0; bit < kBlockBits; ++bit) {
+      reversed = (reversed << 1) | ((position >> bit) & 1);
+    }
+    return reversed;
+  };
+  for (int b = 0; b < kBlocks; ++b) {
+    const Gid base = b * block_size;
+    auto block = generate_pref_attach(block_size, intra_k, /*pref_prob=*/0.7,
+                                      seed + static_cast<std::uint64_t>(b));
+    for (const auto& e : block.edges) {
+      el.edges.push_back({base + e.u, base + e.v});
+    }
+  }
+  for (int position = 0; position + 1 < kBlocks; ++position) {
+    // Crawl-frontier edges between chain-adjacent communities.
+    const Gid base = chain_block(position) * block_size;
+    const Gid next_base = chain_block(position + 1) * block_size;
+    for (Gid i = 0; i < block_size; ++i) {
+      for (int k = 0; k < inter_k; ++k) {
+        // Bias toward low-offset (hub-adjacent) targets in the next block.
+        const Gid target = static_cast<Gid>(
+            rng.next_below(static_cast<std::uint64_t>(block_size)) *
+            rng.next_double());
+        el.edges.push_back({base + i, next_base + target});
+      }
+    }
+  }
+  // Tendril paths over the tail id range [core_n, n), with vertex ids
+  // shuffled so path adjacency never aligns with id (and therefore kernel
+  // scan) order — one real propagation hop per BSP round, as on hardware.
+  std::vector<Gid> shuffled(static_cast<std::size_t>(tendril_total));
+  for (Gid i = 0; i < tendril_total; ++i) {
+    shuffled[static_cast<std::size_t>(i)] = core_n + i;
+  }
+  for (Gid i = tendril_total - 1; i > 0; --i) {
+    std::swap(shuffled[static_cast<std::size_t>(i)],
+              shuffled[rng.next_below(static_cast<std::uint64_t>(i + 1))]);
+  }
+  for (Gid t = 0; t < kTendrils; ++t) {
+    const auto vertex = [&](Gid step) {
+      return shuffled[static_cast<std::size_t>(step * kTendrils + t)];
+    };
+    // Anchor the tendril on a random core vertex.
+    el.edges.push_back(
+        {static_cast<Gid>(rng.next_below(static_cast<std::uint64_t>(core_n))),
+         vertex(0)});
+    for (Gid step = 0; step + 1 < kTendrilLen; ++step) {
+      el.edges.push_back({vertex(step), vertex(step + 1)});
+    }
+  }
+  return el;
+}
+
+}  // namespace
+
+std::vector<DatasetInfo> dataset_catalog() {
+  return {
+      {"tw-mini", "twitter-2010", "TW", 41000000, 1400000000},
+      {"fr-mini", "com-friendster", "FR", 65000000, 1800000000},
+      {"cw-mini", "web-ClueWeb09", "CW", 1700000000, 7900000000},
+      {"gsh-mini", "gsh-2015", "GSH", 988000000, 33000000000},
+      {"wdc-mini", "WDC12", "WDC", 3500000000, 128000000000},
+  };
+}
+
+EdgeList load_dataset(const std::string& name, int scale_shift) {
+  if (name == "tw-mini") {
+    // Twitter: extreme skew, edge factor ~34.
+    RmatParams p;
+    p.scale = clamp_scale(15 + scale_shift);
+    p.edge_factor = 17;  // 34 after symmetrization
+    p.a = 0.57;
+    p.b = 0.19;
+    p.c = 0.19;
+    p.seed = 42;
+    return finish(generate_rmat(p));
+  }
+  if (name == "fr-mini") {
+    // Friendster: milder skew social graph, edge factor ~28 symmetric.
+    RmatParams p;
+    p.scale = clamp_scale(15 + scale_shift);
+    p.edge_factor = 14;
+    p.a = 0.45;
+    p.b = 0.22;
+    p.c = 0.22;
+    p.seed = 43;
+    return finish(generate_rmat(p));
+  }
+  if (name == "cw-mini") {
+    // ClueWeb09: large N relative to M (edge factor ~4.6 directed).
+    return finish(web_shallow(clamp_scale(17 + scale_shift), 5, 44));
+  }
+  if (name == "gsh-mini") {
+    // gsh-2015: dense web crawl, edge factor ~33.
+    return finish(web_shallow(clamp_scale(15 + scale_shift), 17, 45));
+  }
+  if (name == "wdc-mini") {
+    // WDC12: the largest input, edge factor ~36.
+    return finish(web_shallow(clamp_scale(17 + scale_shift), 18, 46));
+  }
+  if (name == "cw-deep") {
+    // ClueWeb09 with its crawl-chain/tendril depth structure intact: the
+    // Figure 6 ablation input (convergence-tail regime).
+    return finish(web_deep(clamp_scale(17 + scale_shift), 5, 44));
+  }
+  if (name == "wdc-deep") {
+    return finish(web_deep(clamp_scale(17 + scale_shift), 18, 46));
+  }
+  if (name.rfind("rmat", 0) == 0) {
+    RmatParams p;
+    p.scale = clamp_scale(std::stoi(name.substr(4)) + scale_shift);
+    p.edge_factor = 16;
+    p.seed = 47;
+    return finish(generate_rmat(p));
+  }
+  if (name.rfind("rand", 0) == 0) {
+    const int scale = clamp_scale(std::stoi(name.substr(4)) + scale_shift);
+    const Gid n = Gid{1} << scale;
+    return finish(generate_erdos_renyi(n, 16 * n, 48));
+  }
+  throw std::invalid_argument("unknown dataset: " + name);
+}
+
+}  // namespace hpcg::graph

@@ -1,0 +1,89 @@
+#include "graph/edge_list.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/prng.hpp"
+
+namespace hpcg::graph {
+
+void remove_self_loops(EdgeList& el) {
+  if (!el.weighted()) {
+    std::erase_if(el.edges, [](const Edge& e) { return e.u == e.v; });
+    return;
+  }
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < el.edges.size(); ++i) {
+    if (el.edges[i].u == el.edges[i].v) continue;
+    el.edges[out] = el.edges[i];
+    el.weights[out] = el.weights[i];
+    ++out;
+  }
+  el.edges.resize(out);
+  el.weights.resize(out);
+}
+
+void symmetrize(EdgeList& el) {
+  const std::size_t m = el.edges.size();
+  el.edges.reserve(2 * m);
+  if (el.weighted()) el.weights.reserve(2 * m);
+  for (std::size_t i = 0; i < m; ++i) {
+    el.edges.push_back({el.edges[i].v, el.edges[i].u});
+    if (el.weighted()) el.weights.push_back(el.weights[i]);
+  }
+}
+
+void sort_and_dedup(EdgeList& el) {
+  if (!el.weighted()) {
+    std::sort(el.edges.begin(), el.edges.end());
+    el.edges.erase(std::unique(el.edges.begin(), el.edges.end()), el.edges.end());
+    return;
+  }
+  std::vector<std::size_t> order(el.edges.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return el.edges[a] < el.edges[b];
+  });
+  std::vector<Edge> edges;
+  std::vector<double> weights;
+  edges.reserve(el.edges.size());
+  weights.reserve(el.edges.size());
+  for (const std::size_t i : order) {
+    if (!edges.empty() && edges.back() == el.edges[i]) {
+      weights.back() += el.weights[i];
+    } else {
+      edges.push_back(el.edges[i]);
+      weights.push_back(el.weights[i]);
+    }
+  }
+  el.edges = std::move(edges);
+  el.weights = std::move(weights);
+}
+
+void attach_symmetric_weights(EdgeList& el, std::uint64_t seed) {
+  el.weights.resize(el.edges.size());
+  for (std::size_t i = 0; i < el.edges.size(); ++i) {
+    // Hash the unordered endpoint pair so both directions agree without
+    // needing the reverse entry to be present yet.
+    const Gid lo = std::min(el.edges[i].u, el.edges[i].v);
+    const Gid hi = std::max(el.edges[i].u, el.edges[i].v);
+    const std::uint64_t h = util::splitmix64(
+        util::splitmix64(static_cast<std::uint64_t>(lo) + seed) ^
+        static_cast<std::uint64_t>(hi));
+    el.weights[i] = static_cast<double>(h >> 11) * 0x1.0p-53 + 0x1.0p-54;
+  }
+}
+
+std::vector<std::int64_t> out_degrees(const EdgeList& el) {
+  std::vector<std::int64_t> deg(static_cast<std::size_t>(el.n), 0);
+  for (const auto& e : el.edges) {
+    if (e.u < 0 || e.u >= el.n || e.v < 0 || e.v >= el.n) {
+      throw std::out_of_range("edge endpoint outside [0, n)");
+    }
+    ++deg[static_cast<std::size_t>(e.u)];
+  }
+  return deg;
+}
+
+}  // namespace hpcg::graph

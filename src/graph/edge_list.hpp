@@ -1,0 +1,31 @@
+// Edge-list transformations applied during CPU-side graph construction
+// (the paper builds graphs on the host with OpenMP/MPI before transferring
+// to the GPUs; here the equivalent happens once before ranks are spawned).
+#pragma once
+
+#include "graph/types.hpp"
+
+namespace hpcg::graph {
+
+/// Removes self loops in place.
+void remove_self_loops(EdgeList& el);
+
+/// Adds the reverse of every edge, making the adjacency matrix symmetric —
+/// the paper "considers graphs as undirected for consistency across
+/// algorithms, effectively symmetrizing the adjacency matrix". Weights are
+/// mirrored. Parallel (multi-)edges are preserved, as in the paper's
+/// multi-edge-tolerant representation.
+void symmetrize(EdgeList& el);
+
+/// Sorts edges by (u, v) and removes exact duplicates (weights of kept
+/// duplicates are summed). Used by tests that need simple graphs.
+void sort_and_dedup(EdgeList& el);
+
+/// Attaches deterministic pseudo-random edge weights in (0, 1], mirrored so
+/// that (u,v) and (v,u) carry the same weight (required by matching).
+void attach_symmetric_weights(EdgeList& el, std::uint64_t seed);
+
+/// Per-vertex degree of the directed entries (out-degree).
+std::vector<std::int64_t> out_degrees(const EdgeList& el);
+
+}  // namespace hpcg::graph

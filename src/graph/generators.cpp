@@ -1,0 +1,136 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/prng.hpp"
+
+namespace hpcg::graph {
+
+EdgeList generate_rmat(const RmatParams& params) {
+  if (params.scale < 1 || params.scale > 40) {
+    throw std::invalid_argument("rmat scale out of range");
+  }
+  const double d = 1.0 - params.a - params.b - params.c;
+  if (d < 0.0) throw std::invalid_argument("rmat probabilities exceed 1");
+  EdgeList el;
+  el.n = Gid{1} << params.scale;
+  const std::int64_t m = static_cast<std::int64_t>(params.edge_factor) * el.n;
+  el.edges.reserve(static_cast<std::size_t>(m));
+  util::Xoshiro256 rng(params.seed);
+  for (std::int64_t i = 0; i < m; ++i) {
+    Gid u = 0;
+    Gid v = 0;
+    for (int level = 0; level < params.scale; ++level) {
+      const double r = rng.next_double();
+      u <<= 1;
+      v <<= 1;
+      if (r < params.a) {
+        // top-left quadrant: no bits set
+      } else if (r < params.a + params.b) {
+        v |= 1;
+      } else if (r < params.a + params.b + params.c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    el.edges.push_back({u, v});
+  }
+  return el;
+}
+
+EdgeList generate_erdos_renyi(Gid n, std::int64_t m, std::uint64_t seed) {
+  EdgeList el;
+  el.n = n;
+  el.edges.reserve(static_cast<std::size_t>(m));
+  util::Xoshiro256 rng(seed);
+  for (std::int64_t i = 0; i < m; ++i) {
+    const Gid u = static_cast<Gid>(rng.next_below(static_cast<std::uint64_t>(n)));
+    const Gid v = static_cast<Gid>(rng.next_below(static_cast<std::uint64_t>(n)));
+    el.edges.push_back({u, v});
+  }
+  return el;
+}
+
+EdgeList generate_pref_attach(Gid n, int edges_per_vertex, double pref_prob,
+                              std::uint64_t seed) {
+  if (n < 2 || edges_per_vertex < 1) {
+    throw std::invalid_argument("pref_attach needs n >= 2, k >= 1");
+  }
+  EdgeList el;
+  el.n = n;
+  el.edges.reserve(static_cast<std::size_t>(n) * edges_per_vertex);
+  util::Xoshiro256 rng(seed);
+  // The endpoint pool realizes degree-proportional sampling: every placed
+  // edge contributes both endpoints, so drawing a uniform pool element is
+  // drawing a vertex with probability proportional to its current degree.
+  std::vector<Gid> pool;
+  pool.reserve(2 * el.edges.capacity());
+  el.edges.push_back({0, 1});
+  pool.push_back(0);
+  pool.push_back(1);
+  for (Gid v = 2; v < n; ++v) {
+    for (int k = 0; k < edges_per_vertex; ++k) {
+      Gid target;
+      if (rng.next_double() < pref_prob) {
+        target = pool[rng.next_below(pool.size())];
+      } else {
+        target = static_cast<Gid>(rng.next_below(static_cast<std::uint64_t>(v)));
+      }
+      el.edges.push_back({v, target});
+      pool.push_back(v);
+      pool.push_back(target);
+    }
+  }
+  return el;
+}
+
+EdgeList blend(const EdgeList& a, const EdgeList& b) {
+  EdgeList out;
+  out.n = std::max(a.n, b.n);
+  out.edges.reserve(a.edges.size() + b.edges.size());
+  out.edges.insert(out.edges.end(), a.edges.begin(), a.edges.end());
+  out.edges.insert(out.edges.end(), b.edges.begin(), b.edges.end());
+  return out;
+}
+
+EdgeList generate_forest(Gid n, Gid tree_size, std::uint64_t seed) {
+  if (tree_size < 1) throw std::invalid_argument("tree_size must be >= 1");
+  EdgeList el;
+  el.n = n;
+  util::Xoshiro256 rng(seed);
+  for (Gid v = 0; v < n; ++v) {
+    const Gid block_start = (v / tree_size) * tree_size;
+    if (v == block_start) continue;  // tree root
+    const Gid parent =
+        block_start + static_cast<Gid>(rng.next_below(
+                          static_cast<std::uint64_t>(v - block_start)));
+    el.edges.push_back({v, parent});
+  }
+  return el;
+}
+
+EdgeList generate_path(Gid n) {
+  EdgeList el;
+  el.n = n;
+  el.edges.reserve(static_cast<std::size_t>(n > 0 ? n - 1 : 0));
+  for (Gid v = 0; v + 1 < n; ++v) el.edges.push_back({v, v + 1});
+  return el;
+}
+
+EdgeList generate_grid(Gid rows, Gid cols) {
+  EdgeList el;
+  el.n = rows * cols;
+  for (Gid r = 0; r < rows; ++r) {
+    for (Gid c = 0; c < cols; ++c) {
+      const Gid v = r * cols + c;
+      if (c + 1 < cols) el.edges.push_back({v, v + 1});
+      if (r + 1 < rows) el.edges.push_back({v, v + cols});
+    }
+  }
+  return el;
+}
+
+}  // namespace hpcg::graph

@@ -1,0 +1,54 @@
+// Synthetic graph generators.
+//
+// RMAT follows the Graph500 specification (the paper's RMATXX inputs use
+// edgefactor 16, A=0.57, B=0.19, C=0.19); RANDXX uses an Erdős–Rényi G(n,m)
+// process of the same size and order. The preferential-attachment generator
+// provides the skewed, hub-heavy structure used to build miniature analogs
+// of the paper's web crawls (ClueWeb09, gsh-2015, WDC12).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.hpp"
+
+namespace hpcg::graph {
+
+struct RmatParams {
+  int scale = 16;          // N = 2^scale
+  int edge_factor = 16;    // M = edge_factor * N directed entries
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;         // d = 1 - a - b - c
+  std::uint64_t seed = 1;
+};
+
+/// Graph500-style RMAT edge list (directed entries; callers symmetrize).
+EdgeList generate_rmat(const RmatParams& params);
+
+/// Erdős–Rényi G(n, m): m uniformly random directed entries over n vertices.
+EdgeList generate_erdos_renyi(Gid n, std::int64_t m, std::uint64_t seed);
+
+/// Preferential attachment (Barabási–Albert flavor): each vertex beyond a
+/// small seed clique attaches `edges_per_vertex` edges, choosing targets
+/// proportionally to current degree with probability `pref_prob` and
+/// uniformly otherwise. Produces the heavy-hub web-crawl-like skew.
+EdgeList generate_pref_attach(Gid n, int edges_per_vertex, double pref_prob,
+                              std::uint64_t seed);
+
+/// Union of two edge lists over max(n) vertices (web-crawl analogs blend a
+/// preferential-attachment core with RMAT noise).
+EdgeList blend(const EdgeList& a, const EdgeList& b);
+
+/// A forest of rooted trees: `n` vertices, each non-root points to a random
+/// earlier vertex within its tree block of size `tree_size`. Used by the
+/// pointer-jumping tests and benchmarks.
+EdgeList generate_forest(Gid n, Gid tree_size, std::uint64_t seed);
+
+/// Simple path graph 0-1-2-...-(n-1); the worst case for propagation-based
+/// algorithms (diameter n-1).
+EdgeList generate_path(Gid n);
+
+/// 2D grid graph with r*c vertices (regular degree, high diameter).
+EdgeList generate_grid(Gid rows, Gid cols);
+
+}  // namespace hpcg::graph

@@ -1,0 +1,108 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hpcg::graph {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x48504347'42494E31ULL;  // "HPCGBIN1"
+}
+
+EdgeList read_text(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  EdgeList el;
+  Gid declared_n = -1;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream ss(line.substr(1));
+      std::string key;
+      if (ss >> key && key == "n") ss >> declared_n;
+      continue;
+    }
+    std::istringstream ss(line);
+    Gid u = 0;
+    Gid v = 0;
+    if (!(ss >> u >> v)) throw std::runtime_error("bad edge line: " + line);
+    double w = 0.0;
+    if (ss >> w) {
+      if (el.weights.size() != el.edges.size()) {
+        throw std::runtime_error("mixed weighted/unweighted lines");
+      }
+      el.weights.push_back(w);
+    } else if (!el.weights.empty()) {
+      throw std::runtime_error("mixed weighted/unweighted lines");
+    }
+    el.edges.push_back({u, v});
+    el.n = std::max({el.n, u + 1, v + 1});
+  }
+  if (declared_n >= 0) {
+    if (declared_n < el.n) throw std::runtime_error("declared n too small");
+    el.n = declared_n;
+  }
+  return el;
+}
+
+void write_text(const EdgeList& el, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << "# n " << el.n << "\n";
+  for (std::size_t i = 0; i < el.edges.size(); ++i) {
+    out << el.edges[i].u << " " << el.edges[i].v;
+    if (el.weighted()) out << " " << el.weights[i];
+    out << "\n";
+  }
+}
+
+EdgeList read_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::uint64_t magic = 0;
+  std::int64_t n = 0;
+  std::int64_t m = 0;
+  std::uint64_t weighted = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  in.read(reinterpret_cast<char*>(&n), sizeof n);
+  in.read(reinterpret_cast<char*>(&m), sizeof m);
+  in.read(reinterpret_cast<char*>(&weighted), sizeof weighted);
+  if (!in || magic != kMagic) throw std::runtime_error("bad binary header");
+  EdgeList el;
+  el.n = n;
+  el.edges.resize(static_cast<std::size_t>(m));
+  in.read(reinterpret_cast<char*>(el.edges.data()),
+          static_cast<std::streamsize>(m * static_cast<std::int64_t>(sizeof(Edge))));
+  if (weighted) {
+    el.weights.resize(static_cast<std::size_t>(m));
+    in.read(reinterpret_cast<char*>(el.weights.data()),
+            static_cast<std::streamsize>(m * static_cast<std::int64_t>(sizeof(double))));
+  }
+  if (!in) throw std::runtime_error("truncated binary edge list");
+  return el;
+}
+
+void write_binary(const EdgeList& el, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  const std::uint64_t magic = kMagic;
+  const std::int64_t n = el.n;
+  const std::int64_t m = el.m();
+  const std::uint64_t weighted = el.weighted() ? 1 : 0;
+  out.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+  out.write(reinterpret_cast<const char*>(&n), sizeof n);
+  out.write(reinterpret_cast<const char*>(&m), sizeof m);
+  out.write(reinterpret_cast<const char*>(&weighted), sizeof weighted);
+  out.write(reinterpret_cast<const char*>(el.edges.data()),
+            static_cast<std::streamsize>(m * static_cast<std::int64_t>(sizeof(Edge))));
+  if (el.weighted()) {
+    out.write(reinterpret_cast<const char*>(el.weights.data()),
+              static_cast<std::streamsize>(m * static_cast<std::int64_t>(sizeof(double))));
+  }
+}
+
+}  // namespace hpcg::graph

@@ -1,0 +1,24 @@
+// Edge-list I/O: whitespace-separated text ("u v" or "u v w" per line, '#'
+// comments) and a packed binary format for faster reload of generated
+// inputs. Mirrors the host-side loaders real deployments use.
+#pragma once
+
+#include <string>
+
+#include "graph/types.hpp"
+
+namespace hpcg::graph {
+
+/// Reads a text edge list; `n` is max endpoint + 1 unless a leading
+/// "# n <count>" comment declares it.
+EdgeList read_text(const std::string& path);
+
+void write_text(const EdgeList& el, const std::string& path);
+
+/// Packed little-endian binary: header (magic, n, m, weighted flag), then
+/// edges, then weights if present.
+EdgeList read_binary(const std::string& path);
+
+void write_binary(const EdgeList& el, const std::string& path);
+
+}  // namespace hpcg::graph

@@ -1,0 +1,58 @@
+#include "graph/relabel.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/prng.hpp"
+
+namespace hpcg::graph {
+
+std::vector<Gid> randomize_ids(EdgeList& el, std::uint64_t seed) {
+  std::vector<Gid> order(static_cast<std::size_t>(el.n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [seed](Gid a, Gid b) {
+    const auto ha = util::splitmix64(static_cast<std::uint64_t>(a) + seed);
+    const auto hb = util::splitmix64(static_cast<std::uint64_t>(b) + seed);
+    return ha < hb || (ha == hb && a < b);
+  });
+  std::vector<Gid> perm(static_cast<std::size_t>(el.n));
+  for (Gid position = 0; position < el.n; ++position) {
+    perm[static_cast<std::size_t>(order[static_cast<std::size_t>(position)])] = position;
+  }
+  for (auto& e : el.edges) {
+    e.u = perm[static_cast<std::size_t>(e.u)];
+    e.v = perm[static_cast<std::size_t>(e.v)];
+  }
+  return perm;
+}
+
+StripedRelabel::StripedRelabel(Gid n, int groups)
+    : n_(n), groups_(groups), base_(n / groups), remainder_(n % groups) {
+  if (n < 0 || groups < 1) throw std::invalid_argument("bad striping arguments");
+}
+
+Gid StripedRelabel::to_original(Gid striped) const {
+  const int group = group_of_new(striped);
+  const Gid within = striped - group_start(group);
+  return within * groups_ + group;
+}
+
+int StripedRelabel::group_of_new(Gid striped) const {
+  if (striped < 0 || striped >= n_) throw std::out_of_range("striped gid out of range");
+  // Blocks of size base_+1 come first (remainder_ of them), then base_.
+  const Gid big_block = base_ + 1;
+  const Gid big_total = remainder_ * big_block;
+  if (striped < big_total) return static_cast<int>(striped / big_block);
+  if (base_ == 0) throw std::out_of_range("striped gid out of range");
+  return static_cast<int>(remainder_ + (striped - big_total) / base_);
+}
+
+void StripedRelabel::apply(EdgeList& el) const {
+  for (auto& e : el.edges) {
+    e.u = to_new(e.u);
+    e.v = to_new(e.v);
+  }
+}
+
+}  // namespace hpcg::graph

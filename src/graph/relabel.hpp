@@ -1,0 +1,63 @@
+// The paper's 'striped' vertex-to-row-group assignment (§3.4, Vertex
+// Distribution): original GID 0 goes to the first row group, GID 1 to the
+// second, wrapping through all groups. Because the 2D structure addresses
+// each row group's vertices as a contiguous global-ID range (Table 1's
+// N_Offset_R), we realize striping as a relabeling permutation: vertex v's
+// new identifier places it inside its group's contiguous block, preserving
+// original order within the block (which keeps "some degree of memory
+// locality of the original graph", as the paper notes).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.hpp"
+
+namespace hpcg::graph {
+
+/// Applies a pseudo-random permutation (hash-ordered) to all vertex ids in
+/// place and returns the permutation (new_id = perm[old_id]). The fully
+/// random assignment the paper compares striping against: on inputs whose
+/// skew is *not* correlated with id magnitude (e.g. RMAT, where the bias is
+/// bit-self-similar and survives striping), randomization is the only
+/// distribution that balances blocks.
+std::vector<Gid> randomize_ids(EdgeList& el, std::uint64_t seed);
+
+class StripedRelabel {
+ public:
+  /// Distributes `n` vertices over `groups` row groups round-robin.
+  StripedRelabel(Gid n, int groups);
+
+  Gid n() const { return n_; }
+  int groups() const { return groups_; }
+
+  /// Original GID -> striped GID (a bijection on [0, n)).
+  Gid to_new(Gid original) const {
+    const Gid group = original % groups_;
+    return group_start(static_cast<int>(group)) + original / groups_;
+  }
+
+  /// Striped GID -> original GID.
+  Gid to_original(Gid striped) const;
+
+  /// First striped GID of `group`'s contiguous block.
+  Gid group_start(int group) const {
+    return static_cast<Gid>(group) * base_ + std::min<Gid>(group, remainder_);
+  }
+
+  /// Number of vertices assigned to `group`.
+  Gid group_count(int group) const { return base_ + (group < remainder_ ? 1 : 0); }
+
+  /// Which row group owns striped GID `striped`.
+  int group_of_new(Gid striped) const;
+
+  /// Applies the permutation to both endpoints of every edge.
+  void apply(EdgeList& el) const;
+
+ private:
+  Gid n_;
+  int groups_;
+  Gid base_;       // n / groups
+  Gid remainder_;  // n % groups
+};
+
+}  // namespace hpcg::graph

@@ -1,0 +1,85 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+#include "util/prng.hpp"
+
+namespace hpcg::graph {
+
+DegreeStats degree_stats(const EdgeList& el) {
+  DegreeStats stats;
+  if (el.n == 0) return stats;
+  auto degree = out_degrees(el);
+  stats.mean_degree = static_cast<double>(el.m()) / static_cast<double>(el.n);
+  std::sort(degree.begin(), degree.end());
+  stats.max_degree = degree.back();
+  stats.p99_degree = degree[static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(degree.size()) - 1,
+                       0.99 * static_cast<double>(degree.size())))];
+  stats.isolated = static_cast<std::int64_t>(
+      std::lower_bound(degree.begin(), degree.end(), 1) - degree.begin());
+  stats.skew = stats.mean_degree > 0
+                   ? static_cast<double>(stats.max_degree) / stats.mean_degree
+                   : 0.0;
+  return stats;
+}
+
+std::int64_t count_components(const EdgeList& el) {
+  std::vector<Gid> parent(static_cast<std::size_t>(el.n));
+  std::iota(parent.begin(), parent.end(), 0);
+  const auto find = [&](Gid v) {
+    Gid root = v;
+    while (parent[static_cast<std::size_t>(root)] != root) {
+      root = parent[static_cast<std::size_t>(root)];
+    }
+    while (parent[static_cast<std::size_t>(v)] != root) {
+      const Gid next = parent[static_cast<std::size_t>(v)];
+      parent[static_cast<std::size_t>(v)] = root;
+      v = next;
+    }
+    return root;
+  };
+  std::int64_t merges = 0;
+  for (const auto& e : el.edges) {
+    const Gid a = find(e.u);
+    const Gid b = find(e.v);
+    if (a != b) {
+      parent[static_cast<std::size_t>(std::max(a, b))] = std::min(a, b);
+      ++merges;
+    }
+  }
+  return el.n - merges;
+}
+
+std::int64_t approx_diameter(const EdgeList& el, int samples, std::uint64_t seed) {
+  if (el.n == 0) return 0;
+  Csr csr(el.n, el.edges);
+  util::Xoshiro256 rng(seed);
+  std::int64_t best = 0;
+  std::vector<std::int64_t> level(static_cast<std::size_t>(el.n));
+  for (int s = 0; s < samples; ++s) {
+    const Gid root = static_cast<Gid>(rng.next_below(static_cast<std::uint64_t>(el.n)));
+    std::fill(level.begin(), level.end(), -1);
+    std::deque<Gid> frontier{root};
+    level[static_cast<std::size_t>(root)] = 0;
+    while (!frontier.empty()) {
+      const Gid v = frontier.front();
+      frontier.pop_front();
+      best = std::max(best, level[static_cast<std::size_t>(v)]);
+      for (const Gid u : csr.neighbors(v)) {
+        if (level[static_cast<std::size_t>(u)] < 0) {
+          level[static_cast<std::size_t>(u)] = level[static_cast<std::size_t>(v)] + 1;
+          frontier.push_back(u);
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace hpcg::graph

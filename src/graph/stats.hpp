@@ -1,0 +1,33 @@
+// Degree and structure statistics for edge lists — used by the dataset
+// inventory (Table 4 analog auditing) and by tools.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.hpp"
+
+namespace hpcg::graph {
+
+struct DegreeStats {
+  std::int64_t max_degree = 0;
+  double mean_degree = 0.0;
+  std::int64_t isolated = 0;     // zero-degree vertices
+  double skew = 0.0;             // max / mean
+  std::int64_t p99_degree = 0;   // 99th percentile
+};
+
+/// Out-degree statistics of the directed entries (for a symmetrized list
+/// this equals the undirected degree view).
+DegreeStats degree_stats(const EdgeList& el);
+
+/// Number of connected components (host-side union-find; O(M alpha)).
+std::int64_t count_components(const EdgeList& el);
+
+/// Approximate effective diameter: BFS from `samples` pseudo-random seeds,
+/// returning the maximum observed eccentricity within reached vertices.
+/// Lower bound on the true diameter; good enough to classify inputs into
+/// the shallow/deep regimes discussed in DESIGN.md.
+std::int64_t approx_diameter(const EdgeList& el, int samples = 4,
+                             std::uint64_t seed = 1);
+
+}  // namespace hpcg::graph

@@ -1,0 +1,32 @@
+// Fundamental graph types. Global vertex identifiers are 64-bit as in the
+// paper (inputs reach billions of vertices); this reproduction runs smaller
+// instances but keeps the representation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hpcg::graph {
+
+using Gid = std::int64_t;  // global vertex identifier, [0, N)
+using Lid = std::int64_t;  // rank-local vertex identifier, [0, N_T)
+
+struct Edge {
+  Gid u;
+  Gid v;
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// An edge list plus the vertex-count bound. Edges are directed entries;
+/// undirected graphs store both (u,v) and (v,u) after symmetrize().
+struct EdgeList {
+  Gid n = 0;                   // number of vertices
+  std::vector<Edge> edges;     // directed edge entries
+  std::vector<double> weights; // optional, parallel to edges (empty if none)
+
+  std::int64_t m() const { return static_cast<std::int64_t>(edges.size()); }
+  bool weighted() const { return !weights.empty(); }
+};
+
+}  // namespace hpcg::graph

@@ -1,0 +1,111 @@
+// Compact open-addressing counting hash table, modeled on the space-efficient
+// GPU tables the paper adapts for Label Propagation's mode reduction
+// (references [24, 25] in the paper). The table stores (key -> count) in a
+// flat power-of-two array of slots with linear probing; EMPTY_KEY marks free
+// slots. On the GPU the insert path uses atomicCAS on the key word followed
+// by atomicAdd on the count; the sequential emulation preserves that
+// structure (probe sequence, bounded capacity, saturation behaviour) so the
+// 2.5D reduction exercises the same logic the paper describes.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace hpcg::util {
+
+class CountingHashTable {
+ public:
+  using Key = std::uint64_t;
+  static constexpr Key kEmptyKey = std::numeric_limits<Key>::max();
+
+  /// Creates a table able to hold at least `capacity` distinct keys before
+  /// saturating (sized to the next power of two with ~50% load headroom).
+  explicit CountingHashTable(std::size_t capacity) {
+    std::size_t slots = 2;
+    while (slots < 2 * capacity) slots *= 2;
+    keys_.assign(slots, kEmptyKey);
+    counts_.assign(slots, 0);
+    mask_ = slots - 1;
+  }
+
+  /// Adds `weight` to the counter for `key`. Returns false if the table is
+  /// saturated (all probe slots taken by other keys); the 2.5D reduction
+  /// treats saturation as a signal to fall back to a larger table.
+  bool add(Key key, std::uint64_t weight = 1) {
+    std::size_t slot = splitmix64(key) & mask_;
+    for (std::size_t probes = 0; probes <= mask_; ++probes) {
+      if (keys_[slot] == key) {
+        counts_[slot] += weight;
+        return true;
+      }
+      if (keys_[slot] == kEmptyKey) {
+        // atomicCAS(keys[slot], EMPTY, key) on the GPU; uncontended here.
+        keys_[slot] = key;
+        counts_[slot] = weight;
+        ++size_;
+        return true;
+      }
+      slot = (slot + 1) & mask_;
+    }
+    return false;
+  }
+
+  /// Count stored for `key`, or 0 if absent.
+  std::uint64_t count(Key key) const {
+    std::size_t slot = splitmix64(key) & mask_;
+    for (std::size_t probes = 0; probes <= mask_; ++probes) {
+      if (keys_[slot] == key) return counts_[slot];
+      if (keys_[slot] == kEmptyKey) return 0;
+      slot = (slot + 1) & mask_;
+    }
+    return 0;
+  }
+
+  /// The key with the largest count; ties broken toward the smaller key so
+  /// Label Propagation is deterministic across rank counts. Returns
+  /// kEmptyKey when the table is empty.
+  Key mode() const {
+    Key best = kEmptyKey;
+    std::uint64_t best_count = 0;
+    for (std::size_t slot = 0; slot <= mask_; ++slot) {
+      if (keys_[slot] == kEmptyKey) continue;
+      if (counts_[slot] > best_count ||
+          (counts_[slot] == best_count && keys_[slot] < best)) {
+        best = keys_[slot];
+        best_count = counts_[slot];
+      }
+    }
+    return best;
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t slot_count() const { return mask_ + 1; }
+
+  /// Serializes occupied entries as (key, count) pairs — the wire format the
+  /// 2.5D reduction exchanges between hierarchical owners.
+  void serialize(std::vector<std::uint64_t>& out) const {
+    for (std::size_t slot = 0; slot <= mask_; ++slot) {
+      if (keys_[slot] == kEmptyKey) continue;
+      out.push_back(keys_[slot]);
+      out.push_back(counts_[slot]);
+    }
+  }
+
+  void clear() {
+    std::fill(keys_.begin(), keys_.end(), kEmptyKey);
+    std::fill(counts_.begin(), counts_.end(), 0);
+    size_ = 0;
+  }
+
+ private:
+  std::vector<Key> keys_;
+  std::vector<std::uint64_t> counts_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace hpcg::util

@@ -1,0 +1,96 @@
+// Minimal command-line option parsing for the benchmark harnesses and
+// examples. Supports `--key=value`, `--key value`, and boolean `--flag`.
+// Unknown options are an error so typos in sweep scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpcg::util {
+
+class Options {
+ public:
+  Options(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string_view arg(argv[i]);
+      if (!arg.starts_with("--")) {
+        std::cerr << "unexpected positional argument: " << arg << "\n";
+        std::exit(2);
+      }
+      arg.remove_prefix(2);
+      if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+        values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+      } else if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+        values_[std::string(arg)] = argv[++i];
+      } else {
+        values_[std::string(arg)] = "true";
+      }
+    }
+  }
+
+  /// Fetch an option, recording it as known. Every get* call doubles as the
+  /// declaration of the option for unknown-option checking.
+  std::string get_string(const std::string& key, const std::string& fallback) {
+    known_.insert(key);
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) {
+    known_.insert(key);
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoll(it->second);
+  }
+
+  double get_double(const std::string& key, double fallback) {
+    known_.insert(key);
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+
+  bool get_bool(const std::string& key, bool fallback) {
+    known_.insert(key);
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return it->second == "true" || it->second == "1" || it->second == "yes";
+  }
+
+  /// Comma-separated integer list, e.g. --ranks=1,4,16,64.
+  std::vector<std::int64_t> get_int_list(const std::string& key,
+                                         std::vector<std::int64_t> fallback) {
+    known_.insert(key);
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    std::vector<std::int64_t> out;
+    std::stringstream ss(it->second);
+    std::string item;
+    while (std::getline(ss, item, ',')) out.push_back(std::stoll(item));
+    return out;
+  }
+
+  /// Call after all get* declarations; aborts on options nobody asked for.
+  void check_unknown() const {
+    bool bad = false;
+    for (const auto& [key, value] : values_) {
+      if (!known_.contains(key)) {
+        std::cerr << "unknown option --" << key << "=" << value << "\n";
+        bad = true;
+      }
+    }
+    if (bad) std::exit(2);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> known_;
+};
+
+}  // namespace hpcg::util

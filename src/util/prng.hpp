@@ -1,0 +1,67 @@
+// Deterministic pseudo-random number generation for graph generators and
+// tests. We avoid <random> engines for the generator hot paths: splitmix64
+// and xoshiro256** are faster, have well-understood statistics, and make
+// results bit-reproducible across standard-library implementations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace hpcg::util {
+
+/// Mixes a 64-bit value into a well-distributed 64-bit hash (splitmix64
+/// finalizer). Suitable for seeding and for hash-based edge placement.
+constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna: the all-purpose generator used by the
+/// synthetic-graph generators and randomized tests. Not cryptographic.
+class Xoshiro256 {
+ public:
+  explicit constexpr Xoshiro256(std::uint64_t seed) noexcept {
+    // SplitMix64 is the recommended seeding procedure for xoshiro.
+    std::uint64_t s = seed;
+    for (auto& word : state_) {
+      s = splitmix64(s);
+      word = s;
+    }
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift reduction;
+  /// the tiny modulo bias is irrelevant for graph generation. (__int128 is
+  /// a GCC/Clang extension; __extension__ keeps -Wpedantic builds quiet.)
+  constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+    __extension__ using Wide = unsigned __int128;
+    return static_cast<std::uint64_t>((static_cast<Wide>(next()) * bound) >> 64);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace hpcg::util

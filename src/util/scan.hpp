@@ -1,0 +1,56 @@
+// Prefix sums and the binary search used by the Manhattan-collapse kernel
+// schedule (Algorithm 6 of the paper): given per-vertex work offsets, map a
+// flat work index back to the vertex that owns it.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+
+namespace hpcg::util {
+
+/// In-place exclusive prefix sum: out[i] = sum of in[0..i). Returns the
+/// total (the value that would occupy index size()).
+template <class T>
+T exclusive_scan_inplace(std::span<T> data) {
+  T running{};
+  for (auto& value : data) {
+    const T next = running + value;
+    value = running;
+    running = next;
+  }
+  return running;
+}
+
+/// In-place inclusive prefix sum; returns the total.
+template <class T>
+T inclusive_scan_inplace(std::span<T> data) {
+  T running{};
+  for (auto& value : data) {
+    running += value;
+    value = running;
+  }
+  return running;
+}
+
+/// Finds the owner of flat work item `needle` in a sorted offsets array:
+/// the largest index j with offsets[j] <= needle < offsets[j+1].
+/// `offsets` has one entry per owner plus no sentinel; the caller
+/// guarantees needle < total work. This is the binary_search of Alg. 6.
+template <class T>
+std::size_t owner_of(std::span<const T> offsets, T needle) {
+  assert(!offsets.empty());
+  std::size_t lo = 0;
+  std::size_t hi = offsets.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi + 1) / 2;
+    if (offsets[mid] <= needle) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace hpcg::util

@@ -1,0 +1,85 @@
+// Console table / CSV emission for the benchmark harnesses. Every figure
+// reproduction prints (a) an aligned human-readable table and (b) optional
+// CSV for plotting, with identical rows.
+#pragma once
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace hpcg::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  /// Begins a new row; subsequent operator<< calls fill its cells.
+  Table& row() {
+    rows_.emplace_back();
+    return *this;
+  }
+
+  Table& operator<<(const std::string& cell) {
+    rows_.back().push_back(cell);
+    return *this;
+  }
+  Table& operator<<(const char* cell) { return *this << std::string(cell); }
+  Table& operator<<(std::int64_t v) { return *this << std::to_string(v); }
+  Table& operator<<(int v) { return *this << std::to_string(v); }
+  Table& operator<<(std::size_t v) { return *this << std::to_string(v); }
+  Table& operator<<(double v) {
+    std::ostringstream os;
+    if (v != 0.0 && (std::abs(v) < 1e-3 || std::abs(v) >= 1e6)) {
+      os << std::scientific << std::setprecision(3) << v;
+    } else {
+      os << std::fixed << std::setprecision(4) << v;
+    }
+    return *this << os.str();
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], r[c].size());
+      }
+    }
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < header_.size(); ++c) {
+        os << std::left << std::setw(static_cast<int>(width[c]) + 2)
+           << (c < cells.size() ? cells[c] : "");
+      }
+      os << "\n";
+    };
+    line(header_);
+    std::string rule;
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      rule += std::string(width[c], '-') + "  ";
+    }
+    os << rule << "\n";
+    for (const auto& r : rows_) line(r);
+  }
+
+  void write_csv(const std::string& path) const {
+    std::ofstream os(path);
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        if (c) os << ",";
+        os << cells[c];
+      }
+      os << "\n";
+    };
+    line(header_);
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hpcg::util

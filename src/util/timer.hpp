@@ -1,0 +1,43 @@
+// Timing primitives. Two clocks matter in this codebase:
+//
+//  * wall time   — used by tests and micro-benchmarks;
+//  * thread CPU  — used by the communication runtime to attribute compute
+//                  time to a rank's virtual clock. With many more rank
+//                  threads than cores (the normal situation here), wall
+//                  time would charge a rank for time it spent preempted;
+//                  CLOCK_THREAD_CPUTIME_ID charges only time actually
+//                  executed on behalf of the thread.
+#pragma once
+
+#include <chrono>
+#include <ctime>
+
+namespace hpcg::util {
+
+/// Seconds of CPU time consumed by the calling thread since an unspecified
+/// epoch. Monotone per thread.
+inline double thread_cpu_seconds() noexcept {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+}
+
+/// Monotonic wall-clock seconds since an unspecified epoch.
+inline double wall_seconds() noexcept {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Simple scoped stopwatch over wall time.
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(wall_seconds()) {}
+  double elapsed() const noexcept { return wall_seconds() - start_; }
+  void reset() noexcept { start_ = wall_seconds(); }
+
+ private:
+  double start_;
+};
+
+}  // namespace hpcg::util

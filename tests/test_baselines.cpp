@@ -1,0 +1,168 @@
+// The comparison baselines must be *correct* implementations — Figure 9/10
+// comparisons are meaningless if the comparator computes something else.
+// Every baseline is checked against the sequential oracles.
+#include <gtest/gtest.h>
+
+#include "algos/gather.hpp"
+#include "algos/reference.hpp"
+#include "baselines/dist1d.hpp"
+#include "baselines/gluon_like.hpp"
+#include "baselines/spmv_pagerank.hpp"
+#include "test_helpers.hpp"
+
+namespace ha = hpcg::algos;
+namespace hb = hpcg::baselines;
+namespace hc = hpcg::core;
+namespace hg = hpcg::graph;
+using hpcg::test::small_rmat;
+
+namespace {
+
+class BaselinesP : public ::testing::TestWithParam<int> {};  // nranks
+
+TEST_P(BaselinesP, Dist1dPageRankMatchesReference) {
+  const int p = GetParam();
+  const auto el = small_rmat(8, 8, 211);
+  const auto parts = hb::Partitioned1D::build(el, p);
+  // The 1D striping uses p groups, so the striped view differs from 2D's.
+  auto striped = el;
+  parts.relabel().apply(striped);
+  hg::Csr ref_csr(striped.n, striped.edges);
+  const auto expect = ha::ref::pagerank(ref_csr, 8);
+
+  hpcg::comm::Runtime::run(p, [&](hpcg::comm::Comm& comm) {
+    hb::Dist1DGraph g(comm, parts);
+    auto pr = hb::pagerank_1d(g, 8);
+    auto gathered = hb::gather_state_1d(g, std::span<const double>(pr));
+    for (hg::Gid v = 0; v < el.n; ++v) {
+      EXPECT_NEAR(gathered[static_cast<std::size_t>(v)],
+                  expect[static_cast<std::size_t>(v)], 1e-9);
+    }
+  });
+}
+
+TEST_P(BaselinesP, Dist1dCcAndBfsMatchReference) {
+  const int p = GetParam();
+  const auto el = small_rmat(8, 6, 223);
+  const auto parts = hb::Partitioned1D::build(el, p);
+  auto striped = el;
+  parts.relabel().apply(striped);
+  hg::Csr ref_csr(striped.n, striped.edges);
+  const auto expect_cc = ha::ref::connected_components(striped);
+  const auto expect_bfs = ha::ref::bfs_levels(ref_csr, parts.relabel().to_new(0));
+
+  hpcg::comm::Runtime::run(p, [&](hpcg::comm::Comm& comm) {
+    hb::Dist1DGraph g(comm, parts);
+    auto labels = hb::gather_state_1d(
+        g, std::span<const hg::Gid>(hb::connected_components_1d(g)));
+    auto levels = hb::gather_state_1d(
+        g, std::span<const std::int64_t>(hb::bfs_1d(g, 0)));
+    for (hg::Gid v = 0; v < el.n; ++v) {
+      EXPECT_EQ(labels[static_cast<std::size_t>(v)],
+                expect_cc[static_cast<std::size_t>(v)]);
+      const auto want = expect_bfs[static_cast<std::size_t>(v)];
+      EXPECT_EQ(levels[static_cast<std::size_t>(v)],
+                want < 0 ? (std::int64_t{1} << 62) : want);
+    }
+  });
+}
+
+TEST_P(BaselinesP, Dist1dDenseVariantsMatchOptimized) {
+  const int p = GetParam();
+  const auto el = small_rmat(8, 6, 233);
+  const auto parts = hb::Partitioned1D::build(el, p);
+  auto striped = el;
+  parts.relabel().apply(striped);
+  hg::Csr ref_csr(striped.n, striped.edges);
+  const auto expect_cc = ha::ref::connected_components(striped);
+  const auto expect_bfs = ha::ref::bfs_levels(ref_csr, parts.relabel().to_new(2));
+
+  hpcg::comm::Runtime::run(p, [&](hpcg::comm::Comm& comm) {
+    hb::Dist1DGraph g(comm, parts);
+    auto labels = hb::gather_state_1d(
+        g, std::span<const hg::Gid>(hb::connected_components_1d_dense(g)));
+    auto levels = hb::gather_state_1d(
+        g, std::span<const std::int64_t>(hb::bfs_1d_dense(g, 2)));
+    for (hg::Gid v = 0; v < el.n; ++v) {
+      EXPECT_EQ(labels[static_cast<std::size_t>(v)],
+                expect_cc[static_cast<std::size_t>(v)]);
+      const auto want = expect_bfs[static_cast<std::size_t>(v)];
+      EXPECT_EQ(levels[static_cast<std::size_t>(v)],
+                want < 0 ? (std::int64_t{1} << 62) : want);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, BaselinesP, ::testing::Values(1, 2, 4, 6, 9),
+                         ::testing::PrintToStringParamName());
+
+struct GridCase {
+  int rows;
+  int cols;
+};
+
+class GluonP : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(GluonP, GluonVariantsMatchReference) {
+  const auto [rows, cols] = GetParam();
+  const auto el = small_rmat(8, 6, 227);
+  const hc::Grid grid(rows, cols);
+  const auto striped = hpcg::test::striped_view(el, grid);
+  hg::Csr ref_csr(striped.n, striped.edges);
+  hg::StripedRelabel relabel(el.n, grid.row_groups());
+  const auto expect_pr = ha::ref::pagerank(ref_csr, 6);
+  const auto expect_cc = ha::ref::connected_components(striped);
+  const auto expect_bfs = ha::ref::bfs_levels(ref_csr, relabel.to_new(0));
+
+  hpcg::test::run_on_grid(el, grid, [&](hpcg::comm::Comm&, hc::Dist2DGraph& g) {
+    auto pr = ha::gather_row_state(
+        g, std::span<const double>(hb::gluon_pagerank(g, 6)));
+    auto cc = ha::gather_row_state(
+        g, std::span<const hg::Gid>(hb::gluon_connected_components(g)));
+    auto bfs = ha::gather_row_state(
+        g, std::span<const std::int64_t>(hb::gluon_bfs(g, 0)));
+    for (hg::Gid v = 0; v < el.n; ++v) {
+      EXPECT_NEAR(pr[static_cast<std::size_t>(v)],
+                  expect_pr[static_cast<std::size_t>(v)], 1e-9);
+      EXPECT_EQ(cc[static_cast<std::size_t>(v)],
+                expect_cc[static_cast<std::size_t>(v)]);
+      const auto want = expect_bfs[static_cast<std::size_t>(v)];
+      EXPECT_EQ(bfs[static_cast<std::size_t>(v)],
+                want < 0 ? (std::int64_t{1} << 62) : want);
+    }
+  });
+}
+
+TEST_P(GluonP, SpmvPageRankMatchesReference) {
+  const auto [rows, cols] = GetParam();
+  const auto el = small_rmat(8, 8, 229);
+  const hc::Grid grid(rows, cols);
+  const auto striped = hpcg::test::striped_view(el, grid);
+  hg::Csr ref_csr(striped.n, striped.edges);
+  const auto expect = ha::ref::pagerank(ref_csr, 8);
+
+  hpcg::test::run_on_grid(el, grid, [&](hpcg::comm::Comm&, hc::Dist2DGraph& g) {
+    auto pr = ha::gather_row_state(
+        g, std::span<const double>(hb::spmv_pagerank(g, 8)));
+    for (hg::Gid v = 0; v < el.n; ++v) {
+      EXPECT_NEAR(pr[static_cast<std::size_t>(v)],
+                  expect[static_cast<std::size_t>(v)], 1e-9);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, GluonP,
+    ::testing::Values(GridCase{1, 1}, GridCase{2, 2}, GridCase{2, 3},
+                      GridCase{4, 2}),
+    [](const ::testing::TestParamInfo<GridCase>& info) {
+      return std::to_string(info.param.rows) + "x" + std::to_string(info.param.cols);
+    });
+
+TEST(GluonCost, ParamsPenalizeSubstrate) {
+  const auto params = hb::gluon_cost_params();
+  EXPECT_GT(params.software_alpha_s, hpcg::comm::CostParams{}.software_alpha_s);
+  EXPECT_LT(params.bw_derate, 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,324 @@
+// Correctness of every collective over many group sizes, including group
+// sizes that do not divide evenly into the topology's nodes/cliques and
+// subcommunicators created by split().
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "comm/runtime.hpp"
+
+namespace hc = hpcg::comm;
+
+namespace {
+
+class CollectivesP : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectivesP, BroadcastFromEveryRoot) {
+  const int p = GetParam();
+  hc::Runtime::run(p, [&](hc::Comm& comm) {
+    for (int root = 0; root < p; ++root) {
+      std::vector<std::int64_t> data(17, comm.rank() == root ? 1000 + root : -1);
+      comm.broadcast(std::span(data), root);
+      for (const auto v : data) EXPECT_EQ(v, 1000 + root);
+    }
+  });
+}
+
+TEST_P(CollectivesP, AllReduceSumMinMax) {
+  const int p = GetParam();
+  hc::Runtime::run(p, [&](hc::Comm& comm) {
+    std::vector<std::int64_t> sum(8);
+    for (std::size_t i = 0; i < sum.size(); ++i) {
+      sum[i] = comm.rank() + static_cast<std::int64_t>(i);
+    }
+    comm.allreduce(std::span(sum), hc::ReduceOp::kSum);
+    const std::int64_t rank_total = static_cast<std::int64_t>(p) * (p - 1) / 2;
+    for (std::size_t i = 0; i < sum.size(); ++i) {
+      EXPECT_EQ(sum[i], rank_total + static_cast<std::int64_t>(i) * p);
+    }
+
+    std::vector<double> mn(3, 100.0 + comm.rank());
+    comm.allreduce(std::span(mn), hc::ReduceOp::kMin);
+    for (const auto v : mn) EXPECT_DOUBLE_EQ(v, 100.0);
+
+    std::vector<double> mx(3, 100.0 + comm.rank());
+    comm.allreduce(std::span(mx), hc::ReduceOp::kMax);
+    for (const auto v : mx) EXPECT_DOUBLE_EQ(v, 100.0 + p - 1);
+  });
+}
+
+TEST_P(CollectivesP, AllReduceCustomCombiner) {
+  const int p = GetParam();
+  struct WeightLoc {
+    double weight;
+    std::int64_t loc;
+  };
+  hc::Runtime::run(p, [&](hc::Comm& comm) {
+    // MAXLOC with smallest-loc tie break, as the matching algorithm needs.
+    std::vector<WeightLoc> data(5);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = {static_cast<double>((comm.rank() * 7 + static_cast<int>(i)) % p),
+                 comm.rank()};
+    }
+    comm.allreduce(std::span(data), [](WeightLoc& into, const WeightLoc& from) {
+      if (from.weight > into.weight ||
+          (from.weight == into.weight && from.loc < into.loc)) {
+        into = from;
+      }
+    });
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      // Check against a direct evaluation.
+      WeightLoc expect{-1.0, -1};
+      for (int r = 0; r < p; ++r) {
+        const double w = static_cast<double>((r * 7 + static_cast<int>(i)) % p);
+        if (w > expect.weight || (w == expect.weight && r < expect.loc)) {
+          expect = {w, r};
+        }
+      }
+      EXPECT_DOUBLE_EQ(data[i].weight, expect.weight) << "slot " << i;
+      EXPECT_EQ(data[i].loc, expect.loc) << "slot " << i;
+    }
+  });
+}
+
+TEST_P(CollectivesP, RootedReduceGatherScatter) {
+  const int p = GetParam();
+  hc::Runtime::run(p, [&](hc::Comm& comm) {
+    for (int root = 0; root < p; root += std::max(1, p / 3)) {
+      // Reduce: only the root sees the sum; others keep their values.
+      std::vector<std::int64_t> data(5, comm.rank() + 1);
+      comm.reduce(std::span(data), root, hc::ReduceOp::kSum);
+      const std::int64_t expect_sum = static_cast<std::int64_t>(p) * (p + 1) / 2;
+      for (const auto v : data) {
+        EXPECT_EQ(v, comm.rank() == root ? expect_sum : comm.rank() + 1);
+      }
+
+      // Gather: root assembles everyone's block in group order.
+      std::vector<std::int32_t> send{comm.rank(), comm.rank() * 10};
+      std::vector<std::int32_t> recv(static_cast<std::size_t>(2) * p, -1);
+      comm.gather(std::span<const std::int32_t>(send), std::span(recv), root);
+      if (comm.rank() == root) {
+        for (int m = 0; m < p; ++m) {
+          EXPECT_EQ(recv[static_cast<std::size_t>(2 * m)], m);
+          EXPECT_EQ(recv[static_cast<std::size_t>(2 * m) + 1], m * 10);
+        }
+      }
+
+      // Scatter: member i receives the root's block i.
+      std::vector<std::int32_t> blocks(static_cast<std::size_t>(3) * p);
+      for (int m = 0; m < p; ++m) {
+        for (int k = 0; k < 3; ++k) {
+          blocks[static_cast<std::size_t>(3 * m + k)] = m * 100 + k;
+        }
+      }
+      std::vector<std::int32_t> mine(3, -1);
+      comm.scatter(std::span<const std::int32_t>(blocks), std::span(mine), root);
+      for (int k = 0; k < 3; ++k) {
+        EXPECT_EQ(mine[static_cast<std::size_t>(k)], comm.rank() * 100 + k);
+      }
+    }
+  });
+}
+
+TEST_P(CollectivesP, ReduceScatterEqualsAllReduceSlice) {
+  const int p = GetParam();
+  hc::Runtime::run(p, [&](hc::Comm& comm) {
+    const std::size_t block = 4;
+    std::vector<double> send(block * static_cast<std::size_t>(p));
+    for (std::size_t i = 0; i < send.size(); ++i) {
+      send[i] = static_cast<double>(comm.rank()) + static_cast<double>(i) * 0.5;
+    }
+    std::vector<double> mine(block);
+    comm.reduce_scatter(std::span<const double>(send), std::span(mine),
+                        hc::ReduceOp::kSum);
+    // Oracle: allreduce of the full buffer, then take my block.
+    auto full = send;
+    for (std::size_t i = 0; i < full.size(); ++i) {
+      full[i] = 0;
+      for (int m = 0; m < p; ++m) {
+        full[i] += static_cast<double>(m) + static_cast<double>(i) * 0.5;
+      }
+    }
+    for (std::size_t k = 0; k < block; ++k) {
+      EXPECT_DOUBLE_EQ(mine[k],
+                       full[static_cast<std::size_t>(comm.rank()) * block + k]);
+    }
+  });
+}
+
+TEST_P(CollectivesP, AllGatherFixedAndVariable) {
+  const int p = GetParam();
+  hc::Runtime::run(p, [&](hc::Comm& comm) {
+    std::vector<std::int32_t> send(4, comm.rank());
+    std::vector<std::int32_t> recv(static_cast<std::size_t>(4) * p, -1);
+    comm.allgather(std::span<const std::int32_t>(send), std::span(recv));
+    for (int m = 0; m < p; ++m) {
+      for (int i = 0; i < 4; ++i) EXPECT_EQ(recv[static_cast<std::size_t>(m) * 4 + i], m);
+    }
+
+    // Variable: rank r contributes r+1 copies of r (rank p-1 contributes 0
+    // to also exercise empty contributions).
+    const std::size_t mine = comm.rank() == p - 1 ? 0 : static_cast<std::size_t>(comm.rank()) + 1;
+    std::vector<std::int64_t> vsend(mine, comm.rank());
+    std::vector<std::size_t> counts;
+    auto gathered = comm.allgatherv(std::span<const std::int64_t>(vsend), &counts);
+    ASSERT_EQ(counts.size(), static_cast<std::size_t>(p));
+    std::size_t offset = 0;
+    for (int m = 0; m < p; ++m) {
+      const std::size_t expect_count = m == p - 1 ? 0 : static_cast<std::size_t>(m) + 1;
+      EXPECT_EQ(counts[m], expect_count);
+      for (std::size_t i = 0; i < counts[m]; ++i) EXPECT_EQ(gathered[offset + i], m);
+      offset += counts[m];
+    }
+    EXPECT_EQ(gathered.size(), offset);
+  });
+}
+
+TEST_P(CollectivesP, AlltoallvPersonalizedExchange) {
+  const int p = GetParam();
+  hc::Runtime::run(p, [&](hc::Comm& comm) {
+    // Rank r sends (r + d) % 3 values of (r * 1000 + d) to destination d.
+    std::vector<std::size_t> send_counts(static_cast<std::size_t>(p));
+    std::vector<std::int64_t> send;
+    for (int d = 0; d < p; ++d) {
+      send_counts[d] = static_cast<std::size_t>((comm.rank() + d) % 3);
+      for (std::size_t i = 0; i < send_counts[d]; ++i) {
+        send.push_back(comm.rank() * 1000 + d);
+      }
+    }
+    std::vector<std::size_t> recv_counts;
+    auto recv = comm.alltoallv(std::span<const std::int64_t>(send),
+                               std::span<const std::size_t>(send_counts),
+                               &recv_counts);
+    ASSERT_EQ(recv_counts.size(), static_cast<std::size_t>(p));
+    std::size_t offset = 0;
+    for (int m = 0; m < p; ++m) {
+      EXPECT_EQ(recv_counts[m], static_cast<std::size_t>((m + comm.rank()) % 3));
+      for (std::size_t i = 0; i < recv_counts[m]; ++i) {
+        EXPECT_EQ(recv[offset + i], m * 1000 + comm.rank());
+      }
+      offset += recv_counts[m];
+    }
+  });
+}
+
+TEST_P(CollectivesP, MultiBroadcastGroupCall) {
+  const int p = GetParam();
+  hc::Runtime::run(p, [&](hc::Comm& comm) {
+    // Three segments with roots spread over the group.
+    std::vector<std::vector<std::int32_t>> bufs(3);
+    std::vector<hc::BcastSeg<std::int32_t>> segs;
+    for (int s = 0; s < 3; ++s) {
+      const int root = (s * 5) % p;
+      bufs[s].assign(static_cast<std::size_t>(s) + 2,
+                     comm.rank() == root ? 77 + s : -1);
+      segs.push_back({root, bufs[s].data(), bufs[s].size()});
+    }
+    comm.multi_broadcast(std::span<const hc::BcastSeg<std::int32_t>>(segs));
+    for (int s = 0; s < 3; ++s) {
+      for (const auto v : bufs[s]) EXPECT_EQ(v, 77 + s);
+    }
+  });
+}
+
+TEST_P(CollectivesP, SplitRowColumnGrids) {
+  const int p = GetParam();
+  // Find a grid factorization p = rows * cols with rows as close to sqrt(p).
+  int rows = 1;
+  for (int r = 1; r * r <= p; ++r) {
+    if (p % r == 0) rows = r;
+  }
+  const int cols = p / rows;
+  hc::Runtime::run(p, [&](hc::Comm& comm) {
+    const int my_row = comm.rank() / cols;
+    const int my_col = comm.rank() % cols;
+    hc::Comm row_comm = comm.split(my_row, my_col);
+    hc::Comm col_comm = comm.split(my_col, my_row);
+    EXPECT_EQ(row_comm.size(), cols);
+    EXPECT_EQ(col_comm.size(), rows);
+    EXPECT_EQ(row_comm.rank(), my_col);
+    EXPECT_EQ(col_comm.rank(), my_row);
+
+    // Row-group allreduce sums ranks within a row only.
+    std::int64_t v = comm.rank();
+    v = row_comm.allreduce_one(v, hc::ReduceOp::kSum);
+    std::int64_t expect = 0;
+    for (int c = 0; c < cols; ++c) expect += my_row * cols + c;
+    EXPECT_EQ(v, expect);
+
+    // Column-group broadcast from the diagonal-style root.
+    std::int64_t w = col_comm.rank() == my_col % rows ? 4242 : 0;
+    col_comm.broadcast(std::span(&w, 1), my_col % rows);
+    EXPECT_EQ(w, 4242);
+  });
+}
+
+TEST_P(CollectivesP, SendRecvRing) {
+  const int p = GetParam();
+  if (p == 1) GTEST_SKIP() << "ring needs 2+ ranks";
+  hc::Runtime::run(p, [&](hc::Comm& comm) {
+    const int next = (comm.rank() + 1) % p;
+    const int prev = (comm.rank() + p - 1) % p;
+    std::vector<std::int32_t> payload{comm.rank(), comm.rank() * 2};
+    comm.send(std::span<const std::int32_t>(payload), next, /*tag=*/7);
+    auto got = comm.recv<std::int32_t>(prev, /*tag=*/7);
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0], prev);
+    EXPECT_EQ(got[1], prev * 2);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, CollectivesP,
+                         ::testing::Values(1, 2, 3, 4, 6, 7, 8, 12, 16, 25, 33),
+                         ::testing::PrintToStringParamName());
+
+TEST(CommErrors, RankFailurePropagatesWithoutDeadlock) {
+  EXPECT_THROW(
+      hc::Runtime::run(4,
+                       [](hc::Comm& comm) {
+                         if (comm.rank() == 2) {
+                           throw std::runtime_error("rank 2 exploded");
+                         }
+                         comm.barrier();  // would deadlock without abort
+                         comm.barrier();
+                       }),
+      std::runtime_error);
+}
+
+TEST(CommStats, TrafficAndClocksAreAccounted) {
+  auto stats = hc::Runtime::run(8, [](hc::Comm& comm) {
+    std::vector<double> x(1024, comm.rank());
+    comm.allreduce(std::span(x), hc::ReduceOp::kSum);
+    comm.broadcast(std::span(x), 0);
+  });
+  EXPECT_EQ(stats.vclock.size(), 8u);
+  EXPECT_GT(stats.bytes, 0u);
+  EXPECT_GT(stats.messages, 0u);
+  EXPECT_EQ(stats.collectives, 2u * 1);  // leader counts once per collective
+  EXPECT_GT(stats.makespan(), 0.0);
+  EXPECT_GT(stats.max_comm(), 0.0);
+  // All ranks end the final collective synchronized; only the trailing
+  // compute flush after it differs per rank. That flush is measured
+  // thread-CPU time, so under host load it can be sizable — assert only
+  // that every rank reached at least the synchronized time.
+  const double synchronized = *std::min_element(stats.vclock.begin(), stats.vclock.end());
+  EXPECT_GT(synchronized, 0.0);
+  for (const auto t : stats.vclock) EXPECT_GE(t, synchronized);
+}
+
+TEST(CommStats, LargerGroupsCostMoreCommunication) {
+  auto run_with = [](int p) {
+    return hc::Runtime::run(p, [](hc::Comm& comm) {
+      std::vector<double> x(4096, comm.rank());
+      for (int i = 0; i < 10; ++i) comm.allreduce(std::span(x), hc::ReduceOp::kSum);
+    });
+  };
+  const double c2 = run_with(2).max_comm();
+  const double c16 = run_with(16).max_comm();
+  EXPECT_GT(c16, c2);
+}
+
+}  // namespace

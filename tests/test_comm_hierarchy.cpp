@@ -1,0 +1,126 @@
+// Communicator hierarchies and exact virtual-clock accounting: split of
+// split, disjoint-group concurrency, and hand-computed modeled times for
+// known collective sequences (the cost model is the instrument every
+// figure reads — its bookkeeping must be exact).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "comm/runtime.hpp"
+
+namespace hc = hpcg::comm;
+
+namespace {
+
+TEST(CommHierarchy, SplitOfSplit) {
+  // 12 ranks -> 3 colors of 4 -> each splits again into 2 of 2.
+  hc::Runtime::run(12, [](hc::Comm& comm) {
+    hc::Comm mid = comm.split(comm.rank() / 4, comm.rank() % 4);
+    ASSERT_EQ(mid.size(), 4);
+    hc::Comm leaf = mid.split(mid.rank() / 2, mid.rank() % 2);
+    ASSERT_EQ(leaf.size(), 2);
+    // Sum of world ranks within the leaf group.
+    const auto sum = leaf.allreduce_one<std::int64_t>(comm.rank(), hc::ReduceOp::kSum);
+    // Leaf partners are world ranks (base, base+1) where base is even
+    // within the 4-rank mid group.
+    const int base = (comm.rank() / 2) * 2;
+    EXPECT_EQ(sum, base + base + 1);
+    // The mid communicator still works after its child was created.
+    const auto mid_max = mid.allreduce_one(comm.rank(), hc::ReduceOp::kMax);
+    EXPECT_EQ(mid_max, (comm.rank() / 4) * 4 + 3);
+  });
+}
+
+TEST(CommHierarchy, DisjointGroupsProgressIndependently) {
+  // Odd/even groups issue different numbers of collectives concurrently;
+  // the world barrier at the end must still line everyone up.
+  auto stats = hc::Runtime::run(8, [](hc::Comm& comm) {
+    hc::Comm half = comm.split(comm.rank() % 2, comm.rank());
+    std::vector<double> x(256, 1.0);
+    const int repeats = comm.rank() % 2 == 0 ? 3 : 9;
+    for (int i = 0; i < repeats; ++i) {
+      half.allreduce(std::span(x), hc::ReduceOp::kSum);
+    }
+    comm.barrier();
+  });
+  EXPECT_GT(stats.makespan(), 0.0);
+}
+
+TEST(ClockAccounting, SingleCollectiveMatchesHandComputedCost) {
+  // Flat topology, known alpha/beta, compute_scale 0: the vclock after one
+  // allreduce must equal the closed-form ring cost exactly.
+  const hc::LinkParams link{10e-6, 1e9};
+  const auto topo = hc::Topology::flat(4, link);
+  hc::CostParams params;
+  params.compute_scale = 0.0;
+  params.software_alpha_s = 0.0;
+  const hc::CostModel cost(params);
+
+  constexpr std::size_t kCount = 1000;
+  auto stats = hc::Runtime::run(4, topo, cost, [](hc::Comm& comm) {
+    std::vector<double> x(kCount, comm.rank());
+    comm.allreduce(std::span(x), hc::ReduceOp::kSum);
+  });
+  const double bytes = kCount * sizeof(double);
+  const double expect = 2.0 * 2.0 /*log2(4)*/ * link.alpha_s +
+                        2.0 * bytes * 3.0 / (4.0 * link.beta_bytes_s);
+  for (const auto t : stats.vclock) EXPECT_DOUBLE_EQ(t, expect);
+  EXPECT_DOUBLE_EQ(stats.max_comm(), expect);
+  EXPECT_DOUBLE_EQ(stats.max_comp(), 0.0);
+}
+
+TEST(ClockAccounting, SequenceAccumulates) {
+  const hc::LinkParams link{5e-6, 2e9};
+  const auto topo = hc::Topology::flat(8, link);
+  hc::CostParams params;
+  params.compute_scale = 0.0;
+  params.software_alpha_s = 0.0;
+  const hc::CostModel cost(params);
+  const auto group = hc::make_group_link(topo, nullptr, 1);
+  (void)group;
+
+  auto stats = hc::Runtime::run(8, topo, cost, [](hc::Comm& comm) {
+    std::vector<float> x(512, 1.0f);
+    comm.allreduce(std::span(x), hc::ReduceOp::kMax);  // 1
+    comm.broadcast(std::span(x), 3);                   // 2
+    comm.barrier();                                    // 3 (latency only)
+  });
+  std::vector<int> members(8);
+  std::iota(members.begin(), members.end(), 0);
+  const auto glink = hc::make_group_link(topo, members.data(), 8);
+  const double expect = cost.allreduce(glink, 512 * sizeof(float)) +
+                        cost.broadcast(glink, 512 * sizeof(float)) +
+                        cost.allreduce(glink, 0);
+  for (const auto t : stats.vclock) EXPECT_DOUBLE_EQ(t, expect);
+  EXPECT_EQ(stats.collectives, 3u);
+}
+
+TEST(ClockAccounting, ExplicitChargesAccumulateAsCompute) {
+  auto stats = hc::Runtime::run(2, hc::Topology::flat(2),
+                                hc::CostModel(hc::CostParams{.compute_scale = 0.0}),
+                                [](hc::Comm& comm) {
+                                  comm.charge_compute(comm.rank() == 0 ? 1e-3 : 2e-3);
+                                  comm.barrier();
+                                });
+  // The barrier synchronizes both ranks to the slower rank's arrival.
+  EXPECT_GE(stats.vclock[0], 2e-3);
+  EXPECT_DOUBLE_EQ(stats.vclock[0], stats.vclock[1]);
+  EXPECT_DOUBLE_EQ(stats.comp_s[1], 2e-3);
+  EXPECT_DOUBLE_EQ(stats.comp_s[0], 1e-3);
+  // Rank 0 waited ~1 ms inside the barrier: accounted as communication.
+  EXPECT_GE(stats.comm_s[0], 1e-3);
+}
+
+TEST(ClockAccounting, ResetClocksZeroesEverything) {
+  auto stats = hc::Runtime::run(4, [](hc::Comm& comm) {
+    std::vector<double> x(4096, 1.0);
+    comm.allreduce(std::span(x), hc::ReduceOp::kSum);
+    comm.reset_clocks();
+    comm.barrier();  // only this survives the reset
+  });
+  EXPECT_LT(stats.makespan(), 1e-4);
+  EXPECT_GT(stats.makespan(), 0.0);
+  EXPECT_EQ(stats.collectives, 1u);
+}
+
+}  // namespace

@@ -1,0 +1,262 @@
+// Core execution/communication patterns: Manhattan collapse, vertex
+// queues, packet swapping, the 2.5D owner exchange, and pull activation.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "core/activation.hpp"
+#include "core/manhattan.hpp"
+#include "core/packet.hpp"
+#include "core/queue.hpp"
+#include "core/reduce25d.hpp"
+#include "test_helpers.hpp"
+
+namespace hc = hpcg::core;
+namespace hg = hpcg::graph;
+using hpcg::test::run_on_grid;
+using hpcg::test::small_rmat;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Manhattan collapse (Algorithm 6).
+// ---------------------------------------------------------------------------
+
+class ManhattanP : public ::testing::TestWithParam<int> {};  // block size
+
+TEST_P(ManhattanP, VisitsExactlyTheNestedLoopEdges) {
+  const int block_size = GetParam();
+  auto el = small_rmat(9, 6, 303);
+  hg::Csr csr(el.n, el.edges);
+
+  // A queue with gaps, duplicates of structure (not vertices), and odd size.
+  std::vector<hc::Lid> queue;
+  for (hc::Lid v = 0; v < csr.n(); v += 3) queue.push_back(v);
+
+  std::multiset<std::pair<hc::Lid, hg::Gid>> nested;
+  hc::nested_for_each_edge(csr, std::span<const hc::Lid>(queue),
+                           [&](hc::Lid v, hc::Lid u, std::int64_t) {
+                             nested.insert({v, u});
+                           });
+  std::multiset<std::pair<hc::Lid, hg::Gid>> collapsed;
+  hc::manhattan_for_each_edge(
+      csr, std::span<const hc::Lid>(queue),
+      [&](hc::Lid v, hc::Lid u, std::int64_t edge) {
+        collapsed.insert({v, u});
+        // Edge index must address the same adjacency slot.
+        EXPECT_EQ(csr.adjacencies()[edge], u);
+      },
+      block_size);
+  EXPECT_EQ(nested, collapsed);
+}
+
+TEST_P(ManhattanP, HandlesEmptyAndDegreeZeroQueues) {
+  const int block_size = GetParam();
+  hg::EdgeList el;
+  el.n = 64;
+  el.edges = {{5, 6}};
+  hg::symmetrize(el);
+  hg::Csr csr(el.n, el.edges);
+  int visits = 0;
+  hc::manhattan_for_each_edge(
+      csr, std::span<const hc::Lid>(), [&](hc::Lid, hc::Lid, std::int64_t) { ++visits; },
+      block_size);
+  EXPECT_EQ(visits, 0);
+  // All-degree-zero queue.
+  std::vector<hc::Lid> zeros{0, 1, 2, 3};
+  hc::manhattan_for_each_edge(
+      csr, std::span<const hc::Lid>(zeros),
+      [&](hc::Lid, hc::Lid, std::int64_t) { ++visits; }, block_size);
+  EXPECT_EQ(visits, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, ManhattanP, ::testing::Values(1, 2, 7, 64, 256, 1024),
+                         ::testing::PrintToStringParamName());
+
+TEST(Manhattan, SpanReflectsBalancedWork) {
+  auto el = small_rmat(8, 8, 305);
+  hg::Csr csr(el.n, el.edges);
+  std::vector<hc::Lid> queue(static_cast<std::size_t>(csr.n()));
+  std::iota(queue.begin(), queue.end(), 0);
+  const auto span = hc::manhattan_span(csr, std::span<const hc::Lid>(queue), 256);
+  // The SIMT span is at least ceil(m / block) and at most one extra stride
+  // per block of queued vertices.
+  const std::int64_t blocks = (csr.n() + 255) / 256;
+  EXPECT_GE(span, csr.m() / 256);
+  EXPECT_LE(span, csr.m() / 256 + blocks);
+}
+
+// ---------------------------------------------------------------------------
+// Vertex queue (q_in flag semantics).
+// ---------------------------------------------------------------------------
+
+TEST(VertexQueue, DeduplicatesAndClearsOnlyTouchedFlags) {
+  hc::VertexQueue queue(100);
+  EXPECT_TRUE(queue.try_push(5));
+  EXPECT_FALSE(queue.try_push(5));  // atomicExch saw true
+  EXPECT_TRUE(queue.try_push(99));
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_TRUE(queue.contains(5));
+  EXPECT_FALSE(queue.contains(6));
+  queue.clear();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(queue.contains(5));
+  EXPECT_TRUE(queue.try_push(5));  // reusable after clear
+}
+
+TEST(VertexQueue, SwapExchangesContents) {
+  hc::VertexQueue a(10);
+  hc::VertexQueue b(10);
+  a.try_push(1);
+  b.try_push(2);
+  b.try_push(3);
+  a.swap(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_TRUE(a.contains(2));
+  EXPECT_TRUE(b.contains(1));
+}
+
+// ---------------------------------------------------------------------------
+// Packet swapping.
+// ---------------------------------------------------------------------------
+
+struct TestPacket {
+  hg::Gid dest;
+  hg::Gid src;
+  std::int64_t payload;
+};
+
+struct GridCase {
+  int rows;
+  int cols;
+};
+
+class PacketP : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(PacketP, EveryPacketReachesARowOwnerExactlyOnce) {
+  const auto [rows, cols] = GetParam();
+  const auto el = small_rmat(7, 4, 307);
+  std::mutex mutex;
+  std::multiset<std::pair<hg::Gid, hg::Gid>> delivered;  // (dest, src)
+
+  run_on_grid(el, hc::Grid(rows, cols), [&](hpcg::comm::Comm& comm, hc::Dist2DGraph& g) {
+    // Each rank sends one packet to every 7th vertex, from a synthetic
+    // source identifying the sender.
+    std::vector<TestPacket> out;
+    for (hg::Gid dest = comm.rank() % 7; dest < g.n(); dest += 7) {
+      out.push_back({dest, comm.rank() * 1000000 + dest, dest * 3});
+    }
+    auto arrived = hc::packet_swap(g, std::span<const TestPacket>(out),
+                                   [](const TestPacket& p) { return p.dest; });
+    std::lock_guard lock(mutex);
+    for (const auto& p : arrived) {
+      // Delivery contract: the receiving rank owns the destination vertex.
+      EXPECT_TRUE(g.lids().owns_row_gid(p.dest));
+      EXPECT_EQ(p.payload, p.dest * 3);
+      delivered.insert({p.dest, p.src});
+    }
+  });
+
+  // Exactly one delivery per sent packet (one rank per row group receives).
+  const hc::Grid grid(rows, cols);
+  std::multiset<std::pair<hg::Gid, hg::Gid>> expected;
+  for (int rank = 0; rank < grid.ranks(); ++rank) {
+    for (hg::Gid dest = rank % 7; dest < el.n; dest += 7) {
+      expected.insert({dest, rank * 1000000 + dest});
+    }
+  }
+  EXPECT_EQ(delivered, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, PacketP,
+    ::testing::Values(GridCase{1, 1}, GridCase{2, 2}, GridCase{2, 4},
+                      GridCase{4, 2}, GridCase{3, 3}, GridCase{3, 5}),
+    [](const ::testing::TestParamInfo<GridCase>& info) {
+      return std::to_string(info.param.rows) + "x" + std::to_string(info.param.cols);
+    });
+
+// ---------------------------------------------------------------------------
+// 2.5D owner exchange.
+// ---------------------------------------------------------------------------
+
+TEST(Reduce25D, PartialsReachHierarchicalOwnersCompletely) {
+  const auto el = small_rmat(7, 4, 309);
+  const hc::Grid grid(2, 4);
+  std::mutex mutex;
+  std::map<hg::Gid, std::uint64_t> merged;  // vertex -> summed weight
+
+  run_on_grid(el, grid, [&](hpcg::comm::Comm& comm, hc::Dist2DGraph& g) {
+    // Every rank contributes one record per row vertex with its rank as
+    // weight; the owner must see the sum over its row group.
+    std::vector<hc::PartialAggregate> partials;
+    for (hc::Lid v = g.row_lid_begin(); v < g.row_lid_end(); ++v) {
+      partials.push_back({g.lids().to_gid(v), 7u,
+                          static_cast<std::uint64_t>(comm.rank()) + 1});
+    }
+    auto received = hc::exchange_to_owners(g, std::span<const hc::PartialAggregate>(partials));
+    const auto owners = hc::hierarchical_ownership(g);
+    std::lock_guard lock(mutex);
+    for (const auto& p : received) {
+      // Ownership contract: the receiver is the hierarchical owner.
+      EXPECT_EQ(owners.part_of(p.vertex - g.lids().row_offset()), g.rank_r());
+      merged[p.vertex] += p.weight;
+    }
+  });
+
+  // Each vertex's owner received contributions from all of its row group.
+  ASSERT_EQ(merged.size(), static_cast<std::size_t>(el.n));
+  for (const auto& [vertex, weight] : merged) {
+    // Sum of (rank+1) over the vertex's row group members.
+    const int row_group = hc::BlockPartition(el.n, grid.row_groups()).part_of(vertex);
+    std::uint64_t expected = 0;
+    for (int c = 0; c < grid.col_groups(); ++c) {
+      expected += static_cast<std::uint64_t>(grid.rank_at(row_group, c)) + 1;
+    }
+    EXPECT_EQ(weight, expected) << "vertex " << vertex;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pull activation.
+// ---------------------------------------------------------------------------
+
+TEST(PullActivation, ActivatesExactlyNeighborsOfChanged) {
+  const auto el = small_rmat(7, 4, 311);
+  const hc::Grid grid(3, 3);
+  const auto striped = hpcg::test::striped_view(el, grid);
+
+  // Oracle: neighbors (in the full graph) of the chosen changed set.
+  const std::set<hg::Gid> changed_gids{1, 17, 42};
+  std::set<hg::Gid> expected;
+  for (const auto& e : striped.edges) {
+    if (changed_gids.contains(e.u)) expected.insert(e.v);
+  }
+
+  std::mutex mutex;
+  std::map<hg::Gid, int> activated;  // gid -> how many ranks activated it
+  run_on_grid(el, grid, [&](hpcg::comm::Comm&, hc::Dist2DGraph& g) {
+    hc::VertexQueue changed(g.lids().n_total());
+    for (const auto gid : changed_gids) {
+      if (g.lids().owns_row_gid(gid)) changed.try_push(g.lids().row_lid(gid));
+    }
+    auto active = hc::pull_activation(g, changed);
+    std::lock_guard lock(mutex);
+    for (const auto l : active.items()) {
+      ++activated[g.lids().to_gid(l)];
+    }
+  });
+
+  // Exactly the neighbor set, activated once per owning rank (R per group).
+  std::set<hg::Gid> got;
+  for (const auto& [gid, count] : activated) {
+    got.insert(gid);
+    EXPECT_EQ(count, grid.ranks_per_row_group()) << "gid " << gid;
+  }
+  EXPECT_EQ(got, expected);
+}
+
+}  // namespace

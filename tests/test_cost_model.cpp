@@ -1,0 +1,145 @@
+// Topology classification and collective cost algebra.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "comm/cost_model.hpp"
+#include "comm/topology.hpp"
+
+namespace hc = hpcg::comm;
+
+namespace {
+
+TEST(Topology, AimosHierarchy) {
+  const auto topo = hc::Topology::aimos(24);
+  // Ranks 0-2 share an NVLink triplet; 0-5 share a node; 6 is next node.
+  EXPECT_EQ(topo.link_class(0, 0), hc::LinkClass::kSelf);
+  EXPECT_EQ(topo.link_class(0, 2), hc::LinkClass::kNvlink);
+  EXPECT_EQ(topo.link_class(0, 3), hc::LinkClass::kIntraNode);
+  EXPECT_EQ(topo.link_class(2, 5), hc::LinkClass::kIntraNode);
+  EXPECT_EQ(topo.link_class(0, 6), hc::LinkClass::kNetwork);
+  EXPECT_EQ(topo.link_class(5, 6), hc::LinkClass::kNetwork);
+  EXPECT_EQ(topo.node_of(11), 1);
+  EXPECT_EQ(topo.clique_of(11), 3);
+  // The hierarchy is ordered: NVLink fastest, network slowest.
+  EXPECT_GT(topo.params(hc::LinkClass::kNvlink).beta_bytes_s,
+            topo.params(hc::LinkClass::kIntraNode).beta_bytes_s);
+  EXPECT_GT(topo.params(hc::LinkClass::kIntraNode).beta_bytes_s,
+            topo.params(hc::LinkClass::kNetwork).beta_bytes_s);
+  EXPECT_LT(topo.params(hc::LinkClass::kNvlink).alpha_s,
+            topo.params(hc::LinkClass::kNetwork).alpha_s);
+}
+
+TEST(Topology, ZepyIsOneNvlinkDomain) {
+  const auto topo = hc::Topology::zepy(4);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      if (a != b) EXPECT_EQ(topo.link_class(a, b), hc::LinkClass::kNvlink);
+    }
+  }
+}
+
+TEST(Topology, AlphaScalePreservesBandwidth) {
+  const auto base = hc::Topology::aimos(12);
+  const auto scaled = base.with_alpha_scale(1e-3);
+  for (const auto c : {hc::LinkClass::kNvlink, hc::LinkClass::kIntraNode,
+                       hc::LinkClass::kNetwork}) {
+    EXPECT_DOUBLE_EQ(scaled.params(c).alpha_s, base.params(c).alpha_s * 1e-3);
+    EXPECT_DOUBLE_EQ(scaled.params(c).beta_bytes_s, base.params(c).beta_bytes_s);
+  }
+}
+
+TEST(Topology, RejectsBadShapes) {
+  EXPECT_THROW(hc::Topology(0, 1, 1, {}, {}, {}), std::invalid_argument);
+  EXPECT_THROW(hc::Topology(4, 6, 4, {}, {}, {}), std::invalid_argument);
+}
+
+hc::GroupLink link_over(const hc::Topology& topo, std::vector<int> members) {
+  return hc::make_group_link(topo, members.data(), static_cast<int>(members.size()));
+}
+
+TEST(GroupLink, BottleneckIsSlowestSpannedLink) {
+  const auto topo = hc::Topology::aimos(24);
+  // Within a triplet: NVLink speed.
+  EXPECT_DOUBLE_EQ(link_over(topo, {0, 1, 2}).link.beta_bytes_s,
+                   topo.params(hc::LinkClass::kNvlink).beta_bytes_s);
+  // Within a node crossing triplets: host staged.
+  EXPECT_DOUBLE_EQ(link_over(topo, {0, 1, 2, 3, 4, 5}).link.beta_bytes_s,
+                   topo.params(hc::LinkClass::kIntraNode).beta_bytes_s);
+  // Across nodes: network.
+  EXPECT_DOUBLE_EQ(link_over(topo, {0, 6}).link.beta_bytes_s,
+                   topo.params(hc::LinkClass::kNetwork).beta_bytes_s);
+  EXPECT_EQ(link_over(topo, {5}).size, 1);
+}
+
+TEST(CostModel, SingleRankIsFree) {
+  const hc::CostModel cost;
+  const auto topo = hc::Topology::aimos(6);
+  const auto link = link_over(topo, {3});
+  EXPECT_DOUBLE_EQ(cost.allreduce(link, 1 << 20), 0.0);
+  EXPECT_DOUBLE_EQ(cost.broadcast(link, 1 << 20), 0.0);
+  EXPECT_DOUBLE_EQ(cost.allgather(link, 1 << 20), 0.0);
+  EXPECT_DOUBLE_EQ(cost.alltoallv(link, 1 << 20), 0.0);
+}
+
+TEST(CostModel, MonotoneInBytesAndGroupSize) {
+  const hc::CostModel cost;
+  const auto topo = hc::Topology::aimos(48);
+  std::vector<int> all(48);
+  std::iota(all.begin(), all.end(), 0);
+  const auto small_group = hc::make_group_link(topo, all.data(), 8);
+  const auto big_group = hc::make_group_link(topo, all.data(), 48);
+  EXPECT_LT(cost.allreduce(small_group, 1 << 10), cost.allreduce(small_group, 1 << 20));
+  EXPECT_LT(cost.allreduce(small_group, 1 << 20), cost.allreduce(big_group, 1 << 20));
+  EXPECT_LT(cost.allgather(small_group, 1 << 16), cost.allgather(big_group, 1 << 16));
+  // Personalized exchange latency scales linearly with the group, so for
+  // small payloads it overtakes the logarithmic collectives.
+  EXPECT_GT(cost.alltoallv(big_group, 64), cost.allreduce(big_group, 64));
+}
+
+TEST(CostModel, NvlinkGroupsBeatNetworkGroups) {
+  const hc::CostModel cost;
+  const auto topo = hc::Topology::aimos(12);
+  const auto nvlink = link_over(topo, {0, 1, 2});
+  std::vector<int> spread{0, 6, 9};  // three nodes
+  const auto network = hc::make_group_link(topo, spread.data(), 3);
+  EXPECT_LT(cost.allreduce(nvlink, 1 << 20), cost.allreduce(network, 1 << 20));
+}
+
+TEST(CostModel, GroupedCallOverlapsBroadcasts) {
+  const hc::CostModel cost;
+  const auto topo = hc::Topology::aimos(16);
+  std::vector<int> members(16);
+  std::iota(members.begin(), members.end(), 0);
+  const auto link = hc::make_group_link(topo, members.data(), 16);
+  const double one = cost.broadcast(link, 1 << 18);
+  // Four grouped broadcasts cost far less than four sequential ones.
+  EXPECT_LT(cost.grouped(one, 4), 4 * one);
+  EXPECT_GE(cost.grouped(one, 4), one);
+}
+
+TEST(CostModel, SubstrateKnobsPenalize) {
+  hc::CostParams generic;
+  generic.software_alpha_s = 8e-6;
+  generic.bw_derate = 0.6;
+  const hc::CostModel tuned;
+  const hc::CostModel gluonish(generic);
+  const auto topo = hc::Topology::aimos(16);
+  std::vector<int> members(16);
+  std::iota(members.begin(), members.end(), 0);
+  const auto link = hc::make_group_link(topo, members.data(), 16);
+  EXPECT_GT(gluonish.alltoallv(link, 1 << 18), tuned.alltoallv(link, 1 << 18));
+  EXPECT_GT(gluonish.allgather(link, 1 << 18), tuned.allgather(link, 1 << 18));
+}
+
+TEST(CostModel, WorkChargesAreLinear) {
+  hc::CostParams params;
+  params.per_edge_s = 2e-10;
+  params.per_vertex_s = 5e-10;
+  // Sanity on the figure benches' compute model: rates are per item.
+  EXPECT_DOUBLE_EQ(1000 * params.per_edge_s, 2e-7);
+  EXPECT_DOUBLE_EQ(1000 * params.per_vertex_s, 5e-7);
+}
+
+}  // namespace

@@ -1,0 +1,159 @@
+// Dedicated dense-communication tests (Algorithm 2): custom combiners,
+// the grouped-broadcast redistribution paths on non-square grids, and
+// state-consistency invariants after arbitrary kernels.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <mutex>
+
+#include "core/dense_comm.hpp"
+#include "test_helpers.hpp"
+#include "util/prng.hpp"
+
+namespace hc = hpcg::core;
+namespace hg = hpcg::graph;
+using hpcg::test::run_on_grid;
+using hpcg::test::small_rmat;
+
+namespace {
+
+struct GridCase {
+  int rows;
+  int cols;
+};
+
+class DenseCommP : public ::testing::TestWithParam<GridCase> {};
+
+/// After any dense exchange, every rank's value for a given GID must be
+/// identical, whatever slot (row or column) it occupies.
+template <class T>
+void expect_globally_consistent(const hg::EdgeList& el, hc::Grid grid,
+                                hc::Direction dir, hpcg::comm::ReduceOp op,
+                                std::uint64_t seed) {
+  std::mutex mutex;
+  std::map<hg::Gid, T> seen;
+  bool consistent = true;
+  run_on_grid(el, grid, [&](hpcg::comm::Comm& comm, hc::Dist2DGraph& g) {
+    const auto& lids = g.lids();
+    std::vector<T> state(static_cast<std::size_t>(lids.n_total()));
+    hpcg::util::Xoshiro256 rng(seed + static_cast<std::uint64_t>(comm.rank()));
+    for (auto& value : state) value = static_cast<T>(rng.next_below(1000));
+    hc::dense_exchange(g, std::span(state), op, dir);
+    std::lock_guard lock(mutex);
+    for (hc::Lid l = 0; l < lids.n_total(); ++l) {
+      const auto gid = lids.to_gid(l);
+      auto [it, inserted] = seen.try_emplace(gid, state[static_cast<std::size_t>(l)]);
+      if (!inserted && it->second != state[static_cast<std::size_t>(l)]) {
+        consistent = false;
+      }
+    }
+  });
+  EXPECT_TRUE(consistent);
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(el.n));
+}
+
+TEST_P(DenseCommP, PushAndPullLeaveGloballyConsistentState) {
+  const auto [rows, cols] = GetParam();
+  const auto el = small_rmat(7, 4, 1701);
+  for (const auto dir : {hc::Direction::kPush, hc::Direction::kPull}) {
+    expect_globally_consistent<std::int64_t>(el, hc::Grid(rows, cols), dir,
+                                             hpcg::comm::ReduceOp::kMax, 11);
+    expect_globally_consistent<std::int64_t>(el, hc::Grid(rows, cols), dir,
+                                             hpcg::comm::ReduceOp::kMin, 13);
+  }
+}
+
+TEST_P(DenseCommP, CustomCombinerMatchesBuiltin) {
+  const auto [rows, cols] = GetParam();
+  const auto el = small_rmat(7, 4, 1703);
+  run_on_grid(el, hc::Grid(rows, cols), [&](hpcg::comm::Comm& comm, hc::Dist2DGraph& g) {
+    const auto& lids = g.lids();
+    const auto n_total = static_cast<std::size_t>(lids.n_total());
+    std::vector<std::int64_t> builtin(n_total);
+    std::vector<std::int64_t> custom(n_total);
+    hpcg::util::Xoshiro256 rng(2000 + static_cast<std::uint64_t>(comm.rank()));
+    for (std::size_t l = 0; l < n_total; ++l) {
+      builtin[l] = custom[l] = static_cast<std::int64_t>(rng.next_below(5000));
+    }
+    hc::dense_exchange(g, std::span(builtin), hpcg::comm::ReduceOp::kMax,
+                       hc::Direction::kPull);
+    hc::dense_exchange(
+        g, std::span(custom),
+        [](std::int64_t& into, const std::int64_t& from) {
+          into = std::max(into, from);
+        },
+        hc::Direction::kPull);
+    EXPECT_EQ(builtin, custom);
+  });
+}
+
+TEST_P(DenseCommP, SumPushCountsEveryContributionOnce) {
+  const auto [rows, cols] = GetParam();
+  const auto el = small_rmat(7, 5, 1707);
+  const auto striped = hpcg::test::striped_view(el, hc::Grid(rows, cols));
+  // In-degree oracle (symmetrized, so equals degree).
+  std::vector<std::int64_t> in_degree(static_cast<std::size_t>(el.n), 0);
+  for (const auto& e : striped.edges) ++in_degree[static_cast<std::size_t>(e.v)];
+
+  run_on_grid(el, hc::Grid(rows, cols), [&](hpcg::comm::Comm&, hc::Dist2DGraph& g) {
+    const auto& lids = g.lids();
+    std::vector<std::int64_t> state(static_cast<std::size_t>(lids.n_total()), 0);
+    const auto offsets = g.csr().offsets();
+    const auto adj = g.csr().adjacencies();
+    for (hc::Lid v = g.row_lid_begin(); v < g.row_lid_end(); ++v) {
+      for (std::int64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+        ++state[static_cast<std::size_t>(adj[e])];
+      }
+    }
+    hc::dense_exchange(g, std::span(state), hpcg::comm::ReduceOp::kSum,
+                       hc::Direction::kPush);
+    for (hc::Lid l = 0; l < lids.n_total(); ++l) {
+      EXPECT_EQ(state[static_cast<std::size_t>(l)],
+                in_degree[static_cast<std::size_t>(lids.to_gid(l))])
+          << "lid " << l;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, DenseCommP,
+    ::testing::Values(GridCase{1, 1}, GridCase{2, 2}, GridCase{2, 5},
+                      GridCase{5, 2}, GridCase{3, 3}, GridCase{1, 8},
+                      GridCase{8, 1}, GridCase{3, 4}),
+    [](const ::testing::TestParamInfo<GridCase>& info) {
+      return std::to_string(info.param.rows) + "x" + std::to_string(info.param.cols);
+    });
+
+TEST(LidMapFuzz, RandomRangesRoundTripAndClassify) {
+  hpcg::util::Xoshiro256 rng(424242);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto row_offset = static_cast<hg::Gid>(rng.next_below(1000));
+    const auto n_row = static_cast<hg::Gid>(rng.next_below(200));
+    const auto col_offset = static_cast<hg::Gid>(rng.next_below(1000));
+    const auto n_col = static_cast<hg::Gid>(rng.next_below(200));
+    const hc::LidMap map(row_offset, n_row, col_offset, n_col);
+
+    ASSERT_GE(map.type(), 0);
+    ASSERT_LE(map.type(), 2);
+    ASSERT_LE(map.n_total(), n_row + n_col);
+    // Round trips over both ranges.
+    for (hg::Gid g = row_offset; g < row_offset + n_row; ++g) {
+      ASSERT_EQ(map.to_gid(map.row_lid(g)), g);
+      ASSERT_TRUE(map.lid_is_row(map.row_lid(g)));
+    }
+    for (hg::Gid g = col_offset; g < col_offset + n_col; ++g) {
+      ASSERT_EQ(map.to_gid(map.col_lid(g)), g);
+      ASSERT_TRUE(map.lid_is_col(map.col_lid(g)));
+    }
+    // Overlap GIDs map to one LID; distinct GIDs map to distinct LIDs.
+    std::set<hc::Lid> lids;
+    std::set<hg::Gid> gids;
+    for (hg::Gid g = row_offset; g < row_offset + n_row; ++g) gids.insert(g);
+    for (hg::Gid g = col_offset; g < col_offset + n_col; ++g) gids.insert(g);
+    for (const auto g : gids) lids.insert(map.to_lid(g));
+    ASSERT_EQ(lids.size(), gids.size());
+  }
+}
+
+}  // namespace

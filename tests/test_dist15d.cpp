@@ -1,0 +1,115 @@
+// 1.5D hybrid distribution: structure invariants and algorithm
+// correctness against the sequential oracles.
+#include <gtest/gtest.h>
+
+#include <mutex>
+
+#include "algos/reference.hpp"
+#include "baselines/dist15d.hpp"
+#include "test_helpers.hpp"
+
+namespace ha = hpcg::algos;
+namespace hb = hpcg::baselines;
+namespace hg = hpcg::graph;
+using hpcg::test::small_rmat;
+
+namespace {
+
+class Dist15dP : public ::testing::TestWithParam<int> {};  // nranks
+
+TEST_P(Dist15dP, HeavySetAndEdgePlacementInvariants) {
+  const int p = GetParam();
+  const auto el = small_rmat(8, 8, 601);
+  const auto parts = hb::Partitioned15D::build(el, p, /*heavy_multiple=*/4.0);
+
+  // Every edge placed exactly once; heavy-source edges spread evenly.
+  std::int64_t total = 0;
+  std::int64_t max_edges = 0;
+  for (int r = 0; r < p; ++r) {
+    const auto count = static_cast<std::int64_t>(parts.edges_of(r).size());
+    total += count;
+    max_edges = std::max(max_edges, count);
+  }
+  EXPECT_EQ(total, el.m());
+  if (p > 1) {
+    // RMAT at this skew has heavy hubs; 1.5D should keep imbalance modest.
+    EXPECT_FALSE(parts.heavy().empty());
+    EXPECT_LT(static_cast<double>(max_edges) * p / static_cast<double>(total), 2.0);
+  }
+  // Heavy set is sorted, deduplicated, and above the threshold.
+  auto striped = el;
+  parts.relabel().apply(striped);
+  const auto degree = hg::out_degrees(striped);
+  const double average = static_cast<double>(el.m()) / static_cast<double>(el.n);
+  for (std::size_t i = 0; i < parts.heavy().size(); ++i) {
+    if (i > 0) EXPECT_LT(parts.heavy()[i - 1], parts.heavy()[i]);
+    EXPECT_GT(degree[static_cast<std::size_t>(parts.heavy()[i])], 4.0 * average);
+    EXPECT_TRUE(parts.is_heavy(parts.heavy()[i]));
+  }
+}
+
+TEST_P(Dist15dP, CcMatchesReference) {
+  const int p = GetParam();
+  const auto el = small_rmat(8, 6, 603);
+  const auto parts = hb::Partitioned15D::build(el, p, 4.0);
+  auto striped = el;
+  parts.relabel().apply(striped);
+  const auto expect = ha::ref::connected_components(striped);
+
+  hpcg::comm::Runtime::run(p, [&](hpcg::comm::Comm& comm) {
+    hb::Dist15DGraph g(comm, parts);
+    auto result = hb::connected_components_15d(g);
+    auto labels = g.gather(std::span<const hg::Gid>(result));
+    for (hg::Gid v = 0; v < el.n; ++v) {
+      EXPECT_EQ(labels[static_cast<std::size_t>(v)],
+                expect[static_cast<std::size_t>(v)])
+          << "vertex " << v;
+    }
+  });
+}
+
+TEST_P(Dist15dP, BfsMatchesReferenceFromLightAndHeavyRoots) {
+  const int p = GetParam();
+  const auto el = small_rmat(8, 6, 605);
+  const auto parts = hb::Partitioned15D::build(el, p, 4.0);
+  auto striped = el;
+  parts.relabel().apply(striped);
+  hg::Csr ref_csr(striped.n, striped.edges);
+
+  // Roots: vertex 3 (typically light) and the first heavy vertex if any.
+  std::vector<hg::Gid> roots{3};
+  if (!parts.heavy().empty()) {
+    roots.push_back(parts.relabel().to_original(parts.heavy()[0]));
+  }
+  for (const auto root : roots) {
+    const auto expect = ha::ref::bfs_levels(ref_csr, parts.relabel().to_new(root));
+    hpcg::comm::Runtime::run(p, [&](hpcg::comm::Comm& comm) {
+      hb::Dist15DGraph g(comm, parts);
+      auto level = hb::bfs_15d(g, root);
+      auto gathered = g.gather(std::span<const std::int64_t>(level));
+      for (hg::Gid v = 0; v < el.n; ++v) {
+        const auto want = expect[static_cast<std::size_t>(v)];
+        EXPECT_EQ(gathered[static_cast<std::size_t>(v)],
+                  want < 0 ? (std::int64_t{1} << 62) : want)
+            << "root " << root << " vertex " << v;
+      }
+    });
+  }
+}
+
+TEST_P(Dist15dP, LidGidRoundTrip) {
+  const int p = GetParam();
+  const auto el = small_rmat(7, 5, 607);
+  const auto parts = hb::Partitioned15D::build(el, p, 4.0);
+  hpcg::comm::Runtime::run(p, [&](hpcg::comm::Comm& comm) {
+    hb::Dist15DGraph g(comm, parts);
+    for (hb::Lid l = 0; l < g.n_total(); ++l) {
+      EXPECT_EQ(g.to_lid(g.to_gid(l)), l);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, Dist15dP, ::testing::Values(1, 2, 4, 7, 12),
+                         ::testing::PrintToStringParamName());
+
+}  // namespace

@@ -1,0 +1,232 @@
+// 2D distribution invariants over many grid shapes (paper §3.2):
+//   * every global edge lands in exactly one block;
+//   * local degrees sum to the true degree across a row group;
+//   * row groups share a vertex set, column groups share a ghost set;
+//   * the dense exchange produces globally consistent state.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <mutex>
+#include <numeric>
+
+#include "core/dense_comm.hpp"
+#include "test_helpers.hpp"
+
+namespace hc = hpcg::core;
+namespace hg = hpcg::graph;
+using hpcg::test::run_on_grid;
+using hpcg::test::small_rmat;
+using hpcg::test::striped_view;
+
+namespace {
+
+struct GridShape {
+  int rows;
+  int cols;
+};
+
+class Dist2DP : public ::testing::TestWithParam<GridShape> {};
+
+TEST_P(Dist2DP, EveryEdgeInExactlyOneBlock) {
+  const auto [rows, cols] = GetParam();
+  const auto el = small_rmat(8, 6, 17);
+  const auto parts = hc::Partitioned2D::build(el, hc::Grid(rows, cols));
+
+  std::int64_t total = 0;
+  std::map<hg::Edge, int> seen;
+  for (int r = 0; r < parts.grid().ranks(); ++r) {
+    total += static_cast<std::int64_t>(parts.edges_of(r).size());
+    for (const auto& e : parts.edges_of(r)) {
+      ++seen[e];
+      // The edge must respect the block bounds.
+      EXPECT_EQ(parts.row_partition().part_of(e.u), parts.grid().row_group_of(r));
+      EXPECT_EQ(parts.col_partition().part_of(e.v), parts.grid().col_group_of(r));
+    }
+  }
+  EXPECT_EQ(total, el.m());
+
+  // Cross-check multiplicity against the (striped) global list.
+  auto striped = striped_view(el, parts.grid());
+  std::map<hg::Edge, int> expected;
+  for (const auto& e : striped.edges) ++expected[e];
+  EXPECT_EQ(seen, expected);
+}
+
+TEST_P(Dist2DP, LocalDegreesSumToTrueDegree) {
+  const auto [rows, cols] = GetParam();
+  const auto el = small_rmat(8, 6, 23);
+  const auto striped = striped_view(el, hc::Grid(rows, cols));
+  const auto true_deg = hg::out_degrees(striped);
+
+  std::mutex mutex;
+  std::map<hg::Gid, std::int64_t> summed;
+  run_on_grid(el, hc::Grid(rows, cols), [&](hpcg::comm::Comm&, hc::Dist2DGraph& g) {
+    const auto& lids = g.lids();
+    std::lock_guard lock(mutex);
+    for (hc::Lid v = g.row_lid_begin(); v < g.row_lid_end(); ++v) {
+      summed[lids.to_gid(v)] += g.local_degree(v);
+    }
+  });
+  for (hg::Gid v = 0; v < el.n; ++v) {
+    EXPECT_EQ(summed[v], true_deg[static_cast<std::size_t>(v)]) << "vertex " << v;
+  }
+}
+
+TEST_P(Dist2DP, GlobalRowDegreesMatchOracle) {
+  const auto [rows, cols] = GetParam();
+  const auto el = small_rmat(7, 5, 29);
+  const auto striped = striped_view(el, hc::Grid(rows, cols));
+  const auto true_deg = hg::out_degrees(striped);
+
+  run_on_grid(el, hc::Grid(rows, cols), [&](hpcg::comm::Comm&, hc::Dist2DGraph& g) {
+    const auto& deg = g.global_row_degrees();
+    const auto& lids = g.lids();
+    for (hc::Lid v = 0; v < lids.n_row(); ++v) {
+      EXPECT_EQ(deg[static_cast<std::size_t>(v)],
+                true_deg[static_cast<std::size_t>(lids.row_offset() + v)]);
+    }
+  });
+}
+
+TEST_P(Dist2DP, GroupStructure) {
+  const auto [rows, cols] = GetParam();
+  const auto el = small_rmat(7, 4, 31);
+  run_on_grid(el, hc::Grid(rows, cols), [&](hpcg::comm::Comm& comm, hc::Dist2DGraph& g) {
+    EXPECT_EQ(g.row_comm().size(), g.grid().ranks_per_row_group());
+    EXPECT_EQ(g.col_comm().size(), g.grid().ranks_per_col_group());
+    EXPECT_EQ(g.rank_r(), g.row_comm().rank());
+    EXPECT_EQ(g.rank_c(), g.col_comm().rank());
+    EXPECT_EQ(g.grid().rank_at(g.id_r(), g.id_c()), comm.rank());
+
+    // Row groups share the vertex range; column groups share the ghost
+    // range (paper: "each row group exclusively owns the same set of
+    // vertices and each column group has the same set of ghosts").
+    hg::Gid row_range[2] = {g.lids().row_offset(), g.lids().n_row()};
+    g.row_comm().allreduce(std::span<hg::Gid>(row_range, 2), hpcg::comm::ReduceOp::kMax);
+    EXPECT_EQ(row_range[0], g.lids().row_offset());
+    EXPECT_EQ(row_range[1], g.lids().n_row());
+
+    hg::Gid col_range[2] = {g.lids().col_offset(), g.lids().n_col()};
+    g.col_comm().allreduce(std::span<hg::Gid>(col_range, 2), hpcg::comm::ReduceOp::kMax);
+    EXPECT_EQ(col_range[0], g.lids().col_offset());
+    EXPECT_EQ(col_range[1], g.lids().n_col());
+  });
+}
+
+TEST_P(Dist2DP, DenseExchangeProducesGlobalConsistency) {
+  const auto [rows, cols] = GetParam();
+  const auto el = small_rmat(7, 5, 37);
+  const auto striped = striped_view(el, hc::Grid(rows, cols));
+  const auto true_deg = hg::out_degrees(striped);
+
+  for (const auto dir : {hc::Direction::kPush, hc::Direction::kPull}) {
+    run_on_grid(el, hc::Grid(rows, cols), [&](hpcg::comm::Comm&, hc::Dist2DGraph& g) {
+      const auto& lids = g.lids();
+      // Push degrees through a SUM exchange: every slot must end with the
+      // vertex's true degree.
+      std::vector<double> state(static_cast<std::size_t>(lids.n_total()), 0.0);
+      if (dir == hc::Direction::kPull) {
+        for (hc::Lid v = g.row_lid_begin(); v < g.row_lid_end(); ++v) {
+          state[static_cast<std::size_t>(v)] = static_cast<double>(g.local_degree(v));
+        }
+      } else {
+        // Push: scatter per-edge contributions onto column slots.
+        const auto offsets = g.csr().offsets();
+        const auto adj = g.csr().adjacencies();
+        for (hc::Lid v = g.row_lid_begin(); v < g.row_lid_end(); ++v) {
+          for (std::int64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+            state[static_cast<std::size_t>(adj[e])] += 1.0;
+          }
+        }
+      }
+      hc::dense_exchange(g, std::span(state), hpcg::comm::ReduceOp::kSum, dir);
+      for (hc::Lid l = 0; l < lids.n_total(); ++l) {
+        const auto expect = dir == hc::Direction::kPull
+                                ? true_deg[static_cast<std::size_t>(lids.to_gid(l))]
+                                : [&] {
+                                    // Push counts in-edges == out-degree
+                                    // (symmetrized).
+                                    return true_deg[static_cast<std::size_t>(
+                                        lids.to_gid(l))];
+                                  }();
+        EXPECT_DOUBLE_EQ(state[static_cast<std::size_t>(l)],
+                         static_cast<double>(expect))
+            << "lid " << l;
+      }
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, Dist2DP,
+    ::testing::Values(GridShape{1, 1}, GridShape{1, 4}, GridShape{4, 1},
+                      GridShape{2, 2}, GridShape{2, 4}, GridShape{4, 2},
+                      GridShape{3, 3}, GridShape{3, 5}, GridShape{4, 4}),
+    [](const ::testing::TestParamInfo<GridShape>& info) {
+      return std::to_string(info.param.rows) + "x" + std::to_string(info.param.cols);
+    });
+
+TEST(Grid, PlacementRoundTripsAndPartitionsRanks) {
+  for (const auto placement : {hc::Placement::kRowMajor, hc::Placement::kColMajor}) {
+    const hc::Grid grid(3, 4, placement);
+    std::set<int> seen;
+    for (int rg = 0; rg < 3; ++rg) {
+      for (int cg = 0; cg < 4; ++cg) {
+        const int rank = grid.rank_at(rg, cg);
+        EXPECT_EQ(grid.row_group_of(rank), rg);
+        EXPECT_EQ(grid.col_group_of(rank), cg);
+        seen.insert(rank);
+      }
+    }
+    EXPECT_EQ(seen.size(), 12u);  // bijection onto [0, ranks)
+    EXPECT_EQ(*seen.begin(), 0);
+    EXPECT_EQ(*seen.rbegin(), 11);
+  }
+  // Column-major packs consecutive ranks into the same column group.
+  const hc::Grid cm(3, 4, hc::Placement::kColMajor);
+  EXPECT_EQ(cm.col_group_of(0), cm.col_group_of(1));
+  EXPECT_EQ(cm.col_group_of(1), cm.col_group_of(2));
+  EXPECT_NE(cm.col_group_of(2), cm.col_group_of(3));
+}
+
+TEST(Grid, AlgorithmsCorrectUnderColMajorPlacement) {
+  const auto el = small_rmat(7, 5, 1901);
+  const hc::Grid grid(2, 3, hc::Placement::kColMajor);
+  const auto striped = striped_view(el, grid);
+  const auto true_deg = hg::out_degrees(striped);
+  run_on_grid(el, grid, [&](hpcg::comm::Comm&, hc::Dist2DGraph& g) {
+    const auto& deg = g.global_row_degrees();
+    const auto& lids = g.lids();
+    for (hg::Gid v = 0; v < lids.n_row(); ++v) {
+      EXPECT_EQ(deg[static_cast<std::size_t>(v)],
+                true_deg[static_cast<std::size_t>(lids.row_offset() + v)]);
+    }
+  });
+}
+
+TEST(Grid, SquarestFactorization) {
+  EXPECT_EQ(hc::Grid::squarest(1).row_groups(), 1);
+  EXPECT_EQ(hc::Grid::squarest(16).row_groups(), 4);
+  EXPECT_EQ(hc::Grid::squarest(16).col_groups(), 4);
+  EXPECT_EQ(hc::Grid::squarest(12).row_groups(), 3);
+  EXPECT_EQ(hc::Grid::squarest(12).col_groups(), 4);
+  EXPECT_EQ(hc::Grid::squarest(7).row_groups(), 1);
+  EXPECT_EQ(hc::Grid::squarest(400).row_groups(), 20);
+}
+
+TEST(BlockPartition, CoversWithoutGaps) {
+  hc::BlockPartition part(103, 7);
+  hg::Gid covered = 0;
+  for (int p = 0; p < 7; ++p) {
+    EXPECT_EQ(part.start(p), covered);
+    covered += part.count(p);
+    for (hg::Gid v = part.start(p); v < part.end(p); ++v) {
+      EXPECT_EQ(part.part_of(v), p);
+    }
+  }
+  EXPECT_EQ(covered, 103);
+  EXPECT_THROW(part.part_of(103), std::out_of_range);
+}
+
+}  // namespace

@@ -1,0 +1,163 @@
+// Failure handling: a rank failing at any phase of a distributed run must
+// surface the error to the caller without deadlocking the remaining ranks
+// (the abort-aware barrier/mailbox machinery), and misuse of the API must
+// be rejected loudly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "algos/cc.hpp"
+#include "algos/mwm.hpp"
+#include "comm/runtime.hpp"
+#include "core/dist2d.hpp"
+#include "test_helpers.hpp"
+
+namespace hc = hpcg::core;
+namespace hg = hpcg::graph;
+namespace hcm = hpcg::comm;
+using hpcg::test::small_rmat;
+
+namespace {
+
+TEST(FailureInjection, ThrowBeforeFirstCollective) {
+  EXPECT_THROW(hcm::Runtime::run(6,
+                                 [](hcm::Comm& comm) {
+                                   if (comm.rank() == 5) {
+                                     throw std::runtime_error("early");
+                                   }
+                                   std::vector<double> x(64, 1.0);
+                                   comm.allreduce(std::span(x),
+                                                  hcm::ReduceOp::kSum);
+                                 }),
+               std::runtime_error);
+}
+
+TEST(FailureInjection, ThrowBetweenCollectives) {
+  EXPECT_THROW(hcm::Runtime::run(8,
+                                 [](hcm::Comm& comm) {
+                                   std::vector<double> x(64, 1.0);
+                                   comm.allreduce(std::span(x), hcm::ReduceOp::kSum);
+                                   if (comm.rank() == 3) {
+                                     throw std::logic_error("mid");
+                                   }
+                                   comm.broadcast(std::span(x), 0);
+                                   comm.barrier();
+                                 }),
+               std::logic_error);
+}
+
+TEST(FailureInjection, ThrowWhilePeersWaitInRecv) {
+  EXPECT_THROW(hcm::Runtime::run(4,
+                                 [](hcm::Comm& comm) {
+                                   if (comm.rank() == 0) {
+                                     throw std::runtime_error("sender died");
+                                   }
+                                   // Would block forever without abort.
+                                   comm.recv<int>(0, /*tag=*/1);
+                                 }),
+               std::runtime_error);
+}
+
+TEST(FailureInjection, FirstErrorWins) {
+  try {
+    hcm::Runtime::run(4, [](hcm::Comm& comm) {
+      if (comm.rank() == 2) throw std::runtime_error("rank 2");
+      comm.barrier();  // everyone else aborts here
+      throw std::runtime_error("should not be reached");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "rank 2");
+  }
+}
+
+TEST(FailureInjection, ThrowInsideDistributedAlgorithm) {
+  const auto el = small_rmat(7, 4, 1301);
+  const auto parts = hc::Partitioned2D::build(el, hc::Grid(2, 3));
+  EXPECT_THROW(
+      hcm::Runtime::run(6,
+                        [&](hcm::Comm& comm) {
+                          hc::Dist2DGraph g(comm, parts);
+                          if (comm.rank() == 4) {
+                            throw std::runtime_error("mid-algorithm");
+                          }
+                          hpcg::algos::connected_components(g);
+                        }),
+      std::runtime_error);
+}
+
+TEST(FailureInjection, WorldIsReusableAfterFailedRun) {
+  // A failed run tears everything down; fresh runs must work after it.
+  EXPECT_THROW(hcm::Runtime::run(4,
+                                 [](hcm::Comm& comm) {
+                                   if (comm.rank() == 1) throw std::runtime_error("x");
+                                   comm.barrier();
+                                 }),
+               std::runtime_error);
+  auto stats = hcm::Runtime::run(4, [](hcm::Comm& comm) { comm.barrier(); });
+  EXPECT_EQ(stats.vclock.size(), 4u);
+}
+
+TEST(ApiMisuse, AlltoallvRejectsWrongCountsSize) {
+  EXPECT_THROW(hcm::Runtime::run(4,
+                                 [](hcm::Comm& comm) {
+                                   std::vector<int> send(4, comm.rank());
+                                   std::vector<std::size_t> counts(2, 2);  // != size
+                                   comm.alltoallv(std::span<const int>(send),
+                                                  std::span<const std::size_t>(counts));
+                                 }),
+               std::invalid_argument);
+}
+
+TEST(ApiMisuse, GridAndTopologyValidation) {
+  EXPECT_THROW(hc::Grid(0, 4), std::invalid_argument);
+  EXPECT_THROW(hcm::Runtime::run(4, hcm::Topology::aimos(8), hcm::CostModel{},
+                                 [](hcm::Comm&) {}),
+               std::invalid_argument);
+}
+
+TEST(ApiMisuse, CommSizeMustMatchGrid) {
+  const auto el = small_rmat(6, 4, 1303);
+  const auto parts = hc::Partitioned2D::build(el, hc::Grid(2, 2));
+  EXPECT_THROW(hcm::Runtime::run(6,
+                                 [&](hcm::Comm& comm) {
+                                   hc::Dist2DGraph g(comm, parts);  // 6 != 4
+                                 }),
+               std::invalid_argument);
+}
+
+TEST(ApiMisuse, WeightlessMatchingRejected) {
+  const auto el = small_rmat(6, 4, 1305, /*weighted=*/false);
+  const auto parts = hc::Partitioned2D::build(el, hc::Grid(2, 2));
+  EXPECT_THROW(hcm::Runtime::run(4,
+                                 [&](hcm::Comm& comm) {
+                                   hc::Dist2DGraph g(comm, parts);
+                                   hpcg::algos::max_weight_matching(g);
+                                 }),
+               std::invalid_argument);
+}
+
+TEST(FailureInjection, ManyConcurrentAbortsSettle) {
+  // Several ranks fail at different points simultaneously; the run must
+  // still terminate with one of the injected errors.
+  std::atomic<int> attempts{0};
+  for (int trial = 0; trial < 5; ++trial) {
+    try {
+      hcm::Runtime::run(12, [&](hcm::Comm& comm) {
+        std::vector<int> x(8, comm.rank());
+        comm.allreduce(std::span(x), hcm::ReduceOp::kSum);
+        if (comm.rank() % 3 == 0) {
+          attempts.fetch_add(1);
+          throw std::runtime_error("multi-fail");
+        }
+        for (int i = 0; i < 4; ++i) comm.barrier();
+      });
+      FAIL() << "expected failure";
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "multi-fail");
+    }
+  }
+  EXPECT_GT(attempts.load(), 0);
+}
+
+}  // namespace

@@ -1,0 +1,150 @@
+// Figure-shape regression tests: miniature, fast versions of each
+// benchmark's key claim, asserted programmatically so a change that
+// silently breaks a reproduced result fails CI rather than only showing
+// up when someone reruns the benches and reads EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include "algos/bfs.hpp"
+#include "algos/cc.hpp"
+#include "algos/pagerank.hpp"
+#include "baselines/dist1d.hpp"
+#include "baselines/gluon_like.hpp"
+#include "comm/runtime.hpp"
+#include "graph/datasets.hpp"
+#include "test_helpers.hpp"
+
+namespace ha = hpcg::algos;
+namespace hb = hpcg::baselines;
+namespace hc = hpcg::core;
+namespace hg = hpcg::graph;
+namespace hcm = hpcg::comm;
+
+namespace {
+
+/// Figure-bench conditions at test size: calibrated topology + cost.
+hcm::Topology topo(int p) { return hcm::Topology::aimos(p).with_alpha_scale(1e-3); }
+
+hcm::CostModel cost() {
+  hcm::CostParams params;
+  params.software_alpha_s *= 1e-3;
+  params.kernel_launch_s *= 1e-3;
+  params.compute_scale = 0.0;
+  params.per_edge_s = 2e-10;
+  params.per_vertex_s = 5e-10;
+  return hcm::CostModel(params);
+}
+
+double run_time(const hg::EdgeList& el, int p, const hcm::CostModel& model,
+                const std::function<void(hc::Dist2DGraph&)>& body) {
+  const auto grid = hc::Grid::squarest(p);
+  const auto parts = hc::Partitioned2D::build(el, grid);
+  auto stats = hcm::Runtime::run(p, topo(p), model, [&](hcm::Comm& comm) {
+    hc::Dist2DGraph g(comm, parts);
+    comm.reset_clocks();
+    body(g);
+  });
+  return stats.makespan();
+}
+
+TEST(FigureShapes, Fig3StrongScalingPrContinuesTo64) {
+  const auto el = hg::load_dataset("tw-mini", -2);
+  const double t4 = run_time(el, 4, cost(),
+                             [](hc::Dist2DGraph& g) { ha::pagerank(g, 10); });
+  const double t64 = run_time(el, 64, cost(),
+                              [](hc::Dist2DGraph& g) { ha::pagerank(g, 10); });
+  EXPECT_LT(t64, t4);  // strong scaling continues past the node boundary
+}
+
+TEST(FigureShapes, Fig6AblationOrderingHolds) {
+  const auto el = hg::load_dataset("cw-deep", -2);
+  const double base = run_time(el, 16, cost(), [](hc::Dist2DGraph& g) {
+    ha::connected_components(g, ha::CcOptions::base());
+  });
+  const double all = run_time(el, 16, cost(), [](hc::Dist2DGraph& g) {
+    ha::connected_components(g, ha::CcOptions::all_push());
+  });
+  // The full optimization stack must beat Base clearly on the deep input.
+  EXPECT_LT(all * 2.0, base);
+}
+
+TEST(FigureShapes, Fig7ExtremeGridsLoseToSquare) {
+  const auto el = hg::load_dataset("cw-mini", -3);
+  const auto run_grid = [&](int rows, int cols) {
+    const auto parts = hc::Partitioned2D::build(el, hc::Grid(rows, cols));
+    auto stats = hcm::Runtime::run(rows * cols, topo(rows * cols), cost(),
+                                   [&](hcm::Comm& comm) {
+                                     hc::Dist2DGraph g(comm, parts);
+                                     comm.reset_clocks();
+                                     ha::connected_components(
+                                         g, ha::CcOptions::all_push());
+                                   });
+    return stats.makespan();
+  };
+  const double square = run_grid(4, 4);
+  EXPECT_LT(square, run_grid(1, 16));
+  EXPECT_LT(square, run_grid(16, 1));
+}
+
+TEST(FigureShapes, Fig9GluonLosesAtScaleNotAtFour) {
+  const auto el = hg::load_dataset("tw-mini", -2);
+  auto gluon_params = hb::gluon_cost_params();
+  gluon_params.software_alpha_s *= 1e-3;
+  gluon_params.kernel_launch_s = cost().params().kernel_launch_s;
+  gluon_params.compute_scale = 0.0;
+  gluon_params.per_edge_s = 2e-10;
+  gluon_params.per_vertex_s = 5e-10;
+  const hcm::CostModel gluon_cost(gluon_params);
+
+  const auto ours = [](hc::Dist2DGraph& g) { ha::pagerank(g, 10); };
+  const auto theirs = [](hc::Dist2DGraph& g) { hb::gluon_pagerank(g, 10); };
+  const double ours4 = run_time(el, 4, cost(), ours);
+  const double gluon4 = run_time(el, 4, gluon_cost, theirs);
+  const double ours64 = run_time(el, 64, cost(), ours);
+  const double gluon64 = run_time(el, 64, gluon_cost, theirs);
+  // Rough parity at 4 ranks; clear divergence at 64.
+  EXPECT_LT(gluon4, 2.0 * ours4);
+  EXPECT_GT(gluon64, 2.0 * ours64);
+}
+
+TEST(FigureShapes, DistModels2dNeedsFewerMessagesThan1d) {
+  auto el = hg::load_dataset("tw-mini", -2);
+  hg::randomize_ids(el, 5);
+  const int p = 36;
+  // 1D message count.
+  const auto parts1d = hb::Partitioned1D::build(el, p);
+  auto stats1d = hcm::Runtime::run(p, topo(p), cost(), [&](hcm::Comm& comm) {
+    hb::Dist1DGraph g(comm, parts1d);
+    comm.reset_clocks();
+    hb::connected_components_1d(g);
+  });
+  // 2D message count.
+  const auto parts2d = hc::Partitioned2D::build(el, hc::Grid::squarest(p));
+  auto stats2d = hcm::Runtime::run(p, topo(p), cost(), [&](hcm::Comm& comm) {
+    hc::Dist2DGraph g(comm, parts2d);
+    comm.reset_clocks();
+    ha::connected_components(g, ha::CcOptions::all_push());
+  });
+  EXPECT_LT(stats2d.messages * 2, stats1d.messages);
+}
+
+TEST(FigureShapes, Fig5CommSpeedupLessThanTotalSpeedup) {
+  // "computation and communication also scales ... though the speedup is
+  // less for communication."
+  const auto el = hg::load_dataset("wdc-mini", -3);
+  const auto run_stats = [&](int p) {
+    const auto parts = hc::Partitioned2D::build(el, hc::Grid::squarest(p));
+    return hcm::Runtime::run(p, topo(p), cost(), [&](hcm::Comm& comm) {
+      hc::Dist2DGraph g(comm, parts);
+      comm.reset_clocks();
+      ha::pagerank(g, 10);
+    });
+  };
+  const auto a = run_stats(16);
+  const auto b = run_stats(64);
+  const double comp_speedup = a.max_comp() / b.max_comp();
+  const double comm_speedup = a.max_comm() / b.max_comm();
+  EXPECT_GT(comp_speedup, 1.0);
+  EXPECT_GT(comp_speedup, comm_speedup);
+}
+
+}  // namespace

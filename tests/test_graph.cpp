@@ -1,0 +1,212 @@
+// Graph substrate: edge-list transforms, CSR, generators, striped
+// relabeling, dataset analogs, and I/O round trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <numeric>
+#include <set>
+
+#include "graph/csr.hpp"
+#include "graph/datasets.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/relabel.hpp"
+
+namespace hg = hpcg::graph;
+
+namespace {
+
+TEST(EdgeList, SymmetrizeAndSelfLoops) {
+  hg::EdgeList el;
+  el.n = 5;
+  el.edges = {{0, 1}, {2, 2}, {3, 4}, {1, 0}};
+  hg::remove_self_loops(el);
+  EXPECT_EQ(el.m(), 3);
+  hg::symmetrize(el);
+  EXPECT_EQ(el.m(), 6);
+  hg::sort_and_dedup(el);
+  // (0,1) and (1,0) each appeared twice.
+  EXPECT_EQ(el.m(), 4);
+}
+
+TEST(EdgeList, SymmetricWeightsAgreeAcrossDirections) {
+  hg::EdgeList el;
+  el.n = 10;
+  el.edges = {{0, 1}, {2, 7}, {5, 3}};
+  hg::attach_symmetric_weights(el, 99);
+  hg::symmetrize(el);
+  // Weight of (u,v) equals weight of (v,u).
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(el.weights[i], el.weights[i + 3]);
+    EXPECT_GT(el.weights[i], 0.0);
+    EXPECT_LE(el.weights[i], 1.0);
+  }
+}
+
+TEST(Csr, BuildsOffsetsAndAdjacency) {
+  hg::EdgeList el;
+  el.n = 4;
+  el.edges = {{0, 1}, {0, 2}, {2, 3}, {3, 0}, {0, 3}};
+  hg::Csr csr(el.n, el.edges);
+  EXPECT_EQ(csr.n(), 4);
+  EXPECT_EQ(csr.m(), 5);
+  EXPECT_EQ(csr.degree(0), 3);
+  EXPECT_EQ(csr.degree(1), 0);
+  EXPECT_EQ(csr.degree(2), 1);
+  const auto neighbors = csr.neighbors(0);
+  EXPECT_EQ(std::set<hg::Gid>(neighbors.begin(), neighbors.end()),
+            (std::set<hg::Gid>{1, 2, 3}));
+}
+
+TEST(Csr, CarriesWeights) {
+  hg::EdgeList el;
+  el.n = 3;
+  el.edges = {{0, 1}, {0, 2}, {1, 2}};
+  el.weights = {0.5, 0.25, 0.125};
+  hg::Csr csr(el.n, el.edges, el.weights);
+  ASSERT_TRUE(csr.weighted());
+  const auto w = csr.neighbor_weights(0);
+  EXPECT_DOUBLE_EQ(w[0], 0.5);
+  EXPECT_DOUBLE_EQ(w[1], 0.25);
+}
+
+TEST(Csr, RejectsOutOfRangeSource) {
+  hg::EdgeList el;
+  el.n = 2;
+  el.edges = {{5, 0}};
+  EXPECT_THROW(hg::Csr(el.n, el.edges), std::out_of_range);
+}
+
+TEST(Generators, RmatSizesAndSkew) {
+  hg::RmatParams params;
+  params.scale = 12;
+  params.edge_factor = 8;
+  auto el = hg::generate_rmat(params);
+  EXPECT_EQ(el.n, 1 << 12);
+  EXPECT_EQ(el.m(), 8 * (1 << 12));
+  for (const auto& e : el.edges) {
+    EXPECT_GE(e.u, 0);
+    EXPECT_LT(e.u, el.n);
+    EXPECT_GE(e.v, 0);
+    EXPECT_LT(e.v, el.n);
+  }
+  // Power-law skew: the maximum degree should far exceed the average.
+  const auto deg = hg::out_degrees(el);
+  const auto max_deg = *std::max_element(deg.begin(), deg.end());
+  EXPECT_GT(max_deg, 8 * 10);
+}
+
+TEST(Generators, RmatIsDeterministic) {
+  hg::RmatParams params;
+  params.scale = 10;
+  params.seed = 7;
+  const auto a = hg::generate_rmat(params);
+  const auto b = hg::generate_rmat(params);
+  EXPECT_EQ(a.edges, b.edges);
+}
+
+TEST(Generators, ErdosRenyiIsUniformish) {
+  auto el = hg::generate_erdos_renyi(1 << 12, 16 << 12, 3);
+  EXPECT_EQ(el.m(), 16 << 12);
+  const auto deg = hg::out_degrees(el);
+  const auto max_deg = *std::max_element(deg.begin(), deg.end());
+  // Poisson(16): max degree stays within a small multiple of the mean.
+  EXPECT_LT(max_deg, 16 * 5);
+}
+
+TEST(Generators, PrefAttachHubs) {
+  auto el = hg::generate_pref_attach(4096, 8, 0.8, 11);
+  const auto deg = hg::out_degrees(el);
+  std::vector<std::int64_t> total(deg.size(), 0);
+  for (const auto& e : el.edges) {
+    ++total[static_cast<std::size_t>(e.u)];
+    ++total[static_cast<std::size_t>(e.v)];
+  }
+  const auto max_deg = *std::max_element(total.begin(), total.end());
+  EXPECT_GT(max_deg, 8 * 20);  // heavy hubs
+}
+
+TEST(Generators, ForestPathGrid) {
+  auto forest = hg::generate_forest(100, 10, 5);
+  EXPECT_EQ(forest.m(), 90);  // one parent edge per non-root
+  for (const auto& e : forest.edges) EXPECT_LT(e.v, e.u);
+
+  auto path = hg::generate_path(7);
+  EXPECT_EQ(path.m(), 6);
+
+  auto grid = hg::generate_grid(4, 5);
+  EXPECT_EQ(grid.n, 20);
+  EXPECT_EQ(grid.m(), 4 * 4 + 3 * 5);  // horizontal + vertical
+}
+
+class StripedRelabelP : public ::testing::TestWithParam<std::pair<hg::Gid, int>> {};
+
+TEST_P(StripedRelabelP, IsBijectionWithContiguousGroups) {
+  const auto [n, groups] = GetParam();
+  hg::StripedRelabel relabel(n, groups);
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for (hg::Gid v = 0; v < n; ++v) {
+    const hg::Gid s = relabel.to_new(v);
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, n);
+    ASSERT_FALSE(seen[static_cast<std::size_t>(s)]) << "collision at " << v;
+    seen[static_cast<std::size_t>(s)] = true;
+    EXPECT_EQ(relabel.to_original(s), v);
+    // Round-robin: vertex v belongs to group v % groups.
+    EXPECT_EQ(relabel.group_of_new(s), static_cast<int>(v % groups));
+    EXPECT_GE(s, relabel.group_start(static_cast<int>(v % groups)));
+  }
+  hg::Gid total = 0;
+  for (int g = 0; g < groups; ++g) total += relabel.group_count(g);
+  EXPECT_EQ(total, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, StripedRelabelP,
+    ::testing::Values(std::pair<hg::Gid, int>{16, 4}, std::pair<hg::Gid, int>{17, 4},
+                      std::pair<hg::Gid, int>{100, 7}, std::pair<hg::Gid, int>{5, 5},
+                      std::pair<hg::Gid, int>{1000, 1},
+                      std::pair<hg::Gid, int>{64, 64}));
+
+TEST(Datasets, CatalogAndAnalogsLoad) {
+  EXPECT_EQ(hg::dataset_catalog().size(), 5u);
+  for (const auto& name : {"tw-mini", "cw-mini", "rmat10", "rand10"}) {
+    auto el = hg::load_dataset(name, /*scale_shift=*/-4);
+    EXPECT_GT(el.n, 0) << name;
+    EXPECT_GT(el.m(), el.n) << name;
+    for (const auto& e : el.edges) {
+      EXPECT_NE(e.u, e.v) << "self loop survived in " << name;
+    }
+  }
+  EXPECT_THROW(hg::load_dataset("nope"), std::invalid_argument);
+}
+
+TEST(Io, TextRoundTrip) {
+  hg::EdgeList el;
+  el.n = 9;
+  el.edges = {{0, 1}, {7, 8}, {3, 3}};
+  const auto path = std::filesystem::temp_directory_path() / "hpcg_io_test.txt";
+  hg::write_text(el, path.string());
+  const auto back = hg::read_text(path.string());
+  EXPECT_EQ(back.n, el.n);
+  EXPECT_EQ(back.edges, el.edges);
+  std::filesystem::remove(path);
+}
+
+TEST(Io, BinaryRoundTripWithWeights) {
+  hg::EdgeList el;
+  el.n = 5;
+  el.edges = {{0, 1}, {2, 3}};
+  el.weights = {0.5, 2.0};
+  const auto path = std::filesystem::temp_directory_path() / "hpcg_io_test.bin";
+  hg::write_binary(el, path.string());
+  const auto back = hg::read_binary(path.string());
+  EXPECT_EQ(back.n, el.n);
+  EXPECT_EQ(back.edges, el.edges);
+  EXPECT_EQ(back.weights, el.weights);
+  std::filesystem::remove(path);
+}
+
+}  // namespace

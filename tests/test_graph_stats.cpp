@@ -1,0 +1,74 @@
+// Graph statistics module + the structural properties DESIGN.md claims for
+// the dataset analogs (skew classes, shallow vs deep diameter regimes).
+#include <gtest/gtest.h>
+
+#include "graph/datasets.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+
+namespace hg = hpcg::graph;
+
+namespace {
+
+TEST(GraphStats, DegreeStatsOnKnownGraph) {
+  // Star with center 0 and 5 leaves, symmetrized.
+  hg::EdgeList el;
+  el.n = 8;  // two isolated vertices
+  for (hg::Gid v = 1; v <= 5; ++v) el.edges.push_back({0, v});
+  hg::symmetrize(el);
+  const auto stats = hg::degree_stats(el);
+  EXPECT_EQ(stats.max_degree, 5);
+  EXPECT_DOUBLE_EQ(stats.mean_degree, 10.0 / 8.0);
+  EXPECT_EQ(stats.isolated, 2);
+  EXPECT_DOUBLE_EQ(stats.skew, 4.0);
+}
+
+TEST(GraphStats, ComponentsAndDiameterOnPath) {
+  auto el = hg::generate_path(100);
+  hg::symmetrize(el);
+  EXPECT_EQ(hg::count_components(el), 1);
+  // A path's diameter is n-1; BFS from any sample sees >= half of it.
+  EXPECT_GE(hg::approx_diameter(el, 4, 7), 50);
+
+  // Two components.
+  hg::EdgeList two;
+  two.n = 10;
+  two.edges = {{0, 1}, {2, 3}};
+  hg::symmetrize(two);
+  EXPECT_EQ(hg::count_components(two), 8);  // 2 pairs + 6 singletons
+}
+
+TEST(GraphStats, EmptyGraph) {
+  hg::EdgeList el;
+  EXPECT_EQ(hg::degree_stats(el).max_degree, 0);
+  EXPECT_EQ(hg::count_components(el), 0);
+  EXPECT_EQ(hg::approx_diameter(el), 0);
+}
+
+TEST(DatasetRegimes, ShallowAnalogsHaveLowDiameter) {
+  for (const auto* name : {"cw-mini", "wdc-mini"}) {
+    const auto el = hg::load_dataset(name, /*scale_shift=*/-3);
+    EXPECT_LT(hg::approx_diameter(el, 4, 3), 20) << name;
+  }
+}
+
+TEST(DatasetRegimes, DeepAnalogsHaveLongTail) {
+  for (const auto* name : {"cw-deep", "wdc-deep"}) {
+    const auto el = hg::load_dataset(name, /*scale_shift=*/-3);
+    // Chain + tendril structure: diameter in the many-dozens.
+    EXPECT_GT(hg::approx_diameter(el, 4, 3), 60) << name;
+  }
+}
+
+TEST(DatasetRegimes, SkewClassesMatchDesignClaims) {
+  // Twitter analog: extreme skew. Friendster analog: milder. RAND: none.
+  const auto tw = hg::degree_stats(hg::load_dataset("tw-mini", -2));
+  const auto fr = hg::degree_stats(hg::load_dataset("fr-mini", -2));
+  const auto rnd = hg::degree_stats(hg::load_dataset("rand12", 0));
+  EXPECT_GT(tw.skew, fr.skew);
+  EXPECT_GT(fr.skew, rnd.skew);
+  EXPECT_LT(rnd.skew, 3.0);
+}
+
+}  // namespace

@@ -1,0 +1,58 @@
+// Shared helpers for distributed-algorithm tests.
+#pragma once
+
+#include <functional>
+
+#include "comm/runtime.hpp"
+#include "core/dist2d.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/generators.hpp"
+
+namespace hpcg::test {
+
+/// Runs `body(comm, graph)` on every rank of `grid` over `el` (which must
+/// already be in its final, symmetrized form).
+inline comm::RunStats run_on_grid(
+    const graph::EdgeList& el, core::Grid grid,
+    const std::function<void(comm::Comm&, core::Dist2DGraph&)>& body) {
+  const auto parts = core::Partitioned2D::build(el, grid);
+  return comm::Runtime::run(grid.ranks(), [&](comm::Comm& comm) {
+    core::Dist2DGraph g(comm, parts);
+    body(comm, g);
+  });
+}
+
+/// Small undirected RMAT test graph (self loops removed, symmetrized).
+inline graph::EdgeList small_rmat(int scale, int edge_factor, std::uint64_t seed,
+                                  bool weighted = false) {
+  graph::RmatParams params;
+  params.scale = scale;
+  params.edge_factor = edge_factor;
+  params.seed = seed;
+  auto el = graph::generate_rmat(params);
+  graph::remove_self_loops(el);
+  if (weighted) graph::attach_symmetric_weights(el, seed * 7 + 1);
+  graph::symmetrize(el);
+  return el;
+}
+
+/// Erdős–Rényi variant of the same.
+inline graph::EdgeList small_er(graph::Gid n, std::int64_t m, std::uint64_t seed,
+                                bool weighted = false) {
+  auto el = graph::generate_erdos_renyi(n, m, seed);
+  graph::remove_self_loops(el);
+  if (weighted) graph::attach_symmetric_weights(el, seed * 7 + 1);
+  graph::symmetrize(el);
+  return el;
+}
+
+/// The striped-space view of `el` under `grid` (what reference oracles must
+/// run on to agree with distributed results positionally).
+inline graph::EdgeList striped_view(const graph::EdgeList& el, core::Grid grid) {
+  graph::EdgeList out = el;
+  graph::StripedRelabel relabel(el.n, grid.row_groups());
+  relabel.apply(out);
+  return out;
+}
+
+}  // namespace hpcg::test

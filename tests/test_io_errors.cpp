@@ -1,0 +1,102 @@
+// I/O error paths and format robustness.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "graph/io.hpp"
+
+namespace hg = hpcg::graph;
+
+namespace {
+
+std::filesystem::path temp_file(const std::string& name) {
+  return std::filesystem::temp_directory_path() / name;
+}
+
+TEST(IoErrors, MissingFiles) {
+  EXPECT_THROW(hg::read_text("/nonexistent/file.txt"), std::runtime_error);
+  EXPECT_THROW(hg::read_binary("/nonexistent/file.bin"), std::runtime_error);
+  EXPECT_THROW(hg::write_text({}, "/nonexistent/dir/file.txt"), std::runtime_error);
+}
+
+TEST(IoErrors, BadBinaryMagic) {
+  const auto path = temp_file("hpcg_bad_magic.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    const char junk[64] = "not an edge list at all";
+    out.write(junk, sizeof junk);
+  }
+  EXPECT_THROW(hg::read_binary(path.string()), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(IoErrors, TruncatedBinaryPayload) {
+  const auto path = temp_file("hpcg_truncated.bin");
+  hg::EdgeList el;
+  el.n = 100;
+  for (hg::Gid v = 0; v + 1 < 50; ++v) el.edges.push_back({v, v + 1});
+  hg::write_binary(el, path.string());
+  // Chop the payload.
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) / 2);
+  EXPECT_THROW(hg::read_binary(path.string()), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(IoErrors, MalformedTextLines) {
+  const auto path = temp_file("hpcg_malformed.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1\nnot numbers\n";
+  }
+  EXPECT_THROW(hg::read_text(path.string()), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(IoErrors, MixedWeightedUnweightedRejected) {
+  const auto path = temp_file("hpcg_mixed.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1 0.5\n2 3\n";
+  }
+  EXPECT_THROW(hg::read_text(path.string()), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(IoErrors, DeclaredNTooSmallRejected) {
+  const auto path = temp_file("hpcg_declared_n.txt");
+  {
+    std::ofstream out(path);
+    out << "# n 3\n0 9\n";
+  }
+  EXPECT_THROW(hg::read_text(path.string()), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(IoErrors, CommentsAndBlankLinesTolerated) {
+  const auto path = temp_file("hpcg_comments.txt");
+  {
+    std::ofstream out(path);
+    out << "# a comment\n\n# n 10\n1 2\n\n3 4\n";
+  }
+  const auto el = hg::read_text(path.string());
+  EXPECT_EQ(el.n, 10);
+  EXPECT_EQ(el.m(), 2);
+  std::filesystem::remove(path);
+}
+
+TEST(IoErrors, EmptyGraphRoundTrips) {
+  const auto text = temp_file("hpcg_empty.txt");
+  const auto bin = temp_file("hpcg_empty.bin");
+  hg::EdgeList el;
+  el.n = 7;  // vertices but no edges
+  hg::write_text(el, text.string());
+  hg::write_binary(el, bin.string());
+  EXPECT_EQ(hg::read_text(text.string()).n, 7);
+  EXPECT_EQ(hg::read_binary(bin.string()).n, 7);
+  EXPECT_EQ(hg::read_binary(bin.string()).m(), 0);
+  std::filesystem::remove(text);
+  std::filesystem::remove(bin);
+}
+
+}  // namespace

@@ -1,0 +1,88 @@
+// Table 2 of the paper: the three global->local mapping types.
+#include <gtest/gtest.h>
+
+#include "core/lid_map.hpp"
+
+namespace hc = hpcg::core;
+
+namespace {
+
+TEST(LidMap, Type0NoOverlap) {
+  // Row [100, 110), Col [300, 320): disjoint.
+  hc::LidMap m(100, 10, 300, 20);
+  EXPECT_EQ(m.type(), 0);
+  EXPECT_EQ(m.c_offset_r(), 0);
+  EXPECT_EQ(m.c_offset_c(), 10);
+  EXPECT_EQ(m.n_total(), 30);
+  EXPECT_EQ(m.row_lid(100), 0);
+  EXPECT_EQ(m.row_lid(109), 9);
+  EXPECT_EQ(m.col_lid(300), 10);
+  EXPECT_EQ(m.col_lid(319), 29);
+}
+
+TEST(LidMap, Type1RowFirst) {
+  // Row [100, 150), Col [120, 160): overlap, row offset smaller.
+  hc::LidMap m(100, 50, 120, 40);
+  EXPECT_EQ(m.type(), 1);
+  EXPECT_EQ(m.c_offset_r(), 0);
+  EXPECT_EQ(m.c_offset_c(), 20);  // diff = 120 - 100
+  EXPECT_EQ(m.n_total(), 60);     // union [100, 160)
+  // Overlap GIDs map to a single LID through both mappings.
+  for (hc::Gid g = 120; g < 150; ++g) EXPECT_EQ(m.row_lid(g), m.col_lid(g));
+}
+
+TEST(LidMap, Type2ColFirst) {
+  // Row [150, 200), Col [130, 170): overlap, col offset smaller.
+  hc::LidMap m(150, 50, 130, 40);
+  EXPECT_EQ(m.type(), 2);
+  EXPECT_EQ(m.c_offset_c(), 0);
+  EXPECT_EQ(m.c_offset_r(), 20);  // diff = 150 - 130
+  EXPECT_EQ(m.n_total(), 70);     // union [130, 200)
+  for (hc::Gid g = 150; g < 170; ++g) EXPECT_EQ(m.row_lid(g), m.col_lid(g));
+}
+
+TEST(LidMap, DiagonalFullOverlap) {
+  // Square-grid diagonal rank: identical ranges -> type 1 with diff 0.
+  hc::LidMap m(40, 10, 40, 10);
+  EXPECT_EQ(m.type(), 1);
+  EXPECT_EQ(m.n_total(), 10);
+  for (hc::Gid g = 40; g < 50; ++g) {
+    EXPECT_EQ(m.row_lid(g), m.col_lid(g));
+    EXPECT_TRUE(m.lid_is_row(m.row_lid(g)));
+    EXPECT_TRUE(m.lid_is_col(m.row_lid(g)));
+  }
+}
+
+TEST(LidMap, RoundTripAllTypes) {
+  const hc::LidMap maps[] = {
+      hc::LidMap(100, 10, 300, 20),  // type 0
+      hc::LidMap(100, 50, 120, 40),  // type 1
+      hc::LidMap(150, 50, 130, 40),  // type 2
+      hc::LidMap(0, 7, 0, 7),        // diagonal
+  };
+  for (const auto& m : maps) {
+    for (hc::Gid g = m.row_offset(); g < m.row_offset() + m.n_row(); ++g) {
+      EXPECT_EQ(m.to_gid(m.to_lid(g)), g);
+      EXPECT_TRUE(m.owns_row_gid(g));
+    }
+    for (hc::Gid g = m.col_offset(); g < m.col_offset() + m.n_col(); ++g) {
+      EXPECT_EQ(m.to_gid(m.to_lid(g)), g);
+      EXPECT_TRUE(m.has_col_gid(g));
+    }
+    EXPECT_THROW(m.to_lid(m.row_offset() - 1000), std::out_of_range);
+  }
+}
+
+TEST(LidMap, LidClassification) {
+  hc::LidMap m(100, 10, 300, 20);  // type 0
+  for (hc::Lid l = 0; l < 10; ++l) {
+    EXPECT_TRUE(m.lid_is_row(l));
+    EXPECT_FALSE(m.lid_is_col(l));
+  }
+  for (hc::Lid l = 10; l < 30; ++l) {
+    EXPECT_FALSE(m.lid_is_row(l));
+    EXPECT_TRUE(m.lid_is_col(l));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,158 @@
+// Randomized property sweep: many seeds x graph families, checking the
+// structural invariants every distributed result must satisfy (rather than
+// oracle equality, which test_algorithms covers on fixed inputs). Each
+// seed produces a different random graph and runs on a pseudo-randomly
+// chosen grid.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algos/bfs.hpp"
+#include "algos/cc.hpp"
+#include "algos/gather.hpp"
+#include "algos/mwm.hpp"
+#include "algos/pagerank.hpp"
+#include "algos/reference.hpp"
+#include "test_helpers.hpp"
+#include "util/prng.hpp"
+
+namespace ha = hpcg::algos;
+namespace hc = hpcg::core;
+namespace hg = hpcg::graph;
+using hpcg::test::run_on_grid;
+using hpcg::test::small_er;
+using hpcg::test::small_rmat;
+
+namespace {
+
+class PropertyP : public ::testing::TestWithParam<int> {};  // seed
+
+hc::Grid grid_for_seed(int seed) {
+  static constexpr std::pair<int, int> kGrids[] = {
+      {1, 1}, {2, 2}, {2, 3}, {3, 2}, {1, 5}, {4, 1}, {3, 4}, {4, 4}};
+  const auto& [rows, cols] =
+      kGrids[hpcg::util::splitmix64(static_cast<std::uint64_t>(seed)) % 8];
+  return hc::Grid(rows, cols);
+}
+
+hg::EdgeList graph_for_seed(int seed, bool weighted) {
+  if (seed % 2 == 0) {
+    return small_rmat(7, 3 + seed % 5, static_cast<std::uint64_t>(seed), weighted);
+  }
+  return small_er(150 + seed * 17, 600 + seed * 41,
+                  static_cast<std::uint64_t>(seed), weighted);
+}
+
+TEST_P(PropertyP, BfsLevelsDifferByAtMostOneAcrossEdges) {
+  const int seed = GetParam();
+  const auto el = graph_for_seed(seed, false);
+  const auto grid = grid_for_seed(seed);
+  const auto striped = hpcg::test::striped_view(el, grid);
+
+  run_on_grid(el, grid, [&](hpcg::comm::Comm& comm, hc::Dist2DGraph& g) {
+    auto result = ha::bfs(g, seed % el.n);
+    auto levels = ha::gather_row_state(g, std::span<const std::int64_t>(result.level));
+    if (comm.rank() != 0) return;
+    const auto root = g.partition().relabel().to_new(seed % el.n);
+    EXPECT_EQ(levels[static_cast<std::size_t>(root)], 0);
+    for (const auto& e : striped.edges) {
+      const auto lu = levels[static_cast<std::size_t>(e.u)];
+      const auto lv = levels[static_cast<std::size_t>(e.v)];
+      // Both endpoints reached or both unreached; levels differ by <= 1.
+      EXPECT_EQ(lu == ha::BfsResult::kUnvisited, lv == ha::BfsResult::kUnvisited);
+      if (lu != ha::BfsResult::kUnvisited) {
+        EXPECT_LE(std::abs(lu - lv), 1) << e.u << "-" << e.v;
+      }
+    }
+  });
+}
+
+TEST_P(PropertyP, CcLabelsConstantWithinAndDistinctAcrossComponents) {
+  const int seed = GetParam();
+  const auto el = graph_for_seed(seed, false);
+  const auto grid = grid_for_seed(seed);
+  const auto striped = hpcg::test::striped_view(el, grid);
+
+  run_on_grid(el, grid, [&](hpcg::comm::Comm& comm, hc::Dist2DGraph& g) {
+    auto result = ha::connected_components(
+        g, seed % 2 ? ha::CcOptions::all_push() : ha::CcOptions::sp_sw_vq());
+    auto labels = ha::gather_row_state(g, std::span<const hg::Gid>(result.label));
+    if (comm.rank() != 0) return;
+    // Along every edge: same label. Label is the min member id.
+    for (const auto& e : striped.edges) {
+      EXPECT_EQ(labels[static_cast<std::size_t>(e.u)],
+                labels[static_cast<std::size_t>(e.v)]);
+    }
+    for (hg::Gid v = 0; v < el.n; ++v) {
+      EXPECT_LE(labels[static_cast<std::size_t>(v)], v);
+      // The label is itself a member of the component with that label.
+      EXPECT_EQ(labels[static_cast<std::size_t>(labels[static_cast<std::size_t>(v)])],
+                labels[static_cast<std::size_t>(v)]);
+    }
+  });
+}
+
+TEST_P(PropertyP, MwmIsValidAndLocallyDominant) {
+  const int seed = GetParam();
+  const auto el = graph_for_seed(seed, true);
+  const auto grid = grid_for_seed(seed);
+  const auto striped = hpcg::test::striped_view(el, grid);
+  hg::Csr csr(striped.n, striped.edges, striped.weights);
+
+  run_on_grid(el, grid, [&](hpcg::comm::Comm& comm, hc::Dist2DGraph& g) {
+    auto result = ha::max_weight_matching(g);
+    auto mate = ha::gather_row_state(g, std::span<const hg::Gid>(result.mate));
+    if (comm.rank() != 0) return;
+    // Matching validity: mutual, and matched pairs share an edge.
+    std::set<std::pair<hg::Gid, hg::Gid>> edges;
+    for (const auto& e : striped.edges) edges.insert({e.u, e.v});
+    for (hg::Gid v = 0; v < el.n; ++v) {
+      const auto m = mate[static_cast<std::size_t>(v)];
+      if (m < 0) continue;
+      EXPECT_EQ(mate[static_cast<std::size_t>(m)], v);
+      EXPECT_TRUE(edges.contains({v, m}));
+    }
+    // Maximality (which local dominance implies): no edge joins two
+    // unmatched endpoints.
+    for (const auto& e : striped.edges) {
+      if (e.u == e.v) continue;
+      EXPECT_FALSE(mate[static_cast<std::size_t>(e.u)] < 0 &&
+                   mate[static_cast<std::size_t>(e.v)] < 0)
+          << "augmentable edge " << e.u << "-" << e.v;
+    }
+    // 1/2-approximation: at least half the weight of the greedy optimum
+    // bound (we use the reference matching as the locally-dominant
+    // optimum; equality is checked elsewhere, the bound here guards it).
+    const auto ref_mate = ha::ref::max_weight_matching(csr);
+    EXPECT_GE(ha::ref::matching_weight(csr, mate) + 1e-12,
+              0.5 * ha::ref::matching_weight(csr, ref_mate));
+  });
+}
+
+TEST_P(PropertyP, PageRankMassIsConservedModuloDangling) {
+  const int seed = GetParam();
+  const auto el = graph_for_seed(seed, false);
+  const auto grid = grid_for_seed(seed);
+
+  run_on_grid(el, grid, [&](hpcg::comm::Comm& comm, hc::Dist2DGraph& g) {
+    auto pr = ha::pagerank(g, 10);
+    auto gathered = ha::gather_row_state(g, std::span<const double>(pr));
+    if (comm.rank() != 0) return;
+    double total = 0.0;
+    double min_value = 1.0;
+    for (const auto x : gathered) {
+      total += x;
+      min_value = std::min(min_value, x);
+    }
+    // Every vertex keeps at least the teleport mass; total is bounded by 1
+    // (dangling vertices leak mass in this formulation, never create it).
+    EXPECT_GE(min_value, (1.0 - 0.85) / static_cast<double>(el.n) - 1e-15);
+    EXPECT_LE(total, 1.0 + 1e-9);
+    EXPECT_GT(total, 0.1);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertyP, ::testing::Range(1, 13),
+                         ::testing::PrintToStringParamName());
+
+}  // namespace

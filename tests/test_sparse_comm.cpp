@@ -1,0 +1,168 @@
+// Sparse communications (Algorithms 3-5): equivalence with the dense
+// exchange under idempotent reductions, changed-row tracking, and traffic
+// proportionality — the property §3.3.2 is built on (volume scales with
+// the number of state updates, not with N).
+#include <gtest/gtest.h>
+
+#include <mutex>
+
+#include "core/dense_comm.hpp"
+#include "core/sparse_comm.hpp"
+#include "test_helpers.hpp"
+#include "util/prng.hpp"
+
+namespace hc = hpcg::core;
+namespace hg = hpcg::graph;
+using hpcg::test::run_on_grid;
+using hpcg::test::small_rmat;
+
+namespace {
+
+struct GridCase {
+  int rows;
+  int cols;
+};
+
+class SparseCommP : public ::testing::TestWithParam<GridCase> {};
+
+/// Seeds every rank's state with to_gid(l), randomly lowers some row/col
+/// values via the local "kernel", and checks that after the exchange every
+/// rank agrees with a sequentially computed global minimum state.
+TEST_P(SparseCommP, PushMatchesGlobalMinOracle) {
+  const auto [rows, cols] = GetParam();
+  const auto el = small_rmat(7, 4, 401);
+  const hc::Grid grid(rows, cols);
+
+  // Oracle: each vertex's final value = min over every rank's simulated
+  // local update (deterministic from (rank, gid)).
+  const auto lower_value = [](int rank, hg::Gid gid) -> hg::Gid {
+    const auto h = hpcg::util::splitmix64(
+        static_cast<std::uint64_t>(rank) * 1315423911u + static_cast<std::uint64_t>(gid));
+    return h % 3 == 0 ? gid / 2 : gid;  // some ranks lower some vertices
+  };
+
+  run_on_grid(el, grid, [&](hpcg::comm::Comm& comm, hc::Dist2DGraph& g) {
+    const auto& lids = g.lids();
+    std::vector<hg::Gid> state(static_cast<std::size_t>(lids.n_total()));
+    hc::VertexQueue updated(lids.n_total());
+    for (hc::Lid l = 0; l < lids.n_total(); ++l) {
+      state[static_cast<std::size_t>(l)] = lids.to_gid(l);
+    }
+    // Push semantics: the kernel writes column-vertex slots.
+    for (hg::Gid gid = lids.col_offset(); gid < lids.col_offset() + lids.n_col();
+         ++gid) {
+      const auto lowered = lower_value(comm.rank(), gid);
+      const hc::Lid l = lids.col_lid(gid);
+      if (lowered < state[static_cast<std::size_t>(l)]) {
+        state[static_cast<std::size_t>(l)] = lowered;
+        updated.try_push(l);
+      }
+    }
+    hc::VertexQueue changed(lids.n_total());
+    hc::sparse_exchange(g, std::span(state), updated, hc::MinReduce<hg::Gid>{},
+                        hc::SparseDirection::kPush, &changed);
+
+    // Every slot must now hold the global minimum over the ranks that
+    // could have written that vertex (its column group; all ranks see the
+    // same columns per group, but every group covers every vertex's row
+    // copy through phase 2).
+    for (hc::Lid l = 0; l < lids.n_total(); ++l) {
+      const hg::Gid gid = lids.to_gid(l);
+      hg::Gid expect = gid;
+      for (int other = 0; other < grid.ranks(); ++other) {
+        const hc::Grid gr = grid;
+        // Only ranks whose column range contains gid wrote it.
+        const hc::BlockPartition cols_part(el.n, gr.col_groups());
+        if (cols_part.part_of(gid) == gr.col_group_of(other)) {
+          expect = std::min(expect, lower_value(other, gid));
+        }
+      }
+      EXPECT_EQ(state[static_cast<std::size_t>(l)], expect)
+          << "lid " << l << " gid " << gid;
+    }
+    // changed_rows must contain exactly the row vertices whose final value
+    // differs from the initial one.
+    for (hc::Lid v = g.row_lid_begin(); v < g.row_lid_end(); ++v) {
+      const bool did_change =
+          state[static_cast<std::size_t>(v)] != lids.to_gid(v);
+      EXPECT_EQ(changed.contains(v), did_change) << "row lid " << v;
+    }
+  });
+}
+
+TEST_P(SparseCommP, PullMatchesDenseExchange) {
+  const auto [rows, cols] = GetParam();
+  const auto el = small_rmat(7, 5, 403);
+  const hc::Grid grid(rows, cols);
+
+  run_on_grid(el, grid, [&](hpcg::comm::Comm& comm, hc::Dist2DGraph& g) {
+    const auto& lids = g.lids();
+    const auto n_total = static_cast<std::size_t>(lids.n_total());
+    // Two copies of the same initial state and the same local updates:
+    // one goes through sparse pull, the other through dense pull.
+    std::vector<hg::Gid> sparse_state(n_total);
+    std::vector<hg::Gid> dense_state(n_total);
+    for (hc::Lid l = 0; l < lids.n_total(); ++l) {
+      sparse_state[static_cast<std::size_t>(l)] = dense_state[static_cast<std::size_t>(l)] =
+          lids.to_gid(l) + 1000;
+    }
+    hc::VertexQueue updated(lids.n_total());
+    hpcg::util::Xoshiro256 rng(500 + static_cast<std::uint64_t>(comm.rank()));
+    for (hc::Lid v = g.row_lid_begin(); v < g.row_lid_end(); ++v) {
+      if (rng.next_below(3) == 0) {
+        const hg::Gid value = static_cast<hg::Gid>(rng.next_below(500));
+        if (value < sparse_state[static_cast<std::size_t>(v)]) {
+          sparse_state[static_cast<std::size_t>(v)] = value;
+          dense_state[static_cast<std::size_t>(v)] = value;
+          updated.try_push(v);
+        }
+      }
+    }
+    hc::sparse_exchange(g, std::span(sparse_state), updated, hc::MinReduce<hg::Gid>{},
+                        hc::SparseDirection::kPull);
+    hc::dense_exchange(g, std::span(dense_state), hpcg::comm::ReduceOp::kMin,
+                       hc::Direction::kPull);
+    for (std::size_t l = 0; l < n_total; ++l) {
+      EXPECT_EQ(sparse_state[l], dense_state[l]) << "lid " << l;
+    }
+  });
+}
+
+TEST_P(SparseCommP, TrafficIsProportionalToUpdates) {
+  const auto [rows, cols] = GetParam();
+  if (rows * cols == 1) GTEST_SKIP() << "no communication on one rank";
+  const auto el = small_rmat(8, 4, 405);
+  const hc::Grid grid(rows, cols);
+
+  run_on_grid(el, grid, [&](hpcg::comm::Comm&, hc::Dist2DGraph& g) {
+    const auto& lids = g.lids();
+    std::vector<hg::Gid> state(static_cast<std::size_t>(lids.n_total()));
+    for (hc::Lid l = 0; l < lids.n_total(); ++l) {
+      state[static_cast<std::size_t>(l)] = lids.to_gid(l);
+    }
+    // Exactly three updates.
+    hc::VertexQueue updated(lids.n_total());
+    for (hc::Lid l = 0; l < std::min<hc::Lid>(3, lids.n_col()); ++l) {
+      const hc::Lid col = lids.c_offset_c() + l;
+      state[static_cast<std::size_t>(col)] = -1;
+      updated.try_push(col);
+    }
+    const auto traffic = hc::sparse_exchange(g, std::span(state), updated,
+                                             hc::MinReduce<hg::Gid>{},
+                                             hc::SparseDirection::kPush);
+    EXPECT_LE(traffic.first_phase_sent, 3u);
+    EXPECT_LE(traffic.second_phase_sent,
+              static_cast<std::size_t>(lids.n_row()));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, SparseCommP,
+    ::testing::Values(GridCase{1, 1}, GridCase{2, 2}, GridCase{2, 3},
+                      GridCase{3, 2}, GridCase{4, 4}, GridCase{1, 6},
+                      GridCase{6, 1}),
+    [](const ::testing::TestParamInfo<GridCase>& info) {
+      return std::to_string(info.param.rows) + "x" + std::to_string(info.param.cols);
+    });
+
+}  // namespace

@@ -1,0 +1,161 @@
+// Utility layer: PRNG, prefix scans + owner search, the GPU-style counting
+// hash table, option parsing, and table output.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <sstream>
+
+#include "util/hash_table.hpp"
+#include "util/options.hpp"
+#include "util/prng.hpp"
+#include "util/scan.hpp"
+#include "util/table.hpp"
+
+namespace hu = hpcg::util;
+
+namespace {
+
+TEST(Prng, SplitmixMixesAndIsDeterministic) {
+  EXPECT_EQ(hu::splitmix64(1), hu::splitmix64(1));
+  EXPECT_NE(hu::splitmix64(1), hu::splitmix64(2));
+  // Avalanche smoke test: single-bit input change flips many output bits.
+  const auto diff = hu::splitmix64(0x1000) ^ hu::splitmix64(0x1001);
+  EXPECT_GT(std::popcount(diff), 16);
+}
+
+TEST(Prng, XoshiroUniformity) {
+  hu::Xoshiro256 rng(7);
+  // next_double in [0, 1); next_below respects the bound; rough uniformity.
+  std::array<int, 10> buckets{};
+  for (int i = 0; i < 20000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    ++buckets[static_cast<std::size_t>(d * 10)];
+  }
+  for (const auto count : buckets) {
+    EXPECT_GT(count, 1600);
+    EXPECT_LT(count, 2400);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Prng, SameSeedSameStream) {
+  hu::Xoshiro256 a(99);
+  hu::Xoshiro256 b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Scan, ExclusiveAndInclusive) {
+  std::vector<std::int64_t> data{3, 1, 4, 1, 5};
+  auto copy = data;
+  EXPECT_EQ(hu::exclusive_scan_inplace(std::span(copy)), 14);
+  EXPECT_EQ(copy, (std::vector<std::int64_t>{0, 3, 4, 8, 9}));
+  copy = data;
+  EXPECT_EQ(hu::inclusive_scan_inplace(std::span(copy)), 14);
+  EXPECT_EQ(copy, (std::vector<std::int64_t>{3, 4, 8, 9, 14}));
+}
+
+TEST(Scan, OwnerOfMapsWorkItemsToOwners) {
+  // Offsets for degrees {2, 0, 3, 1}: owners of flat items 0..5.
+  const std::vector<std::int64_t> offsets{0, 2, 2, 5};
+  const std::span<const std::int64_t> view(offsets);
+  EXPECT_EQ(hu::owner_of(view, std::int64_t{0}), 0u);
+  EXPECT_EQ(hu::owner_of(view, std::int64_t{1}), 0u);
+  EXPECT_EQ(hu::owner_of(view, std::int64_t{2}), 2u);  // degree-0 vertex skipped
+  EXPECT_EQ(hu::owner_of(view, std::int64_t{4}), 2u);
+}
+
+TEST(HashTable, CountsAndMode) {
+  hu::CountingHashTable table(8);
+  EXPECT_TRUE(table.add(100));
+  EXPECT_TRUE(table.add(200, 3));
+  EXPECT_TRUE(table.add(100, 2));
+  EXPECT_EQ(table.count(100), 3u);
+  EXPECT_EQ(table.count(200), 3u);
+  EXPECT_EQ(table.count(999), 0u);
+  // Tie at 3: smaller key wins (LP determinism).
+  EXPECT_EQ(table.mode(), 100u);
+  table.add(200);
+  EXPECT_EQ(table.mode(), 200u);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(HashTable, SerializeRoundTrip) {
+  hu::CountingHashTable table(16);
+  for (std::uint64_t k = 0; k < 10; ++k) table.add(k * 7919, k + 1);
+  std::vector<std::uint64_t> flat;
+  table.serialize(flat);
+  ASSERT_EQ(flat.size(), 20u);
+  hu::CountingHashTable rebuilt(16);
+  for (std::size_t i = 0; i < flat.size(); i += 2) rebuilt.add(flat[i], flat[i + 1]);
+  for (std::uint64_t k = 0; k < 10; ++k) {
+    EXPECT_EQ(rebuilt.count(k * 7919), k + 1);
+  }
+}
+
+TEST(HashTable, SaturationReportsFalse) {
+  hu::CountingHashTable table(2);  // 8 slots
+  std::size_t inserted = 0;
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    if (table.add(k)) ++inserted;
+  }
+  EXPECT_EQ(inserted, table.slot_count());
+  EXPECT_FALSE(table.add(1234567));
+}
+
+TEST(HashTable, ClearResets) {
+  hu::CountingHashTable table(4);
+  table.add(42, 5);
+  table.clear();
+  EXPECT_EQ(table.count(42), 0u);
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.mode(), hu::CountingHashTable::kEmptyKey);
+  EXPECT_TRUE(table.add(43));
+}
+
+TEST(HashTable, EmptyModeIsSentinel) {
+  hu::CountingHashTable table(4);
+  EXPECT_EQ(table.mode(), hu::CountingHashTable::kEmptyKey);
+}
+
+TEST(Options, ParsesAllForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--beta", "7", "--flag",
+                        "--list=1,2,3"};
+  hu::Options options(6, const_cast<char**>(argv));
+  EXPECT_EQ(options.get_int("alpha", 0), 3);
+  EXPECT_EQ(options.get_int("beta", 0), 7);
+  EXPECT_TRUE(options.get_bool("flag", false));
+  EXPECT_EQ(options.get_int_list("list", {}),
+            (std::vector<std::int64_t>{1, 2, 3}));
+  EXPECT_EQ(options.get_string("missing", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(options.get_double("gamma", 2.5), 2.5);
+  options.check_unknown();  // everything was declared
+}
+
+TEST(Table, AlignsAndEmitsCsv) {
+  hu::Table table({"name", "value"});
+  table.row() << "x" << 42;
+  table.row() << "longer-name" << 3.25;
+  std::ostringstream os;
+  table.print(os);
+  const auto text = os.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer-name"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+
+  const auto path = std::string("/tmp/hpcg_table_test.csv");
+  table.write_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "name,value");
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,42");
+  std::remove(path.c_str());
+}
+
+}  // namespace
