@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_vs_cugraph.dir/bench_fig10_vs_cugraph.cpp.o"
+  "CMakeFiles/bench_fig10_vs_cugraph.dir/bench_fig10_vs_cugraph.cpp.o.d"
+  "bench_fig10_vs_cugraph"
+  "bench_fig10_vs_cugraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_vs_cugraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

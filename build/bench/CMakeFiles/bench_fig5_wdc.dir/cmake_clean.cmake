@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_wdc.dir/bench_fig5_wdc.cpp.o"
+  "CMakeFiles/bench_fig5_wdc.dir/bench_fig5_wdc.cpp.o.d"
+  "bench_fig5_wdc"
+  "bench_fig5_wdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_wdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

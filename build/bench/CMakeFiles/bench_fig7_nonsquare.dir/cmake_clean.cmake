@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_nonsquare.dir/bench_fig7_nonsquare.cpp.o"
+  "CMakeFiles/bench_fig7_nonsquare.dir/bench_fig7_nonsquare.cpp.o.d"
+  "bench_fig7_nonsquare"
+  "bench_fig7_nonsquare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_nonsquare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

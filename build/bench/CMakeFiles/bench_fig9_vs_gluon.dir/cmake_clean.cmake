@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_vs_gluon.dir/bench_fig9_vs_gluon.cpp.o"
+  "CMakeFiles/bench_fig9_vs_gluon.dir/bench_fig9_vs_gluon.cpp.o.d"
+  "bench_fig9_vs_gluon"
+  "bench_fig9_vs_gluon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_vs_gluon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assignment_matching.dir/assignment_matching.cpp.o"
+  "CMakeFiles/assignment_matching.dir/assignment_matching.cpp.o.d"
+  "assignment_matching"
+  "assignment_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assignment_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph500_style.dir/graph500_style.cpp.o"
+  "CMakeFiles/graph500_style.dir/graph500_style.cpp.o.d"
+  "graph500_style"
+  "graph500_style.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph500_style.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

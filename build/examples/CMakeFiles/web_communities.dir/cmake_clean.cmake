@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_communities.dir/web_communities.cpp.o"
+  "CMakeFiles/web_communities.dir/web_communities.cpp.o.d"
+  "web_communities"
+  "web_communities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_communities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--ranks=9" "--scale=10")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_web_communities "/root/repo/build/examples/web_communities" "--ranks=8" "--scale-shift=-4")
+set_tests_properties(example_web_communities PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_assignment_matching "/root/repo/build/examples/assignment_matching" "--ranks=6" "--scale=9")
+set_tests_properties(example_assignment_matching PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_connectivity_report "/root/repo/build/examples/connectivity_report" "--ranks=12" "--scale-shift=-4")
+set_tests_properties(example_connectivity_report PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_graph500 "/root/repo/build/examples/graph500_style" "--scale=10" "--ranks=9" "--searches=3")
+set_tests_properties(example_graph500 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")

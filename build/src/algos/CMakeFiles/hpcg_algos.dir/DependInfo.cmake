@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algos/bfs.cpp" "src/algos/CMakeFiles/hpcg_algos.dir/bfs.cpp.o" "gcc" "src/algos/CMakeFiles/hpcg_algos.dir/bfs.cpp.o.d"
+  "/root/repo/src/algos/cc.cpp" "src/algos/CMakeFiles/hpcg_algos.dir/cc.cpp.o" "gcc" "src/algos/CMakeFiles/hpcg_algos.dir/cc.cpp.o.d"
+  "/root/repo/src/algos/centrality.cpp" "src/algos/CMakeFiles/hpcg_algos.dir/centrality.cpp.o" "gcc" "src/algos/CMakeFiles/hpcg_algos.dir/centrality.cpp.o.d"
+  "/root/repo/src/algos/kcore.cpp" "src/algos/CMakeFiles/hpcg_algos.dir/kcore.cpp.o" "gcc" "src/algos/CMakeFiles/hpcg_algos.dir/kcore.cpp.o.d"
+  "/root/repo/src/algos/label_prop.cpp" "src/algos/CMakeFiles/hpcg_algos.dir/label_prop.cpp.o" "gcc" "src/algos/CMakeFiles/hpcg_algos.dir/label_prop.cpp.o.d"
+  "/root/repo/src/algos/lca.cpp" "src/algos/CMakeFiles/hpcg_algos.dir/lca.cpp.o" "gcc" "src/algos/CMakeFiles/hpcg_algos.dir/lca.cpp.o.d"
+  "/root/repo/src/algos/mwm.cpp" "src/algos/CMakeFiles/hpcg_algos.dir/mwm.cpp.o" "gcc" "src/algos/CMakeFiles/hpcg_algos.dir/mwm.cpp.o.d"
+  "/root/repo/src/algos/pagerank.cpp" "src/algos/CMakeFiles/hpcg_algos.dir/pagerank.cpp.o" "gcc" "src/algos/CMakeFiles/hpcg_algos.dir/pagerank.cpp.o.d"
+  "/root/repo/src/algos/pointer_jump.cpp" "src/algos/CMakeFiles/hpcg_algos.dir/pointer_jump.cpp.o" "gcc" "src/algos/CMakeFiles/hpcg_algos.dir/pointer_jump.cpp.o.d"
+  "/root/repo/src/algos/reference.cpp" "src/algos/CMakeFiles/hpcg_algos.dir/reference.cpp.o" "gcc" "src/algos/CMakeFiles/hpcg_algos.dir/reference.cpp.o.d"
+  "/root/repo/src/algos/triangle_count.cpp" "src/algos/CMakeFiles/hpcg_algos.dir/triangle_count.cpp.o" "gcc" "src/algos/CMakeFiles/hpcg_algos.dir/triangle_count.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hpcg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hpcg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/hpcg_comm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcg_algos.dir/bfs.cpp.o"
+  "CMakeFiles/hpcg_algos.dir/bfs.cpp.o.d"
+  "CMakeFiles/hpcg_algos.dir/cc.cpp.o"
+  "CMakeFiles/hpcg_algos.dir/cc.cpp.o.d"
+  "CMakeFiles/hpcg_algos.dir/centrality.cpp.o"
+  "CMakeFiles/hpcg_algos.dir/centrality.cpp.o.d"
+  "CMakeFiles/hpcg_algos.dir/kcore.cpp.o"
+  "CMakeFiles/hpcg_algos.dir/kcore.cpp.o.d"
+  "CMakeFiles/hpcg_algos.dir/label_prop.cpp.o"
+  "CMakeFiles/hpcg_algos.dir/label_prop.cpp.o.d"
+  "CMakeFiles/hpcg_algos.dir/lca.cpp.o"
+  "CMakeFiles/hpcg_algos.dir/lca.cpp.o.d"
+  "CMakeFiles/hpcg_algos.dir/mwm.cpp.o"
+  "CMakeFiles/hpcg_algos.dir/mwm.cpp.o.d"
+  "CMakeFiles/hpcg_algos.dir/pagerank.cpp.o"
+  "CMakeFiles/hpcg_algos.dir/pagerank.cpp.o.d"
+  "CMakeFiles/hpcg_algos.dir/pointer_jump.cpp.o"
+  "CMakeFiles/hpcg_algos.dir/pointer_jump.cpp.o.d"
+  "CMakeFiles/hpcg_algos.dir/reference.cpp.o"
+  "CMakeFiles/hpcg_algos.dir/reference.cpp.o.d"
+  "CMakeFiles/hpcg_algos.dir/triangle_count.cpp.o"
+  "CMakeFiles/hpcg_algos.dir/triangle_count.cpp.o.d"
+  "libhpcg_algos.a"
+  "libhpcg_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcg_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

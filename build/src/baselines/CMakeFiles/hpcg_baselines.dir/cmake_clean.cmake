@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcg_baselines.dir/dist15d.cpp.o"
+  "CMakeFiles/hpcg_baselines.dir/dist15d.cpp.o.d"
+  "CMakeFiles/hpcg_baselines.dir/dist1d.cpp.o"
+  "CMakeFiles/hpcg_baselines.dir/dist1d.cpp.o.d"
+  "CMakeFiles/hpcg_baselines.dir/gluon_like.cpp.o"
+  "CMakeFiles/hpcg_baselines.dir/gluon_like.cpp.o.d"
+  "CMakeFiles/hpcg_baselines.dir/spmv_pagerank.cpp.o"
+  "CMakeFiles/hpcg_baselines.dir/spmv_pagerank.cpp.o.d"
+  "libhpcg_baselines.a"
+  "libhpcg_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcg_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

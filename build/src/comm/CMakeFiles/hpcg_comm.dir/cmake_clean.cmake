@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcg_comm.dir/comm.cpp.o"
+  "CMakeFiles/hpcg_comm.dir/comm.cpp.o.d"
+  "CMakeFiles/hpcg_comm.dir/cost_model.cpp.o"
+  "CMakeFiles/hpcg_comm.dir/cost_model.cpp.o.d"
+  "CMakeFiles/hpcg_comm.dir/runtime.cpp.o"
+  "CMakeFiles/hpcg_comm.dir/runtime.cpp.o.d"
+  "CMakeFiles/hpcg_comm.dir/topology.cpp.o"
+  "CMakeFiles/hpcg_comm.dir/topology.cpp.o.d"
+  "libhpcg_comm.a"
+  "libhpcg_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcg_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcg_core.dir/dist2d.cpp.o"
+  "CMakeFiles/hpcg_core.dir/dist2d.cpp.o.d"
+  "CMakeFiles/hpcg_core.dir/manhattan.cpp.o"
+  "CMakeFiles/hpcg_core.dir/manhattan.cpp.o.d"
+  "CMakeFiles/hpcg_core.dir/reduce25d.cpp.o"
+  "CMakeFiles/hpcg_core.dir/reduce25d.cpp.o.d"
+  "libhpcg_core.a"
+  "libhpcg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

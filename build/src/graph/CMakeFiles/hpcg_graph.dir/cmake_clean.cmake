@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcg_graph.dir/csr.cpp.o"
+  "CMakeFiles/hpcg_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/hpcg_graph.dir/datasets.cpp.o"
+  "CMakeFiles/hpcg_graph.dir/datasets.cpp.o.d"
+  "CMakeFiles/hpcg_graph.dir/edge_list.cpp.o"
+  "CMakeFiles/hpcg_graph.dir/edge_list.cpp.o.d"
+  "CMakeFiles/hpcg_graph.dir/generators.cpp.o"
+  "CMakeFiles/hpcg_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/hpcg_graph.dir/io.cpp.o"
+  "CMakeFiles/hpcg_graph.dir/io.cpp.o.d"
+  "CMakeFiles/hpcg_graph.dir/relabel.cpp.o"
+  "CMakeFiles/hpcg_graph.dir/relabel.cpp.o.d"
+  "CMakeFiles/hpcg_graph.dir/stats.cpp.o"
+  "CMakeFiles/hpcg_graph.dir/stats.cpp.o.d"
+  "libhpcg_graph.a"
+  "libhpcg_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_hierarchy.dir/test_comm_hierarchy.cpp.o"
+  "CMakeFiles/test_comm_hierarchy.dir/test_comm_hierarchy.cpp.o.d"
+  "test_comm_hierarchy"
+  "test_comm_hierarchy.pdb"
+  "test_comm_hierarchy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

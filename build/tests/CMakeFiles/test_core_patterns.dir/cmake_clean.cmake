@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_patterns.dir/test_core_patterns.cpp.o"
+  "CMakeFiles/test_core_patterns.dir/test_core_patterns.cpp.o.d"
+  "test_core_patterns"
+  "test_core_patterns.pdb"
+  "test_core_patterns[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

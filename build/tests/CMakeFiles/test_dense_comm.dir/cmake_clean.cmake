@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dense_comm.dir/test_dense_comm.cpp.o"
+  "CMakeFiles/test_dense_comm.dir/test_dense_comm.cpp.o.d"
+  "test_dense_comm"
+  "test_dense_comm.pdb"
+  "test_dense_comm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dense_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

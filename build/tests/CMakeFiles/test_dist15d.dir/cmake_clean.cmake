@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist15d.dir/test_dist15d.cpp.o"
+  "CMakeFiles/test_dist15d.dir/test_dist15d.cpp.o.d"
+  "test_dist15d"
+  "test_dist15d.pdb"
+  "test_dist15d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist15d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

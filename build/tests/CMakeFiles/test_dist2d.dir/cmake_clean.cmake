@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist2d.dir/test_dist2d.cpp.o"
+  "CMakeFiles/test_dist2d.dir/test_dist2d.cpp.o.d"
+  "test_dist2d"
+  "test_dist2d.pdb"
+  "test_dist2d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

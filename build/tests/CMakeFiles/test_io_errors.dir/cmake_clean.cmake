@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_errors.dir/test_io_errors.cpp.o"
+  "CMakeFiles/test_io_errors.dir/test_io_errors.cpp.o.d"
+  "test_io_errors"
+  "test_io_errors.pdb"
+  "test_io_errors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

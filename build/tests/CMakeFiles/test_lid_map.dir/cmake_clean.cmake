@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lid_map.dir/test_lid_map.cpp.o"
+  "CMakeFiles/test_lid_map.dir/test_lid_map.cpp.o.d"
+  "test_lid_map"
+  "test_lid_map.pdb"
+  "test_lid_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lid_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

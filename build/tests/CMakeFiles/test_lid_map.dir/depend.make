@@ -1,0 +1,2 @@
+# Empty dependencies file for test_lid_map.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_comm.dir/test_sparse_comm.cpp.o"
+  "CMakeFiles/test_sparse_comm.dir/test_sparse_comm.cpp.o.d"
+  "test_sparse_comm"
+  "test_sparse_comm.pdb"
+  "test_sparse_comm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

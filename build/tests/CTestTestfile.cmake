@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_comm_collectives[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_lid_map[1]_include.cmake")
+include("/root/repo/build/tests/test_dist2d[1]_include.cmake")
+include("/root/repo/build/tests/test_algorithms[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_core_patterns[1]_include.cmake")
+include("/root/repo/build/tests/test_sparse_comm[1]_include.cmake")
+include("/root/repo/build/tests/test_cost_model[1]_include.cmake")
+include("/root/repo/build/tests/test_dist15d[1]_include.cmake")
+include("/root/repo/build/tests/test_determinism[1]_include.cmake")
+include("/root/repo/build/tests/test_failure_injection[1]_include.cmake")
+include("/root/repo/build/tests/test_graph_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_property_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_scale[1]_include.cmake")
+include("/root/repo/build/tests/test_comm_hierarchy[1]_include.cmake")
+include("/root/repo/build/tests/test_figure_shapes[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_dense_comm[1]_include.cmake")
+include("/root/repo/build/tests/test_io_errors[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcg_gen.dir/hpcg_gen.cpp.o"
+  "CMakeFiles/hpcg_gen.dir/hpcg_gen.cpp.o.d"
+  "hpcg_gen"
+  "hpcg_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcg_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcg_run.dir/hpcg_run.cpp.o"
+  "CMakeFiles/hpcg_run.dir/hpcg_run.cpp.o.d"
+  "hpcg_run"
+  "hpcg_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcg_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
