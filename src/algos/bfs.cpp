@@ -36,6 +36,7 @@ BfsResult bfs(core::Dist2DGraph& g, Gid root_original, const BfsOptions& options
   core::MinReduce<std::int64_t> min_reduce;
 
   for (std::int64_t cur = 0;; ++cur) {
+    auto superstep = g.world().superstep_span("bfs");
     // Global frontier statistics (each row group contributes once).
     std::int64_t stats[2] = {0, 0};  // n_frontier, m_frontier
     if (g.rank_r() == 0) {
@@ -47,6 +48,7 @@ BfsResult bfs(core::Dist2DGraph& g, Gid root_original, const BfsOptions& options
     g.world().allreduce(std::span<std::int64_t>(stats, 2), comm::ReduceOp::kSum);
     const auto n_frontier = stats[0];
     const auto m_frontier = stats[1];
+    superstep.set_value(n_frontier);
     if (n_frontier == 0) break;
     result.depth = cur + 1;
 
@@ -154,6 +156,7 @@ BfsParentResult bfs_parents(core::Dist2DGraph& g, Gid root_original,
   BfsParentResult result;
 
   for (std::int64_t cur = 0;; ++cur) {
+    auto superstep = g.world().superstep_span("bfs_parents");
     std::int64_t stats[2] = {0, 0};
     if (g.rank_r() == 0) {
       for (const Lid v : frontier.items()) {
@@ -162,6 +165,7 @@ BfsParentResult bfs_parents(core::Dist2DGraph& g, Gid root_original,
       }
     }
     g.world().allreduce(std::span<std::int64_t>(stats, 2), comm::ReduceOp::kSum);
+    superstep.set_value(stats[0]);
     if (stats[0] == 0) break;
     result.depth = cur + 1;
 

@@ -40,6 +40,7 @@ CcResult connected_components(core::Dist2DGraph& g, const CcOptions& options) {
   bool queue_live = false;  // becomes true once sparse && vertex_queue
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
+    auto superstep = g.world().superstep_span("cc");
     VertexQueue updated(lids.n_total());
     std::int64_t local_writes = 0;
     std::int64_t kernel_vertices = 0;
@@ -118,6 +119,7 @@ CcResult connected_components(core::Dist2DGraph& g, const CcOptions& options) {
                            options.push ? Direction::kPush : Direction::kPull);
     }
     g.world().allreduce(std::span<std::int64_t>(counts, 2), comm::ReduceOp::kSum);
+    superstep.set_value(counts[1]);
     result.iterations = iter + 1;
     if (counts[0] == 0) break;  // no kernel wrote anywhere: fixpoint
 

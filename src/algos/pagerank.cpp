@@ -42,6 +42,8 @@ std::pair<int, double> pagerank_loop(core::Dist2DGraph& g, std::vector<double>& 
   double delta = 0.0;
   int it = 0;
   for (; it < max_iterations; ++it) {
+    // Dense pull PageRank touches every vertex each superstep.
+    auto superstep = g.world().superstep_span("pagerank", g.n());
     std::fill(acc.begin(), acc.end(), 0.0);
     for (Lid v = g.row_lid_begin(); v < g.row_lid_end(); ++v) {
       double sum = 0.0;

@@ -49,25 +49,87 @@ Comm::Comm(World* world, std::shared_ptr<Group> group, int world_rank)
   group_rank_ = static_cast<int>(it - members.begin());
 }
 
-void Comm::enter_collective() {
+void Comm::attribute_compute(World* world, int rank) {
   const double now = util::thread_cpu_seconds();
   const double dt =
-      (now - world_->cpu_mark_[world_rank_]) * world_->cost_model().compute_scale();
+      (now - world->cpu_mark_[rank]) * world->cost_model().compute_scale();
   if (dt > 0) {
-    world_->vclock_[world_rank_] += dt;
-    world_->comp_s_[world_rank_] += dt;
+    if (auto* rec = world->recorder_) {
+      telemetry::SpanRecord span;
+      span.start_s = world->vclock_[rank];
+      span.end_s = span.start_s + dt;
+      span.rank = rank;
+      span.kind = telemetry::SpanKind::kCompute;
+      span.name = "cpu";
+      span.superstep = rec->current_superstep(rank);
+      rec->record(std::move(span));
+    }
+    world->vclock_[rank] += dt;
+    world->comp_s_[rank] += dt;
   }
+  world->cpu_mark_[rank] = now;
 }
+
+void Comm::enter_collective() { attribute_compute(world_, world_rank_); }
 
 void Comm::exit_collective() {
   world_->cpu_mark_[world_rank_] = util::thread_cpu_seconds();
 }
 
+void Comm::bind_telemetry() {
+  auto* rec = world_->recorder_;
+  if (!rec) return;
+  World* world = world_;
+  const int rank = world_rank_;
+  rec->bind_rank(rank, &world->vclock_[rank],
+                 [world, rank] { attribute_compute(world, rank); });
+}
+
+telemetry::Span Comm::superstep_span(const char* label,
+                                     std::int64_t active_vertices) {
+  auto* rec = world_->recorder_;
+  if (!rec) return {};
+  return rec->open(world_rank_, telemetry::SpanKind::kSuperstep, label,
+                   active_vertices);
+}
+
+telemetry::Span Comm::phase_span(const char* name) {
+  auto* rec = world_->recorder_;
+  if (!rec) return {};
+  return rec->open(world_rank_, telemetry::SpanKind::kPhase, name);
+}
+
 void Comm::advance_clocks(double cost, std::uint64_t bytes, std::uint64_t msgs,
-                          const char* op) {
+                          CollectiveOp op) {
   double t = 0.0;
   for (const int m : group_->members()) t = std::max(t, world_->vclock_[m]);
   t += cost;
+  if (auto* rec = world_->recorder_) {
+    // One collective span per member track. The leader writes into peers'
+    // buffers while they are parked between the collective's barriers (the
+    // same ordering that legitimizes the vclock writes below). A member's
+    // span starts at its own clock, so time spent waiting for slower peers
+    // is visible as span length — that skew is the load imbalance the
+    // paper's balance figures measure.
+    for (const int m : group_->members()) {
+      telemetry::SpanRecord span;
+      span.start_s = world_->vclock_[m];
+      span.end_s = t;
+      span.rank = m;
+      span.kind = telemetry::SpanKind::kCollective;
+      span.name = to_string(op);
+      span.bytes = bytes;
+      span.group_size = size();
+      span.superstep = rec->current_superstep(m);
+      rec->record(std::move(span));
+    }
+    auto& metrics = rec->metrics();
+    const char* op_name = to_string(op);
+    metrics.counter(std::string("bytes.") + op_name).add(bytes);
+    metrics.counter(std::string("collectives.") + op_name).increment();
+    metrics.counter("messages.collective").add(msgs);
+    metrics.histogram("collective.bytes").observe(bytes);
+  }
   for (const int m : group_->members()) {
     world_->comm_s_[m] += t - world_->vclock_[m];
     world_->vclock_[m] = t;
@@ -88,7 +150,7 @@ void Comm::barrier() {
   if (leader()) {
     // A barrier is an allreduce of nothing: latency-only.
     advance_clocks(world_->cost_model().allreduce(group_->link(), 0), 0,
-                   static_cast<std::uint64_t>(2 * (size() - 1)), "barrier");
+                   static_cast<std::uint64_t>(2 * (size() - 1)), CollectiveOp::kBarrier);
   }
   group_->barrier_.arrive_and_wait();
   exit_collective();
@@ -123,7 +185,7 @@ Comm Comm::split(int color, int key) {
         world_->cost_model().allgather(group_->link(),
                                        static_cast<std::size_t>(size()) * 8),
         static_cast<std::uint64_t>(size()) * 8,
-        static_cast<std::uint64_t>(size() - 1), "split");
+        static_cast<std::uint64_t>(size() - 1), CollectiveOp::kSplit);
   }
   group_->barrier_.arrive_and_wait();
   std::shared_ptr<Group> child;
@@ -139,6 +201,16 @@ Comm Comm::split(int color, int key) {
 }
 
 void Comm::charge_compute(double modeled_seconds) {
+  if (auto* rec = world_->recorder_; rec && modeled_seconds > 0) {
+    telemetry::SpanRecord span;
+    span.start_s = world_->vclock_[world_rank_];
+    span.end_s = span.start_s + modeled_seconds;
+    span.rank = world_rank_;
+    span.kind = telemetry::SpanKind::kCompute;
+    span.name = "kernel";
+    span.superstep = rec->current_superstep(world_rank_);
+    rec->record(std::move(span));
+  }
   world_->vclock_[world_rank_] += modeled_seconds;
   world_->comp_s_[world_rank_] += modeled_seconds;
 }
@@ -148,6 +220,10 @@ void Comm::reset_clocks() {
   world_->vclock_[world_rank_] = 0.0;
   world_->comp_s_[world_rank_] = 0.0;
   world_->comm_s_[world_rank_] = 0.0;
+  if (auto* rec = world_->recorder_) {
+    rec->reset_rank(world_rank_);
+    if (leader()) rec->metrics().reset();
+  }
   if (leader()) {
     world_->bytes_.store(0);
     world_->messages_.store(0);

@@ -41,6 +41,7 @@
 #include "comm/cost_model.hpp"
 #include "comm/stats.hpp"
 #include "comm/topology.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/timer.hpp"
 
 namespace hpcg::comm {
@@ -126,6 +127,9 @@ class World {
 
   Topology topo_;
   CostModel cost_;
+  // Attached by Runtime::run when the caller passes a Recorder; null means
+  // telemetry is off and every hook reduces to one pointer test.
+  telemetry::Recorder* recorder_ = nullptr;
   std::atomic<bool> abort_{false};
   // Indexed by world rank. Each entry is written either by its owner rank
   // (compute attribution, p2p) or by the leader of a collective the owner
@@ -252,18 +256,41 @@ class Comm {
   double comp_time() const { return world_->comp_s_[world_rank_]; }
   double comm_time() const { return world_->comm_s_[world_rank_]; }
 
+  /// The run's telemetry recorder, or null when telemetry is off.
+  telemetry::Recorder* recorder() const { return world_->recorder_; }
+
+  /// Opens a superstep span on this rank's telemetry track (inert when
+  /// telemetry is off). `active_vertices` may be attached now or later via
+  /// Span::set_value once the frontier size is known. Compute/collective
+  /// records made while the span is open are tagged with its index.
+  telemetry::Span superstep_span(const char* label,
+                                 std::int64_t active_vertices = -1);
+
+  /// Opens a named phase span (setup, exchange, ...) on this rank's track.
+  telemetry::Span phase_span(const char* name);
+
+  /// Connects this rank's telemetry track to its virtual clock so RAII
+  /// spans can sample it (no-op when telemetry is off). The runtime calls
+  /// it once per rank thread before the body runs.
+  void bind_telemetry();
+
  private:
   bool leader() const { return group_rank_ == 0; }
   detail::Slot& my_slot() { return group_->slots_[group_rank_]; }
+
+  /// Attributes thread-CPU time since `rank`'s last mark to its compute
+  /// clock (and span track), then re-marks. Static so the telemetry clock
+  /// binding can call it without holding a Comm.
+  static void attribute_compute(World* world, int rank);
 
   /// Phase A bookkeeping: attribute compute time, then rendezvous.
   void enter_collective();
   /// Re-marks CPU time so collective internals are not billed as compute.
   void exit_collective();
   /// Leader only: advance all members to max(clock)+cost, count traffic,
-  /// and record a trace event when tracing is on.
+  /// and record trace events / telemetry spans when enabled.
   void advance_clocks(double cost, std::uint64_t bytes, std::uint64_t msgs,
-                      const char* op);
+                      CollectiveOp op);
 
   World* world_;
   std::shared_ptr<Group> group_;
@@ -311,7 +338,7 @@ void Comm::broadcast(std::span<T> data, int root) {
     const std::size_t bytes = root_slot.count * sizeof(T);
     advance_clocks(world_->cost_model().broadcast(group_->link(), bytes),
                    bytes * (size() - 1), static_cast<std::uint64_t>(size() - 1),
-                   "broadcast");
+                   CollectiveOp::kBroadcast);
   }
   if (group_rank_ != root) {
     std::memcpy(data.data(), root_slot.ptr_a, root_slot.count * sizeof(T));
@@ -348,7 +375,7 @@ void Comm::multi_broadcast(std::span<const BcastSeg<T>> segments) {
     advance_clocks(world_->cost_model().grouped(max_cost, segments.size()),
                    bytes,
                    static_cast<std::uint64_t>(segments.size()) * (size() - 1),
-                   "multi_broadcast");
+                   CollectiveOp::kMultiBroadcast);
   }
   group_->barrier_.arrive_and_wait();
   exit_collective();
@@ -372,7 +399,7 @@ void Comm::allreduce(std::span<T> data, F&& combine) {
     }
     advance_clocks(world_->cost_model().allreduce(group_->link(), bytes),
                    static_cast<std::uint64_t>(bytes) * 2 * (size() - 1) / size(),
-                   static_cast<std::uint64_t>(2 * (size() - 1)), "allreduce");
+                   static_cast<std::uint64_t>(2 * (size() - 1)), CollectiveOp::kAllReduce);
   }
   group_->barrier_.arrive_and_wait();
   std::memcpy(data.data(), group_->scratch_.data(), data.size() * sizeof(T));
@@ -413,7 +440,7 @@ void Comm::reduce(std::span<T> data, int root, ReduceOp op) {
     advance_clocks(
         0.5 * world_->cost_model().allreduce(group_->link(), bytes),
         static_cast<std::uint64_t>(bytes) * (size() - 1) / size(),
-        static_cast<std::uint64_t>(size() - 1), "reduce");
+        static_cast<std::uint64_t>(size() - 1), CollectiveOp::kReduce);
   }
   group_->barrier_.arrive_and_wait();
   if (group_rank_ == root) {
@@ -446,7 +473,7 @@ void Comm::reduce_scatter(std::span<const T> send, std::span<T> recv, ReduceOp o
     // Ring reduce-scatter: half an AllReduce.
     advance_clocks(0.5 * world_->cost_model().allreduce(group_->link(), bytes),
                    static_cast<std::uint64_t>(bytes) * (size() - 1) / size(),
-                   static_cast<std::uint64_t>(size() - 1), "reduce_scatter");
+                   static_cast<std::uint64_t>(size() - 1), CollectiveOp::kReduceScatter);
   }
   group_->barrier_.arrive_and_wait();
   exit_collective();
@@ -472,7 +499,7 @@ void Comm::gather(std::span<const T> send, std::span<T> recv, int root) {
     // Gather-to-root costs a broadcast's traversal in reverse.
     advance_clocks(world_->cost_model().broadcast(group_->link(), total),
                    total * (size() - 1) / size(),
-                   static_cast<std::uint64_t>(size() - 1), "gather");
+                   static_cast<std::uint64_t>(size() - 1), CollectiveOp::kGather);
   }
   group_->barrier_.arrive_and_wait();
   exit_collective();
@@ -495,7 +522,7 @@ void Comm::scatter(std::span<const T> send, std::span<T> recv, int root) {
     const std::size_t total = recv.size() * sizeof(T) * size();
     advance_clocks(world_->cost_model().broadcast(group_->link(), total),
                    total * (size() - 1) / size(),
-                   static_cast<std::uint64_t>(size() - 1), "scatter");
+                   static_cast<std::uint64_t>(size() - 1), CollectiveOp::kScatter);
   }
   group_->barrier_.arrive_and_wait();
   exit_collective();
@@ -519,7 +546,7 @@ void Comm::allgather(std::span<const T> send, std::span<T> recv) {
     const std::size_t total = send.size() * sizeof(T) * size();
     advance_clocks(world_->cost_model().allgather(group_->link(), total),
                    total * (size() - 1) / size(),
-                   static_cast<std::uint64_t>(size() - 1), "allgather");
+                   static_cast<std::uint64_t>(size() - 1), CollectiveOp::kAllGather);
   }
   group_->barrier_.arrive_and_wait();
   exit_collective();
@@ -553,7 +580,7 @@ std::vector<T> Comm::allgatherv(std::span<const T> send,
   if (leader()) {
     advance_clocks(
         world_->cost_model().allgather(group_->link(), total * sizeof(T)),
-        total * sizeof(T), static_cast<std::uint64_t>(size() - 1), "allgatherv");
+        total * sizeof(T), static_cast<std::uint64_t>(size() - 1), CollectiveOp::kAllGatherV);
   }
   group_->barrier_.arrive_and_wait();
   exit_collective();
@@ -618,7 +645,7 @@ std::vector<T> Comm::alltoallv(std::span<const T> send,
       max_rank_bytes = std::max(max_rank_bytes, rank_recv[m] * sizeof(T));
     }
     advance_clocks(world_->cost_model().alltoallv(group_->link(), max_rank_bytes),
-                   total_bytes, msgs, "alltoallv");
+                   total_bytes, msgs, CollectiveOp::kAllToAllV);
   }
   group_->barrier_.arrive_and_wait();
   exit_collective();
@@ -642,6 +669,10 @@ void Comm::send(std::span<const T> data, int dest_world_rank, int tag) {
   world_->comm_s_[world_rank_] += link.alpha_s;
   world_->bytes_.fetch_add(bytes, std::memory_order_relaxed);
   world_->messages_.fetch_add(1, std::memory_order_relaxed);
+  if (auto* rec = world_->recorder_) {
+    rec->metrics().counter("bytes.p2p").add(bytes);
+    rec->metrics().counter("messages.p2p").increment();
+  }
   auto& box = *world_->mailboxes_[dest_world_rank];
   {
     std::lock_guard lock(box.mutex);
@@ -675,6 +706,17 @@ std::vector<T> Comm::recv(int src_world_rank, int tag) {
     }
   }
   const double arrival = std::max(world_->vclock_[world_rank_], msg.ready_vtime);
+  if (auto* rec = world_->recorder_; rec && arrival > world_->vclock_[world_rank_]) {
+    telemetry::SpanRecord span;
+    span.start_s = world_->vclock_[world_rank_];
+    span.end_s = arrival;
+    span.rank = world_rank_;
+    span.kind = telemetry::SpanKind::kCollective;
+    span.name = "p2p.recv";
+    span.bytes = msg.payload.size();
+    span.superstep = rec->current_superstep(world_rank_);
+    rec->record(std::move(span));
+  }
   world_->comm_s_[world_rank_] += arrival - world_->vclock_[world_rank_];
   world_->vclock_[world_rank_] = arrival;
   std::vector<T> out(msg.payload.size() / sizeof(T));

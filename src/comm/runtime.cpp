@@ -12,10 +12,20 @@ namespace hpcg::comm {
 
 RunStats Runtime::run(int nranks, const Topology& topo, const CostModel& cost,
                       const std::function<void(Comm&)>& body) {
+  return run(nranks, topo, cost, /*recorder=*/nullptr, body);
+}
+
+RunStats Runtime::run(int nranks, const Topology& topo, const CostModel& cost,
+                      telemetry::Recorder* recorder,
+                      const std::function<void(Comm&)>& body) {
   if (topo.nranks() != nranks) {
     throw std::invalid_argument("topology rank count != requested rank count");
   }
+  if (recorder && recorder->nranks() != nranks) {
+    throw std::invalid_argument("recorder rank count != requested rank count");
+  }
   World world(topo, cost);
+  world.recorder_ = recorder;
   std::vector<int> members(static_cast<std::size_t>(nranks));
   std::iota(members.begin(), members.end(), 0);
   auto world_group = std::make_shared<Group>(world, std::move(members));
@@ -29,6 +39,7 @@ RunStats Runtime::run(int nranks, const Topology& topo, const CostModel& cost,
     threads.emplace_back([&, r] {
       try {
         Comm comm(&world, world_group, r);
+        comm.bind_telemetry();
         comm.reset_clocks();
         body(comm);
         comm.flush_compute();

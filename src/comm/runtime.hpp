@@ -7,6 +7,7 @@
 
 #include "comm/comm.hpp"
 #include "comm/stats.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hpcg::comm {
 
@@ -16,6 +17,13 @@ class Runtime {
   /// timing/traffic statistics. Rethrows the first rank failure (all other
   /// ranks are aborted, never deadlocked).
   static RunStats run(int nranks, const Topology& topo, const CostModel& cost,
+                      const std::function<void(Comm&)>& body);
+
+  /// As above, with per-rank span tracing and metrics recorded into
+  /// `recorder` (which must outlive the call and have nranks tracks).
+  /// Passing null is identical to the untraced overload.
+  static RunStats run(int nranks, const Topology& topo, const CostModel& cost,
+                      telemetry::Recorder* recorder,
                       const std::function<void(Comm&)>& body);
 
   /// Convenience overload: AiMOS-like topology, default cost parameters.

@@ -13,13 +13,52 @@
 
 namespace hpcg::comm {
 
+/// Every collective operation the communicator implements. Typed (rather
+/// than the raw string the substrate once recorded) so trace events
+/// compare by value, switch exhaustively, and can never dangle.
+enum class CollectiveOp : std::uint8_t {
+  kBarrier,
+  kBroadcast,
+  kMultiBroadcast,
+  kAllReduce,
+  kReduce,
+  kReduceScatter,
+  kGather,
+  kScatter,
+  kAllGather,
+  kAllGatherV,
+  kAllToAllV,
+  kSplit,
+};
+
+constexpr const char* to_string(CollectiveOp op) {
+  switch (op) {
+    case CollectiveOp::kBarrier: return "barrier";
+    case CollectiveOp::kBroadcast: return "broadcast";
+    case CollectiveOp::kMultiBroadcast: return "multi_broadcast";
+    case CollectiveOp::kAllReduce: return "allreduce";
+    case CollectiveOp::kReduce: return "reduce";
+    case CollectiveOp::kReduceScatter: return "reduce_scatter";
+    case CollectiveOp::kGather: return "gather";
+    case CollectiveOp::kScatter: return "scatter";
+    case CollectiveOp::kAllGather: return "allgather";
+    case CollectiveOp::kAllGatherV: return "allgatherv";
+    case CollectiveOp::kAllToAllV: return "alltoallv";
+    case CollectiveOp::kSplit: return "split";
+  }
+  return "?";
+}
+
 /// One collective as the trace records it (leader-side view).
 struct TraceEvent {
   double end_time = 0.0;   // virtual-clock time the group reached
   double cost = 0.0;       // modeled duration of the operation
-  const char* op = "";     // "allreduce", "allgatherv", ...
+  CollectiveOp op = CollectiveOp::kBarrier;
   int group_size = 0;
   std::uint64_t bytes = 0;
+
+  /// Back-compat accessor for string-comparing tests and CSV writers.
+  const char* op_name() const { return to_string(op); }
 };
 
 struct RunStats {

@@ -58,6 +58,14 @@ LidMap make_lid_map(const Partitioned2D& parts, int id_r, int id_c) {
                 parts.col_partition().start(id_c), parts.col_partition().count(id_c));
 }
 
+/// Splits under a telemetry phase span so communicator construction shows
+/// up on the per-rank tracks (the span closes after the split returns).
+comm::Comm split_with_span(comm::Comm& world, int color, int key,
+                           const char* phase) {
+  auto span = world.phase_span(phase);
+  return world.split(color, key);
+}
+
 graph::Csr make_local_csr(const Partitioned2D& parts, const LidMap& lids, int rank) {
   const auto& edges = parts.edges_of(rank);
   const auto& weights = parts.weights_of(rank);
@@ -81,11 +89,14 @@ Dist2DGraph::Dist2DGraph(comm::Comm& world, const Partitioned2D& parts)
       rank_c_(id_r_),  // position within the column group == row index
       lid_map_(make_lid_map(parts, id_r_, id_c_)),
       csr_(make_local_csr(parts, lid_map_, world.rank())),
-      row_comm_(world.split(/*color=*/id_r_, /*key=*/id_c_)),
-      col_comm_(world.split(/*color=*/id_c_, /*key=*/id_r_)) {}
+      row_comm_(split_with_span(world, /*color=*/id_r_, /*key=*/id_c_,
+                                "dist2d.split_row")),
+      col_comm_(split_with_span(world, /*color=*/id_c_, /*key=*/id_r_,
+                                "dist2d.split_col")) {}
 
 const std::vector<std::int64_t>& Dist2DGraph::global_row_degrees() {
   if (!global_degrees_.empty() || lid_map_.n_row() == 0) return global_degrees_;
+  auto span = world_->phase_span("dist2d.global_degrees");
   global_degrees_.resize(static_cast<std::size_t>(lid_map_.n_row()));
   for (Lid v = 0; v < lid_map_.n_row(); ++v) {
     global_degrees_[static_cast<std::size_t>(v)] =

@@ -1,0 +1,337 @@
+#include "telemetry/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hpcg::telemetry {
+
+namespace {
+
+constexpr double kSecondsToUs = 1e6;
+
+void write_escaped(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      case '\r': out << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON DOM parser — only what the reader needs. Recursive descent
+// over the full value grammar; numbers are doubles (exact for the 53-bit
+// integers the writer emits).
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<std::pair<std::string, JsonValue>> object;
+  std::vector<JsonValue> array;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("chrome trace parse error at byte " +
+                             std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      JsonValue v;
+      v.type = JsonValue::Type::kString;
+      v.str = string();
+      return v;
+    }
+    if (consume_literal("true")) {
+      JsonValue v;
+      v.type = JsonValue::Type::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      JsonValue v;
+      v.type = JsonValue::Type::kBool;
+      return v;
+    }
+    if (consume_literal("null")) return {};
+    return number();
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape digit");
+          }
+          // The writer only escapes control characters, so a code point
+          // below 0x80 is all we need to reproduce.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else {
+            fail("non-ASCII \\u escape not supported by this reader");
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+double number_or(const JsonValue& obj, const std::string& key, double fallback) {
+  const JsonValue* v = obj.find(key);
+  return (v && v->type == JsonValue::Type::kNumber) ? v->number : fallback;
+}
+
+std::string string_or(const JsonValue& obj, const std::string& key,
+                      const std::string& fallback) {
+  const JsonValue* v = obj.find(key);
+  return (v && v->type == JsonValue::Type::kString) ? v->str : fallback;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const std::vector<SpanRecord>& spans,
+                        int nranks) {
+  const auto previous_precision = out.precision();
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"nranks\":" << nranks
+      << "},\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) out << ",";
+    first = false;
+    out << "\n";
+  };
+  // Track-naming metadata: one named thread per rank under one process.
+  for (int r = 0; r < nranks; ++r) {
+    sep();
+    out << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << r
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"rank " << r << "\"}}";
+  }
+  for (const auto& span : spans) {
+    sep();
+    out << "{\"ph\":\"X\",\"pid\":0,\"tid\":" << span.rank << ",\"ts\":"
+        << span.start_s * kSecondsToUs
+        << ",\"dur\":" << (span.end_s - span.start_s) * kSecondsToUs
+        << ",\"name\":";
+    write_escaped(out, span.name);
+    out << ",\"cat\":\"" << to_string(span.kind) << "\",\"args\":{\"bytes\":"
+        << span.bytes << ",\"group_size\":" << span.group_size
+        << ",\"value\":" << span.value << ",\"superstep\":" << span.superstep
+        << "}}";
+  }
+  out << "\n]}\n";
+  out.precision(previous_precision);
+}
+
+void write_chrome_trace(std::ostream& out, const Recorder& recorder) {
+  write_chrome_trace(out, recorder.spans(), recorder.nranks());
+}
+
+TraceFile read_chrome_trace(const std::string& json_text) {
+  const JsonValue doc = JsonParser(json_text).parse();
+  if (doc.type != JsonValue::Type::kObject) {
+    throw std::runtime_error("chrome trace: top-level JSON value is not an object");
+  }
+  TraceFile file;
+  if (const JsonValue* other = doc.find("otherData")) {
+    file.nranks = static_cast<int>(number_or(*other, "nranks", 0.0));
+  }
+  const JsonValue* events = doc.find("traceEvents");
+  if (!events || events->type != JsonValue::Type::kArray) {
+    throw std::runtime_error("chrome trace: missing traceEvents array");
+  }
+  int max_tid = -1;
+  for (const JsonValue& event : events->array) {
+    if (event.type != JsonValue::Type::kObject) continue;
+    if (string_or(event, "ph", "") != "X") continue;  // skip metadata events
+    SpanRecord span;
+    span.rank = static_cast<int>(number_or(event, "tid", 0.0));
+    max_tid = std::max(max_tid, span.rank);
+    span.start_s = number_or(event, "ts", 0.0) / kSecondsToUs;
+    span.end_s = span.start_s + number_or(event, "dur", 0.0) / kSecondsToUs;
+    span.name = string_or(event, "name", "");
+    span.kind = span_kind_from_string(string_or(event, "cat", "phase"));
+    if (const JsonValue* args = event.find("args")) {
+      span.bytes = static_cast<std::uint64_t>(number_or(*args, "bytes", 0.0));
+      span.group_size = static_cast<int>(number_or(*args, "group_size", 0.0));
+      span.value = static_cast<std::int64_t>(number_or(*args, "value", -1.0));
+      span.superstep = static_cast<int>(number_or(*args, "superstep", -1.0));
+    }
+    file.spans.push_back(std::move(span));
+  }
+  if (file.nranks == 0) file.nranks = max_tid + 1;
+  return file;
+}
+
+TraceFile read_chrome_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return read_chrome_trace(buffer.str());
+}
+
+}  // namespace hpcg::telemetry

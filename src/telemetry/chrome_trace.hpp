@@ -1,0 +1,42 @@
+// Chrome trace-event exporter and reader.
+//
+// Writes the span stream in the Chrome trace-event JSON object format
+// (load in chrome://tracing or https://ui.perfetto.dev): one complete
+// ("ph":"X") event per span, one track ("tid") per rank, timestamps in
+// microseconds of virtual-clock time. The reader parses the same format
+// back into SpanRecords, which is what the hpcg_trace CLI and the
+// round-trip tests run on.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+
+namespace hpcg::telemetry {
+
+/// Emits a Chrome trace-event JSON document for the given spans.
+/// `nranks` names the per-rank tracks (pass Recorder::nranks()).
+void write_chrome_trace(std::ostream& out, const std::vector<SpanRecord>& spans,
+                        int nranks);
+
+/// Convenience overload over a finished recorder.
+void write_chrome_trace(std::ostream& out, const Recorder& recorder);
+
+/// A trace round-tripped from disk: the spans plus the rank count the
+/// writer recorded in the document's `otherData`.
+struct TraceFile {
+  std::vector<SpanRecord> spans;
+  int nranks = 0;
+};
+
+/// Parses a Chrome trace-event JSON document produced by
+/// `write_chrome_trace` (tolerates extra fields; ignores non-"X" events).
+/// Throws std::runtime_error on malformed JSON.
+TraceFile read_chrome_trace(const std::string& json_text);
+
+/// Reads and parses a trace file from disk.
+TraceFile read_chrome_trace_file(const std::string& path);
+
+}  // namespace hpcg::telemetry

@@ -1,0 +1,30 @@
+#include "telemetry/metrics.hpp"
+
+namespace hpcg::telemetry {
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  Snapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    HistogramData data;
+    data.count = h->count();
+    data.sum = h->sum();
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      const auto n = h->bucket(i);
+      if (n > 0) data.buckets.emplace_back(Histogram::bucket_bound(i), n);
+    }
+    snap.histograms[name] = std::move(data);
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace hpcg::telemetry

@@ -1,0 +1,140 @@
+// Metrics registry: named counters, gauges and histograms shared by all
+// rank threads of a run. Instruments are created on first use and live as
+// long as the registry; updates are atomic, so any rank (or the collective
+// leader acting for the group) can bump them without coordination.
+//
+// The registry deliberately stores plain scalars, not time series — the
+// per-superstep series (active vertices, load-imbalance ratio) are derived
+// from the span stream at export time (see report.hpp), which keeps the
+// hot-path cost of a metric update to one atomic add.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hpcg::telemetry {
+
+/// Monotone event/byte counter.
+class Counter {
+ public:
+  void add(std::uint64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  void increment() { add(1); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written value (e.g. a ratio computed at the end of a run). `max`
+/// keeps the largest value ever set, for high-water-mark style gauges.
+class Gauge {
+ public:
+  void set(double value) {
+    v_.store(value, std::memory_order_relaxed);
+    double prev = max_.load(std::memory_order_relaxed);
+    while (value > prev &&
+           !max_.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  double max() const { return max_.load(std::memory_order_relaxed); }
+  void reset() {
+    v_.store(0.0, std::memory_order_relaxed);
+    max_.store(0.0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Power-of-two bucketed histogram over unsigned values (bucket i counts
+/// observations in [2^(i-1), 2^i), bucket 0 counts zeros) — enough to see
+/// e.g. the collective payload-size distribution without configuration.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 65;
+
+  void observe(std::uint64_t value) {
+    buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Inclusive upper bound of bucket i (0, 1, 2, 4, 8, ...).
+  static std::uint64_t bucket_bound(int i) {
+    return i == 0 ? 0 : (i >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << (i - 1)));
+  }
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+  static int bucket_of(std::uint64_t value) {
+    if (value == 0) return 0;
+    int b = 0;
+    while (value != 0) {
+      value >>= 1;
+      ++b;
+    }
+    return b;  // 1..64
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+class MetricsRegistry {
+ public:
+  /// Instrument lookup-or-create. References stay valid for the registry's
+  /// lifetime (instruments are heap nodes; the map only guards creation).
+  Counter& counter(const std::string& name) { return get(counters_, name); }
+  Gauge& gauge(const std::string& name) { return get(gauges_, name); }
+  Histogram& histogram(const std::string& name) { return get(histograms_, name); }
+
+  /// Point-in-time copy for exporters; safe while ranks keep updating.
+  struct HistogramData {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;  // (bound, n)
+  };
+  struct Snapshot {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramData> histograms;
+  };
+  Snapshot snapshot() const;
+
+  /// Zeroes every instrument (names are kept). Used by Comm::reset_clocks.
+  void reset();
+
+ private:
+  template <class T>
+  T& get(std::map<std::string, std::unique_ptr<T>>& family, const std::string& name) {
+    std::lock_guard lock(mutex_);
+    auto& slot = family[name];
+    if (!slot) slot = std::make_unique<T>();
+    return *slot;
+  }
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace hpcg::telemetry

@@ -1,0 +1,281 @@
+#include "telemetry/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <limits>
+#include <map>
+#include <ostream>
+
+namespace hpcg::telemetry {
+
+namespace {
+
+struct SuperstepAccumulator {
+  std::string label;
+  double start_s = std::numeric_limits<double>::infinity();
+  double end_s = 0.0;
+  std::int64_t active = -1;
+  // Per rank, within this superstep.
+  std::map<int, double> duration;
+  std::map<int, double> comp;
+  std::map<int, double> comm;
+};
+
+}  // namespace
+
+TraceReport analyze(const std::vector<SpanRecord>& spans, int nranks) {
+  TraceReport report;
+  report.nranks = nranks;
+  report.ranks.resize(static_cast<std::size_t>(std::max(nranks, 0)));
+  for (int r = 0; r < nranks; ++r) report.ranks[static_cast<std::size_t>(r)].rank = r;
+
+  std::map<int, SuperstepAccumulator> steps;
+  for (const auto& span : spans) {
+    if (span.rank < 0 || span.rank >= nranks) continue;
+    auto& rank = report.ranks[static_cast<std::size_t>(span.rank)];
+    const double duration = span.end_s - span.start_s;
+    rank.end_s = std::max(rank.end_s, span.end_s);
+    report.makespan_s = std::max(report.makespan_s, span.end_s);
+    switch (span.kind) {
+      case SpanKind::kCompute:
+        rank.comp_s += duration;
+        if (span.superstep >= 0) steps[span.superstep].comp[span.rank] += duration;
+        break;
+      case SpanKind::kCollective:
+        rank.comm_s += duration;
+        if (span.superstep >= 0) steps[span.superstep].comm[span.rank] += duration;
+        break;
+      case SpanKind::kSuperstep: {
+        ++rank.supersteps;
+        auto& acc = steps[span.superstep];
+        if (acc.label.empty()) acc.label = span.name;
+        acc.start_s = std::min(acc.start_s, span.start_s);
+        acc.end_s = std::max(acc.end_s, span.end_s);
+        acc.duration[span.rank] += duration;
+        acc.active = std::max(acc.active, span.value);
+        break;
+      }
+      case SpanKind::kPhase:
+        break;
+    }
+  }
+
+  for (const auto& rank : report.ranks) {
+    report.comp_max_s = std::max(report.comp_max_s, rank.comp_s);
+    report.comm_max_s = std::max(report.comm_max_s, rank.comm_s);
+  }
+
+  std::map<int, int> straggler_votes;
+  double weighted_imbalance = 0.0;
+  double weight = 0.0;
+  for (const auto& [index, acc] : steps) {
+    SuperstepStats stats;
+    stats.index = index;
+    stats.label = acc.label;
+    stats.start_s = acc.start_s;
+    stats.end_s = acc.end_s;
+    stats.active_vertices = acc.active;
+    stats.ranks = static_cast<int>(acc.duration.size());
+    double total = 0.0;
+    for (const auto& [rank, duration] : acc.duration) {
+      total += duration;
+      if (duration > stats.rank_max_s) {
+        stats.rank_max_s = duration;
+        stats.straggler = rank;
+      }
+    }
+    stats.rank_mean_s = stats.ranks > 0 ? total / stats.ranks : 0.0;
+    stats.imbalance =
+        stats.rank_mean_s > 0.0 ? stats.rank_max_s / stats.rank_mean_s : 1.0;
+    for (const auto& [rank, comp] : acc.comp) {
+      stats.comp_max_s = std::max(stats.comp_max_s, comp);
+    }
+    for (const auto& [rank, comm] : acc.comm) {
+      stats.comm_max_s = std::max(stats.comm_max_s, comm);
+    }
+    report.critical_path_s += stats.rank_max_s;
+    report.worst_imbalance = std::max(report.worst_imbalance, stats.imbalance);
+    weighted_imbalance += stats.imbalance * stats.rank_max_s;
+    weight += stats.rank_max_s;
+    if (stats.straggler >= 0) ++straggler_votes[stats.straggler];
+    report.supersteps.push_back(std::move(stats));
+  }
+  if (weight > 0.0) report.mean_imbalance = weighted_imbalance / weight;
+
+  int best_votes = 0;
+  for (const auto& [rank, votes] : straggler_votes) {
+    if (votes > best_votes) {
+      best_votes = votes;
+      report.straggler_rank = rank;
+    }
+  }
+  return report;
+}
+
+void print_report(std::ostream& out, const TraceReport& report,
+                  int max_supersteps) {
+  const auto flags = out.flags();
+  out << std::fixed << std::setprecision(6);
+  out << "ranks: " << report.nranks << ", makespan " << report.makespan_s
+      << " s, comp " << report.comp_max_s << " s, comm " << report.comm_max_s
+      << " s (max over ranks)\n";
+
+  out << "\nper-rank totals:\n";
+  out << "  rank      comp_s      comm_s       end_s  supersteps\n";
+  for (const auto& rank : report.ranks) {
+    out << "  " << std::setw(4) << rank.rank << "  " << std::setw(10)
+        << rank.comp_s << "  " << std::setw(10) << rank.comm_s << "  "
+        << std::setw(10) << rank.end_s << "  " << std::setw(10)
+        << rank.supersteps << "\n";
+  }
+
+  if (!report.supersteps.empty()) {
+    out << "\nper-superstep breakdown (comp/comm = slowest rank inside):\n";
+    out << "  step  label             active    comp_max_s    comm_max_s"
+           "    rank_max_s  imbalance  straggler\n";
+    int printed = 0;
+    for (const auto& step : report.supersteps) {
+      if (max_supersteps > 0 && printed++ >= max_supersteps) {
+        out << "  ... (" << report.supersteps.size() - max_supersteps
+            << " more supersteps)\n";
+        break;
+      }
+      out << "  " << std::setw(4) << step.index << "  " << std::setw(16)
+          << std::left << step.label << std::right << std::setw(8)
+          << step.active_vertices << "  " << std::setw(12) << step.comp_max_s
+          << "  " << std::setw(12) << step.comm_max_s << "  " << std::setw(12)
+          << step.rank_max_s << "  " << std::setprecision(3) << std::setw(9)
+          << step.imbalance << std::setprecision(6) << "  " << std::setw(9)
+          << step.straggler << "\n";
+    }
+    out << "\ncritical path (sum of per-superstep slowest ranks): "
+        << report.critical_path_s << " s\n";
+    out << "load imbalance (max/mean rank time): worst " << std::setprecision(3)
+        << report.worst_imbalance << ", duration-weighted mean "
+        << report.mean_imbalance << "\n";
+    if (report.straggler_rank >= 0) {
+      out << "most frequent straggler: rank " << report.straggler_rank << "\n";
+    }
+  }
+  out.flags(flags);
+}
+
+namespace {
+
+void write_json_escaped(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void write_metrics_json(std::ostream& out, const MetricsRegistry::Snapshot& snap,
+                        const TraceReport& report) {
+  const auto previous_precision = out.precision();
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    write_json_escaped(out, name);
+    out << ": " << value;
+  }
+  out << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    write_json_escaped(out, name);
+    out << ": " << value;
+  }
+  out << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    write_json_escaped(out, name);
+    out << ": {\"count\": " << h.count << ", \"sum\": " << h.sum
+        << ", \"buckets\": [";
+    bool b_first = true;
+    for (const auto& [bound, n] : h.buckets) {
+      if (!b_first) out << ", ";
+      b_first = false;
+      out << "[" << bound << ", " << n << "]";
+    }
+    out << "]}";
+  }
+  out << "\n  },\n  \"run\": {\"nranks\": " << report.nranks
+      << ", \"makespan_s\": " << report.makespan_s
+      << ", \"comp_max_s\": " << report.comp_max_s
+      << ", \"comm_max_s\": " << report.comm_max_s
+      << ", \"critical_path_s\": " << report.critical_path_s
+      << ", \"worst_imbalance\": " << report.worst_imbalance
+      << ", \"mean_imbalance\": " << report.mean_imbalance
+      << ", \"straggler_rank\": " << report.straggler_rank << "},\n";
+  out << "  \"ranks\": [";
+  first = true;
+  for (const auto& rank : report.ranks) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    out << "{\"rank\": " << rank.rank << ", \"comp_s\": " << rank.comp_s
+        << ", \"comm_s\": " << rank.comm_s << ", \"end_s\": " << rank.end_s
+        << ", \"supersteps\": " << rank.supersteps << "}";
+  }
+  out << "\n  ],\n  \"supersteps\": [";
+  first = true;
+  for (const auto& step : report.supersteps) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    out << "{\"index\": " << step.index << ", \"label\": ";
+    write_json_escaped(out, step.label);
+    out << ", \"active_vertices\": " << step.active_vertices
+        << ", \"comp_max_s\": " << step.comp_max_s
+        << ", \"comm_max_s\": " << step.comm_max_s
+        << ", \"rank_max_s\": " << step.rank_max_s
+        << ", \"rank_mean_s\": " << step.rank_mean_s
+        << ", \"imbalance\": " << step.imbalance
+        << ", \"straggler\": " << step.straggler << "}";
+  }
+  out << "\n  ]\n}\n";
+  out.precision(previous_precision);
+}
+
+void write_metrics_csv(std::ostream& out, const MetricsRegistry::Snapshot& snap,
+                       const TraceReport& report) {
+  const auto previous_precision = out.precision();
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << "metric,value\n";
+  for (const auto& [name, value] : snap.counters) {
+    out << "counter." << name << "," << value << "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    out << "gauge." << name << "," << value << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    out << "histogram." << name << ".count," << h.count << "\n";
+    out << "histogram." << name << ".sum," << h.sum << "\n";
+  }
+  out << "run.makespan_s," << report.makespan_s << "\n";
+  out << "run.critical_path_s," << report.critical_path_s << "\n";
+  out << "run.worst_imbalance," << report.worst_imbalance << "\n";
+  out << "run.mean_imbalance," << report.mean_imbalance << "\n";
+  out << "run.straggler_rank," << report.straggler_rank << "\n";
+  for (const auto& rank : report.ranks) {
+    out << "rank." << rank.rank << ".comp_s," << rank.comp_s << "\n";
+    out << "rank." << rank.rank << ".comm_s," << rank.comm_s << "\n";
+  }
+  for (const auto& step : report.supersteps) {
+    out << "superstep." << step.index << ".active_vertices,"
+        << step.active_vertices << "\n";
+    out << "superstep." << step.index << ".rank_max_s," << step.rank_max_s << "\n";
+    out << "superstep." << step.index << ".imbalance," << step.imbalance << "\n";
+  }
+  out.precision(previous_precision);
+}
+
+}  // namespace hpcg::telemetry

@@ -1,0 +1,74 @@
+// Offline analysis over a span stream: per-rank computation/communication
+// totals, per-superstep breakdowns with the load-imbalance ratio
+// (max/mean rank time, the paper's balance metric), straggler
+// identification and the bulk-synchronous critical path. Shared by the
+// hpcg_trace CLI, the metrics exporters and the telemetry tests; works
+// identically on a live Recorder's spans or on a trace read back from
+// disk, so what the CLI prints is exactly what was recorded.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace hpcg::telemetry {
+
+/// Per-rank totals over the whole run.
+struct RankBreakdown {
+  int rank = 0;
+  double comp_s = 0.0;       // sum of compute spans
+  double comm_s = 0.0;       // sum of collective spans (includes waiting)
+  double end_s = 0.0;        // last span end (the rank's modeled finish)
+  int supersteps = 0;
+};
+
+/// One bulk-synchronous superstep, aggregated across ranks.
+struct SuperstepStats {
+  int index = -1;
+  std::string label;
+  double start_s = 0.0;       // earliest rank entry
+  double end_s = 0.0;         // latest rank exit
+  double comp_max_s = 0.0;    // slowest rank's compute inside the superstep
+  double comm_max_s = 0.0;    // slowest rank's collective time inside
+  double rank_max_s = 0.0;    // slowest rank's superstep duration
+  double rank_mean_s = 0.0;   // mean superstep duration over ranks
+  double imbalance = 1.0;     // rank_max_s / rank_mean_s (1.0 = balanced)
+  int straggler = -1;         // rank with the longest superstep duration
+  std::int64_t active_vertices = -1;  // max reported value (-1 = unreported)
+  int ranks = 0;              // ranks that recorded this superstep
+};
+
+struct TraceReport {
+  int nranks = 0;
+  double makespan_s = 0.0;        // max span end over all ranks
+  double comp_max_s = 0.0;        // max per-rank compute total
+  double comm_max_s = 0.0;        // max per-rank collective total
+  double critical_path_s = 0.0;   // sum over supersteps of rank_max_s
+  double mean_imbalance = 1.0;    // superstep-duration-weighted imbalance
+  double worst_imbalance = 1.0;
+  int straggler_rank = -1;        // rank most often the superstep straggler
+  std::vector<RankBreakdown> ranks;
+  std::vector<SuperstepStats> supersteps;
+};
+
+/// Builds the report from a span stream (`nranks` = track count; pass
+/// TraceFile::nranks or Recorder::nranks()).
+TraceReport analyze(const std::vector<SpanRecord>& spans, int nranks);
+
+/// Human-readable report: per-rank table, per-superstep comp/comm split,
+/// imbalance and straggler summary. `max_supersteps` truncates the
+/// superstep table (0 = no limit).
+void print_report(std::ostream& out, const TraceReport& report,
+                  int max_supersteps = 0);
+
+/// Flat metrics export (registry snapshot + derived per-superstep series).
+/// JSON carries the full structure; CSV flattens to `metric,value` rows.
+void write_metrics_json(std::ostream& out, const MetricsRegistry::Snapshot& snap,
+                        const TraceReport& report);
+void write_metrics_csv(std::ostream& out, const MetricsRegistry::Snapshot& snap,
+                       const TraceReport& report);
+
+}  // namespace hpcg::telemetry

@@ -1,0 +1,92 @@
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hpcg::telemetry {
+
+SpanKind span_kind_from_string(const std::string& s) {
+  if (s == "compute") return SpanKind::kCompute;
+  if (s == "collective") return SpanKind::kCollective;
+  if (s == "superstep") return SpanKind::kSuperstep;
+  if (s == "phase") return SpanKind::kPhase;
+  throw std::invalid_argument("unknown span kind: " + s);
+}
+
+void Span::finish() {
+  if (!rec_) return;
+  Recorder* rec = rec_;
+  rec_ = nullptr;
+  data_.end_s = rec->sample_clock(data_.rank);
+  rec->close(std::move(data_));
+}
+
+Recorder::Recorder(int nranks) : per_rank_(static_cast<std::size_t>(nranks)) {}
+
+void Recorder::bind_rank(int rank, const double* vclock,
+                         std::function<void()> flush) {
+  auto& pr = per_rank_[static_cast<std::size_t>(rank)];
+  pr.vclock = vclock;
+  pr.flush = std::move(flush);
+}
+
+double Recorder::sample_clock(int rank) {
+  auto& pr = per_rank_[static_cast<std::size_t>(rank)];
+  if (pr.flush) pr.flush();
+  return pr.vclock ? *pr.vclock : 0.0;
+}
+
+void Recorder::record(SpanRecord span) {
+  per_rank_[static_cast<std::size_t>(span.rank)].spans.push_back(std::move(span));
+}
+
+Span Recorder::open(int rank, SpanKind kind, std::string name, std::int64_t value) {
+  auto& pr = per_rank_[static_cast<std::size_t>(rank)];
+  SpanRecord data;
+  data.rank = rank;
+  data.kind = kind;
+  data.name = std::move(name);
+  data.value = value;
+  data.start_s = sample_clock(rank);
+  if (kind == SpanKind::kSuperstep) {
+    data.superstep = pr.next_superstep++;
+    pr.current = data.superstep;
+  } else {
+    data.superstep = pr.current;
+  }
+  return Span(this, std::move(data));
+}
+
+void Recorder::close(SpanRecord data) {
+  auto& pr = per_rank_[static_cast<std::size_t>(data.rank)];
+  if (data.kind == SpanKind::kSuperstep && pr.current == data.superstep) {
+    pr.current = -1;
+  }
+  pr.spans.push_back(std::move(data));
+}
+
+void Recorder::reset_rank(int rank) {
+  auto& pr = per_rank_[static_cast<std::size_t>(rank)];
+  pr.spans.clear();
+  pr.next_superstep = 0;
+  pr.current = -1;
+}
+
+std::vector<SpanRecord> Recorder::spans() const {
+  std::vector<SpanRecord> all;
+  std::size_t total = 0;
+  for (const auto& pr : per_rank_) total += pr.spans.size();
+  all.reserve(total);
+  for (const auto& pr : per_rank_) {
+    all.insert(all.end(), pr.spans.begin(), pr.spans.end());
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     if (a.rank != b.rank) return a.rank < b.rank;
+                     if (a.start_s != b.start_s) return a.start_s < b.start_s;
+                     return a.end_s > b.end_s;  // parents before children
+                   });
+  return all;
+}
+
+}  // namespace hpcg::telemetry

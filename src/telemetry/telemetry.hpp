@@ -1,0 +1,180 @@
+// Per-rank span tracing: the observability core of the simulator.
+//
+// A `Recorder` owns one append-only span buffer per rank. Spans carry
+// virtual-clock start/end times (the same modeled clock RunStats reports),
+// so a recorded run can be dissected offline into per-superstep
+// computation/communication splits, straggler ranks and critical paths —
+// the per-rank breakdowns the paper's Figures 3–8 are built from.
+//
+// Ownership and threading contract:
+//   * each rank thread appends to its own buffer (no lock);
+//   * the leader of a collective appends the collective's span to every
+//     member's buffer during phase B, when members are parked between the
+//     collective's two barriers — the same happens-before argument that
+//     makes the runtime's virtual-clock writes safe covers span buffers
+//     and the per-rank superstep cursor;
+//   * `spans()` / exporters may only run after the rank threads joined.
+//
+// Everything is inert until a Recorder is attached to a run
+// (Runtime::run(..., &recorder)); with no recorder attached the hooks are
+// a single null-pointer test, so an untraced run is unchanged (see
+// test_telemetry.cpp's bit-identical regression test).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace hpcg::telemetry {
+
+/// What a span measures. Compute and collective spans are emitted by the
+/// runtime hooks; superstep and phase spans are opened by algorithm code.
+enum class SpanKind : std::uint8_t {
+  kCompute,     // modeled kernel time or attributed thread-CPU time
+  kCollective,  // one collective, including time spent waiting for peers
+  kSuperstep,   // one bulk-synchronous iteration of an algorithm
+  kPhase,       // any other labeled region (setup, exchange, ...)
+};
+
+constexpr const char* to_string(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kCompute: return "compute";
+    case SpanKind::kCollective: return "collective";
+    case SpanKind::kSuperstep: return "superstep";
+    case SpanKind::kPhase: return "phase";
+  }
+  return "?";
+}
+
+/// Parses an exporter category string back into a kind (trace round-trip).
+SpanKind span_kind_from_string(const std::string& s);
+
+/// One closed span on one rank's track, in virtual-clock seconds.
+struct SpanRecord {
+  double start_s = 0.0;
+  double end_s = 0.0;
+  int rank = 0;
+  SpanKind kind = SpanKind::kPhase;
+  std::string name;
+  std::uint64_t bytes = 0;     // collective payload bytes (0 otherwise)
+  int group_size = 0;          // collective group size (0 otherwise)
+  std::int64_t value = -1;     // kind-specific: superstep active vertices,
+                               // compute edges touched; -1 = not reported
+  int superstep = -1;          // enclosing superstep index, -1 outside
+};
+
+class Recorder;
+
+/// RAII handle for an open superstep/phase span. Obtained from
+/// Comm::superstep_span / Comm::phase_span (or Recorder::open directly);
+/// closes itself — sampling the rank's virtual clock — on destruction.
+/// A default-constructed Span is inert, which is how the disabled path
+/// stays free of work.
+class Span {
+ public:
+  Span() = default;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept {
+    if (this != &other) {
+      finish();
+      rec_ = other.rec_;
+      data_ = std::move(other.data_);
+      other.rec_ = nullptr;
+    }
+    return *this;
+  }
+  ~Span() { finish(); }
+
+  /// Whether this span is actually recording.
+  explicit operator bool() const { return rec_ != nullptr; }
+
+  /// Attaches a kind-specific measurement (e.g. the superstep's active
+  /// vertex count, once known). No-op on an inert span.
+  void set_value(std::int64_t value) {
+    if (rec_) data_.value = value;
+  }
+
+  /// Superstep index this span was assigned (-1 for inert/phase spans).
+  int superstep() const { return rec_ ? data_.superstep : -1; }
+
+  /// Closes the span now (idempotent; the destructor calls it).
+  void finish();
+
+ private:
+  friend class Recorder;
+  Span(Recorder* rec, SpanRecord data) : rec_(rec), data_(std::move(data)) {}
+
+  Recorder* rec_ = nullptr;
+  SpanRecord data_;
+};
+
+/// Per-rank span buffers plus the run's metrics registry.
+class Recorder {
+ public:
+  explicit Recorder(int nranks);
+
+  int nranks() const { return static_cast<int>(per_rank_.size()); }
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Connects rank `rank` to its virtual clock. `flush` (optional) is
+  /// invoked before each clock sample to attribute pending thread-CPU
+  /// compute time, so span edges land on up-to-date clocks. Installed by
+  /// Runtime::run; unbound ranks sample a clock stuck at zero (unit tests
+  /// that drive the recorder directly pass explicit times instead).
+  void bind_rank(int rank, const double* vclock, std::function<void()> flush);
+
+  /// Attributes pending compute and reads rank's virtual clock.
+  double sample_clock(int rank);
+
+  /// Appends a fully-formed span (explicit times). Safe from the owning
+  /// rank thread, or from a collective leader between the collective's
+  /// barriers (see threading contract above).
+  void record(SpanRecord span);
+
+  /// Opens a RAII span starting at the rank's current virtual clock. For
+  /// kSuperstep the span is assigned the rank's next superstep index and
+  /// nested records are tagged with it until the span closes.
+  Span open(int rank, SpanKind kind, std::string name, std::int64_t value = -1);
+
+  /// Superstep index currently open on `rank`, or -1.
+  int current_superstep(int rank) const { return per_rank_[rank].current; }
+
+  /// Drops rank `rank`'s spans and superstep numbering (Comm::reset_clocks
+  /// calls this so telemetry restarts with the zeroed clocks).
+  void reset_rank(int rank);
+
+  /// All closed spans, ordered by (rank, start, longer-first). Only valid
+  /// once rank threads have joined (or before they start).
+  std::vector<SpanRecord> spans() const;
+
+  /// Spans of one rank, in recording order.
+  const std::vector<SpanRecord>& rank_spans(int rank) const {
+    return per_rank_[rank].spans;
+  }
+
+ private:
+  friend class Span;
+
+  void close(SpanRecord data);
+
+  // Padded so rank threads appending concurrently don't share lines.
+  struct alignas(64) PerRank {
+    std::vector<SpanRecord> spans;
+    const double* vclock = nullptr;
+    std::function<void()> flush;
+    int next_superstep = 0;
+    int current = -1;  // open superstep index, -1 when none
+  };
+
+  std::vector<PerRank> per_rank_;
+  MetricsRegistry metrics_;
+};
+
+}  // namespace hpcg::telemetry

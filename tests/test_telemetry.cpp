@@ -1,0 +1,320 @@
+// Telemetry subsystem: span recording, metrics registry, Chrome-trace
+// round-trip, analysis, and the guarantee that an untraced run is
+// bit-identical to the pre-telemetry (seed) behavior.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algos/cc.hpp"
+#include "algos/pagerank.hpp"
+#include "comm/runtime.hpp"
+#include "core/dist2d.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/report.hpp"
+#include "telemetry/telemetry.hpp"
+#include "test_helpers.hpp"
+
+namespace hc = hpcg::comm;
+namespace ht = hpcg::telemetry;
+
+namespace {
+
+/// Work-proportional cost model: virtual clocks become a pure function of
+/// the work performed, so traced and untraced runs are exactly comparable.
+hc::CostParams deterministic_params() {
+  hc::CostParams params;
+  params.compute_scale = 0.0;
+  params.per_edge_s = 2e-10;
+  params.per_vertex_s = 5e-10;
+  return params;
+}
+
+/// Runs PageRank on a small RMAT over a 2x2 grid with telemetry attached.
+hc::RunStats traced_pagerank(ht::Recorder* recorder, int iterations = 5) {
+  const auto el = hpcg::test::small_rmat(7, 4, 901);
+  const auto parts = hpcg::core::Partitioned2D::build(el, hpcg::core::Grid(2, 2));
+  return hc::Runtime::run(
+      4, hc::Topology::aimos(4), hc::CostModel(deterministic_params()), recorder,
+      [&](hc::Comm& comm) {
+        hpcg::core::Dist2DGraph g(comm, parts);
+        comm.reset_clocks();
+        hpcg::algos::pagerank(g, iterations);
+      });
+}
+
+TEST(TelemetrySpans, NestingAndOrderingPerRank) {
+  ht::Recorder recorder(4);
+  traced_pagerank(&recorder);
+
+  for (int r = 0; r < 4; ++r) {
+    const auto& spans = recorder.rank_spans(r);
+    ASSERT_FALSE(spans.empty()) << "rank " << r << " recorded nothing";
+
+    // Superstep spans: indices are sequential per rank, intervals ordered
+    // and disjoint in virtual time.
+    std::vector<const ht::SpanRecord*> steps;
+    for (const auto& span : spans) {
+      EXPECT_GE(span.end_s, span.start_s);
+      EXPECT_EQ(span.rank, r);
+      if (span.kind == ht::SpanKind::kSuperstep) steps.push_back(&span);
+    }
+    ASSERT_EQ(steps.size(), 5u) << "one superstep per PageRank iteration";
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      EXPECT_EQ(steps[i]->superstep, static_cast<int>(i));
+      EXPECT_EQ(steps[i]->name, "pagerank");
+      if (i > 0) {
+        EXPECT_GE(steps[i]->start_s, steps[i - 1]->end_s);
+      }
+    }
+
+    // Every span tagged with a superstep nests inside that superstep's
+    // interval on the same rank.
+    for (const auto& span : spans) {
+      if (span.kind == ht::SpanKind::kSuperstep || span.superstep < 0) continue;
+      ASSERT_LT(static_cast<std::size_t>(span.superstep), steps.size());
+      const auto* step = steps[static_cast<std::size_t>(span.superstep)];
+      EXPECT_GE(span.start_s, step->start_s);
+      EXPECT_LE(span.end_s, step->end_s);
+    }
+  }
+
+  // The merged view is sorted by (rank, start).
+  const auto all = recorder.spans();
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    const bool ordered = all[i - 1].rank < all[i].rank ||
+                         (all[i - 1].rank == all[i].rank &&
+                          all[i - 1].start_s <= all[i].start_s);
+    EXPECT_TRUE(ordered) << "span " << i << " out of order";
+  }
+}
+
+TEST(TelemetrySpans, CollectivesLandOnEveryMemberTrack) {
+  ht::Recorder recorder(4);
+  hc::Runtime::run(4, hc::Topology::flat(4), hc::CostModel(deterministic_params()),
+                   &recorder, [](hc::Comm& comm) {
+                     std::vector<double> x(64, comm.rank());
+                     comm.allreduce(std::span(x), hc::ReduceOp::kSum);
+                   });
+  for (int r = 0; r < 4; ++r) {
+    int allreduces = 0;
+    for (const auto& span : recorder.rank_spans(r)) {
+      if (span.kind == ht::SpanKind::kCollective && span.name == "allreduce") {
+        ++allreduces;
+        EXPECT_EQ(span.group_size, 4);
+        EXPECT_GT(span.bytes, 0u);
+      }
+    }
+    EXPECT_EQ(allreduces, 1) << "rank " << r;
+  }
+}
+
+TEST(TelemetryMetrics, AggregatesAcrossRanks) {
+  ht::Recorder recorder(8);
+  auto stats = hc::Runtime::run(
+      8, hc::Topology::flat(8), hc::CostModel(deterministic_params()), &recorder,
+      [&](hc::Comm& comm) {
+        recorder.metrics().counter("test.rank_visits").increment();
+        std::vector<std::int64_t> x(32, comm.rank());
+        comm.allreduce(std::span(x), hc::ReduceOp::kSum);
+        comm.barrier();
+      });
+  const auto snap = recorder.metrics().snapshot();
+  EXPECT_EQ(snap.counters.at("test.rank_visits"), 8u);
+  EXPECT_EQ(snap.counters.at("collectives.allreduce"), 1u);
+  EXPECT_EQ(snap.counters.at("collectives.barrier"), 1u);
+  // All traffic in this run came from the allreduce; the registry's
+  // by-op byte counter must agree with the run's global byte counter.
+  EXPECT_EQ(snap.counters.at("bytes.allreduce"), stats.bytes);
+  EXPECT_EQ(snap.histograms.at("collective.bytes").count, 2u);
+}
+
+TEST(TelemetryMetrics, RegistryUnit) {
+  ht::MetricsRegistry registry;
+  registry.counter("c").add(41);
+  registry.counter("c").increment();
+  EXPECT_EQ(registry.counter("c").value(), 42u);
+
+  registry.gauge("g").set(2.5);
+  registry.gauge("g").set(1.5);
+  EXPECT_DOUBLE_EQ(registry.gauge("g").value(), 1.5);
+  EXPECT_DOUBLE_EQ(registry.gauge("g").max(), 2.5);
+
+  registry.histogram("h").observe(0);
+  registry.histogram("h").observe(7);
+  registry.histogram("h").observe(1024);
+  EXPECT_EQ(registry.histogram("h").count(), 3u);
+  EXPECT_EQ(registry.histogram("h").sum(), 1031u);
+
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("c"), 42u);
+  EXPECT_EQ(snap.histograms.at("h").buckets.size(), 3u);
+
+  registry.reset();
+  EXPECT_EQ(registry.counter("c").value(), 0u);
+  EXPECT_EQ(registry.histogram("h").count(), 0u);
+}
+
+TEST(TelemetryChromeTrace, RoundTripPreservesSchema) {
+  ht::Recorder recorder(4);
+  traced_pagerank(&recorder);
+  const auto original = recorder.spans();
+  ASSERT_FALSE(original.empty());
+
+  std::ostringstream out;
+  ht::write_chrome_trace(out, original, recorder.nranks());
+  const auto parsed = ht::read_chrome_trace(out.str());
+
+  EXPECT_EQ(parsed.nranks, 4);
+  ASSERT_EQ(parsed.spans.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const auto& a = original[i];
+    const auto& b = parsed.spans[i];
+    EXPECT_EQ(a.rank, b.rank);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.bytes, b.bytes);
+    EXPECT_EQ(a.group_size, b.group_size);
+    EXPECT_EQ(a.value, b.value);
+    EXPECT_EQ(a.superstep, b.superstep);
+    EXPECT_NEAR(a.start_s, b.start_s, 1e-12);
+    EXPECT_NEAR(a.end_s, b.end_s, 1e-12);
+  }
+
+  // Timestamps are non-negative and monotone per rank track.
+  double last = 0.0;
+  int last_rank = -1;
+  for (const auto& span : parsed.spans) {
+    if (span.rank != last_rank) {
+      last_rank = span.rank;
+      last = 0.0;
+    }
+    EXPECT_GE(span.start_s, 0.0);
+    EXPECT_GE(span.start_s, last);
+    last = span.start_s;
+  }
+}
+
+TEST(TelemetryChromeTrace, ReaderRejectsMalformedJson) {
+  EXPECT_THROW(ht::read_chrome_trace("{\"traceEvents\": ["), std::runtime_error);
+  EXPECT_THROW(ht::read_chrome_trace("[]"), std::runtime_error);
+  EXPECT_THROW(ht::read_chrome_trace("{}"), std::runtime_error);
+}
+
+TEST(TelemetryRegression, UntracedRunIsBitIdenticalToSeedBehavior) {
+  // Seed behavior: the overload without a recorder. Attaching a recorder
+  // must not perturb any modeled quantity, and the no-recorder path must
+  // match it bit for bit (the cost model is fully work-proportional here,
+  // so clocks are a pure function of the computation).
+  const auto baseline = traced_pagerank(nullptr);
+  ht::Recorder recorder(4);
+  const auto traced = traced_pagerank(&recorder);
+  EXPECT_FALSE(recorder.spans().empty());
+
+  ASSERT_EQ(baseline.vclock.size(), traced.vclock.size());
+  for (std::size_t r = 0; r < baseline.vclock.size(); ++r) {
+    EXPECT_EQ(baseline.vclock[r], traced.vclock[r]) << "rank " << r;
+    EXPECT_EQ(baseline.comp_s[r], traced.comp_s[r]) << "rank " << r;
+    EXPECT_EQ(baseline.comm_s[r], traced.comm_s[r]) << "rank " << r;
+  }
+  EXPECT_EQ(baseline.bytes, traced.bytes);
+  EXPECT_EQ(baseline.messages, traced.messages);
+  EXPECT_EQ(baseline.collectives, traced.collectives);
+  EXPECT_EQ(baseline.makespan(), traced.makespan());
+}
+
+TEST(TelemetryAnalysis, FindsStragglerAndImbalance) {
+  ht::Recorder recorder(4);
+  hc::Runtime::run(4, hc::Topology::flat(4), hc::CostModel(deterministic_params()),
+                   &recorder, [](hc::Comm& comm) {
+                     for (int step = 0; step < 3; ++step) {
+                       {
+                         auto span = comm.superstep_span("skewed", 100);
+                         // Rank r computes (r+1) units: rank 3 is always
+                         // the straggler and max/mean = 4 / 2.5 = 1.6.
+                         comm.charge_compute(1e-3 * (comm.rank() + 1));
+                       }
+                       comm.barrier();
+                     }
+                   });
+  const auto report = ht::analyze(recorder.spans(), recorder.nranks());
+  ASSERT_EQ(report.supersteps.size(), 3u);
+  EXPECT_EQ(report.straggler_rank, 3);
+  for (const auto& step : report.supersteps) {
+    EXPECT_EQ(step.label, "skewed");
+    EXPECT_EQ(step.active_vertices, 100);
+    EXPECT_EQ(step.ranks, 4);
+    EXPECT_EQ(step.straggler, 3);
+    EXPECT_NEAR(step.imbalance, 1.6, 0.05);
+    EXPECT_NEAR(step.comp_max_s, 4e-3, 1e-4);
+  }
+  EXPECT_GT(report.critical_path_s, 0.0);
+  EXPECT_LE(report.critical_path_s, report.makespan_s + 1e-12);
+}
+
+TEST(TelemetryAnalysis, SuperstepCompCommSplitCoversAlgorithms) {
+  const auto el = hpcg::test::small_rmat(7, 4, 1203);
+  const auto parts = hpcg::core::Partitioned2D::build(el, hpcg::core::Grid(2, 2));
+  ht::Recorder recorder(4);
+  hc::Runtime::run(4, hc::Topology::aimos(4), hc::CostModel(deterministic_params()),
+                   &recorder, [&](hc::Comm& comm) {
+                     hpcg::core::Dist2DGraph g(comm, parts);
+                     comm.reset_clocks();
+                     hpcg::algos::connected_components(
+                         g, hpcg::algos::CcOptions::all_push());
+                   });
+  const auto report = ht::analyze(recorder.spans(), recorder.nranks());
+  ASSERT_FALSE(report.supersteps.empty());
+  for (const auto& step : report.supersteps) {
+    EXPECT_EQ(step.label, "cc");
+    EXPECT_GT(step.comp_max_s, 0.0);
+    EXPECT_GT(step.comm_max_s, 0.0);
+    EXPECT_GE(step.rank_max_s + 1e-12, step.comp_max_s);
+  }
+  // CC converges: the last supersteps report few updated vertices.
+  EXPECT_GE(report.supersteps.front().active_vertices,
+            report.supersteps.back().active_vertices);
+}
+
+TEST(TelemetryRecorder, ResetClocksDropsPriorSpans) {
+  ht::Recorder recorder(2);
+  hc::Runtime::run(2, hc::Topology::flat(2), hc::CostModel(deterministic_params()),
+                   &recorder, [](hc::Comm& comm) {
+                     {
+                       auto span = comm.phase_span("setup");
+                       comm.barrier();
+                     }
+                     comm.reset_clocks();
+                     comm.barrier();
+                   });
+  std::set<std::string> names;
+  for (const auto& span : recorder.spans()) names.insert(span.name);
+  EXPECT_FALSE(names.contains("setup"));
+  EXPECT_TRUE(names.contains("barrier"));
+}
+
+TEST(TelemetryExport, MetricsJsonAndCsvCarryDerivedSeries) {
+  ht::Recorder recorder(4);
+  traced_pagerank(&recorder);
+  const auto report = ht::analyze(recorder.spans(), recorder.nranks());
+  const auto snap = recorder.metrics().snapshot();
+
+  std::ostringstream json;
+  ht::write_metrics_json(json, snap, report);
+  const std::string j = json.str();
+  EXPECT_NE(j.find("\"counters\""), std::string::npos);
+  EXPECT_NE(j.find("\"supersteps\""), std::string::npos);
+  EXPECT_NE(j.find("\"imbalance\""), std::string::npos);
+  EXPECT_NE(j.find("bytes.allreduce"), std::string::npos);
+
+  std::ostringstream csv;
+  ht::write_metrics_csv(csv, snap, report);
+  const std::string c = csv.str();
+  EXPECT_NE(c.find("metric,value\n"), std::string::npos);
+  EXPECT_NE(c.find("superstep.0.imbalance,"), std::string::npos);
+  EXPECT_NE(c.find("run.critical_path_s,"), std::string::npos);
+}
+
+}  // namespace

@@ -25,10 +25,10 @@ TEST(Trace, RecordsOpsInVirtualTimeOrderPerGroup) {
         comm.barrier();
       });
   ASSERT_EQ(stats.trace.size(), 4u);
-  EXPECT_STREQ(stats.trace[0].op, "allreduce");
-  EXPECT_STREQ(stats.trace[1].op, "broadcast");
-  EXPECT_STREQ(stats.trace[2].op, "allgatherv");
-  EXPECT_STREQ(stats.trace[3].op, "barrier");
+  EXPECT_STREQ(stats.trace[0].op_name(), "allreduce");
+  EXPECT_STREQ(stats.trace[1].op_name(), "broadcast");
+  EXPECT_STREQ(stats.trace[2].op_name(), "allgatherv");
+  EXPECT_STREQ(stats.trace[3].op_name(), "barrier");
   double last = 0.0;
   for (const auto& event : stats.trace) {
     EXPECT_EQ(event.group_size, 4);
@@ -55,7 +55,7 @@ TEST(Trace, DissectsAnAlgorithmsCommPattern) {
         hpcg::algos::pagerank(g, 5);
       });
   std::map<std::string, int> per_op;
-  for (const auto& event : stats.trace) ++per_op[event.op];
+  for (const auto& event : stats.trace) ++per_op[event.op_name()];
   // Dense pull PageRank: one allreduce + one broadcast per iteration per
   // row/column group pair, plus the degree-state exchange (iterations+1
   // of each, and two group instances at 2x2 — leaders of both row groups

@@ -8,6 +8,7 @@
 // Algorithms: bfs, pr, cc, ccsv, mwm, lp, pj, tc, kcore.
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "algos/bfs.hpp"
 #include "algos/cc.hpp"
@@ -26,6 +27,9 @@
 #include "graph/edge_list.hpp"
 #include "graph/io.hpp"
 #include "graph/relabel.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/report.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/options.hpp"
 #include "util/timer.hpp"
 
@@ -54,6 +58,8 @@ int main(int argc, char** argv) {
   const bool verify = options.get_bool("verify", false);
   const bool striped = options.get_bool("striped", true);
   const std::string trace_csv = options.get_string("trace", "");
+  const std::string trace_out = options.get_string("trace-out", "");
+  const std::string metrics_out = options.get_string("metrics-out", "");
   options.check_unknown();
 
   // Input.
@@ -86,9 +92,16 @@ int main(int argc, char** argv) {
   bool passed = true;
   hpcg::comm::CostParams cost_params;
   cost_params.trace = !trace_csv.empty();
+  // Telemetry stays off (null recorder, zero hook cost) unless an output
+  // was requested.
+  std::unique_ptr<hpcg::telemetry::Recorder> recorder;
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    recorder = std::make_unique<hpcg::telemetry::Recorder>(grid.ranks());
+  }
   auto stats = hpcg::comm::Runtime::run(
       grid.ranks(), hpcg::comm::Topology::aimos(grid.ranks()),
-      hpcg::comm::CostModel(cost_params), [&](hpcg::comm::Comm& comm) {
+      hpcg::comm::CostModel(cost_params), recorder.get(),
+      [&](hpcg::comm::Comm& comm) {
     hpcg::core::Dist2DGraph g(comm, parts);
     comm.reset_clocks();
 
@@ -254,11 +267,40 @@ int main(int argc, char** argv) {
     std::ofstream out(trace_csv);
     out << "end_time_s,cost_s,op,group_size,bytes\n";
     for (const auto& event : stats.trace) {
-      out << event.end_time << "," << event.cost << "," << event.op << ","
-          << event.group_size << "," << event.bytes << "\n";
+      out << event.end_time << "," << event.cost << "," << event.op_name()
+          << "," << event.group_size << "," << event.bytes << "\n";
     }
     std::cout << "wrote " << stats.trace.size() << " trace events to "
               << trace_csv << "\n";
+  }
+  if (recorder) {
+    const auto spans = recorder->spans();
+    const auto report = hpcg::telemetry::analyze(spans, recorder->nranks());
+    if (!trace_out.empty()) {
+      std::ofstream out(trace_out);
+      if (!out) return fail("cannot open --trace-out file " + trace_out);
+      hpcg::telemetry::write_chrome_trace(out, spans, recorder->nranks());
+      std::cout << "wrote " << spans.size() << " spans ("
+                << recorder->nranks()
+                << " rank tracks) to " << trace_out
+                << " — load in chrome://tracing or ui.perfetto.dev\n";
+    }
+    if (!metrics_out.empty()) {
+      std::ofstream out(metrics_out);
+      if (!out) return fail("cannot open --metrics-out file " + metrics_out);
+      const auto snap = recorder->metrics().snapshot();
+      if (metrics_out.size() >= 4 &&
+          metrics_out.compare(metrics_out.size() - 4, 4, ".csv") == 0) {
+        hpcg::telemetry::write_metrics_csv(out, snap, report);
+      } else {
+        hpcg::telemetry::write_metrics_json(out, snap, report);
+      }
+      std::cout << "wrote metrics to " << metrics_out << "\n";
+    }
+    std::cout << "telemetry: " << report.supersteps.size()
+              << " supersteps, critical path " << report.critical_path_s
+              << " s, worst imbalance " << report.worst_imbalance
+              << ", straggler rank " << report.straggler_rank << "\n";
   }
   if (verify) {
     std::cout << "verification: " << (passed ? "PASSED" : "FAILED") << "\n";

@@ -1,0 +1,78 @@
+// Trace inspector: loads a Chrome trace-event JSON produced by
+// `hpcg_run --trace-out=...` and prints the per-rank and per-superstep
+// computation/communication breakdown, the load-imbalance ratio
+// (max/mean rank time per superstep), the straggler rank and the
+// bulk-synchronous critical path.
+//
+//   hpcg_trace pr.json
+//   hpcg_trace pr.json --top=12          # truncate the superstep table
+//   hpcg_trace pr.json --csv             # machine-readable superstep rows
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/report.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " <trace.json> [--top=N] [--csv]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  int top = 0;
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.starts_with("--top=")) {
+      try {
+        top = std::stoi(std::string(arg.substr(6)));
+      } catch (const std::exception&) {
+        std::cerr << "error: --top expects an integer, got '" << arg.substr(6)
+                  << "'\n";
+        return 2;
+      }
+    } else if (arg == "--csv") {
+      csv = true;
+    } else if (arg.starts_with("--")) {
+      return usage(argv[0]);
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (path.empty()) return usage(argv[0]);
+
+  hpcg::telemetry::TraceFile trace;
+  try {
+    trace = hpcg::telemetry::read_chrome_trace_file(path);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  const auto report = hpcg::telemetry::analyze(trace.spans, trace.nranks);
+
+  if (csv) {
+    std::cout << "superstep,label,active_vertices,comp_max_s,comm_max_s,"
+                 "rank_max_s,rank_mean_s,imbalance,straggler\n";
+    for (const auto& step : report.supersteps) {
+      std::cout << step.index << "," << step.label << ","
+                << step.active_vertices << "," << step.comp_max_s << ","
+                << step.comm_max_s << "," << step.rank_max_s << ","
+                << step.rank_mean_s << "," << step.imbalance << ","
+                << step.straggler << "\n";
+    }
+    return 0;
+  }
+
+  std::cout << "trace: " << path << " (" << trace.spans.size() << " spans)\n";
+  hpcg::telemetry::print_report(std::cout, report, top);
+  return 0;
+}
