@@ -10,7 +10,8 @@ using core::Lid;
 using core::SparseDirection;
 using core::VertexQueue;
 
-BfsResult bfs(core::Dist2DGraph& g, Gid root_original, const BfsOptions& options) {
+BfsResult bfs(core::Dist2DGraph& g, Gid root_original, const BfsOptions& options,
+              fault::Checkpointer* ckpt) {
   const auto& lids = g.lids();
   const Gid root = g.partition().relabel().to_new(root_original);
 
@@ -35,7 +36,34 @@ BfsResult bfs(core::Dist2DGraph& g, Gid root_original, const BfsOptions& options
   bool bottom_up = false;
   core::MinReduce<std::int64_t> min_reduce;
 
-  for (std::int64_t cur = 0;; ++cur) {
+  std::int64_t start = 0;
+  if (ckpt && ckpt->resume_epoch() >= 0) {
+    ckpt->restore(g.world(), [&](fault::BlobReader& r) {
+      start = r.get<std::int64_t>();
+      result.depth = r.get<std::int64_t>();
+      result.top_down_steps = r.get<int>();
+      result.bottom_up_steps = r.get<int>();
+      m_unvisited = r.get<double>();
+      bottom_up = r.get<std::uint8_t>() != 0;
+      level = r.get_vec<std::int64_t>();
+      frontier.clear();
+      for (const Lid v : r.get_vec<Lid>()) frontier.try_push(v);
+    });
+  }
+
+  for (std::int64_t cur = start;; ++cur) {
+    if (ckpt && ckpt->due(cur)) {
+      ckpt->save(g.world(), cur, [&](fault::BlobWriter& w) {
+        w.put<std::int64_t>(cur);
+        w.put<std::int64_t>(result.depth);
+        w.put<int>(result.top_down_steps);
+        w.put<int>(result.bottom_up_steps);
+        w.put<double>(m_unvisited);
+        w.put<std::uint8_t>(bottom_up ? 1 : 0);
+        w.put_vec(level);
+        w.put_vec(frontier.items());
+      });
+    }
     auto superstep = g.world().superstep_span("bfs");
     // Global frontier statistics (each row group contributes once).
     std::int64_t stats[2] = {0, 0};  // n_frontier, m_frontier

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/dist2d.hpp"
+#include "fault/checkpoint.hpp"
 
 namespace hpcg::algos {
 
@@ -30,8 +31,11 @@ struct BfsResult {
 };
 
 /// Runs BFS from `root` (an *original* vertex id; the striped relabeling is
-/// applied internally). Collective over the graph's grid.
-BfsResult bfs(core::Dist2DGraph& g, Gid root, const BfsOptions& options = {});
+/// applied internally). Collective over the graph's grid. When `ckpt` is
+/// non-null, the full traversal state is snapshotted at superstep
+/// boundaries and restored on entry after a fault-triggered restart.
+BfsResult bfs(core::Dist2DGraph& g, Gid root, const BfsOptions& options = {},
+              fault::Checkpointer* ckpt = nullptr);
 
 /// BFS tracking parents instead of bare levels — the paper's alternative
 /// state choice ("BFS will update parent or level state information", as

@@ -15,7 +15,8 @@ using core::Lid;
 using core::SparseDirection;
 using core::VertexQueue;
 
-CcResult connected_components(core::Dist2DGraph& g, const CcOptions& options) {
+CcResult connected_components(core::Dist2DGraph& g, const CcOptions& options,
+                              fault::Checkpointer* ckpt) {
   const auto& lids = g.lids();
   CcResult result;
   result.label.assign(static_cast<std::size_t>(lids.n_total()), 0);
@@ -39,7 +40,34 @@ CcResult connected_components(core::Dist2DGraph& g, const CcOptions& options) {
   VertexQueue active(lids.n_total());
   bool queue_live = false;  // becomes true once sparse && vertex_queue
 
-  for (int iter = 0; iter < options.max_iterations; ++iter) {
+  int start = 0;
+  if (ckpt && ckpt->resume_epoch() >= 0) {
+    ckpt->restore(g.world(), [&](fault::BlobReader& r) {
+      start = static_cast<int>(r.get<std::int64_t>());
+      result.iterations = r.get<int>();
+      result.dense_iterations = r.get<int>();
+      result.sparse_iterations = r.get<int>();
+      sparse_mode = r.get<std::uint8_t>() != 0;
+      queue_live = r.get<std::uint8_t>() != 0;
+      label = r.get_vec<Gid>();
+      active.clear();
+      for (const Lid v : r.get_vec<Lid>()) active.try_push(v);
+    });
+  }
+
+  for (int iter = start; iter < options.max_iterations; ++iter) {
+    if (ckpt && ckpt->due(iter)) {
+      ckpt->save(g.world(), iter, [&](fault::BlobWriter& w) {
+        w.put<std::int64_t>(iter);
+        w.put<int>(result.iterations);
+        w.put<int>(result.dense_iterations);
+        w.put<int>(result.sparse_iterations);
+        w.put<std::uint8_t>(sparse_mode ? 1 : 0);
+        w.put<std::uint8_t>(queue_live ? 1 : 0);
+        w.put_vec(label);
+        w.put_vec(active.items());
+      });
+    }
     auto superstep = g.world().superstep_span("cc");
     VertexQueue updated(lids.n_total());
     std::int64_t local_writes = 0;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/dist2d.hpp"
+#include "fault/checkpoint.hpp"
 
 namespace hpcg::algos {
 
@@ -48,7 +49,10 @@ struct CcResult {
   int sparse_iterations = 0;
 };
 
-/// Collective over the graph's grid.
-CcResult connected_components(core::Dist2DGraph& g, const CcOptions& options = {});
+/// Collective over the graph's grid. When `ckpt` is non-null, the label
+/// array, mode flags, and active queue are snapshotted at superstep
+/// boundaries and restored on entry after a fault-triggered restart.
+CcResult connected_components(core::Dist2DGraph& g, const CcOptions& options = {},
+                              fault::Checkpointer* ckpt = nullptr);
 
 }  // namespace hpcg::algos

@@ -30,7 +30,7 @@ namespace {
 /// once it falls below. Returns (iterations run, final delta).
 std::pair<int, double> pagerank_loop(core::Dist2DGraph& g, std::vector<double>& pr,
                                      int max_iterations, double damping,
-                                     double tolerance) {
+                                     double tolerance, fault::Checkpointer* ckpt) {
   const auto& lids = g.lids();
   const auto n_total = static_cast<std::size_t>(lids.n_total());
   const double n_global = static_cast<double>(g.n());
@@ -41,7 +41,19 @@ std::pair<int, double> pagerank_loop(core::Dist2DGraph& g, std::vector<double>& 
 
   double delta = 0.0;
   int it = 0;
+  if (ckpt && ckpt->resume_epoch() >= 0) {
+    ckpt->restore(g.world(), [&](fault::BlobReader& r) {
+      it = static_cast<int>(r.get<std::int64_t>());
+      pr = r.get_vec<double>();
+    });
+  }
   for (; it < max_iterations; ++it) {
+    if (ckpt && ckpt->due(it)) {
+      ckpt->save(g.world(), it, [&](fault::BlobWriter& w) {
+        w.put<std::int64_t>(it);
+        w.put_vec(pr);
+      });
+    }
     // Dense pull PageRank touches every vertex each superstep.
     auto superstep = g.world().superstep_span("pagerank", g.n());
     std::fill(acc.begin(), acc.end(), 0.0);
@@ -80,20 +92,22 @@ std::pair<int, double> pagerank_loop(core::Dist2DGraph& g, std::vector<double>& 
 
 }  // namespace
 
-std::vector<double> pagerank(core::Dist2DGraph& g, int iterations, double damping) {
+std::vector<double> pagerank(core::Dist2DGraph& g, int iterations, double damping,
+                             fault::Checkpointer* ckpt) {
   std::vector<double> pr(static_cast<std::size_t>(g.lids().n_total()),
                          1.0 / static_cast<double>(g.n()));
-  pagerank_loop(g, pr, iterations, damping, /*tolerance=*/0.0);
+  pagerank_loop(g, pr, iterations, damping, /*tolerance=*/0.0, ckpt);
   return pr;
 }
 
 PrToleranceResult pagerank_tolerance(core::Dist2DGraph& g, double tolerance,
-                                     int max_iterations, double damping) {
+                                     int max_iterations, double damping,
+                                     fault::Checkpointer* ckpt) {
   PrToleranceResult result;
   result.rank.assign(static_cast<std::size_t>(g.lids().n_total()),
                      1.0 / static_cast<double>(g.n()));
   const auto [iterations, delta] =
-      pagerank_loop(g, result.rank, max_iterations, damping, tolerance);
+      pagerank_loop(g, result.rank, max_iterations, damping, tolerance, ckpt);
   result.iterations = iterations;
   result.final_delta = delta;
   return result;

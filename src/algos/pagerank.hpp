@@ -9,13 +9,17 @@
 #include <vector>
 
 #include "core/dist2d.hpp"
+#include "fault/checkpoint.hpp"
 
 namespace hpcg::algos {
 
 /// Returns the LID-indexed PageRank state (row and column slots are
-/// globally consistent on return). Collective over the graph's grid.
+/// globally consistent on return). Collective over the graph's grid. When
+/// `ckpt` is non-null, the rank vector is snapshotted at superstep
+/// boundaries and restored on entry after a fault-triggered restart.
 std::vector<double> pagerank(core::Dist2DGraph& g, int iterations,
-                             double damping = 0.85);
+                             double damping = 0.85,
+                             fault::Checkpointer* ckpt = nullptr);
 
 /// Library-convenience variant: iterate until the global L1 delta drops
 /// below `tolerance` (or `max_iterations`). The paper benchmarks fixed
@@ -27,7 +31,8 @@ struct PrToleranceResult {
 };
 PrToleranceResult pagerank_tolerance(core::Dist2DGraph& g, double tolerance,
                                      int max_iterations = 1000,
-                                     double damping = 0.85);
+                                     double damping = 0.85,
+                                     fault::Checkpointer* ckpt = nullptr);
 
 /// LID-indexed true vertex degrees (row + ghost slots), computed with one
 /// dense pull exchange. Exposed for reuse by BFS's Beamer heuristics.

@@ -4,6 +4,12 @@
 // ranks blocked in a barrier that can no longer complete observe the flag
 // on their polling wakeups and unwind with `Aborted`, so a failing test
 // never deadlocks the whole process.
+//
+// A configurable wall-clock deadline (World::comm_timeout_s_, read through
+// a pointer so Runtime can set it after group construction) additionally
+// bounds the wait: a peer that stopped participating *without* aborting —
+// an injected silent death — surfaces as `Timeout` on every survivor
+// instead of a hang. Zero (the default) disables the deadline.
 #pragma once
 
 #include <atomic>
@@ -11,17 +17,17 @@
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <string>
+
+#include "comm/errors.hpp"
 
 namespace hpcg::comm {
 
-/// Thrown out of communication calls when the world has been aborted by a
-/// failure on another rank. Caught by the runtime, never by user code.
-struct Aborted {};
-
 class Barrier {
  public:
-  Barrier(int participants, const std::atomic<bool>* abort_flag)
-      : participants_(participants), abort_(abort_flag) {}
+  Barrier(int participants, const std::atomic<bool>* abort_flag,
+          const double* timeout_s = nullptr)
+      : participants_(participants), abort_(abort_flag), timeout_s_(timeout_s) {}
 
   void arrive_and_wait() {
     std::unique_lock lock(mutex_);
@@ -33,15 +39,25 @@ class Barrier {
       cv_.notify_all();
       return;
     }
+    const auto entered = std::chrono::steady_clock::now();
     while (generation_ == my_generation) {
       cv_.wait_for(lock, std::chrono::milliseconds(50));
       if (abort_->load(std::memory_order_relaxed)) throw Aborted{};
+      if (timeout_s_ && *timeout_s_ > 0) {
+        const std::chrono::duration<double> waited =
+            std::chrono::steady_clock::now() - entered;
+        if (waited.count() > *timeout_s_) {
+          throw Timeout("barrier deadline of " + std::to_string(*timeout_s_) +
+                        "s exceeded: a peer rank stopped participating");
+        }
+      }
     }
   }
 
  private:
   const int participants_;
   const std::atomic<bool>* abort_;
+  const double* timeout_s_;
   std::mutex mutex_;
   std::condition_variable cv_;
   int arrived_ = 0;

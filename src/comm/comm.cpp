@@ -11,7 +11,8 @@ Group::Group(World& world, std::vector<int> members)
       members_(std::move(members)),
       link_(make_group_link(world.topology(), members_.data(),
                             static_cast<int>(members_.size()))),
-      barrier_(static_cast<int>(members_.size()), &world.abort_),
+      barrier_(static_cast<int>(members_.size()), &world.abort_,
+               &world.comm_timeout_s_),
       slots_(members_.size()) {}
 
 World::World(Topology topo, CostModel cost)
@@ -87,6 +88,7 @@ void Comm::bind_telemetry() {
 
 telemetry::Span Comm::superstep_span(const char* label,
                                      std::int64_t active_vertices) {
+  fault_superstep();
   auto* rec = world_->recorder_;
   if (!rec) return {};
   return rec->open(world_rank_, telemetry::SpanKind::kSuperstep, label,
@@ -101,6 +103,19 @@ telemetry::Span Comm::phase_span(const char* name) {
 
 void Comm::advance_clocks(double cost, std::uint64_t bytes, std::uint64_t msgs,
                           CollectiveOp op) {
+  if (auto* f = world_->injector_) {
+    // Link degradation: the max over members' active windows scales this
+    // collective's modeled cost. Reading peers' window state here is safe:
+    // phase B is ordered after every member's on_collective by barrier 1.
+    const double mult = f->collective_cost_multiplier(
+        group_->members().data(), size());
+    if (mult != 1.0) {
+      cost *= mult;
+      if (auto* rec = world_->recorder_) {
+        rec->metrics().counter("faults.degraded_collectives").increment();
+      }
+    }
+  }
   double t = 0.0;
   for (const int m : group_->members()) t = std::max(t, world_->vclock_[m]);
   t += cost;
@@ -144,6 +159,7 @@ void Comm::advance_clocks(double cost, std::uint64_t bytes, std::uint64_t msgs,
 }
 
 void Comm::barrier() {
+  fault_collective(CollectiveOp::kBarrier);
   if (size() == 1) return;
   enter_collective();
   group_->barrier_.arrive_and_wait();
@@ -157,6 +173,7 @@ void Comm::barrier() {
 }
 
 Comm Comm::split(int color, int key) {
+  fault_collective(CollectiveOp::kSplit);
   if (size() == 1) {
     // Trivial: the only member keeps a fresh single-rank group.
     return Comm(world_, std::make_shared<Group>(*world_, std::vector<int>{world_rank_}),
@@ -180,6 +197,10 @@ Comm Comm::split(int color, int key) {
       for (const auto& [k, wr] : entries) members.push_back(wr);
       group_->children_.emplace_back(c, std::make_shared<Group>(*world_, std::move(members)));
     }
+    // Each member decrements this after taking its child in phase C; the
+    // last one clears children_ so the parent group does not keep every
+    // child of this split alive for its own lifetime.
+    group_->children_readers_.store(size(), std::memory_order_relaxed);
     // Communicator creation costs one small allgather.
     advance_clocks(
         world_->cost_model().allgather(group_->link(),
@@ -194,6 +215,9 @@ Comm Comm::split(int color, int key) {
       child = g;
       break;
     }
+  }
+  if (group_->children_readers_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    group_->children_.clear();
   }
   exit_collective();
   if (!child) throw std::logic_error("split: leader did not publish my color");
@@ -213,6 +237,114 @@ void Comm::charge_compute(double modeled_seconds) {
   }
   world_->vclock_[world_rank_] += modeled_seconds;
   world_->comp_s_[world_rank_] += modeled_seconds;
+}
+
+namespace {
+
+std::uint64_t fnv1a(const std::byte* data, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<std::uint64_t>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+void Comm::fault_instant(const char* name, std::int64_t value) {
+  auto* rec = world_->recorder_;
+  if (!rec) return;
+  telemetry::SpanRecord span;
+  span.start_s = world_->vclock_[world_rank_];
+  span.end_s = span.start_s;
+  span.rank = world_rank_;
+  span.kind = telemetry::SpanKind::kInstant;
+  span.name = name;
+  span.value = value;
+  span.superstep = rec->current_superstep(world_rank_);
+  rec->record(std::move(span));
+  rec->metrics().counter(std::string("faults.") + name).increment();
+}
+
+void Comm::apply_fault_decision(const FaultDecision& decision,
+                                const char* site) {
+  if (decision.transient_failures > 0) {
+    // Bounded retry with exponential backoff, modeled in virtual time so
+    // the replay cost is visible in the cost model and traces.
+    double backoff = 0.0;
+    double step = decision.backoff_s;
+    for (int a = 0; a < decision.transient_failures; ++a, step *= 2) {
+      backoff += step;
+    }
+    if (auto* rec = world_->recorder_) {
+      telemetry::SpanRecord span;
+      span.start_s = world_->vclock_[world_rank_];
+      span.end_s = span.start_s + backoff;
+      span.rank = world_rank_;
+      span.kind = telemetry::SpanKind::kCollective;
+      span.name = "fault.retry";
+      span.superstep = rec->current_superstep(world_rank_);
+      span.value = decision.transient_failures;
+      rec->record(std::move(span));
+    }
+    world_->vclock_[world_rank_] += backoff;
+    world_->comm_s_[world_rank_] += backoff;
+    fault_instant("transient", decision.transient_failures);
+  }
+  switch (decision.action) {
+    case FaultDecision::Action::kNone:
+      break;
+    case FaultDecision::Action::kCrash:
+      fault_instant("crash");
+      throw RankFailure("injected rank crash on rank " +
+                        std::to_string(world_rank_) + " at " + site);
+    case FaultDecision::Action::kSilent:
+      fault_instant("silent");
+      throw SilentDeath{};
+  }
+}
+
+void Comm::fault_collective(CollectiveOp op) {
+  auto* f = world_->injector_;
+  if (!f) return;
+  apply_fault_decision(
+      f->on_collective(world_rank_, op, world_->vclock_[world_rank_]),
+      to_string(op));
+}
+
+void Comm::fault_superstep() {
+  auto* f = world_->injector_;
+  if (!f) return;
+  apply_fault_decision(
+      f->on_superstep(world_rank_, world_->vclock_[world_rank_]),
+      "superstep");
+}
+
+void Comm::fault_on_send(World::Message& msg, double* cost) {
+  auto* f = world_->injector_;
+  // Checksum covers the payload as intended by the sender; an injected
+  // bit-flip after it models in-flight corruption that recv detects.
+  msg.checksum = fnv1a(msg.payload.data(), msg.payload.size());
+  msg.checked = true;
+  const std::int64_t bit = f->p2p_corrupt_bit(
+      world_rank_, msg.payload.size(), world_->vclock_[world_rank_]);
+  if (bit >= 0 && !msg.payload.empty()) {
+    const std::size_t idx =
+        static_cast<std::size_t>(bit) % (msg.payload.size() * 8);
+    msg.payload[idx / 8] ^= static_cast<std::byte>(1u << (idx % 8));
+    fault_instant("corrupt", static_cast<std::int64_t>(idx));
+  }
+  *cost *= f->p2p_cost_multiplier(world_rank_, world_->vclock_[world_rank_]);
+}
+
+void Comm::fault_verify_payload(const World::Message& msg) const {
+  if (fnv1a(msg.payload.data(), msg.payload.size()) != msg.checksum) {
+    throw CorruptPayload("p2p payload checksum mismatch on rank " +
+                         std::to_string(world_rank_) + " (tag " +
+                         std::to_string(msg.tag) + ", " +
+                         std::to_string(msg.payload.size()) + " bytes)");
+  }
 }
 
 void Comm::reset_clocks() {

@@ -25,6 +25,17 @@
 //                         the next collective's shared writes happen after
 //                         its own barrier 1, which transitively orders them
 //                         after every rank's phase C.
+//
+// Error hierarchy (comm/errors.hpp): every failure a communication call
+// can raise derives from `CommError` — `RankFailure` (a rank crashed),
+// `Timeout` (a blocking wait exceeded the configured deadline; how silent
+// rank death surfaces on survivors), `CorruptPayload` (a p2p payload
+// failed checksum verification on receive). Argument/usage errors remain
+// std::invalid_argument / std::logic_error and are never retried by
+// recovery drivers. Fault injection hooks (comm/fault_hooks.hpp) follow
+// the telemetry design: a null `FaultHooks*` on the World means every
+// injection site is a single pointer test and behaviour is bit-identical
+// to a build without the fault subsystem.
 #pragma once
 
 #include <cstddef>
@@ -39,6 +50,8 @@
 
 #include "comm/barrier.hpp"
 #include "comm/cost_model.hpp"
+#include "comm/errors.hpp"
+#include "comm/fault_hooks.hpp"
 #include "comm/stats.hpp"
 #include "comm/topology.hpp"
 #include "telemetry/telemetry.hpp"
@@ -93,8 +106,11 @@ class Group {
   std::vector<detail::Slot> slots_;
   std::vector<std::byte> scratch_;
   // Children published by the leader during split(); indexed by dense color
-  // index, read by members in phase C.
+  // index, read by members in phase C. The last member to take its child
+  // (counted down via children_readers_) clears the list, so the parent
+  // group does not keep every child of its most recent split alive.
   std::vector<std::pair<int, std::shared_ptr<Group>>> children_;
+  std::atomic<int> children_readers_{0};
 };
 
 /// Global run state shared by all ranks: clocks, traffic counters, topology
@@ -118,6 +134,10 @@ class World {
     int tag;
     std::vector<std::byte> payload;
     double ready_vtime;
+    // Filled by the sender only when a fault injector is attached (keeps
+    // the fault-free path bit-identical); verified by recv when `checked`.
+    std::uint64_t checksum = 0;
+    bool checked = false;
   };
   struct Mailbox {
     std::mutex mutex;
@@ -130,6 +150,13 @@ class World {
   // Attached by Runtime::run when the caller passes a Recorder; null means
   // telemetry is off and every hook reduces to one pointer test.
   telemetry::Recorder* recorder_ = nullptr;
+  // Attached by Runtime::run via RunOptions::faults; null means fault
+  // injection is off and every injection site is one pointer test.
+  FaultHooks* injector_ = nullptr;
+  // Wall-clock deadline for blocking waits (barrier, recv); 0 disables.
+  // Barriers read it through a pointer, so Runtime may set it after the
+  // world group is built.
+  double comm_timeout_s_ = 0.0;
   std::atomic<bool> abort_{false};
   // Indexed by world rank. Each entry is written either by its owner rank
   // (compute attribution, p2p) or by the leader of a collective the owner
@@ -259,6 +286,14 @@ class Comm {
   /// The run's telemetry recorder, or null when telemetry is off.
   telemetry::Recorder* recorder() const { return world_->recorder_; }
 
+  /// The run's fault injector, or null when fault injection is off.
+  FaultHooks* fault_hooks() const { return world_->injector_; }
+
+  /// Number of child groups this communicator still holds from its most
+  /// recent split (diagnostic; 0 once every member has taken its child).
+  /// Only meaningful after a barrier following the split.
+  std::size_t held_child_groups() const { return group_->children_.size(); }
+
   /// Opens a superstep span on this rank's telemetry track (inert when
   /// telemetry is off). `active_vertices` may be attached now or later via
   /// Span::set_value once the frontier size is known. Compute/collective
@@ -291,6 +326,25 @@ class Comm {
   /// and record trace events / telemetry spans when enabled.
   void advance_clocks(double cost, std::uint64_t bytes, std::uint64_t msgs,
                       CollectiveOp op);
+
+  // Fault-injection sites (all single-pointer-test no-ops when no
+  // injector is attached; non-template so the concrete FaultHooks calls
+  // stay in comm.cpp).
+  /// Consults the injector on entry to a collective; models transient
+  /// retry backoff and throws RankFailure / unwinds silently per decision.
+  void fault_collective(CollectiveOp op);
+  /// Consults the injector at a superstep boundary (superstep_span).
+  void fault_superstep();
+  /// Sender-side p2p site: checksums the payload, applies seeded
+  /// corruption and the sender's degradation window to `cost`.
+  void fault_on_send(World::Message& msg, double* cost);
+  /// Receiver-side p2p site: verifies the checksum, throws CorruptPayload.
+  void fault_verify_payload(const World::Message& msg) const;
+  /// Applies one FaultDecision at a call site (shared by the above).
+  void apply_fault_decision(const FaultDecision& decision, const char* site);
+  /// Records a zero-duration telemetry instant + metrics counter for a
+  /// fault event (no-op when telemetry is off).
+  void fault_instant(const char* name, std::int64_t value = -1);
 
   World* world_;
   std::shared_ptr<Group> group_;
@@ -329,6 +383,7 @@ void apply_reduce(ReduceOp op, T* into, const T* from, std::size_t count) {
 template <class T>
 void Comm::broadcast(std::span<T> data, int root) {
   static_assert(std::is_trivially_copyable_v<T>);
+  fault_collective(CollectiveOp::kBroadcast);
   if (size() == 1) return;
   enter_collective();
   my_slot() = {data.data(), nullptr, data.size(), 0, 0};
@@ -350,6 +405,7 @@ void Comm::broadcast(std::span<T> data, int root) {
 template <class T>
 void Comm::multi_broadcast(std::span<const BcastSeg<T>> segments) {
   static_assert(std::is_trivially_copyable_v<T>);
+  fault_collective(CollectiveOp::kMultiBroadcast);
   if (size() == 1) return;
   enter_collective();
   // Publish a pointer to this rank's segment-descriptor array; peers read
@@ -384,6 +440,7 @@ void Comm::multi_broadcast(std::span<const BcastSeg<T>> segments) {
 template <class T, class F>
 void Comm::allreduce(std::span<T> data, F&& combine) {
   static_assert(std::is_trivially_copyable_v<T>);
+  fault_collective(CollectiveOp::kAllReduce);
   if (size() == 1) return;
   enter_collective();
   my_slot() = {data.data(), nullptr, data.size(), 0, 0};
@@ -423,6 +480,7 @@ T Comm::allreduce_one(T value, ReduceOp op) {
 
 template <class T>
 void Comm::reduce(std::span<T> data, int root, ReduceOp op) {
+  fault_collective(CollectiveOp::kReduce);
   if (size() == 1) return;
   enter_collective();
   my_slot() = {data.data(), nullptr, data.size(), 0, 0};
@@ -451,6 +509,7 @@ void Comm::reduce(std::span<T> data, int root, ReduceOp op) {
 
 template <class T>
 void Comm::reduce_scatter(std::span<const T> send, std::span<T> recv, ReduceOp op) {
+  fault_collective(CollectiveOp::kReduceScatter);
   if (size() == 1) {
     std::memcpy(recv.data(), send.data(), recv.size() * sizeof(T));
     return;
@@ -481,6 +540,7 @@ void Comm::reduce_scatter(std::span<const T> send, std::span<T> recv, ReduceOp o
 
 template <class T>
 void Comm::gather(std::span<const T> send, std::span<T> recv, int root) {
+  fault_collective(CollectiveOp::kGather);
   if (size() == 1) {
     std::memcpy(recv.data(), send.data(), send.size() * sizeof(T));
     return;
@@ -507,6 +567,7 @@ void Comm::gather(std::span<const T> send, std::span<T> recv, int root) {
 
 template <class T>
 void Comm::scatter(std::span<const T> send, std::span<T> recv, int root) {
+  fault_collective(CollectiveOp::kScatter);
   if (size() == 1) {
     std::memcpy(recv.data(), send.data(), recv.size() * sizeof(T));
     return;
@@ -531,6 +592,7 @@ void Comm::scatter(std::span<const T> send, std::span<T> recv, int root) {
 template <class T>
 void Comm::allgather(std::span<const T> send, std::span<T> recv) {
   static_assert(std::is_trivially_copyable_v<T>);
+  fault_collective(CollectiveOp::kAllGather);
   if (size() == 1) {
     std::memcpy(recv.data(), send.data(), send.size() * sizeof(T));
     return;
@@ -556,6 +618,7 @@ template <class T>
 std::vector<T> Comm::allgatherv(std::span<const T> send,
                                 std::vector<std::size_t>* counts_out) {
   static_assert(std::is_trivially_copyable_v<T>);
+  fault_collective(CollectiveOp::kAllGatherV);
   if (size() == 1) {
     if (counts_out) *counts_out = {send.size()};
     return std::vector<T>(send.begin(), send.end());
@@ -595,6 +658,7 @@ std::vector<T> Comm::alltoallv(std::span<const T> send,
   if (static_cast<int>(send_counts.size()) != size()) {
     throw std::invalid_argument("alltoallv: send_counts size != comm size");
   }
+  fault_collective(CollectiveOp::kAllToAllV);
   if (size() == 1) {
     if (recv_counts) *recv_counts = {send.size()};
     return std::vector<T>(send.begin(), send.end());
@@ -655,14 +719,24 @@ std::vector<T> Comm::alltoallv(std::span<const T> send,
 template <class T>
 void Comm::send(std::span<const T> data, int dest_world_rank, int tag) {
   static_assert(std::is_trivially_copyable_v<T>);
+  if (dest_world_rank < 0 || dest_world_rank >= world_->nranks()) {
+    throw std::invalid_argument("send: dest world rank " +
+                                std::to_string(dest_world_rank) +
+                                " out of range [0, " +
+                                std::to_string(world_->nranks()) + ")");
+  }
+  if (tag < 0) {
+    throw std::invalid_argument("send: negative tag " + std::to_string(tag));
+  }
   enter_collective();  // attribute compute before the modeled send
   const std::size_t bytes = data.size() * sizeof(T);
   const auto& link = world_->topology().params(world_rank_, dest_world_rank);
-  const double cost = world_->cost_model().p2p(link, bytes);
+  double cost = world_->cost_model().p2p(link, bytes);
   World::Message msg;
   msg.tag = tag;
   msg.payload.resize(bytes);
   std::memcpy(msg.payload.data(), data.data(), bytes);
+  if (world_->injector_) fault_on_send(msg, &cost);
   msg.ready_vtime = world_->vclock_[world_rank_] + cost;
   // Sender pays the latency portion (eager send).
   world_->vclock_[world_rank_] += link.alpha_s;
@@ -685,12 +759,21 @@ void Comm::send(std::span<const T> data, int dest_world_rank, int tag) {
 template <class T>
 std::vector<T> Comm::recv(int src_world_rank, int tag) {
   static_assert(std::is_trivially_copyable_v<T>);
-  (void)src_world_rank;  // mailbox is per destination; tag disambiguates
+  if (src_world_rank < 0 || src_world_rank >= world_->nranks()) {
+    throw std::invalid_argument("recv: src world rank " +
+                                std::to_string(src_world_rank) +
+                                " out of range [0, " +
+                                std::to_string(world_->nranks()) + ")");
+  }
+  if (tag < 0) {
+    throw std::invalid_argument("recv: negative tag " + std::to_string(tag));
+  }
   enter_collective();
   auto& box = *world_->mailboxes_[world_rank_];
   World::Message msg;
   {
     std::unique_lock lock(box.mutex);
+    const auto entered = std::chrono::steady_clock::now();
     for (;;) {
       if (world_->abort_.load(std::memory_order_relaxed)) throw Aborted{};
       auto it = box.queue.begin();
@@ -702,9 +785,18 @@ std::vector<T> Comm::recv(int src_world_rank, int tag) {
         box.queue.erase(it);
         break;
       }
+      if (const double deadline = world_->comm_timeout_s_; deadline > 0) {
+        const std::chrono::duration<double> waited =
+            std::chrono::steady_clock::now() - entered;
+        if (waited.count() > deadline) {
+          throw Timeout("recv deadline of " + std::to_string(deadline) +
+                        "s exceeded waiting on tag " + std::to_string(tag));
+        }
+      }
       box.cv.wait_for(lock, std::chrono::milliseconds(50));
     }
   }
+  if (msg.checked) fault_verify_payload(msg);
   const double arrival = std::max(world_->vclock_[world_rank_], msg.ready_vtime);
   if (auto* rec = world_->recorder_; rec && arrival > world_->vclock_[world_rank_]) {
     telemetry::SpanRecord span;

@@ -1,0 +1,59 @@
+// Typed failure hierarchy of the communication layer.
+//
+// Every error a communication call can raise derives from `CommError`, so
+// recovery drivers (fault::Runtime::run_with_recovery) can distinguish
+// "a rank / the fabric failed — restarting from a checkpoint may help"
+// from programming errors (std::logic_error, std::invalid_argument), which
+// always propagate:
+//
+//   CommError
+//   ├── RankFailure     a rank crashed (injected or unrecoverable)
+//   ├── Timeout         a blocking call exceeded the configured deadline
+//   │                   (how silent rank death surfaces on survivors)
+//   └── CorruptPayload  a p2p payload failed checksum verification
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hpcg::comm {
+
+/// Root of the communication-failure hierarchy. Retryable by a recovery
+/// driver; never used for argument/usage errors.
+class CommError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A rank died mid-run: an injected crash fault, or any condition that
+/// makes the rank unable to continue participating in collectives.
+class RankFailure : public CommError {
+ public:
+  using CommError::CommError;
+};
+
+/// A blocking communication call (barrier wait, recv) exceeded the
+/// configured wall-clock deadline — the signature of a peer that stopped
+/// participating without aborting (silent death).
+class Timeout : public CommError {
+ public:
+  using CommError::CommError;
+};
+
+/// A point-to-point payload failed checksum verification on receive.
+class CorruptPayload : public CommError {
+ public:
+  using CommError::CommError;
+};
+
+/// Thrown out of communication calls when the world has been aborted by a
+/// failure on another rank. Caught by the runtime, never by user code.
+struct Aborted {};
+
+/// Internal control-flow type for an injected *silent* rank death: the
+/// faulted rank unwinds without setting the world abort flag, so peers
+/// keep waiting until their deadline fires and surfaces as `Timeout`.
+/// Caught by the runtime; never escapes Runtime::run.
+struct SilentDeath {};
+
+}  // namespace hpcg::comm

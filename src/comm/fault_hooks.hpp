@@ -1,0 +1,82 @@
+// Fault-injection hook interface consulted by the communicator.
+//
+// Mirrors the telemetry design: a `FaultHooks*` attached to the World is
+// null by default, so every injection site in the fault-free path reduces
+// to a single pointer test and the modeled timing/traffic is bit-identical
+// to a build without the subsystem. The concrete implementation
+// (`fault::FaultInjector`) lives in src/fault/ and is handed to
+// `Runtime::run` via `RunOptions::faults`; keeping only this abstract
+// interface in the comm layer avoids a comm -> fault library cycle
+// (hpcg_fault links hpcg_comm for the checkpoint/recovery machinery).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "comm/stats.hpp"
+
+namespace hpcg::comm {
+
+/// What the comm layer should do about one communication operation on one
+/// rank. Produced by FaultHooks; applied inside Comm at the injection site.
+struct FaultDecision {
+  enum class Action : std::uint8_t {
+    kNone,    // proceed normally
+    kCrash,   // throw RankFailure out of the call site
+    kSilent,  // unwind the rank quietly; peers surface Timeout
+  };
+  Action action = Action::kNone;
+  /// Transient collective failure: number of failed attempts to model
+  /// before the operation succeeds. Each attempt a charges
+  /// backoff_s * 2^a of virtual comm time to the faulted rank.
+  int transient_failures = 0;
+  double backoff_s = 0.0;
+};
+
+class FaultHooks {
+ public:
+  virtual ~FaultHooks() = default;
+
+  /// Called by rank `rank` on entry to every collective (before the
+  /// protocol's first barrier). Advances the rank's collective sequence
+  /// counter; the decision is applied at the call site.
+  virtual FaultDecision on_collective(int rank, CollectiveOp op,
+                                      double vtime) = 0;
+
+  /// Called when a rank opens a superstep span (once per superstep).
+  /// Advances the rank's superstep counter.
+  virtual FaultDecision on_superstep(int rank, double vtime) = 0;
+
+  /// Called by the collective leader in phase B: the cost multiplier to
+  /// apply to this collective (max over members' active degradation
+  /// windows; 1.0 when none). Reading peers' window state is safe because
+  /// phase B is ordered after every member's on_collective by barrier 1.
+  virtual double collective_cost_multiplier(const int* members,
+                                            int count) = 0;
+
+  /// Cost multiplier for a p2p message sent by `src` (sender's active
+  /// degradation window only — peers' state is not touched off-thread).
+  virtual double p2p_cost_multiplier(int src, double vtime) = 0;
+
+  /// Called by the sender for every p2p message. Advances the rank's p2p
+  /// sequence counter. Returns the bit index to flip in the payload (a
+  /// seeded, deterministic choice) or -1 to leave it intact.
+  virtual std::int64_t p2p_corrupt_bit(int src, std::size_t payload_bytes,
+                                       double vtime) = 0;
+
+  /// Reset per-rank sequence counters at the start of a (re)run attempt.
+  /// Fired faults stay consumed across attempts, so a crash replayed from
+  /// a checkpoint does not re-fire.
+  virtual void begin_run() = 0;
+
+  /// Realign `rank`'s superstep counter after a checkpoint restore so that
+  /// the next on_superstep call reports `next_superstep`.
+  virtual void resume_superstep(int rank, std::int64_t next_superstep) = 0;
+
+  /// True when the plan contains faults (silent death) that require a
+  /// wall-clock deadline to surface; Runtime::run applies a default
+  /// comm timeout when the caller did not configure one.
+  virtual bool wants_deadline() const = 0;
+};
+
+}  // namespace hpcg::comm

@@ -18,6 +18,15 @@ RunStats Runtime::run(int nranks, const Topology& topo, const CostModel& cost,
 RunStats Runtime::run(int nranks, const Topology& topo, const CostModel& cost,
                       telemetry::Recorder* recorder,
                       const std::function<void(Comm&)>& body) {
+  RunOptions options;
+  options.recorder = recorder;
+  return run(nranks, topo, cost, options, body);
+}
+
+RunStats Runtime::run(int nranks, const Topology& topo, const CostModel& cost,
+                      const RunOptions& options,
+                      const std::function<void(Comm&)>& body) {
+  telemetry::Recorder* recorder = options.recorder;
   if (topo.nranks() != nranks) {
     throw std::invalid_argument("topology rank count != requested rank count");
   }
@@ -26,6 +35,14 @@ RunStats Runtime::run(int nranks, const Topology& topo, const CostModel& cost,
   }
   World world(topo, cost);
   world.recorder_ = recorder;
+  world.injector_ = options.faults;
+  world.comm_timeout_s_ = options.comm_timeout_s;
+  if (options.faults) {
+    options.faults->begin_run();
+    if (world.comm_timeout_s_ <= 0 && options.faults->wants_deadline()) {
+      world.comm_timeout_s_ = RunOptions::kDefaultFaultTimeoutS;
+    }
+  }
   std::vector<int> members(static_cast<std::size_t>(nranks));
   std::iota(members.begin(), members.end(), 0);
   auto world_group = std::make_shared<Group>(world, std::move(members));
@@ -45,6 +62,11 @@ RunStats Runtime::run(int nranks, const Topology& topo, const CostModel& cost,
         comm.flush_compute();
       } catch (const Aborted&) {
         // Another rank failed first; unwind quietly.
+      } catch (const SilentDeath&) {
+        // Injected silent death: this rank stops participating without
+        // raising the abort flag, so survivors keep waiting until their
+        // deadline fires and surfaces as Timeout — the scenario the
+        // configurable comm timeout exists to bound.
       } catch (...) {
         {
           std::lock_guard lock(error_mutex);

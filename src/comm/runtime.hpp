@@ -6,10 +6,26 @@
 #include <functional>
 
 #include "comm/comm.hpp"
+#include "comm/fault_hooks.hpp"
 #include "comm/stats.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace hpcg::comm {
+
+/// Optional attachments for one run. Defaults reproduce the plain
+/// overloads exactly: no telemetry, no fault injection, no deadline.
+struct RunOptions {
+  telemetry::Recorder* recorder = nullptr;
+  /// Fault injector consulted at every communication site; null = off.
+  FaultHooks* faults = nullptr;
+  /// Wall-clock deadline (seconds) for blocking waits (barrier, recv);
+  /// 0 disables. When a fault plan needs a deadline to surface silent
+  /// death (FaultHooks::wants_deadline) and none is set, a default of
+  /// RunOptions::kDefaultFaultTimeoutS is applied.
+  double comm_timeout_s = 0.0;
+
+  static constexpr double kDefaultFaultTimeoutS = 10.0;
+};
 
 class Runtime {
  public:
@@ -24,6 +40,13 @@ class Runtime {
   /// Passing null is identical to the untraced overload.
   static RunStats run(int nranks, const Topology& topo, const CostModel& cost,
                       telemetry::Recorder* recorder,
+                      const std::function<void(Comm&)>& body);
+
+  /// Fully-optioned overload: telemetry, fault injection, deadlines. An
+  /// injected silent death unwinds its rank without aborting the world;
+  /// survivors surface `Timeout` once the deadline passes.
+  static RunStats run(int nranks, const Topology& topo, const CostModel& cost,
+                      const RunOptions& options,
                       const std::function<void(Comm&)>& body);
 
   /// Convenience overload: AiMOS-like topology, default cost parameters.

@@ -1,0 +1,145 @@
+#include "fault/checkpoint.hpp"
+
+#include <string>
+
+namespace hpcg::fault {
+
+CheckpointStore::CheckpointStore(int nranks) : nranks_(nranks) {
+  if (nranks <= 0) {
+    throw std::invalid_argument("CheckpointStore: nranks must be positive");
+  }
+}
+
+std::int64_t CheckpointStore::latest_committed() const {
+  std::lock_guard lock(mutex_);
+  return latest_committed_;
+}
+
+void CheckpointStore::write(std::int64_t epoch, int rank,
+                            std::vector<std::byte> blob) {
+  if (rank < 0 || rank >= nranks_) {
+    throw std::invalid_argument("CheckpointStore::write: bad rank " +
+                                std::to_string(rank));
+  }
+  std::lock_guard lock(mutex_);
+  if (epoch <= latest_committed_) {
+    throw std::logic_error("CheckpointStore::write: epoch " +
+                           std::to_string(epoch) +
+                           " not past the latest commit " +
+                           std::to_string(latest_committed_));
+  }
+  auto& e = epochs_[epoch];
+  if (e.blobs.empty()) {
+    e.blobs.resize(static_cast<std::size_t>(nranks_));
+    e.present.assign(static_cast<std::size_t>(nranks_), 0);
+  }
+  if (!e.present[static_cast<std::size_t>(rank)]) {
+    e.present[static_cast<std::size_t>(rank)] = 1;
+    ++e.written;
+  }
+  bytes_written_ += blob.size();
+  e.blobs[static_cast<std::size_t>(rank)] = std::move(blob);
+}
+
+void CheckpointStore::commit(std::int64_t epoch) {
+  std::lock_guard lock(mutex_);
+  const auto it = epochs_.find(epoch);
+  if (it == epochs_.end()) {
+    throw std::logic_error("CheckpointStore::commit: unknown epoch " +
+                           std::to_string(epoch));
+  }
+  if (it->second.written != nranks_) {
+    throw std::logic_error("CheckpointStore::commit: epoch " +
+                           std::to_string(epoch) + " has " +
+                           std::to_string(it->second.written) + "/" +
+                           std::to_string(nranks_) + " rank blobs");
+  }
+  it->second.committed = true;
+  latest_committed_ = std::max(latest_committed_, epoch);
+  ++commits_;
+  // Older epochs can never be a recovery point again; keep memory bounded.
+  for (auto e = epochs_.begin(); e != epochs_.end();) {
+    e = e->first < latest_committed_ ? epochs_.erase(e) : std::next(e);
+  }
+}
+
+std::vector<std::byte> CheckpointStore::blob(std::int64_t epoch,
+                                             int rank) const {
+  std::lock_guard lock(mutex_);
+  const auto it = epochs_.find(epoch);
+  if (it == epochs_.end() || !it->second.committed) {
+    throw std::logic_error("CheckpointStore::blob: epoch " +
+                           std::to_string(epoch) + " is not committed");
+  }
+  return it->second.blobs[static_cast<std::size_t>(rank)];
+}
+
+std::int64_t CheckpointStore::commits() const {
+  std::lock_guard lock(mutex_);
+  return commits_;
+}
+
+std::uint64_t CheckpointStore::bytes_written() const {
+  std::lock_guard lock(mutex_);
+  return bytes_written_;
+}
+
+Checkpointer::Checkpointer(CheckpointStore* store, std::int64_t every)
+    : store_(store), every_(every) {
+  // Pin the resume point now: the previous attempt fully unwound before
+  // this one started, so the store is quiescent and every rank of the
+  // attempt observes the same committed epoch.
+  if (store_) resume_ = store_->latest_committed();
+}
+
+void Checkpointer::save(comm::Comm& comm, std::int64_t superstep,
+                        const std::function<void(BlobWriter&)>& serialize) {
+  if (!store_) return;
+  auto span = comm.phase_span("checkpoint.save");
+  BlobWriter writer;
+  serialize(writer);
+  auto blob = writer.take();
+  const std::uint64_t bytes = blob.size();
+  store_->write(superstep, comm.world_rank(), std::move(blob));
+  if (auto* rec = comm.recorder()) {
+    rec->metrics().counter("checkpoint.bytes").add(bytes);
+  }
+  // Commit protocol: every rank's write happens-before the commit, and
+  // the commit happens-before any rank continues into the next superstep.
+  comm.barrier();
+  if (comm.rank() == 0) {
+    store_->commit(superstep);
+    if (auto* rec = comm.recorder()) {
+      rec->metrics().counter("checkpoint.saves").increment();
+    }
+  }
+  comm.barrier();
+  ++saves_;
+}
+
+void Checkpointer::restore(comm::Comm& comm,
+                           const std::function<void(BlobReader&)>& deserialize) {
+  if (!store_ || resume_ < 0) {
+    throw std::logic_error("Checkpointer::restore: no committed checkpoint");
+  }
+  auto span = comm.phase_span("checkpoint.restore");
+  const auto blob = store_->blob(resume_, comm.world_rank());
+  BlobReader reader(blob);
+  deserialize(reader);
+  if (auto* hooks = comm.fault_hooks()) {
+    hooks->resume_superstep(comm.world_rank(), resume_);
+  }
+  if (auto* rec = comm.recorder()) {
+    telemetry::SpanRecord instant;
+    instant.start_s = comm.vclock();
+    instant.end_s = instant.start_s;
+    instant.rank = comm.world_rank();
+    instant.kind = telemetry::SpanKind::kInstant;
+    instant.name = "recovery.restore";
+    instant.value = resume_;
+    rec->record(std::move(instant));
+    rec->metrics().counter("faults.recovery.restore").increment();
+  }
+}
+
+}  // namespace hpcg::fault

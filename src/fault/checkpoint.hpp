@@ -1,0 +1,198 @@
+// Superstep checkpointing: per-rank state snapshots with a globally
+// consistent commit protocol.
+//
+// Algorithms snapshot their rank-local state (frontier/queue contents,
+// labels, distances, PageRank vectors) into an in-memory CheckpointStore
+// at superstep boundaries through a rank-local Checkpointer handle:
+//
+//   if (ckpt && ckpt->due(step)) {
+//     ckpt->save(comm, step, [&](BlobWriter& w) { w.put(step); ... });
+//   }
+//
+// Commit protocol (what makes a checkpoint *globally consistent*): every
+// rank writes its blob for epoch E, then a barrier, then rank 0 marks E
+// committed, then a second barrier. A rank that crashes mid-save leaves E
+// uncommitted, so recovery resumes from the previous committed epoch —
+// the recovery point is a deterministic function of where the fault
+// fired, never of thread scheduling.
+//
+// The store outlives run attempts (it belongs to run_with_recovery); the
+// Checkpointer handle is per rank per attempt and pins the resume epoch
+// at construction, so every rank of an attempt restores the same epoch.
+//
+// One checkpointed loop per store: epochs are the loop's superstep
+// indices and must grow monotonically, so a recovery run checkpoints a
+// single algorithm invocation (exactly what tools/hpcg_run does). Passing
+// the same handle to a second algorithm whose superstep count restarts at
+// zero is rejected loudly by CheckpointStore::write.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "comm/comm.hpp"
+
+namespace hpcg::fault {
+
+/// Appends trivially-copyable values / vectors into a byte blob.
+class BlobWriter {
+ public:
+  template <class T>
+  void put(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const std::byte*>(&value);
+    blob_.insert(blob_.end(), p, p + sizeof(T));
+  }
+
+  template <class T>
+  void put_vec(const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    put<std::uint64_t>(values.size());
+    const auto* p = reinterpret_cast<const std::byte*>(values.data());
+    blob_.insert(blob_.end(), p, p + values.size() * sizeof(T));
+  }
+
+  std::vector<std::byte> take() { return std::move(blob_); }
+
+ private:
+  std::vector<std::byte> blob_;
+};
+
+/// Reads values back in `put` order; throws std::out_of_range on a
+/// truncated or misread blob.
+class BlobReader {
+ public:
+  explicit BlobReader(std::span<const std::byte> blob) : blob_(blob) {}
+
+  template <class T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value;
+    std::memcpy(&value, take(sizeof(T)), sizeof(T));
+    return value;
+  }
+
+  template <class T>
+  std::vector<T> get_vec() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto n = get<std::uint64_t>();
+    std::vector<T> values(static_cast<std::size_t>(n));
+    if (n > 0) std::memcpy(values.data(), take(n * sizeof(T)), n * sizeof(T));
+    return values;
+  }
+
+  std::size_t remaining() const { return blob_.size() - offset_; }
+
+ private:
+  const std::byte* take(std::size_t n) {
+    if (offset_ + n > blob_.size()) {
+      throw std::out_of_range("checkpoint blob truncated: need " +
+                              std::to_string(n) + " bytes, have " +
+                              std::to_string(blob_.size() - offset_));
+    }
+    const std::byte* p = blob_.data() + offset_;
+    offset_ += n;
+    return p;
+  }
+
+  std::span<const std::byte> blob_;
+  std::size_t offset_ = 0;
+};
+
+/// Mutex-guarded epoch -> per-rank blob storage shared by all ranks and
+/// all run attempts. Epochs older than the latest committed one are
+/// pruned on commit, so memory stays bounded at ~2 epochs.
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(int nranks);
+
+  int nranks() const { return nranks_; }
+
+  /// Latest committed (globally consistent) epoch, or -1.
+  std::int64_t latest_committed() const;
+
+  /// Stores rank `rank`'s blob for `epoch` (overwrites a previous write
+  /// of the same attempt; epochs at or below the latest commit are
+  /// rejected as a logic error).
+  void write(std::int64_t epoch, int rank, std::vector<std::byte> blob);
+
+  /// Marks `epoch` committed; requires every rank to have written it.
+  void commit(std::int64_t epoch);
+
+  /// Rank `rank`'s blob of a committed epoch.
+  std::vector<std::byte> blob(std::int64_t epoch, int rank) const;
+
+  std::int64_t commits() const;
+  std::uint64_t bytes_written() const;
+
+ private:
+  struct Epoch {
+    std::vector<std::vector<std::byte>> blobs;
+    std::vector<char> present;  // which ranks have written (blob may be empty)
+    int written = 0;
+    bool committed = false;
+  };
+
+  const int nranks_;
+  mutable std::mutex mutex_;
+  std::map<std::int64_t, Epoch> epochs_;
+  std::int64_t latest_committed_ = -1;
+  std::int64_t commits_ = 0;
+  std::uint64_t bytes_written_ = 0;
+};
+
+/// Rank-local checkpointing handle handed to algorithms. A
+/// default-constructed (or null) Checkpointer is inert: `due` is always
+/// false and `resume_epoch` is -1, so algorithms run unchanged.
+class Checkpointer {
+ public:
+  Checkpointer() = default;
+
+  /// `every` <= 0 disables saving (restore still works if the store has a
+  /// committed epoch — used when recovering without further checkpoints).
+  Checkpointer(CheckpointStore* store, std::int64_t every);
+
+  bool enabled() const { return store_ != nullptr; }
+  std::int64_t interval() const { return every_; }
+
+  /// The committed epoch this attempt resumes from, or -1 for a fresh
+  /// start. Pinned at construction: identical on every rank of an attempt.
+  std::int64_t resume_epoch() const { return resume_; }
+
+  /// True when the algorithm should checkpoint at superstep boundary
+  /// `superstep` (a multiple of the interval, past the resume point).
+  bool due(std::int64_t superstep) const {
+    return store_ != nullptr && every_ > 0 && superstep > resume_ &&
+           superstep % every_ == 0;
+  }
+
+  /// Collective: serializes this rank's state for epoch `superstep`, then
+  /// runs the commit protocol (barrier; rank 0 commits; barrier).
+  void save(comm::Comm& comm, std::int64_t superstep,
+            const std::function<void(BlobWriter&)>& serialize);
+
+  /// Restores this rank's state from the resume epoch (requires
+  /// resume_epoch() >= 0) and realigns the fault injector's superstep
+  /// counter so superstep-keyed triggers stay meaningful on replay.
+  void restore(comm::Comm& comm,
+               const std::function<void(BlobReader&)>& deserialize);
+
+  /// Checkpoints saved through this handle (this rank, this attempt).
+  std::int64_t saves() const { return saves_; }
+
+ private:
+  CheckpointStore* store_ = nullptr;
+  std::int64_t every_ = 0;
+  std::int64_t resume_ = -1;
+  std::int64_t saves_ = 0;
+};
+
+}  // namespace hpcg::fault

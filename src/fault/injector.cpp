@@ -1,0 +1,213 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "util/prng.hpp"
+
+namespace hpcg::fault {
+
+FaultInjector::FaultInjector(FaultPlan plan, int nranks)
+    : plan_(std::move(plan)),
+      specs_(plan_.specs),
+      consumed_(specs_.size(), 0),
+      states_(static_cast<std::size_t>(nranks)) {
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    auto& spec = specs_[i];
+    if (spec.rank < 0) {
+      // 'r?': a seeded, deterministic choice — same (plan, seed, nranks)
+      // always targets the same rank.
+      spec.rank = static_cast<int>(
+          util::splitmix64(plan_.seed ^ util::splitmix64(i + 1)) %
+          static_cast<std::uint64_t>(nranks));
+    }
+    if (spec.rank >= nranks) {
+      throw std::invalid_argument("fault plan: spec '" + spec.describe() +
+                                  "' targets rank " + std::to_string(spec.rank) +
+                                  " but the run has " + std::to_string(nranks) +
+                                  " ranks");
+    }
+  }
+}
+
+void FaultInjector::begin_run() {
+  // Single-threaded: Runtime::run calls this before spawning rank threads.
+  ++runs_;
+  std::fill(states_.begin(), states_.end(), RankState{});
+}
+
+void FaultInjector::resume_superstep(int rank, std::int64_t next_superstep) {
+  // The rank's next on_superstep call increments first, so park one below.
+  states_[static_cast<std::size_t>(rank)].superstep = next_superstep - 1;
+}
+
+bool FaultInjector::wants_deadline() const {
+  for (const auto& spec : specs_) {
+    if (spec.kind == FaultKind::kSilent) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::matches(const FaultSpec& spec, const RankState& state,
+                            double vtime) const {
+  if (spec.superstep >= 0) return spec.superstep == state.superstep;
+  if (spec.collective >= 0) return spec.collective == state.collective_seq;
+  if (spec.vtime >= 0) return vtime >= spec.vtime;
+  return false;  // 'p'-triggered specs fire in p2p_corrupt_bit
+}
+
+void FaultInjector::record_event(FaultKind kind, int rank,
+                                 const RankState& state, double vtime,
+                                 std::int64_t p2p_seq) {
+  fired_[static_cast<std::size_t>(kind)].fetch_add(1,
+                                                   std::memory_order_relaxed);
+  FaultEvent event;
+  event.kind = kind;
+  event.rank = rank;
+  event.collective_seq = p2p_seq >= 0 ? -1 : state.collective_seq;
+  event.p2p_seq = p2p_seq;
+  event.superstep = state.superstep;
+  event.vtime = vtime;
+  std::lock_guard lock(events_mutex_);
+  events_.push_back(event);
+}
+
+comm::FaultDecision FaultInjector::on_collective(int rank,
+                                                 comm::CollectiveOp /*op*/,
+                                                 double vtime) {
+  auto& state = states_[static_cast<std::size_t>(rank)];
+  comm::FaultDecision decision;
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const auto& spec = specs_[i];
+    if (spec.rank != rank || consumed_[i]) continue;
+    if (spec.kind == FaultKind::kCorrupt) continue;
+    if (!matches(spec, state, vtime)) continue;
+    consumed_[i] = 1;
+    record_event(spec.kind, rank, state, vtime, -1);
+    switch (spec.kind) {
+      case FaultKind::kCrash:
+        decision.action = comm::FaultDecision::Action::kCrash;
+        break;
+      case FaultKind::kSilent:
+        decision.action = comm::FaultDecision::Action::kSilent;
+        break;
+      case FaultKind::kTransient:
+        // Bounded retry: a transient demanding more attempts than the
+        // budget escalates to a rank crash after charging the budget.
+        if (spec.count > kMaxTransientRetries) {
+          decision.transient_failures = kMaxTransientRetries;
+          decision.backoff_s = spec.backoff_s;
+          decision.action = comm::FaultDecision::Action::kCrash;
+        } else {
+          decision.transient_failures = spec.count;
+          decision.backoff_s = spec.backoff_s;
+        }
+        break;
+      case FaultKind::kDegrade:
+        state.degrade_factor = spec.factor;
+        state.degrade_until = state.collective_seq + spec.count;
+        break;
+      case FaultKind::kCorrupt:
+        break;  // unreachable
+    }
+    if (decision.action != comm::FaultDecision::Action::kNone) {
+      // A fatal fault ends this rank's run; leave later specs (e.g. a
+      // stacked duplicate crash) unconsumed so they fire on the replay.
+      break;
+    }
+  }
+  ++state.collective_seq;
+  return decision;
+}
+
+comm::FaultDecision FaultInjector::on_superstep(int rank, double vtime) {
+  auto& state = states_[static_cast<std::size_t>(rank)];
+  ++state.superstep;
+  comm::FaultDecision decision;
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const auto& spec = specs_[i];
+    if (spec.rank != rank || consumed_[i]) continue;
+    if (spec.kind != FaultKind::kCrash && spec.kind != FaultKind::kSilent) {
+      continue;  // transient/degrade act on collectives, corrupt on p2p
+    }
+    if (!matches(spec, state, vtime)) continue;
+    consumed_[i] = 1;
+    record_event(spec.kind, rank, state, vtime, -1);
+    decision.action = spec.kind == FaultKind::kCrash
+                          ? comm::FaultDecision::Action::kCrash
+                          : comm::FaultDecision::Action::kSilent;
+    break;  // fatal: later duplicates stay pending for the replay
+  }
+  return decision;
+}
+
+double FaultInjector::collective_cost_multiplier(const int* members,
+                                                 int count) {
+  double mult = 1.0;
+  for (int i = 0; i < count; ++i) {
+    const auto& state = states_[static_cast<std::size_t>(members[i])];
+    // The op in flight has index collective_seq - 1 (on_collective already
+    // advanced the counter); the window is [activation, activation+count).
+    if (state.degrade_until >= 0 &&
+        state.collective_seq - 1 < state.degrade_until) {
+      mult = std::max(mult, state.degrade_factor);
+    }
+  }
+  return mult;
+}
+
+double FaultInjector::p2p_cost_multiplier(int src, double /*vtime*/) {
+  const auto& state = states_[static_cast<std::size_t>(src)];
+  if (state.degrade_until >= 0 &&
+      state.collective_seq - 1 < state.degrade_until) {
+    return state.degrade_factor;
+  }
+  return 1.0;
+}
+
+std::int64_t FaultInjector::p2p_corrupt_bit(int src,
+                                            std::size_t payload_bytes,
+                                            double vtime) {
+  auto& state = states_[static_cast<std::size_t>(src)];
+  const std::int64_t cur = state.p2p_seq++;
+  std::int64_t bit = -1;
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const auto& spec = specs_[i];
+    if (spec.rank != src || consumed_[i]) continue;
+    if (spec.kind != FaultKind::kCorrupt) continue;
+    const bool hit = spec.message >= 0 ? spec.message == cur
+                                       : (spec.vtime >= 0 && vtime >= spec.vtime);
+    if (!hit) continue;
+    consumed_[i] = 1;
+    record_event(spec.kind, src, state, vtime, cur);
+    if (payload_bytes > 0) {
+      // Seeded bit choice: deterministic in (seed, rank, send index).
+      const std::uint64_t h = util::splitmix64(
+          plan_.seed ^
+          util::splitmix64((static_cast<std::uint64_t>(src) << 40) ^
+                           static_cast<std::uint64_t>(cur + 1)));
+      bit = static_cast<std::int64_t>(h % (payload_bytes * 8));
+    }
+  }
+  return bit;
+}
+
+std::vector<FaultEvent> FaultInjector::events() const {
+  std::lock_guard lock(events_mutex_);
+  std::vector<FaultEvent> out = events_;
+  // Appends interleave across rank threads; per-rank order is program
+  // order. Stable-sort by rank for a deterministic view.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.rank < b.rank;
+                   });
+  return out;
+}
+
+std::uint64_t FaultInjector::fired(FaultKind kind) const {
+  return fired_[static_cast<std::size_t>(kind)].load(
+      std::memory_order_relaxed);
+}
+
+}  // namespace hpcg::fault

@@ -1,0 +1,102 @@
+// Concrete fault injector: matches a FaultPlan against per-rank progress
+// counters and tells the comm layer what to break.
+//
+// Threading contract (mirrors the runtime's clock discipline):
+//   * each RankState is written only by its owner rank thread
+//     (on_collective / on_superstep / p2p_corrupt_bit run on the rank);
+//   * collective_cost_multiplier reads peers' degradation windows from the
+//     collective leader in phase B — ordered after every member's
+//     on_collective by the collective's first barrier, so no data race;
+//   * the event log is mutex-guarded (appends from any rank thread);
+//   * fired-fault counters are atomics.
+//
+// Faults are consumed exactly once across the whole injector lifetime:
+// when run_with_recovery replays from a checkpoint, a crash that already
+// fired does not fire again. begin_run() resets the per-rank progress
+// counters for each (re)start; Checkpointer::restore realigns the
+// superstep counter via resume_superstep so superstep-keyed triggers
+// stay meaningful on the replay path.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "comm/fault_hooks.hpp"
+#include "fault/plan.hpp"
+
+namespace hpcg::fault {
+
+/// One fired fault, for determinism tests and run summaries.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  int rank = -1;
+  std::int64_t collective_seq = -1;  // rank's collective index (ops), -1 n/a
+  std::int64_t p2p_seq = -1;         // rank's p2p send index, -1 n/a
+  std::int64_t superstep = -1;       // rank's superstep at fire time
+  double vtime = 0.0;                // rank's virtual clock at fire time
+};
+
+/// Number of modeled attempts a transient fault may demand before the
+/// injector escalates it to a rank crash (bounded retry).
+inline constexpr int kMaxTransientRetries = 6;
+
+class FaultInjector final : public comm::FaultHooks {
+ public:
+  /// Resolves the plan against `nranks`: seeds random targets ('r?') and
+  /// validates rank indices. Throws std::invalid_argument on a spec whose
+  /// rank is out of range.
+  FaultInjector(FaultPlan plan, int nranks);
+
+  // comm::FaultHooks -------------------------------------------------------
+  comm::FaultDecision on_collective(int rank, comm::CollectiveOp op,
+                                    double vtime) override;
+  comm::FaultDecision on_superstep(int rank, double vtime) override;
+  double collective_cost_multiplier(const int* members, int count) override;
+  double p2p_cost_multiplier(int src, double vtime) override;
+  std::int64_t p2p_corrupt_bit(int src, std::size_t payload_bytes,
+                               double vtime) override;
+  void begin_run() override;
+  void resume_superstep(int rank, std::int64_t next_superstep) override;
+  bool wants_deadline() const override;
+
+  // Inspection (only valid once rank threads have joined) ------------------
+  const FaultPlan& plan() const { return plan_; }
+  const std::vector<FaultSpec>& resolved_specs() const { return specs_; }
+  /// Every fired fault, in per-rank program order (sorted by rank, then
+  /// fire order on that rank).
+  std::vector<FaultEvent> events() const;
+  /// Total faults fired of one kind, across all runs/attempts.
+  std::uint64_t fired(FaultKind kind) const;
+  /// Number of begin_run() calls (1 + restarts under run_with_recovery).
+  int runs_started() const { return runs_; }
+
+ private:
+  struct alignas(64) RankState {
+    std::int64_t collective_seq = 0;  // next collective's index
+    std::int64_t p2p_seq = 0;         // next p2p send's index
+    std::int64_t superstep = -1;      // current superstep, -1 before first
+    // Active link-degradation window, in collective-seq coordinates.
+    double degrade_factor = 1.0;
+    std::int64_t degrade_until = -1;  // exclusive end; -1 = no window
+  };
+
+  /// True when `spec` (an unconsumed spec of `rank`) triggers now.
+  bool matches(const FaultSpec& spec, const RankState& state,
+               double vtime) const;
+  void record_event(FaultKind kind, int rank, const RankState& state,
+                    double vtime, std::int64_t p2p_seq);
+
+  FaultPlan plan_;
+  std::vector<FaultSpec> specs_;  // rank-resolved copy of plan_.specs
+  std::vector<char> consumed_;    // parallel to specs_
+  std::vector<RankState> states_;
+  mutable std::mutex events_mutex_;
+  std::vector<FaultEvent> events_;
+  std::array<std::atomic<std::uint64_t>, 5> fired_{};
+  int runs_ = 0;
+};
+
+}  // namespace hpcg::fault

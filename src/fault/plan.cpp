@@ -1,0 +1,167 @@
+#include "fault/plan.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace hpcg::fault {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kSilent: return "silent";
+    case FaultKind::kTransient: return "transient";
+    case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kDegrade: return "degrade";
+  }
+  return "?";
+}
+
+std::string FaultSpec::describe() const {
+  std::ostringstream out;
+  out << to_string(kind) << "@r" << rank;
+  if (superstep >= 0) out << ":s" << superstep;
+  if (collective >= 0) out << ":n" << collective;
+  if (message >= 0) out << ":p" << message;
+  if (vtime >= 0) out << ":t" << vtime;
+  if (kind == FaultKind::kTransient) {
+    out << ":x" << count << ":b" << backoff_s;
+  } else if (kind == FaultKind::kDegrade) {
+    out << ":x" << count << ":f" << factor;
+  }
+  return out.str();
+}
+
+namespace {
+
+[[noreturn]] void fail(const std::string& spec, const std::string& why) {
+  throw std::invalid_argument("fault plan: bad spec '" + spec + "': " + why);
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string strip(const std::string& s) {
+  std::size_t a = 0, b = s.size();
+  while (a < b && std::isspace(static_cast<unsigned char>(s[a]))) ++a;
+  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1]))) --b;
+  return s.substr(a, b - a);
+}
+
+std::int64_t parse_int(const std::string& spec, const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const std::int64_t v = std::stoll(text, &used);
+    if (used != text.size()) fail(spec, "trailing characters in '" + text + "'");
+    return v;
+  } catch (const std::invalid_argument&) {
+    fail(spec, "expected an integer, got '" + text + "'");
+  } catch (const std::out_of_range&) {
+    fail(spec, "integer out of range: '" + text + "'");
+  }
+}
+
+double parse_double(const std::string& spec, const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(text, &used);
+    if (used != text.size()) fail(spec, "trailing characters in '" + text + "'");
+    return v;
+  } catch (const std::invalid_argument&) {
+    fail(spec, "expected a number, got '" + text + "'");
+  } catch (const std::out_of_range&) {
+    fail(spec, "number out of range: '" + text + "'");
+  }
+}
+
+FaultSpec parse_spec(const std::string& raw) {
+  const auto segments = split(raw, ':');
+  const std::string& head = segments[0];
+  const std::size_t at = head.find('@');
+  if (at == std::string::npos) fail(raw, "missing '@rank'");
+
+  FaultSpec spec;
+  const std::string kind = head.substr(0, at);
+  if (kind == "crash") {
+    spec.kind = FaultKind::kCrash;
+  } else if (kind == "silent") {
+    spec.kind = FaultKind::kSilent;
+  } else if (kind == "transient") {
+    spec.kind = FaultKind::kTransient;
+  } else if (kind == "corrupt") {
+    spec.kind = FaultKind::kCorrupt;
+  } else if (kind == "degrade") {
+    spec.kind = FaultKind::kDegrade;
+  } else {
+    fail(raw, "unknown fault kind '" + kind + "'");
+  }
+
+  const std::string target = head.substr(at + 1);
+  if (target.empty() || target[0] != 'r') fail(raw, "target must be rN or r?");
+  if (target == "r?") {
+    spec.rank = -1;  // resolved from the plan seed by the injector
+  } else {
+    spec.rank = static_cast<int>(parse_int(raw, target.substr(1)));
+    if (spec.rank < 0) fail(raw, "negative rank");
+  }
+
+  if (segments.size() < 2) fail(raw, "missing trigger (s/n/p/t)");
+  for (std::size_t i = 1; i < segments.size(); ++i) {
+    const std::string& seg = segments[i];
+    if (seg.empty()) fail(raw, "empty segment");
+    const char key = seg[0];
+    const std::string value = seg.substr(1);
+    switch (key) {
+      case 's': spec.superstep = parse_int(raw, value); break;
+      case 'n': spec.collective = parse_int(raw, value); break;
+      case 'p': spec.message = parse_int(raw, value); break;
+      case 't': spec.vtime = parse_double(raw, value); break;
+      case 'x': spec.count = static_cast<int>(parse_int(raw, value)); break;
+      case 'b': spec.backoff_s = parse_double(raw, value); break;
+      case 'f': spec.factor = parse_double(raw, value); break;
+      default: fail(raw, std::string("unknown segment key '") + key + "'");
+    }
+  }
+
+  const int triggers = (spec.superstep >= 0) + (spec.collective >= 0) +
+                       (spec.message >= 0) + (spec.vtime >= 0);
+  if (triggers != 1) fail(raw, "exactly one trigger (s/n/p/t) required");
+  if (spec.kind == FaultKind::kCorrupt) {
+    if (spec.message < 0 && spec.vtime < 0) {
+      fail(raw, "corrupt fires on p2p sends; use a p or t trigger");
+    }
+  } else if (spec.message >= 0) {
+    fail(raw, "p trigger is only valid for corrupt");
+  }
+  if (spec.count < 1) fail(raw, "x must be >= 1");
+  if (spec.backoff_s <= 0) fail(raw, "b must be > 0");
+  if (spec.factor <= 0) fail(raw, "f must be > 0");
+  return spec;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& text, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  if (strip(text).empty()) return plan;
+  for (const auto& part : split(text, ',')) {
+    const std::string raw = strip(part);
+    if (raw.empty()) continue;
+    plan.specs.push_back(parse_spec(raw));
+  }
+  return plan;
+}
+
+}  // namespace hpcg::fault

@@ -1,0 +1,74 @@
+// Deterministic fault schedule: what fails, where, and when.
+//
+// A FaultPlan is parsed from a compact spec string (the hpcg_run
+// `--faults=` grammar, documented in docs/FAULTS.md):
+//
+//   plan    := spec (',' spec)*
+//   spec    := kind '@' target ':' trigger (':' param)*
+//   kind    := 'crash' | 'silent' | 'transient' | 'corrupt' | 'degrade'
+//   target  := 'r' INT        a world rank
+//            | 'r?'           a seeded random rank (resolved per plan seed)
+//   trigger := 's' INT        at the start of that superstep on the rank
+//            | 'n' INT        on the rank's nth collective (0-based, counted
+//                             from rank start, setup collectives included)
+//            | 'p' INT        on the rank's nth p2p send (corrupt only)
+//            | 't' FLOAT      at the first operation at/after that virtual
+//                             time (seconds)
+//   param   := 'x' INT        transient: failed attempts before success;
+//                             degrade: window length in collectives
+//            | 'b' FLOAT      transient: base backoff seconds (virtual)
+//            | 'f' FLOAT      degrade: cost multiplier
+//
+// Examples: "crash@r2:s3", "silent@r?:s2", "transient@r1:n5:x2:b1e-4",
+//           "corrupt@r0:p1", "degrade@r3:n4:x10:f8".
+//
+// Determinism guarantee: the same (plan string, seed, nranks) resolves to
+// the same schedule, and — because triggers are keyed on per-rank virtual
+// time / sequence counters, not wall clocks — the same run produces the
+// same fault sequence every time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hpcg::fault {
+
+enum class FaultKind : std::uint8_t {
+  kCrash,      // rank throws RankFailure
+  kSilent,     // rank unwinds quietly; peers surface Timeout
+  kTransient,  // collective fails `count` times, retried with backoff
+  kCorrupt,    // bit-flip in a p2p payload; recv raises CorruptPayload
+  kDegrade,    // cost multiplier window on the rank's links
+};
+
+const char* to_string(FaultKind kind);
+
+/// One scheduled fault. Exactly one trigger field is set (>= 0).
+struct FaultSpec {
+  FaultKind kind = FaultKind::kCrash;
+  int rank = -1;                 // world rank; -1 = seeded random ('r?')
+  std::int64_t superstep = -1;   // 's' trigger
+  std::int64_t collective = -1;  // 'n' trigger
+  std::int64_t message = -1;     // 'p' trigger
+  double vtime = -1.0;           // 't' trigger
+  int count = 1;                 // 'x': transient attempts / degrade window
+  double backoff_s = 50e-6;      // 'b': transient base backoff (virtual s)
+  double factor = 8.0;           // 'f': degrade cost multiplier
+
+  std::string describe() const;
+};
+
+/// A parsed, seeded schedule of faults.
+struct FaultPlan {
+  std::vector<FaultSpec> specs;
+  std::uint64_t seed = 0;
+
+  bool empty() const { return specs.empty(); }
+
+  /// Parses the grammar above. Empty/whitespace text yields an empty plan.
+  /// Throws std::invalid_argument with the offending spec on bad input.
+  static FaultPlan parse(const std::string& text, std::uint64_t seed = 0);
+};
+
+}  // namespace hpcg::fault

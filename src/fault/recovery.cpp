@@ -1,0 +1,93 @@
+#include "fault/recovery.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace hpcg::fault {
+
+RecoveryResult Runtime::run_with_recovery(
+    int nranks, const comm::Topology& topo, const comm::CostModel& cost,
+    const RecoveryOptions& options,
+    const std::function<void(comm::Comm&, Checkpointer&)>& body) {
+  CheckpointStore store(nranks);
+  RecoveryResult result;
+
+  comm::RunOptions run_options;
+  run_options.recorder = options.recorder;
+  run_options.faults = options.injector;
+  run_options.comm_timeout_s = options.comm_timeout_s;
+
+  // Fault instants recorded during failed attempts are wiped when the next
+  // attempt resets the telemetry tracks; stash them at failure time and
+  // replay them into the recorder after the final attempt, so the exported
+  // trace still shows what failed and when.
+  std::vector<telemetry::SpanRecord> stashed_instants;
+
+  for (int attempt = 0;; ++attempt) {
+    try {
+      result.stats = comm::Runtime::run(
+          nranks, topo, cost, run_options, [&](comm::Comm& comm) {
+            Checkpointer ckpt(options.checkpoint_every > 0 ? &store : nullptr,
+                              options.checkpoint_every);
+            body(comm, ckpt);
+          });
+      break;
+    } catch (const comm::CommError&) {
+      ++result.restarts;
+      const std::int64_t resume = store.latest_committed();
+      result.resume_epochs.push_back(resume);
+      if (options.recorder) {
+        for (const auto& span : options.recorder->spans()) {
+          if (span.kind == telemetry::SpanKind::kInstant) {
+            stashed_instants.push_back(span);
+          }
+        }
+      }
+      if (options.injector) {
+        // Replay accounting: the failure superstep is the deepest superstep
+        // any fired fault reports; the replay re-runs everything from the
+        // resume epoch up to it.
+        std::int64_t failure_superstep = -1;
+        for (const auto& event : options.injector->events()) {
+          failure_superstep = std::max(failure_superstep, event.superstep);
+        }
+        if (failure_superstep >= 0) {
+          result.replayed_supersteps += std::max<std::int64_t>(
+              0, failure_superstep - std::max<std::int64_t>(resume, 0));
+        }
+      }
+      if (attempt >= options.max_restarts) throw;
+    }
+  }
+
+  result.checkpoints_committed = store.commits();
+  result.checkpoint_bytes = store.bytes_written();
+
+  if (auto* rec = options.recorder) {
+    for (auto& span : stashed_instants) rec->record(std::move(span));
+    auto& metrics = rec->metrics();
+    if (result.restarts > 0) {
+      metrics.counter("faults.recovery.restarts").add(result.restarts);
+      metrics.counter("faults.recovery.replayed_supersteps")
+          .add(result.replayed_supersteps);
+    }
+    metrics.counter("checkpoint.commits").add(result.checkpoints_committed);
+    if (options.injector) {
+      // Per-kind totals across all attempts (the live per-site counters
+      // only survive for the final attempt — reset_clocks wipes earlier
+      // ones along with the clocks).
+      for (const FaultKind kind :
+           {FaultKind::kCrash, FaultKind::kSilent, FaultKind::kTransient,
+            FaultKind::kCorrupt, FaultKind::kDegrade}) {
+        const std::uint64_t n = options.injector->fired(kind);
+        if (n > 0) {
+          metrics.counter(std::string("faults.injected.") + to_string(kind))
+              .add(n);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace hpcg::fault

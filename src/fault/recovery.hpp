@@ -1,0 +1,67 @@
+// Checkpoint/restart driver: turns a mid-run rank failure into a bounded
+// replay instead of a lost job.
+//
+// run_with_recovery wraps comm::Runtime::run in a retry loop. Each attempt
+// hands the body a rank-local Checkpointer bound to a store that outlives
+// attempts; when the run unwinds with a CommError (RankFailure from an
+// injected crash, Timeout from a silent death, CorruptPayload), the driver
+// restarts the body, which restores from the last globally consistent
+// checkpoint and replays forward. Because algorithm state, collectives and
+// the fault schedule are all deterministic in virtual time, the recovered
+// result is bit-identical to the fault-free run (asserted by
+// tests/test_fault.cpp for BFS, PageRank and CC).
+//
+// Non-CommError exceptions (logic errors, bad arguments) propagate
+// immediately — restarting cannot fix a programming error.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "comm/runtime.hpp"
+#include "fault/checkpoint.hpp"
+#include "fault/injector.hpp"
+
+namespace hpcg::fault {
+
+struct RecoveryOptions {
+  telemetry::Recorder* recorder = nullptr;
+  /// Fault injector shared by all attempts (fired faults stay consumed,
+  /// so a replayed superstep does not re-fire its crash). May be null.
+  FaultInjector* injector = nullptr;
+  /// Checkpoint interval in supersteps; <= 0 disables checkpointing
+  /// (recovery then replays from the start).
+  std::int64_t checkpoint_every = 1;
+  /// Wall-clock deadline for blocking waits; 0 = default handling
+  /// (comm::RunOptions applies kDefaultFaultTimeoutS when the plan
+  /// contains silent faults).
+  double comm_timeout_s = 0.0;
+  /// Restarts allowed before the error propagates to the caller.
+  int max_restarts = 3;
+};
+
+struct RecoveryResult {
+  comm::RunStats stats;       // of the final (successful) attempt
+  int restarts = 0;           // failed attempts before success
+  std::int64_t checkpoints_committed = 0;
+  std::uint64_t checkpoint_bytes = 0;
+  /// Epoch each restart resumed from (-1 = replayed from the start).
+  std::vector<std::int64_t> resume_epochs;
+  /// Supersteps re-executed across restarts (failure superstep minus
+  /// resume epoch, when the failing fault's superstep is known).
+  std::int64_t replayed_supersteps = 0;
+};
+
+class Runtime {
+ public:
+  /// Runs `body(comm, ckpt)` under the fault plan, restarting from the
+  /// last committed checkpoint on CommError until it succeeds or
+  /// `max_restarts` is exhausted (then the last error is rethrown).
+  static RecoveryResult run_with_recovery(
+      int nranks, const comm::Topology& topo, const comm::CostModel& cost,
+      const RecoveryOptions& options,
+      const std::function<void(comm::Comm&, Checkpointer&)>& body);
+};
+
+}  // namespace hpcg::fault

@@ -30,6 +30,7 @@ TraceReport analyze(const std::vector<SpanRecord>& spans, int nranks) {
   for (int r = 0; r < nranks; ++r) report.ranks[static_cast<std::size_t>(r)].rank = r;
 
   std::map<int, SuperstepAccumulator> steps;
+  std::map<std::string, InstantStats> instants;
   for (const auto& span : spans) {
     if (span.rank < 0 || span.rank >= nranks) continue;
     auto& rank = report.ranks[static_cast<std::size_t>(span.rank)];
@@ -57,8 +58,19 @@ TraceReport analyze(const std::vector<SpanRecord>& spans, int nranks) {
       }
       case SpanKind::kPhase:
         break;
+      case SpanKind::kInstant: {
+        auto& inst = instants[span.name];
+        if (inst.count == 0) {
+          inst.name = span.name;
+          inst.first_s = span.start_s;
+        }
+        ++inst.count;
+        inst.last_s = std::max(inst.last_s, span.start_s);
+        break;
+      }
     }
   }
+  for (auto& [name, inst] : instants) report.instants.push_back(std::move(inst));
 
   for (const auto& rank : report.ranks) {
     report.comp_max_s = std::max(report.comp_max_s, rank.comp_s);
@@ -155,6 +167,16 @@ void print_report(std::ostream& out, const TraceReport& report,
         << report.mean_imbalance << "\n";
     if (report.straggler_rank >= 0) {
       out << "most frequent straggler: rank " << report.straggler_rank << "\n";
+    }
+  }
+
+  if (!report.instants.empty()) {
+    out << "\nfault/recovery events:\n";
+    out << "  event                     count     first_s      last_s\n";
+    for (const auto& inst : report.instants) {
+      out << "  " << std::setw(22) << std::left << inst.name << std::right
+          << "  " << std::setw(7) << inst.count << "  " << std::setw(10)
+          << inst.first_s << "  " << std::setw(10) << inst.last_s << "\n";
     }
   }
   out.flags(flags);

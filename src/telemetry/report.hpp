@@ -41,6 +41,15 @@ struct SuperstepStats {
   int ranks = 0;              // ranks that recorded this superstep
 };
 
+/// Aggregate of one kind of zero-duration instant event (fault injected,
+/// recovery restore, ...), keyed by span name.
+struct InstantStats {
+  std::string name;
+  int count = 0;
+  double first_s = 0.0;  // virtual time of the first occurrence
+  double last_s = 0.0;   // virtual time of the last occurrence
+};
+
 struct TraceReport {
   int nranks = 0;
   double makespan_s = 0.0;        // max span end over all ranks
@@ -52,6 +61,7 @@ struct TraceReport {
   int straggler_rank = -1;        // rank most often the superstep straggler
   std::vector<RankBreakdown> ranks;
   std::vector<SuperstepStats> supersteps;
+  std::vector<InstantStats> instants;  // fault/recovery events, by name
 };
 
 /// Builds the report from a span stream (`nranks` = track count; pass

@@ -10,6 +10,7 @@ SpanKind span_kind_from_string(const std::string& s) {
   if (s == "collective") return SpanKind::kCollective;
   if (s == "superstep") return SpanKind::kSuperstep;
   if (s == "phase") return SpanKind::kPhase;
+  if (s == "instant") return SpanKind::kInstant;
   throw std::invalid_argument("unknown span kind: " + s);
 }
 

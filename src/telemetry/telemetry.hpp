@@ -37,6 +37,7 @@ enum class SpanKind : std::uint8_t {
   kCollective,  // one collective, including time spent waiting for peers
   kSuperstep,   // one bulk-synchronous iteration of an algorithm
   kPhase,       // any other labeled region (setup, exchange, ...)
+  kInstant,     // zero-duration event (fault injected, recovery restore)
 };
 
 constexpr const char* to_string(SpanKind kind) {
@@ -45,6 +46,7 @@ constexpr const char* to_string(SpanKind kind) {
     case SpanKind::kCollective: return "collective";
     case SpanKind::kSuperstep: return "superstep";
     case SpanKind::kPhase: return "phase";
+    case SpanKind::kInstant: return "instant";
   }
   return "?";
 }

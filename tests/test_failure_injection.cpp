@@ -137,6 +137,71 @@ TEST(ApiMisuse, WeightlessMatchingRejected) {
                std::invalid_argument);
 }
 
+TEST(ApiMisuse, P2pRejectsOutOfRangePeersAndNegativeTags) {
+  // Argument validation fires before any rendezvous, so every rank can
+  // probe the misuse paths independently and still meet at the barrier.
+  hcm::Runtime::run(4, [](hcm::Comm& comm) {
+    const std::vector<int> payload(4, comm.rank());
+    EXPECT_THROW(comm.send(std::span<const int>(payload), /*dest=*/4, /*tag=*/0),
+                 std::invalid_argument);
+    EXPECT_THROW(comm.send(std::span<const int>(payload), /*dest=*/-1, /*tag=*/0),
+                 std::invalid_argument);
+    EXPECT_THROW(comm.send(std::span<const int>(payload), /*dest=*/0, /*tag=*/-7),
+                 std::invalid_argument);
+    EXPECT_THROW(comm.recv<int>(/*src=*/4, /*tag=*/0), std::invalid_argument);
+    EXPECT_THROW(comm.recv<int>(/*src=*/-2, /*tag=*/0), std::invalid_argument);
+    EXPECT_THROW(comm.recv<int>(/*src=*/0, /*tag=*/-1), std::invalid_argument);
+    comm.barrier();
+  });
+}
+
+TEST(FailureInjection, ThrowMidSplit) {
+  // One rank dies while the others are inside split(); the split must not
+  // deadlock and the original error must surface.
+  EXPECT_THROW(hcm::Runtime::run(6,
+                                 [](hcm::Comm& comm) {
+                                   if (comm.rank() == 2) {
+                                     throw std::runtime_error("died in split");
+                                   }
+                                   auto half = comm.split(comm.rank() % 2,
+                                                          comm.rank());
+                                   half.barrier();
+                                 }),
+               std::runtime_error);
+}
+
+TEST(FailureInjection, ThrowMidMultiBroadcast) {
+  EXPECT_THROW(
+      hcm::Runtime::run(4,
+                        [](hcm::Comm& comm) {
+                          std::vector<double> a(16, comm.rank());
+                          std::vector<double> b(16, -comm.rank());
+                          if (comm.rank() == 1) {
+                            throw std::runtime_error("died in mbcast");
+                          }
+                          const hcm::BcastSeg<double> segs[] = {
+                              {0, a.data(), a.size()},
+                              {3, b.data(), b.size()},
+                          };
+                          comm.multi_broadcast(std::span<const hcm::BcastSeg<double>>(segs));
+                        }),
+      std::runtime_error);
+}
+
+TEST(FailureInjection, SplitReleasesChildGroupState) {
+  // The parent group must not keep child groups of a completed split alive
+  // (that was a leak: the last split's children lived as long as the
+  // parent). After every member has taken its child, the parent holds none.
+  hcm::Runtime::run(6, [](hcm::Comm& comm) {
+    auto half = comm.split(comm.rank() % 2, comm.rank());
+    std::vector<std::int64_t> x(8, 1);
+    half.allreduce(std::span(x), hcm::ReduceOp::kSum);
+    EXPECT_EQ(x[0], 3);  // child groups really are the 3-rank halves
+    comm.barrier();  // all members have taken their child by now
+    EXPECT_EQ(comm.held_child_groups(), 0u);
+  });
+}
+
 TEST(FailureInjection, ManyConcurrentAbortsSettle) {
   // Several ranks fail at different points simultaneously; the run must
   // still terminate with one of the injected errors.

@@ -1,0 +1,626 @@
+// Fault injection + checkpoint/restart: plan grammar, injector
+// determinism, the guarantee that an empty plan is bit-identical to a
+// fault-free run, typed comm errors (RankFailure / Timeout /
+// CorruptPayload), and bit-identical recovery of BFS, PageRank and CC
+// from injected mid-run crashes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algos/bfs.hpp"
+#include "algos/cc.hpp"
+#include "algos/pagerank.hpp"
+#include "comm/errors.hpp"
+#include "comm/runtime.hpp"
+#include "core/dist2d.hpp"
+#include "fault/checkpoint.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "fault/recovery.hpp"
+#include "telemetry/report.hpp"
+#include "telemetry/telemetry.hpp"
+#include "test_helpers.hpp"
+
+namespace hc = hpcg::comm;
+namespace hf = hpcg::fault;
+namespace ht = hpcg::telemetry;
+
+namespace {
+
+/// Work-proportional cost model (same as test_telemetry.cpp): virtual
+/// clocks become a pure function of the work performed, so faulted and
+/// fault-free runs are exactly comparable.
+hc::CostParams deterministic_params() {
+  hc::CostParams params;
+  params.compute_scale = 0.0;
+  params.per_edge_s = 2e-10;
+  params.per_vertex_s = 5e-10;
+  return params;
+}
+
+hc::RunOptions with_faults(hf::FaultInjector* injector, double timeout_s = 0.0) {
+  hc::RunOptions options;
+  options.faults = injector;
+  options.comm_timeout_s = timeout_s;
+  return options;
+}
+
+// --- plan grammar ----------------------------------------------------------
+
+TEST(FaultPlan, ParsesEveryKindAndParam) {
+  const auto plan = hf::FaultPlan::parse(
+      "crash@r2:s3, silent@r?:t0.5, transient@r1:n5:x2:b1e-4, corrupt@r0:p1, "
+      "degrade@r3:n4:x10:f8",
+      /*seed=*/17);
+  ASSERT_EQ(plan.specs.size(), 5u);
+  EXPECT_EQ(plan.seed, 17u);
+
+  EXPECT_EQ(plan.specs[0].kind, hf::FaultKind::kCrash);
+  EXPECT_EQ(plan.specs[0].rank, 2);
+  EXPECT_EQ(plan.specs[0].superstep, 3);
+
+  EXPECT_EQ(plan.specs[1].kind, hf::FaultKind::kSilent);
+  EXPECT_EQ(plan.specs[1].rank, -1);  // r? resolved at injector build
+  EXPECT_DOUBLE_EQ(plan.specs[1].vtime, 0.5);
+
+  EXPECT_EQ(plan.specs[2].kind, hf::FaultKind::kTransient);
+  EXPECT_EQ(plan.specs[2].collective, 5);
+  EXPECT_EQ(plan.specs[2].count, 2);
+  EXPECT_DOUBLE_EQ(plan.specs[2].backoff_s, 1e-4);
+
+  EXPECT_EQ(plan.specs[3].kind, hf::FaultKind::kCorrupt);
+  EXPECT_EQ(plan.specs[3].message, 1);
+
+  EXPECT_EQ(plan.specs[4].kind, hf::FaultKind::kDegrade);
+  EXPECT_EQ(plan.specs[4].collective, 4);
+  EXPECT_EQ(plan.specs[4].count, 10);
+  EXPECT_DOUBLE_EQ(plan.specs[4].factor, 8.0);
+
+  EXPECT_TRUE(hf::FaultPlan::parse("").empty());
+  EXPECT_TRUE(hf::FaultPlan::parse("  ").empty());
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  EXPECT_THROW(hf::FaultPlan::parse("boom@r0:s1"), std::invalid_argument);
+  EXPECT_THROW(hf::FaultPlan::parse("crash@x0:s1"), std::invalid_argument);
+  EXPECT_THROW(hf::FaultPlan::parse("crash@r0"), std::invalid_argument);
+  EXPECT_THROW(hf::FaultPlan::parse("crash@r0:s1:n2"), std::invalid_argument);
+  EXPECT_THROW(hf::FaultPlan::parse("crash@r0:p1"), std::invalid_argument);
+  EXPECT_THROW(hf::FaultPlan::parse("corrupt@r0:s1"), std::invalid_argument);
+  EXPECT_THROW(hf::FaultPlan::parse("transient@r0:n1:x0"), std::invalid_argument);
+  EXPECT_THROW(hf::FaultPlan::parse("degrade@r0:n1:f0"), std::invalid_argument);
+  EXPECT_THROW(hf::FaultPlan::parse("crash@r0:sX"), std::invalid_argument);
+}
+
+TEST(FaultInjectorBuild, ResolvesRandomTargetDeterministically) {
+  const auto plan = hf::FaultPlan::parse("crash@r?:s1", /*seed=*/99);
+  hf::FaultInjector a(plan, 8);
+  hf::FaultInjector b(plan, 8);
+  ASSERT_EQ(a.resolved_specs().size(), 1u);
+  const int rank = a.resolved_specs()[0].rank;
+  EXPECT_GE(rank, 0);
+  EXPECT_LT(rank, 8);
+  EXPECT_EQ(rank, b.resolved_specs()[0].rank);
+
+  // A different seed may pick a different rank but must stay in range.
+  hf::FaultInjector c(hf::FaultPlan::parse("crash@r?:s1", 100), 8);
+  EXPECT_GE(c.resolved_specs()[0].rank, 0);
+  EXPECT_LT(c.resolved_specs()[0].rank, 8);
+
+  EXPECT_THROW(hf::FaultInjector(hf::FaultPlan::parse("crash@r9:s1"), 4),
+               std::invalid_argument);
+}
+
+// --- off-by-default guarantee ---------------------------------------------
+
+TEST(FaultRegression, EmptyPlanIsBitIdenticalToFaultFreeRun) {
+  const auto el = hpcg::test::small_rmat(7, 4, 901);
+  const auto parts = hpcg::core::Partitioned2D::build(el, hpcg::core::Grid(2, 2));
+  const auto run = [&](hf::FaultInjector* injector) {
+    return hc::Runtime::run(4, hc::Topology::aimos(4),
+                            hc::CostModel(deterministic_params()),
+                            with_faults(injector), [&](hc::Comm& comm) {
+                              hpcg::core::Dist2DGraph g(comm, parts);
+                              comm.reset_clocks();
+                              hpcg::algos::pagerank(g, 5);
+                            });
+  };
+  const auto baseline = run(nullptr);
+  hf::FaultInjector empty_injector(hf::FaultPlan{}, 4);
+  const auto faultless = run(&empty_injector);
+
+  ASSERT_EQ(baseline.vclock.size(), faultless.vclock.size());
+  for (std::size_t r = 0; r < baseline.vclock.size(); ++r) {
+    EXPECT_EQ(baseline.vclock[r], faultless.vclock[r]) << "rank " << r;
+    EXPECT_EQ(baseline.comp_s[r], faultless.comp_s[r]) << "rank " << r;
+    EXPECT_EQ(baseline.comm_s[r], faultless.comm_s[r]) << "rank " << r;
+  }
+  EXPECT_EQ(baseline.bytes, faultless.bytes);
+  EXPECT_EQ(baseline.messages, faultless.messages);
+  EXPECT_EQ(baseline.collectives, faultless.collectives);
+  EXPECT_EQ(baseline.makespan(), faultless.makespan());
+  EXPECT_TRUE(empty_injector.events().empty());
+}
+
+// --- determinism of the schedule ------------------------------------------
+
+TEST(FaultDeterminism, SameSeedSameFaultSequence) {
+  const auto el = hpcg::test::small_rmat(7, 4, 901);
+  const auto parts = hpcg::core::Partitioned2D::build(el, hpcg::core::Grid(2, 2));
+  const auto events_of = [&]() {
+    hf::FaultInjector injector(
+        hf::FaultPlan::parse("transient@r1:n6:x2,crash@r?:s3", 11), 4);
+    EXPECT_THROW(
+        hc::Runtime::run(4, hc::Topology::aimos(4),
+                         hc::CostModel(deterministic_params()),
+                         with_faults(&injector),
+                         [&](hc::Comm& comm) {
+                           hpcg::core::Dist2DGraph g(comm, parts);
+                           comm.reset_clocks();
+                           hpcg::algos::pagerank(g, 8);
+                         }),
+        hc::RankFailure);
+    return injector.events();
+  };
+  const auto a = events_of();
+  const auto b = events_of();
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind) << i;
+    EXPECT_EQ(a[i].rank, b[i].rank) << i;
+    EXPECT_EQ(a[i].collective_seq, b[i].collective_seq) << i;
+    EXPECT_EQ(a[i].p2p_seq, b[i].p2p_seq) << i;
+    EXPECT_EQ(a[i].superstep, b[i].superstep) << i;
+    EXPECT_EQ(a[i].vtime, b[i].vtime) << i;
+  }
+}
+
+// --- typed error surface ---------------------------------------------------
+
+TEST(FaultErrors, CrashSurfacesAsRankFailure) {
+  hf::FaultInjector injector(hf::FaultPlan::parse("crash@r1:n2"), 4);
+  EXPECT_THROW(hc::Runtime::run(4, hc::Topology::flat(4),
+                                hc::CostModel(deterministic_params()),
+                                with_faults(&injector),
+                                [](hc::Comm& comm) {
+                                  std::vector<double> x(64, 1.0);
+                                  for (int i = 0; i < 6; ++i) {
+                                    comm.allreduce(std::span(x), hc::ReduceOp::kSum);
+                                  }
+                                }),
+               hc::RankFailure);
+  EXPECT_EQ(injector.fired(hf::FaultKind::kCrash), 1u);
+  // RankFailure is a CommError is a runtime_error.
+  static_assert(std::is_base_of_v<hc::CommError, hc::RankFailure>);
+  static_assert(std::is_base_of_v<std::runtime_error, hc::CommError>);
+}
+
+TEST(FaultErrors, SilentDeathSurfacesAsTimeoutWithinDeadline) {
+  hf::FaultInjector injector(hf::FaultPlan::parse("silent@r1:s1"), 4);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(
+      hc::Runtime::run(4, hc::Topology::flat(4),
+                       hc::CostModel(deterministic_params()),
+                       with_faults(&injector, /*timeout_s=*/0.3),
+                       [](hc::Comm& comm) {
+                         for (int step = 0; step < 4; ++step) {
+                           auto span = comm.superstep_span("loop");
+                           comm.barrier();
+                         }
+                       }),
+      hc::Timeout);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(elapsed, 8.0) << "survivors must not hang on a silent death";
+  EXPECT_EQ(injector.fired(hf::FaultKind::kSilent), 1u);
+}
+
+TEST(FaultErrors, SilentPlanEnablesDefaultDeadline) {
+  hf::FaultInjector injector(hf::FaultPlan::parse("silent@r0:s1"), 2);
+  EXPECT_TRUE(injector.wants_deadline());
+  hf::FaultInjector no_silent(hf::FaultPlan::parse("crash@r0:s1"), 2);
+  EXPECT_FALSE(no_silent.wants_deadline());
+}
+
+TEST(FaultErrors, RecvDeadlineSurfacesAsTimeout) {
+  // No faults at all: a peer that simply never sends must still surface as
+  // a Timeout once a deadline is configured, instead of hanging forever.
+  EXPECT_THROW(hc::Runtime::run(2, hc::Topology::flat(2),
+                                hc::CostModel(deterministic_params()),
+                                with_faults(nullptr, /*timeout_s=*/0.2),
+                                [](hc::Comm& comm) {
+                                  if (comm.rank() == 0) {
+                                    comm.recv<int>(1, /*tag=*/7);
+                                  }
+                                }),
+               hc::Timeout);
+}
+
+TEST(FaultErrors, CorruptedPayloadDetectedOnRecv) {
+  hf::FaultInjector injector(hf::FaultPlan::parse("corrupt@r0:p0"), 2);
+  EXPECT_THROW(
+      hc::Runtime::run(2, hc::Topology::flat(2),
+                       hc::CostModel(deterministic_params()),
+                       with_faults(&injector),
+                       [](hc::Comm& comm) {
+                         std::vector<std::int64_t> data(32, 41);
+                         if (comm.rank() == 0) {
+                           comm.send(std::span<const std::int64_t>(data), 1, 3);
+                         } else {
+                           comm.recv<std::int64_t>(0, 3);
+                         }
+                       }),
+      hc::CorruptPayload);
+  EXPECT_EQ(injector.fired(hf::FaultKind::kCorrupt), 1u);
+}
+
+// --- transient faults and degradation -------------------------------------
+
+TEST(FaultTransient, RetriedWithBackoffAndCompletes) {
+  const auto run = [](hf::FaultInjector* injector) {
+    return hc::Runtime::run(4, hc::Topology::flat(4),
+                            hc::CostModel(deterministic_params()),
+                            with_faults(injector), [](hc::Comm& comm) {
+                              std::vector<double> x(64, 1.0);
+                              for (int i = 0; i < 6; ++i) {
+                                comm.allreduce(std::span(x), hc::ReduceOp::kSum);
+                              }
+                            });
+  };
+  const auto baseline = run(nullptr);
+  hf::FaultInjector injector(hf::FaultPlan::parse("transient@r1:n2:x2"), 4);
+  const auto faulted = run(&injector);
+
+  EXPECT_EQ(injector.fired(hf::FaultKind::kTransient), 1u);
+  // The retries charge virtual backoff to rank 1, so the modeled makespan
+  // grows while traffic counters stay identical (same payloads moved).
+  EXPECT_GT(faulted.makespan(), baseline.makespan());
+  EXPECT_EQ(faulted.bytes, baseline.bytes);
+  EXPECT_EQ(faulted.collectives, baseline.collectives);
+  const auto events = injector.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].rank, 1);
+  EXPECT_EQ(events[0].collective_seq, 2);
+}
+
+TEST(FaultTransient, OverRetryBudgetEscalatesToCrash) {
+  hf::FaultInjector injector(
+      hf::FaultPlan::parse("transient@r0:n1:x" +
+                           std::to_string(hf::kMaxTransientRetries + 1)),
+      2);
+  EXPECT_THROW(hc::Runtime::run(2, hc::Topology::flat(2),
+                                hc::CostModel(deterministic_params()),
+                                with_faults(&injector),
+                                [](hc::Comm& comm) {
+                                  for (int i = 0; i < 4; ++i) comm.barrier();
+                                }),
+               hc::RankFailure);
+}
+
+TEST(FaultDegrade, WindowRaisesModeledCostThenExpires) {
+  const auto run = [](hf::FaultInjector* injector) {
+    return hc::Runtime::run(4, hc::Topology::flat(4),
+                            hc::CostModel(deterministic_params()),
+                            with_faults(injector), [](hc::Comm& comm) {
+                              std::vector<double> x(4096, 1.0);
+                              for (int i = 0; i < 8; ++i) {
+                                comm.allreduce(std::span(x), hc::ReduceOp::kSum);
+                              }
+                            });
+  };
+  const auto baseline = run(nullptr);
+  hf::FaultInjector injector(hf::FaultPlan::parse("degrade@r2:n3:x2:f16"), 4);
+  const auto degraded = run(&injector);
+
+  EXPECT_EQ(injector.fired(hf::FaultKind::kDegrade), 1u);
+  EXPECT_GT(degraded.makespan(), baseline.makespan());
+  EXPECT_EQ(degraded.bytes, baseline.bytes);
+  EXPECT_EQ(degraded.collectives, baseline.collectives);
+}
+
+// --- checkpoint primitives -------------------------------------------------
+
+TEST(CheckpointBlob, RoundTripAndTruncation) {
+  hf::BlobWriter writer;
+  writer.put<std::int64_t>(-7);
+  writer.put<double>(2.5);
+  writer.put<std::uint8_t>(1);
+  writer.put_vec(std::vector<std::int32_t>{3, 1, 4, 1, 5});
+  writer.put_vec(std::vector<double>{});
+  const auto blob = writer.take();
+
+  hf::BlobReader reader(blob);
+  EXPECT_EQ(reader.get<std::int64_t>(), -7);
+  EXPECT_DOUBLE_EQ(reader.get<double>(), 2.5);
+  EXPECT_EQ(reader.get<std::uint8_t>(), 1);
+  EXPECT_EQ(reader.get_vec<std::int32_t>(),
+            (std::vector<std::int32_t>{3, 1, 4, 1, 5}));
+  EXPECT_TRUE(reader.get_vec<double>().empty());
+  EXPECT_EQ(reader.remaining(), 0u);
+  EXPECT_THROW(reader.get<std::int64_t>(), std::out_of_range);
+}
+
+TEST(CheckpointStore, CommitProtocolAndPruning) {
+  EXPECT_THROW(hf::CheckpointStore(0), std::invalid_argument);
+
+  hf::CheckpointStore store(2);
+  EXPECT_EQ(store.latest_committed(), -1);
+
+  hf::BlobWriter w0;
+  w0.put<std::int64_t>(10);
+  store.write(2, 0, w0.take());
+  // Commit requires every rank to have written the epoch.
+  EXPECT_THROW(store.commit(2), std::logic_error);
+  EXPECT_THROW(store.commit(99), std::logic_error);
+  // Reading an uncommitted epoch is rejected.
+  EXPECT_THROW(store.blob(2, 0), std::logic_error);
+
+  store.write(2, 1, {});  // a legitimately empty blob still counts
+  store.commit(2);
+  EXPECT_EQ(store.latest_committed(), 2);
+  EXPECT_EQ(store.commits(), 1);
+  const auto blob0 = store.blob(2, 0);
+  hf::BlobReader r(blob0);
+  EXPECT_EQ(r.get<std::int64_t>(), 10);
+  EXPECT_TRUE(store.blob(2, 1).empty());
+
+  EXPECT_THROW(store.write(2, 0, {}), std::logic_error);       // not past commit
+  EXPECT_THROW(store.write(4, 5, {}), std::invalid_argument);  // bad rank
+
+  store.write(4, 0, {});
+  store.write(4, 1, {});
+  store.commit(4);
+  EXPECT_EQ(store.latest_committed(), 4);
+  // Older epochs are pruned on commit.
+  EXPECT_THROW(store.blob(2, 0), std::logic_error);
+}
+
+TEST(CheckpointHandle, InertByDefault) {
+  hf::Checkpointer inert;
+  EXPECT_FALSE(inert.enabled());
+  EXPECT_EQ(inert.resume_epoch(), -1);
+  EXPECT_FALSE(inert.due(0));
+  EXPECT_FALSE(inert.due(4));
+
+  hf::CheckpointStore store(1);
+  hf::Checkpointer every2(&store, 2);
+  EXPECT_TRUE(every2.due(0));
+  EXPECT_FALSE(every2.due(1));
+  EXPECT_TRUE(every2.due(2));
+  EXPECT_FALSE(every2.due(3));
+}
+
+// --- crash + recovery: bit-identical results -------------------------------
+
+/// Per-rank LID-local output of one checkpointed algorithm run. A recovery
+/// run checkpoints a single algorithm invocation (epochs are its superstep
+/// indices), so each algorithm gets its own run + store here.
+template <class T>
+using PerRank = std::vector<std::vector<T>>;
+
+/// Runs `body(comm, g, ckpt)` under `faults` with per-superstep
+/// checkpointing on a fixed 2x2 grid and scale-8 RMAT.
+hf::RecoveryResult run_recovered(
+    const std::string& faults,
+    const std::function<void(hc::Comm&, hpcg::core::Dist2DGraph&,
+                             hf::Checkpointer&)>& body) {
+  static const auto el = hpcg::test::small_rmat(8, 6, 907);
+  static const auto parts =
+      hpcg::core::Partitioned2D::build(el, hpcg::core::Grid(2, 2));
+  hf::FaultInjector injector(hf::FaultPlan::parse(faults, /*seed=*/5), 4);
+  hf::RecoveryOptions options;
+  options.injector = faults.empty() ? nullptr : &injector;
+  options.checkpoint_every = 1;
+  const auto recovery = hf::Runtime::run_with_recovery(
+      4, hc::Topology::aimos(4), hc::CostModel(deterministic_params()), options,
+      [&](hc::Comm& comm, hf::Checkpointer& ckpt) {
+        hpcg::core::Dist2DGraph g(comm, parts);
+        comm.reset_clocks();
+        body(comm, g, ckpt);
+      });
+  if (!faults.empty()) {
+    EXPECT_GT(recovery.checkpoints_committed, 0);
+    EXPECT_GT(recovery.checkpoint_bytes, 0u);
+    EXPECT_FALSE(recovery.resume_epochs.empty());
+  }
+  return recovery;
+}
+
+TEST(FaultRecovery, CrashedBfsRecoversBitIdentical) {
+  const auto run = [](const std::string& faults, int* restarts) {
+    PerRank<std::int64_t> level(4);
+    std::vector<std::int64_t> depth(4, 0);
+    const auto recovery = run_recovered(
+        faults, [&](hc::Comm& comm, hpcg::core::Dist2DGraph& g,
+                    hf::Checkpointer& ckpt) {
+          auto result = hpcg::algos::bfs(g, 0, {}, &ckpt);
+          level[comm.rank()] = result.level;
+          depth[comm.rank()] = result.depth;
+        });
+    if (restarts) *restarts = recovery.restarts;
+    return std::pair{level, depth};
+  };
+  const auto clean = run("", nullptr);
+  int restarts = 0;
+  const auto faulted = run("crash@r2:s2", &restarts);
+  EXPECT_EQ(restarts, 1);
+  EXPECT_EQ(clean.first, faulted.first);
+  EXPECT_EQ(clean.second, faulted.second);
+}
+
+TEST(FaultRecovery, CrashedPagerankRecoversBitIdentical) {
+  const auto run = [](const std::string& faults, int* restarts) {
+    PerRank<double> pr(4);
+    const auto recovery = run_recovered(
+        faults, [&](hc::Comm& comm, hpcg::core::Dist2DGraph& g,
+                    hf::Checkpointer& ckpt) {
+          pr[comm.rank()] = hpcg::algos::pagerank(g, 6, 0.85, &ckpt);
+        });
+    if (restarts) *restarts = recovery.restarts;
+    return pr;
+  };
+  const auto clean = run("", nullptr);
+  int restarts = 0;
+  const auto faulted = run("crash@r1:s3", &restarts);
+  EXPECT_EQ(restarts, 1);
+  for (int r = 0; r < 4; ++r) {
+    ASSERT_EQ(clean[r].size(), faulted[r].size()) << "rank " << r;
+    for (std::size_t l = 0; l < clean[r].size(); ++l) {
+      EXPECT_EQ(clean[r][l], faulted[r][l]) << "pr bit-exact, rank " << r;
+    }
+  }
+}
+
+TEST(FaultRecovery, CrashedCcRecoversBitIdentical) {
+  const auto run = [](const std::string& faults, int* restarts) {
+    PerRank<hpcg::graph::Gid> label(4);
+    std::vector<int> iterations(4, 0);
+    const auto recovery = run_recovered(
+        faults, [&](hc::Comm& comm, hpcg::core::Dist2DGraph& g,
+                    hf::Checkpointer& ckpt) {
+          auto result = hpcg::algos::connected_components(
+              g, hpcg::algos::CcOptions::sp_sw_vq(), &ckpt);
+          label[comm.rank()] = result.label;
+          iterations[comm.rank()] = result.iterations;
+        });
+    if (restarts) *restarts = recovery.restarts;
+    return std::pair{label, iterations};
+  };
+  const auto clean = run("", nullptr);
+  int restarts = 0;
+  const auto faulted = run("crash@r3:s2", &restarts);
+  EXPECT_EQ(restarts, 1);
+  EXPECT_EQ(clean.first, faulted.first);
+  EXPECT_EQ(clean.second, faulted.second);
+}
+
+TEST(FaultRecovery, SilentDeathRecoversBitIdentical) {
+  const auto run = [](const std::string& faults, int* restarts) {
+    PerRank<double> pr(4);
+    const auto recovery = run_recovered(
+        faults, [&](hc::Comm& comm, hpcg::core::Dist2DGraph& g,
+                    hf::Checkpointer& ckpt) {
+          pr[comm.rank()] = hpcg::algos::pagerank(g, 6, 0.85, &ckpt);
+        });
+    if (restarts) *restarts = recovery.restarts;
+    return pr;
+  };
+  const auto clean = run("", nullptr);
+  int restarts = 0;
+  const auto faulted = run("silent@r3:s3", &restarts);
+  EXPECT_EQ(restarts, 1);
+  EXPECT_EQ(clean, faulted);
+}
+
+TEST(FaultRecovery, MultipleCrashesRecoverWithinBudget) {
+  const auto run = [](const std::string& faults, int* restarts) {
+    PerRank<double> pr(4);
+    const auto recovery = run_recovered(
+        faults, [&](hc::Comm& comm, hpcg::core::Dist2DGraph& g,
+                    hf::Checkpointer& ckpt) {
+          pr[comm.rank()] = hpcg::algos::pagerank(g, 6, 0.85, &ckpt);
+        });
+    if (restarts) *restarts = recovery.restarts;
+    return pr;
+  };
+  const auto clean = run("", nullptr);
+  int restarts = 0;
+  const auto faulted = run("crash@r0:s1,crash@r3:s4", &restarts);
+  EXPECT_EQ(restarts, 2);
+  EXPECT_EQ(clean, faulted);
+}
+
+TEST(FaultRecovery, ExhaustedRestartsRethrow) {
+  hf::FaultInjector injector(
+      hf::FaultPlan::parse("crash@r0:s1,crash@r0:s1,crash@r0:s1"), 2);
+  hf::RecoveryOptions options;
+  options.injector = &injector;
+  options.checkpoint_every = 0;  // no checkpoints: every attempt replays
+  options.max_restarts = 1;
+  EXPECT_THROW(hf::Runtime::run_with_recovery(
+                   2, hc::Topology::flat(2),
+                   hc::CostModel(deterministic_params()), options,
+                   [](hc::Comm& comm, hf::Checkpointer&) {
+                     for (int step = 0; step < 3; ++step) {
+                       auto span = comm.superstep_span("loop");
+                       comm.barrier();
+                     }
+                   }),
+               hc::RankFailure);
+  EXPECT_EQ(injector.runs_started(), 2);
+}
+
+TEST(FaultRecovery, ProgrammingErrorsAreNotRetried) {
+  hf::RecoveryOptions options;
+  options.checkpoint_every = 1;
+  std::atomic<int> attempts{0};
+  EXPECT_THROW(hf::Runtime::run_with_recovery(
+                   2, hc::Topology::flat(2),
+                   hc::CostModel(deterministic_params()), options,
+                   [&](hc::Comm& comm, hf::Checkpointer&) {
+                     if (comm.rank() == 0) ++attempts;
+                     throw std::logic_error("bug");
+                   }),
+               std::logic_error);
+  EXPECT_EQ(attempts.load(), 1);
+}
+
+// --- telemetry surface -----------------------------------------------------
+
+TEST(FaultTelemetry, InstantsAndCountersSurviveRecovery) {
+  const auto el = hpcg::test::small_rmat(7, 4, 901);
+  const auto parts = hpcg::core::Partitioned2D::build(el, hpcg::core::Grid(2, 2));
+  ht::Recorder recorder(4);
+  hf::FaultInjector injector(hf::FaultPlan::parse("crash@r1:s2"), 4);
+  hf::RecoveryOptions options;
+  options.recorder = &recorder;
+  options.injector = &injector;
+  options.checkpoint_every = 1;
+  const auto recovery = hf::Runtime::run_with_recovery(
+      4, hc::Topology::aimos(4), hc::CostModel(deterministic_params()), options,
+      [&](hc::Comm& comm, hf::Checkpointer& ckpt) {
+        hpcg::core::Dist2DGraph g(comm, parts);
+        comm.reset_clocks();
+        hpcg::algos::pagerank(g, 6, 0.85, &ckpt);
+      });
+  EXPECT_EQ(recovery.restarts, 1);
+
+  // The crash instant was recorded during the failed attempt (whose spans
+  // are wiped by the retry's reset) and must be re-recorded by the driver;
+  // the restore instants come from the successful attempt itself.
+  std::multiset<std::string> instant_names;
+  for (const auto& span : recorder.spans()) {
+    if (span.kind == ht::SpanKind::kInstant) instant_names.insert(span.name);
+  }
+  EXPECT_EQ(instant_names.count("crash"), 1u);
+  EXPECT_EQ(instant_names.count("recovery.restore"), 4u);  // one per rank
+
+  // analyze() rolls instants into the report.
+  const auto report = ht::analyze(recorder.spans(), recorder.nranks());
+  bool saw_crash = false;
+  for (const auto& instant : report.instants) {
+    if (instant.name == "crash") {
+      saw_crash = true;
+      EXPECT_EQ(instant.count, 1);
+    }
+  }
+  EXPECT_TRUE(saw_crash);
+
+  const auto snap = recorder.metrics().snapshot();
+  EXPECT_EQ(snap.counters.at("faults.injected.crash"), 1u);
+  EXPECT_EQ(snap.counters.at("faults.recovery.restarts"), 1u);
+  EXPECT_EQ(snap.counters.at("faults.recovery.restore"), 4u);
+  EXPECT_GT(snap.counters.at("checkpoint.commits"), 0u);
+  EXPECT_GT(snap.counters.at("checkpoint.bytes"), 0u);
+}
+
+}  // namespace

@@ -6,6 +6,13 @@
 //   hpcg_run --algo=cc --file=my_graph.txt --rows=4 --cols=8
 //
 // Algorithms: bfs, pr, cc, ccsv, mwm, lp, pj, tc, kcore.
+//
+// Fault injection and recovery (see docs/FAULTS.md):
+//   --faults=crash@r2:s3,degrade@r0:n4:x10   seeded deterministic fault plan
+//   --fault-seed=42                          resolves r? targets / corrupt bits
+//   --checkpoint-every=2                     superstep checkpoint interval
+//                                            (bfs, pr, cc; 0 = off)
+//   --comm-timeout=0.5                       recv/barrier deadline in seconds
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -22,6 +29,9 @@
 #include "algos/triangle_count.hpp"
 #include "comm/runtime.hpp"
 #include "core/balance.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "fault/recovery.hpp"
 #include "core/dist2d.hpp"
 #include "graph/datasets.hpp"
 #include "graph/edge_list.hpp"
@@ -60,6 +70,11 @@ int main(int argc, char** argv) {
   const std::string trace_csv = options.get_string("trace", "");
   const std::string trace_out = options.get_string("trace-out", "");
   const std::string metrics_out = options.get_string("metrics-out", "");
+  const std::string faults_text = options.get_string("faults", "");
+  const auto fault_seed =
+      static_cast<std::uint64_t>(options.get_int("fault-seed", 0));
+  const std::int64_t checkpoint_every = options.get_int("checkpoint-every", 0);
+  const double comm_timeout = options.get_double("comm-timeout", 0.0);
   options.check_unknown();
 
   // Input.
@@ -98,10 +113,7 @@ int main(int argc, char** argv) {
   if (!trace_out.empty() || !metrics_out.empty()) {
     recorder = std::make_unique<hpcg::telemetry::Recorder>(grid.ranks());
   }
-  auto stats = hpcg::comm::Runtime::run(
-      grid.ranks(), hpcg::comm::Topology::aimos(grid.ranks()),
-      hpcg::comm::CostModel(cost_params), recorder.get(),
-      [&](hpcg::comm::Comm& comm) {
+  auto body = [&](hpcg::comm::Comm& comm, hpcg::fault::Checkpointer* ckpt) {
     hpcg::core::Dist2DGraph g(comm, parts);
     comm.reset_clocks();
 
@@ -111,7 +123,7 @@ int main(int argc, char** argv) {
     };
 
     if (algo == "bfs") {
-      auto result = hpcg::algos::bfs(g, root);
+      auto result = hpcg::algos::bfs(g, root, {}, ckpt);
       auto levels = hpcg::algos::gather_row_state(
           g, std::span<const std::int64_t>(result.level));
       if (comm.rank() == 0) {
@@ -135,7 +147,7 @@ int main(int argc, char** argv) {
         }
       }
     } else if (algo == "pr") {
-      auto pr = hpcg::algos::pagerank(g, iterations);
+      auto pr = hpcg::algos::pagerank(g, iterations, 0.85, ckpt);
       auto gathered = hpcg::algos::gather_row_state(g, std::span<const double>(pr));
       if (comm.rank() == 0) {
         double total = 0.0;
@@ -155,7 +167,7 @@ int main(int argc, char** argv) {
       }
     } else if (algo == "cc") {
       auto result = hpcg::algos::connected_components(
-          g, hpcg::algos::CcOptions::all_push());
+          g, hpcg::algos::CcOptions::all_push(), ckpt);
       auto labels = hpcg::algos::gather_row_state(g, std::span<const Gid>(result.label));
       if (comm.rank() == 0) {
         std::set<Gid> components(labels.begin(), labels.end());
@@ -258,7 +270,57 @@ int main(int argc, char** argv) {
       std::cout << "unknown --algo=" << algo << "\n";
       passed = false;
     }
-  });
+  };
+
+  const auto topo = hpcg::comm::Topology::aimos(grid.ranks());
+  const hpcg::comm::CostModel cost_model(cost_params);
+  hpcg::comm::RunStats stats;
+  try {
+    std::unique_ptr<hpcg::fault::FaultInjector> injector;
+    if (!faults_text.empty()) {
+      injector = std::make_unique<hpcg::fault::FaultInjector>(
+          hpcg::fault::FaultPlan::parse(faults_text, fault_seed), grid.ranks());
+      std::cout << "faults: " << injector->resolved_specs().size()
+                << " planned (seed " << fault_seed << ")\n";
+    }
+    if (injector || checkpoint_every > 0) {
+      // Fault-tolerant path: superstep checkpoints plus restart-on-failure.
+      hpcg::fault::RecoveryOptions ropts;
+      ropts.recorder = recorder.get();
+      ropts.injector = injector.get();
+      ropts.checkpoint_every = checkpoint_every;
+      ropts.comm_timeout_s = comm_timeout;
+      const auto recovery = hpcg::fault::Runtime::run_with_recovery(
+          grid.ranks(), topo, cost_model, ropts,
+          [&](hpcg::comm::Comm& comm, hpcg::fault::Checkpointer& ckpt) {
+            body(comm, &ckpt);
+          });
+      stats = recovery.stats;
+      std::cout << "recovery: " << recovery.restarts << " restart(s), "
+                << recovery.checkpoints_committed << " checkpoint(s) committed ("
+                << recovery.checkpoint_bytes << " bytes)";
+      for (const auto epoch : recovery.resume_epochs) {
+        std::cout << ", resumed from epoch " << epoch;
+      }
+      std::cout << "\n";
+      if (injector) {
+        for (const auto& event : injector->events()) {
+          std::cout << "  fault: " << hpcg::fault::to_string(event.kind)
+                    << " on rank " << event.rank << " at superstep "
+                    << event.superstep << " (vtime " << event.vtime << " s)\n";
+        }
+      }
+    } else {
+      hpcg::comm::RunOptions ropts;
+      ropts.recorder = recorder.get();
+      ropts.comm_timeout_s = comm_timeout;
+      stats = hpcg::comm::Runtime::run(
+          grid.ranks(), topo, cost_model, ropts,
+          [&](hpcg::comm::Comm& comm) { body(comm, nullptr); });
+    }
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
 
   std::cout << "modeled: total " << stats.makespan() << " s, comp "
             << stats.max_comp() << " s, comm " << stats.max_comm() << " s, "
