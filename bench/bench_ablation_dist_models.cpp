@@ -44,7 +44,8 @@ int main(int argc, char** argv) {
                              static_cast<std::int64_t>(parts.edges_of(r).size()));
       }
       auto stats = hpcg::comm::Runtime::run(
-          static_cast<int>(p), topo, cost, [&](hpcg::comm::Comm& comm) {
+          static_cast<int>(p), topo, cost, hpcg::comm::RunOptions{},
+          [&](hpcg::comm::Comm& comm) {
             hbl::Dist1DGraph g(comm, parts);
             comm.reset_clocks();
             hbl::connected_components_1d(g);
@@ -61,7 +62,8 @@ int main(int argc, char** argv) {
                              static_cast<std::int64_t>(parts.edges_of(r).size()));
       }
       auto stats = hpcg::comm::Runtime::run(
-          static_cast<int>(p), topo, cost, [&](hpcg::comm::Comm& comm) {
+          static_cast<int>(p), topo, cost, hpcg::comm::RunOptions{},
+          [&](hpcg::comm::Comm& comm) {
             hbl::Dist15DGraph g(comm, parts);
             comm.reset_clocks();
             hbl::connected_components_15d(g);

@@ -56,7 +56,8 @@ int main(int argc, char** argv) {
   // cuGraph-like CC/BFS: general 1D-distribution implementations.
   const auto parts1d = hbl::Partitioned1D::build(el, p);
   auto run_1d = [&](const std::function<void(hbl::Dist1DGraph&)>& body) {
-    auto stats = hpcg::comm::Runtime::run(p, topo, cost, [&](hpcg::comm::Comm& comm) {
+    auto stats = hpcg::comm::Runtime::run(
+        p, topo, cost, hpcg::comm::RunOptions{}, [&](hpcg::comm::Comm& comm) {
       hbl::Dist1DGraph g(comm, parts1d);
       comm.reset_clocks();
       body(g);

@@ -20,10 +20,17 @@ int main(int argc, char** argv) {
   const auto ranks = options.get_int_list("ranks", {1, 4, 16, 64, 256});
   const double alpha = hb::alpha_scale(options);
   const std::string csv = options.get_string("csv", "");
+  const std::string async_text = options.get_string("async", "off");
+  const int async_chunk = static_cast<int>(options.get_int("async-chunk", 1));
   options.check_unknown();
 
+  hpcg::comm::RunOptions run_options;
+  run_options.async = async_text == "on";
+  run_options.async_chunk = async_chunk;
+
   hb::banner("Figure 3",
-             "strong scaling (total, comm, speedup vs sqrt(p)) for BFS/PR/CC");
+             "strong scaling (total, comm, speedup vs sqrt(p)) for BFS/PR/CC"
+             + std::string(run_options.async ? " [async overlap on]" : ""));
 
   const std::vector<std::string> graphs = {"tw-mini", "fr-mini", "cw-mini",
                                            "gsh-mini"};
@@ -49,7 +56,8 @@ int main(int argc, char** argv) {
            }},
       };
       for (const auto& run : runs) {
-        const auto times = hb::run_parts(parts, topo, hb::bench_cost(alpha), run.body);
+        const auto times = hb::run_parts(parts, topo, hb::bench_cost(alpha),
+                                         run.body, run_options);
         if (p == 16) t16[{name, run.algo}] = times.total;
         const double base = t16.count({name, run.algo}) ? t16[{name, run.algo}] : 0;
         const double speedup = (p >= 16 && base > 0) ? base / times.total : 0.0;

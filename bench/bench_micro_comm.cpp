@@ -16,7 +16,8 @@ void BM_AllReduce(benchmark::State& state) {
   const int p = static_cast<int>(state.range(0));
   const auto count = static_cast<std::size_t>(state.range(1));
   for (auto _ : state) {
-    hc::Runtime::run(p, [&](hc::Comm& comm) {
+    hc::Runtime::run(p, hc::Topology::aimos(p), hc::CostModel{}, hc::RunOptions{},
+                     [&](hc::Comm& comm) {
       std::vector<double> data(count, comm.rank());
       for (int i = 0; i < 8; ++i) {
         comm.allreduce(std::span(data), hc::ReduceOp::kSum);
@@ -31,7 +32,8 @@ void BM_AllGatherv(benchmark::State& state) {
   const int p = static_cast<int>(state.range(0));
   const auto count = static_cast<std::size_t>(state.range(1));
   for (auto _ : state) {
-    hc::Runtime::run(p, [&](hc::Comm& comm) {
+    hc::Runtime::run(p, hc::Topology::aimos(p), hc::CostModel{}, hc::RunOptions{},
+                     [&](hc::Comm& comm) {
       std::vector<std::int64_t> data(count, comm.rank());
       for (int i = 0; i < 8; ++i) {
         auto out = comm.allgatherv(std::span<const std::int64_t>(data));
@@ -47,7 +49,8 @@ void BM_Alltoallv(benchmark::State& state) {
   const int p = static_cast<int>(state.range(0));
   const auto per_dest = static_cast<std::size_t>(state.range(1));
   for (auto _ : state) {
-    hc::Runtime::run(p, [&](hc::Comm& comm) {
+    hc::Runtime::run(p, hc::Topology::aimos(p), hc::CostModel{}, hc::RunOptions{},
+                     [&](hc::Comm& comm) {
       std::vector<std::size_t> counts(static_cast<std::size_t>(p), per_dest);
       std::vector<std::int64_t> data(per_dest * static_cast<std::size_t>(p), 7);
       for (int i = 0; i < 8; ++i) {
@@ -60,10 +63,57 @@ void BM_Alltoallv(benchmark::State& state) {
 }
 BENCHMARK(BM_Alltoallv)->Args({4, 512})->Args({16, 512});
 
+void BM_IAllReduce(benchmark::State& state) {
+  // Nonblocking issue+wait with no interleaved compute: measures the
+  // request machinery's wall-clock overhead relative to BM_AllReduce.
+  const int p = static_cast<int>(state.range(0));
+  const auto count = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    hc::Runtime::run(p, hc::Topology::aimos(p), hc::CostModel{}, hc::RunOptions{},
+                     [&](hc::Comm& comm) {
+      std::vector<double> data(count, comm.rank());
+      for (int i = 0; i < 8; ++i) {
+        auto req = comm.iallreduce(std::span(data), hc::ReduceOp::kSum);
+        req.wait();
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * count * p);
+}
+BENCHMARK(BM_IAllReduce)->Args({4, 1024})->Args({16, 1024})->Args({16, 65536});
+
+void BM_IAllGathervPipelined(benchmark::State& state) {
+  // Two requests in flight, double-buffered: the chunked sparse-exchange
+  // issue pattern.
+  const int p = static_cast<int>(state.range(0));
+  const auto count = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    hc::Runtime::run(p, hc::Topology::aimos(p), hc::CostModel{}, hc::RunOptions{},
+                     [&](hc::Comm& comm) {
+      std::vector<std::int64_t> data(count, comm.rank());
+      std::vector<std::int64_t> out[2];
+      hc::Request reqs[2];
+      constexpr int kChunks = 8;
+      reqs[0] = comm.iallgatherv(std::span<const std::int64_t>(data), out[0]);
+      for (int k = 0; k < kChunks; ++k) {
+        if (k + 1 < kChunks) {
+          reqs[(k + 1) & 1] =
+              comm.iallgatherv(std::span<const std::int64_t>(data), out[(k + 1) & 1]);
+        }
+        reqs[k & 1].wait();
+        benchmark::DoNotOptimize(out[k & 1].data());
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * count * p);
+}
+BENCHMARK(BM_IAllGathervPipelined)->Args({4, 1024})->Args({16, 4096});
+
 void BM_RankLaunchOverhead(benchmark::State& state) {
   const int p = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    hc::Runtime::run(p, [](hc::Comm& comm) { comm.barrier(); });
+    hc::Runtime::run(p, hc::Topology::aimos(p), hc::CostModel{}, hc::RunOptions{},
+                     [](hc::Comm& comm) { comm.barrier(); });
   }
 }
 BENCHMARK(BM_RankLaunchOverhead)->Arg(4)->Arg(64)->Arg(256);

@@ -82,12 +82,14 @@ inline comm::CostModel bench_cost_measured(double alpha) {
 }
 
 /// Runs `body` over a prebuilt partition (reuse across sweep points to
-/// avoid repartitioning the same graph).
+/// avoid repartitioning the same graph). `run_options` carries the run-wide
+/// async default for overlap benchmarks.
 inline Times run_parts(const core::Partitioned2D& parts, const comm::Topology& topo,
                        const comm::CostModel& cost,
-                       const std::function<void(core::Dist2DGraph&)>& body) {
-  auto stats =
-      comm::Runtime::run(parts.grid().ranks(), topo, cost, [&](comm::Comm& comm) {
+                       const std::function<void(core::Dist2DGraph&)>& body,
+                       const comm::RunOptions& run_options = {}) {
+  auto stats = comm::Runtime::run(
+      parts.grid().ranks(), topo, cost, run_options, [&](comm::Comm& comm) {
         core::Dist2DGraph g(comm, parts);
         comm.reset_clocks();  // exclude construction, as the paper's timings do
         body(g);
@@ -99,16 +101,18 @@ inline Times run_parts(const core::Partitioned2D& parts, const comm::Topology& t
 /// graph, resets the clocks, and times `body`.
 inline Times run_2d(const graph::EdgeList& el, core::Grid grid,
                     const comm::Topology& topo, const comm::CostModel& cost,
-                    const std::function<void(core::Dist2DGraph&)>& body) {
+                    const std::function<void(core::Dist2DGraph&)>& body,
+                    const comm::RunOptions& run_options = {}) {
   const auto parts = core::Partitioned2D::build(el, grid);
-  return run_parts(parts, topo, cost, body);
+  return run_parts(parts, topo, cost, body, run_options);
 }
 
 /// Calibrated-topology + calibrated-cost convenience.
 inline Times run_2d(const graph::EdgeList& el, core::Grid grid, double alpha,
-                    const std::function<void(core::Dist2DGraph&)>& body) {
+                    const std::function<void(core::Dist2DGraph&)>& body,
+                    const comm::RunOptions& run_options = {}) {
   return run_2d(el, grid, bench_topology(grid.ranks(), alpha), bench_cost(alpha),
-                body);
+                body, run_options);
 }
 
 /// Loads a dataset analog once per (name, shift) — benches sweep rank

@@ -34,7 +34,10 @@ int main(int argc, char** argv) {
   const auto grid = hpcg::core::Grid::squarest(ranks);
   const auto parts = hpcg::core::Partitioned2D::build(graph, grid);
 
-  auto stats = hpcg::comm::Runtime::run(ranks, [&](hpcg::comm::Comm& comm) {
+  auto stats = hpcg::comm::Runtime::run(ranks, hpcg::comm::Topology::aimos(ranks),
+                                        hpcg::comm::CostModel{},
+                                        hpcg::comm::RunOptions{},
+                                        [&](hpcg::comm::Comm& comm) {
     hpcg::core::Dist2DGraph g(comm, parts);
     auto result = hpcg::algos::max_weight_matching(g);
     auto mate =

@@ -31,7 +31,10 @@ int main(int argc, char** argv) {
             << grid.col_groups() << " grid\n";
   const auto parts = hpcg::core::Partitioned2D::build(graph, grid);
 
-  auto stats = hpcg::comm::Runtime::run(ranks, [&](hpcg::comm::Comm& comm) {
+  auto stats = hpcg::comm::Runtime::run(ranks, hpcg::comm::Topology::aimos(ranks),
+                                        hpcg::comm::CostModel{},
+                                        hpcg::comm::RunOptions{},
+                                        [&](hpcg::comm::Comm& comm) {
     hpcg::core::Dist2DGraph g(comm, parts);
 
     auto cc = hpcg::algos::connected_components(

@@ -47,7 +47,10 @@ int main(int argc, char** argv) {
         rng.next_below(static_cast<std::uint64_t>(graph.n)));
     std::int64_t reached = 0;
     bool valid = true;
-    auto stats = hpcg::comm::Runtime::run(ranks, [&](hpcg::comm::Comm& comm) {
+    auto stats = hpcg::comm::Runtime::run(ranks, hpcg::comm::Topology::aimos(ranks),
+                                          hpcg::comm::CostModel{},
+                                          hpcg::comm::RunOptions{},
+                                          [&](hpcg::comm::Comm& comm) {
       hpcg::core::Dist2DGraph g(comm, parts);
       comm.reset_clocks();
       auto result = hpcg::algos::bfs_parents(g, root);

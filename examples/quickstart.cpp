@@ -41,7 +41,10 @@ int main(int argc, char** argv) {
 
   // 3. Run. Each rank thread builds its local view and the algorithms
   //    communicate through the row/column group collectives.
-  auto stats = hpcg::comm::Runtime::run(ranks, [&](hpcg::comm::Comm& comm) {
+  auto stats = hpcg::comm::Runtime::run(ranks, hpcg::comm::Topology::aimos(ranks),
+                                        hpcg::comm::CostModel{},
+                                        hpcg::comm::RunOptions{},
+                                        [&](hpcg::comm::Comm& comm) {
     hpcg::core::Dist2DGraph g(comm, parts);
 
     auto bfs = hpcg::algos::bfs(g, /*root=*/0);

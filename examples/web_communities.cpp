@@ -33,7 +33,10 @@ int main(int argc, char** argv) {
   const auto parts = hpcg::core::Partitioned2D::build(graph, grid);
 
   std::vector<std::uint64_t> labels;
-  auto stats = hpcg::comm::Runtime::run(ranks, [&](hpcg::comm::Comm& comm) {
+  auto stats = hpcg::comm::Runtime::run(ranks, hpcg::comm::Topology::aimos(ranks),
+                                        hpcg::comm::CostModel{},
+                                        hpcg::comm::RunOptions{},
+                                        [&](hpcg::comm::Comm& comm) {
     hpcg::core::Dist2DGraph g(comm, parts);
     auto result = hpcg::algos::label_propagation(g, iterations);
     auto gathered = hpcg::algos::gather_row_state(

@@ -35,6 +35,7 @@ BfsResult bfs(core::Dist2DGraph& g, Gid root_original, const BfsOptions& options
   double m_unvisited = static_cast<double>(g.m_global());
   bool bottom_up = false;
   core::MinReduce<std::int64_t> min_reduce;
+  core::SparseBuffers<std::int64_t> sparse_bufs;
 
   std::int64_t start = 0;
   if (ckpt && ckpt->resume_epoch() >= 0) {
@@ -109,7 +110,8 @@ BfsResult bfs(core::Dist2DGraph& g, Gid root_original, const BfsOptions& options
       core::charge_kernel(g.world(), static_cast<std::int64_t>(frontier.size()),
                           edges_expanded);
       core::sparse_exchange(g, std::span(level), updated, min_reduce,
-                            SparseDirection::kPush, &next_frontier);
+                            SparseDirection::kPush, &next_frontier,
+                            options.sparse, &sparse_bufs);
     } else {
       ++result.bottom_up_steps;
       // Bottom-up pull: every unvisited row vertex looks for a parent in
@@ -128,7 +130,8 @@ BfsResult bfs(core::Dist2DGraph& g, Gid root_original, const BfsOptions& options
       }
       core::charge_kernel(g.world(), lids.n_row(), edges_scanned);
       core::sparse_exchange(g, std::span(level), updated, min_reduce,
-                            SparseDirection::kPull, &next_frontier);
+                            SparseDirection::kPull, &next_frontier,
+                            options.sparse, &sparse_bufs);
     }
     m_unvisited -= static_cast<double>(m_frontier);
     frontier.swap(next_frontier);
@@ -181,6 +184,7 @@ BfsParentResult bfs_parents(core::Dist2DGraph& g, Gid root_original,
   double m_unvisited = static_cast<double>(g.m_global());
   bool bottom_up = false;
   LevelParentReduce reduce;
+  core::SparseBuffers<LevelParent> sparse_bufs;
   BfsParentResult result;
 
   for (std::int64_t cur = 0;; ++cur) {
@@ -222,7 +226,8 @@ BfsParentResult bfs_parents(core::Dist2DGraph& g, Gid root_original,
       core::charge_kernel(g.world(), static_cast<std::int64_t>(frontier.size()),
                           edges);
       core::sparse_exchange(g, std::span(state), updated, reduce,
-                            SparseDirection::kPush, &next_frontier);
+                            SparseDirection::kPush, &next_frontier,
+                            options.sparse, &sparse_bufs);
     } else {
       for (Lid v = g.row_lid_begin(); v < g.row_lid_end(); ++v) {
         if (state[static_cast<std::size_t>(v)].level != BfsResult::kUnvisited) {
@@ -244,7 +249,8 @@ BfsParentResult bfs_parents(core::Dist2DGraph& g, Gid root_original,
       }
       core::charge_kernel(g.world(), lids.n_row(), edges);
       core::sparse_exchange(g, std::span(state), updated, reduce,
-                            SparseDirection::kPull, &next_frontier);
+                            SparseDirection::kPull, &next_frontier,
+                            options.sparse, &sparse_bufs);
     }
     m_unvisited -= static_cast<double>(stats[1]);
     frontier.swap(next_frontier);

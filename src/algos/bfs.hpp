@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/dist2d.hpp"
+#include "core/sparse_comm.hpp"
 #include "fault/checkpoint.hpp"
 
 namespace hpcg::algos {
@@ -19,6 +20,9 @@ struct BfsOptions {
   bool direction_optimizing = true;
   double alpha = 15.0;  // top-down -> bottom-up when m_frontier > m_unvisited / alpha
   double beta = 24.0;   // bottom-up -> top-down when n_frontier < N / beta
+  /// Async/chunking opt-in for the sparse exchanges (kRunDefault follows
+  /// RunOptions::async). Levels/parents are bit-identical either way.
+  core::SparseOptions sparse = {};
 };
 
 struct BfsResult {

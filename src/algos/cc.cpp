@@ -39,6 +39,8 @@ CcResult connected_components(core::Dist2DGraph& g, const CcOptions& options,
   bool sparse_mode = options.sparse;
   VertexQueue active(lids.n_total());
   bool queue_live = false;  // becomes true once sparse && vertex_queue
+  core::SparseBuffers<Gid> sparse_bufs;
+  const bool async = options.sparse_opts.enabled(g.world());
 
   int start = 0;
   if (ckpt && ckpt->resume_epoch() >= 0) {
@@ -124,12 +126,13 @@ CcResult connected_components(core::Dist2DGraph& g, const CcOptions& options,
     // (rank_r == 0) approximates the global number of updated vertices.
     VertexQueue changed_rows(lids.n_total());
     std::int64_t counts[2] = {local_writes, 0};
+    comm::Request dense_req;  // in-flight ghost broadcast in async mode
     if (sparse_mode) {
       ++result.sparse_iterations;
       core::sparse_exchange(g, std::span(label), updated, min_reduce,
                             options.push ? SparseDirection::kPush
                                          : SparseDirection::kPull,
-                            &changed_rows);
+                            &changed_rows, options.sparse_opts, &sparse_bufs);
       if (g.rank_r() == 0) {
         counts[1] = static_cast<std::int64_t>(changed_rows.size());
       }
@@ -143,10 +146,19 @@ CcResult connected_components(core::Dist2DGraph& g, const CcOptions& options,
                   (options.push ? g.grid().ranks_per_col_group()
                                 : g.grid().ranks_per_row_group());
       updated.clear();
-      core::dense_exchange(g, std::span(result.label), comm::ReduceOp::kMin,
-                           options.push ? Direction::kPush : Direction::kPull);
+      if (async) {
+        // The world allreduce of the counts below rides under the
+        // in-flight row/column ghost broadcast (different groups).
+        dense_req = core::dense_exchange_async(
+            g, std::span(result.label), comm::ReduceOp::kMin,
+            options.push ? Direction::kPush : Direction::kPull);
+      } else {
+        core::dense_exchange(g, std::span(result.label), comm::ReduceOp::kMin,
+                             options.push ? Direction::kPush : Direction::kPull);
+      }
     }
     g.world().allreduce(std::span<std::int64_t>(counts, 2), comm::ReduceOp::kSum);
+    dense_req.wait();
     superstep.set_value(counts[1]);
     result.iterations = iter + 1;
     if (counts[0] == 0) break;  // no kernel wrote anywhere: fixpoint

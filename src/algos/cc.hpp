@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/dist2d.hpp"
+#include "core/sparse_comm.hpp"
 #include "fault/checkpoint.hpp"
 
 namespace hpcg::algos {
@@ -29,6 +30,9 @@ struct CcOptions {
   bool auto_switch = false;   // dense until the update count drops below cutoff
   bool vertex_queue = false;  // active-vertex queues (requires sparse phase)
   int max_iterations = 100000;
+  /// Async/chunking opt-in for the exchanges in either mode (kRunDefault
+  /// follows RunOptions::async). Labels are bit-identical either way.
+  core::SparseOptions sparse_opts = {};
 
   /// The named variants of Figure 6.
   static CcOptions base() { return {}; }

@@ -23,11 +23,17 @@ struct LabelUpdate {
 
 }  // namespace
 
-LpResult label_propagation(core::Dist2DGraph& g, int iterations) {
+LpResult label_propagation(core::Dist2DGraph& g, int iterations,
+                           const core::SparseOptions& opts) {
   const auto& lids = g.lids();
   const auto n_total = static_cast<std::size_t>(lids.n_total());
   const auto offsets = g.csr().offsets();
   const auto adj = g.csr().adjacencies();
+  const bool async = opts.enabled(g.world());
+  const int nseg = async ? opts.segments(g.world()) : 1;
+  // Fixed slots: an in-flight request holds pointers into these buffers.
+  core::OwnerExchange owner_ex[2];
+  std::vector<LabelUpdate> col_updates_buf;
 
   LpResult result;
   result.label.assign(n_total, 0);
@@ -43,35 +49,68 @@ LpResult label_propagation(core::Dist2DGraph& g, int iterations) {
   for (int it = 0; it < iterations; ++it) {
     // Stage 1: reduce locally-owned edges into per-vertex label counts and
     // serialize them as partial aggregates.
-    std::vector<PartialAggregate> partials;
-    for (const Lid v : active.items()) {
-      const std::int64_t degree = offsets[v + 1] - offsets[v];
-      if (degree == 0) continue;
-      util::CountingHashTable table(static_cast<std::size_t>(degree));
-      for (std::int64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
-        table.add(label[static_cast<std::size_t>(adj[e])]);
-      }
-      const Gid v_gid = lids.to_gid(v);
-      std::vector<std::uint64_t> flat;
-      table.serialize(flat);
-      for (std::size_t i = 0; i < flat.size(); i += 2) {
-        partials.push_back({v_gid, flat[i], flat[i + 1]});
-      }
-    }
-
+    //
     // The local reduction kernel builds per-vertex hash tables over the
     // active vertices' local edges. A hash insert (hash + probe chain +
     // atomicCAS/atomicAdd) costs several simple edge operations — the
     // "compute-intensive hash table construction" of §3.3.3.
     constexpr std::int64_t kHashOpCost = 6;  // in simple-edge-op units
-    std::int64_t active_edges = 0;
-    for (const Lid v : active.items()) active_edges += offsets[v + 1] - offsets[v];
-    core::charge_kernel(g.world(), static_cast<std::int64_t>(active.size()),
-                        active_edges * kHashOpCost);
+    auto build_partials = [&](std::span<const Lid> vertices,
+                              std::vector<PartialAggregate>& partials) {
+      partials.clear();
+      std::int64_t edges = 0;
+      for (const Lid v : vertices) {
+        const std::int64_t degree = offsets[v + 1] - offsets[v];
+        edges += degree;
+        if (degree == 0) continue;
+        util::CountingHashTable table(static_cast<std::size_t>(degree));
+        for (std::int64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+          table.add(label[static_cast<std::size_t>(adj[e])]);
+        }
+        const Gid v_gid = lids.to_gid(v);
+        std::vector<std::uint64_t> flat;
+        table.serialize(flat);
+        for (std::size_t i = 0; i < flat.size(); i += 2) {
+          partials.push_back({v_gid, flat[i], flat[i + 1]});
+        }
+      }
+      core::charge_kernel(g.world(), static_cast<std::int64_t>(vertices.size()),
+                          edges * kHashOpCost);
+    };
 
-    // Stage 2: one row-group Alltoallv moves each vertex's partials to its
-    // hierarchical owner.
-    auto received = core::exchange_to_owners(g, std::span<const PartialAggregate>(partials));
+    // Stage 2: a row-group Alltoallv moves each vertex's partials to its
+    // hierarchical owner. Async mode slices the active set and pipelines
+    // chunk k+1's hash-table construction under chunk k's in-flight
+    // Alltoallv; counts are additive, so the owner merge sees the same
+    // multiset of records in either mode.
+    std::vector<PartialAggregate> received;
+    if (async) {
+      const std::span<const Lid> items(active.items());
+      const std::size_t total = items.size();
+      std::vector<PartialAggregate> chunk_partials[2];
+      auto build_and_issue = [&](int k) {
+        const std::size_t lo = total * static_cast<std::size_t>(k) /
+                               static_cast<std::size_t>(nseg);
+        const std::size_t hi = total * static_cast<std::size_t>(k + 1) /
+                               static_cast<std::size_t>(nseg);
+        build_partials(items.subspan(lo, hi - lo), chunk_partials[k & 1]);
+        core::exchange_to_owners_issue(
+            g, std::span<const PartialAggregate>(chunk_partials[k & 1]),
+            owner_ex[k & 1]);
+      };
+      build_and_issue(0);
+      for (int k = 0; k < nseg; ++k) {
+        if (k + 1 < nseg) build_and_issue(k + 1);
+        owner_ex[k & 1].request.wait();
+        received.insert(received.end(), owner_ex[k & 1].recv.begin(),
+                        owner_ex[k & 1].recv.end());
+      }
+    } else {
+      std::vector<PartialAggregate> partials;
+      build_partials(std::span<const Lid>(active.items()), partials);
+      received = core::exchange_to_owners(
+          g, std::span<const PartialAggregate>(partials));
+    }
 
     // Stage 3: the owner finishes the mode per owned vertex. Sort by
     // vertex so each vertex's records are contiguous, then reduce each run
@@ -106,21 +145,31 @@ LpResult label_propagation(core::Dist2DGraph& g, int iterations) {
     VertexQueue changed_rows(lids.n_total());
     const auto row_updates =
         g.row_comm().allgatherv(std::span<const LabelUpdate>(updates));
+
+    // ... and then to the column group in the standard fashion (each
+    // changed vertex is contributed by its unique row/column overlap rank).
+    // Async mode issues the column gather first and applies the row labels
+    // under it; row and column LID slots are disjoint, so the write order
+    // does not matter.
+    std::vector<LabelUpdate> col_out;
+    for (const auto& u : row_updates) {
+      if (lids.has_col_gid(u.gid)) col_out.push_back(u);
+    }
+    comm::Request col_req;
+    if (async) {
+      col_req = g.col_comm().iallgatherv(std::span<const LabelUpdate>(col_out),
+                                         col_updates_buf);
+    }
     for (const auto& u : row_updates) {
       label[static_cast<std::size_t>(lids.row_lid(u.gid))] = u.label;
       changed_rows.try_push(lids.row_lid(u.gid));
     }
     result.total_updates += static_cast<std::int64_t>(row_updates.size());
-
-    // ... and then to the column group in the standard fashion (each
-    // changed vertex is contributed by its unique row/column overlap rank).
-    std::vector<LabelUpdate> col_out;
-    for (const auto& u : row_updates) {
-      if (lids.has_col_gid(u.gid)) col_out.push_back(u);
+    if (!async) {
+      col_updates_buf = g.col_comm().allgatherv(std::span<const LabelUpdate>(col_out));
     }
-    const auto col_updates =
-        g.col_comm().allgatherv(std::span<const LabelUpdate>(col_out));
-    for (const auto& u : col_updates) {
+    col_req.wait();
+    for (const auto& u : col_updates_buf) {
       label[static_cast<std::size_t>(lids.col_lid(u.gid))] = u.label;
     }
 

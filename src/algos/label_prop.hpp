@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/dist2d.hpp"
+#include "core/sparse_comm.hpp"
 
 namespace hpcg::algos {
 
@@ -20,7 +21,12 @@ struct LpResult {
   std::int64_t total_updates = 0;
 };
 
-/// Collective over the graph's grid.
-LpResult label_propagation(core::Dist2DGraph& g, int iterations = 20);
+/// Collective over the graph's grid. With `opts` async-enabled, the
+/// hash-table stage is chunked and pipelined under the in-flight owner
+/// Alltoallv, and the column broadcast overlaps the row-update
+/// application; labels are bit-identical either way (counts are additive
+/// and the mode tie-break is deterministic).
+LpResult label_propagation(core::Dist2DGraph& g, int iterations = 20,
+                           const core::SparseOptions& opts = {});
 
 }  // namespace hpcg::algos

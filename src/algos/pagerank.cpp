@@ -30,7 +30,9 @@ namespace {
 /// once it falls below. Returns (iterations run, final delta).
 std::pair<int, double> pagerank_loop(core::Dist2DGraph& g, std::vector<double>& pr,
                                      int max_iterations, double damping,
-                                     double tolerance, fault::Checkpointer* ckpt) {
+                                     double tolerance,
+                                     const core::SparseOptions& opts,
+                                     fault::Checkpointer* ckpt) {
   const auto& lids = g.lids();
   const auto n_total = static_cast<std::size_t>(lids.n_total());
   const double n_global = static_cast<double>(g.n());
@@ -67,20 +69,52 @@ std::pair<int, double> pagerank_loop(core::Dist2DGraph& g, std::vector<double>& 
       acc[static_cast<std::size_t>(v)] = sum;
     }
     core::charge_kernel(g.world(), lids.n_total(), g.m_local());
-    core::dense_exchange(g, std::span(acc), comm::ReduceOp::kSum,
-                         Direction::kPull);
     double local_delta = 0.0;
-    for (std::size_t l = 0; l < n_total; ++l) {
-      const double next = (1.0 - damping) / n_global + damping * acc[l];
-      const Lid lid = static_cast<Lid>(l);
-      if (tolerance > 0.0 && lids.lid_is_row(lid) && g.rank_r() == 0) {
-        local_delta += std::abs(next - pr[l]);
+    if (opts.enabled(g.world())) {
+      // Row slots of `acc` are final once the internal allreduce resolves;
+      // updating them rides under the in-flight ghost broadcast. Iteration
+      // stays ascending (row range first, the rest after the wait), so
+      // `pr` and the delta sum are bit-identical to the blocking path.
+      comm::Request req = core::dense_exchange_async(
+          g, std::span(acc), comm::ReduceOp::kSum, Direction::kPull);
+      const auto row_begin = static_cast<std::size_t>(lids.c_offset_r());
+      const auto row_end = row_begin + static_cast<std::size_t>(lids.n_row());
+      for (std::size_t l = row_begin; l < row_end; ++l) {
+        const double next = (1.0 - damping) / n_global + damping * acc[l];
+        if (tolerance > 0.0 && g.rank_r() == 0) {
+          local_delta += std::abs(next - pr[l]);
+        }
+        pr[l] = next;
       }
-      pr[l] = next;
+      core::charge_kernel(g.world(), lids.n_row(), 0);
+      if (tolerance > 0.0) {
+        // The world delta reduction only needs row slots, so it too rides
+        // under the in-flight ghost broadcast (disjoint comm groups).
+        delta = g.world().allreduce_one(local_delta, comm::ReduceOp::kSum);
+      }
+      req.wait();
+      for (std::size_t l = 0; l < n_total; ++l) {
+        if (lids.lid_is_row(static_cast<Lid>(l))) continue;
+        pr[l] = (1.0 - damping) / n_global + damping * acc[l];
+      }
+      core::charge_kernel(g.world(), lids.n_total() - lids.n_row(), 0);
+    } else {
+      core::dense_exchange(g, std::span(acc), comm::ReduceOp::kSum,
+                           Direction::kPull);
+      for (std::size_t l = 0; l < n_total; ++l) {
+        const double next = (1.0 - damping) / n_global + damping * acc[l];
+        const Lid lid = static_cast<Lid>(l);
+        if (tolerance > 0.0 && lids.lid_is_row(lid) && g.rank_r() == 0) {
+          local_delta += std::abs(next - pr[l]);
+        }
+        pr[l] = next;
+      }
+      core::charge_kernel(g.world(), lids.n_total(), 0);
     }
-    core::charge_kernel(g.world(), lids.n_total(), 0);
     if (tolerance > 0.0) {
-      delta = g.world().allreduce_one(local_delta, comm::ReduceOp::kSum);
+      if (!opts.enabled(g.world())) {
+        delta = g.world().allreduce_one(local_delta, comm::ReduceOp::kSum);
+      }
       if (delta < tolerance) {
         ++it;
         break;
@@ -93,21 +127,23 @@ std::pair<int, double> pagerank_loop(core::Dist2DGraph& g, std::vector<double>& 
 }  // namespace
 
 std::vector<double> pagerank(core::Dist2DGraph& g, int iterations, double damping,
+                             const core::SparseOptions& opts,
                              fault::Checkpointer* ckpt) {
   std::vector<double> pr(static_cast<std::size_t>(g.lids().n_total()),
                          1.0 / static_cast<double>(g.n()));
-  pagerank_loop(g, pr, iterations, damping, /*tolerance=*/0.0, ckpt);
+  pagerank_loop(g, pr, iterations, damping, /*tolerance=*/0.0, opts, ckpt);
   return pr;
 }
 
 PrToleranceResult pagerank_tolerance(core::Dist2DGraph& g, double tolerance,
                                      int max_iterations, double damping,
+                                     const core::SparseOptions& opts,
                                      fault::Checkpointer* ckpt) {
   PrToleranceResult result;
   result.rank.assign(static_cast<std::size_t>(g.lids().n_total()),
                      1.0 / static_cast<double>(g.n()));
   const auto [iterations, delta] =
-      pagerank_loop(g, result.rank, max_iterations, damping, tolerance, ckpt);
+      pagerank_loop(g, result.rank, max_iterations, damping, tolerance, opts, ckpt);
   result.iterations = iterations;
   result.final_delta = delta;
   return result;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/dist2d.hpp"
+#include "core/sparse_comm.hpp"
 #include "fault/checkpoint.hpp"
 
 namespace hpcg::algos {
@@ -17,8 +18,12 @@ namespace hpcg::algos {
 /// globally consistent on return). Collective over the graph's grid. When
 /// `ckpt` is non-null, the rank vector is snapshotted at superstep
 /// boundaries and restored on entry after a fault-triggered restart.
+/// With `opts` async-enabled, the row-slot update overlaps the ghost
+/// broadcast each iteration; the summation order is unchanged, so the
+/// returned vector is bit-identical either way.
 std::vector<double> pagerank(core::Dist2DGraph& g, int iterations,
                              double damping = 0.85,
+                             const core::SparseOptions& opts = {},
                              fault::Checkpointer* ckpt = nullptr);
 
 /// Library-convenience variant: iterate until the global L1 delta drops
@@ -32,6 +37,7 @@ struct PrToleranceResult {
 PrToleranceResult pagerank_tolerance(core::Dist2DGraph& g, double tolerance,
                                      int max_iterations = 1000,
                                      double damping = 0.85,
+                                     const core::SparseOptions& opts = {},
                                      fault::Checkpointer* ckpt = nullptr);
 
 /// LID-indexed true vertex degrees (row + ghost slots), computed with one

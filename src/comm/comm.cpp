@@ -152,10 +152,133 @@ void Comm::advance_clocks(double cost, std::uint64_t bytes, std::uint64_t msgs,
   world_->bytes_.fetch_add(bytes, std::memory_order_relaxed);
   world_->messages_.fetch_add(msgs, std::memory_order_relaxed);
   world_->collectives_.fetch_add(1, std::memory_order_relaxed);
+  // A blocking collective occupies the group's channel until t: a
+  // nonblocking collective waited afterwards cannot start its transfer
+  // earlier (one modeled NCCL stream per communicator). Write-only for the
+  // sync path, so sync-only runs are unaffected.
+  group_->channel_time_ = t;
+  group_->channel_epoch_ = world_->clock_epoch_;
   if (world_->cost_model().params().trace) {
     std::lock_guard lock(world_->trace_mutex_);
     world_->trace_.push_back({t, cost, op, size(), bytes});
   }
+}
+
+std::shared_ptr<Request::State> Comm::async_issue(CollectiveOp op) {
+  auto st = std::make_shared<Request::State>();
+  if (auto* f = world_->injector_) {
+    // Consume the injector at the issue point so the collective sequence
+    // advances exactly as the blocking op would; the decision is stashed
+    // and applied at wait().
+    st->fault = f->on_collective(world_rank_, op, world_->vclock_[world_rank_]);
+  }
+  flush_compute();  // pin host compute before recording the issue point
+  st->issue_vclock = world_->vclock_[world_rank_];
+  return st;
+}
+
+Request Comm::async_completed(std::shared_ptr<Request::State> st) {
+  st->done = true;
+  return Request(std::move(st));
+}
+
+void Comm::async_leader_commit(AsyncCharge charge, CollectiveOp op) {
+  double cost = charge.cost_s;
+  if (auto* f = world_->injector_) {
+    const double mult =
+        f->collective_cost_multiplier(group_->members().data(), size());
+    if (mult != 1.0) {
+      cost *= mult;
+      if (auto* rec = world_->recorder_) {
+        rec->metrics().counter("faults.degraded_collectives").increment();
+      }
+    }
+  }
+  // The transfer starts once every member has issued and the group's
+  // channel (shared modeled NCCL stream) is free — not when the slowest
+  // member reaches wait(). That gap is the overlap window.
+  double issue_max = 0.0;
+  for (int m = 0; m < size(); ++m) {
+    issue_max = std::max(issue_max, group_->slots_[m].issue_vclock);
+  }
+  const double channel = (group_->channel_epoch_ == world_->clock_epoch_)
+                             ? group_->channel_time_
+                             : 0.0;
+  const double start = std::max(issue_max, channel);
+  const double done = start + cost;
+  group_->async_start_ = start;
+  group_->async_done_ = done;
+  group_->async_cost_ = cost;
+  group_->async_bytes_ = charge.bytes;
+  group_->channel_time_ = done;
+  group_->channel_epoch_ = world_->clock_epoch_;
+  if (auto* rec = world_->recorder_) {
+    auto& metrics = rec->metrics();
+    const char* op_name = to_string(op);
+    metrics.counter(std::string("bytes.") + op_name).add(charge.bytes);
+    metrics.counter(std::string("collectives.") + op_name).increment();
+    metrics.counter("messages.collective").add(charge.msgs);
+    metrics.histogram("collective.bytes").observe(charge.bytes);
+  }
+  world_->bytes_.fetch_add(charge.bytes, std::memory_order_relaxed);
+  world_->messages_.fetch_add(charge.msgs, std::memory_order_relaxed);
+  world_->collectives_.fetch_add(1, std::memory_order_relaxed);
+  if (world_->cost_model().params().trace) {
+    std::lock_guard lock(world_->trace_mutex_);
+    world_->trace_.push_back({done, cost, op, size(), charge.bytes});
+  }
+}
+
+void Comm::async_member_finish(Request::State& st, CollectiveOp op) {
+  const double start = group_->async_start_;
+  const double done = group_->async_done_;
+  const double now = world_->vclock_[world_rank_];
+  const double t = std::max(now, done);
+  const double overlap = std::max(0.0, std::min(now, done) - start);
+  if (auto* rec = world_->recorder_) {
+    const int step = rec->current_superstep(world_rank_);
+    if (t > now) {
+      // The exposed (non-hidden) wait, on the rank's main track — what a
+      // blocking collective would have shown, minus the overlapped part.
+      telemetry::SpanRecord span;
+      span.start_s = now;
+      span.end_s = t;
+      span.rank = world_rank_;
+      span.kind = telemetry::SpanKind::kCollective;
+      span.name = to_string(op);
+      span.bytes = group_->async_bytes_;
+      span.group_size = size();
+      span.superstep = step;
+      rec->record(std::move(span));
+    }
+    // Issue→completion on the rank's async track.
+    telemetry::SpanRecord async_span;
+    async_span.start_s = st.issue_vclock;
+    async_span.end_s = t;
+    async_span.rank = world_rank_;
+    async_span.kind = telemetry::SpanKind::kAsync;
+    async_span.name = std::string("i") + to_string(op);
+    async_span.bytes = group_->async_bytes_;
+    async_span.group_size = size();
+    async_span.superstep = step;
+    rec->record(std::move(async_span));
+    if (overlap > 0) {
+      telemetry::SpanRecord overlap_span;
+      overlap_span.start_s = start;
+      overlap_span.end_s = start + overlap;
+      overlap_span.rank = world_rank_;
+      overlap_span.kind = telemetry::SpanKind::kAsync;
+      overlap_span.name = "overlap";
+      overlap_span.superstep = step;
+      rec->record(std::move(overlap_span));
+    }
+  }
+  // Self-clock update after barrier 2 is safe: the next collective's
+  // barrier 1 orders it before any leader reads.
+  world_->comm_s_[world_rank_] += t - now;
+  world_->vclock_[world_rank_] = t;
+  st.cost_s = group_->async_cost_;
+  st.overlap_s = overlap;
 }
 
 void Comm::barrier() {
@@ -360,6 +483,10 @@ void Comm::reset_clocks() {
     world_->bytes_.store(0);
     world_->messages_.store(0);
     world_->collectives_.store(0);
+    // Invalidate channel reservations on every group, including row/col
+    // groups this leader cannot reach: stale channel_epoch_ values no
+    // longer match, so their channel_time_ reads as free.
+    ++world_->clock_epoch_;
     std::lock_guard lock(world_->trace_mutex_);
     world_->trace_.clear();
   }

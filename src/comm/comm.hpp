@@ -26,6 +26,33 @@
 //                         its own barrier 1, which transitively orders them
 //                         after every rank's phase C.
 //
+// Nonblocking collectives (the i-prefixed operations, comm/request.hpp)
+// split every collective into an *issue* and a *wait*:
+//   issue (rank-local)    consult the fault injector (advancing the
+//                         collective sequence exactly like the blocking
+//                         op), flush pending compute, record the issue
+//                         point on the virtual clock, capture the
+//                         operation as a completion closure. No barrier,
+//                         no data movement.
+//   wait                  runs the full three-phase protocol above, with
+//                         two differences: each member publishes its
+//                         issue-time clock in its slot, and instead of
+//                         equalizing clocks the leader computes
+//                           comm_done = max(max member issue clock,
+//                                           channel time) + cost
+//                         and each member advances itself to
+//                         max(own clock, comm_done) — so compute executed
+//                         between issue and wait hides under the transfer
+//                         (`max` instead of sum). The per-group channel
+//                         time serializes successive transfers on one
+//                         communicator like a shared NCCL stream; blocking
+//                         collectives update it too, so mixed sequences
+//                         stay ordered.
+// Data movement still happens eagerly at the wait, so algorithm results
+// are bit-identical between blocking and nonblocking modes; only the
+// modeled timing differs. See docs/ASYNC.md for the full cost model and
+// determinism rules.
+//
 // Error hierarchy (comm/errors.hpp): every failure a communication call
 // can raise derives from `CommError` — `RankFailure` (a rank crashed),
 // `Timeout` (a blocking wait exceeded the configured deadline; how silent
@@ -52,6 +79,7 @@
 #include "comm/cost_model.hpp"
 #include "comm/errors.hpp"
 #include "comm/fault_hooks.hpp"
+#include "comm/request.hpp"
 #include "comm/stats.hpp"
 #include "comm/topology.hpp"
 #include "telemetry/telemetry.hpp"
@@ -82,6 +110,9 @@ struct Slot {
   std::size_t count = 0;
   int color = 0;
   int key = 0;
+  // Nonblocking waits only: the member's virtual clock at issue time.
+  // Blocking collectives leave it zero (unused).
+  double issue_vclock = 0.0;
 };
 
 }  // namespace detail
@@ -111,6 +142,20 @@ class Group {
   // group does not keep every child of its most recent split alive.
   std::vector<std::pair<int, std::shared_ptr<Group>>> children_;
   std::atomic<int> children_readers_{0};
+  // Nonblocking-wait rendezvous results, published by the leader between
+  // the barriers (same happens-before as the clock writes): the transfer
+  // window [async_start_, async_done_] and its cost/bytes.
+  double async_start_ = 0.0;
+  double async_done_ = 0.0;
+  double async_cost_ = 0.0;
+  std::uint64_t async_bytes_ = 0;
+  // Per-communicator "stream" time: successive transfers on one group
+  // serialize behind each other (a later transfer cannot start before the
+  // previous one finished), mirroring a shared NCCL stream. Tagged with
+  // the world clock epoch so reset_clocks invalidates stale values without
+  // needing to reach every group. Leader-only, barrier-ordered.
+  double channel_time_ = 0.0;
+  std::uint64_t channel_epoch_ = 0;
 };
 
 /// Global run state shared by all ranks: clocks, traffic counters, topology
@@ -165,6 +210,13 @@ class World {
   std::vector<double> comp_s_;
   std::vector<double> comm_s_;
   std::vector<double> cpu_mark_;
+  // Bumped by reset_clocks (leader side, between its barriers) so stale
+  // per-group channel times from before the reset are ignored.
+  std::uint64_t clock_epoch_ = 0;
+  // Run-level nonblocking defaults (RunOptions::async / async_chunk),
+  // read back by algorithms via Comm::async_default().
+  bool async_default_ = false;
+  int async_chunk_ = 4;
   std::atomic<std::uint64_t> bytes_{0};
   std::atomic<std::uint64_t> messages_{0};
   std::atomic<std::uint64_t> collectives_{0};
@@ -241,23 +293,93 @@ class Comm {
   template <class T>
   void allgather(std::span<const T> send, std::span<T> recv);
 
-  /// Variable-size gather; returns the concatenation in group order and
-  /// (optionally) the per-member element counts.
+  /// Variable-size gather into a caller-owned buffer: `out` is cleared and
+  /// resized in place (reusing its capacity across iterations), filled with
+  /// the concatenation in group order; `counts_out` (optional) receives the
+  /// per-member element counts.
+  template <class T>
+  void allgatherv(std::span<const T> send, std::vector<T>& out,
+                  std::vector<std::size_t>* counts_out = nullptr);
+
+  /// Returning form: thin wrapper over the caller-owned-buffer overload
+  /// (one fresh allocation per call — prefer the overload in hot loops).
   template <class T>
   std::vector<T> allgatherv(std::span<const T> send,
                             std::vector<std::size_t>* counts_out = nullptr);
 
-  /// Personalized exchange: `send` holds the concatenated per-destination
-  /// segments sized by `send_counts` (one entry per member, group order).
-  /// Returns the concatenated received segments; fills `recv_counts`.
+  /// Personalized exchange into a caller-owned buffer: `send` holds the
+  /// concatenated per-destination segments sized by `send_counts` (one
+  /// entry per member, group order); `out` is cleared and resized in place
+  /// with the concatenated received segments; fills `recv_counts`.
+  template <class T>
+  void alltoallv(std::span<const T> send,
+                 std::span<const std::size_t> send_counts, std::vector<T>& out,
+                 std::vector<std::size_t>* recv_counts = nullptr);
+
+  /// Returning form: thin wrapper over the caller-owned-buffer overload.
   template <class T>
   std::vector<T> alltoallv(std::span<const T> send,
                            std::span<const std::size_t> send_counts,
                            std::vector<std::size_t>* recv_counts = nullptr);
 
+  // -------------------------------------------------------------------------
+  // Nonblocking collectives (comm/request.hpp). Issue is rank-local; the
+  // rendezvous and data movement run at Request::wait() with overlap cost
+  // accounting (clock advances by max(compute since issue, comm), not the
+  // sum). Members must issue and wait in the same order; all buffers must
+  // stay valid and at stable addresses until the wait returns.
+  // -------------------------------------------------------------------------
+
+  template <class T>
+  Request iallreduce(std::span<T> data, ReduceOp op);
+
+  /// Nonblocking allreduce with a user combiner (same contract as the
+  /// blocking combiner overload).
+  template <class T, class F>
+  Request iallreduce(std::span<T> data, F&& combine);
+
+  template <class T>
+  Request ibroadcast(std::span<T> data, int root);
+
+  /// Nonblocking grouped multi-broadcast. Takes the segment list by value
+  /// and keeps it alive inside the request, so callers may build it in a
+  /// temporary.
+  template <class T>
+  Request imulti_broadcast(std::vector<BcastSeg<T>> segments);
+
+  /// Nonblocking variable-size gather; `out` (and `counts_out`, when
+  /// non-null) are filled at wait time.
+  template <class T>
+  Request iallgatherv(std::span<const T> send, std::vector<T>& out,
+                      std::vector<std::size_t>* counts_out = nullptr);
+
+  /// Nonblocking personalized exchange; `send_counts` is copied at issue,
+  /// `out`/`recv_counts` are filled at wait time.
+  template <class T>
+  Request ialltoallv(std::span<const T> send,
+                     std::span<const std::size_t> send_counts,
+                     std::vector<T>& out,
+                     std::vector<std::size_t>* recv_counts = nullptr);
+
+  /// Nonblocking send. Sends are already eager (the payload is enqueued at
+  /// issue), so the returned request is complete immediately.
+  template <class T>
+  Request isend(std::span<const T> data, int dest_world_rank, int tag);
+
+  /// Nonblocking receive into a caller-owned buffer, filled at wait time.
+  /// test() polls the mailbox and completes without blocking when the
+  /// message has already arrived.
+  template <class T>
+  Request irecv(int src_world_rank, int tag, std::vector<T>& out);
+
   /// Point-to-point (world-rank addressed). Blocking, tag-matched.
   template <class T>
   void send(std::span<const T> data, int dest_world_rank, int tag);
+  /// Blocking receive into a caller-owned buffer (cleared and resized in
+  /// place).
+  template <class T>
+  void recv(int src_world_rank, int tag, std::vector<T>& out);
+  /// Returning form: thin wrapper over the caller-owned-buffer overload.
   template <class T>
   std::vector<T> recv(int src_world_rank, int tag);
 
@@ -288,6 +410,11 @@ class Comm {
 
   /// The run's fault injector, or null when fault injection is off.
   FaultHooks* fault_hooks() const { return world_->injector_; }
+
+  /// Run-level nonblocking defaults (RunOptions::async / async_chunk);
+  /// algorithms resolve their SparseOptions against these.
+  bool async_default() const { return world_->async_default_; }
+  int async_chunk_default() const { return world_->async_chunk_; }
 
   /// Number of child groups this communicator still holds from its most
   /// recent split (diagnostic; 0 once every member has taken its child).
@@ -345,6 +472,43 @@ class Comm {
   /// Records a zero-duration telemetry instant + metrics counter for a
   /// fault event (no-op when telemetry is off).
   void fault_instant(const char* name, std::int64_t value = -1);
+
+  // Nonblocking-collective internals. The op-specific templates below wire
+  // their data movement into async_complete_impl; the non-template
+  // protocol pieces live in comm.cpp.
+  /// Leader-side modeled charge of one nonblocking collective.
+  struct AsyncCharge {
+    double cost_s = 0.0;
+    std::uint64_t bytes = 0;
+    std::uint64_t msgs = 0;
+  };
+  /// Issue-time bookkeeping shared by all i-collectives: consult the
+  /// injector (stashing the decision for the wait), flush compute, record
+  /// the issue clock.
+  std::shared_ptr<Request::State> async_issue(CollectiveOp op);
+  /// Wraps a state that completed at issue (single-rank groups, isend).
+  static Request async_completed(std::shared_ptr<Request::State> st);
+  /// Leader, between the wait's barriers: applies the degrade multiplier,
+  /// computes the transfer window from the published issue clocks and the
+  /// group channel, publishes it, and bumps counters/trace.
+  void async_leader_commit(AsyncCharge charge, CollectiveOp op);
+  /// Every member, after barrier 2: advance own clock to
+  /// max(clock, comm_done), record collective/async/overlap spans, fill
+  /// the request's cost and overlap.
+  void async_member_finish(Request::State& st, CollectiveOp op);
+  /// The wait-time rendezvous skeleton. `publish` writes this member's
+  /// slot; `mid` runs between the barriers (leader reduce or member-side
+  /// copies); `cost` (leader only) prices the transfer from the published
+  /// slots; `post` runs after barrier 2 (rank-local copy-out).
+  template <class Publish, class Mid, class Cost, class Post>
+  void async_complete_impl(Request::State& st, CollectiveOp op,
+                           Publish&& publish, Mid&& mid, Cost&& cost,
+                           Post&& post);
+  /// irecv completion: blocking (wait) or polling (test) mailbox take,
+  /// then overlap-aware arrival accounting. Returns whether it completed.
+  template <class T>
+  bool irecv_complete(Request::State& st, int src_world_rank, int tag,
+                      std::vector<T>& out, bool blocking);
 
   World* world_;
   std::shared_ptr<Group> group_;
@@ -615,26 +779,28 @@ void Comm::allgather(std::span<const T> send, std::span<T> recv) {
 }
 
 template <class T>
-std::vector<T> Comm::allgatherv(std::span<const T> send,
-                                std::vector<std::size_t>* counts_out) {
+void Comm::allgatherv(std::span<const T> send, std::vector<T>& out,
+                      std::vector<std::size_t>* counts_out) {
   static_assert(std::is_trivially_copyable_v<T>);
   fault_collective(CollectiveOp::kAllGatherV);
   if (size() == 1) {
     if (counts_out) *counts_out = {send.size()};
-    return std::vector<T>(send.begin(), send.end());
+    out.assign(send.begin(), send.end());
+    return;
   }
   enter_collective();
   my_slot() = {send.data(), nullptr, send.size(), 0, 0};
   group_->barrier_.arrive_and_wait();
   std::size_t total = 0;
   for (int m = 0; m < size(); ++m) total += group_->slots_[m].count;
-  std::vector<T> recv(total);
+  out.clear();
+  out.resize(total);
   if (counts_out) counts_out->resize(size());
   std::size_t offset = 0;
   for (int m = 0; m < size(); ++m) {
     const std::size_t count = group_->slots_[m].count;
     if (count > 0) {
-      std::memcpy(recv.data() + offset, group_->slots_[m].ptr_a,
+      std::memcpy(out.data() + offset, group_->slots_[m].ptr_a,
                   count * sizeof(T));
     }
     if (counts_out) (*counts_out)[m] = count;
@@ -647,13 +813,21 @@ std::vector<T> Comm::allgatherv(std::span<const T> send,
   }
   group_->barrier_.arrive_and_wait();
   exit_collective();
-  return recv;
 }
 
 template <class T>
-std::vector<T> Comm::alltoallv(std::span<const T> send,
-                               std::span<const std::size_t> send_counts,
-                               std::vector<std::size_t>* recv_counts) {
+std::vector<T> Comm::allgatherv(std::span<const T> send,
+                                std::vector<std::size_t>* counts_out) {
+  std::vector<T> out;
+  allgatherv(send, out, counts_out);
+  return out;
+}
+
+template <class T>
+void Comm::alltoallv(std::span<const T> send,
+                     std::span<const std::size_t> send_counts,
+                     std::vector<T>& out,
+                     std::vector<std::size_t>* recv_counts) {
   static_assert(std::is_trivially_copyable_v<T>);
   if (static_cast<int>(send_counts.size()) != size()) {
     throw std::invalid_argument("alltoallv: send_counts size != comm size");
@@ -661,7 +835,8 @@ std::vector<T> Comm::alltoallv(std::span<const T> send,
   fault_collective(CollectiveOp::kAllToAllV);
   if (size() == 1) {
     if (recv_counts) *recv_counts = {send.size()};
-    return std::vector<T>(send.begin(), send.end());
+    out.assign(send.begin(), send.end());
+    return;
   }
   enter_collective();
   my_slot() = {send.data(), send_counts.data(), send.size(), 0, 0};
@@ -674,14 +849,15 @@ std::vector<T> Comm::alltoallv(std::span<const T> send,
   }
   std::size_t total = 0;
   for (const auto c : incoming) total += c;
-  std::vector<T> recv(total);
+  out.clear();
+  out.resize(total);
   std::size_t out_offset = 0;
   for (int m = 0; m < size(); ++m) {
     const auto* counts = static_cast<const std::size_t*>(group_->slots_[m].ptr_b);
     std::size_t in_offset = 0;
     for (int d = 0; d < group_rank_; ++d) in_offset += counts[d];
     if (incoming[m] > 0) {
-      std::memcpy(recv.data() + out_offset,
+      std::memcpy(out.data() + out_offset,
                   static_cast<const T*>(group_->slots_[m].ptr_a) + in_offset,
                   incoming[m] * sizeof(T));
     }
@@ -713,7 +889,15 @@ std::vector<T> Comm::alltoallv(std::span<const T> send,
   }
   group_->barrier_.arrive_and_wait();
   exit_collective();
-  return recv;
+}
+
+template <class T>
+std::vector<T> Comm::alltoallv(std::span<const T> send,
+                               std::span<const std::size_t> send_counts,
+                               std::vector<std::size_t>* recv_counts) {
+  std::vector<T> out;
+  alltoallv(send, send_counts, out, recv_counts);
+  return out;
 }
 
 template <class T>
@@ -757,7 +941,7 @@ void Comm::send(std::span<const T> data, int dest_world_rank, int tag) {
 }
 
 template <class T>
-std::vector<T> Comm::recv(int src_world_rank, int tag) {
+void Comm::recv(int src_world_rank, int tag, std::vector<T>& out) {
   static_assert(std::is_trivially_copyable_v<T>);
   if (src_world_rank < 0 || src_world_rank >= world_->nranks()) {
     throw std::invalid_argument("recv: src world rank " +
@@ -811,10 +995,431 @@ std::vector<T> Comm::recv(int src_world_rank, int tag) {
   }
   world_->comm_s_[world_rank_] += arrival - world_->vclock_[world_rank_];
   world_->vclock_[world_rank_] = arrival;
-  std::vector<T> out(msg.payload.size() / sizeof(T));
+  out.clear();
+  out.resize(msg.payload.size() / sizeof(T));
   std::memcpy(out.data(), msg.payload.data(), msg.payload.size());
   exit_collective();
+}
+
+template <class T>
+std::vector<T> Comm::recv(int src_world_rank, int tag) {
+  std::vector<T> out;
+  recv(src_world_rank, tag, out);
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Nonblocking collectives. Each issue captures a completion closure that
+// re-runs the blocking op's rendezvous through async_complete_impl; the
+// closure captures the Comm by value and the request state by raw pointer
+// (the owning Request keeps it alive — a shared_ptr capture would cycle).
+// ---------------------------------------------------------------------------
+
+template <class Publish, class Mid, class Cost, class Post>
+void Comm::async_complete_impl(Request::State& st, CollectiveOp op,
+                               Publish&& publish, Mid&& mid, Cost&& cost,
+                               Post&& post) {
+  // A fault keyed on the issuing collective-seq surfaces here, before the
+  // rendezvous: a crash unwinds pre-barrier (peers unblock via the abort
+  // flag, exactly like a blocking-collective crash) and transient backoff
+  // is charged to this rank's clock ahead of the transfer window.
+  apply_fault_decision(st.fault, to_string(op));
+  st.fault = {};
+  enter_collective();
+  publish();
+  group_->barrier_.arrive_and_wait();
+  mid();
+  if (leader()) async_leader_commit(cost(), op);
+  group_->barrier_.arrive_and_wait();
+  post();
+  async_member_finish(st, op);
+  exit_collective();
+  st.done = true;
+}
+
+template <class T, class F>
+Request Comm::iallreduce(std::span<T> data, F&& combine) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  auto st = async_issue(CollectiveOp::kAllReduce);
+  if (size() == 1) return async_completed(std::move(st));
+  Comm self = *this;
+  auto* stp = st.get();
+  st->complete = [self, stp, data,
+                  combine = std::decay_t<F>(std::forward<F>(combine))]() mutable {
+    self.async_complete_impl(
+        *stp, CollectiveOp::kAllReduce,
+        [&] {
+          self.my_slot() = {data.data(), nullptr, data.size(), 0, 0,
+                            stp->issue_vclock};
+        },
+        [&] {
+          if (!self.leader()) return;
+          const std::size_t bytes = data.size() * sizeof(T);
+          self.group_->scratch_.resize(bytes);
+          auto* acc = reinterpret_cast<T*>(self.group_->scratch_.data());
+          std::memcpy(acc, self.group_->slots_[0].ptr_a, bytes);
+          for (int m = 1; m < self.size(); ++m) {
+            const T* from = static_cast<const T*>(self.group_->slots_[m].ptr_a);
+            for (std::size_t i = 0; i < data.size(); ++i) combine(acc[i], from[i]);
+          }
+        },
+        [&]() -> AsyncCharge {
+          const std::size_t bytes = data.size() * sizeof(T);
+          return {self.world_->cost_model().allreduce(self.group_->link(), bytes),
+                  static_cast<std::uint64_t>(bytes) * 2 * (self.size() - 1) /
+                      self.size(),
+                  static_cast<std::uint64_t>(2 * (self.size() - 1))};
+        },
+        [&] {
+          std::memcpy(data.data(), self.group_->scratch_.data(),
+                      data.size() * sizeof(T));
+        });
+  };
+  return Request(std::move(st));
+}
+
+template <class T>
+Request Comm::iallreduce(std::span<T> data, ReduceOp op) {
+  return iallreduce(data, [op](T& into, const T& from) {
+    T tmp = into;
+    detail::apply_reduce(op, &tmp, &from, 1);
+    into = tmp;
+  });
+}
+
+template <class T>
+Request Comm::ibroadcast(std::span<T> data, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  auto st = async_issue(CollectiveOp::kBroadcast);
+  if (size() == 1) return async_completed(std::move(st));
+  Comm self = *this;
+  auto* stp = st.get();
+  st->complete = [self, stp, data, root]() mutable {
+    self.async_complete_impl(
+        *stp, CollectiveOp::kBroadcast,
+        [&] {
+          self.my_slot() = {data.data(), nullptr, data.size(), 0, 0,
+                            stp->issue_vclock};
+        },
+        [&] {
+          const auto& root_slot = self.group_->slots_[root];
+          if (self.group_rank_ != root) {
+            std::memcpy(data.data(), root_slot.ptr_a,
+                        root_slot.count * sizeof(T));
+          }
+        },
+        [&]() -> AsyncCharge {
+          const std::size_t bytes = self.group_->slots_[root].count * sizeof(T);
+          return {self.world_->cost_model().broadcast(self.group_->link(), bytes),
+                  static_cast<std::uint64_t>(bytes) * (self.size() - 1),
+                  static_cast<std::uint64_t>(self.size() - 1)};
+        },
+        [] {});
+  };
+  return Request(std::move(st));
+}
+
+template <class T>
+Request Comm::imulti_broadcast(std::vector<BcastSeg<T>> segments) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  auto st = async_issue(CollectiveOp::kMultiBroadcast);
+  if (size() == 1 || segments.empty()) return async_completed(std::move(st));
+  Comm self = *this;
+  auto* stp = st.get();
+  st->complete = [self, stp, segments = std::move(segments)]() mutable {
+    self.async_complete_impl(
+        *stp, CollectiveOp::kMultiBroadcast,
+        [&] {
+          self.my_slot() = {segments.data(), nullptr, segments.size(), 0, 0,
+                            stp->issue_vclock};
+        },
+        [&] {
+          for (const auto& seg : segments) {
+            if (seg.root == self.group_rank_) continue;
+            const auto* root_segments = static_cast<const BcastSeg<T>*>(
+                self.group_->slots_[seg.root].ptr_a);
+            const auto& src = root_segments[&seg - segments.data()];
+            std::memcpy(seg.data, src.data, src.count * sizeof(T));
+          }
+        },
+        [&]() -> AsyncCharge {
+          double max_cost = 0.0;
+          std::uint64_t bytes = 0;
+          for (const auto& seg : segments) {
+            const std::size_t b = seg.count * sizeof(T);
+            max_cost = std::max(
+                max_cost, self.world_->cost_model().broadcast(self.group_->link(), b));
+            bytes += b * (self.size() - 1);
+          }
+          return {self.world_->cost_model().grouped(max_cost, segments.size()),
+                  bytes,
+                  static_cast<std::uint64_t>(segments.size()) *
+                      (self.size() - 1)};
+        },
+        [] {});
+  };
+  return Request(std::move(st));
+}
+
+template <class T>
+Request Comm::iallgatherv(std::span<const T> send, std::vector<T>& out,
+                          std::vector<std::size_t>* counts_out) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  auto st = async_issue(CollectiveOp::kAllGatherV);
+  if (size() == 1) {
+    out.assign(send.begin(), send.end());
+    if (counts_out) *counts_out = {send.size()};
+    return async_completed(std::move(st));
+  }
+  Comm self = *this;
+  auto* stp = st.get();
+  auto* outp = &out;
+  st->complete = [self, stp, send, outp, counts_out]() mutable {
+    self.async_complete_impl(
+        *stp, CollectiveOp::kAllGatherV,
+        [&] {
+          self.my_slot() = {send.data(), nullptr, send.size(), 0, 0,
+                            stp->issue_vclock};
+        },
+        [&] {
+          std::size_t total = 0;
+          for (int m = 0; m < self.size(); ++m) {
+            total += self.group_->slots_[m].count;
+          }
+          outp->clear();
+          outp->resize(total);
+          if (counts_out) counts_out->resize(self.size());
+          std::size_t offset = 0;
+          for (int m = 0; m < self.size(); ++m) {
+            const std::size_t count = self.group_->slots_[m].count;
+            if (count > 0) {
+              std::memcpy(outp->data() + offset, self.group_->slots_[m].ptr_a,
+                          count * sizeof(T));
+            }
+            if (counts_out) (*counts_out)[m] = count;
+            offset += count;
+          }
+        },
+        [&]() -> AsyncCharge {
+          std::size_t total = 0;
+          for (int m = 0; m < self.size(); ++m) {
+            total += self.group_->slots_[m].count;
+          }
+          return {self.world_->cost_model().allgather(self.group_->link(),
+                                                      total * sizeof(T)),
+                  total * sizeof(T), static_cast<std::uint64_t>(self.size() - 1)};
+        },
+        [] {});
+  };
+  return Request(std::move(st));
+}
+
+template <class T>
+Request Comm::ialltoallv(std::span<const T> send,
+                         std::span<const std::size_t> send_counts,
+                         std::vector<T>& out,
+                         std::vector<std::size_t>* recv_counts) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (static_cast<int>(send_counts.size()) != size()) {
+    throw std::invalid_argument("ialltoallv: send_counts size != comm size");
+  }
+  auto st = async_issue(CollectiveOp::kAllToAllV);
+  if (size() == 1) {
+    out.assign(send.begin(), send.end());
+    if (recv_counts) *recv_counts = {send.size()};
+    return async_completed(std::move(st));
+  }
+  Comm self = *this;
+  auto* stp = st.get();
+  auto* outp = &out;
+  // send_counts is copied at issue so the caller need not keep it alive.
+  st->complete = [self, stp, send, outp, recv_counts,
+                  counts = std::vector<std::size_t>(send_counts.begin(),
+                                                    send_counts.end())]() mutable {
+    self.async_complete_impl(
+        *stp, CollectiveOp::kAllToAllV,
+        [&] {
+          self.my_slot() = {send.data(), counts.data(), send.size(), 0, 0,
+                            stp->issue_vclock};
+        },
+        [&] {
+          std::vector<std::size_t> incoming(self.size());
+          for (int m = 0; m < self.size(); ++m) {
+            const auto* c =
+                static_cast<const std::size_t*>(self.group_->slots_[m].ptr_b);
+            incoming[m] = c[self.group_rank_];
+          }
+          std::size_t total = 0;
+          for (const auto c : incoming) total += c;
+          outp->clear();
+          outp->resize(total);
+          std::size_t out_offset = 0;
+          for (int m = 0; m < self.size(); ++m) {
+            const auto* c =
+                static_cast<const std::size_t*>(self.group_->slots_[m].ptr_b);
+            std::size_t in_offset = 0;
+            for (int d = 0; d < self.group_rank_; ++d) in_offset += c[d];
+            if (incoming[m] > 0) {
+              std::memcpy(outp->data() + out_offset,
+                          static_cast<const T*>(self.group_->slots_[m].ptr_a) +
+                              in_offset,
+                          incoming[m] * sizeof(T));
+            }
+            out_offset += incoming[m];
+          }
+          if (recv_counts) *recv_counts = std::move(incoming);
+        },
+        [&]() -> AsyncCharge {
+          std::size_t max_rank_bytes = 0;
+          std::uint64_t total_bytes = 0;
+          std::uint64_t msgs = 0;
+          std::vector<std::size_t> rank_recv(self.size(), 0);
+          for (int m = 0; m < self.size(); ++m) {
+            const auto* c =
+                static_cast<const std::size_t*>(self.group_->slots_[m].ptr_b);
+            std::size_t sent = 0;
+            for (int d = 0; d < self.size(); ++d) {
+              sent += c[d];
+              rank_recv[d] += c[d];
+              if (d != m && c[d] > 0) ++msgs;
+            }
+            total_bytes += (sent - c[m]) * sizeof(T);
+            max_rank_bytes = std::max(max_rank_bytes, sent * sizeof(T));
+          }
+          for (int m = 0; m < self.size(); ++m) {
+            max_rank_bytes = std::max(max_rank_bytes, rank_recv[m] * sizeof(T));
+          }
+          return {self.world_->cost_model().alltoallv(self.group_->link(),
+                                                      max_rank_bytes),
+                  total_bytes, msgs};
+        },
+        [] {});
+  };
+  return Request(std::move(st));
+}
+
+template <class T>
+Request Comm::isend(std::span<const T> data, int dest_world_rank, int tag) {
+  auto st = std::make_shared<Request::State>();
+  st->issue_vclock = world_->vclock_[world_rank_];
+  // Sends are eager already: the payload is enqueued and the sender's
+  // latency charged at issue, so there is nothing left to overlap.
+  send(data, dest_world_rank, tag);
+  return async_completed(std::move(st));
+}
+
+template <class T>
+Request Comm::irecv(int src_world_rank, int tag, std::vector<T>& out) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (src_world_rank < 0 || src_world_rank >= world_->nranks()) {
+    throw std::invalid_argument("irecv: src world rank " +
+                                std::to_string(src_world_rank) +
+                                " out of range [0, " +
+                                std::to_string(world_->nranks()) + ")");
+  }
+  if (tag < 0) {
+    throw std::invalid_argument("irecv: negative tag " + std::to_string(tag));
+  }
+  auto st = std::make_shared<Request::State>();
+  flush_compute();
+  st->issue_vclock = world_->vclock_[world_rank_];
+  Comm self = *this;
+  auto* stp = st.get();
+  auto* outp = &out;
+  st->complete = [self, stp, src_world_rank, tag, outp]() mutable {
+    self.irecv_complete(*stp, src_world_rank, tag, *outp, /*blocking=*/true);
+  };
+  st->try_complete = [self, stp, src_world_rank, tag, outp]() mutable {
+    return self.irecv_complete(*stp, src_world_rank, tag, *outp,
+                               /*blocking=*/false);
+  };
+  return Request(std::move(st));
+}
+
+template <class T>
+bool Comm::irecv_complete(Request::State& st, int src_world_rank, int tag,
+                          std::vector<T>& out, bool blocking) {
+  (void)src_world_rank;  // tag-matched, like the blocking recv
+  enter_collective();  // attribute compute since issue before overlap math
+  auto& box = *world_->mailboxes_[world_rank_];
+  World::Message msg;
+  {
+    std::unique_lock lock(box.mutex);
+    const auto entered = std::chrono::steady_clock::now();
+    for (;;) {
+      if (world_->abort_.load(std::memory_order_relaxed)) throw Aborted{};
+      auto it = box.queue.begin();
+      for (; it != box.queue.end(); ++it) {
+        if (it->tag == tag) break;
+      }
+      if (it != box.queue.end()) {
+        msg = std::move(*it);
+        box.queue.erase(it);
+        break;
+      }
+      if (!blocking) {
+        exit_collective();
+        return false;
+      }
+      if (const double deadline = world_->comm_timeout_s_; deadline > 0) {
+        const std::chrono::duration<double> waited =
+            std::chrono::steady_clock::now() - entered;
+        if (waited.count() > deadline) {
+          throw Timeout("irecv deadline of " + std::to_string(deadline) +
+                        "s exceeded waiting on tag " + std::to_string(tag));
+        }
+      }
+      box.cv.wait_for(lock, std::chrono::milliseconds(50));
+    }
+  }
+  if (msg.checked) fault_verify_payload(msg);
+  const double now = world_->vclock_[world_rank_];
+  const double arrival = std::max(now, msg.ready_vtime);
+  const double overlap =
+      std::max(0.0, std::min(now, msg.ready_vtime) - st.issue_vclock);
+  if (auto* rec = world_->recorder_) {
+    const int step = rec->current_superstep(world_rank_);
+    if (arrival > now) {
+      telemetry::SpanRecord span;
+      span.start_s = now;
+      span.end_s = arrival;
+      span.rank = world_rank_;
+      span.kind = telemetry::SpanKind::kCollective;
+      span.name = "p2p.recv";
+      span.bytes = msg.payload.size();
+      span.superstep = step;
+      rec->record(std::move(span));
+    }
+    telemetry::SpanRecord async_span;
+    async_span.start_s = st.issue_vclock;
+    async_span.end_s = arrival;
+    async_span.rank = world_rank_;
+    async_span.kind = telemetry::SpanKind::kAsync;
+    async_span.name = "irecv";
+    async_span.bytes = msg.payload.size();
+    async_span.superstep = step;
+    rec->record(std::move(async_span));
+    if (overlap > 0) {
+      telemetry::SpanRecord overlap_span;
+      overlap_span.start_s = st.issue_vclock;
+      overlap_span.end_s = st.issue_vclock + overlap;
+      overlap_span.rank = world_rank_;
+      overlap_span.kind = telemetry::SpanKind::kAsync;
+      overlap_span.name = "overlap";
+      overlap_span.superstep = step;
+      rec->record(std::move(overlap_span));
+    }
+  }
+  world_->comm_s_[world_rank_] += arrival - now;
+  world_->vclock_[world_rank_] = arrival;
+  st.cost_s = std::max(0.0, msg.ready_vtime - st.issue_vclock);
+  st.overlap_s = overlap;
+  out.clear();
+  out.resize(msg.payload.size() / sizeof(T));
+  std::memcpy(out.data(), msg.payload.data(), msg.payload.size());
+  exit_collective();
+  st.done = true;
+  return true;
 }
 
 }  // namespace hpcg::comm

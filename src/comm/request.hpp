@@ -1,0 +1,116 @@
+// Nonblocking-collective request handles (MPI_Request / ncclGroup-shaped).
+//
+// A `Request` is returned by the i-prefixed Comm operations (iallreduce,
+// iallgatherv, ...). Issuing is rank-local and cheap: the communicator
+// records the issue point on the rank's virtual clock, consults the fault
+// injector (advancing the collective sequence exactly as the blocking op
+// would), and captures the operation as a completion closure. The
+// rendezvous — data movement plus modeled-cost accounting — runs when the
+// rank calls wait().
+//
+// Overlap semantics: at wait time the rank's clock advances to
+//   max(vclock_now, comm_done)
+// where comm_done = max(max over members' issue clocks, channel time)
+// + modeled cost — i.e. communication priced against the *issue* point, so
+// compute performed between issue and wait hides under the transfer
+// instead of serializing behind it. The hidden window is reported per
+// request via overlap_s().
+//
+// Contracts (documented MPI-alikes, asserted by tests/test_async_comm.cpp):
+//   * every member of the communicator must issue the same nonblocking
+//     collectives in the same order and wait them in issue order —
+//     wait_all() waits in array order for exactly this reason;
+//   * buffers passed to an i-operation (send data, receive vectors, count
+//     outputs) must stay valid and at a stable address until wait()
+//     returns;
+//   * test() is rank-local: it reports completion but never performs a
+//     collective rendezvous (only irecv can complete from a poll);
+//   * a fault scheduled for the issuing collective-seq surfaces at wait(),
+//     keeping fault plans deterministic across sync/async modes.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <utility>
+
+#include "comm/fault_hooks.hpp"
+
+namespace hpcg::comm {
+
+class Comm;
+
+class Request {
+ public:
+  /// An empty Request; behaves as already complete (wait() is a no-op).
+  Request() = default;
+
+  /// Whether this handle refers to an issued operation.
+  bool valid() const { return state_ != nullptr; }
+
+  /// Whether the operation has completed (invalid handles count as done).
+  bool done() const { return !state_ || state_->done; }
+
+  /// Completes the operation: runs the collective rendezvous (or the
+  /// mailbox wait for irecv), applies any stashed fault decision, moves
+  /// the data, and advances this rank's clock with overlap accounting.
+  /// Idempotent; a no-op on an invalid handle.
+  void wait() {
+    if (!state_ || state_->done) return;
+    state_->complete();
+  }
+
+  /// Rank-local completion probe: true once the operation has completed.
+  /// For irecv, additionally polls the mailbox and completes without
+  /// blocking when the message has already arrived. Never performs a
+  /// collective rendezvous — a pending collective only completes in wait().
+  bool test() {
+    if (!state_ || state_->done) return true;
+    if (state_->try_complete) return state_->try_complete();
+    return false;
+  }
+
+  /// Virtual time at which the operation was issued.
+  double issue_time() const { return state_ ? state_->issue_vclock : 0.0; }
+
+  /// Modeled communication cost charged for the operation (valid once
+  /// done; 0 for trivially-complete operations).
+  double cost_s() const { return state_ ? state_->cost_s : 0.0; }
+
+  /// Portion of the transfer window hidden under compute performed
+  /// between issue and wait (valid once done).
+  double overlap_s() const { return state_ ? state_->overlap_s : 0.0; }
+
+ private:
+  friend class Comm;
+
+  struct State {
+    // Runs the full rendezvous at wait(). Captures the issuing Comm by
+    // value and this State by raw pointer (the Request holding the
+    // shared_ptr keeps it alive; a shared_ptr capture would cycle).
+    std::function<void()> complete;
+    // irecv only: non-blocking poll; returns whether it completed.
+    std::function<bool()> try_complete;
+    double issue_vclock = 0.0;
+    double cost_s = 0.0;
+    double overlap_s = 0.0;
+    bool done = false;
+    // Injector decision stashed at issue, applied at wait (so the fault
+    // keys on the issuing collective-seq but surfaces at the wait site).
+    FaultDecision fault{};
+  };
+
+  explicit Request(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+/// Waits every valid request in array order. Because members must wait
+/// requests on a communicator in issue order, passing them in issue order
+/// (the natural array order) is required; mixed-communicator arrays are
+/// fine as long as each communicator's relative order is preserved.
+inline void wait_all(std::span<Request> requests) {
+  for (auto& r : requests) r.wait();
+}
+
+}  // namespace hpcg::comm

@@ -37,6 +37,8 @@ RunStats Runtime::run(int nranks, const Topology& topo, const CostModel& cost,
   world.recorder_ = recorder;
   world.injector_ = options.faults;
   world.comm_timeout_s_ = options.comm_timeout_s;
+  world.async_default_ = options.async;
+  world.async_chunk_ = options.async_chunk < 1 ? 1 : options.async_chunk;
   if (options.faults) {
     options.faults->begin_run();
     if (world.comm_timeout_s_ <= 0 && options.faults->wants_deadline()) {

@@ -23,33 +23,47 @@ struct RunOptions {
   /// death (FaultHooks::wants_deadline) and none is set, a default of
   /// RunOptions::kDefaultFaultTimeoutS is applied.
   double comm_timeout_s = 0.0;
+  /// Run-wide default for algorithm async opt-in: when true, algorithms
+  /// whose SparseOptions::async is kRunDefault use the nonblocking
+  /// collectives (surfaced as Comm::async_default()). Individual call
+  /// sites can still force either mode.
+  bool async = false;
+  /// Default segment count for chunked async sparse exchanges
+  /// (surfaced as Comm::async_chunk_default()); must be >= 1. The default
+  /// of 1 issues one nonblocking collective per phase: every extra segment
+  /// pays the collective's latency term again, which only pays off when
+  /// the pipelined compute (or per-segment bandwidth) dominates latency.
+  int async_chunk = 1;
 
   static constexpr double kDefaultFaultTimeoutS = 10.0;
 };
 
 class Runtime {
  public:
-  /// Runs `body(comm)` on `nranks` rank threads and returns the modeled
-  /// timing/traffic statistics. Rethrows the first rank failure (all other
-  /// ranks are aborted, never deadlocked).
-  static RunStats run(int nranks, const Topology& topo, const CostModel& cost,
-                      const std::function<void(Comm&)>& body);
-
-  /// As above, with per-rank span tracing and metrics recorded into
-  /// `recorder` (which must outlive the call and have nranks tracks).
-  /// Passing null is identical to the untraced overload.
-  static RunStats run(int nranks, const Topology& topo, const CostModel& cost,
-                      telemetry::Recorder* recorder,
-                      const std::function<void(Comm&)>& body);
-
-  /// Fully-optioned overload: telemetry, fault injection, deadlines. An
-  /// injected silent death unwinds its rank without aborting the world;
-  /// survivors surface `Timeout` once the deadline passes.
+  /// Canonical entry point: runs `body(comm)` on `nranks` rank threads
+  /// with the given options (telemetry, fault injection, deadlines, async
+  /// defaults) and returns the modeled timing/traffic statistics.
+  /// Rethrows the first rank failure (all other ranks are aborted, never
+  /// deadlocked). An injected silent death unwinds its rank without
+  /// aborting the world; survivors surface `Timeout` once the deadline
+  /// passes.
   static RunStats run(int nranks, const Topology& topo, const CostModel& cost,
                       const RunOptions& options,
                       const std::function<void(Comm&)>& body);
 
-  /// Convenience overload: AiMOS-like topology, default cost parameters.
+  /// Forwarder kept for source compatibility; prefer the RunOptions
+  /// overload (this is equivalent to passing RunOptions{}).
+  static RunStats run(int nranks, const Topology& topo, const CostModel& cost,
+                      const std::function<void(Comm&)>& body);
+
+  /// Forwarder kept for source compatibility; prefer the RunOptions
+  /// overload (this only sets RunOptions::recorder).
+  static RunStats run(int nranks, const Topology& topo, const CostModel& cost,
+                      telemetry::Recorder* recorder,
+                      const std::function<void(Comm&)>& body);
+
+  /// Forwarder kept for source compatibility; prefer the RunOptions
+  /// overload with Topology::aimos(nranks) and CostModel{}.
   static RunStats run(int nranks, const std::function<void(Comm&)>& body);
 };
 

@@ -22,15 +22,15 @@ enum class Direction { kPush, kPull };
 
 namespace detail {
 
-/// After the reduction phase, re-distributes the fully reduced values for
-/// `dest_gid_range` (this rank's row range for push, column range for pull)
-/// across `bcast_comm`. `src_parts` partitions the GID space on the other
-/// grid axis; the member of `bcast_comm` at index p owns the reduced values
-/// for partition p's overlap with the destination range.
+/// Broadcast segment list for the redistribution phase: the member of
+/// `bcast_comm` at index p owns the reduced values for partition p's
+/// overlap with `dest_gid_range` (this rank's row range for push, column
+/// range for pull). `src_parts` partitions the GID space on the other grid
+/// axis.
 template <class T>
-void redistribute(comm::Comm& bcast_comm, const BlockPartition& src_parts,
-                  const LidMap& lids, Gid dest_start, Gid dest_count,
-                  bool dest_is_row, std::span<T> state) {
+std::vector<comm::BcastSeg<T>> build_bcast_segments(
+    const BlockPartition& src_parts, const LidMap& lids, Gid dest_start,
+    Gid dest_count, bool dest_is_row, std::span<T> state) {
   std::vector<comm::BcastSeg<T>> segments;
   for (int p = 0; p < src_parts.parts(); ++p) {
     const Gid lo = std::max(dest_start, src_parts.start(p));
@@ -39,6 +39,17 @@ void redistribute(comm::Comm& bcast_comm, const BlockPartition& src_parts,
     const Lid lid = dest_is_row ? lids.row_lid(lo) : lids.col_lid(lo);
     segments.push_back({p, state.data() + lid, static_cast<std::size_t>(hi - lo)});
   }
+  return segments;
+}
+
+/// After the reduction phase, re-distributes the fully reduced values
+/// across `bcast_comm` (blocking form).
+template <class T>
+void redistribute(comm::Comm& bcast_comm, const BlockPartition& src_parts,
+                  const LidMap& lids, Gid dest_start, Gid dest_count,
+                  bool dest_is_row, std::span<T> state) {
+  auto segments = build_bcast_segments(src_parts, lids, dest_start, dest_count,
+                                       dest_is_row, state);
   if (segments.size() == 1) {
     bcast_comm.broadcast(std::span<T>(segments[0].data, segments[0].count),
                          segments[0].root);
@@ -75,6 +86,46 @@ void dense_exchange(Dist2DGraph& g, std::span<T> state, comm::ReduceOp op,
                          lids.col_offset(), lids.n_col(), /*dest_is_row=*/false,
                          state);
   }
+}
+
+/// Nonblocking Algorithm 2: issues the reduction nonblocking, builds the
+/// grouped-broadcast segment list while the AllReduce is in flight (that
+/// construction is the overlapped work inside this call), then issues the
+/// redistribution broadcast and returns its Request. The caller may run
+/// compute that only touches the *reduce-axis* slots (row slots for pull,
+/// column slots for push — final after the internal wait) before waiting
+/// the returned request; ghost slots are filled at wait(). `state` must
+/// stay alive and unmodified (except those reduce-axis reads) until then.
+template <class T>
+comm::Request dense_exchange_async(Dist2DGraph& g, std::span<T> state,
+                                   comm::ReduceOp op, Direction dir) {
+  const LidMap& lids = g.lids();
+  comm::Comm& reduce_comm = dir == Direction::kPush ? g.col_comm() : g.row_comm();
+  comm::Comm& bcast_comm = dir == Direction::kPush ? g.row_comm() : g.col_comm();
+  const auto slice =
+      dir == Direction::kPush
+          ? state.subspan(static_cast<std::size_t>(lids.c_offset_c()),
+                          static_cast<std::size_t>(lids.n_col()))
+          : state.subspan(static_cast<std::size_t>(lids.c_offset_r()),
+                          static_cast<std::size_t>(lids.n_row()));
+  comm::Request reduction = reduce_comm.iallreduce(slice, op);
+  auto segments =
+      dir == Direction::kPush
+          ? detail::build_bcast_segments(g.partition().col_partition(), lids,
+                                         lids.row_offset(), lids.n_row(),
+                                         /*dest_is_row=*/true, state)
+          : detail::build_bcast_segments(g.partition().row_partition(), lids,
+                                         lids.col_offset(), lids.n_col(),
+                                         /*dest_is_row=*/false, state);
+  reduction.wait();
+  if (segments.size() == 1) {
+    return bcast_comm.ibroadcast(
+        std::span<T>(segments[0].data, segments[0].count), segments[0].root);
+  }
+  if (!segments.empty()) {
+    return bcast_comm.imulti_broadcast(std::move(segments));
+  }
+  return {};
 }
 
 /// Dense exchange with a user combiner (for reductions NCCL does not have

@@ -24,4 +24,28 @@ std::vector<PartialAggregate> exchange_to_owners(
                                 std::span<const std::size_t>(send_counts));
 }
 
+void exchange_to_owners_issue(Dist2DGraph& g,
+                              std::span<const PartialAggregate> partials,
+                              OwnerExchange& ex) {
+  const BlockPartition owners = hierarchical_ownership(g);
+  const Gid row_offset = g.lids().row_offset();
+  const int members = g.row_comm().size();
+
+  ex.send_counts.assign(static_cast<std::size_t>(members), 0);
+  for (const auto& p : partials) {
+    ++ex.send_counts[static_cast<std::size_t>(owners.part_of(p.vertex - row_offset))];
+  }
+  std::vector<std::size_t> cursor(ex.send_counts.size(), 0);
+  for (std::size_t d = 1; d < cursor.size(); ++d) {
+    cursor[d] = cursor[d - 1] + ex.send_counts[d - 1];
+  }
+  ex.send.resize(partials.size());
+  for (const auto& p : partials) {
+    ex.send[cursor[static_cast<std::size_t>(owners.part_of(p.vertex - row_offset))]++] = p;
+  }
+  ex.request = g.row_comm().ialltoallv(
+      std::span<const PartialAggregate>(ex.send),
+      std::span<const std::size_t>(ex.send_counts), ex.recv);
+}
+
 }  // namespace hpcg::core

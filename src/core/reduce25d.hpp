@@ -44,4 +44,23 @@ inline BlockPartition hierarchical_ownership(const Dist2DGraph& g) {
 std::vector<PartialAggregate> exchange_to_owners(
     Dist2DGraph& g, std::span<const PartialAggregate> partials);
 
+/// In-flight owner exchange: the staging buffers plus the nonblocking
+/// Alltoallv request over them. The object must stay at a stable address
+/// until `request.wait()` returns (the request holds pointers into the
+/// vectors) — keep a fixed-slot array, do not move it.
+struct OwnerExchange {
+  comm::Request request;
+  std::vector<PartialAggregate> send;
+  std::vector<PartialAggregate> recv;
+  std::vector<std::size_t> send_counts;
+};
+
+/// Nonblocking exchange_to_owners: packs `partials` by owner into
+/// `ex.send` and issues the row-group ialltoallv into `ex.recv`. The
+/// received records (grouped by sender) are valid after
+/// `ex.request.wait()`. Reuses ex's buffers across calls.
+void exchange_to_owners_issue(Dist2DGraph& g,
+                              std::span<const PartialAggregate> partials,
+                              OwnerExchange& ex);
+
 }  // namespace hpcg::core

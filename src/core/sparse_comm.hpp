@@ -42,19 +42,125 @@ struct SparseTraffic {
   std::size_t second_phase_sent = 0;
 };
 
+/// Per-call async opt-in for sparse (and dense) exchanges. The default
+/// resolves against the run-wide setting (RunOptions::async), so algorithms
+/// need no plumbing when `hpcg_run --async=on` flips the whole run.
+struct SparseOptions {
+  enum class Async : std::uint8_t {
+    kRunDefault,  // follow Comm::async_default() (RunOptions::async)
+    kOff,         // force blocking exchanges
+    kOn,          // force nonblocking chunked exchanges
+  };
+  Async async = Async::kRunDefault;
+  /// Segment count for the chunked pipeline; 0 = run default
+  /// (RunOptions::async_chunk). Every rank must use the same value — it is
+  /// the number of collectives issued per phase (empty chunks are legal).
+  int chunk = 0;
+
+  static SparseOptions on(int chunk = 0) { return {Async::kOn, chunk}; }
+  static SparseOptions off() { return {Async::kOff, 0}; }
+
+  bool enabled(const comm::Comm& c) const {
+    return async == Async::kOn ||
+           (async == Async::kRunDefault && c.async_default());
+  }
+  int segments(const comm::Comm& c) const {
+    const int n = chunk > 0 ? chunk : c.async_chunk_default();
+    return n < 1 ? 1 : n;
+  }
+};
+
+/// Reusable scratch for sparse_exchange: send/receive staging and the
+/// per-member count vectors, double-buffered for the async pipeline. Hoist
+/// one of these out of an iteration loop to stop paying one heap
+/// allocation per rank per phase per superstep.
+template <class T>
+struct SparseBuffers {
+  std::vector<GidValue<T>> send[2];
+  std::vector<GidValue<T>> recv[2];
+  std::vector<std::size_t> counts[2];
+};
+
+namespace detail {
+
+/// One async sparse phase: slice `items` into `nseg` chunks and pipeline
+/// build(k+1) under the in-flight allgatherv of chunk k (at most two
+/// requests outstanding, double-buffered). `apply` folds one received
+/// {gid, value} pair into local state. `drain` (may be null) is cleared
+/// right after the last chunk is built — used for the `updated` queue whose
+/// items are being walked. Bit-identical final state relies on `reduce`
+/// being an order-insensitive selection (min/max-style): a chunk built
+/// after an earlier chunk's reduce may carry an already-improved value, but
+/// every receiver also gets the improving value directly.
+template <class T, class Apply>
+void sparse_phase_async(comm::Comm& c, comm::Comm& world,
+                        std::span<const Lid> items, const LidMap& lids,
+                        std::span<T> state, int nseg, SparseBuffers<T>& bufs,
+                        VertexQueue* drain, Apply&& apply) {
+  const std::size_t total = items.size();
+  comm::Request reqs[2];
+  auto build_and_issue = [&](int k) {
+    auto& sb = bufs.send[k & 1];
+    const std::size_t lo = total * static_cast<std::size_t>(k) /
+                           static_cast<std::size_t>(nseg);
+    const std::size_t hi = total * static_cast<std::size_t>(k + 1) /
+                           static_cast<std::size_t>(nseg);
+    sb.clear();
+    for (std::size_t i = lo; i < hi; ++i) {
+      const Lid v = items[i];
+      sb.push_back({lids.to_gid(v), state[static_cast<std::size_t>(v)]});
+    }
+    if (drain && k == nseg - 1) drain->clear();
+    charge_kernel(world, static_cast<std::int64_t>(sb.size()), 0);
+    reqs[k & 1] = c.iallgatherv(std::span<const GidValue<T>>(sb),
+                                bufs.recv[k & 1], &bufs.counts[k & 1]);
+  };
+  build_and_issue(0);
+  for (int k = 0; k < nseg; ++k) {
+    if (k + 1 < nseg) build_and_issue(k + 1);
+    reqs[k & 1].wait();
+    const auto& rb = bufs.recv[k & 1];
+    const auto& counts = bufs.counts[k & 1];
+    charge_kernel(world, static_cast<std::int64_t>(rb.size()), 0);
+    std::size_t offset = 0;
+    for (int member = 0; member < c.size(); ++member) {
+      const std::size_t count = counts[static_cast<std::size_t>(member)];
+      if (member == c.rank()) {
+        offset += count;
+        continue;  // own updates already applied locally
+      }
+      for (std::size_t i = 0; i < count; ++i) apply(rb[offset + i]);
+      offset += count;
+    }
+  }
+}
+
+}  // namespace detail
+
 /// Sparse state exchange. `updated` holds the LIDs the local update kernel
 /// modified: column LIDs for a push, row LIDs for a pull. It is drained
 /// (flags cleared) by the call. If `changed_rows` is non-null, every row
 /// vertex of this rank whose state changed this iteration — locally or via
 /// a received update — is pushed into it (the paper's active-vertex
 /// tracking for push frontiers and the seed set for pull activation).
+///
+/// With `opts` async-enabled, each phase runs the chunked nonblocking
+/// pipeline (see detail::sparse_phase_async); final state is bit-identical
+/// to the blocking path for min/max-style reductions, while the modeled
+/// clock overlaps queue building with the in-flight transfers. `buffers`
+/// (optional) supplies reusable scratch; pass one hoisted out of the
+/// iteration loop to avoid per-call allocation in either mode.
 template <class T, class Reduce>
 SparseTraffic sparse_exchange(Dist2DGraph& g, std::span<T> state,
                               VertexQueue& updated, Reduce&& reduce,
                               SparseDirection dir,
-                              VertexQueue* changed_rows = nullptr) {
+                              VertexQueue* changed_rows = nullptr,
+                              const SparseOptions& opts = {},
+                              SparseBuffers<T>* buffers = nullptr) {
   const LidMap& lids = g.lids();
   SparseTraffic traffic;
+  SparseBuffers<T> local_buffers;
+  SparseBuffers<T>& bufs = buffers ? *buffers : local_buffers;
 
   comm::Comm& first_comm = dir == SparseDirection::kPush ? g.col_comm() : g.row_comm();
   comm::Comm& second_comm = dir == SparseDirection::kPush ? g.row_comm() : g.col_comm();
@@ -76,8 +182,48 @@ SparseTraffic sparse_exchange(Dist2DGraph& g, std::span<T> state,
     }
   }
 
+  // ReduceQueue (Algorithm 5) fold for one received first-phase pair.
+  auto apply_first = [&](const GidValue<T>& item) {
+    const Lid l = dir == SparseDirection::kPush ? lids.col_lid(item.gid)
+                                                : lids.row_lid(item.gid);
+    if (!reduce(state[static_cast<std::size_t>(l)], item.value)) return;
+    if (dir == SparseDirection::kPush) {
+      if (lids.lid_is_row(l)) {
+        second_queue.try_push(l);
+        if (changed_rows) changed_rows->try_push(l);
+      }
+    } else {
+      if (changed_rows) changed_rows->try_push(l);
+      if (lids.lid_is_col(l)) second_queue.try_push(l);
+    }
+  };
+  // ... and for one second-phase pair.
+  auto apply_second = [&](const GidValue<T>& item) {
+    const Lid l = dir == SparseDirection::kPush ? lids.row_lid(item.gid)
+                                                : lids.col_lid(item.gid);
+    if (!reduce(state[static_cast<std::size_t>(l)], item.value)) return;
+    if (dir == SparseDirection::kPush && changed_rows) {
+      changed_rows->try_push(l);  // Algorithm 5's re-included tail
+    }
+  };
+
+  if (opts.enabled(g.world())) {
+    const int nseg = opts.segments(g.world());
+    traffic.first_phase_sent = updated.size();
+    detail::sparse_phase_async(first_comm, g.world(),
+                               std::span<const Lid>(updated.items()), lids,
+                               state, nseg, bufs, &updated, apply_first);
+    traffic.second_phase_sent = second_queue.size();
+    detail::sparse_phase_async(second_comm, g.world(),
+                               std::span<const Lid>(second_queue.items()), lids,
+                               state, nseg, bufs, nullptr, apply_second);
+    second_queue.clear();
+    return traffic;
+  }
+
   // BuildQueue (Algorithm 4): serialize {GID, finalized state value}.
-  std::vector<GidValue<T>> sbuf;
+  auto& sbuf = bufs.send[0];
+  sbuf.clear();
   sbuf.reserve(updated.size());
   for (const Lid v : updated.items()) {
     sbuf.push_back({lids.to_gid(v), state[static_cast<std::size_t>(v)]});
@@ -87,8 +233,9 @@ SparseTraffic sparse_exchange(Dist2DGraph& g, std::span<T> state,
   charge_kernel(g.world(), static_cast<std::int64_t>(sbuf.size()), 0);  // BuildQueue
 
   // First exchange + ReduceQueue (Algorithm 5).
-  std::vector<std::size_t> counts;
-  auto rbuf = first_comm.allgatherv(std::span<const GidValue<T>>(sbuf), &counts);
+  auto& counts = bufs.counts[0];
+  auto& rbuf = bufs.recv[0];
+  first_comm.allgatherv(std::span<const GidValue<T>>(sbuf), rbuf, &counts);
   charge_kernel(g.world(), static_cast<std::int64_t>(rbuf.size()), 0);  // ReduceQueue
   {
     std::size_t offset = 0;
@@ -98,55 +245,36 @@ SparseTraffic sparse_exchange(Dist2DGraph& g, std::span<T> state,
         offset += count;
         continue;  // own updates already applied locally
       }
-      for (std::size_t i = 0; i < count; ++i) {
-        const auto& item = rbuf[offset + i];
-        const Lid l = dir == SparseDirection::kPush ? lids.col_lid(item.gid)
-                                                    : lids.row_lid(item.gid);
-        if (!reduce(state[static_cast<std::size_t>(l)], item.value)) continue;
-        if (dir == SparseDirection::kPush) {
-          if (lids.lid_is_row(l)) {
-            second_queue.try_push(l);
-            if (changed_rows) changed_rows->try_push(l);
-          }
-        } else {
-          if (changed_rows) changed_rows->try_push(l);
-          if (lids.lid_is_col(l)) second_queue.try_push(l);
-        }
-      }
+      for (std::size_t i = 0; i < count; ++i) apply_first(rbuf[offset + i]);
       offset += count;
     }
   }
 
   // Second phase: redistribute the now-final values of the overlap
   // vertices across the other group.
-  sbuf.clear();
-  sbuf.reserve(second_queue.size());
+  auto& sbuf2 = bufs.send[1];
+  sbuf2.clear();
+  sbuf2.reserve(second_queue.size());
   for (const Lid v : second_queue.items()) {
-    sbuf.push_back({lids.to_gid(v), state[static_cast<std::size_t>(v)]});
+    sbuf2.push_back({lids.to_gid(v), state[static_cast<std::size_t>(v)]});
   }
   second_queue.clear();
-  traffic.second_phase_sent = sbuf.size();
-  charge_kernel(g.world(), static_cast<std::int64_t>(sbuf.size()), 0);
+  traffic.second_phase_sent = sbuf2.size();
+  charge_kernel(g.world(), static_cast<std::int64_t>(sbuf2.size()), 0);
 
-  auto rbuf2 = second_comm.allgatherv(std::span<const GidValue<T>>(sbuf), &counts);
+  auto& counts2 = bufs.counts[1];
+  auto& rbuf2 = bufs.recv[1];
+  second_comm.allgatherv(std::span<const GidValue<T>>(sbuf2), rbuf2, &counts2);
   charge_kernel(g.world(), static_cast<std::int64_t>(rbuf2.size()), 0);
   {
     std::size_t offset = 0;
     for (int member = 0; member < second_comm.size(); ++member) {
-      const std::size_t count = counts[static_cast<std::size_t>(member)];
+      const std::size_t count = counts2[static_cast<std::size_t>(member)];
       if (member == second_comm.rank()) {
         offset += count;
         continue;
       }
-      for (std::size_t i = 0; i < count; ++i) {
-        const auto& item = rbuf2[offset + i];
-        const Lid l = dir == SparseDirection::kPush ? lids.row_lid(item.gid)
-                                                    : lids.col_lid(item.gid);
-        if (!reduce(state[static_cast<std::size_t>(l)], item.value)) continue;
-        if (dir == SparseDirection::kPush && changed_rows) {
-          changed_rows->try_push(l);  // Algorithm 5's re-included tail
-        }
-      }
+      for (std::size_t i = 0; i < count; ++i) apply_second(rbuf2[offset + i]);
       offset += count;
     }
   }

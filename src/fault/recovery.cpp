@@ -16,6 +16,8 @@ RecoveryResult Runtime::run_with_recovery(
   run_options.recorder = options.recorder;
   run_options.faults = options.injector;
   run_options.comm_timeout_s = options.comm_timeout_s;
+  run_options.async = options.async;
+  run_options.async_chunk = options.async_chunk;
 
   // Fault instants recorded during failed attempts are wiped when the next
   // attempt resets the telemetry tracks; stash them at failure time and

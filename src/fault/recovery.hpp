@@ -39,6 +39,10 @@ struct RecoveryOptions {
   double comm_timeout_s = 0.0;
   /// Restarts allowed before the error propagates to the caller.
   int max_restarts = 3;
+  /// Forwarded to comm::RunOptions: run-wide default for algorithm async
+  /// (nonblocking-collective) opt-in and its pipeline chunk count.
+  bool async = false;
+  int async_chunk = 1;
 };
 
 struct RecoveryResult {

@@ -265,14 +265,33 @@ void write_chrome_trace(std::ostream& out, const std::vector<SpanRecord>& spans,
     out << "\n";
   };
   // Track-naming metadata: one named thread per rank under one process.
+  // Async (nonblocking-collective) spans render on a second track per rank
+  // at tid = nranks + rank, named only when such spans exist.
+  bool any_async = false;
+  for (const auto& span : spans) {
+    if (span.kind == SpanKind::kAsync) {
+      any_async = true;
+      break;
+    }
+  }
   for (int r = 0; r < nranks; ++r) {
     sep();
     out << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << r
         << ",\"name\":\"thread_name\",\"args\":{\"name\":\"rank " << r << "\"}}";
   }
+  if (any_async) {
+    for (int r = 0; r < nranks; ++r) {
+      sep();
+      out << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << nranks + r
+          << ",\"name\":\"thread_name\",\"args\":{\"name\":\"rank " << r
+          << " (async)\"}}";
+    }
+  }
   for (const auto& span : spans) {
     sep();
-    out << "{\"ph\":\"X\",\"pid\":0,\"tid\":" << span.rank << ",\"ts\":"
+    const int tid =
+        span.kind == SpanKind::kAsync ? nranks + span.rank : span.rank;
+    out << "{\"ph\":\"X\",\"pid\":0,\"tid\":" << tid << ",\"ts\":"
         << span.start_s * kSecondsToUs
         << ",\"dur\":" << (span.end_s - span.start_s) * kSecondsToUs
         << ",\"name\":";
@@ -309,11 +328,19 @@ TraceFile read_chrome_trace(const std::string& json_text) {
     if (string_or(event, "ph", "") != "X") continue;  // skip metadata events
     SpanRecord span;
     span.rank = static_cast<int>(number_or(event, "tid", 0.0));
-    max_tid = std::max(max_tid, span.rank);
     span.start_s = number_or(event, "ts", 0.0) / kSecondsToUs;
     span.end_s = span.start_s + number_or(event, "dur", 0.0) / kSecondsToUs;
     span.name = string_or(event, "name", "");
     span.kind = span_kind_from_string(string_or(event, "cat", "phase"));
+    // Async spans live on the per-rank async track (tid = nranks + rank);
+    // map them back. nranks is written before any events, so it is known
+    // here whenever the writer produced the file.
+    if (span.kind == SpanKind::kAsync && file.nranks > 0 &&
+        span.rank >= file.nranks) {
+      span.rank -= file.nranks;
+    } else {
+      max_tid = std::max(max_tid, span.rank);
+    }
     if (const JsonValue* args = event.find("args")) {
       span.bytes = static_cast<std::uint64_t>(number_or(*args, "bytes", 0.0));
       span.group_size = static_cast<int>(number_or(*args, "group_size", 0.0));

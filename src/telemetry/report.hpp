@@ -21,6 +21,7 @@ struct RankBreakdown {
   int rank = 0;
   double comp_s = 0.0;       // sum of compute spans
   double comm_s = 0.0;       // sum of collective spans (includes waiting)
+  double overlap_s = 0.0;    // async comm hidden under compute ("overlap" spans)
   double end_s = 0.0;        // last span end (the rank's modeled finish)
   int supersteps = 0;
 };
@@ -55,6 +56,7 @@ struct TraceReport {
   double makespan_s = 0.0;        // max span end over all ranks
   double comp_max_s = 0.0;        // max per-rank compute total
   double comm_max_s = 0.0;        // max per-rank collective total
+  double overlap_max_s = 0.0;     // max per-rank hidden-async-comm total
   double critical_path_s = 0.0;   // sum over supersteps of rank_max_s
   double mean_imbalance = 1.0;    // superstep-duration-weighted imbalance
   double worst_imbalance = 1.0;

@@ -11,6 +11,7 @@ SpanKind span_kind_from_string(const std::string& s) {
   if (s == "superstep") return SpanKind::kSuperstep;
   if (s == "phase") return SpanKind::kPhase;
   if (s == "instant") return SpanKind::kInstant;
+  if (s == "async") return SpanKind::kAsync;
   throw std::invalid_argument("unknown span kind: " + s);
 }
 

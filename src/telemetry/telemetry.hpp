@@ -38,6 +38,8 @@ enum class SpanKind : std::uint8_t {
   kSuperstep,   // one bulk-synchronous iteration of an algorithm
   kPhase,       // any other labeled region (setup, exchange, ...)
   kInstant,     // zero-duration event (fault injected, recovery restore)
+  kAsync,       // nonblocking collective issue->wait window ("overlap"
+                // spans mark the portion hidden under compute)
 };
 
 constexpr const char* to_string(SpanKind kind) {
@@ -47,6 +49,7 @@ constexpr const char* to_string(SpanKind kind) {
     case SpanKind::kSuperstep: return "superstep";
     case SpanKind::kPhase: return "phase";
     case SpanKind::kInstant: return "instant";
+    case SpanKind::kAsync: return "async";
   }
   return "?";
 }

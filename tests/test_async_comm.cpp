@@ -1,0 +1,367 @@
+// Nonblocking collectives: request wait/test semantics, the overlap cost
+// model (clock advances by max(compute, comm) at wait, never the sum; the
+// shared channel serializes back-to-back transfers), interleaving with
+// blocking collectives, mid-flight fault surfacing at wait(), and the
+// guarantee that every algorithm is bit-identical with async on and off
+// (including chunked pipelining).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "algos/bfs.hpp"
+#include "algos/cc.hpp"
+#include "algos/gather.hpp"
+#include "algos/label_prop.hpp"
+#include "algos/pagerank.hpp"
+#include "comm/errors.hpp"
+#include "comm/runtime.hpp"
+#include "core/dist2d.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "test_helpers.hpp"
+
+namespace ha = hpcg::algos;
+namespace hc = hpcg::core;
+namespace hcm = hpcg::comm;
+namespace hf = hpcg::fault;
+namespace hg = hpcg::graph;
+using hpcg::test::small_rmat;
+
+namespace {
+
+/// Zero-measured-compute cost model over a flat topology: modeled times
+/// are a closed-form function of the collective sequence, so clock
+/// assertions can be exact (same instrument as test_comm_hierarchy.cpp).
+struct ExactClock {
+  hcm::LinkParams link{10e-6, 1e9};
+  hcm::Topology topo;
+  hcm::CostModel cost;
+
+  explicit ExactClock(int p)
+      : topo(hcm::Topology::flat(p, link)), cost(make_params()) {}
+
+  static hcm::CostParams make_params() {
+    hcm::CostParams params;
+    params.compute_scale = 0.0;
+    params.software_alpha_s = 0.0;
+    return params;
+  }
+
+  hcm::GroupLink group(int p) const {
+    std::vector<int> members(static_cast<std::size_t>(p));
+    for (int i = 0; i < p; ++i) members[static_cast<std::size_t>(i)] = i;
+    return hcm::make_group_link(topo, members.data(), p);
+  }
+};
+
+TEST(AsyncRequest, DefaultAndCompletedHandles) {
+  hcm::Request empty;
+  EXPECT_FALSE(empty.valid());
+  EXPECT_TRUE(empty.done());
+  EXPECT_TRUE(empty.test());
+  empty.wait();  // no-op
+  EXPECT_DOUBLE_EQ(empty.cost_s(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.overlap_s(), 0.0);
+
+  hcm::Runtime::run(2, hcm::Topology::aimos(2), hcm::CostModel{},
+                    hcm::RunOptions{}, [](hcm::Comm& comm) {
+    std::vector<double> x(64, comm.rank());
+    auto req = comm.iallreduce(std::span(x), hcm::ReduceOp::kSum);
+    EXPECT_TRUE(req.valid());
+    EXPECT_FALSE(req.done());
+    // test() never performs the rendezvous for a pending collective.
+    EXPECT_FALSE(req.test());
+    req.wait();
+    EXPECT_TRUE(req.done());
+    EXPECT_TRUE(req.test());
+    req.wait();  // idempotent
+    EXPECT_GT(req.cost_s(), 0.0);
+    for (const auto v : x) EXPECT_DOUBLE_EQ(v, 1.0);
+  });
+}
+
+TEST(AsyncClock, WaitAdvancesByMaxOfComputeAndComm) {
+  // One iallreduce with X seconds of charged compute between issue and
+  // wait: the clock must land on max(X, C), with overlap min(X, C) — never
+  // the serialized X + C.
+  const ExactClock exact(2);
+  constexpr std::size_t kCount = 1000;
+  const double c = exact.cost.allreduce(exact.group(2), kCount * sizeof(double));
+  ASSERT_GT(c, 0.0);
+
+  for (const double compute : {10.0 * c, 0.25 * c, 0.0}) {
+    auto stats = hcm::Runtime::run(2, exact.topo, exact.cost, hcm::RunOptions{},
+                                   [&](hcm::Comm& comm) {
+      std::vector<double> x(kCount, comm.rank());
+      auto req = comm.iallreduce(std::span(x), hcm::ReduceOp::kSum);
+      comm.charge_compute(compute);
+      req.wait();
+      EXPECT_DOUBLE_EQ(req.cost_s(), c);
+      EXPECT_DOUBLE_EQ(req.overlap_s(), std::min(compute, c));
+      for (const auto v : x) EXPECT_DOUBLE_EQ(v, 1.0);
+    });
+    for (const auto t : stats.vclock) {
+      EXPECT_DOUBLE_EQ(t, std::max(compute, c)) << "compute=" << compute;
+    }
+  }
+}
+
+TEST(AsyncClock, ChannelSerializesBackToBackTransfers) {
+  // Three collectives in flight at once still share the modeled network:
+  // waiting all of them costs 3C, exactly as the blocking sequence would.
+  const ExactClock exact(4);
+  constexpr std::size_t kCount = 512;
+  const double c = exact.cost.allreduce(exact.group(4), kCount * sizeof(double));
+
+  auto stats = hcm::Runtime::run(4, exact.topo, exact.cost, hcm::RunOptions{},
+                                 [&](hcm::Comm& comm) {
+    std::vector<double> a(kCount, 1.0), b(kCount, 2.0), d(kCount, 3.0);
+    hcm::Request reqs[3] = {
+        comm.iallreduce(std::span(a), hcm::ReduceOp::kSum),
+        comm.iallreduce(std::span(b), hcm::ReduceOp::kSum),
+        comm.iallreduce(std::span(d), hcm::ReduceOp::kSum),
+    };
+    hcm::wait_all(std::span<hcm::Request>(reqs));
+    for (const auto& req : reqs) {
+      EXPECT_TRUE(req.done());
+      EXPECT_DOUBLE_EQ(req.cost_s(), c);
+      EXPECT_DOUBLE_EQ(req.overlap_s(), 0.0);  // nothing hid the transfers
+    }
+    EXPECT_DOUBLE_EQ(a[0], 4.0);
+    EXPECT_DOUBLE_EQ(b[0], 8.0);
+    EXPECT_DOUBLE_EQ(d[0], 12.0);
+  });
+  for (const auto t : stats.vclock) EXPECT_DOUBLE_EQ(t, 3.0 * c);
+}
+
+TEST(AsyncClock, MixesWithBlockingCollectives) {
+  // A blocking broadcast between issue and wait occupies the channel; the
+  // async transfer is priced after it: total Cb + Ca, nothing hidden.
+  const ExactClock exact(2);
+  constexpr std::size_t kCount = 2048;
+  const double ca = exact.cost.allreduce(exact.group(2), kCount * sizeof(double));
+  const double cb = exact.cost.broadcast(exact.group(2), kCount * sizeof(float));
+
+  auto stats = hcm::Runtime::run(2, exact.topo, exact.cost, hcm::RunOptions{},
+                                 [&](hcm::Comm& comm) {
+    std::vector<double> x(kCount, comm.rank());
+    std::vector<float> y(kCount, comm.rank() == 0 ? 7.0f : -1.0f);
+    auto req = comm.iallreduce(std::span(x), hcm::ReduceOp::kSum);
+    comm.broadcast(std::span(y), 0);
+    req.wait();
+    EXPECT_DOUBLE_EQ(req.cost_s(), ca);
+    EXPECT_DOUBLE_EQ(req.overlap_s(), 0.0);
+    EXPECT_FLOAT_EQ(y[0], 7.0f);
+    EXPECT_DOUBLE_EQ(x[0], 1.0);
+  });
+  for (const auto t : stats.vclock) EXPECT_DOUBLE_EQ(t, cb + ca);
+}
+
+TEST(AsyncCollectives, ResultsMatchBlockingCounterparts) {
+  constexpr int p = 6;
+  hcm::Runtime::run(p, hcm::Topology::aimos(p), hcm::CostModel{},
+                    hcm::RunOptions{}, [&](hcm::Comm& comm) {
+    // iallreduce with a custom combiner.
+    std::vector<std::int64_t> mx(5, 100 + comm.rank());
+    auto r1 = comm.iallreduce(std::span(mx),
+                              [](std::int64_t& into, const std::int64_t& from) {
+                                into = std::max(into, from);
+                              });
+    r1.wait();
+    for (const auto v : mx) EXPECT_EQ(v, 100 + p - 1);
+
+    // ibroadcast from a non-zero root.
+    std::vector<std::int32_t> b(9, comm.rank() == 2 ? 42 : -1);
+    comm.ibroadcast(std::span(b), 2).wait();
+    for (const auto v : b) EXPECT_EQ(v, 42);
+
+    // imulti_broadcast: the segment list is taken by value, so a temporary
+    // is fine; the payload buffers must outlive the wait.
+    std::vector<std::int32_t> s0(3, comm.rank() == 1 ? 7 : 0);
+    std::vector<std::int32_t> s1(4, comm.rank() == 4 ? 9 : 0);
+    comm.imulti_broadcast(std::vector<hcm::BcastSeg<std::int32_t>>{
+                              {1, s0.data(), s0.size()},
+                              {4, s1.data(), s1.size()}})
+        .wait();
+    for (const auto v : s0) EXPECT_EQ(v, 7);
+    for (const auto v : s1) EXPECT_EQ(v, 9);
+
+    // iallgatherv against the blocking oracle.
+    std::vector<std::int64_t> vsend(static_cast<std::size_t>(comm.rank()) % 3,
+                                    comm.rank());
+    std::vector<std::int64_t> gathered;
+    std::vector<std::size_t> counts;
+    auto r2 = comm.iallgatherv(std::span<const std::int64_t>(vsend), gathered,
+                               &counts);
+    r2.wait();
+    std::vector<std::size_t> oracle_counts;
+    const auto oracle =
+        comm.allgatherv(std::span<const std::int64_t>(vsend), &oracle_counts);
+    EXPECT_EQ(gathered, oracle);
+    EXPECT_EQ(counts, oracle_counts);
+
+    // ialltoallv against the blocking oracle.
+    std::vector<std::size_t> send_counts(static_cast<std::size_t>(p));
+    std::vector<std::int64_t> send;
+    for (int d = 0; d < p; ++d) {
+      send_counts[static_cast<std::size_t>(d)] =
+          static_cast<std::size_t>((comm.rank() + d) % 3);
+      for (std::size_t i = 0; i < send_counts[static_cast<std::size_t>(d)]; ++i) {
+        send.push_back(comm.rank() * 1000 + d);
+      }
+    }
+    std::vector<std::int64_t> recv;
+    std::vector<std::size_t> recv_counts;
+    auto r3 = comm.ialltoallv(std::span<const std::int64_t>(send),
+                              std::span<const std::size_t>(send_counts), recv,
+                              &recv_counts);
+    r3.wait();
+    std::vector<std::size_t> oracle_rc;
+    const auto oracle_recv =
+        comm.alltoallv(std::span<const std::int64_t>(send),
+                       std::span<const std::size_t>(send_counts), &oracle_rc);
+    EXPECT_EQ(recv, oracle_recv);
+    EXPECT_EQ(recv_counts, oracle_rc);
+  });
+}
+
+TEST(AsyncP2p, IsendIsEagerAndIrecvPollsWithTest) {
+  constexpr int p = 4;
+  hcm::Runtime::run(p, hcm::Topology::aimos(p), hcm::CostModel{},
+                    hcm::RunOptions{}, [&](hcm::Comm& comm) {
+    const int next = (comm.rank() + 1) % p;
+    const int prev = (comm.rank() + p - 1) % p;
+    std::vector<std::int32_t> payload{comm.rank(), comm.rank() * 11};
+    auto sreq = comm.isend(std::span<const std::int32_t>(payload), next,
+                           /*tag=*/3);
+    EXPECT_TRUE(sreq.done());  // sends are eager: enqueued at issue
+
+    // After the barrier every send has been enqueued, so a single test()
+    // poll must complete the receive without a blocking wait.
+    comm.barrier();
+    std::vector<std::int32_t> got;
+    auto rreq = comm.irecv<std::int32_t>(prev, /*tag=*/3, got);
+    EXPECT_TRUE(rreq.test());
+    EXPECT_TRUE(rreq.done());
+    rreq.wait();  // no-op after a successful poll
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0], prev);
+    EXPECT_EQ(got[1], prev * 11);
+  });
+}
+
+TEST(AsyncFaults, CrashStashedAtIssueSurfacesAtWait) {
+  // The injector keys on the issuing collective-seq (n1 here: the barrier
+  // is n0), but the crash must not fire until the wait — the issuing rank
+  // provably gets past the issue call first.
+  hf::FaultInjector injector(hf::FaultPlan::parse("crash@r1:n1"), 4);
+  hcm::RunOptions options;
+  options.faults = &injector;
+  std::atomic<bool> issued{false};
+  EXPECT_THROW(
+      hcm::Runtime::run(4, hcm::Topology::flat(4), hcm::CostModel{}, options,
+                        [&](hcm::Comm& comm) {
+                          comm.barrier();  // n0 on every rank
+                          std::vector<double> x(64, 1.0);
+                          auto req = comm.iallreduce(std::span(x),
+                                                     hcm::ReduceOp::kSum);
+                          if (comm.rank() == 1) issued.store(true);
+                          comm.charge_compute(1e-6);
+                          req.wait();  // rank 1 dies here
+                        }),
+      hcm::RankFailure);
+  EXPECT_TRUE(issued.load());
+  EXPECT_EQ(injector.fired(hf::FaultKind::kCrash), 1u);
+  const auto events = injector.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].rank, 1);
+  EXPECT_EQ(events[0].collective_seq, 1);
+}
+
+/// Row-gathered results of all four async-capable algorithms under one
+/// RunOptions configuration (rank 0's copy; all ranks agree).
+struct AlgoResults {
+  std::vector<std::int64_t> bfs_levels;
+  std::vector<double> pagerank;
+  std::vector<hg::Gid> cc_labels;
+  std::vector<std::uint64_t> lp_labels;
+};
+
+AlgoResults run_algos(const hg::EdgeList& el, hc::Grid grid, bool async,
+                      int chunk) {
+  const auto parts = hc::Partitioned2D::build(el, grid);
+  hcm::RunOptions options;
+  options.async = async;
+  options.async_chunk = chunk;
+  AlgoResults out;
+  hcm::Runtime::run(grid.ranks(), hcm::Topology::aimos(grid.ranks()),
+                    hcm::CostModel{}, options, [&](hcm::Comm& comm) {
+    hc::Dist2DGraph g(comm, parts);
+    auto bfs = ha::bfs(g, 0);
+    auto pr = ha::pagerank(g, 8);
+    auto cc = ha::connected_components(g, ha::CcOptions::sp_sw_vq());
+    auto lp = ha::label_propagation(g, 6);
+    auto levels =
+        ha::gather_row_state(g, std::span<const std::int64_t>(bfs.level));
+    auto ranks = ha::gather_row_state(g, std::span<const double>(pr));
+    auto colors = ha::gather_row_state(g, std::span<const hg::Gid>(cc.label));
+    auto communities =
+        ha::gather_row_state(g, std::span<const std::uint64_t>(lp.label));
+    if (comm.rank() == 0) {
+      out = {std::move(levels), std::move(ranks), std::move(colors),
+             std::move(communities)};
+    }
+  });
+  return out;
+}
+
+TEST(AsyncBitIdentity, AllAlgorithmsMatchSyncModeExactly) {
+  // The acceptance bar for the whole overlap machinery: enabling async
+  // (and chunked pipelining) must not change a single bit of any result.
+  const auto el = small_rmat(8, 6, 1701);
+  const hc::Grid grid(2, 3);
+  const auto sync = run_algos(el, grid, /*async=*/false, /*chunk=*/1);
+  const auto async1 = run_algos(el, grid, /*async=*/true, /*chunk=*/1);
+  EXPECT_EQ(sync.bfs_levels, async1.bfs_levels);
+  EXPECT_EQ(sync.pagerank, async1.pagerank);  // bit-identical FP order
+  EXPECT_EQ(sync.cc_labels, async1.cc_labels);
+  EXPECT_EQ(sync.lp_labels, async1.lp_labels);
+
+  const auto async3 = run_algos(el, grid, /*async=*/true, /*chunk=*/3);
+  EXPECT_EQ(sync.bfs_levels, async3.bfs_levels);
+  EXPECT_EQ(sync.pagerank, async3.pagerank);
+  EXPECT_EQ(sync.cc_labels, async3.cc_labels);
+  EXPECT_EQ(sync.lp_labels, async3.lp_labels);
+}
+
+TEST(AsyncBitIdentity, PerAlgorithmOptInOverridesRunDefault) {
+  // SparseOptions::on/off beat RunOptions::async: an async-default run
+  // with explicit off must equal a sync-default run with explicit on.
+  const auto el = small_rmat(7, 5, 1703);
+  const auto parts = hc::Partitioned2D::build(el, hc::Grid(2, 2));
+  auto run_with = [&](bool run_async, hc::SparseOptions opts) {
+    std::vector<std::int64_t> levels;
+    hcm::RunOptions options;
+    options.async = run_async;
+    hcm::Runtime::run(4, hcm::Topology::aimos(4), hcm::CostModel{}, options,
+                      [&](hcm::Comm& comm) {
+      hc::Dist2DGraph g(comm, parts);
+      ha::BfsOptions bfs_options;
+      bfs_options.sparse = opts;
+      auto bfs = ha::bfs(g, 0, bfs_options);
+      auto gathered =
+          ha::gather_row_state(g, std::span<const std::int64_t>(bfs.level));
+      if (comm.rank() == 0) levels = std::move(gathered);
+    });
+    return levels;
+  };
+  const auto forced_off = run_with(true, hc::SparseOptions::off());
+  const auto forced_on = run_with(false, hc::SparseOptions::on(2));
+  const auto plain = run_with(false, {});
+  EXPECT_EQ(forced_off, plain);
+  EXPECT_EQ(forced_on, plain);
+}
+
+}  // namespace

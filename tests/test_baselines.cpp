@@ -30,7 +30,8 @@ TEST_P(BaselinesP, Dist1dPageRankMatchesReference) {
   hg::Csr ref_csr(striped.n, striped.edges);
   const auto expect = ha::ref::pagerank(ref_csr, 8);
 
-  hpcg::comm::Runtime::run(p, [&](hpcg::comm::Comm& comm) {
+  hpcg::comm::Runtime::run(p, hpcg::comm::Topology::aimos(p), hpcg::comm::CostModel{},
+                           hpcg::comm::RunOptions{}, [&](hpcg::comm::Comm& comm) {
     hb::Dist1DGraph g(comm, parts);
     auto pr = hb::pagerank_1d(g, 8);
     auto gathered = hb::gather_state_1d(g, std::span<const double>(pr));
@@ -51,7 +52,8 @@ TEST_P(BaselinesP, Dist1dCcAndBfsMatchReference) {
   const auto expect_cc = ha::ref::connected_components(striped);
   const auto expect_bfs = ha::ref::bfs_levels(ref_csr, parts.relabel().to_new(0));
 
-  hpcg::comm::Runtime::run(p, [&](hpcg::comm::Comm& comm) {
+  hpcg::comm::Runtime::run(p, hpcg::comm::Topology::aimos(p), hpcg::comm::CostModel{},
+                           hpcg::comm::RunOptions{}, [&](hpcg::comm::Comm& comm) {
     hb::Dist1DGraph g(comm, parts);
     auto labels = hb::gather_state_1d(
         g, std::span<const hg::Gid>(hb::connected_components_1d(g)));
@@ -77,7 +79,8 @@ TEST_P(BaselinesP, Dist1dDenseVariantsMatchOptimized) {
   const auto expect_cc = ha::ref::connected_components(striped);
   const auto expect_bfs = ha::ref::bfs_levels(ref_csr, parts.relabel().to_new(2));
 
-  hpcg::comm::Runtime::run(p, [&](hpcg::comm::Comm& comm) {
+  hpcg::comm::Runtime::run(p, hpcg::comm::Topology::aimos(p), hpcg::comm::CostModel{},
+                           hpcg::comm::RunOptions{}, [&](hpcg::comm::Comm& comm) {
     hb::Dist1DGraph g(comm, parts);
     auto labels = hb::gather_state_1d(
         g, std::span<const hg::Gid>(hb::connected_components_1d_dense(g)));

@@ -18,7 +18,8 @@ class CollectivesP : public ::testing::TestWithParam<int> {};
 
 TEST_P(CollectivesP, BroadcastFromEveryRoot) {
   const int p = GetParam();
-  hc::Runtime::run(p, [&](hc::Comm& comm) {
+  hc::Runtime::run(p, hc::Topology::aimos(p), hc::CostModel{}, hc::RunOptions{},
+                   [&](hc::Comm& comm) {
     for (int root = 0; root < p; ++root) {
       std::vector<std::int64_t> data(17, comm.rank() == root ? 1000 + root : -1);
       comm.broadcast(std::span(data), root);
@@ -29,7 +30,8 @@ TEST_P(CollectivesP, BroadcastFromEveryRoot) {
 
 TEST_P(CollectivesP, AllReduceSumMinMax) {
   const int p = GetParam();
-  hc::Runtime::run(p, [&](hc::Comm& comm) {
+  hc::Runtime::run(p, hc::Topology::aimos(p), hc::CostModel{}, hc::RunOptions{},
+                   [&](hc::Comm& comm) {
     std::vector<std::int64_t> sum(8);
     for (std::size_t i = 0; i < sum.size(); ++i) {
       sum[i] = comm.rank() + static_cast<std::int64_t>(i);
@@ -56,7 +58,8 @@ TEST_P(CollectivesP, AllReduceCustomCombiner) {
     double weight;
     std::int64_t loc;
   };
-  hc::Runtime::run(p, [&](hc::Comm& comm) {
+  hc::Runtime::run(p, hc::Topology::aimos(p), hc::CostModel{}, hc::RunOptions{},
+                   [&](hc::Comm& comm) {
     // MAXLOC with smallest-loc tie break, as the matching algorithm needs.
     std::vector<WeightLoc> data(5);
     for (std::size_t i = 0; i < data.size(); ++i) {
@@ -86,7 +89,8 @@ TEST_P(CollectivesP, AllReduceCustomCombiner) {
 
 TEST_P(CollectivesP, RootedReduceGatherScatter) {
   const int p = GetParam();
-  hc::Runtime::run(p, [&](hc::Comm& comm) {
+  hc::Runtime::run(p, hc::Topology::aimos(p), hc::CostModel{}, hc::RunOptions{},
+                   [&](hc::Comm& comm) {
     for (int root = 0; root < p; root += std::max(1, p / 3)) {
       // Reduce: only the root sees the sum; others keep their values.
       std::vector<std::int64_t> data(5, comm.rank() + 1);
@@ -125,7 +129,8 @@ TEST_P(CollectivesP, RootedReduceGatherScatter) {
 
 TEST_P(CollectivesP, ReduceScatterEqualsAllReduceSlice) {
   const int p = GetParam();
-  hc::Runtime::run(p, [&](hc::Comm& comm) {
+  hc::Runtime::run(p, hc::Topology::aimos(p), hc::CostModel{}, hc::RunOptions{},
+                   [&](hc::Comm& comm) {
     const std::size_t block = 4;
     std::vector<double> send(block * static_cast<std::size_t>(p));
     for (std::size_t i = 0; i < send.size(); ++i) {
@@ -151,7 +156,8 @@ TEST_P(CollectivesP, ReduceScatterEqualsAllReduceSlice) {
 
 TEST_P(CollectivesP, AllGatherFixedAndVariable) {
   const int p = GetParam();
-  hc::Runtime::run(p, [&](hc::Comm& comm) {
+  hc::Runtime::run(p, hc::Topology::aimos(p), hc::CostModel{}, hc::RunOptions{},
+                   [&](hc::Comm& comm) {
     std::vector<std::int32_t> send(4, comm.rank());
     std::vector<std::int32_t> recv(static_cast<std::size_t>(4) * p, -1);
     comm.allgather(std::span<const std::int32_t>(send), std::span(recv));
@@ -179,7 +185,8 @@ TEST_P(CollectivesP, AllGatherFixedAndVariable) {
 
 TEST_P(CollectivesP, AlltoallvPersonalizedExchange) {
   const int p = GetParam();
-  hc::Runtime::run(p, [&](hc::Comm& comm) {
+  hc::Runtime::run(p, hc::Topology::aimos(p), hc::CostModel{}, hc::RunOptions{},
+                   [&](hc::Comm& comm) {
     // Rank r sends (r + d) % 3 values of (r * 1000 + d) to destination d.
     std::vector<std::size_t> send_counts(static_cast<std::size_t>(p));
     std::vector<std::int64_t> send;
@@ -207,7 +214,8 @@ TEST_P(CollectivesP, AlltoallvPersonalizedExchange) {
 
 TEST_P(CollectivesP, MultiBroadcastGroupCall) {
   const int p = GetParam();
-  hc::Runtime::run(p, [&](hc::Comm& comm) {
+  hc::Runtime::run(p, hc::Topology::aimos(p), hc::CostModel{}, hc::RunOptions{},
+                   [&](hc::Comm& comm) {
     // Three segments with roots spread over the group.
     std::vector<std::vector<std::int32_t>> bufs(3);
     std::vector<hc::BcastSeg<std::int32_t>> segs;
@@ -232,7 +240,8 @@ TEST_P(CollectivesP, SplitRowColumnGrids) {
     if (p % r == 0) rows = r;
   }
   const int cols = p / rows;
-  hc::Runtime::run(p, [&](hc::Comm& comm) {
+  hc::Runtime::run(p, hc::Topology::aimos(p), hc::CostModel{}, hc::RunOptions{},
+                   [&](hc::Comm& comm) {
     const int my_row = comm.rank() / cols;
     const int my_col = comm.rank() % cols;
     hc::Comm row_comm = comm.split(my_row, my_col);
@@ -256,10 +265,63 @@ TEST_P(CollectivesP, SplitRowColumnGrids) {
   });
 }
 
+TEST_P(CollectivesP, CallerOwnedReceiveBuffers) {
+  // The allocation-free overloads: allgatherv/alltoallv/recv must clear
+  // and resize a caller-owned vector in place (stale junk included) and
+  // agree exactly with the returning forms.
+  const int p = GetParam();
+  hc::Runtime::run(p, hc::Topology::aimos(p), hc::CostModel{}, hc::RunOptions{},
+                   [&](hc::Comm& comm) {
+    std::vector<std::int64_t> vsend(
+        static_cast<std::size_t>(comm.rank()) % 4, comm.rank());
+    std::vector<std::int64_t> out(100, -777);  // junk to be replaced
+    std::vector<std::size_t> counts(3, 999);
+    comm.allgatherv(std::span<const std::int64_t>(vsend), out, &counts);
+    std::vector<std::size_t> oracle_counts;
+    const auto oracle =
+        comm.allgatherv(std::span<const std::int64_t>(vsend), &oracle_counts);
+    EXPECT_EQ(out, oracle);
+    EXPECT_EQ(counts, oracle_counts);
+
+    std::vector<std::size_t> send_counts(static_cast<std::size_t>(p));
+    std::vector<std::int64_t> send;
+    for (int d = 0; d < p; ++d) {
+      send_counts[d] = static_cast<std::size_t>((comm.rank() + 2 * d) % 3);
+      for (std::size_t i = 0; i < send_counts[d]; ++i) {
+        send.push_back(comm.rank() * 100 + d);
+      }
+    }
+    std::vector<std::int64_t> recv(7, -1);
+    std::vector<std::size_t> recv_counts;
+    comm.alltoallv(std::span<const std::int64_t>(send),
+                   std::span<const std::size_t>(send_counts), recv,
+                   &recv_counts);
+    std::vector<std::size_t> oracle_rc;
+    const auto oracle_recv =
+        comm.alltoallv(std::span<const std::int64_t>(send),
+                       std::span<const std::size_t>(send_counts), &oracle_rc);
+    EXPECT_EQ(recv, oracle_recv);
+    EXPECT_EQ(recv_counts, oracle_rc);
+
+    if (p > 1) {
+      const int next = (comm.rank() + 1) % p;
+      const int prev = (comm.rank() + p - 1) % p;
+      std::vector<std::int32_t> payload{comm.rank(), comm.rank() * 3};
+      comm.send(std::span<const std::int32_t>(payload), next, /*tag=*/5);
+      std::vector<std::int32_t> got(64, -9);
+      comm.recv(prev, /*tag=*/5, got);
+      ASSERT_EQ(got.size(), 2u);
+      EXPECT_EQ(got[0], prev);
+      EXPECT_EQ(got[1], prev * 3);
+    }
+  });
+}
+
 TEST_P(CollectivesP, SendRecvRing) {
   const int p = GetParam();
   if (p == 1) GTEST_SKIP() << "ring needs 2+ ranks";
-  hc::Runtime::run(p, [&](hc::Comm& comm) {
+  hc::Runtime::run(p, hc::Topology::aimos(p), hc::CostModel{}, hc::RunOptions{},
+                   [&](hc::Comm& comm) {
     const int next = (comm.rank() + 1) % p;
     const int prev = (comm.rank() + p - 1) % p;
     std::vector<std::int32_t> payload{comm.rank(), comm.rank() * 2};
@@ -277,7 +339,7 @@ INSTANTIATE_TEST_SUITE_P(GroupSizes, CollectivesP,
 
 TEST(CommErrors, RankFailurePropagatesWithoutDeadlock) {
   EXPECT_THROW(
-      hc::Runtime::run(4,
+      hc::Runtime::run(4, hc::Topology::aimos(4), hc::CostModel{}, hc::RunOptions{},
                        [](hc::Comm& comm) {
                          if (comm.rank() == 2) {
                            throw std::runtime_error("rank 2 exploded");
@@ -289,7 +351,8 @@ TEST(CommErrors, RankFailurePropagatesWithoutDeadlock) {
 }
 
 TEST(CommStats, TrafficAndClocksAreAccounted) {
-  auto stats = hc::Runtime::run(8, [](hc::Comm& comm) {
+  auto stats = hc::Runtime::run(8, hc::Topology::aimos(8), hc::CostModel{},
+                                hc::RunOptions{}, [](hc::Comm& comm) {
     std::vector<double> x(1024, comm.rank());
     comm.allreduce(std::span(x), hc::ReduceOp::kSum);
     comm.broadcast(std::span(x), 0);
@@ -311,7 +374,8 @@ TEST(CommStats, TrafficAndClocksAreAccounted) {
 
 TEST(CommStats, LargerGroupsCostMoreCommunication) {
   auto run_with = [](int p) {
-    return hc::Runtime::run(p, [](hc::Comm& comm) {
+    return hc::Runtime::run(p, hc::Topology::aimos(p), hc::CostModel{},
+                            hc::RunOptions{}, [](hc::Comm& comm) {
       std::vector<double> x(4096, comm.rank());
       for (int i = 0; i < 10; ++i) comm.allreduce(std::span(x), hc::ReduceOp::kSum);
     });

@@ -14,7 +14,8 @@ namespace {
 
 TEST(CommHierarchy, SplitOfSplit) {
   // 12 ranks -> 3 colors of 4 -> each splits again into 2 of 2.
-  hc::Runtime::run(12, [](hc::Comm& comm) {
+  hc::Runtime::run(12, hc::Topology::aimos(12), hc::CostModel{}, hc::RunOptions{},
+                   [](hc::Comm& comm) {
     hc::Comm mid = comm.split(comm.rank() / 4, comm.rank() % 4);
     ASSERT_EQ(mid.size(), 4);
     hc::Comm leaf = mid.split(mid.rank() / 2, mid.rank() % 2);
@@ -34,7 +35,8 @@ TEST(CommHierarchy, SplitOfSplit) {
 TEST(CommHierarchy, DisjointGroupsProgressIndependently) {
   // Odd/even groups issue different numbers of collectives concurrently;
   // the world barrier at the end must still line everyone up.
-  auto stats = hc::Runtime::run(8, [](hc::Comm& comm) {
+  auto stats = hc::Runtime::run(8, hc::Topology::aimos(8), hc::CostModel{},
+                                hc::RunOptions{}, [](hc::Comm& comm) {
     hc::Comm half = comm.split(comm.rank() % 2, comm.rank());
     std::vector<double> x(256, 1.0);
     const int repeats = comm.rank() % 2 == 0 ? 3 : 9;
@@ -57,7 +59,7 @@ TEST(ClockAccounting, SingleCollectiveMatchesHandComputedCost) {
   const hc::CostModel cost(params);
 
   constexpr std::size_t kCount = 1000;
-  auto stats = hc::Runtime::run(4, topo, cost, [](hc::Comm& comm) {
+  auto stats = hc::Runtime::run(4, topo, cost, hc::RunOptions{}, [](hc::Comm& comm) {
     std::vector<double> x(kCount, comm.rank());
     comm.allreduce(std::span(x), hc::ReduceOp::kSum);
   });
@@ -79,7 +81,7 @@ TEST(ClockAccounting, SequenceAccumulates) {
   const auto group = hc::make_group_link(topo, nullptr, 1);
   (void)group;
 
-  auto stats = hc::Runtime::run(8, topo, cost, [](hc::Comm& comm) {
+  auto stats = hc::Runtime::run(8, topo, cost, hc::RunOptions{}, [](hc::Comm& comm) {
     std::vector<float> x(512, 1.0f);
     comm.allreduce(std::span(x), hc::ReduceOp::kMax);  // 1
     comm.broadcast(std::span(x), 3);                   // 2
@@ -98,7 +100,7 @@ TEST(ClockAccounting, SequenceAccumulates) {
 TEST(ClockAccounting, ExplicitChargesAccumulateAsCompute) {
   auto stats = hc::Runtime::run(2, hc::Topology::flat(2),
                                 hc::CostModel(hc::CostParams{.compute_scale = 0.0}),
-                                [](hc::Comm& comm) {
+                                hc::RunOptions{}, [](hc::Comm& comm) {
                                   comm.charge_compute(comm.rank() == 0 ? 1e-3 : 2e-3);
                                   comm.barrier();
                                 });
@@ -112,7 +114,8 @@ TEST(ClockAccounting, ExplicitChargesAccumulateAsCompute) {
 }
 
 TEST(ClockAccounting, ResetClocksZeroesEverything) {
-  auto stats = hc::Runtime::run(4, [](hc::Comm& comm) {
+  auto stats = hc::Runtime::run(4, hc::Topology::aimos(4), hc::CostModel{},
+                                hc::RunOptions{}, [](hc::Comm& comm) {
     std::vector<double> x(4096, 1.0);
     comm.allreduce(std::span(x), hc::ReduceOp::kSum);
     comm.reset_clocks();

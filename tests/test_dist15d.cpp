@@ -56,7 +56,8 @@ TEST_P(Dist15dP, CcMatchesReference) {
   parts.relabel().apply(striped);
   const auto expect = ha::ref::connected_components(striped);
 
-  hpcg::comm::Runtime::run(p, [&](hpcg::comm::Comm& comm) {
+  hpcg::comm::Runtime::run(p, hpcg::comm::Topology::aimos(p), hpcg::comm::CostModel{},
+                           hpcg::comm::RunOptions{}, [&](hpcg::comm::Comm& comm) {
     hb::Dist15DGraph g(comm, parts);
     auto result = hb::connected_components_15d(g);
     auto labels = g.gather(std::span<const hg::Gid>(result));
@@ -83,7 +84,8 @@ TEST_P(Dist15dP, BfsMatchesReferenceFromLightAndHeavyRoots) {
   }
   for (const auto root : roots) {
     const auto expect = ha::ref::bfs_levels(ref_csr, parts.relabel().to_new(root));
-    hpcg::comm::Runtime::run(p, [&](hpcg::comm::Comm& comm) {
+    hpcg::comm::Runtime::run(p, hpcg::comm::Topology::aimos(p), hpcg::comm::CostModel{},
+                             hpcg::comm::RunOptions{}, [&](hpcg::comm::Comm& comm) {
       hb::Dist15DGraph g(comm, parts);
       auto level = hb::bfs_15d(g, root);
       auto gathered = g.gather(std::span<const std::int64_t>(level));
@@ -101,7 +103,8 @@ TEST_P(Dist15dP, LidGidRoundTrip) {
   const int p = GetParam();
   const auto el = small_rmat(7, 5, 607);
   const auto parts = hb::Partitioned15D::build(el, p, 4.0);
-  hpcg::comm::Runtime::run(p, [&](hpcg::comm::Comm& comm) {
+  hpcg::comm::Runtime::run(p, hpcg::comm::Topology::aimos(p), hpcg::comm::CostModel{},
+                           hpcg::comm::RunOptions{}, [&](hpcg::comm::Comm& comm) {
     hb::Dist15DGraph g(comm, parts);
     for (hb::Lid l = 0; l < g.n_total(); ++l) {
       EXPECT_EQ(g.to_lid(g.to_gid(l)), l);

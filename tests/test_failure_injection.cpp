@@ -20,8 +20,8 @@ using hpcg::test::small_rmat;
 namespace {
 
 TEST(FailureInjection, ThrowBeforeFirstCollective) {
-  EXPECT_THROW(hcm::Runtime::run(6,
-                                 [](hcm::Comm& comm) {
+  EXPECT_THROW(hcm::Runtime::run(6, hcm::Topology::aimos(6), hcm::CostModel{},
+                                 hcm::RunOptions{}, [](hcm::Comm& comm) {
                                    if (comm.rank() == 5) {
                                      throw std::runtime_error("early");
                                    }
@@ -33,8 +33,8 @@ TEST(FailureInjection, ThrowBeforeFirstCollective) {
 }
 
 TEST(FailureInjection, ThrowBetweenCollectives) {
-  EXPECT_THROW(hcm::Runtime::run(8,
-                                 [](hcm::Comm& comm) {
+  EXPECT_THROW(hcm::Runtime::run(8, hcm::Topology::aimos(8), hcm::CostModel{},
+                                 hcm::RunOptions{}, [](hcm::Comm& comm) {
                                    std::vector<double> x(64, 1.0);
                                    comm.allreduce(std::span(x), hcm::ReduceOp::kSum);
                                    if (comm.rank() == 3) {
@@ -47,8 +47,8 @@ TEST(FailureInjection, ThrowBetweenCollectives) {
 }
 
 TEST(FailureInjection, ThrowWhilePeersWaitInRecv) {
-  EXPECT_THROW(hcm::Runtime::run(4,
-                                 [](hcm::Comm& comm) {
+  EXPECT_THROW(hcm::Runtime::run(4, hcm::Topology::aimos(4), hcm::CostModel{},
+                                 hcm::RunOptions{}, [](hcm::Comm& comm) {
                                    if (comm.rank() == 0) {
                                      throw std::runtime_error("sender died");
                                    }
@@ -60,7 +60,8 @@ TEST(FailureInjection, ThrowWhilePeersWaitInRecv) {
 
 TEST(FailureInjection, FirstErrorWins) {
   try {
-    hcm::Runtime::run(4, [](hcm::Comm& comm) {
+    hcm::Runtime::run(4, hcm::Topology::aimos(4), hcm::CostModel{}, hcm::RunOptions{},
+                      [](hcm::Comm& comm) {
       if (comm.rank() == 2) throw std::runtime_error("rank 2");
       comm.barrier();  // everyone else aborts here
       throw std::runtime_error("should not be reached");
@@ -75,7 +76,7 @@ TEST(FailureInjection, ThrowInsideDistributedAlgorithm) {
   const auto el = small_rmat(7, 4, 1301);
   const auto parts = hc::Partitioned2D::build(el, hc::Grid(2, 3));
   EXPECT_THROW(
-      hcm::Runtime::run(6,
+      hcm::Runtime::run(6, hcm::Topology::aimos(6), hcm::CostModel{}, hcm::RunOptions{},
                         [&](hcm::Comm& comm) {
                           hc::Dist2DGraph g(comm, parts);
                           if (comm.rank() == 4) {
@@ -88,19 +89,21 @@ TEST(FailureInjection, ThrowInsideDistributedAlgorithm) {
 
 TEST(FailureInjection, WorldIsReusableAfterFailedRun) {
   // A failed run tears everything down; fresh runs must work after it.
-  EXPECT_THROW(hcm::Runtime::run(4,
-                                 [](hcm::Comm& comm) {
+  EXPECT_THROW(hcm::Runtime::run(4, hcm::Topology::aimos(4), hcm::CostModel{},
+                                 hcm::RunOptions{}, [](hcm::Comm& comm) {
                                    if (comm.rank() == 1) throw std::runtime_error("x");
                                    comm.barrier();
                                  }),
                std::runtime_error);
-  auto stats = hcm::Runtime::run(4, [](hcm::Comm& comm) { comm.barrier(); });
+  auto stats = hcm::Runtime::run(4, hcm::Topology::aimos(4), hcm::CostModel{},
+                                 hcm::RunOptions{},
+                                 [](hcm::Comm& comm) { comm.barrier(); });
   EXPECT_EQ(stats.vclock.size(), 4u);
 }
 
 TEST(ApiMisuse, AlltoallvRejectsWrongCountsSize) {
-  EXPECT_THROW(hcm::Runtime::run(4,
-                                 [](hcm::Comm& comm) {
+  EXPECT_THROW(hcm::Runtime::run(4, hcm::Topology::aimos(4), hcm::CostModel{},
+                                 hcm::RunOptions{}, [](hcm::Comm& comm) {
                                    std::vector<int> send(4, comm.rank());
                                    std::vector<std::size_t> counts(2, 2);  // != size
                                    comm.alltoallv(std::span<const int>(send),
@@ -112,15 +115,15 @@ TEST(ApiMisuse, AlltoallvRejectsWrongCountsSize) {
 TEST(ApiMisuse, GridAndTopologyValidation) {
   EXPECT_THROW(hc::Grid(0, 4), std::invalid_argument);
   EXPECT_THROW(hcm::Runtime::run(4, hcm::Topology::aimos(8), hcm::CostModel{},
-                                 [](hcm::Comm&) {}),
+                                 hcm::RunOptions{}, [](hcm::Comm&) {}),
                std::invalid_argument);
 }
 
 TEST(ApiMisuse, CommSizeMustMatchGrid) {
   const auto el = small_rmat(6, 4, 1303);
   const auto parts = hc::Partitioned2D::build(el, hc::Grid(2, 2));
-  EXPECT_THROW(hcm::Runtime::run(6,
-                                 [&](hcm::Comm& comm) {
+  EXPECT_THROW(hcm::Runtime::run(6, hcm::Topology::aimos(6), hcm::CostModel{},
+                                 hcm::RunOptions{}, [&](hcm::Comm& comm) {
                                    hc::Dist2DGraph g(comm, parts);  // 6 != 4
                                  }),
                std::invalid_argument);
@@ -129,8 +132,8 @@ TEST(ApiMisuse, CommSizeMustMatchGrid) {
 TEST(ApiMisuse, WeightlessMatchingRejected) {
   const auto el = small_rmat(6, 4, 1305, /*weighted=*/false);
   const auto parts = hc::Partitioned2D::build(el, hc::Grid(2, 2));
-  EXPECT_THROW(hcm::Runtime::run(4,
-                                 [&](hcm::Comm& comm) {
+  EXPECT_THROW(hcm::Runtime::run(4, hcm::Topology::aimos(4), hcm::CostModel{},
+                                 hcm::RunOptions{}, [&](hcm::Comm& comm) {
                                    hc::Dist2DGraph g(comm, parts);
                                    hpcg::algos::max_weight_matching(g);
                                  }),
@@ -140,7 +143,8 @@ TEST(ApiMisuse, WeightlessMatchingRejected) {
 TEST(ApiMisuse, P2pRejectsOutOfRangePeersAndNegativeTags) {
   // Argument validation fires before any rendezvous, so every rank can
   // probe the misuse paths independently and still meet at the barrier.
-  hcm::Runtime::run(4, [](hcm::Comm& comm) {
+  hcm::Runtime::run(4, hcm::Topology::aimos(4), hcm::CostModel{}, hcm::RunOptions{},
+                    [](hcm::Comm& comm) {
     const std::vector<int> payload(4, comm.rank());
     EXPECT_THROW(comm.send(std::span<const int>(payload), /*dest=*/4, /*tag=*/0),
                  std::invalid_argument);
@@ -158,8 +162,8 @@ TEST(ApiMisuse, P2pRejectsOutOfRangePeersAndNegativeTags) {
 TEST(FailureInjection, ThrowMidSplit) {
   // One rank dies while the others are inside split(); the split must not
   // deadlock and the original error must surface.
-  EXPECT_THROW(hcm::Runtime::run(6,
-                                 [](hcm::Comm& comm) {
+  EXPECT_THROW(hcm::Runtime::run(6, hcm::Topology::aimos(6), hcm::CostModel{},
+                                 hcm::RunOptions{}, [](hcm::Comm& comm) {
                                    if (comm.rank() == 2) {
                                      throw std::runtime_error("died in split");
                                    }
@@ -172,7 +176,7 @@ TEST(FailureInjection, ThrowMidSplit) {
 
 TEST(FailureInjection, ThrowMidMultiBroadcast) {
   EXPECT_THROW(
-      hcm::Runtime::run(4,
+      hcm::Runtime::run(4, hcm::Topology::aimos(4), hcm::CostModel{}, hcm::RunOptions{},
                         [](hcm::Comm& comm) {
                           std::vector<double> a(16, comm.rank());
                           std::vector<double> b(16, -comm.rank());
@@ -192,7 +196,8 @@ TEST(FailureInjection, SplitReleasesChildGroupState) {
   // The parent group must not keep child groups of a completed split alive
   // (that was a leak: the last split's children lived as long as the
   // parent). After every member has taken its child, the parent holds none.
-  hcm::Runtime::run(6, [](hcm::Comm& comm) {
+  hcm::Runtime::run(6, hcm::Topology::aimos(6), hcm::CostModel{}, hcm::RunOptions{},
+                    [](hcm::Comm& comm) {
     auto half = comm.split(comm.rank() % 2, comm.rank());
     std::vector<std::int64_t> x(8, 1);
     half.allreduce(std::span(x), hcm::ReduceOp::kSum);
@@ -208,7 +213,8 @@ TEST(FailureInjection, ManyConcurrentAbortsSettle) {
   std::atomic<int> attempts{0};
   for (int trial = 0; trial < 5; ++trial) {
     try {
-      hcm::Runtime::run(12, [&](hcm::Comm& comm) {
+      hcm::Runtime::run(12, hcm::Topology::aimos(12), hcm::CostModel{},
+                        hcm::RunOptions{}, [&](hcm::Comm& comm) {
         std::vector<int> x(8, comm.rank());
         comm.allreduce(std::span(x), hcm::ReduceOp::kSum);
         if (comm.rank() % 3 == 0) {

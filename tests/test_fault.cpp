@@ -463,7 +463,7 @@ TEST(FaultRecovery, CrashedPagerankRecoversBitIdentical) {
     const auto recovery = run_recovered(
         faults, [&](hc::Comm& comm, hpcg::core::Dist2DGraph& g,
                     hf::Checkpointer& ckpt) {
-          pr[comm.rank()] = hpcg::algos::pagerank(g, 6, 0.85, &ckpt);
+          pr[comm.rank()] = hpcg::algos::pagerank(g, 6, 0.85, {}, &ckpt);
         });
     if (restarts) *restarts = recovery.restarts;
     return pr;
@@ -509,7 +509,7 @@ TEST(FaultRecovery, SilentDeathRecoversBitIdentical) {
     const auto recovery = run_recovered(
         faults, [&](hc::Comm& comm, hpcg::core::Dist2DGraph& g,
                     hf::Checkpointer& ckpt) {
-          pr[comm.rank()] = hpcg::algos::pagerank(g, 6, 0.85, &ckpt);
+          pr[comm.rank()] = hpcg::algos::pagerank(g, 6, 0.85, {}, &ckpt);
         });
     if (restarts) *restarts = recovery.restarts;
     return pr;
@@ -527,7 +527,7 @@ TEST(FaultRecovery, MultipleCrashesRecoverWithinBudget) {
     const auto recovery = run_recovered(
         faults, [&](hc::Comm& comm, hpcg::core::Dist2DGraph& g,
                     hf::Checkpointer& ckpt) {
-          pr[comm.rank()] = hpcg::algos::pagerank(g, 6, 0.85, &ckpt);
+          pr[comm.rank()] = hpcg::algos::pagerank(g, 6, 0.85, {}, &ckpt);
         });
     if (restarts) *restarts = recovery.restarts;
     return pr;
@@ -590,7 +590,7 @@ TEST(FaultTelemetry, InstantsAndCountersSurviveRecovery) {
       [&](hc::Comm& comm, hf::Checkpointer& ckpt) {
         hpcg::core::Dist2DGraph g(comm, parts);
         comm.reset_clocks();
-        hpcg::algos::pagerank(g, 6, 0.85, &ckpt);
+        hpcg::algos::pagerank(g, 6, 0.85, {}, &ckpt);
       });
   EXPECT_EQ(recovery.restarts, 1);
 

@@ -38,7 +38,8 @@ double run_time(const hg::EdgeList& el, int p, const hcm::CostModel& model,
                 const std::function<void(hc::Dist2DGraph&)>& body) {
   const auto grid = hc::Grid::squarest(p);
   const auto parts = hc::Partitioned2D::build(el, grid);
-  auto stats = hcm::Runtime::run(p, topo(p), model, [&](hcm::Comm& comm) {
+  auto stats = hcm::Runtime::run(p, topo(p), model, hcm::RunOptions{},
+                                 [&](hcm::Comm& comm) {
     hc::Dist2DGraph g(comm, parts);
     comm.reset_clocks();
     body(g);
@@ -72,7 +73,7 @@ TEST(FigureShapes, Fig7ExtremeGridsLoseToSquare) {
   const auto run_grid = [&](int rows, int cols) {
     const auto parts = hc::Partitioned2D::build(el, hc::Grid(rows, cols));
     auto stats = hcm::Runtime::run(rows * cols, topo(rows * cols), cost(),
-                                   [&](hcm::Comm& comm) {
+                                   hcm::RunOptions{}, [&](hcm::Comm& comm) {
                                      hc::Dist2DGraph g(comm, parts);
                                      comm.reset_clocks();
                                      ha::connected_components(
@@ -112,14 +113,16 @@ TEST(FigureShapes, DistModels2dNeedsFewerMessagesThan1d) {
   const int p = 36;
   // 1D message count.
   const auto parts1d = hb::Partitioned1D::build(el, p);
-  auto stats1d = hcm::Runtime::run(p, topo(p), cost(), [&](hcm::Comm& comm) {
+  auto stats1d = hcm::Runtime::run(p, topo(p), cost(), hcm::RunOptions{},
+                                   [&](hcm::Comm& comm) {
     hb::Dist1DGraph g(comm, parts1d);
     comm.reset_clocks();
     hb::connected_components_1d(g);
   });
   // 2D message count.
   const auto parts2d = hc::Partitioned2D::build(el, hc::Grid::squarest(p));
-  auto stats2d = hcm::Runtime::run(p, topo(p), cost(), [&](hcm::Comm& comm) {
+  auto stats2d = hcm::Runtime::run(p, topo(p), cost(), hcm::RunOptions{},
+                                   [&](hcm::Comm& comm) {
     hc::Dist2DGraph g(comm, parts2d);
     comm.reset_clocks();
     ha::connected_components(g, ha::CcOptions::all_push());
@@ -133,7 +136,8 @@ TEST(FigureShapes, Fig5CommSpeedupLessThanTotalSpeedup) {
   const auto el = hg::load_dataset("wdc-mini", -3);
   const auto run_stats = [&](int p) {
     const auto parts = hc::Partitioned2D::build(el, hc::Grid::squarest(p));
-    return hcm::Runtime::run(p, topo(p), cost(), [&](hcm::Comm& comm) {
+    return hcm::Runtime::run(p, topo(p), cost(), hcm::RunOptions{},
+                             [&](hcm::Comm& comm) {
       hc::Dist2DGraph g(comm, parts);
       comm.reset_clocks();
       ha::pagerank(g, 10);

@@ -16,7 +16,9 @@ inline comm::RunStats run_on_grid(
     const graph::EdgeList& el, core::Grid grid,
     const std::function<void(comm::Comm&, core::Dist2DGraph&)>& body) {
   const auto parts = core::Partitioned2D::build(el, grid);
-  return comm::Runtime::run(grid.ranks(), [&](comm::Comm& comm) {
+  return comm::Runtime::run(grid.ranks(), comm::Topology::aimos(grid.ranks()),
+                            comm::CostModel{}, comm::RunOptions{},
+                            [&](comm::Comm& comm) {
     core::Dist2DGraph g(comm, parts);
     body(comm, g);
   });

@@ -37,8 +37,8 @@ hc::RunStats traced_pagerank(ht::Recorder* recorder, int iterations = 5) {
   const auto el = hpcg::test::small_rmat(7, 4, 901);
   const auto parts = hpcg::core::Partitioned2D::build(el, hpcg::core::Grid(2, 2));
   return hc::Runtime::run(
-      4, hc::Topology::aimos(4), hc::CostModel(deterministic_params()), recorder,
-      [&](hc::Comm& comm) {
+      4, hc::Topology::aimos(4), hc::CostModel(deterministic_params()),
+      hc::RunOptions{.recorder = recorder}, [&](hc::Comm& comm) {
         hpcg::core::Dist2DGraph g(comm, parts);
         comm.reset_clocks();
         hpcg::algos::pagerank(g, iterations);
@@ -94,7 +94,7 @@ TEST(TelemetrySpans, NestingAndOrderingPerRank) {
 TEST(TelemetrySpans, CollectivesLandOnEveryMemberTrack) {
   ht::Recorder recorder(4);
   hc::Runtime::run(4, hc::Topology::flat(4), hc::CostModel(deterministic_params()),
-                   &recorder, [](hc::Comm& comm) {
+                   hc::RunOptions{.recorder = &recorder}, [](hc::Comm& comm) {
                      std::vector<double> x(64, comm.rank());
                      comm.allreduce(std::span(x), hc::ReduceOp::kSum);
                    });
@@ -114,8 +114,8 @@ TEST(TelemetrySpans, CollectivesLandOnEveryMemberTrack) {
 TEST(TelemetryMetrics, AggregatesAcrossRanks) {
   ht::Recorder recorder(8);
   auto stats = hc::Runtime::run(
-      8, hc::Topology::flat(8), hc::CostModel(deterministic_params()), &recorder,
-      [&](hc::Comm& comm) {
+      8, hc::Topology::flat(8), hc::CostModel(deterministic_params()),
+      hc::RunOptions{.recorder = &recorder}, [&](hc::Comm& comm) {
         recorder.metrics().counter("test.rank_visits").increment();
         std::vector<std::int64_t> x(32, comm.rank());
         comm.allreduce(std::span(x), hc::ReduceOp::kSum);
@@ -228,7 +228,7 @@ TEST(TelemetryRegression, UntracedRunIsBitIdenticalToSeedBehavior) {
 TEST(TelemetryAnalysis, FindsStragglerAndImbalance) {
   ht::Recorder recorder(4);
   hc::Runtime::run(4, hc::Topology::flat(4), hc::CostModel(deterministic_params()),
-                   &recorder, [](hc::Comm& comm) {
+                   hc::RunOptions{.recorder = &recorder}, [](hc::Comm& comm) {
                      for (int step = 0; step < 3; ++step) {
                        {
                          auto span = comm.superstep_span("skewed", 100);
@@ -259,7 +259,7 @@ TEST(TelemetryAnalysis, SuperstepCompCommSplitCoversAlgorithms) {
   const auto parts = hpcg::core::Partitioned2D::build(el, hpcg::core::Grid(2, 2));
   ht::Recorder recorder(4);
   hc::Runtime::run(4, hc::Topology::aimos(4), hc::CostModel(deterministic_params()),
-                   &recorder, [&](hc::Comm& comm) {
+                   hc::RunOptions{.recorder = &recorder}, [&](hc::Comm& comm) {
                      hpcg::core::Dist2DGraph g(comm, parts);
                      comm.reset_clocks();
                      hpcg::algos::connected_components(
@@ -281,7 +281,7 @@ TEST(TelemetryAnalysis, SuperstepCompCommSplitCoversAlgorithms) {
 TEST(TelemetryRecorder, ResetClocksDropsPriorSpans) {
   ht::Recorder recorder(2);
   hc::Runtime::run(2, hc::Topology::flat(2), hc::CostModel(deterministic_params()),
-                   &recorder, [](hc::Comm& comm) {
+                   hc::RunOptions{.recorder = &recorder}, [](hc::Comm& comm) {
                      {
                        auto span = comm.phase_span("setup");
                        comm.barrier();

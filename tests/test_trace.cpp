@@ -17,7 +17,8 @@ TEST(Trace, RecordsOpsInVirtualTimeOrderPerGroup) {
   hc::CostParams params;
   params.trace = true;
   auto stats = hc::Runtime::run(
-      4, hc::Topology::flat(4), hc::CostModel(params), [](hc::Comm& comm) {
+      4, hc::Topology::flat(4), hc::CostModel(params), hc::RunOptions{},
+      [](hc::Comm& comm) {
         std::vector<double> x(128, comm.rank());
         comm.allreduce(std::span(x), hc::ReduceOp::kSum);
         comm.broadcast(std::span(x), 1);
@@ -39,7 +40,9 @@ TEST(Trace, RecordsOpsInVirtualTimeOrderPerGroup) {
 }
 
 TEST(Trace, OffByDefault) {
-  auto stats = hc::Runtime::run(4, [](hc::Comm& comm) { comm.barrier(); });
+  auto stats = hc::Runtime::run(4, hc::Topology::aimos(4), hc::CostModel{},
+                                hc::RunOptions{},
+                                [](hc::Comm& comm) { comm.barrier(); });
   EXPECT_TRUE(stats.trace.empty());
 }
 
@@ -49,7 +52,8 @@ TEST(Trace, DissectsAnAlgorithmsCommPattern) {
   hc::CostParams params;
   params.trace = true;
   auto stats = hc::Runtime::run(
-      4, hc::Topology::aimos(4), hc::CostModel(params), [&](hc::Comm& comm) {
+      4, hc::Topology::aimos(4), hc::CostModel(params), hc::RunOptions{},
+      [&](hc::Comm& comm) {
         hpcg::core::Dist2DGraph g(comm, parts);
         comm.reset_clocks();
         hpcg::algos::pagerank(g, 5);
@@ -69,7 +73,7 @@ TEST(Trace, ResetClearsEvents) {
   hc::CostParams params;
   params.trace = true;
   auto stats = hc::Runtime::run(2, hc::Topology::flat(2), hc::CostModel(params),
-                                [](hc::Comm& comm) {
+                                hc::RunOptions{}, [](hc::Comm& comm) {
                                   comm.barrier();
                                   comm.reset_clocks();
                                   comm.barrier();

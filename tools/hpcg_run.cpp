@@ -13,6 +13,12 @@
 //   --checkpoint-every=2                     superstep checkpoint interval
 //                                            (bfs, pr, cc; 0 = off)
 //   --comm-timeout=0.5                       recv/barrier deadline in seconds
+//
+// Nonblocking collectives (see docs/ASYNC.md):
+//   --async=on|off     opt algorithms into compute-comm overlap (default off)
+//   --async-chunk=1    pipeline segments for chunked sparse exchanges; raise
+//                      above 1 only when per-segment compute or bandwidth
+//                      dominates the collective latency term
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -75,7 +81,13 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(options.get_int("fault-seed", 0));
   const std::int64_t checkpoint_every = options.get_int("checkpoint-every", 0);
   const double comm_timeout = options.get_double("comm-timeout", 0.0);
+  const std::string async_text = options.get_string("async", "off");
+  const int async_chunk = static_cast<int>(options.get_int("async-chunk", 1));
   options.check_unknown();
+  if (async_text != "on" && async_text != "off") {
+    return fail("--async must be 'on' or 'off'");
+  }
+  const bool async = async_text == "on";
 
   // Input.
   hpcg::util::WallTimer load_timer;
@@ -147,7 +159,7 @@ int main(int argc, char** argv) {
         }
       }
     } else if (algo == "pr") {
-      auto pr = hpcg::algos::pagerank(g, iterations, 0.85, ckpt);
+      auto pr = hpcg::algos::pagerank(g, iterations, 0.85, {}, ckpt);
       auto gathered = hpcg::algos::gather_row_state(g, std::span<const double>(pr));
       if (comm.rank() == 0) {
         double total = 0.0;
@@ -290,6 +302,8 @@ int main(int argc, char** argv) {
       ropts.injector = injector.get();
       ropts.checkpoint_every = checkpoint_every;
       ropts.comm_timeout_s = comm_timeout;
+      ropts.async = async;
+      ropts.async_chunk = async_chunk;
       const auto recovery = hpcg::fault::Runtime::run_with_recovery(
           grid.ranks(), topo, cost_model, ropts,
           [&](hpcg::comm::Comm& comm, hpcg::fault::Checkpointer& ckpt) {
@@ -314,6 +328,8 @@ int main(int argc, char** argv) {
       hpcg::comm::RunOptions ropts;
       ropts.recorder = recorder.get();
       ropts.comm_timeout_s = comm_timeout;
+      ropts.async = async;
+      ropts.async_chunk = async_chunk;
       stats = hpcg::comm::Runtime::run(
           grid.ranks(), topo, cost_model, ropts,
           [&](hpcg::comm::Comm& comm) { body(comm, nullptr); });

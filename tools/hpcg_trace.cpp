@@ -7,6 +7,8 @@
 //   hpcg_trace pr.json
 //   hpcg_trace pr.json --top=12          # truncate the superstep table
 //   hpcg_trace pr.json --csv             # machine-readable superstep rows
+//   hpcg_trace pr.json --summary         # one line: makespan, comm and
+//                                        # overlap fractions (CI-friendly)
 #include <iostream>
 #include <string>
 #include <string_view>
@@ -18,7 +20,8 @@
 namespace {
 
 int usage(const char* argv0) {
-  std::cerr << "usage: " << argv0 << " <trace.json> [--top=N] [--csv]\n";
+  std::cerr << "usage: " << argv0
+            << " <trace.json> [--top=N] [--csv] [--summary]\n";
   return 2;
 }
 
@@ -28,6 +31,7 @@ int main(int argc, char** argv) {
   std::string path;
   int top = 0;
   bool csv = false;
+  bool summary = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg(argv[i]);
     if (arg.starts_with("--top=")) {
@@ -40,6 +44,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--csv") {
       csv = true;
+    } else if (arg == "--summary") {
+      summary = true;
     } else if (arg.starts_with("--")) {
       return usage(argv[0]);
     } else if (path.empty()) {
@@ -58,6 +64,25 @@ int main(int argc, char** argv) {
     return 1;
   }
   const auto report = hpcg::telemetry::analyze(trace.spans, trace.nranks);
+
+  if (summary) {
+    // One machine-parseable line for CI logs and quick comparisons:
+    // comm_frac is the slowest rank's collective share of the makespan,
+    // overlap_frac the share of async comm that was hidden under compute
+    // (0 for fully synchronous runs).
+    const double makespan = report.makespan_s;
+    const double comm_frac = makespan > 0.0 ? report.comm_max_s / makespan : 0.0;
+    const double visible = report.comm_max_s + report.overlap_max_s;
+    const double overlap_frac =
+        visible > 0.0 ? report.overlap_max_s / visible : 0.0;
+    std::cout << "ranks=" << report.nranks << " makespan_s=" << makespan
+              << " comp_max_s=" << report.comp_max_s
+              << " comm_max_s=" << report.comm_max_s
+              << " overlap_max_s=" << report.overlap_max_s
+              << " comm_frac=" << comm_frac << " overlap_frac=" << overlap_frac
+              << " imbalance=" << report.mean_imbalance << "\n";
+    return 0;
+  }
 
   if (csv) {
     std::cout << "superstep,label,active_vertices,comp_max_s,comm_max_s,"
