@@ -1,0 +1,189 @@
+// Serving-layer throughput: requests/second of the resident Service
+// against the one-shot hpcg_run-style execution model, swept over the BFS
+// coalescing bound.
+//
+// The baseline pays the full one-shot tax per request — 2D partition,
+// rank-thread spawn, distributed-graph construction — then runs one BFS
+// and gathers the answer, exactly what scripting hpcg_run in a loop costs.
+// The service amortizes all of that across the session and additionally
+// coalesces up to `batch` single-source requests into one multi-source
+// traversal, so the superstep loop (and every collective in it) is also
+// shared. Wall-clock seconds on the host: both sides simulate the same
+// cluster, so simulation overhead cancels out of the ratio.
+//
+//   bench_serve_throughput --graph=rmat12 --ranks=9 --requests=64
+//   bench_serve_throughput --batches=1,8,32 --csv=serve_throughput.csv
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <span>
+#include <vector>
+
+#include "algos/bfs.hpp"
+#include "algos/gather.hpp"
+#include "harness.hpp"
+#include "serve/service.hpp"
+#include "serve/session.hpp"
+#include "util/prng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using hpcg::graph::Gid;
+
+struct Sample {
+  std::string mode;
+  int batch = 0;
+  int requests = 0;
+  double wall_s = 0.0;
+  double rps = 0.0;
+  double speedup = 1.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+double exact_quantile_us(std::vector<double> latencies_s, double q) {
+  if (latencies_s.empty()) return 0.0;
+  std::sort(latencies_s.begin(), latencies_s.end());
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(latencies_s.size() - 1) + 0.5);
+  return latencies_s[std::min(idx, latencies_s.size() - 1)] * 1e6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hpcg::util::Options options(argc, argv);
+  options.usage(
+      "usage: bench_serve_throughput [options]\n"
+      "Requests/sec: resident service (batched MS-BFS) vs one-shot runs.\n"
+      "\n"
+      "  --graph=NAME      dataset analog (default rmat12)\n"
+      "  --scale-shift=K   shrink/grow the analog by 2^K\n"
+      "  --ranks=N         grid ranks (default 9)\n"
+      "  --requests=N      BFS requests per sweep point (default 64)\n"
+      "  --batches=LIST    coalescing bounds to sweep (default 1,8,32)\n"
+      "  --seed=N          root-choice seed (default 1)\n"
+      "  --csv=FILE        write the result rows as CSV\n"
+      "  --help            show this text and exit\n");
+  const std::string dataset = options.get_string("graph", "rmat12");
+  const int shift = static_cast<int>(options.get_int("scale-shift", 0));
+  const int ranks = static_cast<int>(options.get_int("ranks", 9));
+  const int requests = static_cast<int>(options.get_int("requests", 64));
+  const auto batches = options.get_int_list("batches", {1, 8, 32});
+  const auto seed = static_cast<std::uint64_t>(options.get_int("seed", 1));
+  const std::string csv = options.get_string("csv", "");
+  options.check_unknown();
+
+  const auto el = hpcg::bench::load(dataset, shift);
+  const auto grid = hpcg::core::Grid::squarest(ranks);
+  hpcg::bench::banner("serve-throughput",
+                      "resident session + batched MS-BFS vs one-shot runs");
+  std::cout << "grid " << grid.row_groups() << " x " << grid.col_groups()
+            << ", " << requests << " BFS requests (wall-clock host seconds)\n";
+
+  // Identical request stream for every mode: seeded distinct-ish roots.
+  hpcg::util::Xoshiro256 rng(seed);
+  std::vector<Gid> roots(static_cast<std::size_t>(requests));
+  for (auto& root : roots) {
+    root = static_cast<Gid>(rng.next_below(static_cast<std::uint64_t>(el.n)));
+  }
+
+  std::vector<Sample> samples;
+
+  // Baseline: the one-shot tax per request, as if looping hpcg_run.
+  {
+    std::vector<double> latencies_s;
+    latencies_s.reserve(roots.size());
+    hpcg::util::WallTimer wall;
+    for (const auto root : roots) {
+      hpcg::util::WallTimer one;
+      const auto parts = hpcg::core::Partitioned2D::build(el, grid, true);
+      hpcg::comm::Runtime::run(
+          grid.ranks(), hpcg::comm::Topology::aimos(grid.ranks()),
+          hpcg::comm::CostModel{}, {}, [&](hpcg::comm::Comm& comm) {
+            hpcg::core::Dist2DGraph g(comm, parts);
+            comm.reset_clocks();
+            const auto result = hpcg::algos::bfs(g, root);
+            auto levels = hpcg::algos::gather_row_state(
+                g, std::span<const std::int64_t>(result.level));
+            (void)levels;
+          });
+      latencies_s.push_back(one.elapsed());
+    }
+    Sample sample;
+    sample.mode = "oneshot";
+    sample.batch = 1;
+    sample.requests = requests;
+    sample.wall_s = wall.elapsed();
+    sample.rps = requests / sample.wall_s;
+    sample.p50_us = exact_quantile_us(latencies_s, 0.50);
+    sample.p99_us = exact_quantile_us(latencies_s, 0.99);
+    samples.push_back(sample);
+  }
+  const double baseline_rps = samples[0].rps;
+
+  // Service: one resident session across every sweep point; a fresh
+  // Service per batch bound so each point gets clean metrics and cache.
+  hpcg::serve::Session session(el, grid);
+  for (const auto batch : batches) {
+    hpcg::serve::ServiceOptions vopts;
+    vopts.queue_capacity = static_cast<std::size_t>(requests);
+    vopts.max_inflight_per_client = requests;
+    vopts.max_batch = static_cast<int>(batch);
+    vopts.cache_capacity = 0;  // distinct roots; keep the comparison honest
+    vopts.auto_dispatch = false;
+    hpcg::serve::Service service(session, vopts);
+
+    std::vector<hpcg::serve::Service::Ticket> tickets;
+    tickets.reserve(roots.size());
+    hpcg::util::WallTimer wall;
+    for (const auto root : roots) {
+      hpcg::serve::Request request;
+      request.algo = hpcg::serve::Algo::kBfs;
+      request.roots = {root};
+      tickets.push_back(service.submit(std::move(request)));
+    }
+    service.drain();
+    const double wall_s = wall.elapsed();
+    for (auto& ticket : tickets) ticket.result.get();  // propagate failures
+
+    const auto snap = service.metrics().snapshot();
+    const auto& hist = snap.histograms.at("serve.latency.total_us");
+    Sample sample;
+    sample.mode = "service";
+    sample.batch = static_cast<int>(batch);
+    sample.requests = requests;
+    sample.wall_s = wall_s;
+    sample.rps = requests / wall_s;
+    sample.speedup = sample.rps / baseline_rps;
+    sample.p50_us =
+        hpcg::telemetry::MetricsRegistry::histogram_quantile(hist, 0.50);
+    sample.p99_us =
+        hpcg::telemetry::MetricsRegistry::histogram_quantile(hist, 0.99);
+    samples.push_back(sample);
+    service.stop();
+  }
+  session.close();
+
+  std::cout << "\nmode     batch  requests  wall_s     req/s      speedup  "
+               "p50_us     p99_us\n";
+  for (const auto& sample : samples) {
+    std::printf("%-8s %5d  %8d  %-9.4g  %-9.4g  %-7.3g  %-9.4g  %-9.4g\n",
+                sample.mode.c_str(), sample.batch, sample.requests,
+                sample.wall_s, sample.rps, sample.speedup, sample.p50_us,
+                sample.p99_us);
+  }
+
+  if (!csv.empty()) {
+    std::ofstream out(csv);
+    out << "mode,batch,requests,wall_s,rps,speedup,p50_us,p99_us\n";
+    for (const auto& sample : samples) {
+      out << sample.mode << "," << sample.batch << "," << sample.requests
+          << "," << sample.wall_s << "," << sample.rps << "," << sample.speedup
+          << "," << sample.p50_us << "," << sample.p99_us << "\n";
+    }
+    std::cout << "wrote " << csv << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,201 @@
+#include "algos/msbfs.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "core/manhattan.hpp"
+#include "core/queue.hpp"
+#include "core/work.hpp"
+
+namespace hpcg::algos {
+
+using core::Lid;
+using core::SparseDirection;
+using core::VertexQueue;
+
+namespace {
+
+/// Bitwise-OR merge of reachability masks. Monotone and order-insensitive,
+/// so chunked async exchanges stay bit-identical.
+struct OrReduce {
+  bool operator()(std::uint64_t& current, const std::uint64_t& incoming) const {
+    const std::uint64_t merged = current | incoming;
+    if (merged == current) return false;
+    current = merged;
+    return true;
+  }
+};
+
+}  // namespace
+
+MsBfsResult multi_source_bfs(core::Dist2DGraph& g,
+                             std::span<const Gid> roots_original,
+                             const MsBfsOptions& options) {
+  const int batch = static_cast<int>(roots_original.size());
+  if (batch < 1 || batch > MsBfsResult::kMaxBatch) {
+    throw std::invalid_argument("multi_source_bfs: batch must be 1..64 sources");
+  }
+  for (const Gid root : roots_original) {
+    if (root < 0 || root >= g.n()) {
+      throw std::invalid_argument("multi_source_bfs: root outside [0, n)");
+    }
+  }
+
+  const auto& lids = g.lids();
+  const auto n_total = static_cast<std::size_t>(lids.n_total());
+  const auto& gdeg = g.global_row_degrees();
+  const auto offsets = g.csr().offsets();
+  const auto adj = g.csr().adjacencies();
+
+  MsBfsResult result;
+  result.batch = batch;
+  result.level.assign(static_cast<std::size_t>(batch),
+                      std::vector<std::int64_t>(n_total, MsBfsResult::kUnvisited));
+  result.depth.assign(static_cast<std::size_t>(batch), 0);
+
+  // mask holds the end-of-superstep reachability words; prev the previous
+  // superstep's. Propagation reads prev only — a frontier vertex must not
+  // forward bits it gained this very superstep (that would deliver them one
+  // level early; single-source BFS's `level[u] == cur` test is the same
+  // guard).
+  std::vector<std::uint64_t> mask(n_total, 0);
+  VertexQueue frontier(lids.n_total());
+  for (int s = 0; s < batch; ++s) {
+    const Gid root = g.partition().relabel().to_new(roots_original[s]);
+    const std::uint64_t bit = std::uint64_t{1} << s;
+    if (lids.owns_row_gid(root)) {
+      const auto l = static_cast<std::size_t>(lids.row_lid(root));
+      mask[l] |= bit;
+      result.level[static_cast<std::size_t>(s)][l] = 0;
+      frontier.try_push(lids.row_lid(root));
+    }
+    if (lids.has_col_gid(root)) {
+      const auto l = static_cast<std::size_t>(lids.col_lid(root));
+      mask[l] |= bit;
+      result.level[static_cast<std::size_t>(s)][l] = 0;
+    }
+  }
+  std::vector<std::uint64_t> prev = mask;
+  const std::uint64_t full =
+      batch == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << batch) - 1);
+
+  double m_unvisited = static_cast<double>(g.m_global());
+  bool bottom_up = false;
+  OrReduce reduce;
+  core::SparseBuffers<std::uint64_t> sparse_bufs;
+
+  for (std::int64_t cur = 0;; ++cur) {
+    auto superstep = g.world().superstep_span("msbfs");
+    // Aggregate (union-of-frontiers) statistics drive the shared direction
+    // choice; each row group contributes once.
+    std::int64_t stats[2] = {0, 0};  // n_frontier, m_frontier
+    if (g.rank_r() == 0) {
+      for (const Lid v : frontier.items()) {
+        ++stats[0];
+        stats[1] += gdeg[static_cast<std::size_t>(v - lids.c_offset_r())];
+      }
+    }
+    g.world().allreduce(std::span<std::int64_t>(stats, 2), comm::ReduceOp::kSum);
+    const auto n_frontier = stats[0];
+    const auto m_frontier = stats[1];
+    superstep.set_value(n_frontier);
+    if (n_frontier == 0) break;
+    result.supersteps = cur + 1;
+
+    if (options.direction_optimizing) {
+      if (!bottom_up &&
+          static_cast<double>(m_frontier) > m_unvisited / options.alpha) {
+        bottom_up = true;
+      } else if (bottom_up && static_cast<double>(n_frontier) <
+                                  static_cast<double>(g.n()) / options.beta) {
+        bottom_up = false;
+      }
+    }
+
+    VertexQueue updated(lids.n_total());
+    VertexQueue next_frontier(lids.n_total());
+    if (!bottom_up) {
+      ++result.top_down_steps;
+      // Top-down push: every frontier vertex offers its previous-superstep
+      // mask to its neighbors; a neighbor missing any of those bits joins
+      // the batch frontiers at level cur+1.
+      std::int64_t edges_expanded = 0;
+      core::manhattan_for_each_edge(
+          g.csr(), std::span<const Lid>(frontier.items()),
+          [&](Lid v, Lid u, std::int64_t) {
+            ++edges_expanded;
+            const std::uint64_t add = prev[static_cast<std::size_t>(v)] &
+                                      ~mask[static_cast<std::size_t>(u)];
+            if (add != 0) {
+              mask[static_cast<std::size_t>(u)] |= add;
+              updated.try_push(u);
+            }
+          });
+      core::charge_kernel(g.world(), static_cast<std::int64_t>(frontier.size()),
+                          edges_expanded);
+      core::sparse_exchange(g, std::span(mask), updated, reduce,
+                            SparseDirection::kPush, &next_frontier,
+                            options.sparse, &sparse_bufs);
+    } else {
+      ++result.bottom_up_steps;
+      // Bottom-up pull: every row vertex still missing batch bits adopts
+      // whatever its neighbors knew at the end of the last superstep.
+      // Unlike single-source BFS there is no early break — the scan must
+      // collect the union over all neighbors.
+      std::int64_t edges_scanned = 0;
+      for (Lid v = g.row_lid_begin(); v < g.row_lid_end(); ++v) {
+        if ((mask[static_cast<std::size_t>(v)] & full) == full) continue;
+        std::uint64_t gained = 0;
+        for (std::int64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+          ++edges_scanned;
+          gained |= prev[static_cast<std::size_t>(adj[e])];
+        }
+        gained &= ~mask[static_cast<std::size_t>(v)];
+        if (gained != 0) {
+          mask[static_cast<std::size_t>(v)] |= gained;
+          updated.try_push(v);
+        }
+      }
+      core::charge_kernel(g.world(), lids.n_row(), edges_scanned);
+      core::sparse_exchange(g, std::span(mask), updated, reduce,
+                            SparseDirection::kPull, &next_frontier,
+                            options.sparse, &sparse_bufs);
+    }
+
+    // Commit the superstep: bits that appeared this step (locally or via
+    // the exchange) are level cur+1 for their source.
+    for (std::size_t l = 0; l < n_total; ++l) {
+      std::uint64_t diff = mask[l] & ~prev[l];
+      while (diff != 0) {
+        const int s = std::countr_zero(diff);
+        diff &= diff - 1;
+        result.level[static_cast<std::size_t>(s)][l] = cur + 1;
+      }
+      prev[l] = mask[l];
+    }
+    core::charge_kernel(g.world(), lids.n_total(), 0);
+
+    m_unvisited -= static_cast<double>(m_frontier);
+    frontier.swap(next_frontier);
+  }
+
+  // Per-source depth, defined like BfsResult::depth (max level + 1): local
+  // max over owned row vertices, then a global max reduction.
+  std::vector<std::int64_t> depth(static_cast<std::size_t>(batch), 0);
+  for (int s = 0; s < batch; ++s) {
+    auto& level = result.level[static_cast<std::size_t>(s)];
+    for (Lid v = g.row_lid_begin(); v < g.row_lid_end(); ++v) {
+      const auto l = level[static_cast<std::size_t>(v)];
+      if (l != MsBfsResult::kUnvisited) {
+        depth[static_cast<std::size_t>(s)] =
+            std::max(depth[static_cast<std::size_t>(s)], l + 1);
+      }
+    }
+  }
+  g.world().allreduce(std::span<std::int64_t>(depth), comm::ReduceOp::kMax);
+  result.depth = std::move(depth);
+  return result;
+}
+
+}  // namespace hpcg::algos

@@ -1,0 +1,65 @@
+// Batched multi-source BFS: up to 64 sources traverse the graph in ONE
+// direction-optimizing superstep loop, GraphBLAST-style — the batch's
+// frontiers are packed into a single 64-bit word per vertex (bit s set =
+// "vertex reached from source s"), and the words ride the existing sparse
+// exchange machinery with a bitwise-OR reduction. One superstep costs one
+// round of collectives regardless of batch size, which is where the
+// serving layer's throughput multiplier comes from.
+//
+// Exactness: bit s is set on vertex v exactly at superstep dist_s(v).
+// Induction over supersteps — a vertex enters the frontier the step after
+// its mask last changed, and propagation reads the *previous* superstep's
+// masks (`prev`), never bits gained mid-step, mirroring single-source
+// BFS's "level[u] == cur" tests. The OR-reduction is monotone and
+// order-insensitive, so async chunked exchanges and any
+// direction-optimization schedule all yield the same per-source levels;
+// the returned levels are therefore bit-identical to running algos::bfs
+// once per source (asserted by tests/test_serve.cpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/dist2d.hpp"
+#include "core/sparse_comm.hpp"
+
+namespace hpcg::algos {
+
+using graph::Gid;
+
+struct MsBfsOptions {
+  /// Beamer direction switching on the aggregate (union-of-frontiers)
+  /// statistics. Any schedule yields identical levels; the heuristic only
+  /// affects modeled cost.
+  bool direction_optimizing = true;
+  double alpha = 15.0;
+  double beta = 24.0;
+  core::SparseOptions sparse = {};
+};
+
+struct MsBfsResult {
+  static constexpr int kMaxBatch = 64;
+  static constexpr std::int64_t kUnvisited = std::int64_t{1} << 62;
+
+  int batch = 0;
+  /// level[s] is the LID-indexed level vector for source s, laid out
+  /// exactly like BfsResult::level (kUnvisited for unreached vertices).
+  std::vector<std::vector<std::int64_t>> level;
+  /// Per-source eccentricity + 1 (matches BfsResult::depth: the number of
+  /// supersteps a single-source run from that root would execute).
+  std::vector<std::int64_t> depth;
+  std::int64_t supersteps = 0;  // shared loop iterations for the batch
+  int top_down_steps = 0;
+  int bottom_up_steps = 0;
+};
+
+/// Runs BFS from every root in `roots_original` (1..64 original-id
+/// sources; duplicates are legal) in one shared superstep loop.
+/// Collective over the graph's grid. Throws std::invalid_argument for an
+/// empty or oversized batch, or a root outside [0, n).
+MsBfsResult multi_source_bfs(core::Dist2DGraph& g,
+                             std::span<const Gid> roots_original,
+                             const MsBfsOptions& options = {});
+
+}  // namespace hpcg::algos

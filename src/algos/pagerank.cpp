@@ -1,6 +1,7 @@
 #include "algos/pagerank.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "core/dense_comm.hpp"
 #include "core/work.hpp"
@@ -133,6 +134,19 @@ std::vector<double> pagerank(core::Dist2DGraph& g, int iterations, double dampin
                          1.0 / static_cast<double>(g.n()));
   pagerank_loop(g, pr, iterations, damping, /*tolerance=*/0.0, opts, ckpt);
   return pr;
+}
+
+std::vector<double> pagerank_warm_start(core::Dist2DGraph& g,
+                                        std::vector<double> state,
+                                        int iterations, double damping,
+                                        const core::SparseOptions& opts,
+                                        fault::Checkpointer* ckpt) {
+  if (state.size() != static_cast<std::size_t>(g.lids().n_total())) {
+    throw std::invalid_argument(
+        "pagerank_warm_start: state size != this rank's LID span");
+  }
+  pagerank_loop(g, state, iterations, damping, /*tolerance=*/0.0, opts, ckpt);
+  return state;
 }
 
 PrToleranceResult pagerank_tolerance(core::Dist2DGraph& g, double tolerance,

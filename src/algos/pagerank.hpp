@@ -26,6 +26,19 @@ std::vector<double> pagerank(core::Dist2DGraph& g, int iterations,
                              const core::SparseOptions& opts = {},
                              fault::Checkpointer* ckpt = nullptr);
 
+/// Warm-start variant for the serving layer: continues iterating from a
+/// caller-supplied LID-indexed state vector (row and ghost slots globally
+/// consistent — i.e. exactly what a previous pagerank() call returned for
+/// the same distribution). Running k cold iterations then j warm ones is
+/// bit-identical to k+j cold iterations, since the loop carries no state
+/// besides the rank vector. Throws std::invalid_argument when the state
+/// size does not match the rank's LID span.
+std::vector<double> pagerank_warm_start(core::Dist2DGraph& g,
+                                        std::vector<double> state,
+                                        int iterations, double damping = 0.85,
+                                        const core::SparseOptions& opts = {},
+                                        fault::Checkpointer* ckpt = nullptr);
+
 /// Library-convenience variant: iterate until the global L1 delta drops
 /// below `tolerance` (or `max_iterations`). The paper benchmarks fixed
 /// iteration counts; real deployments usually want a tolerance.

@@ -30,8 +30,12 @@ RunStats Runtime::run(int nranks, const Topology& topo, const CostModel& cost,
   if (topo.nranks() != nranks) {
     throw std::invalid_argument("topology rank count != requested rank count");
   }
-  if (recorder && recorder->nranks() != nranks) {
-    throw std::invalid_argument("recorder rank count != requested rank count");
+  // Extra recorder tracks beyond the rank count are legal: the serving
+  // layer appends host-side tracks (e.g. the per-request track) after the
+  // rank tracks. Fewer tracks than ranks would drop spans, so that stays
+  // an error.
+  if (recorder && recorder->nranks() < nranks) {
+    throw std::invalid_argument("recorder rank count < requested rank count");
   }
   World world(topo, cost);
   world.recorder_ = recorder;

@@ -1,0 +1,55 @@
+#include "serve/cache.hpp"
+
+namespace hpcg::serve {
+
+std::shared_ptr<const Response> ResultCache::get(const std::string& key) {
+  std::lock_guard lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void ResultCache::put(const std::string& key,
+                      std::shared_ptr<const Response> value) {
+  if (capacity_ == 0) return;
+  std::lock_guard lock(mutex_);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    it->second->second = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.emplace_front(key, std::move(value));
+  index_[key] = lru_.begin();
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard lock(mutex_);
+  return lru_.size();
+}
+
+std::uint64_t ResultCache::hits() const {
+  std::lock_guard lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t ResultCache::misses() const {
+  std::lock_guard lock(mutex_);
+  return misses_;
+}
+
+std::uint64_t ResultCache::evictions() const {
+  std::lock_guard lock(mutex_);
+  return evictions_;
+}
+
+}  // namespace hpcg::serve

@@ -1,0 +1,51 @@
+// Thread-safe LRU result cache keyed by (graph, algo, params) strings
+// (see Service::cache_key for the exact grammar). Values are shared
+// pointers to immutable Responses, so a hit costs one map lookup plus a
+// list splice and hands back the cached result without copying the
+// payload vectors.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "serve/request.hpp"
+
+namespace hpcg::serve {
+
+class ResultCache {
+ public:
+  /// `capacity` = max entries; 0 disables caching (every get misses,
+  /// every put is dropped).
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached response and bumps its recency, or null on miss.
+  std::shared_ptr<const Response> get(const std::string& key);
+
+  /// Inserts or refreshes `key`, evicting the least-recently-used entry
+  /// when at capacity.
+  void put(const std::string& key, std::shared_ptr<const Response> value);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::uint64_t evictions() const;
+
+ private:
+  using Entry = std::pair<std::string, std::shared_ptr<const Response>>;
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace hpcg::serve

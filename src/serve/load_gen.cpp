@@ -1,0 +1,231 @@
+#include "serve/load_gen.hpp"
+
+#include <chrono>
+#include <istream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "util/prng.hpp"
+#include "util/timer.hpp"
+
+namespace hpcg::serve {
+
+namespace {
+
+// Formats one completed response as a deterministic log line: counts only,
+// no wall-clock numbers.
+std::string describe(const Response& response) {
+  std::ostringstream out;
+  out << "done id=" << response.id << " algo=" << to_string(response.algo);
+  if (response.from_cache) out << " cached";
+  if (response.batch_size > 1) out << " batch=" << response.batch_size;
+  switch (response.algo) {
+    case Algo::kBfs:
+    case Algo::kMsBfs: {
+      for (std::size_t s = 0; s < response.levels.size(); ++s) {
+        std::int64_t reached = 0;
+        for (const auto level : response.levels[s]) {
+          if (level != Response::kUnvisited) ++reached;
+        }
+        out << " src" << s << "=[reached=" << reached
+            << " depth=" << response.depth[s] << "]";
+      }
+      break;
+    }
+    case Algo::kPageRank: {
+      double mass = 0.0;
+      for (const auto r : response.rank) mass += r;
+      out << " mass=" << mass;
+      break;
+    }
+    case Algo::kCc:
+      out << " components=" << response.n_components;
+      break;
+  }
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace
+
+ScriptResult run_script(Service& service, std::istream& script) {
+  ScriptResult result;
+  std::ostringstream log;
+  std::string client = "anon";
+  // Tickets complete in submission order under manual pumping (FIFO plus
+  // batching, both deterministic), so draining in submit order keeps the
+  // log stable.
+  std::vector<Service::Ticket> outstanding;
+
+  const auto settle = [&] {
+    service.drain();
+    for (auto& ticket : outstanding) {
+      try {
+        const Response response = ticket.result.get();
+        ++result.completed;
+        log << describe(response);
+      } catch (const ServeError& e) {
+        ++result.failed;
+        log << "failed id=" << ticket.id << " error=" << e.what() << "\n";
+      }
+    }
+    outstanding.clear();
+  };
+
+  const auto submit = [&](Request request) {
+    ++result.submitted;
+    request.client = client;
+    try {
+      auto ticket = service.submit(std::move(request));
+      ++result.admitted;
+      log << "submit id=" << ticket.id << " client=" << client;
+      if (ticket.result.wait_for(std::chrono::seconds(0)) ==
+          std::future_status::ready) {
+        log << " -> immediate\n";
+      } else {
+        log << " -> queued\n";
+      }
+      outstanding.push_back(std::move(ticket));
+    } catch (const Overloaded& e) {
+      ++result.rejected;
+      log << "reject client=" << client << " reason="
+          << (e.reason() == Overloaded::Reason::kQueueFull ? "queue_full"
+                                                           : "client_quota")
+          << "\n";
+    }
+  };
+
+  std::string line;
+  while (std::getline(script, line)) {
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream words(line);
+    std::string cmd;
+    if (!(words >> cmd)) continue;
+    if (cmd == "client") {
+      words >> client;
+    } else if (cmd == "bfs") {
+      Request request;
+      request.algo = Algo::kBfs;
+      Gid root = 0;
+      words >> root;
+      request.roots = {root};
+      submit(std::move(request));
+    } else if (cmd == "msbfs") {
+      Request request;
+      request.algo = Algo::kMsBfs;
+      std::string roots;
+      words >> roots;
+      std::istringstream root_words(roots);
+      std::string token;
+      while (std::getline(root_words, token, ',')) {
+        request.roots.push_back(static_cast<Gid>(std::stoll(token)));
+      }
+      submit(std::move(request));
+    } else if (cmd == "pr") {
+      Request request;
+      request.algo = Algo::kPageRank;
+      words >> request.iterations;
+      std::string extra;
+      while (words >> extra) {
+        if (extra == "warm") {
+          request.warm_start = true;
+        } else {
+          request.damping = std::stod(extra);
+        }
+      }
+      submit(std::move(request));
+    } else if (cmd == "cc") {
+      Request request;
+      request.algo = Algo::kCc;
+      submit(std::move(request));
+    } else if (cmd == "pump") {
+      service.pump();
+    } else if (cmd == "drain") {
+      settle();
+    } else {
+      log << "unknown command: " << cmd << "\n";
+    }
+  }
+  settle();
+  result.log = log.str();
+  return result;
+}
+
+LoadGenStats run_load(Service& service, Gid n, const LoadGenOptions& options) {
+  LoadGenStats stats;
+  std::mutex stats_mutex;
+  const int total_weight = options.bfs_weight + options.msbfs_weight +
+                           options.pr_weight + options.cc_weight;
+  util::WallTimer timer;
+
+  std::vector<std::thread> drivers;
+  drivers.reserve(static_cast<std::size_t>(options.clients));
+  for (int c = 0; c < options.clients; ++c) {
+    drivers.emplace_back([&, c] {
+      util::Xoshiro256 rng(util::splitmix64(options.seed) +
+                           static_cast<std::uint64_t>(c) * 0x9e3779b97f4a7c15ull);
+      const std::string client = "client" + std::to_string(c);
+      int submitted = 0, completed = 0, rejected = 0, failed = 0;
+      std::uint64_t cache_hits = 0;
+      for (int r = 0; r < options.requests_per_client; ++r) {
+        Request request;
+        request.client = client;
+        const auto pick = static_cast<int>(
+            rng.next_below(static_cast<std::uint64_t>(total_weight)));
+        if (pick < options.bfs_weight) {
+          request.algo = Algo::kBfs;
+          request.roots = {static_cast<Gid>(
+              rng.next_below(static_cast<std::uint64_t>(n)))};
+        } else if (pick < options.bfs_weight + options.msbfs_weight) {
+          request.algo = Algo::kMsBfs;
+          for (int s = 0; s < options.msbfs_sources; ++s) {
+            request.roots.push_back(static_cast<Gid>(
+                rng.next_below(static_cast<std::uint64_t>(n))));
+          }
+        } else if (pick <
+                   options.bfs_weight + options.msbfs_weight + options.pr_weight) {
+          request.algo = Algo::kPageRank;
+          request.iterations = options.pr_iterations;
+        } else {
+          request.algo = Algo::kCc;
+        }
+        for (;;) {
+          try {
+            ++submitted;
+            auto ticket = service.submit(request);
+            try {
+              const Response response = ticket.result.get();
+              ++completed;
+              if (response.from_cache) ++cache_hits;
+            } catch (const ServeError&) {
+              ++failed;
+            }
+            break;
+          } catch (const Overloaded&) {
+            ++rejected;
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+          } catch (const SessionClosed&) {
+            ++failed;
+            break;
+          }
+        }
+      }
+      std::lock_guard lock(stats_mutex);
+      stats.submitted += submitted;
+      stats.completed += completed;
+      stats.rejected += rejected;
+      stats.failed += failed;
+      stats.cache_hits += cache_hits;
+    });
+  }
+  for (auto& driver : drivers) driver.join();
+  stats.wall_s = timer.elapsed();
+  stats.rps = stats.wall_s > 0.0 ? stats.completed / stats.wall_s : 0.0;
+  return stats;
+}
+
+}  // namespace hpcg::serve

@@ -1,0 +1,72 @@
+// Two request drivers for the serving layer:
+//
+//  * run_script — replays a deterministic request script (one command per
+//    line) against a manually-pumped Service and returns a reproducible
+//    text log of every admission decision and completion. The admission
+//    tests and hpcg_serve's --script mode run on this.
+//  * run_load — a seeded closed-loop load generator: `clients` driver
+//    threads each submit a fixed request count drawn from a weighted
+//    algorithm mix, retrying on Overloaded. Powers hpcg_serve's default
+//    mode and bench_serve_throughput's offered-load sweeps.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "serve/service.hpp"
+
+namespace hpcg::serve {
+
+struct ScriptResult {
+  std::string log;  // one line per submission / completion, deterministic
+  int submitted = 0;
+  int admitted = 0;
+  int rejected = 0;
+  int completed = 0;
+  int failed = 0;
+};
+
+/// Script grammar (one command per line, '#' starts a comment):
+///   client NAME        — subsequent requests are attributed to NAME
+///   bfs ROOT           — single-source BFS (batchable by the scheduler)
+///   msbfs R1,R2,...    — explicit multi-source batch
+///   pr ITERS [DAMPING] [warm]
+///   cc
+///   pump               — one scheduling round (requires manual dispatch)
+///   drain              — complete everything admitted so far
+/// A final implicit drain completes any stragglers. Requires a Service
+/// with auto_dispatch = false so batching decisions are reproducible.
+ScriptResult run_script(Service& service, std::istream& script);
+
+struct LoadGenOptions {
+  int clients = 4;
+  int requests_per_client = 16;
+  std::uint64_t seed = 1;
+  /// Weighted algorithm mix; weights need not sum to anything particular.
+  int bfs_weight = 70;
+  int msbfs_weight = 10;
+  int pr_weight = 10;
+  int cc_weight = 10;
+  int msbfs_sources = 8;  // roots per explicit msbfs request
+  int pr_iterations = 5;
+};
+
+struct LoadGenStats {
+  int submitted = 0;
+  int completed = 0;
+  int rejected = 0;  // Overloaded throws (retried until accepted)
+  int failed = 0;
+  std::uint64_t cache_hits = 0;
+  double wall_s = 0.0;
+  double rps = 0.0;  // completed / wall_s
+};
+
+/// Closed-loop driver: each client thread keeps one request outstanding at
+/// a time, retrying Overloaded rejections after a short backoff. Root
+/// choices are seeded per client, so the submitted request *set* is
+/// reproducible (arrival order is not — it depends on thread scheduling).
+/// `n` is the vertex-id bound for generated roots.
+LoadGenStats run_load(Service& service, Gid n, const LoadGenOptions& options);
+
+}  // namespace hpcg::serve

@@ -1,0 +1,100 @@
+// Request/response vocabulary of the graph-query service (docs/SERVING.md).
+//
+// A Request names an algorithm plus its parameters; a Response carries the
+// result indexed by ORIGINAL vertex ids (the service undoes the striped
+// relabeling before answering, so callers never see distribution detail)
+// together with provenance (cache hit? coalesced batch size?) and the
+// enqueue->admit->complete latency split.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace hpcg::serve {
+
+using graph::Gid;
+
+enum class Algo : std::uint8_t {
+  kBfs,       // single-source BFS (batchable: the scheduler coalesces these)
+  kMsBfs,     // explicit multi-source batch, 1..64 roots
+  kPageRank,  // fixed-iteration PageRank, optionally warm-started
+  kCc,        // connected components
+};
+
+constexpr const char* to_string(Algo algo) {
+  switch (algo) {
+    case Algo::kBfs: return "bfs";
+    case Algo::kMsBfs: return "msbfs";
+    case Algo::kPageRank: return "pr";
+    case Algo::kCc: return "cc";
+  }
+  return "?";
+}
+
+struct Request {
+  Algo algo = Algo::kBfs;
+  /// Admission-control identity: per-client in-flight quotas key on this.
+  std::string client = "anon";
+  /// Original vertex ids. bfs: exactly one; msbfs: 1..64; pr/cc: unused.
+  std::vector<Gid> roots;
+  int iterations = 20;    // pagerank
+  double damping = 0.85;  // pagerank
+  /// PageRank only: continue from the session's resident rank vector (the
+  /// state left by the previous PageRank request) instead of 1/n. Warm
+  /// responses are never cached — they depend on session history.
+  bool warm_start = false;
+};
+
+struct Response {
+  std::uint64_t id = 0;
+  Algo algo = Algo::kBfs;
+  bool from_cache = false;
+  /// Number of requests that shared the superstep loop producing this
+  /// answer (1 = ran alone; >1 = coalesced into a multi-source batch).
+  int batch_size = 1;
+
+  // Original-vertex-id-indexed results; only the requested algo's
+  // vectors are filled.
+  static constexpr std::int64_t kUnvisited = std::int64_t{1} << 62;
+  std::vector<std::vector<std::int64_t>> levels;  // bfs: [0]; msbfs: per root
+  std::vector<std::int64_t> depth;                // per root
+  std::vector<double> rank;                       // pagerank
+  std::vector<Gid> component;                     // cc labels
+  std::int64_t n_components = 0;
+
+  // Latency split in wall seconds: submit->pop, pop->complete, and total.
+  double queue_s = 0.0;
+  double exec_s = 0.0;
+  double total_s = 0.0;
+};
+
+class ServeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Deterministic admission rejection: the request never entered the queue.
+class Overloaded : public ServeError {
+ public:
+  enum class Reason : std::uint8_t { kQueueFull, kClientQuota };
+
+  Overloaded(Reason reason, const std::string& message)
+      : ServeError(message), reason_(reason) {}
+  Reason reason() const { return reason_; }
+
+ private:
+  Reason reason_;
+};
+
+/// The resident session is gone (closed, or a request's job failed and
+/// tore down the rank threads); no further requests can be served.
+class SessionClosed : public ServeError {
+ public:
+  using ServeError::ServeError;
+};
+
+}  // namespace hpcg::serve

@@ -1,0 +1,468 @@
+#include "serve/service.hpp"
+
+#include <chrono>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "algos/bfs.hpp"
+#include "algos/cc.hpp"
+#include "algos/gather.hpp"
+#include "algos/msbfs.hpp"
+#include "algos/pagerank.hpp"
+
+namespace hpcg::serve {
+
+namespace {
+
+double wall_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Service::Service(Session& session, const ServiceOptions& options)
+    : session_(session),
+      options_(options),
+      graph_key_(options.graph_key.empty()
+                     ? "graph:n" + std::to_string(session.n()) + ":m" +
+                           std::to_string(session.partition().m_global())
+                     : options.graph_key),
+      cache_(options.cache_capacity),
+      own_metrics_(options.recorder ? nullptr
+                                    : std::make_unique<telemetry::MetricsRegistry>()),
+      metrics_(options.recorder ? &options.recorder->metrics()
+                                : own_metrics_.get()),
+      request_track_(options.recorder &&
+                             options.recorder->nranks() > session.nranks()
+                         ? session.nranks()
+                         : -1),
+      epoch_s_(wall_s()),
+      pr_state_(static_cast<std::size_t>(session.nranks())) {
+  if (options_.max_batch < 1 || options_.max_batch > 64) {
+    throw std::invalid_argument("ServiceOptions::max_batch must be 1..64");
+  }
+  if (options_.queue_capacity < 1) {
+    throw std::invalid_argument("ServiceOptions::queue_capacity must be >= 1");
+  }
+  if (options_.max_inflight_per_client < 1) {
+    throw std::invalid_argument(
+        "ServiceOptions::max_inflight_per_client must be >= 1");
+  }
+  if (options_.auto_dispatch) {
+    dispatcher_ = std::thread([this] { dispatcher_loop(); });
+  }
+}
+
+Service::~Service() { stop(); }
+
+double Service::now_s() const { return wall_s() - epoch_s_; }
+
+void Service::validate(const Request& request) const {
+  const auto n = session_.n();
+  switch (request.algo) {
+    case Algo::kBfs:
+      if (request.roots.size() != 1) {
+        throw std::invalid_argument("bfs request needs exactly one root");
+      }
+      break;
+    case Algo::kMsBfs:
+      if (request.roots.empty() || request.roots.size() > 64) {
+        throw std::invalid_argument("msbfs request needs 1..64 roots");
+      }
+      break;
+    case Algo::kPageRank:
+      if (request.iterations < 1) {
+        throw std::invalid_argument("pr request needs iterations >= 1");
+      }
+      break;
+    case Algo::kCc:
+      break;
+  }
+  for (const Gid root : request.roots) {
+    if (root < 0 || root >= n) {
+      throw std::invalid_argument("request root outside [0, n)");
+    }
+  }
+}
+
+std::string Service::cache_key(const Request& request) const {
+  std::ostringstream key;
+  key << graph_key_ << "|" << to_string(request.algo);
+  switch (request.algo) {
+    case Algo::kBfs:
+      key << "|root=" << request.roots[0];
+      break;
+    case Algo::kMsBfs:
+      key << "|roots=";
+      for (std::size_t i = 0; i < request.roots.size(); ++i) {
+        key << (i ? "," : "") << request.roots[i];
+      }
+      break;
+    case Algo::kPageRank:
+      // Warm starts depend on whatever state earlier requests left behind;
+      // caching them would serve stale history.
+      if (request.warm_start) return {};
+      key << "|it=" << request.iterations << "|d=" << request.damping;
+      break;
+    case Algo::kCc:
+      break;
+  }
+  return key.str();
+}
+
+Service::Ticket Service::submit(Request request) {
+  validate(request);
+  std::unique_lock lock(mutex_);
+  metrics_->counter("serve.requests.submitted").increment();
+  if (stopping_ || dead_) {
+    throw SessionClosed("service is stopped");
+  }
+  const std::uint64_t id = ++next_id_;
+  const std::string key = cache_key(request);
+
+  if (!key.empty()) {
+    if (auto hit = cache_.get(key)) {
+      metrics_->counter("serve.cache.hits").increment();
+      Response response = *hit;
+      response.id = id;
+      response.from_cache = true;
+      response.queue_s = 0.0;
+      response.exec_s = 0.0;
+      response.total_s = 0.0;
+      std::promise<Response> promise;
+      Ticket ticket{id, promise.get_future().share()};
+      promise.set_value(std::move(response));
+      return ticket;
+    }
+    metrics_->counter("serve.cache.misses").increment();
+  }
+
+  if (queue_.size() >= options_.queue_capacity) {
+    metrics_->counter("serve.requests.rejected.queue_full").increment();
+    throw Overloaded(Overloaded::Reason::kQueueFull,
+                     "queue full (" + std::to_string(options_.queue_capacity) +
+                         " pending)");
+  }
+  auto& inflight = inflight_[request.client];
+  if (inflight >= options_.max_inflight_per_client) {
+    metrics_->counter("serve.requests.rejected.client_quota").increment();
+    throw Overloaded(Overloaded::Reason::kClientQuota,
+                     "client '" + request.client + "' already has " +
+                         std::to_string(inflight) + " requests in flight");
+  }
+  ++inflight;
+  metrics_->counter("serve.requests.admitted").increment();
+
+  auto pending = std::make_unique<Pending>();
+  pending->id = id;
+  pending->request = std::move(request);
+  pending->key = key;
+  pending->future = pending->promise.get_future().share();
+  pending->submit_s = now_s();
+  Ticket ticket{id, pending->future};
+  queue_.push_back(std::move(pending));
+  metrics_->gauge("serve.queue.depth").set(static_cast<double>(queue_.size()));
+  lock.unlock();
+  cv_work_.notify_one();
+  return ticket;
+}
+
+std::size_t Service::queue_depth() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+bool Service::pump() {
+  std::vector<std::unique_ptr<Pending>> batch;
+  {
+    std::lock_guard lock(mutex_);
+    if (queue_.empty()) return false;
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+    if (batch[0]->request.algo == Algo::kBfs && options_.max_batch > 1) {
+      // Coalesce every pending single-source BFS, oldest first, until the
+      // bit-packed frontier word is full.
+      for (auto it = queue_.begin();
+           it != queue_.end() &&
+           static_cast<int>(batch.size()) < options_.max_batch;) {
+        if ((*it)->request.algo == Algo::kBfs) {
+          batch.push_back(std::move(*it));
+          it = queue_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    metrics_->gauge("serve.queue.depth").set(static_cast<double>(queue_.size()));
+    ++executing_;
+  }
+  execute(std::move(batch));
+  {
+    std::lock_guard lock(mutex_);
+    --executing_;
+  }
+  cv_idle_.notify_all();
+  return true;
+}
+
+void Service::dispatcher_loop() {
+  for (;;) {
+    {
+      std::unique_lock lock(mutex_);
+      cv_work_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+    }
+    pump();
+  }
+}
+
+void Service::drain() {
+  if (options_.auto_dispatch) {
+    std::unique_lock lock(mutex_);
+    cv_idle_.wait(lock, [&] { return queue_.empty() && executing_ == 0; });
+  } else {
+    while (pump()) {
+    }
+  }
+}
+
+void Service::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_work_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  // Fail whatever is still queued (manual mode, or a dead session left
+  // entries behind).
+  std::deque<std::unique_ptr<Pending>> leftover;
+  {
+    std::lock_guard lock(mutex_);
+    leftover.swap(queue_);
+  }
+  for (auto& pending : leftover) {
+    fail(*pending, std::make_exception_ptr(
+                       SessionClosed("service stopped before execution")));
+  }
+  cv_idle_.notify_all();
+}
+
+void Service::finish_one(const std::string& client) {
+  std::lock_guard lock(mutex_);
+  const auto it = inflight_.find(client);
+  if (it != inflight_.end() && --it->second <= 0) inflight_.erase(it);
+}
+
+void Service::complete(Pending& pending, Response response, double popped_s) {
+  const double done_s = now_s();
+  response.id = pending.id;
+  response.queue_s = popped_s - pending.submit_s;
+  response.exec_s = done_s - popped_s;
+  response.total_s = done_s - pending.submit_s;
+  metrics_->counter("serve.requests.completed").increment();
+  metrics_->histogram("serve.latency.queue_us")
+      .observe(static_cast<std::uint64_t>(response.queue_s * 1e6));
+  metrics_->histogram("serve.latency.exec_us")
+      .observe(static_cast<std::uint64_t>(response.exec_s * 1e6));
+  metrics_->histogram("serve.latency.total_us")
+      .observe(static_cast<std::uint64_t>(response.total_s * 1e6));
+  if (request_track_ >= 0) {
+    telemetry::SpanRecord span;
+    span.start_s = pending.submit_s;
+    span.end_s = done_s;
+    span.rank = request_track_;
+    span.kind = telemetry::SpanKind::kPhase;
+    span.name = std::string("request.") + to_string(response.algo);
+    span.value = static_cast<std::int64_t>(pending.id);
+    options_.recorder->record(std::move(span));
+  }
+  if (!pending.key.empty()) {
+    cache_.put(pending.key, std::make_shared<const Response>(response));
+  }
+  finish_one(pending.request.client);
+  pending.promise.set_value(std::move(response));
+}
+
+void Service::fail(Pending& pending, std::exception_ptr error) {
+  metrics_->counter("serve.requests.failed").increment();
+  finish_one(pending.request.client);
+  pending.promise.set_exception(std::move(error));
+}
+
+void Service::execute(std::vector<std::unique_ptr<Pending>> batch) {
+  if (dead_ || !session_.alive()) {
+    for (auto& pending : batch) {
+      fail(*pending, std::make_exception_ptr(SessionClosed("session is closed")));
+    }
+    return;
+  }
+  try {
+    if (batch.size() > 1) {
+      execute_bfs_batch(batch);
+    } else {
+      execute_single(*batch[0]);
+    }
+  } catch (...) {
+    {
+      std::lock_guard lock(mutex_);
+      dead_ = true;
+    }
+    const auto error = std::current_exception();
+    for (auto& pending : batch) fail(*pending, error);
+  }
+}
+
+void Service::execute_bfs_batch(std::vector<std::unique_ptr<Pending>>& batch) {
+  const double popped_s = now_s();
+  std::vector<Gid> roots;
+  roots.reserve(batch.size());
+  for (const auto& pending : batch) roots.push_back(pending->request.roots[0]);
+
+  const auto& relabel = session_.partition().relabel();
+  const auto n = static_cast<std::size_t>(session_.n());
+  std::vector<std::vector<std::int64_t>> levels(roots.size());
+  std::vector<std::int64_t> depth(roots.size(), 0);
+  session_.run([&](core::Dist2DGraph& g, comm::Comm& comm) {
+    algos::MsBfsOptions mo;
+    mo.sparse = options_.sparse;
+    const auto result = algos::multi_source_bfs(g, roots, mo);
+    for (std::size_t s = 0; s < roots.size(); ++s) {
+      auto gathered = algos::gather_row_state(
+          g, std::span<const std::int64_t>(result.level[s]));
+      if (comm.rank() == 0) {
+        auto& out = levels[s];
+        out.resize(n);
+        for (Gid v = 0; v < static_cast<Gid>(n); ++v) {
+          out[static_cast<std::size_t>(v)] =
+              gathered[static_cast<std::size_t>(relabel.to_new(v))];
+        }
+        depth[s] = result.depth[s];
+      }
+    }
+  });
+  metrics_->counter("serve.batches").increment();
+  metrics_->counter("serve.batched_requests").add(batch.size());
+
+  for (std::size_t s = 0; s < batch.size(); ++s) {
+    Response response;
+    response.algo = Algo::kBfs;
+    response.batch_size = static_cast<int>(batch.size());
+    response.levels.push_back(std::move(levels[s]));
+    response.depth.push_back(depth[s]);
+    complete(*batch[s], std::move(response), popped_s);
+  }
+}
+
+void Service::execute_single(Pending& pending) {
+  const double popped_s = now_s();
+  const Request& request = pending.request;
+  const auto& relabel = session_.partition().relabel();
+  const auto n = static_cast<std::size_t>(session_.n());
+  const auto to_original_order = [&](const auto& gathered) {
+    std::vector<typename std::decay_t<decltype(gathered)>::value_type> out(n);
+    for (Gid v = 0; v < static_cast<Gid>(n); ++v) {
+      out[static_cast<std::size_t>(v)] =
+          gathered[static_cast<std::size_t>(relabel.to_new(v))];
+    }
+    return out;
+  };
+
+  Response response;
+  response.algo = request.algo;
+
+  switch (request.algo) {
+    case Algo::kBfs: {
+      std::vector<std::int64_t> levels;
+      std::int64_t depth = 0;
+      session_.run([&](core::Dist2DGraph& g, comm::Comm& comm) {
+        algos::BfsOptions bo;
+        bo.sparse = options_.sparse;
+        const auto result = algos::bfs(g, request.roots[0], bo);
+        auto gathered = algos::gather_row_state(
+            g, std::span<const std::int64_t>(result.level));
+        if (comm.rank() == 0) {
+          levels = to_original_order(gathered);
+          depth = result.depth;
+        }
+      });
+      response.levels.push_back(std::move(levels));
+      response.depth.push_back(depth);
+      break;
+    }
+    case Algo::kMsBfs: {
+      std::vector<std::vector<std::int64_t>> levels(request.roots.size());
+      std::vector<std::int64_t> depth(request.roots.size(), 0);
+      session_.run([&](core::Dist2DGraph& g, comm::Comm& comm) {
+        algos::MsBfsOptions mo;
+        mo.sparse = options_.sparse;
+        const auto result = algos::multi_source_bfs(g, request.roots, mo);
+        for (std::size_t s = 0; s < request.roots.size(); ++s) {
+          auto gathered = algos::gather_row_state(
+              g, std::span<const std::int64_t>(result.level[s]));
+          if (comm.rank() == 0) {
+            levels[s] = to_original_order(gathered);
+            depth[s] = result.depth[s];
+          }
+        }
+      });
+      metrics_->counter("serve.batches").increment();
+      metrics_->counter("serve.batched_requests").add(request.roots.size());
+      response.batch_size = static_cast<int>(request.roots.size());
+      response.levels = std::move(levels);
+      response.depth = std::move(depth);
+      break;
+    }
+    case Algo::kPageRank: {
+      std::vector<double> rank;
+      const bool warm = request.warm_start && !pr_state_[0].empty();
+      session_.run([&](core::Dist2DGraph& g, comm::Comm& comm) {
+        std::vector<double> pr;
+        if (warm) {
+          pr = algos::pagerank_warm_start(
+              g, pr_state_[static_cast<std::size_t>(comm.rank())],
+              request.iterations, request.damping, options_.sparse);
+        } else {
+          pr = algos::pagerank(g, request.iterations, request.damping,
+                               options_.sparse);
+        }
+        auto gathered = algos::gather_row_state(g, std::span<const double>(pr));
+        if (comm.rank() == 0) rank = to_original_order(gathered);
+        // Each rank parks its LID state for the next warm start.
+        pr_state_[static_cast<std::size_t>(comm.rank())] = std::move(pr);
+      });
+      response.rank = std::move(rank);
+      break;
+    }
+    case Algo::kCc: {
+      std::vector<Gid> component;
+      std::int64_t n_components = 0;
+      session_.run([&](core::Dist2DGraph& g, comm::Comm& comm) {
+        const auto result =
+            algos::connected_components(g, algos::CcOptions::all_push());
+        auto gathered =
+            algos::gather_row_state(g, std::span<const Gid>(result.label));
+        if (comm.rank() == 0) {
+          component.resize(n);
+          for (Gid v = 0; v < static_cast<Gid>(n); ++v) {
+            // Both the position and the representative label live in
+            // striped space; translate each back to original ids.
+            component[static_cast<std::size_t>(v)] = relabel.to_original(
+                gathered[static_cast<std::size_t>(relabel.to_new(v))]);
+          }
+          const std::set<Gid> distinct(component.begin(), component.end());
+          n_components = static_cast<std::int64_t>(distinct.size());
+        }
+      });
+      response.component = std::move(component);
+      response.n_components = n_components;
+      break;
+    }
+  }
+  complete(pending, std::move(response), popped_s);
+}
+
+}  // namespace hpcg::serve

@@ -1,0 +1,148 @@
+// The request front-end of the serving layer: bounded admission queue,
+// batching scheduler, result cache and latency accounting in front of one
+// resident Session.
+//
+// Admission (all decisions made synchronously inside submit, so a given
+// submission sequence is rejected deterministically):
+//   1. cache probe — a hit completes immediately and bypasses the queue;
+//   2. queue bound  — `queue_capacity` pending requests, else Overloaded
+//      (kQueueFull);
+//   3. client quota — `max_inflight_per_client` admitted-but-incomplete
+//      requests per client id, else Overloaded (kClientQuota).
+//
+// Scheduling: the dispatcher pops the oldest request; if it is a
+// single-source BFS, every other pending single-source BFS (any client,
+// FIFO order) is coalesced with it up to `max_batch` sources, and the
+// whole batch traverses in ONE multi-source BFS superstep loop
+// (algos/msbfs). Other request types run alone. With
+// `auto_dispatch = true` a background scheduler thread drains the queue;
+// with false the owner pumps explicitly (deterministic batching for
+// scripts and tests).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sparse_comm.hpp"
+#include "serve/cache.hpp"
+#include "serve/request.hpp"
+#include "serve/session.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace hpcg::serve {
+
+struct ServiceOptions {
+  std::size_t queue_capacity = 64;
+  int max_inflight_per_client = 8;
+  /// Max sources coalesced into one multi-source BFS (1..64; 1 disables
+  /// batching).
+  int max_batch = 64;
+  std::size_t cache_capacity = 128;
+  /// Spawn the background scheduler thread. Turn off for deterministic
+  /// manual pumping (scripts, admission-order tests).
+  bool auto_dispatch = true;
+  /// Cache-key prefix identifying the graph; empty = derived from the
+  /// session's (n, m).
+  std::string graph_key;
+  /// Same recorder the session was built with. When it carries at least
+  /// nranks + 1 tracks, per-request phase spans (wall-clock seconds since
+  /// service start) land on track `session.nranks()`.
+  telemetry::Recorder* recorder = nullptr;
+  /// Async opt-in forwarded to every algorithm invocation.
+  core::SparseOptions sparse = {};
+};
+
+class Service {
+ public:
+  Service(Session& session, const ServiceOptions& options = {});
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  struct Ticket {
+    std::uint64_t id = 0;
+    std::shared_future<Response> result;
+  };
+
+  /// Admission decision + enqueue (or immediate completion on cache hit).
+  /// Throws Overloaded on rejection, SessionClosed when the session is
+  /// gone, std::invalid_argument on malformed requests. Thread-safe.
+  Ticket submit(Request request);
+
+  /// Executes one scheduling round (one request or one coalesced batch).
+  /// Returns false when the queue was empty. Call only with
+  /// auto_dispatch = false.
+  bool pump();
+
+  /// Blocks until every admitted request has completed (or failed).
+  void drain();
+
+  /// Stops the scheduler thread; pending requests are failed with
+  /// SessionClosed. The session itself stays open (the caller owns it).
+  void stop();
+
+  telemetry::MetricsRegistry& metrics() { return *metrics_; }
+  const ResultCache& cache() const { return cache_; }
+  std::size_t queue_depth() const;
+
+  /// The cache key a request would be stored under; empty when the
+  /// request is uncacheable (PageRank warm starts). Exposed for tests.
+  std::string cache_key(const Request& request) const;
+
+ private:
+  struct Pending {
+    std::uint64_t id = 0;
+    Request request;
+    std::string key;
+    std::promise<Response> promise;
+    std::shared_future<Response> future;
+    double submit_s = 0.0;
+  };
+
+  void dispatcher_loop();
+  void execute(std::vector<std::unique_ptr<Pending>> batch);
+  void execute_bfs_batch(std::vector<std::unique_ptr<Pending>>& batch);
+  void execute_single(Pending& pending);
+  void complete(Pending& pending, Response response, double popped_s);
+  void fail(Pending& pending, std::exception_ptr error);
+  void validate(const Request& request) const;
+  double now_s() const;
+  void finish_one(const std::string& client);
+
+  Session& session_;
+  const ServiceOptions options_;
+  const std::string graph_key_;
+  ResultCache cache_;
+  std::unique_ptr<telemetry::MetricsRegistry> own_metrics_;
+  telemetry::MetricsRegistry* metrics_;
+  const int request_track_;  // recorder track for request spans, -1 = off
+  const double epoch_s_;     // wall-clock zero of the latency measurements
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_work_;  // dispatcher waits for submissions
+  std::condition_variable cv_idle_;  // drain() waits for empty + idle
+  std::deque<std::unique_ptr<Pending>> queue_;
+  std::map<std::string, int> inflight_;
+  std::uint64_t next_id_ = 0;
+  int executing_ = 0;
+  bool stopping_ = false;
+  bool dead_ = false;  // session failed; reject all future work
+
+  /// Resident PageRank state for warm starts, LID-indexed per rank. Each
+  /// rank thread writes only its own slot during a PageRank job; the
+  /// scheduler serializes jobs, so no lock is needed.
+  std::vector<std::vector<double>> pr_state_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace hpcg::serve

@@ -1,0 +1,113 @@
+#include "serve/session.hpp"
+
+#include <utility>
+
+#include "serve/request.hpp"
+
+namespace hpcg::serve {
+
+Session::Session(const graph::EdgeList& graph, core::Grid grid,
+                 const SessionOptions& options)
+    : parts_(core::Partitioned2D::build(graph, grid, options.striped)),
+      nranks_(grid.ranks()) {
+  comm::RunOptions ropts;
+  ropts.recorder = options.recorder;
+  ropts.faults = options.faults;
+  ropts.comm_timeout_s = options.comm_timeout_s;
+  ropts.async = options.async;
+  ropts.async_chunk = options.async_chunk;
+  const auto topo = comm::Topology::aimos(nranks_);
+  host_ = std::thread([this, ropts, topo] {
+    try {
+      stats_ = comm::Runtime::run(nranks_, topo, comm::CostModel{}, ropts,
+                                  [this](comm::Comm& comm) { worker_body(comm); });
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mutex_);
+      dead_ = true;
+    }
+    cv_job_.notify_all();
+    cv_done_.notify_all();
+  });
+}
+
+Session::~Session() { close(); }
+
+void Session::worker_body(comm::Comm& comm) {
+  core::Dist2DGraph g(comm, parts_);
+  comm.reset_clocks();  // sessions bill per request, not construction
+  std::int64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock lock(mutex_);
+      cv_job_.wait(lock, [&] { return stop_ || dead_ || generation_ > seen; });
+      if (stop_ || dead_) return;
+      seen = generation_;
+    }
+    try {
+      job_(g, comm);
+    } catch (...) {
+      // Latch the first failure and wake everyone BEFORE rethrowing: ranks
+      // parked on cv_job_ exit via the dead flag, ranks blocked inside a
+      // collective are released by the runtime's abort flag once this
+      // exception reaches Runtime::run's handler.
+      {
+        std::lock_guard lock(mutex_);
+        if (!error_) error_ = std::current_exception();
+        dead_ = true;
+      }
+      cv_job_.notify_all();
+      cv_done_.notify_all();
+      throw;
+    }
+    {
+      std::lock_guard lock(mutex_);
+      if (++done_count_ == nranks_) cv_done_.notify_all();
+    }
+  }
+}
+
+void Session::run(
+    const std::function<void(core::Dist2DGraph&, comm::Comm&)>& job) {
+  std::unique_lock lock(mutex_);
+  if (stop_ || dead_) throw SessionClosed("session is closed");
+  job_ = job;
+  done_count_ = 0;
+  ++generation_;
+  cv_job_.notify_all();
+  cv_done_.wait(lock, [&] { return dead_ || done_count_ == nranks_; });
+  if (dead_) {
+    std::string reason = "session died during request";
+    if (error_) {
+      try {
+        std::rethrow_exception(error_);
+      } catch (const std::exception& e) {
+        reason = std::string("session died during request: ") + e.what();
+      } catch (...) {
+      }
+    }
+    throw SessionClosed(reason);
+  }
+}
+
+comm::RunStats Session::close() {
+  {
+    std::lock_guard lock(mutex_);
+    if (closed_) return stats_;
+    closed_ = true;
+    stop_ = true;
+  }
+  cv_job_.notify_all();
+  if (host_.joinable()) host_.join();
+  return stats_;
+}
+
+bool Session::alive() const {
+  std::lock_guard lock(mutex_);
+  return !stop_ && !dead_;
+}
+
+}  // namespace hpcg::serve

@@ -1,0 +1,91 @@
+// Resident graph session: the amortization unit of the serving layer.
+//
+// Construction 2D-partitions the graph ONCE (host side) and spawns the
+// rank threads through the ordinary Runtime::run — but instead of running
+// one algorithm and joining, each rank builds its Dist2DGraph and then
+// parks on a job queue. `run(job)` wakes every rank, executes
+// `job(g, comm)` SPMD-style on the resident distribution, and returns when
+// all ranks finish — so a request pays only its own supersteps, not graph
+// load + partition + thread spawn (the one-shot hpcg_run tax).
+//
+// Error contract: if a job throws on any rank, the first error is latched,
+// every parked or collective-blocked rank is released (the runtime's abort
+// flag plus the session's dead flag), the world unwinds, and this and
+// every later `run` throws SessionClosed. A session does not survive a
+// failed job — admission control upstream should reject, not throw, for
+// anticipated overload.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "comm/runtime.hpp"
+#include "core/dist2d.hpp"
+#include "graph/edge_list.hpp"
+
+namespace hpcg::serve {
+
+struct SessionOptions {
+  bool striped = true;
+  /// Telemetry for the resident runtime. May have MORE tracks than ranks:
+  /// the service records per-request spans on track `grid.ranks()`.
+  telemetry::Recorder* recorder = nullptr;
+  comm::FaultHooks* faults = nullptr;
+  double comm_timeout_s = 0.0;
+  bool async = false;
+  int async_chunk = 1;
+};
+
+class Session {
+ public:
+  /// Partitions `graph` over `grid` and spawns the resident rank threads.
+  /// `graph` must already be in final (symmetrized) form; it is copied
+  /// into the partition, so the caller's edge list may be dropped.
+  Session(const graph::EdgeList& graph, core::Grid grid,
+          const SessionOptions& options = {});
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Runs `job(g, comm)` on every rank against the resident distribution;
+  /// returns once all ranks completed it. Jobs run concurrently on all
+  /// rank threads: shared captures must be rank-partitioned or guarded.
+  /// Callers must serialize run() invocations (the Service's scheduler
+  /// does). Throws SessionClosed if the session is dead or the job fails.
+  void run(const std::function<void(core::Dist2DGraph&, comm::Comm&)>& job);
+
+  /// Stops the rank threads and returns the run's modeled statistics
+  /// (default-constructed if the session died). Idempotent.
+  comm::RunStats close();
+
+  bool alive() const;
+  int nranks() const { return nranks_; }
+  const core::Partitioned2D& partition() const { return parts_; }
+  core::Gid n() const { return parts_.n(); }
+
+ private:
+  void worker_body(comm::Comm& comm);
+
+  const core::Partitioned2D parts_;
+  const int nranks_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_job_;   // workers wait here for a generation
+  std::condition_variable cv_done_;  // run() waits here for completion
+  std::function<void(core::Dist2DGraph&, comm::Comm&)> job_;
+  std::int64_t generation_ = 0;
+  int done_count_ = 0;
+  bool stop_ = false;
+  bool dead_ = false;
+  std::exception_ptr error_;
+  bool closed_ = false;
+
+  comm::RunStats stats_;
+  std::thread host_;  // runs Runtime::run for the whole session lifetime
+};
+
+}  // namespace hpcg::serve

@@ -20,6 +20,32 @@ MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
   return snap;
 }
 
+double MetricsRegistry::histogram_quantile(const HistogramData& h, double q) {
+  if (h.count == 0) return 0.0;
+  q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+  // Rank of the target observation, 1-based (nearest-rank definition).
+  const double exact = q * static_cast<double>(h.count);
+  std::uint64_t target = static_cast<std::uint64_t>(exact);
+  if (static_cast<double>(target) < exact) ++target;
+  if (target == 0) target = 1;
+  std::uint64_t cum = 0;
+  for (const auto& [bound, n] : h.buckets) {
+    if (cum + n >= target) {
+      if (bound == 0) return 0.0;  // the zero bucket
+      // `bound` is 2^(i-1): the bucket holds values in [bound, 2*bound)
+      // (exactly {1} for bound 1); spread its observations uniformly.
+      const double lo = static_cast<double>(bound);
+      const double hi = bound == 1 ? 1.0 : 2.0 * static_cast<double>(bound);
+      const double frac =
+          static_cast<double>(target - cum) / static_cast<double>(n);
+      return lo + frac * (hi - lo);
+    }
+    cum += n;
+  }
+  return h.buckets.empty() ? 0.0
+                           : 2.0 * static_cast<double>(h.buckets.back().first);
+}
+
 void MetricsRegistry::reset() {
   std::lock_guard lock(mutex_);
   for (auto& [name, c] : counters_) c->reset();

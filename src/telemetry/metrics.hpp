@@ -122,6 +122,14 @@ class MetricsRegistry {
   /// Zeroes every instrument (names are kept). Used by Comm::reset_clocks.
   void reset();
 
+  /// Quantile estimate over a snapshotted histogram: walks the cumulative
+  /// bucket counts to the bucket holding the q-th observation and
+  /// interpolates linearly inside its [bound, 2*bound) value range. With
+  /// power-of-two buckets the estimate is within 2x of the true value —
+  /// plenty for p50/p95/p99 latency summaries. `q` is clamped to [0, 1];
+  /// an empty histogram yields 0.
+  static double histogram_quantile(const HistogramData& h, double q);
+
  private:
   template <class T>
   T& get(std::map<std::string, std::unique_ptr<T>>& family, const std::string& name) {

@@ -4,11 +4,18 @@
 #include <iomanip>
 #include <limits>
 #include <map>
+#include <memory>
 #include <ostream>
+#include <utility>
 
 namespace hpcg::telemetry {
 
 namespace {
+
+struct DurationAccumulator {
+  Histogram hist;  // microsecond-bucketed durations
+  double max_s = 0.0;
+};
 
 struct SuperstepAccumulator {
   std::string label;
@@ -31,12 +38,22 @@ TraceReport analyze(const std::vector<SpanRecord>& spans, int nranks) {
 
   std::map<int, SuperstepAccumulator> steps;
   std::map<std::string, InstantStats> instants;
+  // Duration histograms per (kind, name) family, microsecond-bucketed like
+  // the registry's latency metrics so quantiles agree across exporters.
+  std::map<std::pair<int, std::string>, std::unique_ptr<DurationAccumulator>>
+      families;
   for (const auto& span : spans) {
     if (span.rank < 0 || span.rank >= nranks) continue;
     auto& rank = report.ranks[static_cast<std::size_t>(span.rank)];
     const double duration = span.end_s - span.start_s;
     rank.end_s = std::max(rank.end_s, span.end_s);
     report.makespan_s = std::max(report.makespan_s, span.end_s);
+    if (span.kind != SpanKind::kInstant && duration >= 0.0) {
+      auto& family = families[{static_cast<int>(span.kind), span.name}];
+      if (!family) family = std::make_unique<DurationAccumulator>();
+      family->hist.observe(static_cast<std::uint64_t>(duration * 1e6));
+      family->max_s = std::max(family->max_s, duration);
+    }
     switch (span.kind) {
       case SpanKind::kCompute:
         rank.comp_s += duration;
@@ -77,6 +94,25 @@ TraceReport analyze(const std::vector<SpanRecord>& spans, int nranks) {
     }
   }
   for (auto& [name, inst] : instants) report.instants.push_back(std::move(inst));
+
+  for (const auto& [key, acc] : families) {
+    MetricsRegistry::HistogramData data;
+    data.count = acc->hist.count();
+    data.sum = acc->hist.sum();
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      const auto n = acc->hist.bucket(i);
+      if (n > 0) data.buckets.emplace_back(Histogram::bucket_bound(i), n);
+    }
+    SpanDurations family;
+    family.kind = static_cast<SpanKind>(key.first);
+    family.name = key.second;
+    family.count = data.count;
+    family.p50_s = MetricsRegistry::histogram_quantile(data, 0.50) * 1e-6;
+    family.p95_s = MetricsRegistry::histogram_quantile(data, 0.95) * 1e-6;
+    family.p99_s = MetricsRegistry::histogram_quantile(data, 0.99) * 1e-6;
+    family.max_s = acc->max_s;
+    report.durations.push_back(std::move(family));
+  }
 
   for (const auto& rank : report.ranks) {
     report.comp_max_s = std::max(report.comp_max_s, rank.comp_s);
@@ -181,6 +217,24 @@ void print_report(std::ostream& out, const TraceReport& report,
     }
   }
 
+  if (!report.durations.empty()) {
+    // Span durations are micro-scale at simulator time; print in us so the
+    // fixed-point columns stay readable.
+    out << "\nspan duration quantiles (power-of-two bucketed, microseconds):\n";
+    out << "  kind        name                    count      p50_us      p95_us"
+           "      p99_us      max_us\n";
+    out << std::setprecision(3);
+    for (const auto& family : report.durations) {
+      out << "  " << std::setw(10) << std::left << to_string(family.kind)
+          << "  " << std::setw(20) << family.name << std::right << "  "
+          << std::setw(7) << family.count << "  " << std::setw(10)
+          << family.p50_s * 1e6 << "  " << std::setw(10) << family.p95_s * 1e6
+          << "  " << std::setw(10) << family.p99_s * 1e6 << "  "
+          << std::setw(10) << family.max_s * 1e6 << "\n";
+    }
+    out << std::setprecision(6);
+  }
+
   if (!report.instants.empty()) {
     out << "\nfault/recovery events:\n";
     out << "  event                     count     first_s      last_s\n";
@@ -233,6 +287,9 @@ void write_metrics_json(std::ostream& out, const MetricsRegistry::Snapshot& snap
     first = false;
     write_json_escaped(out, name);
     out << ": {\"count\": " << h.count << ", \"sum\": " << h.sum
+        << ", \"p50\": " << MetricsRegistry::histogram_quantile(h, 0.50)
+        << ", \"p95\": " << MetricsRegistry::histogram_quantile(h, 0.95)
+        << ", \"p99\": " << MetricsRegistry::histogram_quantile(h, 0.99)
         << ", \"buckets\": [";
     bool b_first = true;
     for (const auto& [bound, n] : h.buckets) {
@@ -294,6 +351,12 @@ void write_metrics_csv(std::ostream& out, const MetricsRegistry::Snapshot& snap,
   for (const auto& [name, h] : snap.histograms) {
     out << "histogram." << name << ".count," << h.count << "\n";
     out << "histogram." << name << ".sum," << h.sum << "\n";
+    out << "histogram." << name << ".p50,"
+        << MetricsRegistry::histogram_quantile(h, 0.50) << "\n";
+    out << "histogram." << name << ".p95,"
+        << MetricsRegistry::histogram_quantile(h, 0.95) << "\n";
+    out << "histogram." << name << ".p99,"
+        << MetricsRegistry::histogram_quantile(h, 0.99) << "\n";
   }
   out << "run.makespan_s," << report.makespan_s << "\n";
   out << "run.overlap_max_s," << report.overlap_max_s << "\n";

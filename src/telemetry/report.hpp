@@ -51,6 +51,21 @@ struct InstantStats {
   double last_s = 0.0;   // virtual time of the last occurrence
 };
 
+/// Duration distribution of one span family — all spans sharing a
+/// (kind, name) pair, across every rank. Durations are fed through the
+/// registry's power-of-two histogram in microseconds, so the quantiles
+/// carry the same bucketing error as the exported latency metrics
+/// (within 2x; sub-microsecond spans land in the zero bucket).
+struct SpanDurations {
+  std::string name;
+  SpanKind kind = SpanKind::kPhase;
+  std::uint64_t count = 0;
+  double p50_s = 0.0;
+  double p95_s = 0.0;
+  double p99_s = 0.0;
+  double max_s = 0.0;
+};
+
 struct TraceReport {
   int nranks = 0;
   double makespan_s = 0.0;        // max span end over all ranks
@@ -64,6 +79,7 @@ struct TraceReport {
   std::vector<RankBreakdown> ranks;
   std::vector<SuperstepStats> supersteps;
   std::vector<InstantStats> instants;  // fault/recovery events, by name
+  std::vector<SpanDurations> durations;  // per-(kind, name) quantiles
 };
 
 /// Builds the report from a span stream (`nranks` = track count; pass

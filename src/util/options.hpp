@@ -21,6 +21,10 @@ class Options {
   Options(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
       std::string_view arg(argv[i]);
+      if (arg == "--help" || arg == "-h") {
+        values_["help"] = "true";
+        continue;
+      }
       if (!arg.starts_with("--")) {
         std::cerr << "unexpected positional argument: " << arg << "\n";
         std::exit(2);
@@ -76,6 +80,19 @@ class Options {
     return out;
   }
 
+  /// Declares the tool's usage text. Prints it and exits 0 when --help/-h
+  /// was passed; check_unknown echoes it before a non-zero exit so typos
+  /// leave the user with the flag reference on screen. Call before the
+  /// get* declarations so --help wins even with an otherwise bad line.
+  void usage(std::string text) {
+    usage_ = std::move(text);
+    known_.insert("help");
+    if (values_.contains("help")) {
+      std::cout << usage_;
+      std::exit(0);
+    }
+  }
+
   /// Call after all get* declarations; aborts on options nobody asked for.
   void check_unknown() const {
     bool bad = false;
@@ -85,12 +102,16 @@ class Options {
         bad = true;
       }
     }
-    if (bad) std::exit(2);
+    if (bad) {
+      if (!usage_.empty()) std::cerr << "\n" << usage_;
+      std::exit(2);
+    }
   }
 
  private:
   std::map<std::string, std::string> values_;
   std::set<std::string> known_;
+  std::string usage_;
 };
 
 }  // namespace hpcg::util

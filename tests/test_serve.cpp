@@ -1,0 +1,446 @@
+// Serving-layer tests: batched multi-source BFS exactness, session
+// lifecycle, result-cache semantics, deterministic admission control, and
+// the histogram quantile summaries the latency reporting rides on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <span>
+#include <sstream>
+#include <vector>
+
+#include "algos/bfs.hpp"
+#include "algos/gather.hpp"
+#include "algos/msbfs.hpp"
+#include "algos/pagerank.hpp"
+#include "graph/stats.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "serve/load_gen.hpp"
+#include "serve/service.hpp"
+#include "serve/session.hpp"
+#include "telemetry/report.hpp"
+#include "test_helpers.hpp"
+
+namespace ha = hpcg::algos;
+namespace hc = hpcg::core;
+namespace hs = hpcg::serve;
+namespace ht = hpcg::telemetry;
+using hpcg::graph::Gid;
+using hpcg::test::small_rmat;
+
+namespace {
+
+// Runs batched MS-BFS and per-source single BFS on the same resident
+// distribution and demands bit-identical levels on every rank.
+void expect_msbfs_matches(hs::Session& session, const std::vector<Gid>& roots,
+                          const hc::SparseOptions& sparse = {}) {
+  session.run([&](hc::Dist2DGraph& g, hpcg::comm::Comm&) {
+    ha::MsBfsOptions mo;
+    mo.sparse = sparse;
+    const auto batched = ha::multi_source_bfs(g, roots, mo);
+    for (std::size_t s = 0; s < roots.size(); ++s) {
+      ha::BfsOptions bo;
+      bo.sparse = sparse;
+      const auto single = ha::bfs(g, roots[s], bo);
+      EXPECT_EQ(batched.level[s], single.level) << "source " << s;
+      EXPECT_EQ(batched.depth[s], single.depth) << "source " << s;
+    }
+  });
+}
+
+}  // namespace
+
+TEST(MsBfs, BitIdenticalToSequentialBfs) {
+  const auto el = small_rmat(9, 8, 3);
+  hs::Session session(el, hc::Grid(2, 3));
+  expect_msbfs_matches(session, {0, 1, 7, 100, 200, 333});
+}
+
+TEST(MsBfs, FullBatchOf64) {
+  const auto el = small_rmat(8, 8, 5);
+  std::vector<Gid> roots;
+  for (Gid v = 0; v < 64; ++v) roots.push_back(v * 3 % el.n);
+  hs::Session session(el, hc::Grid(2, 2));
+  expect_msbfs_matches(session, roots);
+}
+
+TEST(MsBfs, AsyncExchangeBitIdentical) {
+  const auto el = small_rmat(9, 8, 3);
+  hs::SessionOptions sopts;
+  sopts.async = true;
+  sopts.async_chunk = 2;
+  hs::Session session(el, hc::Grid(2, 3), sopts);
+  expect_msbfs_matches(session, {0, 5, 11, 500}, hc::SparseOptions::on(2));
+}
+
+TEST(MsBfs, BitIdenticalUnderTransientFaults) {
+  const auto el = small_rmat(8, 8, 7);
+  const std::vector<Gid> roots{0, 3, 9, 40};
+
+  std::vector<std::vector<std::int64_t>> clean;
+  {
+    hs::Session session(el, hc::Grid(2, 2));
+    session.run([&](hc::Dist2DGraph& g, hpcg::comm::Comm& comm) {
+      const auto result = ha::multi_source_bfs(g, roots);
+      if (comm.rank() == 0) clean = result.level;
+    });
+  }
+
+  // Transient collective failures retry internally; the traversal must not
+  // notice them.
+  hpcg::fault::FaultInjector injector(
+      hpcg::fault::FaultPlan::parse("transient@r1:n2:x2,transient@r3:n5:x1"), 4);
+  hs::SessionOptions sopts;
+  sopts.faults = &injector;
+  hs::Session session(el, hc::Grid(2, 2), sopts);
+  session.run([&](hc::Dist2DGraph& g, hpcg::comm::Comm& comm) {
+    const auto result = ha::multi_source_bfs(g, roots);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(result.level, clean);
+    }
+  });
+  EXPECT_FALSE(injector.events().empty());
+}
+
+TEST(MsBfs, RejectsMalformedBatches) {
+  const auto el = small_rmat(7, 8, 1);
+  hs::Session session(el, hc::Grid(2, 2));
+  session.run([&](hc::Dist2DGraph& g, hpcg::comm::Comm&) {
+    const std::vector<Gid> empty;
+    const std::vector<Gid> too_many(65, Gid{0});
+    const std::vector<Gid> out_of_range{el.n};
+    const std::vector<Gid> negative{Gid{-1}};
+    EXPECT_THROW(ha::multi_source_bfs(g, empty), std::invalid_argument);
+    EXPECT_THROW(ha::multi_source_bfs(g, too_many), std::invalid_argument);
+    EXPECT_THROW(ha::multi_source_bfs(g, out_of_range), std::invalid_argument);
+    EXPECT_THROW(ha::multi_source_bfs(g, negative), std::invalid_argument);
+  });
+}
+
+TEST(Session, ReusedAcrossJobsAndIdempotentClose) {
+  const auto el = small_rmat(7, 8, 2);
+  hs::Session session(el, hc::Grid(2, 2));
+  EXPECT_TRUE(session.alive());
+  EXPECT_EQ(session.nranks(), 4);
+
+  std::atomic<int> runs{0};
+  for (int i = 0; i < 3; ++i) {
+    session.run([&](hc::Dist2DGraph& g, hpcg::comm::Comm&) {
+      EXPECT_EQ(g.n(), el.n);
+      runs.fetch_add(1);
+    });
+  }
+  EXPECT_EQ(runs.load(), 3 * session.nranks());
+
+  session.close();
+  EXPECT_FALSE(session.alive());
+  session.close();  // idempotent
+  EXPECT_THROW(
+      session.run([](hc::Dist2DGraph&, hpcg::comm::Comm&) {}),
+      hs::SessionClosed);
+}
+
+TEST(Session, JobFailureKillsTheSession) {
+  const auto el = small_rmat(7, 8, 2);
+  hs::Session session(el, hc::Grid(2, 2));
+  EXPECT_THROW(session.run([](hc::Dist2DGraph&, hpcg::comm::Comm& comm) {
+    if (comm.rank() == 2) throw std::runtime_error("boom");
+    comm.barrier();  // other ranks park in a collective until the abort
+  }),
+               hs::SessionClosed);
+  EXPECT_FALSE(session.alive());
+  EXPECT_THROW(
+      session.run([](hc::Dist2DGraph&, hpcg::comm::Comm&) {}),
+      hs::SessionClosed);
+}
+
+TEST(ResultCache, LruHitMissEviction) {
+  hs::ResultCache cache(2);
+  const auto entry = [](std::uint64_t id) {
+    auto r = std::make_shared<hs::Response>();
+    r->id = id;
+    return std::shared_ptr<const hs::Response>(std::move(r));
+  };
+  EXPECT_EQ(cache.get("a"), nullptr);
+  cache.put("a", entry(1));
+  cache.put("b", entry(2));
+  EXPECT_EQ(cache.get("a")->id, 1u);  // bumps 'a' ahead of 'b'
+  cache.put("c", entry(3));           // evicts 'b', the LRU entry
+  EXPECT_EQ(cache.get("b"), nullptr);
+  EXPECT_EQ(cache.get("a")->id, 1u);
+  EXPECT_EQ(cache.get("c")->id, 3u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.hits(), 3u);
+  EXPECT_EQ(cache.misses(), 2u);
+
+  hs::ResultCache disabled(0);
+  disabled.put("a", entry(1));
+  EXPECT_EQ(disabled.get("a"), nullptr);
+  EXPECT_EQ(disabled.size(), 0u);
+}
+
+TEST(Service, BatchedAnswersMatchSingleAndCacheHits) {
+  const auto el = small_rmat(8, 8, 4);
+  hs::Session session(el, hc::Grid(2, 2));
+  hs::ServiceOptions vopts;
+  vopts.auto_dispatch = false;
+  vopts.cache_capacity = 0;  // the verify request must actually re-run
+  hs::Service service(session, vopts);
+
+  // Three coalescible BFS requests plus one PageRank behind them.
+  std::vector<hs::Service::Ticket> tickets;
+  for (const Gid root : {Gid{0}, Gid{17}, Gid{99}}) {
+    hs::Request request;
+    request.roots = {root};
+    tickets.push_back(service.submit(std::move(request)));
+  }
+  hs::Request pr;
+  pr.algo = hs::Algo::kPageRank;
+  pr.iterations = 3;
+  auto pr_ticket = service.submit(std::move(pr));
+
+  EXPECT_TRUE(service.pump());  // one round: the whole BFS batch
+  for (const auto& ticket : tickets) {
+    EXPECT_EQ(ticket.result.get().batch_size, 3);
+  }
+  service.drain();
+  EXPECT_EQ(pr_ticket.result.get().rank.size(),
+            static_cast<std::size_t>(el.n));
+
+  // The batched answer must be bit-identical to a fresh non-batched
+  // single-source run through algos::bfs (a lone popped request skips the
+  // multi-source path entirely).
+  hs::Request single;
+  single.roots = {Gid{17}};
+  auto verify = service.submit(std::move(single));
+  service.drain();
+  const auto fresh = verify.result.get();
+  EXPECT_FALSE(fresh.from_cache);
+  EXPECT_EQ(fresh.batch_size, 1);
+  const auto batched = tickets[1].result.get();  // root 17 inside the batch
+  EXPECT_EQ(fresh.levels, batched.levels);
+  EXPECT_EQ(fresh.depth, batched.depth);
+
+  const auto snap = service.metrics().snapshot();
+  EXPECT_EQ(snap.counters.at("serve.batches"), 1u);
+  EXPECT_EQ(snap.counters.at("serve.batched_requests"), 3u);
+
+  service.stop();
+  session.close();
+}
+
+TEST(Service, CacheHitBypassesQueue) {
+  const auto el = small_rmat(8, 8, 4);
+  hs::Session session(el, hc::Grid(2, 2));
+  hs::ServiceOptions vopts;
+  vopts.auto_dispatch = false;
+  hs::Service service(session, vopts);
+
+  hs::Request request;
+  request.roots = {Gid{5}};
+  auto first = service.submit(request);
+  service.drain();
+  const auto first_response = first.result.get();
+  EXPECT_FALSE(first_response.from_cache);
+
+  auto second = service.submit(request);
+  // Completed synchronously inside submit: no pump needed.
+  const auto second_response = second.result.get();
+  EXPECT_TRUE(second_response.from_cache);
+  EXPECT_EQ(second_response.levels, first_response.levels);
+  EXPECT_EQ(second_response.depth, first_response.depth);
+  EXPECT_GT(second_response.id, first_response.id);
+  EXPECT_EQ(service.cache().hits(), 1u);
+  EXPECT_EQ(service.queue_depth(), 0u);
+
+  service.stop();
+  session.close();
+}
+
+TEST(Service, DeterministicAdmissionRejectionOrder) {
+  const auto el = small_rmat(7, 8, 6);
+  const std::string script_text =
+      "client alice\n"
+      "bfs 0\n"
+      "bfs 1\n"
+      "bfs 2\n"  // alice hits her quota of 2 -> client_quota
+      "client bob\n"
+      "bfs 3\n"
+      "bfs 4\n"  // queue (capacity 3) is full -> queue_full
+      "drain\n"
+      "bfs 5\n"
+      "cc\n";
+
+  const auto run_once = [&] {
+    hs::Session session(el, hc::Grid(2, 2));
+    hs::ServiceOptions vopts;
+    vopts.auto_dispatch = false;
+    vopts.queue_capacity = 3;
+    vopts.max_inflight_per_client = 2;
+    vopts.cache_capacity = 0;  // keep both passes on the same code path
+    hs::Service service(session, vopts);
+    std::istringstream script(script_text);
+    const auto result = hs::run_script(service, script);
+    service.stop();
+    session.close();
+    return result;
+  };
+
+  const auto first = run_once();
+  EXPECT_EQ(first.submitted, 7);
+  EXPECT_EQ(first.admitted, 5);
+  EXPECT_EQ(first.rejected, 2);
+  EXPECT_EQ(first.completed, 5);
+  EXPECT_EQ(first.failed, 0);
+  EXPECT_NE(first.log.find("reason=client_quota"), std::string::npos);
+  EXPECT_NE(first.log.find("reason=queue_full"), std::string::npos);
+
+  // Same script, same policy, fresh service: byte-identical log.
+  const auto second = run_once();
+  EXPECT_EQ(first.log, second.log);
+}
+
+TEST(Service, PageRankWarmStartContinuesExactly) {
+  const auto el = small_rmat(8, 8, 9);
+  const hc::Grid grid(2, 2);
+
+  // Oracle: 5 iterations in one shot on the same distribution.
+  std::vector<double> cold;
+  {
+    hs::Session session(el, grid);
+    session.run([&](hc::Dist2DGraph& g, hpcg::comm::Comm& comm) {
+      const auto pr = ha::pagerank(g, 5);
+      auto gathered = ha::gather_row_state(g, std::span<const double>(pr));
+      if (comm.rank() == 0) cold = gathered;
+    });
+  }
+
+  // Service: 2 cold iterations, then 3 more warm-started.
+  hs::Session session(el, grid);
+  hs::ServiceOptions vopts;
+  vopts.auto_dispatch = false;
+  hs::Service service(session, vopts);
+
+  hs::Request step1;
+  step1.algo = hs::Algo::kPageRank;
+  step1.iterations = 2;
+  auto t1 = service.submit(std::move(step1));
+  hs::Request step2;
+  step2.algo = hs::Algo::kPageRank;
+  step2.iterations = 3;
+  step2.warm_start = true;
+  EXPECT_TRUE(service.cache_key(step2).empty());  // warm starts uncacheable
+  auto t2 = service.submit(std::move(step2));
+  service.drain();
+  t1.result.get();
+  const auto warm = t2.result.get();
+
+  const auto& relabel = session.partition().relabel();
+  ASSERT_EQ(warm.rank.size(), cold.size());
+  for (Gid v = 0; v < el.n; ++v) {
+    // Response is original-indexed, the oracle gather striped-indexed.
+    EXPECT_EQ(warm.rank[static_cast<std::size_t>(v)],
+              cold[static_cast<std::size_t>(relabel.to_new(v))])
+        << "vertex " << v;
+  }
+
+  service.stop();
+  session.close();
+}
+
+TEST(Service, ConnectedComponentsCountsMatchReference) {
+  const auto el = small_rmat(8, 8, 11);
+  hs::Session session(el, hc::Grid(2, 2));
+  hs::Service service(session);  // auto dispatch
+
+  hs::Request request;
+  request.algo = hs::Algo::kCc;
+  auto ticket = service.submit(std::move(request));
+  const auto response = ticket.result.get();
+  EXPECT_EQ(response.n_components, hpcg::graph::count_components(el));
+  EXPECT_EQ(response.component.size(), static_cast<std::size_t>(el.n));
+  // Labels are original vertex ids and every vertex agrees with its label's
+  // label (representatives are fixed points).
+  for (Gid v = 0; v < el.n; ++v) {
+    const auto rep = response.component[static_cast<std::size_t>(v)];
+    ASSERT_GE(rep, 0);
+    ASSERT_LT(rep, el.n);
+    EXPECT_EQ(response.component[static_cast<std::size_t>(rep)], rep);
+  }
+
+  service.stop();
+  session.close();
+}
+
+TEST(Service, LoadGeneratorDrivesConcurrentClients) {
+  const auto el = small_rmat(8, 8, 13);
+  hs::Session session(el, hc::Grid(2, 2));
+  hs::ServiceOptions vopts;
+  vopts.queue_capacity = 4;  // small queue to exercise Overloaded retries
+  hs::Service service(session, vopts);
+
+  hs::LoadGenOptions lopts;
+  lopts.clients = 3;
+  lopts.requests_per_client = 5;
+  lopts.seed = 42;
+  const auto stats = hs::run_load(service, session.n(), lopts);
+  EXPECT_EQ(stats.completed, 15);
+  EXPECT_EQ(stats.failed, 0);
+
+  const auto snap = service.metrics().snapshot();
+  const auto counter_or_zero = [&](const std::string& name) -> std::uint64_t {
+    const auto it = snap.counters.find(name);
+    return it == snap.counters.end() ? 0 : it->second;
+  };
+  // Cache hits complete without touching the executed-request counter.
+  EXPECT_EQ(counter_or_zero("serve.requests.completed") +
+                counter_or_zero("serve.cache.hits"),
+            15u);
+  EXPECT_TRUE(snap.histograms.contains("serve.latency.total_us"));
+
+  service.stop();
+  session.close();
+}
+
+TEST(HistogramQuantile, WalksPowerOfTwoBuckets) {
+  const auto data = [] {
+    ht::MetricsRegistry registry;
+    auto& h = registry.histogram("x");
+    for (int i = 0; i < 100; ++i) h.observe(100);  // bucket (64, 128]
+    for (int i = 0; i < 10; ++i) h.observe(1000);  // bucket (512, 1024]
+    return registry.snapshot().histograms.at("x");
+  }();
+
+  const auto p50 = ht::MetricsRegistry::histogram_quantile(data, 0.50);
+  EXPECT_GT(p50, 64.0);
+  EXPECT_LE(p50, 128.0);
+  const auto p99 = ht::MetricsRegistry::histogram_quantile(data, 0.99);
+  EXPECT_GT(p99, 512.0);
+  EXPECT_LE(p99, 1024.0);
+  // Monotone in q, exact edges clamp.
+  EXPECT_LE(ht::MetricsRegistry::histogram_quantile(data, 0.0),
+            ht::MetricsRegistry::histogram_quantile(data, 1.0));
+  EXPECT_EQ(ht::MetricsRegistry::histogram_quantile({}, 0.5), 0.0);
+}
+
+TEST(MetricsExport, QuantilesAppearInJsonAndCsv) {
+  ht::MetricsRegistry registry;
+  auto& hist = registry.histogram("serve.latency.total_us");
+  for (int i = 1; i <= 64; ++i) hist.observe(static_cast<std::uint64_t>(i * 100));
+  const auto snap = registry.snapshot();
+  const auto report = ht::analyze({}, 1);
+
+  std::ostringstream json;
+  ht::write_metrics_json(json, snap, report);
+  EXPECT_NE(json.str().find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"p99\""), std::string::npos);
+
+  std::ostringstream csv;
+  ht::write_metrics_csv(csv, snap, report);
+  EXPECT_NE(csv.str().find("histogram.serve.latency.total_us.p50"),
+            std::string::npos);
+  EXPECT_NE(csv.str().find("histogram.serve.latency.total_us.p99"),
+            std::string::npos);
+}

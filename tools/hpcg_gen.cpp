@@ -16,6 +16,22 @@
 
 int main(int argc, char** argv) {
   hpcg::util::Options options(argc, argv);
+  options.usage(
+      "usage: hpcg_gen [options]\n"
+      "Generate a dataset analog or synthetic graph as a text/binary edge list.\n"
+      "\n"
+      "  --graph=NAME      dataset analog (Table-4 names, e.g. wdc-mini)\n"
+      "  --rmat-scale=N    R-MAT generator with 2^N vertices\n"
+      "  --edge-factor=F   R-MAT edges per vertex (default 16)\n"
+      "  --er-n=N --er-m=M Erdos-Renyi with N vertices, M edges\n"
+      "  --scale-shift=K   shrink/grow dataset analogs by 2^K\n"
+      "  --seed=N          generator seed (default 1)\n"
+      "  --weighted        attach symmetric edge weights\n"
+      "  --out=PATH        output file (omit to only print stats)\n"
+      "  --format=FMT      binary|text (default binary)\n"
+      "  --stats=BOOL      print degree/component stats (default true)\n"
+      "  --help            show this text and exit\n"
+      "One of --graph, --rmat-scale, or --er-n/--er-m is required.\n");
   const std::string dataset = options.get_string("graph", "");
   const int rmat_scale = static_cast<int>(options.get_int("rmat-scale", 0));
   const int edge_factor = static_cast<int>(options.get_int("edge-factor", 16));

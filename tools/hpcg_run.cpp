@@ -62,6 +62,30 @@ int fail(const std::string& message) {
 
 int main(int argc, char** argv) {
   hpcg::util::Options options(argc, argv);
+  options.usage(
+      "usage: hpcg_run [options]\n"
+      "Run one algorithm on one dataset over a simulated 2D rank grid.\n"
+      "\n"
+      "  --algo=NAME          bfs|pr|cc|ccsv|mwm|lp|pj|tc|kcore (default bfs)\n"
+      "  --graph=NAME         dataset analog, e.g. rmat14, tw-mini (default rmat14)\n"
+      "  --file=PATH          read an edge-list file instead of --graph\n"
+      "  --ranks=N            grid ranks; squarest grid chosen (default 16)\n"
+      "  --rows=R --cols=C    explicit grid shape (overrides --ranks)\n"
+      "  --scale-shift=K      shrink/grow dataset analogs by 2^K\n"
+      "  --iterations=N       pr/lp iteration count (default 20)\n"
+      "  --root=V             bfs root vertex (default 0)\n"
+      "  --verify             check against the sequential oracle\n"
+      "  --striped=BOOL       striped vertex assignment (default true)\n"
+      "  --trace=FILE.csv     modeled cost-event trace\n"
+      "  --trace-out=FILE     Chrome trace JSON of telemetry spans\n"
+      "  --metrics-out=FILE   metrics snapshot (.csv -> CSV, else JSON)\n"
+      "  --faults=PLAN        fault plan, e.g. crash@r2:s3 (docs/FAULTS.md)\n"
+      "  --fault-seed=N       seed resolving r? fault targets (default 0)\n"
+      "  --checkpoint-every=N superstep checkpoint interval (0 = off)\n"
+      "  --comm-timeout=S     recv/barrier deadline in seconds (0 = off)\n"
+      "  --async=on|off       compute-comm overlap (default off)\n"
+      "  --async-chunk=N      pipeline segments for sparse exchanges\n"
+      "  --help               show this text and exit\n");
   const std::string algo = options.get_string("algo", "bfs");
   const std::string dataset = options.get_string("graph", "rmat14");
   const std::string file = options.get_string("file", "");

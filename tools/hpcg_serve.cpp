@@ -1,0 +1,207 @@
+// Serving-layer driver: loads a graph into a resident Session and fires
+// requests at the Service, either from a deterministic request script or
+// from the seeded closed-loop load generator. Prints throughput plus the
+// p50/p95/p99 latency split from the service's histograms, and can dump
+// the metrics snapshot and the per-request span trace.
+//
+//   hpcg_serve --graph=rmat14 --ranks=16 --clients=4 --requests=16
+//   hpcg_serve --graph=rmat12 --ranks=9 --script=requests.txt
+//   hpcg_serve --graph=rmat14 --metrics-out=serve.json --trace-out=serve.json
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "graph/datasets.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/io.hpp"
+#include "serve/load_gen.hpp"
+#include "serve/service.hpp"
+#include "serve/session.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/report.hpp"
+#include "util/options.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+int fail(const std::string& message) {
+  std::cerr << "error: " << message << "\n";
+  return 1;
+}
+
+double quantile_us(const hpcg::telemetry::MetricsRegistry::Snapshot& snap,
+                   const std::string& name, double q) {
+  const auto it = snap.histograms.find(name);
+  if (it == snap.histograms.end()) return 0.0;
+  return hpcg::telemetry::MetricsRegistry::histogram_quantile(it->second, q);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hpcg::util::Options options(argc, argv);
+  options.usage(
+      "usage: hpcg_serve [options]\n"
+      "Load a graph into a resident session and serve queries against it.\n"
+      "\n"
+      "Graph and session:\n"
+      "  --graph=NAME          dataset analog (default rmat14)\n"
+      "  --file=PATH           edge-list file instead of --graph\n"
+      "  --ranks=N             grid ranks (default 16)\n"
+      "  --rows=R --cols=C     explicit grid shape\n"
+      "  --scale-shift=K       shrink/grow dataset analogs by 2^K\n"
+      "  --striped=BOOL        striped vertex assignment (default true)\n"
+      "  --async=on|off        compute-comm overlap (default off)\n"
+      "  --async-chunk=N       pipeline segments for sparse exchanges\n"
+      "Service policy:\n"
+      "  --queue-capacity=N    admission queue bound (default 64)\n"
+      "  --max-inflight=N      per-client in-flight quota (default 8)\n"
+      "  --max-batch=N         BFS coalescing bound, 1..64 (default 64)\n"
+      "  --cache-capacity=N    LRU result-cache entries (default 128)\n"
+      "Workload (pick one):\n"
+      "  --script=PATH         replay a request script (manual dispatch);\n"
+      "                        commands: client NAME | bfs ROOT |\n"
+      "                        msbfs R1,R2,.. | pr ITERS [D] [warm] | cc |\n"
+      "                        pump | drain\n"
+      "  --clients=N           closed-loop load generator threads (default 4)\n"
+      "  --requests=N          requests per client (default 16)\n"
+      "  --seed=N              load-generator seed (default 1)\n"
+      "Output:\n"
+      "  --metrics-out=FILE    metrics snapshot (.csv -> CSV, else JSON)\n"
+      "  --trace-out=FILE      Chrome trace JSON incl. the request track\n"
+      "  --help                show this text and exit\n");
+  const std::string dataset = options.get_string("graph", "rmat14");
+  const std::string file = options.get_string("file", "");
+  const int ranks = static_cast<int>(options.get_int("ranks", 16));
+  const int rows = static_cast<int>(options.get_int("rows", 0));
+  const int cols = static_cast<int>(options.get_int("cols", 0));
+  const int shift = static_cast<int>(options.get_int("scale-shift", 0));
+  const bool striped = options.get_bool("striped", true);
+  const std::string async_text = options.get_string("async", "off");
+  const int async_chunk = static_cast<int>(options.get_int("async-chunk", 1));
+  const auto queue_capacity =
+      static_cast<std::size_t>(options.get_int("queue-capacity", 64));
+  const int max_inflight = static_cast<int>(options.get_int("max-inflight", 8));
+  const int max_batch = static_cast<int>(options.get_int("max-batch", 64));
+  const auto cache_capacity =
+      static_cast<std::size_t>(options.get_int("cache-capacity", 128));
+  const std::string script_path = options.get_string("script", "");
+  const int clients = static_cast<int>(options.get_int("clients", 4));
+  const int requests = static_cast<int>(options.get_int("requests", 16));
+  const auto seed = static_cast<std::uint64_t>(options.get_int("seed", 1));
+  const std::string metrics_out = options.get_string("metrics-out", "");
+  const std::string trace_out = options.get_string("trace-out", "");
+  options.check_unknown();
+  if (async_text != "on" && async_text != "off") {
+    return fail("--async must be 'on' or 'off'");
+  }
+
+  hpcg::util::WallTimer load_timer;
+  hpcg::graph::EdgeList graph;
+  try {
+    if (!file.empty()) {
+      graph = hpcg::graph::read_text(file);
+      hpcg::graph::remove_self_loops(graph);
+      hpcg::graph::symmetrize(graph);
+    } else {
+      graph = hpcg::graph::load_dataset(dataset, shift);
+    }
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+  const auto grid = (rows > 0 && cols > 0) ? hpcg::core::Grid(rows, cols)
+                                           : hpcg::core::Grid::squarest(ranks);
+  std::cout << "input: " << graph.n << " vertices, " << graph.m()
+            << " directed edges; grid " << grid.row_groups() << " x "
+            << grid.col_groups() << "\n";
+
+  // One extra recorder track beyond the ranks carries per-request spans.
+  hpcg::telemetry::Recorder recorder(grid.ranks() + 1);
+
+  try {
+    hpcg::serve::SessionOptions sopts;
+    sopts.striped = striped;
+    sopts.recorder = &recorder;
+    sopts.async = async_text == "on";
+    sopts.async_chunk = async_chunk;
+    hpcg::serve::Session session(graph, grid, sopts);
+    std::cout << "session: resident on " << session.nranks() << " ranks ("
+              << load_timer.elapsed() << " s to load + distribute)\n";
+
+    hpcg::serve::ServiceOptions vopts;
+    vopts.queue_capacity = queue_capacity;
+    vopts.max_inflight_per_client = max_inflight;
+    vopts.max_batch = max_batch;
+    vopts.cache_capacity = cache_capacity;
+    vopts.recorder = &recorder;
+    vopts.auto_dispatch = script_path.empty();
+    hpcg::serve::Service service(session, vopts);
+
+    hpcg::util::WallTimer serve_timer;
+    if (!script_path.empty()) {
+      std::ifstream script(script_path);
+      if (!script) return fail("cannot open --script file " + script_path);
+      const auto result = hpcg::serve::run_script(service, script);
+      std::cout << result.log;
+      std::cout << "script: " << result.submitted << " submitted, "
+                << result.admitted << " admitted, " << result.rejected
+                << " rejected, " << result.completed << " completed, "
+                << result.failed << " failed\n";
+    } else {
+      hpcg::serve::LoadGenOptions lopts;
+      lopts.clients = clients;
+      lopts.requests_per_client = requests;
+      lopts.seed = seed;
+      const auto stats = hpcg::serve::run_load(service, session.n(), lopts);
+      std::cout << "load: " << stats.completed << " completed of "
+                << stats.submitted << " submitted (" << stats.rejected
+                << " overload rejections, " << stats.failed << " failed, "
+                << stats.cache_hits << " cache hits) in " << stats.wall_s
+                << " s -> " << stats.rps << " req/s\n";
+    }
+    service.drain();
+
+    const auto snap = service.metrics().snapshot();
+    std::cout << "latency (us): total p50 "
+              << quantile_us(snap, "serve.latency.total_us", 0.50) << ", p95 "
+              << quantile_us(snap, "serve.latency.total_us", 0.95) << ", p99 "
+              << quantile_us(snap, "serve.latency.total_us", 0.99)
+              << "; queue p99 "
+              << quantile_us(snap, "serve.latency.queue_us", 0.99)
+              << "; exec p99 "
+              << quantile_us(snap, "serve.latency.exec_us", 0.99) << "\n";
+    std::cout << "cache: " << service.cache().hits() << " hits, "
+              << service.cache().misses() << " misses, "
+              << service.cache().evictions() << " evictions ("
+              << service.cache().size() << " resident)\n";
+    std::cout << "total wall: " << serve_timer.elapsed() << " s\n";
+
+    service.stop();
+    session.close();
+
+    const auto spans = recorder.spans();
+    const auto report = hpcg::telemetry::analyze(spans, recorder.nranks());
+    if (!trace_out.empty()) {
+      std::ofstream out(trace_out);
+      if (!out) return fail("cannot open --trace-out file " + trace_out);
+      hpcg::telemetry::write_chrome_trace(out, spans, recorder.nranks());
+      std::cout << "wrote " << spans.size() << " spans (" << grid.ranks()
+                << " rank tracks + 1 request track) to " << trace_out << "\n";
+    }
+    if (!metrics_out.empty()) {
+      std::ofstream out(metrics_out);
+      if (!out) return fail("cannot open --metrics-out file " + metrics_out);
+      if (metrics_out.size() >= 4 &&
+          metrics_out.compare(metrics_out.size() - 4, 4, ".csv") == 0) {
+        hpcg::telemetry::write_metrics_csv(out, snap, report);
+      } else {
+        hpcg::telemetry::write_metrics_json(out, snap, report);
+      }
+      std::cout << "wrote metrics to " << metrics_out << "\n";
+    }
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+  return 0;
+}

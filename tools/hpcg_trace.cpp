@@ -19,9 +19,17 @@
 
 namespace {
 
-int usage(const char* argv0) {
-  std::cerr << "usage: " << argv0
-            << " <trace.json> [--top=N] [--csv] [--summary]\n";
+constexpr const char* kUsage =
+    "usage: hpcg_trace <trace.json> [options]\n"
+    "Analyze a Chrome trace JSON written by hpcg_run --trace-out=...\n"
+    "\n"
+    "  --top=N     truncate the superstep table to the N slowest\n"
+    "  --csv       machine-readable superstep rows\n"
+    "  --summary   one line: makespan, comm and overlap fractions\n"
+    "  --help      show this text and exit\n";
+
+int usage() {
+  std::cerr << kUsage;
   return 2;
 }
 
@@ -34,7 +42,10 @@ int main(int argc, char** argv) {
   bool summary = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg(argv[i]);
-    if (arg.starts_with("--top=")) {
+    if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    } else if (arg.starts_with("--top=")) {
       try {
         top = std::stoi(std::string(arg.substr(6)));
       } catch (const std::exception&) {
@@ -47,14 +58,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--summary") {
       summary = true;
     } else if (arg.starts_with("--")) {
-      return usage(argv[0]);
+      return usage();
     } else if (path.empty()) {
       path = arg;
     } else {
-      return usage(argv[0]);
+      return usage();
     }
   }
-  if (path.empty()) return usage(argv[0]);
+  if (path.empty()) return usage();
 
   hpcg::telemetry::TraceFile trace;
   try {
