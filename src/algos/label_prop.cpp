@@ -24,7 +24,8 @@ struct LabelUpdate {
 }  // namespace
 
 LpResult label_propagation(core::Dist2DGraph& g, int iterations,
-                           const core::SparseOptions& opts) {
+                           const core::SparseOptions& opts,
+                           fault::Checkpointer* ckpt) {
   const auto& lids = g.lids();
   const auto n_total = static_cast<std::size_t>(lids.n_total());
   const auto offsets = g.csr().offsets();
@@ -46,7 +47,31 @@ LpResult label_propagation(core::Dist2DGraph& g, int iterations,
   VertexQueue active(lids.n_total());
   for (Lid v = g.row_lid_begin(); v < g.row_lid_end(); ++v) active.try_push(v);
 
-  for (int it = 0; it < iterations; ++it) {
+  int start = 0;
+  if (ckpt && ckpt->resume_epoch() >= 0) {
+    ckpt->restore(g.world(), [&](fault::BlobReader& r) {
+      start = static_cast<int>(r.get<std::int64_t>());
+      result.total_updates = r.get<std::int64_t>();
+      label = r.get_vec<std::uint64_t>();
+      active.clear();
+      for (const Lid v : r.get_vec<Lid>()) active.try_push(v);
+    });
+  }
+
+  for (int it = start; it < iterations; ++it) {
+    if (ckpt && ckpt->due(it)) {
+      ckpt->save(g.world(), it, [&](fault::BlobWriter& w) {
+        w.put<std::int64_t>(it);
+        w.put<std::int64_t>(result.total_updates);
+        w.put_vec(label);
+        w.put_vec(active.items());
+      });
+    }
+    // The superstep boundary: opens the telemetry span and consults the
+    // fault injector, so superstep-keyed fault triggers fire for LP like
+    // they do for BFS/PageRank/CC.
+    auto superstep = g.world().superstep_span(
+        "lp", static_cast<std::int64_t>(active.size()));
     // Stage 1: reduce locally-owned edges into per-vertex label counts and
     // serialize them as partial aggregates.
     //

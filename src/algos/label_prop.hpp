@@ -13,6 +13,7 @@
 
 #include "core/dist2d.hpp"
 #include "core/sparse_comm.hpp"
+#include "fault/checkpoint.hpp"
 
 namespace hpcg::algos {
 
@@ -25,8 +26,13 @@ struct LpResult {
 /// hash-table stage is chunked and pipelined under the in-flight owner
 /// Alltoallv, and the column broadcast overlaps the row-update
 /// application; labels are bit-identical either way (counts are additive
-/// and the mode tie-break is deterministic).
+/// and the mode tie-break is deterministic). When `ckpt` is non-null, the
+/// label/activation state is snapshotted at iteration boundaries and
+/// restored on entry after a fault-triggered restart, exactly like
+/// BFS/PageRank/CC — a recovered run resumes from the last committed
+/// epoch instead of silently replaying from iteration 0.
 LpResult label_propagation(core::Dist2DGraph& g, int iterations = 20,
-                           const core::SparseOptions& opts = {});
+                           const core::SparseOptions& opts = {},
+                           fault::Checkpointer* ckpt = nullptr);
 
 }  // namespace hpcg::algos

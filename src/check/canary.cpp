@@ -1,0 +1,95 @@
+#include "check/canary.hpp"
+
+#include <ostream>
+
+namespace hpcg::check {
+
+namespace {
+
+CheckConfig base_config(const std::string& algo) {
+  CheckConfig cfg;
+  cfg.gen = "er";
+  cfg.scale = 6;
+  cfg.edge_factor = 8;
+  cfg.seed = 11;
+  cfg.rows = 2;
+  cfg.cols = 2;
+  cfg.algo = algo;
+  cfg.root = 3;
+  cfg.iterations = 4;
+  return cfg;
+}
+
+}  // namespace
+
+std::vector<CanaryCase> canary_suite() {
+  std::vector<CanaryCase> suite;
+  suite.push_back({Canary::kBfsLevelOffByOne, base_config("bfs")});
+  suite.push_back({Canary::kBfsDropReached, base_config("bfs")});
+  suite.push_back({Canary::kPrMassLeak, base_config("pr")});
+  suite.push_back({Canary::kCcSplitLabel, base_config("cc")});
+  {
+    // Sparse low-degree input where one fewer round visibly changes
+    // labels (dense ER converges too fast to tell 3 rounds from 4).
+    CheckConfig cfg = base_config("lp");
+    cfg.edge_factor = 4;
+    cfg.seed = 7;
+    cfg.iterations = 3;
+    suite.push_back({Canary::kLpStaleIteration, cfg});
+  }
+  {
+    CheckConfig cfg = base_config("msbfs");
+    cfg.sources = {0, 17, 40};
+    suite.push_back({Canary::kMsBfsCrossTalk, cfg});
+  }
+  {
+    // LP under a mid-run crash with checkpointing requested; the canary
+    // drops the Checkpointer wiring, reproducing the replay-from-zero
+    // bug the recovery oracle exists to catch.
+    CheckConfig cfg = base_config("lp");
+    cfg.iterations = 6;
+    cfg.faults = "crash@r1:s2";
+    cfg.fault_seed = 5;
+    cfg.checkpoint_every = 1;
+    suite.push_back({Canary::kLpRestartFromZero, cfg});
+  }
+  return suite;
+}
+
+std::vector<CanaryOutcome> run_canaries(std::ostream* log) {
+  std::vector<CanaryOutcome> outcomes;
+  const auto el_cache = [](const CheckConfig& cfg) { return build_input(cfg); };
+  for (const CanaryCase& c : canary_suite()) {
+    CanaryOutcome outcome;
+    outcome.canary = c.canary;
+    try {
+      const RunResult result = run_config(c.config, c.canary);
+      const auto el = el_cache(c.config);
+      for (auto&& f : check_reference(c.config, el, result)) {
+        outcome.failures.push_back(std::move(f));
+      }
+      for (auto&& f : check_invariants(c.config, el, result)) {
+        outcome.failures.push_back(std::move(f));
+      }
+      for (auto&& f : check_recovery(c.config, result)) {
+        outcome.failures.push_back(std::move(f));
+      }
+    } catch (const std::exception& e) {
+      // A canary that makes the engine throw is still "caught".
+      outcome.failures.push_back({"exception", e.what()});
+    }
+    outcome.caught = !outcome.failures.empty();
+    if (log) {
+      *log << (outcome.caught ? "caught " : "MISSED ") << to_string(c.canary);
+      if (outcome.caught) {
+        *log << " via [" << outcome.failures.front().oracle << "] "
+             << outcome.failures.front().detail;
+      }
+      *log << "\n";
+    }
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+}  // namespace hpcg::check

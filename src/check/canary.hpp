@@ -1,0 +1,35 @@
+// Mutation canaries: deliberately broken runs that MUST trip an oracle.
+// `hpcg_check --canary` runs the suite and fails loudly if any injected
+// bug slips through — the checker checking itself. Each case pairs a
+// Canary mutation with a configuration on which the mutation provably
+// changes the answer (verified by tests/test_check.cpp).
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "check/config.hpp"
+#include "check/oracles.hpp"
+#include "check/runner.hpp"
+
+namespace hpcg::check {
+
+struct CanaryCase {
+  Canary canary = Canary::kNone;
+  CheckConfig config;
+};
+
+struct CanaryOutcome {
+  Canary canary = Canary::kNone;
+  bool caught = false;
+  std::vector<Failure> failures;  // what tripped (empty when missed)
+};
+
+/// The built-in suite: one case per Canary mutation.
+std::vector<CanaryCase> canary_suite();
+
+/// Runs every case through the non-identity oracles. Returns one outcome
+/// per case; `all caught` is the green condition CI asserts.
+std::vector<CanaryOutcome> run_canaries(std::ostream* log);
+
+}  // namespace hpcg::check

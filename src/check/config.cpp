@@ -1,0 +1,250 @@
+#include "check/config.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace hpcg::check {
+
+namespace {
+
+std::vector<Gid> parse_gid_list(const std::string& key, const std::string& text) {
+  std::vector<Gid> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    std::size_t used = 0;
+    Gid value = 0;
+    try {
+      value = static_cast<Gid>(std::stoll(item, &used));
+    } catch (const std::exception&) {
+      used = item.size() + 1;  // force the error path below
+    }
+    if (used != item.size() || item.empty()) {
+      throw std::invalid_argument("bad config value " + key + "=" + text);
+    }
+    out.push_back(value);
+  }
+  return out;
+}
+
+std::int64_t parse_num(const std::string& key, const std::string& text) {
+  std::size_t used = 0;
+  std::int64_t value = 0;
+  try {
+    value = std::stoll(text, &used);
+  } catch (const std::exception&) {
+    used = text.size() + 1;
+  }
+  if (used != text.size() || text.empty()) {
+    throw std::invalid_argument("bad config value " + key + "=" + text);
+  }
+  return value;
+}
+
+}  // namespace
+
+bool CheckConfig::checkpointable() const {
+  return algo == "bfs" || algo == "pr" || algo == "cc" || algo == "lp";
+}
+
+std::string CheckConfig::to_string() const {
+  std::ostringstream out;
+  out << "gen=" << gen << " scale=" << scale << " ef=" << edge_factor
+      << " seed=" << seed << " grid=" << rows << "x" << cols << " algo=" << algo;
+  if (algo == "bfs" && serve_batch == 0) out << " root=" << root;
+  if (!sources.empty()) {
+    out << " sources=";
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      if (i) out << ",";
+      out << sources[i];
+    }
+  }
+  if (algo == "pr" || algo == "prwarm" || algo == "lp") out << " iters=" << iterations;
+  if (algo == "prwarm") out << " warm=" << warm_split;
+  if (async) out << " async=1 chunk=" << chunk;
+  if (!faults.empty()) out << " faults=" << faults << " fseed=" << fault_seed;
+  if (checkpoint_every > 0) out << " ckpt=" << checkpoint_every;
+  if (serve_batch > 0) out << " serve=" << serve_batch;
+  return out.str();
+}
+
+std::string CheckConfig::command() const {
+  return "hpcg_check --config='" + to_string() + "'";
+}
+
+CheckConfig CheckConfig::parse(const std::string& text) {
+  CheckConfig cfg;
+  cfg.sources.clear();
+  std::stringstream ss(text);
+  std::string token;
+  while (ss >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("bad config token: " + token);
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "gen") {
+      if (value != "rmat" && value != "er" && value != "ba") {
+        throw std::invalid_argument("bad config value gen=" + value);
+      }
+      cfg.gen = value;
+    } else if (key == "scale") {
+      cfg.scale = static_cast<int>(parse_num(key, value));
+      if (cfg.scale < 1 || cfg.scale > 24) {
+        throw std::invalid_argument("bad config value scale=" + value);
+      }
+    } else if (key == "ef") {
+      cfg.edge_factor = static_cast<int>(parse_num(key, value));
+      if (cfg.edge_factor < 1) {
+        throw std::invalid_argument("bad config value ef=" + value);
+      }
+    } else if (key == "seed") {
+      cfg.seed = static_cast<std::uint64_t>(parse_num(key, value));
+    } else if (key == "grid") {
+      const auto x = value.find('x');
+      if (x == std::string::npos) {
+        throw std::invalid_argument("bad config value grid=" + value);
+      }
+      cfg.rows = static_cast<int>(parse_num(key, value.substr(0, x)));
+      cfg.cols = static_cast<int>(parse_num(key, value.substr(x + 1)));
+      if (cfg.rows < 1 || cfg.cols < 1 || cfg.rows * cfg.cols > 64) {
+        throw std::invalid_argument("bad config value grid=" + value);
+      }
+    } else if (key == "algo") {
+      if (value != "bfs" && value != "msbfs" && value != "pr" &&
+          value != "prwarm" && value != "cc" && value != "lp") {
+        throw std::invalid_argument("bad config value algo=" + value);
+      }
+      cfg.algo = value;
+    } else if (key == "root") {
+      cfg.root = static_cast<Gid>(parse_num(key, value));
+    } else if (key == "sources") {
+      cfg.sources = parse_gid_list(key, value);
+    } else if (key == "iters") {
+      cfg.iterations = static_cast<int>(parse_num(key, value));
+      if (cfg.iterations < 1) {
+        throw std::invalid_argument("bad config value iters=" + value);
+      }
+    } else if (key == "warm") {
+      cfg.warm_split = static_cast<int>(parse_num(key, value));
+    } else if (key == "async") {
+      cfg.async = parse_num(key, value) != 0;
+    } else if (key == "chunk") {
+      cfg.chunk = static_cast<int>(parse_num(key, value));
+      if (cfg.chunk < 1) {
+        throw std::invalid_argument("bad config value chunk=" + value);
+      }
+    } else if (key == "faults") {
+      cfg.faults = value;
+    } else if (key == "fseed") {
+      cfg.fault_seed = static_cast<std::uint64_t>(parse_num(key, value));
+    } else if (key == "ckpt") {
+      cfg.checkpoint_every = parse_num(key, value);
+    } else if (key == "serve") {
+      cfg.serve_batch = static_cast<int>(parse_num(key, value));
+    } else {
+      throw std::invalid_argument("unknown config key: " + key);
+    }
+  }
+  return cfg;
+}
+
+namespace {
+
+template <class T>
+T pick(util::Xoshiro256& rng, std::initializer_list<T> options) {
+  auto it = options.begin();
+  std::advance(it, static_cast<std::ptrdiff_t>(
+                       rng.next_below(static_cast<std::uint64_t>(options.size()))));
+  return *it;
+}
+
+}  // namespace
+
+CheckConfig sample_config(util::Xoshiro256& rng) {
+  CheckConfig cfg;
+  cfg.gen = pick(rng, {"rmat", "rmat", "er", "ba"});  // skew-heavy by default
+  cfg.scale = 5 + static_cast<int>(rng.next_below(4));  // 32..256 vertices
+  cfg.edge_factor = 4 + static_cast<int>(rng.next_below(9));
+  cfg.seed = 1 + rng.next_below(1u << 20);
+
+  // Square, non-square, row-only and column-only placements.
+  const auto shape = pick<std::pair<int, int>>(
+      rng, {{1, 1}, {2, 2}, {2, 3}, {3, 2}, {2, 4}, {1, 2}, {1, 4}, {1, 6}, {2, 1}, {4, 1}});
+  cfg.rows = shape.first;
+  cfg.cols = shape.second;
+
+  cfg.algo = pick(rng, {"bfs", "bfs", "msbfs", "pr", "prwarm", "cc", "lp"});
+  const Gid n = cfg.n();
+  cfg.root = static_cast<Gid>(rng.next_below(static_cast<std::uint64_t>(n)));
+
+  if (cfg.algo == "msbfs") {
+    const int k = 2 + static_cast<int>(rng.next_below(7));  // 2..8 sources
+    for (int i = 0; i < k; ++i) {
+      cfg.sources.push_back(
+          static_cast<Gid>(rng.next_below(static_cast<std::uint64_t>(n))));
+    }
+  }
+  if (cfg.algo == "pr" || cfg.algo == "prwarm" || cfg.algo == "lp") {
+    cfg.iterations = 2 + static_cast<int>(rng.next_below(5));  // 2..6
+  }
+  if (cfg.algo == "prwarm") {
+    if (cfg.iterations < 2) cfg.iterations = 2;
+    cfg.warm_split =
+        1 + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(cfg.iterations - 1)));
+  }
+
+  cfg.async = rng.next_below(10) < 4;
+  cfg.chunk = cfg.async ? 1 + static_cast<int>(rng.next_below(4)) : 1;
+
+  // Serve-path batching: bfs only. The batch routes through
+  // Session + Service manual pumps instead of a direct Runtime::run.
+  if (cfg.algo == "bfs" && rng.next_below(10) < 3) {
+    cfg.serve_batch = 2 + static_cast<int>(rng.next_below(3));  // 2..4
+    const int k = cfg.serve_batch + static_cast<int>(rng.next_below(3));
+    for (int i = 0; i < k; ++i) {
+      cfg.sources.push_back(
+          static_cast<Gid>(rng.next_below(static_cast<std::uint64_t>(n))));
+    }
+  }
+
+  // Checkpoint interval independent of faults: exercises the save path
+  // (and the recovery driver's zero-restart mode) on its own.
+  if (cfg.checkpointable() && cfg.serve_batch == 0 && rng.next_below(10) < 2) {
+    cfg.checkpoint_every = 1 + static_cast<std::int64_t>(rng.next_below(2));
+  }
+
+  // Fault plans. Kill faults (crash / silent) need the recovery driver and
+  // a Checkpointer, so only checkpointable algorithms on the direct path
+  // get them; transient/degrade are survivable in any path. Silent deaths
+  // cost a wall-clock timeout each, so they are sampled rarely (the runner
+  // clamps the timeout to keep sweeps fast).
+  const std::uint64_t fault_roll = rng.next_below(100);
+  const int target = static_cast<int>(
+      rng.next_below(static_cast<std::uint64_t>(cfg.ranks())));
+  cfg.fault_seed = 1 + rng.next_below(1u << 16);
+  std::ostringstream plan;
+  if (cfg.checkpointable() && cfg.serve_batch == 0 && fault_roll < 14) {
+    // crash or (rarely) silent: needs checkpoint + restart.
+    const bool silent = fault_roll < 2 && cfg.ranks() > 1;
+    plan << (silent ? "silent" : "crash") << "@r" << target << ":s"
+         << 1 + rng.next_below(3);
+    if (cfg.ranks() == 1 && !silent) plan.str("");  // lone rank: nobody to recover with
+    if (!plan.str().empty()) {
+      cfg.checkpoint_every = 1 + static_cast<std::int64_t>(rng.next_below(2));
+    }
+  } else if (fault_roll < 30) {
+    const bool degrade = rng.next_below(2) == 0;
+    if (degrade) {
+      plan << "degrade@r" << target << ":n" << 2 + rng.next_below(6) << ":x4:f4";
+    } else {
+      plan << "transient@r" << target << ":n" << 2 + rng.next_below(6) << ":x2";
+    }
+  }
+  cfg.faults = plan.str();
+  if (cfg.faults.empty()) cfg.fault_seed = 0;
+  return cfg;
+}
+
+}  // namespace hpcg::check

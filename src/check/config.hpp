@@ -1,0 +1,82 @@
+// One point in the engine's configuration cross-product, and the seeded
+// sampler that draws from it.
+//
+// A CheckConfig pins everything a differential run needs to be
+// reproducible: the generated input (generator x scale x edge factor x
+// seed), the placement (grid shape), the algorithm and its parameters,
+// and the execution mode (sync/async + chunking, fault plan + seed,
+// checkpoint interval, serve-path batching). Its textual form round-trips
+// through parse(), so a failing configuration is a one-line reproducer:
+//
+//   hpcg_check --config='gen=rmat scale=6 ef=8 grid=2x3 algo=lp seed=9
+//                        faults=crash@r1:s2 ckpt=1 iters=6'
+//
+// Sampling is a pure function of the Xoshiro stream, so sweep k of seed s
+// examines the same configs on every machine, every time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "util/prng.hpp"
+
+namespace hpcg::check {
+
+using graph::Gid;
+
+struct CheckConfig {
+  // Input graph.
+  std::string gen = "rmat";  // rmat | er | ba (preferential attachment)
+  int scale = 6;             // n = 2^scale vertices
+  int edge_factor = 8;       // ~edge_factor * n directed entries pre-symmetrize
+  std::uint64_t seed = 1;    // generator seed
+
+  // Placement.
+  int rows = 2;
+  int cols = 2;
+
+  // Algorithm + parameters.
+  std::string algo = "bfs";  // bfs | msbfs | pr | prwarm | cc | lp
+  Gid root = 0;              // bfs source
+  std::vector<Gid> sources;  // msbfs sources / serve-path batch roots
+  int iterations = 4;        // pr / prwarm (total) / lp rounds
+  int warm_split = 2;        // prwarm: cold iterations before the warm leg
+
+  // Execution mode.
+  bool async = false;  // nonblocking chunked exchanges (RunOptions::async)
+  int chunk = 1;       // async pipeline segments
+  std::string faults;  // fault plan (docs/FAULTS.md grammar); empty = none
+  std::uint64_t fault_seed = 0;
+  std::int64_t checkpoint_every = 0;  // supersteps; 0 = off
+  int serve_batch = 0;  // >0 (bfs only): route `sources` through Service
+                        // coalescing with this max_batch
+
+  int ranks() const { return rows * cols; }
+  Gid n() const { return Gid{1} << scale; }
+
+  /// True when `algo` accepts a fault::Checkpointer (bfs, pr, cc, lp).
+  bool checkpointable() const;
+
+  /// Compact `key=value ...` form; parse() round-trips it exactly.
+  std::string to_string() const;
+
+  /// One-line reproducer command for this config.
+  std::string command() const;
+
+  /// Inverse of to_string(). Unknown keys, malformed values and
+  /// out-of-range dimensions throw std::invalid_argument naming the
+  /// offending token.
+  static CheckConfig parse(const std::string& text);
+};
+
+/// Draws one configuration from the full cross-product. Coherence rules
+/// (enforced here so every sample is runnable): crash/silent/corrupt
+/// faults only on checkpointable algorithms run through the recovery
+/// driver; serve-path batching only for bfs with session-survivable
+/// fault kinds (transient/degrade); checkpointing only where a
+/// Checkpointer can be wired.
+CheckConfig sample_config(util::Xoshiro256& rng);
+
+}  // namespace hpcg::check

@@ -1,0 +1,174 @@
+#include "check/fuzzer.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "check/runner.hpp"
+
+namespace hpcg::check {
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Runs a variant of the same input and folds disagreements (or the
+/// variant's refusal to run) into `out`.
+void check_variant(std::vector<Failure>& out, const std::string& name,
+                   const RunResult& base, const CheckConfig& variant_cfg,
+                   double pr_tolerance, bool normalize_cc, bool compare_lp) {
+  try {
+    const RunResult other = run_config(variant_cfg);
+    auto failures =
+        check_identity(name, base, other, pr_tolerance, normalize_cc, compare_lp);
+    out.insert(out.end(), failures.begin(), failures.end());
+  } catch (const std::exception& e) {
+    out.push_back({"identity:" + name,
+                   std::string("variant threw: ") + e.what() + " [" +
+                       variant_cfg.to_string() + "]"});
+  }
+}
+
+SweepResult run_all(const std::vector<CheckConfig>* replayed, const FuzzOptions& opts) {
+  SweepResult result;
+  util::Xoshiro256 rng(opts.seed);
+  const double start = now_s();
+  const int total = replayed ? static_cast<int>(replayed->size()) : opts.configs;
+  for (int i = 0; i < total; ++i) {
+    if (opts.time_budget_s > 0.0 && now_s() - start > opts.time_budget_s) {
+      result.hit_time_budget = true;
+      break;
+    }
+    const CheckConfig cfg =
+        replayed ? (*replayed)[static_cast<std::size_t>(i)] : sample_config(rng);
+    auto failures = check_config(cfg, opts);
+    ++result.ran;
+    if (failures.empty()) continue;
+    ++result.failed;
+
+    FailureReport report;
+    report.config = cfg;
+    report.shrunk = cfg;
+    report.failures = std::move(failures);
+    if (opts.shrink_failures) {
+      auto still_fails = [&](const CheckConfig& candidate) {
+        return !check_config(candidate, opts).empty();
+      };
+      auto shrunk = shrink(cfg, still_fails, opts.shrink_attempts);
+      report.shrunk = shrunk.config;
+      report.shrink_moves = std::move(shrunk.accepted);
+      report.shrink_attempts = shrunk.attempts;
+    }
+    if (opts.log) {
+      *opts.log << "FAIL config " << i << ": " << cfg.to_string() << "\n";
+      for (const auto& f : report.failures) {
+        *opts.log << "  [" << f.oracle << "] " << f.detail << "\n";
+      }
+      *opts.log << "  reproduce: " << report.shrunk.command() << "\n";
+    }
+    result.reports.push_back(std::move(report));
+  }
+  if (opts.log) {
+    *opts.log << "checked " << result.ran << " configs, " << result.failed
+              << " failing";
+    if (result.hit_time_budget) *opts.log << " (time budget reached)";
+    *opts.log << "\n";
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<Failure> check_config(const CheckConfig& cfg, const FuzzOptions& opts) {
+  std::vector<Failure> out;
+  RunResult base;
+  try {
+    base = run_config(cfg);
+  } catch (const std::exception& e) {
+    out.push_back({"exception", e.what()});
+    return out;
+  }
+
+  const auto el = build_input(cfg);
+  for (auto&& f : check_reference(cfg, el, base)) out.push_back(std::move(f));
+  for (auto&& f : check_invariants(cfg, el, base)) out.push_back(std::move(f));
+  for (auto&& f : check_recovery(cfg, base)) out.push_back(std::move(f));
+  if (!opts.with_identity) return out;
+
+  // Async flip: chunked nonblocking exchanges are documented bit-identical.
+  {
+    CheckConfig v = cfg;
+    v.async = !cfg.async;
+    v.chunk = v.async ? 2 : 1;
+    check_variant(out, "async-flip", base, v, 0.0, false, true);
+  }
+  // Fault-free twin: a recovered (or fault-degraded) run must match the
+  // clean one bit for bit.
+  if (!cfg.faults.empty()) {
+    CheckConfig v = cfg;
+    v.faults.clear();
+    v.fault_seed = 0;
+    check_variant(out, "fault-free", base, v, 0.0, false, true);
+  }
+  // Alternate grid: transposed (or flattened-to-row) placement. Integer
+  // state in original positions is placement-independent; PageRank moves
+  // within float tolerance (different reduction order); LP is excluded —
+  // its tie-breaks are functions of the striping, which changes with the
+  // row count.
+  if (cfg.algo != "lp") {
+    CheckConfig v = cfg;
+    if (cfg.rows != cfg.cols) {
+      v.rows = cfg.cols;
+      v.cols = cfg.rows;
+    } else if (cfg.ranks() > 1) {
+      v.rows = 1;
+      v.cols = cfg.ranks();
+    }
+    if (v.rows != cfg.rows || v.cols != cfg.cols) {
+      check_variant(out, "grid", base, v, 1e-9, true, false);
+    }
+  }
+  // Serve vs direct: the Service's coalesced multi-source batch must
+  // answer exactly what a direct msbfs over the same sources answers.
+  if (cfg.serve_batch > 0) {
+    CheckConfig v = cfg;
+    v.serve_batch = 0;
+    v.algo = "msbfs";
+    check_variant(out, "serve-vs-direct", base, v, 0.0, false, true);
+  }
+  return out;
+}
+
+SweepResult fuzz_sweep(const FuzzOptions& opts) { return run_all(nullptr, opts); }
+
+SweepResult replay(const std::vector<CheckConfig>& configs, const FuzzOptions& opts) {
+  return run_all(&configs, opts);
+}
+
+std::vector<CheckConfig> read_corpus(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read corpus file: " + path);
+  std::vector<CheckConfig> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    out.push_back(CheckConfig::parse(line));
+  }
+  return out;
+}
+
+void append_corpus(const std::string& path, const CheckConfig& config,
+                   const std::string& comment) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) throw std::runtime_error("cannot write corpus file: " + path);
+  if (!comment.empty()) out << "# " << comment << "\n";
+  out << config.to_string() << "\n";
+}
+
+}  // namespace hpcg::check

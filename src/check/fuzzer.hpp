@@ -1,0 +1,63 @@
+// The sweep driver: sample configs, run them through every applicable
+// oracle (reference, invariants, recovery accounting, and the identity
+// variants — async flip, fault-free twin, alternate grid, serve vs
+// direct), shrink whatever fails, and emit one-line reproducers.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "check/config.hpp"
+#include "check/oracles.hpp"
+#include "check/shrink.hpp"
+
+namespace hpcg::check {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  int configs = 100;          // configs to sample (corpus replay ignores this)
+  double time_budget_s = 0.0;  // wall-clock cap for the sweep; 0 = none
+  /// Run the identity variants (each costs extra engine runs of the same
+  /// config). Off = reference + invariants + recovery only.
+  bool with_identity = true;
+  bool shrink_failures = true;
+  int shrink_attempts = 24;
+  std::ostream* log = nullptr;  // progress + failure reporting; may be null
+};
+
+struct FailureReport {
+  CheckConfig config;             // as sampled / as replayed
+  CheckConfig shrunk;             // after delta-debugging (== config if off)
+  std::vector<Failure> failures;  // of the original config
+  std::vector<std::string> shrink_moves;
+  int shrink_attempts = 0;
+};
+
+struct SweepResult {
+  int ran = 0;
+  int failed = 0;
+  bool hit_time_budget = false;
+  std::vector<FailureReport> reports;
+
+  bool ok() const { return failed == 0; }
+};
+
+/// All-oracle verdict on one config. Uncaught engine exceptions become
+/// failures with oracle "exception". Never throws.
+std::vector<Failure> check_config(const CheckConfig& cfg, const FuzzOptions& opts);
+
+/// Samples `opts.configs` configurations from `opts.seed` and checks each.
+SweepResult fuzz_sweep(const FuzzOptions& opts);
+
+/// Replays explicit configurations (corpus entries) through the oracles.
+SweepResult replay(const std::vector<CheckConfig>& configs, const FuzzOptions& opts);
+
+/// Corpus file format: one CheckConfig::to_string() line per entry;
+/// blank lines and '#' comments ignored. Throws on unreadable files or
+/// unparseable entries.
+std::vector<CheckConfig> read_corpus(const std::string& path);
+void append_corpus(const std::string& path, const CheckConfig& config,
+                   const std::string& comment);
+
+}  // namespace hpcg::check

@@ -1,0 +1,307 @@
+#include "check/oracles.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+
+#include "algos/reference.hpp"
+#include "graph/csr.hpp"
+#include "graph/relabel.hpp"
+
+namespace hpcg::check {
+
+namespace {
+
+constexpr double kPrReferenceTolerance = 1e-9;
+
+/// Accumulates mismatches but keeps the report bounded.
+class Mismatches {
+ public:
+  Mismatches(std::vector<Failure>& out, std::string oracle, std::string what)
+      : out_(out), oracle_(std::move(oracle)), what_(std::move(what)) {}
+
+  ~Mismatches() {
+    if (count_ == 0) return;
+    std::ostringstream detail;
+    detail << what_ << ": " << first_;
+    if (count_ > 1) detail << " (+" << count_ - 1 << " more)";
+    out_.push_back({oracle_, detail.str()});
+  }
+
+  template <class A, class B>
+  void add(std::size_t index, const A& got, const B& want) {
+    if (count_++ == 0) {
+      std::ostringstream f;
+      f << "[" << index << "] got " << got << " want " << want;
+      first_ = f.str();
+    }
+  }
+
+  void note(const std::string& text) {
+    if (count_++ == 0) first_ = text;
+  }
+
+ private:
+  std::vector<Failure>& out_;
+  std::string oracle_;
+  std::string what_;
+  std::string first_;
+  int count_ = 0;
+};
+
+void compare_levels(std::vector<Failure>& out, const std::string& what,
+                    const std::vector<std::int64_t>& got,
+                    const std::vector<std::int64_t>& want) {
+  Mismatches m(out, "reference", what);
+  if (got.size() != want.size()) {
+    m.note("size " + std::to_string(got.size()) + " want " +
+           std::to_string(want.size()));
+    return;
+  }
+  for (std::size_t v = 0; v < got.size(); ++v) {
+    if (got[v] != want[v]) m.add(v, got[v], want[v]);
+  }
+}
+
+void check_bfs_invariants(std::vector<Failure>& out, const std::string& what,
+                          const graph::EdgeList& el, Gid root,
+                          const std::vector<std::int64_t>& level) {
+  Mismatches m(out, "invariant", what);
+  if (level.size() != static_cast<std::size_t>(el.n)) {
+    m.note("level vector size " + std::to_string(level.size()));
+    return;
+  }
+  if (level[static_cast<std::size_t>(root)] != 0) {
+    m.note("root level " + std::to_string(level[static_cast<std::size_t>(root)]));
+    return;
+  }
+  for (std::size_t i = 0; i < el.edges.size(); ++i) {
+    const auto lu = level[static_cast<std::size_t>(el.edges[i].u)];
+    const auto lv = level[static_cast<std::size_t>(el.edges[i].v)];
+    // Undirected graph: reachability is closed over edges, and adjacent
+    // reached vertices sit at most one BFS level apart.
+    if ((lu < 0) != (lv < 0) || (lu >= 0 && std::llabs(lu - lv) > 1)) {
+      m.add(i, std::to_string(lu) + "~" + std::to_string(lv), "relaxed edge");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Gid> normalize_components(const std::vector<Gid>& raw) {
+  std::unordered_map<Gid, Gid> min_member;
+  min_member.reserve(raw.size());
+  for (std::size_t v = 0; v < raw.size(); ++v) {
+    const auto [it, fresh] = min_member.try_emplace(raw[v], static_cast<Gid>(v));
+    if (!fresh && static_cast<Gid>(v) < it->second) it->second = static_cast<Gid>(v);
+  }
+  std::vector<Gid> canon(raw.size());
+  for (std::size_t v = 0; v < raw.size(); ++v) canon[v] = min_member[raw[v]];
+  return canon;
+}
+
+std::vector<Failure> check_reference(const CheckConfig& cfg,
+                                     const graph::EdgeList& el,
+                                     const RunResult& result) {
+  std::vector<Failure> out;
+  if (cfg.algo == "bfs" && result.path != "serve") {
+    const graph::Csr csr(el.n, el.edges);
+    compare_levels(out, "bfs levels", result.levels,
+                   algos::ref::bfs_levels(csr, cfg.root));
+  } else if (cfg.algo == "msbfs" || result.path == "serve") {
+    const graph::Csr csr(el.n, el.edges);
+    if (result.ms_levels.size() != cfg.sources.size()) {
+      out.push_back({"reference", "got " + std::to_string(result.ms_levels.size()) +
+                                      " level vectors for " +
+                                      std::to_string(cfg.sources.size()) + " sources"});
+      return out;
+    }
+    for (std::size_t s = 0; s < cfg.sources.size(); ++s) {
+      compare_levels(out, "source " + std::to_string(cfg.sources[s]) + " levels",
+                     result.ms_levels[s],
+                     algos::ref::bfs_levels(csr, cfg.sources[s]));
+    }
+  } else if (cfg.algo == "pr" || cfg.algo == "prwarm") {
+    const graph::Csr csr(el.n, el.edges);
+    const auto want = algos::ref::pagerank(csr, cfg.iterations, 0.85);
+    Mismatches m(out, "reference", "pagerank");
+    if (result.rank.size() != want.size()) {
+      m.note("size " + std::to_string(result.rank.size()));
+    } else {
+      for (std::size_t v = 0; v < want.size(); ++v) {
+        if (std::abs(result.rank[v] - want[v]) > kPrReferenceTolerance) {
+          m.add(v, result.rank[v], want[v]);
+        }
+      }
+    }
+  } else if (cfg.algo == "cc") {
+    Mismatches m(out, "reference", "components");
+    const auto want = algos::ref::connected_components(el);
+    const auto got = normalize_components(result.component);
+    if (got.size() != want.size()) {
+      m.note("size " + std::to_string(got.size()));
+    } else {
+      for (std::size_t v = 0; v < want.size(); ++v) {
+        if (got[v] != want[v]) m.add(v, got[v], want[v]);
+      }
+    }
+  } else if (cfg.algo == "lp") {
+    // LP's mode tie-break depends on label VALUES, which are striped ids —
+    // so the oracle must run on the striped relabeling of the input.
+    graph::EdgeList striped = el;
+    const graph::StripedRelabel relabel(el.n, cfg.rows);
+    relabel.apply(striped);
+    const graph::Csr csr(striped.n, striped.edges);
+    const auto want = algos::ref::label_propagation(csr, cfg.iterations);
+    Mismatches m(out, "reference", "lp labels");
+    if (result.lp_label.size() != want.size()) {
+      m.note("size " + std::to_string(result.lp_label.size()));
+    } else {
+      for (Gid v = 0; v < el.n; ++v) {
+        const auto got = result.lp_label[static_cast<std::size_t>(v)];
+        const auto ref = want[static_cast<std::size_t>(relabel.to_new(v))];
+        if (got != ref) m.add(static_cast<std::size_t>(v), got, ref);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Failure> check_invariants(const CheckConfig& cfg,
+                                      const graph::EdgeList& el,
+                                      const RunResult& result) {
+  std::vector<Failure> out;
+  if (cfg.algo == "bfs" && result.path != "serve") {
+    check_bfs_invariants(out, "bfs", el, cfg.root, result.levels);
+  } else if (cfg.algo == "msbfs" || result.path == "serve") {
+    for (std::size_t s = 0; s < result.ms_levels.size() && s < cfg.sources.size(); ++s) {
+      check_bfs_invariants(out, "source " + std::to_string(cfg.sources[s]), el,
+                           cfg.sources[s], result.ms_levels[s]);
+    }
+  } else if (cfg.algo == "pr" || cfg.algo == "prwarm") {
+    Mismatches m(out, "invariant", "pagerank mass");
+    const double floor = 0.15 / static_cast<double>(el.n) - 1e-12;
+    double sum = 0.0;
+    for (std::size_t v = 0; v < result.rank.size(); ++v) {
+      if (result.rank[v] < floor) m.add(v, result.rank[v], "(1-d)/n floor");
+      sum += result.rank[v];
+    }
+    // Dangling mass is dropped, never created: total stays within [0, 1].
+    if (sum > 1.0 + 1e-9) m.note("total mass " + std::to_string(sum));
+  } else if (cfg.algo == "cc") {
+    Mismatches m(out, "invariant", "cc labels");
+    for (std::size_t v = 0; v < result.component.size(); ++v) {
+      if (result.component[v] < 0 || result.component[v] >= el.n) {
+        m.add(v, result.component[v], "label in [0, n)");
+      }
+    }
+    for (std::size_t i = 0; i < el.edges.size(); ++i) {
+      const auto lu = result.component[static_cast<std::size_t>(el.edges[i].u)];
+      const auto lv = result.component[static_cast<std::size_t>(el.edges[i].v)];
+      if (lu != lv) {
+        m.add(i, std::to_string(lu) + "~" + std::to_string(lv), "edge-consistent");
+      }
+    }
+  } else if (cfg.algo == "lp") {
+    Mismatches m(out, "invariant", "lp labels");
+    for (std::size_t v = 0; v < result.lp_label.size(); ++v) {
+      if (result.lp_label[v] >= static_cast<std::uint64_t>(el.n)) {
+        m.add(v, result.lp_label[v], "label in [0, n)");
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Failure> check_recovery(const CheckConfig& cfg, const RunResult& result) {
+  std::vector<Failure> out;
+  if (result.path != "recovery") return out;
+  if (static_cast<int>(result.resume_epochs.size()) != result.restarts) {
+    out.push_back({"recovery",
+                   std::to_string(result.restarts) + " restarts but " +
+                       std::to_string(result.resume_epochs.size()) + " resume epochs"});
+  }
+  if (result.restarts > 0 && cfg.checkpoint_every > 0 &&
+      result.checkpoints_committed == 0) {
+    // The replay-from-zero failure mode: the driver restarted, the
+    // interval asked for checkpoints, yet the algorithm never committed
+    // one — its loop is not wired to the Checkpointer.
+    out.push_back({"recovery",
+                   "restarted with checkpoint_every=" +
+                       std::to_string(cfg.checkpoint_every) +
+                       " but zero checkpoints were ever committed"});
+  }
+  return out;
+}
+
+std::vector<Failure> check_identity(const std::string& variant,
+                                    const RunResult& base, const RunResult& other,
+                                    double pr_tolerance, bool normalize_cc,
+                                    bool compare_lp) {
+  std::vector<Failure> out;
+  const std::string oracle = "identity:" + variant;
+  {
+    Mismatches m(out, oracle, "bfs levels");
+    if (base.levels.size() != other.levels.size()) {
+      m.note("size " + std::to_string(other.levels.size()));
+    } else {
+      for (std::size_t v = 0; v < base.levels.size(); ++v) {
+        if (base.levels[v] != other.levels[v]) m.add(v, other.levels[v], base.levels[v]);
+      }
+    }
+  }
+  {
+    Mismatches m(out, oracle, "batched levels");
+    if (base.ms_levels.size() != other.ms_levels.size()) {
+      m.note("batch size " + std::to_string(other.ms_levels.size()));
+    } else {
+      for (std::size_t s = 0; s < base.ms_levels.size(); ++s) {
+        if (base.ms_levels[s] != other.ms_levels[s]) m.add(s, "levels", "equal");
+      }
+    }
+  }
+  {
+    Mismatches m(out, oracle, "pagerank");
+    if (base.rank.size() != other.rank.size()) {
+      m.note("size " + std::to_string(other.rank.size()));
+    } else {
+      for (std::size_t v = 0; v < base.rank.size(); ++v) {
+        const bool equal = pr_tolerance > 0.0
+                               ? std::abs(base.rank[v] - other.rank[v]) <= pr_tolerance
+                               : base.rank[v] == other.rank[v];
+        if (!equal) m.add(v, other.rank[v], base.rank[v]);
+      }
+    }
+  }
+  {
+    Mismatches m(out, oracle, "components");
+    const auto a = normalize_cc ? normalize_components(base.component) : base.component;
+    const auto b = normalize_cc ? normalize_components(other.component) : other.component;
+    if (a.size() != b.size()) {
+      m.note("size " + std::to_string(b.size()));
+    } else {
+      for (std::size_t v = 0; v < a.size(); ++v) {
+        if (a[v] != b[v]) m.add(v, b[v], a[v]);
+      }
+    }
+  }
+  if (compare_lp) {
+    Mismatches m(out, oracle, "lp labels");
+    if (base.lp_label.size() != other.lp_label.size()) {
+      m.note("size " + std::to_string(other.lp_label.size()));
+    } else {
+      for (std::size_t v = 0; v < base.lp_label.size(); ++v) {
+        if (base.lp_label[v] != other.lp_label[v]) {
+          m.add(v, other.lp_label[v], base.lp_label[v]);
+        }
+      }
+      if (base.lp_total_updates != other.lp_total_updates) {
+        m.note("total updates " + std::to_string(other.lp_total_updates) + " want " +
+               std::to_string(base.lp_total_updates));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hpcg::check

@@ -1,0 +1,65 @@
+// The three oracle families of the differential checker (docs/CHECKING.md):
+//
+//  1. Reference equality — the distributed answer must equal the
+//     single-threaded algos/reference implementation (exactly for integer
+//     state; within 1e-9 for PageRank, whose summation order differs).
+//     LP labels live in STRIPED id space (the mode tie-break depends on
+//     the relabeling), so its reference runs on the striped edge list.
+//  2. Metamorphic invariants — properties any correct answer satisfies
+//     without knowing the right one: BFS edge relaxation (adjacent levels
+//     differ by at most one, reachability is connected-closed), PageRank
+//     mass bounds, CC edge-consistency and label fixpoints.
+//  3. Identity — independently produced answers for the same input must
+//     agree: across sync/async, across fault-free vs recovered, across
+//     grid shapes (CC via min-original-member normalization, PR within
+//     float tolerance, LP skipped — striping changes its tie-breaks),
+//     and across the direct vs serving path.
+//
+// Plus the recovery oracle: a restarted run with checkpointing enabled
+// must have resumed from a committed epoch, never silently from scratch.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/config.hpp"
+#include "check/runner.hpp"
+
+namespace hpcg::check {
+
+struct Failure {
+  std::string oracle;  // "reference" | "invariant" | "recovery" | "identity:<variant>"
+  std::string detail;
+};
+
+/// Oracle 1: compare against algos/reference on the same input.
+std::vector<Failure> check_reference(const CheckConfig& cfg,
+                                     const graph::EdgeList& el,
+                                     const RunResult& result);
+
+/// Oracle 2: self-evident properties of the answer.
+std::vector<Failure> check_invariants(const CheckConfig& cfg,
+                                      const graph::EdgeList& el,
+                                      const RunResult& result);
+
+/// Recovery accounting: restarts with checkpointing on must resume from
+/// committed epochs (catches checkpoint-less replay-from-zero wiring).
+std::vector<Failure> check_recovery(const CheckConfig& cfg, const RunResult& result);
+
+/// Oracle 3: `variant` (an independently executed run of the same input)
+/// must agree with `base`. `pr_tolerance` > 0 compares PageRank within
+/// that bound instead of exactly; `normalize_cc` canonicalizes CC labels
+/// to min-original-member first (required across grids); `compare_lp`
+/// turns off for cross-grid variants.
+std::vector<Failure> check_identity(const std::string& variant,
+                                    const RunResult& base, const RunResult& other,
+                                    double pr_tolerance = 0.0,
+                                    bool normalize_cc = false,
+                                    bool compare_lp = true);
+
+/// Canonical CC labels: each vertex maps to the smallest ORIGINAL id in
+/// its (raw-label) class. Makes labelings comparable across grids and
+/// against the union-find reference.
+std::vector<Gid> normalize_components(const std::vector<Gid>& raw);
+
+}  // namespace hpcg::check

@@ -1,0 +1,299 @@
+#include "check/runner.hpp"
+
+#include <algorithm>
+#include <span>
+#include <stdexcept>
+
+#include "algos/bfs.hpp"
+#include "algos/cc.hpp"
+#include "algos/gather.hpp"
+#include "algos/label_prop.hpp"
+#include "algos/msbfs.hpp"
+#include "algos/pagerank.hpp"
+#include "comm/runtime.hpp"
+#include "core/dist2d.hpp"
+#include "fault/injector.hpp"
+#include "fault/recovery.hpp"
+#include "graph/generators.hpp"
+#include "serve/service.hpp"
+#include "serve/session.hpp"
+
+namespace hpcg::check {
+
+namespace {
+
+using core::Dist2DGraph;
+using core::Grid;
+using graph::EdgeList;
+
+bool has_kill_fault(const std::string& faults) {
+  return faults.find("crash") != std::string::npos ||
+         faults.find("silent") != std::string::npos;
+}
+
+/// Wall-clock deadline for silent-death configs: the default 10 s per
+/// blocked wait would dominate a sweep, and virtual time is unaffected.
+double timeout_for(const CheckConfig& cfg) {
+  return cfg.faults.find("silent") != std::string::npos ? 1.0 : 0.0;
+}
+
+std::vector<std::int64_t> to_reference_levels(std::vector<std::int64_t> striped,
+                                              const graph::StripedRelabel& relabel) {
+  std::vector<std::int64_t> out(striped.size());
+  for (std::size_t v = 0; v < out.size(); ++v) {
+    const auto s = striped[static_cast<std::size_t>(relabel.to_new(static_cast<Gid>(v)))];
+    out[v] = s >= algos::BfsResult::kUnvisited ? -1 : s;
+  }
+  return out;
+}
+
+template <class T>
+std::vector<T> to_original_order(std::vector<T> striped,
+                                 const graph::StripedRelabel& relabel) {
+  std::vector<T> out(striped.size());
+  for (std::size_t v = 0; v < out.size(); ++v) {
+    out[v] = striped[static_cast<std::size_t>(relabel.to_new(static_cast<Gid>(v)))];
+  }
+  return out;
+}
+
+/// SPMD body shared by the direct and recovery paths; rank 0 deposits the
+/// gathered (striped-indexed) results into `out`, converted afterwards.
+void run_algo(const CheckConfig& cfg, Canary canary, Dist2DGraph& g,
+              fault::Checkpointer* ckpt, RunResult& out,
+              const graph::StripedRelabel& relabel) {
+  const bool is_root = g.world().rank() == 0;
+  if (is_root) {
+    // A recovery restart re-enters this body; drop any partial deposit
+    // from the failed attempt.
+    out.levels.clear();
+    out.ms_levels.clear();
+    out.rank.clear();
+    out.component.clear();
+    out.lp_label.clear();
+  }
+  if (cfg.algo == "bfs") {
+    auto res = algos::bfs(g, cfg.root, {}, ckpt);
+    auto levels = algos::gather_row_state<std::int64_t>(g, res.level);
+    if (is_root) out.levels = to_reference_levels(std::move(levels), relabel);
+  } else if (cfg.algo == "msbfs") {
+    auto res = algos::multi_source_bfs(g, cfg.sources);
+    for (auto& lvl : res.level) {
+      auto levels = algos::gather_row_state<std::int64_t>(g, lvl);
+      if (is_root) {
+        out.ms_levels.push_back(to_reference_levels(std::move(levels), relabel));
+      }
+    }
+  } else if (cfg.algo == "pr") {
+    auto res = algos::pagerank(g, cfg.iterations, 0.85, {}, ckpt);
+    auto rank = algos::gather_row_state<double>(g, res);
+    if (is_root) out.rank = to_original_order(std::move(rank), relabel);
+  } else if (cfg.algo == "prwarm") {
+    // k cold iterations, then continue warm for the rest: must be
+    // bit-identical to running all iterations cold.
+    auto state = algos::pagerank(g, cfg.warm_split, 0.85, {}, nullptr);
+    auto res = algos::pagerank_warm_start(g, std::move(state),
+                                          cfg.iterations - cfg.warm_split, 0.85);
+    auto rank = algos::gather_row_state<double>(g, res);
+    if (is_root) out.rank = to_original_order(std::move(rank), relabel);
+  } else if (cfg.algo == "cc") {
+    auto res = algos::connected_components(g, {}, ckpt);
+    auto label = algos::gather_row_state<Gid>(g, res.label);
+    if (is_root) out.component = to_original_order(std::move(label), relabel);
+  } else if (cfg.algo == "lp") {
+    const int iters =
+        canary == Canary::kLpStaleIteration ? cfg.iterations - 1 : cfg.iterations;
+    auto res = algos::label_propagation(
+        g, iters, {}, canary == Canary::kLpRestartFromZero ? nullptr : ckpt);
+    auto label = algos::gather_row_state<std::uint64_t>(g, res.label);
+    if (is_root) {
+      out.lp_label = to_original_order(std::move(label), relabel);
+      out.lp_total_updates = res.total_updates;
+    }
+  } else {
+    throw std::invalid_argument("unknown algo: " + cfg.algo);
+  }
+}
+
+void run_serve_path(const CheckConfig& cfg, const EdgeList& el, RunResult& out) {
+  fault::FaultInjector injector(fault::FaultPlan::parse(cfg.faults, cfg.fault_seed),
+                                cfg.ranks());
+  serve::SessionOptions sopts;
+  sopts.faults = cfg.faults.empty() ? nullptr : &injector;
+  sopts.comm_timeout_s = timeout_for(cfg);
+  sopts.async = cfg.async;
+  sopts.async_chunk = cfg.chunk;
+  serve::Session session(el, Grid(cfg.rows, cfg.cols), sopts);
+
+  serve::ServiceOptions vopts;
+  vopts.max_batch = cfg.serve_batch;
+  vopts.auto_dispatch = false;
+  serve::Service service(session, vopts);
+
+  std::vector<serve::Service::Ticket> tickets;
+  tickets.reserve(cfg.sources.size());
+  for (const Gid root : cfg.sources) {
+    serve::Request req;
+    req.algo = serve::Algo::kBfs;
+    req.roots = {root};
+    tickets.push_back(service.submit(std::move(req)));
+  }
+  while (service.pump()) {
+  }
+  for (auto& ticket : tickets) {
+    const serve::Response res = ticket.result.get();
+    std::vector<std::int64_t> levels = res.levels.at(0);  // original-id order
+    for (auto& l : levels) {
+      if (l >= serve::Response::kUnvisited) l = -1;
+    }
+    out.ms_levels.push_back(std::move(levels));
+  }
+  service.stop();
+  session.close();
+}
+
+void apply_canary(Canary canary, const CheckConfig& cfg, RunResult& out) {
+  switch (canary) {
+    case Canary::kNone:
+    case Canary::kLpStaleIteration:
+    case Canary::kLpRestartFromZero:
+      return;  // engine-level canaries were applied before/during the run
+    case Canary::kBfsLevelOffByOne:
+      for (auto& l : out.levels) {
+        if (l >= 1) {
+          ++l;
+          return;
+        }
+      }
+      return;
+    case Canary::kBfsDropReached:
+      for (auto& l : out.levels) {
+        if (l >= 1) {
+          l = -1;
+          return;
+        }
+      }
+      return;
+    case Canary::kPrMassLeak:
+      if (!out.rank.empty()) out.rank[out.rank.size() / 2] *= 0.999;
+      return;
+    case Canary::kCcSplitLabel: {
+      const auto el = build_input(cfg);
+      if (!el.edges.empty()) {
+        const Gid v = el.edges.front().u;
+        out.component[static_cast<std::size_t>(v)] = cfg.n() + v;
+      }
+      return;
+    }
+    case Canary::kMsBfsCrossTalk:
+      if (out.ms_levels.size() >= 2) out.ms_levels[1] = out.ms_levels[0];
+      return;
+  }
+}
+
+}  // namespace
+
+const char* to_string(Canary canary) {
+  switch (canary) {
+    case Canary::kNone: return "none";
+    case Canary::kBfsLevelOffByOne: return "bfs-level-off-by-one";
+    case Canary::kBfsDropReached: return "bfs-drop-reached";
+    case Canary::kPrMassLeak: return "pr-mass-leak";
+    case Canary::kCcSplitLabel: return "cc-split-label";
+    case Canary::kLpStaleIteration: return "lp-stale-iteration";
+    case Canary::kMsBfsCrossTalk: return "msbfs-cross-talk";
+    case Canary::kLpRestartFromZero: return "lp-restart-from-zero";
+  }
+  return "?";
+}
+
+EdgeList build_input(const CheckConfig& cfg) {
+  EdgeList el;
+  if (cfg.gen == "rmat") {
+    graph::RmatParams params;
+    params.scale = cfg.scale;
+    params.edge_factor = cfg.edge_factor;
+    params.seed = cfg.seed;
+    el = graph::generate_rmat(params);
+  } else if (cfg.gen == "er") {
+    el = graph::generate_erdos_renyi(
+        cfg.n(), static_cast<std::int64_t>(cfg.edge_factor) * cfg.n(), cfg.seed);
+  } else if (cfg.gen == "ba") {
+    el = graph::generate_pref_attach(cfg.n(), std::max(1, cfg.edge_factor / 2),
+                                     0.7, cfg.seed);
+  } else {
+    throw std::invalid_argument("unknown generator: " + cfg.gen);
+  }
+  graph::remove_self_loops(el);
+  graph::symmetrize(el);
+  return el;
+}
+
+std::string path_for(const CheckConfig& cfg) {
+  if (cfg.serve_batch > 0) return "serve";
+  if (has_kill_fault(cfg.faults) || cfg.checkpoint_every > 0) return "recovery";
+  return "direct";
+}
+
+RunResult run_config(const CheckConfig& cfg, Canary canary) {
+  if (cfg.root < 0 || cfg.root >= cfg.n()) {
+    throw std::invalid_argument("root out of range");
+  }
+  if (cfg.algo == "prwarm" &&
+      (cfg.warm_split < 1 || cfg.warm_split >= cfg.iterations)) {
+    throw std::invalid_argument("warm split must be in [1, iters)");
+  }
+  if ((cfg.algo == "msbfs" || cfg.serve_batch > 0) && cfg.sources.empty()) {
+    throw std::invalid_argument(cfg.algo + " needs sources");
+  }
+
+  const EdgeList el = build_input(cfg);
+  const Grid grid(cfg.rows, cfg.cols);
+  const graph::StripedRelabel relabel(el.n, grid.row_groups());
+
+  RunResult out;
+  out.path = path_for(cfg);
+  if (out.path == "serve") {
+    run_serve_path(cfg, el, out);
+    apply_canary(canary, cfg, out);
+    return out;
+  }
+
+  const auto parts = core::Partitioned2D::build(el, grid);
+  fault::FaultInjector injector(fault::FaultPlan::parse(cfg.faults, cfg.fault_seed),
+                                cfg.ranks());
+  fault::FaultInjector* hooks = cfg.faults.empty() ? nullptr : &injector;
+
+  if (out.path == "recovery") {
+    fault::RecoveryOptions ropts;
+    ropts.injector = hooks;
+    ropts.checkpoint_every = cfg.checkpoint_every;
+    ropts.comm_timeout_s = timeout_for(cfg);
+    ropts.async = cfg.async;
+    ropts.async_chunk = cfg.chunk;
+    const auto rec = fault::Runtime::run_with_recovery(
+        cfg.ranks(), comm::Topology::aimos(cfg.ranks()), comm::CostModel{}, ropts,
+        [&](comm::Comm& comm, fault::Checkpointer& ckpt) {
+          Dist2DGraph g(comm, parts);
+          run_algo(cfg, canary, g, &ckpt, out, relabel);
+        });
+    out.restarts = rec.restarts;
+    out.checkpoints_committed = rec.checkpoints_committed;
+    out.resume_epochs = rec.resume_epochs;
+  } else {
+    comm::RunOptions opts;
+    opts.faults = hooks;
+    opts.comm_timeout_s = timeout_for(cfg);
+    opts.async = cfg.async;
+    opts.async_chunk = cfg.chunk;
+    comm::Runtime::run(cfg.ranks(), comm::Topology::aimos(cfg.ranks()),
+                       comm::CostModel{}, opts, [&](comm::Comm& comm) {
+                         Dist2DGraph g(comm, parts);
+                         run_algo(cfg, canary, g, nullptr, out, relabel);
+                       });
+  }
+  apply_canary(canary, cfg, out);
+  return out;
+}
+
+}  // namespace hpcg::check

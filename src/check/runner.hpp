@@ -1,0 +1,72 @@
+// Executes one CheckConfig through the REAL engine paths — a direct
+// Runtime::run, the fault::run_with_recovery driver, or a resident
+// Session + Service with manual pumping — and collects the results in a
+// distribution-independent form the oracles can compare: original-id
+// positions, reference conventions (-1 for unreachable), plus the
+// recovery bookkeeping of the attempt.
+//
+// The runner is also where canary mutations live: a Canary deliberately
+// re-introduces a representative engine bug (off-by-one levels, dropped
+// frontier entries, leaked PageRank mass, split components, stale LP
+// rounds, cross-talking multi-source batches, checkpoint-less restart).
+// `hpcg_check --canary` asserts that every one of them trips an oracle —
+// the fuzzer's own regression test.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/config.hpp"
+#include "graph/edge_list.hpp"
+
+namespace hpcg::check {
+
+enum class Canary : std::uint8_t {
+  kNone = 0,
+  kBfsLevelOffByOne,    // one reachable vertex reports level + 1
+  kBfsDropReached,      // one reachable vertex reports unreachable
+  kPrMassLeak,          // one rank entry loses 0.1% of its mass
+  kCcSplitLabel,        // one vertex splits off into a private component
+  kLpStaleIteration,    // engine runs one round fewer than requested
+  kMsBfsCrossTalk,      // source 1 answers with source 0's levels
+  kLpRestartFromZero,   // recovery replays LP without a Checkpointer
+};
+
+const char* to_string(Canary canary);
+
+struct RunResult {
+  // Original-id-indexed results; only the config's algorithm fills its
+  // vectors. Levels use the reference convention (-1 = unreachable).
+  std::vector<std::int64_t> levels;                  // bfs
+  std::vector<std::vector<std::int64_t>> ms_levels;  // msbfs / serve, per source
+  std::vector<double> rank;                          // pr / prwarm
+  // CC / LP labels keyed by ORIGINAL vertex position but carrying the raw
+  // STRIPED label value the engine computed (striping is a function of
+  // (n, grid rows), so oracles can reconstruct it; CC comparisons
+  // normalize to min-original-member canonical labels).
+  std::vector<graph::Gid> component;
+  std::vector<std::uint64_t> lp_label;
+  std::int64_t lp_total_updates = 0;
+
+  // Recovery bookkeeping (zero / empty on the direct and serve paths).
+  int restarts = 0;
+  std::int64_t checkpoints_committed = 0;
+  std::vector<std::int64_t> resume_epochs;
+
+  std::string path;  // "direct" | "recovery" | "serve"
+};
+
+/// The config's input graph in final (symmetrized, loop-free) form.
+/// Deterministic in (gen, scale, ef, seed).
+graph::EdgeList build_input(const CheckConfig& cfg);
+
+/// Which execution path run_config will take for `cfg`.
+std::string path_for(const CheckConfig& cfg);
+
+/// Runs `cfg` end to end. Throws what the engine throws (CommError after
+/// exhausted restarts, ServeError, std::invalid_argument) — the fuzzer
+/// records uncaught exceptions as failures in their own right.
+RunResult run_config(const CheckConfig& cfg, Canary canary = Canary::kNone);
+
+}  // namespace hpcg::check

@@ -1,0 +1,157 @@
+#include "check/shrink.hpp"
+
+#include <algorithm>
+
+namespace hpcg::check {
+
+namespace {
+
+struct Move {
+  const char* name;
+  // Returns true when the move changed the config (i.e. it is worth
+  // spending a predicate evaluation on the result).
+  bool (*apply)(CheckConfig&);
+};
+
+// Ordered roughly by how much explanatory noise each dimension removes:
+// execution-mode baggage first, then input size, then parameters.
+const Move kMoves[] = {
+    {"drop-faults",
+     [](CheckConfig& c) {
+       if (c.faults.empty()) return false;
+       c.faults.clear();
+       c.fault_seed = 0;
+       return true;
+     }},
+    {"leave-serve-path",
+     [](CheckConfig& c) {
+       if (c.serve_batch == 0) return false;
+       c.serve_batch = 0;
+       if (!c.sources.empty()) c.root = c.sources.front();
+       c.sources.clear();
+       return true;
+     }},
+    {"sync-mode",
+     [](CheckConfig& c) {
+       if (!c.async) return false;
+       c.async = false;
+       c.chunk = 1;
+       return true;
+     }},
+    {"drop-checkpointing",
+     [](CheckConfig& c) {
+       if (c.checkpoint_every == 0) return false;
+       c.checkpoint_every = 0;
+       return true;
+     }},
+    {"halve-sources",
+     [](CheckConfig& c) {
+       if (c.sources.size() <= 1) return false;
+       const auto keep = std::max<std::size_t>(1, c.sources.size() / 2);
+       c.sources.erase(c.sources.begin() + static_cast<std::ptrdiff_t>(keep),
+                       c.sources.end());
+       if (c.serve_batch > static_cast<int>(c.sources.size())) {
+         c.serve_batch = static_cast<int>(c.sources.size());
+       }
+       return true;
+     }},
+    {"fewer-iterations",
+     [](CheckConfig& c) {
+       const int floor = c.algo == "prwarm" ? 2 : 1;
+       if (c.iterations <= floor) return false;
+       c.iterations = std::max(floor, c.iterations / 2);
+       c.warm_split = std::min(c.warm_split, c.iterations - 1);
+       return true;
+     }},
+    {"warm-split-one",
+     [](CheckConfig& c) {
+       if (c.algo != "prwarm" || c.warm_split <= 1) return false;
+       c.warm_split = 1;
+       return true;
+     }},
+    {"shrink-graph",
+     [](CheckConfig& c) {
+       if (c.scale <= 5) return false;
+       --c.scale;
+       c.root = std::min(c.root, c.n() - 1);
+       for (auto& s : c.sources) s = std::min(s, c.n() - 1);
+       return true;
+     }},
+    {"thin-edges",
+     [](CheckConfig& c) {
+       if (c.edge_factor <= 4) return false;
+       c.edge_factor = std::max(4, c.edge_factor / 2);
+       return true;
+     }},
+    {"plain-generator",
+     [](CheckConfig& c) {
+       if (c.gen == "er") return false;
+       c.gen = "er";
+       return true;
+     }},
+    {"flatten-grid",
+     [](CheckConfig& c) {
+       if (c.rows == 1 && c.cols == 1) return false;
+       if (c.rows > 1 && c.cols > 1) {
+         c.cols = 1;  // try a column strip first; a later pass drops rows
+       } else if (c.cols > 1) {
+         c.cols = 1;
+       } else {
+         c.rows = 1;
+       }
+       return true;
+     }},
+    {"zero-root",
+     [](CheckConfig& c) {
+       if (c.root == 0) return false;
+       c.root = 0;
+       return true;
+     }},
+    {"zero-sources",
+     [](CheckConfig& c) {
+       bool changed = false;
+       for (std::size_t i = 0; i < c.sources.size(); ++i) {
+         if (c.sources[i] != static_cast<Gid>(i)) {
+           c.sources[i] = static_cast<Gid>(i);
+           changed = true;
+         }
+       }
+       return changed;
+     }},
+};
+
+}  // namespace
+
+ShrinkResult shrink(const CheckConfig& failing,
+                    const std::function<bool(const CheckConfig&)>& still_fails,
+                    int max_attempts) {
+  ShrinkResult out;
+  out.config = failing;
+  bool progressed = true;
+  while (progressed && out.attempts < max_attempts) {
+    progressed = false;
+    for (const Move& move : kMoves) {
+      if (out.attempts >= max_attempts) break;
+      CheckConfig candidate = out.config;
+      if (!move.apply(candidate)) continue;
+      ++out.attempts;
+      bool fails = false;
+      try {
+        fails = still_fails(candidate);
+      } catch (...) {
+        // A predicate that cannot even evaluate the candidate (e.g. the
+        // move made the config nonsensical for the bug) is a rejection.
+        fails = false;
+      }
+      if (fails) {
+        out.config = std::move(candidate);
+        out.accepted.push_back(move.name);
+        progressed = true;
+        break;  // restart the scan: earlier moves may apply again now
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hpcg::check

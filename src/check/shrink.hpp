@@ -1,0 +1,32 @@
+// Delta-debugging over configuration dimensions: given a failing
+// CheckConfig and a predicate "does it still fail?", greedily apply
+// simplifying moves (drop the fault plan, leave the serve path, turn off
+// async, shrink the graph, flatten the grid, pull sources/roots to zero)
+// and keep each move that preserves the failure. The result is the
+// smallest reproducer the move set can reach — what lands in the corpus
+// and in the failure report.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "check/config.hpp"
+
+namespace hpcg::check {
+
+struct ShrinkResult {
+  CheckConfig config;       // smallest still-failing configuration found
+  int attempts = 0;         // predicate evaluations spent
+  std::vector<std::string> accepted;  // moves that kept the failure alive
+};
+
+/// `still_fails` must return true when the candidate config reproduces
+/// the original failure (it should also return true for the input
+/// config). At most `max_attempts` predicate evaluations are spent; the
+/// scan restarts from the first move after every accepted simplification.
+ShrinkResult shrink(const CheckConfig& failing,
+                    const std::function<bool(const CheckConfig&)>& still_fails,
+                    int max_attempts = 64);
+
+}  // namespace hpcg::check

@@ -1,8 +1,23 @@
-// Thread-safe LRU result cache keyed by (graph, algo, params) strings
-// (see Service::cache_key for the exact grammar). Values are shared
-// pointers to immutable Responses, so a hit costs one map lookup plus a
-// list splice and hands back the cached result without copying the
-// payload vectors.
+// Thread-safe LRU result cache keyed by (graph, algo, params) strings.
+//
+// Key grammar (produced by Service::cache_key): three length-prefixed
+// fields joined by '|' —
+//
+//   key    := field '|' field '|' field          (graph, algo, params)
+//   field  := DECIMAL-LENGTH ':' BYTES           e.g. "9:graph:n64"
+//
+// The decimal length counts the BYTES section, which is copied verbatim:
+// because each field's extent is determined by its prefix and never by
+// delimiter scanning, a '|' (or any other byte) inside a field — a
+// user-supplied ServiceOptions::graph_key, say — cannot collide with the
+// separators of a different (graph, algo, params) triple. The params
+// field is algo-specific: "root=R" (bfs), "roots=R1,R2,..." (msbfs),
+// "it=N;d=D" with D at max_digits10 precision (pagerank; warm starts are
+// uncacheable and yield the empty key), "" (cc).
+//
+// Values are shared pointers to immutable Responses, so a hit costs one
+// map lookup plus a list splice and hands back the cached result without
+// copying the payload vectors.
 #pragma once
 
 #include <cstdint>

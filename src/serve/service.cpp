@@ -1,6 +1,8 @@
 #include "serve/service.hpp"
 
 #include <chrono>
+#include <iomanip>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <utility>
@@ -89,28 +91,38 @@ void Service::validate(const Request& request) const {
 }
 
 std::string Service::cache_key(const Request& request) const {
-  std::ostringstream key;
-  key << graph_key_ << "|" << to_string(request.algo);
+  std::ostringstream params;
   switch (request.algo) {
     case Algo::kBfs:
-      key << "|root=" << request.roots[0];
+      params << "root=" << request.roots[0];
       break;
     case Algo::kMsBfs:
-      key << "|roots=";
+      params << "roots=";
       for (std::size_t i = 0; i < request.roots.size(); ++i) {
-        key << (i ? "," : "") << request.roots[i];
+        params << (i ? "," : "") << request.roots[i];
       }
       break;
     case Algo::kPageRank:
       // Warm starts depend on whatever state earlier requests left behind;
       // caching them would serve stale history.
       if (request.warm_start) return {};
-      key << "|it=" << request.iterations << "|d=" << request.damping;
+      // max_digits10 so two requests whose dampings differ below the
+      // default 6-significant-digit stream precision cannot share a key.
+      params << "it=" << request.iterations << ";d="
+             << std::setprecision(std::numeric_limits<double>::max_digits10)
+             << request.damping;
       break;
     case Algo::kCc:
       break;
   }
-  return key.str();
+  // Length-prefixed join (grammar documented in cache.hpp): a '|' inside
+  // graph_key or a params string can never collide with the field
+  // separators of a different request.
+  const auto prefixed = [](const std::string& field) {
+    return std::to_string(field.size()) + ":" + field;
+  };
+  return prefixed(graph_key_) + "|" + prefixed(to_string(request.algo)) + "|" +
+         prefixed(params.str());
 }
 
 Service::Ticket Service::submit(Request request) {

@@ -1,6 +1,7 @@
 // Minimal command-line option parsing for the benchmark harnesses and
 // examples. Supports `--key=value`, `--key value`, and boolean `--flag`.
-// Unknown options are an error so typos in sweep scripts fail loudly.
+// Unknown options and malformed numeric values are errors (exit 2 with the
+// usage text) so typos in sweep scripts fail loudly.
 #pragma once
 
 #include <cstdint>
@@ -51,13 +52,13 @@ class Options {
   std::int64_t get_int(const std::string& key, std::int64_t fallback) {
     known_.insert(key);
     const auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::stoll(it->second);
+    return it == values_.end() ? fallback : parse_int(key, it->second);
   }
 
   double get_double(const std::string& key, double fallback) {
     known_.insert(key);
     const auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::stod(it->second);
+    return it == values_.end() ? fallback : parse_double(key, it->second);
   }
 
   bool get_bool(const std::string& key, bool fallback) {
@@ -76,7 +77,7 @@ class Options {
     std::vector<std::int64_t> out;
     std::stringstream ss(it->second);
     std::string item;
-    while (std::getline(ss, item, ',')) out.push_back(std::stoll(item));
+    while (std::getline(ss, item, ',')) out.push_back(parse_int(key, item));
     return out;
   }
 
@@ -109,6 +110,42 @@ class Options {
   }
 
  private:
+  /// Malformed numeric values exit 2 with the usage text on screen, like
+  /// unknown flags: a typo in a sweep script must not surface as an
+  /// uncaught std::invalid_argument two stack frames away from the flag
+  /// that caused it.
+  [[noreturn]] void bad_value(const std::string& key,
+                              const std::string& text) const {
+    std::cerr << "invalid numeric value for --" << key << ": '" << text
+              << "'\n";
+    if (!usage_.empty()) std::cerr << "\n" << usage_;
+    std::exit(2);
+  }
+
+  std::int64_t parse_int(const std::string& key, const std::string& text) const {
+    std::size_t used = 0;
+    std::int64_t value = 0;
+    try {
+      value = std::stoll(text, &used);
+    } catch (const std::exception&) {
+      bad_value(key, text);
+    }
+    if (used != text.size()) bad_value(key, text);
+    return value;
+  }
+
+  double parse_double(const std::string& key, const std::string& text) const {
+    std::size_t used = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(text, &used);
+    } catch (const std::exception&) {
+      bad_value(key, text);
+    }
+    if (used != text.size()) bad_value(key, text);
+    return value;
+  }
+
   std::map<std::string, std::string> values_;
   std::set<std::string> known_;
   std::string usage_;

@@ -1,0 +1,194 @@
+// The checker checking itself: config round-trips, sampler determinism
+// and coherence, oracle sensitivity (every canary mutation must be
+// caught), clean configs passing every oracle, and the shrinker actually
+// shrinking.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "check/canary.hpp"
+#include "check/config.hpp"
+#include "check/fuzzer.hpp"
+#include "check/oracles.hpp"
+#include "check/runner.hpp"
+#include "check/shrink.hpp"
+#include "util/prng.hpp"
+
+namespace hpcg::check {
+namespace {
+
+TEST(CheckConfig, RoundTripsThroughText) {
+  util::Xoshiro256 rng(42);
+  for (int i = 0; i < 200; ++i) {
+    const CheckConfig cfg = sample_config(rng);
+    const CheckConfig back = CheckConfig::parse(cfg.to_string());
+    EXPECT_EQ(cfg.to_string(), back.to_string()) << cfg.to_string();
+    EXPECT_EQ(cfg.gen, back.gen);
+    EXPECT_EQ(cfg.scale, back.scale);
+    EXPECT_EQ(cfg.rows, back.rows);
+    EXPECT_EQ(cfg.cols, back.cols);
+    EXPECT_EQ(cfg.algo, back.algo);
+    EXPECT_EQ(cfg.sources, back.sources);
+    EXPECT_EQ(cfg.faults, back.faults);
+    EXPECT_EQ(cfg.checkpoint_every, back.checkpoint_every);
+    EXPECT_EQ(cfg.serve_batch, back.serve_batch);
+  }
+}
+
+TEST(CheckConfig, ParseRejectsMalformedText) {
+  EXPECT_THROW(CheckConfig::parse("bogus"), std::invalid_argument);
+  EXPECT_THROW(CheckConfig::parse("algo=quicksort"), std::invalid_argument);
+  EXPECT_THROW(CheckConfig::parse("gen=livejournal"), std::invalid_argument);
+  EXPECT_THROW(CheckConfig::parse("grid=2"), std::invalid_argument);
+  EXPECT_THROW(CheckConfig::parse("grid=0x4"), std::invalid_argument);
+  EXPECT_THROW(CheckConfig::parse("scale=abc"), std::invalid_argument);
+  EXPECT_THROW(CheckConfig::parse("scale="), std::invalid_argument);
+  EXPECT_THROW(CheckConfig::parse("unknown=1"), std::invalid_argument);
+  EXPECT_THROW(CheckConfig::parse("sources=1,,2"), std::invalid_argument);
+}
+
+TEST(CheckConfig, SamplerIsDeterministicPerSeed) {
+  util::Xoshiro256 a(7), b(7), c(8);
+  bool any_difference = false;
+  for (int i = 0; i < 50; ++i) {
+    const auto ca = sample_config(a).to_string();
+    EXPECT_EQ(ca, sample_config(b).to_string());
+    if (ca != sample_config(c).to_string()) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(CheckConfig, SamplerProducesCoherentConfigs) {
+  util::Xoshiro256 rng(123);
+  std::set<std::string> algos, paths;
+  for (int i = 0; i < 500; ++i) {
+    const CheckConfig cfg = sample_config(rng);
+    algos.insert(cfg.algo);
+    paths.insert(path_for(cfg));
+    EXPECT_GE(cfg.scale, 5);
+    EXPECT_LE(cfg.ranks(), 8);
+    if (cfg.serve_batch > 0) {
+      EXPECT_EQ(cfg.algo, "bfs");
+      EXPECT_GE(static_cast<int>(cfg.sources.size()), cfg.serve_batch);
+    }
+    if (cfg.algo == "msbfs") {
+      EXPECT_GE(cfg.sources.size(), 2u);
+      EXPECT_LE(cfg.sources.size(), 8u);
+    }
+    if (cfg.algo == "prwarm") {
+      EXPECT_GE(cfg.warm_split, 1);
+      EXPECT_LT(cfg.warm_split, cfg.iterations);
+    }
+    const bool kill = cfg.faults.find("crash") != std::string::npos ||
+                      cfg.faults.find("silent") != std::string::npos;
+    if (kill) {
+      // Kill faults only where a Checkpointer can be wired, and always
+      // with checkpointing on, so recovery resumes instead of replaying.
+      EXPECT_TRUE(cfg.checkpointable()) << cfg.to_string();
+      EXPECT_EQ(cfg.serve_batch, 0) << cfg.to_string();
+      EXPECT_GT(cfg.checkpoint_every, 0) << cfg.to_string();
+    }
+    for (const Gid s : cfg.sources) {
+      EXPECT_GE(s, 0);
+      EXPECT_LT(s, cfg.n());
+    }
+  }
+  // The sampler must actually cover the space.
+  EXPECT_EQ(algos.size(), 6u);
+  EXPECT_EQ(paths, (std::set<std::string>{"direct", "recovery", "serve"}));
+}
+
+TEST(CheckOracles, EveryCanaryMutationIsCaught) {
+  const auto outcomes = run_canaries(nullptr);
+  ASSERT_GE(outcomes.size(), 5u);  // the harness promises >= 5 distinct bugs
+  for (const auto& o : outcomes) {
+    EXPECT_TRUE(o.caught) << "canary escaped: " << to_string(o.canary);
+  }
+}
+
+TEST(CheckOracles, CleanConfigsPassEveryOracle) {
+  FuzzOptions opts;
+  opts.with_identity = true;
+  opts.shrink_failures = false;
+  const char* kConfigs[] = {
+      "gen=rmat scale=6 ef=8 seed=3 grid=2x3 algo=bfs root=9 async=1 chunk=2",
+      "gen=er scale=6 ef=8 seed=4 grid=1x4 algo=cc",
+      "gen=ba scale=6 ef=8 seed=5 grid=2x2 algo=prwarm iters=5 warm=2",
+      "gen=rmat scale=6 ef=6 seed=6 grid=2x2 algo=lp iters=4 "
+      "faults=crash@r2:s2 fseed=3 ckpt=1",
+      "gen=rmat scale=6 ef=8 seed=8 grid=2x2 algo=bfs sources=1,9,23 serve=2",
+  };
+  for (const char* text : kConfigs) {
+    const auto failures = check_config(CheckConfig::parse(text), opts);
+    EXPECT_TRUE(failures.empty())
+        << text << " -> [" << failures.front().oracle << "] "
+        << failures.front().detail;
+  }
+}
+
+TEST(CheckOracles, RunConfigRejectsNonsense) {
+  FuzzOptions opts;
+  opts.with_identity = false;
+  auto cfg = CheckConfig::parse("gen=er scale=5 algo=bfs root=31");
+  cfg.root = 9999;  // out of range for n = 32
+  const auto failures = check_config(cfg, opts);
+  ASSERT_FALSE(failures.empty());
+  EXPECT_EQ(failures.front().oracle, "exception");
+}
+
+TEST(CheckOracles, NormalizeComponentsCanonicalizesLabels) {
+  // Raw labels in any id space; canonical form is min original member.
+  const std::vector<Gid> raw = {7, 7, 3, 3, 7};
+  const auto canon = normalize_components(raw);
+  EXPECT_EQ(canon, (std::vector<Gid>{0, 0, 2, 2, 0}));
+}
+
+TEST(CheckShrink, ReducesAFailingConfigToItsCore) {
+  // A deliberately baroque configuration carrying an off-by-one BFS bug
+  // (via the canary hook): the shrinker should strip the incidental
+  // dimensions while the mutation keeps failing.
+  const CheckConfig failing = CheckConfig::parse(
+      "gen=rmat scale=8 ef=12 seed=77 grid=2x3 algo=bfs root=150 "
+      "async=1 chunk=3 faults=transient@r1:n3:x2 fseed=4");
+  const auto still_fails = [](const CheckConfig& cfg) {
+    const auto el = build_input(cfg);
+    const auto result = run_config(cfg, Canary::kBfsLevelOffByOne);
+    return !check_reference(cfg, el, result).empty();
+  };
+  ASSERT_TRUE(still_fails(failing));
+  const ShrinkResult shrunk = shrink(failing, still_fails, 40);
+  EXPECT_FALSE(shrunk.accepted.empty());
+  EXPECT_TRUE(still_fails(shrunk.config));
+  // The incidental execution-mode dimensions must be gone...
+  EXPECT_TRUE(shrunk.config.faults.empty());
+  EXPECT_FALSE(shrunk.config.async);
+  // ...and the input materially smaller.
+  EXPECT_LT(shrunk.config.scale, failing.scale);
+  EXPECT_LT(shrunk.config.ranks(), failing.ranks());
+}
+
+TEST(CheckRunner, PathSelectionFollowsConfig) {
+  EXPECT_EQ(path_for(CheckConfig::parse("algo=bfs")), "direct");
+  EXPECT_EQ(path_for(CheckConfig::parse("algo=bfs ckpt=2")), "recovery");
+  EXPECT_EQ(path_for(CheckConfig::parse("algo=lp faults=crash@r0:s1 ckpt=1")),
+            "recovery");
+  EXPECT_EQ(path_for(CheckConfig::parse("algo=pr faults=degrade@r1:n2:x4:f4")),
+            "direct");
+  EXPECT_EQ(path_for(CheckConfig::parse("algo=bfs sources=1,2 serve=2")), "serve");
+}
+
+TEST(CheckFuzzer, SeededSweepIsCleanOnTheFixedEngine) {
+  FuzzOptions opts;
+  opts.seed = 99;
+  opts.configs = 12;
+  opts.with_identity = true;
+  opts.shrink_failures = false;
+  const SweepResult result = fuzz_sweep(opts);
+  EXPECT_EQ(result.ran, 12);
+  EXPECT_TRUE(result.ok()) << result.reports.front().failures.front().oracle
+                           << ": "
+                           << result.reports.front().failures.front().detail;
+}
+
+}  // namespace
+}  // namespace hpcg::check

@@ -1,0 +1,156 @@
+// Replays the pinned corpus of fuzzer-found reproducers against the
+// fixed engine, plus unit regressions for the satellite bugs the sweep
+// flushed out: the cache-key grammar collisions and the CLI's
+// uncaught-exception exit on malformed numeric flags.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/fuzzer.hpp"
+#include "serve/service.hpp"
+#include "serve/session.hpp"
+#include "test_helpers.hpp"
+#include "util/options.hpp"
+
+#ifndef CHECK_CORPUS_PATH
+#define CHECK_CORPUS_PATH "tests/corpus/check.corpus"
+#endif
+
+namespace hpcg {
+namespace {
+
+TEST(CheckCorpus, EveryPinnedReproducerPassesOnTheFixedEngine) {
+  const auto configs = check::read_corpus(CHECK_CORPUS_PATH);
+  ASSERT_GE(configs.size(), 5u);
+  check::FuzzOptions opts;
+  opts.with_identity = true;
+  opts.shrink_failures = false;
+  const auto result = check::replay(configs, opts);
+  EXPECT_EQ(result.ran, static_cast<int>(configs.size()));
+  for (const auto& report : result.reports) {
+    ADD_FAILURE() << report.config.to_string() << " -> ["
+                  << report.failures.front().oracle << "] "
+                  << report.failures.front().detail;
+  }
+}
+
+TEST(CheckCorpus, CorpusFileRejectsGarbageEntries) {
+  EXPECT_THROW(check::read_corpus("/nonexistent/check.corpus"),
+               std::runtime_error);
+}
+
+// --- cache-key grammar regressions (src/serve/cache.hpp) -----------------
+
+class CacheKeyTest : public ::testing::Test {
+ protected:
+  CacheKeyTest()
+      : el_(test::small_rmat(6, 8, 3)), session_(el_, core::Grid(1, 1)) {}
+
+  serve::Service make_service(const std::string& graph_key) {
+    serve::ServiceOptions opts;
+    opts.auto_dispatch = false;
+    opts.graph_key = graph_key;
+    return serve::Service(session_, opts);
+  }
+
+  graph::EdgeList el_;
+  serve::Session session_;
+};
+
+TEST_F(CacheKeyTest, FieldsAreLengthPrefixed) {
+  auto service = make_service("g");
+  serve::Request req;
+  req.algo = serve::Algo::kBfs;
+  req.roots = {3};
+  // Grammar documented in cache.hpp: DECIMAL-LENGTH ':' BYTES per field.
+  EXPECT_EQ(service.cache_key(req), "1:g|3:bfs|6:root=3");
+}
+
+TEST_F(CacheKeyTest, PipeInGraphKeyCannotForgeAnotherRequest) {
+  // Pre-fix, graph_key "g|bfs" + algo "cc" could collide with graph_key
+  // "g" + a crafted algo/params split, because fields were raw-joined
+  // with '|'. Length prefixes make the parse unambiguous.
+  auto forged = make_service("g|3:bfs");
+  auto plain = make_service("g");
+  serve::Request cc;
+  cc.algo = serve::Algo::kCc;
+  serve::Request bfs;
+  bfs.algo = serve::Algo::kBfs;
+  bfs.roots = {0};
+  EXPECT_NE(forged.cache_key(cc), plain.cache_key(bfs));
+  EXPECT_EQ(forged.cache_key(cc), "7:g|3:bfs|2:cc|0:");
+}
+
+TEST_F(CacheKeyTest, DampingPrecisionSurvivesTheKey) {
+  // Pre-fix, default ostream precision (6 significant digits) folded
+  // 0.85 and 0.85000001 into the same cached entry.
+  auto service = make_service("g");
+  serve::Request a;
+  a.algo = serve::Algo::kPageRank;
+  a.iterations = 10;
+  a.damping = 0.85;
+  serve::Request b = a;
+  b.damping = 0.85000001;
+  EXPECT_NE(service.cache_key(a), service.cache_key(b));
+  serve::Request c = a;
+  EXPECT_EQ(service.cache_key(a), service.cache_key(c));
+}
+
+TEST_F(CacheKeyTest, WarmStartsStayUncacheable) {
+  auto service = make_service("g");
+  serve::Request req;
+  req.algo = serve::Algo::kPageRank;
+  req.warm_start = true;
+  EXPECT_EQ(service.cache_key(req), "");
+}
+
+// --- malformed numeric flag regressions (src/util/options.hpp) -----------
+
+class OptionsDeathTest : public ::testing::Test {
+ protected:
+  // The cache-key fixtures above spawn (and join) session threads in this
+  // binary; re-exec-style death tests stay immune to leftover state.
+  void SetUp() override {
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  }
+};
+
+int run_options_get_int(const std::string& arg) {
+  std::string prog = "tool";
+  std::string a = arg;
+  char* argv[] = {prog.data(), a.data()};
+  util::Options options(2, argv);
+  return static_cast<int>(options.get_int("iters", 20));
+}
+
+TEST_F(OptionsDeathTest, MalformedIntExitsWithUsageNotAnException) {
+  // Pre-fix these escaped as uncaught std::invalid_argument / terminate.
+  EXPECT_EXIT(run_options_get_int("--iters=abc"),
+              ::testing::ExitedWithCode(2), "invalid numeric value for --iters");
+  EXPECT_EXIT(run_options_get_int("--iters="), ::testing::ExitedWithCode(2),
+              "invalid numeric value");
+  EXPECT_EXIT(run_options_get_int("--iters=12junk"),
+              ::testing::ExitedWithCode(2), "invalid numeric value");
+  EXPECT_EQ(run_options_get_int("--iters=12"), 12);
+}
+
+TEST_F(OptionsDeathTest, MalformedDoubleExitsWithUsage) {
+  std::string prog = "tool";
+  std::string a = "--damping=0.8x";
+  char* argv[] = {prog.data(), a.data()};
+  util::Options options(2, argv);
+  EXPECT_EXIT(options.get_double("damping", 0.85),
+              ::testing::ExitedWithCode(2), "invalid numeric value");
+}
+
+TEST_F(OptionsDeathTest, MalformedIntListExitsWithUsage) {
+  std::string prog = "tool";
+  std::string a = "--ranks=1,two,3";
+  char* argv[] = {prog.data(), a.data()};
+  util::Options options(2, argv);
+  EXPECT_EXIT(options.get_int_list("ranks", {}),
+              ::testing::ExitedWithCode(2), "invalid numeric value");
+}
+
+}  // namespace
+}  // namespace hpcg

@@ -16,6 +16,7 @@
 
 #include "algos/bfs.hpp"
 #include "algos/cc.hpp"
+#include "algos/label_prop.hpp"
 #include "algos/pagerank.hpp"
 #include "comm/errors.hpp"
 #include "comm/runtime.hpp"
@@ -499,6 +500,33 @@ TEST(FaultRecovery, CrashedCcRecoversBitIdentical) {
   int restarts = 0;
   const auto faulted = run("crash@r3:s2", &restarts);
   EXPECT_EQ(restarts, 1);
+  EXPECT_EQ(clean.first, faulted.first);
+  EXPECT_EQ(clean.second, faulted.second);
+}
+
+TEST(FaultRecovery, CrashedLabelPropRecoversBitIdentical) {
+  const auto run = [](const std::string& faults, hf::RecoveryResult* out) {
+    PerRank<std::uint64_t> label(4);
+    std::vector<std::int64_t> updates(4, 0);
+    const auto recovery = run_recovered(
+        faults, [&](hc::Comm& comm, hpcg::core::Dist2DGraph& g,
+                    hf::Checkpointer& ckpt) {
+          auto result = hpcg::algos::label_propagation(g, 6, {}, &ckpt);
+          label[comm.rank()] = result.label;
+          updates[comm.rank()] = result.total_updates;
+        });
+    if (out) *out = recovery;
+    return std::pair{label, updates};
+  };
+  const auto clean = run("", nullptr);
+  hf::RecoveryResult recovery;
+  const auto faulted = run("crash@r2:s3", &recovery);
+  EXPECT_EQ(recovery.restarts, 1);
+  // The restart must resume from a committed epoch, not replay from
+  // iteration 0 — the LP save/restore hooks are actually wired.
+  ASSERT_EQ(recovery.resume_epochs.size(), 1u);
+  EXPECT_GE(recovery.resume_epochs[0], 0);
+  EXPECT_GT(recovery.checkpoints_committed, 0);
   EXPECT_EQ(clean.first, faulted.first);
   EXPECT_EQ(clean.second, faulted.second);
 }

@@ -1,0 +1,96 @@
+// Differential correctness fuzzer CLI (docs/CHECKING.md).
+//
+// Modes:
+//   hpcg_check --seed=7 --configs=500            seeded sweep
+//   hpcg_check --seed=7 --time-budget=60         sweep under a wall clock
+//   hpcg_check --config='gen=er scale=6 ...'     one explicit config
+//   hpcg_check --replay=tests/corpus/check.corpus  corpus replay
+//   hpcg_check --canary                          self-test: injected bugs
+//                                                must all be caught
+//
+// Exit codes: 0 = everything checked clean (or every canary was caught),
+// 1 = a config failed an oracle (or a canary slipped through), 2 = usage.
+#include <fstream>
+#include <iostream>
+
+#include "check/canary.hpp"
+#include "check/fuzzer.hpp"
+#include "check/runner.hpp"
+#include "util/options.hpp"
+
+int main(int argc, char** argv) {
+  hpcg::util::Options options(argc, argv);
+  options.usage(
+      "usage: hpcg_check [options]\n"
+      "Differential correctness fuzzer over the engine's config space.\n"
+      "\n"
+      "Sweep:\n"
+      "  --seed=N            sampler seed (default 1)\n"
+      "  --configs=N         configurations to check (default 100)\n"
+      "  --time-budget=SECS  stop sampling after this wall time (default none)\n"
+      "  --identity=BOOL     run identity variants: async flip, fault-free\n"
+      "                      twin, alternate grid, serve-vs-direct (default\n"
+      "                      true)\n"
+      "  --shrink=BOOL       delta-debug failing configs (default true)\n"
+      "  --shrink-attempts=N predicate evaluations per shrink (default 24)\n"
+      "  --corpus-out=PATH   append shrunken failing configs to this corpus\n"
+      "Single config / corpus:\n"
+      "  --config=TEXT       check one explicit configuration\n"
+      "  --replay=PATH       re-check every corpus entry in PATH\n"
+      "Self-test:\n"
+      "  --canary            inject known bugs; every one must be caught\n");
+  const auto seed = static_cast<std::uint64_t>(options.get_int("seed", 1));
+  const auto configs = static_cast<int>(options.get_int("configs", 100));
+  const double time_budget = options.get_double("time-budget", 0.0);
+  const bool identity = options.get_bool("identity", true);
+  const bool do_shrink = options.get_bool("shrink", true);
+  const auto shrink_attempts =
+      static_cast<int>(options.get_int("shrink-attempts", 24));
+  const std::string corpus_out = options.get_string("corpus-out", "");
+  const std::string config_text = options.get_string("config", "");
+  const std::string replay_path = options.get_string("replay", "");
+  const bool canary = options.get_bool("canary", false);
+  options.check_unknown();
+
+  if (canary) {
+    const auto outcomes = hpcg::check::run_canaries(&std::cout);
+    int missed = 0;
+    for (const auto& o : outcomes) missed += o.caught ? 0 : 1;
+    std::cout << outcomes.size() - static_cast<std::size_t>(missed) << "/"
+              << outcomes.size() << " injected bugs caught\n";
+    return missed == 0 ? 0 : 1;
+  }
+
+  hpcg::check::FuzzOptions fuzz;
+  fuzz.seed = seed;
+  fuzz.configs = configs;
+  fuzz.time_budget_s = time_budget;
+  fuzz.with_identity = identity;
+  fuzz.shrink_failures = do_shrink;
+  fuzz.shrink_attempts = shrink_attempts;
+  fuzz.log = &std::cout;
+
+  hpcg::check::SweepResult result;
+  try {
+    if (!config_text.empty()) {
+      result = hpcg::check::replay({hpcg::check::CheckConfig::parse(config_text)},
+                                   fuzz);
+    } else if (!replay_path.empty()) {
+      result = hpcg::check::replay(hpcg::check::read_corpus(replay_path), fuzz);
+    } else {
+      result = hpcg::check::fuzz_sweep(fuzz);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+
+  if (!corpus_out.empty()) {
+    for (const auto& report : result.reports) {
+      hpcg::check::append_corpus(corpus_out, report.shrunk,
+                                 report.failures.front().oracle + ": " +
+                                     report.failures.front().detail);
+    }
+  }
+  return result.ok() ? 0 : 1;
+}

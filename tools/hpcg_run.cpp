@@ -11,7 +11,7 @@
 //   --faults=crash@r2:s3,degrade@r0:n4:x10   seeded deterministic fault plan
 //   --fault-seed=42                          resolves r? targets / corrupt bits
 //   --checkpoint-every=2                     superstep checkpoint interval
-//                                            (bfs, pr, cc; 0 = off)
+//                                            (bfs, pr, cc, lp; 0 = off)
 //   --comm-timeout=0.5                       recv/barrier deadline in seconds
 //
 // Nonblocking collectives (see docs/ASYNC.md):
@@ -239,7 +239,7 @@ int main(int argc, char** argv) {
         }
       }
     } else if (algo == "lp") {
-      auto result = hpcg::algos::label_propagation(g, iterations);
+      auto result = hpcg::algos::label_propagation(g, iterations, {}, ckpt);
       auto labels = hpcg::algos::gather_row_state(
           g, std::span<const std::uint64_t>(result.label));
       if (comm.rank() == 0) {
