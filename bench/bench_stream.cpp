@@ -1,0 +1,231 @@
+// Streaming-mutation bench: update-batch latency and the incremental-vs-
+// from-scratch maintenance tradeoff, swept over mutation batch size.
+//
+// Two resident sessions consume the SAME seeded insert-only op stream.
+// The "incremental" side keeps one Service alive across rounds, so every
+// post-batch query repairs the resident state (CC label ripple, BFS
+// frontier repair, delta-seeded PageRank). The "scratch" side gets a
+// fresh Service per round, so the identical query recomputes from
+// scratch on the identically mutated graph. The mutate commit itself is
+// timed separately — its cost is the same on both sides — and the
+// speedup column is scratch_query / incremental_query. Small batches
+// should win big (the delta frontier is tiny); the crossover batch size,
+// where repairing stops paying, is reported per algorithm. Wall-clock
+// host seconds: both sides simulate the same cluster, so simulation
+// overhead cancels out of the ratio.
+//
+//   bench_stream --graph=rmat12 --ranks=4 --rounds=4
+//   bench_stream --batches=2,8,32,128,512 --csv=stream.csv
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+#include "serve/service.hpp"
+#include "serve/session.hpp"
+#include "stream/mutation_log.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using hpcg::graph::Gid;
+
+struct Sample {
+  std::string algo;
+  int batch = 0;
+  int rounds = 0;
+  double mutate_ms = 0.0;   // commit latency per batch (same work both sides)
+  double inc_ms = 0.0;      // post-batch query, incremental maintenance
+  double scratch_ms = 0.0;  // post-batch query, from-scratch recompute
+  double speedup = 0.0;     // scratch_ms / inc_ms
+};
+
+hpcg::serve::Request query_for(const std::string& algo, Gid root) {
+  hpcg::serve::Request req;
+  if (algo == "bfs") {
+    req.algo = hpcg::serve::Algo::kBfs;
+    req.roots = {root};
+  } else if (algo == "pr") {
+    // Tolerance solve: the warm side seeds delta-PageRank from the
+    // resident ranks, the cold side iterates from uniform.
+    req.algo = hpcg::serve::Algo::kPageRank;
+    req.tolerance = 1e-10;
+    req.iterations = 1000;
+  } else {
+    req.algo = hpcg::serve::Algo::kCc;
+  }
+  return req;
+}
+
+hpcg::serve::ServiceOptions bench_service_options() {
+  hpcg::serve::ServiceOptions vopts;
+  vopts.auto_dispatch = false;
+  vopts.cache_capacity = 0;  // identical repeated queries: no cache assist
+  return vopts;
+}
+
+double drain_timed(hpcg::serve::Service& service,
+                   hpcg::serve::Service::Ticket& ticket) {
+  hpcg::util::WallTimer timer;
+  service.drain();
+  ticket.result.get();  // propagate failures
+  return timer.elapsed();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hpcg::util::Options options(argc, argv);
+  options.usage(
+      "usage: bench_stream [options]\n"
+      "Update-batch latency and incremental-vs-recompute query speedup.\n"
+      "\n"
+      "  --graph=NAME      dataset analog (default rmat12)\n"
+      "  --scale-shift=K   shrink/grow the analog by 2^K\n"
+      "  --ranks=N         grid ranks (default 4)\n"
+      "  --algos=LIST      algorithms to sweep (default cc,bfs,pr)\n"
+      "  --batches=LIST    edge ops per batch (default 2,8,32,128,512)\n"
+      "  --rounds=N        mutation rounds averaged per point (default 4)\n"
+      "  --seed=N          op-stream seed (default 1)\n"
+      "  --csv=FILE        write the result rows as CSV\n"
+      "  --help            show this text and exit\n");
+  const std::string dataset = options.get_string("graph", "rmat12");
+  const int shift = static_cast<int>(options.get_int("scale-shift", 0));
+  const int ranks = static_cast<int>(options.get_int("ranks", 4));
+  const std::string algos_text = options.get_string("algos", "cc,bfs,pr");
+  const auto batches = options.get_int_list("batches", {2, 8, 32, 128, 512});
+  const int rounds = static_cast<int>(options.get_int("rounds", 4));
+  const auto seed = static_cast<std::uint64_t>(options.get_int("seed", 1));
+  const std::string csv = options.get_string("csv", "");
+  options.check_unknown();
+
+  std::vector<std::string> algos;
+  {
+    std::string token;
+    for (const char c : algos_text + ",") {
+      if (c == ',') {
+        if (!token.empty()) algos.push_back(token);
+        token.clear();
+      } else {
+        token += c;
+      }
+    }
+  }
+
+  const auto el = hpcg::bench::load(dataset, shift);
+  const auto grid = hpcg::core::Grid::squarest(ranks);
+  hpcg::bench::banner("stream",
+                      "incremental maintenance vs from-scratch recompute "
+                      "under streaming edge inserts");
+  std::cout << "grid " << grid.row_groups() << " x " << grid.col_groups()
+            << ", " << rounds
+            << " insert-only batches per point (wall-clock host ms)\n";
+
+  const Gid root = el.edges.empty() ? 0 : el.edges.front().u;
+  std::vector<Sample> samples;
+
+  for (const auto& algo : algos) {
+    for (const auto batch : batches) {
+      // One session per (algo, batch, side): both sides replay the same
+      // op stream, so the graphs evolve identically.
+      Sample sample;
+      sample.algo = algo;
+      sample.batch = static_cast<int>(batch);
+      sample.rounds = rounds;
+
+      const auto ops_for = [&](int round) {
+        // Stream-split per (batch size, round); insert-only so the
+        // incremental side never hits the structural-delete fallback.
+        return hpcg::stream::generate_ops(
+            seed + static_cast<std::uint64_t>(batch) * 7919ull,
+            static_cast<std::uint64_t>(round), static_cast<int>(batch), 0,
+            el.n);
+      };
+
+      {  // Incremental: one Service keeps the resident state warm.
+        hpcg::serve::Session session(el, grid);
+        hpcg::serve::Service service(session, bench_service_options());
+        auto warm = service.submit(query_for(algo, root));
+        drain_timed(service, warm);  // untimed warm-up creates the state
+        for (int r = 0; r < rounds; ++r) {
+          hpcg::serve::Request mreq;
+          mreq.algo = hpcg::serve::Algo::kMutate;
+          mreq.ops = ops_for(r);
+          auto mticket = service.submit(std::move(mreq));
+          sample.mutate_ms += drain_timed(service, mticket) * 1e3;
+          auto qticket = service.submit(query_for(algo, root));
+          sample.inc_ms += drain_timed(service, qticket) * 1e3;
+        }
+        service.stop();
+        session.close();
+      }
+      {  // Scratch: a fresh Service per round answers the same query cold.
+        hpcg::serve::Session session(el, grid);
+        for (int r = 0; r < rounds; ++r) {
+          hpcg::serve::Service service(session, bench_service_options());
+          hpcg::serve::Request mreq;
+          mreq.algo = hpcg::serve::Algo::kMutate;
+          mreq.ops = ops_for(r);
+          auto mticket = service.submit(std::move(mreq));
+          drain_timed(service, mticket);  // commit cost counted on the other side
+          auto qticket = service.submit(query_for(algo, root));
+          sample.scratch_ms += drain_timed(service, qticket) * 1e3;
+          service.stop();
+        }
+        session.close();
+      }
+
+      sample.mutate_ms /= rounds;
+      sample.inc_ms /= rounds;
+      sample.scratch_ms /= rounds;
+      sample.speedup = sample.inc_ms > 0.0 ? sample.scratch_ms / sample.inc_ms
+                                           : 0.0;
+      samples.push_back(sample);
+    }
+  }
+
+  std::cout << "\nalgo  batch  rounds  mutate_ms  inc_query_ms  "
+               "scratch_query_ms  speedup\n";
+  for (const auto& sample : samples) {
+    std::printf("%-4s  %5d  %6d  %-9.4g  %-12.4g  %-16.4g  %-7.3g\n",
+                sample.algo.c_str(), sample.batch, sample.rounds,
+                sample.mutate_ms, sample.inc_ms, sample.scratch_ms,
+                sample.speedup);
+  }
+
+  // Crossover: the smallest swept batch size where incremental maintenance
+  // stops beating a from-scratch recompute.
+  std::cout << "\n";
+  for (const auto& algo : algos) {
+    int crossover = 0;
+    for (const auto& sample : samples) {
+      if (sample.algo == algo && sample.speedup <= 1.0) {
+        crossover = sample.batch;
+        break;
+      }
+    }
+    if (crossover > 0) {
+      std::cout << "crossover " << algo << ": incremental stops winning at "
+                << crossover << " ops/batch\n";
+    } else {
+      std::cout << "crossover " << algo
+                << ": incremental wins at every swept batch size\n";
+    }
+  }
+
+  if (!csv.empty()) {
+    std::ofstream out(csv);
+    out << "algo,batch,rounds,mutate_ms,inc_query_ms,scratch_query_ms,"
+           "speedup\n";
+    for (const auto& sample : samples) {
+      out << sample.algo << "," << sample.batch << "," << sample.rounds << ","
+          << sample.mutate_ms << "," << sample.inc_ms << ","
+          << sample.scratch_ms << "," << sample.speedup << "\n";
+    }
+    std::cout << "wrote " << csv << "\n";
+  }
+  return 0;
+}

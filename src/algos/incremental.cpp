@@ -1,0 +1,271 @@
+#include "algos/incremental.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "algos/bfs.hpp"
+#include "algos/cc.hpp"
+#include "algos/pagerank.hpp"
+#include "core/manhattan.hpp"
+#include "core/work.hpp"
+
+namespace hpcg::algos {
+
+using core::Lid;
+using core::SparseDirection;
+using core::VertexQueue;
+
+namespace {
+
+void check_prev_size(std::size_t have, const core::Dist2DGraph& g,
+                     const char* who) {
+  if (have != static_cast<std::size_t>(g.lids().n_total())) {
+    throw std::invalid_argument(std::string(who) +
+                                ": prev state size != this rank's LID span");
+  }
+}
+
+/// Shared ripple driver for the two monotone integer kernels: expands the
+/// active row frontier with `edge_fn` (which performs the min relaxation
+/// into `updated`), exchanges, and repeats until no kernel wrote anywhere.
+/// Returns the superstep count. `label` is T = Gid or int64 state.
+template <class T, class EdgeFn>
+int ripple_to_fixpoint(core::Dist2DGraph& g, std::span<T> state,
+                       VertexQueue& active, EdgeFn&& edge_fn,
+                       const char* span_name,
+                       const core::SparseOptions& opts) {
+  core::MinReduce<T> min_reduce;
+  core::SparseBuffers<T> bufs;
+  const auto n_total = g.lids().n_total();
+  int iterations = 0;
+  // Same bound as the CC loop: a safety net, never the convergence path.
+  for (int iter = 0; iter < 100000; ++iter) {
+    auto superstep = g.world().superstep_span(span_name);
+    VertexQueue updated(n_total);
+    std::int64_t local_writes = 0;
+    std::int64_t kernel_edges = 0;
+    core::manhattan_for_each_edge(
+        g.csr(), std::span<const Lid>(active.items()),
+        [&](Lid v, Lid u, std::int64_t) {
+          ++kernel_edges;
+          if (edge_fn(v, u)) {
+            updated.try_push(u);
+            ++local_writes;
+          }
+        });
+    core::charge_kernel(g.world(), static_cast<std::int64_t>(active.size()),
+                        kernel_edges);
+    active.clear();
+
+    VertexQueue changed_rows(n_total);
+    std::int64_t counts[2] = {local_writes, 0};
+    core::sparse_exchange(g, state, updated, min_reduce, SparseDirection::kPush,
+                          &changed_rows, opts, &bufs);
+    if (g.rank_r() == 0) {
+      counts[1] = static_cast<std::int64_t>(changed_rows.size());
+    }
+    g.world().allreduce(std::span<std::int64_t>(counts, 2),
+                        comm::ReduceOp::kSum);
+    superstep.set_value(counts[1]);
+    iterations = iter + 1;
+    if (counts[0] == 0) break;  // no kernel wrote anywhere: fixpoint
+    active.swap(changed_rows);
+  }
+  return iterations;
+}
+
+}  // namespace
+
+IncrementalCcResult incremental_cc(core::Dist2DGraph& g, std::vector<Gid> prev,
+                                   InsertedEdges inserted,
+                                   bool structural_delete,
+                                   const core::SparseOptions& opts) {
+  IncrementalCcResult result;
+  if (structural_delete) {
+    // A split is possible; min labels cannot be repaired monotonically.
+    CcOptions options = CcOptions::all_push();
+    options.sparse_opts = opts;
+    auto full = connected_components(g, options);
+    result.label = std::move(full.label);
+    result.iterations = full.iterations;
+    result.fell_back = true;
+    return result;
+  }
+  check_prev_size(prev.size(), g, "incremental_cc");
+  result.label = std::move(prev);
+  auto& label = result.label;
+  const auto& lids = g.lids();
+  auto span = g.world().phase_span("stream.incremental_cc");
+
+  // Seed: merge the two endpoint labels of every inserted entry. Column
+  // targets ride a push exchange, row targets a pull exchange, so every
+  // slot of a seeded vertex (row-group copies and ghosts) agrees before
+  // the ripple starts. Both exchanges run on every rank — empty queues
+  // are legal — keeping the commit collectively consistent.
+  VertexQueue col_updated(lids.n_total());
+  VertexQueue row_updated(lids.n_total());
+  for (const auto& [r, c] : inserted) {
+    const Gid merged = std::min(label[static_cast<std::size_t>(r)],
+                                label[static_cast<std::size_t>(c)]);
+    if (label[static_cast<std::size_t>(c)] > merged) {
+      label[static_cast<std::size_t>(c)] = merged;
+      col_updated.try_push(c);
+    }
+    if (label[static_cast<std::size_t>(r)] > merged) {
+      label[static_cast<std::size_t>(r)] = merged;
+      row_updated.try_push(r);
+    }
+  }
+  core::charge_kernel(g.world(), 0,
+                      static_cast<std::int64_t>(inserted.size()));
+  core::MinReduce<Gid> min_reduce;
+  core::SparseBuffers<Gid> bufs;
+  VertexQueue active(lids.n_total());
+  core::sparse_exchange(g, std::span(label), col_updated, min_reduce,
+                        SparseDirection::kPush, &active, opts, &bufs);
+  core::sparse_exchange(g, std::span(label), row_updated, min_reduce,
+                        SparseDirection::kPull, &active, opts, &bufs);
+
+  result.iterations = ripple_to_fixpoint(
+      g, std::span(label), active,
+      [&](Lid v, Lid u) {
+        if (label[static_cast<std::size_t>(v)] <
+            label[static_cast<std::size_t>(u)]) {
+          label[static_cast<std::size_t>(u)] =
+              label[static_cast<std::size_t>(v)];
+          return true;
+        }
+        return false;
+      },
+      "incremental_cc", opts);
+  return result;
+}
+
+BfsRepairResult bfs_repair(core::Dist2DGraph& g, Gid root,
+                           std::vector<std::int64_t> prev,
+                           InsertedEdges inserted, bool structural_delete,
+                           const core::SparseOptions& opts) {
+  BfsRepairResult result;
+  if (structural_delete) {
+    // A removed last copy can lengthen shortest paths; the previous levels
+    // are no longer upper bounds.
+    BfsOptions options;
+    options.sparse = opts;
+    auto full = bfs(g, root, options);
+    result.level = std::move(full.level);
+    result.depth = full.depth;
+    result.iterations = full.top_down_steps + full.bottom_up_steps;
+    result.fell_back = true;
+    return result;
+  }
+  check_prev_size(prev.size(), g, "bfs_repair");
+  result.level = std::move(prev);
+  auto& level = result.level;
+  const auto& lids = g.lids();
+  auto span = g.world().phase_span("stream.bfs_repair");
+
+  // Seed: relax each inserted entry source -> destination. The reverse
+  // relaxation belongs to the reverse entry's owning rank. An unvisited
+  // source (kUnvisited + 1) can never win, so no guard is needed.
+  VertexQueue updated(lids.n_total());
+  for (const auto& [r, c] : inserted) {
+    const std::int64_t cand = level[static_cast<std::size_t>(r)] + 1;
+    if (cand < level[static_cast<std::size_t>(c)]) {
+      level[static_cast<std::size_t>(c)] = cand;
+      updated.try_push(c);
+    }
+  }
+  core::charge_kernel(g.world(), 0,
+                      static_cast<std::int64_t>(inserted.size()));
+  core::MinReduce<std::int64_t> min_reduce;
+  core::SparseBuffers<std::int64_t> bufs;
+  VertexQueue active(lids.n_total());
+  core::sparse_exchange(g, std::span(level), updated, min_reduce,
+                        SparseDirection::kPush, &active, opts, &bufs);
+
+  result.iterations = ripple_to_fixpoint(
+      g, std::span(level), active,
+      [&](Lid v, Lid u) {
+        const std::int64_t cand = level[static_cast<std::size_t>(v)] + 1;
+        if (cand < level[static_cast<std::size_t>(u)]) {
+          level[static_cast<std::size_t>(u)] = cand;
+          return true;
+        }
+        return false;
+      },
+      "bfs_repair", opts);
+
+  // Depth matches bfs(): one expansion step per populated level.
+  std::int64_t local_max = -1;
+  for (Lid v = g.row_lid_begin(); v < g.row_lid_end(); ++v) {
+    const auto l = level[static_cast<std::size_t>(v)];
+    if (l != BfsResult::kUnvisited) local_max = std::max(local_max, l);
+  }
+  result.depth = g.world().allreduce_one(local_max, comm::ReduceOp::kMax) + 1;
+  return result;
+}
+
+DeltaPrResult delta_pagerank(core::Dist2DGraph& g, std::vector<double> prev,
+                             double tolerance, int max_iterations,
+                             double damping, const core::SparseOptions& opts) {
+  DeltaPrResult result;
+  const auto n_total = static_cast<std::size_t>(g.lids().n_total());
+  result.seeded = prev.size() == n_total;
+  auto span = g.world().phase_span("stream.delta_pagerank");
+  if (result.seeded) {
+    // Condition the seed before iterating. The fixpoint satisfies exact
+    // mass identities on any undirected graph: every isolated vertex
+    // holds (1-d)/N, and every connected component C of non-isolated
+    // vertices holds |C|/N in total, regardless of structure. A seed
+    // violating a component identity keeps an error along that
+    // component's stochastic eigenvector, which decays only at rate d
+    // per iteration — a slow mode that would make the warm run take MORE
+    // iterations than a cold start (whose uniform seed balances every
+    // component exactly). Restore the identities:
+    //   * a vertex the mutation pulled out of isolation (old fixpoint
+    //     value exactly (1-d)/N — no in-neighbors; strictly above that
+    //     otherwise) is reseeded to 1/N, which is precisely the mass its
+    //     new component is owed;
+    //   * vertices now isolated get their exact value (1-d)/N;
+    //   * any residual drift (delete-heavy batches) is spread over the
+    //     whole core so at least the global invariant holds.
+    const auto deg = global_degrees_state(g);
+    const double n_global = static_cast<double>(g.n());
+    const double dangling_mass = (1.0 - damping) / n_global;
+    for (std::size_t l = 0; l < n_total; ++l) {
+      if (deg[l] > 0.0) {
+        if (prev[l] <= dangling_mass) prev[l] = 1.0 / n_global;
+      } else {
+        prev[l] = dangling_mass;
+      }
+    }
+    double mass[2] = {0.0, 0.0};  // core vertex count, core seed mass
+    if (g.rank_r() == 0) {
+      for (Lid v = g.row_lid_begin(); v < g.row_lid_end(); ++v) {
+        if (deg[static_cast<std::size_t>(v)] > 0.0) {
+          mass[0] += 1.0;
+          mass[1] += prev[static_cast<std::size_t>(v)];
+        }
+      }
+    }
+    g.world().allreduce(std::span<double>(mass, 2), comm::ReduceOp::kSum);
+    if (mass[0] > 0.0) {
+      const double correction = (mass[0] / n_global - mass[1]) / mass[0];
+      for (std::size_t l = 0; l < n_total; ++l) {
+        if (deg[l] > 0.0) prev[l] += correction;
+      }
+    }
+    core::charge_kernel(g.world(), g.lids().n_total(), 0);
+  }
+  auto solved = result.seeded
+                    ? pagerank_tolerance_warm(g, std::move(prev), tolerance,
+                                              max_iterations, damping, opts)
+                    : pagerank_tolerance(g, tolerance, max_iterations, damping,
+                                         opts);
+  result.rank = std::move(solved.rank);
+  result.iterations = solved.iterations;
+  result.final_delta = solved.final_delta;
+  return result;
+}
+
+}  // namespace hpcg::algos

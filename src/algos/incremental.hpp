@@ -1,0 +1,92 @@
+// Incremental maintenance kernels for streaming mutations
+// (docs/STREAMING.md): given an algorithm's converged state for the
+// pre-mutation graph, repair it to the post-mutation answer instead of
+// recomputing from scratch.
+//
+// The decision rule is shared by all three kernels and decided by the
+// commit (stream::CommitResult::structural_delete): inserts and deletes
+// that leave at least one parallel copy of the pair cannot grow any
+// distance or split any component, so the previous state is still a valid
+// upper bound and a monotone ripple from the mutated endpoints restores
+// the exact fixpoint. Only a delete that removed the LAST copy of a pair
+// can invalidate that bound — then CC/BFS fall back to a from-scratch run
+// (PageRank needs no fallback: the warm start is always a valid seed).
+//
+// CC and BFS repairs reach the same min fixpoint as from-scratch, so
+// labels and levels are bit-identical — hpcg_check's stream oracle holds
+// them to that. Delta-PageRank converges to the same tolerance, agreeing
+// within tolerance / (1 - damping) of a cold run.
+//
+// All kernels take `inserted` as this rank's applied directed entries in
+// (row LID, col LID) form — exactly stream::CommitResult::local_inserts.
+// Each undirected insert appears as both directed entries, each at its
+// owning rank, so every rank only ripples source -> destination and the
+// reverse relaxation happens at the reverse entry's owner.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/dist2d.hpp"
+#include "core/sparse_comm.hpp"
+
+namespace hpcg::algos {
+
+using core::Gid;
+
+/// This rank's freshly inserted directed entries, (row LID, col LID).
+using InsertedEdges = std::span<const std::pair<core::Lid, core::Lid>>;
+
+struct IncrementalCcResult {
+  std::vector<Gid> label;  // LID-indexed, same contract as CcResult::label
+  int iterations = 0;      // ripple supersteps (or full-run iterations)
+  bool fell_back = false;  // structural delete forced a from-scratch run
+};
+
+/// Repairs CC labels after a commit: seeds the min merge at every inserted
+/// entry's endpoints, then label-ripples (push + vertex queue) until no
+/// label changes anywhere. `prev` must be the converged LID-indexed labels
+/// for the pre-mutation graph. Collective over the graph's grid; the
+/// result is bit-identical to connected_components() on the mutated graph.
+IncrementalCcResult incremental_cc(core::Dist2DGraph& g, std::vector<Gid> prev,
+                                   InsertedEdges inserted,
+                                   bool structural_delete,
+                                   const core::SparseOptions& opts = {});
+
+struct BfsRepairResult {
+  std::vector<std::int64_t> level;  // LID-indexed, BfsResult contract
+  std::int64_t depth = 0;
+  int iterations = 0;
+  bool fell_back = false;
+};
+
+/// Repairs BFS levels from `root` (original id, used only by the
+/// fallback): previous exact distances are upper bounds under inserts, so
+/// re-relaxing `level[src] + 1 < level[dst]` from the affected entries
+/// until global quiescence restores exact distances — bit-identical to
+/// bfs() on the mutated graph. Collective over the graph's grid.
+BfsRepairResult bfs_repair(core::Dist2DGraph& g, Gid root,
+                           std::vector<std::int64_t> prev,
+                           InsertedEdges inserted, bool structural_delete,
+                           const core::SparseOptions& opts = {});
+
+struct DeltaPrResult {
+  std::vector<double> rank;  // LID-indexed, pagerank() contract
+  int iterations = 0;
+  double final_delta = 0.0;
+  bool seeded = false;  // warm-started from `prev` (vs cold restart)
+};
+
+/// Delta-PageRank: re-solves to `tolerance` seeded from the pre-mutation
+/// ranks. The mutation perturbs the fixpoint only near the mutated
+/// endpoints, so the seeded residual is tiny and convergence takes a few
+/// iterations. An empty/mis-sized `prev` degrades to a cold tolerance run.
+/// Collective over the graph's grid.
+DeltaPrResult delta_pagerank(core::Dist2DGraph& g, std::vector<double> prev,
+                             double tolerance = 1e-12,
+                             int max_iterations = 500, double damping = 0.85,
+                             const core::SparseOptions& opts = {});
+
+}  // namespace hpcg::algos

@@ -163,5 +163,24 @@ PrToleranceResult pagerank_tolerance(core::Dist2DGraph& g, double tolerance,
   return result;
 }
 
+PrToleranceResult pagerank_tolerance_warm(core::Dist2DGraph& g,
+                                          std::vector<double> state,
+                                          double tolerance, int max_iterations,
+                                          double damping,
+                                          const core::SparseOptions& opts,
+                                          fault::Checkpointer* ckpt) {
+  if (state.size() != static_cast<std::size_t>(g.lids().n_total())) {
+    throw std::invalid_argument(
+        "pagerank_tolerance_warm: state size != this rank's LID span");
+  }
+  PrToleranceResult result;
+  result.rank = std::move(state);
+  const auto [iterations, delta] =
+      pagerank_loop(g, result.rank, max_iterations, damping, tolerance, opts, ckpt);
+  result.iterations = iterations;
+  result.final_delta = delta;
+  return result;
+}
+
 
 }  // namespace hpcg::algos

@@ -53,6 +53,21 @@ PrToleranceResult pagerank_tolerance(core::Dist2DGraph& g, double tolerance,
                                      const core::SparseOptions& opts = {},
                                      fault::Checkpointer* ckpt = nullptr);
 
+/// Tolerance iteration from a caller-supplied state vector (the
+/// warm-start analog of pagerank_tolerance; same state contract as
+/// pagerank_warm_start). This is the engine under algos::delta_pagerank:
+/// seeded with the pre-mutation fixpoint, the residual is concentrated at
+/// the mutated endpoints and convergence takes a handful of iterations
+/// instead of a cold run. Throws std::invalid_argument on a state size
+/// mismatch.
+PrToleranceResult pagerank_tolerance_warm(core::Dist2DGraph& g,
+                                          std::vector<double> state,
+                                          double tolerance,
+                                          int max_iterations = 1000,
+                                          double damping = 0.85,
+                                          const core::SparseOptions& opts = {},
+                                          fault::Checkpointer* ckpt = nullptr);
+
 /// LID-indexed true vertex degrees (row + ghost slots), computed with one
 /// dense pull exchange. Exposed for reuse by BFS's Beamer heuristics.
 std::vector<double> global_degrees_state(core::Dist2DGraph& g);

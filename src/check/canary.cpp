@@ -53,6 +53,17 @@ std::vector<CanaryCase> canary_suite() {
     cfg.checkpoint_every = 1;
     suite.push_back({Canary::kLpRestartFromZero, cfg});
   }
+  {
+    // Streaming CC: the canary hands the post-mutation query the
+    // pre-mutation payload (the stale-cache bug epoch versioning
+    // prevents); the stream oracle's per-epoch replay must notice.
+    CheckConfig cfg = base_config("cc");
+    cfg.mut_batches = 2;
+    cfg.mut_ops = 8;
+    cfg.mut_seed = 3;
+    cfg.mut_delete_pct = 30;
+    suite.push_back({Canary::kStreamStaleResult, cfg});
+  }
   return suite;
 }
 
@@ -72,6 +83,9 @@ std::vector<CanaryOutcome> run_canaries(std::ostream* log) {
         outcome.failures.push_back(std::move(f));
       }
       for (auto&& f : check_recovery(c.config, result)) {
+        outcome.failures.push_back(std::move(f));
+      }
+      for (auto&& f : check_stream(c.config, el, result)) {
         outcome.failures.push_back(std::move(f));
       }
     } catch (const std::exception& e) {

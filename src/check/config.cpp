@@ -65,6 +65,10 @@ std::string CheckConfig::to_string() const {
   if (!faults.empty()) out << " faults=" << faults << " fseed=" << fault_seed;
   if (checkpoint_every > 0) out << " ckpt=" << checkpoint_every;
   if (serve_batch > 0) out << " serve=" << serve_batch;
+  if (mut_batches > 0) {
+    out << " mut=" << mut_batches << "x" << mut_ops << " mseed=" << mut_seed
+        << " mdel=" << mut_delete_pct;
+  }
   return out.str();
 }
 
@@ -143,6 +147,23 @@ CheckConfig CheckConfig::parse(const std::string& text) {
       cfg.checkpoint_every = parse_num(key, value);
     } else if (key == "serve") {
       cfg.serve_batch = static_cast<int>(parse_num(key, value));
+    } else if (key == "mut") {
+      const auto x = value.find('x');
+      if (x == std::string::npos) {
+        throw std::invalid_argument("bad config value mut=" + value);
+      }
+      cfg.mut_batches = static_cast<int>(parse_num(key, value.substr(0, x)));
+      cfg.mut_ops = static_cast<int>(parse_num(key, value.substr(x + 1)));
+      if (cfg.mut_batches < 1 || cfg.mut_ops < 1) {
+        throw std::invalid_argument("bad config value mut=" + value);
+      }
+    } else if (key == "mseed") {
+      cfg.mut_seed = static_cast<std::uint64_t>(parse_num(key, value));
+    } else if (key == "mdel") {
+      cfg.mut_delete_pct = static_cast<int>(parse_num(key, value));
+      if (cfg.mut_delete_pct < 0 || cfg.mut_delete_pct > 100) {
+        throw std::invalid_argument("bad config value mdel=" + value);
+      }
     } else {
       throw std::invalid_argument("unknown config key: " + key);
     }
@@ -198,9 +219,21 @@ CheckConfig sample_config(util::Xoshiro256& rng) {
   cfg.async = rng.next_below(10) < 4;
   cfg.chunk = cfg.async ? 1 + static_cast<int>(rng.next_below(4)) : 1;
 
+  // Streaming mutations: bfs / pr / cc on the serve session, interleaving
+  // seeded mutation batches with re-queries. Delete share skews toward
+  // insert-only so the incremental (non-fallback) paths stay hot; 50%
+  // batches hammer the structural-delete recompute rule.
+  if ((cfg.algo == "bfs" || cfg.algo == "pr" || cfg.algo == "cc") &&
+      rng.next_below(100) < 28) {
+    cfg.mut_batches = 1 + static_cast<int>(rng.next_below(4));  // 1..4
+    cfg.mut_ops = 2 + static_cast<int>(rng.next_below(15));     // 2..16
+    cfg.mut_seed = 1 + rng.next_below(1u << 16);
+    cfg.mut_delete_pct = pick(rng, {0, 0, 20, 50});
+  }
+
   // Serve-path batching: bfs only. The batch routes through
   // Session + Service manual pumps instead of a direct Runtime::run.
-  if (cfg.algo == "bfs" && rng.next_below(10) < 3) {
+  if (cfg.algo == "bfs" && cfg.mut_batches == 0 && rng.next_below(10) < 3) {
     cfg.serve_batch = 2 + static_cast<int>(rng.next_below(3));  // 2..4
     const int k = cfg.serve_batch + static_cast<int>(rng.next_below(3));
     for (int i = 0; i < k; ++i) {
@@ -211,7 +244,8 @@ CheckConfig sample_config(util::Xoshiro256& rng) {
 
   // Checkpoint interval independent of faults: exercises the save path
   // (and the recovery driver's zero-restart mode) on its own.
-  if (cfg.checkpointable() && cfg.serve_batch == 0 && rng.next_below(10) < 2) {
+  if (cfg.checkpointable() && cfg.serve_batch == 0 && cfg.mut_batches == 0 &&
+      rng.next_below(10) < 2) {
     cfg.checkpoint_every = 1 + static_cast<std::int64_t>(rng.next_below(2));
   }
 
@@ -225,7 +259,8 @@ CheckConfig sample_config(util::Xoshiro256& rng) {
       rng.next_below(static_cast<std::uint64_t>(cfg.ranks())));
   cfg.fault_seed = 1 + rng.next_below(1u << 16);
   std::ostringstream plan;
-  if (cfg.checkpointable() && cfg.serve_batch == 0 && fault_roll < 14) {
+  if (cfg.checkpointable() && cfg.serve_batch == 0 && cfg.mut_batches == 0 &&
+      fault_roll < 14) {
     // crash or (rarely) silent: needs checkpoint + restart.
     const bool silent = fault_roll < 2 && cfg.ranks() > 1;
     plan << (silent ? "silent" : "crash") << "@r" << target << ":s"

@@ -53,6 +53,16 @@ struct CheckConfig {
   int serve_batch = 0;  // >0 (bfs only): route `sources` through Service
                         // coalescing with this max_batch
 
+  // Streaming mutations (bfs | pr | cc only): >0 routes the run through
+  // the serve session, interleaving `mut_batches` seeded mutation batches
+  // of `mut_ops` edge ops each with re-queries of `algo`. Edge picks are
+  // generate_ops(mut_seed, batch_index, ...) with mut_delete_pct% deletes
+  // aimed at live edges, so the stream replays bit-identically anywhere.
+  int mut_batches = 0;
+  int mut_ops = 8;
+  std::uint64_t mut_seed = 1;
+  int mut_delete_pct = 30;
+
   int ranks() const { return rows * cols; }
   Gid n() const { return Gid{1} << scale; }
 
@@ -76,7 +86,8 @@ struct CheckConfig {
 /// faults only on checkpointable algorithms run through the recovery
 /// driver; serve-path batching only for bfs with session-survivable
 /// fault kinds (transient/degrade); checkpointing only where a
-/// Checkpointer can be wired.
+/// Checkpointer can be wired; streaming mutations only for bfs/pr/cc on
+/// the serve session (no kill faults, no checkpointing, no serve batch).
 CheckConfig sample_config(util::Xoshiro256& rng);
 
 }  // namespace hpcg::check

@@ -98,6 +98,7 @@ std::vector<Failure> check_config(const CheckConfig& cfg, const FuzzOptions& opt
   for (auto&& f : check_reference(cfg, el, base)) out.push_back(std::move(f));
   for (auto&& f : check_invariants(cfg, el, base)) out.push_back(std::move(f));
   for (auto&& f : check_recovery(cfg, base)) out.push_back(std::move(f));
+  for (auto&& f : check_stream(cfg, el, base)) out.push_back(std::move(f));
   if (!opts.with_identity) return out;
 
   // Async flip: chunked nonblocking exchanges are documented bit-identical.

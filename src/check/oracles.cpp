@@ -1,5 +1,6 @@
 #include "check/oracles.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 #include <unordered_map>
@@ -7,6 +8,7 @@
 #include "algos/reference.hpp"
 #include "graph/csr.hpp"
 #include "graph/relabel.hpp"
+#include "stream/mutation_log.hpp"
 
 namespace hpcg::check {
 
@@ -121,7 +123,11 @@ std::vector<Failure> check_reference(const CheckConfig& cfg,
                      result.ms_levels[s],
                      algos::ref::bfs_levels(csr, cfg.sources[s]));
     }
-  } else if (cfg.algo == "pr" || cfg.algo == "prwarm") {
+  } else if ((cfg.algo == "pr" && result.path != "stream") ||
+             cfg.algo == "prwarm") {
+    // Stream-path pr is a tolerance solve, not cfg.iterations fixed
+    // rounds; check_stream compares it (every epoch, including 0) against
+    // a sequential tolerance solver instead.
     const graph::Csr csr(el.n, el.edges);
     const auto want = algos::ref::pagerank(csr, cfg.iterations, 0.85);
     Mismatches m(out, "reference", "pagerank");
@@ -213,6 +219,143 @@ std::vector<Failure> check_invariants(const CheckConfig& cfg,
   return out;
 }
 
+namespace {
+
+/// Sequential tolerance PageRank: the ref::pagerank update iterated until
+/// the L1 step shrinks below `tol`. Both this and the engine's tolerance
+/// solve land within ~tol/(1-d) of the same fixpoint, far inside the 1e-9
+/// comparison bound.
+std::vector<double> ref_pagerank_tolerance(const graph::Csr& csr, double tol,
+                                           int max_iterations, double damping) {
+  const auto n = static_cast<std::size_t>(csr.n());
+  std::vector<double> pr(n, 1.0 / static_cast<double>(csr.n()));
+  std::vector<double> next(n);
+  for (int it = 0; it < max_iterations; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (Gid v = 0; v < csr.n(); ++v) {
+      const double share = pr[static_cast<std::size_t>(v)] /
+                           static_cast<double>(std::max<std::int64_t>(csr.degree(v), 1));
+      for (const Gid u : csr.neighbors(v)) {
+        next[static_cast<std::size_t>(u)] += share;
+      }
+    }
+    double delta = 0.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      next[v] = (1.0 - damping) / static_cast<double>(csr.n()) + damping * next[v];
+      delta += std::abs(next[v] - pr[v]);
+    }
+    pr.swap(next);
+    if (delta <= tol) break;
+  }
+  return pr;
+}
+
+/// One epoch entry vs a from-scratch reference on the mutated mirror.
+void check_stream_epoch(std::vector<Failure>& out, const CheckConfig& cfg,
+                        const graph::EdgeList& mirror, std::size_t index,
+                        const RunResult::EpochResult& entry) {
+  const std::string what = "epoch[" + std::to_string(index) + "]";
+  if (cfg.algo == "bfs") {
+    const graph::Csr csr(mirror.n, mirror.edges);
+    const auto want = algos::ref::bfs_levels(csr, cfg.root);
+    Mismatches m(out, "stream", what + " bfs levels");
+    if (entry.levels.size() != want.size()) {
+      m.note("size " + std::to_string(entry.levels.size()));
+      return;
+    }
+    for (std::size_t v = 0; v < want.size(); ++v) {
+      if (entry.levels[v] != want[v]) m.add(v, entry.levels[v], want[v]);
+    }
+  } else if (cfg.algo == "pr") {
+    const graph::Csr csr(mirror.n, mirror.edges);
+    const auto want = ref_pagerank_tolerance(csr, 1e-12, 1000, 0.85);
+    Mismatches m(out, "stream", what + " pagerank");
+    if (entry.rank.size() != want.size()) {
+      m.note("size " + std::to_string(entry.rank.size()));
+      return;
+    }
+    for (std::size_t v = 0; v < want.size(); ++v) {
+      if (std::abs(entry.rank[v] - want[v]) > kPrReferenceTolerance) {
+        m.add(v, entry.rank[v], want[v]);
+      }
+    }
+  } else {
+    const auto want = algos::ref::connected_components(mirror);
+    const auto got = normalize_components(entry.component);
+    Mismatches m(out, "stream", what + " components");
+    if (got.size() != want.size()) {
+      m.note("size " + std::to_string(got.size()));
+      return;
+    }
+    for (std::size_t v = 0; v < want.size(); ++v) {
+      if (got[v] != want[v]) m.add(v, got[v], want[v]);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Failure> check_stream(const CheckConfig& cfg,
+                                  const graph::EdgeList& el,
+                                  const RunResult& result) {
+  std::vector<Failure> out;
+  if (result.path != "stream") return out;
+  if (result.epochs.size() != static_cast<std::size_t>(cfg.mut_batches) + 1) {
+    out.push_back({"stream", "got " + std::to_string(result.epochs.size()) +
+                                 " epoch entries for " +
+                                 std::to_string(cfg.mut_batches) + " batches"});
+    return out;
+  }
+
+  // Replay the identical seeded op stream on a host mirror; the engine's
+  // per-batch accounting and per-epoch answers must match it exactly.
+  graph::EdgeList mirror = el;
+  std::uint64_t expected_epoch = 0;
+  {
+    const auto& e0 = result.epochs.front();
+    Mismatches m(out, "stream", "epoch[0] bookkeeping");
+    if (e0.epoch != 0) m.note("epoch " + std::to_string(e0.epoch) + " want 0");
+    if (e0.incremental) m.note("first query claims incremental");
+  }
+  check_stream_epoch(out, cfg, mirror, 0, result.epochs.front());
+
+  for (int b = 0; b < cfg.mut_batches; ++b) {
+    const auto ops =
+        stream::generate_ops(cfg.mut_seed, static_cast<std::uint64_t>(b),
+                             cfg.mut_ops, cfg.mut_delete_pct, el.n, &mirror);
+    const auto applied = stream::apply_to_edge_list(mirror, ops);
+    if (applied.inserted + applied.deleted > 0) ++expected_epoch;
+    const auto& entry = result.epochs[static_cast<std::size_t>(b) + 1];
+    const std::string what = "epoch[" + std::to_string(b + 1) + "] bookkeeping";
+    {
+      Mismatches m(out, "stream", what);
+      if (entry.epoch != expected_epoch) {
+        m.add(0, entry.epoch, expected_epoch);
+      }
+      if (entry.inserted != applied.inserted) {
+        m.add(1, entry.inserted, applied.inserted);
+      }
+      if (entry.deleted != applied.deleted) {
+        m.add(2, entry.deleted, applied.deleted);
+      }
+      // The incremental/fallback decision is part of the contract: a
+      // structural delete MUST force CC/BFS to recompute (correctness),
+      // and everything else must take the incremental path (else the
+      // subsystem silently degrades to from-scratch and this sweep
+      // proves nothing). PR is seeded from the resident ranks always.
+      const bool expect_incremental =
+          cfg.algo == "pr" || !applied.structural_delete;
+      if (entry.incremental != expect_incremental) {
+        m.note(std::string("incremental=") + (entry.incremental ? "1" : "0") +
+               " want " + (expect_incremental ? "1" : "0") +
+               (applied.structural_delete ? " (structural delete)" : ""));
+      }
+    }
+    check_stream_epoch(out, cfg, mirror, static_cast<std::size_t>(b) + 1, entry);
+  }
+  return out;
+}
+
 std::vector<Failure> check_recovery(const CheckConfig& cfg, const RunResult& result) {
   std::vector<Failure> out;
   if (result.path != "recovery") return out;
@@ -282,6 +425,41 @@ std::vector<Failure> check_identity(const std::string& variant,
     } else {
       for (std::size_t v = 0; v < a.size(); ++v) {
         if (a[v] != b[v]) m.add(v, b[v], a[v]);
+      }
+    }
+  }
+  {
+    // Stream-path runs carry their per-epoch answers here; two variants of
+    // the same config must agree batch by batch, not just on entry 0.
+    Mismatches m(out, oracle, "stream epochs");
+    if (base.epochs.size() != other.epochs.size()) {
+      m.note("epoch count " + std::to_string(other.epochs.size()));
+    } else {
+      for (std::size_t i = 0; i < base.epochs.size(); ++i) {
+        const auto& a = base.epochs[i];
+        const auto& b = other.epochs[i];
+        if (a.epoch != b.epoch || a.inserted != b.inserted ||
+            a.deleted != b.deleted) {
+          m.add(i, "bookkeeping", "equal");
+          continue;
+        }
+        if (a.levels != b.levels) {
+          m.add(i, "levels", "equal");
+          continue;
+        }
+        bool rank_ok = a.rank.size() == b.rank.size();
+        for (std::size_t v = 0; rank_ok && v < a.rank.size(); ++v) {
+          rank_ok = pr_tolerance > 0.0
+                        ? std::abs(a.rank[v] - b.rank[v]) <= pr_tolerance
+                        : a.rank[v] == b.rank[v];
+        }
+        if (!rank_ok) {
+          m.add(i, "rank", "equal");
+          continue;
+        }
+        const auto ca = normalize_cc ? normalize_components(a.component) : a.component;
+        const auto cb = normalize_cc ? normalize_components(b.component) : b.component;
+        if (ca != cb) m.add(i, "components", "equal");
       }
     }
   }

@@ -17,6 +17,9 @@
 //
 // Plus the recovery oracle: a restarted run with checkpointing enabled
 // must have resumed from a committed epoch, never silently from scratch.
+// And the stream oracle: incremental maintenance under a seeded mutation
+// stream must match a from-scratch reference on a host-mirrored edge list
+// after every batch (bit-identically for BFS/CC, within 1e-9 for PR).
 #pragma once
 
 #include <string>
@@ -45,6 +48,18 @@ std::vector<Failure> check_invariants(const CheckConfig& cfg,
 /// Recovery accounting: restarts with checkpointing on must resume from
 /// committed epochs (catches checkpoint-less replay-from-zero wiring).
 std::vector<Failure> check_recovery(const CheckConfig& cfg, const RunResult& result);
+
+/// Oracle 5 (streaming): replays the config's seeded mutation stream on a
+/// sequential host mirror and demands the engine agree after EVERY batch —
+/// epoch numbers and insert/delete counts exactly, BFS levels and
+/// normalized CC labels bit-identically against a from-scratch reference
+/// on the mutated mirror, PageRank within 1e-9 of a sequential tolerance
+/// solve. Also pins the incremental-vs-fallback decision: structural
+/// deletes must fall back, everything else must take the incremental
+/// path. No-op for non-stream paths.
+std::vector<Failure> check_stream(const CheckConfig& cfg,
+                                  const graph::EdgeList& el,
+                                  const RunResult& result);
 
 /// Oracle 3: `variant` (an independently executed run of the same input)
 /// must agree with `base`. `pr_tolerance` > 0 compares PageRank within

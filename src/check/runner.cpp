@@ -17,6 +17,7 @@
 #include "graph/generators.hpp"
 #include "serve/service.hpp"
 #include "serve/session.hpp"
+#include "stream/mutation_log.hpp"
 
 namespace hpcg::check {
 
@@ -152,6 +153,98 @@ void run_serve_path(const CheckConfig& cfg, const EdgeList& el, RunResult& out) 
   session.close();
 }
 
+// Converts one completed query response into the per-epoch record the
+// stream oracle replays against its host mirror.
+RunResult::EpochResult to_epoch_result(const CheckConfig& cfg,
+                                       const serve::Response& res) {
+  RunResult::EpochResult e;
+  e.epoch = res.epoch;
+  e.incremental = res.incremental;
+  if (cfg.algo == "bfs") {
+    e.levels = res.levels.at(0);  // original-id order
+    for (auto& l : e.levels) {
+      if (l >= serve::Response::kUnvisited) l = -1;
+    }
+  } else if (cfg.algo == "pr") {
+    e.rank = res.rank;
+  } else {
+    e.component = res.component;
+  }
+  return e;
+}
+
+void run_stream_path(const CheckConfig& cfg, const EdgeList& el, RunResult& out) {
+  fault::FaultInjector injector(fault::FaultPlan::parse(cfg.faults, cfg.fault_seed),
+                                cfg.ranks());
+  serve::SessionOptions sopts;
+  sopts.faults = cfg.faults.empty() ? nullptr : &injector;
+  sopts.comm_timeout_s = timeout_for(cfg);
+  sopts.async = cfg.async;
+  sopts.async_chunk = cfg.chunk;
+  serve::Session session(el, Grid(cfg.rows, cfg.cols), sopts);
+
+  serve::ServiceOptions vopts;
+  vopts.auto_dispatch = false;
+  serve::Service service(session, vopts);
+
+  const auto query = [&] {
+    serve::Request req;
+    if (cfg.algo == "bfs") {
+      req.algo = serve::Algo::kBfs;
+      req.roots = {cfg.root};
+    } else if (cfg.algo == "pr") {
+      // Tolerance solve, not fixed-iteration: the incremental path seeds
+      // delta-PageRank from the resident ranks, and both converge to the
+      // same fixpoint the oracle's sequential tolerance solver finds.
+      req.algo = serve::Algo::kPageRank;
+      req.tolerance = 1e-12;
+      req.iterations = 1000;  // cap, never the stop condition at this tol
+    } else {
+      req.algo = serve::Algo::kCc;
+    }
+    return service.submit(std::move(req));
+  };
+  const auto drain = [&] {
+    while (service.pump()) {
+    }
+  };
+
+  // The runner's own live-edge mirror: delete picks in generate_ops aim
+  // at edges that exist *now*, so delete batches actually delete. The
+  // oracle rebuilds the identical mirror from (mut_seed, batch index).
+  EdgeList mirror = el;
+
+  auto first = query();
+  drain();
+  out.epochs.push_back(to_epoch_result(cfg, first.result.get()));
+
+  for (int b = 0; b < cfg.mut_batches; ++b) {
+    serve::Request mreq;
+    mreq.algo = serve::Algo::kMutate;
+    mreq.ops = stream::generate_ops(cfg.mut_seed, static_cast<std::uint64_t>(b),
+                                    cfg.mut_ops, cfg.mut_delete_pct, el.n,
+                                    &mirror);
+    stream::apply_to_edge_list(mirror, mreq.ops);
+    auto mticket = service.submit(std::move(mreq));
+    auto qticket = query();
+    drain();
+    const serve::Response mres = mticket.result.get();
+    auto e = to_epoch_result(cfg, qticket.result.get());
+    e.inserted = mres.edges_inserted;
+    e.deleted = mres.edges_deleted;
+    out.epochs.push_back(std::move(e));
+  }
+
+  // Mirror entry 0 into the top-level vectors so the reference and
+  // invariant oracles check the pre-mutation answer as usual.
+  out.levels = out.epochs.front().levels;
+  out.rank = out.epochs.front().rank;
+  out.component = out.epochs.front().component;
+
+  service.stop();
+  session.close();
+}
+
 void apply_canary(Canary canary, const CheckConfig& cfg, RunResult& out) {
   switch (canary) {
     case Canary::kNone:
@@ -188,6 +281,12 @@ void apply_canary(Canary canary, const CheckConfig& cfg, RunResult& out) {
     case Canary::kMsBfsCrossTalk:
       if (out.ms_levels.size() >= 2) out.ms_levels[1] = out.ms_levels[0];
       return;
+    case Canary::kStreamStaleResult:
+      // The bug epoch versioning exists to prevent: the final query comes
+      // back with the pre-mutation payload (epoch, counts and all), as a
+      // stale-cache hit would.
+      if (out.epochs.size() >= 2) out.epochs.back() = out.epochs.front();
+      return;
   }
 }
 
@@ -203,6 +302,7 @@ const char* to_string(Canary canary) {
     case Canary::kLpStaleIteration: return "lp-stale-iteration";
     case Canary::kMsBfsCrossTalk: return "msbfs-cross-talk";
     case Canary::kLpRestartFromZero: return "lp-restart-from-zero";
+    case Canary::kStreamStaleResult: return "stream-stale-result";
   }
   return "?";
 }
@@ -230,6 +330,7 @@ EdgeList build_input(const CheckConfig& cfg) {
 }
 
 std::string path_for(const CheckConfig& cfg) {
+  if (cfg.mut_batches > 0) return "stream";
   if (cfg.serve_batch > 0) return "serve";
   if (has_kill_fault(cfg.faults) || cfg.checkpoint_every > 0) return "recovery";
   return "direct";
@@ -246,6 +347,19 @@ RunResult run_config(const CheckConfig& cfg, Canary canary) {
   if ((cfg.algo == "msbfs" || cfg.serve_batch > 0) && cfg.sources.empty()) {
     throw std::invalid_argument(cfg.algo + " needs sources");
   }
+  if (cfg.mut_batches > 0) {
+    // Streaming runs live inside one serve session: kill faults and
+    // checkpoint/restart have no meaning there, and the batched serve
+    // path has its own driver.
+    if (cfg.algo != "bfs" && cfg.algo != "pr" && cfg.algo != "cc") {
+      throw std::invalid_argument("mut= requires algo bfs|pr|cc");
+    }
+    if (cfg.serve_batch > 0 || cfg.checkpoint_every > 0 ||
+        has_kill_fault(cfg.faults)) {
+      throw std::invalid_argument(
+          "mut= is incompatible with serve=, ckpt= and kill faults");
+    }
+  }
 
   const EdgeList el = build_input(cfg);
   const Grid grid(cfg.rows, cfg.cols);
@@ -253,6 +367,11 @@ RunResult run_config(const CheckConfig& cfg, Canary canary) {
 
   RunResult out;
   out.path = path_for(cfg);
+  if (out.path == "stream") {
+    run_stream_path(cfg, el, out);
+    apply_canary(canary, cfg, out);
+    return out;
+  }
   if (out.path == "serve") {
     run_serve_path(cfg, el, out);
     apply_canary(canary, cfg, out);

@@ -31,6 +31,7 @@ enum class Canary : std::uint8_t {
   kLpStaleIteration,    // engine runs one round fewer than requested
   kMsBfsCrossTalk,      // source 1 answers with source 0's levels
   kLpRestartFromZero,   // recovery replays LP without a Checkpointer
+  kStreamStaleResult,   // post-mutation query answers with pre-mutation data
 };
 
 const char* to_string(Canary canary);
@@ -54,7 +55,22 @@ struct RunResult {
   std::int64_t checkpoints_committed = 0;
   std::vector<std::int64_t> resume_epochs;
 
-  std::string path;  // "direct" | "recovery" | "serve"
+  // Streaming path: one entry per query, entry 0 before any mutation and
+  // then one per committed batch. The top-level vectors above hold a copy
+  // of entry 0 so the reference/invariant oracles see the pre-mutation
+  // answer; per-epoch answers live here for the stream oracle.
+  struct EpochResult {
+    std::uint64_t epoch = 0;          // graph epoch the query ran at
+    std::int64_t inserted = 0;        // directed copies added by the batch
+    std::int64_t deleted = 0;         // directed copies removed by the batch
+    bool incremental = false;         // served by an incremental kernel
+    std::vector<std::int64_t> levels;     // bfs (-1 = unreachable)
+    std::vector<double> rank;             // pr (tolerance solve)
+    std::vector<graph::Gid> component;    // cc
+  };
+  std::vector<EpochResult> epochs;
+
+  std::string path;  // "direct" | "recovery" | "serve" | "stream"
 };
 
 /// The config's input graph in final (symmetrized, loop-free) form.

@@ -31,6 +31,21 @@ const Move kMoves[] = {
        c.sources.clear();
        return true;
      }},
+    {"drop-mutations",
+     [](CheckConfig& c) {
+       // Leaves the stream path entirely (pr reverts to the fixed-iteration
+       // solve); when the bug survives, it was never about streaming.
+       if (c.mut_batches == 0) return false;
+       c.mut_batches = 0;
+       return true;
+     }},
+    {"halve-mutations",
+     [](CheckConfig& c) {
+       if (c.mut_batches <= 1 && c.mut_ops <= 1) return false;
+       c.mut_batches = std::max(1, c.mut_batches / 2);
+       c.mut_ops = std::max(1, c.mut_ops / 2);
+       return true;
+     }},
     {"sync-mode",
      [](CheckConfig& c) {
        if (!c.async) return false;

@@ -1,5 +1,7 @@
 #include "core/dist2d.hpp"
 
+#include <algorithm>
+
 namespace hpcg::core {
 
 Partitioned2D::Partitioned2D(Grid grid, Gid n, const graph::StripedRelabel& relabel)
@@ -66,16 +68,15 @@ comm::Comm split_with_span(comm::Comm& world, int color, int key,
   return world.split(color, key);
 }
 
-graph::Csr make_local_csr(const Partitioned2D& parts, const LidMap& lids, int rank) {
+std::vector<graph::Edge> make_local_edges(const Partitioned2D& parts,
+                                          const LidMap& lids, int rank) {
   const auto& edges = parts.edges_of(rank);
-  const auto& weights = parts.weights_of(rank);
   std::vector<graph::Edge> local;
   local.reserve(edges.size());
   for (const auto& e : edges) {
     local.push_back({lids.row_lid(e.u), lids.col_lid(e.v)});
   }
-  return graph::Csr(lids.n_total(), local,
-                    std::span<const double>(weights.data(), weights.size()));
+  return local;
 }
 
 }  // namespace
@@ -88,11 +89,54 @@ Dist2DGraph::Dist2DGraph(comm::Comm& world, const Partitioned2D& parts)
       rank_r_(id_c_),  // position within the row group == column index
       rank_c_(id_r_),  // position within the column group == row index
       lid_map_(make_lid_map(parts, id_r_, id_c_)),
-      csr_(make_local_csr(parts, lid_map_, world.rank())),
+      local_edges_(make_local_edges(parts, lid_map_, world.rank())),
+      csr_(lid_map_.n_total(), local_edges_,
+           std::span<const double>(parts.weights_of(world.rank()).data(),
+                                   parts.weights_of(world.rank()).size())),
       row_comm_(split_with_span(world, /*color=*/id_r_, /*key=*/id_c_,
                                 "dist2d.split_row")),
       col_comm_(split_with_span(world, /*color=*/id_c_, /*key=*/id_r_,
-                                "dist2d.split_col")) {}
+                                "dist2d.split_col")),
+      m_global_(parts.m_global()) {}
+
+Dist2DGraph::LocalApplyResult Dist2DGraph::apply_local_edge_ops(
+    std::span<const LocalEdgeOp> ops) {
+  LocalApplyResult out;
+  for (const auto& op : ops) {
+    if (op.insert) {
+      local_edges_.push_back({op.u, op.v});
+      ++out.inserted;
+      continue;
+    }
+    const graph::Edge target{op.u, op.v};
+    const auto it = std::find(local_edges_.begin(), local_edges_.end(), target);
+    if (it == local_edges_.end()) {
+      ++out.noop_deletes;
+      continue;
+    }
+    local_edges_.erase(it);  // order-preserving, matching the host mirror
+    ++out.deleted;
+    if (std::find(local_edges_.begin(), local_edges_.end(), target) ==
+        local_edges_.end()) {
+      out.structural_delete = true;
+    }
+  }
+  return out;
+}
+
+void Dist2DGraph::finish_commit(std::int64_t m_global_delta, bool csr_dirty) {
+  if (csr_dirty) {
+    // Streaming commits reject weighted graphs upstream, so the rebuilt
+    // CSR carries no weights.
+    csr_ = graph::Csr(lid_map_.n_total(), local_edges_);
+  }
+  m_global_ += m_global_delta;
+  ++epoch_;
+  // A row-group mate's mutation changes true degrees even when this rank's
+  // block is untouched; every row-group member commits collectively, so
+  // clearing here keeps the next lazy recompute consistent.
+  global_degrees_.clear();
+}
 
 const std::vector<std::int64_t>& Dist2DGraph::global_row_degrees() {
   if (!global_degrees_.empty() || lid_map_.n_row() == 0) return global_degrees_;

@@ -11,7 +11,9 @@
 //      row/column communicators.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "comm/comm.hpp"
@@ -71,7 +73,10 @@ class Dist2DGraph {
 
   // --- Table 1 accessors -------------------------------------------------
   Gid n() const { return parts_->n(); }                       // N
-  std::int64_t m_global() const { return parts_->m_global(); } // M
+  /// Live directed-entry count: starts at the partition's M and tracks
+  /// streaming commits (each directed entry is owned by exactly one rank,
+  /// so the commit's global delta is exact).
+  std::int64_t m_global() const { return m_global_; }          // M
   std::int64_t m_local() const { return csr_.m(); }
   int id_r() const { return id_r_; }        // row group ID
   int id_c() const { return id_c_; }        // column group ID
@@ -99,6 +104,47 @@ class Dist2DGraph {
   Lid row_lid_begin() const { return lid_map_.c_offset_r(); }
   Lid row_lid_end() const { return lid_map_.c_offset_r() + lid_map_.n_row(); }
 
+  // --- Streaming mutation support (docs/STREAMING.md) --------------------
+  // The graph is mutable in its EDGE set only: the vertex count, the 2D
+  // partition, the LID maps and the communicators are all fixed, so a
+  // commit rebuilds nothing but this rank's CSR. The two primitives below
+  // are rank-local; the collective orchestration (routing ops to owners,
+  // agreeing on the global delta and epoch) lives in stream::commit.
+
+  /// Epoch counter: 0 for the freshly built graph, +1 per commit that
+  /// applied at least one directed entry anywhere in the grid. The serving
+  /// layer threads this through ResultCache keys.
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// One directed entry to apply locally: `u` is a row LID, `v` a col LID
+  /// (i.e. this rank owns the entry). `insert == false` deletes one
+  /// parallel copy, or is a no-op when absent.
+  struct LocalEdgeOp {
+    bool insert = true;
+    Lid u = 0;
+    Lid v = 0;
+  };
+  struct LocalApplyResult {
+    std::int64_t inserted = 0;
+    std::int64_t deleted = 0;
+    std::int64_t noop_deletes = 0;
+    /// A delete removed the LAST parallel copy of its directed pair:
+    /// connectivity may have changed (see the incremental kernels'
+    /// fallback rule).
+    bool structural_delete = false;
+  };
+
+  /// Applies `ops` in order to this rank's edge multiset (no
+  /// communication, no CSR rebuild — call finish_commit afterwards).
+  LocalApplyResult apply_local_edge_ops(std::span<const LocalEdgeOp> ops);
+
+  /// Seals a commit: rebuilds the CSR from the mutated edge multiset when
+  /// `csr_dirty`, applies the globally agreed directed-entry delta to
+  /// m_global(), bumps the epoch, and invalidates the cached global
+  /// degrees (recomputed collectively on next use — safe because every
+  /// row-group member commits together).
+  void finish_commit(std::int64_t m_global_delta, bool csr_dirty);
+
  private:
   const Partitioned2D* parts_;
   comm::Comm* world_;
@@ -107,9 +153,15 @@ class Dist2DGraph {
   int rank_r_;
   int rank_c_;
   LidMap lid_map_;
+  // The rank's live edge multiset in LID space (row LID -> col LID). The
+  // CSR is always a materialization of exactly this vector; commits mutate
+  // it and rebuild the CSR from it.
+  std::vector<graph::Edge> local_edges_;
   graph::Csr csr_;
   comm::Comm row_comm_;
   comm::Comm col_comm_;
+  std::int64_t m_global_;
+  std::uint64_t epoch_ = 0;
   std::vector<std::int64_t> global_degrees_;  // lazily filled
 };
 

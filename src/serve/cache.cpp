@@ -11,25 +11,43 @@ std::shared_ptr<const Response> ResultCache::get(const std::string& key) {
   }
   ++hits_;
   lru_.splice(lru_.begin(), lru_, it->second);
-  return it->second->second;
+  return it->second->value;
 }
 
 void ResultCache::put(const std::string& key,
-                      std::shared_ptr<const Response> value) {
+                      std::shared_ptr<const Response> value,
+                      std::uint64_t epoch) {
   if (capacity_ == 0) return;
   std::lock_guard lock(mutex_);
   if (const auto it = index_.find(key); it != index_.end()) {
-    it->second->second = std::move(value);
+    it->second->value = std::move(value);
+    it->second->epoch = epoch;
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
   if (lru_.size() >= capacity_) {
-    index_.erase(lru_.back().first);
+    index_.erase(lru_.back().key);
     lru_.pop_back();
     ++evictions_;
   }
-  lru_.emplace_front(key, std::move(value));
+  lru_.emplace_front(Entry{key, std::move(value), epoch});
   index_[key] = lru_.begin();
+}
+
+std::size_t ResultCache::invalidate_epoch(std::uint64_t stale_epoch) {
+  std::lock_guard lock(mutex_);
+  std::size_t dropped = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->epoch <= stale_epoch) {
+      index_.erase(it->key);
+      it = lru_.erase(it);
+      ++dropped;
+      ++evictions_;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
 }
 
 std::size_t ResultCache::size() const {

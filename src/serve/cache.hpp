@@ -12,12 +12,18 @@
 // user-supplied ServiceOptions::graph_key, say — cannot collide with the
 // separators of a different (graph, algo, params) triple. The params
 // field is algo-specific: "root=R" (bfs), "roots=R1,R2,..." (msbfs),
-// "it=N;d=D" with D at max_digits10 precision (pagerank; warm starts are
-// uncacheable and yield the empty key), "" (cc).
+// "it=N;d=D" with D at max_digits10 precision, plus ";tol=T" for
+// tolerance solves (pagerank; warm starts are uncacheable and yield the
+// empty key), "" (cc). Under streaming mutations the graph field carries
+// an "@e<epoch>" suffix, so a post-commit probe can never match a
+// pre-commit entry; see docs/STREAMING.md.
 //
 // Values are shared pointers to immutable Responses, so a hit costs one
 // map lookup plus a list splice and hands back the cached result without
-// copying the payload vectors.
+// copying the payload vectors. Each entry is additionally tagged with the
+// graph epoch it was computed at; invalidate_epoch() reclaims every entry
+// at or below a stale epoch after a mutation commit (the epoch-suffixed
+// keys already make them unreachable — eviction frees the capacity).
 #pragma once
 
 #include <cstdint>
@@ -42,8 +48,16 @@ class ResultCache {
   std::shared_ptr<const Response> get(const std::string& key);
 
   /// Inserts or refreshes `key`, evicting the least-recently-used entry
-  /// when at capacity.
-  void put(const std::string& key, std::shared_ptr<const Response> value);
+  /// when at capacity. `epoch` tags the entry with the graph epoch the
+  /// response was computed at (see invalidate_epoch).
+  void put(const std::string& key, std::shared_ptr<const Response> value,
+           std::uint64_t epoch = 0);
+
+  /// Evicts every entry tagged with an epoch <= `stale_epoch` and returns
+  /// how many were dropped. Called by the service after a mutation commit
+  /// with (new epoch - 1): no post-mutation query can ever be answered by
+  /// a pre-mutation entry.
+  std::size_t invalidate_epoch(std::uint64_t stale_epoch);
 
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }
@@ -52,7 +66,11 @@ class ResultCache {
   std::uint64_t evictions() const;
 
  private:
-  using Entry = std::pair<std::string, std::shared_ptr<const Response>>;
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const Response> value;
+    std::uint64_t epoch = 0;
+  };
 
   const std::size_t capacity_;
   mutable std::mutex mutex_;

@@ -43,6 +43,11 @@ std::string describe(const Response& response) {
     case Algo::kCc:
       out << " components=" << response.n_components;
       break;
+    case Algo::kMutate:
+      out << " epoch=" << response.epoch
+          << " inserted=" << response.edges_inserted
+          << " deleted=" << response.edges_deleted;
+      break;
   }
   out << "\n";
   return out.str();
@@ -54,6 +59,7 @@ ScriptResult run_script(Service& service, std::istream& script) {
   ScriptResult result;
   std::ostringstream log;
   std::string client = "anon";
+  std::uint64_t mutate_batch = 0;
   // Tickets complete in submission order under manual pumping (FIFO plus
   // batching, both deterministic), so draining in submit order keeps the
   // log stable.
@@ -142,6 +148,21 @@ ScriptResult run_script(Service& service, std::istream& script) {
       Request request;
       request.algo = Algo::kCc;
       submit(std::move(request));
+    } else if (cmd == "mutate") {
+      Request request;
+      request.algo = Algo::kMutate;
+      int count = 0;
+      int delete_pct = 30;
+      std::uint64_t seed = 1;
+      words >> count;
+      // A failed extraction would zero the target; keep defaults instead.
+      if (int pct = 0; words >> pct) delete_pct = pct;
+      if (std::uint64_t s = 0; words >> s) seed = s;
+      // Batch index advances per mutate line, so repeated lines with the
+      // same seed produce distinct (but script-reproducible) batches.
+      request.ops = stream::generate_ops(seed, mutate_batch++, count,
+                                         delete_pct, service.n());
+      submit(std::move(request));
     } else if (cmd == "pump") {
       service.pump();
     } else if (cmd == "drain") {
@@ -159,7 +180,8 @@ LoadGenStats run_load(Service& service, Gid n, const LoadGenOptions& options) {
   LoadGenStats stats;
   std::mutex stats_mutex;
   const int total_weight = options.bfs_weight + options.msbfs_weight +
-                           options.pr_weight + options.cc_weight;
+                           options.pr_weight + options.cc_weight +
+                           options.mutate_weight;
   util::WallTimer timer;
 
   std::vector<std::thread> drivers;
@@ -190,8 +212,18 @@ LoadGenStats run_load(Service& service, Gid n, const LoadGenOptions& options) {
                    options.bfs_weight + options.msbfs_weight + options.pr_weight) {
           request.algo = Algo::kPageRank;
           request.iterations = options.pr_iterations;
-        } else {
+        } else if (pick < options.bfs_weight + options.msbfs_weight +
+                              options.pr_weight + options.cc_weight) {
           request.algo = Algo::kCc;
+        } else {
+          request.algo = Algo::kMutate;
+          // Batch index (client, request) is unique per driver thread, so
+          // the generated edge picks are reproducible across runs even
+          // though arrival order is not.
+          request.ops = stream::generate_ops(
+              options.seed + static_cast<std::uint64_t>(c) * 1000003ull,
+              static_cast<std::uint64_t>(r), options.mutate_batch,
+              options.mutate_delete_pct, n);
         }
         for (;;) {
           try {

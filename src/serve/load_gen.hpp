@@ -33,6 +33,10 @@ struct ScriptResult {
 ///   msbfs R1,R2,...    — explicit multi-source batch
 ///   pr ITERS [DAMPING] [warm]
 ///   cc
+///   mutate COUNT [DELPCT] [SEED]
+///                      — commit COUNT seeded edge mutations (DELPCT %
+///                        deletes, default 30; SEED default 1; the batch
+///                        index advances per mutate line)
 ///   pump               — one scheduling round (requires manual dispatch)
 ///   drain              — complete everything admitted so far
 /// A final implicit drain completes any stragglers. Requires a Service
@@ -48,6 +52,13 @@ struct LoadGenOptions {
   int msbfs_weight = 10;
   int pr_weight = 10;
   int cc_weight = 10;
+  /// Streaming mutation mix: weight of kMutate requests (0 = query-only
+  /// load), ops per committed batch, and the delete share of each batch.
+  /// Edge picks are seeded per (client, request index) so the offered
+  /// mutation stream is reproducible end to end.
+  int mutate_weight = 0;
+  int mutate_batch = 8;
+  int mutate_delete_pct = 30;
   int msbfs_sources = 8;  // roots per explicit msbfs request
   int pr_iterations = 5;
 };

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "graph/types.hpp"
+#include "stream/mutation_log.hpp"
 
 namespace hpcg::serve {
 
@@ -23,6 +24,7 @@ enum class Algo : std::uint8_t {
   kMsBfs,     // explicit multi-source batch, 1..64 roots
   kPageRank,  // fixed-iteration PageRank, optionally warm-started
   kCc,        // connected components
+  kMutate,    // commit a batch of edge mutations (docs/STREAMING.md)
 };
 
 constexpr const char* to_string(Algo algo) {
@@ -31,6 +33,7 @@ constexpr const char* to_string(Algo algo) {
     case Algo::kMsBfs: return "msbfs";
     case Algo::kPageRank: return "pr";
     case Algo::kCc: return "cc";
+    case Algo::kMutate: return "mutate";
   }
   return "?";
 }
@@ -47,6 +50,15 @@ struct Request {
   /// state left by the previous PageRank request) instead of 1/n. Warm
   /// responses are never cached — they depend on session history.
   bool warm_start = false;
+  /// PageRank only: > 0 switches to the tolerance solve — iterate until the
+  /// global L1 delta drops below this, with `iterations` as the cap. When
+  /// the session holds resident PageRank state this runs delta-PageRank
+  /// seeded from it (Response::incremental reports which happened).
+  double tolerance = 0.0;
+  /// kMutate only: the edge batch to commit, in ORIGINAL vertex ids. The
+  /// scheduler applies it at a superstep boundary between queries; every
+  /// request submitted afterwards observes the post-commit graph.
+  std::vector<stream::EdgeOp> ops;
 };
 
 struct Response {
@@ -65,6 +77,17 @@ struct Response {
   std::vector<double> rank;                       // pagerank
   std::vector<Gid> component;                     // cc labels
   std::int64_t n_components = 0;
+
+  /// Graph epoch this answer reflects: for queries, the epoch of the graph
+  /// they executed against; for kMutate, the post-commit epoch.
+  std::uint64_t epoch = 0;
+  /// kMutate: directed entries applied across the grid (2 per undirected
+  /// op that took effect; deletes of absent edges count in neither).
+  std::int64_t edges_inserted = 0;
+  std::int64_t edges_deleted = 0;
+  /// Query answered by incremental maintenance (CC ripple, BFS repair,
+  /// seeded delta-PageRank) instead of a from-scratch run.
+  bool incremental = false;
 
   // Latency split in wall seconds: submit->pop, pop->complete, and total.
   double queue_s = 0.0;

@@ -10,8 +10,10 @@
 #include "algos/bfs.hpp"
 #include "algos/cc.hpp"
 #include "algos/gather.hpp"
+#include "algos/incremental.hpp"
 #include "algos/msbfs.hpp"
 #include "algos/pagerank.hpp"
+#include "stream/commit.hpp"
 
 namespace hpcg::serve {
 
@@ -79,8 +81,21 @@ void Service::validate(const Request& request) const {
       if (request.iterations < 1) {
         throw std::invalid_argument("pr request needs iterations >= 1");
       }
+      if (request.tolerance < 0.0) {
+        throw std::invalid_argument("pr request tolerance must be >= 0");
+      }
       break;
     case Algo::kCc:
+      break;
+    case Algo::kMutate:
+      if (session_.partition().weighted()) {
+        throw std::invalid_argument(
+            "mutate: streaming mutations require an unweighted graph");
+      }
+      // Reject malformed ops HERE, synchronously: stream::commit would
+      // throw the same error on every rank thread, which tears the
+      // resident session down (a failed job is fatal by contract).
+      stream::validate_ops(request.ops, n);
       break;
   }
   for (const Gid root : request.roots) {
@@ -111,18 +126,27 @@ std::string Service::cache_key(const Request& request) const {
       params << "it=" << request.iterations << ";d="
              << std::setprecision(std::numeric_limits<double>::max_digits10)
              << request.damping;
+      // Tolerance solves answer "within tolerance of the fixpoint", which
+      // is the same contract whether delta-seeded or cold — cacheable.
+      if (request.tolerance > 0.0) params << ";tol=" << request.tolerance;
       break;
     case Algo::kCc:
       break;
+    case Algo::kMutate:
+      return {};  // commits are effects, not cacheable answers
   }
   // Length-prefixed join (grammar documented in cache.hpp): a '|' inside
   // graph_key or a params string can never collide with the field
-  // separators of a different request.
+  // separators of a different request. The "@e<epoch>" suffix keeps keys
+  // minted before a mutation commit from ever matching probes minted
+  // after it (docs/STREAMING.md).
   const auto prefixed = [](const std::string& field) {
     return std::to_string(field.size()) + ":" + field;
   };
-  return prefixed(graph_key_) + "|" + prefixed(to_string(request.algo)) + "|" +
-         prefixed(params.str());
+  const std::string graph_field =
+      graph_key_ + "@e" + std::to_string(graph_epoch_.load());
+  return prefixed(graph_field) + "|" + prefixed(to_string(request.algo)) +
+         "|" + prefixed(params.str());
 }
 
 Service::Ticket Service::submit(Request request) {
@@ -135,7 +159,12 @@ Service::Ticket Service::submit(Request request) {
   const std::uint64_t id = ++next_id_;
   const std::string key = cache_key(request);
 
-  if (!key.empty()) {
+  // A queued mutation means this request logically executes against a
+  // graph that does not exist yet; an entry minted at the current epoch
+  // would be a pre-mutation answer. Skip the probe entirely.
+  if (!key.empty() && pending_mutations_ > 0) {
+    metrics_->counter("serve.cache.probe_skipped").increment();
+  } else if (!key.empty()) {
     if (auto hit = cache_.get(key)) {
       metrics_->counter("serve.cache.hits").increment();
       Response response = *hit;
@@ -167,6 +196,7 @@ Service::Ticket Service::submit(Request request) {
   }
   ++inflight;
   metrics_->counter("serve.requests.admitted").increment();
+  if (request.algo == Algo::kMutate) ++pending_mutations_;
 
   auto pending = std::make_unique<Pending>();
   pending->id = id;
@@ -196,10 +226,13 @@ bool Service::pump() {
     queue_.pop_front();
     if (batch[0]->request.algo == Algo::kBfs && options_.max_batch > 1) {
       // Coalesce every pending single-source BFS, oldest first, until the
-      // bit-packed frontier word is full.
+      // bit-packed frontier word is full. A pending mutation is a
+      // scheduling barrier: a BFS submitted after it must observe the
+      // post-commit graph, so coalescing never reaches past one.
       for (auto it = queue_.begin();
            it != queue_.end() &&
            static_cast<int>(batch.size()) < options_.max_batch;) {
+        if ((*it)->request.algo == Algo::kMutate) break;
         if ((*it)->request.algo == Algo::kBfs) {
           batch.push_back(std::move(*it));
           it = queue_.erase(it);
@@ -207,6 +240,14 @@ bool Service::pump() {
           ++it;
         }
       }
+    }
+    // Stamp each request with the epoch it will execute at. Mutations only
+    // commit through this serialized path, so the epoch cannot move
+    // between here and completion — the stamped key is the one the result
+    // is valid under, even if the submit-time key predates a commit.
+    for (auto& pending : batch) {
+      pending->epoch = graph_epoch_.load();
+      if (!pending->key.empty()) pending->key = cache_key(pending->request);
     }
     metrics_->gauge("serve.queue.depth").set(static_cast<double>(queue_.size()));
     ++executing_;
@@ -272,6 +313,9 @@ void Service::finish_one(const std::string& client) {
 void Service::complete(Pending& pending, Response response, double popped_s) {
   const double done_s = now_s();
   response.id = pending.id;
+  // Queries report the epoch they executed against; mutations already
+  // carry their post-commit epoch.
+  if (response.algo != Algo::kMutate) response.epoch = pending.epoch;
   response.queue_s = popped_s - pending.submit_s;
   response.exec_s = done_s - popped_s;
   response.total_s = done_s - pending.submit_s;
@@ -293,7 +337,12 @@ void Service::complete(Pending& pending, Response response, double popped_s) {
     options_.recorder->record(std::move(span));
   }
   if (!pending.key.empty()) {
-    cache_.put(pending.key, std::make_shared<const Response>(response));
+    cache_.put(pending.key, std::make_shared<const Response>(response),
+               pending.epoch);
+  }
+  if (pending.request.algo == Algo::kMutate) {
+    std::lock_guard lock(mutex_);
+    --pending_mutations_;
   }
   finish_one(pending.request.client);
   pending.promise.set_value(std::move(response));
@@ -301,6 +350,10 @@ void Service::complete(Pending& pending, Response response, double popped_s) {
 
 void Service::fail(Pending& pending, std::exception_ptr error) {
   metrics_->counter("serve.requests.failed").increment();
+  if (pending.request.algo == Algo::kMutate) {
+    std::lock_guard lock(mutex_);
+    --pending_mutations_;
+  }
   finish_one(pending.request.client);
   pending.promise.set_exception(std::move(error));
 }
@@ -315,6 +368,8 @@ void Service::execute(std::vector<std::unique_ptr<Pending>> batch) {
   try {
     if (batch.size() > 1) {
       execute_bfs_batch(batch);
+    } else if (batch[0]->request.algo == Algo::kMutate) {
+      execute_mutate(*batch[0]);
     } else {
       execute_single(*batch[0]);
     }
@@ -388,19 +443,59 @@ void Service::execute_single(Pending& pending) {
 
   switch (request.algo) {
     case Algo::kBfs: {
+      const Gid root = request.roots[0];
       std::vector<std::int64_t> levels;
       std::int64_t depth = 0;
+      // Resident per-root state: repair from the commit deltas when they
+      // cover the staleness gap, else run from scratch.
+      std::vector<std::vector<std::pair<core::Lid, core::Lid>>> deltas;
+      BfsState state;
+      bool had_state = false;
+      for (auto it = bfs_states_.begin(); it != bfs_states_.end(); ++it) {
+        if (it->root == root) {
+          state = std::move(*it);
+          bfs_states_.erase(it);
+          had_state = true;
+          break;
+        }
+      }
+      const bool repair = had_state && deltas_since(state.epoch, deltas);
+      if (repair) {
+        metrics_->counter("stream.bfs.repaired").increment();
+      } else if (had_state) {
+        metrics_->counter("stream.bfs.fallback").increment();
+      }
+      state.root = root;
+      state.level.resize(static_cast<std::size_t>(session_.nranks()));
       session_.run([&](core::Dist2DGraph& g, comm::Comm& comm) {
-        algos::BfsOptions bo;
-        bo.sparse = options_.sparse;
-        const auto result = algos::bfs(g, request.roots[0], bo);
-        auto gathered = algos::gather_row_state(
-            g, std::span<const std::int64_t>(result.level));
+        const auto slot = static_cast<std::size_t>(comm.rank());
+        std::vector<std::int64_t> level;
+        std::int64_t d = 0;
+        if (repair) {
+          auto repaired = algos::bfs_repair(
+              g, root, std::move(state.level[slot]),
+              std::span(deltas[slot]), false, options_.sparse);
+          level = std::move(repaired.level);
+          d = repaired.depth;
+        } else {
+          algos::BfsOptions bo;
+          bo.sparse = options_.sparse;
+          auto result = algos::bfs(g, root, bo);
+          level = std::move(result.level);
+          d = result.depth;
+        }
+        auto gathered =
+            algos::gather_row_state(g, std::span<const std::int64_t>(level));
         if (comm.rank() == 0) {
           levels = to_original_order(gathered);
-          depth = result.depth;
+          depth = d;
         }
+        state.level[slot] = std::move(level);
       });
+      state.epoch = graph_epoch_.load();
+      bfs_states_.push_back(std::move(state));
+      if (bfs_states_.size() > kBfsStates) bfs_states_.pop_front();
+      response.incremental = repair;
       response.levels.push_back(std::move(levels));
       response.depth.push_back(depth);
       break;
@@ -430,33 +525,71 @@ void Service::execute_single(Pending& pending) {
     }
     case Algo::kPageRank: {
       std::vector<double> rank;
+      const bool tol_mode = request.tolerance > 0.0;
       const bool warm = request.warm_start && !pr_state_[0].empty();
+      bool seeded = false;
       session_.run([&](core::Dist2DGraph& g, comm::Comm& comm) {
+        const auto slot = static_cast<std::size_t>(comm.rank());
         std::vector<double> pr;
-        if (warm) {
-          pr = algos::pagerank_warm_start(
-              g, pr_state_[static_cast<std::size_t>(comm.rank())],
+        if (tol_mode) {
+          // Tolerance solve: delta-PageRank seeds from whatever resident
+          // state exists (mis-sized or absent state degrades to a cold
+          // tolerance run — delta_pagerank decides).
+          auto delta = algos::delta_pagerank(
+              g, std::move(pr_state_[slot]), request.tolerance,
               request.iterations, request.damping, options_.sparse);
+          if (comm.rank() == 0) seeded = delta.seeded;
+          pr = std::move(delta.rank);
+        } else if (warm) {
+          pr = algos::pagerank_warm_start(g, pr_state_[slot],
+                                          request.iterations, request.damping,
+                                          options_.sparse);
         } else {
           pr = algos::pagerank(g, request.iterations, request.damping,
                                options_.sparse);
         }
         auto gathered = algos::gather_row_state(g, std::span<const double>(pr));
         if (comm.rank() == 0) rank = to_original_order(gathered);
-        // Each rank parks its LID state for the next warm start.
-        pr_state_[static_cast<std::size_t>(comm.rank())] = std::move(pr);
+        // Each rank parks its LID state for the next warm/delta start.
+        pr_state_[slot] = std::move(pr);
       });
+      if (tol_mode) {
+        metrics_
+            ->counter(seeded ? "stream.pr.delta_seeded" : "stream.pr.delta_cold")
+            .increment();
+      }
+      response.incremental = seeded;
       response.rank = std::move(rank);
       break;
     }
     case Algo::kCc: {
       std::vector<Gid> component;
       std::int64_t n_components = 0;
+      std::vector<std::vector<std::pair<core::Lid, core::Lid>>> deltas;
+      const bool repair =
+          cc_state_.valid && deltas_since(cc_state_.epoch, deltas);
+      if (repair) {
+        metrics_->counter("stream.cc.incremental").increment();
+      } else if (cc_state_.valid) {
+        metrics_->counter("stream.cc.fallback").increment();
+      }
+      cc_state_.label.resize(static_cast<std::size_t>(session_.nranks()));
       session_.run([&](core::Dist2DGraph& g, comm::Comm& comm) {
-        const auto result =
-            algos::connected_components(g, algos::CcOptions::all_push());
+        const auto slot = static_cast<std::size_t>(comm.rank());
+        std::vector<Gid> label;
+        if (repair) {
+          auto repaired = algos::incremental_cc(
+              g, std::move(cc_state_.label[slot]), std::span(deltas[slot]),
+              false, options_.sparse);
+          label = std::move(repaired.label);
+        } else {
+          auto options = algos::CcOptions::all_push();
+          options.sparse_opts = options_.sparse;
+          auto full = algos::connected_components(g, options);
+          label = std::move(full.label);
+        }
         auto gathered =
-            algos::gather_row_state(g, std::span<const Gid>(result.label));
+            algos::gather_row_state(g, std::span<const Gid>(label));
         if (comm.rank() == 0) {
           component.resize(n);
           for (Gid v = 0; v < static_cast<Gid>(n); ++v) {
@@ -468,13 +601,87 @@ void Service::execute_single(Pending& pending) {
           const std::set<Gid> distinct(component.begin(), component.end());
           n_components = static_cast<std::int64_t>(distinct.size());
         }
+        cc_state_.label[slot] = std::move(label);
       });
+      cc_state_.valid = true;
+      cc_state_.epoch = graph_epoch_.load();
+      response.incremental = repair;
       response.component = std::move(component);
       response.n_components = n_components;
       break;
     }
+    case Algo::kMutate:
+      break;  // unreachable: execute() routes mutations to execute_mutate
   }
   complete(pending, std::move(response), popped_s);
+}
+
+void Service::execute_mutate(Pending& pending) {
+  const double popped_s = now_s();
+  const Request& request = pending.request;
+  const auto nranks = static_cast<std::size_t>(session_.nranks());
+  std::vector<stream::CommitResult> per_rank(nranks);
+  session_.run([&](core::Dist2DGraph& g, comm::Comm& comm) {
+    per_rank[static_cast<std::size_t>(comm.rank())] =
+        stream::commit(g, request.ops);
+  });
+  // Global counts agree on every rank; local_inserts are per rank.
+  const auto& agg = per_rank[0];
+
+  Response response;
+  response.algo = Algo::kMutate;
+  response.epoch = agg.epoch;
+  response.edges_inserted = agg.inserted;
+  response.edges_deleted = agg.deleted;
+
+  if (agg.mutated) {
+    graph_epoch_.store(agg.epoch);
+    // Entries minted before this commit are unreachable under the new
+    // epoch-suffixed keys; evict them so they stop occupying capacity.
+    const auto dropped = cache_.invalidate_epoch(agg.epoch - 1);
+    metrics_->counter("stream.cache.invalidated").add(dropped);
+
+    CommitDelta delta;
+    delta.epoch = agg.epoch;
+    delta.structural_delete = agg.structural_delete;
+    delta.local_inserts.resize(nranks);
+    for (std::size_t r = 0; r < nranks; ++r) {
+      delta.local_inserts[r] = std::move(per_rank[r].local_inserts);
+    }
+    commit_history_.push_back(std::move(delta));
+    if (commit_history_.size() > kCommitHistory) commit_history_.pop_front();
+
+    metrics_->counter("stream.batches.committed").increment();
+    metrics_->counter("stream.edges.inserted").add(agg.inserted);
+    metrics_->counter("stream.edges.deleted").add(agg.deleted);
+  } else {
+    metrics_->counter("stream.batches.empty").increment();
+  }
+  metrics_->counter("stream.deletes.noop").add(agg.noop_deletes);
+
+  complete(pending, std::move(response), popped_s);
+}
+
+bool Service::deltas_since(
+    std::uint64_t state_epoch,
+    std::vector<std::vector<std::pair<core::Lid, core::Lid>>>& out) const {
+  out.assign(static_cast<std::size_t>(session_.nranks()), {});
+  const std::uint64_t current = graph_epoch_.load();
+  if (state_epoch > current) return false;
+  // Mutated commits bump the epoch by exactly one, so history epochs are
+  // consecutive; coverage just means "every epoch in (state, current] is
+  // still retained, none structural".
+  std::uint64_t need = state_epoch + 1;
+  for (const auto& delta : commit_history_) {
+    if (delta.epoch <= state_epoch) continue;
+    if (delta.epoch != need || delta.structural_delete) return false;
+    for (std::size_t r = 0; r < out.size(); ++r) {
+      out[r].insert(out[r].end(), delta.local_inserts[r].begin(),
+                    delta.local_inserts[r].end());
+    }
+    ++need;
+  }
+  return need == current + 1;
 }
 
 }  // namespace hpcg::serve

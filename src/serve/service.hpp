@@ -18,8 +18,20 @@
 // `auto_dispatch = true` a background scheduler thread drains the queue;
 // with false the owner pumps explicitly (deterministic batching for
 // scripts and tests).
+//
+// Streaming mutations (docs/STREAMING.md): a kMutate request commits its
+// edge batch through stream::commit at a scheduling boundary, bumping the
+// graph epoch. Epochs are threaded into every cache key (and BFS
+// coalescing never crosses a pending mutation), so a query submitted
+// after a mutation can never be answered from pre-mutation state; while
+// any mutation is queued the cache probe is skipped outright. The service
+// keeps the recent commit deltas plus resident CC / per-root BFS /
+// PageRank state so stale queries are repaired incrementally
+// (algos/incremental) instead of recomputed, falling back on structural
+// deletes or when the delta history no longer covers the staleness gap.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -94,8 +106,15 @@ class Service {
   const ResultCache& cache() const { return cache_; }
   std::size_t queue_depth() const;
 
-  /// The cache key a request would be stored under; empty when the
-  /// request is uncacheable (PageRank warm starts). Exposed for tests.
+  /// Current graph epoch: number of mutation batches committed with
+  /// effect since the session was built.
+  std::uint64_t epoch() const { return graph_epoch_.load(); }
+  /// Vertex-id bound of the resident graph (for generated mutations).
+  Gid n() const { return session_.n(); }
+
+  /// The cache key a request would be stored under at the CURRENT epoch;
+  /// empty when the request is uncacheable (PageRank warm starts,
+  /// mutations). Exposed for tests.
   std::string cache_key(const Request& request) const;
 
  private:
@@ -103,20 +122,36 @@ class Service {
     std::uint64_t id = 0;
     Request request;
     std::string key;
+    std::uint64_t epoch = 0;  // graph epoch the key was stamped at (pop time)
     std::promise<Response> promise;
     std::shared_future<Response> future;
     double submit_s = 0.0;
+  };
+
+  /// One committed mutation batch, remembered for incremental repair:
+  /// each rank's freshly inserted (row LID, col LID) entries.
+  struct CommitDelta {
+    std::uint64_t epoch = 0;
+    bool structural_delete = false;
+    std::vector<std::vector<std::pair<core::Lid, core::Lid>>> local_inserts;
   };
 
   void dispatcher_loop();
   void execute(std::vector<std::unique_ptr<Pending>> batch);
   void execute_bfs_batch(std::vector<std::unique_ptr<Pending>>& batch);
   void execute_single(Pending& pending);
+  void execute_mutate(Pending& pending);
   void complete(Pending& pending, Response response, double popped_s);
   void fail(Pending& pending, std::exception_ptr error);
   void validate(const Request& request) const;
   double now_s() const;
   void finish_one(const std::string& client);
+  /// True when commit_history_ covers every epoch in (state_epoch,
+  /// current] without a structural delete; appends each rank's inserted
+  /// entries (in commit order) to `out`, sized nranks.
+  bool deltas_since(
+      std::uint64_t state_epoch,
+      std::vector<std::vector<std::pair<core::Lid, core::Lid>>>& out) const;
 
   Session& session_;
   const ServiceOptions options_;
@@ -137,10 +172,36 @@ class Service {
   bool stopping_ = false;
   bool dead_ = false;  // session failed; reject all future work
 
+  /// Post-commit graph epoch; atomic so cache_key() can read it without
+  /// the queue lock. Written only by the (serialized) executor.
+  std::atomic<std::uint64_t> graph_epoch_{0};
+  /// Queued-but-not-yet-committed kMutate requests. While > 0 submit()
+  /// skips the cache probe: a hit at the current epoch would serve a
+  /// pre-mutation answer to a post-mutation query. Guarded by mutex_.
+  int pending_mutations_ = 0;
+
   /// Resident PageRank state for warm starts, LID-indexed per rank. Each
   /// rank thread writes only its own slot during a PageRank job; the
   /// scheduler serializes jobs, so no lock is needed.
   std::vector<std::vector<double>> pr_state_;
+
+  // Incremental-maintenance state, touched only by the serialized
+  // executor (same discipline as pr_state_).
+  static constexpr std::size_t kCommitHistory = 16;
+  static constexpr std::size_t kBfsStates = 4;
+  std::deque<CommitDelta> commit_history_;  // oldest first, bounded
+  struct CcState {
+    bool valid = false;
+    std::uint64_t epoch = 0;
+    std::vector<std::vector<Gid>> label;  // per-rank LID-indexed labels
+  };
+  CcState cc_state_;
+  struct BfsState {
+    Gid root = 0;
+    std::uint64_t epoch = 0;
+    std::vector<std::vector<std::int64_t>> level;  // per-rank levels
+  };
+  std::deque<BfsState> bfs_states_;  // LRU, back = most recent, bounded
 
   std::thread dispatcher_;
 };

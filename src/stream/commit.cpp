@@ -1,0 +1,121 @@
+#include "stream/commit.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+
+#include "core/work.hpp"
+
+namespace hpcg::stream {
+
+namespace {
+
+/// One directed entry in flight: `seq` is the op's index in the batch, so
+/// the owner can replay its entries in global op order (entries of the
+/// same directed pair always land on the same rank, making the replay
+/// order-equivalent to the sequential host mirror). Endpoints are striped
+/// GIDs — already relabeled by the sender.
+struct DirectedOp {
+  std::int64_t seq = 0;
+  graph::Gid u = 0;
+  graph::Gid v = 0;
+  std::int32_t insert = 0;
+};
+
+}  // namespace
+
+CommitResult commit(core::Dist2DGraph& g, std::span<const EdgeOp> ops) {
+  // Both checks are deterministic on identical inputs, so every rank
+  // throws (or proceeds) together — no rank is left stranded in a
+  // collective.
+  if (g.partition().weighted()) {
+    throw std::invalid_argument(
+        "stream::commit: weighted graphs do not accept streaming mutations");
+  }
+  validate_ops(ops, g.n());
+
+  auto& world = g.world();
+  const auto& parts = g.partition();
+  const auto& grid = g.grid();
+  const int nranks = world.size();
+  auto span = world.phase_span("stream.commit");
+
+  CommitResult out;
+  out.epoch = g.epoch();
+  if (ops.empty()) return out;
+  // One commit is one superstep; its value is the applied directed-entry
+  // count (set before the span closes at function exit).
+  auto superstep = world.superstep_span("stream.commit");
+
+  // Expansion: a deterministic 1/P slice of the batch per rank, each op
+  // becoming its two directed entries, bucketed by owning rank.
+  std::vector<std::vector<DirectedOp>> buckets(
+      static_cast<std::size_t>(nranks));
+  const auto route = [&](std::int64_t seq, Gid a, Gid b, bool insert) {
+    const int dest = grid.rank_at(parts.row_partition().part_of(a),
+                                  parts.col_partition().part_of(b));
+    buckets[static_cast<std::size_t>(dest)].push_back(
+        {seq, a, b, insert ? 1 : 0});
+  };
+  for (std::size_t i = static_cast<std::size_t>(world.rank()); i < ops.size();
+       i += static_cast<std::size_t>(nranks)) {
+    const auto& op = ops[i];
+    const Gid u = parts.relabel().to_new(op.u);
+    const Gid v = parts.relabel().to_new(op.v);
+    const bool insert = op.kind == EdgeOpKind::kInsert;
+    route(static_cast<std::int64_t>(i), u, v, insert);
+    route(static_cast<std::int64_t>(i), v, u, insert);
+  }
+
+  std::vector<DirectedOp> send;
+  std::vector<std::size_t> send_counts(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    send_counts[static_cast<std::size_t>(r)] = buckets[r].size();
+    send.insert(send.end(), buckets[r].begin(), buckets[r].end());
+  }
+  std::vector<DirectedOp> received;
+  world.alltoallv(std::span<const DirectedOp>(send), send_counts, received);
+
+  // Replay in global op order. The (u, v) tiebreak only orders the two
+  // directions of one op — distinct directed pairs, so any order gives
+  // the same multiset.
+  std::sort(received.begin(), received.end(),
+            [](const DirectedOp& a, const DirectedOp& b) {
+              return std::tie(a.seq, a.u, a.v) < std::tie(b.seq, b.u, b.v);
+            });
+  const auto& lids = g.lids();
+  std::vector<core::Dist2DGraph::LocalEdgeOp> local_ops;
+  local_ops.reserve(received.size());
+  for (const auto& d : received) {
+    local_ops.push_back({d.insert != 0, lids.row_lid(d.u), lids.col_lid(d.v)});
+  }
+  const auto applied = g.apply_local_edge_ops(local_ops);
+  core::charge_kernel(world, /*vertices=*/0,
+                      static_cast<std::int64_t>(ops.size() + received.size()));
+
+  // Agree on the global outcome so every rank branches identically on
+  // `mutated` and `structural_delete`.
+  std::int64_t counts[4] = {applied.inserted, applied.deleted,
+                            applied.noop_deletes,
+                            applied.structural_delete ? 1 : 0};
+  world.allreduce(std::span<std::int64_t>(counts), comm::ReduceOp::kSum);
+  out.inserted = counts[0];
+  out.deleted = counts[1];
+  out.noop_deletes = counts[2];
+  out.structural_delete = counts[3] > 0;
+  out.mutated = (out.inserted + out.deleted) > 0;
+
+  for (const auto& op : local_ops) {
+    if (op.insert) out.local_inserts.emplace_back(op.u, op.v);
+  }
+
+  if (out.mutated) {
+    const bool local_dirty = (applied.inserted + applied.deleted) > 0;
+    g.finish_commit(out.inserted - out.deleted, local_dirty);
+  }
+  out.epoch = g.epoch();
+  superstep.set_value(out.inserted + out.deleted);
+  return out;
+}
+
+}  // namespace hpcg::stream

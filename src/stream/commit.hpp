@@ -1,0 +1,54 @@
+// The collective epoch commit (docs/STREAMING.md): takes one batch of
+// EdgeOps (original ids, identical on every rank) and applies it to a live
+// Dist2DGraph at a superstep boundary.
+//
+// Routing reuses the 2D machinery that built the graph: each op expands to
+// its two directed entries, each directed entry is owned by exactly one
+// rank (row group of the striped source x column group of the striped
+// destination), and a single world AllToAllv delivers every entry to its
+// owner. Receivers replay their entries in global op order, so the
+// distributed edge multiset evolves exactly like the checker's sequential
+// host mirror. A commit that applied at least one directed entry anywhere
+// bumps the graph epoch on EVERY rank (the epoch is grid-global state);
+// empty or all-no-op batches leave the epoch — and therefore every cache
+// key — untouched.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/dist2d.hpp"
+#include "stream/mutation_log.hpp"
+
+namespace hpcg::stream {
+
+/// Outcome of one collective commit. Counts are GLOBAL directed-entry
+/// totals (agreed by AllReduce, identical on every rank), except
+/// `local_inserts` which is this rank's share — the seed set the
+/// incremental kernels ripple from.
+struct CommitResult {
+  /// Graph epoch after the commit (unchanged when `mutated` is false).
+  std::uint64_t epoch = 0;
+  /// Did any rank apply a directed insert or delete?
+  bool mutated = false;
+  /// Did any rank remove the last parallel copy of a directed pair?
+  /// Incremental CC/BFS must fall back to a full recompute when set.
+  bool structural_delete = false;
+  std::int64_t inserted = 0;
+  std::int64_t deleted = 0;
+  std::int64_t noop_deletes = 0;
+  /// Directed entries this rank inserted, as (row LID, col LID) pairs.
+  std::vector<std::pair<core::Lid, core::Lid>> local_inserts;
+};
+
+/// Collective over g.world(): every rank passes the SAME ops batch.
+/// Validates endpoints, routes each directed entry to its owning rank,
+/// applies, agrees on global counts, and seals the graph epoch. Throws
+/// std::invalid_argument on malformed ops or a weighted graph (streaming
+/// commits do not carry weights) — deterministically, before any
+/// communication, so all ranks throw together.
+CommitResult commit(core::Dist2DGraph& g, std::span<const EdgeOp> ops);
+
+}  // namespace hpcg::stream

@@ -1,0 +1,122 @@
+#include "stream/mutation_log.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "util/prng.hpp"
+
+namespace hpcg::stream {
+
+void validate_ops(std::span<const EdgeOp> ops, Gid n) {
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const auto& op = ops[i];
+    if (op.u < 0 || op.u >= n || op.v < 0 || op.v >= n) {
+      throw std::invalid_argument("mutation op " + std::to_string(i) +
+                                  ": endpoint outside [0, n)");
+    }
+    if (op.u == op.v) {
+      throw std::invalid_argument("mutation op " + std::to_string(i) +
+                                  ": self loops are not allowed");
+    }
+  }
+}
+
+void MutationLog::append(EdgeOp op) {
+  std::lock_guard lock(mutex_);
+  log_.push_back(op);
+}
+
+void MutationLog::append(std::span<const EdgeOp> ops) {
+  std::lock_guard lock(mutex_);
+  log_.insert(log_.end(), ops.begin(), ops.end());
+}
+
+std::vector<EdgeOp> MutationLog::drain(std::size_t max_ops) {
+  std::lock_guard lock(mutex_);
+  const auto take = std::min(max_ops, log_.size());
+  std::vector<EdgeOp> out(log_.begin(),
+                          log_.begin() + static_cast<std::ptrdiff_t>(take));
+  log_.erase(log_.begin(), log_.begin() + static_cast<std::ptrdiff_t>(take));
+  return out;
+}
+
+std::size_t MutationLog::size() const {
+  std::lock_guard lock(mutex_);
+  return log_.size();
+}
+
+namespace {
+
+/// Erases the first occurrence of the directed entry (u, v), preserving
+/// the order of everything else. Returns {found, another copy remains}.
+std::pair<bool, bool> erase_one_directed(graph::EdgeList& el, Gid u, Gid v) {
+  const graph::Edge target{u, v};
+  const auto it = std::find(el.edges.begin(), el.edges.end(), target);
+  if (it == el.edges.end()) return {false, false};
+  el.edges.erase(it);
+  const bool remains =
+      std::find(el.edges.begin(), el.edges.end(), target) != el.edges.end();
+  return {true, remains};
+}
+
+}  // namespace
+
+HostApplyResult apply_to_edge_list(graph::EdgeList& el,
+                                   std::span<const EdgeOp> ops) {
+  validate_ops(ops, el.n);
+  HostApplyResult out;
+  for (const auto& op : ops) {
+    if (op.kind == EdgeOpKind::kInsert) {
+      el.edges.push_back({op.u, op.v});
+      el.edges.push_back({op.v, op.u});
+      out.inserted += 2;
+      continue;
+    }
+    // Each direction is tracked independently, exactly like the directed
+    // entries the distributed commit routes to (possibly different) ranks.
+    for (const auto& [a, b] : {std::pair{op.u, op.v}, std::pair{op.v, op.u}}) {
+      const auto [found, remains] = erase_one_directed(el, a, b);
+      if (!found) {
+        ++out.noop_deletes;
+      } else {
+        ++out.deleted;
+        if (!remains) out.structural_delete = true;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<EdgeOp> generate_ops(std::uint64_t seed, std::uint64_t batch_index,
+                                 int count, int delete_percent, Gid n,
+                                 const graph::EdgeList* current) {
+  std::vector<EdgeOp> out;
+  if (n < 2) return out;
+  // Same per-stream splitting idiom as the load generator's per-client
+  // seeding: batch k of seed s is the same everywhere, every time.
+  util::Xoshiro256 rng(util::splitmix64(seed) +
+                       batch_index * 0x9e3779b97f4a7c15ull);
+  out.reserve(static_cast<std::size_t>(std::max(count, 0)));
+  for (int i = 0; i < count; ++i) {
+    const bool del =
+        static_cast<int>(rng.next_below(100)) < delete_percent;
+    if (del && current && !current->edges.empty()) {
+      const auto& e = current->edges[static_cast<std::size_t>(
+          rng.next_below(current->edges.size()))];
+      // The mirror may hold (u,v) with u == v filtered out upstream, but
+      // guard anyway: a self loop is not a legal op.
+      if (e.u != e.v) {
+        out.push_back({EdgeOpKind::kDelete, e.u, e.v});
+        continue;
+      }
+    }
+    Gid u = static_cast<Gid>(rng.next_below(static_cast<std::uint64_t>(n)));
+    Gid v = static_cast<Gid>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (u == v) v = (v + 1) % n;
+    out.push_back({del ? EdgeOpKind::kDelete : EdgeOpKind::kInsert, u, v});
+  }
+  return out;
+}
+
+}  // namespace hpcg::stream

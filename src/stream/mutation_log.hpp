@@ -1,0 +1,93 @@
+// Streaming graph mutations (docs/STREAMING.md): the host-side vocabulary.
+//
+// An EdgeOp names one undirected mutation in ORIGINAL vertex ids — the
+// same id space clients of the serving layer speak. Inserts always apply
+// (the engine is multi-edge tolerant: inserting an edge that already
+// exists adds a parallel copy); a delete removes ONE parallel copy of the
+// pair, or is a no-op when the pair is absent. The vertex set is fixed:
+// endpoints must lie in [0, n), so the 2D partition, LID maps and
+// communicators stay valid across every commit.
+//
+// The MutationLog is the thread-safe staging buffer in front of the
+// collective stream::commit (commit.hpp): producers append ops, the
+// committer drains a batch. apply_to_edge_list() is the sequential mirror
+// of the distributed application — hpcg_check's stream oracle replays the
+// same ops on a host EdgeList and demands the engine agree — and
+// generate_ops() is the seeded deterministic op source the load
+// generator, checker, and bench share.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/types.hpp"
+
+namespace hpcg::stream {
+
+using graph::Gid;
+
+enum class EdgeOpKind : std::uint8_t { kInsert, kDelete };
+
+/// One undirected mutation in original vertex ids. The engine (and the
+/// host mirror) expand it into both directed entries (u,v) and (v,u).
+struct EdgeOp {
+  EdgeOpKind kind = EdgeOpKind::kInsert;
+  Gid u = 0;
+  Gid v = 0;
+
+  bool operator==(const EdgeOp&) const = default;
+};
+
+/// Throws std::invalid_argument (naming the offending index) when an op
+/// has an endpoint outside [0, n) or is a self loop.
+void validate_ops(std::span<const EdgeOp> ops, Gid n);
+
+/// Thread-safe FIFO staging buffer for mutation batches.
+class MutationLog {
+ public:
+  void append(EdgeOp op);
+  void append(std::span<const EdgeOp> ops);
+
+  /// Removes and returns up to `max_ops` ops, oldest first.
+  std::vector<EdgeOp> drain(std::size_t max_ops = static_cast<std::size_t>(-1));
+
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<EdgeOp> log_;
+};
+
+/// Counts of one batch application; directed entries (every EdgeOp is two).
+struct HostApplyResult {
+  std::int64_t inserted = 0;
+  std::int64_t deleted = 0;
+  std::int64_t noop_deletes = 0;
+  /// Some delete removed the LAST parallel copy of its directed pair —
+  /// connectivity (and distances) may have changed, so the incremental
+  /// CC/BFS kernels must fall back to a full recompute.
+  bool structural_delete = false;
+};
+
+/// Sequential mirror of stream::commit on a host edge list: ops apply in
+/// order; an insert appends (u,v) and (v,u); a delete erases the first
+/// occurrence of each direction (order-preserving), no-op when absent.
+/// The checker's stream oracle replays batches through this to obtain the
+/// post-mutation reference graph.
+HostApplyResult apply_to_edge_list(graph::EdgeList& el, std::span<const EdgeOp> ops);
+
+/// Seeded deterministic op batch: pure in (seed, batch_index, count,
+/// delete_percent, n, current-edge-list contents). Deletes draw a random
+/// existing edge from `current` when provided (so they usually hit);
+/// with `current == nullptr` they draw a random pair (usually a no-op —
+/// still a legitimate load shape). Returns empty when n < 2.
+std::vector<EdgeOp> generate_ops(std::uint64_t seed, std::uint64_t batch_index,
+                                 int count, int delete_percent, Gid n,
+                                 const graph::EdgeList* current = nullptr);
+
+}  // namespace hpcg::stream

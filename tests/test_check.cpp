@@ -32,6 +32,12 @@ TEST(CheckConfig, RoundTripsThroughText) {
     EXPECT_EQ(cfg.faults, back.faults);
     EXPECT_EQ(cfg.checkpoint_every, back.checkpoint_every);
     EXPECT_EQ(cfg.serve_batch, back.serve_batch);
+    EXPECT_EQ(cfg.mut_batches, back.mut_batches);
+    if (cfg.mut_batches > 0) {
+      EXPECT_EQ(cfg.mut_ops, back.mut_ops);
+      EXPECT_EQ(cfg.mut_seed, back.mut_seed);
+      EXPECT_EQ(cfg.mut_delete_pct, back.mut_delete_pct);
+    }
   }
 }
 
@@ -71,6 +77,18 @@ TEST(CheckConfig, SamplerProducesCoherentConfigs) {
       EXPECT_EQ(cfg.algo, "bfs");
       EXPECT_GE(static_cast<int>(cfg.sources.size()), cfg.serve_batch);
     }
+    if (cfg.mut_batches > 0) {
+      // Streaming lives inside one serve session: no serve batching, no
+      // checkpoint/restart, no kill faults, and only the three algorithms
+      // with incremental kernels.
+      EXPECT_TRUE(cfg.algo == "bfs" || cfg.algo == "pr" || cfg.algo == "cc")
+          << cfg.to_string();
+      EXPECT_EQ(cfg.serve_batch, 0) << cfg.to_string();
+      EXPECT_EQ(cfg.checkpoint_every, 0) << cfg.to_string();
+      EXPECT_GE(cfg.mut_ops, 1) << cfg.to_string();
+      EXPECT_GE(cfg.mut_delete_pct, 0) << cfg.to_string();
+      EXPECT_LE(cfg.mut_delete_pct, 100) << cfg.to_string();
+    }
     if (cfg.algo == "msbfs") {
       EXPECT_GE(cfg.sources.size(), 2u);
       EXPECT_LE(cfg.sources.size(), 8u);
@@ -86,6 +104,7 @@ TEST(CheckConfig, SamplerProducesCoherentConfigs) {
       // with checkpointing on, so recovery resumes instead of replaying.
       EXPECT_TRUE(cfg.checkpointable()) << cfg.to_string();
       EXPECT_EQ(cfg.serve_batch, 0) << cfg.to_string();
+      EXPECT_EQ(cfg.mut_batches, 0) << cfg.to_string();
       EXPECT_GT(cfg.checkpoint_every, 0) << cfg.to_string();
     }
     for (const Gid s : cfg.sources) {
@@ -95,7 +114,8 @@ TEST(CheckConfig, SamplerProducesCoherentConfigs) {
   }
   // The sampler must actually cover the space.
   EXPECT_EQ(algos.size(), 6u);
-  EXPECT_EQ(paths, (std::set<std::string>{"direct", "recovery", "serve"}));
+  EXPECT_EQ(paths,
+            (std::set<std::string>{"direct", "recovery", "serve", "stream"}));
 }
 
 TEST(CheckOracles, EveryCanaryMutationIsCaught) {
@@ -117,6 +137,11 @@ TEST(CheckOracles, CleanConfigsPassEveryOracle) {
       "gen=rmat scale=6 ef=6 seed=6 grid=2x2 algo=lp iters=4 "
       "faults=crash@r2:s2 fseed=3 ckpt=1",
       "gen=rmat scale=6 ef=8 seed=8 grid=2x2 algo=bfs sources=1,9,23 serve=2",
+      "gen=rmat scale=6 ef=8 seed=9 grid=2x2 algo=cc mut=3x8 mseed=7 mdel=50",
+      "gen=er scale=6 ef=8 seed=10 grid=2x3 algo=pr iters=4 mut=2x6 mseed=3 "
+      "mdel=0 async=1 chunk=2",
+      "gen=ba scale=6 ef=8 seed=12 grid=1x4 algo=bfs root=21 mut=2x10 mseed=5 "
+      "mdel=20 faults=transient@r1:n3:x2 fseed=8",
   };
   for (const char* text : kConfigs) {
     const auto failures = check_config(CheckConfig::parse(text), opts);
@@ -175,6 +200,31 @@ TEST(CheckRunner, PathSelectionFollowsConfig) {
   EXPECT_EQ(path_for(CheckConfig::parse("algo=pr faults=degrade@r1:n2:x4:f4")),
             "direct");
   EXPECT_EQ(path_for(CheckConfig::parse("algo=bfs sources=1,2 serve=2")), "serve");
+  EXPECT_EQ(path_for(CheckConfig::parse("algo=cc mut=2x8")), "stream");
+}
+
+TEST(CheckRunner, StreamPathRecordsOneEpochPerBatch) {
+  const auto cfg = CheckConfig::parse(
+      "gen=er scale=6 ef=8 seed=5 grid=2x2 algo=cc mut=3x8 mseed=2 mdel=30");
+  const RunResult result = run_config(cfg);
+  EXPECT_EQ(result.path, "stream");
+  ASSERT_EQ(result.epochs.size(), 4u);
+  EXPECT_EQ(result.epochs.front().epoch, 0u);
+  // Entry 0 is mirrored into the top-level vectors for the pre-mutation
+  // reference/invariant oracles.
+  EXPECT_EQ(result.component, result.epochs.front().component);
+  const auto el = build_input(cfg);
+  EXPECT_TRUE(check_stream(cfg, el, result).empty());
+}
+
+TEST(CheckRunner, StreamPathRejectsIncoherentConfigs) {
+  EXPECT_THROW(run_config(CheckConfig::parse("algo=lp mut=2x8")),
+               std::invalid_argument);
+  EXPECT_THROW(run_config(CheckConfig::parse("algo=bfs mut=2x8 ckpt=1")),
+               std::invalid_argument);
+  EXPECT_THROW(run_config(CheckConfig::parse(
+                   "algo=bfs mut=2x8 faults=crash@r0:s1 fseed=1")),
+               std::invalid_argument);
 }
 
 TEST(CheckFuzzer, SeededSweepIsCleanOnTheFixedEngine) {

@@ -62,8 +62,9 @@ TEST_F(CacheKeyTest, FieldsAreLengthPrefixed) {
   serve::Request req;
   req.algo = serve::Algo::kBfs;
   req.roots = {3};
-  // Grammar documented in cache.hpp: DECIMAL-LENGTH ':' BYTES per field.
-  EXPECT_EQ(service.cache_key(req), "1:g|3:bfs|6:root=3");
+  // Grammar documented in cache.hpp: DECIMAL-LENGTH ':' BYTES per field,
+  // with the graph epoch folded into the graph field (docs/STREAMING.md).
+  EXPECT_EQ(service.cache_key(req), "4:g@e0|3:bfs|6:root=3");
 }
 
 TEST_F(CacheKeyTest, PipeInGraphKeyCannotForgeAnotherRequest) {
@@ -78,7 +79,7 @@ TEST_F(CacheKeyTest, PipeInGraphKeyCannotForgeAnotherRequest) {
   bfs.algo = serve::Algo::kBfs;
   bfs.roots = {0};
   EXPECT_NE(forged.cache_key(cc), plain.cache_key(bfs));
-  EXPECT_EQ(forged.cache_key(cc), "7:g|3:bfs|2:cc|0:");
+  EXPECT_EQ(forged.cache_key(cc), "10:g|3:bfs@e0|2:cc|0:");
 }
 
 TEST_F(CacheKeyTest, DampingPrecisionSurvivesTheKey) {

@@ -1,0 +1,492 @@
+// Streaming mutation tests (docs/STREAMING.md): the MutationLog staging
+// buffer, the collective epoch commit against a live Dist2DGraph
+// (including batches whose endpoints land on remote ranks), and the
+// incremental maintenance kernels' agreement with from-scratch runs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <sstream>
+#include <vector>
+
+#include "algos/bfs.hpp"
+#include "algos/cc.hpp"
+#include "algos/incremental.hpp"
+#include "algos/pagerank.hpp"
+#include "serve/load_gen.hpp"
+#include "serve/service.hpp"
+#include "stream/commit.hpp"
+#include "stream/mutation_log.hpp"
+#include "test_helpers.hpp"
+
+namespace hpcg {
+namespace {
+
+using stream::EdgeOp;
+using stream::EdgeOpKind;
+
+std::vector<graph::Edge> csr_edges_sorted(const graph::Csr& csr) {
+  const auto offsets = csr.offsets();
+  const auto adj = csr.adjacencies();
+  std::vector<graph::Edge> out;
+  out.reserve(static_cast<std::size_t>(csr.m()));
+  for (core::Lid v = 0; v < csr.n(); ++v) {
+    for (std::int64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+      out.push_back({v, adj[e]});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.u, a.v) < std::tie(b.u, b.v);
+  });
+  return out;
+}
+
+TEST(MutationLog, FifoAppendAndDrain) {
+  stream::MutationLog log;
+  log.append({EdgeOpKind::kInsert, 1, 2});
+  const std::vector<EdgeOp> more = {{EdgeOpKind::kDelete, 3, 4},
+                                    {EdgeOpKind::kInsert, 5, 6}};
+  log.append(std::span<const EdgeOp>(more));
+  EXPECT_EQ(log.size(), 3u);
+
+  const auto first = log.drain(2);
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0], (EdgeOp{EdgeOpKind::kInsert, 1, 2}));
+  EXPECT_EQ(first[1], (EdgeOp{EdgeOpKind::kDelete, 3, 4}));
+  const auto rest = log.drain();
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0], (EdgeOp{EdgeOpKind::kInsert, 5, 6}));
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(MutationLog, ValidateRejectsBadOps) {
+  const std::vector<EdgeOp> out_of_range = {{EdgeOpKind::kInsert, 0, 9}};
+  EXPECT_THROW(stream::validate_ops(out_of_range, 4), std::invalid_argument);
+  const std::vector<EdgeOp> negative = {{EdgeOpKind::kInsert, -1, 2}};
+  EXPECT_THROW(stream::validate_ops(negative, 4), std::invalid_argument);
+  const std::vector<EdgeOp> self_loop = {{EdgeOpKind::kDelete, 2, 2}};
+  EXPECT_THROW(stream::validate_ops(self_loop, 4), std::invalid_argument);
+  const std::vector<EdgeOp> fine = {{EdgeOpKind::kInsert, 0, 3}};
+  EXPECT_NO_THROW(stream::validate_ops(fine, 4));
+}
+
+TEST(MutationLog, GenerateOpsIsDeterministic) {
+  auto el = test::small_er(64, 128, 7);
+  const auto a = stream::generate_ops(11, 3, 20, 30, el.n, &el);
+  const auto b = stream::generate_ops(11, 3, 20, 30, el.n, &el);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), 20u);
+  EXPECT_NO_THROW(stream::validate_ops(a, el.n));
+  // Different batch index -> a different (seeded) batch.
+  const auto c = stream::generate_ops(11, 4, 20, 30, el.n, &el);
+  EXPECT_NE(a, c);
+  // Degenerate vertex set: nothing to mutate.
+  EXPECT_TRUE(stream::generate_ops(11, 0, 20, 30, /*n=*/1).empty());
+}
+
+TEST(MutationLog, HostApplyDuplicateInsertsAndStructuralDeletes) {
+  graph::EdgeList el;
+  el.n = 4;
+
+  // Duplicate inserts are parallel copies, each adding both directions.
+  const std::vector<EdgeOp> inserts = {{EdgeOpKind::kInsert, 0, 1},
+                                       {EdgeOpKind::kInsert, 0, 1}};
+  auto r = stream::apply_to_edge_list(el, inserts);
+  EXPECT_EQ(r.inserted, 4);
+  EXPECT_FALSE(r.structural_delete);
+  EXPECT_EQ(el.m(), 4);
+
+  // Deleting one copy leaves the other: not structural.
+  const std::vector<EdgeOp> del = {{EdgeOpKind::kDelete, 0, 1}};
+  r = stream::apply_to_edge_list(el, del);
+  EXPECT_EQ(r.deleted, 2);
+  EXPECT_FALSE(r.structural_delete);
+  EXPECT_EQ(el.m(), 2);
+
+  // Deleting the last copy is structural.
+  r = stream::apply_to_edge_list(el, del);
+  EXPECT_EQ(r.deleted, 2);
+  EXPECT_TRUE(r.structural_delete);
+  EXPECT_EQ(el.m(), 0);
+
+  // Deleting an absent edge is a per-direction no-op.
+  const std::vector<EdgeOp> absent = {{EdgeOpKind::kDelete, 2, 3}};
+  r = stream::apply_to_edge_list(el, absent);
+  EXPECT_EQ(r.deleted, 0);
+  EXPECT_EQ(r.noop_deletes, 2);
+  EXPECT_FALSE(r.structural_delete);
+}
+
+TEST(StreamCommit, EmptyAndAllNoopBatchesKeepEpoch) {
+  auto el = test::small_er(32, 64, 3);
+  test::run_on_grid(el, core::Grid(2, 2), [&](comm::Comm&, core::Dist2DGraph& g) {
+    EXPECT_EQ(g.epoch(), 0u);
+    const auto m0 = g.m_global();
+
+    const auto empty = stream::commit(g, {});
+    EXPECT_FALSE(empty.mutated);
+    EXPECT_EQ(empty.epoch, 0u);
+    EXPECT_EQ(g.epoch(), 0u);
+
+    // Delete a pair that cannot exist: both directions no-op everywhere.
+    graph::EdgeList mirror = el;
+    std::vector<EdgeOp> ops = {{EdgeOpKind::kDelete, 0, 1}};
+    while (true) {
+      const auto host = stream::apply_to_edge_list(mirror, ops);
+      if (host.deleted == 0) break;  // now absent; retry commits as no-op
+    }
+    const auto noop = stream::commit(g, ops);
+    EXPECT_FALSE(noop.mutated);
+    EXPECT_EQ(noop.noop_deletes, 2);
+    EXPECT_EQ(g.epoch(), 0u);
+    EXPECT_EQ(g.m_global(), m0);
+  });
+}
+
+TEST(StreamCommit, TracksCountsEpochAndMirrorMultiset) {
+  auto el = test::small_er(48, 96, 5);
+  const core::Grid grid(2, 2);
+  // Three seeded batches with a delete mix; the mirror evolves in
+  // lockstep, so endpoints cover local, ghost, and fully remote ranks.
+  graph::EdgeList mirror = el;
+  std::vector<std::vector<EdgeOp>> batches;
+  std::vector<stream::HostApplyResult> host;
+  for (std::uint64_t b = 0; b < 3; ++b) {
+    batches.push_back(stream::generate_ops(99, b, 12, 40, el.n, &mirror));
+    host.push_back(stream::apply_to_edge_list(mirror, batches.back()));
+  }
+  const auto parts_after = core::Partitioned2D::build(mirror, grid);
+
+  test::run_on_grid(el, grid, [&](comm::Comm& comm, core::Dist2DGraph& g) {
+    std::uint64_t expected_epoch = 0;
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+      const auto cr = stream::commit(g, batches[b]);
+      EXPECT_EQ(cr.inserted, host[b].inserted);
+      EXPECT_EQ(cr.deleted, host[b].deleted);
+      EXPECT_EQ(cr.noop_deletes, host[b].noop_deletes);
+      EXPECT_EQ(cr.structural_delete, host[b].structural_delete);
+      if (cr.mutated) ++expected_epoch;
+      EXPECT_EQ(g.epoch(), expected_epoch);
+      EXPECT_EQ(cr.epoch, expected_epoch);
+    }
+    EXPECT_EQ(g.m_global(), mirror.m());
+
+    // The mutated distributed multiset must equal a fresh partition of the
+    // mirror (order-insensitive: commit order differs from build order).
+    const auto& lids = g.lids();
+    std::vector<graph::Edge> expected;
+    for (const auto& e : parts_after.edges_of(comm.rank())) {
+      expected.push_back({lids.row_lid(e.u), lids.col_lid(e.v)});
+    }
+    std::sort(expected.begin(), expected.end(), [](const auto& a, const auto& b) {
+      return std::tie(a.u, a.v) < std::tie(b.u, b.v);
+    });
+    EXPECT_EQ(csr_edges_sorted(g.csr()), expected);
+  });
+}
+
+TEST(StreamCommit, RejectsWeightedGraphsAndBadOps) {
+  auto el = test::small_er(16, 32, 9, /*weighted=*/true);
+  test::run_on_grid(el, core::Grid(1, 2), [&](comm::Comm&, core::Dist2DGraph& g) {
+    const std::vector<EdgeOp> ops = {{EdgeOpKind::kInsert, 0, 1}};
+    EXPECT_THROW(stream::commit(g, ops), std::invalid_argument);
+  });
+  auto plain = test::small_er(16, 32, 9);
+  test::run_on_grid(plain, core::Grid(1, 2), [&](comm::Comm&, core::Dist2DGraph& g) {
+    const std::vector<EdgeOp> ops = {{EdgeOpKind::kInsert, 0, 99}};
+    EXPECT_THROW(stream::commit(g, ops), std::invalid_argument);
+    EXPECT_EQ(g.epoch(), 0u);  // nothing applied
+  });
+}
+
+TEST(StreamIncremental, CcBitIdenticalAcrossInsertBatches) {
+  auto el = test::small_rmat(7, 6, 21);
+  test::run_on_grid(el, core::Grid(2, 3), [&](comm::Comm&, core::Dist2DGraph& g) {
+    auto prev = algos::connected_components(g).label;
+    for (std::uint64_t b = 0; b < 3; ++b) {
+      const auto ops = stream::generate_ops(5, b, 10, /*delete_percent=*/0, el.n);
+      const auto cr = stream::commit(g, ops);
+      ASSERT_FALSE(cr.structural_delete);
+      auto inc = algos::incremental_cc(g, prev, cr.local_inserts,
+                                       cr.structural_delete);
+      EXPECT_FALSE(inc.fell_back);
+      const auto scratch = algos::connected_components(g);
+      EXPECT_EQ(inc.label, scratch.label) << "batch " << b;
+      prev = std::move(inc.label);
+    }
+  });
+}
+
+TEST(StreamIncremental, CcFallsBackOnStructuralDelete) {
+  auto el = test::small_er(64, 160, 13);
+  // Delete an edge with no parallel copy: removing it is structural.
+  const auto single = std::find_if(
+      el.edges.begin(), el.edges.end(), [&](const graph::Edge& e) {
+        return std::count(el.edges.begin(), el.edges.end(), e) == 1;
+      });
+  ASSERT_NE(single, el.edges.end());
+  const std::vector<EdgeOp> ops = {{EdgeOpKind::kDelete, single->u, single->v}};
+  test::run_on_grid(el, core::Grid(2, 2), [&](comm::Comm&, core::Dist2DGraph& g) {
+    auto prev = algos::connected_components(g).label;
+    const auto cr = stream::commit(g, ops);
+    ASSERT_TRUE(cr.structural_delete);
+    auto inc =
+        algos::incremental_cc(g, prev, cr.local_inserts, cr.structural_delete);
+    EXPECT_TRUE(inc.fell_back);
+    EXPECT_EQ(inc.label, algos::connected_components(g).label);
+  });
+}
+
+TEST(StreamIncremental, BfsRepairBitIdenticalAcrossBatches) {
+  auto el = test::small_rmat(7, 5, 33);
+  const graph::Gid root = 1;
+  test::run_on_grid(el, core::Grid(2, 2), [&](comm::Comm&, core::Dist2DGraph& g) {
+    auto prev = algos::bfs(g, root);
+    auto level = std::move(prev.level);
+    for (std::uint64_t b = 0; b < 3; ++b) {
+      const auto ops = stream::generate_ops(6, b, 8, /*delete_percent=*/0, el.n);
+      const auto cr = stream::commit(g, ops);
+      ASSERT_FALSE(cr.structural_delete);
+      auto rep = algos::bfs_repair(g, root, level, cr.local_inserts,
+                                   cr.structural_delete);
+      EXPECT_FALSE(rep.fell_back);
+      const auto scratch = algos::bfs(g, root);
+      EXPECT_EQ(rep.level, scratch.level) << "batch " << b;
+      EXPECT_EQ(rep.depth, scratch.depth) << "batch " << b;
+      level = std::move(rep.level);
+    }
+  });
+}
+
+TEST(StreamIncremental, BfsRepairFallsBackOnStructuralDelete) {
+  auto el = test::small_er(64, 160, 17);
+  const auto single = std::find_if(
+      el.edges.begin(), el.edges.end(), [&](const graph::Edge& e) {
+        return std::count(el.edges.begin(), el.edges.end(), e) == 1;
+      });
+  ASSERT_NE(single, el.edges.end());
+  const std::vector<EdgeOp> ops = {{EdgeOpKind::kDelete, single->u, single->v}};
+  test::run_on_grid(el, core::Grid(2, 2), [&](comm::Comm&, core::Dist2DGraph& g) {
+    auto prev = algos::bfs(g, 0);
+    const auto cr = stream::commit(g, ops);
+    ASSERT_TRUE(cr.structural_delete);
+    auto rep = algos::bfs_repair(g, 0, prev.level, cr.local_inserts,
+                                 cr.structural_delete);
+    EXPECT_TRUE(rep.fell_back);
+    const auto scratch = algos::bfs(g, 0);
+    EXPECT_EQ(rep.level, scratch.level);
+    EXPECT_EQ(rep.depth, scratch.depth);
+  });
+}
+
+TEST(StreamIncremental, DeltaPagerankAgreesWithColdRun) {
+  auto el = test::small_rmat(6, 6, 41);
+  test::run_on_grid(el, core::Grid(2, 2), [&](comm::Comm&, core::Dist2DGraph& g) {
+    const double tol = 1e-12;
+    auto prev = algos::pagerank_tolerance(g, tol).rank;
+    for (std::uint64_t b = 0; b < 2; ++b) {
+      const auto ops = stream::generate_ops(8, b, 6, 25, el.n);
+      stream::commit(g, ops);
+      auto delta = algos::delta_pagerank(g, prev, tol);
+      EXPECT_TRUE(delta.seeded);
+      const auto cold = algos::pagerank_tolerance(g, tol);
+      ASSERT_EQ(delta.rank.size(), cold.rank.size());
+      for (std::size_t i = 0; i < cold.rank.size(); ++i) {
+        EXPECT_NEAR(delta.rank[i], cold.rank[i], 1e-9);
+      }
+      // The warm start is the whole point: it must not converge slower.
+      EXPECT_LE(delta.iterations, cold.iterations);
+      prev = std::move(delta.rank);
+    }
+  });
+}
+
+// --- serve-layer integration: epochs, cache invalidation, scheduling -----
+
+TEST(ResultCacheEpoch, InvalidateEpochEvictsStaleEntries) {
+  serve::ResultCache cache(8);
+  const auto resp = [](std::uint64_t id) {
+    auto r = std::make_shared<serve::Response>();
+    r->id = id;
+    return std::shared_ptr<const serve::Response>(std::move(r));
+  };
+  cache.put("a", resp(1), 0);
+  cache.put("b", resp(2), 1);
+  cache.put("c", resp(3), 2);
+  ASSERT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.invalidate_epoch(1), 2u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.get("a"), nullptr);
+  EXPECT_EQ(cache.get("b"), nullptr);
+  ASSERT_NE(cache.get("c"), nullptr);
+  EXPECT_EQ(cache.get("c")->id, 3u);
+  // Idempotent: nothing stale remains.
+  EXPECT_EQ(cache.invalidate_epoch(1), 0u);
+}
+
+TEST(StreamServe, MutateAdvancesEpochAndNeverServesStaleCache) {
+  const auto el = test::small_rmat(7, 8, 11);
+  serve::Session session(el, core::Grid(2, 2));
+  serve::ServiceOptions opts;
+  opts.auto_dispatch = false;
+  serve::Service service(session, opts);
+
+  serve::Request cc;
+  cc.algo = serve::Algo::kCc;
+  auto t1 = service.submit(cc);
+  service.drain();
+  const auto r1 = t1.result.get();
+  EXPECT_FALSE(r1.from_cache);
+  EXPECT_EQ(r1.epoch, 0u);
+
+  // Identical query with no mutation pending: cache hit, same epoch.
+  auto t2 = service.submit(cc);
+  ASSERT_EQ(t2.result.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_TRUE(t2.result.get().from_cache);
+
+  // Queue a mutation, then the same query AGAIN. Even though the commit
+  // has not run yet, the query must not complete from the (pre-mutation)
+  // cache — this is the invalidation contract under test.
+  serve::Request mutate;
+  mutate.algo = serve::Algo::kMutate;
+  mutate.ops = stream::generate_ops(3, 0, 12, 0, el.n);  // insert-only
+  auto tm = service.submit(mutate);
+  auto t3 = service.submit(cc);
+  EXPECT_NE(t3.result.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+
+  service.drain();
+  const auto rm = tm.result.get();
+  EXPECT_EQ(rm.epoch, 1u);
+  EXPECT_EQ(rm.edges_inserted, 24);  // 12 undirected inserts, both directions
+  EXPECT_EQ(rm.edges_deleted, 0);
+  EXPECT_EQ(service.epoch(), 1u);
+
+  const auto r3 = t3.result.get();
+  EXPECT_FALSE(r3.from_cache);
+  EXPECT_EQ(r3.epoch, 1u);
+  // Insert-only delta with resident CC state: repaired incrementally.
+  EXPECT_TRUE(r3.incremental);
+  EXPECT_EQ(service.metrics().counter("stream.cc.incremental").value(), 1u);
+
+  // The post-mutation answer is cached under the NEW epoch.
+  auto t4 = service.submit(cc);
+  ASSERT_EQ(t4.result.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  const auto r4 = t4.result.get();
+  EXPECT_TRUE(r4.from_cache);
+  EXPECT_EQ(r4.component, r3.component);
+}
+
+TEST(StreamServe, MutationBarsBfsCoalescingAndOrdersRequests) {
+  const auto el = test::small_rmat(7, 8, 4);
+  serve::Session session(el, core::Grid(1, 2));
+  serve::ServiceOptions opts;
+  opts.auto_dispatch = false;
+  serve::Service service(session, opts);
+
+  serve::Request bfs;
+  bfs.algo = serve::Algo::kBfs;
+  bfs.roots = {1};
+  auto ta = service.submit(bfs);
+  bfs.roots = {2};
+  auto tb = service.submit(bfs);
+  serve::Request mutate;
+  mutate.algo = serve::Algo::kMutate;
+  mutate.ops = stream::generate_ops(9, 0, 4, 0, el.n);
+  auto tm = service.submit(mutate);
+  bfs.roots = {3};
+  auto tc = service.submit(bfs);
+
+  // Round 1 coalesces only the two pre-mutation BFS requests: the queued
+  // mutation is a barrier the scheduler must not batch across.
+  ASSERT_TRUE(service.pump());
+  const auto ra = ta.result.get();
+  const auto rb = tb.result.get();
+  EXPECT_EQ(ra.batch_size, 2);
+  EXPECT_EQ(rb.batch_size, 2);
+  EXPECT_EQ(ra.epoch, 0u);
+  EXPECT_NE(tc.result.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+
+  ASSERT_TRUE(service.pump());  // the commit
+  EXPECT_EQ(tm.result.get().epoch, 1u);
+  ASSERT_TRUE(service.pump());  // the post-mutation BFS, alone
+  const auto rc = tc.result.get();
+  EXPECT_EQ(rc.batch_size, 1);
+  EXPECT_EQ(rc.epoch, 1u);
+  EXPECT_FALSE(service.pump());
+}
+
+TEST(StreamServe, ToleranceRequestsRunDeltaPagerank) {
+  const auto el = test::small_rmat(7, 8, 21);
+  serve::Session session(el, core::Grid(2, 2));
+  serve::ServiceOptions opts;
+  opts.auto_dispatch = false;
+  serve::Service service(session, opts);
+
+  // This PageRank keeps dangling mass undistributed, so the fixpoint's
+  // total mass is exactly 1 - d * isolated / n (docs/STREAMING.md).
+  const auto expected_mass = [](const graph::EdgeList& graph) {
+    std::vector<int> deg(static_cast<std::size_t>(graph.n), 0);
+    for (const auto& e : graph.edges) {
+      ++deg[static_cast<std::size_t>(e.u)];
+    }
+    const auto isolated =
+        static_cast<double>(std::count(deg.begin(), deg.end(), 0));
+    return 1.0 - 0.85 * isolated / static_cast<double>(graph.n);
+  };
+
+  serve::Request pr;
+  pr.algo = serve::Algo::kPageRank;
+  pr.tolerance = 1e-10;
+  pr.iterations = 500;  // cap for the tolerance solve
+  auto t1 = service.submit(pr);
+  service.drain();
+  const auto r1 = t1.result.get();
+  EXPECT_FALSE(r1.incremental);  // no resident state yet: cold solve
+  double mass = 0.0;
+  for (const auto v : r1.rank) mass += v;
+  EXPECT_NEAR(mass, expected_mass(el), 1e-6);
+
+  serve::Request mutate;
+  mutate.algo = serve::Algo::kMutate;
+  mutate.ops = stream::generate_ops(5, 0, 8, 25, el.n);
+  service.submit(mutate);
+  auto t2 = service.submit(pr);
+  service.drain();
+  const auto r2 = t2.result.get();
+  EXPECT_TRUE(r2.incremental);  // seeded from the resident rank vector
+  EXPECT_EQ(service.metrics().counter("stream.pr.delta_seeded").value(), 1u);
+  auto mutated = el;
+  stream::apply_to_edge_list(mutated, mutate.ops);
+  mass = 0.0;
+  for (const auto v : r2.rank) mass += v;
+  EXPECT_NEAR(mass, expected_mass(mutated), 1e-6);
+}
+
+TEST(StreamServe, ScriptMutateCommand) {
+  const auto el = test::small_rmat(6, 8, 17);
+  serve::Session session(el, core::Grid(1, 2));
+  serve::ServiceOptions opts;
+  opts.auto_dispatch = false;
+  serve::Service service(session, opts);
+
+  std::istringstream script(
+      "cc\n"
+      "mutate 6 0 5\n"
+      "cc\n");
+  const auto result = serve::run_script(service, script);
+  EXPECT_EQ(result.submitted, 3);
+  EXPECT_EQ(result.completed, 3);
+  EXPECT_EQ(result.failed, 0);
+  EXPECT_NE(result.log.find("algo=mutate epoch=1 inserted=12 deleted=0"),
+            std::string::npos);
+  EXPECT_EQ(service.epoch(), 1u);
+}
+
+}  // namespace
+}  // namespace hpcg

@@ -63,10 +63,15 @@ int main(int argc, char** argv) {
       "  --script=PATH         replay a request script (manual dispatch);\n"
       "                        commands: client NAME | bfs ROOT |\n"
       "                        msbfs R1,R2,.. | pr ITERS [D] [warm] | cc |\n"
-      "                        pump | drain\n"
+      "                        mutate COUNT [DELPCT] [SEED] | pump | drain\n"
       "  --clients=N           closed-loop load generator threads (default 4)\n"
       "  --requests=N          requests per client (default 16)\n"
       "  --seed=N              load-generator seed (default 1)\n"
+      "  --mutate-rate=N       weight of mutation batches in the load mix\n"
+      "                        (default 0 = query-only; edge picks are\n"
+      "                        seeded per client+request, reproducible)\n"
+      "  --mutate-batch=N      edge ops per mutation batch (default 8)\n"
+      "  --mutate-delete-pct=N delete share of each batch (default 30)\n"
       "Output:\n"
       "  --metrics-out=FILE    metrics snapshot (.csv -> CSV, else JSON)\n"
       "  --trace-out=FILE      Chrome trace JSON incl. the request track\n"
@@ -90,6 +95,10 @@ int main(int argc, char** argv) {
   const int clients = static_cast<int>(options.get_int("clients", 4));
   const int requests = static_cast<int>(options.get_int("requests", 16));
   const auto seed = static_cast<std::uint64_t>(options.get_int("seed", 1));
+  const int mutate_rate = static_cast<int>(options.get_int("mutate-rate", 0));
+  const int mutate_batch = static_cast<int>(options.get_int("mutate-batch", 8));
+  const int mutate_delete_pct =
+      static_cast<int>(options.get_int("mutate-delete-pct", 30));
   const std::string metrics_out = options.get_string("metrics-out", "");
   const std::string trace_out = options.get_string("trace-out", "");
   options.check_unknown();
@@ -153,6 +162,9 @@ int main(int argc, char** argv) {
       lopts.clients = clients;
       lopts.requests_per_client = requests;
       lopts.seed = seed;
+      lopts.mutate_weight = mutate_rate;
+      lopts.mutate_batch = mutate_batch;
+      lopts.mutate_delete_pct = mutate_delete_pct;
       const auto stats = hpcg::serve::run_load(service, session.n(), lopts);
       std::cout << "load: " << stats.completed << " completed of "
                 << stats.submitted << " submitted (" << stats.rejected
@@ -175,6 +187,19 @@ int main(int argc, char** argv) {
               << service.cache().misses() << " misses, "
               << service.cache().evictions() << " evictions ("
               << service.cache().size() << " resident)\n";
+    const auto counter = [&snap](const std::string& name) -> std::uint64_t {
+      const auto it = snap.counters.find(name);
+      return it == snap.counters.end() ? 0 : it->second;
+    };
+    if (service.epoch() > 0 || counter("stream.batches.empty") > 0) {
+      std::cout << "stream: epoch " << service.epoch() << ", "
+                << counter("stream.batches.committed") << " batches committed, "
+                << counter("stream.edges.inserted") << " inserted, "
+                << counter("stream.edges.deleted") << " deleted ("
+                << counter("stream.deletes.noop") << " no-op deletes), "
+                << counter("stream.cache.invalidated")
+                << " cache entries invalidated\n";
+    }
     std::cout << "total wall: " << serve_timer.elapsed() << " s\n";
 
     service.stop();
