@@ -64,6 +64,25 @@ std::vector<CanaryCase> canary_suite() {
     cfg.mut_delete_pct = 30;
     suite.push_back({Canary::kStreamStaleResult, cfg});
   }
+  {
+    // Streaming BFS: the canary tears the final commit in half while the
+    // bookkeeping still claims the full batch — the torn-commit bug the
+    // transactional stage-then-swap exists to prevent. The stream
+    // oracle's host-mirror replay must see the payload diverge from the
+    // claimed epoch.
+    // Sparse input: on the dense default any half batch of edges is
+    // level-invisible; at ef=1 the torn final commit changes reachability
+    // for dozens of vertices (seed pair pinned by scanning for a tear the
+    // levels actually see).
+    CheckConfig cfg = base_config("bfs");
+    cfg.edge_factor = 1;
+    cfg.seed = 1;
+    cfg.mut_batches = 2;
+    cfg.mut_ops = 12;
+    cfg.mut_seed = 4;
+    cfg.mut_delete_pct = 50;  // deletes make the tear structurally visible
+    suite.push_back({Canary::kHalfAppliedCommit, cfg});
+  }
   return suite;
 }
 

@@ -69,6 +69,7 @@ std::string CheckConfig::to_string() const {
     out << " mut=" << mut_batches << "x" << mut_ops << " mseed=" << mut_seed
         << " mdel=" << mut_delete_pct;
   }
+  if (sup > 0) out << " sup=" << sup;
   return out.str();
 }
 
@@ -164,6 +165,11 @@ CheckConfig CheckConfig::parse(const std::string& text) {
       if (cfg.mut_delete_pct < 0 || cfg.mut_delete_pct > 100) {
         throw std::invalid_argument("bad config value mdel=" + value);
       }
+    } else if (key == "sup") {
+      cfg.sup = static_cast<int>(parse_num(key, value));
+      if (cfg.sup < 0) {
+        throw std::invalid_argument("bad config value sup=" + value);
+      }
     } else {
       throw std::invalid_argument("unknown config key: " + key);
     }
@@ -249,18 +255,25 @@ CheckConfig sample_config(util::Xoshiro256& rng) {
     cfg.checkpoint_every = 1 + static_cast<std::int64_t>(rng.next_below(2));
   }
 
-  // Fault plans. Kill faults (crash / silent) need the recovery driver and
-  // a Checkpointer, so only checkpointable algorithms on the direct path
-  // get them; transient/degrade are survivable in any path. Silent deaths
-  // cost a wall-clock timeout each, so they are sampled rarely (the runner
-  // clamps the timeout to keep sweeps fast).
+  // Fault plans. Kill faults (crash / silent) need a recovery story: the
+  // checkpoint/restart driver on the direct path, or a serve::Supervisor on
+  // the streaming path (sup=N, docs/RECOVERY.md); transient/degrade are
+  // survivable in any path. Silent deaths cost a wall-clock timeout each,
+  // so they are sampled rarely (the runner clamps the timeout to keep
+  // sweeps fast).
   const std::uint64_t fault_roll = rng.next_below(100);
   const int target = static_cast<int>(
       rng.next_below(static_cast<std::uint64_t>(cfg.ranks())));
   cfg.fault_seed = 1 + rng.next_below(1u << 16);
   std::ostringstream plan;
-  if (cfg.checkpointable() && cfg.serve_batch == 0 && cfg.mut_batches == 0 &&
-      fault_roll < 14) {
+  if (cfg.mut_batches > 0 && fault_roll < 14) {
+    // Supervised streaming recovery: a crash mid-stream kills the serve
+    // session; the supervisor must rebuild from its committed log and the
+    // remaining epochs must still match the host mirror.
+    cfg.sup = 1 + static_cast<int>(rng.next_below(2));  // restart budget 1..2
+    plan << "crash@r" << target << ":s" << 1 + rng.next_below(30);
+  } else if (cfg.checkpointable() && cfg.serve_batch == 0 &&
+             cfg.mut_batches == 0 && fault_roll < 14) {
     // crash or (rarely) silent: needs checkpoint + restart.
     const bool silent = fault_roll < 2 && cfg.ranks() > 1;
     plan << (silent ? "silent" : "crash") << "@r" << target << ":s"

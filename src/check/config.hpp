@@ -63,6 +63,13 @@ struct CheckConfig {
   std::uint64_t mut_seed = 1;
   int mut_delete_pct = 30;
 
+  // Supervised streaming (docs/RECOVERY.md): >0 runs the streaming path
+  // under a serve::Supervisor with this restart budget instead of a bare
+  // Session + Service, which makes kill faults (crash / silent) legal on
+  // mut= configs — the supervisor rebuilds the session from its committed
+  // log and the run must still match the host mirror bit-identically.
+  int sup = 0;
+
   int ranks() const { return rows * cols; }
   Gid n() const { return Gid{1} << scale; }
 
@@ -87,7 +94,8 @@ struct CheckConfig {
 /// driver; serve-path batching only for bfs with session-survivable
 /// fault kinds (transient/degrade); checkpointing only where a
 /// Checkpointer can be wired; streaming mutations only for bfs/pr/cc on
-/// the serve session (no kill faults, no checkpointing, no serve batch).
+/// the serve session (no checkpointing, no serve batch; kill faults only
+/// under supervision, i.e. with sup > 0).
 CheckConfig sample_config(util::Xoshiro256& rng);
 
 }  // namespace hpcg::check

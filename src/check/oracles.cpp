@@ -343,9 +343,12 @@ std::vector<Failure> check_stream(const CheckConfig& cfg,
       // and everything else must take the incremental path (else the
       // subsystem silently degrades to from-scratch and this sweep
       // proves nothing). PR is seeded from the resident ranks always.
+      // Waived when a supervisor rebuild happened since the last query:
+      // resident algorithm state died with the old session, so the first
+      // post-recovery answer may legitimately come from scratch.
       const bool expect_incremental =
           cfg.algo == "pr" || !applied.structural_delete;
-      if (entry.incremental != expect_incremental) {
+      if (!entry.recovered && entry.incremental != expect_incremental) {
         m.note(std::string("incremental=") + (entry.incremental ? "1" : "0") +
                " want " + (expect_incremental ? "1" : "0") +
                (applied.structural_delete ? " (structural delete)" : ""));
@@ -358,6 +361,26 @@ std::vector<Failure> check_stream(const CheckConfig& cfg,
 
 std::vector<Failure> check_recovery(const CheckConfig& cfg, const RunResult& result) {
   std::vector<Failure> out;
+  if (result.path == "stream") {
+    // Supervised streaming: a kill fault that actually FIRED must have
+    // produced at least one supervisor restart — the run completing with
+    // zero rebuilds means the death was swallowed, not recovered from.
+    // (A trigger past the run's last superstep legitimately never fires.)
+    if (cfg.sup > 0 && result.kill_faults_fired > 0 && result.serve_restarts == 0) {
+      out.push_back({"recovery",
+                     std::to_string(result.kill_faults_fired) +
+                         " kill fault(s) fired under sup=" +
+                         std::to_string(cfg.sup) +
+                         " but the supervisor performed zero restarts"});
+    }
+    if (result.serve_restarts > cfg.sup) {
+      out.push_back({"recovery",
+                     std::to_string(result.serve_restarts) +
+                         " restarts exceed the sup=" + std::to_string(cfg.sup) +
+                         " budget"});
+    }
+    return out;
+  }
   if (result.path != "recovery") return out;
   if (static_cast<int>(result.resume_epochs.size()) != result.restarts) {
     out.push_back({"recovery",

@@ -1,6 +1,7 @@
 #include "check/runner.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <span>
 #include <stdexcept>
 
@@ -10,13 +11,16 @@
 #include "algos/label_prop.hpp"
 #include "algos/msbfs.hpp"
 #include "algos/pagerank.hpp"
+#include "algos/reference.hpp"
 #include "comm/runtime.hpp"
 #include "core/dist2d.hpp"
 #include "fault/injector.hpp"
 #include "fault/recovery.hpp"
+#include "graph/csr.hpp"
 #include "graph/generators.hpp"
 #include "serve/service.hpp"
 #include "serve/session.hpp"
+#include "serve/supervisor.hpp"
 #include "stream/mutation_log.hpp"
 
 namespace hpcg::check {
@@ -181,11 +185,35 @@ void run_stream_path(const CheckConfig& cfg, const EdgeList& el, RunResult& out)
   sopts.comm_timeout_s = timeout_for(cfg);
   sopts.async = cfg.async;
   sopts.async_chunk = cfg.chunk;
-  serve::Session session(el, Grid(cfg.rows, cfg.cols), sopts);
 
-  serve::ServiceOptions vopts;
-  vopts.auto_dispatch = false;
-  serve::Service service(session, vopts);
+  // sup=N routes the same request stream through a serve::Supervisor
+  // instead of a bare Session + Service: kill faults become survivable —
+  // the supervisor rebuilds from its committed log and the stream oracle
+  // still demands bit-identical answers at every epoch (docs/RECOVERY.md).
+  // Inline recovery (auto_recover = false) keeps the run deterministic:
+  // rebuilds happen inside pump(), never on a background thread.
+  std::unique_ptr<serve::Session> session;
+  std::unique_ptr<serve::Service> service;
+  std::unique_ptr<serve::Supervisor> supervisor;
+  serve::Frontend* frontend = nullptr;
+  if (cfg.sup > 0) {
+    serve::SupervisorOptions uopts;
+    uopts.session = sopts;
+    uopts.service.auto_dispatch = false;
+    uopts.auto_recover = false;
+    uopts.max_restarts = cfg.sup;
+    uopts.backoff_base_s = 0.0;
+    uopts.snapshot_every = 2;  // exercise snapshot-restore, not just base replay
+    supervisor = std::make_unique<serve::Supervisor>(el, Grid(cfg.rows, cfg.cols),
+                                                     uopts);
+    frontend = supervisor.get();
+  } else {
+    session = std::make_unique<serve::Session>(el, Grid(cfg.rows, cfg.cols), sopts);
+    serve::ServiceOptions vopts;
+    vopts.auto_dispatch = false;
+    service = std::make_unique<serve::Service>(*session, vopts);
+    frontend = service.get();
+  }
 
   const auto query = [&] {
     serve::Request req;
@@ -202,11 +230,19 @@ void run_stream_path(const CheckConfig& cfg, const EdgeList& el, RunResult& out)
     } else {
       req.algo = serve::Algo::kCc;
     }
-    return service.submit(std::move(req));
+    return frontend->submit(std::move(req));
   };
   const auto drain = [&] {
-    while (service.pump()) {
+    while (frontend->pump()) {
     }
+  };
+  int seen_restarts = 0;
+  const auto recovered_since_last = [&] {
+    if (!supervisor) return false;
+    const int now = supervisor->restarts();
+    const bool recovered = now > seen_restarts;
+    seen_restarts = now;
+    return recovered;
   };
 
   // The runner's own live-edge mirror: delete picks in generate_ops aim
@@ -217,6 +253,7 @@ void run_stream_path(const CheckConfig& cfg, const EdgeList& el, RunResult& out)
   auto first = query();
   drain();
   out.epochs.push_back(to_epoch_result(cfg, first.result.get()));
+  out.epochs.back().recovered = recovered_since_last();
 
   for (int b = 0; b < cfg.mut_batches; ++b) {
     serve::Request mreq;
@@ -225,13 +262,14 @@ void run_stream_path(const CheckConfig& cfg, const EdgeList& el, RunResult& out)
                                     cfg.mut_ops, cfg.mut_delete_pct, el.n,
                                     &mirror);
     stream::apply_to_edge_list(mirror, mreq.ops);
-    auto mticket = service.submit(std::move(mreq));
+    auto mticket = frontend->submit(std::move(mreq));
     auto qticket = query();
     drain();
     const serve::Response mres = mticket.result.get();
     auto e = to_epoch_result(cfg, qticket.result.get());
     e.inserted = mres.edges_inserted;
     e.deleted = mres.edges_deleted;
+    e.recovered = recovered_since_last();
     out.epochs.push_back(std::move(e));
   }
 
@@ -241,8 +279,17 @@ void run_stream_path(const CheckConfig& cfg, const EdgeList& el, RunResult& out)
   out.rank = out.epochs.front().rank;
   out.component = out.epochs.front().component;
 
-  service.stop();
-  session.close();
+  out.serve_restarts = supervisor ? supervisor->restarts() : 0;
+  out.kill_faults_fired = static_cast<int>(
+      injector.fired(fault::FaultKind::kCrash) +
+      injector.fired(fault::FaultKind::kSilent));
+
+  if (supervisor) {
+    supervisor->stop();
+  } else {
+    service->stop();
+    session->close();
+  }
 }
 
 void apply_canary(Canary canary, const CheckConfig& cfg, RunResult& out) {
@@ -287,6 +334,28 @@ void apply_canary(Canary canary, const CheckConfig& cfg, RunResult& out) {
       // stale-cache hit would.
       if (out.epochs.size() >= 2) out.epochs.back() = out.epochs.front();
       return;
+    case Canary::kHalfAppliedCommit: {
+      // The bug transactional commits (stage-then-swap) exist to prevent:
+      // a fault mid-exchange leaves half the final batch applied, yet the
+      // response still claims the full batch (epoch, inserted, deleted).
+      // Recompute the final answer on the torn graph; the stream oracle's
+      // host-mirror replay must notice the payload no longer matches the
+      // claimed epoch.
+      if (cfg.mut_batches < 1 || cfg.algo != "bfs" || out.epochs.size() < 2) {
+        return;
+      }
+      EdgeList torn = build_input(cfg);
+      for (int b = 0; b < cfg.mut_batches; ++b) {
+        auto ops = stream::generate_ops(cfg.mut_seed, static_cast<std::uint64_t>(b),
+                                        cfg.mut_ops, cfg.mut_delete_pct, torn.n,
+                                        &torn);
+        if (b + 1 == cfg.mut_batches) ops.resize(ops.size() / 2);
+        stream::apply_to_edge_list(torn, ops);
+      }
+      const graph::Csr csr(torn.n, torn.edges);
+      out.epochs.back().levels = algos::ref::bfs_levels(csr, cfg.root);
+      return;
+    }
   }
 }
 
@@ -303,6 +372,7 @@ const char* to_string(Canary canary) {
     case Canary::kMsBfsCrossTalk: return "msbfs-cross-talk";
     case Canary::kLpRestartFromZero: return "lp-restart-from-zero";
     case Canary::kStreamStaleResult: return "stream-stale-result";
+    case Canary::kHalfAppliedCommit: return "half-applied-commit";
   }
   return "?";
 }
@@ -347,17 +417,22 @@ RunResult run_config(const CheckConfig& cfg, Canary canary) {
   if ((cfg.algo == "msbfs" || cfg.serve_batch > 0) && cfg.sources.empty()) {
     throw std::invalid_argument(cfg.algo + " needs sources");
   }
+  if (cfg.sup > 0 && cfg.mut_batches == 0) {
+    throw std::invalid_argument("sup= requires mut=");
+  }
   if (cfg.mut_batches > 0) {
-    // Streaming runs live inside one serve session: kill faults and
-    // checkpoint/restart have no meaning there, and the batched serve
-    // path has its own driver.
+    // Streaming runs live inside one serve session: checkpoint/restart
+    // has no meaning there and the batched serve path has its own driver.
+    // Kill faults need a recovery story — a serve::Supervisor (sup=N).
     if (cfg.algo != "bfs" && cfg.algo != "pr" && cfg.algo != "cc") {
       throw std::invalid_argument("mut= requires algo bfs|pr|cc");
     }
-    if (cfg.serve_batch > 0 || cfg.checkpoint_every > 0 ||
-        has_kill_fault(cfg.faults)) {
+    if (cfg.serve_batch > 0 || cfg.checkpoint_every > 0) {
+      throw std::invalid_argument("mut= is incompatible with serve= and ckpt=");
+    }
+    if (has_kill_fault(cfg.faults) && cfg.sup == 0) {
       throw std::invalid_argument(
-          "mut= is incompatible with serve=, ckpt= and kill faults");
+          "mut= with kill faults requires supervision (sup=)");
     }
   }
 

@@ -32,6 +32,7 @@ enum class Canary : std::uint8_t {
   kMsBfsCrossTalk,      // source 1 answers with source 0's levels
   kLpRestartFromZero,   // recovery replays LP without a Checkpointer
   kStreamStaleResult,   // post-mutation query answers with pre-mutation data
+  kHalfAppliedCommit,   // final batch torn in half, bookkeeping claims full
 };
 
 const char* to_string(Canary canary);
@@ -55,6 +56,13 @@ struct RunResult {
   std::int64_t checkpoints_committed = 0;
   std::vector<std::int64_t> resume_epochs;
 
+  // Supervised streaming (sup=N): session rebuilds the serve::Supervisor
+  // performed, and how many kill faults the plan actually FIRED — the
+  // recovery oracle demands restarts only when a kill fault fired (a
+  // trigger past the run's last superstep legitimately never fires).
+  int serve_restarts = 0;
+  int kill_faults_fired = 0;
+
   // Streaming path: one entry per query, entry 0 before any mutation and
   // then one per committed batch. The top-level vectors above hold a copy
   // of entry 0 so the reference/invariant oracles see the pre-mutation
@@ -64,6 +72,10 @@ struct RunResult {
     std::int64_t inserted = 0;        // directed copies added by the batch
     std::int64_t deleted = 0;         // directed copies removed by the batch
     bool incremental = false;         // served by an incremental kernel
+    bool recovered = false;           // a session rebuild happened since the
+                                      // previous query (sup= path only):
+                                      // resident state was lost, so the
+                                      // incremental-decision pin is waived
     std::vector<std::int64_t> levels;     // bfs (-1 = unreachable)
     std::vector<double> rank;             // pr (tolerance solve)
     std::vector<graph::Gid> component;    // cc

@@ -35,8 +35,22 @@ const Move kMoves[] = {
      [](CheckConfig& c) {
        // Leaves the stream path entirely (pr reverts to the fixed-iteration
        // solve); when the bug survives, it was never about streaming.
+       // Supervision rides on the stream path, so it goes too (a kill
+       // fault left behind lands on the recovery driver, which is legal).
        if (c.mut_batches == 0) return false;
        c.mut_batches = 0;
+       c.sup = 0;
+       return true;
+     }},
+    {"drop-supervision",
+     [](CheckConfig& c) {
+       // Back to the bare Session + Service stream path; kill faults are
+       // only legal under supervision, so they leave with it. When the
+       // bug survives, it was never about recovery.
+       if (c.sup == 0) return false;
+       c.sup = 0;
+       c.faults.clear();
+       c.fault_seed = 0;
        return true;
      }},
     {"halve-mutations",

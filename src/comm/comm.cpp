@@ -470,14 +470,14 @@ void Comm::fault_verify_payload(const World::Message& msg) const {
   }
 }
 
-void Comm::reset_clocks() {
+void Comm::reset_clocks(bool keep_metrics) {
   if (size() > 1) group_->barrier_.arrive_and_wait();
   world_->vclock_[world_rank_] = 0.0;
   world_->comp_s_[world_rank_] = 0.0;
   world_->comm_s_[world_rank_] = 0.0;
   if (auto* rec = world_->recorder_) {
     rec->reset_rank(world_rank_);
-    if (leader()) rec->metrics().reset();
+    if (leader() && !keep_metrics) rec->metrics().reset();
   }
   if (leader()) {
     world_->bytes_.store(0);

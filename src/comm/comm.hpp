@@ -389,7 +389,10 @@ class Comm {
 
   /// Zeroes all clocks and traffic counters. Collective over this
   /// communicator (normally the world); used to exclude setup phases.
-  void reset_clocks();
+  /// `keep_metrics` preserves the recorder's metrics registry — a
+  /// supervised session rebuild must not wipe counters accumulated by
+  /// the service it is recovering (docs/RECOVERY.md).
+  void reset_clocks(bool keep_metrics = false);
 
   /// Attributes any thread-CPU time since the last communication call to
   /// this rank's compute clock. The runtime calls it when a rank body

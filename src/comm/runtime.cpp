@@ -63,7 +63,7 @@ RunStats Runtime::run(int nranks, const Topology& topo, const CostModel& cost,
       try {
         Comm comm(&world, world_group, r);
         comm.bind_telemetry();
-        comm.reset_clocks();
+        comm.reset_clocks(options.keep_metrics);
         body(comm);
         comm.flush_compute();
       } catch (const Aborted&) {

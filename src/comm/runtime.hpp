@@ -34,6 +34,10 @@ struct RunOptions {
   /// pays the collective's latency term again, which only pays off when
   /// the pipelined compute (or per-segment bandwidth) dominates latency.
   int async_chunk = 1;
+  /// Preserve the recorder's metrics registry through the run's initial
+  /// clock reset. Supervised session rebuilds (serve::Supervisor) set this
+  /// so serve.* counters accumulate across restarts.
+  bool keep_metrics = false;
 
   static constexpr double kDefaultFaultTimeoutS = 10.0;
 };

@@ -99,25 +99,27 @@ Dist2DGraph::Dist2DGraph(comm::Comm& world, const Partitioned2D& parts)
                                 "dist2d.split_col")),
       m_global_(parts.m_global()) {}
 
-Dist2DGraph::LocalApplyResult Dist2DGraph::apply_local_edge_ops(
+Dist2DGraph::LocalApplyResult Dist2DGraph::stage_local_edge_ops(
     std::span<const LocalEdgeOp> ops) {
+  staged_edges_ = local_edges_;
+  staging_ = true;
   LocalApplyResult out;
   for (const auto& op : ops) {
     if (op.insert) {
-      local_edges_.push_back({op.u, op.v});
+      staged_edges_.push_back({op.u, op.v});
       ++out.inserted;
       continue;
     }
     const graph::Edge target{op.u, op.v};
-    const auto it = std::find(local_edges_.begin(), local_edges_.end(), target);
-    if (it == local_edges_.end()) {
+    const auto it = std::find(staged_edges_.begin(), staged_edges_.end(), target);
+    if (it == staged_edges_.end()) {
       ++out.noop_deletes;
       continue;
     }
-    local_edges_.erase(it);  // order-preserving, matching the host mirror
+    staged_edges_.erase(it);  // order-preserving, matching the host mirror
     ++out.deleted;
-    if (std::find(local_edges_.begin(), local_edges_.end(), target) ==
-        local_edges_.end()) {
+    if (std::find(staged_edges_.begin(), staged_edges_.end(), target) ==
+        staged_edges_.end()) {
       out.structural_delete = true;
     }
   }
@@ -125,6 +127,12 @@ Dist2DGraph::LocalApplyResult Dist2DGraph::apply_local_edge_ops(
 }
 
 void Dist2DGraph::finish_commit(std::int64_t m_global_delta, bool csr_dirty) {
+  if (staging_) {
+    local_edges_.swap(staged_edges_);
+    staged_edges_.clear();
+    staged_edges_.shrink_to_fit();
+    staging_ = false;
+  }
   if (csr_dirty) {
     // Streaming commits reject weighted graphs upstream, so the rebuilt
     // CSR carries no weights.
@@ -136,6 +144,12 @@ void Dist2DGraph::finish_commit(std::int64_t m_global_delta, bool csr_dirty) {
   // block is untouched; every row-group member commits collectively, so
   // clearing here keeps the next lazy recompute consistent.
   global_degrees_.clear();
+}
+
+void Dist2DGraph::abort_commit() {
+  staged_edges_.clear();
+  staged_edges_.shrink_to_fit();
+  staging_ = false;
 }
 
 const std::vector<std::int64_t>& Dist2DGraph::global_row_degrees() {

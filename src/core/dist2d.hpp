@@ -134,16 +134,29 @@ class Dist2DGraph {
     bool structural_delete = false;
   };
 
-  /// Applies `ops` in order to this rank's edge multiset (no
-  /// communication, no CSR rebuild — call finish_commit afterwards).
-  LocalApplyResult apply_local_edge_ops(std::span<const LocalEdgeOp> ops);
+  /// Stages `ops` in order against a COPY of this rank's edge multiset (no
+  /// communication, no CSR rebuild, live graph untouched). The staged set
+  /// only becomes live in finish_commit; abort_commit discards it — so a
+  /// commit that faults mid-protocol leaves the old epoch's CSR intact and
+  /// a recovered session can replay the whole batch (docs/RECOVERY.md).
+  LocalApplyResult stage_local_edge_ops(std::span<const LocalEdgeOp> ops);
 
-  /// Seals a commit: rebuilds the CSR from the mutated edge multiset when
-  /// `csr_dirty`, applies the globally agreed directed-entry delta to
-  /// m_global(), bumps the epoch, and invalidates the cached global
-  /// degrees (recomputed collectively on next use — safe because every
-  /// row-group member commits together).
+  /// Seals a commit: swaps the staged edge multiset in, rebuilds the CSR
+  /// from it when `csr_dirty`, applies the globally agreed directed-entry
+  /// delta to m_global(), bumps the epoch, and invalidates the cached
+  /// global degrees (recomputed collectively on next use — safe because
+  /// every row-group member commits together).
   void finish_commit(std::int64_t m_global_delta, bool csr_dirty);
+
+  /// Aborts a staged commit: drops the staged multiset, leaving the graph
+  /// bit-identical to its pre-commit state (old epoch, old CSR). Idempotent
+  /// and a no-op when nothing is staged.
+  void abort_commit();
+
+  /// Recovery restore only (serve::Supervisor): pins the epoch counter
+  /// after a rebuild from a snapshot + committed-log replay, so
+  /// post-recovery commits continue the pre-fault numbering.
+  void set_epoch(std::uint64_t epoch) { epoch_ = epoch; }
 
  private:
   const Partitioned2D* parts_;
@@ -154,9 +167,11 @@ class Dist2DGraph {
   int rank_c_;
   LidMap lid_map_;
   // The rank's live edge multiset in LID space (row LID -> col LID). The
-  // CSR is always a materialization of exactly this vector; commits mutate
-  // it and rebuild the CSR from it.
+  // CSR is always a materialization of exactly this vector; commits stage
+  // a mutated copy and swap it in (then rebuild the CSR) at finish_commit.
   std::vector<graph::Edge> local_edges_;
+  std::vector<graph::Edge> staged_edges_;  // in-flight commit, see staging_
+  bool staging_ = false;
   graph::Csr csr_;
   comm::Comm row_comm_;
   comm::Comm col_comm_;

@@ -1,0 +1,35 @@
+// The submission surface shared by the bare Service and the fault-
+// tolerant Supervisor, so request drivers (load_gen, scripts, hpcg_serve)
+// run unchanged against either. The contract is the Service's: submit is
+// synchronous admission (typed ServeError throws), pump is one manual
+// scheduling round, drain blocks until every admitted request resolved.
+#pragma once
+
+#include <cstddef>
+
+#include "serve/request.hpp"
+
+namespace hpcg::serve {
+
+class Frontend {
+ public:
+  virtual ~Frontend() = default;
+
+  /// Admission + enqueue; see Service::submit for the error contract.
+  virtual Ticket submit(Request request) = 0;
+
+  /// One manual scheduling round; false when there was nothing to do.
+  /// Only meaningful with auto dispatch off.
+  virtual bool pump() = 0;
+
+  /// Blocks until every admitted request has completed or failed.
+  virtual void drain() = 0;
+
+  /// Vertex-id bound of the served graph (for generated requests).
+  virtual Gid n() const = 0;
+
+  /// Pending (admitted, not yet resolved) requests.
+  virtual std::size_t queue_depth() const = 0;
+};
+
+}  // namespace hpcg::serve

@@ -55,7 +55,7 @@ std::string describe(const Response& response) {
 
 }  // namespace
 
-ScriptResult run_script(Service& service, std::istream& script) {
+ScriptResult run_script(Frontend& service, std::istream& script) {
   ScriptResult result;
   std::ostringstream log;
   std::string client = "anon";
@@ -176,7 +176,7 @@ ScriptResult run_script(Service& service, std::istream& script) {
   return result;
 }
 
-LoadGenStats run_load(Service& service, Gid n, const LoadGenOptions& options) {
+LoadGenStats run_load(Frontend& service, Gid n, const LoadGenOptions& options) {
   LoadGenStats stats;
   std::mutex stats_mutex;
   const int total_weight = options.bfs_weight + options.msbfs_weight +
@@ -192,10 +192,14 @@ LoadGenStats run_load(Service& service, Gid n, const LoadGenOptions& options) {
                            static_cast<std::uint64_t>(c) * 0x9e3779b97f4a7c15ull);
       const std::string client = "client" + std::to_string(c);
       int submitted = 0, completed = 0, rejected = 0, failed = 0;
+      int failed_session_closed = 0, failed_deadline = 0;
+      int failed_unavailable = 0, failed_other = 0;
+      int retried_completed = 0, rejected_degraded = 0;
       std::uint64_t cache_hits = 0;
       for (int r = 0; r < options.requests_per_client; ++r) {
         Request request;
         request.client = client;
+        request.deadline_s = options.deadline_s;
         const auto pick = static_cast<int>(
             rng.next_below(static_cast<std::uint64_t>(total_weight)));
         if (pick < options.bfs_weight) {
@@ -233,15 +237,39 @@ LoadGenStats run_load(Service& service, Gid n, const LoadGenOptions& options) {
               const Response response = ticket.result.get();
               ++completed;
               if (response.from_cache) ++cache_hits;
+              if (response.attempts > 1) ++retried_completed;
+            } catch (const DeadlineExceeded&) {
+              ++failed;
+              ++failed_deadline;
+            } catch (const Unavailable&) {
+              ++failed;
+              ++failed_unavailable;
+            } catch (const SessionClosed&) {
+              ++failed;
+              ++failed_session_closed;
             } catch (const ServeError&) {
               ++failed;
+              ++failed_other;
             }
             break;
-          } catch (const Overloaded&) {
+          } catch (const Overloaded& e) {
             ++rejected;
+            if (e.reason() == Overloaded::Reason::kDegraded) {
+              ++rejected_degraded;
+            }
             std::this_thread::sleep_for(std::chrono::microseconds(200));
-          } catch (const SessionClosed&) {
+          } catch (const Unavailable&) {
+            // The supervisor exhausted its restart budget: the service is
+            // down for good, so stop offering load from this client.
             ++failed;
+            ++failed_unavailable;
+            break;
+          } catch (const SessionClosed&) {
+            // A bare (unsupervised) service whose session died: every
+            // later submit would throw the same, but the failure must be
+            // TALLIED TYPED, never silently swallowed.
+            ++failed;
+            ++failed_session_closed;
             break;
           }
         }
@@ -251,6 +279,12 @@ LoadGenStats run_load(Service& service, Gid n, const LoadGenOptions& options) {
       stats.completed += completed;
       stats.rejected += rejected;
       stats.failed += failed;
+      stats.failed_session_closed += failed_session_closed;
+      stats.failed_deadline += failed_deadline;
+      stats.failed_unavailable += failed_unavailable;
+      stats.failed_other += failed_other;
+      stats.retried_completed += retried_completed;
+      stats.rejected_degraded += rejected_degraded;
       stats.cache_hits += cache_hits;
     });
   }

@@ -14,6 +14,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "serve/frontend.hpp"
 #include "serve/service.hpp"
 
 namespace hpcg::serve {
@@ -39,9 +40,10 @@ struct ScriptResult {
 ///                        index advances per mutate line)
 ///   pump               — one scheduling round (requires manual dispatch)
 ///   drain              — complete everything admitted so far
-/// A final implicit drain completes any stragglers. Requires a Service
-/// with auto_dispatch = false so batching decisions are reproducible.
-ScriptResult run_script(Service& service, std::istream& script);
+/// A final implicit drain completes any stragglers. Requires a frontend
+/// (Service or Supervisor) with auto_dispatch = false so batching
+/// decisions are reproducible.
+ScriptResult run_script(Frontend& service, std::istream& script);
 
 struct LoadGenOptions {
   int clients = 4;
@@ -61,13 +63,27 @@ struct LoadGenOptions {
   int mutate_delete_pct = 30;
   int msbfs_sources = 8;  // roots per explicit msbfs request
   int pr_iterations = 5;
+  /// Per-request completion budget in wall seconds (Request::deadline_s);
+  /// 0 = no deadline.
+  double deadline_s = 0.0;
 };
 
 struct LoadGenStats {
   int submitted = 0;
   int completed = 0;
   int rejected = 0;  // Overloaded throws (retried until accepted)
-  int failed = 0;
+  int failed = 0;    // = sum of the four typed tallies below
+  /// Typed per-error-kind failure tallies: a failure is never a bare
+  /// count — the summary says WHICH contract failed.
+  int failed_session_closed = 0;
+  int failed_deadline = 0;
+  int failed_unavailable = 0;
+  int failed_other = 0;
+  /// Completions that survived at least one session restart
+  /// (Response::attempts > 1): recovered, not just retried by the driver.
+  int retried_completed = 0;
+  /// Degraded-mode sheds (Overloaded kDegraded); also counted in rejected.
+  int rejected_degraded = 0;
   std::uint64_t cache_hits = 0;
   double wall_s = 0.0;
   double rps = 0.0;  // completed / wall_s
@@ -77,7 +93,10 @@ struct LoadGenStats {
 /// a time, retrying Overloaded rejections after a short backoff. Root
 /// choices are seeded per client, so the submitted request *set* is
 /// reproducible (arrival order is not — it depends on thread scheduling).
-/// `n` is the vertex-id bound for generated roots.
-LoadGenStats run_load(Service& service, Gid n, const LoadGenOptions& options);
+/// `n` is the vertex-id bound for generated roots. Works against a bare
+/// Service or a fault-tolerant Supervisor; a SessionClosed from a bare
+/// service stops that client's submissions (nothing will revive the
+/// session) but is tallied typed, never swallowed.
+LoadGenStats run_load(Frontend& service, Gid n, const LoadGenOptions& options);
 
 }  // namespace hpcg::serve

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <future>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -59,7 +60,32 @@ struct Request {
   /// scheduler applies it at a superstep boundary between queries; every
   /// request submitted afterwards observes the post-commit graph.
   std::vector<stream::EdgeOp> ops;
+  /// Wall-second budget from submission to completion; 0 disables. A
+  /// request still queued when its deadline passes fails with
+  /// DeadlineExceeded instead of executing (checked when the scheduler
+  /// would pop it — an executing request is never interrupted).
+  double deadline_s = 0.0;
 };
+
+/// Safe to re-execute after a session failure without observable
+/// double-effect. Queries are pure; kMutate qualifies because commits are
+/// transactional (docs/RECOVERY.md): a commit that faulted was never
+/// applied, and one that completed is in the supervisor's committed log —
+/// never parked for retry. The only exclusion is warm-started PageRank,
+/// whose answer depends on resident session history that a rebuilt
+/// session no longer holds.
+inline bool is_retryable(const Request& request) {
+  return !(request.algo == Algo::kPageRank && request.warm_start);
+}
+
+/// Admissible while the service runs DEGRADED (recovering from a session
+/// failure, or shedding at the overload watermark): cacheable query types
+/// only — no mutations (they grow the replay log a recovery is trying to
+/// re-reach) and no history-dependent warm starts.
+inline bool is_cacheable_type(const Request& request) {
+  if (request.algo == Algo::kMutate) return false;
+  return !(request.algo == Algo::kPageRank && request.warm_start);
+}
 
 struct Response {
   std::uint64_t id = 0;
@@ -88,6 +114,10 @@ struct Response {
   /// Query answered by incremental maintenance (CC ripple, BFS repair,
   /// seeded delta-PageRank) instead of a from-scratch run.
   bool incremental = false;
+  /// Execution attempts this response consumed: 1 for the common case,
+  /// +1 per session failure the request survived (parked by the
+  /// supervisor, resubmitted into the rebuilt session).
+  int attempts = 1;
 
   // Latency split in wall seconds: submit->pop, pop->complete, and total.
   double queue_s = 0.0;
@@ -103,7 +133,7 @@ class ServeError : public std::runtime_error {
 /// Deterministic admission rejection: the request never entered the queue.
 class Overloaded : public ServeError {
  public:
-  enum class Reason : std::uint8_t { kQueueFull, kClientQuota };
+  enum class Reason : std::uint8_t { kQueueFull, kClientQuota, kDegraded };
 
   Overloaded(Reason reason, const std::string& message)
       : ServeError(message), reason_(reason) {}
@@ -118,6 +148,29 @@ class Overloaded : public ServeError {
 class SessionClosed : public ServeError {
  public:
   using ServeError::ServeError;
+};
+
+/// The request's wall-clock deadline passed before it reached the
+/// executor. The request was admitted but never ran.
+class DeadlineExceeded : public ServeError {
+ public:
+  using ServeError::ServeError;
+};
+
+/// The supervisor exhausted its restart budget (too many session failures
+/// inside one window); the service reports itself down instead of
+/// crash-looping. Requests in flight at that point fail with this too.
+class Unavailable : public ServeError {
+ public:
+  using ServeError::ServeError;
+};
+
+/// Handle to an admitted request. `result` throws the typed ServeError on
+/// failure; every admitted request resolves exactly one way (a value or a
+/// typed error) — never silently dropped.
+struct Ticket {
+  std::uint64_t id = 0;
+  std::shared_future<Response> result;
 };
 
 }  // namespace hpcg::serve

@@ -35,16 +35,20 @@ Service::Service(Session& session, const ServiceOptions& options)
                            std::to_string(session.partition().m_global())
                      : options.graph_key),
       cache_(options.cache_capacity),
-      own_metrics_(options.recorder ? nullptr
-                                    : std::make_unique<telemetry::MetricsRegistry>()),
-      metrics_(options.recorder ? &options.recorder->metrics()
-                                : own_metrics_.get()),
+      own_metrics_(options.metrics || options.recorder
+                       ? nullptr
+                       : std::make_unique<telemetry::MetricsRegistry>()),
+      metrics_(options.metrics
+                   ? options.metrics
+                   : (options.recorder ? &options.recorder->metrics()
+                                       : own_metrics_.get())),
       request_track_(options.recorder &&
                              options.recorder->nranks() > session.nranks()
                          ? session.nranks()
                          : -1),
-      epoch_s_(wall_s()),
+      epoch_s_(options.wall_epoch_s > 0.0 ? options.wall_epoch_s : wall_s()),
       pr_state_(static_cast<std::size_t>(session.nranks())) {
+  graph_epoch_.store(options_.initial_epoch);
   if (options_.max_batch < 1 || options_.max_batch > 64) {
     throw std::invalid_argument("ServiceOptions::max_batch must be 1..64");
   }
@@ -54,6 +58,9 @@ Service::Service(Session& session, const ServiceOptions& options)
   if (options_.max_inflight_per_client < 1) {
     throw std::invalid_argument(
         "ServiceOptions::max_inflight_per_client must be >= 1");
+  }
+  if (options_.max_attempts < 1) {
+    throw std::invalid_argument("ServiceOptions::max_attempts must be >= 1");
   }
   if (options_.auto_dispatch) {
     dispatcher_ = std::thread([this] { dispatcher_loop(); });
@@ -65,7 +72,10 @@ Service::~Service() { stop(); }
 double Service::now_s() const { return wall_s() - epoch_s_; }
 
 void Service::validate(const Request& request) const {
-  const auto n = session_.n();
+  validate_request(request, session_.n(), session_.partition().weighted());
+}
+
+void validate_request(const Request& request, Gid n, bool weighted) {
   switch (request.algo) {
     case Algo::kBfs:
       if (request.roots.size() != 1) {
@@ -88,7 +98,7 @@ void Service::validate(const Request& request) const {
     case Algo::kCc:
       break;
     case Algo::kMutate:
-      if (session_.partition().weighted()) {
+      if (weighted) {
         throw std::invalid_argument(
             "mutate: streaming mutations require an unweighted graph");
       }
@@ -102,6 +112,9 @@ void Service::validate(const Request& request) const {
     if (root < 0 || root >= n) {
       throw std::invalid_argument("request root outside [0, n)");
     }
+  }
+  if (request.deadline_s < 0.0) {
+    throw std::invalid_argument("request deadline_s must be >= 0");
   }
 }
 
@@ -156,7 +169,8 @@ Service::Ticket Service::submit(Request request) {
   if (stopping_ || dead_) {
     throw SessionClosed("service is stopped");
   }
-  const std::uint64_t id = ++next_id_;
+  const std::uint64_t id =
+      options_.id_source ? ++*options_.id_source : ++next_id_;
   const std::string key = cache_key(request);
 
   // A queued mutation means this request logically executes against a
@@ -173,6 +187,9 @@ Service::Ticket Service::submit(Request request) {
       response.queue_s = 0.0;
       response.exec_s = 0.0;
       response.total_s = 0.0;
+      // The producer's retry history is not this request's: a hit is one
+      // attempt regardless of how many the cached computation consumed.
+      response.attempts = 1;
       std::promise<Response> promise;
       Ticket ticket{id, promise.get_future().share()};
       promise.set_value(std::move(response));
@@ -203,7 +220,10 @@ Service::Ticket Service::submit(Request request) {
   pending->request = std::move(request);
   pending->key = key;
   pending->future = pending->promise.get_future().share();
-  pending->submit_s = now_s();
+  pending->submit_s = wall_s();
+  if (pending->request.deadline_s > 0.0) {
+    pending->deadline_s = pending->submit_s + pending->request.deadline_s;
+  }
   Ticket ticket{id, pending->future};
   queue_.push_back(std::move(pending));
   metrics_->gauge("serve.queue.depth").set(static_cast<double>(queue_.size()));
@@ -217,14 +237,76 @@ std::size_t Service::queue_depth() const {
   return queue_.size();
 }
 
-bool Service::pump() {
-  std::vector<std::unique_ptr<Pending>> batch;
+std::unique_ptr<Service::Pending> Service::make_pending(Request request,
+                                                        std::uint64_t id) {
+  auto pending = std::make_unique<Pending>();
+  pending->id = id;
+  pending->request = std::move(request);
+  pending->future = pending->promise.get_future().share();
+  pending->submit_s = wall_s();
+  if (pending->request.deadline_s > 0.0) {
+    pending->deadline_s = pending->submit_s + pending->request.deadline_s;
+  }
+  return pending;
+}
+
+std::vector<std::unique_ptr<Service::Pending>> Service::take_parked() {
+  std::lock_guard lock(mutex_);
+  return std::move(parked_);
+}
+
+std::size_t Service::parked_count() const {
+  std::lock_guard lock(mutex_);
+  return parked_.size();
+}
+
+bool Service::dead() const {
+  std::lock_guard lock(mutex_);
+  return dead_;
+}
+
+void Service::adopt(std::vector<std::unique_ptr<Pending>> parked) {
+  if (parked.empty()) return;
   {
     std::lock_guard lock(mutex_);
-    if (queue_.empty()) return false;
-    batch.push_back(std::move(queue_.front()));
-    queue_.pop_front();
-    if (batch[0]->request.algo == Algo::kBfs && options_.max_batch > 1) {
+    for (auto& pending : parked) {
+      // Re-mint the key: the old one was suffixed with the failed
+      // service's epoch numbering (same graph, so only the epoch moves).
+      pending->key = cache_key(pending->request);
+      ++inflight_[pending->request.client];
+      if (pending->request.algo == Algo::kMutate) ++pending_mutations_;
+      queue_.push_back(std::move(pending));
+    }
+    metrics_->gauge("serve.queue.depth").set(static_cast<double>(queue_.size()));
+  }
+  cv_work_.notify_all();
+}
+
+bool Service::pump() {
+  std::vector<std::unique_ptr<Pending>> batch;
+  std::vector<std::unique_ptr<Pending>> expired;
+  {
+    std::lock_guard lock(mutex_);
+    const double now = wall_s();
+    const auto past_deadline = [&](const Pending& pending) {
+      return pending.deadline_s > 0.0 && now > pending.deadline_s;
+    };
+    // Expire deadline-passed entries at pop time: the request was
+    // admitted but never started, so failing it here keeps the contract
+    // "an executing request is never interrupted".
+    while (!queue_.empty()) {
+      auto front = std::move(queue_.front());
+      queue_.pop_front();
+      if (past_deadline(*front)) {
+        expired.push_back(std::move(front));
+        continue;
+      }
+      batch.push_back(std::move(front));
+      break;
+    }
+    if (batch.empty() && expired.empty()) return false;
+    if (!batch.empty() && batch[0]->request.algo == Algo::kBfs &&
+        options_.max_batch > 1) {
       // Coalesce every pending single-source BFS, oldest first, until the
       // bit-packed frontier word is full. A pending mutation is a
       // scheduling barrier: a BFS submitted after it must observe the
@@ -234,7 +316,11 @@ bool Service::pump() {
            static_cast<int>(batch.size()) < options_.max_batch;) {
         if ((*it)->request.algo == Algo::kMutate) break;
         if ((*it)->request.algo == Algo::kBfs) {
-          batch.push_back(std::move(*it));
+          if (past_deadline(**it)) {
+            expired.push_back(std::move(*it));
+          } else {
+            batch.push_back(std::move(*it));
+          }
           it = queue_.erase(it);
         } else {
           ++it;
@@ -250,7 +336,19 @@ bool Service::pump() {
       if (!pending->key.empty()) pending->key = cache_key(pending->request);
     }
     metrics_->gauge("serve.queue.depth").set(static_cast<double>(queue_.size()));
-    ++executing_;
+    if (!batch.empty()) ++executing_;
+  }
+  for (auto& pending : expired) {
+    metrics_->counter("serve.deadline.exceeded").increment();
+    fail(*pending,
+         std::make_exception_ptr(DeadlineExceeded(
+             "deadline of " + std::to_string(pending->request.deadline_s) +
+             "s passed before request " + std::to_string(pending->id) +
+             " reached the executor")));
+  }
+  if (batch.empty()) {
+    cv_idle_.notify_all();
+    return true;  // expiring entries was this round's work
   }
   execute(std::move(batch));
   {
@@ -283,23 +381,36 @@ void Service::drain() {
 }
 
 void Service::stop() {
+  bool was_dead = false;
   {
     std::lock_guard lock(mutex_);
     if (stopping_) return;
     stopping_ = true;
+    was_dead = dead_;
   }
   cv_work_.notify_all();
   if (dispatcher_.joinable()) dispatcher_.join();
-  // Fail whatever is still queued (manual mode, or a dead session left
-  // entries behind).
+  // Whatever is still queued (manual mode, or a dead session left entries
+  // behind): parked for the supervisor when this stop is part of a
+  // recovery, failed otherwise.
   std::deque<std::unique_ptr<Pending>> leftover;
   {
     std::lock_guard lock(mutex_);
     leftover.swap(queue_);
   }
-  for (auto& pending : leftover) {
-    fail(*pending, std::make_exception_ptr(
-                       SessionClosed("service stopped before execution")));
+  if (was_dead && options_.park_on_failure) {
+    std::vector<std::unique_ptr<Pending>> batch;
+    batch.reserve(leftover.size());
+    for (auto& pending : leftover) batch.push_back(std::move(pending));
+    dispose_failed(std::move(batch),
+                   std::make_exception_ptr(SessionClosed(
+                       "session died before the request could execute")),
+                   /*consumed_attempt=*/false);
+  } else {
+    for (auto& pending : leftover) {
+      fail(*pending, std::make_exception_ptr(
+                         SessionClosed("service stopped before execution")));
+    }
   }
   cv_idle_.notify_all();
 }
@@ -311,15 +422,19 @@ void Service::finish_one(const std::string& client) {
 }
 
 void Service::complete(Pending& pending, Response response, double popped_s) {
-  const double done_s = now_s();
+  const double done_s = wall_s();
   response.id = pending.id;
   // Queries report the epoch they executed against; mutations already
   // carry their post-commit epoch.
   if (response.algo != Algo::kMutate) response.epoch = pending.epoch;
+  response.attempts = pending.attempts;
   response.queue_s = popped_s - pending.submit_s;
   response.exec_s = done_s - popped_s;
   response.total_s = done_s - pending.submit_s;
   metrics_->counter("serve.requests.completed").increment();
+  if (pending.attempts > 1) {
+    metrics_->counter("serve.recovery.retried_completed").increment();
+  }
   metrics_->histogram("serve.latency.queue_us")
       .observe(static_cast<std::uint64_t>(response.queue_s * 1e6));
   metrics_->histogram("serve.latency.exec_us")
@@ -328,8 +443,8 @@ void Service::complete(Pending& pending, Response response, double popped_s) {
       .observe(static_cast<std::uint64_t>(response.total_s * 1e6));
   if (request_track_ >= 0) {
     telemetry::SpanRecord span;
-    span.start_s = pending.submit_s;
-    span.end_s = done_s;
+    span.start_s = pending.submit_s - epoch_s_;
+    span.end_s = done_s - epoch_s_;
     span.rank = request_track_;
     span.kind = telemetry::SpanKind::kPhase;
     span.name = std::string("request.") + to_string(response.algo);
@@ -358,11 +473,34 @@ void Service::fail(Pending& pending, std::exception_ptr error) {
   pending.promise.set_exception(std::move(error));
 }
 
+void Service::dispose_failed(std::vector<std::unique_ptr<Pending>> batch,
+                             std::exception_ptr error, bool consumed_attempt) {
+  for (auto& pending : batch) {
+    if (options_.park_on_failure && is_retryable(pending->request)) {
+      if (consumed_attempt) ++pending->attempts;
+      if (pending->attempts > options_.max_attempts) {
+        metrics_->counter("serve.recovery.retry_exhausted").increment();
+        fail(*pending,
+             std::make_exception_ptr(SessionClosed(
+                 "request " + std::to_string(pending->id) + " failed " +
+                 std::to_string(options_.max_attempts) +
+                 " times across session restarts; retry budget exhausted")));
+        continue;
+      }
+      metrics_->counter("serve.recovery.parked").increment();
+      std::lock_guard lock(mutex_);
+      parked_.push_back(std::move(pending));
+    } else {
+      fail(*pending, error);
+    }
+  }
+}
+
 void Service::execute(std::vector<std::unique_ptr<Pending>> batch) {
   if (dead_ || !session_.alive()) {
-    for (auto& pending : batch) {
-      fail(*pending, std::make_exception_ptr(SessionClosed("session is closed")));
-    }
+    dispose_failed(std::move(batch),
+                   std::make_exception_ptr(SessionClosed("session is closed")),
+                   /*consumed_attempt=*/false);
     return;
   }
   try {
@@ -378,13 +516,14 @@ void Service::execute(std::vector<std::unique_ptr<Pending>> batch) {
       std::lock_guard lock(mutex_);
       dead_ = true;
     }
-    const auto error = std::current_exception();
-    for (auto& pending : batch) fail(*pending, error);
+    dispose_failed(std::move(batch), std::current_exception(),
+                   /*consumed_attempt=*/true);
+    if (options_.on_session_death) options_.on_session_death();
   }
 }
 
 void Service::execute_bfs_batch(std::vector<std::unique_ptr<Pending>>& batch) {
-  const double popped_s = now_s();
+  const double popped_s = wall_s();
   std::vector<Gid> roots;
   roots.reserve(batch.size());
   for (const auto& pending : batch) roots.push_back(pending->request.roots[0]);
@@ -425,7 +564,7 @@ void Service::execute_bfs_batch(std::vector<std::unique_ptr<Pending>>& batch) {
 }
 
 void Service::execute_single(Pending& pending) {
-  const double popped_s = now_s();
+  const double popped_s = wall_s();
   const Request& request = pending.request;
   const auto& relabel = session_.partition().relabel();
   const auto n = static_cast<std::size_t>(session_.n());
@@ -617,7 +756,7 @@ void Service::execute_single(Pending& pending) {
 }
 
 void Service::execute_mutate(Pending& pending) {
-  const double popped_s = now_s();
+  const double popped_s = wall_s();
   const Request& request = pending.request;
   const auto nranks = static_cast<std::size_t>(session_.nranks());
   std::vector<stream::CommitResult> per_rank(nranks);
@@ -636,6 +775,9 @@ void Service::execute_mutate(Pending& pending) {
 
   if (agg.mutated) {
     graph_epoch_.store(agg.epoch);
+    // Committed-log append BEFORE the response resolves: a commit the
+    // caller observed must survive a later session rebuild.
+    if (options_.on_commit) options_.on_commit(request.ops, agg.epoch);
     // Entries minted before this commit are unreachable under the new
     // epoch-suffixed keys; evict them so they stop occupying capacity.
     const auto dropped = cache_.invalidate_epoch(agg.epoch - 1);

@@ -35,6 +35,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -45,11 +46,18 @@
 
 #include "core/sparse_comm.hpp"
 #include "serve/cache.hpp"
+#include "serve/frontend.hpp"
 #include "serve/request.hpp"
 #include "serve/session.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace hpcg::serve {
+
+/// Validates a request against graph shape (vertex bound, weightedness);
+/// throws std::invalid_argument on malformed requests. Shared by
+/// Service::submit and the supervisor's degraded-mode admission (which
+/// must validate while no live session exists).
+void validate_request(const Request& request, Gid n, bool weighted);
 
 struct ServiceOptions {
   std::size_t queue_capacity = 64;
@@ -70,54 +78,84 @@ struct ServiceOptions {
   telemetry::Recorder* recorder = nullptr;
   /// Async opt-in forwarded to every algorithm invocation.
   core::SparseOptions sparse = {};
+
+  // --- Supervision hooks (serve::Supervisor, docs/RECOVERY.md) -----------
+  /// Graph epoch the resident graph starts at: a rebuilt session that
+  /// restored a snapshot + replayed the committed suffix resumes the
+  /// pre-fault numbering, so cache keys and responses stay monotone.
+  std::uint64_t initial_epoch = 0;
+  /// On session failure, PARK retryable requests (is_retryable) for
+  /// adoption into a rebuilt service instead of failing their futures.
+  bool park_on_failure = false;
+  /// Execution attempts allowed per request across session rebuilds; a
+  /// parked request past the budget fails with SessionClosed instead.
+  int max_attempts = 3;
+  /// Fired once when a job kills the session, after the in-flight batch
+  /// has been parked or failed. Called with no service locks held.
+  std::function<void()> on_session_death;
+  /// Fired after every effective mutation commit, with the original ops
+  /// and the post-commit epoch, BEFORE the response resolves — so a
+  /// caller that observed a commit can rely on it surviving recovery
+  /// (the supervisor's committed-log append).
+  std::function<void(const std::vector<stream::EdgeOp>&, std::uint64_t)>
+      on_commit;
+  /// External metrics registry; overrides the recorder's/own one so
+  /// counters survive service rebuilds.
+  telemetry::MetricsRegistry* metrics = nullptr;
+  /// External request-id source, so ids stay unique across rebuilds and
+  /// supervisor-side admissions.
+  std::atomic<std::uint64_t>* id_source = nullptr;
+  /// Wall-clock zero of the latency/span timeline; 0 = construction time.
+  /// The supervisor passes its own zero so all rebuilds share a timeline.
+  double wall_epoch_s = 0.0;
 };
 
-class Service {
+class Service final : public Frontend {
  public:
   Service(Session& session, const ServiceOptions& options = {});
-  ~Service();
+  ~Service() override;
 
   Service(const Service&) = delete;
   Service& operator=(const Service&) = delete;
 
-  struct Ticket {
-    std::uint64_t id = 0;
-    std::shared_future<Response> result;
-  };
+  using Ticket = serve::Ticket;
 
   /// Admission decision + enqueue (or immediate completion on cache hit).
   /// Throws Overloaded on rejection, SessionClosed when the session is
   /// gone, std::invalid_argument on malformed requests. Thread-safe.
-  Ticket submit(Request request);
+  Ticket submit(Request request) override;
 
-  /// Executes one scheduling round (one request or one coalesced batch).
-  /// Returns false when the queue was empty. Call only with
-  /// auto_dispatch = false.
-  bool pump();
+  /// Executes one scheduling round (one request or one coalesced batch,
+  /// or expiring deadline-passed entries). Returns false when the queue
+  /// was empty. Call only with auto_dispatch = false.
+  bool pump() override;
 
   /// Blocks until every admitted request has completed (or failed).
-  void drain();
+  void drain() override;
 
   /// Stops the scheduler thread; pending requests are failed with
-  /// SessionClosed. The session itself stays open (the caller owns it).
+  /// SessionClosed (or parked, when park_on_failure and the session
+  /// died). The session itself stays open (the caller owns it).
   void stop();
 
   telemetry::MetricsRegistry& metrics() { return *metrics_; }
   const ResultCache& cache() const { return cache_; }
-  std::size_t queue_depth() const;
+  std::size_t queue_depth() const override;
 
   /// Current graph epoch: number of mutation batches committed with
   /// effect since the session was built.
   std::uint64_t epoch() const { return graph_epoch_.load(); }
   /// Vertex-id bound of the resident graph (for generated mutations).
-  Gid n() const { return session_.n(); }
+  Gid n() const override { return session_.n(); }
 
   /// The cache key a request would be stored under at the CURRENT epoch;
   /// empty when the request is uncacheable (PageRank warm starts,
   /// mutations). Exposed for tests.
   std::string cache_key(const Request& request) const;
 
- private:
+  /// An admitted request in flight. Public so the supervisor can carry
+  /// requests ACROSS a session rebuild without breaking the caller's
+  /// future: the promise inside is the one the original Ticket watches.
   struct Pending {
     std::uint64_t id = 0;
     Request request;
@@ -125,9 +163,32 @@ class Service {
     std::uint64_t epoch = 0;  // graph epoch the key was stamped at (pop time)
     std::promise<Response> promise;
     std::shared_future<Response> future;
-    double submit_s = 0.0;
+    double submit_s = 0.0;    // absolute wall seconds
+    double deadline_s = 0.0;  // absolute wall seconds; 0 = none
+    int attempts = 1;         // execution attempts consumed or underway
   };
 
+  /// Builds an un-admitted Pending for supervisor-side admission while no
+  /// service exists (degraded window); adopt() later enqueues it.
+  static std::unique_ptr<Pending> make_pending(Request request,
+                                               std::uint64_t id);
+
+  /// Harvests requests parked by a session failure (park_on_failure).
+  std::vector<std::unique_ptr<Pending>> take_parked();
+
+  /// Parked requests currently awaiting harvest.
+  std::size_t parked_count() const;
+
+  /// The session failed and this service stopped accepting work (the
+  /// supervisor's cue to rebuild).
+  bool dead() const;
+
+  /// Enqueues carried-over Pendings (quota/cache-key/mutation accounting
+  /// re-registered here). Admission bounds are NOT re-checked: these
+  /// requests were already admitted once.
+  void adopt(std::vector<std::unique_ptr<Pending>> parked);
+
+ private:
   /// One committed mutation batch, remembered for incremental repair:
   /// each rank's freshly inserted (row LID, col LID) entries.
   struct CommitDelta {
@@ -137,6 +198,11 @@ class Service {
   };
 
   void dispatcher_loop();
+  /// Routes a failed/unrunnable batch: parks retryables (park_on_failure,
+  /// budget permitting) or fails them. `consumed_attempt` distinguishes
+  /// "was executing when the session died" from "never started".
+  void dispose_failed(std::vector<std::unique_ptr<Pending>> batch,
+                      std::exception_ptr error, bool consumed_attempt);
   void execute(std::vector<std::unique_ptr<Pending>> batch);
   void execute_bfs_batch(std::vector<std::unique_ptr<Pending>>& batch);
   void execute_single(Pending& pending);
@@ -166,6 +232,9 @@ class Service {
   std::condition_variable cv_work_;  // dispatcher waits for submissions
   std::condition_variable cv_idle_;  // drain() waits for empty + idle
   std::deque<std::unique_ptr<Pending>> queue_;
+  /// Requests that survived a session failure, awaiting supervisor
+  /// adoption into a rebuilt service. Guarded by mutex_.
+  std::vector<std::unique_ptr<Pending>> parked_;
   std::map<std::string, int> inflight_;
   std::uint64_t next_id_ = 0;
   int executing_ = 0;

@@ -9,13 +9,16 @@ namespace hpcg::serve {
 Session::Session(const graph::EdgeList& graph, core::Grid grid,
                  const SessionOptions& options)
     : parts_(core::Partitioned2D::build(graph, grid, options.striped)),
-      nranks_(grid.ranks()) {
+      nranks_(grid.ranks()),
+      initial_epoch_(options.initial_epoch),
+      keep_metrics_(options.keep_metrics) {
   comm::RunOptions ropts;
   ropts.recorder = options.recorder;
   ropts.faults = options.faults;
   ropts.comm_timeout_s = options.comm_timeout_s;
   ropts.async = options.async;
   ropts.async_chunk = options.async_chunk;
+  ropts.keep_metrics = options.keep_metrics;
   const auto topo = comm::Topology::aimos(nranks_);
   host_ = std::thread([this, ropts, topo] {
     try {
@@ -38,7 +41,10 @@ Session::~Session() { close(); }
 
 void Session::worker_body(comm::Comm& comm) {
   core::Dist2DGraph g(comm, parts_);
-  comm.reset_clocks();  // sessions bill per request, not construction
+  g.set_epoch(initial_epoch_);  // resume pre-fault numbering on rebuilds
+  // Sessions bill per request, not construction; a supervised rebuild
+  // keeps the shared metrics registry intact.
+  comm.reset_clocks(keep_metrics_);
   std::int64_t seen = 0;
   for (;;) {
     {

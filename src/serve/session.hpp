@@ -37,6 +37,16 @@ struct SessionOptions {
   double comm_timeout_s = 0.0;
   bool async = false;
   int async_chunk = 1;
+  /// Graph epoch the freshly built Dist2DGraph starts at (default 0). A
+  /// supervisor rebuilding a session from a snapshot + committed-log
+  /// replay passes the snapshot's epoch so post-recovery commits continue
+  /// the pre-fault numbering (docs/RECOVERY.md).
+  std::uint64_t initial_epoch = 0;
+  /// Preserve the recorder's metrics registry across the session's
+  /// construction-time clock reset. The supervisor sets this for every
+  /// session it builds so serve.* counters accumulate across restarts
+  /// instead of being wiped by each rebuild.
+  bool keep_metrics = false;
 };
 
 class Session {
@@ -72,6 +82,8 @@ class Session {
 
   const core::Partitioned2D parts_;
   const int nranks_;
+  const std::uint64_t initial_epoch_;
+  const bool keep_metrics_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_job_;   // workers wait here for a generation

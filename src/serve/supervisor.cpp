@@ -1,0 +1,476 @@
+#include "serve/supervisor.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <span>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "stream/commit.hpp"
+
+namespace hpcg::serve {
+
+namespace {
+
+double wall_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Supervisor::Supervisor(const graph::EdgeList& graph, core::Grid grid,
+                       const SupervisorOptions& options)
+    : grid_(grid),
+      base_(graph),
+      options_(options),
+      own_metrics_(options.service.metrics || options.session.recorder
+                       ? nullptr
+                       : std::make_unique<telemetry::MetricsRegistry>()),
+      metrics_(options.service.metrics
+                   ? options.service.metrics
+                   : (options.session.recorder
+                          ? &options.session.recorder->metrics()
+                          : own_metrics_.get())),
+      request_track_(options.session.recorder &&
+                             options.session.recorder->nranks() > grid.ranks()
+                         ? grid.ranks()
+                         : -1),
+      epoch_s_(wall_s()),
+      mirror_(graph),
+      snapshots_(1) {
+  if (options_.max_restarts < 1) {
+    throw std::invalid_argument("SupervisorOptions::max_restarts must be >= 1");
+  }
+  if (options_.restart_window_s <= 0.0) {
+    throw std::invalid_argument(
+        "SupervisorOptions::restart_window_s must be > 0");
+  }
+  if (options_.max_attempts < 1) {
+    throw std::invalid_argument("SupervisorOptions::max_attempts must be >= 1");
+  }
+  backend_ = build_backend();
+  if (options_.auto_recover) {
+    recovery_thread_ = std::thread([this] { recovery_loop(); });
+  }
+}
+
+Supervisor::~Supervisor() { stop(); }
+
+std::shared_ptr<Supervisor::Backend> Supervisor::build_backend() {
+  auto backend = std::make_shared<Backend>();
+  backend->session = build_session_and_replay();
+
+  ServiceOptions so = options_.service;
+  so.recorder = options_.session.recorder;
+  so.park_on_failure = true;
+  so.max_attempts = options_.max_attempts;
+  so.metrics = metrics_;
+  so.id_source = &id_counter_;
+  so.wall_epoch_s = epoch_s_;
+  {
+    std::lock_guard lock(log_mutex_);
+    so.initial_epoch = committed_epoch_;
+  }
+  so.on_session_death = [this] { on_session_death(); };
+  so.on_commit = [this](const std::vector<stream::EdgeOp>& ops,
+                        std::uint64_t epoch) { on_commit(ops, epoch); };
+  backend->service = std::make_unique<Service>(*backend->session, so);
+  return backend;
+}
+
+std::unique_ptr<Session> Supervisor::build_session_and_replay() {
+  graph::EdgeList source;
+  std::uint64_t base_epoch = 0;
+  std::vector<CommittedBatch> suffix;
+  {
+    std::lock_guard lock(log_mutex_);
+    const auto snap = snapshots_.latest_committed();
+    if (snap >= 0) {
+      // Restore from the serve-side snapshot: the host mirror as of the
+      // snapshot's epoch (streaming graphs are unweighted by contract).
+      const auto blob = snapshots_.blob(snap, /*rank=*/0);
+      fault::BlobReader reader(blob);
+      base_epoch = reader.get<std::uint64_t>();
+      source.n = reader.get<Gid>();
+      source.edges = reader.get_vec<graph::Edge>();
+      metrics_->counter("serve.recovery.snapshot_restored").increment();
+    } else {
+      source = base_;
+    }
+    for (const auto& batch : log_) {
+      if (batch.epoch > base_epoch) suffix.push_back(batch);
+    }
+  }
+
+  SessionOptions so = options_.session;
+  so.initial_epoch = base_epoch;
+  // The metrics registry outlives every backend: rebuilds must extend the
+  // counter timeline, not wipe it.
+  so.keep_metrics = true;
+  auto session = std::make_unique<Session>(source, grid_, so);
+
+  // Replay the committed suffix to re-reach the pre-fault epoch. Commits
+  // are transactional and the log holds exactly the batches whose
+  // responses resolved, so the rebuilt edge multiset is the same
+  // projection of the same global op sequence the dead session held —
+  // query results stay bit-identical. A fault during replay throws
+  // SessionClosed out of here and counts as a failed restart attempt.
+  for (const auto& batch : suffix) {
+    session->run([&](core::Dist2DGraph& g, comm::Comm&) {
+      stream::commit(g, std::span<const stream::EdgeOp>(batch.ops));
+    });
+    metrics_->counter("serve.recovery.replayed_batches").increment();
+  }
+  return session;
+}
+
+void Supervisor::on_session_death() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopped_) return;
+    metrics_->counter("serve.recovery.session_deaths").increment();
+    if (state_ == State::kServing) state_ = State::kRecovering;
+  }
+  cv_recover_.notify_all();
+}
+
+void Supervisor::on_commit(const std::vector<stream::EdgeOp>& ops,
+                           std::uint64_t epoch) {
+  std::lock_guard lock(log_mutex_);
+  stream::apply_to_edge_list(mirror_, ops);
+  log_.push_back({epoch, ops});
+  committed_epoch_ = epoch;
+  if (options_.snapshot_every > 0 &&
+      ++commits_since_snapshot_ >= options_.snapshot_every) {
+    fault::BlobWriter writer;
+    writer.put(epoch);
+    writer.put(mirror_.n);
+    writer.put_vec(mirror_.edges);
+    snapshots_.write(static_cast<std::int64_t>(epoch), /*rank=*/0,
+                     writer.take());
+    snapshots_.commit(static_cast<std::int64_t>(epoch));
+    metrics_->counter("serve.recovery.snapshot_saved").increment();
+    commits_since_snapshot_ = 0;
+    // Batches at or before the snapshot can never be replayed again.
+    std::erase_if(log_, [&](const CommittedBatch& b) { return b.epoch <= epoch; });
+  }
+}
+
+Ticket Supervisor::park_degraded(Request request) {
+  // mutex_ held by the caller.
+  metrics_->counter("serve.requests.submitted").increment();
+  if (!is_cacheable_type(request)) {
+    metrics_->counter("serve.degraded.shed").increment();
+    throw Overloaded(Overloaded::Reason::kDegraded,
+                     "service is degraded (recovering); only cacheable "
+                     "queries are admitted");
+  }
+  if (parked_.size() >= options_.service.queue_capacity) {
+    metrics_->counter("serve.requests.rejected.queue_full").increment();
+    throw Overloaded(Overloaded::Reason::kQueueFull,
+                     "recovery parking lot full (" +
+                         std::to_string(options_.service.queue_capacity) +
+                         " pending)");
+  }
+  metrics_->counter("serve.requests.admitted").increment();
+  metrics_->counter("serve.degraded.parked").increment();
+  auto pending = Service::make_pending(std::move(request), ++id_counter_);
+  Ticket ticket{pending->id, pending->future};
+  parked_.push_back(std::move(pending));
+  return ticket;
+}
+
+Ticket Supervisor::submit(Request request) {
+  validate_request(request, base_.n, base_.weighted());
+  std::unique_lock lock(mutex_);
+  if (stopped_) throw SessionClosed("supervisor is stopped");
+  if (state_ == State::kUnavailable) {
+    metrics_->counter("serve.requests.rejected.unavailable").increment();
+    throw Unavailable("restart budget exhausted (" +
+                      std::to_string(options_.max_restarts) + " restarts in " +
+                      std::to_string(options_.restart_window_s) +
+                      "s); service unavailable");
+  }
+  if (state_ == State::kRecovering || !backend_) {
+    return park_degraded(std::move(request));
+  }
+  if (options_.degrade_queue_watermark > 0 && !is_cacheable_type(request) &&
+      backend_->service->queue_depth() >= options_.degrade_queue_watermark) {
+    metrics_->counter("serve.degraded.shed").increment();
+    throw Overloaded(Overloaded::Reason::kDegraded,
+                     "degraded: queue depth at watermark (" +
+                         std::to_string(options_.degrade_queue_watermark) +
+                         "); shedding non-cacheable requests");
+  }
+  try {
+    // Submit a copy: if the session dies mid-admission we fall back to
+    // degraded parking with the original request.
+    return backend_->service->submit(Request(request));
+  } catch (const SessionClosed&) {
+    return park_degraded(std::move(request));
+  }
+}
+
+bool Supervisor::maybe_recover_inline() {
+  if (options_.auto_recover) return false;
+  {
+    std::lock_guard lock(mutex_);
+    if (stopped_ || state_ != State::kRecovering) return false;
+  }
+  recover();
+  return true;
+}
+
+bool Supervisor::pump() {
+  bool recovered = maybe_recover_inline();
+  std::shared_ptr<Backend> backend;
+  {
+    std::lock_guard lock(mutex_);
+    backend = backend_;
+  }
+  const bool did = backend && backend->service && backend->service->pump();
+  recovered = maybe_recover_inline() || recovered;
+  return did || recovered;
+}
+
+void Supervisor::drain() {
+  for (;;) {
+    if (!options_.auto_recover) maybe_recover_inline();
+    std::shared_ptr<Backend> backend;
+    {
+      std::unique_lock lock(mutex_);
+      if (options_.auto_recover) {
+        cv_state_.wait(lock, [&] {
+          return stopped_ || state_ != State::kRecovering;
+        });
+      }
+      if (stopped_ || state_ == State::kUnavailable) return;
+      backend = backend_;
+    }
+    if (!backend) continue;
+    backend->service->drain();
+    {
+      std::lock_guard lock(mutex_);
+      if (state_ == State::kServing && backend == backend_ &&
+          parked_.empty() && backend->service->parked_count() == 0 &&
+          backend->service->queue_depth() == 0) {
+        return;
+      }
+    }
+  }
+}
+
+void Supervisor::recover() {
+  const double start_s = wall_s();
+  std::shared_ptr<Backend> old;
+  {
+    std::lock_guard lock(mutex_);
+    old = std::move(backend_);
+  }
+  std::vector<std::unique_ptr<Service::Pending>> parked;
+  if (old) {
+    if (old->service) {
+      old->service->stop();  // drains the dead queue into the parking lot
+      parked = old->service->take_parked();
+    }
+    // Join the dead rank world before spawning a new one: blocked peers
+    // release via the abort flag or the comm timeout, so this bounds the
+    // recovery latency at SessionOptions::comm_timeout_s.
+    if (old->session) old->session->close();
+    old.reset();
+  }
+  {
+    // Degraded-window admissions join behind the harvested in-flight set,
+    // preserving supervisor-side admission order.
+    std::lock_guard lock(mutex_);
+    for (auto& pending : parked_) parked.push_back(std::move(pending));
+    parked_.clear();
+  }
+
+  for (;;) {
+    const double now = wall_s();
+    {
+      std::lock_guard lock(mutex_);
+      while (!restart_times_.empty() &&
+             restart_times_.front() < now - options_.restart_window_s) {
+        restart_times_.pop_front();
+      }
+      if (static_cast<int>(restart_times_.size()) >= options_.max_restarts) {
+        break;  // budget exhausted -> unavailable
+      }
+      restart_times_.push_back(now);
+      ++restarts_;
+    }
+    metrics_->counter("serve.recovery.restarts").increment();
+    if (options_.backoff_base_s > 0.0) {
+      const double delay =
+          std::min(options_.backoff_max_s,
+                   options_.backoff_base_s *
+                       std::pow(2.0, static_cast<double>(consecutive_failures_)));
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    }
+    try {
+      auto backend = build_backend();
+      auto resubmitted = parked.size();
+      backend->service->adopt(std::move(parked));
+      bool alive = false;
+      std::vector<std::unique_ptr<Service::Pending>> late;
+      {
+        std::lock_guard lock(mutex_);
+        // A fault can kill the rebuilt session before we publish it (its
+        // own dispatcher may already be executing adopted requests); the
+        // death callback filtered on kServing, so check liveness here,
+        // atomically with the state flip.
+        alive = !backend->service->dead();
+        if (alive) {
+          backend_ = backend;
+          state_ = State::kServing;
+          consecutive_failures_ = 0;
+          // Degraded-window parks that arrived after the harvest above
+          // (submitters saw kRecovering until this very flip) — adopt
+          // them too, or their tickets would never resolve.
+          late = std::move(parked_);
+          parked_.clear();
+        }
+      }
+      if (alive) {
+        if (!late.empty()) {
+          resubmitted += late.size();
+          backend->service->adopt(std::move(late));
+        }
+        cv_state_.notify_all();
+        metrics_->counter("serve.recovery.resubmitted")
+            .add(static_cast<std::uint64_t>(resubmitted));
+        record_recovery_span("recovery.restart", start_s, wall_s(),
+                             static_cast<std::int64_t>(restarts()));
+        return;
+      }
+      // The rebuilt session died immediately; reclaim the adopted
+      // requests and count a failed attempt.
+      backend->service->stop();
+      parked = backend->service->take_parked();
+      backend->session->close();
+      ++consecutive_failures_;
+      metrics_->counter("serve.recovery.rebuild_failed").increment();
+    } catch (const std::exception&) {
+      // Session construction or replay faulted: a failed restart attempt.
+      ++consecutive_failures_;
+      metrics_->counter("serve.recovery.rebuild_failed").increment();
+    }
+  }
+  go_unavailable(std::move(parked));
+  record_recovery_span("recovery.unavailable", start_s, wall_s(),
+                       static_cast<std::int64_t>(restarts()));
+}
+
+void Supervisor::go_unavailable(
+    std::vector<std::unique_ptr<Service::Pending>> parked) {
+  metrics_->counter("serve.recovery.unavailable").increment();
+  const auto error = std::make_exception_ptr(Unavailable(
+      "session restart budget exhausted (" +
+      std::to_string(options_.max_restarts) + " restarts in " +
+      std::to_string(options_.restart_window_s) + "s window)"));
+  {
+    std::lock_guard lock(mutex_);
+    state_ = State::kUnavailable;
+    backend_.reset();
+    // Degraded-window parks that arrived after recover()'s harvest fail
+    // with everyone else; leaking them would hang their tickets forever.
+    for (auto& pending : parked_) parked.push_back(std::move(pending));
+    parked_.clear();
+  }
+  for (auto& pending : parked) {
+    metrics_->counter("serve.requests.failed").increment();
+    pending->promise.set_exception(error);
+  }
+  cv_state_.notify_all();
+}
+
+void Supervisor::recovery_loop() {
+  for (;;) {
+    {
+      std::unique_lock lock(mutex_);
+      cv_recover_.wait(
+          lock, [&] { return exit_ || state_ == State::kRecovering; });
+      if (exit_) return;
+    }
+    recover();
+  }
+}
+
+void Supervisor::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+    exit_ = true;
+  }
+  cv_recover_.notify_all();
+  if (recovery_thread_.joinable()) recovery_thread_.join();
+
+  std::shared_ptr<Backend> backend;
+  std::vector<std::unique_ptr<Service::Pending>> parked;
+  {
+    std::lock_guard lock(mutex_);
+    backend = std::move(backend_);
+    parked = std::move(parked_);
+  }
+  if (backend && backend->service) {
+    backend->service->stop();
+    for (auto& pending : backend->service->take_parked()) {
+      parked.push_back(std::move(pending));
+    }
+  }
+  for (auto& pending : parked) {
+    metrics_->counter("serve.requests.failed").increment();
+    pending->promise.set_exception(std::make_exception_ptr(
+        SessionClosed("supervisor stopped before the request completed")));
+  }
+  backend.reset();  // closes the session
+  cv_state_.notify_all();
+}
+
+Supervisor::State Supervisor::state() const {
+  std::lock_guard lock(mutex_);
+  return state_;
+}
+
+int Supervisor::restarts() const {
+  std::lock_guard lock(mutex_);
+  return restarts_;
+}
+
+std::uint64_t Supervisor::epoch() const {
+  std::lock_guard lock(log_mutex_);
+  return committed_epoch_;
+}
+
+std::size_t Supervisor::queue_depth() const {
+  std::lock_guard lock(mutex_);
+  const auto inner =
+      backend_ && backend_->service ? backend_->service->queue_depth() : 0;
+  return inner + parked_.size();
+}
+
+graph::EdgeList Supervisor::mirror_copy() const {
+  std::lock_guard lock(log_mutex_);
+  return mirror_;
+}
+
+void Supervisor::record_recovery_span(const char* name, double start_s,
+                                      double end_s, std::int64_t value) {
+  if (request_track_ < 0) return;
+  telemetry::SpanRecord span;
+  span.start_s = start_s - epoch_s_;
+  span.end_s = end_s - epoch_s_;
+  span.rank = request_track_;
+  span.kind = telemetry::SpanKind::kPhase;
+  span.name = name;
+  span.value = value;
+  options_.session.recorder->record(std::move(span));
+}
+
+}  // namespace hpcg::serve

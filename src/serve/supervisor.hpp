@@ -1,0 +1,198 @@
+// Serve-tier fault tolerance (docs/RECOVERY.md): a Supervisor owns the
+// session + service pair and rebuilds both when a job kills the resident
+// rank world, instead of letting SessionClosed poison the service forever.
+//
+// On a session death the supervisor:
+//   1. quiesces the failed service and harvests its PARKED requests —
+//      admitted, retryable requests whose promises are still the ones the
+//      callers' Tickets watch;
+//   2. rebuilds the session from the latest committed snapshot in the
+//      serve-side CheckpointStore (or the base edge list) and REPLAYS the
+//      committed mutation-log suffix, re-reaching the pre-fault epoch
+//      bit-identically (commits are transactional, so a faulted commit
+//      was never applied and is never in the log);
+//   3. builds a fresh Service at the restored epoch and resubmits the
+//      parked requests in their original admission order.
+//
+// Restart budget: at most `max_restarts` restarts per sliding
+// `restart_window_s` window, with exponential backoff between attempts.
+// Past the budget the supervisor goes UNAVAILABLE — in-flight requests
+// fail with the typed Unavailable error and new submissions are rejected,
+// instead of crash-looping.
+//
+// Degraded mode: while recovering (and above the optional queue
+// watermark) admission sheds to cacheable-only — mutations and
+// history-dependent warm starts are rejected with Overloaded(kDegraded);
+// cacheable queries are parked supervisor-side and adopted by the rebuilt
+// service. Observability: serve.recovery.* / serve.degraded.* counters
+// plus "recovery.restart" spans on the request telemetry track.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "fault/checkpoint.hpp"
+#include "serve/frontend.hpp"
+#include "serve/service.hpp"
+#include "serve/session.hpp"
+
+namespace hpcg::serve {
+
+struct SupervisorOptions {
+  /// Session construction parameters, reused for every rebuild. The fault
+  /// hooks stay wired in: Runtime::run re-arms per-attempt trigger
+  /// counters on each rebuild (already-fired one-shot faults stay
+  /// consumed), so seeded fault plans behave like run_with_recovery's.
+  SessionOptions session;
+  /// Service parameters (queue bounds, cache, auto_dispatch, ...). The
+  /// supervision fields (park_on_failure, hooks, metrics, id_source,
+  /// initial_epoch, wall_epoch_s) are overwritten by the supervisor.
+  ServiceOptions service;
+
+  /// Restart budget: restarts allowed per sliding window before the
+  /// supervisor reports Unavailable instead of rebuilding again.
+  int max_restarts = 3;
+  double restart_window_s = 60.0;
+  /// Exponential backoff between restart attempts:
+  /// base * 2^(consecutive failures), capped. 0 disables sleeping
+  /// (deterministic tests).
+  double backoff_base_s = 0.0;
+  double backoff_max_s = 1.0;
+  /// Snapshot the host mirror into the serve-side CheckpointStore every
+  /// this many effective commits (bounds replay length); 0 disables
+  /// snapshots (every recovery replays from the base graph).
+  int snapshot_every = 4;
+  /// true: a background thread recovers as soon as a death is flagged
+  /// (pairs with service.auto_dispatch). false: recovery runs inline in
+  /// the owner's next pump()/drain() call — deterministic for scripts and
+  /// the checker's manually-pumped paths.
+  bool auto_recover = true;
+  /// While serving, shed non-cacheable requests once the inner queue
+  /// reaches this depth (0 disables) — overload degradation.
+  std::size_t degrade_queue_watermark = 0;
+  /// Execution attempts per request across restarts (forwarded to the
+  /// service's park/retry accounting).
+  int max_attempts = 3;
+};
+
+class Supervisor final : public Frontend {
+ public:
+  enum class State : std::uint8_t { kServing, kRecovering, kUnavailable };
+
+  /// Partitions and spawns the first session; throws what Session throws.
+  /// `graph` is copied: it is the rebuild source of last resort.
+  Supervisor(const graph::EdgeList& graph, core::Grid grid,
+             const SupervisorOptions& options = {});
+  ~Supervisor() override;
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Service::submit semantics, plus: throws Unavailable past the restart
+  /// budget, Overloaded(kDegraded) for non-cacheable requests while
+  /// recovering or above the watermark. Cacheable requests submitted
+  /// during a recovery are parked and adopted by the rebuilt service.
+  Ticket submit(Request request) override;
+
+  /// One scheduling round; with auto_recover = false this is also where a
+  /// flagged session death is repaired (inline, deterministically).
+  bool pump() override;
+
+  /// Blocks until every admitted request resolved — across however many
+  /// recoveries that takes (returns early when Unavailable: everything
+  /// has been failed with the typed error by then).
+  void drain() override;
+
+  /// Stops recovery and the inner service; unresolved requests fail with
+  /// SessionClosed. Idempotent.
+  void stop();
+
+  State state() const;
+  /// Total session restarts performed (monotone; survives rebuilds).
+  int restarts() const;
+  /// Current committed graph epoch (the supervisor's own log, so it is
+  /// answerable even mid-recovery).
+  std::uint64_t epoch() const;
+  Gid n() const override { return base_.n; }
+  std::size_t queue_depth() const override;
+  telemetry::MetricsRegistry& metrics() { return *metrics_; }
+  /// Host mirror of the committed graph (base + committed log), for
+  /// final-state checks. Copies under the log lock.
+  graph::EdgeList mirror_copy() const;
+  /// The serve-side snapshot store (exposed for tests/tools).
+  const fault::CheckpointStore& snapshots() const { return snapshots_; }
+
+ private:
+  /// A session + its fronting service; destroyed service-first so rank
+  /// threads never see a dangling Service callback.
+  struct Backend {
+    std::unique_ptr<Session> session;
+    std::unique_ptr<Service> service;
+    ~Backend() {
+      service.reset();
+      if (session) session->close();
+    }
+  };
+
+  std::shared_ptr<Backend> build_backend();
+  std::unique_ptr<Session> build_session_and_replay();
+  void on_session_death();
+  void on_commit(const std::vector<stream::EdgeOp>& ops, std::uint64_t epoch);
+  /// Full recovery cycle; called with no supervisor locks held, single
+  /// flight (recovery thread, or the owner thread in inline mode).
+  void recover();
+  bool maybe_recover_inline();
+  void recovery_loop();
+  void go_unavailable(std::vector<std::unique_ptr<Service::Pending>> parked);
+  void record_recovery_span(const char* name, double start_s, double end_s,
+                            std::int64_t value);
+  Ticket park_degraded(Request request);
+
+  const core::Grid grid_;
+  const graph::EdgeList base_;
+  SupervisorOptions options_;
+  std::unique_ptr<telemetry::MetricsRegistry> own_metrics_;
+  telemetry::MetricsRegistry* metrics_;
+  const int request_track_;  // recorder track for recovery spans, -1 = off
+  const double epoch_s_;     // shared wall-clock zero across rebuilds
+  std::atomic<std::uint64_t> id_counter_{0};
+
+  // Committed-mutation bookkeeping (log_mutex_): the host mirror, the
+  // replayable suffix, and the snapshot store. Written by the executor
+  // (on_commit), read by recovery while no executor exists.
+  mutable std::mutex log_mutex_;
+  graph::EdgeList mirror_;
+  struct CommittedBatch {
+    std::uint64_t epoch = 0;
+    std::vector<stream::EdgeOp> ops;
+  };
+  std::vector<CommittedBatch> log_;
+  std::uint64_t committed_epoch_ = 0;
+  int commits_since_snapshot_ = 0;
+  fault::CheckpointStore snapshots_;
+
+  // Lifecycle state (mutex_).
+  mutable std::mutex mutex_;
+  std::condition_variable cv_state_;    // waiters for state != kRecovering
+  std::condition_variable cv_recover_;  // wakes the recovery thread
+  State state_ = State::kServing;
+  std::shared_ptr<Backend> backend_;
+  /// Cacheable requests admitted supervisor-side during a recovery
+  /// window, awaiting adoption (original admission order).
+  std::vector<std::unique_ptr<Service::Pending>> parked_;
+  std::deque<double> restart_times_;  // sliding-window budget, wall seconds
+  int consecutive_failures_ = 0;      // backoff exponent
+  int restarts_ = 0;
+  bool exit_ = false;
+  bool stopped_ = false;
+
+  std::thread recovery_thread_;
+};
+
+}  // namespace hpcg::serve

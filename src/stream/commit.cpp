@@ -89,7 +89,7 @@ CommitResult commit(core::Dist2DGraph& g, std::span<const EdgeOp> ops) {
   for (const auto& d : received) {
     local_ops.push_back({d.insert != 0, lids.row_lid(d.u), lids.col_lid(d.v)});
   }
-  const auto applied = g.apply_local_edge_ops(local_ops);
+  const auto applied = g.stage_local_edge_ops(local_ops);
   core::charge_kernel(world, /*vertices=*/0,
                       static_cast<std::int64_t>(ops.size() + received.size()));
 
@@ -98,7 +98,17 @@ CommitResult commit(core::Dist2DGraph& g, std::span<const EdgeOp> ops) {
   std::int64_t counts[4] = {applied.inserted, applied.deleted,
                             applied.noop_deletes,
                             applied.structural_delete ? 1 : 0};
-  world.allreduce(std::span<std::int64_t>(counts), comm::ReduceOp::kSum);
+  try {
+    world.allreduce(std::span<std::int64_t>(counts), comm::ReduceOp::kSum);
+  } catch (...) {
+    // Abort path: drop the staged multiset so the live CSR and epoch are
+    // exactly pre-commit — a recovered session replays the whole batch
+    // instead of serving a half-applied graph. Rethrowing lets the
+    // runtime's abort flag release every rank still blocked in the
+    // collective.
+    g.abort_commit();
+    throw;
+  }
   out.inserted = counts[0];
   out.deleted = counts[1];
   out.noop_deletes = counts[2];
@@ -112,6 +122,8 @@ CommitResult commit(core::Dist2DGraph& g, std::span<const EdgeOp> ops) {
   if (out.mutated) {
     const bool local_dirty = (applied.inserted + applied.deleted) > 0;
     g.finish_commit(out.inserted - out.deleted, local_dirty);
+  } else {
+    g.abort_commit();  // all-no-op batch: nothing to swap in
   }
   out.epoch = g.epoch();
   superstep.set_value(out.inserted + out.deleted);

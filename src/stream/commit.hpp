@@ -12,6 +12,13 @@
 // bumps the graph epoch on EVERY rank (the epoch is grid-global state);
 // empty or all-no-op batches leave the epoch — and therefore every cache
 // key — untouched.
+//
+// Commits are TRANSACTIONAL (docs/RECOVERY.md): entries are staged against
+// a copy of the rank's edge multiset and only swapped live inside
+// finish_commit, after the count AllReduce has succeeded on every rank. A
+// fault anywhere in the protocol aborts the stage, leaving the graph
+// bit-identical at the old epoch with the old CSR — a recovered session
+// replays the whole batch rather than serving a half-applied graph.
 #pragma once
 
 #include <cstdint>

@@ -79,8 +79,9 @@ TEST(CheckConfig, SamplerProducesCoherentConfigs) {
     }
     if (cfg.mut_batches > 0) {
       // Streaming lives inside one serve session: no serve batching, no
-      // checkpoint/restart, no kill faults, and only the three algorithms
-      // with incremental kernels.
+      // checkpoint/restart, and only the three algorithms with
+      // incremental kernels. Kill faults are legal only under
+      // supervision (sup > 0), checked below.
       EXPECT_TRUE(cfg.algo == "bfs" || cfg.algo == "pr" || cfg.algo == "cc")
           << cfg.to_string();
       EXPECT_EQ(cfg.serve_batch, 0) << cfg.to_string();
@@ -99,13 +100,25 @@ TEST(CheckConfig, SamplerProducesCoherentConfigs) {
     }
     const bool kill = cfg.faults.find("crash") != std::string::npos ||
                       cfg.faults.find("silent") != std::string::npos;
-    if (kill) {
+    if (kill && cfg.mut_batches > 0) {
+      // Supervised streaming: the serve::Supervisor rebuilds the killed
+      // session from its committed log, so the kill needs a restart
+      // budget instead of a Checkpointer.
+      EXPECT_GT(cfg.sup, 0) << cfg.to_string();
+      EXPECT_EQ(cfg.serve_batch, 0) << cfg.to_string();
+      EXPECT_EQ(cfg.checkpoint_every, 0) << cfg.to_string();
+    } else if (kill) {
       // Kill faults only where a Checkpointer can be wired, and always
       // with checkpointing on, so recovery resumes instead of replaying.
       EXPECT_TRUE(cfg.checkpointable()) << cfg.to_string();
       EXPECT_EQ(cfg.serve_batch, 0) << cfg.to_string();
-      EXPECT_EQ(cfg.mut_batches, 0) << cfg.to_string();
       EXPECT_GT(cfg.checkpoint_every, 0) << cfg.to_string();
+    }
+    if (cfg.sup > 0) {
+      // Supervision is only sampled for streaming runs with a kill to
+      // recover from (sup= requires mut=, enforced by validate()).
+      EXPECT_GT(cfg.mut_batches, 0) << cfg.to_string();
+      EXPECT_TRUE(kill) << cfg.to_string();
     }
     for (const Gid s : cfg.sources) {
       EXPECT_GE(s, 0);

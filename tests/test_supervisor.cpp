@@ -1,0 +1,440 @@
+// Serve-tier fault-tolerance tests (docs/RECOVERY.md): the Supervisor's
+// crash-recovery cycle under seeded fault plans — mid-query, mid-mutation-
+// commit and mid-MS-BFS-batch deaths — with the recovered results demanded
+// bit-identical to a fault-free twin; the completed-xor-typed-error
+// contract for every admitted request; restart-budget exhaustion to
+// Unavailable; typed request deadlines; and degraded-mode shedding.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "serve/request.hpp"
+#include "serve/service.hpp"
+#include "serve/session.hpp"
+#include "serve/supervisor.hpp"
+#include "stream/mutation_log.hpp"
+#include "test_helpers.hpp"
+
+namespace hc = hpcg::core;
+namespace hf = hpcg::fault;
+namespace hs = hpcg::serve;
+namespace hstream = hpcg::stream;
+using hpcg::graph::Gid;
+using hpcg::test::small_rmat;
+
+namespace {
+
+// Inline, manually pumped supervision: recovery happens deterministically
+// inside pump()/drain(), never on a background thread.
+hs::SupervisorOptions inline_opts() {
+  hs::SupervisorOptions o;
+  o.auto_recover = false;
+  o.service.auto_dispatch = false;
+  o.backoff_base_s = 0.0;
+  return o;
+}
+
+hs::Request bfs_req(Gid root) {
+  hs::Request r;
+  r.algo = hs::Algo::kBfs;
+  r.roots = {root};
+  return r;
+}
+
+hs::Request cc_req() {
+  hs::Request r;
+  r.algo = hs::Algo::kCc;
+  return r;
+}
+
+hs::Request pr_req(int iterations) {
+  hs::Request r;
+  r.algo = hs::Algo::kPageRank;
+  r.iterations = iterations;
+  return r;
+}
+
+hs::Request mutate_req(std::vector<hstream::EdgeOp> ops) {
+  hs::Request r;
+  r.algo = hs::Algo::kMutate;
+  r.ops = std::move(ops);
+  return r;
+}
+
+void pump_all(hs::Supervisor& s) {
+  while (s.pump()) {
+  }
+}
+
+std::uint64_t fired_kills(const hf::FaultInjector& injector) {
+  return injector.fired(hf::FaultKind::kCrash) +
+         injector.fired(hf::FaultKind::kSilent);
+}
+
+}  // namespace
+
+TEST(Supervisor, CrashMidQueryRecoversBitIdentical) {
+  const auto el = small_rmat(8, 8, 3);
+  const hc::Grid grid(2, 2);
+
+  // Fault-free twin first: the answer the recovered run must reproduce.
+  hs::Response want;
+  {
+    hs::Supervisor twin(el, grid, inline_opts());
+    auto t = twin.submit(bfs_req(5));
+    pump_all(twin);
+    want = t.result.get();
+    EXPECT_EQ(twin.restarts(), 0);
+  }
+
+  hf::FaultInjector injector(hf::FaultPlan::parse("crash@r1:s2", 7),
+                             grid.ranks());
+  auto opts = inline_opts();
+  opts.session.faults = &injector;
+  hs::Supervisor sup(el, grid, opts);
+  auto ticket = sup.submit(bfs_req(5));
+  pump_all(sup);
+
+  ASSERT_EQ(fired_kills(injector), 1u) << "the crash never fired";
+  EXPECT_EQ(sup.restarts(), 1);
+  EXPECT_EQ(sup.state(), hs::Supervisor::State::kServing);
+
+  const hs::Response got = ticket.result.get();
+  EXPECT_EQ(got.levels, want.levels);
+  EXPECT_EQ(got.depth, want.depth);
+  EXPECT_EQ(got.epoch, want.epoch);
+  // The session failure consumed one attempt; the resubmission another.
+  EXPECT_GE(got.attempts, 2);
+
+  // Observability: the recovery counters saw the cycle.
+  EXPECT_GE(sup.metrics().counter("serve.recovery.restarts").value(), 1u);
+  EXPECT_GE(sup.metrics().counter("serve.recovery.session_deaths").value(), 1u);
+  EXPECT_GE(sup.metrics().counter("serve.recovery.resubmitted").value(), 1u);
+}
+
+TEST(Supervisor, CrashMidMutationCommitIsTransactional) {
+  const auto el = small_rmat(7, 8, 11);
+  const hc::Grid grid(2, 2);
+  hpcg::graph::EdgeList mirror = el;
+  const auto ops = hstream::generate_ops(/*seed=*/21, /*batch_index=*/0,
+                                         /*count=*/24, /*delete_percent=*/40,
+                                         el.n, &mirror);
+
+  hs::Response mwant, qwant;
+  hpcg::graph::EdgeList twin_mirror;
+  {
+    hs::Supervisor twin(el, grid, inline_opts());
+    auto mt = twin.submit(mutate_req(ops));
+    auto qt = twin.submit(cc_req());
+    pump_all(twin);
+    mwant = mt.result.get();
+    qwant = qt.result.get();
+    twin_mirror = twin.mirror_copy();
+  }
+
+  // A collective-seq trigger lands the crash inside the commit's exchange
+  // (superstep triggers consult at span open, where the commit — the
+  // session's superstep 0 — has staged nothing yet; n3 is the last
+  // setup+commit collective on rank 2, i.e. mid stage-then-swap).
+  hf::FaultInjector injector(hf::FaultPlan::parse("crash@r2:n3", 13),
+                             grid.ranks());
+  auto opts = inline_opts();
+  opts.session.faults = &injector;
+  hs::Supervisor sup(el, grid, opts);
+  auto mticket = sup.submit(mutate_req(ops));
+  pump_all(sup);
+  auto qticket = sup.submit(cc_req());
+  pump_all(sup);
+
+  ASSERT_EQ(fired_kills(injector), 1u) << "the crash never fired";
+  EXPECT_EQ(sup.restarts(), 1);
+
+  // The faulted commit aborted (old epoch, old CSR); its retry applied the
+  // batch exactly once. Accounting, epoch, committed mirror and the
+  // post-commit query all match the fault-free twin bit for bit.
+  const hs::Response mgot = mticket.result.get();
+  EXPECT_EQ(mgot.edges_inserted, mwant.edges_inserted);
+  EXPECT_EQ(mgot.edges_deleted, mwant.edges_deleted);
+  EXPECT_EQ(mgot.epoch, mwant.epoch);
+  EXPECT_GE(mgot.attempts, 2);
+  EXPECT_EQ(sup.epoch(), mwant.epoch);
+  EXPECT_EQ(sup.mirror_copy().edges, twin_mirror.edges);
+
+  const hs::Response qgot = qticket.result.get();
+  EXPECT_EQ(qgot.component, qwant.component);
+  EXPECT_EQ(qgot.n_components, qwant.n_components);
+  EXPECT_EQ(qgot.epoch, qwant.epoch);
+}
+
+TEST(Supervisor, CrashMidMsBfsBatchRecoversBitIdentical) {
+  const auto el = small_rmat(8, 8, 5);
+  const hc::Grid grid(2, 2);
+  hs::Request req;
+  req.algo = hs::Algo::kMsBfs;
+  req.roots = {0, 7, 19, 33};
+
+  hs::Response want;
+  {
+    hs::Supervisor twin(el, grid, inline_opts());
+    auto t = twin.submit(hs::Request(req));
+    pump_all(twin);
+    want = t.result.get();
+  }
+
+  hf::FaultInjector injector(hf::FaultPlan::parse("crash@r3:s2", 9),
+                             grid.ranks());
+  auto opts = inline_opts();
+  opts.session.faults = &injector;
+  hs::Supervisor sup(el, grid, opts);
+  auto ticket = sup.submit(hs::Request(req));
+  pump_all(sup);
+
+  ASSERT_EQ(fired_kills(injector), 1u) << "the crash never fired";
+  EXPECT_EQ(sup.restarts(), 1);
+  const hs::Response got = ticket.result.get();
+  EXPECT_EQ(got.levels, want.levels);
+  EXPECT_EQ(got.depth, want.depth);
+}
+
+TEST(Supervisor, PostRecoveryColdQueriesMatchFaultFreeTwin) {
+  const auto el = small_rmat(7, 8, 17);
+  const hc::Grid grid(2, 2);
+
+  hs::Response bfs_want, cc_want, pr_want;
+  {
+    hs::Supervisor twin(el, grid, inline_opts());
+    auto b = twin.submit(bfs_req(9));
+    pump_all(twin);
+    auto c = twin.submit(cc_req());
+    auto p = twin.submit(pr_req(8));
+    pump_all(twin);
+    bfs_want = b.result.get();
+    cc_want = c.result.get();
+    pr_want = p.result.get();
+  }
+
+  hf::FaultInjector injector(hf::FaultPlan::parse("crash@r0:s2", 3),
+                             grid.ranks());
+  auto opts = inline_opts();
+  opts.session.faults = &injector;
+  hs::Supervisor sup(el, grid, opts);
+  auto b = sup.submit(bfs_req(9));
+  pump_all(sup);  // crash + recovery happen here
+  ASSERT_EQ(sup.restarts(), 1);
+
+  // Cold queries against the REBUILT session: fixed-iteration PageRank,
+  // CC and BFS must be bit-identical to the twin that never crashed.
+  auto c = sup.submit(cc_req());
+  auto p = sup.submit(pr_req(8));
+  pump_all(sup);
+  EXPECT_EQ(b.result.get().levels, bfs_want.levels);
+  EXPECT_EQ(c.result.get().component, cc_want.component);
+  EXPECT_EQ(c.result.get().n_components, cc_want.n_components);
+  EXPECT_EQ(p.result.get().rank, pr_want.rank);
+}
+
+TEST(Supervisor, NoAdmittedRequestSilentlyDropped) {
+  const auto el = small_rmat(7, 8, 23);
+  const hc::Grid grid(2, 2);
+  hf::FaultInjector injector(hf::FaultPlan::parse("crash@r1:s3", 29),
+                             grid.ranks());
+  auto opts = inline_opts();
+  opts.session.faults = &injector;
+  // All 12 requests share the default "anon" client; lift the per-client
+  // quota so admission is not what this test measures.
+  opts.service.max_inflight_per_client = 64;
+  hs::Supervisor sup(el, grid, opts);
+
+  hpcg::graph::EdgeList mirror = el;
+  std::vector<hs::Ticket> tickets;
+  for (int i = 0; i < 4; ++i) {
+    tickets.push_back(sup.submit(bfs_req(static_cast<Gid>(i * 11 % el.n))));
+    tickets.push_back(sup.submit(cc_req()));
+    auto ops = hstream::generate_ops(31, static_cast<std::uint64_t>(i), 6, 30,
+                                     el.n, &mirror);
+    hstream::apply_to_edge_list(mirror, ops);
+    tickets.push_back(sup.submit(mutate_req(std::move(ops))));
+  }
+  sup.drain();
+  ASSERT_GE(fired_kills(injector), 1u) << "the crash never fired";
+
+  // Every admitted request resolves exactly one way: a value or a typed
+  // ServeError. An untyped exception (or a hang) is the dropped-request
+  // bug this test exists to catch.
+  int completed = 0, failed = 0;
+  for (auto& t : tickets) {
+    try {
+      (void)t.result.get();
+      ++completed;
+    } catch (const hs::ServeError&) {
+      ++failed;
+    }
+  }
+  EXPECT_EQ(completed + failed, static_cast<int>(tickets.size()));
+  EXPECT_GT(completed, 0);
+}
+
+TEST(Supervisor, RestartBudgetExhaustionGoesUnavailable) {
+  const auto el = small_rmat(7, 8, 13);
+  const hc::Grid grid(2, 2);
+  // Two one-shot crashes: the first consumes the whole restart budget
+  // (max_restarts = 1); the second death must surface Unavailable, not a
+  // crash loop.
+  hf::FaultInjector injector(
+      hf::FaultPlan::parse("crash@r0:s1,crash@r0:s2", 5), grid.ranks());
+  auto opts = inline_opts();
+  opts.session.faults = &injector;
+  opts.max_restarts = 1;
+  opts.restart_window_s = 3600.0;
+  hs::Supervisor sup(el, grid, opts);
+
+  // Both admitted before the first death: the budget can be exhausted
+  // within a single pump cycle (crash -> restart -> crash on the adopted
+  // retry), so submitting after pumping would already be rejected.
+  auto t1 = sup.submit(bfs_req(3));
+  auto t2 = sup.submit(cc_req());
+  pump_all(sup);
+  sup.drain();
+
+  ASSERT_EQ(fired_kills(injector), 2u);
+  EXPECT_EQ(sup.state(), hs::Supervisor::State::kUnavailable);
+  EXPECT_EQ(sup.restarts(), 1);
+
+  // In-flight requests fail typed; new submissions are rejected typed.
+  int unavailable = 0;
+  for (auto* t : {&t1, &t2}) {
+    try {
+      (void)t->result.get();
+    } catch (const hs::Unavailable&) {
+      ++unavailable;
+    }
+  }
+  EXPECT_GE(unavailable, 1);
+  EXPECT_THROW((void)sup.submit(bfs_req(0)), hs::Unavailable);
+  EXPECT_GE(sup.metrics().counter("serve.recovery.unavailable").value(), 1u);
+}
+
+TEST(Supervisor, UnavailableResolvesRequestsParkedDuringRecovery) {
+  const auto el = small_rmat(7, 8, 29);
+  const hc::Grid grid(2, 2);
+  // Stacked duplicate crashes: the second fires on the rebuilt session's
+  // replay, exhausting the whole budget (max_restarts = 1).
+  hf::FaultInjector injector(
+      hf::FaultPlan::parse("crash@r0:s1,crash@r0:s1", 11), grid.ranks());
+  hs::SupervisorOptions opts;  // background recovery + auto dispatch
+  opts.session.faults = &injector;
+  opts.max_restarts = 1;
+  hs::Supervisor sup(el, grid, opts);
+
+  // Race submissions against the death -> unavailable transition: some
+  // land in the degraded parking lot mid-recovery. Every one of those
+  // tickets must still resolve (regression: go_unavailable used to leak
+  // parks that arrived after its harvest, hanging their futures).
+  std::vector<hs::Ticket> tickets;
+  for (int i = 0;
+       i < 500 && sup.state() != hs::Supervisor::State::kUnavailable; ++i) {
+    try {
+      tickets.push_back(sup.submit(bfs_req(static_cast<Gid>(i) % el.n)));
+    } catch (const hs::ServeError&) {
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  sup.drain();
+  EXPECT_EQ(sup.state(), hs::Supervisor::State::kUnavailable);
+  for (auto& t : tickets) {
+    ASSERT_EQ(t.result.wait_for(std::chrono::seconds(5)),
+              std::future_status::ready)
+        << "an admitted ticket never resolved";
+    try {
+      (void)t.result.get();
+    } catch (const hs::ServeError&) {
+    }
+  }
+}
+
+TEST(Service, ExpiredDeadlineFailsTypedBeforeExecuting) {
+  const auto el = small_rmat(7, 8, 19);
+  hs::Session session(el, hc::Grid(2, 2));
+  hs::ServiceOptions vopts;
+  vopts.auto_dispatch = false;
+  hs::Service service(session, vopts);
+
+  hs::Request req = bfs_req(1);
+  req.deadline_s = 1e-4;
+  auto late = service.submit(std::move(req));
+  auto fine = service.submit(bfs_req(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  while (service.pump()) {
+  }
+  EXPECT_THROW((void)late.result.get(), hs::DeadlineExceeded);
+  EXPECT_EQ(fine.result.get().levels.size(), 1u);
+  service.stop();
+}
+
+TEST(Supervisor, WatermarkShedsNonCacheableWhileServing) {
+  const auto el = small_rmat(7, 8, 29);
+  auto opts = inline_opts();
+  opts.degrade_queue_watermark = 1;
+  hs::Supervisor sup(el, hc::Grid(2, 2), opts);
+
+  auto q = sup.submit(bfs_req(2));  // queue depth reaches the watermark
+  try {
+    (void)sup.submit(mutate_req({{hstream::EdgeOpKind::kInsert, 0, 1}}));
+    FAIL() << "expected Overloaded(kDegraded)";
+  } catch (const hs::Overloaded& e) {
+    EXPECT_EQ(e.reason(), hs::Overloaded::Reason::kDegraded);
+  }
+  EXPECT_GE(sup.metrics().counter("serve.degraded.shed").value(), 1u);
+  pump_all(sup);
+  EXPECT_EQ(q.result.get().levels.size(), 1u);  // cacheable work unaffected
+}
+
+TEST(Supervisor, RecoveryWindowShedsMutationsAndParksQueries) {
+  const auto el = small_rmat(8, 8, 31);
+  const hc::Grid grid(2, 2);
+  hf::FaultInjector injector(hf::FaultPlan::parse("crash@r1:s2", 41),
+                             grid.ranks());
+  hs::SupervisorOptions opts;
+  opts.session.faults = &injector;
+  opts.auto_recover = true;
+  opts.service.auto_dispatch = true;
+  // A long backoff holds the supervisor in kRecovering so the test can
+  // deterministically submit into the degraded window.
+  opts.backoff_base_s = 0.5;
+  opts.backoff_max_s = 0.5;
+  hs::Supervisor sup(el, grid, opts);
+
+  auto crashed = sup.submit(bfs_req(4));  // dispatcher executes -> crash
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (sup.state() != hs::Supervisor::State::kRecovering) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "crash never flagged a recovery";
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+
+  // Degraded admission: mutations shed typed, cacheable queries parked
+  // supervisor-side and adopted by the rebuilt service.
+  try {
+    (void)sup.submit(mutate_req({{hstream::EdgeOpKind::kInsert, 0, 1}}));
+    FAIL() << "expected Overloaded(kDegraded)";
+  } catch (const hs::Overloaded& e) {
+    EXPECT_EQ(e.reason(), hs::Overloaded::Reason::kDegraded);
+  }
+  auto parked = sup.submit(bfs_req(6));
+  sup.drain();
+
+  EXPECT_EQ(sup.restarts(), 1);
+  const hs::Response first = crashed.result.get();   // retried to completion
+  EXPECT_GE(first.attempts, 2);
+  const hs::Response adopted = parked.result.get();  // parked, then served
+  EXPECT_EQ(adopted.levels.size(), 1u);
+  EXPECT_GE(sup.metrics().counter("serve.degraded.parked").value(), 1u);
+  EXPECT_GE(sup.metrics().counter("serve.degraded.shed").value(), 1u);
+  sup.stop();
+}

@@ -4,20 +4,33 @@
 // p50/p95/p99 latency split from the service's histograms, and can dump
 // the metrics snapshot and the per-request span trace.
 //
+// With --supervised (implied by --faults=) the session/service pair runs
+// under a serve::Supervisor: seeded faults that kill the resident rank
+// world trigger snapshot-restore + committed-log-replay recovery instead
+// of poisoning the run (docs/RECOVERY.md). The summary then reports the
+// restart count, the typed per-error failure tally, and the recovery
+// counters, and --final-check verifies the served graph against a
+// sequential reference on the supervisor's committed mirror.
+//
 //   hpcg_serve --graph=rmat14 --ranks=16 --clients=4 --requests=16
 //   hpcg_serve --graph=rmat12 --ranks=9 --script=requests.txt
-//   hpcg_serve --graph=rmat14 --metrics-out=serve.json --trace-out=serve.json
+//   hpcg_serve --graph=rmat12 --faults=crash@r2:s40 --mutate-rate=20
+//              --final-check=true
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <set>
 #include <sstream>
 
+#include "algos/reference.hpp"
+#include "fault/injector.hpp"
 #include "graph/datasets.hpp"
 #include "graph/edge_list.hpp"
 #include "graph/io.hpp"
 #include "serve/load_gen.hpp"
 #include "serve/service.hpp"
 #include "serve/session.hpp"
+#include "serve/supervisor.hpp"
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/report.hpp"
 #include "util/options.hpp"
@@ -37,6 +50,19 @@ double quantile_us(const hpcg::telemetry::MetricsRegistry::Snapshot& snap,
   return hpcg::telemetry::MetricsRegistry::histogram_quantile(it->second, q);
 }
 
+std::uint64_t counter_of(const hpcg::telemetry::MetricsRegistry::Snapshot& snap,
+                         const std::string& name) {
+  const auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+/// Sequential CC component count, the --final-check reference.
+std::int64_t ref_component_count(const hpcg::graph::EdgeList& el) {
+  const auto label = hpcg::algos::ref::connected_components(el);
+  const std::set<hpcg::graph::Gid> distinct(label.begin(), label.end());
+  return static_cast<std::int64_t>(distinct.size());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -54,6 +80,23 @@ int main(int argc, char** argv) {
       "  --striped=BOOL        striped vertex assignment (default true)\n"
       "  --async=on|off        compute-comm overlap (default off)\n"
       "  --async-chunk=N       pipeline segments for sparse exchanges\n"
+      "  --comm-timeout=S      recv/barrier deadline in seconds (0 = off)\n"
+      "Faults and supervision (docs/RECOVERY.md):\n"
+      "  --faults=PLAN         seeded fault plan, e.g. crash@r2:s40\n"
+      "                        (docs/FAULTS.md grammar); implies --supervised\n"
+      "  --fault-seed=N        plan seed for random targets (default 1)\n"
+      "  --supervised=BOOL     run under serve::Supervisor (default: only\n"
+      "                        when --faults is given)\n"
+      "  --max-restarts=N      restart budget per window (default 3)\n"
+      "  --restart-window=S    sliding budget window seconds (default 60)\n"
+      "  --snapshot-every=N    serve-side snapshot cadence in commits\n"
+      "                        (default 4; 0 = always replay from base)\n"
+      "  --degrade-watermark=N shed non-cacheable load above this queue\n"
+      "                        depth (default 0 = off)\n"
+      "  --deadline=S          per-request completion budget (default 0)\n"
+      "  --final-check=BOOL    verify served CC against a sequential\n"
+      "                        reference on the committed graph (default\n"
+      "                        false)\n"
       "Service policy:\n"
       "  --queue-capacity=N    admission queue bound (default 64)\n"
       "  --max-inflight=N      per-client in-flight quota (default 8)\n"
@@ -85,6 +128,19 @@ int main(int argc, char** argv) {
   const bool striped = options.get_bool("striped", true);
   const std::string async_text = options.get_string("async", "off");
   const int async_chunk = static_cast<int>(options.get_int("async-chunk", 1));
+  const double comm_timeout = options.get_double("comm-timeout", 0.0);
+  const std::string faults_text = options.get_string("faults", "");
+  const auto fault_seed =
+      static_cast<std::uint64_t>(options.get_int("fault-seed", 1));
+  const bool supervised = options.get_bool("supervised", !faults_text.empty());
+  const int max_restarts = static_cast<int>(options.get_int("max-restarts", 3));
+  const double restart_window = options.get_double("restart-window", 60.0);
+  const int snapshot_every =
+      static_cast<int>(options.get_int("snapshot-every", 4));
+  const auto degrade_watermark =
+      static_cast<std::size_t>(options.get_int("degrade-watermark", 0));
+  const double deadline = options.get_double("deadline", 0.0);
+  const bool final_check = options.get_bool("final-check", false);
   const auto queue_capacity =
       static_cast<std::size_t>(options.get_int("queue-capacity", 64));
   const int max_inflight = static_cast<int>(options.get_int("max-inflight", 8));
@@ -104,6 +160,14 @@ int main(int argc, char** argv) {
   options.check_unknown();
   if (async_text != "on" && async_text != "off") {
     return fail("--async must be 'on' or 'off'");
+  }
+  if (!faults_text.empty() && !supervised) {
+    return fail("--faults requires supervision (drop --supervised=false)");
+  }
+  if (final_check && !supervised && mutate_rate > 0) {
+    return fail(
+        "--final-check with mutations needs --supervised=true (the "
+        "committed mirror lives in the supervisor)");
   }
 
   hpcg::util::WallTimer load_timer;
@@ -129,14 +193,21 @@ int main(int argc, char** argv) {
   hpcg::telemetry::Recorder recorder(grid.ranks() + 1);
 
   try {
+    std::unique_ptr<hpcg::fault::FaultInjector> injector;
+    if (!faults_text.empty()) {
+      injector = std::make_unique<hpcg::fault::FaultInjector>(
+          hpcg::fault::FaultPlan::parse(faults_text, fault_seed), grid.ranks());
+      std::cout << "faults: " << injector->resolved_specs().size()
+                << " planned (seed " << fault_seed << ")\n";
+    }
+
     hpcg::serve::SessionOptions sopts;
     sopts.striped = striped;
     sopts.recorder = &recorder;
+    sopts.faults = injector.get();
+    sopts.comm_timeout_s = comm_timeout;
     sopts.async = async_text == "on";
     sopts.async_chunk = async_chunk;
-    hpcg::serve::Session session(graph, grid, sopts);
-    std::cout << "session: resident on " << session.nranks() << " ranks ("
-              << load_timer.elapsed() << " s to load + distribute)\n";
 
     hpcg::serve::ServiceOptions vopts;
     vopts.queue_capacity = queue_capacity;
@@ -145,13 +216,41 @@ int main(int argc, char** argv) {
     vopts.cache_capacity = cache_capacity;
     vopts.recorder = &recorder;
     vopts.auto_dispatch = script_path.empty();
-    hpcg::serve::Service service(session, vopts);
+
+    // Exactly one backend is live; `frontend` is the request surface
+    // either way.
+    std::unique_ptr<hpcg::serve::Session> session;
+    std::unique_ptr<hpcg::serve::Service> service;
+    std::unique_ptr<hpcg::serve::Supervisor> supervisor;
+    hpcg::serve::Frontend* frontend = nullptr;
+    if (supervised) {
+      hpcg::serve::SupervisorOptions uopts;
+      uopts.session = sopts;
+      uopts.service = vopts;
+      uopts.max_restarts = max_restarts;
+      uopts.restart_window_s = restart_window;
+      uopts.snapshot_every = snapshot_every;
+      uopts.degrade_queue_watermark = degrade_watermark;
+      uopts.auto_recover = script_path.empty();
+      supervisor =
+          std::make_unique<hpcg::serve::Supervisor>(graph, grid, uopts);
+      frontend = supervisor.get();
+      std::cout << "session: resident on " << grid.ranks()
+                << " ranks, supervised (" << load_timer.elapsed()
+                << " s to load + distribute)\n";
+    } else {
+      session = std::make_unique<hpcg::serve::Session>(graph, grid, sopts);
+      service = std::make_unique<hpcg::serve::Service>(*session, vopts);
+      frontend = service.get();
+      std::cout << "session: resident on " << session->nranks() << " ranks ("
+                << load_timer.elapsed() << " s to load + distribute)\n";
+    }
 
     hpcg::util::WallTimer serve_timer;
     if (!script_path.empty()) {
       std::ifstream script(script_path);
       if (!script) return fail("cannot open --script file " + script_path);
-      const auto result = hpcg::serve::run_script(service, script);
+      const auto result = hpcg::serve::run_script(*frontend, script);
       std::cout << result.log;
       std::cout << "script: " << result.submitted << " submitted, "
                 << result.admitted << " admitted, " << result.rejected
@@ -165,16 +264,27 @@ int main(int argc, char** argv) {
       lopts.mutate_weight = mutate_rate;
       lopts.mutate_batch = mutate_batch;
       lopts.mutate_delete_pct = mutate_delete_pct;
-      const auto stats = hpcg::serve::run_load(service, session.n(), lopts);
+      lopts.deadline_s = deadline;
+      const auto stats = hpcg::serve::run_load(*frontend, frontend->n(), lopts);
       std::cout << "load: " << stats.completed << " completed of "
                 << stats.submitted << " submitted (" << stats.rejected
                 << " overload rejections, " << stats.failed << " failed, "
                 << stats.cache_hits << " cache hits) in " << stats.wall_s
                 << " s -> " << stats.rps << " req/s\n";
+      if (stats.failed > 0 || stats.rejected_degraded > 0 ||
+          stats.retried_completed > 0) {
+        std::cout << "errors: session_closed=" << stats.failed_session_closed
+                  << " deadline=" << stats.failed_deadline
+                  << " unavailable=" << stats.failed_unavailable
+                  << " other=" << stats.failed_other
+                  << "; degraded_sheds=" << stats.rejected_degraded
+                  << " retried_completed=" << stats.retried_completed << "\n";
+      }
     }
-    service.drain();
+    frontend->drain();
 
-    const auto snap = service.metrics().snapshot();
+    auto& registry = supervisor ? supervisor->metrics() : service->metrics();
+    const auto snap = registry.snapshot();
     std::cout << "latency (us): total p50 "
               << quantile_us(snap, "serve.latency.total_us", 0.50) << ", p95 "
               << quantile_us(snap, "serve.latency.total_us", 0.95) << ", p99 "
@@ -183,27 +293,89 @@ int main(int argc, char** argv) {
               << quantile_us(snap, "serve.latency.queue_us", 0.99)
               << "; exec p99 "
               << quantile_us(snap, "serve.latency.exec_us", 0.99) << "\n";
-    std::cout << "cache: " << service.cache().hits() << " hits, "
-              << service.cache().misses() << " misses, "
-              << service.cache().evictions() << " evictions ("
-              << service.cache().size() << " resident)\n";
-    const auto counter = [&snap](const std::string& name) -> std::uint64_t {
-      const auto it = snap.counters.find(name);
-      return it == snap.counters.end() ? 0 : it->second;
-    };
-    if (service.epoch() > 0 || counter("stream.batches.empty") > 0) {
-      std::cout << "stream: epoch " << service.epoch() << ", "
-                << counter("stream.batches.committed") << " batches committed, "
-                << counter("stream.edges.inserted") << " inserted, "
-                << counter("stream.edges.deleted") << " deleted ("
-                << counter("stream.deletes.noop") << " no-op deletes), "
-                << counter("stream.cache.invalidated")
+    if (service) {
+      std::cout << "cache: " << service->cache().hits() << " hits, "
+                << service->cache().misses() << " misses, "
+                << service->cache().evictions() << " evictions ("
+                << service->cache().size() << " resident)\n";
+    }
+    const auto epoch = supervisor ? supervisor->epoch() : service->epoch();
+    if (epoch > 0 || counter_of(snap, "stream.batches.empty") > 0) {
+      std::cout << "stream: epoch " << epoch << ", "
+                << counter_of(snap, "stream.batches.committed")
+                << " batches committed, "
+                << counter_of(snap, "stream.edges.inserted") << " inserted, "
+                << counter_of(snap, "stream.edges.deleted") << " deleted ("
+                << counter_of(snap, "stream.deletes.noop")
+                << " no-op deletes), "
+                << counter_of(snap, "stream.cache.invalidated")
                 << " cache entries invalidated\n";
+    }
+    if (supervisor) {
+      const auto state = supervisor->state();
+      const char* state_text =
+          state == hpcg::serve::Supervisor::State::kServing      ? "serving"
+          : state == hpcg::serve::Supervisor::State::kRecovering ? "recovering"
+                                                                 : "unavailable";
+      std::cout << "recovery: " << supervisor->restarts()
+                << " restart(s), state " << state_text << ", "
+                << counter_of(snap, "serve.recovery.parked") << " parked, "
+                << counter_of(snap, "serve.recovery.resubmitted")
+                << " resubmitted, "
+                << counter_of(snap, "serve.recovery.replayed_batches")
+                << " batches replayed, "
+                << counter_of(snap, "serve.recovery.snapshot_saved")
+                << " snapshot(s) saved / "
+                << counter_of(snap, "serve.recovery.snapshot_restored")
+                << " restored, " << counter_of(snap, "serve.degraded.shed")
+                << " degraded shed\n";
+    }
+    if (injector) {
+      for (const auto& event : injector->events()) {
+        std::cout << "  fault: " << hpcg::fault::to_string(event.kind)
+                  << " on rank " << event.rank << " at superstep "
+                  << event.superstep << " (vtime " << event.vtime << " s)\n";
+      }
     }
     std::cout << "total wall: " << serve_timer.elapsed() << " s\n";
 
-    service.stop();
-    session.close();
+    int exit_code = 0;
+    if (final_check) {
+      // Serve a cold CC through the (possibly recovered) frontend and
+      // compare against the sequential reference on the committed graph.
+      hpcg::serve::Request probe;
+      probe.algo = hpcg::serve::Algo::kCc;
+      probe.client = "final-check";
+      std::int64_t served = -1;
+      try {
+        auto ticket = frontend->submit(std::move(probe));
+        if (!script_path.empty()) frontend->drain();
+        served = ticket.result.get().n_components;
+      } catch (const std::exception& e) {
+        std::cout << "final check: FAIL (probe failed: " << e.what() << ")\n";
+        exit_code = 1;
+      }
+      if (exit_code == 0) {
+        const auto committed = supervisor ? supervisor->mirror_copy() : graph;
+        const auto expected = ref_component_count(committed);
+        if (served == expected) {
+          std::cout << "final check: OK (" << served << " components at epoch "
+                    << (supervisor ? supervisor->epoch() : service->epoch())
+                    << ")\n";
+        } else {
+          std::cout << "final check: FAIL (served " << served
+                    << " components, reference " << expected << ")\n";
+          exit_code = 1;
+        }
+      }
+    }
+
+    if (supervisor) {
+      supervisor->stop();
+    } else {
+      service->stop();
+      session->close();
+    }
 
     const auto spans = recorder.spans();
     const auto report = hpcg::telemetry::analyze(spans, recorder.nranks());
@@ -225,8 +397,8 @@ int main(int argc, char** argv) {
       }
       std::cout << "wrote metrics to " << metrics_out << "\n";
     }
+    return exit_code;
   } catch (const std::exception& e) {
     return fail(e.what());
   }
-  return 0;
 }
