@@ -1,14 +1,42 @@
 #include "algos/bfs.hpp"
 
+#include <algorithm>
+
 #include "core/manhattan.hpp"
 #include "core/sparse_comm.hpp"
 #include "core/work.hpp"
+#include "core/worker_pool.hpp"
 
 namespace hpcg::algos {
 
 using core::Lid;
 using core::SparseDirection;
 using core::VertexQueue;
+
+namespace {
+
+/// Per-chunk kernel output: candidate vertices + the chunk's edge count.
+/// Chunks only READ shared state (phase A); the serial merge in ascending
+/// chunk order (phase B) replays the exact sequential claim logic, so the
+/// committed state, queue membership and queue ORDER are bit-identical to
+/// the single-threaded sweep (docs/KERNELS.md).
+struct ChunkOut {
+  std::vector<Lid> items;
+  std::int64_t edges = 0;
+};
+
+inline bool test_bit(const std::vector<std::uint64_t>& bits, Lid v) {
+  return (bits[static_cast<std::size_t>(v) >> 6] >>
+          (static_cast<std::size_t>(v) & 63)) &
+         1u;
+}
+
+inline void set_bit(std::vector<std::uint64_t>& bits, Lid v) {
+  bits[static_cast<std::size_t>(v) >> 6] |= std::uint64_t{1}
+                                            << (static_cast<std::size_t>(v) & 63);
+}
+
+}  // namespace
 
 BfsResult bfs(core::Dist2DGraph& g, Gid root_original, const BfsOptions& options,
               fault::Checkpointer* ckpt) {
@@ -36,6 +64,15 @@ BfsResult bfs(core::Dist2DGraph& g, Gid root_original, const BfsOptions& options
   bool bottom_up = false;
   core::MinReduce<std::int64_t> min_reduce;
   core::SparseBuffers<std::int64_t> sparse_bufs;
+
+  const std::int64_t grain = options.resolved_grain(g.world());
+  core::WorkerPool* pool = g.worker_pool(options.resolved_threads(g.world()));
+  std::vector<ChunkOut> outs;
+  // Frontier bitset over the column range, rebuilt per bottom-up step: the
+  // pull test `level[adj[e]] == cur` becomes one bit probe, and chunks stop
+  // sharing cache lines with the level writes entirely.
+  std::vector<std::uint64_t> front_bits(
+      (static_cast<std::size_t>(lids.n_total()) + 63) / 64);
 
   std::int64_t start = 0;
   if (ckpt && ckpt->resume_epoch() >= 0) {
@@ -96,42 +133,94 @@ BfsResult bfs(core::Dist2DGraph& g, Gid root_original, const BfsOptions& options
     if (!bottom_up) {
       ++result.top_down_steps;
       // Top-down push: expand frontier edges, claiming unvisited column
-      // vertices at level cur+1.
-      std::int64_t edges_expanded = 0;
-      core::manhattan_for_each_edge(
-          g.csr(), std::span<const Lid>(frontier.items()),
-          [&](Lid, Lid u, std::int64_t) {
-            ++edges_expanded;
-            if (level[static_cast<std::size_t>(u)] > cur + 1) {
-              level[static_cast<std::size_t>(u)] = cur + 1;
-              updated.try_push(u);
+      // vertices at level cur+1. Phase A (parallel, read-only): each
+      // edge-balanced chunk of the frontier records every target still
+      // unvisited in the pre-step snapshot. Phase B (serial, chunk order):
+      // replay the claims — the snapshot test is a superset of the live
+      // test (levels only decrease), so the ordered commit filters to the
+      // exact sequential claim set and order.
+      const auto chunks = core::edge_balanced_chunks(
+          offsets, std::span<const Lid>(frontier.items()), grain);
+      if (outs.size() < chunks.size()) outs.resize(chunks.size());
+      core::for_each_chunk(
+          pool, chunks, [&](const core::Chunk& c, std::size_t ci, int) {
+            ChunkOut& out = outs[ci];
+            out.items.clear();
+            out.edges = 0;
+            for (std::size_t i = c.begin; i < c.end; ++i) {
+              const Lid v = frontier.items()[i];
+              for (std::int64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+                ++out.edges;
+                const Lid u = adj[e];
+                if (level[static_cast<std::size_t>(u)] > cur + 1) {
+                  out.items.push_back(u);
+                }
+              }
             }
           });
+      core::record_chunk_telemetry(g.world(), chunks, pool);
+      std::int64_t edges_expanded = 0;
+      for (std::size_t ci = 0; ci < chunks.size(); ++ci) {
+        edges_expanded += outs[ci].edges;
+        for (const Lid u : outs[ci].items) {
+          if (level[static_cast<std::size_t>(u)] > cur + 1) {
+            level[static_cast<std::size_t>(u)] = cur + 1;
+            updated.try_push(u);
+          }
+        }
+      }
       core::charge_kernel(g.world(), static_cast<std::int64_t>(frontier.size()),
                           edges_expanded);
       core::sparse_exchange(g, std::span(level), updated, min_reduce,
                             SparseDirection::kPush, &next_frontier,
-                            options.sparse, &sparse_bufs);
+                            options, &sparse_bufs);
     } else {
       ++result.bottom_up_steps;
       // Bottom-up pull: every unvisited row vertex looks for a parent in
-      // the current frontier among its local neighbors.
+      // the current frontier among its local neighbors. The frontier is
+      // materialized as a bitset first (levels only gain cur+1 entries this
+      // step, so the snapshot equals the live `== cur` test), making the
+      // chunks pure readers of shared state: each writes only its own
+      // vertices' candidate list, merged in chunk (= ascending LID) order.
+      std::fill(front_bits.begin(), front_bits.end(), 0);
+      const Lid col_end = lids.c_offset_c() + lids.n_col();
+      for (Lid x = lids.c_offset_c(); x < col_end; ++x) {
+        if (level[static_cast<std::size_t>(x)] == cur) set_bit(front_bits, x);
+      }
+      const auto chunks = core::edge_balanced_chunks(
+          offsets, static_cast<std::size_t>(g.row_lid_begin()),
+          static_cast<std::size_t>(g.row_lid_end()), grain);
+      if (outs.size() < chunks.size()) outs.resize(chunks.size());
+      core::for_each_chunk(
+          pool, chunks, [&](const core::Chunk& c, std::size_t ci, int) {
+            ChunkOut& out = outs[ci];
+            out.items.clear();
+            out.edges = 0;
+            for (std::size_t vs = c.begin; vs < c.end; ++vs) {
+              const Lid v = static_cast<Lid>(vs);
+              if (level[vs] != BfsResult::kUnvisited) continue;
+              for (std::int64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+                ++out.edges;
+                if (test_bit(front_bits, adj[e])) {
+                  out.items.push_back(v);
+                  break;
+                }
+              }
+            }
+          });
+      core::record_chunk_telemetry(g.world(), chunks, pool);
       std::int64_t edges_scanned = 0;
-      for (Lid v = g.row_lid_begin(); v < g.row_lid_end(); ++v) {
-        if (level[static_cast<std::size_t>(v)] != BfsResult::kUnvisited) continue;
-        for (std::int64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
-          ++edges_scanned;
-          if (level[static_cast<std::size_t>(adj[e])] == cur) {
-            level[static_cast<std::size_t>(v)] = cur + 1;
-            updated.try_push(v);
-            break;
-          }
+      for (std::size_t ci = 0; ci < chunks.size(); ++ci) {
+        edges_scanned += outs[ci].edges;
+        for (const Lid v : outs[ci].items) {
+          level[static_cast<std::size_t>(v)] = cur + 1;
+          updated.try_push(v);
         }
       }
       core::charge_kernel(g.world(), lids.n_row(), edges_scanned);
       core::sparse_exchange(g, std::span(level), updated, min_reduce,
                             SparseDirection::kPull, &next_frontier,
-                            options.sparse, &sparse_bufs);
+                            options, &sparse_bufs);
     }
     m_unvisited -= static_cast<double>(m_frontier);
     frontier.swap(next_frontier);
@@ -227,7 +316,7 @@ BfsParentResult bfs_parents(core::Dist2DGraph& g, Gid root_original,
                           edges);
       core::sparse_exchange(g, std::span(state), updated, reduce,
                             SparseDirection::kPush, &next_frontier,
-                            options.sparse, &sparse_bufs);
+                            options, &sparse_bufs);
     } else {
       for (Lid v = g.row_lid_begin(); v < g.row_lid_end(); ++v) {
         if (state[static_cast<std::size_t>(v)].level != BfsResult::kUnvisited) {
@@ -250,7 +339,7 @@ BfsParentResult bfs_parents(core::Dist2DGraph& g, Gid root_original,
       core::charge_kernel(g.world(), lids.n_row(), edges);
       core::sparse_exchange(g, std::span(state), updated, reduce,
                             SparseDirection::kPull, &next_frontier,
-                            options.sparse, &sparse_bufs);
+                            options, &sparse_bufs);
     }
     m_unvisited -= static_cast<double>(stats[1]);
     frontier.swap(next_frontier);

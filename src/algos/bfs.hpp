@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "algos/kernel_options.hpp"
 #include "core/dist2d.hpp"
 #include "core/sparse_comm.hpp"
 #include "fault/checkpoint.hpp"
@@ -16,14 +17,11 @@ namespace hpcg::algos {
 
 using core::Gid;
 
-struct BfsOptions {
-  bool direction_optimizing = true;
-  double alpha = 15.0;  // top-down -> bottom-up when m_frontier > m_unvisited / alpha
-  double beta = 24.0;   // bottom-up -> top-down when n_frontier < N / beta
-  /// Async/chunking opt-in for the sparse exchanges (kRunDefault follows
-  /// RunOptions::async). Levels/parents are bit-identical either way.
-  core::SparseOptions sparse = {};
-};
+/// DEPRECATED alias kept for one release: BFS now takes the unified
+/// KernelOptions directly (direction_optimizing / alpha / beta keep their
+/// names; the old `.sparse` sub-struct's async/chunk fields are now
+/// top-level members of the same struct). See docs/ARCHITECTURE.md §15.
+using BfsOptions = KernelOptions;
 
 struct BfsResult {
   std::vector<std::int64_t> level;  // LID-indexed; kUnvisited if unreached

@@ -7,6 +7,7 @@
 #include "core/manhattan.hpp"
 #include "core/sparse_comm.hpp"
 #include "core/work.hpp"
+#include "core/worker_pool.hpp"
 
 namespace hpcg::algos {
 
@@ -40,7 +41,30 @@ CcResult connected_components(core::Dist2DGraph& g, const CcOptions& options,
   VertexQueue active(lids.n_total());
   bool queue_live = false;  // becomes true once sparse && vertex_queue
   core::SparseBuffers<Gid> sparse_bufs;
-  const bool async = options.sparse_opts.enabled(g.world());
+  const bool async = options.kernel.enabled(g.world());
+
+  // Min-label propagation is Gauss-Seidel within a sweep when the row and
+  // column LID ranges share slots (overlap layouts): a read of
+  // label[adj[e]] can observe a write made earlier in the SAME sweep, so
+  // the sequential visit order is part of the algorithm's trajectory (it
+  // changes CcResult::iterations, not the fixpoint). On disjoint layouts
+  // the sweep's reads and writes never alias, so chunks parallelize with
+  // bit-identical results; on overlap layouts the kernels stay serial in
+  // exact sweep order (docs/KERNELS.md).
+  const bool disjoint_lids = lids.n_row() + lids.n_col() == lids.n_total();
+  const std::int64_t grain = options.kernel.resolved_grain(g.world());
+  core::WorkerPool* pool =
+      disjoint_lids
+          ? g.worker_pool(options.kernel.resolved_threads(g.world()))
+          : nullptr;
+  struct CcChunkOut {
+    std::vector<Lid> items;          // pull: rows that improved
+    std::vector<std::pair<Lid, Gid>> claims;  // push: (target, color)
+    std::int64_t writes = 0;
+    std::int64_t vertices = 0;
+    std::int64_t edges = 0;
+  };
+  std::vector<CcChunkOut> outs;
 
   int start = 0;
   if (ckpt && ckpt->resume_epoch() >= 0) {
@@ -76,29 +100,108 @@ CcResult connected_components(core::Dist2DGraph& g, const CcOptions& options,
     std::int64_t kernel_vertices = 0;
     std::int64_t kernel_edges = 0;
 
+    const auto chunks =
+        queue_live
+            ? core::edge_balanced_chunks(
+                  offsets, std::span<const Lid>(active.items()), grain)
+            : core::edge_balanced_chunks(
+                  offsets, static_cast<std::size_t>(g.row_lid_begin()),
+                  static_cast<std::size_t>(g.row_lid_end()), grain);
+    if (outs.size() < chunks.size()) outs.resize(chunks.size());
     if (!options.push) {
-      // Pull kernel: row vertices gather the minimum neighbor color.
-      auto visit = [&](Lid v) {
-        ++kernel_vertices;
-        kernel_edges += offsets[v + 1] - offsets[v];
-        Gid best = label[static_cast<std::size_t>(v)];
-        for (std::int64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
-          best = std::min(best, label[static_cast<std::size_t>(adj[e])]);
-        }
-        if (best < label[static_cast<std::size_t>(v)]) {
-          label[static_cast<std::size_t>(v)] = best;
-          updated.try_push(v);
-          ++local_writes;
-        }
-      };
-      if (queue_live) {
-        for (const Lid v : active.items()) visit(v);
-      } else {
-        for (Lid v = g.row_lid_begin(); v < g.row_lid_end(); ++v) visit(v);
+      // Pull kernel: row vertices gather the minimum neighbor color with a
+      // cache-blocked sweep over the chunk's CSR slice. Each chunk writes
+      // only its own rows' labels; the sweep order (ascending chunk, then
+      // ascending vertex) is the sequential order, so the overlap-layout
+      // serial path is the seed sweep exactly, and the disjoint-layout
+      // parallel path reads only never-written column slots.
+      core::for_each_chunk(
+          pool, chunks, [&](const core::Chunk& c, std::size_t ci, int) {
+            CcChunkOut& out = outs[ci];
+            out.items.clear();
+            out.writes = 0;
+            out.vertices = 0;
+            out.edges = 0;
+            const auto visit = [&](Lid v) {
+              ++out.vertices;
+              out.edges += offsets[v + 1] - offsets[v];
+              Gid best = label[static_cast<std::size_t>(v)];
+              for (std::int64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+                best = std::min(best, label[static_cast<std::size_t>(adj[e])]);
+              }
+              if (best < label[static_cast<std::size_t>(v)]) {
+                label[static_cast<std::size_t>(v)] = best;
+                out.items.push_back(v);
+                ++out.writes;
+              }
+            };
+            if (queue_live) {
+              for (std::size_t i = c.begin; i < c.end; ++i) {
+                visit(active.items()[i]);
+              }
+            } else {
+              for (std::size_t vs = c.begin; vs < c.end; ++vs) {
+                visit(static_cast<Lid>(vs));
+              }
+            }
+          });
+      core::record_chunk_telemetry(g.world(), chunks, pool);
+      for (std::size_t ci = 0; ci < chunks.size(); ++ci) {
+        kernel_vertices += outs[ci].vertices;
+        kernel_edges += outs[ci].edges;
+        local_writes += outs[ci].writes;
+        for (const Lid v : outs[ci].items) updated.try_push(v);
       }
+    } else if (disjoint_lids) {
+      // Push kernel, disjoint layout: two-phase. Phase A (parallel,
+      // read-only): chunks record (target, color) claims against the
+      // pre-sweep labels — a superset of the live claims, since labels only
+      // decrease. Phase B (serial, chunk order) replays the exact
+      // sequential test, so writes, membership and order match the seed.
+      core::for_each_chunk(
+          pool, chunks, [&](const core::Chunk& c, std::size_t ci, int) {
+            CcChunkOut& out = outs[ci];
+            out.claims.clear();
+            out.edges = 0;
+            const auto scan = [&](Lid v) {
+              const Gid color = label[static_cast<std::size_t>(v)];
+              for (std::int64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+                ++out.edges;
+                const Lid u = adj[e];
+                if (color < label[static_cast<std::size_t>(u)]) {
+                  out.claims.emplace_back(u, color);
+                }
+              }
+            };
+            if (queue_live) {
+              for (std::size_t i = c.begin; i < c.end; ++i) {
+                scan(active.items()[i]);
+              }
+            } else {
+              for (std::size_t vs = c.begin; vs < c.end; ++vs) {
+                scan(static_cast<Lid>(vs));
+              }
+            }
+          });
+      core::record_chunk_telemetry(g.world(), chunks, pool);
+      for (std::size_t ci = 0; ci < chunks.size(); ++ci) {
+        kernel_edges += outs[ci].edges;
+        for (const auto& [u, color] : outs[ci].claims) {
+          if (color < label[static_cast<std::size_t>(u)]) {
+            label[static_cast<std::size_t>(u)] = color;
+            updated.try_push(u);
+            ++local_writes;
+          }
+        }
+      }
+      kernel_vertices =
+          queue_live ? static_cast<std::int64_t>(active.size()) : lids.n_row();
     } else {
-      // Push kernel: row vertices scatter their color to larger neighbors.
-      auto edge_fn = [&](Lid v, Lid u, std::int64_t) {
+      // Push kernel, overlap layout: a scattered color can land in a slot
+      // that is ALSO a later source's row slot, so the sweep must commit
+      // writes immediately in sequential order — the seed kernel, kept
+      // verbatim (and necessarily serial).
+      auto edge_fn = [&](Lid v, Lid u) {
         ++kernel_edges;
         if (label[static_cast<std::size_t>(v)] < label[static_cast<std::size_t>(u)]) {
           label[static_cast<std::size_t>(u)] = label[static_cast<std::size_t>(v)];
@@ -107,13 +210,16 @@ CcResult connected_components(core::Dist2DGraph& g, const CcOptions& options,
         }
       };
       if (queue_live) {
-        core::manhattan_for_each_edge(g.csr(), std::span<const Lid>(active.items()),
-                                      edge_fn);
+        for (const Lid v : active.items()) {
+          for (std::int64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+            edge_fn(v, adj[e]);
+          }
+        }
         kernel_vertices = static_cast<std::int64_t>(active.size());
       } else {
         for (Lid v = g.row_lid_begin(); v < g.row_lid_end(); ++v) {
           for (std::int64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
-            edge_fn(v, adj[e], e);
+            edge_fn(v, adj[e]);
           }
         }
         kernel_vertices = lids.n_row();
@@ -132,7 +238,7 @@ CcResult connected_components(core::Dist2DGraph& g, const CcOptions& options,
       core::sparse_exchange(g, std::span(label), updated, min_reduce,
                             options.push ? SparseDirection::kPush
                                          : SparseDirection::kPull,
-                            &changed_rows, options.sparse_opts, &sparse_bufs);
+                            &changed_rows, options.kernel, &sparse_bufs);
       if (g.rank_r() == 0) {
         counts[1] = static_cast<std::int64_t>(changed_rows.size());
       }

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "algos/kernel_options.hpp"
 #include "core/dist2d.hpp"
 #include "core/sparse_comm.hpp"
 #include "fault/checkpoint.hpp"
@@ -24,15 +25,21 @@ namespace hpcg::algos {
 
 using core::Gid;
 
+/// CC keeps a thin variant-selector struct (the Figure 6 ablation axes are
+/// CC-specific), but all kernel-execution knobs — threading, chunk grain,
+/// async/chunk opt-in for the exchanges — now live in the embedded unified
+/// KernelOptions. The old `sparse_opts` member name is gone; construction
+/// sites set `.kernel` instead (docs/ARCHITECTURE.md §15).
 struct CcOptions {
   bool push = false;          // default pull, as the paper's Base variant
   bool sparse = false;        // always-sparse communications
   bool auto_switch = false;   // dense until the update count drops below cutoff
   bool vertex_queue = false;  // active-vertex queues (requires sparse phase)
   int max_iterations = 100000;
-  /// Async/chunking opt-in for the exchanges in either mode (kRunDefault
-  /// follows RunOptions::async). Labels are bit-identical either way.
-  core::SparseOptions sparse_opts = {};
+  /// Unified kernel options (threads, chunk grain, async opt-in for the
+  /// exchanges in either mode; kRunDefault follows RunOptions). Labels are
+  /// bit-identical for every setting.
+  KernelOptions kernel = {};
 
   /// The named variants of Figure 6.
   static CcOptions base() { return {}; }

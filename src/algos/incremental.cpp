@@ -84,7 +84,7 @@ IncrementalCcResult incremental_cc(core::Dist2DGraph& g, std::vector<Gid> prev,
   if (structural_delete) {
     // A split is possible; min labels cannot be repaired monotonically.
     CcOptions options = CcOptions::all_push();
-    options.sparse_opts = opts;
+    options.kernel = opts;
     auto full = connected_components(g, options);
     result.label = std::move(full.label);
     result.iterations = full.iterations;
@@ -149,8 +149,7 @@ BfsRepairResult bfs_repair(core::Dist2DGraph& g, Gid root,
   if (structural_delete) {
     // A removed last copy can lengthen shortest paths; the previous levels
     // are no longer upper bounds.
-    BfsOptions options;
-    options.sparse = opts;
+    const BfsOptions options = opts;
     auto full = bfs(g, root, options);
     result.level = std::move(full.level);
     result.depth = full.depth;

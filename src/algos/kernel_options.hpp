@@ -1,0 +1,15 @@
+// Algorithm-facing name for the unified kernel-execution options. The
+// actual struct lives in comm/ (Runtime::run resolves it into the World);
+// algorithms and their callers spell it algos::KernelOptions. The legacy
+// per-algo structs (BfsOptions, MsBfsOptions, core::SparseOptions) are thin
+// aliases of this type for one release — see docs/ARCHITECTURE.md §15.
+#pragma once
+
+#include "comm/kernel_options.hpp"
+
+namespace hpcg::algos {
+
+using KernelOptions = comm::KernelOptions;
+using KernelOptionsError = comm::KernelOptionsError;
+
+}  // namespace hpcg::algos

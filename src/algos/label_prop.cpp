@@ -5,6 +5,7 @@
 #include "core/activation.hpp"
 #include "core/reduce25d.hpp"
 #include "core/work.hpp"
+#include "core/worker_pool.hpp"
 #include "util/hash_table.hpp"
 
 namespace hpcg::algos {
@@ -21,6 +22,15 @@ struct LabelUpdate {
   std::uint64_t label;
 };
 
+/// Per-chunk output of the hash-table construction kernel. Chunks read only
+/// the label snapshot (labels change in stage 4, after the kernel), so each
+/// builds its partial-aggregate run independently; concatenating the runs in
+/// chunk order reproduces the serial record sequence exactly.
+struct LpChunkOut {
+  std::vector<core::PartialAggregate> partials;
+  std::int64_t edges = 0;
+};
+
 }  // namespace
 
 LpResult label_propagation(core::Dist2DGraph& g, int iterations,
@@ -32,6 +42,9 @@ LpResult label_propagation(core::Dist2DGraph& g, int iterations,
   const auto adj = g.csr().adjacencies();
   const bool async = opts.enabled(g.world());
   const int nseg = async ? opts.segments(g.world()) : 1;
+  const std::int64_t grain = opts.resolved_grain(g.world());
+  core::WorkerPool* pool = g.worker_pool(opts.resolved_threads(g.world()));
+  std::vector<LpChunkOut> outs;
   // Fixed slots: an in-flight request holds pointers into these buffers.
   core::OwnerExchange owner_ex[2];
   std::vector<LabelUpdate> col_updates_buf;
@@ -83,21 +96,36 @@ LpResult label_propagation(core::Dist2DGraph& g, int iterations,
     auto build_partials = [&](std::span<const Lid> vertices,
                               std::vector<PartialAggregate>& partials) {
       partials.clear();
+      const auto chunks = core::edge_balanced_chunks(offsets, vertices, grain);
+      if (outs.size() < chunks.size()) outs.resize(chunks.size());
+      core::for_each_chunk(
+          pool, chunks, [&](const core::Chunk& c, std::size_t ci, int) {
+            LpChunkOut& out = outs[ci];
+            out.partials.clear();
+            out.edges = 0;
+            for (std::size_t i = c.begin; i < c.end; ++i) {
+              const Lid v = vertices[i];
+              const std::int64_t degree = offsets[v + 1] - offsets[v];
+              out.edges += degree;
+              if (degree == 0) continue;
+              util::CountingHashTable table(static_cast<std::size_t>(degree));
+              for (std::int64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+                table.add(label[static_cast<std::size_t>(adj[e])]);
+              }
+              const Gid v_gid = lids.to_gid(v);
+              std::vector<std::uint64_t> flat;
+              table.serialize(flat);
+              for (std::size_t k = 0; k < flat.size(); k += 2) {
+                out.partials.push_back({v_gid, flat[k], flat[k + 1]});
+              }
+            }
+          });
+      core::record_chunk_telemetry(g.world(), chunks, pool);
       std::int64_t edges = 0;
-      for (const Lid v : vertices) {
-        const std::int64_t degree = offsets[v + 1] - offsets[v];
-        edges += degree;
-        if (degree == 0) continue;
-        util::CountingHashTable table(static_cast<std::size_t>(degree));
-        for (std::int64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
-          table.add(label[static_cast<std::size_t>(adj[e])]);
-        }
-        const Gid v_gid = lids.to_gid(v);
-        std::vector<std::uint64_t> flat;
-        table.serialize(flat);
-        for (std::size_t i = 0; i < flat.size(); i += 2) {
-          partials.push_back({v_gid, flat[i], flat[i + 1]});
-        }
+      for (std::size_t ci = 0; ci < chunks.size(); ++ci) {
+        edges += outs[ci].edges;
+        partials.insert(partials.end(), outs[ci].partials.begin(),
+                        outs[ci].partials.end());
       }
       core::charge_kernel(g.world(), static_cast<std::int64_t>(vertices.size()),
                           edges * kHashOpCost);

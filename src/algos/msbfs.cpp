@@ -7,6 +7,7 @@
 #include "core/manhattan.hpp"
 #include "core/queue.hpp"
 #include "core/work.hpp"
+#include "core/worker_pool.hpp"
 
 namespace hpcg::algos {
 
@@ -25,6 +26,17 @@ struct OrReduce {
     current = merged;
     return true;
   }
+};
+
+/// Per-chunk kernel output for the two-phase (parallel read-only scan +
+/// serial chunk-ordered commit) sweep: (vertex, mask word) candidates plus
+/// the chunk's edge count. Because the OR-merge is idempotent and the
+/// snapshot candidate test (`word & ~mask[u]` against pre-step masks) is a
+/// superset of the live test, the ordered replay commits exactly the
+/// sequential masks, queue membership and queue order.
+struct MaskChunkOut {
+  std::vector<std::pair<Lid, std::uint64_t>> items;
+  std::int64_t edges = 0;
 };
 
 }  // namespace
@@ -85,6 +97,10 @@ MsBfsResult multi_source_bfs(core::Dist2DGraph& g,
   OrReduce reduce;
   core::SparseBuffers<std::uint64_t> sparse_bufs;
 
+  const std::int64_t grain = options.resolved_grain(g.world());
+  core::WorkerPool* pool = g.worker_pool(options.resolved_threads(g.world()));
+  std::vector<MaskChunkOut> outs;
+
   for (std::int64_t cur = 0;; ++cur) {
     auto superstep = g.world().superstep_span("msbfs");
     // Aggregate (union-of-frontiers) statistics drive the shared direction
@@ -118,49 +134,94 @@ MsBfsResult multi_source_bfs(core::Dist2DGraph& g,
     if (!bottom_up) {
       ++result.top_down_steps;
       // Top-down push: every frontier vertex offers its previous-superstep
-      // mask to its neighbors; a neighbor missing any of those bits joins
-      // the batch frontiers at level cur+1.
-      std::int64_t edges_expanded = 0;
-      core::manhattan_for_each_edge(
-          g.csr(), std::span<const Lid>(frontier.items()),
-          [&](Lid v, Lid u, std::int64_t) {
-            ++edges_expanded;
-            const std::uint64_t add = prev[static_cast<std::size_t>(v)] &
-                                      ~mask[static_cast<std::size_t>(u)];
-            if (add != 0) {
-              mask[static_cast<std::size_t>(u)] |= add;
-              updated.try_push(u);
+      // mask word to its neighbors; a neighbor missing any of those bits
+      // joins the batch frontiers at level cur+1. Phase A (parallel,
+      // read-only): chunks record (target, offered word) candidates against
+      // the pre-step masks. Phase B (serial, chunk order) replays the
+      // word-at-a-time OR-merge.
+      const auto chunks = core::edge_balanced_chunks(
+          offsets, std::span<const Lid>(frontier.items()), grain);
+      if (outs.size() < chunks.size()) outs.resize(chunks.size());
+      core::for_each_chunk(
+          pool, chunks, [&](const core::Chunk& c, std::size_t ci, int) {
+            MaskChunkOut& out = outs[ci];
+            out.items.clear();
+            out.edges = 0;
+            for (std::size_t i = c.begin; i < c.end; ++i) {
+              const Lid v = frontier.items()[i];
+              const std::uint64_t want = prev[static_cast<std::size_t>(v)];
+              for (std::int64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+                ++out.edges;
+                const Lid u = adj[e];
+                if (want & ~mask[static_cast<std::size_t>(u)]) {
+                  out.items.emplace_back(u, want);
+                }
+              }
             }
           });
+      core::record_chunk_telemetry(g.world(), chunks, pool);
+      std::int64_t edges_expanded = 0;
+      for (std::size_t ci = 0; ci < chunks.size(); ++ci) {
+        edges_expanded += outs[ci].edges;
+        for (const auto& [u, want] : outs[ci].items) {
+          const std::uint64_t add = want & ~mask[static_cast<std::size_t>(u)];
+          if (add != 0) {
+            mask[static_cast<std::size_t>(u)] |= add;
+            updated.try_push(u);
+          }
+        }
+      }
       core::charge_kernel(g.world(), static_cast<std::int64_t>(frontier.size()),
                           edges_expanded);
       core::sparse_exchange(g, std::span(mask), updated, reduce,
                             SparseDirection::kPush, &next_frontier,
-                            options.sparse, &sparse_bufs);
+                            options, &sparse_bufs);
     } else {
       ++result.bottom_up_steps;
       // Bottom-up pull: every row vertex still missing batch bits adopts
       // whatever its neighbors knew at the end of the last superstep.
       // Unlike single-source BFS there is no early break — the scan must
-      // collect the union over all neighbors.
+      // collect the union over all neighbors. Chunks read only `prev`
+      // (stable this superstep) and write only their own rows' mask words,
+      // so the sweep runs directly in parallel; per-chunk queue segments
+      // merge in chunk (= ascending LID) order.
+      const auto chunks = core::edge_balanced_chunks(
+          offsets, static_cast<std::size_t>(g.row_lid_begin()),
+          static_cast<std::size_t>(g.row_lid_end()), grain);
+      if (outs.size() < chunks.size()) outs.resize(chunks.size());
+      core::for_each_chunk(
+          pool, chunks, [&](const core::Chunk& c, std::size_t ci, int) {
+            MaskChunkOut& out = outs[ci];
+            out.items.clear();
+            out.edges = 0;
+            for (std::size_t vs = c.begin; vs < c.end; ++vs) {
+              const Lid v = static_cast<Lid>(vs);
+              if ((mask[vs] & full) == full) continue;
+              std::uint64_t gained = 0;
+              for (std::int64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+                ++out.edges;
+                gained |= prev[static_cast<std::size_t>(adj[e])];
+              }
+              gained &= ~mask[vs];
+              if (gained != 0) {
+                mask[vs] |= gained;
+                out.items.emplace_back(v, gained);
+              }
+            }
+          });
+      core::record_chunk_telemetry(g.world(), chunks, pool);
       std::int64_t edges_scanned = 0;
-      for (Lid v = g.row_lid_begin(); v < g.row_lid_end(); ++v) {
-        if ((mask[static_cast<std::size_t>(v)] & full) == full) continue;
-        std::uint64_t gained = 0;
-        for (std::int64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
-          ++edges_scanned;
-          gained |= prev[static_cast<std::size_t>(adj[e])];
-        }
-        gained &= ~mask[static_cast<std::size_t>(v)];
-        if (gained != 0) {
-          mask[static_cast<std::size_t>(v)] |= gained;
+      for (std::size_t ci = 0; ci < chunks.size(); ++ci) {
+        edges_scanned += outs[ci].edges;
+        for (const auto& [v, gained] : outs[ci].items) {
+          (void)gained;
           updated.try_push(v);
         }
       }
       core::charge_kernel(g.world(), lids.n_row(), edges_scanned);
       core::sparse_exchange(g, std::span(mask), updated, reduce,
                             SparseDirection::kPull, &next_frontier,
-                            options.sparse, &sparse_bufs);
+                            options, &sparse_bufs);
     }
 
     // Commit the superstep: bits that appeared this step (locally or via

@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "algos/kernel_options.hpp"
 #include "core/dist2d.hpp"
 #include "core/sparse_comm.hpp"
 
@@ -28,15 +29,14 @@ namespace hpcg::algos {
 
 using graph::Gid;
 
-struct MsBfsOptions {
-  /// Beamer direction switching on the aggregate (union-of-frontiers)
-  /// statistics. Any schedule yields identical levels; the heuristic only
-  /// affects modeled cost.
-  bool direction_optimizing = true;
-  double alpha = 15.0;
-  double beta = 24.0;
-  core::SparseOptions sparse = {};
-};
+/// DEPRECATED alias kept for one release: MS-BFS now takes the unified
+/// KernelOptions directly (direction_optimizing / alpha / beta keep their
+/// names; the old `.sparse` sub-struct's async/chunk fields are now
+/// top-level members of the same struct). See docs/ARCHITECTURE.md §15.
+/// Direction switching uses the aggregate (union-of-frontiers) statistics;
+/// any schedule yields identical levels, the heuristic only affects
+/// modeled cost.
+using MsBfsOptions = KernelOptions;
 
 struct MsBfsResult {
   static constexpr int kMaxBatch = 64;

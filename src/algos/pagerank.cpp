@@ -5,6 +5,8 @@
 
 #include "core/dense_comm.hpp"
 #include "core/work.hpp"
+#include "core/simd.hpp"
+#include "core/worker_pool.hpp"
 
 namespace hpcg::algos {
 
@@ -39,8 +41,19 @@ std::pair<int, double> pagerank_loop(core::Dist2DGraph& g, std::vector<double>& 
   const double n_global = static_cast<double>(g.n());
   const std::vector<double> degree = global_degrees_state(g);
   std::vector<double> acc(n_total);
+  std::vector<double> contrib(n_total);
   const auto offsets = g.csr().offsets();
   const auto adj = g.csr().adjacencies();
+
+  const std::int64_t grain = opts.resolved_grain(g.world());
+  core::WorkerPool* pool = g.worker_pool(opts.resolved_threads(g.world()));
+  // Fixed edge-balanced chunking of the row range; the gather writes only
+  // acc slots of its own chunk and reads only the per-iteration `contrib`
+  // snapshot, so chunks are fully independent and every per-vertex sum is
+  // a pure function of the row — bit-identical for any thread count.
+  const auto chunks = core::edge_balanced_chunks(
+      offsets, static_cast<std::size_t>(g.row_lid_begin()),
+      static_cast<std::size_t>(g.row_lid_end()), grain);
 
   double delta = 0.0;
   int it = 0;
@@ -60,15 +73,29 @@ std::pair<int, double> pagerank_loop(core::Dist2DGraph& g, std::vector<double>& 
     // Dense pull PageRank touches every vertex each superstep.
     auto superstep = g.world().superstep_span("pagerank", g.n());
     std::fill(acc.begin(), acc.end(), 0.0);
-    for (Lid v = g.row_lid_begin(); v < g.row_lid_end(); ++v) {
-      double sum = 0.0;
-      for (std::int64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
-        const Lid u = adj[e];
-        sum += pr[static_cast<std::size_t>(u)] /
-               std::max(degree[static_cast<std::size_t>(u)], 1.0);
-      }
-      acc[static_cast<std::size_t>(v)] = sum;
+    // Hoist the per-vertex share out of the edge loop: contrib[u] is the
+    // same division the naive gather performs per EDGE, computed once per
+    // vertex instead, so the hot loop drops to one load + add per edge.
+    for (std::size_t u = 0; u < n_total; ++u) {
+      contrib[u] = pr[u] / std::max(degree[u], 1.0);
     }
+    core::for_each_chunk(
+        pool, chunks, [&](const core::Chunk& c, std::size_t, int) {
+          // Eight-lane strided row sum (core/simd.hpp, docs/KERNELS.md).
+          // The lane order is a fixed function of the row's local edge
+          // list — never of threads, chunk grain, async mode, or the SIMD
+          // path taken — so repeat runs, thread flips and recovery replays
+          // stay bit-identical; cross-layout comparisons were always
+          // tolerance-based. Eight independent add chains (or gathers +
+          // lane-wise vector adds) overlap in the pipeline where a single
+          // running sum serializes on FP-add latency.
+          for (std::size_t vs = c.begin; vs < c.end; ++vs) {
+            const Lid v = static_cast<Lid>(vs);
+            acc[vs] = core::lane_gather_sum(contrib.data(), adj.data(),
+                                            offsets[v], offsets[v + 1]);
+          }
+        });
+    core::record_chunk_telemetry(g.world(), chunks, pool);
     core::charge_kernel(g.world(), lids.n_total(), g.m_local());
     double local_delta = 0.0;
     if (opts.enabled(g.world())) {

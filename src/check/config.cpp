@@ -62,6 +62,7 @@ std::string CheckConfig::to_string() const {
   if (algo == "pr" || algo == "prwarm" || algo == "lp") out << " iters=" << iterations;
   if (algo == "prwarm") out << " warm=" << warm_split;
   if (async) out << " async=1 chunk=" << chunk;
+  if (thr > 1) out << " thr=" << thr;
   if (!faults.empty()) out << " faults=" << faults << " fseed=" << fault_seed;
   if (checkpoint_every > 0) out << " ckpt=" << checkpoint_every;
   if (serve_batch > 0) out << " serve=" << serve_batch;
@@ -139,6 +140,11 @@ CheckConfig CheckConfig::parse(const std::string& text) {
       cfg.chunk = static_cast<int>(parse_num(key, value));
       if (cfg.chunk < 1) {
         throw std::invalid_argument("bad config value chunk=" + value);
+      }
+    } else if (key == "thr") {
+      cfg.thr = static_cast<int>(parse_num(key, value));
+      if (cfg.thr < 1 || cfg.thr > 8) {
+        throw std::invalid_argument("bad config value thr=" + value);
       }
     } else if (key == "faults") {
       cfg.faults = value;
@@ -224,6 +230,9 @@ CheckConfig sample_config(util::Xoshiro256& rng) {
 
   cfg.async = rng.next_below(10) < 4;
   cfg.chunk = cfg.async ? 1 + static_cast<int>(rng.next_below(4)) : 1;
+  // Worker-pool threads: results must be bit-identical for any setting, so
+  // the sampler keeps the parallel configs in the mix alongside serial.
+  cfg.thr = pick(rng, {1, 1, 2, 4});
 
   // Streaming mutations: bfs / pr / cc on the serve session, interleaving
   // seeded mutation batches with re-queries. Delete share skews toward

@@ -47,6 +47,7 @@ struct CheckConfig {
   // Execution mode.
   bool async = false;  // nonblocking chunked exchanges (RunOptions::async)
   int chunk = 1;       // async pipeline segments
+  int thr = 1;         // worker-pool threads per rank (KernelOptions::threads)
   std::string faults;  // fault plan (docs/FAULTS.md grammar); empty = none
   std::uint64_t fault_seed = 0;
   std::int64_t checkpoint_every = 0;  // supersteps; 0 = off

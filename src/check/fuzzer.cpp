@@ -108,6 +108,13 @@ std::vector<Failure> check_config(const CheckConfig& cfg, const FuzzOptions& opt
     v.chunk = v.async ? 2 : 1;
     check_variant(out, "async-flip", base, v, 0.0, false, true);
   }
+  // Thread flip: the worker pool's chunk boundaries and ordered commits
+  // make every kernel bit-identical for any thread count.
+  {
+    CheckConfig v = cfg;
+    v.thr = cfg.thr > 1 ? 1 : 4;
+    check_variant(out, "thread-flip", base, v, 0.0, false, true);
+  }
   // Fault-free twin: a recovered (or fault-degraded) run must match the
   // clean one bit for bit.
   if (!cfg.faults.empty()) {

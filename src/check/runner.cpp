@@ -128,11 +128,13 @@ void run_serve_path(const CheckConfig& cfg, const EdgeList& el, RunResult& out) 
   sopts.comm_timeout_s = timeout_for(cfg);
   sopts.async = cfg.async;
   sopts.async_chunk = cfg.chunk;
+  sopts.kernel.threads = cfg.thr;
   serve::Session session(el, Grid(cfg.rows, cfg.cols), sopts);
 
   serve::ServiceOptions vopts;
   vopts.max_batch = cfg.serve_batch;
   vopts.auto_dispatch = false;
+  vopts.kernel.threads = cfg.thr;
   serve::Service service(session, vopts);
 
   std::vector<serve::Service::Ticket> tickets;
@@ -185,6 +187,7 @@ void run_stream_path(const CheckConfig& cfg, const EdgeList& el, RunResult& out)
   sopts.comm_timeout_s = timeout_for(cfg);
   sopts.async = cfg.async;
   sopts.async_chunk = cfg.chunk;
+  sopts.kernel.threads = cfg.thr;
 
   // sup=N routes the same request stream through a serve::Supervisor
   // instead of a bare Session + Service: kill faults become survivable —
@@ -200,6 +203,7 @@ void run_stream_path(const CheckConfig& cfg, const EdgeList& el, RunResult& out)
     serve::SupervisorOptions uopts;
     uopts.session = sopts;
     uopts.service.auto_dispatch = false;
+    uopts.service.kernel.threads = cfg.thr;
     uopts.auto_recover = false;
     uopts.max_restarts = cfg.sup;
     uopts.backoff_base_s = 0.0;
@@ -211,6 +215,7 @@ void run_stream_path(const CheckConfig& cfg, const EdgeList& el, RunResult& out)
     session = std::make_unique<serve::Session>(el, Grid(cfg.rows, cfg.cols), sopts);
     serve::ServiceOptions vopts;
     vopts.auto_dispatch = false;
+    vopts.kernel.threads = cfg.thr;
     service = std::make_unique<serve::Service>(*session, vopts);
     frontend = service.get();
   }
@@ -465,6 +470,7 @@ RunResult run_config(const CheckConfig& cfg, Canary canary) {
     ropts.comm_timeout_s = timeout_for(cfg);
     ropts.async = cfg.async;
     ropts.async_chunk = cfg.chunk;
+    ropts.kernel.threads = cfg.thr;
     const auto rec = fault::Runtime::run_with_recovery(
         cfg.ranks(), comm::Topology::aimos(cfg.ranks()), comm::CostModel{}, ropts,
         [&](comm::Comm& comm, fault::Checkpointer& ckpt) {
@@ -480,6 +486,7 @@ RunResult run_config(const CheckConfig& cfg, Canary canary) {
     opts.comm_timeout_s = timeout_for(cfg);
     opts.async = cfg.async;
     opts.async_chunk = cfg.chunk;
+    opts.kernel.threads = cfg.thr;
     comm::Runtime::run(cfg.ranks(), comm::Topology::aimos(cfg.ranks()),
                        comm::CostModel{}, opts, [&](comm::Comm& comm) {
                          Dist2DGraph g(comm, parts);

@@ -217,6 +217,11 @@ class World {
   // read back by algorithms via Comm::async_default().
   bool async_default_ = false;
   int async_chunk_ = 4;
+  // Run-level kernel-execution defaults (RunOptions::kernel), read back by
+  // algorithms via Comm::threads_default() / chunk_grain_default(). A grain
+  // of 0 means "use KernelOptions::kDefaultChunkGrain".
+  int threads_default_ = 1;
+  int chunk_grain_default_ = 0;
   std::atomic<std::uint64_t> bytes_{0};
   std::atomic<std::uint64_t> messages_{0};
   std::atomic<std::uint64_t> collectives_{0};
@@ -418,6 +423,12 @@ class Comm {
   /// algorithms resolve their SparseOptions against these.
   bool async_default() const { return world_->async_default_; }
   int async_chunk_default() const { return world_->async_chunk_; }
+
+  /// Run-level kernel-execution defaults (RunOptions::kernel); algorithms
+  /// resolve their KernelOptions against these. chunk_grain_default() == 0
+  /// means "use KernelOptions::kDefaultChunkGrain".
+  int threads_default() const { return world_->threads_default_; }
+  int chunk_grain_default() const { return world_->chunk_grain_default_; }
 
   /// Number of child groups this communicator still holds from its most
   /// recent split (diagnostic; 0 once every member has taken its child).

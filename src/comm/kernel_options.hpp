@@ -1,0 +1,140 @@
+// Unified kernel-execution options (intra-rank threading, edge-balanced
+// chunk grain, direction optimization, async exchange pipelining).
+//
+// Seven PRs grew these knobs in four parallel structs (BfsOptions,
+// MsBfsOptions, CcOptions, core::SparseOptions); the per-rank worker pool
+// would have made it five. KernelOptions consolidates them: one struct,
+// carried by comm::RunOptions as the run-wide default and accepted by every
+// algorithm entry point as the per-call override. The old names survive as
+// thin aliases for one release (see docs/ARCHITECTURE.md §15).
+//
+// Resolution model: every field has a "run default" sentinel (0 for the
+// integers, kRunDefault for the async tri-state). Runtime::run folds the
+// RunOptions-level values into the World, and per-call structs resolve
+// against the Comm (resolved_threads / resolved_grain / enabled /
+// segments), so `hpcg_run --threads=4` flips a whole run while a single
+// call site can still force either mode.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "comm/comm.hpp"
+
+namespace hpcg::comm {
+
+/// Thrown by KernelOptions::validate() (and util::parse_kernel_options) on
+/// out-of-range values or contradictory combinations — a typed error so
+/// tools can distinguish bad kernel flags from other failures instead of
+/// silently falling back to defaults.
+class KernelOptionsError : public std::invalid_argument {
+ public:
+  explicit KernelOptionsError(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+struct KernelOptions {
+  // --- Intra-rank worker pool (src/core/worker_pool.hpp) -----------------
+  /// Worker threads per rank for the local CSR kernels. 0 = run default
+  /// (Comm::threads_default(), itself defaulting to 1); 1 = serial.
+  /// Results are bit-identical for any value (fixed edge-balanced chunk
+  /// boundaries + chunk-ordered reduction; see docs/KERNELS.md).
+  int threads = 0;
+  /// Edge-balance grain: target edges per chunk for the Manhattan-style
+  /// prefix-sum partitioning. 0 = run default (Comm::chunk_grain_default(),
+  /// itself defaulting to kDefaultChunkGrain).
+  int chunk_grain = 0;
+
+  // --- Direction optimization (BFS / MS-BFS) -----------------------------
+  bool direction_optimizing = true;
+  /// Switch top-down -> bottom-up when m_unvisited / edges_in_frontier
+  /// falls below alpha (Beamer's alpha).
+  double alpha = 15.0;
+  /// Switch back when n / frontier_size exceeds beta.
+  double beta = 24.0;
+
+  // --- Async exchange pipeline (folded in from core::SparseOptions) ------
+  enum class Async : std::uint8_t {
+    kRunDefault,  // follow Comm::async_default() (RunOptions::async)
+    kOff,         // force blocking exchanges
+    kOn,          // force nonblocking chunked exchanges
+  };
+  Async async = Async::kRunDefault;
+  /// Segment count for the chunked async pipeline; 0 = run default
+  /// (RunOptions::async_chunk). Every rank must use the same value — it is
+  /// the number of collectives issued per phase (empty chunks are legal).
+  int chunk = 0;
+
+  /// Default edge-balance grain (edges per chunk) when neither the call
+  /// site nor the run sets one. Big enough that chunk bookkeeping is noise,
+  /// small enough that 4 workers see >= 8 chunks on a 2^16-vertex block.
+  static constexpr int kDefaultChunkGrain = 16384;
+  /// Hard cap on threads per rank (ranks are themselves threads of one
+  /// process; R*C ranks * threads workers must stay sane).
+  static constexpr int kMaxThreads = 64;
+
+  static KernelOptions on(int chunk = 0) {
+    KernelOptions o;
+    o.async = Async::kOn;
+    o.chunk = chunk;
+    return o;
+  }
+  static KernelOptions off() {
+    KernelOptions o;
+    o.async = Async::kOff;
+    return o;
+  }
+  static KernelOptions with_threads(int threads, int grain = 0) {
+    KernelOptions o;
+    o.threads = threads;
+    o.chunk_grain = grain;
+    return o;
+  }
+
+  bool enabled(const Comm& c) const {
+    return async == Async::kOn ||
+           (async == Async::kRunDefault && c.async_default());
+  }
+  int segments(const Comm& c) const {
+    const int n = chunk > 0 ? chunk : c.async_chunk_default();
+    return n < 1 ? 1 : n;
+  }
+  int resolved_threads(const Comm& c) const {
+    const int t = threads > 0 ? threads : c.threads_default();
+    return t < 1 ? 1 : t;
+  }
+  int resolved_grain(const Comm& c) const {
+    const int g = chunk_grain > 0 ? chunk_grain : c.chunk_grain_default();
+    return g < 1 ? kDefaultChunkGrain : g;
+  }
+
+  /// Rejects out-of-range values and contradictory combinations with a
+  /// KernelOptionsError naming the offending field. Runtime::run validates
+  /// the RunOptions-level instance before spawning ranks.
+  void validate() const {
+    if (threads < 0 || threads > kMaxThreads) {
+      throw KernelOptionsError("kernel threads must be in [0, " +
+                               std::to_string(kMaxThreads) + "], got " +
+                               std::to_string(threads));
+    }
+    if (chunk_grain < 0) {
+      throw KernelOptionsError("kernel chunk grain must be >= 0, got " +
+                               std::to_string(chunk_grain));
+    }
+    if (chunk < 0) {
+      throw KernelOptionsError("async chunk count must be >= 0, got " +
+                               std::to_string(chunk));
+    }
+    if (async == Async::kOff && chunk > 1) {
+      throw KernelOptionsError(
+          "async pipeline segments (chunk=" + std::to_string(chunk) +
+          ") require async exchanges, but async is forced off");
+    }
+    if (alpha <= 0.0 || beta <= 0.0) {
+      throw KernelOptionsError(
+          "direction-optimization alpha/beta must be > 0");
+    }
+  }
+};
+
+}  // namespace hpcg::comm

@@ -37,12 +37,24 @@ RunStats Runtime::run(int nranks, const Topology& topo, const CostModel& cost,
   if (recorder && recorder->nranks() < nranks) {
     throw std::invalid_argument("recorder rank count < requested rank count");
   }
+  // Resolve the run-wide kernel defaults: an explicit kernel.async /
+  // kernel.chunk wins over the deprecated RunOptions::async / async_chunk
+  // fields, which fold in when the kernel struct is left at run-default.
+  options.kernel.validate();
+  bool async_default = options.async;
+  if (options.kernel.async != KernelOptions::Async::kRunDefault) {
+    async_default = options.kernel.async == KernelOptions::Async::kOn;
+  }
+  int async_chunk =
+      options.kernel.chunk > 0 ? options.kernel.chunk : options.async_chunk;
   World world(topo, cost);
   world.recorder_ = recorder;
   world.injector_ = options.faults;
   world.comm_timeout_s_ = options.comm_timeout_s;
-  world.async_default_ = options.async;
-  world.async_chunk_ = options.async_chunk < 1 ? 1 : options.async_chunk;
+  world.async_default_ = async_default;
+  world.async_chunk_ = async_chunk < 1 ? 1 : async_chunk;
+  world.threads_default_ = options.kernel.threads < 1 ? 1 : options.kernel.threads;
+  world.chunk_grain_default_ = options.kernel.chunk_grain;
   if (options.faults) {
     options.faults->begin_run();
     if (world.comm_timeout_s_ <= 0 && options.faults->wants_deadline()) {

@@ -7,6 +7,7 @@
 
 #include "comm/comm.hpp"
 #include "comm/fault_hooks.hpp"
+#include "comm/kernel_options.hpp"
 #include "comm/stats.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -23,16 +24,24 @@ struct RunOptions {
   /// death (FaultHooks::wants_deadline) and none is set, a default of
   /// RunOptions::kDefaultFaultTimeoutS is applied.
   double comm_timeout_s = 0.0;
-  /// Run-wide default for algorithm async opt-in: when true, algorithms
-  /// whose SparseOptions::async is kRunDefault use the nonblocking
-  /// collectives (surfaced as Comm::async_default()). Individual call
-  /// sites can still force either mode.
+  /// Run-wide kernel-execution defaults: worker threads per rank, edge
+  /// chunk grain, direction optimization and async pipelining (the latter
+  /// two folding in the legacy `async` / `async_chunk` fields below when
+  /// left at their run-default sentinels). Validated (KernelOptionsError)
+  /// before any rank is spawned.
+  KernelOptions kernel = {};
+  /// DEPRECATED (use kernel.async = KernelOptions::Async::kOn): run-wide
+  /// default for algorithm async opt-in: when true, algorithms whose
+  /// KernelOptions::async is kRunDefault use the nonblocking collectives
+  /// (surfaced as Comm::async_default()). Individual call sites can still
+  /// force either mode. An explicit kernel.async wins over this field.
   bool async = false;
-  /// Default segment count for chunked async sparse exchanges
-  /// (surfaced as Comm::async_chunk_default()); must be >= 1. The default
-  /// of 1 issues one nonblocking collective per phase: every extra segment
-  /// pays the collective's latency term again, which only pays off when
-  /// the pipelined compute (or per-segment bandwidth) dominates latency.
+  /// DEPRECATED (use kernel.chunk): default segment count for chunked
+  /// async sparse exchanges (surfaced as Comm::async_chunk_default());
+  /// must be >= 1. The default of 1 issues one nonblocking collective per
+  /// phase: every extra segment pays the collective's latency term again,
+  /// which only pays off when the pipelined compute (or per-segment
+  /// bandwidth) dominates latency. kernel.chunk > 0 wins over this field.
   int async_chunk = 1;
   /// Preserve the recorder's metrics registry through the run's initial
   /// clock reset. Supervised session rebuilds (serve::Supervisor) set this

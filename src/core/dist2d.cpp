@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/worker_pool.hpp"
+
 namespace hpcg::core {
 
 Partitioned2D::Partitioned2D(Grid grid, Gid n, const graph::StripedRelabel& relabel)
@@ -98,6 +100,16 @@ Dist2DGraph::Dist2DGraph(comm::Comm& world, const Partitioned2D& parts)
       col_comm_(split_with_span(world, /*color=*/id_c_, /*key=*/id_r_,
                                 "dist2d.split_col")),
       m_global_(parts.m_global()) {}
+
+Dist2DGraph::~Dist2DGraph() = default;
+
+WorkerPool* Dist2DGraph::worker_pool(int threads) const {
+  if (threads <= 1) return nullptr;
+  if (!pool_ || pool_->threads() != threads) {
+    pool_ = std::make_unique<WorkerPool>(threads);
+  }
+  return pool_.get();
+}
 
 Dist2DGraph::LocalApplyResult Dist2DGraph::stage_local_edge_ops(
     std::span<const LocalEdgeOp> ops) {

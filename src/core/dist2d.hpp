@@ -25,6 +25,8 @@
 
 namespace hpcg::core {
 
+class WorkerPool;
+
 /// Host-side 2D partition of a global edge list. Immutable once built;
 /// shared read-only by all rank threads.
 class Partitioned2D {
@@ -70,6 +72,7 @@ class Partitioned2D {
 class Dist2DGraph {
  public:
   Dist2DGraph(comm::Comm& world, const Partitioned2D& parts);
+  ~Dist2DGraph();
 
   // --- Table 1 accessors -------------------------------------------------
   Gid n() const { return parts_->n(); }                       // N
@@ -103,6 +106,13 @@ class Dist2DGraph {
   /// Iterates this rank's row vertices as LIDs: [row_lid_begin, row_lid_end).
   Lid row_lid_begin() const { return lid_map_.c_offset_r(); }
   Lid row_lid_end() const { return lid_map_.c_offset_r() + lid_map_.n_row(); }
+
+  /// This rank's lazily constructed worker pool for the local CSR kernels
+  /// (see core/worker_pool.hpp): created on first call, rebuilt when a
+  /// later call asks for a different width. Returns null for threads <= 1
+  /// so serial call sites pay nothing. Rank-local, like everything else on
+  /// this object — not safe to call from two threads at once.
+  WorkerPool* worker_pool(int threads) const;
 
   // --- Streaming mutation support (docs/STREAMING.md) --------------------
   // The graph is mutable in its EDGE set only: the vertex count, the 2D
@@ -178,6 +188,7 @@ class Dist2DGraph {
   std::int64_t m_global_;
   std::uint64_t epoch_ = 0;
   std::vector<std::int64_t> global_degrees_;  // lazily filled
+  mutable std::unique_ptr<WorkerPool> pool_;  // lazily built, see worker_pool()
 };
 
 }  // namespace hpcg::core

@@ -1,0 +1,139 @@
+// SIMD lane helpers for the worker-pool kernels (docs/KERNELS.md).
+//
+// The contract that makes SIMD safe here is the same one that makes
+// threading safe: the computation must be a pure function of the row, with
+// a FIXED lane decomposition. lane_gather_sum defines the eight-lane
+// strided row sum — lane k takes edge k of each 8-block, the tail folds
+// into lane 0, lanes combine as ((s0+s1)+(s2+s3))+((s4+s5)+(s6+s7)) — and
+// provides three implementations with identical IEEE semantics: scalar
+// (eight independent add chains), AVX2 (a pair of vgatherqpd+vaddpd
+// covering lanes 0-3 and 4-7), and AVX-512 (one vgatherqpd+vaddpd over all
+// eight), selected at runtime via cpuid. Lane-wise vector adds ARE the
+// eight scalar chains, so results are bit-identical across every path and
+// every machine; callers never need to know which one ran.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string_view>
+
+#include "graph/types.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define HPCG_SIMD_X86 1
+#else
+#define HPCG_SIMD_X86 0
+#endif
+
+namespace hpcg::core {
+
+/// Scalar reference: eight independent accumulator chains over
+/// contrib[adj[e]] for e in [begin, end), combined pairwise in lane order.
+inline double lane_gather_sum_scalar(const double* contrib,
+                                     const graph::Gid* adj,
+                                     std::int64_t begin, std::int64_t end) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  double s4 = 0.0, s5 = 0.0, s6 = 0.0, s7 = 0.0;
+  std::int64_t e = begin;
+  for (; e + 8 <= end; e += 8) {
+    s0 += contrib[adj[e]];
+    s1 += contrib[adj[e + 1]];
+    s2 += contrib[adj[e + 2]];
+    s3 += contrib[adj[e + 3]];
+    s4 += contrib[adj[e + 4]];
+    s5 += contrib[adj[e + 5]];
+    s6 += contrib[adj[e + 6]];
+    s7 += contrib[adj[e + 7]];
+  }
+  for (; e < end; ++e) {
+    s0 += contrib[adj[e]];
+  }
+  return ((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7));
+}
+
+#if HPCG_SIMD_X86
+/// AVX2 path: two independent vgatherqpd+vaddpd pipelines per 8-block,
+/// lanes 0-3 and 4-7. Each vector lane is exactly one scalar chain.
+/// Compiled with a function-level target attribute so the rest of the
+/// build needs no -mavx2.
+__attribute__((target("avx2"))) inline double lane_gather_sum_avx2(
+    const double* contrib, const graph::Gid* adj, std::int64_t begin,
+    std::int64_t end) {
+  __m256d lo = _mm256_setzero_pd();
+  __m256d hi = _mm256_setzero_pd();
+  std::int64_t e = begin;
+  for (; e + 8 <= end; e += 8) {
+    const __m256i idx_lo =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(&adj[e]));
+    const __m256i idx_hi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(&adj[e + 4]));
+    lo = _mm256_add_pd(lo, _mm256_i64gather_pd(contrib, idx_lo, 8));
+    hi = _mm256_add_pd(hi, _mm256_i64gather_pd(contrib, idx_hi, 8));
+  }
+  alignas(32) double lane[8];
+  _mm256_store_pd(lane, lo);
+  _mm256_store_pd(lane + 4, hi);
+  double s0 = lane[0];
+  for (; e < end; ++e) {
+    s0 += contrib[adj[e]];
+  }
+  return ((s0 + lane[1]) + (lane[2] + lane[3])) +
+         ((lane[4] + lane[5]) + (lane[6] + lane[7]));
+}
+
+/// AVX-512 path: one 8-lane vgatherqpd+vaddpd per 8-block; lane k is
+/// scalar chain k, identical bits again.
+__attribute__((target("avx512f"))) inline double lane_gather_sum_avx512(
+    const double* contrib, const graph::Gid* adj, std::int64_t begin,
+    std::int64_t end) {
+  __m512d acc = _mm512_setzero_pd();
+  std::int64_t e = begin;
+  for (; e + 8 <= end; e += 8) {
+    const __m512i idx =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(&adj[e]));
+    acc = _mm512_add_pd(acc, _mm512_i64gather_pd(idx, contrib, 8));
+  }
+  alignas(64) double lane[8];
+  _mm512_store_pd(lane, acc);
+  double s0 = lane[0];
+  for (; e < end; ++e) {
+    s0 += contrib[adj[e]];
+  }
+  return ((s0 + lane[1]) + (lane[2] + lane[3])) +
+         ((lane[4] + lane[5]) + (lane[6] + lane[7]));
+}
+#endif
+
+#if HPCG_SIMD_X86
+namespace detail {
+/// Widest supported path, capped by HPCG_SIMD=scalar|avx2|avx512 when set
+/// (a debugging/tuning knob — every path returns the same bits, so the
+/// override can never change results, only speed).
+inline int simd_path() {
+  int path = __builtin_cpu_supports("avx512f") ? 2
+             : __builtin_cpu_supports("avx2")  ? 1
+                                               : 0;
+  if (const char* cap = std::getenv("HPCG_SIMD")) {
+    const std::string_view want(cap);
+    if (want == "scalar") path = 0;
+    if (want == "avx2" && path > 1) path = 1;
+  }
+  return path;
+}
+}  // namespace detail
+#endif
+
+/// Eight-lane strided row sum of contrib[adj[e]], e in [begin, end).
+/// Dispatches to the widest SIMD the CPU has; bit-identical on every path.
+inline double lane_gather_sum(const double* contrib, const graph::Gid* adj,
+                              std::int64_t begin, std::int64_t end) {
+#if HPCG_SIMD_X86
+  static const int kPath = detail::simd_path();
+  if (kPath == 2) return lane_gather_sum_avx512(contrib, adj, begin, end);
+  if (kPath == 1) return lane_gather_sum_avx2(contrib, adj, begin, end);
+#endif
+  return lane_gather_sum_scalar(contrib, adj, begin, end);
+}
+
+}  // namespace hpcg::core

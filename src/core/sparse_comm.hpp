@@ -22,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "comm/kernel_options.hpp"
 #include "core/dist2d.hpp"
 #include "core/queue.hpp"
 #include "core/work.hpp"
@@ -42,33 +43,12 @@ struct SparseTraffic {
   std::size_t second_phase_sent = 0;
 };
 
-/// Per-call async opt-in for sparse (and dense) exchanges. The default
-/// resolves against the run-wide setting (RunOptions::async), so algorithms
-/// need no plumbing when `hpcg_run --async=on` flips the whole run.
-struct SparseOptions {
-  enum class Async : std::uint8_t {
-    kRunDefault,  // follow Comm::async_default() (RunOptions::async)
-    kOff,         // force blocking exchanges
-    kOn,          // force nonblocking chunked exchanges
-  };
-  Async async = Async::kRunDefault;
-  /// Segment count for the chunked pipeline; 0 = run default
-  /// (RunOptions::async_chunk). Every rank must use the same value — it is
-  /// the number of collectives issued per phase (empty chunks are legal).
-  int chunk = 0;
-
-  static SparseOptions on(int chunk = 0) { return {Async::kOn, chunk}; }
-  static SparseOptions off() { return {Async::kOff, 0}; }
-
-  bool enabled(const comm::Comm& c) const {
-    return async == Async::kOn ||
-           (async == Async::kRunDefault && c.async_default());
-  }
-  int segments(const comm::Comm& c) const {
-    const int n = chunk > 0 ? chunk : c.async_chunk_default();
-    return n < 1 ? 1 : n;
-  }
-};
+/// DEPRECATED alias kept for one release: the async opt-in knobs folded
+/// into the unified comm::KernelOptions (which also carries the worker-pool
+/// threading/chunking fields). The member names (`async`, `chunk`) and the
+/// on()/off()/enabled()/segments() helpers are unchanged, so existing call
+/// sites keep compiling. See docs/ARCHITECTURE.md §15.
+using SparseOptions = comm::KernelOptions;
 
 /// Reusable scratch for sparse_exchange: send/receive staging and the
 /// per-member count vectors, double-buffered for the async pipeline. Hoist

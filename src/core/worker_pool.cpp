@@ -1,0 +1,188 @@
+#include "core/worker_pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "telemetry/telemetry.hpp"
+
+namespace hpcg::core {
+
+std::vector<Chunk> edge_balanced_chunks(std::span<const std::int64_t> offsets,
+                                        std::size_t v_begin, std::size_t v_end,
+                                        std::int64_t grain) {
+  std::vector<Chunk> chunks;
+  if (v_begin >= v_end) return chunks;
+  if (grain < 1) grain = 1;
+  const std::int64_t base = offsets[v_begin];
+  const std::int64_t total = offsets[v_end] - base;
+  const std::int64_t nchunks =
+      std::max<std::int64_t>(1, (total + grain - 1) / grain);
+  std::size_t prev = v_begin;
+  for (std::int64_t k = 1; k <= nchunks && prev < v_end; ++k) {
+    std::size_t cut;
+    if (k == nchunks) {
+      cut = v_end;
+    } else {
+      // First vertex whose edge-prefix reaches the k-th evenly spaced
+      // target. A hub vertex straddling several targets yields cut == prev
+      // for the later targets; those empty chunks are skipped below, so
+      // the hub simply owns one oversized chunk.
+      const std::int64_t target = base + total * k / nchunks;
+      const auto it = std::lower_bound(offsets.begin() + v_begin + 1,
+                                       offsets.begin() + v_end, target);
+      cut = static_cast<std::size_t>(it - offsets.begin());
+      if (cut <= prev) continue;
+      if (cut > v_end) cut = v_end;
+    }
+    chunks.push_back({prev, cut, offsets[cut] - offsets[prev]});
+    prev = cut;
+  }
+  return chunks;
+}
+
+std::vector<Chunk> edge_balanced_chunks(std::span<const std::int64_t> offsets,
+                                        std::span<const Lid> queue,
+                                        std::int64_t grain) {
+  std::vector<Chunk> chunks;
+  if (queue.empty()) return chunks;
+  if (grain < 1) grain = 1;
+  std::size_t begin = 0;
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    const Lid v = queue[i];
+    acc += offsets[v + 1] - offsets[v];
+    if (acc >= grain) {
+      chunks.push_back({begin, i + 1, acc});
+      begin = i + 1;
+      acc = 0;
+    }
+  }
+  // Tail of zero-degree (or sub-grain) items still needs visiting.
+  if (begin < queue.size()) chunks.push_back({begin, queue.size(), acc});
+  return chunks;
+}
+
+WorkerPool::WorkerPool(int threads)
+    : nthreads_(threads < 1 ? 1 : threads),
+      busy_s_(static_cast<std::size_t>(nthreads_), 0.0) {
+  workers_.reserve(static_cast<std::size_t>(nthreads_ - 1));
+  for (int i = 1; i < nthreads_; ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void WorkerPool::drain(int worker) {
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    for (std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+         i < njobs_; i = next_.fetch_add(1, std::memory_order_relaxed)) {
+      (*job_)(i, worker);
+    }
+  } catch (...) {
+    std::lock_guard lock(mutex_);
+    if (!error_) error_ = std::current_exception();
+    // Cancel remaining claims; in-flight jobs on other workers finish.
+    next_.store(njobs_, std::memory_order_relaxed);
+  }
+  busy_s_[static_cast<std::size_t>(worker)] =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+}
+
+void WorkerPool::run(std::size_t njobs,
+                     const std::function<void(std::size_t, int)>& fn) {
+  if (njobs == 0) return;
+  if (nthreads_ == 1) {
+    // Inline fast path: no locks, no signalling.
+    njobs_ = njobs;
+    job_ = &fn;
+    next_.store(0, std::memory_order_relaxed);
+    drain(0);
+    job_ = nullptr;
+    if (error_) {
+      auto e = error_;
+      error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    njobs_ = njobs;
+    job_ = &fn;
+    next_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    std::fill(busy_s_.begin(), busy_s_.end(), 0.0);
+    running_ = nthreads_ - 1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  drain(0);
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [&] { return running_ == 0; });
+  job_ = nullptr;
+  if (error_) {
+    auto e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void WorkerPool::worker_main(int index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock lock(mutex_);
+      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    drain(index);
+    {
+      std::lock_guard lock(mutex_);
+      --running_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void record_chunk_telemetry(comm::Comm& c, std::span<const Chunk> chunks,
+                            const WorkerPool* pool) {
+  telemetry::Recorder* rec = c.recorder();
+  if (!rec || chunks.empty()) return;
+  auto& metrics = rec->metrics();
+  std::int64_t total = 0;
+  std::int64_t max_edges = 0;
+  for (const Chunk& ch : chunks) {
+    total += ch.edges;
+    max_edges = std::max(max_edges, ch.edges);
+  }
+  metrics.counter("kernel.chunk.count")
+      .add(static_cast<std::int64_t>(chunks.size()));
+  metrics.counter("kernel.chunk.edges").add(total);
+  if (total > 0) {
+    // max/mean in percent (100 = perfectly balanced), matching the
+    // integer power-of-two histogram buckets.
+    metrics.histogram("kernel.chunk.imbalance_pct")
+        .observe(static_cast<std::uint64_t>(
+            max_edges * 100 * static_cast<std::int64_t>(chunks.size()) /
+            total));
+  }
+  if (pool) {
+    auto& busy = metrics.histogram("kernel.worker.busy_us");
+    for (const double s : pool->last_busy_s()) {
+      busy.observe(static_cast<std::uint64_t>(s * 1e6));
+    }
+  }
+}
+
+}  // namespace hpcg::core

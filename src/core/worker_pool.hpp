@@ -1,0 +1,126 @@
+// Intra-rank worker pool with edge-balanced chunking (ROADMAP item 1).
+//
+// The 2D distribution balances edges ACROSS ranks (paper §3.4); this pool
+// recovers the same Manhattan-collapse balance INSIDE a rank: a kernel's
+// vertex work (a contiguous LID range or a frontier queue) is cut into
+// chunks of ~grain edges by prefix-summing degrees — exactly Algorithm 6's
+// block decomposition at chunk granularity — and the chunks execute across
+// `threads` persistent workers.
+//
+// Determinism contract (docs/KERNELS.md): chunk boundaries are a pure
+// function of (offsets, queue, grain) — never of the thread count or of
+// timing — and every kernel merges per-chunk outputs in ascending chunk
+// order after run() returns. Workers claim chunks dynamically (atomic
+// counter), which only permutes WHO computes a chunk, not what it computes
+// or where its output lands, so results are bit-identical threads on/off.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "graph/types.hpp"
+
+namespace hpcg::core {
+
+using graph::Lid;
+
+/// One unit of kernel work: a half-open range [begin, end) over either a
+/// vertex LID interval or a queue's index space, plus its edge weight
+/// (sum of degrees) for telemetry/imbalance accounting.
+struct Chunk {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::int64_t edges = 0;
+};
+
+/// Cuts the contiguous vertex range [v_begin, v_end) into chunks of about
+/// `grain` edges each (degree prefix sums are already materialized in the
+/// CSR `offsets` array, so boundaries come from binary searches on evenly
+/// spaced edge targets). A vertex is never split: a hub vertex with more
+/// than `grain` incident edges occupies a chunk of its own, and long
+/// zero-degree runs collapse into their neighbouring chunk. Always returns
+/// at least one chunk for a non-empty range.
+std::vector<Chunk> edge_balanced_chunks(std::span<const std::int64_t> offsets,
+                                        std::size_t v_begin, std::size_t v_end,
+                                        std::int64_t grain);
+
+/// Queue flavour: chunks are index ranges into `queue` (degrees are
+/// gathered per item, so this is one linear walk accumulating until the
+/// grain is reached). Chunk boundaries depend only on queue order + grain.
+std::vector<Chunk> edge_balanced_chunks(std::span<const std::int64_t> offsets,
+                                        std::span<const Lid> queue,
+                                        std::int64_t grain);
+
+/// Persistent pool of `threads - 1` worker threads; the caller participates
+/// as worker 0, so `threads == 1` degrades to a plain inline loop with no
+/// thread traffic at all. run() hands out job indices [0, njobs) via an
+/// atomic counter and blocks until every index has executed. The first
+/// exception thrown by a job is rethrown from run() (remaining claims are
+/// cancelled). run() establishes happens-before between all job effects
+/// and the caller's continuation.
+class WorkerPool {
+ public:
+  explicit WorkerPool(int threads);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int threads() const { return nthreads_; }
+
+  /// Runs fn(job_index, worker_index) for every job index in [0, njobs).
+  /// worker_index is in [0, threads()); worker 0 is the calling thread.
+  void run(std::size_t njobs,
+           const std::function<void(std::size_t, int)>& fn);
+
+  /// Per-worker busy seconds (steady clock) of the most recent run();
+  /// telemetry only — wall-clock, not modeled time.
+  std::span<const double> last_busy_s() const { return busy_s_; }
+
+ private:
+  void worker_main(int index);
+  void drain(int worker);
+
+  int nthreads_;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  std::size_t njobs_ = 0;
+  const std::function<void(std::size_t, int)>* job_ = nullptr;
+  std::atomic<std::size_t> next_{0};
+  int running_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_;
+  std::vector<double> busy_s_;
+};
+
+/// Executes fn(chunk, chunk_index, worker) over `chunks` — serially in
+/// ascending chunk order when `pool` is null, across the pool otherwise.
+/// Callers that accumulate must stage per-chunk outputs and merge them in
+/// chunk order afterwards (the determinism contract above).
+template <class Fn>
+void for_each_chunk(WorkerPool* pool, std::span<const Chunk> chunks, Fn&& fn) {
+  if (!pool || pool->threads() <= 1) {
+    for (std::size_t i = 0; i < chunks.size(); ++i) fn(chunks[i], i, 0);
+    return;
+  }
+  pool->run(chunks.size(),
+            [&](std::size_t i, int worker) { fn(chunks[i], i, worker); });
+}
+
+/// Records the kernel.chunk.* imbalance counters and per-worker busy
+/// histograms for one kernel invocation (inert when telemetry is off).
+/// Imbalance is max-chunk-edges * nchunks / total-edges, the same
+/// max/mean statistic the Manhattan-span bench reports across blocks.
+void record_chunk_telemetry(comm::Comm& c, std::span<const Chunk> chunks,
+                            const WorkerPool* pool);
+
+}  // namespace hpcg::core

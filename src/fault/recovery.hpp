@@ -43,6 +43,11 @@ struct RecoveryOptions {
   /// (nonblocking-collective) opt-in and its pipeline chunk count.
   bool async = false;
   int async_chunk = 1;
+  /// Forwarded to comm::RunOptions::kernel: run-wide kernel execution
+  /// defaults (worker threads, chunk grain, async overrides). Recovery
+  /// replays are bit-identical for any thread count — the worker pool's
+  /// chunk boundaries and commit order do not depend on it.
+  comm::KernelOptions kernel = {};
 };
 
 struct RecoveryResult {

@@ -533,8 +533,7 @@ void Service::execute_bfs_batch(std::vector<std::unique_ptr<Pending>>& batch) {
   std::vector<std::vector<std::int64_t>> levels(roots.size());
   std::vector<std::int64_t> depth(roots.size(), 0);
   session_.run([&](core::Dist2DGraph& g, comm::Comm& comm) {
-    algos::MsBfsOptions mo;
-    mo.sparse = options_.sparse;
+    const algos::MsBfsOptions mo = options_.kernel;
     const auto result = algos::multi_source_bfs(g, roots, mo);
     for (std::size_t s = 0; s < roots.size(); ++s) {
       auto gathered = algos::gather_row_state(
@@ -613,12 +612,11 @@ void Service::execute_single(Pending& pending) {
         if (repair) {
           auto repaired = algos::bfs_repair(
               g, root, std::move(state.level[slot]),
-              std::span(deltas[slot]), false, options_.sparse);
+              std::span(deltas[slot]), false, options_.kernel);
           level = std::move(repaired.level);
           d = repaired.depth;
         } else {
-          algos::BfsOptions bo;
-          bo.sparse = options_.sparse;
+          const algos::BfsOptions bo = options_.kernel;
           auto result = algos::bfs(g, root, bo);
           level = std::move(result.level);
           d = result.depth;
@@ -643,8 +641,7 @@ void Service::execute_single(Pending& pending) {
       std::vector<std::vector<std::int64_t>> levels(request.roots.size());
       std::vector<std::int64_t> depth(request.roots.size(), 0);
       session_.run([&](core::Dist2DGraph& g, comm::Comm& comm) {
-        algos::MsBfsOptions mo;
-        mo.sparse = options_.sparse;
+        const algos::MsBfsOptions mo = options_.kernel;
         const auto result = algos::multi_source_bfs(g, request.roots, mo);
         for (std::size_t s = 0; s < request.roots.size(); ++s) {
           auto gathered = algos::gather_row_state(
@@ -676,16 +673,16 @@ void Service::execute_single(Pending& pending) {
           // tolerance run — delta_pagerank decides).
           auto delta = algos::delta_pagerank(
               g, std::move(pr_state_[slot]), request.tolerance,
-              request.iterations, request.damping, options_.sparse);
+              request.iterations, request.damping, options_.kernel);
           if (comm.rank() == 0) seeded = delta.seeded;
           pr = std::move(delta.rank);
         } else if (warm) {
           pr = algos::pagerank_warm_start(g, pr_state_[slot],
                                           request.iterations, request.damping,
-                                          options_.sparse);
+                                          options_.kernel);
         } else {
           pr = algos::pagerank(g, request.iterations, request.damping,
-                               options_.sparse);
+                               options_.kernel);
         }
         auto gathered = algos::gather_row_state(g, std::span<const double>(pr));
         if (comm.rank() == 0) rank = to_original_order(gathered);
@@ -719,11 +716,11 @@ void Service::execute_single(Pending& pending) {
         if (repair) {
           auto repaired = algos::incremental_cc(
               g, std::move(cc_state_.label[slot]), std::span(deltas[slot]),
-              false, options_.sparse);
+              false, options_.kernel);
           label = std::move(repaired.label);
         } else {
           auto options = algos::CcOptions::all_push();
-          options.sparse_opts = options_.sparse;
+          options.kernel = options_.kernel;
           auto full = algos::connected_components(g, options);
           label = std::move(full.label);
         }

@@ -76,8 +76,10 @@ struct ServiceOptions {
   /// nranks + 1 tracks, per-request phase spans (wall-clock seconds since
   /// service start) land on track `session.nranks()`.
   telemetry::Recorder* recorder = nullptr;
-  /// Async opt-in forwarded to every algorithm invocation.
-  core::SparseOptions sparse = {};
+  /// Unified kernel options (threads, chunk grain, async opt-in) forwarded
+  /// to every algorithm invocation. Formerly `sparse` (core::SparseOptions),
+  /// which is now an alias of the same type (docs/ARCHITECTURE.md §15).
+  comm::KernelOptions kernel = {};
 
   // --- Supervision hooks (serve::Supervisor, docs/RECOVERY.md) -----------
   /// Graph epoch the resident graph starts at: a rebuilt session that

@@ -18,6 +18,7 @@ Session::Session(const graph::EdgeList& graph, core::Grid grid,
   ropts.comm_timeout_s = options.comm_timeout_s;
   ropts.async = options.async;
   ropts.async_chunk = options.async_chunk;
+  ropts.kernel = options.kernel;
   ropts.keep_metrics = options.keep_metrics;
   const auto topo = comm::Topology::aimos(nranks_);
   host_ = std::thread([this, ropts, topo] {

@@ -37,6 +37,10 @@ struct SessionOptions {
   double comm_timeout_s = 0.0;
   bool async = false;
   int async_chunk = 1;
+  /// Run-wide kernel execution defaults (worker threads, chunk grain,
+  /// async overrides) for the resident runtime; forwarded to
+  /// comm::RunOptions::kernel. Results are bit-identical for any setting.
+  comm::KernelOptions kernel = {};
   /// Graph epoch the freshly built Dist2DGraph starts at (default 0). A
   /// supervisor rebuilding a session from a snapshot + committed-log
   /// replay passes the snapshot's epoch so post-recovery commits continue

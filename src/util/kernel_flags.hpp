@@ -1,0 +1,52 @@
+// Shared CLI surface for the unified kernel options: every tool that runs
+// algorithms (hpcg_run, hpcg_serve, hpcg_check) declares the same four
+// flags through parse_kernel_options so flag names, defaults and
+// combination validation cannot drift between binaries.
+#pragma once
+
+#include <string>
+
+#include "comm/kernel_options.hpp"
+#include "util/options.hpp"
+
+namespace hpcg::util {
+
+/// Usage-text block matching parse_kernel_options, for Options::usage.
+inline constexpr const char* kKernelFlagsUsage =
+    "  --threads=N          worker threads per rank (default 1)\n"
+    "  --chunk-grain=N      edges per worker-pool chunk (default 16384)\n"
+    "  --async=on|off       compute-comm overlap (default off)\n"
+    "  --async-chunk=N      pipeline segments for sparse exchanges\n";
+
+/// Reads --threads, --chunk-grain, --async and --async-chunk into a
+/// comm::KernelOptions. Throws comm::KernelOptionsError on a bad value or
+/// an inconsistent combination (e.g. --async-chunk=4 without --async=on,
+/// which older tools silently ignored) so sweep scripts fail loudly.
+inline comm::KernelOptions parse_kernel_options(Options& options) {
+  comm::KernelOptions kernel;
+  // 0 = "not given": the runtime resolves it to 1 worker, and tools that
+  // layer their own defaults (hpcg_check's per-config thr=) can tell an
+  // explicit --threads=1 apart from an absent flag.
+  kernel.threads = static_cast<int>(options.get_int("threads", 0));
+  kernel.chunk_grain = static_cast<int>(options.get_int("chunk-grain", 0));
+  kernel.chunk = static_cast<int>(options.get_int("async-chunk", 0));
+  const std::string async_text = options.get_string("async", "off");
+  if (async_text == "on") {
+    kernel.async = comm::KernelOptions::Async::kOn;
+  } else if (async_text == "off") {
+    // The tools default async off; kRunDefault is the library-level "follow
+    // RunOptions" sentinel and has no CLI spelling.
+    kernel.async = comm::KernelOptions::Async::kOff;
+  } else {
+    throw comm::KernelOptionsError("--async must be 'on' or 'off'");
+  }
+  if (kernel.chunk > 1 && kernel.async != comm::KernelOptions::Async::kOn) {
+    throw comm::KernelOptionsError(
+        "--async-chunk above 1 requires --async=on (chunked pipelining is "
+        "an async-exchange feature)");
+  }
+  kernel.validate();
+  return kernel;
+}
+
+}  // namespace hpcg::util

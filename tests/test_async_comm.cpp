@@ -348,8 +348,7 @@ TEST(AsyncBitIdentity, PerAlgorithmOptInOverridesRunDefault) {
     hcm::Runtime::run(4, hcm::Topology::aimos(4), hcm::CostModel{}, options,
                       [&](hcm::Comm& comm) {
       hc::Dist2DGraph g(comm, parts);
-      ha::BfsOptions bfs_options;
-      bfs_options.sparse = opts;
+      const ha::BfsOptions bfs_options = opts;
       auto bfs = ha::bfs(g, 0, bfs_options);
       auto gathered =
           ha::gather_row_state(g, std::span<const std::int64_t>(bfs.level));

@@ -35,12 +35,10 @@ namespace {
 void expect_msbfs_matches(hs::Session& session, const std::vector<Gid>& roots,
                           const hc::SparseOptions& sparse = {}) {
   session.run([&](hc::Dist2DGraph& g, hpcg::comm::Comm&) {
-    ha::MsBfsOptions mo;
-    mo.sparse = sparse;
+    const ha::MsBfsOptions mo = sparse;
     const auto batched = ha::multi_source_bfs(g, roots, mo);
     for (std::size_t s = 0; s < roots.size(); ++s) {
-      ha::BfsOptions bo;
-      bo.sparse = sparse;
+      const ha::BfsOptions bo = sparse;
       const auto single = ha::bfs(g, roots[s], bo);
       EXPECT_EQ(batched.level[s], single.level) << "source " << s;
       EXPECT_EQ(batched.depth[s], single.depth) << "source " << s;

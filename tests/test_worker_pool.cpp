@@ -1,0 +1,332 @@
+// Intra-rank worker pool: edge-balanced chunking edge cases, pool
+// execution semantics, SIMD lane-sum path equivalence, and the determinism
+// contract end to end — every algorithm must produce bit-identical results
+// with threads on or off, under sync or async exchanges, and across a
+// transient-fault retry (docs/KERNELS.md).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "algos/bfs.hpp"
+#include "algos/cc.hpp"
+#include "algos/gather.hpp"
+#include "algos/label_prop.hpp"
+#include "algos/msbfs.hpp"
+#include "algos/pagerank.hpp"
+#include "core/simd.hpp"
+#include "core/worker_pool.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "test_helpers.hpp"
+
+namespace ha = hpcg::algos;
+namespace hc = hpcg::core;
+namespace hcm = hpcg::comm;
+namespace hf = hpcg::fault;
+namespace hg = hpcg::graph;
+using hpcg::test::small_rmat;
+
+namespace {
+
+// ---- edge_balanced_chunks: range flavour -------------------------------
+
+std::span<const std::int64_t> as_span(const std::vector<std::int64_t>& v) {
+  return {v.data(), v.size()};
+}
+
+/// Chunks must tile [v_begin, v_end) exactly, in order, with edge counts
+/// matching the offsets they cover.
+void expect_tiles(const std::vector<hc::Chunk>& chunks,
+                  const std::vector<std::int64_t>& offsets,
+                  std::size_t v_begin, std::size_t v_end) {
+  ASSERT_FALSE(chunks.empty());
+  EXPECT_EQ(chunks.front().begin, v_begin);
+  EXPECT_EQ(chunks.back().end, v_end);
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    if (i > 0) EXPECT_EQ(chunks[i].begin, chunks[i - 1].end);
+    EXPECT_LT(chunks[i].begin, chunks[i].end);
+    EXPECT_EQ(chunks[i].edges,
+              offsets[chunks[i].end] - offsets[chunks[i].begin]);
+  }
+}
+
+TEST(EdgeBalancedChunks, EmptyRangeYieldsNoChunks) {
+  const std::vector<std::int64_t> offsets = {0, 2, 4};
+  EXPECT_TRUE(hc::edge_balanced_chunks(as_span(offsets), 1, 1, 8).empty());
+  EXPECT_TRUE(hc::edge_balanced_chunks(as_span(offsets), 2, 2, 8).empty());
+}
+
+TEST(EdgeBalancedChunks, AllZeroDegreeRangeIsOneChunk) {
+  // No edges at all: the whole range still has to be visited (kernels
+  // write per-vertex outputs) but there is nothing to balance.
+  const std::vector<std::int64_t> offsets = {0, 0, 0, 0, 0};
+  const auto chunks = hc::edge_balanced_chunks(as_span(offsets), 0, 4, 16);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].begin, 0u);
+  EXPECT_EQ(chunks[0].end, 4u);
+  EXPECT_EQ(chunks[0].edges, 0);
+}
+
+TEST(EdgeBalancedChunks, ZeroDegreeRunsCollapseIntoNeighbours) {
+  // degrees: 4, 0,0,0,0, 4 with grain 4 -> the zero run must attach to a
+  // neighbouring chunk, never form empty chunks of its own.
+  const std::vector<std::int64_t> offsets = {0, 4, 4, 4, 4, 4, 8};
+  const auto chunks = hc::edge_balanced_chunks(as_span(offsets), 0, 6, 4);
+  expect_tiles(chunks, offsets, 0, 6);
+  for (const auto& c : chunks) EXPECT_GT(c.edges, 0);
+  EXPECT_EQ(chunks.size(), 2u);
+}
+
+TEST(EdgeBalancedChunks, HubLargerThanGrainOwnsOneChunk) {
+  // degrees: 1, 100, 1 with grain 8: the hub is never split and its
+  // neighbours still land in chunks (possibly shared with the hub's).
+  const std::vector<std::int64_t> offsets = {0, 1, 101, 102};
+  const auto chunks = hc::edge_balanced_chunks(as_span(offsets), 0, 3, 8);
+  expect_tiles(chunks, offsets, 0, 3);
+  bool hub_seen = false;
+  for (const auto& c : chunks) {
+    if (c.begin <= 1 && 1 < c.end) {
+      hub_seen = true;
+      EXPECT_GE(c.edges, 100);
+    }
+  }
+  EXPECT_TRUE(hub_seen);
+}
+
+TEST(EdgeBalancedChunks, BoundariesIgnoreGrainBelowOne) {
+  const std::vector<std::int64_t> offsets = {0, 2, 4, 6, 8};
+  const auto one = hc::edge_balanced_chunks(as_span(offsets), 0, 4, 1);
+  const auto zero = hc::edge_balanced_chunks(as_span(offsets), 0, 4, 0);
+  ASSERT_EQ(one.size(), zero.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i].begin, zero[i].begin);
+    EXPECT_EQ(one[i].end, zero[i].end);
+  }
+  expect_tiles(one, offsets, 0, 4);
+}
+
+// ---- edge_balanced_chunks: queue flavour -------------------------------
+
+TEST(EdgeBalancedChunks, EmptyQueueYieldsNoChunks) {
+  const std::vector<std::int64_t> offsets = {0, 2, 4};
+  EXPECT_TRUE(
+      hc::edge_balanced_chunks(as_span(offsets), std::span<const hc::Lid>{}, 8)
+          .empty());
+}
+
+TEST(EdgeBalancedChunks, QueueTailOfZeroDegreeItemsIsVisited) {
+  // Queue ends in zero-degree vertices: they carry no edges but must still
+  // be covered by the final chunk (BFS frontiers contain such vertices).
+  const std::vector<std::int64_t> offsets = {0, 3, 3, 3, 6, 6};
+  const std::vector<hc::Lid> queue = {3, 0, 1, 2, 4};
+  const auto chunks = hc::edge_balanced_chunks(as_span(offsets), queue, 3);
+  ASSERT_FALSE(chunks.empty());
+  EXPECT_EQ(chunks.front().begin, 0u);
+  EXPECT_EQ(chunks.back().end, queue.size());
+  std::int64_t edges = 0;
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    if (i > 0) EXPECT_EQ(chunks[i].begin, chunks[i - 1].end);
+    edges += chunks[i].edges;
+  }
+  EXPECT_EQ(edges, 6);  // sum of queued degrees
+}
+
+TEST(EdgeBalancedChunks, QueueBoundariesDependOnlyOnOrderAndGrain) {
+  const std::vector<std::int64_t> offsets = {0, 2, 5, 6, 10, 12};
+  const std::vector<hc::Lid> queue = {4, 2, 0, 3, 1};
+  const auto a = hc::edge_balanced_chunks(as_span(offsets), queue, 4);
+  const auto b = hc::edge_balanced_chunks(as_span(offsets), queue, 4);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].begin, b[i].begin);
+    EXPECT_EQ(a[i].end, b[i].end);
+    EXPECT_EQ(a[i].edges, b[i].edges);
+  }
+}
+
+// ---- WorkerPool --------------------------------------------------------
+
+TEST(WorkerPool, RunsEveryJobExactlyOnce) {
+  hc::WorkerPool pool(4);
+  EXPECT_EQ(pool.threads(), 4);
+  constexpr std::size_t kJobs = 1000;
+  std::vector<std::atomic<int>> hits(kJobs);
+  pool.run(kJobs, [&](std::size_t job, int worker) {
+    ASSERT_GE(worker, 0);
+    ASSERT_LT(worker, 4);
+    hits[job].fetch_add(1);
+  });
+  for (std::size_t j = 0; j < kJobs; ++j) EXPECT_EQ(hits[j].load(), 1);
+}
+
+TEST(WorkerPool, SingleThreadRunsInline) {
+  hc::WorkerPool pool(1);
+  std::vector<std::size_t> order;
+  pool.run(5, [&](std::size_t job, int worker) {
+    EXPECT_EQ(worker, 0);
+    order.push_back(job);
+  });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(WorkerPool, JobExceptionPropagatesAndPoolStaysUsable) {
+  hc::WorkerPool pool(3);
+  EXPECT_THROW(pool.run(64,
+                        [&](std::size_t job, int) {
+                          if (job == 7) throw std::runtime_error("boom");
+                        }),
+               std::runtime_error);
+  // The pool must survive a failed run and execute the next one fully.
+  std::atomic<int> done{0};
+  pool.run(32, [&](std::size_t, int) { done.fetch_add(1); });
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(WorkerPool, ForEachChunkSerialIsAscendingOrder) {
+  const std::vector<hc::Chunk> chunks = {{0, 2, 4}, {2, 5, 6}, {5, 6, 1}};
+  std::vector<std::size_t> seen;
+  hc::for_each_chunk(nullptr, chunks, [&](const hc::Chunk&, std::size_t ci,
+                                          int worker) {
+    EXPECT_EQ(worker, 0);
+    seen.push_back(ci);
+  });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+// ---- SIMD lane sum -----------------------------------------------------
+
+TEST(LaneGatherSum, DispatchedPathMatchesScalarBitwise) {
+  // The dispatcher may pick AVX2/AVX-512; whatever ran must produce the
+  // exact bits of the eight-chain scalar reference on skewed row lengths.
+  std::vector<double> contrib(257);
+  for (std::size_t i = 0; i < contrib.size(); ++i) {
+    contrib[i] = 1.0 / static_cast<double>(3 * i + 1);
+  }
+  std::vector<hg::Gid> adj(1024);
+  for (std::size_t e = 0; e < adj.size(); ++e) {
+    adj[e] = static_cast<hg::Gid>((e * 131) % contrib.size());
+  }
+  for (const std::int64_t len :
+       {0, 1, 2, 3, 7, 8, 9, 15, 16, 17, 63, 64, 100, 1024}) {
+    for (const std::int64_t begin : {0, 1, 5, 8}) {
+      if (begin + len > static_cast<std::int64_t>(adj.size())) continue;
+      const double got =
+          hc::lane_gather_sum(contrib.data(), adj.data(), begin, begin + len);
+      const double want = hc::lane_gather_sum_scalar(contrib.data(),
+                                                     adj.data(), begin,
+                                                     begin + len);
+      EXPECT_EQ(got, want) << "begin=" << begin << " len=" << len;
+    }
+  }
+}
+
+// ---- End-to-end determinism: threads on/off, sync/async, faults --------
+
+/// Row-gathered results of the five pool-driven algorithms under one
+/// kernel configuration.
+struct AlgoResults {
+  std::vector<std::int64_t> bfs_levels;
+  std::vector<double> pagerank;
+  std::vector<hg::Gid> cc_labels;
+  std::vector<std::uint64_t> lp_labels;
+  std::vector<std::int64_t> msbfs_levels0;
+};
+
+AlgoResults run_algos(const hg::EdgeList& el, hc::Grid grid,
+                      const hcm::KernelOptions& kernel,
+                      hf::FaultInjector* faults = nullptr) {
+  const auto parts = hc::Partitioned2D::build(el, grid);
+  hcm::RunOptions options;
+  options.kernel = kernel;
+  options.faults = faults;
+  AlgoResults out;
+  hcm::Runtime::run(grid.ranks(), hcm::Topology::aimos(grid.ranks()),
+                    hcm::CostModel{}, options, [&](hcm::Comm& comm) {
+    hc::Dist2DGraph g(comm, parts);
+    auto bfs = ha::bfs(g, 0);
+    auto pr = ha::pagerank(g, 8);
+    auto cc = ha::connected_components(g, ha::CcOptions::sp_sw_vq());
+    auto lp = ha::label_propagation(g, 6);
+    const std::vector<hg::Gid> roots = {0, 1, 2};
+    auto ms = ha::multi_source_bfs(g, roots);
+    auto levels =
+        ha::gather_row_state(g, std::span<const std::int64_t>(bfs.level));
+    auto ranks = ha::gather_row_state(g, std::span<const double>(pr));
+    auto colors = ha::gather_row_state(g, std::span<const hg::Gid>(cc.label));
+    auto communities =
+        ha::gather_row_state(g, std::span<const std::uint64_t>(lp.label));
+    auto ms0 =
+        ha::gather_row_state(g, std::span<const std::int64_t>(ms.level[0]));
+    if (comm.rank() == 0) {
+      out.bfs_levels = std::move(levels);
+      out.pagerank = std::move(ranks);
+      out.cc_labels = std::move(colors);
+      out.lp_labels = std::move(communities);
+      out.msbfs_levels0 = std::move(ms0);
+    }
+  });
+  return out;
+}
+
+void expect_identical(const AlgoResults& a, const AlgoResults& b) {
+  EXPECT_EQ(a.bfs_levels, b.bfs_levels);
+  EXPECT_EQ(a.pagerank, b.pagerank);  // EXPECT_EQ: bit-identity, not near
+  EXPECT_EQ(a.cc_labels, b.cc_labels);
+  EXPECT_EQ(a.lp_labels, b.lp_labels);
+  EXPECT_EQ(a.msbfs_levels0, b.msbfs_levels0);
+}
+
+hcm::KernelOptions kernel_with(int threads, int grain = 0,
+                               bool async = false) {
+  hcm::KernelOptions k;
+  k.threads = threads;
+  k.chunk_grain = grain;
+  if (async) k.async = hcm::KernelOptions::Async::kOn;
+  return k;
+}
+
+TEST(WorkerPoolDeterminism, ThreadsOnOffBitIdenticalSync) {
+  const auto el = small_rmat(8, 8, /*seed=*/21);
+  const hc::Grid grid = hc::Grid(2, 2);
+  const auto serial = run_algos(el, grid, kernel_with(1));
+  for (const int threads : {3, 4}) {
+    expect_identical(serial, run_algos(el, grid, kernel_with(threads)));
+  }
+}
+
+TEST(WorkerPoolDeterminism, ThreadsOnOffBitIdenticalAsync) {
+  const auto el = small_rmat(8, 8, /*seed=*/22);
+  const hc::Grid grid = hc::Grid(2, 2);
+  const auto serial = run_algos(el, grid, kernel_with(1, 0, /*async=*/true));
+  expect_identical(serial,
+                   run_algos(el, grid, kernel_with(4, 0, /*async=*/true)));
+}
+
+TEST(WorkerPoolDeterminism, ChunkGrainNeverChangesResults) {
+  // Grain changes chunk boundaries (more/fewer chunks) but every kernel
+  // merges per-chunk outputs in chunk order, so bits cannot move.
+  const auto el = small_rmat(8, 8, /*seed=*/23);
+  const hc::Grid grid = hc::Grid(2, 2);
+  const auto coarse = run_algos(el, grid, kernel_with(4, 1 << 20));
+  const auto fine = run_algos(el, grid, kernel_with(4, 64));
+  expect_identical(coarse, fine);
+}
+
+TEST(WorkerPoolDeterminism, TransientFaultRetryBitIdenticalWithThreads) {
+  // A transient fault makes a collective retry (modeled backoff); the
+  // recovered run must still match the fault-free serial run bit for bit,
+  // with the worker pool on.
+  const auto el = small_rmat(8, 8, /*seed=*/24);
+  const hc::Grid grid = hc::Grid(2, 2);
+  const auto clean = run_algos(el, grid, kernel_with(1));
+  hf::FaultInjector injector(hf::FaultPlan::parse("transient@r1:n3:x2"),
+                             grid.ranks());
+  const auto faulted = run_algos(el, grid, kernel_with(4), &injector);
+  expect_identical(clean, faulted);
+  EXPECT_EQ(injector.fired(hf::FaultKind::kTransient), 1u);
+}
+
+}  // namespace

@@ -16,6 +16,7 @@
 #include "check/canary.hpp"
 #include "check/fuzzer.hpp"
 #include "check/runner.hpp"
+#include "util/kernel_flags.hpp"
 #include "util/options.hpp"
 
 int main(int argc, char** argv) {
@@ -37,6 +38,10 @@ int main(int argc, char** argv) {
       "Single config / corpus:\n"
       "  --config=TEXT       check one explicit configuration\n"
       "  --replay=PATH       re-check every corpus entry in PATH\n"
+      "  --threads=N         override thr= (worker threads) for --config\n"
+      "                      and --replay runs\n"
+      "  --async=on          force async=1 (with --async-chunk segments)\n"
+      "                      for --config and --replay runs\n"
       "Self-test:\n"
       "  --canary            inject known bugs; every one must be caught\n");
   const auto seed = static_cast<std::uint64_t>(options.get_int("seed", 1));
@@ -50,7 +55,29 @@ int main(int argc, char** argv) {
   const std::string config_text = options.get_string("config", "");
   const std::string replay_path = options.get_string("replay", "");
   const bool canary = options.get_bool("canary", false);
+  hpcg::comm::KernelOptions kernel;
+  try {
+    kernel = hpcg::util::parse_kernel_options(options);
+    if (kernel.chunk_grain > 0) {
+      throw hpcg::comm::KernelOptionsError(
+          "--chunk-grain is not part of the check config space (the grain "
+          "cannot change results; sweep it with hpcg_run or the bench)");
+    }
+  } catch (const hpcg::comm::KernelOptionsError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
   options.check_unknown();
+  // Fold the CLI kernel flags into explicitly-supplied configs; sampled
+  // sweep configs draw their own thr=/async= instead.
+  const auto apply_kernel = [&](hpcg::check::CheckConfig cfg) {
+    if (kernel.threads > 0) cfg.thr = kernel.threads;
+    if (kernel.async == hpcg::comm::KernelOptions::Async::kOn) {
+      cfg.async = true;
+      cfg.chunk = kernel.chunk > 1 ? kernel.chunk : 1;
+    }
+    return cfg;
+  };
 
   if (canary) {
     const auto outcomes = hpcg::check::run_canaries(&std::cout);
@@ -73,10 +100,12 @@ int main(int argc, char** argv) {
   hpcg::check::SweepResult result;
   try {
     if (!config_text.empty()) {
-      result = hpcg::check::replay({hpcg::check::CheckConfig::parse(config_text)},
-                                   fuzz);
+      result = hpcg::check::replay(
+          {apply_kernel(hpcg::check::CheckConfig::parse(config_text))}, fuzz);
     } else if (!replay_path.empty()) {
-      result = hpcg::check::replay(hpcg::check::read_corpus(replay_path), fuzz);
+      auto corpus = hpcg::check::read_corpus(replay_path);
+      for (auto& c : corpus) c = apply_kernel(std::move(c));
+      result = hpcg::check::replay(corpus, fuzz);
     } else {
       result = hpcg::check::fuzz_sweep(fuzz);
     }

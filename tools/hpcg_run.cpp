@@ -46,6 +46,7 @@
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/report.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/kernel_flags.hpp"
 #include "util/options.hpp"
 #include "util/timer.hpp"
 
@@ -63,6 +64,7 @@ int fail(const std::string& message) {
 int main(int argc, char** argv) {
   hpcg::util::Options options(argc, argv);
   options.usage(
+      std::string(
       "usage: hpcg_run [options]\n"
       "Run one algorithm on one dataset over a simulated 2D rank grid.\n"
       "\n"
@@ -82,9 +84,8 @@ int main(int argc, char** argv) {
       "  --faults=PLAN        fault plan, e.g. crash@r2:s3 (docs/FAULTS.md)\n"
       "  --fault-seed=N       seed resolving r? fault targets (default 0)\n"
       "  --checkpoint-every=N superstep checkpoint interval (0 = off)\n"
-      "  --comm-timeout=S     recv/barrier deadline in seconds (0 = off)\n"
-      "  --async=on|off       compute-comm overlap (default off)\n"
-      "  --async-chunk=N      pipeline segments for sparse exchanges\n"
+      "  --comm-timeout=S     recv/barrier deadline in seconds (0 = off)\n") +
+      hpcg::util::kKernelFlagsUsage +
       "  --help               show this text and exit\n");
   const std::string algo = options.get_string("algo", "bfs");
   const std::string dataset = options.get_string("graph", "rmat14");
@@ -105,13 +106,13 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(options.get_int("fault-seed", 0));
   const std::int64_t checkpoint_every = options.get_int("checkpoint-every", 0);
   const double comm_timeout = options.get_double("comm-timeout", 0.0);
-  const std::string async_text = options.get_string("async", "off");
-  const int async_chunk = static_cast<int>(options.get_int("async-chunk", 1));
-  options.check_unknown();
-  if (async_text != "on" && async_text != "off") {
-    return fail("--async must be 'on' or 'off'");
+  hpcg::comm::KernelOptions kernel;
+  try {
+    kernel = hpcg::util::parse_kernel_options(options);
+  } catch (const hpcg::comm::KernelOptionsError& e) {
+    return fail(e.what());
   }
-  const bool async = async_text == "on";
+  options.check_unknown();
 
   // Input.
   hpcg::util::WallTimer load_timer;
@@ -326,8 +327,7 @@ int main(int argc, char** argv) {
       ropts.injector = injector.get();
       ropts.checkpoint_every = checkpoint_every;
       ropts.comm_timeout_s = comm_timeout;
-      ropts.async = async;
-      ropts.async_chunk = async_chunk;
+      ropts.kernel = kernel;
       const auto recovery = hpcg::fault::Runtime::run_with_recovery(
           grid.ranks(), topo, cost_model, ropts,
           [&](hpcg::comm::Comm& comm, hpcg::fault::Checkpointer& ckpt) {
@@ -352,8 +352,7 @@ int main(int argc, char** argv) {
       hpcg::comm::RunOptions ropts;
       ropts.recorder = recorder.get();
       ropts.comm_timeout_s = comm_timeout;
-      ropts.async = async;
-      ropts.async_chunk = async_chunk;
+      ropts.kernel = kernel;
       stats = hpcg::comm::Runtime::run(
           grid.ranks(), topo, cost_model, ropts,
           [&](hpcg::comm::Comm& comm) { body(comm, nullptr); });

@@ -33,6 +33,7 @@
 #include "serve/supervisor.hpp"
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/report.hpp"
+#include "util/kernel_flags.hpp"
 #include "util/options.hpp"
 #include "util/timer.hpp"
 
@@ -78,6 +79,8 @@ int main(int argc, char** argv) {
       "  --rows=R --cols=C     explicit grid shape\n"
       "  --scale-shift=K       shrink/grow dataset analogs by 2^K\n"
       "  --striped=BOOL        striped vertex assignment (default true)\n"
+      "  --threads=N           worker threads per rank (default 1)\n"
+      "  --chunk-grain=N       edges per worker-pool chunk (default 16384)\n"
       "  --async=on|off        compute-comm overlap (default off)\n"
       "  --async-chunk=N       pipeline segments for sparse exchanges\n"
       "  --comm-timeout=S      recv/barrier deadline in seconds (0 = off)\n"
@@ -126,8 +129,12 @@ int main(int argc, char** argv) {
   const int cols = static_cast<int>(options.get_int("cols", 0));
   const int shift = static_cast<int>(options.get_int("scale-shift", 0));
   const bool striped = options.get_bool("striped", true);
-  const std::string async_text = options.get_string("async", "off");
-  const int async_chunk = static_cast<int>(options.get_int("async-chunk", 1));
+  hpcg::comm::KernelOptions kernel;
+  try {
+    kernel = hpcg::util::parse_kernel_options(options);
+  } catch (const hpcg::comm::KernelOptionsError& e) {
+    return fail(e.what());
+  }
   const double comm_timeout = options.get_double("comm-timeout", 0.0);
   const std::string faults_text = options.get_string("faults", "");
   const auto fault_seed =
@@ -158,9 +165,6 @@ int main(int argc, char** argv) {
   const std::string metrics_out = options.get_string("metrics-out", "");
   const std::string trace_out = options.get_string("trace-out", "");
   options.check_unknown();
-  if (async_text != "on" && async_text != "off") {
-    return fail("--async must be 'on' or 'off'");
-  }
   if (!faults_text.empty() && !supervised) {
     return fail("--faults requires supervision (drop --supervised=false)");
   }
@@ -206,8 +210,7 @@ int main(int argc, char** argv) {
     sopts.recorder = &recorder;
     sopts.faults = injector.get();
     sopts.comm_timeout_s = comm_timeout;
-    sopts.async = async_text == "on";
-    sopts.async_chunk = async_chunk;
+    sopts.kernel = kernel;
 
     hpcg::serve::ServiceOptions vopts;
     vopts.queue_capacity = queue_capacity;
@@ -216,6 +219,7 @@ int main(int argc, char** argv) {
     vopts.cache_capacity = cache_capacity;
     vopts.recorder = &recorder;
     vopts.auto_dispatch = script_path.empty();
+    vopts.kernel = kernel;
 
     // Exactly one backend is live; `frontend` is the request surface
     // either way.
