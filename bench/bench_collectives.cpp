@@ -1,0 +1,265 @@
+// Collective-policy benchmark: adaptive selection vs the fixed default and
+// a forced-ring baseline, in MODELED time (the simulator's virtual clock —
+// deterministic, so "beyond noise" here is a strict epsilon, not a
+// confidence interval).
+//
+// Two layers, both enforced (exit 1 on violation), so CI's bench-smoke run
+// doubles as the acceptance check for docs/TUNING.md:
+//
+//   1. Model grid — every (op, level, group size, bytes) cell of a sweep
+//      over the reference calibration's fitted constants. The adaptive
+//      pick must never cost more than the ring or the default variant
+//      (it is their argmin by construction; the grid guards the formula
+//      set against regressions), and it must be STRICTLY cheaper than the
+//      ring on the small-message / high-group-count corner, where the
+//      ring's (g-1) latency depth loses to the log-depth variants.
+//
+//   2. Run level — the same collective-heavy body executed through
+//      Runtime::run under fixed, forced-ring, and adaptive policies.
+//      Results must be bit-identical across all three (the policy
+//      invariant: selection changes modeled time only), the adaptive
+//      makespan must not exceed either baseline, and on the small-message
+//      corner it must strictly beat the ring.
+//
+//   bench_collectives --ranks=48 --run-ranks=12 --csv=out.csv
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "comm/policy.hpp"
+#include "comm/runtime.hpp"
+#include "comm/topology.hpp"
+#include "tune/calibration.hpp"
+#include "util/options.hpp"
+
+namespace hc = hpcg::comm;
+
+namespace {
+
+// Relative slack for "never slower": the virtual clock is deterministic,
+// so this only absorbs floating-point association differences.
+constexpr double kEps = 1e-9;
+
+struct GridRow {
+  hc::CollectiveOp op;
+  hc::LinkClass level;
+  int group;
+  std::size_t bytes;
+  double fixed_s;
+  double ring_s;
+  double adaptive_s;
+  hc::CollectiveAlgo algo;
+};
+
+// The small-message / high-group-count corner where adaptive must win
+// strictly: payloads below the eager scale on groups deep enough that the
+// ring's linear latency term dominates.
+bool corner(int group, std::size_t bytes) {
+  return group >= 8 && bytes <= 4096;
+}
+
+int model_grid(const hc::Topology& topo, const hc::CollectivePolicy& policy,
+               std::vector<GridRow>* rows) {
+  const int nranks = topo.nranks();
+  std::vector<int> groups = {2, topo.clique_size(), topo.gpus_per_node(),
+                             nranks / 2, nranks};
+  std::sort(groups.begin(), groups.end());
+  groups.erase(std::unique(groups.begin(), groups.end()), groups.end());
+  int violations = 0;
+  for (const int g : groups) {
+    if (g < 2 || g > nranks) continue;
+    const hc::LinkClass cls = topo.link_class(0, g - 1);
+    const hc::FittedLevel& fit = policy.at(cls);
+    if (!fit.valid) continue;
+    for (const hc::CollectiveOp op :
+         {hc::CollectiveOp::kAllReduce, hc::CollectiveOp::kBroadcast,
+          hc::CollectiveOp::kAllGather, hc::CollectiveOp::kAllToAllV}) {
+      for (std::size_t bytes = 8; bytes <= (16u << 20); bytes *= 4) {
+        const auto cost = [&](hc::CollectiveAlgo a) {
+          return hc::algo_cost(op, a, fit.alpha_s, fit.software_alpha_s,
+                               fit.beta_bytes_s, g, bytes);
+        };
+        GridRow row;
+        row.op = op;
+        row.level = cls;
+        row.group = g;
+        row.bytes = bytes;
+        row.fixed_s = cost(hc::CollectiveAlgo::kDefault);
+        row.ring_s = cost(hc::CollectiveAlgo::kRing);
+        row.algo = policy.select(op, cls, g, bytes);
+        row.adaptive_s = cost(row.algo);
+        rows->push_back(row);
+        if (row.adaptive_s > row.ring_s * (1.0 + kEps) ||
+            row.adaptive_s > row.fixed_s * (1.0 + kEps)) {
+          std::fprintf(stderr,
+                       "VIOLATION: %s %s g=%d B=%zu adaptive %.6g > "
+                       "min(fixed %.6g, ring %.6g)\n",
+                       hc::to_string(op), hc::to_string(cls), g, bytes,
+                       row.adaptive_s, row.fixed_s, row.ring_s);
+          ++violations;
+        }
+      }
+    }
+  }
+  return violations;
+}
+
+/// One collective-heavy request mix. Every rank folds everything it
+/// computes into `digest` so runs under different policies can be
+/// bit-compared. `small_only` restricts the mix to the tiny-payload corner
+/// (where the adaptive-vs-ring win must be strict).
+void workload(hc::Comm& c, bool small_only, std::vector<double>* digest) {
+  const int rank = c.rank();
+  const int reps = 6;
+  for (int r = 0; r < reps; ++r) {
+    double one = static_cast<double>(rank + 1) * (r + 1);
+    std::vector<double> v{one};
+    c.allreduce(std::span<double>(v), hc::ReduceOp::kSum);
+    digest->push_back(v[0]);
+
+    std::vector<double> bc(small_only ? 2 : 2048);
+    if (rank == 0) {
+      for (std::size_t i = 0; i < bc.size(); ++i)
+        bc[i] = static_cast<double>(i) + r;
+    }
+    c.broadcast(std::span<double>(bc), 0);
+    digest->push_back(bc.back());
+
+    std::vector<double> mine(small_only ? 1 : 256,
+                             static_cast<double>(rank) + 0.5 * r);
+    const auto gathered = c.allgatherv<double>(mine);
+    digest->push_back(gathered.front());
+    digest->push_back(gathered.back());
+
+    const std::size_t per_dest = small_only ? 1 : 128;
+    std::vector<double> send(per_dest * static_cast<std::size_t>(c.size()));
+    std::vector<std::size_t> counts(static_cast<std::size_t>(c.size()),
+                                    per_dest);
+    for (std::size_t i = 0; i < send.size(); ++i)
+      send[i] = rank * 1000.0 + static_cast<double>(i);
+    const auto recv = c.alltoallv<double>(send, counts);
+    digest->push_back(recv.empty() ? -1.0 : recv.back());
+  }
+}
+
+struct RunResult {
+  double makespan_s = 0.0;
+  std::vector<std::vector<double>> digests;  // per rank
+};
+
+RunResult run_policy(int nranks, const hc::CollectivePolicy& policy,
+                     bool small_only) {
+  RunResult out;
+  out.digests.assign(static_cast<std::size_t>(nranks), {});
+  hc::RunOptions ropts;
+  ropts.policy = policy;
+  const auto stats = hc::Runtime::run(
+      nranks, hc::Topology::aimos(nranks), hc::CostModel{}, ropts,
+      [&](hc::Comm& c) {
+        workload(c, small_only, &out.digests[static_cast<std::size_t>(c.rank())]);
+      });
+  out.makespan_s = stats.makespan();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hpcg::util::Options opts(argc, argv);
+  opts.usage(
+      "usage: bench_collectives [options]\n"
+      "Adaptive collective policy vs fixed/ring baselines (modeled time).\n"
+      "\n"
+      "  --ranks=N      topology span for the model grid (default 48)\n"
+      "  --run-ranks=N  simulated ranks for the run-level check (default 12)\n"
+      "  --csv=FILE     write the model-grid rows as CSV\n"
+      "  --help         show this text and exit\n");
+  const int ranks = opts.get_int("ranks", 48);
+  const int run_ranks = opts.get_int("run-ranks", 12);
+  const std::string csv = opts.get_string("csv", "");
+  opts.check_unknown();
+
+  const auto topo = hc::Topology::aimos(ranks);
+  const auto cal = hpcg::tune::reference_calibration(topo);
+  const auto policy = cal.to_policy();
+
+  std::vector<GridRow> rows;
+  int violations = model_grid(topo, policy, &rows);
+
+  int corner_rows = 0, corner_wins = 0, switched = 0;
+  for (const auto& row : rows) {
+    if (row.algo != hc::CollectiveAlgo::kDefault) ++switched;
+    if (!corner(row.group, row.bytes)) continue;
+    ++corner_rows;
+    if (row.adaptive_s < row.ring_s * (1.0 - kEps)) ++corner_wins;
+  }
+  std::printf("model grid: %zu cells, %d picked a non-default algorithm\n",
+              rows.size(), switched);
+  std::printf("corner (g>=8, B<=4KiB): adaptive beats ring in %d/%d cells\n",
+              corner_wins, corner_rows);
+  if (corner_rows > 0 && corner_wins == 0) {
+    std::fprintf(stderr,
+                 "VIOLATION: no strict adaptive win on the small-message "
+                 "corner\n");
+    ++violations;
+  }
+
+  if (!csv.empty()) {
+    std::ofstream out(csv);
+    out << "op,level,group,bytes,fixed_s,ring_s,adaptive_s,algo\n";
+    out.precision(17);
+    for (const auto& row : rows) {
+      out << hc::to_string(row.op) << ',' << hc::to_string(row.level) << ','
+          << row.group << ',' << row.bytes << ',' << row.fixed_s << ','
+          << row.ring_s << ',' << row.adaptive_s << ','
+          << hc::to_string(row.algo) << '\n';
+    }
+  }
+
+  hc::CollectivePolicy fixed;  // default: Mode::kFixed
+  hc::CollectivePolicy ring;
+  ring.mode = hc::CollectivePolicy::Mode::kForced;
+  ring.forced = hc::CollectiveAlgo::kRing;
+  const auto run_cal =
+      hpcg::tune::reference_calibration(hc::Topology::aimos(run_ranks));
+  const auto adaptive = run_cal.to_policy();
+
+  for (const bool small_only : {true, false}) {
+    const auto rf = run_policy(run_ranks, fixed, small_only);
+    const auto rr = run_policy(run_ranks, ring, small_only);
+    const auto ra = run_policy(run_ranks, adaptive, small_only);
+    const char* mix = small_only ? "small-message corner" : "mixed sizes";
+    std::printf(
+        "run (%d ranks, %s): fixed %.6gs  ring %.6gs  adaptive %.6gs\n",
+        run_ranks, mix, rf.makespan_s, rr.makespan_s, ra.makespan_s);
+    if (rf.digests != rr.digests || rf.digests != ra.digests) {
+      std::fprintf(stderr, "VIOLATION: results differ across policies (%s)\n",
+                   mix);
+      ++violations;
+    }
+    if (ra.makespan_s > rr.makespan_s * (1.0 + kEps) ||
+        ra.makespan_s > rf.makespan_s * (1.0 + kEps)) {
+      std::fprintf(stderr,
+                   "VIOLATION: adaptive makespan exceeds a baseline (%s)\n",
+                   mix);
+      ++violations;
+    }
+    if (small_only && ra.makespan_s >= rr.makespan_s * (1.0 - kEps)) {
+      std::fprintf(stderr,
+                   "VIOLATION: adaptive not strictly faster than ring on the "
+                   "small-message corner\n");
+      ++violations;
+    }
+  }
+
+  if (violations > 0) {
+    std::fprintf(stderr, "%d violation(s)\n", violations);
+    return 1;
+  }
+  std::printf("OK\n");
+  return 0;
+}

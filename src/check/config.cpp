@@ -71,6 +71,7 @@ std::string CheckConfig::to_string() const {
         << " mdel=" << mut_delete_pct;
   }
   if (sup > 0) out << " sup=" << sup;
+  if (pol != "fixed") out << " pol=" << pol;
   return out.str();
 }
 
@@ -176,6 +177,11 @@ CheckConfig CheckConfig::parse(const std::string& text) {
       if (cfg.sup < 0) {
         throw std::invalid_argument("bad config value sup=" + value);
       }
+    } else if (key == "pol") {
+      if (value != "fixed" && value != "adaptive") {
+        throw std::invalid_argument("bad config value pol=" + value);
+      }
+      cfg.pol = value;
     } else {
       throw std::invalid_argument("unknown config key: " + key);
     }
@@ -301,6 +307,12 @@ CheckConfig sample_config(util::Xoshiro256& rng) {
   }
   cfg.faults = plan.str();
   if (cfg.faults.empty()) cfg.fault_seed = 0;
+
+  // Collective policy flip, drawn LAST so pre-existing seeds keep sampling
+  // the same configurations up to this field. About a third of the sweep
+  // runs adaptive; the oracle comparison then asserts the policy's
+  // bit-identity invariant for free.
+  if (rng.next_below(3) == 0) cfg.pol = "adaptive";
   return cfg;
 }
 

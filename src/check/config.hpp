@@ -71,6 +71,13 @@ struct CheckConfig {
   // log and the run must still match the host mirror bit-identically.
   int sup = 0;
 
+  // Collective selection policy (docs/TUNING.md): "fixed" is the legacy
+  // single-algorithm cost model, "adaptive" attaches the topology-derived
+  // reference calibration. Results must be bit-identical either way — the
+  // policy changes modeled time only, so every oracle comparison doubles
+  // as a check of that invariant.
+  std::string pol = "fixed";
+
   int ranks() const { return rows * cols; }
   Gid n() const { return Gid{1} << scale; }
 

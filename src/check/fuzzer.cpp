@@ -115,6 +115,13 @@ std::vector<Failure> check_config(const CheckConfig& cfg, const FuzzOptions& opt
     v.thr = cfg.thr > 1 ? 1 : 4;
     check_variant(out, "thread-flip", base, v, 0.0, false, true);
   }
+  // Policy flip: collective selection changes modeled time only
+  // (docs/TUNING.md), so the opposite policy must answer bit-identically.
+  {
+    CheckConfig v = cfg;
+    v.pol = cfg.pol == "adaptive" ? "fixed" : "adaptive";
+    check_variant(out, "policy-flip", base, v, 0.0, false, true);
+  }
   // Fault-free twin: a recovered (or fault-degraded) run must match the
   // clean one bit for bit.
   if (!cfg.faults.empty()) {

@@ -22,6 +22,7 @@
 #include "serve/session.hpp"
 #include "serve/supervisor.hpp"
 #include "stream/mutation_log.hpp"
+#include "tune/calibration.hpp"
 
 namespace hpcg::check {
 
@@ -40,6 +41,15 @@ bool has_kill_fault(const std::string& faults) {
 /// blocked wait would dominate a sweep, and virtual time is unaffected.
 double timeout_for(const CheckConfig& cfg) {
   return cfg.faults.find("silent") != std::string::npos ? 1.0 : 0.0;
+}
+
+/// pol=adaptive attaches the topology-derived reference calibration; every
+/// oracle comparison then doubles as a check of the policy's bit-identity
+/// invariant (results may never depend on the selected algorithm).
+comm::CollectivePolicy policy_for(const CheckConfig& cfg) {
+  if (cfg.pol != "adaptive") return {};
+  return tune::reference_calibration(comm::Topology::aimos(cfg.ranks()))
+      .to_policy();
 }
 
 std::vector<std::int64_t> to_reference_levels(std::vector<std::int64_t> striped,
@@ -129,6 +139,7 @@ void run_serve_path(const CheckConfig& cfg, const EdgeList& el, RunResult& out) 
   sopts.async = cfg.async;
   sopts.async_chunk = cfg.chunk;
   sopts.kernel.threads = cfg.thr;
+  sopts.policy = policy_for(cfg);
   serve::Session session(el, Grid(cfg.rows, cfg.cols), sopts);
 
   serve::ServiceOptions vopts;
@@ -188,6 +199,7 @@ void run_stream_path(const CheckConfig& cfg, const EdgeList& el, RunResult& out)
   sopts.async = cfg.async;
   sopts.async_chunk = cfg.chunk;
   sopts.kernel.threads = cfg.thr;
+  sopts.policy = policy_for(cfg);
 
   // sup=N routes the same request stream through a serve::Supervisor
   // instead of a bare Session + Service: kill faults become survivable —
@@ -471,6 +483,7 @@ RunResult run_config(const CheckConfig& cfg, Canary canary) {
     ropts.async = cfg.async;
     ropts.async_chunk = cfg.chunk;
     ropts.kernel.threads = cfg.thr;
+    ropts.policy = policy_for(cfg);
     const auto rec = fault::Runtime::run_with_recovery(
         cfg.ranks(), comm::Topology::aimos(cfg.ranks()), comm::CostModel{}, ropts,
         [&](comm::Comm& comm, fault::Checkpointer& ckpt) {
@@ -487,6 +500,7 @@ RunResult run_config(const CheckConfig& cfg, Canary canary) {
     opts.async = cfg.async;
     opts.async_chunk = cfg.chunk;
     opts.kernel.threads = cfg.thr;
+    opts.policy = policy_for(cfg);
     comm::Runtime::run(cfg.ranks(), comm::Topology::aimos(cfg.ranks()),
                        comm::CostModel{}, opts, [&](comm::Comm& comm) {
                          Dist2DGraph g(comm, parts);

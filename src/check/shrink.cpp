@@ -67,6 +67,12 @@ const Move kMoves[] = {
        c.chunk = 1;
        return true;
      }},
+    {"fixed-policy",
+     [](CheckConfig& c) {
+       if (c.pol == "fixed") return false;
+       c.pol = "fixed";
+       return true;
+     }},
     {"drop-checkpointing",
      [](CheckConfig& c) {
        if (c.checkpoint_every == 0) return false;

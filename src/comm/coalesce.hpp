@@ -1,0 +1,133 @@
+// Sender-side small-message aggregation for latency-bound p2p exchanges.
+//
+// A rank with many small logical messages for the same destination pays the
+// link latency alpha once per message; when the per-item payload sits below
+// the fitted eager threshold (CollectivePolicy::eager_threshold_bytes, i.e.
+// B* = 2*alpha*beta of the pair's link class — see docs/TUNING.md), those
+// messages are latency-bound and packing them into one wire message is a
+// straight win. p2p_exchange implements that: per-destination item lists go
+// out either item-by-item (fixed policy, or items above the threshold) or
+// as one coalesced send per destination.
+//
+// The coalesce decision is computed identically on both endpoints from
+// shared state only (the exchanged count matrix, the topology's link class
+// for the pair, and the policy threshold), so sender packing and receiver
+// unpacking always agree without a control round-trip. Received items are
+// assembled in (source group rank, item) order in both modes, so the result
+// is bit-identical whether or not coalescing fires — only the modeled time
+// and message count change.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "comm/cost_model.hpp"
+#include "comm/topology.hpp"
+
+namespace hpcg::comm {
+
+/// Deterministic per-pair coalesce decision: true when the policy's fitted
+/// eager threshold for the pair's link class is active (> 0, i.e. adaptive
+/// mode with a valid fit) and one item's payload is below it. Depends only
+/// on state both endpoints share, never on rank-local data.
+inline bool coalesce_pair(const CostModel& cost, const Topology& topo,
+                          int src_world_rank, int dst_world_rank,
+                          std::size_t item_bytes, std::size_t n_items) {
+  if (n_items < 2) return false;  // nothing to aggregate
+  const LinkClass cls = topo.link_class(src_world_rank, dst_world_rank);
+  const std::size_t threshold = cost.policy().eager_threshold_bytes(cls);
+  return threshold > 0 && item_bytes < threshold;
+}
+
+/// Traffic summary of one p2p_exchange (rank-local view).
+struct CoalesceStats {
+  std::size_t items_sent = 0;      // logical messages this rank produced
+  std::size_t wire_messages = 0;   // actual sends after aggregation
+};
+
+/// Exchanges per-destination item lists over blocking p2p. `send` has one
+/// list per group member (group order; the self slot is delivered by local
+/// copy); `recv` is resized to the group size and filled with the items
+/// received from each source, in that source's send order. Collective over
+/// `c` — every member must call it with the same `tag`, and the exchange
+/// claims the tag block [tag, tag + group size): the substrate's recv
+/// matches by tag alone, so each source sends under its own tag to keep
+/// concurrent same-destination streams separable.
+///
+/// Fixed policy: every item travels as its own message (the legacy
+/// latency-per-update behavior). Adaptive policy: item lists whose per-item
+/// size is below the pair's fitted eager threshold are packed into a single
+/// message per destination. Both modes yield bit-identical `recv` contents.
+template <class T>
+CoalesceStats p2p_exchange(Comm& c, const std::vector<std::vector<T>>& send,
+                           std::vector<std::vector<T>>& recv, int tag) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int size = c.size();
+  const int rank = c.rank();
+  CoalesceStats stats;
+
+  // Share the count matrix so receivers know how many items (and, with the
+  // deterministic decision below, how many wire messages) to expect.
+  std::vector<std::size_t> my_counts(static_cast<std::size_t>(size), 0);
+  for (int d = 0; d < size; ++d) {
+    my_counts[static_cast<std::size_t>(d)] = send[static_cast<std::size_t>(d)].size();
+  }
+  std::vector<std::size_t> all_counts(
+      static_cast<std::size_t>(size) * static_cast<std::size_t>(size));
+  c.allgather(std::span<const std::size_t>(my_counts),
+              std::span<std::size_t>(all_counts));
+
+  const CostModel& cost = c.cost_model();
+  const Topology& topo = c.topology();
+  auto count_of = [&](int src, int dst) {
+    return all_counts[static_cast<std::size_t>(src) *
+                          static_cast<std::size_t>(size) +
+                      static_cast<std::size_t>(dst)];
+  };
+
+  // Sends first: the simulator's p2p sends are eager (enqueued at issue),
+  // so issuing every send before any recv cannot deadlock.
+  for (int d = 0; d < size; ++d) {
+    if (d == rank) continue;
+    const auto& items = send[static_cast<std::size_t>(d)];
+    if (items.empty()) continue;
+    stats.items_sent += items.size();
+    const int dst_world = c.member_world_rank(d);
+    if (coalesce_pair(cost, topo, c.world_rank(), dst_world, sizeof(T),
+                      items.size())) {
+      c.send(std::span<const T>(items), dst_world, tag + rank);
+      stats.wire_messages += 1;
+    } else {
+      for (const T& item : items) {
+        c.send(std::span<const T>(&item, 1), dst_world, tag + rank);
+      }
+      stats.wire_messages += items.size();
+    }
+  }
+
+  recv.assign(static_cast<std::size_t>(size), {});
+  recv[static_cast<std::size_t>(rank)] = send[static_cast<std::size_t>(rank)];
+  std::vector<T> one;
+  for (int s = 0; s < size; ++s) {
+    if (s == rank) continue;
+    const std::size_t n = count_of(s, rank);
+    if (n == 0) continue;
+    const int src_world = c.member_world_rank(s);
+    auto& into = recv[static_cast<std::size_t>(s)];
+    if (coalesce_pair(cost, topo, src_world, c.world_rank(), sizeof(T), n)) {
+      c.recv(src_world, tag + s, into);
+    } else {
+      into.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        c.recv(src_world, tag + s, one);
+        into.push_back(one[0]);
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace hpcg::comm

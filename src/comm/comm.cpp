@@ -160,7 +160,7 @@ void Comm::advance_clocks(double cost, std::uint64_t bytes, std::uint64_t msgs,
   group_->channel_epoch_ = world_->clock_epoch_;
   if (world_->cost_model().params().trace) {
     std::lock_guard lock(world_->trace_mutex_);
-    world_->trace_.push_back({t, cost, op, size(), bytes});
+    world_->trace_.push_back({t, cost, op, size(), bytes, group_->link().cls});
   }
 }
 
@@ -225,7 +225,8 @@ void Comm::async_leader_commit(AsyncCharge charge, CollectiveOp op) {
   world_->collectives_.fetch_add(1, std::memory_order_relaxed);
   if (world_->cost_model().params().trace) {
     std::lock_guard lock(world_->trace_mutex_);
-    world_->trace_.push_back({done, cost, op, size(), charge.bytes});
+    world_->trace_.push_back(
+        {done, cost, op, size(), charge.bytes, group_->link().cls});
   }
 }
 

@@ -217,6 +217,10 @@ class World {
   // read back by algorithms via Comm::async_default().
   bool async_default_ = false;
   int async_chunk_ = 4;
+  // When true (adaptive policy active and no explicit chunk count was
+  // given), Comm::auto_chunk_for derives the async pipeline segment count
+  // from the policy's fitted model instead of async_chunk_.
+  bool async_chunk_auto_ = false;
   // Run-level kernel-execution defaults (RunOptions::kernel), read back by
   // algorithms via Comm::threads_default() / chunk_grain_default(). A grain
   // of 0 means "use KernelOptions::kDefaultChunkGrain".
@@ -242,6 +246,10 @@ class Comm {
   int size() const { return group_->size(); }
   /// Rank index within the world.
   int world_rank() const { return world_rank_; }
+  /// World rank of group member `r` (group order).
+  int member_world_rank(int r) const {
+    return group_->members()[static_cast<std::size_t>(r)];
+  }
   const Topology& topology() const { return world_->topology(); }
   const CostModel& cost_model() const { return world_->cost_model(); }
 
@@ -423,6 +431,22 @@ class Comm {
   /// algorithms resolve their SparseOptions against these.
   bool async_default() const { return world_->async_default_; }
   int async_chunk_default() const { return world_->async_chunk_; }
+
+  /// Async pipeline segment count for an exchange moving an estimated
+  /// `total_bytes` across THIS communicator's group. Returns the run
+  /// default unless the adaptive policy owns chunk sizing (RunOptions::
+  /// policy adaptive and both chunk knobs left at their sentinels), in
+  /// which case the count is derived from the fitted model for the
+  /// group's bottleneck link class (CollectivePolicy::auto_segments).
+  /// `total_bytes` MUST be computed from group-uniform quantities — every
+  /// member issues one collective per segment, so divergent counts
+  /// deadlock the group.
+  int auto_chunk_for(std::size_t total_bytes) const {
+    if (!world_->async_chunk_auto_) return world_->async_chunk_;
+    const GroupLink& g = group_->link();
+    return world_->cost_model().policy().auto_segments(g.cls, g.size,
+                                                       total_bytes);
+  }
 
   /// Run-level kernel-execution defaults (RunOptions::kernel); algorithms
   /// resolve their KernelOptions against these. chunk_grain_default() == 0
@@ -928,8 +952,10 @@ void Comm::send(std::span<const T> data, int dest_world_rank, int tag) {
   }
   enter_collective();  // attribute compute before the modeled send
   const std::size_t bytes = data.size() * sizeof(T);
-  const auto& link = world_->topology().params(world_rank_, dest_world_rank);
-  double cost = world_->cost_model().p2p(link, bytes);
+  const LinkClass link_cls =
+      world_->topology().link_class(world_rank_, dest_world_rank);
+  const auto& link = world_->topology().params(link_cls);
+  double cost = world_->cost_model().p2p(link_cls, link, bytes);
   World::Message msg;
   msg.tag = tag;
   msg.payload.resize(bytes);

@@ -7,19 +7,24 @@ GroupLink make_group_link(const Topology& topo, const int* members, int size) {
   g.size = size;
   if (size <= 1) {
     g.link = topo.params(LinkClass::kSelf);
+    g.cls = LinkClass::kSelf;
     return g;
   }
   // Worst link on the ring of consecutive members (collective algorithms
   // here are ring/tree over group order, so that is what they traverse).
   LinkParams worst = topo.params(members[0], members[1]);
+  LinkClass worst_cls = topo.link_class(members[0], members[1]);
   for (int i = 0; i < size; ++i) {
-    const LinkParams& p = topo.params(members[i], members[(i + 1) % size]);
+    const LinkClass cls = topo.link_class(members[i], members[(i + 1) % size]);
+    const LinkParams& p = topo.params(cls);
     if (p.beta_bytes_s < worst.beta_bytes_s ||
         (p.beta_bytes_s == worst.beta_bytes_s && p.alpha_s > worst.alpha_s)) {
       worst = p;
+      worst_cls = cls;
     }
   }
   g.link = worst;
+  g.cls = worst_cls;
   return g;
 }
 

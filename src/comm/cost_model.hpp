@@ -9,17 +9,23 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 
+#include "comm/policy.hpp"
 #include "comm/topology.hpp"
 
 namespace hpcg::comm {
 
 /// Cached communication characteristics of one communicator group:
 /// the bottleneck link parameters over the ring the collective algorithms
-/// traverse (consecutive members in group order, wrapping).
+/// traverse (consecutive members in group order, wrapping), plus that
+/// bottleneck's link class — the topology level a CollectivePolicy's
+/// fitted constants are looked up under.
 struct GroupLink {
   LinkParams link;       // slowest link spanned by the group's ring
   int size = 1;          // group size
+  LinkClass cls = LinkClass::kSelf;  // class of the slowest link
   bool single_rank() const { return size <= 1; }
 };
 
@@ -31,7 +37,16 @@ struct GroupLink {
 struct CostParams {
   double compute_scale = 0.02;   // thread-CPU seconds -> modeled device seconds
   double software_alpha_s = 0.5e-6;
-  double bw_derate = 1.0;        // multiply beta by this (<= 1)
+  /// Effective-bandwidth derate: every link's beta is multiplied by this
+  /// before use. It models sustained-bandwidth loss the per-class LinkParams
+  /// cannot see — payload (de)serialization of a generic substrate format
+  /// and cache-sharing contention when many simulated ranks stage copies
+  /// through one host (the baselines/gluon_like substrate sets it well
+  /// below 1; the tuned NCCL-like path keeps it at 1). Must be > 0; values
+  /// above 1 would model a link faster than its own hardware parameters
+  /// and are almost certainly a configuration bug, but only <= 0 is
+  /// rejected (CostModel's constructor throws std::invalid_argument).
+  double bw_derate = 1.0;
   double kernel_launch_s = 3e-6; // charged per device kernel launch
   // Record a per-collective trace event stream (op, group size, bytes,
   // modeled cost) retrievable from RunStats — the tool for dissecting an
@@ -50,9 +65,22 @@ struct CostParams {
 
 class CostModel {
  public:
-  explicit CostModel(CostParams params = {}) : p_(params) {}
+  explicit CostModel(CostParams params = {}) : p_(params) {
+    if (!(p_.bw_derate > 0.0)) {
+      throw std::invalid_argument(
+          "CostParams::bw_derate must be > 0 (it scales effective link "
+          "bandwidth), got " + std::to_string(p_.bw_derate));
+    }
+  }
 
   const CostParams& params() const { return p_; }
+
+  /// Collective selection policy. kFixed (the default) reproduces the
+  /// legacy single-algorithm formulas bit for bit; kAdaptive dispatches
+  /// each variant-bearing collective through CollectivePolicy::select.
+  /// Attached by Runtime::run from RunOptions::policy.
+  void set_policy(const CollectivePolicy& policy) { policy_ = policy; }
+  const CollectivePolicy& policy() const { return policy_; }
 
   /// AllReduce, Rabenseifner-style: logarithmic latency depth (tuned
   /// libraries switch to tree/butterfly algorithms when latency-bound)
@@ -61,6 +89,7 @@ class CostModel {
   /// over the whole operation).
   double allreduce(const GroupLink& g, std::size_t bytes) const {
     if (g.single_rank()) return 0.0;
+    if (policy_.active()) return charge(CollectiveOp::kAllReduce, g, bytes);
     const double gs = g.size;
     return p_.software_alpha_s + 2.0 * levels(g) * alpha(g) +
            2.0 * static_cast<double>(bytes) * (gs - 1.0) / (gs * beta(g));
@@ -71,6 +100,7 @@ class CostModel {
   /// approximately one traversal).
   double broadcast(const GroupLink& g, std::size_t bytes) const {
     if (g.single_rank()) return 0.0;
+    if (policy_.active()) return charge(CollectiveOp::kBroadcast, g, bytes);
     return p_.software_alpha_s + levels(g) * alpha(g) +
            static_cast<double>(bytes) / beta(g);
   }
@@ -79,6 +109,9 @@ class CostModel {
   /// latency, ring bandwidth term.
   double allgather(const GroupLink& g, std::size_t total_bytes) const {
     if (g.single_rank()) return 0.0;
+    if (policy_.active()) {
+      return charge(CollectiveOp::kAllGather, g, total_bytes);
+    }
     const double gs = g.size;
     return p_.software_alpha_s + levels(g) * alpha(g) +
            static_cast<double>(total_bytes) * (gs - 1.0) / (gs * beta(g));
@@ -91,6 +124,9 @@ class CostModel {
   /// per-destination substrates latency-bound at scale (Figure 9).
   double alltoallv(const GroupLink& g, std::size_t max_rank_bytes) const {
     if (g.single_rank()) return 0.0;
+    if (policy_.active()) {
+      return charge(CollectiveOp::kAllToAllV, g, max_rank_bytes);
+    }
     return (g.size - 1.0) * (alpha(g) + p_.software_alpha_s) +
            static_cast<double>(max_rank_bytes) / beta(g);
   }
@@ -103,10 +139,33 @@ class CostModel {
     return max_op_cost + static_cast<double>(n_ops) * p_.kernel_launch_s;
   }
 
-  /// Point-to-point message.
+  /// Point-to-point message (idealized single-protocol transfer).
   double p2p(const LinkParams& link, std::size_t bytes) const {
     return link.alpha_s + p_.software_alpha_s +
            static_cast<double>(bytes) / (link.beta_bytes_s * p_.bw_derate);
+  }
+
+  /// Point-to-point message with protocol modeling: under an adaptive
+  /// policy the substrate picks the cheaper of the eager protocol (one
+  /// message, payload staged through a bounce buffer at
+  /// CollectivePolicy::kEagerBwShare of the link bandwidth) and the
+  /// rendezvous protocol (RTS/CTS handshake — two extra latency terms —
+  /// then a zero-copy transfer). The crossover is at 2*alpha*beta, the
+  /// same threshold that gates sender-side coalescing (docs/TUNING.md).
+  /// Fixed policy charges the idealized formula above unchanged.
+  double p2p(LinkClass cls, const LinkParams& link, std::size_t bytes) const {
+    if (policy_.mode != CollectivePolicy::Mode::kAdaptive ||
+        cls == LinkClass::kSelf) {
+      return p2p(link, bytes);
+    }
+    const double beta_eff = link.beta_bytes_s * p_.bw_derate;
+    const double eager =
+        link.alpha_s + p_.software_alpha_s +
+        static_cast<double>(bytes) /
+            (beta_eff * CollectivePolicy::kEagerBwShare);
+    const double rendezvous = 3.0 * link.alpha_s + p_.software_alpha_s +
+                              static_cast<double>(bytes) / beta_eff;
+    return eager < rendezvous ? eager : rendezvous;
   }
 
   double compute_scale() const { return p_.compute_scale; }
@@ -120,7 +179,16 @@ class CostModel {
     return g.link.beta_bytes_s * p_.bw_derate;
   }
 
+  /// Adaptive/forced charge path: select the algorithm with the fitted
+  /// constants, charge its duration with the actual substrate constants.
+  double charge(CollectiveOp op, const GroupLink& g, std::size_t bytes) const {
+    const CollectiveAlgo a = policy_.select(op, g.cls, g.size, bytes);
+    return algo_cost(op, a, alpha(g), p_.software_alpha_s, beta(g), g.size,
+                     bytes);
+  }
+
   CostParams p_;
+  CollectivePolicy policy_;
 };
 
 /// Computes the bottleneck link over a group's communication ring given the

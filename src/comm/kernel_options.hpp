@@ -99,6 +99,15 @@ struct KernelOptions {
     const int n = chunk > 0 ? chunk : c.async_chunk_default();
     return n < 1 ? 1 : n;
   }
+  /// Payload-aware variant of segments(): an explicit per-call chunk still
+  /// wins, but the run-default falls through Comm::auto_chunk_for so an
+  /// adaptive policy can derive the pipeline depth from the fitted model
+  /// (docs/TUNING.md). `total_bytes` must be group-uniform — see
+  /// Comm::auto_chunk_for.
+  int segments_for(const Comm& c, std::size_t total_bytes) const {
+    const int n = chunk > 0 ? chunk : c.auto_chunk_for(total_bytes);
+    return n < 1 ? 1 : n;
+  }
   int resolved_threads(const Comm& c) const {
     const int t = threads > 0 ? threads : c.threads_default();
     return t < 1 ? 1 : t;

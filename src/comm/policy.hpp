@@ -1,0 +1,131 @@
+// Adaptive collective-algorithm selection driven by a fitted alpha-beta
+// model (the runtime half of the src/tune calibration subsystem).
+//
+// The CostModel's legacy formulas hard-code one algorithm per collective
+// (Rabenseifner-style allreduce, binomial broadcast, Bruck allgather,
+// pairwise alltoallv). Tuned communication libraries instead pick the
+// algorithm per call from the message size and group span: latency-bound
+// calls want the log-depth tree variants, bandwidth-bound calls want the
+// ring variants, tiny groups sometimes want plain direct sends. A
+// CollectivePolicy carries per-topology-level constants fitted by
+// tune::fit_sweep (or derived exactly from the configured Topology via
+// tune::reference_calibration) and selects the argmin-cost algorithm at
+// every call site; the CostModel then charges that algorithm's modeled
+// duration with its *actual* substrate parameters.
+//
+// Design invariant: policy selection changes ONLY the modeled duration of
+// an operation. Data movement is real shared-memory copying and never
+// depends on the cost, so a run under any policy is bit-identical in
+// results to the fixed policy (asserted by hpcg_check's `pol=` flip and
+// tests/test_tune.cpp). See docs/TUNING.md.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "comm/stats.hpp"
+#include "comm/topology.hpp"
+
+namespace hpcg::comm {
+
+/// Collective algorithm variants the policy chooses between. kDefault is
+/// the legacy hybrid formula of cost_model.hpp (bit-identical charging).
+enum class CollectiveAlgo : std::uint8_t {
+  kDefault,
+  kRing,
+  kTree,
+  kDirect,
+};
+
+constexpr const char* to_string(CollectiveAlgo a) {
+  switch (a) {
+    case CollectiveAlgo::kDefault: return "default";
+    case CollectiveAlgo::kRing: return "ring";
+    case CollectiveAlgo::kTree: return "tree";
+    case CollectiveAlgo::kDirect: return "direct";
+  }
+  return "?";
+}
+
+/// Fitted alpha-beta constants of one topology level (link class), as
+/// produced by the least-squares fitter. `beta_bytes_s` is the *effective*
+/// bandwidth (the fit absorbs CostParams::bw_derate); `software_alpha_s`
+/// is the per-operation software overhead observed at this level.
+struct FittedLevel {
+  bool valid = false;
+  double alpha_s = 0.0;
+  double beta_bytes_s = 0.0;
+  double software_alpha_s = 0.0;
+};
+
+/// Closed-form modeled duration of one collective algorithm variant under
+/// (alpha, software_alpha, beta) for a group of `group_size` ranks moving
+/// `bytes` (the same byte convention the CostModel methods use: payload
+/// for allreduce/broadcast, aggregated total for allgather, max per-rank
+/// traffic for alltoallv). kDefault reproduces the legacy cost_model.hpp
+/// formulas exactly. Used both for selection (with fitted constants) and
+/// for charging (with the actual substrate constants), so the crossover
+/// math in docs/TUNING.md describes the real decision boundary.
+double algo_cost(CollectiveOp op, CollectiveAlgo algo, double alpha_s,
+                 double software_alpha_s, double beta_bytes_s, int group_size,
+                 std::size_t bytes);
+
+/// Per-run collective selection policy, carried by RunOptions and attached
+/// to the World's CostModel. Default-constructed = fixed (legacy formulas,
+/// zero behavior change).
+struct CollectivePolicy {
+  enum class Mode : std::uint8_t {
+    kFixed,     // legacy formulas; fitted levels ignored
+    kAdaptive,  // argmin over algorithm variants per call site
+    kForced,    // always `forced` (bench_collectives baselines)
+  };
+
+  Mode mode = Mode::kFixed;
+  CollectiveAlgo forced = CollectiveAlgo::kRing;
+  /// Indexed by LinkClass; kSelf stays invalid (single-rank groups are
+  /// free). Levels the calibration could not fit stay invalid and fall
+  /// back to kDefault selection.
+  std::array<FittedLevel, kNumLinkClasses> level{};
+
+  bool active() const { return mode != Mode::kFixed; }
+
+  const FittedLevel& at(LinkClass cls) const {
+    return level[static_cast<std::size_t>(cls)];
+  }
+
+  /// Picks the algorithm for one collective call: the argmin of algo_cost
+  /// over {default, ring, tree, direct} evaluated with the *fitted*
+  /// constants of the group's bottleneck link class (ties prefer
+  /// kDefault). kFixed or an unfitted level selects kDefault.
+  CollectiveAlgo select(CollectiveOp op, LinkClass cls, int group_size,
+                        std::size_t bytes) const;
+
+  /// Eager->rendezvous protocol switch for point-to-point messages at this
+  /// level: B* = 2 * alpha * beta, where the eager copy's halved effective
+  /// bandwidth overtakes the rendezvous handshake's extra round trip (see
+  /// docs/TUNING.md). Messages at or below the threshold are eager (and
+  /// thus eligible for sender-side coalescing, comm/coalesce.hpp).
+  /// Returns 0 when the level is unfitted or the policy is not adaptive
+  /// (coalescing then stays off).
+  double eager_threshold_bytes(LinkClass cls) const;
+
+  /// Derived async pipeline segment count for an exchange moving
+  /// `total_bytes` across a group of `group_size` at level `cls`:
+  /// k* = clamp(round(sqrt(T / L)), 1, kMaxAutoSegments) with per-segment
+  /// latency L = software_alpha + ceil(log2 g) * alpha and serial transfer
+  /// time T = B * (g-1) / (g * beta). Returns 1 when the level is unfitted
+  /// or the policy is not adaptive.
+  int auto_segments(LinkClass cls, int group_size,
+                    std::size_t total_bytes) const;
+
+  /// Cap on the derived segment count: beyond this the per-segment
+  /// latency bookkeeping dwarfs any remaining overlap win.
+  static constexpr int kMaxAutoSegments = 16;
+
+  /// Effective bandwidth share of the eager protocol's bounce-buffer copy
+  /// (the payload crosses the wire and then a staging copy).
+  static constexpr double kEagerBwShare = 0.5;
+};
+
+}  // namespace hpcg::comm

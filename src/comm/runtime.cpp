@@ -48,6 +48,15 @@ RunStats Runtime::run(int nranks, const Topology& topo, const CostModel& cost,
   int async_chunk =
       options.kernel.chunk > 0 ? options.kernel.chunk : options.async_chunk;
   World world(topo, cost);
+  world.cost_.set_policy(options.policy);
+  // The adaptive policy owns async chunk sizing only when neither chunk
+  // knob was set explicitly (kernel.chunk 0 = "not given"; the deprecated
+  // async_chunk's default of 1 doubles as its sentinel — an explicit
+  // --async-chunk=1 is indistinguishable from absent and equals the fixed
+  // behavior anyway).
+  world.async_chunk_auto_ =
+      options.policy.mode == CollectivePolicy::Mode::kAdaptive &&
+      options.kernel.chunk == 0 && options.async_chunk == 1;
   world.recorder_ = recorder;
   world.injector_ = options.faults;
   world.comm_timeout_s_ = options.comm_timeout_s;

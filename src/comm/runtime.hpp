@@ -8,6 +8,7 @@
 #include "comm/comm.hpp"
 #include "comm/fault_hooks.hpp"
 #include "comm/kernel_options.hpp"
+#include "comm/policy.hpp"
 #include "comm/stats.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -47,6 +48,15 @@ struct RunOptions {
   /// clock reset. Supervised session rebuilds (serve::Supervisor) set this
   /// so serve.* counters accumulate across restarts.
   bool keep_metrics = false;
+  /// Collective selection policy (docs/TUNING.md). The default (fixed)
+  /// reproduces the legacy single-algorithm cost formulas bit for bit; an
+  /// adaptive policy — usually built from a tune::Calibration — selects
+  /// ring/tree/direct variants per call site, models the eager/rendezvous
+  /// p2p protocol switch, and (when both `async_chunk` and kernel.chunk
+  /// are left at their sentinels) derives async pipeline segment counts
+  /// from the fitted model. Results are bit-identical under any policy;
+  /// only modeled time changes.
+  CollectivePolicy policy = {};
 
   static constexpr double kDefaultFaultTimeoutS = 10.0;
 };

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "comm/topology.hpp"
+
 namespace hpcg::comm {
 
 /// Every collective operation the communicator implements. Typed (rather
@@ -56,6 +58,10 @@ struct TraceEvent {
   CollectiveOp op = CollectiveOp::kBarrier;
   int group_size = 0;
   std::uint64_t bytes = 0;
+  /// Bottleneck link class of the group (the topology level the cost was
+  /// charged against) — lets hpcg_trace compare each event against the
+  /// per-level fitted prediction of a calibration file.
+  LinkClass link_class = LinkClass::kSelf;
 
   /// Back-compat accessor for string-comparing tests and CSV writers.
   const char* op_name() const { return to_string(op); }

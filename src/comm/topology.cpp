@@ -16,6 +16,14 @@ constexpr LinkParams kEdrIb{25e-6, 9e9};
 constexpr LinkParams kNvlinkA100{4e-6, 150e9};
 }  // namespace
 
+LinkClass link_class_from_string(const std::string& name) {
+  if (name == "self") return LinkClass::kSelf;
+  if (name == "nvlink") return LinkClass::kNvlink;
+  if (name == "intra_node") return LinkClass::kIntraNode;
+  if (name == "network") return LinkClass::kNetwork;
+  throw std::invalid_argument("unknown link class: " + name);
+}
+
 Topology::Topology(int nranks, int gpus_per_node, int clique_size,
                    LinkParams nvlink, LinkParams intra_node, LinkParams network)
     : nranks_(nranks),

@@ -24,6 +24,23 @@ enum class LinkClass {
   kNetwork = 3,    // across the interconnect
 };
 
+/// Number of distinct link classes (array-index bound for per-level data).
+inline constexpr int kNumLinkClasses = 4;
+
+constexpr const char* to_string(LinkClass c) {
+  switch (c) {
+    case LinkClass::kSelf: return "self";
+    case LinkClass::kNvlink: return "nvlink";
+    case LinkClass::kIntraNode: return "intra_node";
+    case LinkClass::kNetwork: return "network";
+  }
+  return "?";
+}
+
+/// Inverse of to_string(LinkClass); throws std::invalid_argument on an
+/// unknown name (used by the calibration/sweep file parsers).
+LinkClass link_class_from_string(const std::string& name);
+
 /// Latency/bandwidth pair of one link class (alpha-beta model).
 struct LinkParams {
   double alpha_s = 0.0;        // per-message latency, seconds
@@ -49,6 +66,8 @@ class Topology {
            LinkParams intra_node, LinkParams network);
 
   int nranks() const { return nranks_; }
+  int gpus_per_node() const { return gpus_per_node_; }
+  int clique_size() const { return clique_size_; }
   int node_of(int rank) const { return rank / gpus_per_node_; }
   int clique_of(int rank) const { return rank / clique_size_; }
 

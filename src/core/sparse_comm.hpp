@@ -188,15 +188,24 @@ SparseTraffic sparse_exchange(Dist2DGraph& g, std::span<T> state,
   };
 
   if (opts.enabled(g.world())) {
-    const int nseg = opts.segments(g.world());
+    // Segment-count estimate for the adaptive auto-chunker. It must be
+    // identical on every group member (divergent counts deadlock the
+    // pipeline), so use the graph's global vertex count — a worst-case
+    // "every vertex updated" payload — rather than this rank's queue size.
+    const std::size_t phase_bytes_estimate =
+        static_cast<std::size_t>(g.n()) * sizeof(GidValue<T>);
     traffic.first_phase_sent = updated.size();
     detail::sparse_phase_async(first_comm, g.world(),
                                std::span<const Lid>(updated.items()), lids,
-                               state, nseg, bufs, &updated, apply_first);
+                               state,
+                               opts.segments_for(first_comm, phase_bytes_estimate),
+                               bufs, &updated, apply_first);
     traffic.second_phase_sent = second_queue.size();
     detail::sparse_phase_async(second_comm, g.world(),
                                std::span<const Lid>(second_queue.items()), lids,
-                               state, nseg, bufs, nullptr, apply_second);
+                               state,
+                               opts.segments_for(second_comm, phase_bytes_estimate),
+                               bufs, nullptr, apply_second);
     second_queue.clear();
     return traffic;
   }

@@ -19,6 +19,7 @@ RecoveryResult Runtime::run_with_recovery(
   run_options.async = options.async;
   run_options.async_chunk = options.async_chunk;
   run_options.kernel = options.kernel;
+  run_options.policy = options.policy;
 
   // Fault instants recorded during failed attempts are wiped when the next
   // attempt resets the telemetry tracks; stash them at failure time and

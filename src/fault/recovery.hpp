@@ -48,6 +48,10 @@ struct RecoveryOptions {
   /// replays are bit-identical for any thread count — the worker pool's
   /// chunk boundaries and commit order do not depend on it.
   comm::KernelOptions kernel = {};
+  /// Forwarded to comm::RunOptions::policy: collective selection policy.
+  /// Like the kernel knobs, it changes modeled time only, so recovery's
+  /// bit-identity guarantee holds under any policy.
+  comm::CollectivePolicy policy = {};
 };
 
 struct RecoveryResult {

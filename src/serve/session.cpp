@@ -19,6 +19,7 @@ Session::Session(const graph::EdgeList& graph, core::Grid grid,
   ropts.async = options.async;
   ropts.async_chunk = options.async_chunk;
   ropts.kernel = options.kernel;
+  ropts.policy = options.policy;
   ropts.keep_metrics = options.keep_metrics;
   const auto topo = comm::Topology::aimos(nranks_);
   host_ = std::thread([this, ropts, topo] {

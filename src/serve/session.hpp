@@ -41,6 +41,10 @@ struct SessionOptions {
   /// async overrides) for the resident runtime; forwarded to
   /// comm::RunOptions::kernel. Results are bit-identical for any setting.
   comm::KernelOptions kernel = {};
+  /// Collective selection policy for the resident runtime; forwarded to
+  /// comm::RunOptions::policy. Bit-identical results for any policy — only
+  /// modeled time changes.
+  comm::CollectivePolicy policy = {};
   /// Graph epoch the freshly built Dist2DGraph starts at (default 0). A
   /// supervisor rebuilding a session from a snapshot + committed-log
   /// replay passes the snapshot's epoch so post-recovery commits continue

@@ -1,0 +1,412 @@
+#include "tune/calibration.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <sstream>
+#include <utility>
+
+namespace hpcg::tune {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader — just enough for the calibration schema (objects,
+// arrays, strings, numbers, bools, null), with positioned error messages.
+// Kept local on purpose: the repo takes no external dependencies.
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw CalibrationError("calibration JSON, offset " +
+                           std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "', got '" +
+                          text_[pos_] + "'");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      JsonValue v;
+      v.type = JsonValue::Type::kString;
+      v.string = string();
+      return v;
+    }
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') {
+      literal("null");
+      return {};
+    }
+    return number();
+  }
+
+  void literal(const std::string& word) {
+    skip_ws();
+    if (text_.compare(pos_, word.size(), word) != 0) {
+      fail("expected '" + word + "'");
+    }
+    pos_ += word.size();
+  }
+
+  JsonValue boolean() {
+    JsonValue v;
+    v.type = JsonValue::Type::kBool;
+    if (peek() == 't') {
+      literal("true");
+      v.boolean = true;
+    } else {
+      literal("false");
+      v.boolean = false;
+    }
+    return v;
+  }
+
+  JsonValue number() {
+    skip_ws();
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double d = std::strtod(start, &end);
+    if (end == start) fail("expected a number");
+    if (!std::isfinite(d)) fail("non-finite number");
+    pos_ += static_cast<std::size_t>(end - start);
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number = d;
+    return v;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          default: fail(std::string("unsupported escape '\\") + e + "'");
+        }
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      const char c = peek();
+      if (c == ']') {
+        ++pos_;
+        return v;
+      }
+      expect(',');
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      const std::string key = string();
+      expect(':');
+      v.object.emplace(key, value());
+      const char c = peek();
+      if (c == '}') {
+        ++pos_;
+        return v;
+      }
+      expect(',');
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+const JsonValue& require(const JsonValue& obj, const std::string& key,
+                         JsonValue::Type type, const char* type_name) {
+  if (obj.type != JsonValue::Type::kObject) {
+    throw CalibrationError("calibration JSON: expected an object around '" +
+                           key + "'");
+  }
+  const auto it = obj.object.find(key);
+  if (it == obj.object.end()) {
+    throw CalibrationError("calibration JSON: missing key '" + key + "'");
+  }
+  if (it->second.type != type) {
+    throw CalibrationError("calibration JSON: key '" + key + "' must be " +
+                           type_name);
+  }
+  return it->second;
+}
+
+double require_number(const JsonValue& obj, const std::string& key) {
+  return require(obj, key, JsonValue::Type::kNumber, "a number").number;
+}
+
+std::string require_string(const JsonValue& obj, const std::string& key) {
+  return require(obj, key, JsonValue::Type::kString, "a string").string;
+}
+
+void write_escaped(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+
+comm::CollectiveOp op_from_name(const std::string& name) {
+  if (name == "allreduce") return comm::CollectiveOp::kAllReduce;
+  if (name == "broadcast") return comm::CollectiveOp::kBroadcast;
+  if (name == "allgather") return comm::CollectiveOp::kAllGather;
+  if (name == "allgatherv") return comm::CollectiveOp::kAllGatherV;
+  if (name == "alltoallv") return comm::CollectiveOp::kAllToAllV;
+  throw CalibrationError("calibration JSON: unknown collective op '" + name +
+                         "'");
+}
+
+comm::CollectiveAlgo algo_from_name(const std::string& name) {
+  if (name == "default") return comm::CollectiveAlgo::kDefault;
+  if (name == "ring") return comm::CollectiveAlgo::kRing;
+  if (name == "tree") return comm::CollectiveAlgo::kTree;
+  if (name == "direct") return comm::CollectiveAlgo::kDirect;
+  throw CalibrationError("calibration JSON: unknown algorithm '" + name +
+                         "'");
+}
+
+comm::LinkClass level_from_name(const std::string& name) {
+  try {
+    return comm::link_class_from_string(name);
+  } catch (const std::invalid_argument& e) {
+    throw CalibrationError(std::string("calibration JSON: ") + e.what());
+  }
+}
+
+}  // namespace
+
+std::string Calibration::to_json() const {
+  std::ostringstream out;
+  out << std::setprecision(17);
+  out << "{\n";
+  out << "  \"version\": " << version << ",\n";
+  out << "  \"topology\": ";
+  write_escaped(out, topology);
+  out << ",\n";
+  out << "  \"nranks\": " << nranks << ",\n";
+  out << "  \"levels\": {";
+  bool first = true;
+  for (int i = 0; i < comm::kNumLinkClasses; ++i) {
+    const LevelFit& f = level[static_cast<std::size_t>(i)];
+    if (!f.valid) continue;
+    if (!first) out << ",";
+    first = false;
+    out << "\n    \"" << comm::to_string(static_cast<comm::LinkClass>(i))
+        << "\": {\"alpha_s\": " << f.alpha_s
+        << ", \"beta_bytes_s\": " << f.beta_bytes_s
+        << ", \"software_alpha_s\": " << f.software_alpha_s
+        << ", \"samples\": " << f.samples
+        << ", \"max_rel_error\": " << f.max_rel_error << "}";
+  }
+  out << (first ? "},\n" : "\n  },\n");
+  out << "  \"crossovers\": [";
+  for (std::size_t i = 0; i < crossovers.size(); ++i) {
+    const Crossover& c = crossovers[i];
+    if (i) out << ",";
+    out << "\n    {\"op\": \"" << comm::to_string(c.op) << "\", \"level\": \""
+        << comm::to_string(c.level) << "\", \"group_size\": " << c.group_size
+        << ", \"bytes\": " << c.bytes << ", \"below\": \""
+        << comm::to_string(c.below) << "\", \"above\": \""
+        << comm::to_string(c.above) << "\"}";
+  }
+  out << (crossovers.empty() ? "]\n" : "\n  ]\n");
+  out << "}\n";
+  return out.str();
+}
+
+Calibration Calibration::from_json(const std::string& text) {
+  const JsonValue root = JsonParser(text).parse();
+  if (root.type != JsonValue::Type::kObject) {
+    throw CalibrationError("calibration JSON: document must be an object");
+  }
+  Calibration cal;
+  const double version = require_number(root, "version");
+  cal.version = static_cast<int>(version);
+  if (cal.version != kVersion) {
+    throw CalibrationError(
+        "unsupported calibration version " + std::to_string(cal.version) +
+        " (this build reads version " + std::to_string(kVersion) +
+        "); re-run 'hpcg_tune sweep' + 'hpcg_tune fit'");
+  }
+  cal.topology = require_string(root, "topology");
+  cal.nranks = static_cast<int>(require_number(root, "nranks"));
+  if (cal.nranks < 0) {
+    throw CalibrationError("calibration JSON: nranks must be >= 0");
+  }
+  const JsonValue& levels =
+      require(root, "levels", JsonValue::Type::kObject, "an object");
+  for (const auto& [name, entry] : levels.object) {
+    const comm::LinkClass cls = level_from_name(name);
+    if (cls == comm::LinkClass::kSelf) {
+      throw CalibrationError(
+          "calibration JSON: the 'self' level cannot carry a fit");
+    }
+    LevelFit& f = cal.level[static_cast<std::size_t>(cls)];
+    f.valid = true;
+    f.alpha_s = require_number(entry, "alpha_s");
+    f.beta_bytes_s = require_number(entry, "beta_bytes_s");
+    f.software_alpha_s = require_number(entry, "software_alpha_s");
+    f.samples = static_cast<int>(require_number(entry, "samples"));
+    f.max_rel_error = require_number(entry, "max_rel_error");
+    if (f.alpha_s < 0.0 || f.software_alpha_s < 0.0 ||
+        !(f.beta_bytes_s > 0.0)) {
+      throw CalibrationError("calibration JSON: level '" + name +
+                             "' has out-of-range constants (need alpha >= 0, "
+                             "software_alpha >= 0, beta > 0)");
+    }
+  }
+  const JsonValue& crossovers =
+      require(root, "crossovers", JsonValue::Type::kArray, "an array");
+  for (const JsonValue& entry : crossovers.array) {
+    Crossover c;
+    c.op = op_from_name(require_string(entry, "op"));
+    c.level = level_from_name(require_string(entry, "level"));
+    c.group_size = static_cast<int>(require_number(entry, "group_size"));
+    c.bytes = static_cast<std::size_t>(require_number(entry, "bytes"));
+    c.below = algo_from_name(require_string(entry, "below"));
+    c.above = algo_from_name(require_string(entry, "above"));
+    cal.crossovers.push_back(c);
+  }
+  return cal;
+}
+
+void Calibration::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw CalibrationError("cannot open calibration file for writing: " +
+                           path);
+  }
+  out << to_json();
+  if (!out) {
+    throw CalibrationError("failed writing calibration file: " + path);
+  }
+}
+
+Calibration Calibration::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw CalibrationError("cannot open calibration file: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    return from_json(buf.str());
+  } catch (const CalibrationError& e) {
+    throw CalibrationError(path + ": " + e.what());
+  }
+}
+
+Calibration make_calibration(const comm::Topology& topo,
+                             const FitResult& fit) {
+  Calibration cal;
+  cal.topology = topo.describe();
+  cal.nranks = topo.nranks();
+  cal.level = fit.level;
+  cal.crossovers = fit.crossovers;
+  return cal;
+}
+
+Calibration reference_calibration(const comm::Topology& topo,
+                                  const comm::CostParams& cost) {
+  Calibration cal;
+  cal.topology = topo.describe();
+  cal.nranks = topo.nranks();
+  std::array<int, comm::kNumLinkClasses> group_size_of{};
+  for (int i = 1; i < comm::kNumLinkClasses; ++i) {
+    const auto cls = static_cast<comm::LinkClass>(i);
+    const comm::LinkParams& p = topo.params(cls);
+    LevelFit& f = cal.level[static_cast<std::size_t>(i)];
+    f.valid = true;
+    f.alpha_s = p.alpha_s;
+    f.beta_bytes_s = p.beta_bytes_s * cost.bw_derate;
+    f.software_alpha_s = cost.software_alpha_s;
+    f.samples = 0;  // derived, not measured
+    f.max_rel_error = 0.0;
+  }
+  // Natural group span of each level: the clique, the node, the world.
+  group_size_of[static_cast<std::size_t>(comm::LinkClass::kNvlink)] =
+      std::min(topo.clique_size(), topo.nranks());
+  group_size_of[static_cast<std::size_t>(comm::LinkClass::kIntraNode)] =
+      std::min(topo.gpus_per_node(), topo.nranks());
+  group_size_of[static_cast<std::size_t>(comm::LinkClass::kNetwork)] =
+      topo.nranks();
+  cal.crossovers = compute_crossovers(cal.level, group_size_of);
+  return cal;
+}
+
+}  // namespace hpcg::tune

@@ -1,0 +1,70 @@
+// Versioned calibration artifact: the serialized product of a sweep + fit,
+// loadable into a runtime CollectivePolicy.
+//
+// calibration.json is the hand-off point between `hpcg_tune` (offline
+// sweep/fit) and the tools' `--calibration=` flag (online adaptive
+// selection). The file is plain JSON, written and parsed here without any
+// external dependency; schema in docs/TUNING.md. Loading is strict:
+// missing files, malformed JSON, unknown versions, and out-of-range values
+// all raise the typed CalibrationError so CLIs can print usage instead of
+// crashing.
+#pragma once
+
+#include <array>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "comm/cost_model.hpp"
+#include "comm/policy.hpp"
+#include "comm/topology.hpp"
+#include "tune/fit.hpp"
+
+namespace hpcg::tune {
+
+/// Typed failure of calibration (de)serialization: missing file, malformed
+/// JSON, unsupported version, out-of-range values.
+class CalibrationError : public std::runtime_error {
+ public:
+  explicit CalibrationError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+struct Calibration {
+  static constexpr int kVersion = 1;
+
+  int version = kVersion;
+  /// Human-readable provenance (Topology::describe of the swept machine).
+  std::string topology;
+  int nranks = 0;
+  std::array<LevelFit, comm::kNumLinkClasses> level{};
+  std::vector<Crossover> crossovers;
+
+  /// The calibration as a runtime policy (mode = kAdaptive; unfitted
+  /// levels stay invalid and fall back to default selection).
+  comm::CollectivePolicy to_policy() const { return tune::to_policy(level); }
+
+  std::string to_json() const;
+  /// Throws CalibrationError on malformed input or version mismatch.
+  static Calibration from_json(const std::string& text);
+
+  /// File round-trip; load() wraps open/parse failures in CalibrationError
+  /// messages that name the path.
+  void save(const std::string& path) const;
+  static Calibration load(const std::string& path);
+};
+
+/// Stamps a fit with the swept machine's identity.
+Calibration make_calibration(const comm::Topology& topo,
+                             const FitResult& fit);
+
+/// The calibration a perfect sweep of (topo, cost) would produce: fitted
+/// constants copied straight from the configured link parameters (beta
+/// pre-multiplied by bw_derate, software_alpha from the cost params), with
+/// crossovers computed at each level's natural group size. This is what
+/// hpcg_check's `pol=adaptive` runs and the fitter round-trip tests compare
+/// against, and the reference side of `hpcg_tune diff`.
+Calibration reference_calibration(const comm::Topology& topo,
+                                  const comm::CostParams& cost = {});
+
+}  // namespace hpcg::tune

@@ -1,0 +1,202 @@
+#include "tune/fit.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <set>
+#include <utility>
+
+namespace hpcg::tune {
+
+namespace {
+
+/// Design-matrix row of one sample: cost = row[0]*alpha + row[1]*s +
+/// row[2]*(1/beta), matching the kDefault formulas of comm/policy.cpp
+/// (levels(g) = bit_width(g-1)).
+std::array<double, 3> row_of(const SweepPoint& p) {
+  const double g = p.group_size;
+  const double b = static_cast<double>(p.bytes);
+  const double lv = std::bit_width(static_cast<unsigned>(p.group_size - 1));
+  switch (p.pattern) {
+    case Pattern::kP2p:
+      return {1.0, 1.0, b};
+    case Pattern::kAllReduce:
+      return {2.0 * lv, 1.0, 2.0 * b * (g - 1.0) / g};
+    case Pattern::kBroadcast:
+      return {lv, 1.0, b};
+    case Pattern::kAllGatherV:
+      return {lv, 1.0, b * (g - 1.0) / g};
+    case Pattern::kAllToAllV:
+      return {g - 1.0, g - 1.0, b};
+  }
+  return {0.0, 0.0, 0.0};
+}
+
+/// Solves the 3x3 normal equations M x = v (column-scaled Gaussian
+/// elimination with partial pivoting). Returns false when singular.
+bool solve3(std::array<std::array<double, 3>, 3> m, std::array<double, 3> v,
+            std::array<double, 3>& x) {
+  // Scale columns to comparable magnitude (the 1/beta column's byte
+  // coefficients dwarf the latency columns by ~6 orders of magnitude).
+  std::array<double, 3> scale{};
+  for (int j = 0; j < 3; ++j) {
+    double mx = 0.0;
+    for (int i = 0; i < 3; ++i) mx = std::max(mx, std::abs(m[i][j]));
+    if (mx <= 0.0) return false;  // column absent: underdetermined
+    scale[j] = 1.0 / mx;
+    for (int i = 0; i < 3; ++i) m[i][j] *= scale[j];
+  }
+  std::array<int, 3> perm = {0, 1, 2};
+  for (int col = 0; col < 3; ++col) {
+    int pivot = col;
+    for (int i = col + 1; i < 3; ++i) {
+      if (std::abs(m[i][col]) > std::abs(m[pivot][col])) pivot = i;
+    }
+    if (std::abs(m[pivot][col]) < 1e-14) return false;
+    std::swap(m[col], m[pivot]);
+    std::swap(v[col], v[pivot]);
+    std::swap(perm[col], perm[pivot]);
+    for (int i = col + 1; i < 3; ++i) {
+      const double f = m[i][col] / m[col][col];
+      for (int j = col; j < 3; ++j) m[i][j] -= f * m[col][j];
+      v[i] -= f * v[col];
+    }
+  }
+  for (int i = 2; i >= 0; --i) {
+    double s = v[i];
+    for (int j = i + 1; j < 3; ++j) s -= m[i][j] * x[j];
+    x[i] = s / m[i][i];
+  }
+  for (int j = 0; j < 3; ++j) x[j] *= scale[j];
+  return true;
+}
+
+}  // namespace
+
+FitResult fit_sweep(const std::vector<SweepPoint>& sweep) {
+  if (sweep.empty()) {
+    throw FitError("fit: empty sweep (no samples to fit)");
+  }
+  FitResult result;
+  std::array<int, comm::kNumLinkClasses> max_group{};
+  for (int cls_i = 0; cls_i < comm::kNumLinkClasses; ++cls_i) {
+    const auto cls = static_cast<comm::LinkClass>(cls_i);
+    std::vector<const SweepPoint*> samples;
+    std::set<std::size_t> distinct_bytes;
+    for (const SweepPoint& p : sweep) {
+      if (p.level != cls) continue;
+      samples.push_back(&p);
+      distinct_bytes.insert(p.bytes);
+      max_group[static_cast<std::size_t>(cls_i)] =
+          std::max(max_group[static_cast<std::size_t>(cls_i)], p.group_size);
+    }
+    if (samples.empty()) continue;  // level not swept: stays invalid
+    const std::string name = comm::to_string(cls);
+    if (distinct_bytes.size() < 2) {
+      throw FitError("fit: level '" + name +
+                     "' was swept at a single message size — cannot "
+                     "separate latency from bandwidth (need >= 2 sizes)");
+    }
+    // Accumulate the normal equations sum(r^T r) x = sum(r^T y).
+    std::array<std::array<double, 3>, 3> m{};
+    std::array<double, 3> v{};
+    for (const SweepPoint* p : samples) {
+      const auto r = row_of(*p);
+      for (int i = 0; i < 3; ++i) {
+        for (int j = 0; j < 3; ++j) m[i][j] += r[i] * r[j];
+        v[i] += r[i] * p->seconds;
+      }
+    }
+    std::array<double, 3> x{};
+    if (!solve3(m, v, x)) {
+      throw FitError("fit: level '" + name +
+                     "' has a singular design matrix — the pattern mix "
+                     "cannot identify (alpha, software_alpha, 1/beta)");
+    }
+    // Tiny negative latencies are least-squares roundoff; clamp.
+    double alpha = std::max(0.0, x[0]);
+    double soft = std::max(0.0, x[1]);
+    const double inv_beta = x[2];
+    // A constant-latency level fits 1/beta ~ 0, i.e. infinite bandwidth:
+    // reject instead of shipping a nonsensical model. The relative test
+    // asks whether the bandwidth term explains any cost at the largest
+    // observed message.
+    double max_bw_term = 0.0;
+    double max_y = 0.0;
+    for (const SweepPoint* p : samples) {
+      max_bw_term = std::max(max_bw_term,
+                             row_of(*p)[2] * std::max(0.0, inv_beta));
+      max_y = std::max(max_y, p->seconds);
+    }
+    if (!std::isfinite(inv_beta) || inv_beta <= 0.0 ||
+        max_bw_term <= 1e-9 * max_y) {
+      throw FitError("fit: level '" + name +
+                     "' shows no bandwidth dependence (constant latency "
+                     "across sizes) — beta is unrecoverable");
+    }
+    const double beta = 1.0 / inv_beta;
+    if (!std::isfinite(beta) || beta <= 0.0) {
+      throw FitError("fit: level '" + name +
+                     "' produced a non-finite or non-positive beta");
+    }
+    LevelFit& fit = result.level[static_cast<std::size_t>(cls_i)];
+    fit.valid = true;
+    fit.alpha_s = alpha;
+    fit.software_alpha_s = soft;
+    fit.beta_bytes_s = beta;
+    fit.samples = static_cast<int>(samples.size());
+    for (const SweepPoint* p : samples) {
+      const auto r = row_of(*p);
+      const double pred = r[0] * alpha + r[1] * soft + r[2] * inv_beta;
+      const double denom = std::max(p->seconds, 1e-300);
+      fit.max_rel_error =
+          std::max(fit.max_rel_error, std::abs(pred - p->seconds) / denom);
+    }
+  }
+  result.crossovers = compute_crossovers(result.level, max_group);
+  return result;
+}
+
+comm::CollectivePolicy to_policy(
+    const std::array<LevelFit, comm::kNumLinkClasses>& level) {
+  comm::CollectivePolicy policy;
+  policy.mode = comm::CollectivePolicy::Mode::kAdaptive;
+  for (int i = 0; i < comm::kNumLinkClasses; ++i) {
+    const LevelFit& f = level[static_cast<std::size_t>(i)];
+    auto& dst = policy.level[static_cast<std::size_t>(i)];
+    dst.valid = f.valid;
+    dst.alpha_s = f.alpha_s;
+    dst.beta_bytes_s = f.beta_bytes_s;
+    dst.software_alpha_s = f.software_alpha_s;
+  }
+  return policy;
+}
+
+std::vector<Crossover> compute_crossovers(
+    const std::array<LevelFit, comm::kNumLinkClasses>& level,
+    const std::array<int, comm::kNumLinkClasses>& group_size_of) {
+  const comm::CollectivePolicy policy = to_policy(level);
+  static constexpr comm::CollectiveOp kOps[] = {
+      comm::CollectiveOp::kAllReduce, comm::CollectiveOp::kBroadcast,
+      comm::CollectiveOp::kAllGather, comm::CollectiveOp::kAllToAllV};
+  std::vector<Crossover> crossovers;
+  for (int cls_i = 1; cls_i < comm::kNumLinkClasses; ++cls_i) {
+    if (!level[static_cast<std::size_t>(cls_i)].valid) continue;
+    const auto cls = static_cast<comm::LinkClass>(cls_i);
+    const int g = group_size_of[static_cast<std::size_t>(cls_i)];
+    if (g < 2) continue;
+    for (const comm::CollectiveOp op : kOps) {
+      comm::CollectiveAlgo prev = policy.select(op, cls, g, 1);
+      for (std::size_t b = 2; b <= (std::size_t{64} << 20); b *= 2) {
+        const comm::CollectiveAlgo cur = policy.select(op, cls, g, b);
+        if (cur != prev) {
+          crossovers.push_back({op, cls, g, b, prev, cur});
+          prev = cur;
+        }
+      }
+    }
+  }
+  return crossovers;
+}
+
+}  // namespace hpcg::tune

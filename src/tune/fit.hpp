@@ -1,0 +1,82 @@
+// Least-squares alpha-beta fitter: turns sweep samples (sweep.hpp) into
+// per-topology-level link constants and per-collective crossover points.
+//
+// Every sample is one linear equation in x = [alpha, software_alpha,
+// 1/beta]: the cost formulas of comm/policy.cpp are linear in those three
+// once (pattern, group size, bytes) are fixed, so the design-matrix row of
+// a sample is just the formula's coefficient triple. Per level we solve the
+// 3x3 normal equations (column-scaled, partial pivoting); degenerate sweeps
+// fail loudly with FitError instead of shipping NaN into a policy:
+//   - a level with fewer than two distinct message sizes cannot separate
+//     latency from bandwidth,
+//   - a constant-latency level fits 1/beta ~ 0, i.e. infinite bandwidth,
+//   - a pattern mix whose rows are collinear leaves the normal matrix
+//     singular.
+// See docs/TUNING.md for the row table and the crossover derivations.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "comm/policy.hpp"
+#include "comm/stats.hpp"
+#include "comm/topology.hpp"
+#include "tune/sweep.hpp"
+
+namespace hpcg::tune {
+
+/// Typed failure of fit_sweep: degenerate or insufficient sweep data. The
+/// message names the level and the degeneracy.
+class FitError : public std::runtime_error {
+ public:
+  explicit FitError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Fitted constants of one topology level plus fit diagnostics.
+struct LevelFit {
+  bool valid = false;
+  double alpha_s = 0.0;
+  double beta_bytes_s = 0.0;     // effective (bw_derate absorbed)
+  double software_alpha_s = 0.0;
+  int samples = 0;
+  double max_rel_error = 0.0;    // worst |prediction - sample| / sample
+};
+
+/// Message size at which the policy's argmin switches algorithms for one
+/// (collective, level) at the level's largest observed group size. Purely
+/// descriptive — selection always re-evaluates the argmin — but it is what
+/// `hpcg_tune print` reports and docs/TUNING.md derives in closed form.
+struct Crossover {
+  comm::CollectiveOp op = comm::CollectiveOp::kAllReduce;
+  comm::LinkClass level = comm::LinkClass::kNvlink;
+  int group_size = 0;
+  std::size_t bytes = 0;            // first size preferring `above`
+  comm::CollectiveAlgo below = comm::CollectiveAlgo::kDefault;
+  comm::CollectiveAlgo above = comm::CollectiveAlgo::kDefault;
+};
+
+struct FitResult {
+  std::array<LevelFit, comm::kNumLinkClasses> level{};
+  std::vector<Crossover> crossovers;
+};
+
+/// Fits every level present in the sweep; levels with no samples stay
+/// invalid. Throws FitError on an empty sweep or any degenerate level.
+FitResult fit_sweep(const std::vector<SweepPoint>& sweep);
+
+/// Crossover scan shared by fit_sweep and reference calibrations:
+/// evaluates CollectivePolicy::select over a fine geometric byte ladder per
+/// valid level (at `group_size_of[level]`) and records every algorithm
+/// switch.
+std::vector<Crossover> compute_crossovers(
+    const std::array<LevelFit, comm::kNumLinkClasses>& level,
+    const std::array<int, comm::kNumLinkClasses>& group_size_of);
+
+/// The fitted levels as a runtime policy (mode = kAdaptive).
+comm::CollectivePolicy to_policy(
+    const std::array<LevelFit, comm::kNumLinkClasses>& level);
+
+}  // namespace hpcg::tune

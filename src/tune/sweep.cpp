@@ -1,0 +1,286 @@
+#include "tune/sweep.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <span>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "comm/runtime.hpp"
+
+namespace hpcg::tune {
+
+const char* to_string(Pattern p) {
+  switch (p) {
+    case Pattern::kP2p: return "p2p";
+    case Pattern::kAllReduce: return "allreduce";
+    case Pattern::kBroadcast: return "broadcast";
+    case Pattern::kAllGatherV: return "allgatherv";
+    case Pattern::kAllToAllV: return "alltoallv";
+  }
+  return "?";
+}
+
+Pattern pattern_from_string(const std::string& name) {
+  if (name == "p2p") return Pattern::kP2p;
+  if (name == "allreduce") return Pattern::kAllReduce;
+  if (name == "broadcast") return Pattern::kBroadcast;
+  if (name == "allgatherv") return Pattern::kAllGatherV;
+  if (name == "alltoallv") return Pattern::kAllToAllV;
+  throw std::invalid_argument("unknown sweep pattern: " + name);
+}
+
+std::vector<std::size_t> geometric_sizes(std::size_t min_bytes,
+                                         std::size_t max_bytes,
+                                         std::size_t factor) {
+  if (min_bytes < 1 || factor < 2 || max_bytes < min_bytes) {
+    throw std::invalid_argument("geometric_sizes: need min >= 1, factor >= 2, max >= min");
+  }
+  std::vector<std::size_t> sizes;
+  for (std::size_t b = min_bytes; b <= max_bytes; b *= factor) {
+    sizes.push_back(b);
+  }
+  if (sizes.back() != max_bytes) sizes.push_back(max_bytes);
+  return sizes;
+}
+
+namespace {
+
+/// One scheduled measurement. `elems` is the per-unit element count the
+/// body uses (message bytes for p2p, payload doubles for allreduce /
+/// broadcast, per-member doubles for allgatherv, per-destination doubles
+/// for alltoallv); `record_bytes` is the resulting cost-formula argument.
+struct PlanEntry {
+  Pattern pattern;
+  comm::LinkClass level;
+  int group_size;   // 2 for p2p
+  int partner;      // p2p peer world rank (0 otherwise)
+  std::size_t elems;
+  std::size_t record_bytes;
+};
+
+bool wants(const std::vector<Pattern>& patterns, Pattern p) {
+  return patterns.empty() ||
+         std::find(patterns.begin(), patterns.end(), p) != patterns.end();
+}
+
+}  // namespace
+
+std::vector<SweepPoint> run_sweep(const SweepOptions& options) {
+  using comm::LinkClass;
+  const comm::Topology& topo = options.topo;
+  const int nranks = topo.nranks();
+  if (nranks < 2) {
+    throw std::invalid_argument("run_sweep: need at least 2 ranks, got " +
+                                std::to_string(nranks));
+  }
+  if (options.reps < 1) {
+    throw std::invalid_argument("run_sweep: reps must be >= 1, got " +
+                                std::to_string(options.reps));
+  }
+  const int reps = options.reps;
+  const std::vector<std::size_t> sizes =
+      options.sizes.empty() ? geometric_sizes() : options.sizes;
+
+  // Communication-only measurement: with compute_scale = 0 (and no traced
+  // kernels in the body), every virtual-clock advance is a CostModel
+  // charge, so clock deltas are exact modeled durations.
+  comm::CostParams cost = options.cost;
+  cost.compute_scale = 0.0;
+  cost.trace = false;
+
+  std::vector<PlanEntry> plan;
+
+  // Ping-pong pairs: rank 0 against the nearest rank of each link class.
+  if (wants(options.patterns, Pattern::kP2p)) {
+    std::array<bool, comm::kNumLinkClasses> seen{};
+    for (const int b : {1, topo.clique_size(), topo.gpus_per_node()}) {
+      if (b < 1 || b >= nranks) continue;
+      const LinkClass cls = topo.link_class(0, b);
+      auto& taken = seen[static_cast<std::size_t>(cls)];
+      if (cls == LinkClass::kSelf || taken) continue;
+      taken = true;
+      for (const std::size_t bytes : sizes) {
+        plan.push_back({Pattern::kP2p, cls, 2, b, bytes, bytes});
+      }
+    }
+  }
+
+  // Consecutive-prefix groups {0..k-1}, one per topology level present.
+  std::vector<int> group_sizes;
+  for (const int k : {topo.clique_size(), topo.gpus_per_node(), nranks}) {
+    if (k < 2 || k > nranks) continue;
+    if (std::find(group_sizes.begin(), group_sizes.end(), k) ==
+        group_sizes.end()) {
+      group_sizes.push_back(k);
+    }
+  }
+  for (const int k : group_sizes) {
+    // Worst link of a consecutive prefix is between its endpoints.
+    const LinkClass level = topo.link_class(0, k - 1);
+    const double g = k;
+    for (const std::size_t bytes : sizes) {
+      if (wants(options.patterns, Pattern::kAllReduce)) {
+        const std::size_t el = std::max<std::size_t>(1, bytes / sizeof(double));
+        plan.push_back(
+            {Pattern::kAllReduce, level, k, 0, el, el * sizeof(double)});
+      }
+      if (wants(options.patterns, Pattern::kBroadcast)) {
+        const std::size_t el = std::max<std::size_t>(1, bytes / sizeof(double));
+        plan.push_back(
+            {Pattern::kBroadcast, level, k, 0, el, el * sizeof(double)});
+      }
+      if (wants(options.patterns, Pattern::kAllGatherV)) {
+        const std::size_t el = std::max<std::size_t>(
+            1, bytes / (static_cast<std::size_t>(g) * sizeof(double)));
+        plan.push_back({Pattern::kAllGatherV, level, k, 0, el,
+                        static_cast<std::size_t>(g) * el * sizeof(double)});
+      }
+      if (wants(options.patterns, Pattern::kAllToAllV) && k >= 2) {
+        const std::size_t el = std::max<std::size_t>(
+            1, bytes / (static_cast<std::size_t>(k - 1) * sizeof(double)));
+        // Uniform exchange, nothing to self: max per-rank traffic is the
+        // common send total (g-1) * el doubles.
+        plan.push_back({Pattern::kAllToAllV, level, k, 0, el,
+                        static_cast<std::size_t>(k - 1) * el * sizeof(double)});
+      }
+    }
+  }
+
+  std::vector<double> measured(plan.size(), 0.0);
+  comm::Runtime::run(
+      nranks, topo, comm::CostModel(cost), comm::RunOptions{},
+      [&](comm::Comm& world) {
+        std::map<int, comm::Comm> groups;
+        for (const int k : group_sizes) {
+          groups.emplace(k, world.split(world.rank() < k ? 0 : 1, world.rank()));
+        }
+        std::vector<std::byte> pbuf, prec;
+        std::vector<double> dbuf, drec;
+        std::vector<std::size_t> counts;
+        for (std::size_t i = 0; i < plan.size(); ++i) {
+          const PlanEntry& e = plan[i];
+          const int tag = 7000 + static_cast<int>(i);
+          if (e.pattern == Pattern::kP2p) {
+            world.barrier();  // synchronize the pair's clocks
+            if (world.rank() == 0) {
+              pbuf.assign(e.elems, std::byte{0});
+              const double t0 = world.vclock();
+              for (int r = 0; r < reps; ++r) {
+                world.send(std::span<const std::byte>(pbuf), e.partner, tag);
+                world.recv(e.partner, tag, prec);
+              }
+              // One half of a round trip = one message's modeled cost.
+              measured[i] = (world.vclock() - t0) / (2.0 * reps);
+            } else if (world.rank() == e.partner) {
+              for (int r = 0; r < reps; ++r) {
+                world.recv(0, tag, prec);
+                world.send(std::span<const std::byte>(prec), 0, tag);
+              }
+            }
+            continue;
+          }
+          if (world.rank() >= e.group_size) continue;
+          comm::Comm& c = groups.at(e.group_size);
+          c.barrier();  // align member clocks so deltas are pure op cost
+          const double t0 = c.vclock();
+          for (int r = 0; r < reps; ++r) {
+            switch (e.pattern) {
+              case Pattern::kAllReduce:
+                dbuf.assign(e.elems, 1.0);
+                c.allreduce(std::span<double>(dbuf), comm::ReduceOp::kSum);
+                break;
+              case Pattern::kBroadcast:
+                dbuf.assign(e.elems, 1.0);
+                c.broadcast(std::span<double>(dbuf), 0);
+                break;
+              case Pattern::kAllGatherV:
+                dbuf.assign(e.elems, 1.0);
+                c.allgatherv(std::span<const double>(dbuf), drec, &counts);
+                break;
+              case Pattern::kAllToAllV: {
+                dbuf.assign(
+                    static_cast<std::size_t>(e.group_size - 1) * e.elems, 1.0);
+                counts.assign(static_cast<std::size_t>(e.group_size), e.elems);
+                counts[static_cast<std::size_t>(c.rank())] = 0;
+                c.alltoallv(std::span<const double>(dbuf),
+                            std::span<const std::size_t>(counts), drec);
+                break;
+              }
+              case Pattern::kP2p: break;  // handled above
+            }
+          }
+          if (c.rank() == 0) measured[i] = (c.vclock() - t0) / reps;
+        }
+      });
+
+  std::vector<SweepPoint> points;
+  points.reserve(plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const PlanEntry& e = plan[i];
+    points.push_back(
+        {e.pattern, e.level, e.group_size, e.record_bytes, measured[i], reps});
+  }
+  return points;
+}
+
+void write_sweep_csv(std::ostream& out, const std::vector<SweepPoint>& sweep) {
+  out << "pattern,level,group_size,bytes,seconds,reps\n";
+  out.precision(17);
+  for (const SweepPoint& p : sweep) {
+    out << to_string(p.pattern) << ',' << comm::to_string(p.level) << ','
+        << p.group_size << ',' << p.bytes << ',' << p.seconds << ',' << p.reps
+        << '\n';
+  }
+}
+
+std::vector<SweepPoint> read_sweep_csv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) ||
+      line != "pattern,level,group_size,bytes,seconds,reps") {
+    throw std::invalid_argument(
+        "sweep CSV: missing or unknown header (expected "
+        "'pattern,level,group_size,bytes,seconds,reps')");
+  }
+  std::vector<SweepPoint> sweep;
+  std::size_t lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string field;
+    std::array<std::string, 6> fields;
+    std::size_t n = 0;
+    while (std::getline(row, field, ',')) {
+      if (n >= fields.size()) break;
+      fields[n++] = field;
+    }
+    if (n != fields.size()) {
+      throw std::invalid_argument("sweep CSV line " + std::to_string(lineno) +
+                                  ": expected 6 fields, got " +
+                                  std::to_string(n));
+    }
+    try {
+      SweepPoint p;
+      p.pattern = pattern_from_string(fields[0]);
+      p.level = comm::link_class_from_string(fields[1]);
+      p.group_size = std::stoi(fields[2]);
+      p.bytes = static_cast<std::size_t>(std::stoull(fields[3]));
+      p.seconds = std::stod(fields[4]);
+      p.reps = std::stoi(fields[5]);
+      sweep.push_back(p);
+    } catch (const std::exception& e) {
+      throw std::invalid_argument("sweep CSV line " + std::to_string(lineno) +
+                                  ": " + e.what());
+    }
+  }
+  return sweep;
+}
+
+}  // namespace hpcg::tune

@@ -1,0 +1,89 @@
+// Deterministic communication microbench suite (the measurement half of the
+// autotuner, paper §5 "communication was likely our largest bottleneck").
+//
+// run_sweep drives the *real* comm::Comm collective and p2p paths — the
+// same templates every algorithm uses, through Runtime::run's rank threads
+// — across pattern x message-size x topology-level, and reads the modeled
+// durations off the virtual clocks. compute_scale is forced to zero for the
+// sweep, so virtual-clock deltas are exactly the CostModel's charges: the
+// sweep is bit-deterministic and the least-squares fitter (fit.hpp) can
+// recover the substrate's (alpha, beta, software_alpha) to within roundoff.
+// Sweeping the simulator instead of hardware is the point: the fitted
+// calibration must agree with the configured Topology, which is what
+// tests/test_tune.cpp asserts and `hpcg_tune diff` inspects.
+//
+// Topology levels are exercised with consecutive-prefix groups {0..k-1}:
+// k = clique size stays on NVLink (leaf), k = GPUs per node spans cliques
+// through the host (intermediate), k = nranks spans the interconnect
+// (root). Ping-pong pairs (0,1), (0,clique), (0,gpus_per_node) cover the
+// same levels for p2p.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "comm/cost_model.hpp"
+#include "comm/topology.hpp"
+
+namespace hpcg::tune {
+
+/// Communication patterns the sweep can exercise.
+enum class Pattern : int {
+  kP2p,        // blocking send/recv ping-pong (half round trip recorded)
+  kAllReduce,  // Comm::allreduce, double sum
+  kBroadcast,  // Comm::broadcast from group rank 0
+  kAllGatherV, // Comm::allgatherv, equal contributions
+  kAllToAllV,  // Comm::alltoallv, uniform personalized exchange
+};
+
+inline constexpr int kNumPatterns = 5;
+
+const char* to_string(Pattern p);
+/// Inverse of to_string; throws std::invalid_argument on unknown names.
+Pattern pattern_from_string(const std::string& name);
+
+/// One measured sample. `bytes` is the exact argument the cost formula saw
+/// (payload for allreduce/broadcast and p2p, aggregated total for
+/// allgatherv, max per-rank traffic for alltoallv), so the fitter's design
+/// matrix lines up with the model without re-deriving conventions.
+struct SweepPoint {
+  Pattern pattern = Pattern::kP2p;
+  comm::LinkClass level = comm::LinkClass::kNvlink;
+  int group_size = 2;
+  std::size_t bytes = 0;
+  double seconds = 0.0;  // modeled duration of one operation
+  int reps = 1;
+};
+
+/// Geometric message-size ladder: `factor`-spaced from min_bytes, with
+/// max_bytes always included as the final rung.
+std::vector<std::size_t> geometric_sizes(std::size_t min_bytes = 8,
+                                         std::size_t max_bytes = 1 << 20,
+                                         std::size_t factor = 4);
+
+struct SweepOptions {
+  comm::Topology topo = comm::Topology::aimos(12);
+  /// Cost parameters of the substrate under calibration. compute_scale is
+  /// ignored (forced to 0 — the sweep measures communication only).
+  comm::CostParams cost = {};
+  /// Patterns to exercise; empty = all of them.
+  std::vector<Pattern> patterns = {};
+  /// Message-size ladder; empty = geometric_sizes().
+  std::vector<std::size_t> sizes = {};
+  /// Repetitions averaged per sample (the model is deterministic, so this
+  /// only guards against future cost-model stochasticity).
+  int reps = 3;
+};
+
+/// Runs the sweep and returns one point per (pattern, level, size). Throws
+/// std::invalid_argument for unusable options (< 2 ranks, reps < 1).
+std::vector<SweepPoint> run_sweep(const SweepOptions& options);
+
+/// CSV round-trip: header `pattern,level,group_size,bytes,seconds,reps`.
+void write_sweep_csv(std::ostream& out, const std::vector<SweepPoint>& sweep);
+/// Throws std::invalid_argument on malformed rows or an unknown header.
+std::vector<SweepPoint> read_sweep_csv(std::istream& in);
+
+}  // namespace hpcg::tune

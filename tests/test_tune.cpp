@@ -1,0 +1,345 @@
+// The autotuner contract (docs/TUNING.md):
+//   - the microbench sweep + least-squares fitter recover the configured
+//     substrate constants (alpha, beta, software_alpha) per topology level
+//     to within 1% (in practice: roundoff),
+//   - degenerate sweeps raise typed FitError, never NaN constants,
+//   - calibration.json round-trips exactly and rejects corrupt input with
+//     typed CalibrationError,
+//   - the adaptive policy is never costlier than the fixed default, wins
+//     strictly on the small-message corner, and NEVER changes results —
+//     only modeled time (the bit-identity invariant),
+//   - the derived async chunk count activates only when no explicit chunk
+//     was configured, and sender-side coalescing preserves payloads while
+//     reducing wire messages.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "comm/coalesce.hpp"
+#include "comm/comm.hpp"
+#include "comm/policy.hpp"
+#include "comm/runtime.hpp"
+#include "comm/topology.hpp"
+#include "tune/calibration.hpp"
+#include "tune/fit.hpp"
+#include "tune/sweep.hpp"
+
+namespace hc = hpcg::comm;
+namespace ht = hpcg::tune;
+
+namespace {
+
+// A custom machine so the fit cannot accidentally match aimos defaults:
+// 12 ranks, 4 per node, NVLink pairs, distinct constants per level, and a
+// bandwidth derate the fit must absorb into its effective beta.
+hc::Topology test_topology() {
+  return hc::Topology(12, 4, 2, hc::LinkParams{2e-6, 80e9},
+                      hc::LinkParams{9e-6, 30e9}, hc::LinkParams{30e-6, 8e9});
+}
+
+hc::CostParams test_cost() {
+  hc::CostParams cost;
+  cost.software_alpha_s = 0.7e-6;
+  cost.bw_derate = 0.8;
+  return cost;
+}
+
+double rel_err(double got, double want) {
+  return std::abs(got - want) / std::abs(want);
+}
+
+}  // namespace
+
+TEST(TuneFit, SweepRecoversConfiguredConstantsWithinOnePercent) {
+  const auto topo = test_topology();
+  const auto cost = test_cost();
+  ht::SweepOptions opts;
+  opts.topo = topo;
+  opts.cost = cost;
+  const auto sweep = ht::run_sweep(opts);
+  ASSERT_FALSE(sweep.empty());
+  const auto fit = ht::fit_sweep(sweep);
+
+  for (const hc::LinkClass cls :
+       {hc::LinkClass::kNvlink, hc::LinkClass::kIntraNode,
+        hc::LinkClass::kNetwork}) {
+    const auto& lvl = fit.level[static_cast<std::size_t>(cls)];
+    ASSERT_TRUE(lvl.valid) << hc::to_string(cls);
+    const auto& want = topo.params(cls);
+    EXPECT_LT(rel_err(lvl.alpha_s, want.alpha_s), 0.01) << hc::to_string(cls);
+    EXPECT_LT(rel_err(lvl.beta_bytes_s, want.beta_bytes_s * cost.bw_derate),
+              0.01)
+        << hc::to_string(cls);
+    EXPECT_LT(rel_err(lvl.software_alpha_s, cost.software_alpha_s), 0.01)
+        << hc::to_string(cls);
+    EXPECT_LT(lvl.max_rel_error, 0.01) << hc::to_string(cls);
+    EXPECT_GT(lvl.samples, 0);
+  }
+  EXPECT_FALSE(fit.level[static_cast<std::size_t>(hc::LinkClass::kSelf)].valid);
+}
+
+TEST(TuneFit, SingleMessageSizeIsTypedError) {
+  ht::SweepOptions opts;
+  opts.topo = test_topology();
+  opts.sizes = {4096};  // one size: latency and bandwidth are inseparable
+  const auto sweep = ht::run_sweep(opts);
+  EXPECT_THROW(ht::fit_sweep(sweep), ht::FitError);
+}
+
+TEST(TuneFit, ConstantLatencySweepIsTypedErrorNotNan) {
+  // Synthetic samples whose duration ignores the message size: the fit
+  // would need 1/beta = 0 (infinite bandwidth) and must refuse.
+  std::vector<ht::SweepPoint> sweep;
+  for (const std::size_t bytes : {8u, 64u, 512u, 4096u, 32768u}) {
+    ht::SweepPoint p;
+    p.pattern = ht::Pattern::kP2p;
+    p.level = hc::LinkClass::kNvlink;
+    p.group_size = 2;
+    p.bytes = bytes;
+    p.seconds = 5e-6;
+    sweep.push_back(p);
+  }
+  EXPECT_THROW(ht::fit_sweep(sweep), ht::FitError);
+}
+
+TEST(TuneFit, EmptySweepIsTypedError) {
+  EXPECT_THROW(ht::fit_sweep({}), ht::FitError);
+}
+
+TEST(TuneSweep, CsvRoundTrip) {
+  ht::SweepOptions opts;
+  opts.topo = hc::Topology::aimos(6);
+  opts.sizes = {8, 1024, 65536};
+  const auto sweep = ht::run_sweep(opts);
+  std::stringstream buf;
+  ht::write_sweep_csv(buf, sweep);
+  const auto back = ht::read_sweep_csv(buf);
+  ASSERT_EQ(back.size(), sweep.size());
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    EXPECT_EQ(back[i].pattern, sweep[i].pattern);
+    EXPECT_EQ(back[i].level, sweep[i].level);
+    EXPECT_EQ(back[i].group_size, sweep[i].group_size);
+    EXPECT_EQ(back[i].bytes, sweep[i].bytes);
+    EXPECT_EQ(back[i].seconds, sweep[i].seconds);  // %.17g exactness
+    EXPECT_EQ(back[i].reps, sweep[i].reps);
+  }
+  std::stringstream bad("not,the,header\n");
+  EXPECT_THROW(ht::read_sweep_csv(bad), std::invalid_argument);
+}
+
+TEST(TuneCalibration, JsonRoundTripIsExact) {
+  const auto topo = test_topology();
+  ht::SweepOptions opts;
+  opts.topo = topo;
+  opts.cost = test_cost();
+  const auto cal = ht::make_calibration(topo, ht::fit_sweep(ht::run_sweep(opts)));
+  const auto back = ht::Calibration::from_json(cal.to_json());
+  EXPECT_EQ(back.version, cal.version);
+  EXPECT_EQ(back.topology, cal.topology);
+  EXPECT_EQ(back.nranks, cal.nranks);
+  for (int i = 0; i < hc::kNumLinkClasses; ++i) {
+    const auto& a = cal.level[static_cast<std::size_t>(i)];
+    const auto& b = back.level[static_cast<std::size_t>(i)];
+    EXPECT_EQ(b.valid, a.valid);
+    EXPECT_EQ(b.alpha_s, a.alpha_s);
+    EXPECT_EQ(b.beta_bytes_s, a.beta_bytes_s);
+    EXPECT_EQ(b.software_alpha_s, a.software_alpha_s);
+  }
+  ASSERT_EQ(back.crossovers.size(), cal.crossovers.size());
+  for (std::size_t i = 0; i < cal.crossovers.size(); ++i) {
+    EXPECT_EQ(back.crossovers[i].op, cal.crossovers[i].op);
+    EXPECT_EQ(back.crossovers[i].level, cal.crossovers[i].level);
+    EXPECT_EQ(back.crossovers[i].group_size, cal.crossovers[i].group_size);
+    EXPECT_EQ(back.crossovers[i].bytes, cal.crossovers[i].bytes);
+    EXPECT_EQ(back.crossovers[i].below, cal.crossovers[i].below);
+    EXPECT_EQ(back.crossovers[i].above, cal.crossovers[i].above);
+  }
+}
+
+TEST(TuneCalibration, CorruptInputsAreTypedErrors) {
+  EXPECT_THROW(ht::Calibration::from_json("{oops"), ht::CalibrationError);
+  EXPECT_THROW(ht::Calibration::from_json("[]"), ht::CalibrationError);
+  EXPECT_THROW(ht::Calibration::load("/nonexistent/calibration.json"),
+               ht::CalibrationError);
+
+  auto cal = ht::reference_calibration(hc::Topology::aimos(12));
+  cal.version = ht::Calibration::kVersion + 1;
+  EXPECT_THROW(ht::Calibration::from_json(cal.to_json()),
+               ht::CalibrationError);
+}
+
+TEST(TunePolicy, AdaptiveNeverCostlierAndWinsSmallMessageCorner) {
+  const auto topo = hc::Topology::aimos(48);
+  const auto policy = ht::reference_calibration(topo).to_policy();
+  bool strict_win = false;
+  for (const int g : {2, 3, 6, 12, 48}) {
+    const hc::LinkClass cls = topo.link_class(0, g - 1);
+    const auto& fit = policy.at(cls);
+    ASSERT_TRUE(fit.valid);
+    for (const hc::CollectiveOp op :
+         {hc::CollectiveOp::kAllReduce, hc::CollectiveOp::kBroadcast,
+          hc::CollectiveOp::kAllGather, hc::CollectiveOp::kAllToAllV}) {
+      for (std::size_t bytes = 8; bytes <= (16u << 20); bytes *= 8) {
+        const auto chosen = policy.select(op, cls, g, bytes);
+        const double adaptive =
+            hc::algo_cost(op, chosen, fit.alpha_s, fit.software_alpha_s,
+                          fit.beta_bytes_s, g, bytes);
+        const double fixed = hc::algo_cost(
+            op, hc::CollectiveAlgo::kDefault, fit.alpha_s,
+            fit.software_alpha_s, fit.beta_bytes_s, g, bytes);
+        EXPECT_LE(adaptive, fixed * (1.0 + 1e-12))
+            << hc::to_string(op) << " g=" << g << " B=" << bytes;
+        if (g >= 8 && bytes <= 4096 && adaptive < fixed * (1.0 - 1e-9)) {
+          strict_win = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(strict_win);
+}
+
+TEST(TunePolicy, EagerThresholdIsTwoAlphaBeta) {
+  const auto topo = hc::Topology::aimos(12);
+  const auto policy = ht::reference_calibration(topo).to_policy();
+  for (const hc::LinkClass cls :
+       {hc::LinkClass::kNvlink, hc::LinkClass::kIntraNode,
+        hc::LinkClass::kNetwork}) {
+    const auto& fit = policy.at(cls);
+    EXPECT_DOUBLE_EQ(policy.eager_threshold_bytes(cls),
+                     2.0 * fit.alpha_s * fit.beta_bytes_s);
+  }
+  hc::CollectivePolicy fixed;
+  EXPECT_EQ(fixed.eager_threshold_bytes(hc::LinkClass::kNetwork), 0.0);
+}
+
+TEST(TuneCost, BwDerateRejectsNonPositive) {
+  hc::CostParams bad;
+  bad.bw_derate = 0.0;
+  EXPECT_THROW(hc::CostModel{bad}, std::invalid_argument);
+  bad.bw_derate = -1.0;
+  EXPECT_THROW(hc::CostModel{bad}, std::invalid_argument);
+}
+
+namespace {
+
+/// A collective-heavy SPMD body whose per-rank outputs are captured for
+/// cross-policy bit comparison.
+void policy_workload(hc::Comm& c, std::vector<double>* digest) {
+  for (int r = 0; r < 4; ++r) {
+    std::vector<double> v{static_cast<double>(c.rank() + 1) * (r + 1)};
+    c.allreduce(std::span<double>(v), hc::ReduceOp::kSum);
+    digest->push_back(v[0]);
+    std::vector<double> mine(3, c.rank() + 0.25 * r);
+    const auto gathered = c.allgatherv<double>(mine);
+    digest->push_back(gathered.front() + gathered.back());
+  }
+}
+
+}  // namespace
+
+TEST(TunePolicy, RunResultsAreBitIdenticalAcrossPolicies) {
+  const int nranks = 12;
+  const auto run_with = [&](const hc::CollectivePolicy& policy, double* makespan) {
+    std::vector<std::vector<double>> digests(nranks);
+    hc::RunOptions ropts;
+    ropts.policy = policy;
+    const auto stats =
+        hc::Runtime::run(nranks, hc::Topology::aimos(nranks), hc::CostModel{},
+                         ropts, [&](hc::Comm& c) {
+                           policy_workload(c, &digests[static_cast<std::size_t>(
+                                                  c.rank())]);
+                         });
+    *makespan = stats.makespan();
+    return digests;
+  };
+
+  double fixed_s = 0.0, adaptive_s = 0.0;
+  const auto fixed = run_with({}, &fixed_s);
+  const auto adaptive = run_with(
+      ht::reference_calibration(hc::Topology::aimos(nranks)).to_policy(),
+      &adaptive_s);
+  EXPECT_EQ(fixed, adaptive);  // the invariant: results never depend on policy
+  EXPECT_LE(adaptive_s, fixed_s * (1.0 + 1e-12));
+}
+
+TEST(TunePolicy, AutoChunkDerivedOnlyWithoutExplicitOverride) {
+  const int nranks = 6;
+  const auto topo = hc::Topology::aimos(nranks);
+  const auto adaptive = ht::reference_calibration(topo).to_policy();
+  const std::size_t big = 8u << 20;
+
+  hc::RunOptions auto_opts;
+  auto_opts.policy = adaptive;
+  hc::Runtime::run(nranks, topo, hc::CostModel{}, auto_opts, [&](hc::Comm& c) {
+    const int derived = c.auto_chunk_for(big);
+    EXPECT_GT(derived, 1);  // large payload: pipelining pays
+    EXPECT_LE(derived, hc::CollectivePolicy::kMaxAutoSegments);
+    EXPECT_EQ(c.auto_chunk_for(8), 1);  // tiny payload: latency-bound
+    // An explicit per-call chunk always wins over the derived default.
+    hc::KernelOptions per_call;
+    per_call.chunk = 3;
+    EXPECT_EQ(per_call.segments_for(c, big), 3);
+    hc::KernelOptions unset;
+    EXPECT_EQ(unset.segments_for(c, big), derived);
+  });
+
+  hc::RunOptions explicit_opts;
+  explicit_opts.policy = adaptive;
+  explicit_opts.async_chunk = 5;  // explicit run-wide chunk disables auto
+  hc::Runtime::run(nranks, topo, hc::CostModel{}, explicit_opts,
+                   [&](hc::Comm& c) { EXPECT_EQ(c.auto_chunk_for(big), 5); });
+
+  hc::RunOptions fixed_opts;  // fixed policy: never auto
+  hc::Runtime::run(nranks, topo, hc::CostModel{}, fixed_opts,
+                   [&](hc::Comm& c) { EXPECT_EQ(c.auto_chunk_for(big), 1); });
+}
+
+TEST(TuneCoalesce, ExchangeIsBitIdenticalWithFewerWireMessages) {
+  const int nranks = 6;
+  const auto topo = hc::Topology::aimos(nranks);
+
+  struct Outcome {
+    std::vector<std::vector<std::vector<std::uint64_t>>> recv;  // per rank
+    std::vector<hc::CoalesceStats> stats;
+    double makespan_s = 0.0;
+  };
+  const auto exchange = [&](const hc::CollectivePolicy& policy) {
+    Outcome out;
+    out.recv.resize(nranks);
+    out.stats.resize(nranks);
+    hc::RunOptions ropts;
+    ropts.policy = policy;
+    const auto stats = hc::Runtime::run(
+        nranks, topo, hc::CostModel{}, ropts, [&](hc::Comm& c) {
+          // Many small items per destination — the aggregation sweet spot.
+          std::vector<std::vector<std::uint64_t>> send(nranks);
+          for (int d = 0; d < nranks; ++d) {
+            for (int i = 0; i < 8; ++i) {
+              send[static_cast<std::size_t>(d)].push_back(
+                  static_cast<std::uint64_t>(c.rank() * 1000 + d * 10 + i));
+            }
+          }
+          const auto r = static_cast<std::size_t>(c.rank());
+          out.stats[r] = hc::p2p_exchange<std::uint64_t>(
+              c, send, out.recv[r], /*tag=*/911);
+        });
+    out.makespan_s = stats.makespan();
+    return out;
+  };
+
+  const auto fixed = exchange({});
+  const auto adaptive =
+      exchange(ht::reference_calibration(topo).to_policy());
+  EXPECT_EQ(fixed.recv, adaptive.recv);  // payloads identical either way
+  for (int r = 0; r < nranks; ++r) {
+    EXPECT_EQ(fixed.stats[static_cast<std::size_t>(r)].items_sent,
+              adaptive.stats[static_cast<std::size_t>(r)].items_sent);
+    // 8 items for 5 peers: 40 wire messages uncoalesced, 5 coalesced.
+    EXPECT_EQ(fixed.stats[static_cast<std::size_t>(r)].wire_messages, 40u);
+    EXPECT_EQ(adaptive.stats[static_cast<std::size_t>(r)].wire_messages, 5u);
+  }
+  EXPECT_LT(adaptive.makespan_s, fixed.makespan_s);
+}

@@ -46,6 +46,7 @@
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/report.hpp"
 #include "telemetry/telemetry.hpp"
+#include "tune/calibration.hpp"
 #include "util/kernel_flags.hpp"
 #include "util/options.hpp"
 #include "util/timer.hpp"
@@ -84,7 +85,13 @@ int main(int argc, char** argv) {
       "  --faults=PLAN        fault plan, e.g. crash@r2:s3 (docs/FAULTS.md)\n"
       "  --fault-seed=N       seed resolving r? fault targets (default 0)\n"
       "  --checkpoint-every=N superstep checkpoint interval (0 = off)\n"
-      "  --comm-timeout=S     recv/barrier deadline in seconds (0 = off)\n") +
+      "  --comm-timeout=S     recv/barrier deadline in seconds (0 = off)\n"
+      "  --calibration=FILE   calibration.json from hpcg_tune (implies\n"
+      "                       --collective-policy=adaptive)\n"
+      "  --collective-policy=fixed|adaptive\n"
+      "                       collective algorithm selection (default fixed;\n"
+      "                       adaptive without --calibration derives the\n"
+      "                       reference calibration from the topology)\n") +
       hpcg::util::kKernelFlagsUsage +
       "  --help               show this text and exit\n");
   const std::string algo = options.get_string("algo", "bfs");
@@ -106,6 +113,9 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(options.get_int("fault-seed", 0));
   const std::int64_t checkpoint_every = options.get_int("checkpoint-every", 0);
   const double comm_timeout = options.get_double("comm-timeout", 0.0);
+  const std::string calibration_path = options.get_string("calibration", "");
+  const std::string policy_name = options.get_string(
+      "collective-policy", calibration_path.empty() ? "fixed" : "adaptive");
   hpcg::comm::KernelOptions kernel;
   try {
     kernel = hpcg::util::parse_kernel_options(options);
@@ -311,6 +321,28 @@ int main(int argc, char** argv) {
 
   const auto topo = hpcg::comm::Topology::aimos(grid.ranks());
   const hpcg::comm::CostModel cost_model(cost_params);
+
+  // Collective selection policy: fixed (legacy formulas), or adaptive from
+  // a calibration file / the topology-derived reference. Results are
+  // bit-identical either way; only modeled time changes (docs/TUNING.md).
+  hpcg::comm::CollectivePolicy policy;
+  if (policy_name == "adaptive") {
+    try {
+      const auto cal = calibration_path.empty()
+                           ? hpcg::tune::reference_calibration(topo, cost_params)
+                           : hpcg::tune::Calibration::load(calibration_path);
+      policy = cal.to_policy();
+    } catch (const hpcg::tune::CalibrationError& e) {
+      return fail(std::string(e.what()) +
+                  "\nhint: produce one with 'hpcg_tune sweep' + "
+                  "'hpcg_tune fit', or drop --calibration to use the "
+                  "topology-derived reference");
+    }
+  } else if (policy_name != "fixed") {
+    return fail("unknown --collective-policy '" + policy_name +
+                "' (expected fixed or adaptive)");
+  }
+
   hpcg::comm::RunStats stats;
   try {
     std::unique_ptr<hpcg::fault::FaultInjector> injector;
@@ -328,6 +360,7 @@ int main(int argc, char** argv) {
       ropts.checkpoint_every = checkpoint_every;
       ropts.comm_timeout_s = comm_timeout;
       ropts.kernel = kernel;
+      ropts.policy = policy;
       const auto recovery = hpcg::fault::Runtime::run_with_recovery(
           grid.ranks(), topo, cost_model, ropts,
           [&](hpcg::comm::Comm& comm, hpcg::fault::Checkpointer& ckpt) {
@@ -353,6 +386,7 @@ int main(int argc, char** argv) {
       ropts.recorder = recorder.get();
       ropts.comm_timeout_s = comm_timeout;
       ropts.kernel = kernel;
+      ropts.policy = policy;
       stats = hpcg::comm::Runtime::run(
           grid.ranks(), topo, cost_model, ropts,
           [&](hpcg::comm::Comm& comm) { body(comm, nullptr); });
@@ -366,10 +400,11 @@ int main(int argc, char** argv) {
             << stats.bytes << " bytes, " << stats.messages << " messages\n";
   if (!trace_csv.empty()) {
     std::ofstream out(trace_csv);
-    out << "end_time_s,cost_s,op,group_size,bytes\n";
+    out << "end_time_s,cost_s,op,group_size,bytes,level\n";
     for (const auto& event : stats.trace) {
       out << event.end_time << "," << event.cost << "," << event.op_name()
-          << "," << event.group_size << "," << event.bytes << "\n";
+          << "," << event.group_size << "," << event.bytes << ","
+          << hpcg::comm::to_string(event.link_class) << "\n";
     }
     std::cout << "wrote " << stats.trace.size() << " trace events to "
               << trace_csv << "\n";

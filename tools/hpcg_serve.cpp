@@ -33,6 +33,7 @@
 #include "serve/supervisor.hpp"
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/report.hpp"
+#include "tune/calibration.hpp"
 #include "util/kernel_flags.hpp"
 #include "util/options.hpp"
 #include "util/timer.hpp"
@@ -84,6 +85,12 @@ int main(int argc, char** argv) {
       "  --async=on|off        compute-comm overlap (default off)\n"
       "  --async-chunk=N       pipeline segments for sparse exchanges\n"
       "  --comm-timeout=S      recv/barrier deadline in seconds (0 = off)\n"
+      "  --calibration=FILE    calibration.json from hpcg_tune (implies\n"
+      "                        --collective-policy=adaptive)\n"
+      "  --collective-policy=fixed|adaptive\n"
+      "                        collective algorithm selection (default fixed;\n"
+      "                        adaptive without --calibration uses the\n"
+      "                        topology-derived reference)\n"
       "Faults and supervision (docs/RECOVERY.md):\n"
       "  --faults=PLAN         seeded fault plan, e.g. crash@r2:s40\n"
       "                        (docs/FAULTS.md grammar); implies --supervised\n"
@@ -164,6 +171,9 @@ int main(int argc, char** argv) {
       static_cast<int>(options.get_int("mutate-delete-pct", 30));
   const std::string metrics_out = options.get_string("metrics-out", "");
   const std::string trace_out = options.get_string("trace-out", "");
+  const std::string calibration_path = options.get_string("calibration", "");
+  const std::string policy_name = options.get_string(
+      "collective-policy", calibration_path.empty() ? "fixed" : "adaptive");
   options.check_unknown();
   if (!faults_text.empty() && !supervised) {
     return fail("--faults requires supervision (drop --supervised=false)");
@@ -211,6 +221,27 @@ int main(int argc, char** argv) {
     sopts.faults = injector.get();
     sopts.comm_timeout_s = comm_timeout;
     sopts.kernel = kernel;
+    if (policy_name == "adaptive") {
+      // Sessions run under the default cost model; an adaptive policy only
+      // redirects its modeled charges (results stay bit-identical).
+      try {
+        const auto cal =
+            calibration_path.empty()
+                ? hpcg::tune::reference_calibration(
+                      hpcg::comm::Topology::aimos(grid.ranks()),
+                      hpcg::comm::CostParams{})
+                : hpcg::tune::Calibration::load(calibration_path);
+        sopts.policy = cal.to_policy();
+      } catch (const hpcg::tune::CalibrationError& e) {
+        return fail(std::string(e.what()) +
+                    "\nhint: produce one with 'hpcg_tune sweep' + "
+                    "'hpcg_tune fit', or drop --calibration to use the "
+                    "topology-derived reference");
+      }
+    } else if (policy_name != "fixed") {
+      return fail("unknown --collective-policy '" + policy_name +
+                  "' (expected fixed or adaptive)");
+    }
 
     hpcg::serve::ServiceOptions vopts;
     vopts.queue_capacity = queue_capacity;

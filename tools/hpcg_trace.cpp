@@ -9,13 +9,22 @@
 //   hpcg_trace pr.json --csv             # machine-readable superstep rows
 //   hpcg_trace pr.json --summary         # one line: makespan, comm and
 //                                        # overlap fractions (CI-friendly)
+#include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <string_view>
+#include <tuple>
 #include <vector>
 
+#include "comm/policy.hpp"
+#include "comm/stats.hpp"
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/report.hpp"
+#include "tune/calibration.hpp"
 
 namespace {
 
@@ -23,20 +32,165 @@ constexpr const char* kUsage =
     "usage: hpcg_trace <trace.json> [options]\n"
     "Analyze a Chrome trace JSON written by hpcg_run --trace-out=...\n"
     "\n"
-    "  --top=N     truncate the superstep table to the N slowest\n"
-    "  --csv       machine-readable superstep rows\n"
-    "  --summary   one line: makespan, comm and overlap fractions\n"
-    "  --help      show this text and exit\n";
+    "  --top=N              truncate the superstep table to the N slowest\n"
+    "  --csv                machine-readable superstep rows\n"
+    "  --summary            one line: makespan, comm and overlap fractions\n"
+    "  --calibration=FILE   calibration.json (with --cost-trace: print the\n"
+    "                       modeled-vs-fitted collective table; rows whose\n"
+    "                       modeled cost deviates >20%% from the fitted\n"
+    "                       prediction are flagged)\n"
+    "  --cost-trace=FILE    cost-event CSV written by hpcg_run --trace=...\n"
+    "                       (the trace.json positional becomes optional)\n"
+    "  --help               show this text and exit\n";
 
 int usage() {
   std::cerr << kUsage;
   return 2;
 }
 
+/// Maps a traced collective onto the fitted kDefault formula that predicts
+/// it: (formula op, cost scale). Rooted halves of symmetric collectives are
+/// modeled as half an allreduce / one broadcast traversal; multi_broadcast
+/// overlaps member ops and has no single-formula analog (skipped).
+bool fitted_mapping(hpcg::comm::CollectiveOp op,
+                    hpcg::comm::CollectiveOp* formula_op, double* scale) {
+  using Op = hpcg::comm::CollectiveOp;
+  *scale = 1.0;
+  switch (op) {
+    case Op::kBarrier:
+    case Op::kAllReduce:
+      *formula_op = Op::kAllReduce;
+      return true;
+    case Op::kReduce:
+    case Op::kReduceScatter:
+      *formula_op = Op::kAllReduce;
+      *scale = 0.5;
+      return true;
+    case Op::kBroadcast:
+    case Op::kGather:
+    case Op::kScatter:
+      *formula_op = Op::kBroadcast;
+      return true;
+    case Op::kAllGather:
+    case Op::kAllGatherV:
+    case Op::kSplit:
+      *formula_op = Op::kAllGather;
+      return true;
+    case Op::kAllToAllV:
+      *formula_op = Op::kAllToAllV;
+      return true;
+    case Op::kMultiBroadcast:
+      return false;
+  }
+  return false;
+}
+
+hpcg::comm::CollectiveOp op_from_csv(const std::string& name) {
+  using Op = hpcg::comm::CollectiveOp;
+  for (const Op op :
+       {Op::kBarrier, Op::kBroadcast, Op::kMultiBroadcast, Op::kAllReduce,
+        Op::kReduce, Op::kReduceScatter, Op::kGather, Op::kScatter,
+        Op::kAllGather, Op::kAllGatherV, Op::kAllToAllV, Op::kSplit}) {
+    if (name == hpcg::comm::to_string(op)) return op;
+  }
+  throw std::invalid_argument("cost trace: unknown op '" + name + "'");
+}
+
+/// Modeled-vs-fitted comparison: aggregates the cost-event CSV by
+/// (op, level, group size) and predicts each group's cost from the
+/// calibration's fitted constants. Deviations beyond 20% are flagged —
+/// note alltoallv records *total* bytes while its charge uses max per-rank
+/// traffic, so a flagged alltoallv usually means traffic skew, not a bad
+/// fit (docs/TUNING.md).
+int print_fitted_table(const std::string& cost_trace_path,
+                       const std::string& calibration_path) {
+  const auto cal = hpcg::tune::Calibration::load(calibration_path);
+  std::ifstream in(cost_trace_path);
+  if (!in) {
+    std::cerr << "error: cannot open cost trace " << cost_trace_path << "\n";
+    return 1;
+  }
+  std::string line;
+  if (!std::getline(in, line) ||
+      line != "end_time_s,cost_s,op,group_size,bytes,level") {
+    std::cerr << "error: " << cost_trace_path
+              << ": expected header 'end_time_s,cost_s,op,group_size,bytes,"
+                 "level' (re-run hpcg_run --trace=... from this build)\n";
+    return 1;
+  }
+  struct Agg {
+    int events = 0;
+    double modeled_s = 0.0;
+    double fitted_s = 0.0;
+  };
+  std::map<std::tuple<std::string, std::string, int>, Agg> table;
+  int skipped = 0;
+  std::size_t lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string end_s, cost_s, op_s, group_s, bytes_s, level_s;
+    if (!std::getline(row, end_s, ',') || !std::getline(row, cost_s, ',') ||
+        !std::getline(row, op_s, ',') || !std::getline(row, group_s, ',') ||
+        !std::getline(row, bytes_s, ',') || !std::getline(row, level_s)) {
+      std::cerr << "error: " << cost_trace_path << " line " << lineno
+                << ": expected 6 fields\n";
+      return 1;
+    }
+    const auto op = op_from_csv(op_s);
+    const auto level = hpcg::comm::link_class_from_string(level_s);
+    const int group = std::stoi(group_s);
+    const auto bytes = static_cast<std::size_t>(std::stoull(bytes_s));
+    const double cost = std::stod(cost_s);
+    hpcg::comm::CollectiveOp formula_op;
+    double scale = 1.0;
+    const auto& fit = cal.level[static_cast<std::size_t>(level)];
+    if (group <= 1 || level == hpcg::comm::LinkClass::kSelf || !fit.valid ||
+        !fitted_mapping(op, &formula_op, &scale)) {
+      ++skipped;
+      continue;
+    }
+    Agg& agg = table[{op_s, level_s, group}];
+    ++agg.events;
+    agg.modeled_s += cost;
+    agg.fitted_s +=
+        scale * hpcg::comm::algo_cost(
+                    formula_op, hpcg::comm::CollectiveAlgo::kDefault,
+                    fit.alpha_s, fit.software_alpha_s, fit.beta_bytes_s, group,
+                    bytes);
+  }
+  std::printf("modeled vs fitted (%s against %s):\n", cost_trace_path.c_str(),
+              calibration_path.c_str());
+  std::printf("%-16s %-12s %6s %8s %12s %12s %9s\n", "op", "level", "group",
+              "events", "modeled_s", "fitted_s", "delta");
+  int flagged = 0;
+  for (const auto& [key, agg] : table) {
+    const double denom = std::max(agg.fitted_s, 1e-300);
+    const double delta = (agg.modeled_s - agg.fitted_s) / denom;
+    const bool flag = std::abs(delta) > 0.20;
+    flagged += flag ? 1 : 0;
+    std::printf("%-16s %-12s %6d %8d %12.5g %12.5g %+8.1f%%%s\n",
+                std::get<0>(key).c_str(), std::get<1>(key).c_str(),
+                std::get<2>(key), agg.events, agg.modeled_s, agg.fitted_s,
+                100.0 * delta, flag ? "  <-- >20%" : "");
+  }
+  if (skipped > 0) {
+    std::printf("(%d events skipped: single-rank, unfitted level, or "
+                "multi_broadcast)\n",
+                skipped);
+  }
+  std::printf("%d row(s) deviate beyond 20%% of the fitted prediction\n",
+              flagged);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string path;
+  std::string calibration_path;
+  std::string cost_trace_path;
   int top = 0;
   bool csv = false;
   bool summary = false;
@@ -53,6 +207,10 @@ int main(int argc, char** argv) {
                   << "'\n";
         return 2;
       }
+    } else if (arg.starts_with("--calibration=")) {
+      calibration_path = arg.substr(14);
+    } else if (arg.starts_with("--cost-trace=")) {
+      cost_trace_path = arg.substr(13);
     } else if (arg == "--csv") {
       csv = true;
     } else if (arg == "--summary") {
@@ -64,6 +222,22 @@ int main(int argc, char** argv) {
     } else {
       return usage();
     }
+  }
+  if (!calibration_path.empty() || !cost_trace_path.empty()) {
+    if (calibration_path.empty() || cost_trace_path.empty()) {
+      std::cerr << "error: --calibration and --cost-trace must be given "
+                   "together\n";
+      return 2;
+    }
+    int rc;
+    try {
+      rc = print_fitted_table(cost_trace_path, calibration_path);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+    if (rc != 0 || path.empty()) return rc;
+    std::printf("\n");
   }
   if (path.empty()) return usage();
 

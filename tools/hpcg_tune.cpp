@@ -1,0 +1,270 @@
+// Communication autotuner CLI: microbench sweep -> least-squares fit ->
+// calibration.json, plus inspection (print) and comparison (diff).
+//
+//   hpcg_tune sweep --ranks=12 --out=sweep.csv
+//   hpcg_tune fit --sweep=sweep.csv --out=calibration.json
+//   hpcg_tune print --calibration=calibration.json
+//   hpcg_tune diff --calibration=calibration.json [--other=b.json]
+//
+// `diff` without --other compares against the reference calibration derived
+// from the configured topology (what a perfect sweep must reproduce) and
+// exits 3 when any fitted constant deviates beyond --tolerance — the CI
+// tune-smoke job's round-trip check. See docs/TUNING.md.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "comm/cost_model.hpp"
+#include "comm/topology.hpp"
+#include "tune/calibration.hpp"
+#include "tune/fit.hpp"
+#include "tune/sweep.hpp"
+#include "util/options.hpp"
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: hpcg_tune <command> [options]
+
+commands:
+  sweep   run the deterministic communication microbench, write a CSV
+  fit     least-squares fit a sweep CSV into a calibration.json
+  print   show a calibration's fitted levels and crossover table
+  diff    compare a calibration against the reference (or another file)
+
+sweep options:
+  --ranks=N            simulated ranks (default 12)
+  --topo=NAME          aimos | zepy | flat (default aimos)
+  --patterns=LIST      comma list of p2p,allreduce,broadcast,allgatherv,
+                       alltoallv (default: all)
+  --min-bytes=N        smallest message (default 8)
+  --max-bytes=N        largest message (default 1048576)
+  --size-factor=N      geometric ladder factor (default 4)
+  --reps=N             repetitions per sample (default 3)
+  --software-alpha=S   substrate per-op software overhead (default 5e-7)
+  --bw-derate=X        effective-bandwidth derate, must be > 0 (default 1)
+  --out=FILE           output CSV (default sweep.csv)
+
+fit options:
+  --sweep=FILE         input sweep CSV (default sweep.csv)
+  --ranks/--topo       provenance stamped into the calibration (as sweep)
+  --out=FILE           output calibration (default calibration.json)
+
+print options:
+  --calibration=FILE   calibration to show (default calibration.json)
+
+diff options:
+  --calibration=FILE   calibration to check (default calibration.json)
+  --other=FILE         compare against this file instead of the reference
+  --ranks/--topo/--software-alpha/--bw-derate
+                       reference model parameters (as sweep)
+  --tolerance=X        max relative deviation before exit 3 (default 0.01)
+)";
+
+hpcg::comm::Topology topo_from_name(const std::string& name, int nranks) {
+  if (name == "aimos") return hpcg::comm::Topology::aimos(nranks);
+  if (name == "zepy") return hpcg::comm::Topology::zepy(nranks);
+  if (name == "flat") return hpcg::comm::Topology::flat(nranks);
+  std::cerr << "unknown --topo '" << name << "' (aimos | zepy | flat)\n";
+  std::exit(2);
+}
+
+std::vector<hpcg::tune::Pattern> patterns_from_list(const std::string& list) {
+  std::vector<hpcg::tune::Pattern> patterns;
+  if (list.empty() || list == "all") return patterns;
+  std::stringstream ss(list);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    patterns.push_back(hpcg::tune::pattern_from_string(item));
+  }
+  return patterns;
+}
+
+int cmd_sweep(hpcg::util::Options& options) {
+  const int ranks = static_cast<int>(options.get_int("ranks", 12));
+  const std::string topo_name = options.get_string("topo", "aimos");
+  const std::string patterns = options.get_string("patterns", "all");
+  const std::size_t min_bytes =
+      static_cast<std::size_t>(options.get_int("min-bytes", 8));
+  const std::size_t max_bytes =
+      static_cast<std::size_t>(options.get_int("max-bytes", 1 << 20));
+  const std::size_t factor =
+      static_cast<std::size_t>(options.get_int("size-factor", 4));
+  const int reps = static_cast<int>(options.get_int("reps", 3));
+  const double software_alpha = options.get_double("software-alpha", 0.5e-6);
+  const double bw_derate = options.get_double("bw-derate", 1.0);
+  const std::string out_path = options.get_string("out", "sweep.csv");
+  options.check_unknown();
+
+  hpcg::tune::SweepOptions sopts;
+  sopts.topo = topo_from_name(topo_name, ranks);
+  sopts.cost.software_alpha_s = software_alpha;
+  sopts.cost.bw_derate = bw_derate;
+  sopts.patterns = patterns_from_list(patterns);
+  sopts.sizes = hpcg::tune::geometric_sizes(min_bytes, max_bytes, factor);
+  sopts.reps = reps;
+
+  const auto sweep = hpcg::tune::run_sweep(sopts);
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << " for writing\n";
+    return 2;
+  }
+  hpcg::tune::write_sweep_csv(out, sweep);
+  std::cout << "swept " << sweep.size() << " samples on "
+            << sopts.topo.describe() << " -> " << out_path << "\n";
+  return 0;
+}
+
+int cmd_fit(hpcg::util::Options& options) {
+  const std::string sweep_path = options.get_string("sweep", "sweep.csv");
+  const int ranks = static_cast<int>(options.get_int("ranks", 12));
+  const std::string topo_name = options.get_string("topo", "aimos");
+  const std::string out_path = options.get_string("out", "calibration.json");
+  options.check_unknown();
+
+  std::ifstream in(sweep_path);
+  if (!in) {
+    std::cerr << "cannot open sweep CSV: " << sweep_path << "\n";
+    return 2;
+  }
+  const auto sweep = hpcg::tune::read_sweep_csv(in);
+  const auto fit = hpcg::tune::fit_sweep(sweep);
+  const auto cal = hpcg::tune::make_calibration(
+      topo_from_name(topo_name, ranks), fit);
+  cal.save(out_path);
+  int fitted = 0;
+  for (const auto& f : cal.level) fitted += f.valid ? 1 : 0;
+  std::cout << "fitted " << fitted << " levels from " << sweep.size()
+            << " samples -> " << out_path << "\n";
+  return 0;
+}
+
+void print_calibration(const hpcg::tune::Calibration& cal) {
+  std::printf("calibration v%d: %s (%d ranks)\n", cal.version,
+              cal.topology.c_str(), cal.nranks);
+  std::printf("%-12s %12s %14s %14s %8s %12s\n", "level", "alpha_s",
+              "beta_bytes_s", "sw_alpha_s", "samples", "max_rel_err");
+  for (int i = 0; i < hpcg::comm::kNumLinkClasses; ++i) {
+    const auto& f = cal.level[static_cast<std::size_t>(i)];
+    if (!f.valid) continue;
+    std::printf("%-12s %12.4g %14.5g %14.4g %8d %12.3g\n",
+                hpcg::comm::to_string(static_cast<hpcg::comm::LinkClass>(i)),
+                f.alpha_s, f.beta_bytes_s, f.software_alpha_s, f.samples,
+                f.max_rel_error);
+  }
+  if (cal.crossovers.empty()) {
+    std::printf("no crossovers (one algorithm dominates every size)\n");
+    return;
+  }
+  std::printf("%-12s %-12s %6s %10s  %s\n", "op", "level", "group", "bytes",
+              "switch");
+  for (const auto& c : cal.crossovers) {
+    std::printf("%-12s %-12s %6d %10zu  %s -> %s\n",
+                hpcg::comm::to_string(c.op), hpcg::comm::to_string(c.level),
+                c.group_size, c.bytes, hpcg::comm::to_string(c.below),
+                hpcg::comm::to_string(c.above));
+  }
+}
+
+int cmd_print(hpcg::util::Options& options) {
+  const std::string path = options.get_string("calibration", "calibration.json");
+  options.check_unknown();
+  print_calibration(hpcg::tune::Calibration::load(path));
+  return 0;
+}
+
+int cmd_diff(hpcg::util::Options& options) {
+  const std::string path = options.get_string("calibration", "calibration.json");
+  const std::string other_path = options.get_string("other", "");
+  const int ranks = static_cast<int>(options.get_int("ranks", 12));
+  const std::string topo_name = options.get_string("topo", "aimos");
+  const double software_alpha = options.get_double("software-alpha", 0.5e-6);
+  const double bw_derate = options.get_double("bw-derate", 1.0);
+  const double tolerance = options.get_double("tolerance", 0.01);
+  options.check_unknown();
+
+  const auto cal = hpcg::tune::Calibration::load(path);
+  hpcg::tune::Calibration ref;
+  if (!other_path.empty()) {
+    ref = hpcg::tune::Calibration::load(other_path);
+  } else {
+    hpcg::comm::CostParams cost;
+    cost.software_alpha_s = software_alpha;
+    cost.bw_derate = bw_derate;
+    ref = hpcg::tune::reference_calibration(topo_from_name(topo_name, ranks),
+                                            cost);
+  }
+  const std::string ref_name = other_path.empty() ? "reference" : other_path;
+  std::printf("%-12s %-16s %14s %14s %10s\n", "level", "constant", path.c_str(),
+              ref_name.c_str(), "rel_delta");
+  double worst = 0.0;
+  auto rel = [](double a, double b) {
+    const double denom = std::max({std::abs(a), std::abs(b), 1e-300});
+    return std::abs(a - b) / denom;
+  };
+  for (int i = 0; i < hpcg::comm::kNumLinkClasses; ++i) {
+    const auto& a = cal.level[static_cast<std::size_t>(i)];
+    const auto& b = ref.level[static_cast<std::size_t>(i)];
+    if (!a.valid && !b.valid) continue;
+    const char* name =
+        hpcg::comm::to_string(static_cast<hpcg::comm::LinkClass>(i));
+    if (a.valid != b.valid) {
+      std::printf("%-12s fitted only in %s\n", name,
+                  a.valid ? path.c_str() : ref_name.c_str());
+      // Only penalize a level the *checked* file is missing: the reference
+      // fits every class, including ones this topology never exercises.
+      if (!a.valid) worst = 1.0;
+      continue;
+    }
+    const struct { const char* label; double x, y; } rows[] = {
+        {"alpha_s", a.alpha_s, b.alpha_s},
+        {"beta_bytes_s", a.beta_bytes_s, b.beta_bytes_s},
+        {"software_alpha_s", a.software_alpha_s, b.software_alpha_s},
+    };
+    for (const auto& r : rows) {
+      const double d = rel(r.x, r.y);
+      worst = std::max(worst, d);
+      std::printf("%-12s %-16s %14.6g %14.6g %9.3g%%\n", name, r.label, r.x,
+                  r.y, 100.0 * d);
+    }
+  }
+  std::printf("worst relative deviation: %.3g%% (tolerance %.3g%%)\n",
+              100.0 * worst, 100.0 * tolerance);
+  return worst > tolerance ? 3 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::string(argv[1]) == "--help" ||
+      std::string(argv[1]) == "-h") {
+    std::cout << kUsage;
+    return argc < 2 ? 2 : 0;
+  }
+  const std::string command = argv[1];
+  // The subcommand is consumed here; Options sees only the flags after it.
+  hpcg::util::Options options(argc - 1, argv + 1);
+  options.usage(kUsage);
+  try {
+    if (command == "sweep") return cmd_sweep(options);
+    if (command == "fit") return cmd_fit(options);
+    if (command == "print") return cmd_print(options);
+    if (command == "diff") return cmd_diff(options);
+  } catch (const hpcg::tune::CalibrationError& e) {
+    std::cerr << "calibration error: " << e.what() << "\n\n" << kUsage;
+    return 2;
+  } catch (const hpcg::tune::FitError& e) {
+    std::cerr << "fit error: " << e.what() << "\n";
+    return 2;
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << "\n\n" << kUsage;
+    return 2;
+  }
+  std::cerr << "unknown command '" << command << "'\n\n" << kUsage;
+  return 2;
+}
