@@ -51,6 +51,28 @@ Comm::Comm(World* world, std::shared_ptr<Group> group, int world_rank)
 }
 
 void Comm::attribute_compute(World* world, int rank) {
+  if (world->transport_) {
+    // Wall-clock time domain: vclock tracks elapsed wall time, so time
+    // spent between communication calls is compute by definition.
+    const double wall = world->wall_elapsed();
+    const double dt = wall - world->vclock_[rank];
+    if (dt > 0) {
+      if (auto* rec = world->recorder_) {
+        telemetry::SpanRecord span;
+        span.start_s = world->vclock_[rank];
+        span.end_s = wall;
+        span.rank = rank;
+        span.kind = telemetry::SpanKind::kCompute;
+        span.name = "cpu";
+        span.superstep = rec->current_superstep(rank);
+        rec->record(std::move(span));
+      }
+      world->vclock_[rank] = wall;
+      world->comp_s_[rank] += dt;
+    }
+    world->cpu_mark_[rank] = util::thread_cpu_seconds();
+    return;
+  }
   const double now = util::thread_cpu_seconds();
   const double dt =
       (now - world->cpu_mark_[rank]) * world->cost_model().compute_scale();
@@ -282,9 +304,70 @@ void Comm::async_member_finish(Request::State& st, CollectiveOp op) {
   st.overlap_s = overlap;
 }
 
+void Comm::transport_finish(CollectiveOp op, std::uint64_t bytes,
+                            std::uint64_t msgs) {
+  const double now = world_->vclock_[world_rank_];
+  const double t = std::max(now, world_->wall_elapsed());
+  if (auto* rec = world_->recorder_) {
+    if (t > now) {
+      telemetry::SpanRecord span;
+      span.start_s = now;
+      span.end_s = t;
+      span.rank = world_rank_;
+      span.kind = telemetry::SpanKind::kCollective;
+      span.name = to_string(op);
+      span.bytes = bytes;
+      span.group_size = size();
+      span.superstep = rec->current_superstep(world_rank_);
+      rec->record(std::move(span));
+    }
+    auto& metrics = rec->metrics();
+    const char* op_name = to_string(op);
+    metrics.counter(std::string("bytes.") + op_name).add(bytes);
+    metrics.counter(std::string("collectives.") + op_name).increment();
+    metrics.counter("messages.collective").add(msgs);
+    metrics.histogram("collective.bytes").observe(bytes);
+  }
+  world_->comm_s_[world_rank_] += t - now;
+  world_->vclock_[world_rank_] = t;
+  // Each process hosts one rank, so per-process totals are that rank's
+  // contribution; every member accounts the group totals once, making them
+  // directly comparable to the shm leader's single bump.
+  world_->bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  world_->messages_.fetch_add(msgs, std::memory_order_relaxed);
+  world_->collectives_.fetch_add(1, std::memory_order_relaxed);
+  if (world_->cost_model().params().trace) {
+    std::lock_guard lock(world_->trace_mutex_);
+    world_->trace_.push_back({t, t - now, op, size(), bytes, group_->link().cls});
+  }
+  exit_collective();
+}
+
+void Comm::transport_recv_advance(std::size_t bytes) {
+  const double now = world_->vclock_[world_rank_];
+  const double arrival = std::max(now, world_->wall_elapsed());
+  if (auto* rec = world_->recorder_; rec && arrival > now) {
+    telemetry::SpanRecord span;
+    span.start_s = now;
+    span.end_s = arrival;
+    span.rank = world_rank_;
+    span.kind = telemetry::SpanKind::kCollective;
+    span.name = "p2p.recv";
+    span.bytes = bytes;
+    span.superstep = rec->current_superstep(world_rank_);
+    rec->record(std::move(span));
+  }
+  world_->comm_s_[world_rank_] += arrival - now;
+  world_->vclock_[world_rank_] = arrival;
+}
+
 void Comm::barrier() {
   fault_collective(CollectiveOp::kBarrier);
   if (size() == 1) return;
+  if (transported()) {
+    transport::Ops(*this).barrier();
+    return;
+  }
   enter_collective();
   group_->barrier_.arrive_and_wait();
   if (leader()) {
@@ -300,8 +383,21 @@ Comm Comm::split(int color, int key) {
   fault_collective(CollectiveOp::kSplit);
   if (size() == 1) {
     // Trivial: the only member keeps a fresh single-rank group.
-    return Comm(world_, std::make_shared<Group>(*world_, std::vector<int>{world_rank_}),
-                world_rank_);
+    auto child =
+        std::make_shared<Group>(*world_, std::vector<int>{world_rank_});
+    if (transported()) {
+      child->tid_ = transport::derive_child_channel(
+          group_->tid_, group_->t_split_seq_++, color);
+    }
+    return Comm(world_, std::move(child), world_rank_);
+  }
+  if (transported()) {
+    std::uint64_t child_tid = 0;
+    std::vector<int> members =
+        transport::Ops(*this).split_members(color, key, &child_tid);
+    auto child = std::make_shared<Group>(*world_, std::move(members));
+    child->tid_ = child_tid;
+    return Comm(world_, std::move(child), world_rank_);
   }
   enter_collective();
   my_slot() = {nullptr, nullptr, 0, color, key};
@@ -472,6 +568,32 @@ void Comm::fault_verify_payload(const World::Message& msg) const {
 }
 
 void Comm::reset_clocks(bool keep_metrics) {
+  if (transported()) {
+    transport::Ops ops(*this);
+    if (size() > 1) ops.barrier_norecord();
+    world_->vclock_[world_rank_] = 0.0;
+    world_->comp_s_[world_rank_] = 0.0;
+    world_->comm_s_[world_rank_] = 0.0;
+    if (auto* rec = world_->recorder_) {
+      rec->reset_rank(world_rank_);
+      // Not leader-gated: each process owns its metrics registry.
+      if (!keep_metrics) rec->metrics().reset();
+    }
+    world_->bytes_.store(0);
+    world_->messages_.store(0);
+    world_->collectives_.store(0);
+    ++world_->clock_epoch_;
+    {
+      std::lock_guard lock(world_->trace_mutex_);
+      world_->trace_.clear();
+    }
+    if (size() > 1) ops.barrier_norecord();
+    // Rebase the wall-clock origin after the gang is aligned so every
+    // rank's clocks restart from (approximately) the same instant.
+    world_->wall_origin_ = std::chrono::steady_clock::now();
+    world_->cpu_mark_[world_rank_] = util::thread_cpu_seconds();
+    return;
+  }
   if (size() > 1) group_->barrier_.arrive_and_wait();
   world_->vclock_[world_rank_] = 0.0;
   world_->comp_s_[world_rank_] = 0.0;

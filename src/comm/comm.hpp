@@ -65,6 +65,7 @@
 // to a build without the fault subsystem.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -82,6 +83,7 @@
 #include "comm/request.hpp"
 #include "comm/stats.hpp"
 #include "comm/topology.hpp"
+#include "comm/transport/ops.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/timer.hpp"
 
@@ -129,6 +131,8 @@ class Group {
 
  private:
   friend class Comm;
+  friend class Runtime;
+  friend class transport::Ops;
 
   World& world_;
   std::vector<int> members_;  // world ranks, group order
@@ -156,6 +160,13 @@ class Group {
   // needing to reach every group. Leader-only, barrier-ordered.
   double channel_time_ = 0.0;
   std::uint64_t channel_epoch_ = 0;
+  // Transport-backend state, all zero on the shm path. tid_ is the group's
+  // frame channel id (kWorldChannel for the world group, derived for split
+  // children); the sequence counters advance in lockstep on every member
+  // because collectives are program-ordered within a group.
+  std::uint64_t tid_ = 0;
+  std::uint64_t t_op_seq_ = 0;
+  std::uint64_t t_split_seq_ = 0;
 };
 
 /// Global run state shared by all ranks: clocks, traffic counters, topology
@@ -174,6 +185,15 @@ class World {
   friend class Group;
   friend class Comm;
   friend class Runtime;
+  friend class transport::Ops;
+
+  /// Wall-clock seconds since the last reset_clocks (transport backends
+  /// only; the shm backend never reads it).
+  double wall_elapsed() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         wall_origin_)
+        .count();
+  }
 
   struct Message {
     int tag;
@@ -202,6 +222,14 @@ class World {
   // Barriers read it through a pointer, so Runtime may set it after the
   // world group is built.
   double comm_timeout_s_ = 0.0;
+  // Attached by Runtime::run when the caller selects a real transport; null
+  // means the default shared-memory/virtual-clock substrate. With a
+  // transport attached this World hosts exactly ONE local rank (the
+  // endpoint's); peer state lives in the peers' own processes.
+  transport::Transport* transport_ = nullptr;
+  // Origin of the wall-clock time domain for transport backends; rebased by
+  // reset_clocks so vclock()/comp_time()/comm_time() report wall seconds.
+  std::chrono::steady_clock::time_point wall_origin_{};
   std::atomic<bool> abort_{false};
   // Indexed by world rank. Each entry is written either by its owner rank
   // (compute attribution, p2p) or by the leader of a collective the owner
@@ -475,8 +503,25 @@ class Comm {
   void bind_telemetry();
 
  private:
+  friend class transport::Ops;
+
   bool leader() const { return group_rank_ == 0; }
   detail::Slot& my_slot() { return group_->slots_[group_rank_]; }
+
+  /// True when this Comm runs over a real transport endpoint instead of the
+  /// shared-memory substrate. Every collective/p2p template branches on it
+  /// before touching slots or barriers (neither exists across processes).
+  bool transported() const { return world_->transport_ != nullptr; }
+
+  /// Transport-path epilogue of one collective: advance this rank's clock
+  /// to the wall-clock now, record the same telemetry span / metrics /
+  /// trace event the shm leader would, bump traffic counters, and
+  /// exit_collective. Defined in comm.cpp.
+  void transport_finish(CollectiveOp op, std::uint64_t bytes,
+                        std::uint64_t msgs);
+  /// Transport-path receive epilogue shared by recv/irecv: wall-clock
+  /// arrival accounting plus the "p2p.recv" span.
+  void transport_recv_advance(std::size_t bytes);
 
   /// Attributes thread-CPU time since `rank`'s last mark to its compute
   /// clock (and span track), then re-marks. Static so the telemetry clock
@@ -547,6 +592,11 @@ class Comm {
   template <class T>
   bool irecv_complete(Request::State& st, int src_world_rank, int tag,
                       std::vector<T>& out, bool blocking);
+  /// Transport-path irecv completion (blocking wait or try_recv poll) with
+  /// wall-clock overlap accounting mirroring the shm version.
+  template <class T>
+  bool transport_irecv(Request::State& st, int tag, std::vector<T>& out,
+                       bool blocking);
 
   World* world_;
   std::shared_ptr<Group> group_;
@@ -580,6 +630,26 @@ void apply_reduce(ReduceOp op, T* into, const T* from, std::size_t count) {
   }
 }
 
+/// Type-erases a builtin ReduceOp into the transport byte combiner.
+template <class T>
+transport::ByteCombine byte_combine(ReduceOp op) {
+  return [op](std::byte* into, const std::byte* from, std::size_t bytes) {
+    apply_reduce(op, reinterpret_cast<T*>(into),
+                 reinterpret_cast<const T*>(from), bytes / sizeof(T));
+  };
+}
+
+/// Type-erases a user combiner `combine(T& into, const T& from)`.
+template <class T, class F>
+transport::ByteCombine byte_combine_fn(F combine) {
+  return [combine](std::byte* into, const std::byte* from,
+                   std::size_t bytes) mutable {
+    T* a = reinterpret_cast<T*>(into);
+    const T* b = reinterpret_cast<const T*>(from);
+    for (std::size_t i = 0; i < bytes / sizeof(T); ++i) combine(a[i], b[i]);
+  };
+}
+
 }  // namespace detail
 
 template <class T>
@@ -587,6 +657,10 @@ void Comm::broadcast(std::span<T> data, int root) {
   static_assert(std::is_trivially_copyable_v<T>);
   fault_collective(CollectiveOp::kBroadcast);
   if (size() == 1) return;
+  if (transported()) {
+    transport::Ops(*this).broadcast(std::as_writable_bytes(data), root);
+    return;
+  }
   enter_collective();
   my_slot() = {data.data(), nullptr, data.size(), 0, 0};
   group_->barrier_.arrive_and_wait();
@@ -609,6 +683,16 @@ void Comm::multi_broadcast(std::span<const BcastSeg<T>> segments) {
   static_assert(std::is_trivially_copyable_v<T>);
   fault_collective(CollectiveOp::kMultiBroadcast);
   if (size() == 1) return;
+  if (transported()) {
+    std::vector<transport::ByteSeg> segs(segments.size());
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+      segs[i] = {segments[i].root,
+                 reinterpret_cast<std::byte*>(segments[i].data),
+                 segments[i].count * sizeof(T)};
+    }
+    transport::Ops(*this).multi_broadcast(segs);
+    return;
+  }
   enter_collective();
   // Publish a pointer to this rank's segment-descriptor array; peers read
   // the root's local buffer address for each segment out of it.
@@ -644,6 +728,11 @@ void Comm::allreduce(std::span<T> data, F&& combine) {
   static_assert(std::is_trivially_copyable_v<T>);
   fault_collective(CollectiveOp::kAllReduce);
   if (size() == 1) return;
+  if (transported()) {
+    transport::Ops(*this).allreduce(std::as_writable_bytes(data),
+                                    detail::byte_combine_fn<T>(combine));
+    return;
+  }
   enter_collective();
   my_slot() = {data.data(), nullptr, data.size(), 0, 0};
   group_->barrier_.arrive_and_wait();
@@ -684,6 +773,11 @@ template <class T>
 void Comm::reduce(std::span<T> data, int root, ReduceOp op) {
   fault_collective(CollectiveOp::kReduce);
   if (size() == 1) return;
+  if (transported()) {
+    transport::Ops(*this).reduce(std::as_writable_bytes(data), root,
+                                 detail::byte_combine<T>(op));
+    return;
+  }
   enter_collective();
   my_slot() = {data.data(), nullptr, data.size(), 0, 0};
   group_->barrier_.arrive_and_wait();
@@ -714,6 +808,12 @@ void Comm::reduce_scatter(std::span<const T> send, std::span<T> recv, ReduceOp o
   fault_collective(CollectiveOp::kReduceScatter);
   if (size() == 1) {
     std::memcpy(recv.data(), send.data(), recv.size() * sizeof(T));
+    return;
+  }
+  if (transported()) {
+    transport::Ops(*this).reduce_scatter(std::as_bytes(send),
+                                         std::as_writable_bytes(recv),
+                                         detail::byte_combine<T>(op));
     return;
   }
   enter_collective();
@@ -747,6 +847,11 @@ void Comm::gather(std::span<const T> send, std::span<T> recv, int root) {
     std::memcpy(recv.data(), send.data(), send.size() * sizeof(T));
     return;
   }
+  if (transported()) {
+    transport::Ops(*this).gather(std::as_bytes(send),
+                                 std::as_writable_bytes(recv), root);
+    return;
+  }
   enter_collective();
   my_slot() = {send.data(), nullptr, send.size(), 0, 0};
   group_->barrier_.arrive_and_wait();
@@ -774,6 +879,11 @@ void Comm::scatter(std::span<const T> send, std::span<T> recv, int root) {
     std::memcpy(recv.data(), send.data(), recv.size() * sizeof(T));
     return;
   }
+  if (transported()) {
+    transport::Ops(*this).scatter(std::as_bytes(send),
+                                  std::as_writable_bytes(recv), root);
+    return;
+  }
   enter_collective();
   my_slot() = {send.data(), nullptr, send.size(), 0, 0};
   group_->barrier_.arrive_and_wait();
@@ -797,6 +907,11 @@ void Comm::allgather(std::span<const T> send, std::span<T> recv) {
   fault_collective(CollectiveOp::kAllGather);
   if (size() == 1) {
     std::memcpy(recv.data(), send.data(), send.size() * sizeof(T));
+    return;
+  }
+  if (transported()) {
+    transport::Ops(*this).allgather(std::as_bytes(send),
+                                    std::as_writable_bytes(recv));
     return;
   }
   enter_collective();
@@ -824,6 +939,22 @@ void Comm::allgatherv(std::span<const T> send, std::vector<T>& out,
   if (size() == 1) {
     if (counts_out) *counts_out = {send.size()};
     out.assign(send.begin(), send.end());
+    return;
+  }
+  if (transported()) {
+    std::vector<std::byte> raw;
+    std::vector<std::size_t> counts_b;
+    transport::Ops(*this).allgatherv(std::as_bytes(send), raw,
+                                     counts_out ? &counts_b : nullptr);
+    out.clear();
+    out.resize(raw.size() / sizeof(T));
+    if (!raw.empty()) std::memcpy(out.data(), raw.data(), raw.size());
+    if (counts_out) {
+      counts_out->resize(counts_b.size());
+      for (std::size_t i = 0; i < counts_b.size(); ++i) {
+        (*counts_out)[i] = counts_b[i] / sizeof(T);
+      }
+    }
     return;
   }
   enter_collective();
@@ -874,6 +1005,26 @@ void Comm::alltoallv(std::span<const T> send,
   if (size() == 1) {
     if (recv_counts) *recv_counts = {send.size()};
     out.assign(send.begin(), send.end());
+    return;
+  }
+  if (transported()) {
+    std::vector<std::size_t> counts_b(send_counts.size());
+    for (std::size_t i = 0; i < send_counts.size(); ++i) {
+      counts_b[i] = send_counts[i] * sizeof(T);
+    }
+    std::vector<std::byte> raw;
+    std::vector<std::size_t> rc_b;
+    transport::Ops(*this).alltoallv(std::as_bytes(send), counts_b, raw,
+                                    recv_counts ? &rc_b : nullptr);
+    out.clear();
+    out.resize(raw.size() / sizeof(T));
+    if (!raw.empty()) std::memcpy(out.data(), raw.data(), raw.size());
+    if (recv_counts) {
+      recv_counts->resize(rc_b.size());
+      for (std::size_t i = 0; i < rc_b.size(); ++i) {
+        (*recv_counts)[i] = rc_b[i] / sizeof(T);
+      }
+    }
     return;
   }
   enter_collective();
@@ -950,6 +1101,25 @@ void Comm::send(std::span<const T> data, int dest_world_rank, int tag) {
   if (tag < 0) {
     throw std::invalid_argument("send: negative tag " + std::to_string(tag));
   }
+  if (transported()) {
+    enter_collective();
+    const std::size_t bytes = data.size() * sizeof(T);
+    world_->transport_->send(dest_world_rank, transport::kP2pChannel, tag,
+                             std::as_bytes(data));
+    // Sender pays whatever wall time the (possibly blocking) write took.
+    const double now = world_->vclock_[world_rank_];
+    const double t = std::max(now, world_->wall_elapsed());
+    world_->comm_s_[world_rank_] += t - now;
+    world_->vclock_[world_rank_] = t;
+    world_->bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    world_->messages_.fetch_add(1, std::memory_order_relaxed);
+    if (auto* rec = world_->recorder_) {
+      rec->metrics().counter("bytes.p2p").add(bytes);
+      rec->metrics().counter("messages.p2p").increment();
+    }
+    exit_collective();
+    return;
+  }
   enter_collective();  // attribute compute before the modeled send
   const std::size_t bytes = data.size() * sizeof(T);
   const LinkClass link_cls =
@@ -991,6 +1161,20 @@ void Comm::recv(int src_world_rank, int tag, std::vector<T>& out) {
   }
   if (tag < 0) {
     throw std::invalid_argument("recv: negative tag " + std::to_string(tag));
+  }
+  if (transported()) {
+    enter_collective();
+    // Tag-matched, any-source — exactly the shm mailbox contract.
+    transport::Frame f = world_->transport_->recv_any(
+        transport::kP2pChannel, tag, world_->comm_timeout_s_);
+    transport_recv_advance(f.payload.size());
+    out.clear();
+    out.resize(f.payload.size() / sizeof(T));
+    if (!f.payload.empty()) {
+      std::memcpy(out.data(), f.payload.data(), f.payload.size());
+    }
+    exit_collective();
+    return;
   }
   enter_collective();
   auto& box = *world_->mailboxes_[world_rank_];
@@ -1082,6 +1266,19 @@ Request Comm::iallreduce(std::span<T> data, F&& combine) {
   static_assert(std::is_trivially_copyable_v<T>);
   auto st = async_issue(CollectiveOp::kAllReduce);
   if (size() == 1) return async_completed(std::move(st));
+  if (transported()) {
+    // Real transports complete i-collectives at the wait (no modeled
+    // overlap window; cost_s/overlap_s stay 0 — see docs/TRANSPORT.md).
+    Comm self = *this;
+    auto* stp = st.get();
+    st->complete = [self, stp, data,
+                    combine =
+                        std::decay_t<F>(std::forward<F>(combine))]() mutable {
+      self.allreduce(data, combine);
+      stp->done = true;
+    };
+    return Request(std::move(st));
+  }
   Comm self = *this;
   auto* stp = st.get();
   st->complete = [self, stp, data,
@@ -1132,6 +1329,15 @@ Request Comm::ibroadcast(std::span<T> data, int root) {
   static_assert(std::is_trivially_copyable_v<T>);
   auto st = async_issue(CollectiveOp::kBroadcast);
   if (size() == 1) return async_completed(std::move(st));
+  if (transported()) {
+    Comm self = *this;
+    auto* stp = st.get();
+    st->complete = [self, stp, data, root]() mutable {
+      self.broadcast(data, root);
+      stp->done = true;
+    };
+    return Request(std::move(st));
+  }
   Comm self = *this;
   auto* stp = st.get();
   st->complete = [self, stp, data, root]() mutable {
@@ -1164,6 +1370,16 @@ Request Comm::imulti_broadcast(std::vector<BcastSeg<T>> segments) {
   static_assert(std::is_trivially_copyable_v<T>);
   auto st = async_issue(CollectiveOp::kMultiBroadcast);
   if (size() == 1 || segments.empty()) return async_completed(std::move(st));
+  if (transported()) {
+    Comm self = *this;
+    auto* stp = st.get();
+    st->complete = [self, stp, segments = std::move(segments)]() mutable {
+      self.multi_broadcast(
+          std::span<const BcastSeg<T>>(segments.data(), segments.size()));
+      stp->done = true;
+    };
+    return Request(std::move(st));
+  }
   Comm self = *this;
   auto* stp = st.get();
   st->complete = [self, stp, segments = std::move(segments)]() mutable {
@@ -1210,6 +1426,16 @@ Request Comm::iallgatherv(std::span<const T> send, std::vector<T>& out,
     out.assign(send.begin(), send.end());
     if (counts_out) *counts_out = {send.size()};
     return async_completed(std::move(st));
+  }
+  if (transported()) {
+    Comm self = *this;
+    auto* stp = st.get();
+    auto* outp = &out;
+    st->complete = [self, stp, send, outp, counts_out]() mutable {
+      self.allgatherv(send, *outp, counts_out);
+      stp->done = true;
+    };
+    return Request(std::move(st));
   }
   Comm self = *this;
   auto* stp = st.get();
@@ -1268,6 +1494,18 @@ Request Comm::ialltoallv(std::span<const T> send,
     out.assign(send.begin(), send.end());
     if (recv_counts) *recv_counts = {send.size()};
     return async_completed(std::move(st));
+  }
+  if (transported()) {
+    Comm self = *this;
+    auto* stp = st.get();
+    auto* outp = &out;
+    st->complete = [self, stp, send, outp, recv_counts,
+                    counts = std::vector<std::size_t>(
+                        send_counts.begin(), send_counts.end())]() mutable {
+      self.alltoallv(send, counts, *outp, recv_counts);
+      stp->done = true;
+    };
+    return Request(std::move(st));
   }
   Comm self = *this;
   auto* stp = st.get();
@@ -1363,6 +1601,18 @@ Request Comm::irecv(int src_world_rank, int tag, std::vector<T>& out) {
   auto st = std::make_shared<Request::State>();
   flush_compute();
   st->issue_vclock = world_->vclock_[world_rank_];
+  if (transported()) {
+    Comm self = *this;
+    auto* stp = st.get();
+    auto* outp = &out;
+    st->complete = [self, stp, tag, outp]() mutable {
+      self.transport_irecv(*stp, tag, *outp, /*blocking=*/true);
+    };
+    st->try_complete = [self, stp, tag, outp]() mutable {
+      return self.transport_irecv(*stp, tag, *outp, /*blocking=*/false);
+    };
+    return Request(std::move(st));
+  }
   Comm self = *this;
   auto* stp = st.get();
   auto* outp = &out;
@@ -1457,6 +1707,34 @@ bool Comm::irecv_complete(Request::State& st, int src_world_rank, int tag,
   out.clear();
   out.resize(msg.payload.size() / sizeof(T));
   std::memcpy(out.data(), msg.payload.data(), msg.payload.size());
+  exit_collective();
+  st.done = true;
+  return true;
+}
+
+template <class T>
+bool Comm::transport_irecv(Request::State& st, int tag, std::vector<T>& out,
+                           bool blocking) {
+  enter_collective();  // attribute compute since issue before overlap math
+  transport::Frame f;
+  if (blocking) {
+    f = world_->transport_->recv_any(transport::kP2pChannel, tag,
+                                     world_->comm_timeout_s_);
+  } else if (!world_->transport_->try_recv(transport::kP2pChannel, tag, &f)) {
+    exit_collective();
+    return false;
+  }
+  // Overlap: the frame was in flight from (at the latest) the issue point
+  // until now, so compute done in between hid under the transfer.
+  const double now = world_->vclock_[world_rank_];
+  st.cost_s = std::max(0.0, now - st.issue_vclock);
+  st.overlap_s = std::max(0.0, now - st.issue_vclock);
+  transport_recv_advance(f.payload.size());
+  out.clear();
+  out.resize(f.payload.size() / sizeof(T));
+  if (!f.payload.empty()) {
+    std::memcpy(out.data(), f.payload.data(), f.payload.size());
+  }
   exit_collective();
   st.done = true;
   return true;

@@ -64,6 +64,42 @@ RunStats Runtime::run(int nranks, const Topology& topo, const CostModel& cost,
   world.async_chunk_ = async_chunk < 1 ? 1 : async_chunk;
   world.threads_default_ = options.kernel.threads < 1 ? 1 : options.kernel.threads;
   world.chunk_grain_default_ = options.kernel.chunk_grain;
+  if (auto* t = options.transport) {
+    // Real-transport mode: this process hosts exactly one rank — the
+    // endpoint's — and the body runs on the calling thread. Errors
+    // propagate to the caller (the gang launcher translates CommError into
+    // a retryable exit); there is no abort flag to raise because peers
+    // observe death through the transport itself.
+    if (options.faults) {
+      throw std::invalid_argument(
+          "fault injection requires the shared-memory backend (the injector "
+          "sequences decisions across ranks in one address space); use real "
+          "process kills to exercise the transport recovery path");
+    }
+    if (t->nranks() != nranks) {
+      throw std::invalid_argument("transport endpoint gang size " +
+                                  std::to_string(t->nranks()) +
+                                  " != requested rank count " +
+                                  std::to_string(nranks));
+    }
+    world.transport_ = t;
+    // Timeout policy is the transport's call: the implicit default exists
+    // for the shm backend's modeled silent-death detection, while a real
+    // transport may have a liveness signal of its own.
+    world.comm_timeout_s_ = t->resolve_timeout(
+        options.comm_timeout_s, /*explicit_request=*/options.comm_timeout_s > 0);
+    world.wall_origin_ = std::chrono::steady_clock::now();
+    std::vector<int> members(static_cast<std::size_t>(nranks));
+    std::iota(members.begin(), members.end(), 0);
+    auto world_group = std::make_shared<Group>(world, std::move(members));
+    world_group->tid_ = transport::kWorldChannel;
+    Comm comm(&world, std::move(world_group), t->rank());
+    comm.bind_telemetry();
+    comm.reset_clocks(options.keep_metrics);
+    body(comm);
+    comm.flush_compute();
+    return world.snapshot_stats();
+  }
   if (options.faults) {
     options.faults->begin_run();
     if (world.comm_timeout_s_ <= 0 && options.faults->wants_deadline()) {

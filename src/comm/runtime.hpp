@@ -57,6 +57,15 @@ struct RunOptions {
   /// from the fitted model. Results are bit-identical under any policy;
   /// only modeled time changes.
   CollectivePolicy policy = {};
+  /// Real-transport endpoint for this rank (docs/TRANSPORT.md). When set,
+  /// the World hosts exactly ONE local rank — the endpoint's — and `body`
+  /// runs once on the calling thread; peers are separate endpoints (usually
+  /// separate processes) wired to the same mesh. Timing is wall-clock.
+  /// Incompatible with `faults` (the injector's sequencing assumes the
+  /// shared-memory substrate); `comm_timeout_s` is filtered through
+  /// Transport::resolve_timeout so a backend with its own liveness signal
+  /// can decline the implicit fault-work default.
+  transport::Transport* transport = nullptr;
 
   static constexpr double kDefaultFaultTimeoutS = 10.0;
 };

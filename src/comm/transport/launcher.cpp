@@ -1,0 +1,110 @@
+#include "comm/transport/launcher.hpp"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <stdexcept>
+#include <vector>
+
+#include "comm/errors.hpp"
+
+namespace hpcg::comm::transport {
+namespace {
+
+[[noreturn]] void child_main(SocketMesh& mesh, int rank, int nranks,
+                             int attempt, const GangOptions& options,
+                             const std::function<int(SocketTransport&, int)>& child) {
+  int code = 1;
+  try {
+    SocketTransport transport(rank, nranks, mesh.claim(rank));
+    mesh.close_all();  // drop every descriptor that is not ours
+    if (attempt == 0 && rank == options.kill_rank) {
+      transport.kill_after_sends(options.kill_after_sends);
+    }
+    code = child(transport, attempt);
+    // transport destructs here: goodbye frames tell peers this is a
+    // graceful finish, not a death.
+  } catch (const CommError& e) {
+    std::fprintf(stderr, "[rank %d] %s\n", rank, e.what());
+    code = kRetryableExit;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[rank %d] error: %s\n", rank, e.what());
+    code = 1;
+  }
+  std::fflush(stdout);
+  std::fflush(stderr);
+  // _Exit: never run the parent's atexit handlers / static destructors in
+  // a forked child.
+  std::_Exit(code);
+}
+
+}  // namespace
+
+GangResult run_gang(const GangOptions& options,
+                    const std::function<int(SocketTransport&, int)>& child) {
+  if (options.procs < 1) {
+    throw std::invalid_argument("run_gang: procs must be >= 1");
+  }
+  GangResult result;
+  for (int attempt = 0;; ++attempt) {
+    // Children inherit stdio buffers; flush so buffered parent output is
+    // not replayed once per child at exit.
+    std::fflush(stdout);
+    std::fflush(stderr);
+    SocketMesh mesh(options.procs);
+    std::vector<pid_t> pids(static_cast<std::size_t>(options.procs), -1);
+    for (int r = 0; r < options.procs; ++r) {
+      const pid_t pid = ::fork();
+      if (pid < 0) {
+        // Fork failed mid-gang: reap what we started and give up.
+        mesh.close_all();
+        for (const pid_t p : pids) {
+          if (p > 0) ::waitpid(p, nullptr, 0);
+        }
+        throw std::runtime_error("run_gang: fork failed");
+      }
+      if (pid == 0) {
+        child_main(mesh, r, options.procs, attempt, options, child);
+      }
+      pids[static_cast<std::size_t>(r)] = pid;
+    }
+    mesh.close_all();  // children own their rows now; EOF works only if the
+                       // parent is not holding duplicate descriptors
+
+    bool retryable = false;
+    int hard_exit = 0;
+    for (const pid_t pid : pids) {
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+      if (WIFSIGNALED(status)) {
+        retryable = true;
+      } else if (WIFEXITED(status)) {
+        const int code = WEXITSTATUS(status);
+        if (code == kRetryableExit) {
+          retryable = true;
+        } else if (code != 0 && hard_exit == 0) {
+          hard_exit = code;
+        }
+      }
+    }
+    if (hard_exit != 0) {
+      result.exit_code = hard_exit;
+      return result;
+    }
+    if (!retryable) {
+      result.exit_code = 0;
+      return result;
+    }
+    if (attempt >= options.max_restarts) {
+      result.exit_code = 1;
+      return result;
+    }
+    ++result.restarts;
+  }
+}
+
+}  // namespace hpcg::comm::transport

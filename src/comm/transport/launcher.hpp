@@ -1,0 +1,47 @@
+#pragma once
+
+// Process gang launcher: forks one child per rank over a pre-built
+// SocketMesh and supervises them. Recovery is whole-gang restart — when a
+// rank dies (signal, or a CommError mapped to kRetryableExit), the
+// surviving ranks observe EOF, throw RankFailure, and exit retryable too;
+// the parent reaps everyone and re-forks the gang. Combined with a
+// checkpoint store on disk the restarted gang resumes from the last
+// committed superstep: the process-level analog of
+// fault::Runtime::run_with_recovery.
+
+#include <cstdint>
+#include <functional>
+
+#include "comm/transport/socket_transport.hpp"
+
+namespace hpcg::comm::transport {
+
+/// Child exit code meaning "I failed because a peer (or I) died mid-run;
+/// restarting the gang can succeed" — chosen to match sysexits EX_TEMPFAIL.
+inline constexpr int kRetryableExit = 75;
+
+struct GangOptions {
+  int procs = 1;
+  /// Whole-gang restarts allowed before giving up.
+  int max_restarts = 3;
+  /// Crash-test hook: on the FIRST attempt only, rank `kill_rank` raises
+  /// SIGKILL before its (kill_after_sends+1)-th frame send. -1 disables.
+  int kill_rank = -1;
+  std::int64_t kill_after_sends = 0;
+};
+
+struct GangResult {
+  int restarts = 0;
+  /// 0 on success; the first non-retryable child exit code, or 1 when the
+  /// restart budget is exhausted.
+  int exit_code = 0;
+};
+
+/// Forks `procs` children, each running `child(transport, attempt)` and
+/// exiting with its return value. A child that throws CommError exits
+/// kRetryableExit; any other exception exits 1. Returns once a gang run
+/// finishes without a retryable failure.
+GangResult run_gang(const GangOptions& options,
+                    const std::function<int(SocketTransport&, int attempt)>& child);
+
+}  // namespace hpcg::comm::transport

@@ -1,0 +1,534 @@
+#include "comm/transport/ops.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "comm/comm.hpp"
+
+namespace hpcg::comm::transport {
+namespace {
+
+void check_size(std::size_t got, std::size_t want, const char* op) {
+  if (got != want) {
+    throw std::logic_error(std::string("transport ") + op +
+                           ": frame size mismatch (got " +
+                           std::to_string(got) + ", want " +
+                           std::to_string(want) + ")");
+  }
+}
+
+}  // namespace
+
+std::uint64_t derive_child_channel(std::uint64_t parent,
+                                   std::uint64_t split_seq, int color) {
+  // FNV-1a style mix over (parent, split_seq, color); deterministic on every
+  // member, so all members of one child derive the same channel id. The high
+  // bit keeps derived ids clear of the reserved constants.
+  std::uint64_t h = 1469598103934665603ull;
+  for (const std::uint64_t word :
+       {parent, split_seq, static_cast<std::uint64_t>(color)}) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (word >> (b * 8)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+  return h | 0x8000000000000000ull;
+}
+
+Ops::Scope::Scope(Comm& comm, CollectiveOp o) : c(comm), op(o) {
+  c.enter_collective();
+}
+
+Ops::Scope::~Scope() {
+  if (!done) c.exit_collective();
+}
+
+void Ops::Scope::finish(std::uint64_t bytes, std::uint64_t msgs) {
+  c.transport_finish(op, bytes, msgs);  // ends with exit_collective
+  done = true;
+}
+
+int Ops::n() const { return comm_.group_->size(); }
+int Ops::me() const { return comm_.group_rank_; }
+
+int Ops::world_of(int member) const {
+  return comm_.group_->members()[static_cast<std::size_t>(member)];
+}
+
+int Ops::member_of_world(int world_rank) const {
+  const auto& members = comm_.group_->members();
+  for (std::size_t m = 0; m < members.size(); ++m) {
+    if (members[m] == world_rank) return static_cast<int>(m);
+  }
+  throw std::logic_error("transport: frame from a rank outside this group");
+}
+
+std::uint64_t Ops::chan() const { return comm_.group_->tid_; }
+std::uint64_t Ops::next_seq() { return comm_.group_->t_op_seq_++; }
+double Ops::deadline() const { return comm_.world_->comm_timeout_s_; }
+Transport& Ops::tp() { return *comm_.world_->transport_; }
+
+void Ops::send_to(int member, std::uint64_t seq,
+                  std::span<const std::byte> payload) {
+  tp().send(world_of(member), chan(), static_cast<std::int64_t>(seq), payload);
+}
+
+Frame Ops::recv_from_member(int member, std::uint64_t seq) {
+  return tp().recv_from(world_of(member), chan(),
+                        static_cast<std::int64_t>(seq), deadline());
+}
+
+Frame Ops::recv_any_member(std::uint64_t seq) {
+  return tp().recv_any(chan(), static_cast<std::int64_t>(seq), deadline());
+}
+
+void Ops::wire_barrier() {
+  // Leader-relay barrier: notify up, release down.
+  const std::uint64_t seq = next_seq();
+  if (me() == 0) {
+    for (int i = 1; i < n(); ++i) recv_any_member(seq);
+    for (int m = 1; m < n(); ++m) send_to(m, seq, {});
+  } else {
+    send_to(0, seq, {});
+    recv_from_member(0, seq);
+  }
+}
+
+void Ops::barrier() {
+  Scope s(comm_, CollectiveOp::kBarrier);
+  wire_barrier();
+  s.finish(0, static_cast<std::uint64_t>(2 * (n() - 1)));
+}
+
+void Ops::barrier_norecord() { wire_barrier(); }
+
+void Ops::broadcast(std::span<std::byte> data, int root) {
+  Scope s(comm_, CollectiveOp::kBroadcast);
+  const std::uint64_t seq = next_seq();
+  if (me() == root) {
+    for (int m = 0; m < n(); ++m) {
+      if (m != root) send_to(m, seq, data);
+    }
+  } else {
+    const Frame f = recv_from_member(root, seq);
+    check_size(f.payload.size(), data.size(), "broadcast");
+    std::memcpy(data.data(), f.payload.data(), data.size());
+  }
+  s.finish(static_cast<std::uint64_t>(data.size()) * (n() - 1),
+           static_cast<std::uint64_t>(n() - 1));
+}
+
+void Ops::multi_broadcast(std::span<const ByteSeg> segments) {
+  Scope s(comm_, CollectiveOp::kMultiBroadcast);
+  const std::uint64_t seq = next_seq();
+  // All sends before any receive so every root can drain; per-(src, dst)
+  // FIFO keeps one root's segments in segment order on the wire.
+  for (const auto& seg : segments) {
+    if (seg.root != me()) continue;
+    for (int m = 0; m < n(); ++m) {
+      if (m != me()) send_to(m, seq, {seg.data, seg.bytes});
+    }
+  }
+  for (const auto& seg : segments) {
+    if (seg.root == me()) continue;
+    const Frame f = recv_from_member(seg.root, seq);
+    check_size(f.payload.size(), seg.bytes, "multi_broadcast");
+    std::memcpy(seg.data, f.payload.data(), seg.bytes);
+  }
+  std::uint64_t bytes = 0;
+  for (const auto& seg : segments) bytes += seg.bytes * (n() - 1);
+  s.finish(bytes, static_cast<std::uint64_t>(segments.size()) * (n() - 1));
+}
+
+void Ops::allreduce(std::span<std::byte> data, const ByteCombine& combine) {
+  Scope s(comm_, CollectiveOp::kAllReduce);
+  const std::uint64_t sg = next_seq();
+  const std::uint64_t sb = next_seq();
+  if (me() == 0) {
+    // Gather member buffers, fold them into the leader's own data in member
+    // order 1..n-1 (the shm bit-identity rule), broadcast the result.
+    std::vector<std::vector<std::byte>> from(static_cast<std::size_t>(n()));
+    for (int i = 1; i < n(); ++i) {
+      Frame f = recv_any_member(sg);
+      from[static_cast<std::size_t>(member_of_world(f.src))] =
+          std::move(f.payload);
+    }
+    for (int m = 1; m < n(); ++m) {
+      const auto& buf = from[static_cast<std::size_t>(m)];
+      check_size(buf.size(), data.size(), "allreduce");
+      combine(data.data(), buf.data(), data.size());
+    }
+    for (int m = 1; m < n(); ++m) send_to(m, sb, data);
+  } else {
+    send_to(0, sg, data);
+    const Frame f = recv_from_member(0, sb);
+    check_size(f.payload.size(), data.size(), "allreduce");
+    std::memcpy(data.data(), f.payload.data(), data.size());
+  }
+  s.finish(static_cast<std::uint64_t>(data.size()) * 2 * (n() - 1) / n(),
+           static_cast<std::uint64_t>(2 * (n() - 1)));
+}
+
+void Ops::reduce(std::span<std::byte> data, int root,
+                 const ByteCombine& combine) {
+  Scope s(comm_, CollectiveOp::kReduce);
+  const std::uint64_t sg = next_seq();
+  const std::uint64_t sb = next_seq();
+  if (me() == 0) {
+    // Fold into a scratch copy so the leader's own buffer stays unchanged
+    // unless it is the root (shm contract: non-root buffers untouched).
+    std::vector<std::byte> acc(data.begin(), data.end());
+    std::vector<std::vector<std::byte>> from(static_cast<std::size_t>(n()));
+    for (int i = 1; i < n(); ++i) {
+      Frame f = recv_any_member(sg);
+      from[static_cast<std::size_t>(member_of_world(f.src))] =
+          std::move(f.payload);
+    }
+    for (int m = 1; m < n(); ++m) {
+      const auto& buf = from[static_cast<std::size_t>(m)];
+      check_size(buf.size(), data.size(), "reduce");
+      combine(acc.data(), buf.data(), acc.size());
+    }
+    if (root == 0) {
+      std::memcpy(data.data(), acc.data(), data.size());
+    } else {
+      send_to(root, sb, acc);
+    }
+  } else {
+    send_to(0, sg, data);
+    if (me() == root) {
+      const Frame f = recv_from_member(0, sb);
+      check_size(f.payload.size(), data.size(), "reduce");
+      std::memcpy(data.data(), f.payload.data(), data.size());
+    }
+  }
+  s.finish(static_cast<std::uint64_t>(data.size()) * (n() - 1) / n(),
+           static_cast<std::uint64_t>(n() - 1));
+}
+
+void Ops::reduce_scatter(std::span<const std::byte> send,
+                         std::span<std::byte> recv,
+                         const ByteCombine& combine) {
+  Scope s(comm_, CollectiveOp::kReduceScatter);
+  const std::uint64_t seq = next_seq();
+  const std::size_t block = recv.size();
+  for (int d = 0; d < n(); ++d) {
+    if (d != me()) {
+      send_to(d, seq, send.subspan(static_cast<std::size_t>(d) * block, block));
+    }
+  }
+  std::vector<std::vector<std::byte>> blocks(static_cast<std::size_t>(n()));
+  for (int i = 1; i < n(); ++i) {
+    Frame f = recv_any_member(seq);
+    blocks[static_cast<std::size_t>(member_of_world(f.src))] =
+        std::move(f.payload);
+  }
+  // Initialize from member 0's block, fold 1..n-1 in member order — the
+  // exact shm reduction order.
+  const std::span<const std::byte> own =
+      send.subspan(static_cast<std::size_t>(me()) * block, block);
+  if (me() == 0) {
+    std::memcpy(recv.data(), own.data(), block);
+  } else {
+    check_size(blocks[0].size(), block, "reduce_scatter");
+    std::memcpy(recv.data(), blocks[0].data(), block);
+  }
+  for (int m = 1; m < n(); ++m) {
+    if (m == me()) {
+      combine(recv.data(), own.data(), block);
+    } else {
+      const auto& buf = blocks[static_cast<std::size_t>(m)];
+      check_size(buf.size(), block, "reduce_scatter");
+      combine(recv.data(), buf.data(), block);
+    }
+  }
+  s.finish(static_cast<std::uint64_t>(send.size()) * (n() - 1) / n(),
+           static_cast<std::uint64_t>(n() - 1));
+}
+
+void Ops::gather(std::span<const std::byte> send, std::span<std::byte> recv,
+                 int root) {
+  Scope s(comm_, CollectiveOp::kGather);
+  const std::uint64_t seq = next_seq();
+  const std::size_t block = send.size();
+  if (me() == root) {
+    std::memcpy(recv.data() + static_cast<std::size_t>(me()) * block,
+                send.data(), block);
+    for (int i = 1; i < n(); ++i) {
+      Frame f = recv_any_member(seq);
+      check_size(f.payload.size(), block, "gather");
+      const int m = member_of_world(f.src);
+      std::memcpy(recv.data() + static_cast<std::size_t>(m) * block,
+                  f.payload.data(), block);
+    }
+  } else {
+    send_to(root, seq, send);
+  }
+  const std::uint64_t total = static_cast<std::uint64_t>(block) * n();
+  s.finish(total * (n() - 1) / n(), static_cast<std::uint64_t>(n() - 1));
+}
+
+void Ops::scatter(std::span<const std::byte> send, std::span<std::byte> recv,
+                  int root) {
+  Scope s(comm_, CollectiveOp::kScatter);
+  const std::uint64_t seq = next_seq();
+  const std::size_t block = recv.size();
+  if (me() == root) {
+    for (int m = 0; m < n(); ++m) {
+      if (m == me()) continue;
+      send_to(m, seq,
+              send.subspan(static_cast<std::size_t>(m) * block, block));
+    }
+    std::memcpy(recv.data(),
+                send.data() + static_cast<std::size_t>(me()) * block, block);
+  } else {
+    const Frame f = recv_from_member(root, seq);
+    check_size(f.payload.size(), block, "scatter");
+    std::memcpy(recv.data(), f.payload.data(), block);
+  }
+  const std::uint64_t total = static_cast<std::uint64_t>(block) * n();
+  s.finish(total * (n() - 1) / n(), static_cast<std::uint64_t>(n() - 1));
+}
+
+void Ops::allgather(std::span<const std::byte> send,
+                    std::span<std::byte> recv) {
+  Scope s(comm_, CollectiveOp::kAllGather);
+  const std::uint64_t sg = next_seq();
+  const std::uint64_t sb = next_seq();
+  const std::size_t block = send.size();
+  if (me() == 0) {
+    std::memcpy(recv.data(), send.data(), block);
+    for (int i = 1; i < n(); ++i) {
+      Frame f = recv_any_member(sg);
+      check_size(f.payload.size(), block, "allgather");
+      const int m = member_of_world(f.src);
+      std::memcpy(recv.data() + static_cast<std::size_t>(m) * block,
+                  f.payload.data(), block);
+    }
+    for (int m = 1; m < n(); ++m) send_to(m, sb, recv);
+  } else {
+    send_to(0, sg, send);
+    const Frame f = recv_from_member(0, sb);
+    check_size(f.payload.size(), recv.size(), "allgather");
+    std::memcpy(recv.data(), f.payload.data(), recv.size());
+  }
+  const std::uint64_t total = static_cast<std::uint64_t>(block) * n();
+  s.finish(total * (n() - 1) / n(), static_cast<std::uint64_t>(n() - 1));
+}
+
+void Ops::allgatherv(std::span<const std::byte> send,
+                     std::vector<std::byte>& out,
+                     std::vector<std::size_t>* counts_bytes) {
+  Scope s(comm_, CollectiveOp::kAllGatherV);
+  const std::uint64_t sg = next_seq();
+  const std::uint64_t sb = next_seq();
+  std::vector<std::size_t> counts(static_cast<std::size_t>(n()), 0);
+  if (me() == 0) {
+    std::vector<std::vector<std::byte>> from(static_cast<std::size_t>(n()));
+    from[0].assign(send.begin(), send.end());
+    for (int i = 1; i < n(); ++i) {
+      Frame f = recv_any_member(sg);
+      from[static_cast<std::size_t>(member_of_world(f.src))] =
+          std::move(f.payload);
+    }
+    std::size_t total = 0;
+    for (int m = 0; m < n(); ++m) {
+      counts[static_cast<std::size_t>(m)] =
+          from[static_cast<std::size_t>(m)].size();
+      total += counts[static_cast<std::size_t>(m)];
+    }
+    // One packed reply frame: [u64 count per member][concatenated data].
+    std::vector<std::byte> packet(static_cast<std::size_t>(n()) * 8 + total);
+    for (int m = 0; m < n(); ++m) {
+      const std::uint64_t c = counts[static_cast<std::size_t>(m)];
+      std::memcpy(packet.data() + static_cast<std::size_t>(m) * 8, &c, 8);
+    }
+    std::size_t offset = static_cast<std::size_t>(n()) * 8;
+    for (int m = 0; m < n(); ++m) {
+      const auto& buf = from[static_cast<std::size_t>(m)];
+      if (!buf.empty()) std::memcpy(packet.data() + offset, buf.data(), buf.size());
+      offset += buf.size();
+    }
+    for (int m = 1; m < n(); ++m) send_to(m, sb, packet);
+    out.assign(packet.begin() + static_cast<std::ptrdiff_t>(n()) * 8,
+               packet.end());
+  } else {
+    send_to(0, sg, send);
+    const Frame f = recv_from_member(0, sb);
+    if (f.payload.size() < static_cast<std::size_t>(n()) * 8) {
+      throw std::logic_error("transport allgatherv: short reply frame");
+    }
+    std::size_t total = 0;
+    for (int m = 0; m < n(); ++m) {
+      std::uint64_t c = 0;
+      std::memcpy(&c, f.payload.data() + static_cast<std::size_t>(m) * 8, 8);
+      counts[static_cast<std::size_t>(m)] = static_cast<std::size_t>(c);
+      total += counts[static_cast<std::size_t>(m)];
+    }
+    check_size(f.payload.size(), static_cast<std::size_t>(n()) * 8 + total,
+               "allgatherv");
+    out.assign(f.payload.begin() + static_cast<std::ptrdiff_t>(n()) * 8,
+               f.payload.end());
+  }
+  if (counts_bytes) *counts_bytes = counts;
+  std::uint64_t total_bytes = 0;
+  for (const auto c : counts) total_bytes += c;
+  s.finish(total_bytes, static_cast<std::uint64_t>(n() - 1));
+}
+
+void Ops::alltoallv(std::span<const std::byte> send,
+                    std::span<const std::size_t> send_counts_bytes,
+                    std::vector<std::byte>& out,
+                    std::vector<std::size_t>* recv_counts_bytes) {
+  Scope s(comm_, CollectiveOp::kAllToAllV);
+  const std::uint64_t sg = next_seq();
+  const std::uint64_t sb = next_seq();
+  const std::uint64_t sd = next_seq();
+  // Phase 1: leader-relay allgather of the full counts matrix.
+  std::vector<std::uint64_t> matrix(
+      static_cast<std::size_t>(n()) * static_cast<std::size_t>(n()), 0);
+  std::vector<std::uint64_t> row(static_cast<std::size_t>(n()), 0);
+  for (int d = 0; d < n(); ++d) {
+    row[static_cast<std::size_t>(d)] =
+        send_counts_bytes[static_cast<std::size_t>(d)];
+  }
+  const std::size_t row_bytes = static_cast<std::size_t>(n()) * 8;
+  if (me() == 0) {
+    std::memcpy(matrix.data(), row.data(), row_bytes);
+    for (int i = 1; i < n(); ++i) {
+      Frame f = recv_any_member(sg);
+      check_size(f.payload.size(), row_bytes, "alltoallv");
+      const int m = member_of_world(f.src);
+      std::memcpy(matrix.data() + static_cast<std::size_t>(m) * n(),
+                  f.payload.data(), row_bytes);
+    }
+    const std::span<const std::byte> packed(
+        reinterpret_cast<const std::byte*>(matrix.data()),
+        matrix.size() * 8);
+    for (int m = 1; m < n(); ++m) send_to(m, sb, packed);
+  } else {
+    send_to(0, sg,
+            std::span<const std::byte>(
+                reinterpret_cast<const std::byte*>(row.data()), row_bytes));
+    const Frame f = recv_from_member(0, sb);
+    check_size(f.payload.size(), matrix.size() * 8, "alltoallv");
+    std::memcpy(matrix.data(), f.payload.data(), f.payload.size());
+  }
+  // Phase 2: pairwise data. All sends first (the EAGAIN path drains
+  // incoming, so a full-mesh burst cannot deadlock), then place by source.
+  std::size_t send_offset = 0;
+  std::vector<std::size_t> send_offsets(static_cast<std::size_t>(n()), 0);
+  for (int d = 0; d < n(); ++d) {
+    send_offsets[static_cast<std::size_t>(d)] = send_offset;
+    send_offset += send_counts_bytes[static_cast<std::size_t>(d)];
+  }
+  for (int d = 0; d < n(); ++d) {
+    const std::size_t cnt = send_counts_bytes[static_cast<std::size_t>(d)];
+    if (d != me() && cnt > 0) {
+      send_to(d, sd, send.subspan(send_offsets[static_cast<std::size_t>(d)], cnt));
+    }
+  }
+  std::vector<std::size_t> incoming(static_cast<std::size_t>(n()), 0);
+  std::size_t total = 0;
+  int pending = 0;
+  for (int m = 0; m < n(); ++m) {
+    incoming[static_cast<std::size_t>(m)] = static_cast<std::size_t>(
+        matrix[static_cast<std::size_t>(m) * n() + me()]);
+    total += incoming[static_cast<std::size_t>(m)];
+    if (m != me() && incoming[static_cast<std::size_t>(m)] > 0) ++pending;
+  }
+  out.clear();
+  out.resize(total);
+  std::vector<std::size_t> out_offsets(static_cast<std::size_t>(n()), 0);
+  std::size_t out_offset = 0;
+  for (int m = 0; m < n(); ++m) {
+    out_offsets[static_cast<std::size_t>(m)] = out_offset;
+    out_offset += incoming[static_cast<std::size_t>(m)];
+  }
+  if (incoming[static_cast<std::size_t>(me())] > 0) {
+    std::memcpy(out.data() + out_offsets[static_cast<std::size_t>(me())],
+                send.data() + send_offsets[static_cast<std::size_t>(me())],
+                incoming[static_cast<std::size_t>(me())]);
+  }
+  for (int i = 0; i < pending; ++i) {
+    Frame f = recv_any_member(sd);
+    const int m = member_of_world(f.src);
+    check_size(f.payload.size(), incoming[static_cast<std::size_t>(m)],
+               "alltoallv");
+    std::memcpy(out.data() + out_offsets[static_cast<std::size_t>(m)],
+                f.payload.data(), f.payload.size());
+  }
+  if (recv_counts_bytes) *recv_counts_bytes = incoming;
+  // Traffic accounting from the full matrix, exactly like the shm leader
+  // (counts are already bytes here, so no sizeof scaling).
+  std::uint64_t total_bytes = 0;
+  std::uint64_t msgs = 0;
+  for (int m = 0; m < n(); ++m) {
+    std::uint64_t sent = 0;
+    for (int d = 0; d < n(); ++d) {
+      const std::uint64_t c = matrix[static_cast<std::size_t>(m) * n() + d];
+      sent += c;
+      if (d != m && c > 0) ++msgs;
+    }
+    total_bytes += sent - matrix[static_cast<std::size_t>(m) * n() + m];
+  }
+  s.finish(total_bytes, msgs);
+}
+
+std::vector<int> Ops::split_members(int color, int key,
+                                    std::uint64_t* child_channel) {
+  Scope s(comm_, CollectiveOp::kSplit);
+  const std::uint64_t sg = next_seq();
+  const std::uint64_t sb = next_seq();
+  // Allgather the (color, key) pairs via the leader...
+  struct Entry {
+    std::int32_t color;
+    std::int32_t key;
+  };
+  std::vector<Entry> entries(static_cast<std::size_t>(n()));
+  const Entry mine{color, key};
+  const std::size_t entry_bytes = sizeof(Entry);
+  if (me() == 0) {
+    entries[0] = mine;
+    for (int i = 1; i < n(); ++i) {
+      Frame f = recv_any_member(sg);
+      check_size(f.payload.size(), entry_bytes, "split");
+      std::memcpy(&entries[static_cast<std::size_t>(member_of_world(f.src))],
+                  f.payload.data(), entry_bytes);
+    }
+    const std::span<const std::byte> packed(
+        reinterpret_cast<const std::byte*>(entries.data()),
+        entries.size() * entry_bytes);
+    for (int m = 1; m < n(); ++m) send_to(m, sb, packed);
+  } else {
+    send_to(0, sg,
+            std::span<const std::byte>(
+                reinterpret_cast<const std::byte*>(&mine), entry_bytes));
+    const Frame f = recv_from_member(0, sb);
+    check_size(f.payload.size(), entries.size() * entry_bytes, "split");
+    std::memcpy(entries.data(), f.payload.data(), f.payload.size());
+  }
+  // ...then every member re-runs the shm leader's bucketing locally:
+  // (color) -> sorted (key, world_rank). Identical algorithm, identical
+  // member order, so split is bit-identical across backends.
+  std::map<int, std::vector<std::pair<int, int>>> buckets;
+  for (int m = 0; m < n(); ++m) {
+    buckets[entries[static_cast<std::size_t>(m)].color].emplace_back(
+        entries[static_cast<std::size_t>(m)].key, world_of(m));
+  }
+  auto& my_bucket = buckets[color];
+  std::sort(my_bucket.begin(), my_bucket.end());
+  std::vector<int> members;
+  members.reserve(my_bucket.size());
+  for (const auto& [k, wr] : my_bucket) members.push_back(wr);
+  *child_channel = derive_child_channel(comm_.group_->tid_,
+                                        comm_.group_->t_split_seq_++, color);
+  s.finish(static_cast<std::uint64_t>(n()) * 8,
+           static_cast<std::uint64_t>(n() - 1));
+  return members;
+}
+
+}  // namespace hpcg::comm::transport

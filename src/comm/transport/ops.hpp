@@ -1,0 +1,117 @@
+#pragma once
+
+// Byte-level collectives over a Transport endpoint. One Ops instance wraps
+// one Comm and implements every collective with explicit frames, following
+// the SAME combine orders and data-movement rules as the shared-memory
+// leader protocol so results stay bit-identical across backends:
+//   - reductions fold member buffers in member order 1..n-1 into member 0's
+//     data (member 0 a.k.a. the group leader is always the relay root);
+//   - concatenations (gather/allgather/alltoallv outputs) are laid out in
+//     member order;
+//   - split re-runs the leader's (color -> sorted (key, world_rank))
+//     bucketing identically on every member.
+//
+// Tag scheme: frames carry (channel = group's transport channel id,
+// tag = per-group op sequence number). Every member advances the sequence
+// in lockstep because collectives are program-ordered within a group;
+// multi-phase ops draw one sequence number per phase so frames from
+// different phases can never be confused under any-source matching.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "comm/stats.hpp"
+#include "comm/transport/transport.hpp"
+
+namespace hpcg::comm {
+class Comm;
+
+namespace transport {
+
+/// Byte-level combiner: fold `from` into `into` (`bytes` bytes each).
+using ByteCombine =
+    std::function<void(std::byte* into, const std::byte* from,
+                       std::size_t bytes)>;
+
+/// One segment of a grouped multi-broadcast, type-erased to bytes.
+struct ByteSeg {
+  int root = 0;
+  std::byte* data = nullptr;
+  std::size_t bytes = 0;
+};
+
+/// Derives a child group's transport channel id from its parent's. The
+/// high bit is forced so derived channels never collide with the reserved
+/// p2p/world/ctrl ids.
+std::uint64_t derive_child_channel(std::uint64_t parent,
+                                   std::uint64_t split_seq, int color);
+
+class Ops {
+ public:
+  explicit Ops(Comm& comm) : comm_(comm) {}
+
+  void barrier();
+  void broadcast(std::span<std::byte> data, int root);
+  void multi_broadcast(std::span<const ByteSeg> segments);
+  void allreduce(std::span<std::byte> data, const ByteCombine& combine);
+  void reduce(std::span<std::byte> data, int root, const ByteCombine& combine);
+  void reduce_scatter(std::span<const std::byte> send,
+                      std::span<std::byte> recv, const ByteCombine& combine);
+  void gather(std::span<const std::byte> send, std::span<std::byte> recv,
+              int root);
+  void scatter(std::span<const std::byte> send, std::span<std::byte> recv,
+               int root);
+  void allgather(std::span<const std::byte> send, std::span<std::byte> recv);
+  void allgatherv(std::span<const std::byte> send, std::vector<std::byte>& out,
+                  std::vector<std::size_t>* counts_bytes);
+  void alltoallv(std::span<const std::byte> send,
+                 std::span<const std::size_t> send_counts_bytes,
+                 std::vector<std::byte>& out,
+                 std::vector<std::size_t>* recv_counts_bytes);
+
+  /// Exchanges (color, key) across the group and re-runs the shm leader's
+  /// bucketing locally; returns the caller's child members (world ranks in
+  /// group order) and the child group's transport channel id.
+  std::vector<int> split_members(int color, int key,
+                                 std::uint64_t* child_channel);
+
+  /// The wire exchange of barrier() without clock/metric accounting —
+  /// reset_clocks aligns the gang with it while zeroing the very counters
+  /// barrier() would bump.
+  void barrier_norecord();
+
+ private:
+  /// Scoped enter/finish around one collective: enter_collective at
+  /// construction, transport_finish(op, bytes, msgs) on finish(); a plain
+  /// exit on unwind if the wire exchange threw.
+  struct Scope {
+    Scope(Comm& c, CollectiveOp op);
+    ~Scope();
+    void finish(std::uint64_t bytes, std::uint64_t msgs);
+    Comm& c;
+    CollectiveOp op;
+    bool done = false;
+  };
+
+  int n() const;
+  int me() const;
+  int world_of(int member) const;
+  int member_of_world(int world_rank) const;
+  std::uint64_t chan() const;
+  std::uint64_t next_seq();
+  double deadline() const;
+  Transport& tp();
+  void send_to(int member, std::uint64_t seq,
+               std::span<const std::byte> payload);
+  Frame recv_from_member(int member, std::uint64_t seq);
+  Frame recv_any_member(std::uint64_t seq);
+  void wire_barrier();
+
+  Comm& comm_;
+};
+
+}  // namespace transport
+}  // namespace hpcg::comm

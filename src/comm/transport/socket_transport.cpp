@@ -1,0 +1,309 @@
+#include "comm/transport/socket_transport.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "comm/errors.hpp"
+
+namespace hpcg::comm::transport {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x47435048u;  // "HPCG" little-endian
+
+struct WireHeader {
+  std::uint32_t magic;
+  std::int32_t src;
+  std::uint64_t channel;
+  std::int64_t tag;
+  std::uint64_t length;
+  std::uint64_t checksum;
+};
+static_assert(sizeof(WireHeader) == 40, "wire header is 40 bytes");
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw std::runtime_error("fcntl(O_NONBLOCK) failed: " +
+                             std::string(std::strerror(errno)));
+  }
+}
+
+double now_s() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::uint64_t fnv1a_bytes(const std::byte* data, std::size_t size) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= static_cast<std::uint64_t>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+SocketMesh::SocketMesh(int nranks) : nranks_(nranks) {
+  if (nranks < 1) throw std::invalid_argument("SocketMesh: nranks must be >= 1");
+  fds_.assign(static_cast<std::size_t>(nranks) * nranks, -1);
+  for (int a = 0; a < nranks; ++a) {
+    for (int b = a + 1; b < nranks; ++b) {
+      int pair[2];
+      if (::socketpair(AF_UNIX, SOCK_STREAM, 0, pair) != 0) {
+        throw std::runtime_error("socketpair failed: " +
+                                 std::string(std::strerror(errno)));
+      }
+      fds_[static_cast<std::size_t>(a) * nranks + b] = pair[0];
+      fds_[static_cast<std::size_t>(b) * nranks + a] = pair[1];
+    }
+  }
+}
+
+SocketMesh::~SocketMesh() { close_all(); }
+
+std::vector<int> SocketMesh::claim(int rank) {
+  std::vector<int> out(static_cast<std::size_t>(nranks_), -1);
+  for (int b = 0; b < nranks_; ++b) {
+    if (b == rank) continue;
+    auto& slot = fds_[static_cast<std::size_t>(rank) * nranks_ + b];
+    out[static_cast<std::size_t>(b)] = slot;
+    slot = -1;
+  }
+  return out;
+}
+
+void SocketMesh::close_all() {
+  for (auto& fd : fds_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+}
+
+SocketTransport::SocketTransport(int rank, int nranks,
+                                 std::vector<int> peer_fds)
+    : rank_(rank), nranks_(nranks) {
+  peers_.resize(static_cast<std::size_t>(nranks));
+  for (int p = 0; p < nranks; ++p) {
+    if (p == rank) continue;
+    const int fd = p < static_cast<int>(peer_fds.size()) ? peer_fds[p] : -1;
+    if (fd < 0) throw std::invalid_argument("SocketTransport: missing peer fd");
+    set_nonblocking(fd);
+    peers_[static_cast<std::size_t>(p)].fd = fd;
+  }
+}
+
+SocketTransport::~SocketTransport() {
+  // Graceful goodbye: peers distinguish "finished" (EOF after goodbye) from
+  // "died" (raw EOF). Best-effort — a closing rank must never throw.
+  const WireHeader h{kMagic, rank_, kCtrlChannel, 0, 0,
+                     fnv1a_bytes(nullptr, 0)};
+  for (auto& peer : peers_) {
+    if (peer.fd < 0) continue;
+    if (!peer.eof) {
+      (void)::send(peer.fd, &h, sizeof(h), MSG_NOSIGNAL | MSG_DONTWAIT);
+    }
+    ::close(peer.fd);
+    peer.fd = -1;
+  }
+}
+
+void SocketTransport::send(int dest, std::uint64_t channel, std::int64_t tag,
+                           std::span<const std::byte> payload) {
+  if (dest < 0 || dest >= nranks_ || dest == rank_) {
+    throw std::invalid_argument("SocketTransport::send: bad destination " +
+                                std::to_string(dest));
+  }
+  if (kill_after_ >= 0 && sends_++ >= kill_after_) {
+    std::raise(SIGKILL);
+  }
+  const WireHeader h{kMagic,         rank_, channel, tag, payload.size(),
+                     fnv1a_bytes(payload.data(), payload.size())};
+  write_all(dest, std::span<const std::byte>(
+                      reinterpret_cast<const std::byte*>(&h), sizeof(h)));
+  write_all(dest, payload);
+}
+
+void SocketTransport::write_all(int dest, std::span<const std::byte> bytes) {
+  auto& peer = peers_[static_cast<std::size_t>(dest)];
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(peer.fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // The peer's socket buffer is full; keep draining our inbound sides
+      // so the mesh can make progress (everyone may be mid-send), and wait
+      // for writability.
+      progress(50, peer.fd);
+      continue;
+    }
+    peer.eof = true;  // EPIPE / ECONNRESET: peer is gone
+    throw RankFailure("transport: send to rank " + std::to_string(dest) +
+                      " failed (" + std::string(std::strerror(errno)) + ")");
+  }
+}
+
+void SocketTransport::progress(int timeout_ms, int write_fd) {
+  std::vector<pollfd> pfds;
+  std::vector<int> owners;
+  pfds.reserve(peers_.size() + 1);
+  for (int p = 0; p < nranks_; ++p) {
+    auto& peer = peers_[static_cast<std::size_t>(p)];
+    if (peer.fd < 0 || peer.eof) continue;
+    pfds.push_back(pollfd{peer.fd, POLLIN, 0});
+    owners.push_back(p);
+  }
+  if (write_fd >= 0) pfds.push_back(pollfd{write_fd, POLLOUT, 0});
+  if (pfds.empty()) return;
+
+  const int ready = ::poll(pfds.data(), pfds.size(), timeout_ms);
+  if (ready < 0 && errno != EINTR) {
+    throw std::runtime_error("transport poll failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  if (ready <= 0) return;
+
+  for (std::size_t i = 0; i < owners.size(); ++i) {
+    if (!(pfds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+    auto& peer = peers_[static_cast<std::size_t>(owners[i])];
+    for (;;) {
+      std::byte buf[65536];
+      const ssize_t n = ::recv(peer.fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        peer.rx.insert(peer.rx.end(), buf, buf + n);
+        continue;
+      }
+      if (n == 0) {
+        peer.eof = true;
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      peer.eof = true;  // ECONNRESET and friends: hard death
+      break;
+    }
+    parse_frames(owners[i]);
+  }
+}
+
+void SocketTransport::parse_frames(int p) {
+  auto& peer = peers_[static_cast<std::size_t>(p)];
+  for (;;) {
+    const std::size_t avail = peer.rx.size() - peer.rx_off;
+    if (avail < sizeof(WireHeader)) break;
+    WireHeader h;
+    std::memcpy(&h, peer.rx.data() + peer.rx_off, sizeof(h));
+    if (h.magic != kMagic || h.src != p) {
+      peer.eof = true;
+      throw RankFailure("transport: corrupted frame header from rank " +
+                        std::to_string(p));
+    }
+    if (avail < sizeof(WireHeader) + h.length) break;
+    Frame f;
+    f.src = p;
+    f.channel = h.channel;
+    f.tag = h.tag;
+    const std::byte* body = peer.rx.data() + peer.rx_off + sizeof(WireHeader);
+    f.payload.assign(body, body + h.length);
+    if (fnv1a_bytes(f.payload.data(), f.payload.size()) != h.checksum) {
+      peer.eof = true;
+      throw RankFailure("transport: frame checksum mismatch from rank " +
+                        std::to_string(p));
+    }
+    peer.rx_off += sizeof(WireHeader) + h.length;
+    if (f.channel == kCtrlChannel) {
+      peer.goodbye = true;
+    } else {
+      inbox_.push_back(std::move(f));
+    }
+  }
+  // Compact the consumed prefix occasionally instead of erasing per frame.
+  if (peer.rx_off > (1u << 20) || peer.rx_off == peer.rx.size()) {
+    peer.rx.erase(peer.rx.begin(),
+                  peer.rx.begin() + static_cast<std::ptrdiff_t>(peer.rx_off));
+    peer.rx_off = 0;
+  }
+}
+
+void SocketTransport::check_liveness() {
+  for (int p = 0; p < nranks_; ++p) {
+    const auto& peer = peers_[static_cast<std::size_t>(p)];
+    if (peer.fd < 0) continue;
+    if (peer.eof && !peer.goodbye) {
+      throw RankFailure("transport: rank " + std::to_string(p) +
+                        " connection closed without shutdown (process died)");
+    }
+  }
+}
+
+Frame SocketTransport::recv_impl(int src, std::uint64_t channel,
+                                 std::int64_t tag, double timeout_s) {
+  const double deadline = timeout_s > 0 ? now_s() + timeout_s : 0.0;
+  for (;;) {
+    for (auto it = inbox_.begin(); it != inbox_.end(); ++it) {
+      if (it->channel != channel || it->tag != tag) continue;
+      if (src >= 0 && it->src != src) continue;
+      Frame f = std::move(*it);
+      inbox_.erase(it);
+      return f;
+    }
+    // No match buffered: a peer that died mid-protocol means the gang can
+    // never complete this operation.
+    check_liveness();
+    int wait_ms = 50;
+    if (deadline > 0) {
+      const double remain = deadline - now_s();
+      if (remain <= 0) {
+        throw Timeout("transport: recv deadline exceeded (channel " +
+                      std::to_string(channel) + ", tag " + std::to_string(tag) +
+                      ")");
+      }
+      wait_ms = std::min(wait_ms, static_cast<int>(remain * 1000) + 1);
+    }
+    progress(wait_ms);
+  }
+}
+
+Frame SocketTransport::recv_any(std::uint64_t channel, std::int64_t tag,
+                                double timeout_s) {
+  return recv_impl(-1, channel, tag, timeout_s);
+}
+
+Frame SocketTransport::recv_from(int src, std::uint64_t channel,
+                                 std::int64_t tag, double timeout_s) {
+  if (src < 0 || src >= nranks_ || src == rank_) {
+    throw std::invalid_argument("SocketTransport::recv_from: bad source " +
+                                std::to_string(src));
+  }
+  return recv_impl(src, channel, tag, timeout_s);
+}
+
+bool SocketTransport::try_recv(std::uint64_t channel, std::int64_t tag,
+                               Frame* out) {
+  progress(0);
+  for (auto it = inbox_.begin(); it != inbox_.end(); ++it) {
+    if (it->channel != channel || it->tag != tag) continue;
+    *out = std::move(*it);
+    inbox_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace hpcg::comm::transport

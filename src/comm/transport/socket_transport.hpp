@@ -1,0 +1,106 @@
+#pragma once
+
+// Unix-domain-socket Transport. A gang of N endpoints is wired as a full
+// mesh of socketpair()s created before fork (SocketMesh); each rank claims
+// its row of descriptors and talks to every peer directly. Frames are
+// length-prefixed with an FNV-1a payload checksum; liveness is detected by
+// EOF (a peer that closes without sending a goodbye control frame is dead),
+// so blocking receives do not need a deadline unless the caller asks for
+// one.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "comm/transport/transport.hpp"
+
+namespace hpcg::comm::transport {
+
+/// Full mesh of AF_UNIX stream socketpairs for an n-rank gang. Built in
+/// the parent before fork so every process inherits the descriptors; each
+/// child claims its own row and closes the rest.
+class SocketMesh {
+ public:
+  explicit SocketMesh(int nranks);
+  ~SocketMesh();
+  SocketMesh(const SocketMesh&) = delete;
+  SocketMesh& operator=(const SocketMesh&) = delete;
+
+  int nranks() const { return nranks_; }
+
+  /// Returns rank's peer descriptors (index = peer rank, own slot -1) and
+  /// transfers their ownership to the caller.
+  std::vector<int> claim(int rank);
+
+  /// Closes every descriptor not yet claimed (call in each child after
+  /// claim, and in the parent after all forks).
+  void close_all();
+
+ private:
+  int nranks_ = 0;
+  std::vector<int> fds_;  // fds_[a * nranks_ + b] = a's endpoint toward b
+};
+
+/// One rank's endpoint over a claimed set of peer descriptors.
+class SocketTransport final : public Transport {
+ public:
+  SocketTransport(int rank, int nranks, std::vector<int> peer_fds);
+  ~SocketTransport() override;
+
+  int rank() const override { return rank_; }
+  int nranks() const override { return nranks_; }
+  const char* name() const override { return "socket"; }
+
+  void send(int dest, std::uint64_t channel, std::int64_t tag,
+            std::span<const std::byte> payload) override;
+  Frame recv_any(std::uint64_t channel, std::int64_t tag,
+                 double timeout_s) override;
+  Frame recv_from(int src, std::uint64_t channel, std::int64_t tag,
+                  double timeout_s) override;
+  bool try_recv(std::uint64_t channel, std::int64_t tag, Frame* out) override;
+
+  /// Socket liveness comes from EOF, not deadlines: the implicit fault-work
+  /// default would misreport a slow-but-alive peer as Timeout, so only an
+  /// explicit user request installs a deadline.
+  double resolve_timeout(double requested_s,
+                         bool explicit_request) const override {
+    return explicit_request ? requested_s : 0.0;
+  }
+
+  /// Crash-test hook: raise(SIGKILL) just before the (n+1)-th frame send.
+  /// Mimics a hard process death mid-protocol (no goodbye, torn stream).
+  void kill_after_sends(std::int64_t n) { kill_after_ = n; }
+
+ private:
+  struct Peer {
+    int fd = -1;
+    std::vector<std::byte> rx;  // unparsed inbound bytes
+    std::size_t rx_off = 0;     // consumed prefix of rx
+    bool eof = false;
+    bool goodbye = false;  // peer announced a graceful shutdown
+  };
+
+  /// Polls all live peers (plus optionally one fd for writability), drains
+  /// readable data, and parses complete frames into inbox_.
+  void progress(int timeout_ms, int write_fd = -1);
+  void parse_frames(int peer);
+  void write_all(int dest, std::span<const std::byte> bytes);
+  Frame recv_impl(int src /* -1 = any */, std::uint64_t channel,
+                  std::int64_t tag, double timeout_s);
+  void check_liveness();
+
+  int rank_ = 0;
+  int nranks_ = 1;
+  std::vector<Peer> peers_;
+  std::deque<Frame> inbox_;
+  std::int64_t kill_after_ = -1;
+  std::int64_t sends_ = 0;
+};
+
+/// FNV-1a over a byte span (matches the offset/prime pair the shm backend
+/// uses for p2p payload checksums).
+std::uint64_t fnv1a_bytes(const std::byte* data, std::size_t size);
+
+}  // namespace hpcg::comm::transport

@@ -1,0 +1,49 @@
+#include "comm/transport/thread_gang.hpp"
+
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "comm/transport/socket_transport.hpp"
+
+namespace hpcg::comm::transport {
+
+std::vector<RunStats> run_socket_threads(
+    int nranks, const Topology& topo, const CostModel& cost,
+    const RunOptions& base, const std::function<void(Comm&)>& body) {
+  SocketMesh mesh(nranks);
+  std::vector<std::optional<RunStats>> stats(
+      static_cast<std::size_t>(nranks));
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        SocketTransport transport(r, nranks, mesh.claim(r));
+        RunOptions options = base;
+        options.transport = &transport;
+        stats[static_cast<std::size_t>(r)] =
+            Runtime::run(nranks, topo, cost, options, body);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        // The transport destructed during unwind: peers see EOF without a
+        // goodbye and throw RankFailure out of their next blocked receive,
+        // so the whole gang unwinds without an abort flag.
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  mesh.close_all();
+  if (first_error) std::rethrow_exception(first_error);
+  std::vector<RunStats> out;
+  out.reserve(static_cast<std::size_t>(nranks));
+  for (auto& s : stats) out.push_back(std::move(*s));
+  return out;
+}
+
+}  // namespace hpcg::comm::transport

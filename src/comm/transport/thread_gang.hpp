@@ -1,0 +1,27 @@
+#pragma once
+
+// In-process socket gang: one thread per rank, each with its OWN World and
+// its own SocketTransport endpoint over a shared SocketMesh. Exercises the
+// full wire protocol (framing, checksums, EOF liveness) without fork, so
+// tests and `hpcg_tune sweep --transport=socket` can run the socket backend
+// under one address space. Nothing is shared between the rank Worlds —
+// exactly the process model, minus the processes.
+
+#include <functional>
+#include <vector>
+
+#include "comm/runtime.hpp"
+
+namespace hpcg::comm::transport {
+
+/// Runs `body` once per rank over socket transports and returns each rank's
+/// (per-endpoint) RunStats, indexed by rank. `base` is copied per rank with
+/// its transport field replaced; faults must be null (rejected by
+/// Runtime::run). Rethrows the first rank's exception after all threads
+/// join (a failing endpoint's destructor EOFs its peers, so the gang always
+/// unwinds — no abort flag needed).
+std::vector<RunStats> run_socket_threads(
+    int nranks, const Topology& topo, const CostModel& cost,
+    const RunOptions& base, const std::function<void(Comm&)>& body);
+
+}  // namespace hpcg::comm::transport

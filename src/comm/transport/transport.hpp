@@ -1,0 +1,67 @@
+#pragma once
+
+// Transport: the byte-level substrate a Comm endpoint runs over.
+//
+// The default backend is the in-process shared-memory one (threads, slot
+// publication, modeled virtual clocks) — it does NOT implement this
+// interface; it is the World fast path and stays bit-identical. A Transport
+// is the alternative: every rank is its own endpoint (usually its own
+// process), frames move over real descriptors, and time is wall-clock.
+// Comm routes every collective and p2p call through transport::Ops when
+// World::transport_ is set.
+//
+// Matching contract: a frame is addressed by (dest, channel, tag). Frames
+// between one (src, dest) pair are FIFO per channel+tag order of sending.
+// recv_any matches any source; recv_from pins the source (needed when two
+// roots may be mid-flight on the same channel). timeout_s <= 0 means wait
+// forever; a positive deadline that expires throws comm::Timeout. A peer
+// that disappears without a graceful goodbye throws comm::RankFailure from
+// any blocked receive.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hpcg::comm::transport {
+
+/// Channel ids scope tag matching. 0/1/2 are reserved; subgroup channels
+/// are derived with the high bit set so they can never collide.
+inline constexpr std::uint64_t kP2pChannel = 0;    ///< user send/recv tags
+inline constexpr std::uint64_t kWorldChannel = 1;  ///< world-group collectives
+inline constexpr std::uint64_t kCtrlChannel = 2;   ///< goodbye / control frames
+
+struct Frame {
+  int src = -1;
+  std::uint64_t channel = 0;
+  std::int64_t tag = 0;
+  std::vector<std::byte> payload;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual int rank() const = 0;
+  virtual int nranks() const = 0;
+  virtual const char* name() const = 0;
+
+  virtual void send(int dest, std::uint64_t channel, std::int64_t tag,
+                    std::span<const std::byte> payload) = 0;
+  virtual Frame recv_any(std::uint64_t channel, std::int64_t tag,
+                         double timeout_s) = 0;
+  virtual Frame recv_from(int src, std::uint64_t channel, std::int64_t tag,
+                          double timeout_s) = 0;
+  /// Nonblocking probe; fills *out and returns true when a frame matches.
+  virtual bool try_recv(std::uint64_t channel, std::int64_t tag, Frame* out) = 0;
+
+  /// Timeout policy hook (satellite: transport-aware deadlines). The shm
+  /// backend detects death via modeled deadlines, so RunOptions'
+  /// comm_timeout_s maps straight onto waits there. A real transport may
+  /// have a better liveness signal (socket EOF) and can decline the
+  /// implicit default while honoring an explicit user request.
+  virtual double resolve_timeout(double requested_s,
+                                 bool explicit_request) const = 0;
+};
+
+}  // namespace hpcg::comm::transport

@@ -110,28 +110,34 @@ class BlobReader {
 /// Mutex-guarded epoch -> per-rank blob storage shared by all ranks and
 /// all run attempts. Epochs older than the latest committed one are
 /// pruned on commit, so memory stays bounded at ~2 epochs.
+///
+/// This base class keeps blobs in memory, which works when all ranks
+/// share one address space (the shm backend). FileCheckpointStore
+/// (fault/file_store.hpp) overrides the storage to a directory so ranks
+/// in separate processes — the socket transport — share a store too.
 class CheckpointStore {
  public:
   explicit CheckpointStore(int nranks);
+  virtual ~CheckpointStore() = default;
 
   int nranks() const { return nranks_; }
 
   /// Latest committed (globally consistent) epoch, or -1.
-  std::int64_t latest_committed() const;
+  virtual std::int64_t latest_committed() const;
 
   /// Stores rank `rank`'s blob for `epoch` (overwrites a previous write
   /// of the same attempt; epochs at or below the latest commit are
   /// rejected as a logic error).
-  void write(std::int64_t epoch, int rank, std::vector<std::byte> blob);
+  virtual void write(std::int64_t epoch, int rank, std::vector<std::byte> blob);
 
   /// Marks `epoch` committed; requires every rank to have written it.
-  void commit(std::int64_t epoch);
+  virtual void commit(std::int64_t epoch);
 
   /// Rank `rank`'s blob of a committed epoch.
-  std::vector<std::byte> blob(std::int64_t epoch, int rank) const;
+  virtual std::vector<std::byte> blob(std::int64_t epoch, int rank) const;
 
-  std::int64_t commits() const;
-  std::uint64_t bytes_written() const;
+  virtual std::int64_t commits() const;
+  virtual std::uint64_t bytes_written() const;
 
  private:
   struct Epoch {

@@ -1,0 +1,141 @@
+#include "fault/file_store.hpp"
+
+#include <unistd.h>
+
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "util/parse.hpp"
+
+namespace hpcg::fault {
+namespace fs = std::filesystem;
+
+FileCheckpointStore::FileCheckpointStore(const fs::path& dir, int nranks)
+    : CheckpointStore(nranks), dir_(dir) {
+  fs::create_directories(dir_);
+}
+
+fs::path FileCheckpointStore::blob_path(std::int64_t epoch, int rank) const {
+  return dir_ / ("epoch" + std::to_string(epoch) + ".rank" +
+                 std::to_string(rank) + ".ckpt");
+}
+
+void FileCheckpointStore::atomic_write(const fs::path& target,
+                                       const void* data,
+                                       std::size_t size) const {
+  // Unique temp name per writer: concurrent rank processes share dir_.
+  const fs::path tmp = target.string() + ".tmp" + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("FileCheckpointStore: cannot open " +
+                               tmp.string());
+    }
+    if (size > 0) {
+      out.write(static_cast<const char*>(data),
+                static_cast<std::streamsize>(size));
+    }
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("FileCheckpointStore: short write to " +
+                               tmp.string());
+    }
+  }
+  fs::rename(tmp, target);
+}
+
+std::int64_t FileCheckpointStore::latest_committed() const {
+  std::ifstream in(dir_ / "COMMITTED");
+  if (!in) return -1;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+  while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) {
+    text.pop_back();
+  }
+  const auto epoch = util::parse_int64(text);
+  if (!epoch) {
+    throw std::runtime_error("FileCheckpointStore: corrupt COMMITTED marker '" +
+                             text + "' in " + dir_.string());
+  }
+  return *epoch;
+}
+
+void FileCheckpointStore::write(std::int64_t epoch, int rank,
+                                std::vector<std::byte> blob) {
+  if (rank < 0 || rank >= nranks()) {
+    throw std::invalid_argument("FileCheckpointStore::write: bad rank " +
+                                std::to_string(rank));
+  }
+  const std::int64_t committed = latest_committed();
+  if (epoch <= committed) {
+    throw std::logic_error("FileCheckpointStore::write: epoch " +
+                           std::to_string(epoch) +
+                           " not past the latest commit " +
+                           std::to_string(committed));
+  }
+  atomic_write(blob_path(epoch, rank), blob.data(), blob.size());
+  std::lock_guard lock(file_mutex_);
+  bytes_written_ += blob.size();
+}
+
+void FileCheckpointStore::commit(std::int64_t epoch) {
+  // The caller barriers before commit, so every rank's rename is visible.
+  for (int r = 0; r < nranks(); ++r) {
+    if (!fs::exists(blob_path(epoch, r))) {
+      throw std::logic_error("FileCheckpointStore::commit: epoch " +
+                             std::to_string(epoch) + " missing rank " +
+                             std::to_string(r) + " blob");
+    }
+  }
+  const std::string text = std::to_string(epoch) + "\n";
+  atomic_write(dir_ / "COMMITTED", text.data(), text.size());
+  // Older epochs can never be a recovery point again; keep disk bounded.
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("epoch", 0) != 0) continue;
+    const auto dot = name.find('.');
+    if (dot == std::string::npos) continue;
+    const auto e = util::parse_int64(name.substr(5, dot - 5));
+    if (e && *e < epoch) {
+      std::error_code ec;
+      fs::remove(entry.path(), ec);  // best effort; races with peers are fine
+    }
+  }
+  std::lock_guard lock(file_mutex_);
+  ++commits_;
+}
+
+std::vector<std::byte> FileCheckpointStore::blob(std::int64_t epoch,
+                                                 int rank) const {
+  if (epoch > latest_committed()) {
+    throw std::logic_error("FileCheckpointStore::blob: epoch " +
+                           std::to_string(epoch) + " is not committed");
+  }
+  std::ifstream in(blob_path(epoch, rank), std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("FileCheckpointStore::blob: cannot open " +
+                             blob_path(epoch, rank).string());
+  }
+  std::vector<std::byte> out;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string data = buf.str();
+  out.resize(data.size());
+  if (!data.empty()) std::memcpy(out.data(), data.data(), data.size());
+  return out;
+}
+
+std::int64_t FileCheckpointStore::commits() const {
+  std::lock_guard lock(file_mutex_);
+  return commits_;
+}
+
+std::uint64_t FileCheckpointStore::bytes_written() const {
+  std::lock_guard lock(file_mutex_);
+  return bytes_written_;
+}
+
+}  // namespace hpcg::fault

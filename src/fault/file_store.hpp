@@ -1,0 +1,52 @@
+#pragma once
+
+// Directory-backed CheckpointStore for multi-process (socket transport)
+// runs. Every rank process opens its own FileCheckpointStore on the same
+// directory; coherence comes from the filesystem:
+//
+//   epoch<E>.rank<R>.ckpt   one blob per rank per epoch
+//   COMMITTED               decimal epoch of the latest commit
+//
+// All writes go through a temp file + rename, so a file either exists
+// complete or not at all — a rank killed mid-write can never produce a
+// torn blob, and a crash between blob writes and the COMMITTED rename
+// simply leaves the previous epoch as the recovery point. This is the
+// same commit protocol as the in-memory store (write all, barrier,
+// rank 0 commits, barrier), with rename(2) as the atomicity primitive.
+
+#include <filesystem>
+#include <string>
+
+#include "fault/checkpoint.hpp"
+
+namespace hpcg::fault {
+
+class FileCheckpointStore final : public CheckpointStore {
+ public:
+  /// Creates `dir` (and parents) if needed. The directory may already
+  /// hold a committed checkpoint from a previous gang attempt — that is
+  /// the whole point — so nothing is cleared on construction.
+  FileCheckpointStore(const std::filesystem::path& dir, int nranks);
+
+  const std::filesystem::path& dir() const { return dir_; }
+
+  std::int64_t latest_committed() const override;
+  void write(std::int64_t epoch, int rank, std::vector<std::byte> blob) override;
+  void commit(std::int64_t epoch) override;
+  std::vector<std::byte> blob(std::int64_t epoch, int rank) const override;
+  std::int64_t commits() const override;
+  std::uint64_t bytes_written() const override;
+
+ private:
+  std::filesystem::path blob_path(std::int64_t epoch, int rank) const;
+  void atomic_write(const std::filesystem::path& target,
+                    const void* data, std::size_t size) const;
+
+  std::filesystem::path dir_;
+  // Local-process counters only (telemetry); authoritative state is disk.
+  mutable std::mutex file_mutex_;
+  std::int64_t commits_ = 0;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace hpcg::fault

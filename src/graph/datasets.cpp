@@ -4,6 +4,7 @@
 
 #include "graph/edge_list.hpp"
 #include "graph/generators.hpp"
+#include "util/parse.hpp"
 #include "util/prng.hpp"
 
 namespace hpcg::graph {
@@ -181,17 +182,23 @@ EdgeList load_dataset(const std::string& name, int scale_shift) {
   if (name == "wdc-deep") {
     return finish(web_deep(clamp_scale(17 + scale_shift), 18, 46));
   }
+  // A malformed scale suffix ("rmatXL", "rand1e4") is an unknown dataset,
+  // not a crash: checked parse, then fall through to the throw below.
   if (name.rfind("rmat", 0) == 0) {
-    RmatParams p;
-    p.scale = clamp_scale(std::stoi(name.substr(4)) + scale_shift);
-    p.edge_factor = 16;
-    p.seed = 47;
-    return finish(generate_rmat(p));
+    if (const auto scale = util::parse_int32(name.substr(4))) {
+      RmatParams p;
+      p.scale = clamp_scale(*scale + scale_shift);
+      p.edge_factor = 16;
+      p.seed = 47;
+      return finish(generate_rmat(p));
+    }
   }
   if (name.rfind("rand", 0) == 0) {
-    const int scale = clamp_scale(std::stoi(name.substr(4)) + scale_shift);
-    const Gid n = Gid{1} << scale;
-    return finish(generate_erdos_renyi(n, 16 * n, 48));
+    if (const auto parsed = util::parse_int32(name.substr(4))) {
+      const int scale = clamp_scale(*parsed + scale_shift);
+      const Gid n = Gid{1} << scale;
+      return finish(generate_erdos_renyi(n, 16 * n, 48));
+    }
   }
   throw std::invalid_argument("unknown dataset: " + name);
 }

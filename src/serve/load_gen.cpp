@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/parse.hpp"
 #include "util/prng.hpp"
 #include "util/timer.hpp"
 
@@ -127,10 +128,17 @@ ScriptResult run_script(Frontend& service, std::istream& script) {
       words >> roots;
       std::istringstream root_words(roots);
       std::string token;
+      bool roots_ok = true;
       while (std::getline(root_words, token, ',')) {
-        request.roots.push_back(static_cast<Gid>(std::stoll(token)));
+        const auto root = util::parse_int64(token);
+        if (!root) {
+          log << "malformed msbfs root '" << token << "', request skipped\n";
+          roots_ok = false;
+          break;
+        }
+        request.roots.push_back(static_cast<Gid>(*root));
       }
-      submit(std::move(request));
+      if (roots_ok) submit(std::move(request));
     } else if (cmd == "pr") {
       Request request;
       request.algo = Algo::kPageRank;
@@ -139,8 +147,10 @@ ScriptResult run_script(Frontend& service, std::istream& script) {
       while (words >> extra) {
         if (extra == "warm") {
           request.warm_start = true;
+        } else if (const auto damping = util::parse_double(extra)) {
+          request.damping = *damping;
         } else {
-          request.damping = std::stod(extra);
+          log << "malformed pr damping '" << extra << "', ignored\n";
         }
       }
       submit(std::move(request));

@@ -9,6 +9,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/parse.hpp"
+
 namespace hpcg::telemetry {
 
 namespace {
@@ -231,7 +233,10 @@ class JsonParser {
     if (pos_ == start) fail("expected a value");
     JsonValue v;
     v.type = JsonValue::Type::kNumber;
-    v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    const auto parsed =
+        util::parse_double(std::string(text_.substr(start, pos_ - start)));
+    if (!parsed) fail("malformed number");
+    v.number = *parsed;
     return v;
   }
 

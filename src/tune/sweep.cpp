@@ -13,6 +13,8 @@
 
 #include "comm/comm.hpp"
 #include "comm/runtime.hpp"
+#include "comm/transport/thread_gang.hpp"
+#include "util/parse.hpp"
 
 namespace hpcg::tune {
 
@@ -154,8 +156,7 @@ std::vector<SweepPoint> run_sweep(const SweepOptions& options) {
   }
 
   std::vector<double> measured(plan.size(), 0.0);
-  comm::Runtime::run(
-      nranks, topo, comm::CostModel(cost), comm::RunOptions{},
+  const auto body =
       [&](comm::Comm& world) {
         std::map<int, comm::Comm> groups;
         for (const int k : group_sizes) {
@@ -218,7 +219,17 @@ std::vector<SweepPoint> run_sweep(const SweepOptions& options) {
           }
           if (c.rank() == 0) measured[i] = (c.vclock() - t0) / reps;
         }
-      });
+      };
+  // Leader-only writes into `measured` (world rank 0 owns every index, and
+  // prefix-group rank 0 IS world rank 0), so the same body is race-free on
+  // both substrates.
+  if (options.socket_transport) {
+    comm::transport::run_socket_threads(nranks, topo, comm::CostModel(cost),
+                                        comm::RunOptions{}, body);
+  } else {
+    comm::Runtime::run(nranks, topo, comm::CostModel(cost),
+                       comm::RunOptions{}, body);
+  }
 
   std::vector<SweepPoint> points;
   points.reserve(plan.size());
@@ -266,19 +277,32 @@ std::vector<SweepPoint> read_sweep_csv(std::istream& in) {
                                   ": expected 6 fields, got " +
                                   std::to_string(n));
     }
+    const auto bad = [lineno](const std::string& what) {
+      return std::invalid_argument("sweep CSV line " + std::to_string(lineno) +
+                                   ": " + what);
+    };
+    SweepPoint p;
     try {
-      SweepPoint p;
       p.pattern = pattern_from_string(fields[0]);
       p.level = comm::link_class_from_string(fields[1]);
-      p.group_size = std::stoi(fields[2]);
-      p.bytes = static_cast<std::size_t>(std::stoull(fields[3]));
-      p.seconds = std::stod(fields[4]);
-      p.reps = std::stoi(fields[5]);
-      sweep.push_back(p);
     } catch (const std::exception& e) {
-      throw std::invalid_argument("sweep CSV line " + std::to_string(lineno) +
-                                  ": " + e.what());
+      throw bad(e.what());
     }
+    // Strict numeric parsing (util/parse.hpp): trailing garbage, overflow
+    // and empty fields are malformed rows, not silently truncated values.
+    const auto group_size = util::parse_int32(fields[2]);
+    if (!group_size) throw bad("malformed group_size '" + fields[2] + "'");
+    const auto bytes = util::parse_uint64(fields[3]);
+    if (!bytes) throw bad("malformed bytes '" + fields[3] + "'");
+    const auto seconds = util::parse_double(fields[4]);
+    if (!seconds) throw bad("malformed seconds '" + fields[4] + "'");
+    const auto reps_field = util::parse_int32(fields[5]);
+    if (!reps_field) throw bad("malformed reps '" + fields[5] + "'");
+    p.group_size = *group_size;
+    p.bytes = static_cast<std::size_t>(*bytes);
+    p.seconds = *seconds;
+    p.reps = *reps_field;
+    sweep.push_back(p);
   }
   return sweep;
 }

@@ -75,6 +75,12 @@ struct SweepOptions {
   /// Repetitions averaged per sample (the model is deterministic, so this
   /// only guards against future cost-model stochasticity).
   int reps = 3;
+  /// Run the sweep over the socket transport (one endpoint per rank
+  /// thread, real framed messages) instead of the modeled shm substrate.
+  /// Durations are then wall-clock: the resulting calibration describes
+  /// this machine's socket stack, not the configured Topology, and is
+  /// meant for `hpcg_tune diff` against the modeled one (docs/TUNING.md).
+  bool socket_transport = false;
 };
 
 /// Runs the sweep and returns one point per (pattern, level, size). Throws

@@ -1,0 +1,58 @@
+#pragma once
+
+// Checked numeric parsing for untrusted text (CSV rows, script files,
+// dataset names, JSON numbers). This is the util::Options policy from the
+// CLI layer extended to file input: a parser either consumes the ENTIRE
+// field and returns a value, or returns nullopt — it never throws and it
+// never silently accepts trailing garbage the way std::sto* does.
+
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace hpcg::util {
+
+inline std::optional<std::int64_t> parse_int64(std::string_view text) {
+  std::int64_t value = 0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last || text.empty()) return std::nullopt;
+  return value;
+}
+
+inline std::optional<std::uint64_t> parse_uint64(std::string_view text) {
+  std::uint64_t value = 0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last || text.empty()) return std::nullopt;
+  return value;
+}
+
+inline std::optional<int> parse_int32(std::string_view text) {
+  const auto wide = parse_int64(text);
+  if (!wide || *wide < INT32_MIN || *wide > INT32_MAX) return std::nullopt;
+  return static_cast<int>(*wide);
+}
+
+inline std::optional<double> parse_double(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  // strtod skips leading whitespace and stops at trailing junk; reject both
+  // so a field is either a complete number or an error.
+  if (std::isspace(static_cast<unsigned char>(text.front()))) return std::nullopt;
+  const std::string buf(text);  // NUL-terminated copy for strtod
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return std::nullopt;
+  if (errno == ERANGE) return std::nullopt;
+  return value;
+}
+
+}  // namespace hpcg::util

@@ -1,0 +1,180 @@
+// Checked numeric parsing (util/parse.hpp) and the CLI surfaces that were
+// migrated onto it: no file or flag input may crash a tool with an uncaught
+// std::invalid_argument/out_of_range, and no trailing-garbage value may be
+// silently truncated (the std::sto* failure modes).
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "graph/datasets.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "tune/sweep.hpp"
+#include "util/parse.hpp"
+
+namespace hu = hpcg::util;
+
+namespace {
+
+TEST(Parse, Int64AcceptsExactIntegers) {
+  EXPECT_EQ(hu::parse_int64("0"), 0);
+  EXPECT_EQ(hu::parse_int64("-17"), -17);
+  EXPECT_EQ(hu::parse_int64("9223372036854775807"), INT64_MAX);
+  EXPECT_EQ(hu::parse_int64("-9223372036854775808"), INT64_MIN);
+}
+
+TEST(Parse, Int64RejectsGarbage) {
+  EXPECT_FALSE(hu::parse_int64(""));
+  EXPECT_FALSE(hu::parse_int64("abc"));
+  EXPECT_FALSE(hu::parse_int64("12abc"));   // stoll would return 12
+  EXPECT_FALSE(hu::parse_int64("12 "));
+  EXPECT_FALSE(hu::parse_int64(" 12"));
+  EXPECT_FALSE(hu::parse_int64("1.5"));
+  EXPECT_FALSE(hu::parse_int64("9223372036854775808"));  // overflow
+  EXPECT_FALSE(hu::parse_int64("++1"));
+}
+
+TEST(Parse, Uint64RejectsNegativeAndOverflow) {
+  EXPECT_EQ(hu::parse_uint64("18446744073709551615"), UINT64_MAX);
+  EXPECT_FALSE(hu::parse_uint64("-1"));  // strtoull would wrap around
+  EXPECT_FALSE(hu::parse_uint64("18446744073709551616"));
+  EXPECT_FALSE(hu::parse_uint64(""));
+  EXPECT_FALSE(hu::parse_uint64("0x10"));
+}
+
+TEST(Parse, Int32RangeChecked) {
+  EXPECT_EQ(hu::parse_int32("2147483647"), INT32_MAX);
+  EXPECT_EQ(hu::parse_int32("-2147483648"), INT32_MIN);
+  EXPECT_FALSE(hu::parse_int32("2147483648"));  // stoi would throw
+  EXPECT_FALSE(hu::parse_int32("1e3"));
+}
+
+TEST(Parse, DoubleStrictness) {
+  EXPECT_DOUBLE_EQ(*hu::parse_double("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(*hu::parse_double("-1e-9"), -1e-9);
+  EXPECT_DOUBLE_EQ(*hu::parse_double("3"), 3.0);
+  EXPECT_FALSE(hu::parse_double(""));
+  EXPECT_FALSE(hu::parse_double("1.5x"));
+  EXPECT_FALSE(hu::parse_double(" 1.5"));  // strtod skips whitespace
+  EXPECT_FALSE(hu::parse_double("nanana"));
+  EXPECT_FALSE(hu::parse_double("1e99999"));  // ERANGE
+}
+
+// Sweep CSV: malformed numeric fields are typed line-diagnosed errors.
+TEST(ParseMigration, SweepCsvRejectsMalformedRows) {
+  const std::string header = "pattern,level,group_size,bytes,seconds,reps\n";
+  {
+    std::istringstream ok(header + "p2p,nvlink,2,1024,1e-6,3\n");
+    const auto sweep = hpcg::tune::read_sweep_csv(ok);
+    ASSERT_EQ(sweep.size(), 1u);
+    EXPECT_EQ(sweep[0].bytes, 1024u);
+  }
+  const char* bad_rows[] = {
+      "p2p,nvlink,2x,1024,1e-6,3\n",                        // trailing garbage
+      "p2p,nvlink,2,99999999999999999999999999,1e-6,3\n",   // oversized
+      "p2p,nvlink,2,,1e-6,3\n",                             // empty field
+      "p2p,nvlink,2,1024,fast,3\n",                         // garbage double
+      "warp,nvlink,2,1024,1e-6,3\n",                        // unknown pattern
+  };
+  for (const char* row : bad_rows) {
+    std::istringstream in(header + row);
+    EXPECT_THROW(hpcg::tune::read_sweep_csv(in), std::invalid_argument)
+        << row;
+  }
+}
+
+TEST(ParseMigration, DatasetScaleSuffixChecked) {
+  EXPECT_NO_THROW(hpcg::graph::load_dataset("rmat8", 0));
+  // stoi("XL") used to throw std::invalid_argument with a bare message;
+  // now these are diagnosed as unknown datasets.
+  EXPECT_THROW(hpcg::graph::load_dataset("rmatXL", 0), std::invalid_argument);
+  EXPECT_THROW(hpcg::graph::load_dataset("rmat", 0), std::invalid_argument);
+  EXPECT_THROW(hpcg::graph::load_dataset("rand1e4", 0), std::invalid_argument);
+  EXPECT_THROW(hpcg::graph::load_dataset("rmat10trailing", 0),
+               std::invalid_argument);
+}
+
+TEST(ParseMigration, ChromeTraceMalformedNumberIsTypedError) {
+  // An exponent with no digits scans as a number token but fails the
+  // checked parse; stod would also throw, but with no position context.
+  const std::string bad = R"({"traceEvents":[{"ts":1e+}]})";
+  EXPECT_THROW(hpcg::telemetry::read_chrome_trace(bad), std::exception);
+}
+
+#ifdef HPCG_TRACE_BINARY
+// End-to-end: the hpcg_trace CLI must exit nonzero with a diagnostic on
+// malformed cost-trace CSVs — never crash.
+class TraceCli : public ::testing::Test {
+ protected:
+  std::filesystem::path dir_;
+  std::string calibration_;
+
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("hpcg_trace_cli_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    // A minimal single-level calibration (schema matches tune::Calibration).
+    calibration_ = (dir_ / "cal.json").string();
+    std::ofstream cal(calibration_);
+    cal << R"({"version": 1, "nranks": 4, "topology": "test",
+               "levels": {"nvlink": {"alpha_s": 1e-6,
+                                     "beta_bytes_s": 1e10,
+                                     "software_alpha_s": 5e-7,
+                                     "samples": 10,
+                                     "max_rel_error": 0.0}},
+               "crossovers": []})";
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  int run_on_csv(const std::string& csv_body) {
+    const auto csv = dir_ / "cost.csv";
+    std::ofstream out(csv);
+    out << csv_body;
+    out.close();
+    const std::string cmd = std::string(HPCG_TRACE_BINARY) +
+                            " --calibration=" + calibration_ +
+                            " --cost-trace=" + csv.string() + " > " +
+                            (dir_ / "out.txt").string() + " 2>&1";
+    const int status = std::system(cmd.c_str());
+    return status;
+  }
+};
+
+TEST_F(TraceCli, ValidCsvExitsZero) {
+  EXPECT_EQ(run_on_csv("end_time_s,cost_s,op,group_size,bytes,level\n"
+                       "0.001,0.0005,allreduce,4,4096,nvlink\n"),
+            0);
+}
+
+TEST_F(TraceCli, MalformedFieldsExitNonzeroWithoutCrash) {
+  const char* bad[] = {
+      // group_size garbage
+      "end_time_s,cost_s,op,group_size,bytes,level\n"
+      "0.001,0.0005,allreduce,4x,4096,nvlink\n",
+      // oversized bytes (stoull would throw out_of_range)
+      "end_time_s,cost_s,op,group_size,bytes,level\n"
+      "0.001,0.0005,allreduce,4,99999999999999999999999,nvlink\n",
+      // empty cost field
+      "end_time_s,cost_s,op,group_size,bytes,level\n"
+      "0.001,,allreduce,4,4096,nvlink\n",
+      // unknown op name
+      "end_time_s,cost_s,op,group_size,bytes,level\n"
+      "0.001,0.0005,warpshuffle,4,4096,nvlink\n",
+  };
+  for (const char* csv : bad) {
+    const int status = run_on_csv(csv);
+    EXPECT_NE(status, 0) << csv;
+    // A crash (uncaught exception -> abort) is a signal death, not a
+    // normal exit; require a clean nonzero exit.
+    EXPECT_TRUE(WIFEXITED(status)) << csv;
+  }
+}
+#endif  // HPCG_TRACE_BINARY
+
+}  // namespace

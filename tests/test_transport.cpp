@@ -1,0 +1,650 @@
+// Transport conformance: every collective, p2p, split and nonblocking path
+// exercised over BOTH backends — the shared-memory/virtual-clock substrate
+// and the socket transport (real framed messages, wall-clock) — with the
+// same assertions, plus socket-specific wire-level tests (liveness via
+// EOF/goodbye, checksum validation, timeout policy) and process-level
+// crash-recovery through the hpcg_run launcher.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <numeric>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "algos/bfs.hpp"
+#include "algos/gather.hpp"
+#include "algos/pagerank.hpp"
+#include "comm/errors.hpp"
+#include "comm/runtime.hpp"
+#include "comm/transport/launcher.hpp"
+#include "comm/transport/socket_transport.hpp"
+#include "comm/transport/thread_gang.hpp"
+#include "core/dist2d.hpp"
+#include "fault/file_store.hpp"
+#include "graph/datasets.hpp"
+
+namespace hc = hpcg::comm;
+namespace ht = hpcg::comm::transport;
+
+namespace {
+
+enum class Backend { kShm, kSocket };
+
+void run_backend(Backend backend, int p,
+                 const std::function<void(hc::Comm&)>& body,
+                 hc::RunOptions options = {}) {
+  const auto topo = hc::Topology::aimos(p);
+  if (backend == Backend::kShm) {
+    hc::Runtime::run(p, topo, hc::CostModel{}, options, body);
+  } else {
+    ht::run_socket_threads(p, topo, hc::CostModel{}, options, body);
+  }
+}
+
+class TransportP
+    : public ::testing::TestWithParam<std::tuple<Backend, int>> {
+ protected:
+  Backend backend() const { return std::get<0>(GetParam()); }
+  int nranks() const { return std::get<1>(GetParam()); }
+};
+
+std::string param_name(
+    const ::testing::TestParamInfo<std::tuple<Backend, int>>& info) {
+  return std::string(std::get<0>(info.param) == Backend::kShm ? "shm"
+                                                              : "socket") +
+         "_" + std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, TransportP,
+    ::testing::Combine(::testing::Values(Backend::kShm, Backend::kSocket),
+                       ::testing::Values(2, 3, 4, 6)),
+    param_name);
+
+TEST_P(TransportP, BroadcastFromEveryRoot) {
+  const int p = nranks();
+  run_backend(backend(), p, [&](hc::Comm& comm) {
+    for (int root = 0; root < p; ++root) {
+      std::vector<std::int64_t> data(17,
+                                     comm.rank() == root ? 1000 + root : -1);
+      comm.broadcast(std::span(data), root);
+      for (const auto v : data) EXPECT_EQ(v, 1000 + root);
+    }
+  });
+}
+
+TEST_P(TransportP, AllReduceBuiltinAndCustom) {
+  const int p = nranks();
+  run_backend(backend(), p, [&](hc::Comm& comm) {
+    std::vector<std::int64_t> sum(8);
+    for (std::size_t i = 0; i < sum.size(); ++i) {
+      sum[i] = comm.rank() + static_cast<std::int64_t>(i);
+    }
+    comm.allreduce(std::span(sum), hc::ReduceOp::kSum);
+    const std::int64_t base = static_cast<std::int64_t>(p) * (p - 1) / 2;
+    for (std::size_t i = 0; i < sum.size(); ++i) {
+      EXPECT_EQ(sum[i], base + static_cast<std::int64_t>(i) * p);
+    }
+
+    std::vector<double> mn(3, 100.0 + comm.rank());
+    comm.allreduce(std::span(mn), hc::ReduceOp::kMin);
+    for (const auto v : mn) EXPECT_DOUBLE_EQ(v, 100.0);
+
+    // Custom combiner: (weight, location) argmax.
+    struct WeightLoc {
+      double weight;
+      std::int64_t loc;
+    };
+    std::vector<WeightLoc> wl(4);
+    for (std::size_t i = 0; i < wl.size(); ++i) {
+      wl[i] = {static_cast<double>((comm.rank() * 7 + 3) % p), comm.rank()};
+    }
+    comm.allreduce(std::span(wl), [](WeightLoc& into, const WeightLoc& from) {
+      if (from.weight > into.weight ||
+          (from.weight == into.weight && from.loc < into.loc)) {
+        into = from;
+      }
+    });
+    double best = -1.0;
+    std::int64_t best_loc = 0;
+    for (int r = 0; r < p; ++r) {
+      const double w = static_cast<double>((r * 7 + 3) % p);
+      if (w > best) {
+        best = w;
+        best_loc = r;
+      }
+    }
+    for (const auto& v : wl) {
+      EXPECT_DOUBLE_EQ(v.weight, best);
+      EXPECT_EQ(v.loc, best_loc);
+    }
+  });
+}
+
+TEST_P(TransportP, ReduceToEveryRoot) {
+  const int p = nranks();
+  run_backend(backend(), p, [&](hc::Comm& comm) {
+    for (int root = 0; root < p; ++root) {
+      std::vector<std::int64_t> data(5, comm.rank() + 1);
+      comm.reduce(std::span(data), root, hc::ReduceOp::kSum);
+      if (comm.rank() == root) {
+        const std::int64_t want = static_cast<std::int64_t>(p) * (p + 1) / 2;
+        for (const auto v : data) EXPECT_EQ(v, want);
+      }
+    }
+  });
+}
+
+TEST_P(TransportP, ReduceScatterGatherScatter) {
+  const int p = nranks();
+  run_backend(backend(), p, [&](hc::Comm& comm) {
+    // reduce_scatter: each member contributes rank+1 everywhere.
+    const std::size_t block = 3;
+    std::vector<std::int64_t> send(block * static_cast<std::size_t>(p),
+                                   comm.rank() + 1);
+    std::vector<std::int64_t> recv(block);
+    comm.reduce_scatter(std::span<const std::int64_t>(send), std::span(recv),
+                        hc::ReduceOp::kSum);
+    const std::int64_t want = static_cast<std::int64_t>(p) * (p + 1) / 2;
+    for (const auto v : recv) EXPECT_EQ(v, want);
+
+    // gather to a non-zero root when there is one.
+    const int root = p - 1;
+    std::vector<std::int64_t> mine(block, 100 + comm.rank());
+    std::vector<std::int64_t> gathered(
+        comm.rank() == root ? block * static_cast<std::size_t>(p) : 0);
+    comm.gather(std::span<const std::int64_t>(mine), std::span(gathered),
+                root);
+    if (comm.rank() == root) {
+      for (int r = 0; r < p; ++r) {
+        for (std::size_t i = 0; i < block; ++i) {
+          EXPECT_EQ(gathered[static_cast<std::size_t>(r) * block + i],
+                    100 + r);
+        }
+      }
+    }
+
+    // scatter back out from the same root.
+    std::vector<std::int64_t> to_scatter(
+        comm.rank() == root ? block * static_cast<std::size_t>(p) : 0);
+    if (comm.rank() == root) {
+      for (int r = 0; r < p; ++r) {
+        for (std::size_t i = 0; i < block; ++i) {
+          to_scatter[static_cast<std::size_t>(r) * block + i] = 1000 + r;
+        }
+      }
+    }
+    std::vector<std::int64_t> piece(block);
+    comm.scatter(std::span<const std::int64_t>(to_scatter), std::span(piece),
+                 root);
+    for (const auto v : piece) EXPECT_EQ(v, 1000 + comm.rank());
+  });
+}
+
+TEST_P(TransportP, AllGatherFixedAndVariable) {
+  const int p = nranks();
+  run_backend(backend(), p, [&](hc::Comm& comm) {
+    std::vector<std::int64_t> mine(2, 10 * comm.rank());
+    std::vector<std::int64_t> all(2 * static_cast<std::size_t>(p));
+    comm.allgather(std::span<const std::int64_t>(mine), std::span(all));
+    for (int r = 0; r < p; ++r) {
+      EXPECT_EQ(all[2 * static_cast<std::size_t>(r)], 10 * r);
+      EXPECT_EQ(all[2 * static_cast<std::size_t>(r) + 1], 10 * r);
+    }
+
+    // Variable counts: rank r contributes r+1 elements (rank p-1 zero to
+    // cover empty contributions).
+    const std::size_t n_mine =
+        comm.rank() == p - 1 ? 0 : static_cast<std::size_t>(comm.rank()) + 1;
+    std::vector<std::int64_t> var(n_mine, comm.rank());
+    std::vector<std::int64_t> out;
+    std::vector<std::size_t> counts;
+    comm.allgatherv(std::span<const std::int64_t>(var), out, &counts);
+    ASSERT_EQ(counts.size(), static_cast<std::size_t>(p));
+    std::size_t off = 0;
+    for (int r = 0; r < p; ++r) {
+      const std::size_t want =
+          r == p - 1 ? 0 : static_cast<std::size_t>(r) + 1;
+      EXPECT_EQ(counts[static_cast<std::size_t>(r)], want);
+      for (std::size_t i = 0; i < want; ++i) EXPECT_EQ(out[off + i], r);
+      off += want;
+    }
+    EXPECT_EQ(out.size(), off);
+  });
+}
+
+TEST_P(TransportP, AllToAllVSkewed) {
+  const int p = nranks();
+  run_backend(backend(), p, [&](hc::Comm& comm) {
+    // Rank r sends (r + d) % p elements to destination d (zeros included);
+    // every element encodes (src, dest) so placement is fully checked.
+    std::vector<std::size_t> send_counts(static_cast<std::size_t>(p));
+    std::vector<std::int64_t> send;
+    for (int d = 0; d < p; ++d) {
+      const std::size_t n = static_cast<std::size_t>((comm.rank() + d) % p);
+      send_counts[static_cast<std::size_t>(d)] = n;
+      for (std::size_t i = 0; i < n; ++i) {
+        send.push_back(comm.rank() * 1000 + d);
+      }
+    }
+    std::vector<std::int64_t> out;
+    std::vector<std::size_t> recv_counts;
+    comm.alltoallv(std::span<const std::int64_t>(send),
+                   std::span<const std::size_t>(send_counts), out,
+                   &recv_counts);
+    ASSERT_EQ(recv_counts.size(), static_cast<std::size_t>(p));
+    std::size_t off = 0;
+    for (int s = 0; s < p; ++s) {
+      const std::size_t n = static_cast<std::size_t>((s + comm.rank()) % p);
+      EXPECT_EQ(recv_counts[static_cast<std::size_t>(s)], n);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(out[off + i], s * 1000 + comm.rank());
+      }
+      off += n;
+    }
+    EXPECT_EQ(out.size(), off);
+  });
+}
+
+TEST_P(TransportP, MultiBroadcast) {
+  const int p = nranks();
+  run_backend(backend(), p, [&](hc::Comm& comm) {
+    // One segment rooted at every rank, grouped into a single call.
+    std::vector<std::vector<std::int64_t>> bufs(
+        static_cast<std::size_t>(p));
+    std::vector<hc::BcastSeg<std::int64_t>> segs;
+    for (int root = 0; root < p; ++root) {
+      auto& buf = bufs[static_cast<std::size_t>(root)];
+      buf.assign(4, comm.rank() == root ? 555 + root : -1);
+      segs.push_back({root, buf.data(), buf.size()});
+    }
+    comm.multi_broadcast(std::span<const hc::BcastSeg<std::int64_t>>(segs));
+    for (int root = 0; root < p; ++root) {
+      for (const auto v : bufs[static_cast<std::size_t>(root)]) {
+        EXPECT_EQ(v, 555 + root);
+      }
+    }
+  });
+}
+
+TEST_P(TransportP, SplitSubgroupCollectivesAndNestedSplit) {
+  const int p = nranks();
+  run_backend(backend(), p, [&](hc::Comm& comm) {
+    auto sub = comm.split(comm.rank() % 2, comm.rank());
+    const int members = p / 2 + ((p % 2) && (comm.rank() % 2 == 0) ? 1 : 0);
+    EXPECT_EQ(sub.size(), members);
+    std::vector<std::int64_t> data(3, 1);
+    sub.allreduce(std::span(data), hc::ReduceOp::kSum);
+    for (const auto v : data) EXPECT_EQ(v, members);
+
+    // Subgroup p2p channels and a nested split out of the subgroup.
+    if (sub.size() > 1) {
+      auto nested = sub.split(0, -sub.rank());  // reversed key order
+      EXPECT_EQ(nested.size(), sub.size());
+      EXPECT_EQ(nested.rank(), sub.size() - 1 - sub.rank());
+      std::vector<std::int64_t> nd(2, 1);
+      nested.allreduce(std::span(nd), hc::ReduceOp::kSum);
+      for (const auto v : nd) EXPECT_EQ(v, nested.size());
+    }
+  });
+}
+
+TEST_P(TransportP, P2pOutOfOrderTags) {
+  const int p = nranks();
+  if (p < 2) GTEST_SKIP();
+  run_backend(backend(), p, [&](hc::Comm& comm) {
+    if (comm.rank() == 0) {
+      for (const int tag : {5, 6, 7}) {
+        std::vector<std::int64_t> msg(static_cast<std::size_t>(tag), tag);
+        comm.send(std::span<const std::int64_t>(msg), 1, tag);
+      }
+    } else if (comm.rank() == 1) {
+      std::vector<std::int64_t> msg;
+      for (const int tag : {7, 5, 6}) {  // out of arrival order
+        comm.recv(0, tag, msg);
+        ASSERT_EQ(msg.size(), static_cast<std::size_t>(tag));
+        for (const auto v : msg) EXPECT_EQ(v, tag);
+      }
+    }
+    comm.barrier();
+  });
+}
+
+TEST_P(TransportP, NonblockingCollectivesAndIrecv) {
+  const int p = nranks();
+  run_backend(backend(), p, [&](hc::Comm& comm) {
+    std::vector<std::int64_t> sum(4, comm.rank());
+    auto r1 = comm.iallreduce(std::span(sum), hc::ReduceOp::kSum);
+    std::vector<std::int64_t> bc(4, comm.rank() == 0 ? 42 : -1);
+    auto r2 = comm.ibroadcast(std::span(bc), 0);
+    r1.wait();
+    r2.wait();
+    const std::int64_t want = static_cast<std::int64_t>(p) * (p - 1) / 2;
+    for (const auto v : sum) EXPECT_EQ(v, want);
+    for (const auto v : bc) EXPECT_EQ(v, 42);
+
+    if (p >= 2) {
+      if (comm.rank() == 1) {
+        std::vector<std::int64_t> payload(6, 99);
+        comm.send(std::span<const std::int64_t>(payload), 0, 31);
+      } else if (comm.rank() == 0) {
+        std::vector<std::int64_t> in;
+        auto rr = comm.irecv(1, 31, in);
+        while (!rr.test()) {
+        }
+        EXPECT_TRUE(rr.done());
+        ASSERT_EQ(in.size(), 6u);
+        for (const auto v : in) EXPECT_EQ(v, 99);
+      }
+    }
+    comm.barrier();
+  });
+}
+
+TEST_P(TransportP, ResetClocksMidRun) {
+  const int p = nranks();
+  run_backend(backend(), p, [&](hc::Comm& comm) {
+    std::vector<std::int64_t> data(4, 1);
+    comm.allreduce(std::span(data), hc::ReduceOp::kSum);
+    comm.reset_clocks();
+    EXPECT_EQ(comm.vclock(), 0.0);
+    // The substrate must stay fully usable after the epoch reset.
+    std::vector<std::int64_t> again(4, 2);
+    comm.allreduce(std::span(again), hc::ReduceOp::kSum);
+    for (const auto v : again) EXPECT_EQ(v, 2 * p);
+    comm.barrier();
+  });
+}
+
+// Algorithm-level bit-identity: BFS levels and PageRank doubles gathered on
+// rank 0 must be byte-for-byte equal across backends (same combine order,
+// same concatenation order — the transport refactor's core invariant).
+TEST(TransportIdentity, BfsAndPagerankMatchShm) {
+  const auto graph = hpcg::graph::load_dataset("rmat10", 0);
+  const auto grid = hpcg::core::Grid::squarest(4);
+  const auto parts = hpcg::core::Partitioned2D::build(graph, grid, true);
+
+  struct Outputs {
+    std::vector<std::int64_t> levels;
+    std::vector<double> pr;
+  };
+  std::mutex mu;
+  const auto run_one = [&](Backend backend) {
+    Outputs out;
+    run_backend(backend, grid.ranks(), [&](hc::Comm& comm) {
+      hpcg::core::Dist2DGraph g(comm, parts);
+      comm.reset_clocks();
+      auto bfs = hpcg::algos::bfs(g, 0, {}, nullptr);
+      auto levels = hpcg::algos::gather_row_state(
+          g, std::span<const std::int64_t>(bfs.level));
+      auto pr = hpcg::algos::pagerank(g, 10, 0.85, {}, nullptr);
+      auto pr_full =
+          hpcg::algos::gather_row_state(g, std::span<const double>(pr));
+      if (comm.rank() == 0) {
+        const std::lock_guard lock(mu);
+        out.levels = std::move(levels);
+        out.pr = std::move(pr_full);
+      }
+    });
+    return out;
+  };
+
+  const Outputs shm = run_one(Backend::kShm);
+  const Outputs socket = run_one(Backend::kSocket);
+  ASSERT_EQ(shm.levels.size(), socket.levels.size());
+  EXPECT_EQ(shm.levels, socket.levels);
+  ASSERT_EQ(shm.pr.size(), socket.pr.size());
+  // Bitwise double equality, not approximate: the combine order is pinned.
+  EXPECT_EQ(0, std::memcmp(shm.pr.data(), socket.pr.data(),
+                           shm.pr.size() * sizeof(double)));
+}
+
+// ---------------------------------------------------------------------------
+// Timeout policy (satellite): the socket backend declines the implicit
+// fault-work default — liveness comes from EOF — but honors explicit ones.
+
+TEST(SocketTimeout, ResolveTimeoutPolicy) {
+  ht::SocketMesh mesh(2);
+  ht::SocketTransport t0(0, 2, mesh.claim(0));
+  ht::SocketTransport t1(1, 2, mesh.claim(1));
+  mesh.close_all();
+  EXPECT_EQ(t0.resolve_timeout(10.0, /*explicit_request=*/false), 0.0);
+  EXPECT_EQ(t0.resolve_timeout(0.0, /*explicit_request=*/false), 0.0);
+  EXPECT_EQ(t0.resolve_timeout(0.5, /*explicit_request=*/true), 0.5);
+}
+
+TEST(SocketTimeout, SlowButAlivePeerDoesNotTimeOut) {
+  // No explicit deadline: a peer that is slow (300ms) but alive must not
+  // surface as Timeout — the backend waits on EOF, not a clock.
+  run_backend(Backend::kSocket, 2, [&](hc::Comm& comm) {
+    std::vector<std::int64_t> msg;
+    if (comm.rank() == 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(300));
+      std::vector<std::int64_t> payload(3, 7);
+      comm.send(std::span<const std::int64_t>(payload), 0, 1);
+    } else {
+      comm.recv(1, 1, msg);
+      EXPECT_EQ(msg.size(), 3u);
+    }
+  });
+}
+
+TEST(SocketTimeout, ExplicitDeadlineIsHonored) {
+  hc::RunOptions options;
+  options.comm_timeout_s = 0.1;  // explicit: resolve_timeout passes it through
+  EXPECT_THROW(
+      run_backend(
+          Backend::kSocket, 2,
+          [&](hc::Comm& comm) {
+            std::vector<std::int64_t> msg;
+            if (comm.rank() == 1) {
+              std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+              std::vector<std::int64_t> payload(1, 1);
+              comm.send(std::span<const std::int64_t>(payload), 0, 1);
+            } else {
+              comm.recv(1, 1, msg);  // peer is 15x slower than the deadline
+            }
+          },
+          options),
+      hc::Timeout);
+}
+
+// ---------------------------------------------------------------------------
+// Wire-level socket behavior.
+
+TEST(SocketWire, PeerDeathWithoutGoodbyeIsRankFailure) {
+  ht::SocketMesh mesh(2);
+  auto rank0_fds = mesh.claim(0);
+  auto rank1_fds = mesh.claim(1);
+  ht::SocketTransport t0(0, 2, std::move(rank0_fds));
+  // "Kill" rank 1: close its descriptors without constructing a transport,
+  // so no goodbye frame is ever sent — exactly what SIGKILL looks like.
+  for (const int fd : rank1_fds) {
+    if (fd >= 0) ::close(fd);
+  }
+  mesh.close_all();
+  EXPECT_THROW(t0.recv_any(ht::kP2pChannel, 1, 0.0), hc::RankFailure);
+}
+
+TEST(SocketWire, GoodbyeEofIsBenignAndDataStillDelivered) {
+  ht::SocketMesh mesh(2);
+  ht::SocketTransport t0(0, 2, mesh.claim(0));
+  {
+    ht::SocketTransport t1(1, 2, mesh.claim(1));
+    const std::int64_t value = 1234;
+    t1.send(0, ht::kP2pChannel, 9,
+            std::as_bytes(std::span<const std::int64_t>(&value, 1)));
+    // t1 destructs here: goodbye frame, then EOF.
+  }
+  mesh.close_all();
+  // Data queued before the goodbye is still delivered...
+  const ht::Frame f = t0.recv_any(ht::kP2pChannel, 9, 0.0);
+  EXPECT_EQ(f.src, 1);
+  EXPECT_EQ(f.payload.size(), sizeof(std::int64_t));
+  // ...and the graceful EOF never throws.
+  ht::Frame scratch;
+  EXPECT_FALSE(t0.try_recv(ht::kP2pChannel, 10, &scratch));
+}
+
+TEST(SocketWire, CorruptedFramesAreRejected) {
+  // Handcraft wire frames on the raw peer socket: a checksum that does not
+  // match the payload must surface as RankFailure, not silent corruption.
+  struct Header {
+    std::uint32_t magic;
+    std::int32_t src;
+    std::uint64_t channel;
+    std::int64_t tag;
+    std::uint64_t length;
+    std::uint64_t checksum;
+  };
+  static_assert(sizeof(Header) == 40);
+
+  const auto send_raw = [](int fd, const Header& h, const void* payload) {
+    ASSERT_EQ(::send(fd, &h, sizeof(h), 0),
+              static_cast<ssize_t>(sizeof(h)));
+    if (h.length > 0) {
+      ASSERT_EQ(::send(fd, payload, h.length,  0),
+                static_cast<ssize_t>(h.length));
+    }
+  };
+
+  {  // bad checksum
+    ht::SocketMesh mesh(2);
+    ht::SocketTransport t0(0, 2, mesh.claim(0));
+    auto rank1_fds = mesh.claim(1);
+    const char payload[4] = {'a', 'b', 'c', 'd'};
+    Header h{0x47435048u, 1, ht::kP2pChannel, 1, sizeof(payload),
+             0xdeadbeefull};
+    send_raw(rank1_fds[0], h, payload);
+    EXPECT_THROW(t0.recv_any(ht::kP2pChannel, 1, 0.0), hc::RankFailure);
+    for (const int fd : rank1_fds) {
+      if (fd >= 0) ::close(fd);
+    }
+    mesh.close_all();
+  }
+  {  // bad magic
+    ht::SocketMesh mesh(2);
+    ht::SocketTransport t0(0, 2, mesh.claim(0));
+    auto rank1_fds = mesh.claim(1);
+    Header h{0x11111111u, 1, ht::kP2pChannel, 1, 0,
+             ht::fnv1a_bytes(nullptr, 0)};
+    send_raw(rank1_fds[0], h, nullptr);
+    EXPECT_THROW(t0.recv_any(ht::kP2pChannel, 1, 0.0), hc::RankFailure);
+    for (const int fd : rank1_fds) {
+      if (fd >= 0) ::close(fd);
+    }
+    mesh.close_all();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FileCheckpointStore: the on-disk store behind multi-process recovery.
+
+TEST(FileCheckpointStore, RoundTripCommitAndPrune) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / ("hpcg_fcs_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  {
+    hpcg::fault::FileCheckpointStore store(dir, 2);
+    EXPECT_EQ(store.latest_committed(), -1);
+    const std::vector<std::byte> a{std::byte{1}, std::byte{2}};
+    const std::vector<std::byte> b{std::byte{9}};
+    store.write(3, 0, a);
+    EXPECT_THROW(store.commit(3), std::logic_error);  // rank 1 missing
+    store.write(3, 1, b);
+    store.commit(3);
+    EXPECT_EQ(store.latest_committed(), 3);
+    EXPECT_EQ(store.blob(3, 0), a);
+    EXPECT_EQ(store.blob(3, 1), b);
+    EXPECT_THROW(store.write(3, 0, a), std::logic_error);  // not past commit
+    EXPECT_THROW(store.blob(4, 0), std::logic_error);      // not committed
+
+    store.write(5, 0, b);
+    store.write(5, 1, a);
+    store.commit(5);
+    EXPECT_FALSE(fs::exists(dir / "epoch3.rank0.ckpt"));  // pruned
+  }
+  {
+    // A second store on the same directory (a restarted gang's process)
+    // observes the commit.
+    hpcg::fault::FileCheckpointStore store(dir, 2);
+    EXPECT_EQ(store.latest_committed(), 5);
+    EXPECT_EQ(store.blob(5, 1).size(), 2u);
+  }
+  {
+    std::ofstream marker(dir / "COMMITTED", std::ios::trunc);
+    marker << "not-a-number\n";
+  }
+  {
+    hpcg::fault::FileCheckpointStore store(dir, 2);
+    EXPECT_THROW(store.latest_committed(), std::runtime_error);
+  }
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Process-level crash-recovery through the real launcher: kill -9 a rank
+// mid-run, the gang restarts from the committed checkpoint, and the final
+// output is bit-identical to a fault-free socket run (and to shm).
+
+#ifdef HPCG_RUN_BINARY
+std::string run_and_capture(const std::string& cmd, int* exit_code) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("hpcg_out_" + std::to_string(::getpid()) + ".txt"))
+          .string();
+  const int rc = std::system((cmd + " > " + path + " 2>&1").c_str());
+  *exit_code = rc;
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::filesystem::remove(path);
+  return buf.str();
+}
+
+std::string result_lines(const std::string& text, const std::string& prefix) {
+  std::stringstream in(text);
+  std::string line, out;
+  while (std::getline(in, line)) {
+    if (line.rfind(prefix, 0) == 0) out += line + "\n";
+  }
+  return out;
+}
+
+TEST(SocketProcess, KilledRankRecoversBitIdentical) {
+  const std::string base = std::string(HPCG_RUN_BINARY) +
+                           " --algo=bfs --graph=rmat10 --transport=socket"
+                           " --procs=4 --checkpoint-every=1 --verify";
+  int rc_clean = 0, rc_killed = 0, rc_shm = 0;
+  const std::string clean = run_and_capture(base, &rc_clean);
+  const std::string killed = run_and_capture(
+      base + " --kill-rank=1 --kill-after=30", &rc_killed);
+  const std::string shm = run_and_capture(
+      std::string(HPCG_RUN_BINARY) +
+          " --algo=bfs --graph=rmat10 --ranks=4 --verify",
+      &rc_shm);
+  EXPECT_EQ(rc_clean, 0) << clean;
+  EXPECT_EQ(rc_killed, 0) << killed;
+  EXPECT_EQ(rc_shm, 0) << shm;
+  const std::string clean_bfs = result_lines(clean, "bfs:");
+  EXPECT_FALSE(clean_bfs.empty()) << clean;
+  // Killed-and-recovered output matches the fault-free run and shm exactly.
+  EXPECT_EQ(clean_bfs, result_lines(killed, "bfs:")) << killed;
+  EXPECT_EQ(clean_bfs, result_lines(shm, "bfs:")) << shm;
+  EXPECT_NE(killed.find("verification: PASSED"), std::string::npos) << killed;
+  EXPECT_NE(killed.find("gang: 1 restart(s)"), std::string::npos) << killed;
+}
+#endif  // HPCG_RUN_BINARY
+
+}  // namespace

@@ -19,6 +19,8 @@
 //   --async-chunk=1    pipeline segments for chunked sparse exchanges; raise
 //                      above 1 only when per-segment compute or bandwidth
 //                      dominates the collective latency term
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -34,7 +36,9 @@
 #include "algos/reference.hpp"
 #include "algos/triangle_count.hpp"
 #include "comm/runtime.hpp"
+#include "comm/transport/launcher.hpp"
 #include "core/balance.hpp"
+#include "fault/file_store.hpp"
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
 #include "fault/recovery.hpp"
@@ -91,7 +95,20 @@ int main(int argc, char** argv) {
       "  --collective-policy=fixed|adaptive\n"
       "                       collective algorithm selection (default fixed;\n"
       "                       adaptive without --calibration derives the\n"
-      "                       reference calibration from the topology)\n") +
+      "                       reference calibration from the topology)\n"
+      "  --transport=NAME     shm (simulated ranks-as-threads, default) or\n"
+      "                       socket (one OS process per rank over Unix\n"
+      "                       sockets, wall-clock timing; docs/TRANSPORT.md)\n"
+      "  --procs=N            socket only: rank/process count (alias for\n"
+      "                       --ranks)\n"
+      "  --max-restarts=N     socket only: whole-gang restarts after a rank\n"
+      "                       process dies (default 3)\n"
+      "  --ckpt-dir=PATH      socket only: checkpoint directory (default: a\n"
+      "                       fresh temp dir, removed afterwards)\n"
+      "  --kill-rank=R --kill-after=N\n"
+      "                       socket only, crash testing: rank R SIGKILLs\n"
+      "                       itself before its (N+1)-th frame send on the\n"
+      "                       first attempt\n") +
       hpcg::util::kKernelFlagsUsage +
       "  --help               show this text and exit\n");
   const std::string algo = options.get_string("algo", "bfs");
@@ -116,6 +133,12 @@ int main(int argc, char** argv) {
   const std::string calibration_path = options.get_string("calibration", "");
   const std::string policy_name = options.get_string(
       "collective-policy", calibration_path.empty() ? "fixed" : "adaptive");
+  const std::string transport_name = options.get_string("transport", "shm");
+  const int procs = static_cast<int>(options.get_int("procs", 0));
+  const int max_restarts = static_cast<int>(options.get_int("max-restarts", 3));
+  const std::string ckpt_dir_flag = options.get_string("ckpt-dir", "");
+  const int kill_rank = static_cast<int>(options.get_int("kill-rank", -1));
+  const std::int64_t kill_after = options.get_int("kill-after", 0);
   hpcg::comm::KernelOptions kernel;
   try {
     kernel = hpcg::util::parse_kernel_options(options);
@@ -124,15 +147,40 @@ int main(int argc, char** argv) {
   }
   options.check_unknown();
 
+  const bool socket = transport_name == "socket";
+  if (!socket && transport_name != "shm") {
+    return fail("unknown --transport '" + transport_name +
+                "' (expected shm or socket)");
+  }
+  if (!socket && (procs > 0 || kill_rank >= 0 || !ckpt_dir_flag.empty())) {
+    return fail("--procs/--kill-rank/--ckpt-dir require --transport=socket");
+  }
+  if (socket) {
+    if (!faults_text.empty()) {
+      return fail("--faults requires --transport=shm: fault injection is "
+                  "modeled; on the socket backend kill a real process with "
+                  "--kill-rank/--kill-after instead");
+    }
+    if (!trace_csv.empty() || !trace_out.empty() || !metrics_out.empty()) {
+      return fail("--trace/--trace-out/--metrics-out are per-run aggregations "
+                  "the multi-process backend does not collect; use "
+                  "--transport=shm for modeled traces");
+    }
+  }
+
   // Input.
   hpcg::util::WallTimer load_timer;
   hpcg::graph::EdgeList graph;
-  if (!file.empty()) {
-    graph = hpcg::graph::read_text(file);
-    hpcg::graph::remove_self_loops(graph);
-    hpcg::graph::symmetrize(graph);
-  } else {
-    graph = hpcg::graph::load_dataset(dataset, shift);
+  try {
+    if (!file.empty()) {
+      graph = hpcg::graph::read_text(file);
+      hpcg::graph::remove_self_loops(graph);
+      hpcg::graph::symmetrize(graph);
+    } else {
+      graph = hpcg::graph::load_dataset(dataset, shift);
+    }
+  } catch (const std::exception& e) {
+    return fail(e.what());
   }
   if (algo == "mwm" && !graph.weighted()) {
     hpcg::graph::attach_symmetric_weights(graph, 1);
@@ -140,9 +188,16 @@ int main(int argc, char** argv) {
   std::cout << "input: " << graph.n << " vertices, " << graph.m()
             << " directed edges (" << load_timer.elapsed() << " s to build)\n";
 
-  // Grid.
-  const auto grid = (rows > 0 && cols > 0) ? hpcg::core::Grid(rows, cols)
-                                           : hpcg::core::Grid::squarest(ranks);
+  // Grid. --procs is the socket-mode spelling of --ranks.
+  const int want_ranks = (socket && procs > 0) ? procs : ranks;
+  const auto grid = (rows > 0 && cols > 0)
+                        ? hpcg::core::Grid(rows, cols)
+                        : hpcg::core::Grid::squarest(want_ranks);
+  if (socket && procs > 0 && grid.ranks() != procs) {
+    return fail("--procs=" + std::to_string(procs) +
+                " conflicts with --rows/--cols grid of " +
+                std::to_string(grid.ranks()) + " ranks");
+  }
   std::cout << "grid: " << grid.row_groups() << " x " << grid.col_groups()
             << " (" << grid.ranks() << " ranks, "
             << (striped ? "striped" : "contiguous") << " assignment)\n";
@@ -341,6 +396,84 @@ int main(int argc, char** argv) {
   } else if (policy_name != "fixed") {
     return fail("unknown --collective-policy '" + policy_name +
                 "' (expected fixed or adaptive)");
+  }
+
+  if (socket) {
+    // Multi-process backend: fork one OS process per rank over Unix-domain
+    // sockets (docs/TRANSPORT.md). Results are identical to shm; timing is
+    // wall-clock instead of modeled. Checkpoints go through a directory so
+    // a restarted gang (new processes) can read the old commit.
+    std::string ckpt_dir = ckpt_dir_flag;
+    bool temp_ckpt_dir = false;
+    const bool checkpointing = checkpoint_every > 0;
+    if (checkpointing && ckpt_dir.empty()) {
+      char tmpl[] = "/tmp/hpcg_ckpt_XXXXXX";
+      if (::mkdtemp(tmpl) == nullptr) {
+        return fail("cannot create a temporary --ckpt-dir");
+      }
+      ckpt_dir = tmpl;
+      temp_ckpt_dir = true;
+    }
+    hpcg::comm::transport::GangOptions gopts;
+    gopts.procs = grid.ranks();
+    gopts.max_restarts = max_restarts;
+    gopts.kill_rank = kill_rank;
+    gopts.kill_after_sends = kill_after;
+    std::cout << "transport: socket, " << gopts.procs << " procs\n";
+    hpcg::comm::transport::GangResult gang;
+    try {
+      gang = hpcg::comm::transport::run_gang(
+          gopts,
+          [&](hpcg::comm::transport::SocketTransport& t, int) -> int {
+            std::unique_ptr<hpcg::fault::FileCheckpointStore> store;
+            hpcg::fault::Checkpointer ckpt;
+            if (checkpointing) {
+              store = std::make_unique<hpcg::fault::FileCheckpointStore>(
+                  ckpt_dir, gopts.procs);
+              ckpt = hpcg::fault::Checkpointer(store.get(), checkpoint_every);
+            }
+            hpcg::comm::RunOptions ropts;
+            ropts.comm_timeout_s = comm_timeout;
+            ropts.kernel = kernel;
+            ropts.policy = policy;
+            ropts.transport = &t;
+            const auto wall_stats = hpcg::comm::Runtime::run(
+                gopts.procs, topo, cost_model, ropts,
+                [&](hpcg::comm::Comm& comm) {
+                  body(comm, checkpointing ? &ckpt : nullptr);
+                });
+            if (t.rank() == 0) {
+              // Counters here are rank 0's view: world collectives at full
+              // group volume plus the subgroups rank 0 belongs to. Other
+              // subgroups' traffic lands in their own processes' stats.
+              std::cout << "wall: total " << wall_stats.makespan()
+                        << " s, comp " << wall_stats.max_comp() << " s, comm "
+                        << wall_stats.max_comm() << " s, " << wall_stats.bytes
+                        << " bytes (rank 0 view), " << wall_stats.messages
+                        << " messages\n";
+              if (verify) {
+                std::cout << "verification: "
+                          << (passed ? "PASSED" : "FAILED") << "\n";
+                if (!passed) return 2;
+              }
+            }
+            return 0;
+          });
+    } catch (const std::exception& e) {
+      return fail(e.what());
+    }
+    if (temp_ckpt_dir) {
+      std::error_code ec;
+      std::filesystem::remove_all(ckpt_dir, ec);
+    }
+    if (checkpointing || gang.restarts > 0) {
+      std::cout << "gang: " << gang.restarts << " restart(s)\n";
+    }
+    if (gang.exit_code != 0) {
+      return fail("socket gang failed (exit " +
+                  std::to_string(gang.exit_code) + ")");
+    }
+    return 0;
   }
 
   hpcg::comm::RunStats stats;

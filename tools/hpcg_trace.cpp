@@ -25,6 +25,7 @@
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/report.hpp"
 #include "tune/calibration.hpp"
+#include "util/parse.hpp"
 
 namespace {
 
@@ -138,11 +139,31 @@ int print_fitted_table(const std::string& cost_trace_path,
                 << ": expected 6 fields\n";
       return 1;
     }
-    const auto op = op_from_csv(op_s);
-    const auto level = hpcg::comm::link_class_from_string(level_s);
-    const int group = std::stoi(group_s);
-    const auto bytes = static_cast<std::size_t>(std::stoull(bytes_s));
-    const double cost = std::stod(cost_s);
+    hpcg::comm::CollectiveOp op;
+    hpcg::comm::LinkClass level;
+    try {
+      op = op_from_csv(op_s);
+      level = hpcg::comm::link_class_from_string(level_s);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << cost_trace_path << " line " << lineno << ": "
+                << e.what() << "\n";
+      return 1;
+    }
+    // Checked parses (util/parse.hpp): a garbage, oversized or empty field
+    // is a diagnosed bad row, not a crash or a silently truncated value.
+    const auto group_v = hpcg::util::parse_int32(group_s);
+    const auto bytes_v = hpcg::util::parse_uint64(bytes_s);
+    const auto cost_v = hpcg::util::parse_double(cost_s);
+    if (!group_v || !bytes_v || !cost_v) {
+      std::cerr << "error: " << cost_trace_path << " line " << lineno
+                << ": malformed numeric field (group_size='" << group_s
+                << "', bytes='" << bytes_s << "', cost_s='" << cost_s
+                << "')\n";
+      return 1;
+    }
+    const int group = *group_v;
+    const auto bytes = static_cast<std::size_t>(*bytes_v);
+    const double cost = *cost_v;
     hpcg::comm::CollectiveOp formula_op;
     double scale = 1.0;
     const auto& fit = cal.level[static_cast<std::size_t>(level)];
@@ -200,13 +221,13 @@ int main(int argc, char** argv) {
       std::cout << kUsage;
       return 0;
     } else if (arg.starts_with("--top=")) {
-      try {
-        top = std::stoi(std::string(arg.substr(6)));
-      } catch (const std::exception&) {
+      const auto parsed = hpcg::util::parse_int32(std::string(arg.substr(6)));
+      if (!parsed) {
         std::cerr << "error: --top expects an integer, got '" << arg.substr(6)
                   << "'\n";
         return 2;
       }
+      top = *parsed;
     } else if (arg.starts_with("--calibration=")) {
       calibration_path = arg.substr(14);
     } else if (arg.starts_with("--cost-trace=")) {

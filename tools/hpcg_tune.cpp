@@ -48,6 +48,10 @@ sweep options:
   --software-alpha=S   substrate per-op software overhead (default 5e-7)
   --bw-derate=X        effective-bandwidth derate, must be > 0 (default 1)
   --out=FILE           output CSV (default sweep.csv)
+  --transport=NAME     shm (modeled virtual clocks, default) or socket
+                       (real framed sockets, wall-clock durations -- the
+                       result calibrates this machine, not the topology;
+                       diff it against a modeled sweep, docs/TUNING.md)
 
 fit options:
   --sweep=FILE         input sweep CSV (default sweep.csv)
@@ -98,7 +102,13 @@ int cmd_sweep(hpcg::util::Options& options) {
   const double software_alpha = options.get_double("software-alpha", 0.5e-6);
   const double bw_derate = options.get_double("bw-derate", 1.0);
   const std::string out_path = options.get_string("out", "sweep.csv");
+  const std::string transport = options.get_string("transport", "shm");
   options.check_unknown();
+  if (transport != "shm" && transport != "socket") {
+    std::cerr << "unknown --transport '" << transport
+              << "' (expected shm or socket)\n";
+    return 2;
+  }
 
   hpcg::tune::SweepOptions sopts;
   sopts.topo = topo_from_name(topo_name, ranks);
@@ -107,6 +117,7 @@ int cmd_sweep(hpcg::util::Options& options) {
   sopts.patterns = patterns_from_list(patterns);
   sopts.sizes = hpcg::tune::geometric_sizes(min_bytes, max_bytes, factor);
   sopts.reps = reps;
+  sopts.socket_transport = transport == "socket";
 
   const auto sweep = hpcg::tune::run_sweep(sopts);
   std::ofstream out(out_path);
@@ -116,7 +127,10 @@ int cmd_sweep(hpcg::util::Options& options) {
   }
   hpcg::tune::write_sweep_csv(out, sweep);
   std::cout << "swept " << sweep.size() << " samples on "
-            << sopts.topo.describe() << " -> " << out_path << "\n";
+            << sopts.topo.describe()
+            << (sopts.socket_transport ? " (socket transport, wall-clock)"
+                                       : "")
+            << " -> " << out_path << "\n";
   return 0;
 }
 
