@@ -10,6 +10,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstring>
+#include <exception>
 #include <stdexcept>
 #include <string>
 
@@ -106,14 +107,21 @@ SocketTransport::SocketTransport(int rank, int nranks,
 
 SocketTransport::~SocketTransport() {
   // Graceful goodbye: peers distinguish "finished" (EOF after goodbye) from
-  // "died" (raw EOF). Best-effort — a closing rank must never throw.
-  const WireHeader h{kMagic, rank_, kCtrlChannel, 0, 0,
-                     fnv1a_bytes(nullptr, 0)};
-  for (auto& peer : peers_) {
-    if (peer.fd < 0) continue;
-    if (!peer.eof) {
+  // "died" (raw EOF). A transport destructing during exception unwind is a
+  // failing rank, not a finishing one — it must look dead to its peers so
+  // their blocked receives throw RankFailure (retryable gang restart)
+  // instead of treating the EOF as graceful and waiting forever. Best-effort
+  // either way — a closing rank must never throw.
+  if (std::uncaught_exceptions() == 0) {
+    const WireHeader h{kMagic, rank_, kCtrlChannel, 0, 0,
+                       fnv1a_bytes(nullptr, 0)};
+    for (auto& peer : peers_) {
+      if (peer.fd < 0 || peer.eof) continue;
       (void)::send(peer.fd, &h, sizeof(h), MSG_NOSIGNAL | MSG_DONTWAIT);
     }
+  }
+  for (auto& peer : peers_) {
+    if (peer.fd < 0) continue;
     ::close(peer.fd);
     peer.fd = -1;
   }
@@ -121,12 +129,29 @@ SocketTransport::~SocketTransport() {
 
 void SocketTransport::send(int dest, std::uint64_t channel, std::int64_t tag,
                            std::span<const std::byte> payload) {
-  if (dest < 0 || dest >= nranks_ || dest == rank_) {
+  if (dest < 0 || dest >= nranks_) {
     throw std::invalid_argument("SocketTransport::send: bad destination " +
                                 std::to_string(dest));
   }
+  if (payload.size() > kMaxFrameBytes) {
+    throw std::length_error("SocketTransport::send: payload of " +
+                            std::to_string(payload.size()) +
+                            " bytes exceeds the frame limit of " +
+                            std::to_string(kMaxFrameBytes));
+  }
   if (kill_after_ >= 0 && sends_++ >= kill_after_) {
     std::raise(SIGKILL);
+  }
+  if (dest == rank_) {
+    // Self-send loops back through the inbox without touching the wire —
+    // the shm mailbox supports self-send, and backends must agree.
+    Frame f;
+    f.src = rank_;
+    f.channel = channel;
+    f.tag = tag;
+    f.payload.assign(payload.begin(), payload.end());
+    inbox_.push_back(std::move(f));
+    return;
   }
   const WireHeader h{kMagic,         rank_, channel, tag, payload.size(),
                      fnv1a_bytes(payload.data(), payload.size())};
@@ -170,7 +195,12 @@ void SocketTransport::progress(int timeout_ms, int write_fd) {
     owners.push_back(p);
   }
   if (write_fd >= 0) pfds.push_back(pollfd{write_fd, POLLOUT, 0});
-  if (pfds.empty()) return;
+  if (pfds.empty()) {
+    // Every peer is at EOF: nothing to poll, but callers expect this to
+    // block for timeout_ms rather than return immediately and hot-spin.
+    if (timeout_ms > 0) ::poll(nullptr, 0, timeout_ms);
+    return;
+  }
 
   const int ready = ::poll(pfds.data(), pfds.size(), timeout_ms);
   if (ready < 0 && errno != EINTR) {
@@ -214,7 +244,18 @@ void SocketTransport::parse_frames(int p) {
       throw RankFailure("transport: corrupted frame header from rank " +
                         std::to_string(p));
     }
-    if (avail < sizeof(WireHeader) + h.length) break;
+    // Reject an implausible length before trusting it: a corrupted length
+    // near UINT64_MAX would wrap a `header + length` sum (out-of-bounds
+    // payload copy), and a merely huge one would buffer forever instead of
+    // surfacing the corruption the checksum exists to catch.
+    if (h.length > kMaxFrameBytes) {
+      peer.eof = true;
+      throw RankFailure("transport: frame length " + std::to_string(h.length) +
+                        " from rank " + std::to_string(p) +
+                        " exceeds the frame limit of " +
+                        std::to_string(kMaxFrameBytes));
+    }
+    if (avail - sizeof(WireHeader) < h.length) break;
     Frame f;
     f.src = p;
     f.channel = h.channel;
@@ -266,6 +307,28 @@ Frame SocketTransport::recv_impl(int src, std::uint64_t channel,
     // No match buffered: a peer that died mid-protocol means the gang can
     // never complete this operation.
     check_liveness();
+    // Same when every candidate source has closed its stream — even
+    // gracefully: drained connections deliver nothing further and self-sent
+    // frames loop back synchronously, so the awaited frame can never arrive
+    // and blocking would hang the gang instead of triggering recovery.
+    bool can_arrive = false;
+    if (src < 0) {
+      for (const auto& peer : peers_) {
+        if (peer.fd >= 0 && !peer.eof) {
+          can_arrive = true;
+          break;
+        }
+      }
+    } else if (src != rank_) {
+      const auto& peer = peers_[static_cast<std::size_t>(src)];
+      can_arrive = peer.fd >= 0 && !peer.eof;
+    }
+    if (!can_arrive) {
+      throw RankFailure(
+          "transport: awaited frame (channel " + std::to_string(channel) +
+          ", tag " + std::to_string(tag) +
+          ") can never arrive: every candidate source has closed");
+    }
     int wait_ms = 50;
     if (deadline > 0) {
       const double remain = deadline - now_s();
@@ -274,7 +337,8 @@ Frame SocketTransport::recv_impl(int src, std::uint64_t channel,
                       std::to_string(channel) + ", tag " + std::to_string(tag) +
                       ")");
       }
-      wait_ms = std::min(wait_ms, static_cast<int>(remain * 1000) + 1);
+      // min() first: a large remain would overflow the int cast.
+      wait_ms = static_cast<int>(std::min<double>(wait_ms, remain * 1000 + 1));
     }
     progress(wait_ms);
   }
@@ -287,7 +351,8 @@ Frame SocketTransport::recv_any(std::uint64_t channel, std::int64_t tag,
 
 Frame SocketTransport::recv_from(int src, std::uint64_t channel,
                                  std::int64_t tag, double timeout_s) {
-  if (src < 0 || src >= nranks_ || src == rank_) {
+  // src == rank_ is legal: self-sends loop back through the inbox.
+  if (src < 0 || src >= nranks_) {
     throw std::invalid_argument("SocketTransport::recv_from: bad source " +
                                 std::to_string(src));
   }

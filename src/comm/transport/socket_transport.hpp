@@ -6,7 +6,11 @@
 // length-prefixed with an FNV-1a payload checksum; liveness is detected by
 // EOF (a peer that closes without sending a goodbye control frame is dead),
 // so blocking receives do not need a deadline unless the caller asks for
-// one.
+// one. The goodbye is sent only on clean destruction — a transport torn
+// down by exception unwind looks dead to its peers — and a receive whose
+// awaited frame can never arrive (every candidate source closed, goodbye or
+// not) throws RankFailure instead of blocking forever. Self-sends loop back
+// through the local inbox, matching the shm mailbox semantics.
 
 #include <cstddef>
 #include <cstdint>
@@ -17,6 +21,12 @@
 #include "comm/transport/transport.hpp"
 
 namespace hpcg::comm::transport {
+
+/// Hard cap on one frame's payload. Sends above it throw length_error; a
+/// received header claiming more is corruption (RankFailure) — lengths are
+/// validated against this before any allocation, so a wild 64-bit value can
+/// neither wrap the availability arithmetic nor buffer unboundedly.
+inline constexpr std::uint64_t kMaxFrameBytes = 1ull << 31;
 
 /// Full mesh of AF_UNIX stream socketpairs for an n-rank gang. Built in
 /// the parent before fork so every process inherits the descriptors; each

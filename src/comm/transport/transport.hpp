@@ -13,10 +13,12 @@
 // Matching contract: a frame is addressed by (dest, channel, tag). Frames
 // between one (src, dest) pair are FIFO per channel+tag order of sending.
 // recv_any matches any source; recv_from pins the source (needed when two
-// roots may be mid-flight on the same channel). timeout_s <= 0 means wait
-// forever; a positive deadline that expires throws comm::Timeout. A peer
-// that disappears without a graceful goodbye throws comm::RankFailure from
-// any blocked receive.
+// roots may be mid-flight on the same channel). dest == own rank is legal
+// (self-send delivers locally, like the shm mailbox). timeout_s <= 0 means
+// wait forever; a positive deadline that expires throws comm::Timeout. A
+// peer that disappears without a graceful goodbye throws comm::RankFailure
+// from any blocked receive — as does a receive whose awaited frame can
+// never arrive because every candidate source has shut down.
 
 #include <cstddef>
 #include <cstdint>

@@ -15,6 +15,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <mutex>
 #include <numeric>
 #include <sstream>
@@ -409,6 +410,20 @@ TEST(TransportIdentity, BfsAndPagerankMatchShm) {
                            shm.pr.size() * sizeof(double)));
 }
 
+TEST_P(TransportP, SelfSendMatchesMailboxSemantics) {
+  // The shm mailbox supports send-to-self (the message lands in the rank's
+  // own mailbox); the socket backend must agree, not throw.
+  const int p = nranks();
+  run_backend(backend(), p, [&](hc::Comm& comm) {
+    const std::vector<std::int64_t> payload{10 + comm.rank(),
+                                            1000 + comm.rank()};
+    comm.send(std::span<const std::int64_t>(payload), comm.rank(), 5);
+    std::vector<std::int64_t> got;
+    comm.recv(comm.rank(), 5, got);
+    EXPECT_EQ(got, payload);
+  });
+}
+
 // ---------------------------------------------------------------------------
 // Timeout policy (satellite): the socket backend declines the implicit
 // fault-work default — liveness comes from EOF — but honors explicit ones.
@@ -457,6 +472,25 @@ TEST(SocketTimeout, ExplicitDeadlineIsHonored) {
           },
           options),
       hc::Timeout);
+}
+
+TEST(SocketTimeout, HugeExplicitDeadlineDoesNotOverflowWait) {
+  // remain * 1000 for a deadline far in the future exceeds INT_MAX; the
+  // poll wait must clamp instead of an out-of-range double-to-int cast.
+  ht::SocketMesh mesh(2);
+  ht::SocketTransport t0(0, 2, mesh.claim(0));
+  ht::SocketTransport t1(1, 2, mesh.claim(1));
+  mesh.close_all();
+  std::thread sender([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    const std::int64_t value = 7;
+    t1.send(0, ht::kP2pChannel, 3,
+            std::as_bytes(std::span<const std::int64_t>(&value, 1)));
+  });
+  const ht::Frame f = t0.recv_any(ht::kP2pChannel, 3, /*timeout_s=*/3.0e7);
+  sender.join();
+  EXPECT_EQ(f.src, 1);
+  EXPECT_EQ(f.payload.size(), sizeof(std::int64_t));
 }
 
 // ---------------------------------------------------------------------------
@@ -545,6 +579,98 @@ TEST(SocketWire, CorruptedFramesAreRejected) {
     }
     mesh.close_all();
   }
+  {  // corrupted length near UINT64_MAX: must be rejected before the
+     // availability arithmetic can wrap and read out of bounds
+    ht::SocketMesh mesh(2);
+    ht::SocketTransport t0(0, 2, mesh.claim(0));
+    auto rank1_fds = mesh.claim(1);
+    Header h{0x47435048u, 1, ht::kP2pChannel, 1,
+             std::numeric_limits<std::uint64_t>::max() - 8, 0};
+    // Header only — the claimed length is the lie under test.
+    ASSERT_EQ(::send(rank1_fds[0], &h, sizeof(h), 0),
+              static_cast<ssize_t>(sizeof(h)));
+    EXPECT_THROW(t0.recv_any(ht::kP2pChannel, 1, 0.0), hc::RankFailure);
+    for (const int fd : rank1_fds) {
+      if (fd >= 0) ::close(fd);
+    }
+    mesh.close_all();
+  }
+  {  // huge-but-unwrappable length: must throw, not buffer forever
+    ht::SocketMesh mesh(2);
+    ht::SocketTransport t0(0, 2, mesh.claim(0));
+    auto rank1_fds = mesh.claim(1);
+    Header h{0x47435048u, 1, ht::kP2pChannel, 1, ht::kMaxFrameBytes + 1, 0};
+    ASSERT_EQ(::send(rank1_fds[0], &h, sizeof(h), 0),
+              static_cast<ssize_t>(sizeof(h)));
+    EXPECT_THROW(t0.recv_any(ht::kP2pChannel, 1, 0.0), hc::RankFailure);
+    for (const int fd : rank1_fds) {
+      if (fd >= 0) ::close(fd);
+    }
+    mesh.close_all();
+  }
+}
+
+TEST(SocketWire, OversizedSendIsRejectedAtTheSource) {
+  ht::SocketMesh mesh(2);
+  ht::SocketTransport t0(0, 2, mesh.claim(0));
+  mesh.close_all();
+  // A span wider than the frame limit must throw before any byte hits the
+  // wire. The pointer is never dereferenced — validation happens first.
+  static const std::byte dummy{};
+  const std::span<const std::byte> too_big(&dummy, ht::kMaxFrameBytes + 1);
+  EXPECT_THROW(t0.send(1, ht::kP2pChannel, 1, too_big), std::length_error);
+}
+
+TEST(SocketWire, DestructionDuringUnwindLooksLikeDeath) {
+  // A rank that fails with a LOCAL exception (checkpoint I/O error,
+  // bad_alloc, logic error) destroys its transport during unwind. It must
+  // NOT send a goodbye: peers would treat the EOF as graceful and block
+  // forever on frames the dead rank can no longer send, instead of throwing
+  // RankFailure and restarting the gang.
+  ht::SocketMesh mesh(2);
+  ht::SocketTransport t0(0, 2, mesh.claim(0));
+  try {
+    ht::SocketTransport t1(1, 2, mesh.claim(1));
+    throw std::runtime_error("rank 1 fails locally mid-collective");
+  } catch (const std::runtime_error&) {
+    // t1 destructed while the exception was in flight: no goodbye.
+  }
+  mesh.close_all();
+  EXPECT_THROW(t0.recv_any(ht::kP2pChannel, 1, 0.0), hc::RankFailure);
+}
+
+TEST(SocketWire, GracefulPeerMissingFrameThrowsInsteadOfHanging) {
+  // A peer that finished cleanly (goodbye + EOF) can never send anything
+  // more. Waiting for a frame it never sent must throw RankFailure — with
+  // no deadline installed by default, blocking would hang the gang (and
+  // before the fix, busy-spin at 100% CPU).
+  ht::SocketMesh mesh(2);
+  ht::SocketTransport t0(0, 2, mesh.claim(0));
+  {
+    ht::SocketTransport t1(1, 2, mesh.claim(1));
+    // t1 destructs cleanly: goodbye, then EOF.
+  }
+  mesh.close_all();
+  EXPECT_THROW(t0.recv_any(ht::kP2pChannel, 42, 0.0), hc::RankFailure);
+  EXPECT_THROW(t0.recv_from(1, ht::kP2pChannel, 42, 0.0), hc::RankFailure);
+}
+
+TEST(SocketWire, SelfSendLoopsBack) {
+  ht::SocketMesh mesh(2);
+  ht::SocketTransport t0(0, 2, mesh.claim(0));
+  mesh.close_all();
+  const std::int64_t value = 77;
+  t0.send(0, ht::kP2pChannel, 6,
+          std::as_bytes(std::span<const std::int64_t>(&value, 1)));
+  const ht::Frame f = t0.recv_from(0, ht::kP2pChannel, 6, 0.0);
+  EXPECT_EQ(f.src, 0);
+  ASSERT_EQ(f.payload.size(), sizeof(std::int64_t));
+  std::int64_t got = 0;
+  std::memcpy(&got, f.payload.data(), sizeof(got));
+  EXPECT_EQ(got, 77);
+  // A self frame that was never sent can also never arrive: throw, don't
+  // block — self-sends are synchronous.
+  EXPECT_THROW(t0.recv_from(0, ht::kP2pChannel, 7, 0.0), hc::RankFailure);
 }
 
 // ---------------------------------------------------------------------------
